@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: sweep the hetero-layer asymmetry knobs (Section 4.2).
+ * For the register file, sweep the port split between layers; for
+ * the branch prediction table, sweep the bottom-layer share and the
+ * top-layer cell upsizing.  The paper settles on a 10/8 port split
+ * for the RF and ~2/3 bottom share with doubled top transistors for
+ * BP/WP structures.
+ */
+
+#include <iostream>
+
+#include "sram/explorer.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace m3d;
+using namespace m3d::units;
+
+int
+main()
+{
+    PartitionExplorer ex(Technology::m3dHetero());
+
+    const ArrayConfig rf = CoreStructures::registerFile();
+    Table t1("Ablation: RF port split (hetero layers, top access "
+             "transistors 2x)");
+    t1.header({"Bottom ports", "Top ports", "Latency red.",
+               "Energy red.", "Footprint red."});
+    for (int pb = 6; pb <= 14; ++pb) {
+        PartitionResult r =
+            ex.evaluate(rf, PartitionSpec::port(pb, 2.0));
+        t1.row({std::to_string(pb),
+                std::to_string(rf.ports() - pb),
+                Table::pct(r.latencyReduction(), 1),
+                Table::pct(r.energyReduction(), 1),
+                Table::pct(r.areaReduction(), 1)});
+    }
+    t1.print(std::cout);
+
+    const ArrayConfig bpt = CoreStructures::branchPredictor();
+    Table t2("Ablation: BPT bottom share x top cell upsizing "
+             "(hetero WP)");
+    t2.header({"Bottom share", "Top cell scale", "Latency red.",
+               "Energy red.", "Footprint red."});
+    for (double share : {0.5, 0.6, 2.0 / 3.0, 0.75}) {
+        for (double scale : {1.0, 1.5, 2.0}) {
+            PartitionResult r = ex.evaluate(
+                bpt, PartitionSpec::word(share, 1.0, scale));
+            t2.row({Table::num(share, 2), Table::num(scale, 1),
+                    Table::pct(r.latencyReduction(), 1),
+                    Table::pct(r.energyReduction(), 1),
+                    Table::pct(r.areaReduction(), 1)});
+        }
+    }
+    t2.print(std::cout);
+
+    std::cout << "\nExpected shape: an uneven port split (more ports "
+                 "below) beats the even one on hetero layers; for "
+                 "BP/WP a ~2/3 bottom share with upsized top cells "
+                 "recovers most of the iso-layer latency.\n";
+    return 0;
+}

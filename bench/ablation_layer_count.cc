@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Future-work ablation: bit partitioning across more than two device
+ * layers.  M3D prototypes stack further, and the paper's techniques
+ * "partition ... into two or more layers"; this sweep asks where the
+ * returns diminish.  Expected shape: the second layer buys the big
+ * footprint/wirelength win; additional layers shave wordlines further
+ * but pay one extra via crossing and another slow layer each, so
+ * the marginal gain per added layer shrinks while via counts and
+ * slow-layer exposure grow.
+ */
+
+#include <iostream>
+
+#include "sram/array3d.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace m3d;
+using namespace m3d::units;
+
+int
+main()
+{
+    ArrayModel model(Technology::m3dHetero());
+    ArrayModel planar(Technology::planar2D());
+    Array3D stacked(model);
+
+    const std::vector<ArrayConfig> structures = {
+        CoreStructures::registerFile(),
+        CoreStructures::branchTargetBuffer(),
+        CoreStructures::l2Cache(),
+    };
+
+    Table t("Bit partitioning vs device-layer count (hetero M3D)");
+    t.header({"Structure", "Layers", "Latency red.", "Energy red.",
+              "Footprint red."});
+    for (const ArrayConfig &cfg : structures) {
+        const ArrayMetrics base = planar.evaluate2D(cfg);
+        for (int layers : {2, 3, 4, 8}) {
+            const ArrayMetrics m =
+                stacked.evaluateMultiLayerBit(cfg, layers);
+            t.row({cfg.name, std::to_string(layers),
+                   Table::pct(reductionVs(base.access_latency,
+                                          m.access_latency), 0),
+                   Table::pct(reductionVs(base.access_energy,
+                                          m.access_energy), 0),
+                   Table::pct(reductionVs(base.area, m.area), 0)});
+        }
+        t.separator();
+    }
+    t.print(std::cout);
+
+    std::cout << "Expected shape: every added layer helps, but the "
+                 "marginal gain per layer shrinks while via count "
+                 "and slow-layer exposure grow linearly - the first "
+                 "fold (the paper's two-layer design) is the largest "
+                 "single step.\n";
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation: sweep the top-layer inverter slowdown from 0% (the
+ * hypothetical iso-performance M3D) to 30% (well beyond the 17%
+ * measured by Shi et al. [45]) and report the derived core frequency
+ * with and without the paper's hetero-aware partitioning, plus the
+ * naive design that slows the whole clock.
+ */
+
+#include <iostream>
+
+#include "core/design.hh"
+#include "util/table.hh"
+
+using namespace m3d;
+
+int
+main()
+{
+    const std::vector<ArrayConfig> structures = CoreStructures::all();
+
+    Table t("Ablation: derived frequency vs top-layer slowdown");
+    t.header({"Top slowdown", "f (hetero-aware)", "f (naive)",
+              "Limiting structure", "Recovered"});
+
+    FrequencyDerivation iso = deriveFrequency(
+        PartitionExplorer(Technology::m3dIso()).bestForAll(structures),
+        FrequencyPolicy::Conservative);
+
+    for (double slowdown : {0.0, 0.05, 0.10, 0.17, 0.25, 0.30}) {
+        PartitionExplorer ex(Technology::m3dHetero(slowdown));
+        std::vector<PartitionResult> results =
+            ex.bestForAll(structures);
+        FrequencyDerivation het =
+            deriveFrequency(results, FrequencyPolicy::Conservative);
+        const double naive = iso.frequency * (1.0 - slowdown);
+        // Fraction of the iso-vs-naive frequency gap that the
+        // hetero-aware partitioning wins back.
+        const double gap = iso.frequency - naive;
+        const double recovered =
+            gap > 0.0 ? (het.frequency - naive) / gap : 1.0;
+        t.row({Table::pct(slowdown, 0),
+               Table::num(het.frequency / 1e9, 2) + " GHz",
+               Table::num(naive / 1e9, 2) + " GHz",
+               het.limiting_structure,
+               Table::pct(recovered, 0)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nExpected shape: the hetero-aware design stays "
+                 "near the iso-layer frequency across the sweep, "
+                 "while the naive design decays linearly with the "
+                 "slowdown.\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: how the best-partition gains of representative
+ * structures change with the inter-layer via technology - the 50nm
+ * MIV, the aggressive 1.3um TSV, and the 5um research TSV.  This
+ * isolates the paper's central claim that via geometry is what makes
+ * fine-grained 3D partitioning viable.
+ */
+
+#include <iostream>
+
+#include "sram/explorer.hh"
+#include "util/table.hh"
+
+using namespace m3d;
+
+int
+main()
+{
+    struct TechRow
+    {
+        std::string name;
+        Technology tech;
+    };
+    std::vector<TechRow> techs = {
+        {"MIV(50nm)", Technology::m3dIso()},
+        {"TSV(1.3um)", Technology::tsv3D()},
+        {"TSV(5um)", Technology::tsv3DResearch()},
+    };
+
+    const std::vector<ArrayConfig> structures = {
+        CoreStructures::registerFile(),
+        CoreStructures::issueQueue(),
+        CoreStructures::branchPredictor(),
+        CoreStructures::l2Cache(),
+    };
+
+    Table t("Ablation: best-partition reductions vs via technology");
+    t.header({"Via", "Structure", "Best", "Latency", "Energy",
+              "Footprint"});
+    for (const TechRow &tr : techs) {
+        PartitionExplorer ex(tr.tech);
+        for (const ArrayConfig &cfg : structures) {
+            PartitionResult r = ex.bestOverall(cfg);
+            t.row({tr.name, cfg.name, toString(r.spec.kind),
+                   Table::pct(r.latencyReduction(), 0),
+                   Table::pct(r.energyReduction(), 0),
+                   Table::pct(r.areaReduction(), 0)});
+        }
+        t.separator();
+    }
+    t.print(std::cout);
+
+    std::cout << "\nExpected shape: gains shrink monotonically with "
+                 "via diameter; small multi-ported structures lose "
+                 "the most; only the MIV enables port partitioning.\n";
+    return 0;
+}

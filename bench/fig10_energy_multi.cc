@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Figure 10: energy of the multicore designs normalized
+ * to the four-core 2D Base multicore.
+ *
+ * Paper averages: TSV3D 0.83, M3D-Het 0.67, M3D-Het-W 0.74,
+ * M3D-Het-2X 0.61.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "power/sim_harness.hh"
+#include "util/table.hh"
+
+using namespace m3d;
+
+int
+main()
+{
+    DesignFactory factory;
+    const std::vector<CoreDesign> designs =
+        factory.multicoreDesigns();
+    const std::vector<WorkloadProfile> apps =
+        WorkloadLibrary::splash2parsec();
+    const SimBudget budget;
+
+    Table t("Figure 10: multicore energy normalized to 4-core Base");
+    std::vector<std::string> head = {"App"};
+    for (const CoreDesign &d : designs)
+        head.push_back(d.name);
+    t.header(head);
+
+    std::vector<double> geo(designs.size(), 0.0);
+    for (const WorkloadProfile &app : apps) {
+        double base_energy = 0.0;
+        std::vector<std::string> row = {app.name};
+        for (std::size_t i = 0; i < designs.size(); ++i) {
+            MultiRun r = runMulticore(designs[i], app, budget);
+            if (i == 0)
+                base_energy = r.energyJ();
+            const double norm = r.energyJ() / base_energy;
+            geo[i] += std::log(norm);
+            row.push_back(Table::num(norm, 2));
+        }
+        t.row(row);
+    }
+    t.separator();
+    std::vector<std::string> avg = {"GeoMean"};
+    for (std::size_t i = 0; i < designs.size(); ++i)
+        avg.push_back(Table::num(
+            std::exp(geo[i] / static_cast<double>(apps.size())), 2));
+    t.row(avg);
+    t.print(std::cout);
+
+    std::cout << "\nPaper averages: TSV3D 0.83, M3D-Het 0.67, "
+                 "M3D-Het-W 0.74, M3D-Het-2X 0.61.\nExpected shape: "
+                 "M3D-Het-2X lowest despite running 8 cores (iso-"
+                 "power undervolting); TSV3D highest of the 3D "
+                 "designs.\n";
+    return 0;
+}

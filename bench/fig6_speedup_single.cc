@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Figure 6: speedup of every single-core design over the
+ * 2D Base core across the 21 SPEC CPU2006 applications.
+ *
+ * Paper averages: TSV3D 1.10, M3D-Iso 1.28, M3D-HetNaive 1.17,
+ * M3D-Het 1.25, M3D-HetAgg 1.38.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "power/sim_harness.hh"
+#include "util/table.hh"
+
+using namespace m3d;
+
+int
+main()
+{
+    DesignFactory factory;
+    const std::vector<CoreDesign> designs = factory.singleCoreDesigns();
+    const std::vector<WorkloadProfile> apps =
+        WorkloadLibrary::spec2006();
+    const SimBudget budget;
+
+    Table t("Figure 6: single-core speedup over Base (2D)");
+    std::vector<std::string> head = {"App"};
+    for (const CoreDesign &d : designs)
+        head.push_back(d.name);
+    t.header(head);
+
+    std::vector<double> geo(designs.size(), 0.0);
+    for (const WorkloadProfile &app : apps) {
+        double base_seconds = 0.0;
+        std::vector<std::string> row = {app.name};
+        for (std::size_t i = 0; i < designs.size(); ++i) {
+            AppRun r = runSingleCore(designs[i], app, budget);
+            if (i == 0)
+                base_seconds = r.seconds;
+            const double speedup = base_seconds / r.seconds;
+            geo[i] += std::log(speedup);
+            row.push_back(Table::num(speedup, 2));
+        }
+        t.row(row);
+    }
+    t.separator();
+    std::vector<std::string> avg = {"GeoMean"};
+    for (std::size_t i = 0; i < designs.size(); ++i)
+        avg.push_back(Table::num(
+            std::exp(geo[i] / static_cast<double>(apps.size())), 2));
+    t.row(avg);
+    t.print(std::cout);
+
+    std::cout << "\nPaper averages: Base 1.00, TSV3D 1.10, M3D-Iso "
+                 "1.28, M3D-HetNaive 1.17, M3D-Het 1.25, M3D-HetAgg "
+                 "1.38.\nExpected shape: HetAgg > Iso >= Het > "
+                 "HetNaive > TSV3D > Base.\n";
+    return 0;
+}

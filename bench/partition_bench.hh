@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared helper for the Table 3/4/5 benches: evaluate one fixed
+ * partitioning strategy on the register file and the branch
+ * prediction table for both M3D and TSV3D, and print the percentage
+ * reductions versus 2D, in the paper's format.
+ */
+
+#ifndef M3D_BENCH_PARTITION_BENCH_HH_
+#define M3D_BENCH_PARTITION_BENCH_HH_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sram/explorer.hh"
+#include "util/table.hh"
+
+namespace m3d {
+namespace bench {
+
+/** Print one strategy's RF/BPT reductions for M3D and TSV3D. */
+inline void
+printStrategyTable(const std::string &title, PartitionKind kind,
+                   bool bpt_applicable=true)
+{
+    const std::vector<ArrayConfig> structures = {
+        CoreStructures::registerFile(),
+        CoreStructures::branchPredictor(),
+    };
+
+    Table t(title);
+    t.header({"Tech", "RF lat.", "RF ener.", "RF footpr.", "BPT lat.",
+              "BPT ener.", "BPT footpr."});
+
+    struct TechRow
+    {
+        std::string name;
+        Technology tech;
+    };
+    const std::vector<TechRow> techs = {
+        {"M3D", Technology::m3dIso()},
+        {"TSV3D", Technology::tsv3D()},
+    };
+
+    for (const TechRow &tr : techs) {
+        PartitionExplorer ex(tr.tech);
+        std::vector<std::string> cells = {tr.name};
+        for (const ArrayConfig &cfg : structures) {
+            const bool applicable =
+                (kind != PartitionKind::Port || cfg.ports() >= 2) &&
+                (cfg.name != "BPT" || bpt_applicable);
+            if (!applicable) {
+                cells.insert(cells.end(), {"-", "-", "-"});
+                continue;
+            }
+            PartitionResult r = ex.best(cfg, kind);
+            cells.push_back(Table::pct(r.latencyReduction(), 0));
+            cells.push_back(Table::pct(r.energyReduction(), 0));
+            cells.push_back(Table::pct(r.areaReduction(), 0));
+        }
+        t.row(cells);
+    }
+    t.print(std::cout);
+}
+
+} // namespace bench
+} // namespace m3d
+
+#endif // M3D_BENCH_PARTITION_BENCH_HH_

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the models themselves: how fast
+ * the library evaluates arrays, explores partitions, simulates cores,
+ * and solves thermal grids.  These bound the cost of design-space
+ * exploration built on this library.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "power/sim_harness.hh"
+#include "sram/explorer.hh"
+#include "thermal/thermal_model.hh"
+
+using namespace m3d;
+
+namespace {
+
+void
+BM_Array2DEvaluate(benchmark::State &state)
+{
+    ArrayModel model(Technology::planar2D());
+    const ArrayConfig rf = CoreStructures::registerFile();
+    for (auto _ : state) {
+        ArrayMetrics m = model.evaluate2D(rf);
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_Array2DEvaluate);
+
+void
+BM_Array3DPortPartition(benchmark::State &state)
+{
+    ArrayModel model(Technology::m3dHetero());
+    Array3D stacked(model);
+    const ArrayConfig rf = CoreStructures::registerFile();
+    const PartitionSpec spec = PartitionSpec::port(10, 2.0);
+    for (auto _ : state) {
+        ArrayMetrics m = stacked.evaluate(rf, spec);
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_Array3DPortPartition);
+
+void
+BM_ExplorerBestOverall(benchmark::State &state)
+{
+    PartitionExplorer ex(Technology::m3dHetero());
+    const ArrayConfig rf = CoreStructures::registerFile();
+    for (auto _ : state) {
+        PartitionResult r = ex.bestOverall(rf);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_ExplorerBestOverall);
+
+void
+BM_CoreSimulation(benchmark::State &state)
+{
+    DesignFactory factory;
+    const CoreDesign design = factory.m3dHet();
+    const WorkloadProfile app = WorkloadLibrary::byName("Gcc");
+    HierarchyTiming timing;
+    timing.l1_rt = design.load_to_use;
+    timing.frequency = design.frequency;
+    CacheHierarchy hierarchy(timing);
+    CoreModel core(design, hierarchy);
+    TraceGenerator gen(app, 42);
+    for (auto _ : state) {
+        SimResult r = core.run(gen, 10000);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_CoreSimulation);
+
+void
+BM_ThermalSolve(benchmark::State &state)
+{
+    DesignFactory factory;
+    const CoreDesign design = factory.m3dHet();
+    const WorkloadProfile app = WorkloadLibrary::byName("Gamess");
+    AppRun run = runSingleCore(design, app);
+    PowerModel pm(design);
+    auto blocks = pm.blockPower(run.sim.activity, run.seconds);
+    ThermalModel tm(design, static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        ThermalResult r = tm.solve(blocks);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_ThermalSolve)->Arg(16)->Arg(32);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const WorkloadProfile app = WorkloadLibrary::byName("Mcf");
+    TraceGenerator gen(app, 42);
+    for (auto _ : state) {
+        MicroOp op = gen.next();
+        benchmark::DoNotOptimize(op);
+    }
+}
+BENCHMARK(BM_TraceGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

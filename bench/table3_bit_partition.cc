@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reproduces Table 3: percentage reduction in access latency, access
+ * energy, and footprint from bit partitioning (BP) the register file
+ * and the branch prediction table, for M3D and TSV3D.
+ *
+ * Paper values: M3D RF 28/22/40, BPT 14/15/37;
+ *               TSV3D RF 25/19/31, BPT 4/-3/4.
+ */
+
+#include "partition_bench.hh"
+
+int
+main()
+{
+    m3d::bench::printStrategyTable(
+        "Table 3: reductions from bit partitioning (BP) vs 2D",
+        m3d::PartitionKind::Bit);
+    std::cout << "\nPaper: M3D RF 28%/22%/40%, BPT 14%/15%/37%; "
+                 "TSV3D RF 25%/19%/31%, BPT 4%/-3%/4%.\n"
+                 "Expected shape: M3D beats TSV3D everywhere; the "
+                 "multi-ported RF gains more than the BPT.\n";
+    return 0;
+}

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Reproduces Table 4: reductions from word partitioning (WP) of the
+ * register file and branch prediction table, for M3D and TSV3D.
+ *
+ * Paper values: M3D RF 27/35/43, BPT 14/36/57;
+ *               TSV3D RF 24/32/39, BPT -6/9/19.
+ */
+
+#include "partition_bench.hh"
+
+int
+main()
+{
+    m3d::bench::printStrategyTable(
+        "Table 4: reductions from word partitioning (WP) vs 2D",
+        m3d::PartitionKind::Word);
+    std::cout << "\nPaper: M3D RF 27%/35%/43%, BPT 14%/36%/57%; "
+                 "TSV3D RF 24%/32%/39%, BPT -6%/9%/19%.\n"
+                 "Expected shape: WP is the winning strategy for the "
+                 "tall, narrow BPT array.\n";
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reproduces Table 5: reductions from port partitioning (PP) of the
+ * register file, for M3D and TSV3D.  PP does not apply to the
+ * single-ported branch prediction table.
+ *
+ * Paper values: M3D RF 41/38/56; TSV3D RF -361/-84/-498 (TSVs are
+ * far too large to place two per bitcell).
+ */
+
+#include "partition_bench.hh"
+
+int
+main()
+{
+    m3d::bench::printStrategyTable(
+        "Table 5: reductions from port partitioning (PP) vs 2D",
+        m3d::PartitionKind::Port, /*bpt_applicable=*/false);
+    std::cout << "\nPaper: M3D RF 41%/38%/56%; TSV3D RF "
+                 "-361%/-84%/-498%.\n"
+                 "Expected shape: PP is the best M3D strategy for "
+                 "multi-ported arrays and catastrophic with TSVs.\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Table 6: the best partitioning strategy for each of the
+ * twelve core storage structures, with the percentage reductions in
+ * access latency, access energy, and footprint versus 2D, for
+ * iso-layer M3D and for TSV3D.
+ *
+ * Paper shape to check: PP wins for the multi-ported structures
+ * (RF, IQ, SQ, LQ, RAT); BP/WP wins for the single-ported ones, with
+ * WP on the tall BPT; TSV3D is uniformly weaker and cannot use PP.
+ */
+
+#include <iostream>
+
+#include "sram/explorer.hh"
+#include "util/table.hh"
+
+using namespace m3d;
+
+int
+main()
+{
+    PartitionExplorer m3d_ex(Technology::m3dIso());
+    PartitionExplorer tsv_ex(Technology::tsv3D());
+
+    Table t("Table 6: best partition per structure (iso-layer M3D "
+            "vs TSV3D), % reduction vs 2D");
+    t.header({"Structure", "[Words;Bits]xBanks", "M3D best",
+              "TSV best", "M3D lat", "TSV lat", "M3D ener", "TSV ener",
+              "M3D footpr", "TSV footpr"});
+
+    for (const ArrayConfig &cfg : CoreStructures::all()) {
+        PartitionResult rm = m3d_ex.bestOverall(cfg);
+        PartitionResult rt = tsv_ex.bestOverall(cfg);
+        std::string dims = "[" + std::to_string(cfg.words) + "; " +
+                           std::to_string(cfg.bits) + "]";
+        if (cfg.banks > 1)
+            dims += " x" + std::to_string(cfg.banks);
+        t.row({cfg.name, dims, toString(rm.spec.kind),
+               toString(rt.spec.kind),
+               Table::pct(rm.latencyReduction(), 0),
+               Table::pct(rt.latencyReduction(), 0),
+               Table::pct(rm.energyReduction(), 0),
+               Table::pct(rt.energyReduction(), 0),
+               Table::pct(rm.areaReduction(), 0),
+               Table::pct(rt.areaReduction(), 0)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper (M3D lat/ener/footpr): RF PP 41/38/56, "
+                 "IQ PP 26/35/50, SQ PP 14/21/44, LQ PP 15/36/48,\n"
+                 "RAT PP 20/32/45, BPT WP 14/36/57, BTB BP 15/20/37, "
+                 "DTLB BP 26/28/35, ITLB BP 20/28/36,\n"
+                 "IL1 BP 30/36/41, DL1 BP 41/40/44, L2 BP 32/47/53.\n";
+    return 0;
+}

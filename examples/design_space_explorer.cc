@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Design-space exploration example: price every (structure, strategy,
+ * technology) combination and emit a CSV for downstream analysis -
+ * the kind of sweep an architect would run before committing to a
+ * partitioning plan.
+ *
+ * Usage: design_space_explorer [output.csv]   (default: stdout)
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "sram/explorer.hh"
+#include "util/table.hh"
+
+using namespace m3d;
+
+int
+main(int argc, char **argv)
+{
+    std::ofstream file;
+    if (argc > 1)
+        file.open(argv[1]);
+    std::ostream &os = file.is_open() ? file : std::cout;
+
+    struct TechRow
+    {
+        std::string name;
+        Technology tech;
+    };
+    const std::vector<TechRow> techs = {
+        {"m3d-iso", Technology::m3dIso()},
+        {"m3d-hetero", Technology::m3dHetero()},
+        {"tsv3d-1.3um", Technology::tsv3D()},
+        {"tsv3d-5um", Technology::tsv3DResearch()},
+    };
+
+    Table csv("design space");
+    csv.header({"technology", "structure", "strategy", "latency_ps",
+                "energy_pJ", "area_um2", "latency_reduction",
+                "energy_reduction", "area_reduction"});
+
+    for (const TechRow &tr : techs) {
+        PartitionExplorer ex(tr.tech);
+        for (const ArrayConfig &cfg : CoreStructures::all()) {
+            std::vector<PartitionKind> kinds = {PartitionKind::Bit,
+                                                PartitionKind::Word};
+            if (cfg.ports() >= 2)
+                kinds.push_back(PartitionKind::Port);
+            for (PartitionKind kind : kinds) {
+                PartitionResult r = ex.best(cfg, kind);
+                csv.row({tr.name, cfg.name, toString(kind),
+                         Table::num(r.stacked.access_latency * 1e12, 2),
+                         Table::num(r.stacked.access_energy * 1e12, 3),
+                         Table::num(r.stacked.area * 1e12, 1),
+                         Table::num(r.latencyReduction(), 4),
+                         Table::num(r.energyReduction(), 4),
+                         Table::num(r.areaReduction(), 4)});
+            }
+        }
+    }
+    csv.printCsv(os);
+
+    if (file.is_open())
+        std::cout << "Wrote " << argv[1] << "\n";
+    return 0;
+}

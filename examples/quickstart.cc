@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quickstart: the five-minute tour of the library.
+ *
+ * 1. Describe a storage structure (here: the 18-port register file).
+ * 2. Price its conventional 2D layout.
+ * 3. Price the best two-layer M3D partition on realistic
+ *    (hetero-layer) technology.
+ * 4. Derive what that does to the core clock.
+ *
+ * Build and run:  ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/frequency.hh"
+#include "sram/explorer.hh"
+#include "util/units.hh"
+
+using namespace m3d;
+using namespace m3d::units;
+
+int
+main()
+{
+    // --- 1. A storage structure: 160 words x 64 bits, 12R+6W ports.
+    ArrayConfig rf = CoreStructures::registerFile();
+    std::cout << "Structure: " << rf.name << " [" << rf.words << " x "
+              << rf.bits << " bits], " << rf.read_ports << "R+"
+              << rf.write_ports << "W ports\n\n";
+
+    // --- 2. The 2D baseline.
+    ArrayModel planar(Technology::planar2D());
+    ArrayMetrics m2d = planar.evaluate2D(rf);
+    std::cout << "2D layout:   " << m2d.access_latency / ps
+              << " ps, " << m2d.access_energy / pJ << " pJ/access, "
+              << m2d.area / um2 << " um^2\n";
+
+    // --- 3. The best hetero-layer M3D partition (the top layer is
+    //        17% slower; the explorer searches BP/WP/PP and the
+    //        asymmetry knobs).
+    PartitionExplorer explorer(Technology::m3dHetero());
+    PartitionResult best = explorer.bestOverall(rf);
+    std::cout << "M3D (" << toString(best.spec.kind) << "):    "
+              << best.stacked.access_latency / ps << " ps, "
+              << best.stacked.access_energy / pJ << " pJ/access, "
+              << best.stacked.area / um2 << " um^2\n";
+    std::cout << "Reductions:  latency "
+              << asPercent(best.latencyReduction()) << "%, energy "
+              << asPercent(best.energyReduction()) << "%, footprint "
+              << asPercent(best.areaReduction()) << "%\n\n";
+
+    // --- 4. What the whole core gains: partition every structure and
+    //        re-derive the clock.
+    std::vector<PartitionResult> all =
+        explorer.bestForAll(CoreStructures::all());
+    FrequencyDerivation f =
+        deriveFrequency(all, FrequencyPolicy::Conservative);
+    std::cout << "Core clock: " << f.base_frequency / 1e9
+              << " GHz (2D) -> " << f.frequency / 1e9
+              << " GHz (M3D), limited by " << f.limiting_structure
+              << "\n";
+    return 0;
+}

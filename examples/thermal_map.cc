@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Thermal-map example: simulate an application on a design, feed the
+ * block powers into the HotSpot-style solver, and render a per-block
+ * heat bar - the machinery behind the paper's Figure 8.
+ *
+ * Usage: thermal_map [design] [app]
+ *        design in {base, tsv3d, m3d-het}; default m3d-het Gamess.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "power/sim_harness.hh"
+#include "thermal/thermal_model.hh"
+#include "util/table.hh"
+
+using namespace m3d;
+
+int
+main(int argc, char **argv)
+{
+    const std::string design_name = argc > 1 ? argv[1] : "m3d-het";
+    const std::string app_name = argc > 2 ? argv[2] : "Gamess";
+
+    DesignFactory factory;
+    CoreDesign design = factory.m3dHet();
+    if (design_name == "base")
+        design = factory.base();
+    else if (design_name == "tsv3d")
+        design = factory.tsv3d();
+
+    const WorkloadProfile app = WorkloadLibrary::byName(app_name);
+    AppRun run = runSingleCore(design, app);
+    PowerModel pm(design);
+    auto blocks = pm.blockPower(run.sim.activity, run.seconds);
+
+    ThermalModel tm(design);
+    ThermalResult th = tm.solve(blocks);
+
+    Table t("Block peak temperatures: " + design.name + " running " +
+            app_name);
+    t.header({"Block", "Power (W)", "Peak (C)"});
+    for (const auto &[name, peak] : th.block_peak_c) {
+        const double watts =
+            blocks.count(name) ? blocks.at(name) : 0.0;
+        t.row({name, Table::num(watts, 2), Table::num(peak, 1)});
+    }
+    t.print(std::cout);
+    std::cout << "Hottest block: " << th.hottest_block << " at "
+              << Table::num(th.peak_c, 1) << " C\n\n";
+
+    // Per-block heat bars ('.' cool -> '#' hot), bar length ~ width.
+    std::cout << "Heat map across the floorplan:\n";
+    const char shades[] = ".:-=+*%#";
+    double lo = th.peak_c;
+    double hi = th.peak_c;
+    for (const auto &[name, peak] : th.block_peak_c) {
+        lo = std::min(lo, peak);
+        hi = std::max(hi, peak);
+    }
+    for (const FloorplanBlock &b : tm.floorplan().blocks) {
+        const double peak = th.block_peak_c.at(b.name);
+        const int shade = hi > lo
+            ? static_cast<int>((peak - lo) / (hi - lo) * 7.0)
+            : 0;
+        const auto bar_len = static_cast<std::size_t>(
+            40.0 * b.w / tm.floorplan().width);
+        std::cout << "  " << b.name
+                  << std::string(10 - std::min<std::size_t>(
+                         b.name.size(), 9), ' ')
+                  << std::string(std::max<std::size_t>(bar_len, 1),
+                                 shades[shade])
+                  << "  " << Table::num(peak, 1) << " C\n";
+    }
+    return 0;
+}

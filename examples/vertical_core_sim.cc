@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Run one application on every single-core design and report
+ * performance, power, and energy side by side - the per-application
+ * slice of the paper's Figures 6 and 7.
+ *
+ * Usage: vertical_core_sim [app] [instructions] [--stats]
+ *        (default: Gcc, 300000; app names follow SPEC2006, e.g.
+ *         Mcf, Gamess, Lbm, Sjeng, ...; --stats dumps gem5-style
+ *         per-design counters after the table)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "arch/stats_dump.hh"
+#include "power/sim_harness.hh"
+#include "util/table.hh"
+
+using namespace m3d;
+
+int
+main(int argc, char **argv)
+{
+    const std::string app_name = argc > 1 ? argv[1] : "Gcc";
+    SimBudget budget;
+    bool stats = false;
+    if (argc > 2 && std::string(argv[2]) != "--stats")
+        budget.measured = std::strtoull(argv[2], nullptr, 10);
+    for (int i = 1; i < argc; ++i)
+        stats = stats || std::string(argv[i]) == "--stats";
+
+    const WorkloadProfile app = WorkloadLibrary::byName(app_name);
+    DesignFactory factory;
+
+    Table t("Vertical core comparison: " + app_name);
+    t.header({"Design", "f (GHz)", "IPC", "Time (us)", "Power (W)",
+              "Energy (uJ)", "Speedup", "Energy vs Base"});
+
+    double base_seconds = 0.0;
+    double base_energy = 0.0;
+    for (const CoreDesign &d : factory.singleCoreDesigns()) {
+        AppRun r = runSingleCore(d, app, budget);
+        if (d.name == "Base") {
+            base_seconds = r.seconds;
+            base_energy = r.energyJ();
+        }
+        t.row({d.name, Table::num(d.frequency / 1e9, 2),
+               Table::num(r.sim.ipc(), 2),
+               Table::num(r.seconds * 1e6, 1),
+               Table::num(r.energy.avgPower(r.seconds), 2),
+               Table::num(r.energyJ() * 1e6, 1),
+               Table::num(base_seconds / r.seconds, 2) + "x",
+               Table::num(r.energyJ() / base_energy, 2)});
+    }
+    t.print(std::cout);
+
+    if (stats) {
+        std::cout << "\n";
+        for (const CoreDesign &d : factory.singleCoreDesigns()) {
+            const AppRun r = runSingleCore(d, app, budget);
+            dumpStats(std::cout, d.name, r.sim);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Section 5 example: spending the M3D wire-delay win on *width*
+ * instead of frequency.
+ *
+ * One alternative the paper discusses (and evaluates as M3D-Het-W)
+ * is to keep the 2D clock and use the partitioned structures'
+ * headroom to widen the machine.  This example sweeps the issue
+ * width at the base frequency and compares against simply raising
+ * the clock, for a mix of ILP-rich and ILP-poor applications.
+ *
+ * Usage: wide_issue_explorer [instructions]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "power/sim_harness.hh"
+#include "util/table.hh"
+
+using namespace m3d;
+
+int
+main(int argc, char **argv)
+{
+    SimBudget budget;
+    if (argc > 1)
+        budget.measured = std::strtoull(argv[1], nullptr, 10);
+
+    DesignFactory factory;
+    const std::vector<std::string> apps = {"Hmmer", "Gamess", "Gcc",
+                                           "Mcf"};
+
+    Table t("Width vs frequency: speedup over Base per application");
+    std::vector<std::string> head = {"Design"};
+    for (const std::string &a : apps)
+        head.push_back(a);
+    t.header(head);
+
+    // Baseline runtimes.
+    std::vector<double> base_secs;
+    for (const std::string &a : apps) {
+        base_secs.push_back(
+            runSingleCore(factory.base(), WorkloadLibrary::byName(a),
+                          budget)
+                .seconds);
+    }
+
+    auto add_design = [&](const CoreDesign &d) {
+        std::vector<std::string> row = {d.name};
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            const AppRun r = runSingleCore(
+                d, WorkloadLibrary::byName(apps[i]), budget);
+            row.push_back(Table::num(base_secs[i] / r.seconds, 2));
+        }
+        t.row(row);
+    };
+
+    // Frequency route: the standard M3D-Het.
+    add_design(factory.m3dHet());
+
+    // Width route: 2D clock, issue width swept upward.
+    for (int width : {6, 8, 10}) {
+        CoreDesign d = factory.m3dHet();
+        d.name = "M3D-W" + std::to_string(width) + "@3.3GHz";
+        d.frequency = kBaseFrequency;
+        d.issue_width = width;
+        d.dispatch_width = width >= 8 ? 5 : 4;
+        d.commit_width = width >= 8 ? 5 : 4;
+        add_design(d);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nExpected shape: widening helps the ILP-rich apps "
+                 "(Hmmer, Gamess) but cannot help the memory-bound "
+                 "ones, so the frequency route (M3D-Het) wins on "
+                 "average - the paper's Section 7.2.1 conclusion for "
+                 "M3D-Het vs M3D-Het-W.\n";
+    return 0;
+}

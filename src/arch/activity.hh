@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Activity counters collected during simulation and consumed by the
+ * McPAT-style power model: per-structure access counts and runtime.
+ */
+
+#ifndef M3D_ARCH_ACTIVITY_HH_
+#define M3D_ARCH_ACTIVITY_HH_
+
+#include <cstdint>
+
+namespace m3d {
+
+/** Per-core activity over one simulation. */
+struct Activity
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+
+    // Frontend.
+    std::uint64_t fetches = 0;        ///< I-cache accesses
+    std::uint64_t decodes = 0;
+    std::uint64_t complex_decodes = 0;
+    std::uint64_t bpt_lookups = 0;    ///< branch predictor reads
+    std::uint64_t btb_lookups = 0;
+    std::uint64_t mispredicts = 0;
+
+    // Rename/dispatch.
+    std::uint64_t rat_reads = 0;
+    std::uint64_t rat_writes = 0;
+    std::uint64_t dispatches = 0;
+
+    // Issue/execute.
+    std::uint64_t iq_writes = 0;
+    std::uint64_t iq_wakeups = 0;     ///< CAM searches
+    std::uint64_t issues = 0;
+    std::uint64_t rf_reads = 0;
+    std::uint64_t rf_writes = 0;
+    std::uint64_t alu_ops = 0;
+    std::uint64_t fp_ops = 0;
+    std::uint64_t mul_div_ops = 0;
+
+    // Memory.
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t lq_searches = 0;
+    std::uint64_t sq_searches = 0;
+    std::uint64_t l1d_accesses = 0;
+    std::uint64_t l1i_accesses = 0;
+    std::uint64_t l2_accesses = 0;
+    std::uint64_t l3_accesses = 0;
+    std::uint64_t dram_accesses = 0;
+    std::uint64_t noc_flits = 0;      ///< remote transfers
+
+    // Bottleneck attribution: which constraint set each
+    // instruction's dispatch/issue time.
+    std::uint64_t stall_rob = 0;      ///< ROB full at dispatch
+    std::uint64_t stall_iq = 0;       ///< IQ full at dispatch
+    std::uint64_t stall_lsq = 0;      ///< LQ/SQ full at dispatch
+    std::uint64_t stall_icache = 0;   ///< fetch waited on the I-cache
+    std::uint64_t bound_deps = 0;     ///< issue waited on operands
+    std::uint64_t bound_fu = 0;       ///< issue waited on FUs/width
+
+    double ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+    }
+
+    /** Counter-wise difference: the activity of a window. */
+    static Activity
+    windowed(const Activity &end, const Activity &start)
+    {
+        Activity d;
+        d.cycles = end.cycles - start.cycles;
+        d.instructions = end.instructions - start.instructions;
+        d.fetches = end.fetches - start.fetches;
+        d.decodes = end.decodes - start.decodes;
+        d.complex_decodes = end.complex_decodes - start.complex_decodes;
+        d.bpt_lookups = end.bpt_lookups - start.bpt_lookups;
+        d.btb_lookups = end.btb_lookups - start.btb_lookups;
+        d.mispredicts = end.mispredicts - start.mispredicts;
+        d.rat_reads = end.rat_reads - start.rat_reads;
+        d.rat_writes = end.rat_writes - start.rat_writes;
+        d.dispatches = end.dispatches - start.dispatches;
+        d.iq_writes = end.iq_writes - start.iq_writes;
+        d.iq_wakeups = end.iq_wakeups - start.iq_wakeups;
+        d.issues = end.issues - start.issues;
+        d.rf_reads = end.rf_reads - start.rf_reads;
+        d.rf_writes = end.rf_writes - start.rf_writes;
+        d.alu_ops = end.alu_ops - start.alu_ops;
+        d.fp_ops = end.fp_ops - start.fp_ops;
+        d.mul_div_ops = end.mul_div_ops - start.mul_div_ops;
+        d.loads = end.loads - start.loads;
+        d.stores = end.stores - start.stores;
+        d.lq_searches = end.lq_searches - start.lq_searches;
+        d.sq_searches = end.sq_searches - start.sq_searches;
+        d.l1d_accesses = end.l1d_accesses - start.l1d_accesses;
+        d.l1i_accesses = end.l1i_accesses - start.l1i_accesses;
+        d.l2_accesses = end.l2_accesses - start.l2_accesses;
+        d.l3_accesses = end.l3_accesses - start.l3_accesses;
+        d.dram_accesses = end.dram_accesses - start.dram_accesses;
+        d.noc_flits = end.noc_flits - start.noc_flits;
+        d.stall_rob = end.stall_rob - start.stall_rob;
+        d.stall_iq = end.stall_iq - start.stall_iq;
+        d.stall_lsq = end.stall_lsq - start.stall_lsq;
+        d.stall_icache = end.stall_icache - start.stall_icache;
+        d.bound_deps = end.bound_deps - start.bound_deps;
+        d.bound_fu = end.bound_fu - start.bound_fu;
+        return d;
+    }
+
+    /** Merge another core's counters (multicore totals). */
+    void
+    accumulate(const Activity &other)
+    {
+        cycles = cycles > other.cycles ? cycles : other.cycles;
+        instructions += other.instructions;
+        fetches += other.fetches;
+        decodes += other.decodes;
+        complex_decodes += other.complex_decodes;
+        bpt_lookups += other.bpt_lookups;
+        btb_lookups += other.btb_lookups;
+        mispredicts += other.mispredicts;
+        rat_reads += other.rat_reads;
+        rat_writes += other.rat_writes;
+        dispatches += other.dispatches;
+        iq_writes += other.iq_writes;
+        iq_wakeups += other.iq_wakeups;
+        issues += other.issues;
+        rf_reads += other.rf_reads;
+        rf_writes += other.rf_writes;
+        alu_ops += other.alu_ops;
+        fp_ops += other.fp_ops;
+        mul_div_ops += other.mul_div_ops;
+        loads += other.loads;
+        stores += other.stores;
+        lq_searches += other.lq_searches;
+        sq_searches += other.sq_searches;
+        l1d_accesses += other.l1d_accesses;
+        l1i_accesses += other.l1i_accesses;
+        l2_accesses += other.l2_accesses;
+        l3_accesses += other.l3_accesses;
+        dram_accesses += other.dram_accesses;
+        noc_flits += other.noc_flits;
+        stall_rob += other.stall_rob;
+        stall_iq += other.stall_iq;
+        stall_lsq += other.stall_lsq;
+        stall_icache += other.stall_icache;
+        bound_deps += other.bound_deps;
+        bound_fu += other.bound_fu;
+    }
+};
+
+} // namespace m3d
+
+#endif // M3D_ARCH_ACTIVITY_HH_

@@ -1,0 +1,183 @@
+#include "arch/branch_predictor.hh"
+
+#include "util/logging.hh"
+
+namespace m3d {
+
+TournamentPredictor::TournamentPredictor(
+    const BranchPredictorConfig &cfg)
+    : cfg_(cfg)
+{
+    auto pow2 = [](int v) { return v > 0 && (v & (v - 1)) == 0; };
+    M3D_ASSERT(pow2(cfg_.selector_entries) &&
+               pow2(cfg_.local_entries) && pow2(cfg_.global_entries) &&
+               pow2(cfg_.btb_entries),
+               "predictor tables must be powers of two");
+    // Weakly-taken initial counters.
+    selector_.assign(static_cast<std::size_t>(cfg_.selector_entries),
+                     1);
+    local_.assign(static_cast<std::size_t>(cfg_.local_entries), 1);
+    global_.assign(static_cast<std::size_t>(cfg_.global_entries), 1);
+    local_history_.assign(
+        static_cast<std::size_t>(cfg_.local_entries), 0);
+    btb_.assign(static_cast<std::size_t>(cfg_.btb_entries) *
+                static_cast<std::size_t>(cfg_.btb_ways), 0);
+    ras_.assign(static_cast<std::size_t>(cfg_.ras_entries), 0);
+}
+
+int
+TournamentPredictor::selectorIndex(std::uint64_t pc) const
+{
+    return static_cast<int>((pc ^ ghr_) &
+                            static_cast<std::uint64_t>(
+                                cfg_.selector_entries - 1));
+}
+
+int
+TournamentPredictor::localIndex(std::uint64_t pc) const
+{
+    // Alpha-style two-level local predictor: the per-branch history
+    // register selects the PHT entry.  Indexing by history alone
+    // lets branches with the same behaviour (all-taken, loop-with-
+    // period-L) constructively share counters instead of aliasing
+    // destructively.
+    const auto slot =
+        pc & static_cast<std::uint64_t>(cfg_.local_entries - 1);
+    const std::uint16_t hist =
+        local_history_[static_cast<std::size_t>(slot)];
+    return static_cast<int>(hist &
+                            static_cast<std::uint64_t>(
+                                cfg_.local_entries - 1));
+}
+
+int
+TournamentPredictor::globalIndex(std::uint64_t pc) const
+{
+    return static_cast<int>((pc ^ (ghr_ << 2)) &
+                            static_cast<std::uint64_t>(
+                                cfg_.global_entries - 1));
+}
+
+void
+TournamentPredictor::train(std::uint8_t &c, bool taken)
+{
+    if (taken) {
+        if (c < 3)
+            ++c;
+    } else {
+        if (c > 0)
+            --c;
+    }
+}
+
+BranchPrediction
+TournamentPredictor::predict(std::uint64_t pc) const
+{
+    BranchPrediction out;
+    const bool local_taken = counterTaken(
+        local_[static_cast<std::size_t>(localIndex(pc))]);
+    const bool global_taken = counterTaken(
+        global_[static_cast<std::size_t>(globalIndex(pc))]);
+    out.used_global = counterTaken(
+        selector_[static_cast<std::size_t>(selectorIndex(pc))]);
+    out.predicted_taken = out.used_global ? global_taken : local_taken;
+
+    // BTB probe: direct-mapped sets of `ways` tags.
+    const auto set =
+        (pc >> 2) & static_cast<std::uint64_t>(cfg_.btb_entries - 1);
+    const std::uint64_t *base =
+        &btb_[set * static_cast<std::size_t>(cfg_.btb_ways)];
+    for (int w = 0; w < cfg_.btb_ways; ++w) {
+        if (base[w] == pc) {
+            out.btb_hit = true;
+            break;
+        }
+    }
+    return out;
+}
+
+bool
+TournamentPredictor::predictAndTrain(std::uint64_t pc, bool taken)
+{
+    ++lookups_;
+    const BranchPrediction p = predict(pc);
+
+    // Train the component predictors and the selector.
+    std::uint8_t &sel =
+        selector_[static_cast<std::size_t>(selectorIndex(pc))];
+    std::uint8_t &loc =
+        local_[static_cast<std::size_t>(localIndex(pc))];
+    std::uint8_t &glob =
+        global_[static_cast<std::size_t>(globalIndex(pc))];
+    const bool local_correct = counterTaken(loc) == taken;
+    const bool global_correct = counterTaken(glob) == taken;
+    if (local_correct != global_correct)
+        train(sel, global_correct); // move towards the right expert
+    train(loc, taken);
+    train(glob, taken);
+
+    // Histories.
+    const auto slot =
+        pc & static_cast<std::uint64_t>(cfg_.local_entries - 1);
+    std::uint16_t &hist =
+        local_history_[static_cast<std::size_t>(slot)];
+    hist = static_cast<std::uint16_t>(
+        ((hist << 1) | (taken ? 1 : 0)) &
+        ((1u << cfg_.local_history_bits) - 1));
+    ghr_ = (ghr_ << 1) | (taken ? 1 : 0);
+
+    // BTB: allocate on taken branches (simple rotate replacement).
+    bool btb_miss = false;
+    if (taken) {
+        const auto set = (pc >> 2) &
+                         static_cast<std::uint64_t>(
+                             cfg_.btb_entries - 1);
+        std::uint64_t *base =
+            &btb_[set * static_cast<std::size_t>(cfg_.btb_ways)];
+        bool hit = false;
+        for (int w = 0; w < cfg_.btb_ways; ++w)
+            hit = hit || base[w] == pc;
+        if (!hit) {
+            btb_miss = true;
+            for (int w = cfg_.btb_ways - 1; w > 0; --w)
+                base[w] = base[w - 1];
+            base[0] = pc;
+        }
+    }
+
+    const bool wrong = p.predicted_taken != taken ||
+                       (taken && btb_miss);
+    if (wrong)
+        ++mispredicts_;
+    return wrong;
+}
+
+void
+TournamentPredictor::pushCall(std::uint64_t return_pc)
+{
+    ras_[static_cast<std::size_t>(ras_top_)] = return_pc;
+    ras_top_ = (ras_top_ + 1) % cfg_.ras_entries;
+    if (ras_depth_ < cfg_.ras_entries)
+        ++ras_depth_;
+}
+
+bool
+TournamentPredictor::popReturn(std::uint64_t return_pc)
+{
+    if (ras_depth_ == 0)
+        return false;
+    ras_top_ = (ras_top_ + cfg_.ras_entries - 1) % cfg_.ras_entries;
+    --ras_depth_;
+    return ras_[static_cast<std::size_t>(ras_top_)] == return_pc;
+}
+
+double
+TournamentPredictor::mispredictRate() const
+{
+    return lookups_ == 0
+        ? 0.0
+        : static_cast<double>(mispredicts_) /
+          static_cast<double>(lookups_);
+}
+
+} // namespace m3d

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tournament branch predictor (Table 9): a 4K-entry selector indexed
+ * by a hash of PC and global history chooses between a 4K-entry
+ * local predictor and a 4K-entry global (gshare) predictor; a
+ * 4K-entry 4-way BTB supplies targets and a 32-entry return address
+ * stack handles calls/returns.
+ *
+ * All tables use 2-bit saturating counters.  The paper partitions
+ * these structures with asymmetric bit/word partitioning (Section
+ * 4.3.2); this functional model supplies the *misprediction stream*
+ * that the timing model charges at the design's notification latency.
+ */
+
+#ifndef M3D_ARCH_BRANCH_PREDICTOR_HH_
+#define M3D_ARCH_BRANCH_PREDICTOR_HH_
+
+#include <cstdint>
+#include <vector>
+
+namespace m3d {
+
+/** Geometry of the tournament predictor. */
+struct BranchPredictorConfig
+{
+    int selector_entries = 4096;
+    int local_entries = 4096;
+    int global_entries = 4096;
+    int local_history_bits = 10;
+    int btb_entries = 4096;
+    int btb_ways = 4;
+    int ras_entries = 32;
+};
+
+/** Outcome of one prediction. */
+struct BranchPrediction
+{
+    bool predicted_taken = false;
+    bool btb_hit = false;   ///< target known at fetch
+    bool used_global = false;
+};
+
+/** The predictor state machine. */
+class TournamentPredictor
+{
+  public:
+    explicit TournamentPredictor(
+        const BranchPredictorConfig &cfg=BranchPredictorConfig{});
+
+    /** Predict a conditional branch at `pc`. */
+    BranchPrediction predict(std::uint64_t pc) const;
+
+    /**
+     * Train with the actual outcome and report whether the earlier
+     * prediction would have missed.
+     *
+     * @return true when the prediction was wrong (direction) or the
+     *         BTB missed on a taken branch (target unknown).
+     */
+    bool predictAndTrain(std::uint64_t pc, bool taken);
+
+    /** Push a return address (call instruction). */
+    void pushCall(std::uint64_t return_pc);
+
+    /**
+     * Pop for a return instruction.
+     * @return true when the stack had the address (no mispredict).
+     */
+    bool popReturn(std::uint64_t return_pc);
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+    double mispredictRate() const;
+
+  private:
+    int selectorIndex(std::uint64_t pc) const;
+    int localIndex(std::uint64_t pc) const;
+    int globalIndex(std::uint64_t pc) const;
+    static bool counterTaken(std::uint8_t c) { return c >= 2; }
+    static void train(std::uint8_t &c, bool taken);
+
+    BranchPredictorConfig cfg_;
+    std::vector<std::uint8_t> selector_; ///< 0..3: prefer local..global
+    std::vector<std::uint8_t> local_;
+    std::vector<std::uint8_t> global_;
+    std::vector<std::uint16_t> local_history_;
+    std::vector<std::uint64_t> btb_;     ///< tags; 0 = invalid
+    std::vector<std::uint64_t> ras_;
+    int ras_top_ = 0;
+    int ras_depth_ = 0;
+    std::uint64_t ghr_ = 0;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+} // namespace m3d
+
+#endif // M3D_ARCH_BRANCH_PREDICTOR_HH_

@@ -1,0 +1,266 @@
+#include "arch/cache.hh"
+
+#include "arch/directory.hh"
+#include "util/logging.hh"
+
+namespace m3d {
+
+Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
+{
+    M3D_ASSERT(cfg_.sets() >= 1, "cache smaller than one set: ",
+               cfg_.name);
+    M3D_ASSERT((cfg_.sets() & (cfg_.sets() - 1)) == 0,
+               "set count must be a power of two: ", cfg_.name);
+    ways_.resize(cfg_.sets() * static_cast<std::uint64_t>(
+        cfg_.associativity));
+}
+
+std::uint64_t
+Cache::lineOf(std::uint64_t addr) const
+{
+    return addr / cfg_.line_bytes;
+}
+
+std::uint64_t
+Cache::setOf(std::uint64_t line) const
+{
+    return line & (cfg_.sets() - 1);
+}
+
+bool
+Cache::access(std::uint64_t addr, bool is_write)
+{
+    ++tick_;
+    const std::uint64_t line = lineOf(addr);
+    const std::uint64_t set = setOf(line);
+    Way *base = &ways_[set * cfg_.associativity];
+
+    for (int w = 0; w < cfg_.associativity; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == line) {
+            way.lru = tick_;
+            way.dirty = way.dirty || is_write;
+            ++hits_;
+            return true;
+        }
+    }
+
+    // Miss: fill into an invalid way if one exists, else evict LRU.
+    Way *victim = nullptr;
+    for (int w = 0; w < cfg_.associativity && !victim; ++w) {
+        if (!base[w].valid)
+            victim = &base[w];
+    }
+    if (!victim) {
+        victim = base;
+        for (int w = 1; w < cfg_.associativity; ++w) {
+            if (base[w].lru < victim->lru)
+                victim = &base[w];
+        }
+    }
+
+    ++misses_;
+    victim->valid = true;
+    victim->tag = line;
+    victim->lru = tick_;
+    victim->dirty = is_write;
+    return false;
+}
+
+bool
+Cache::contains(std::uint64_t addr) const
+{
+    const std::uint64_t line = lineOf(addr);
+    const std::uint64_t set = setOf(line);
+    const Way *base = &ways_[set * cfg_.associativity];
+    for (int w = 0; w < cfg_.associativity; ++w) {
+        if (base[w].valid && base[w].tag == line)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::fill(std::uint64_t addr)
+{
+    ++tick_;
+    const std::uint64_t line = lineOf(addr);
+    const std::uint64_t set = setOf(line);
+    Way *base = &ways_[set * cfg_.associativity];
+    Way *victim = nullptr;
+    for (int w = 0; w < cfg_.associativity; ++w) {
+        if (base[w].valid && base[w].tag == line)
+            return; // already present
+        if (!victim && !base[w].valid)
+            victim = &base[w];
+    }
+    if (!victim) {
+        victim = base;
+        for (int w = 1; w < cfg_.associativity; ++w) {
+            if (base[w].lru < victim->lru)
+                victim = &base[w];
+        }
+    }
+    victim->valid = true;
+    victim->tag = line;
+    victim->lru = tick_;
+    victim->dirty = false;
+}
+
+void
+Cache::invalidate(std::uint64_t addr)
+{
+    const std::uint64_t line = lineOf(addr);
+    const std::uint64_t set = setOf(line);
+    Way *base = &ways_[set * cfg_.associativity];
+    for (int w = 0; w < cfg_.associativity; ++w) {
+        if (base[w].valid && base[w].tag == line) {
+            base[w].valid = false;
+            return;
+        }
+    }
+}
+
+double
+Cache::missRate() const
+{
+    const double total =
+        static_cast<double>(hits_.value() + misses_.value());
+    return total == 0.0 ? 0.0
+                        : static_cast<double>(misses_.value()) / total;
+}
+
+namespace {
+
+CacheConfig
+l1iConfig()
+{
+    return CacheConfig{"IL1", 32 * 1024, 4, 32, 3};
+}
+
+CacheConfig
+l1dConfig()
+{
+    return CacheConfig{"DL1", 32 * 1024, 8, 32, 4};
+}
+
+CacheConfig
+l2Config()
+{
+    return CacheConfig{"L2", 256 * 1024, 8, 64, 10};
+}
+
+CacheConfig
+l3Config()
+{
+    return CacheConfig{"L3", 2 * 1024 * 1024, 16, 64, 32};
+}
+
+constexpr std::uint64_t kSharedBit = 1ull << 40;
+
+} // namespace
+
+CacheHierarchy::CacheHierarchy(const HierarchyTiming &timing, int core_id)
+    : timing_(timing), core_id_(core_id), l1i_(l1iConfig()),
+      l1d_(l1dConfig()), l2_(l2Config()), l3_(l3Config()),
+      rng_state_(0x2545F4914F6CDD1Dull ^
+                 (static_cast<std::uint64_t>(core_id) << 32))
+{
+}
+
+bool
+CacheHierarchy::coin(double p)
+{
+    // xorshift64*; independent of the workload generator streams.
+    rng_state_ ^= rng_state_ >> 12;
+    rng_state_ ^= rng_state_ << 25;
+    rng_state_ ^= rng_state_ >> 27;
+    const double u = static_cast<double>(
+        (rng_state_ * 0x2545F4914F6CDD1Dull) >> 11) * 0x1.0p-53;
+    return u < p;
+}
+
+MemAccessResult
+CacheHierarchy::access(std::uint64_t addr, bool is_write)
+{
+    MemAccessResult r;
+    if (l1d_.access(addr, is_write)) {
+        r.level = MemLevel::L1;
+        r.extra_cycles = 0;
+        return r;
+    }
+    if (l2_.access(addr, is_write)) {
+        r.level = MemLevel::L2;
+        r.extra_cycles = timing_.l2_rt - timing_.l1_rt;
+        return r;
+    }
+    // Shared-pair organization: the partner core's L2 is reachable
+    // without touching the NoC (Figure 4).
+    if (partner_ && partner_->l2_.contains(addr)) {
+        r.level = MemLevel::PartnerL2;
+        r.extra_cycles = timing_.partner_l2_cycles - timing_.l1_rt;
+        return r;
+    }
+    const bool shared = (addr & kSharedBit) != 0;
+    if (shared && directory_) {
+        // Real MESI directory: it decides who forwards and performs
+        // the write-invalidations on the victims' caches.
+        const DirectoryOutcome d =
+            directory_->access(core_id_, addr, is_write);
+        if (d.forward) {
+            r.level = MemLevel::RemoteL2;
+            r.extra_cycles = timing_.noc_remote_cycles +
+                             timing_.l2_rt - timing_.l1_rt +
+                             2 * d.invalidations;
+            return r;
+        }
+        // Fall through to the L3/DRAM path below (possibly after
+        // having invalidated stale sharers on a write).
+    } else if (shared && coin(remote_hit_rate_)) {
+        r.level = MemLevel::RemoteL2;
+        r.extra_cycles = timing_.noc_remote_cycles +
+                         timing_.l2_rt - timing_.l1_rt;
+        return r;
+    }
+    // A deep (L3/DRAM) demand miss trains the L2 stream prefetcher:
+    // the next lines arrive in the L2 ahead of the stream.
+    for (int k = 1; k <= prefetch_depth_; ++k)
+        l2_.fill(addr + static_cast<std::uint64_t>(k) * 64);
+    if (l3_.access(addr, is_write)) {
+        r.level = MemLevel::L3;
+        r.extra_cycles = timing_.l3_rt - timing_.l1_rt;
+        return r;
+    }
+    ++dram_accesses_;
+    r.level = MemLevel::Dram;
+    r.extra_cycles =
+        timing_.l3_rt - timing_.l1_rt + timing_.dramCycles();
+    return r;
+}
+
+MemAccessResult
+CacheHierarchy::fetchAccess(std::uint64_t addr)
+{
+    MemAccessResult r;
+    if (l1i_.access(addr, false)) {
+        r.level = MemLevel::L1;
+        r.extra_cycles = 0;
+        return r;
+    }
+    if (l2_.access(addr, false)) {
+        r.level = MemLevel::L2;
+        r.extra_cycles = timing_.l2_rt;
+        return r;
+    }
+    if (l3_.access(addr, false)) {
+        r.level = MemLevel::L3;
+        r.extra_cycles = timing_.l3_rt;
+        return r;
+    }
+    ++dram_accesses_;
+    r.level = MemLevel::Dram;
+    r.extra_cycles = timing_.l3_rt + timing_.dramCycles();
+    return r;
+}
+
+} // namespace m3d

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Set-associative cache models and the private/shared hierarchy of
+ * Table 9 (32KB L1s, 256KB private L2, 2MB-per-core shared L3,
+ * 50ns DRAM).  Tags and LRU state are simulated exactly; the timing
+ * model charges the round-trip latencies of the level that serves
+ * each access.
+ */
+
+#ifndef M3D_ARCH_CACHE_HH_
+#define M3D_ARCH_CACHE_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace m3d {
+
+class MesiDirectory;
+
+/** Geometry + timing of one cache level. */
+struct CacheConfig
+{
+    std::string name;
+    std::uint64_t size_bytes = 32 * 1024;
+    int associativity = 4;
+    int line_bytes = 64;
+    int round_trip_cycles = 3; ///< load-to-use round trip when hit here
+
+    /** Number of sets implied by the geometry. */
+    std::uint64_t sets() const
+    {
+        return size_bytes /
+               (static_cast<std::uint64_t>(associativity) * line_bytes);
+    }
+};
+
+/** One set-associative cache with true LRU replacement. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /**
+     * Look up (and on miss, fill) a line.
+     * @return true on hit.
+     */
+    bool access(std::uint64_t addr, bool is_write);
+
+    /** Probe without filling or updating LRU. */
+    bool contains(std::uint64_t addr) const;
+
+    /** Insert a line without touching the hit/miss statistics
+     * (prefetch fill). */
+    void fill(std::uint64_t addr);
+
+    /** Invalidate a line if present (coherence). */
+    void invalidate(std::uint64_t addr);
+
+    const CacheConfig &config() const { return cfg_; }
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    double missRate() const;
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint64_t lineOf(std::uint64_t addr) const;
+    std::uint64_t setOf(std::uint64_t line) const;
+
+    CacheConfig cfg_;
+    std::vector<Way> ways_; ///< sets() x associativity, row-major
+    std::uint64_t tick_ = 0;
+    Counter hits_;
+    Counter misses_;
+};
+
+/** Which level served an access. */
+enum class MemLevel { L1, L2, PartnerL2, RemoteL2, L3, Dram };
+
+/** Result of a hierarchy access. */
+struct MemAccessResult
+{
+    MemLevel level = MemLevel::L1;
+    int extra_cycles = 0; ///< latency beyond the L1 round trip
+};
+
+/** Timing/latency parameters of the hierarchy for one design. */
+struct HierarchyTiming
+{
+    int l1_rt = 4;          ///< D-L1 round trip (== load-to-use)
+    int l2_rt = 10;
+    int l3_rt = 32;
+    double dram_ns = 50.0;  ///< DRAM round trip after L3 (wall-clock)
+    double frequency = 3.3e9;
+    int noc_remote_cycles = 24; ///< remote-L2 transfer over the NoC
+    int partner_l2_cycles = 12; ///< partner core's L2 (shared pair)
+
+    int dramCycles() const
+    {
+        return static_cast<int>(dram_ns * 1e-9 * frequency + 0.5);
+    }
+};
+
+/**
+ * The private L1/L2 plus shared L3 hierarchy of one core, with an
+ * optional shared-L2 partner (Figure 4) and a coarse directory for
+ * data tagged as shared by the workload generator.
+ */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const HierarchyTiming &timing, int core_id=0);
+
+    /** Data access; returns serving level and extra latency. */
+    MemAccessResult access(std::uint64_t addr, bool is_write);
+
+    /** Instruction fetch access. */
+    MemAccessResult fetchAccess(std::uint64_t addr);
+
+    /** Wire up the partner core whose L2 is one MIV-hop away. */
+    void setPartner(CacheHierarchy *partner) { partner_ = partner; }
+
+    /**
+     * Probability hook for remote-L2 hits of shared lines that are
+     * not resident locally.  Used when no directory is attached
+     * (single-core studies); the multicore model attaches a real
+     * MESI directory instead.
+     */
+    void setRemoteHitRate(double p) { remote_hit_rate_ = p; }
+
+    /** Attach the multicore's MESI directory (overrides the coin). */
+    void setDirectory(MesiDirectory *dir) { directory_ = dir; }
+
+    Cache &l1d() { return l1d_; }
+    Cache &l1i() { return l1i_; }
+    Cache &l2() { return l2_; }
+    Cache &l3() { return l3_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l2() const { return l2_; }
+    const Cache &l3() const { return l3_; }
+
+    std::uint64_t dramAccesses() const { return dram_accesses_.value(); }
+
+  private:
+    HierarchyTiming timing_;
+    int core_id_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    Cache l3_; ///< this core's slice of the shared L3
+    CacheHierarchy *partner_ = nullptr;
+    MesiDirectory *directory_ = nullptr;
+    double remote_hit_rate_ = 0.0;
+    /** Next-line prefetch depth into the L2 on demand misses. */
+    int prefetch_depth_ = 2;
+    std::uint64_t rng_state_;
+    Counter dram_accesses_;
+
+    bool coin(double p);
+};
+
+} // namespace m3d
+
+#endif // M3D_ARCH_CACHE_HH_

@@ -1,0 +1,365 @@
+#include "arch/core_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace m3d {
+
+namespace {
+
+// History window for dependency lookups; must exceed the maximum
+// dependency distance the generator emits (512) and the ROB size.
+constexpr std::size_t kHistSize = 1024;
+
+// Instructions per fetch block (one I-cache access covers a block).
+constexpr std::uint64_t kFetchBlock = 8;
+
+// FU pool sizes (Table 9): ALU x4, IntMult/Div x2, LSU x2, FPU x2.
+constexpr int kFuCount[] = {4, 2, 2, 2, 1};
+
+// Rename-to-issue depth of the frontend pipe (cycles).
+constexpr std::uint64_t kDispatchDepth = 2;
+
+// Minimum cycles between DRAM bursts on the core's channel share
+// (64B per burst at ~50 GB/s of per-core bandwidth at 3.3 GHz).
+constexpr std::uint64_t kDramGapCycles = 4;
+
+} // namespace
+
+CoreModel::CoreModel(const CoreDesign &design, CacheHierarchy &hierarchy)
+    : design_(design), hierarchy_(hierarchy)
+{
+    complete_hist_.assign(kHistSize, 0);
+    issue_hist_.assign(kHistSize, 0);
+    commit_hist_.assign(kHistSize, 0);
+    load_commit_hist_.assign(
+        static_cast<std::size_t>(design_.lq_entries), 0);
+    store_commit_hist_.assign(
+        static_cast<std::size_t>(design_.sq_entries), 0);
+    for (int c = 0; c < kFuClasses; ++c)
+        fu_free_[c].assign(static_cast<std::size_t>(kFuCount[c]), 0);
+    // Power-of-two window, far wider than any in-flight time spread.
+    issue_slots_.assign(1u << 16, {~0ull, 0});
+}
+
+int
+CoreModel::execLatency(OpClass op) const
+{
+    switch (op) {
+      case OpClass::IntAlu: return 1;
+      case OpClass::Branch: return 1;
+      case OpClass::IntMult: return 2;
+      case OpClass::IntDiv: return 4;
+      case OpClass::FpAdd: return 2;
+      case OpClass::FpMult: return 4;
+      case OpClass::FpDiv: return 8;
+      case OpClass::Load: return design_.load_to_use;
+      case OpClass::Store: return 1;
+    }
+    return 1;
+}
+
+int
+CoreModel::fuIndex(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+      case OpClass::Branch: return 0;
+      case OpClass::IntMult:
+      case OpClass::IntDiv: return 1;
+      case OpClass::Load:
+      case OpClass::Store: return 2;
+      case OpClass::FpAdd:
+      case OpClass::FpMult:
+      case OpClass::FpDiv: return 3;
+    }
+    return 4;
+}
+
+std::uint64_t
+CoreModel::reserveIssue(OpClass op, std::uint64_t ready)
+{
+    auto &units = fu_free_[fuIndex(op)];
+    // Earliest-free unit of the class.
+    std::size_t pick = 0;
+    for (std::size_t u = 1; u < units.size(); ++u) {
+        if (units[u] < units[pick])
+            pick = u;
+    }
+    std::uint64_t issue = std::max(ready, units[pick]);
+
+    // Claim an issue slot: at most issue_width ops per cycle.
+    const std::uint64_t mask = issue_slots_.size() - 1;
+    while (true) {
+        auto &slot = issue_slots_[issue & mask];
+        if (slot.first != issue) {
+            slot.first = issue;
+            slot.second = 0;
+        }
+        if (slot.second < design_.issue_width) {
+            ++slot.second;
+            break;
+        }
+        ++issue;
+    }
+
+    // FP divide blocks its unit for its full latency; everything
+    // else is pipelined (occupancy one cycle).
+    const std::uint64_t occupancy = op == OpClass::FpDiv ? 8 : 1;
+    units[pick] = issue + occupancy;
+    return issue;
+}
+
+SimResult
+CoreModel::run(TraceGenerator &gen, std::uint64_t n)
+{
+    const std::uint64_t start_cycle = last_commit_;
+    const std::uint64_t start_instr = seq_;
+    const Activity start_activity = activity_;
+
+    const auto rob = static_cast<std::uint64_t>(design_.rob_entries);
+    const auto iq = static_cast<std::uint64_t>(design_.iq_entries);
+    const auto width = static_cast<std::uint64_t>(design_.dispatch_width);
+
+    std::uint64_t frontier = clock_;
+    std::uint64_t in_cycle = fetch_group_;
+
+    for (std::uint64_t k = 0; k < n; ++k) {
+        MicroOp op = gen.next();
+        const std::uint64_t i = seq_;
+
+        // --- Fetch/dispatch time under bandwidth + occupancy
+        // limits; attribute whichever constraint dominates.
+        std::uint64_t d = frontier;
+        std::uint64_t *stall_cause = nullptr;
+        auto raise = [&d, &stall_cause](std::uint64_t t,
+                                        std::uint64_t &counter) {
+            if (t > d) {
+                d = t;
+                stall_cause = &counter;
+            }
+        };
+        if (i >= rob) {
+            raise(commit_hist_[(i - rob) % kHistSize],
+                  activity_.stall_rob);
+        }
+        if (i >= iq) {
+            raise(issue_hist_[(i - iq) % kHistSize],
+                  activity_.stall_iq);
+        }
+        if (op.op == OpClass::Load) {
+            const auto lq = static_cast<std::uint64_t>(
+                design_.lq_entries);
+            if (load_seq_ >= lq) {
+                raise(load_commit_hist_[(load_seq_ - lq) % lq],
+                      activity_.stall_lsq);
+            }
+        }
+        if (op.op == OpClass::Store) {
+            const auto sq = static_cast<std::uint64_t>(
+                design_.sq_entries);
+            if (store_seq_ >= sq) {
+                raise(store_commit_hist_[(store_seq_ - sq) % sq],
+                      activity_.stall_lsq);
+            }
+        }
+        if (stall_cause)
+            ++*stall_cause;
+
+        // One I-cache access per fetch block; the instruction
+        // stream loops within the application's hot code footprint.
+        if (i % kFetchBlock == 0) {
+            const auto code_bytes = static_cast<std::uint64_t>(
+                gen.profile().code_footprint_kb * 1024.0);
+            fetch_pc_ = 0x400000 +
+                (fetch_pc_ + 64 - 0x400000) % std::max<std::uint64_t>(
+                    code_bytes, 4096);
+            MemAccessResult f = hierarchy_.fetchAccess(fetch_pc_);
+            ++activity_.fetches;
+            ++activity_.l1i_accesses;
+            if (f.level != MemLevel::L1) {
+                d += static_cast<std::uint64_t>(f.extra_cycles);
+                ++activity_.stall_icache;
+                if (f.level == MemLevel::Dram)
+                    ++activity_.dram_accesses;
+            }
+        }
+
+        // Advance the fetch frontier.
+        if (d > frontier) {
+            frontier = d;
+            in_cycle = 1;
+        } else {
+            ++in_cycle;
+            if (in_cycle >= width) {
+                ++frontier;
+                in_cycle = 0;
+            }
+        }
+
+        // Complex instructions spend extra time in decode when the
+        // complex decoder lives in the slow top layer.
+        if (op.complex_decode) {
+            ++activity_.complex_decodes;
+            d += static_cast<std::uint64_t>(
+                design_.complex_decode_extra);
+        }
+
+        // --- Operand readiness.
+        std::uint64_t ready = d + kDispatchDepth;
+        auto dep_ready = [this, i](std::uint32_t dist) -> std::uint64_t {
+            if (dist == 0 || dist > i)
+                return 0;
+            return complete_hist_[(i - dist) % kHistSize];
+        };
+        ready = std::max(ready, dep_ready(op.src1_dist));
+        ready = std::max(ready, dep_ready(op.src2_dist));
+
+        // --- Issue: earliest cycle with a free FU and issue slot.
+        const std::uint64_t issue = reserveIssue(op.op, ready);
+        if (issue > ready)
+            ++activity_.bound_fu;
+        else if (ready > d + kDispatchDepth)
+            ++activity_.bound_deps;
+
+        // --- Execute.
+        std::uint64_t lat =
+            static_cast<std::uint64_t>(execLatency(op.op));
+        switch (op.op) {
+          case OpClass::Load: {
+            MemAccessResult m = hierarchy_.access(op.address, false);
+            ++activity_.loads;
+            ++activity_.l1d_accesses;
+            ++activity_.sq_searches; // store-queue forwarding check
+            if (m.level == MemLevel::Dram) {
+                // Bandwidth wall: bursts serialize on the channel.
+                const std::uint64_t start =
+                    std::max(issue, dram_free_);
+                lat += start - issue;
+                dram_free_ = start + kDramGapCycles;
+            }
+            if (m.level != MemLevel::L1) {
+                lat += static_cast<std::uint64_t>(m.extra_cycles);
+                ++activity_.l2_accesses;
+                if (m.level == MemLevel::L3 || m.level == MemLevel::Dram)
+                    ++activity_.l3_accesses;
+                if (m.level == MemLevel::Dram)
+                    ++activity_.dram_accesses;
+                if (m.level == MemLevel::RemoteL2 ||
+                    m.level == MemLevel::PartnerL2) {
+                    ++activity_.noc_flits;
+                }
+            }
+            break;
+          }
+          case OpClass::Store: {
+            MemAccessResult m = hierarchy_.access(op.address, true);
+            ++activity_.stores;
+            ++activity_.l1d_accesses;
+            ++activity_.lq_searches; // load-queue ordering check
+            if (m.level != MemLevel::L1) {
+                ++activity_.l2_accesses;
+                if (m.level == MemLevel::Dram)
+                    ++activity_.dram_accesses;
+            }
+            break;
+          }
+          case OpClass::IntAlu:
+          case OpClass::Branch:
+            ++activity_.alu_ops;
+            break;
+          case OpClass::IntMult:
+          case OpClass::IntDiv:
+            ++activity_.mul_div_ops;
+            break;
+          default:
+            ++activity_.fp_ops;
+            break;
+        }
+        const std::uint64_t complete = issue + lat;
+
+        // --- Branch resolution: consult the tournament predictor
+        // (Table 9) and, on a miss, squash and refill the frontend.
+        if (op.op == OpClass::Branch) {
+            ++activity_.bpt_lookups;
+            ++activity_.btb_lookups;
+            bool mispredicted = false;
+            if (op.is_call) {
+                predictor_.pushCall(op.address);
+            } else if (op.is_return) {
+                // A RAS hit predicts the return target perfectly; a
+                // miss (deep recursion overflow) redirects like any
+                // other misprediction.
+                mispredicted = !predictor_.popReturn(op.address);
+            } else {
+                mispredicted =
+                    predictor_.predictAndTrain(op.address, op.taken);
+            }
+            if (mispredicted) {
+                ++activity_.mispredicts;
+                const std::uint64_t redirect = complete +
+                    static_cast<std::uint64_t>(
+                        design_.mispredict_penalty);
+                if (redirect > frontier) {
+                    frontier = redirect;
+                    in_cycle = 0;
+                }
+            }
+        }
+
+        // --- In-order commit under the commit width.
+        std::uint64_t commit = std::max(complete + 1, last_commit_);
+        const auto cw = static_cast<std::uint64_t>(design_.commit_width);
+        if (i >= cw) {
+            commit = std::max(commit,
+                              commit_hist_[(i - cw) % kHistSize] + 1);
+        }
+        last_commit_ = commit;
+
+        // --- Bookkeeping.
+        complete_hist_[i % kHistSize] = complete;
+        issue_hist_[i % kHistSize] = issue;
+        commit_hist_[i % kHistSize] = commit;
+        if (op.op == OpClass::Load) {
+            load_commit_hist_[load_seq_ %
+                              static_cast<std::uint64_t>(
+                                  design_.lq_entries)] = commit;
+            ++load_seq_;
+        }
+        if (op.op == OpClass::Store) {
+            store_commit_hist_[store_seq_ %
+                               static_cast<std::uint64_t>(
+                                   design_.sq_entries)] = commit;
+            ++store_seq_;
+        }
+
+        ++activity_.decodes;
+        ++activity_.dispatches;
+        activity_.rat_reads += 2;
+        ++activity_.rat_writes;
+        ++activity_.iq_writes;
+        ++activity_.iq_wakeups;
+        ++activity_.issues;
+        activity_.rf_reads += 2;
+        ++activity_.rf_writes;
+        ++activity_.instructions;
+        ++seq_;
+    }
+
+    clock_ = frontier;
+    fetch_group_ = in_cycle;
+    activity_.cycles = last_commit_;
+
+    SimResult res;
+    res.instructions = seq_ - start_instr;
+    res.cycles = last_commit_ - start_cycle;
+    res.frequency = design_.frequency;
+    // Report only this call's window so that warmup activity never
+    // leaks into measured energy.
+    res.activity = Activity::windowed(activity_, start_activity);
+    res.activity.cycles = res.cycles;
+    return res;
+}
+
+} // namespace m3d

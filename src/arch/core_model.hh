@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Out-of-order core timing model.
+ *
+ * A constraint-propagation (dataflow) simulator in the spirit of
+ * trace-driven O(1)-per-instruction models: for every dynamic
+ * micro-op it computes fetch, dispatch, issue, completion, and commit
+ * times under the machine's structural constraints - fetch/dispatch/
+ * issue/commit widths, ROB/IQ/LQ/SQ occupancy, functional-unit counts
+ * and latencies (Table 9), the cache hierarchy, branch-misprediction
+ * refill, and the design-dependent load-to-use and misprediction
+ * notification paths that M3D shortens.
+ */
+
+#ifndef M3D_ARCH_CORE_MODEL_HH_
+#define M3D_ARCH_CORE_MODEL_HH_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/activity.hh"
+#include "arch/branch_predictor.hh"
+#include "arch/cache.hh"
+#include "arch/instruction.hh"
+#include "core/design.hh"
+#include "workload/generator.hh"
+
+namespace m3d {
+
+/** Result of one core simulation. */
+struct SimResult
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    double frequency = 0.0;
+    Activity activity;
+
+    double ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+    }
+
+    double seconds() const
+    {
+        return frequency == 0.0
+            ? 0.0
+            : static_cast<double>(cycles) / frequency;
+    }
+};
+
+/** The timing model for one core of a given design. */
+class CoreModel
+{
+  public:
+    /**
+     * @param design The core configuration (clock, widths, paths).
+     * @param hierarchy The core's cache hierarchy (caller owns it).
+     */
+    CoreModel(const CoreDesign &design, CacheHierarchy &hierarchy);
+
+    /**
+     * Execute `n` micro-ops from `gen` and return timing/activity.
+     * Can be called repeatedly; state (caches, clock) persists.
+     */
+    SimResult run(TraceGenerator &gen, std::uint64_t n);
+
+    const Activity &activity() const { return activity_; }
+
+  private:
+    /** Execution latency for an op class (non-memory). */
+    int execLatency(OpClass op) const;
+
+    /** Index into the FU next-free table. */
+    static int fuIndex(OpClass op);
+
+    /**
+     * Find the earliest cycle >= `ready` with both a free unit of the
+     * op's FU class and a free issue slot (issue_width per cycle),
+     * and reserve both.
+     */
+    std::uint64_t reserveIssue(OpClass op, std::uint64_t ready);
+
+    const CoreDesign design_;
+    CacheHierarchy &hierarchy_;
+    TournamentPredictor predictor_;
+    Activity activity_;
+
+    // Rolling completion-time history for dependency resolution and
+    // occupancy constraints (sized to the ROB).
+    std::vector<std::uint64_t> complete_hist_;
+    std::vector<std::uint64_t> issue_hist_;
+    std::vector<std::uint64_t> commit_hist_;
+    std::vector<std::uint64_t> load_commit_hist_;
+    std::vector<std::uint64_t> store_commit_hist_;
+    std::uint64_t seq_ = 0;       ///< dynamic instruction number
+    std::uint64_t load_seq_ = 0;
+    std::uint64_t store_seq_ = 0;
+    std::uint64_t clock_ = 0;     ///< current fetch frontier (cycles)
+    std::uint64_t fetch_group_ = 0;
+    /**
+     * Per-cycle issued-op counts in a sliding window: entry holds the
+     * cycle it counts for and the ops issued that cycle.  The window
+     * far exceeds the maximum spread of in-flight issue times.
+     */
+    std::vector<std::pair<std::uint64_t, int>> issue_slots_;
+    std::uint64_t last_commit_ = 0;
+    /** DRAM channel occupancy: enforces a minimum gap between
+     * off-chip transfers (bandwidth wall). */
+    std::uint64_t dram_free_ = 0;
+    std::uint64_t fetch_pc_ = 0x400000;
+
+    // Per-FU-class next-free times.
+    static constexpr int kFuClasses = 5;
+    std::array<std::vector<std::uint64_t>, kFuClasses> fu_free_;
+};
+
+} // namespace m3d
+
+#endif // M3D_ARCH_CORE_MODEL_HH_

@@ -1,0 +1,79 @@
+#include "arch/directory.hh"
+
+#include "arch/cache.hh"
+#include "util/logging.hh"
+
+namespace m3d {
+
+namespace {
+
+constexpr std::uint64_t kLineBytes = 64;
+
+} // namespace
+
+MesiDirectory::MesiDirectory(int cores)
+    : cores_(cores),
+      hierarchies_(static_cast<std::size_t>(cores), nullptr)
+{
+    M3D_ASSERT(cores >= 1 && cores <= 32,
+               "sharer bitmask supports up to 32 cores");
+}
+
+void
+MesiDirectory::attach(int id, CacheHierarchy *hierarchy)
+{
+    M3D_ASSERT(id >= 0 && id < cores_);
+    hierarchies_[static_cast<std::size_t>(id)] = hierarchy;
+}
+
+DirectoryOutcome
+MesiDirectory::access(int id, std::uint64_t addr, bool is_write)
+{
+    M3D_ASSERT(id >= 0 && id < cores_);
+    const std::uint64_t line = addr / kLineBytes;
+    Entry &e = entries_[line];
+    DirectoryOutcome out;
+
+    const std::uint32_t me = 1u << id;
+    const std::uint32_t others = e.sharers & ~me;
+
+    if (others != 0) {
+        // Some other core has the line: the nearest sharer (or the
+        // dirty owner) forwards it.
+        out.forward = true;
+        out.forwarder = e.owner >= 0 && e.owner != id
+            ? e.owner
+            : static_cast<int>(
+                  // lowest set bit that is not us
+                  __builtin_ctz(others));
+        ++forwards_;
+    }
+
+    if (is_write) {
+        // Invalidate every other copy (MESI: write needs exclusivity).
+        for (int c = 0; c < cores_; ++c) {
+            if (c == id || ((others >> c) & 1u) == 0)
+                continue;
+            CacheHierarchy *h =
+                hierarchies_[static_cast<std::size_t>(c)];
+            if (h) {
+                h->l1d().invalidate(addr);
+                h->l2().invalidate(addr);
+            }
+            ++out.invalidations;
+            ++invalidations_;
+        }
+        e.sharers = me;
+        e.owner = id;
+    } else {
+        e.sharers |= me;
+        if (e.owner >= 0 && e.owner != id) {
+            // Previous owner's copy is demoted to Shared (it keeps
+            // the data; the line is now clean everywhere).
+            e.owner = -1;
+        }
+    }
+    return out;
+}
+
+} // namespace m3d

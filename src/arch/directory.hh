@@ -1,0 +1,78 @@
+/**
+ * @file
+ * MESI directory (Table 9: "Ring with MESI directory-based
+ * protocol").
+ *
+ * The directory tracks, per shared cache line, which cores hold it
+ * and whether one of them owns it dirty.  On a local miss to a
+ * shared line it decides where the data comes from (a remote L2
+ * forward or the L3/memory) and which copies must be invalidated on
+ * a write.  The multicore model registers every core's hierarchy so
+ * invalidations actually remove lines from the victims' caches -
+ * coherence misses then emerge in the victims' timing.
+ */
+
+#ifndef M3D_ARCH_DIRECTORY_HH_
+#define M3D_ARCH_DIRECTORY_HH_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace m3d {
+
+class CacheHierarchy;
+
+/** The directory's per-access decision. */
+struct DirectoryOutcome
+{
+    bool forward = false;   ///< data supplied by a remote L2
+    int invalidations = 0;  ///< sharers invalidated (writes)
+    int forwarder = -1;     ///< core id supplying the line
+};
+
+/** Full-map MESI directory over the shared address region. */
+class MesiDirectory
+{
+  public:
+    /** @param cores Number of cores tracked (sharer bitmask width). */
+    explicit MesiDirectory(int cores);
+
+    /** Register core `id`'s hierarchy for invalidation callbacks. */
+    void attach(int id, CacheHierarchy *hierarchy);
+
+    /**
+     * Handle core `id`'s miss on `addr`.
+     * @param is_write Write access: invalidates all other sharers.
+     */
+    DirectoryOutcome access(int id, std::uint64_t addr, bool is_write);
+
+    std::uint64_t forwards() const { return forwards_.value(); }
+    std::uint64_t invalidations() const
+    {
+        return invalidations_.value();
+    }
+
+    /** Number of distinct lines currently tracked. */
+    std::size_t trackedLines() const { return entries_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::uint32_t sharers = 0; ///< bitmask of cores with a copy
+        int owner = -1;            ///< core holding it Modified (-1:
+                                   ///< clean/shared)
+    };
+
+    int cores_;
+    std::vector<CacheHierarchy *> hierarchies_;
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    Counter forwards_;
+    Counter invalidations_;
+};
+
+} // namespace m3d
+
+#endif // M3D_ARCH_DIRECTORY_HH_

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The dynamic instruction record exchanged between the workload
+ * generators and the core timing model.
+ */
+
+#ifndef M3D_ARCH_INSTRUCTION_HH_
+#define M3D_ARCH_INSTRUCTION_HH_
+
+#include <cstdint>
+
+namespace m3d {
+
+/** Functional-unit classes (Table 9). */
+enum class OpClass {
+    IntAlu,    ///< 1 cycle, 4 units
+    IntMult,   ///< 2 cycles, 2 units
+    IntDiv,    ///< 4 cycles, shares the mult units
+    Load,      ///< LSU + cache hierarchy
+    Store,     ///< LSU
+    FpAdd,     ///< 2 cycles, 2 FPUs, pipelined
+    FpMult,    ///< 4 cycles, pipelined
+    FpDiv,     ///< 8 cycles, issues every 8
+    Branch,    ///< 1 cycle on an ALU
+};
+
+/** One dynamic micro-op. */
+struct MicroOp
+{
+    OpClass op = OpClass::IntAlu;
+    /**
+     * Producer distances: this op depends on the results of the ops
+     * `dist` instructions earlier in program order (0 = none).
+     * Two source operands cover the common case.
+     */
+    std::uint32_t src1_dist = 0;
+    std::uint32_t src2_dist = 0;
+    /**
+     * Memory ops: effective address.  Branches: the branch site's PC
+     * (the timing model feeds it to the tournament predictor).
+     */
+    std::uint64_t address = 0;
+    bool taken = false;          ///< branches: actual direction
+    /**
+     * Statistical mispredict draw at the profile's MPKI; retained for
+     * analyses that run without the tournament predictor (the core
+     * model itself predicts from `address`/`taken`).
+     */
+    bool mispredicted = false;
+    bool complex_decode = false; ///< multi-uop x86 instruction
+    bool serializing = false;    ///< parallel apps: lock/barrier op
+    bool is_call = false;        ///< branches: call (pushes the RAS)
+    bool is_return = false;      ///< branches: return (pops the RAS)
+};
+
+} // namespace m3d
+
+#endif // M3D_ARCH_INSTRUCTION_HH_

@@ -1,0 +1,137 @@
+#include "arch/multicore.hh"
+
+#include <algorithm>
+
+#include "arch/directory.hh"
+
+#include "util/logging.hh"
+
+namespace m3d {
+
+namespace {
+
+// Barrier cost model: a log-depth notification tree over the NoC plus
+// a fixed imbalance share of the inter-barrier interval.
+constexpr double kBarrierImbalance = 0.05;
+// Lock cost model: probability a lock is contended, and the average
+// critical-section occupancy charged while spinning.
+constexpr double kLockContention = 0.20;
+constexpr double kCriticalSectionCycles = 40.0;
+// Probability that a shared line missing everywhere locally is held
+// in some remote L2 (directory forwarding) rather than in the L3.
+constexpr double kRemoteHitRate = 0.5;
+
+} // namespace
+
+MulticoreModel::MulticoreModel(const CoreDesign &design) : design_(design)
+{
+    M3D_ASSERT(design_.num_cores >= 1);
+}
+
+HierarchyTiming
+MulticoreModel::timingFor(const RingNoc &noc) const
+{
+    HierarchyTiming t;
+    t.l1_rt = design_.load_to_use;
+    t.l2_rt = 10;
+    t.l3_rt = 32;
+    t.dram_ns = 50.0;
+    t.frequency = design_.frequency;
+    t.noc_remote_cycles = noc.remoteRoundTrip() + t.l2_rt;
+    t.partner_l2_cycles = t.l2_rt + 2; // one MIV hop, no NoC
+    return t;
+}
+
+MulticoreResult
+MulticoreModel::run(const WorkloadProfile &profile,
+                    std::uint64_t total_instructions,
+                    std::uint64_t seed,
+                    std::uint64_t warmup_per_core) const
+{
+    const int cores = design_.num_cores;
+    RingNoc noc(cores, design_.shared_l2_pairs);
+    const HierarchyTiming timing = timingFor(noc);
+
+    MulticoreResult out;
+    out.num_cores = cores;
+    out.frequency = design_.frequency;
+
+    const double pfrac = profile.parallel ? profile.parallel_frac : 0.0;
+    const auto serial_instr = static_cast<std::uint64_t>(
+        (1.0 - pfrac) * static_cast<double>(total_instructions));
+    const std::uint64_t parallel_instr =
+        total_instructions - serial_instr;
+    const std::uint64_t per_core_instr =
+        parallel_instr / static_cast<std::uint64_t>(cores);
+
+    // Build hierarchies, pair them up for shared-L2 designs, and
+    // attach the MESI directory for the shared region.
+    MesiDirectory directory(cores);
+    std::vector<std::unique_ptr<CacheHierarchy>> hier;
+    hier.reserve(static_cast<std::size_t>(cores));
+    for (int c = 0; c < cores; ++c) {
+        hier.push_back(
+            std::make_unique<CacheHierarchy>(timing, c));
+        hier.back()->setDirectory(&directory);
+        directory.attach(c, hier.back().get());
+    }
+    if (design_.shared_l2_pairs) {
+        for (int c = 0; c + 1 < cores; c += 2) {
+            hier[static_cast<std::size_t>(c)]->setPartner(
+                hier[static_cast<std::size_t>(c + 1)].get());
+            hier[static_cast<std::size_t>(c + 1)]->setPartner(
+                hier[static_cast<std::size_t>(c)].get());
+        }
+    }
+
+    // Serial section on core 0.
+    double serial_seconds = 0.0;
+    if (serial_instr > 0) {
+        CoreModel core0(design_, *hier[0]);
+        TraceGenerator gen(profile, seed, /*thread_id=*/0);
+        core0.run(gen, warmup_per_core);
+        SimResult r = core0.run(gen, serial_instr);
+        serial_seconds = r.seconds();
+        out.total.accumulate(r.activity);
+        out.per_core.push_back(r);
+    }
+
+    // Parallel section: every core executes its share.
+    double slowest = 0.0;
+    for (int c = 0; c < cores; ++c) {
+        CoreModel core(design_, *hier[static_cast<std::size_t>(c)]);
+        TraceGenerator gen(profile, seed, /*thread_id=*/c + 1);
+        core.run(gen, warmup_per_core);
+        SimResult r = core.run(gen, per_core_instr);
+        slowest = std::max(slowest, r.seconds());
+        out.total.accumulate(r.activity);
+        out.per_core.push_back(r);
+    }
+    // Synchronization overheads.
+    const double per_core_d = static_cast<double>(per_core_instr);
+    const double n_barriers =
+        profile.barrier_per_kinstr * per_core_d / 1000.0;
+    const double n_locks =
+        profile.lock_per_kinstr * per_core_d / 1000.0;
+
+    const double barrier_latency_cycles =
+        noc.averageLatency() *
+        std::max(1.0, std::log2(static_cast<double>(cores)));
+    const double barrier_cycles =
+        n_barriers * barrier_latency_cycles +
+        kBarrierImbalance * slowest * design_.frequency;
+    const double lock_cycles = n_locks * kLockContention *
+        kCriticalSectionCycles *
+        (static_cast<double>(cores - 1) / 2.0);
+
+    const double sync_seconds =
+        (barrier_cycles + lock_cycles) / design_.frequency;
+
+    out.serial_seconds = serial_seconds;
+    out.parallel_seconds = slowest;
+    out.sync_seconds = sync_seconds;
+    out.seconds = serial_seconds + slowest + sync_seconds;
+    return out;
+}
+
+} // namespace m3d

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Multicore simulation: N cores with private hierarchies, a ring NoC
+ * with a directory-style sharing model, fork/join parallel sections
+ * (Amdahl), barrier imbalance, and lock contention.
+ *
+ * 3D designs pair cores to share their L2s and a router stop
+ * (Figure 4), which shortens both partner-L2 hits and average NoC
+ * distance.
+ */
+
+#ifndef M3D_ARCH_MULTICORE_HH_
+#define M3D_ARCH_MULTICORE_HH_
+
+#include <memory>
+#include <vector>
+
+#include "arch/core_model.hh"
+#include "arch/noc.hh"
+
+namespace m3d {
+
+/** Result of one multicore run. */
+struct MulticoreResult
+{
+    double seconds = 0.0;          ///< end-to-end runtime
+    double serial_seconds = 0.0;   ///< Amdahl serial section
+    double parallel_seconds = 0.0; ///< slowest core's parallel section
+    double sync_seconds = 0.0;     ///< barrier + lock overhead
+    double frequency = 0.0;
+    int num_cores = 0;
+    Activity total;                ///< summed activity of all cores
+    std::vector<SimResult> per_core;
+};
+
+/** Simulates one parallel application on one multicore design. */
+class MulticoreModel
+{
+  public:
+    explicit MulticoreModel(const CoreDesign &design);
+
+    /**
+     * Run `total_instructions` of work from `profile`, split per
+     * Amdahl across the design's cores.
+     *
+     * @param seed Workload seed (same across designs).
+     */
+    MulticoreResult run(const WorkloadProfile &profile,
+                        std::uint64_t total_instructions,
+                        std::uint64_t seed,
+                        std::uint64_t warmup_per_core=50000) const;
+
+  private:
+    HierarchyTiming timingFor(const RingNoc &noc) const;
+
+    CoreDesign design_;
+};
+
+} // namespace m3d
+
+#endif // M3D_ARCH_MULTICORE_HH_

@@ -1,0 +1,66 @@
+#include "arch/noc.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace m3d {
+
+RingNoc::RingNoc(int cores, bool shared_stops, int router_cycles,
+                 int link_cycles)
+    : stops_(shared_stops ? std::max(cores / 2, 1) : cores),
+      router_cycles_(router_cycles), link_cycles_(link_cycles),
+      shared_stops_(shared_stops)
+{
+    M3D_ASSERT(cores >= 1);
+}
+
+double
+RingNoc::averageHops() const
+{
+    if (stops_ <= 1)
+        return 0.0;
+    // Mean shortest-path distance on a bidirectional ring of n stops
+    // is ~n/4.
+    return static_cast<double>(stops_) / 4.0;
+}
+
+double
+RingNoc::averageLatency() const
+{
+    // Folding cores halves the physical link length too; the link
+    // cycle count stays the same (it is pipelined), so the benefit is
+    // in the hop count.
+    return averageHops() *
+           static_cast<double>(router_cycles_ + link_cycles_);
+}
+
+int
+RingNoc::remoteRoundTrip() const
+{
+    return static_cast<int>(std::lround(2.0 * averageLatency()));
+}
+
+double
+RingNoc::capacity() const
+{
+    // Bidirectional ring: 2 links per stop, each carrying one flit
+    // per cycle; average flit occupies averageHops() links.
+    const double links = 2.0 * static_cast<double>(stops_);
+    const double hops = std::max(averageHops(), 0.5);
+    return links / hops;
+}
+
+double
+RingNoc::contendedLatency(double flits_per_cycle) const
+{
+    M3D_ASSERT(flits_per_cycle >= 0.0);
+    const double base = averageLatency();
+    const double rho =
+        std::min(flits_per_cycle / capacity(), 0.95);
+    // M/M/1 waiting time on top of the uncontended traversal.
+    return base * (1.0 + rho / (1.0 - rho));
+}
+
+} // namespace m3d

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ring network-on-chip model (Table 9: ring with a MESI directory).
+ *
+ * In the M3D multicore, two cores fold on top of each other and share
+ * one router stop (Figure 4), halving the number of stops and the
+ * inter-router distance, which cuts the average network latency for
+ * the same core count.
+ */
+
+#ifndef M3D_ARCH_NOC_HH_
+#define M3D_ARCH_NOC_HH_
+
+namespace m3d {
+
+/** Bidirectional ring interconnect. */
+class RingNoc
+{
+  public:
+    /**
+     * @param cores Cores on the ring.
+     * @param shared_stops True when core pairs share a router stop.
+     * @param router_cycles Per-hop router pipeline latency.
+     * @param link_cycles Per-hop link traversal latency.
+     */
+    RingNoc(int cores, bool shared_stops, int router_cycles=2,
+            int link_cycles=1);
+
+    /** Number of router stops. */
+    int stops() const { return stops_; }
+
+    /** Average hop count between two distinct stops (one way). */
+    double averageHops() const;
+
+    /** Average one-way latency in cycles. */
+    double averageLatency() const;
+
+    /** Average round-trip latency in cycles (request + reply). */
+    int remoteRoundTrip() const;
+
+    /**
+     * Average one-way latency including M/M/1 queueing at the
+     * injection rate `flits_per_cycle` (aggregate, all stops).
+     * Saturates gracefully near the ring's bisection capacity.
+     */
+    double contendedLatency(double flits_per_cycle) const;
+
+    /** Aggregate flit capacity of the ring (flits/cycle). */
+    double capacity() const;
+
+  private:
+    int stops_;
+    int router_cycles_;
+    int link_cycles_;
+    bool shared_stops_;
+};
+
+} // namespace m3d
+
+#endif // M3D_ARCH_NOC_HH_

@@ -1,0 +1,105 @@
+#include "arch/stats_dump.hh"
+
+#include <iomanip>
+
+namespace m3d {
+
+namespace {
+
+void
+line(std::ostream &os, const std::string &prefix,
+     const std::string &name, double v)
+{
+    os << prefix << "." << name << " " << std::setprecision(12) << v
+       << "\n";
+}
+
+void
+line(std::ostream &os, const std::string &prefix,
+     const std::string &name, std::uint64_t v)
+{
+    os << prefix << "." << name << " " << v << "\n";
+}
+
+} // namespace
+
+void
+dumpStats(std::ostream &os, const std::string &prefix,
+          const SimResult &r)
+{
+    const Activity &a = r.activity;
+    line(os, prefix, "instructions", r.instructions);
+    line(os, prefix, "cycles", r.cycles);
+    line(os, prefix, "ipc", r.ipc());
+    line(os, prefix, "seconds", r.seconds());
+    line(os, prefix, "fetches", a.fetches);
+    line(os, prefix, "decodes", a.decodes);
+    line(os, prefix, "complex_decodes", a.complex_decodes);
+    line(os, prefix, "dispatches", a.dispatches);
+    line(os, prefix, "issues", a.issues);
+    line(os, prefix, "rf_reads", a.rf_reads);
+    line(os, prefix, "rf_writes", a.rf_writes);
+    line(os, prefix, "rat_reads", a.rat_reads);
+    line(os, prefix, "rat_writes", a.rat_writes);
+    line(os, prefix, "iq_wakeups", a.iq_wakeups);
+    line(os, prefix, "bpt_lookups", a.bpt_lookups);
+    line(os, prefix, "btb_lookups", a.btb_lookups);
+    line(os, prefix, "mispredicts", a.mispredicts);
+    line(os, prefix, "mpki",
+         a.instructions ? 1000.0 * static_cast<double>(a.mispredicts) /
+                              static_cast<double>(a.instructions)
+                        : 0.0);
+    line(os, prefix, "loads", a.loads);
+    line(os, prefix, "stores", a.stores);
+    line(os, prefix, "l1d_accesses", a.l1d_accesses);
+    line(os, prefix, "l1i_accesses", a.l1i_accesses);
+    line(os, prefix, "l2_accesses", a.l2_accesses);
+    line(os, prefix, "l3_accesses", a.l3_accesses);
+    line(os, prefix, "dram_accesses", a.dram_accesses);
+    line(os, prefix, "noc_flits", a.noc_flits);
+    line(os, prefix, "stall_rob", a.stall_rob);
+    line(os, prefix, "stall_iq", a.stall_iq);
+    line(os, prefix, "stall_lsq", a.stall_lsq);
+    line(os, prefix, "stall_icache", a.stall_icache);
+    line(os, prefix, "bound_deps", a.bound_deps);
+    line(os, prefix, "bound_fu", a.bound_fu);
+    line(os, prefix, "alu_ops", a.alu_ops);
+    line(os, prefix, "fp_ops", a.fp_ops);
+    line(os, prefix, "mul_div_ops", a.mul_div_ops);
+}
+
+void
+dumpStats(std::ostream &os, const std::string &prefix,
+          const CacheHierarchy &h)
+{
+    auto cache = [&os, &prefix](const std::string &name,
+                                const Cache &c) {
+        line(os, prefix + "." + name, "hits", c.hits());
+        line(os, prefix + "." + name, "misses", c.misses());
+        line(os, prefix + "." + name, "miss_rate", c.missRate());
+    };
+    cache("l1i", h.l1i());
+    cache("l1d", h.l1d());
+    cache("l2", h.l2());
+    cache("l3", h.l3());
+    line(os, prefix, "dram_accesses", h.dramAccesses());
+}
+
+void
+dumpStats(std::ostream &os, const std::string &prefix,
+          const MulticoreResult &r)
+{
+    line(os, prefix, "seconds", r.seconds);
+    line(os, prefix, "serial_seconds", r.serial_seconds);
+    line(os, prefix, "parallel_seconds", r.parallel_seconds);
+    line(os, prefix, "sync_seconds", r.sync_seconds);
+    line(os, prefix, "num_cores",
+         static_cast<std::uint64_t>(r.num_cores));
+    line(os, prefix, "total_instructions", r.total.instructions);
+    for (std::size_t c = 0; c < r.per_core.size(); ++c) {
+        dumpStats(os, prefix + ".core" + std::to_string(c),
+                  r.per_core[c]);
+    }
+}
+
+} // namespace m3d

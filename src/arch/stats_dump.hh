@@ -1,0 +1,34 @@
+/**
+ * @file
+ * gem5-style statistics dump: flat "component.stat value" lines for
+ * simulation results and cache hierarchies, for scripting and
+ * regression diffing.
+ */
+
+#ifndef M3D_ARCH_STATS_DUMP_HH_
+#define M3D_ARCH_STATS_DUMP_HH_
+
+#include <ostream>
+#include <string>
+
+#include "arch/cache.hh"
+#include "arch/core_model.hh"
+#include "arch/multicore.hh"
+
+namespace m3d {
+
+/** Dump one core run's counters under `prefix` (e.g. "core0"). */
+void dumpStats(std::ostream &os, const std::string &prefix,
+               const SimResult &result);
+
+/** Dump a cache hierarchy's hit/miss counters under `prefix`. */
+void dumpStats(std::ostream &os, const std::string &prefix,
+               const CacheHierarchy &hierarchy);
+
+/** Dump a multicore run (per-core + totals) under `prefix`. */
+void dumpStats(std::ostream &os, const std::string &prefix,
+               const MulticoreResult &result);
+
+} // namespace m3d
+
+#endif // M3D_ARCH_STATS_DUMP_HH_

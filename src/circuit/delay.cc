@@ -1,0 +1,87 @@
+#include "circuit/delay.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace m3d {
+
+double
+rcStageDelay(double r_drv, double r_wire, double c_wire, double c_load)
+{
+    return 0.69 * r_drv * (c_wire + c_load) + 0.38 * r_wire * c_wire +
+           0.69 * r_wire * c_load;
+}
+
+double
+horowitz(double t_rise, double tf, double v_th)
+{
+    M3D_ASSERT(v_th > 0.0 && v_th < 1.0);
+    if (t_rise <= 0.0)
+        return tf * std::sqrt(std::log(1.0 / v_th) * std::log(1.0 / v_th));
+    const double a = t_rise / tf;
+    const double log_vth = std::log(v_th);
+    return tf * std::sqrt(log_vth * log_vth + 2.0 * a * 0.5 * (1.0 - v_th));
+}
+
+BufferChain
+sizeBufferChain(const ProcessCorner &p, double c_load)
+{
+    BufferChain chain;
+    const double fanout = 4.0;
+    const double ratio = std::max(c_load / p.c_gate, 1.0);
+    // Optimal number of stages for stage effort ~4.
+    int n = std::max(1, static_cast<int>(std::lround(
+        std::log(ratio) / std::log(fanout))));
+    const double stage_effort = std::pow(ratio, 1.0 / n);
+
+    double delay = 0.0;
+    double energy = 0.0;
+    double width = 1.0;
+    for (int i = 0; i < n; ++i) {
+        const double next_c = (i == n - 1) ? c_load
+                                           : p.c_gate * width * stage_effort;
+        const double r_drv = p.r_on / width;
+        delay += 0.69 * r_drv * (next_c + p.c_drain * width);
+        energy += 0.5 * (next_c + p.c_drain * width) * p.vdd * p.vdd;
+        width *= stage_effort;
+    }
+
+    chain.stages = n;
+    chain.delay = delay;
+    chain.energy = energy;
+    chain.c_in = p.c_gate;
+    return chain;
+}
+
+DrivenWire
+driveWire(const ProcessCorner &p, double r_wire, double c_wire,
+          double c_load)
+{
+    DrivenWire out{0.0, 0.0};
+    const double total_c = c_wire + c_load;
+    const double fanout = 4.0;
+    const double ratio = std::max(total_c / p.c_gate, 1.0);
+    const int n = std::max(1, static_cast<int>(std::lround(
+        std::log(ratio) / std::log(fanout))));
+    const double stage_effort = std::pow(ratio, 1.0 / n);
+
+    // Stages 0..n-2 drive the next inverter's gate; stage n-1 drives
+    // the wire itself.
+    double width = 1.0;
+    for (int i = 0; i + 1 < n; ++i) {
+        const double next_c = p.c_gate * width * stage_effort;
+        const double r_drv = p.r_on / width;
+        out.delay += 0.69 * r_drv * (next_c + p.c_drain * width);
+        out.energy += 0.5 * (next_c + p.c_drain * width) * p.vdd * p.vdd;
+        width *= stage_effort;
+    }
+    const double r_final = p.r_on / width;
+    out.delay += rcStageDelay(r_final, r_wire, c_wire,
+                              c_load + p.c_drain * width);
+    out.energy += 0.5 * (total_c + p.c_drain * width) * p.vdd * p.vdd;
+    return out;
+}
+
+} // namespace m3d

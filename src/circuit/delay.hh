@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Circuit-level delay and energy primitives shared by the SRAM and
+ * logic models: Elmore RC stage delay, Horowitz's slope-aware gate
+ * delay, and logical-effort buffer chains (the CACTI toolbox).
+ */
+
+#ifndef M3D_CIRCUIT_DELAY_HH_
+#define M3D_CIRCUIT_DELAY_HH_
+
+#include "tech/process.hh"
+
+namespace m3d {
+
+/**
+ * Delay of a driver with output resistance `r_drv` driving a
+ * distributed RC wire (total `r_wire`, `c_wire`) terminated by a
+ * lumped `c_load`:
+ *
+ *   0.69 * r_drv * (c_wire + c_load) + 0.38 * r_wire * c_wire
+ *   + 0.69 * r_wire * c_load
+ *
+ * @return Delay in seconds.
+ */
+double rcStageDelay(double r_drv, double r_wire, double c_wire,
+                    double c_load);
+
+/**
+ * Horowitz approximation for the delay of a gate with input rise time
+ * `t_rise`, output time constant `tf`, and switching threshold
+ * fraction `v_th` (of Vdd).
+ */
+double horowitz(double t_rise, double tf, double v_th=0.5);
+
+/**
+ * Delay and input capacitance of a logical-effort-sized buffer chain
+ * that lets a minimum inverter drive `c_load`.
+ */
+struct BufferChain
+{
+    int stages;        ///< number of inverters in the chain
+    double delay;      ///< total chain delay (s)
+    double energy;     ///< switching energy of one output transition (J)
+    double c_in;       ///< input capacitance presented to the source (F)
+};
+
+/**
+ * Size a buffer chain in process `p` to drive `c_load`, using a stage
+ * effort of ~4 (the classic optimum).
+ *
+ * @param p Process corner providing min-inverter R and C.
+ * @param c_load Final load capacitance (F).
+ */
+BufferChain sizeBufferChain(const ProcessCorner &p, double c_load);
+
+/**
+ * Complete driver-plus-wire stage: buffer chain sized for the total
+ * load, then the wire RC.  This is the workhorse for wordlines,
+ * bitlines, predecode wires, and bypass paths.
+ */
+struct DrivenWire
+{
+    double delay;   ///< total stage delay (s)
+    double energy;  ///< dynamic energy of one transition (J)
+};
+
+/**
+ * @param p Driving process corner.
+ * @param r_wire Total wire resistance (ohm).
+ * @param c_wire Total wire capacitance (F).
+ * @param c_load Lumped far-end load (F).
+ */
+DrivenWire driveWire(const ProcessCorner &p, double r_wire, double c_wire,
+                     double c_load);
+
+} // namespace m3d
+
+#endif // M3D_CIRCUIT_DELAY_HH_

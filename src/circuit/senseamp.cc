@@ -1,0 +1,32 @@
+#include "circuit/senseamp.hh"
+
+namespace m3d {
+
+double
+SenseAmp::delay(const ProcessCorner &p)
+{
+    // A latch-type amp resolves in roughly 1.5 FO4 of its process.
+    return 1.5 * p.fo4Delay();
+}
+
+double
+SenseAmp::energy(const ProcessCorner &p)
+{
+    // Cross-coupled pair plus precharge devices, ~6 min transistors.
+    return 6.0 * p.switchEnergy();
+}
+
+double
+MatchLine::evalDelay(const ProcessCorner &p)
+{
+    // Serial pulldown through two stacked transistors.
+    return 1.0 * p.fo4Delay();
+}
+
+double
+MatchLine::energy(const ProcessCorner &p, double c_line)
+{
+    return 0.5 * c_line * p.vdd * p.vdd + 2.0 * p.switchEnergy();
+}
+
+} // namespace m3d

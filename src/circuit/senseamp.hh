@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Sense amplifier and comparator (CAM match) circuit constants.
+ *
+ * Sense amps resolve a small bitline swing; their delay is dominated
+ * by the amplifier itself plus the time for the bitline to develop
+ * the required differential, which the array model accounts for in
+ * the bitline RC.  Here we keep the fixed components.
+ */
+
+#ifndef M3D_CIRCUIT_SENSEAMP_HH_
+#define M3D_CIRCUIT_SENSEAMP_HH_
+
+#include "tech/process.hh"
+
+namespace m3d {
+
+/** Latch-type sense amplifier. */
+struct SenseAmp
+{
+    /** Resolution delay once the input differential is developed (s). */
+    static double delay(const ProcessCorner &p);
+
+    /** Energy per sense operation (J). */
+    static double energy(const ProcessCorner &p);
+
+    /** Required bitline swing as a fraction of Vdd before sensing. */
+    static constexpr double required_swing = 0.10;
+};
+
+/** CAM match-line dynamic comparator. */
+struct MatchLine
+{
+    /** Evaluation delay of the match pulldown chain (s). */
+    static double evalDelay(const ProcessCorner &p);
+
+    /** Energy to precharge + evaluate one match line of cap `c` (J). */
+    static double energy(const ProcessCorner &p, double c_line);
+};
+
+} // namespace m3d
+
+#endif // M3D_CIRCUIT_SENSEAMP_HH_

@@ -1,0 +1,72 @@
+#include "core/area_model.hh"
+
+#include "sram/array_model.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace m3d {
+
+using namespace units;
+
+namespace {
+
+// Pipeline logic (decode, rename control, schedulers' logic, ALUs,
+// FPUs, LSU control) plus clock/PDN overhead of the 2D core,
+// excluding the storage arrays priced by the array model.  Sized so
+// the whole core lands near the Ryzen-like ~10.6 mm^2 floorplan.
+constexpr double kPlanarLogicArea = 6.0 * mm2;
+
+} // namespace
+
+CoreAreaModel::CoreAreaModel() : planar_logic_area_(kPlanarLogicArea)
+{
+    ArrayModel planar(Technology::planar2D());
+    for (const ArrayConfig &cfg : CoreStructures::all())
+        planar_areas_[cfg.name] = planar.evaluate2D(cfg).area;
+}
+
+CoreAreaReport
+CoreAreaModel::evaluate(const CoreDesign &design) const
+{
+    CoreAreaReport rep;
+    for (const auto &[name, area_2d] : planar_areas_) {
+        double area = area_2d;
+        auto it = design.partitions.find(name);
+        if (it != design.partitions.end())
+            area = it->second.stacked.area;
+        rep.structures[name] = area;
+        rep.array_area += area;
+    }
+
+    rep.logic_area = planar_logic_area_;
+    if (design.stacked()) {
+        // Folded logic keeps its transistors but splits across two
+        // layers; the plan-view footprint shrinks by the measured
+        // ~41% (Section 3.1).
+        rep.logic_area = planar_logic_area_ *
+            (1.0 - design.execute_gains.footprint_reduction);
+        if (design.execute_gains.footprint_reduction == 0.0)
+            rep.logic_area = planar_logic_area_ * 0.59;
+    }
+
+    rep.total_area = rep.array_area + rep.logic_area;
+    // Arrays' `area` is already the stacked footprint for 3D designs
+    // (the larger layer), so the core footprint is the sum.
+    rep.footprint = rep.total_area;
+    return rep;
+}
+
+double
+CoreAreaModel::footprintFactor(const CoreDesign &design) const
+{
+    CoreDesign planar = design;
+    planar.partitions.clear();
+    planar.tech = Technology::planar2D();
+    planar.execute_gains = LogicStageGains{};
+    const CoreAreaReport base = evaluate(planar);
+    const CoreAreaReport mine = evaluate(design);
+    M3D_ASSERT(base.footprint > 0.0);
+    return mine.footprint / base.footprint;
+}
+
+} // namespace m3d

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Core area accounting: per-structure silicon area for a design and
+ * the footprint of the whole core after folding, the quantity behind
+ * Figure 4 (two folded cores sharing a router stop) and the thermal
+ * model's 50% footprint assumption.
+ */
+
+#ifndef M3D_CORE_AREA_MODEL_HH_
+#define M3D_CORE_AREA_MODEL_HH_
+
+#include <map>
+#include <string>
+
+#include "core/design.hh"
+
+namespace m3d {
+
+/** Area breakdown of one core design. */
+struct CoreAreaReport
+{
+    /** Silicon area per storage structure (m^2). */
+    std::map<std::string, double> structures;
+    double array_area = 0.0;     ///< sum of the above
+    double logic_area = 0.0;     ///< pipeline logic + clocking
+    double total_area = 0.0;     ///< arrays + logic
+    /**
+     * Footprint: the chip-plan area.  Equal to total_area in 2D; a
+     * two-layer design stacks, so its footprint is roughly half.
+     */
+    double footprint = 0.0;
+};
+
+/** Computes area reports for core designs. */
+class CoreAreaModel
+{
+  public:
+    CoreAreaModel();
+
+    /** Area report for a design (2D baseline or any 3D design). */
+    CoreAreaReport evaluate(const CoreDesign &design) const;
+
+    /** Footprint of `design` relative to the 2D baseline. */
+    double footprintFactor(const CoreDesign &design) const;
+
+  private:
+    std::map<std::string, double> planar_areas_;
+    double planar_logic_area_;
+};
+
+} // namespace m3d
+
+#endif // M3D_CORE_AREA_MODEL_HH_

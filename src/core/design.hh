@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Full core/multicore design configurations (Table 11).
+ *
+ * A CoreDesign bundles everything the performance, power, and thermal
+ * models need: the technology, the derived clock, microarchitectural
+ * widths, the per-structure partition results, and the 3D-specific
+ * IPC effects (shorter load-to-use and branch-misprediction paths,
+ * shared L2s and router stops).
+ */
+
+#ifndef M3D_CORE_DESIGN_HH_
+#define M3D_CORE_DESIGN_HH_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/frequency.hh"
+#include "logic3d/stage.hh"
+#include "sram/explorer.hh"
+#include "tech/technology.hh"
+
+namespace m3d {
+
+/** One evaluated processor design point. */
+struct CoreDesign
+{
+    std::string name;
+    Technology tech;
+    double frequency = kBaseFrequency; ///< core clock (Hz)
+    double vdd = 0.8;                  ///< supply voltage (V)
+
+    // Microarchitecture (Table 9 defaults).
+    int dispatch_width = 4;
+    int issue_width = 6;
+    int commit_width = 4;
+    int rob_entries = 192;
+    int iq_entries = 84;
+    int lq_entries = 72;
+    int sq_entries = 56;
+
+    // Multicore organization.
+    int num_cores = 4;
+    bool shared_l2_pairs = false; ///< Figure 4: core pairs share L2s
+
+    // Pipeline path latencies (cycles).  3D designs shave 1 cycle off
+    // load-to-use and 2 cycles off misprediction (Section 6).
+    int load_to_use = 4;
+    int mispredict_penalty = 14;
+
+    // Extra decode latency for uncommon complex instructions when the
+    // complex decoder lives in the slow top layer (Section 4.1.2).
+    int complex_decode_extra = 0;
+
+    /** Per-structure partition outcome, keyed by structure name. */
+    std::map<std::string, PartitionResult> partitions;
+
+    /** Logic-stage gains for the execute cluster (4 ALUs). */
+    LogicStageGains execute_gains;
+
+    /** Clock-tree switching-power factor vs 2D (0.75 for 3D). */
+    double clock_tree_switch_factor = 1.0;
+
+    /** Core footprint vs the 2D core (0.5-0.6 for 3D). */
+    double footprint_factor = 1.0;
+
+    /** True for any stacked (M3D or TSV3D) design. */
+    bool stacked() const
+    {
+        return tech.integration != Integration::Planar2D;
+    }
+
+    /** Access-energy factor vs 2D for a structure (1.0 if unknown). */
+    double structureEnergyFactor(const std::string &structure) const;
+
+    /** Access-latency factor vs 2D for a structure (1.0 if unknown). */
+    double structureLatencyFactor(const std::string &structure) const;
+};
+
+/** Builds the configurations evaluated in the paper (Table 11). */
+class DesignFactory
+{
+  public:
+    DesignFactory();
+
+    // Single-core designs.
+    CoreDesign base() const;         ///< 2D, 3.3 GHz
+    CoreDesign tsv3d() const;        ///< TSV3D, 3.3 GHz
+    CoreDesign m3dIso() const;       ///< iso-layer M3D, conservative f
+    CoreDesign m3dHetNaive() const;  ///< hetero, no mitigation: iso x0.91
+    CoreDesign m3dHet() const;       ///< hetero + our partitioning
+    CoreDesign m3dHetAgg() const;    ///< hetero, aggressive f policy
+
+    // Multicore designs (4 cores unless stated).
+    CoreDesign baseMulti() const;
+    CoreDesign tsv3dMulti() const;
+    CoreDesign m3dHetMulti() const;  ///< shared L2 pairs
+    CoreDesign m3dHetW() const;      ///< issue width 8 @ 3.3 GHz
+    CoreDesign m3dHet2x() const;     ///< 8 cores @ 3.3 GHz, 0.75 V
+
+    /** All single-core designs in Figure 6 order. */
+    std::vector<CoreDesign> singleCoreDesigns() const;
+
+    /** All multicore designs in Figure 9 order. */
+    std::vector<CoreDesign> multicoreDesigns() const;
+
+    /** Partition results backing a design's frequency derivation. */
+    const std::vector<PartitionResult> &isoResults() const
+    {
+        return iso_results_;
+    }
+    const std::vector<PartitionResult> &hetResults() const
+    {
+        return het_results_;
+    }
+    const std::vector<PartitionResult> &tsvResults() const
+    {
+        return tsv_results_;
+    }
+
+  private:
+    CoreDesign stackedCommon(const Technology &tech,
+                             const std::vector<PartitionResult> &results,
+                             FrequencyPolicy policy,
+                             const std::string &name) const;
+
+    std::vector<PartitionResult> iso_results_;
+    std::vector<PartitionResult> het_results_;
+    std::vector<PartitionResult> tsv_results_;
+    LogicStageGains iso_exec_gains_;
+    LogicStageGains het_exec_gains_;
+};
+
+} // namespace m3d
+
+#endif // M3D_CORE_DESIGN_HH_

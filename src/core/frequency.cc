@@ -1,0 +1,45 @@
+#include "core/frequency.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace m3d {
+
+FrequencyDerivation
+deriveFrequency(const std::vector<PartitionResult> &results,
+                FrequencyPolicy policy, double base_frequency)
+{
+    M3D_ASSERT(!results.empty());
+    const std::vector<std::string> aggressive_set = {"IQ", "RF"};
+
+    FrequencyDerivation out;
+    out.base_frequency = base_frequency;
+
+    bool found = false;
+    for (const PartitionResult &r : results) {
+        if (policy == FrequencyPolicy::Aggressive) {
+            const bool critical =
+                std::find(aggressive_set.begin(), aggressive_set.end(),
+                          r.cfg.name) != aggressive_set.end();
+            if (!critical)
+                continue;
+        }
+        const double red = r.latencyReduction();
+        if (!found || red < out.min_reduction) {
+            out.min_reduction = red;
+            out.limiting_structure = r.cfg.name;
+            found = true;
+        }
+    }
+    M3D_ASSERT(found, "no structure eligible to set the frequency");
+
+    // A negative "reduction" (TSV3D can slow some arrays down) must
+    // not be turned into an overclock; the designer would simply keep
+    // the 2D floorplan for that structure and the 2D frequency.
+    const double effective = std::max(out.min_reduction, 0.0);
+    out.frequency = base_frequency / (1.0 - effective);
+    return out;
+}
+
+} // namespace m3d

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Core frequency derivation (Section 6.1).
+ *
+ * The 2D baseline's cycle time is set by the register-file access
+ * (measured with CACTI; 3.3 GHz in the paper).  A 3D design's
+ * frequency follows from the least-improved timing-critical array:
+ *   f = f_base / (1 - min latency reduction).
+ *
+ * Two policies:
+ *  - Conservative: every array in Table 6/8 is assumed cycle-critical
+ *    (this is what M3D-Iso and M3D-Het use).
+ *  - Aggressive: only the classically frequency-critical structures
+ *    (issue queue, register file, ALU+bypass) limit the clock
+ *    (M3D-IsoAgg / M3D-HetAgg).
+ */
+
+#ifndef M3D_CORE_FREQUENCY_HH_
+#define M3D_CORE_FREQUENCY_HH_
+
+#include <string>
+#include <vector>
+
+#include "sram/explorer.hh"
+
+namespace m3d {
+
+/** Which structures are allowed to limit the clock. */
+enum class FrequencyPolicy {
+    Conservative, ///< all arrays are single-cycle critical
+    Aggressive,   ///< only IQ / RF / bypass limit the cycle
+};
+
+/** Outcome of a frequency derivation. */
+struct FrequencyDerivation
+{
+    double base_frequency = 0.0;     ///< 2D reference clock (Hz)
+    double frequency = 0.0;          ///< derived clock (Hz)
+    double min_reduction = 0.0;      ///< limiting latency reduction
+    std::string limiting_structure;  ///< name of the limiting array
+};
+
+/** The paper's 2D baseline clock. */
+constexpr double kBaseFrequency = 3.3e9;
+
+/**
+ * Derive the 3D core frequency from per-structure partition results.
+ *
+ * @param results Best-partition results for the core's arrays.
+ * @param policy Which structures may limit the clock.
+ * @param base_frequency 2D reference clock (Hz).
+ */
+FrequencyDerivation
+deriveFrequency(const std::vector<PartitionResult> &results,
+                FrequencyPolicy policy,
+                double base_frequency=kBaseFrequency);
+
+} // namespace m3d
+
+#endif // M3D_CORE_FREQUENCY_HH_

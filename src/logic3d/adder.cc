@@ -1,0 +1,70 @@
+#include "logic3d/adder.hh"
+
+#include <string>
+
+#include "util/logging.hh"
+
+namespace m3d {
+
+Netlist
+CarrySkipAdder::build(int bits, int block_bits)
+{
+    M3D_ASSERT(bits > 0 && block_bits > 0 && bits % block_bits == 0,
+               "width must be a multiple of the block size");
+    const int blocks = bits / block_bits;
+    Netlist nl;
+
+    int carry_in = nl.addGate("cin", 0.0, 0.1, {});
+    for (int b = 0; b < blocks; ++b) {
+        const std::string tag = "b" + std::to_string(b);
+
+        // Per-bit propagate/generate from the primary inputs.
+        std::vector<int> p(block_bits), g(block_bits);
+        for (int i = 0; i < block_bits; ++i) {
+            p[i] = nl.addGate(tag + ".p" + std::to_string(i), 1.0, 1.0,
+                              {});
+            g[i] = nl.addGate(tag + ".g" + std::to_string(i), 1.0, 1.0,
+                              {});
+        }
+
+        // Ripple carry inside the block.  The carry-skip trick makes
+        // the path from the incoming carry through the internal
+        // ripple a FALSE path: if the block propagates, the skip mux
+        // takes the incoming carry directly; if it does not, the
+        // internal carry is generated locally without needing the
+        // incoming carry.  Only block 0 ripples from the true carry
+        // input (Figure 5's shaded path).
+        std::vector<int> carry(block_bits + 1);
+        carry[0] = b == 0
+            ? carry_in
+            : nl.addGate(tag + ".kill", 0.0, 0.1, {});
+        for (int i = 0; i < block_bits; ++i) {
+            carry[i + 1] =
+                nl.addGate(tag + ".c" + std::to_string(i + 1), 1.0, 1.2,
+                           {g[i], p[i], carry[i]});
+        }
+
+        // Block propagate (AND tree over the p bits).
+        int block_p = nl.addGate(tag + ".P", 1.0, 1.0, p);
+
+        // Skip mux: block carry-out picks between the incoming carry
+        // (skip) and the locally generated ripple carry-out.
+        int mux = nl.addGate(tag + ".skip", 1.0, 1.2,
+                             {block_p, carry_in, carry[block_bits]});
+
+        // Per-bit sums; they consume the selected carry, so the sums
+        // of the last block sit at the end of the mux chain.
+        for (int i = 0; i < block_bits; ++i) {
+            nl.addGate(tag + ".s" + std::to_string(i), 1.0, 1.0,
+                       {p[i], carry[i], carry_in});
+        }
+
+        carry_in = mux;
+    }
+
+    // Final carry-out consumer (e.g. the flags logic).
+    nl.addGate("cout", 1.0, 1.0, {carry_in});
+    return nl;
+}
+
+} // namespace m3d

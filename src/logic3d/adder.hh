@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Generator for the 64-bit carry-skip adder of Figure 5, the paper's
+ * running example of a mostly-logic execution stage.  The critical
+ * path rips through the LSB block, then the skip-mux chain, then the
+ * MSB sum; propagate/sum blocks far from the LSB have large slack and
+ * are the natural top-layer residents.
+ */
+
+#ifndef M3D_LOGIC3D_ADDER_HH_
+#define M3D_LOGIC3D_ADDER_HH_
+
+#include "logic3d/netlist.hh"
+
+namespace m3d {
+
+/** Carry-skip adder generator. */
+class CarrySkipAdder
+{
+  public:
+    /**
+     * Build the netlist.
+     *
+     * @param bits Total width (64 in the paper).
+     * @param block_bits Bits per skip block (4 in the paper).
+     */
+    static Netlist build(int bits=64, int block_bits=4);
+};
+
+} // namespace m3d
+
+#endif // M3D_LOGIC3D_ADDER_HH_

@@ -1,0 +1,177 @@
+#include "logic3d/netlist.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace m3d {
+
+int
+Netlist::addGate(std::string name, double delay_fo4, double area_units,
+                 std::vector<int> fanin)
+{
+    const int id = static_cast<int>(gates_.size());
+    for (int f : fanin) {
+        M3D_ASSERT(f >= 0 && f < id,
+                   "fanin must reference earlier gates (topological "
+                   "insertion order)");
+    }
+    Gate g;
+    g.name = std::move(name);
+    g.delay_fo4 = delay_fo4;
+    g.area_units = area_units;
+    g.fanin = std::move(fanin);
+    gates_.push_back(std::move(g));
+    return id;
+}
+
+namespace {
+
+/** Longest-path analysis with a per-gate delay functor. */
+template <typename DelayFn>
+TimingReport
+analyzeWith(const std::vector<Gate> &gates, DelayFn &&delay_of)
+{
+    TimingReport rep;
+    const std::size_t n = gates.size();
+    rep.arrival.assign(n, 0.0);
+    rep.slack.assign(n, 0.0);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        double in = 0.0;
+        for (int f : gates[i].fanin)
+            in = std::max(in, rep.arrival[static_cast<std::size_t>(f)]);
+        rep.arrival[i] = in + delay_of(gates[i]);
+        rep.critical_delay_fo4 =
+            std::max(rep.critical_delay_fo4, rep.arrival[i]);
+    }
+
+    // Required times: walk backwards.
+    std::vector<double> required(n, rep.critical_delay_fo4);
+    for (std::size_t i = n; i-- > 0;) {
+        const double my_required = required[i];
+        for (int f : gates[i].fanin) {
+            auto fi = static_cast<std::size_t>(f);
+            required[fi] = std::min(required[fi],
+                                    my_required - delay_of(gates[i]));
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        rep.slack[i] = required[i] - rep.arrival[i];
+
+    // Trace one critical path from the latest-arriving gate.
+    std::size_t cur = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (rep.arrival[i] > rep.arrival[cur])
+            cur = i;
+    }
+    while (true) {
+        rep.critical_path.push_back(static_cast<int>(cur));
+        const Gate &g = gates[cur];
+        if (g.fanin.empty())
+            break;
+        std::size_t next = static_cast<std::size_t>(g.fanin.front());
+        for (int f : g.fanin) {
+            auto fi = static_cast<std::size_t>(f);
+            if (rep.arrival[fi] > rep.arrival[next])
+                next = fi;
+        }
+        cur = next;
+    }
+    std::reverse(rep.critical_path.begin(), rep.critical_path.end());
+    return rep;
+}
+
+} // namespace
+
+TimingReport
+Netlist::analyze() const
+{
+    return analyzeWith(gates_, [](const Gate &g) { return g.delay_fo4; });
+}
+
+TimingReport
+Netlist::analyzeHetero(double top_slowdown) const
+{
+    return analyzeWith(gates_, [top_slowdown](const Gate &g) {
+        return g.layer == Layer::Top ? g.delay_fo4 * (1.0 + top_slowdown)
+                                     : g.delay_fo4;
+    });
+}
+
+double
+Netlist::criticalFraction(double threshold_fo4) const
+{
+    if (gates_.empty())
+        return 0.0;
+    TimingReport rep = analyze();
+    std::size_t critical = 0;
+    for (double s : rep.slack) {
+        if (s < threshold_fo4)
+            ++critical;
+    }
+    return static_cast<double>(critical) /
+           static_cast<double>(gates_.size());
+}
+
+double
+Netlist::totalArea() const
+{
+    return std::accumulate(gates_.begin(), gates_.end(), 0.0,
+                           [](double acc, const Gate &g) {
+                               return acc + g.area_units;
+                           });
+}
+
+LayerAssignment
+Netlist::assignLayers(double top_slowdown, double target_top_fraction,
+                      double tolerance)
+{
+    M3D_ASSERT(target_top_fraction >= 0.0 && target_top_fraction <= 1.0);
+    for (Gate &g : gates_)
+        g.layer = Layer::Bottom;
+
+    const TimingReport base = analyze();
+    const double budget = base.critical_delay_fo4 * (1.0 + tolerance);
+    const double area_total = totalArea();
+    const double area_target = area_total * target_top_fraction;
+
+    // Candidates in descending slack order; a gate fits in the top
+    // layer outright when its own slowdown is covered by its slack.
+    std::vector<std::size_t> order(gates_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&base](std::size_t a, std::size_t b) {
+                  return base.slack[a] > base.slack[b];
+              });
+
+    double area_top = 0.0;
+    int moved = 0;
+    for (std::size_t id : order) {
+        if (area_top >= area_target)
+            break;
+        Gate &g = gates_[id];
+        // Quick per-gate check; the path check below is authoritative.
+        if (base.slack[id] < g.delay_fo4 * top_slowdown)
+            continue;
+        g.layer = Layer::Top;
+        if (analyzeHetero(top_slowdown).critical_delay_fo4 > budget) {
+            g.layer = Layer::Bottom;
+            continue;
+        }
+        area_top += g.area_units;
+        ++moved;
+    }
+
+    LayerAssignment out;
+    out.top_fraction = area_total > 0.0 ? area_top / area_total : 0.0;
+    out.delay_fo4 = analyzeHetero(top_slowdown).critical_delay_fo4;
+    out.delay_penalty =
+        out.delay_fo4 / base.critical_delay_fo4 - 1.0;
+    out.gates_top = moved;
+    out.gates_bottom = static_cast<int>(gates_.size()) - moved;
+    return out;
+}
+
+} // namespace m3d

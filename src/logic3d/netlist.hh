@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A light-weight gate netlist with static timing analysis and
+ * criticality-driven two-layer assignment (Section 4.1).
+ *
+ * The hetero-layer logic technique is: place gates whose slack
+ * exceeds the top layer's slowdown in the top layer (up to ~50% of
+ * the area), leaving the critical paths in the fast bottom layer, so
+ * the stage delay does not degrade at all.
+ */
+
+#ifndef M3D_LOGIC3D_NETLIST_HH_
+#define M3D_LOGIC3D_NETLIST_HH_
+
+#include <string>
+#include <vector>
+
+#include "tech/process.hh"
+
+namespace m3d {
+
+/** One combinational gate (delays in units of FO4). */
+struct Gate
+{
+    std::string name;
+    double delay_fo4 = 1.0;      ///< intrinsic delay in FO4 units
+    double area_units = 1.0;     ///< relative area
+    std::vector<int> fanin;      ///< driving gate ids (empty = input)
+    Layer layer = Layer::Bottom; ///< current assignment
+};
+
+/** Results of static timing analysis. */
+struct TimingReport
+{
+    double critical_delay_fo4 = 0.0; ///< longest path (FO4)
+    std::vector<double> arrival;     ///< per-gate arrival times
+    std::vector<double> slack;       ///< per-gate slack
+    std::vector<int> critical_path;  ///< gate ids along one critical path
+};
+
+/** Outcome of a two-layer assignment. */
+struct LayerAssignment
+{
+    double top_fraction = 0.0;      ///< fraction of area placed on top
+    double delay_fo4 = 0.0;         ///< stage delay after assignment
+    double delay_penalty = 0.0;     ///< fractional slowdown vs 2D
+    int gates_top = 0;
+    int gates_bottom = 0;
+};
+
+/**
+ * A DAG of gates.  Gates must be added in topological order (fanins
+ * refer to already-added gates).
+ */
+class Netlist
+{
+  public:
+    /** Add a gate; returns its id. @pre fanins already added. */
+    int addGate(std::string name, double delay_fo4, double area_units,
+                std::vector<int> fanin);
+
+    std::size_t size() const { return gates_.size(); }
+    const Gate &gate(int id) const { return gates_[id]; }
+
+    /** Longest-path timing with per-gate slack. */
+    TimingReport analyze() const;
+
+    /**
+     * Timing when top-layer gates are slowed by `top_slowdown`
+     * (e.g. 0.17).
+     */
+    TimingReport analyzeHetero(double top_slowdown) const;
+
+    /** Fraction of gates with slack below `threshold_fo4`. */
+    double criticalFraction(double threshold_fo4) const;
+
+    /**
+     * Greedy hetero-layer assignment: move the highest-slack gates to
+     * the top layer until `target_top_fraction` of the area is there
+     * or no gate can move without hurting the critical path by more
+     * than `tolerance`.
+     *
+     * @param top_slowdown Fractional top-layer gate slowdown.
+     * @param target_top_fraction Desired area share on top (~0.5).
+     * @param tolerance Allowed fractional delay increase (default 0).
+     */
+    LayerAssignment assignLayers(double top_slowdown,
+                                 double target_top_fraction,
+                                 double tolerance=1e-9);
+
+    /** Total area units. */
+    double totalArea() const;
+
+  private:
+    std::vector<Gate> gates_;
+};
+
+} // namespace m3d
+
+#endif // M3D_LOGIC3D_NETLIST_HH_

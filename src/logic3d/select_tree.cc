@@ -1,0 +1,125 @@
+#include "logic3d/select_tree.hh"
+
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace m3d {
+
+Netlist
+SelectTree::build(int entries, int radix)
+{
+    M3D_ASSERT(entries >= 2 && radix >= 2);
+    Netlist nl;
+
+    // Leaf ready signals (inputs from the wakeup stage).
+    std::vector<int> reqs;
+    reqs.reserve(static_cast<std::size_t>(entries));
+    for (int i = 0; i < entries; ++i) {
+        reqs.push_back(nl.addGate("req" + std::to_string(i), 0.5, 0.5,
+                                  {}));
+    }
+
+    // --- Request phase: OR-reduce the ready signals up the tree,
+    // recording each node's children for the grant phase.
+    struct Node
+    {
+        int any_req;            ///< OR of the subtree's requests
+        int local_grant;        ///< priority winner among children
+        std::vector<int> child_nodes; ///< indices into `nodes`
+    };
+    std::vector<Node> nodes;          // one per internal arbiter
+    std::vector<int> level_nodes;     // node ids of the current level
+
+    // Level 0: group the leaves.
+    int level = 0;
+    {
+        for (std::size_t base = 0; base < reqs.size();
+             base += static_cast<std::size_t>(radix)) {
+            std::vector<int> kids;
+            for (std::size_t k = base;
+                 k < std::min(base + radix, reqs.size()); ++k)
+                kids.push_back(reqs[k]);
+            Node n;
+            const std::string tag =
+                "a" + std::to_string(level) + "." +
+                std::to_string(nodes.size());
+            n.any_req = nl.addGate(tag + ".anyreq", 1.0, 1.0, kids);
+            // Local grant: priority compare among the children; two
+            // gate levels, computed off the request signals.
+            const int cmp = nl.addGate(tag + ".cmp", 1.0, 1.5, kids);
+            n.local_grant =
+                nl.addGate(tag + ".lgrant", 1.0, 1.0, {cmp});
+            level_nodes.push_back(static_cast<int>(nodes.size()));
+            nodes.push_back(n);
+        }
+    }
+
+    // Higher levels until one root remains.
+    while (level_nodes.size() > 1) {
+        ++level;
+        std::vector<int> next;
+        for (std::size_t base = 0; base < level_nodes.size();
+             base += static_cast<std::size_t>(radix)) {
+            std::vector<int> kid_nodes;
+            std::vector<int> kid_reqs;
+            for (std::size_t k = base;
+                 k < std::min(base + radix, level_nodes.size()); ++k) {
+                kid_nodes.push_back(level_nodes[k]);
+                kid_reqs.push_back(
+                    nodes[static_cast<std::size_t>(level_nodes[k])]
+                        .any_req);
+            }
+            Node n;
+            n.child_nodes = kid_nodes;
+            const std::string tag =
+                "a" + std::to_string(level) + "." +
+                std::to_string(nodes.size());
+            n.any_req =
+                nl.addGate(tag + ".anyreq", 1.0, 1.0, kid_reqs);
+            const int cmp =
+                nl.addGate(tag + ".cmp", 1.0, 1.5, kid_reqs);
+            n.local_grant =
+                nl.addGate(tag + ".lgrant", 1.0, 1.0, {cmp});
+            next.push_back(static_cast<int>(nodes.size()));
+            nodes.push_back(n);
+        }
+        level_nodes = next;
+    }
+
+    // --- Grant phase: the root grant fires once the root request is
+    // up; the AND chain descends through the arbiter-grant gates.
+    const int root = level_nodes.front();
+    const int root_grant = nl.addGate(
+        "root.grant", 1.0, 1.0,
+        {nodes[static_cast<std::size_t>(root)].any_req});
+
+    // Breadth-first descent: each node ANDs the incoming grant with
+    // its local grant to produce per-child grants.
+    std::vector<std::pair<int, int>> frontier = {{root, root_grant}};
+    int leaf_grant = -1;
+    while (!frontier.empty()) {
+        std::vector<std::pair<int, int>> next;
+        for (const auto &[node_id, grant_in] : frontier) {
+            const Node &n = nodes[static_cast<std::size_t>(node_id)];
+            const int agrant = nl.addGate(
+                "g" + std::to_string(node_id), 1.0, 1.0,
+                {grant_in, n.local_grant});
+            if (n.child_nodes.empty()) {
+                leaf_grant = agrant;
+            } else {
+                for (int child : n.child_nodes)
+                    next.emplace_back(child, agrant);
+            }
+        }
+        frontier = next;
+    }
+    M3D_ASSERT(leaf_grant >= 0);
+
+    // The granted entry's payload read enable.
+    nl.addGate("grant.out", 1.0, 1.0, {leaf_grant});
+    return nl;
+}
+
+} // namespace m3d

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Select-logic arbitration tree (Section 4.4.1).
+ *
+ * Instruction select is a multi-level arbiter: a Request phase
+ * propagates ready signals up the tree, and a Grant phase descends.
+ * At each level the grant splits into *local grant generation*
+ * (compare the children's priorities - computed in parallel with the
+ * request propagation, so it has slack) and *arbiter grant
+ * generation* (AND the local winner with the incoming grant - on the
+ * critical path).  The paper therefore places the local grant logic
+ * in the slow top layer and keeps the request phase plus the grant
+ * AND chain in the bottom layer, preserving the iso-layer latency.
+ */
+
+#ifndef M3D_LOGIC3D_SELECT_TREE_HH_
+#define M3D_LOGIC3D_SELECT_TREE_HH_
+
+#include "logic3d/netlist.hh"
+
+namespace m3d {
+
+/** Arbitration-tree generator. */
+class SelectTree
+{
+  public:
+    /**
+     * Build the netlist of one select port.
+     *
+     * @param entries Issue-queue entries arbitrated over (84 in
+     *        Table 9).
+     * @param radix Children per arbiter node.
+     */
+    static Netlist build(int entries=84, int radix=4);
+};
+
+} // namespace m3d
+
+#endif // M3D_LOGIC3D_SELECT_TREE_HH_

@@ -1,0 +1,98 @@
+#include "logic3d/stage.hh"
+
+#include <cmath>
+
+#include "logic3d/adder.hh"
+#include "util/logging.hh"
+
+namespace m3d {
+
+namespace {
+
+// Calibration anchors from the paper's Section 3.1 experiments with
+// the Lim et al. M3D flow [39, 44]:
+//   n=1 ALU:  +15% frequency, 41% footprint reduction
+//   n=4 ALUs: +28% frequency, 10% energy reduction, 41% footprint
+// Solving the gate+wire model against the two frequency anchors gives
+// a single-ALU wire/gate ratio of 0.353 growing as n^0.568 (the total
+// bypass length grows quadratically, the critical span sub-linearly).
+constexpr double kWireOverGate1 = 0.353;
+constexpr double kWireGrowthExp = 0.568;
+// Folding onto two layers roughly halves the critical bypass span.
+constexpr double kWireReduction3D = 0.5;
+// Switching energy: wire share at n=1 and its 3D reduction, anchored
+// to the 10% cluster-level saving at n=4.
+constexpr double kWireEnergy1 = 0.114;
+constexpr double kFootprintReduction = 0.41;
+
+} // namespace
+
+LogicStageModel::LogicStageModel(const Technology &tech) : tech_(tech)
+{
+}
+
+double
+LogicStageModel::wireOverGate(int n_alus)
+{
+    M3D_ASSERT(n_alus >= 1);
+    return kWireOverGate1 *
+           std::pow(static_cast<double>(n_alus), kWireGrowthExp);
+}
+
+double
+LogicStageModel::stageDelay2D(int n_alus) const
+{
+    Netlist adder = CarrySkipAdder::build();
+    const double gate_fo4 = adder.analyze().critical_delay_fo4;
+    const double gate_delay =
+        gate_fo4 * tech_.bottom_process.fo4Delay();
+    return gate_delay * (1.0 + wireOverGate(n_alus));
+}
+
+double
+LogicStageModel::wireFraction(int n_alus) const
+{
+    const double w = wireOverGate(n_alus);
+    return w / (1.0 + w);
+}
+
+LogicStageGains
+LogicStageModel::aluBypass(int n_alus) const
+{
+    LogicStageGains out;
+    const double w = wireOverGate(n_alus);
+    const double d2 = stageDelay2D(n_alus);
+    const double gate_delay = d2 / (1.0 + w);
+    const double d3 = gate_delay * (1.0 + kWireReduction3D * w);
+
+    out.delay_2d = d2;
+    out.delay_3d = d3;
+    out.freq_gain = d2 / d3 - 1.0;
+    out.footprint_reduction = kFootprintReduction;
+
+    const double e_wire = kWireEnergy1 *
+        std::pow(static_cast<double>(n_alus), kWireGrowthExp);
+    out.energy_reduction =
+        (1.0 - kWireReduction3D) * e_wire / (1.0 + e_wire);
+    return out;
+}
+
+LogicStageGains
+LogicStageModel::aluBypassHetero(int n_alus) const
+{
+    LogicStageGains out = aluBypass(n_alus);
+    if (tech_.top_layer_slowdown <= 0.0)
+        return out;
+
+    // Verify on the adder netlist that moving ~50% of the gates to
+    // the slow top layer leaves the critical path intact.
+    Netlist adder = CarrySkipAdder::build();
+    LayerAssignment asg =
+        adder.assignLayers(tech_.top_layer_slowdown, 0.5);
+    out.hetero_penalty = asg.delay_penalty;
+    out.delay_3d *= 1.0 + asg.delay_penalty;
+    out.freq_gain = out.delay_2d / out.delay_3d - 1.0;
+    return out;
+}
+
+} // namespace m3d

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Logic pipeline-stage model (Section 3.1 / 4.1).
+ *
+ * The paper synthesized a 64-bit adder plus bypass path with the
+ * Lim et al. M3D place-and-route flow and found: a two-layer layout
+ * of one ALU runs 15% faster with a 41% smaller footprint; a cluster
+ * of four ALUs with their (quadratically growing) bypass network runs
+ * 28% faster with 10% lower energy.  We reproduce those results with
+ * a gate-plus-wire stage model calibrated to the same two anchor
+ * points, and use the adder netlist to verify that hetero-layer
+ * placement (critical paths below) costs no stage delay.
+ */
+
+#ifndef M3D_LOGIC3D_STAGE_HH_
+#define M3D_LOGIC3D_STAGE_HH_
+
+#include "logic3d/netlist.hh"
+#include "tech/technology.hh"
+
+namespace m3d {
+
+/** Gains of a two-layer logic stage vs its 2D layout. */
+struct LogicStageGains
+{
+    double freq_gain = 0.0;        ///< fractional frequency increase
+    double energy_reduction = 0.0; ///< fractional switching-energy cut
+    double footprint_reduction = 0.0;
+    double delay_2d = 0.0;         ///< stage delay, 2D (s)
+    double delay_3d = 0.0;         ///< stage delay, two layers (s)
+    double hetero_penalty = 0.0;   ///< extra delay fraction from the
+                                   ///< slow top layer after placement
+};
+
+/** Analytical stage model bound to a technology. */
+class LogicStageModel
+{
+  public:
+    explicit LogicStageModel(const Technology &tech);
+
+    /**
+     * ALU-plus-bypass cluster gains for iso-performance layers.
+     *
+     * @param n_alus Number of ALUs sharing the bypass network.
+     */
+    LogicStageGains aluBypass(int n_alus) const;
+
+    /**
+     * Same cluster on hetero layers: runs the criticality-driven
+     * layer assignment on the adder netlist and charges whatever
+     * residual penalty the placement could not hide.
+     */
+    LogicStageGains aluBypassHetero(int n_alus) const;
+
+    /** Stage delay of the 2D cluster (s). */
+    double stageDelay2D(int n_alus) const;
+
+    /** Wire fraction of the 2D stage delay (diagnostic). */
+    double wireFraction(int n_alus) const;
+
+  private:
+    /** Bypass wire delay as a fraction of gate delay. */
+    static double wireOverGate(int n_alus);
+
+    Technology tech_;
+};
+
+} // namespace m3d
+
+#endif // M3D_LOGIC3D_STAGE_HH_

@@ -1,0 +1,110 @@
+#include "power/clock_tree.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace m3d {
+
+using namespace units;
+
+namespace {
+
+/** Stop recursing once sectors reach the local clock-grid size. */
+constexpr double kSectorSize = 200.0 * um;
+/** Buffer input capacitance per H-tree branch point. */
+constexpr double kBufferCap = 12.0 * fF;
+/** Clock input capacitance of one flop. */
+constexpr double kFlopCap = 1.2 * fF;
+
+/**
+ * Total H-tree wirelength over a w x h region: each level adds one
+ * horizontal and one vertical segment spanning the current tile and
+ * splits it in four.
+ */
+double
+htreeLength(double w, double h, double sector_scale=1.0)
+{
+    double total = 0.0;
+    double tile_w = w;
+    double tile_h = h;
+    int tiles = 1;
+    while (tile_w > kSectorSize || tile_h > kSectorSize) {
+        total += tiles * (tile_w / 2.0 + tile_h / 2.0);
+        tile_w /= 2.0;
+        tile_h /= 2.0;
+        tiles *= 4;
+        if (tiles > (1 << 20))
+            break; // degenerate inputs
+    }
+    // Local sector grid: a serpentine covering each sector once.
+    // 3D place-and-route shortens these local nets (~25% [38, 44]);
+    // callers pass sector_scale < 1 for folded layouts.
+    total += tiles * (tile_w + tile_h) * sector_scale;
+    return total;
+}
+
+} // namespace
+
+ClockTreeModel::ClockTreeModel(const Technology &tech, double width,
+                               double height, int flops, int layers)
+    : tech_(tech), width_(width), height_(height), flops_(flops),
+      layers_(layers)
+{
+    M3D_ASSERT(width > 0.0 && height > 0.0);
+    M3D_ASSERT(layers == 1 || layers == 2,
+               "clock model supports 1 or 2 device layers");
+    M3D_ASSERT(layers == 1 || tech.layers() == 2,
+               "two clock layers need a stacked technology");
+}
+
+double
+ClockTreeModel::wireLength() const
+{
+    if (layers_ == 1)
+        return htreeLength(width_, height_);
+    // Two layers: each layer's tree covers the (already folded)
+    // footprint; the second tree hangs off the first through a MIV
+    // trunk, and the 3D router shortens the local grids by ~25%.
+    return 2.0 * htreeLength(width_, height_, 0.75);
+}
+
+double
+ClockTreeModel::capacitance() const
+{
+    const WireParams &gw = tech_.global_wire;
+    const double wire_c = gw.capOf(wireLength());
+    // One buffer per ~400um of tree keeps edges sharp.
+    const double buffers =
+        wireLength() / (400.0 * um) * kBufferCap;
+    const double leaves = static_cast<double>(flops_) * kFlopCap;
+    double via_c = 0.0;
+    if (layers_ == 2) {
+        // The top tree's trunk crosses on a small MIV array.
+        via_c = 16.0 * tech_.via.capacitance;
+    }
+    return wire_c + buffers + leaves + via_c;
+}
+
+double
+ClockTreeModel::power(double f, double vdd) const
+{
+    // The clock switches twice per cycle: alpha = 1.
+    return capacitance() * vdd * vdd * f;
+}
+
+double
+ClockTreeModel::m3dSwitchFactor(const Technology &tech, double width,
+                                double height, int flops)
+{
+    ClockTreeModel planar(Technology::planar2D(), width, height, flops,
+                          1);
+    // Folded: half the footprint per layer (area/2 => dims /sqrt(2)),
+    // flops split across the two layers.
+    const double lin = std::sqrt(0.5);
+    ClockTreeModel folded(tech, width * lin, height * lin, flops, 2);
+    return folded.capacitance() / planar.capacitance();
+}
+
+} // namespace m3d

@@ -1,0 +1,51 @@
+#include "power/dvfs.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace m3d {
+
+DvfsModel::DvfsModel(double v_nominal, double vt, double alpha)
+    : v_nominal_(v_nominal), vt_(vt), alpha_(alpha)
+{
+    M3D_ASSERT(v_nominal > vt && vt > 0.0 && alpha >= 1.0);
+}
+
+double
+DvfsModel::delayFactor(double vdd) const
+{
+    M3D_ASSERT(vdd > vt_, "supply must stay above threshold");
+    auto delay = [this](double v) {
+        return v / std::pow(v - vt_, alpha_);
+    };
+    return delay(vdd) / delay(v_nominal_);
+}
+
+double
+DvfsModel::maxFrequency(double vdd, double f_nominal) const
+{
+    return f_nominal / delayFactor(vdd);
+}
+
+double
+DvfsModel::minVddForSlack(double slack_fraction) const
+{
+    M3D_ASSERT(slack_fraction >= 0.0 && slack_fraction < 1.0);
+    const double budget = 1.0 / (1.0 - slack_fraction);
+    // delayFactor is monotonically decreasing in vdd; bisect.
+    double lo = vt_ + 1e-3;
+    double hi = v_nominal_;
+    if (delayFactor(lo) <= budget)
+        return lo;
+    for (int iter = 0; iter < 80; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (delayFactor(mid) > budget)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return hi;
+}
+
+} // namespace m3d

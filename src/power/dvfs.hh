@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Voltage-frequency model (Section 6.1's iso-power design).
+ *
+ * M3D-Het-2X keeps the 2D clock and spends the partitioned
+ * structures' timing slack on *undervolting* instead: the paper,
+ * "following curves from the literature [18, 23]", lowers Vdd by
+ * 50 mV to 0.75 V.  This model derives that trade with the standard
+ * alpha-power-law delay model,
+ *
+ *   delay(V) ~ V / (V - Vt)^alpha ,
+ *
+ * answering: given a fractional cycle-time slack from 3D
+ * partitioning, how low can the supply go at the original frequency?
+ */
+
+#ifndef M3D_POWER_DVFS_HH_
+#define M3D_POWER_DVFS_HH_
+
+namespace m3d {
+
+/** Alpha-power-law voltage/delay model. */
+class DvfsModel
+{
+  public:
+    /**
+     * @param v_nominal Nominal supply (0.8 V at 22nm, ITRS).
+     * @param vt Threshold voltage.
+     * @param alpha Velocity-saturation exponent (~1.3 for short
+     *        channels).
+     */
+    explicit DvfsModel(double v_nominal=0.8, double vt=0.35,
+                       double alpha=1.3);
+
+    /** delay(vdd) / delay(v_nominal); > 1 below nominal. */
+    double delayFactor(double vdd) const;
+
+    /** Highest frequency sustainable at `vdd` given `f_nominal` at
+     * the nominal supply. */
+    double maxFrequency(double vdd, double f_nominal) const;
+
+    /**
+     * Lowest supply that still meets the nominal frequency when the
+     * critical path shrank by `slack_fraction` (e.g. the 13% cycle
+     * reduction of M3D-Het allows delayFactor up to 1/(1-0.13)).
+     */
+    double minVddForSlack(double slack_fraction) const;
+
+    double nominalVdd() const { return v_nominal_; }
+
+  private:
+    double v_nominal_;
+    double vt_;
+    double alpha_;
+};
+
+} // namespace m3d
+
+#endif // M3D_POWER_DVFS_HH_

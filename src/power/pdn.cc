@@ -1,0 +1,93 @@
+#include "power/pdn.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace m3d {
+
+using namespace units;
+
+namespace {
+
+/** PDN strap width (wide upper-metal power rails). */
+constexpr double kStrapWidth = 2.0 * um;
+/** Strap sheet resistance per length (thick upper metal). */
+constexpr double kStrapResPerM = 0.035 / um; // ohm per metre of strap
+
+/** MIV array density feeding the bottom layer: one per (pitch)^2. */
+constexpr double kMivFeedPitch = 5.0 * um;
+
+/** Flip-chip area-array power bumps every kBumpPitch. */
+constexpr double kBumpPitch = 200.0 * um;
+
+} // namespace
+
+PdnModel::PdnModel(const Technology &tech, double width, double height,
+                   double strap_pitch)
+    : tech_(tech), width_(width), height_(height),
+      strap_pitch_(strap_pitch)
+{
+    M3D_ASSERT(width > 0.0 && height > 0.0 && strap_pitch > 0.0);
+}
+
+PdnReport
+PdnModel::evaluate(PdnStyle style, double power, double vdd) const
+{
+    M3D_ASSERT(power >= 0.0 && vdd > 0.0);
+    PdnReport rep;
+
+    const double current = power / vdd;
+    const int straps_x =
+        std::max(1, static_cast<int>(width_ / strap_pitch_));
+    const int straps_y =
+        std::max(1, static_cast<int>(height_ / strap_pitch_));
+
+    // Flip-chip area-array feeds: each bump supplies its own tile of
+    // the grid, so the worst drop is the local one, from a bump to
+    // the farthest point of its tile through the parallel local
+    // straps.
+    const double area = width_ * height_;
+    const double bumps =
+        std::max(1.0, area / (kBumpPitch * kBumpPitch));
+    auto grid_drop = [&](double load_current) {
+        const double tile_current = load_current / bumps;
+        const int local_straps = std::max(
+            2, 2 * static_cast<int>(kBumpPitch / strap_pitch_));
+        const double r_local =
+            kStrapResPerM * (kBumpPitch / 2.0) / local_straps;
+        return tile_current * r_local;
+    };
+
+    const double one_pdn_metal =
+        (straps_x * height_ + straps_y * width_) * kStrapWidth;
+
+    switch (style) {
+      case PdnStyle::Planar:
+        rep.worst_ir_drop = grid_drop(current);
+        rep.metal_area = one_pdn_metal;
+        break;
+      case PdnStyle::PerLayer:
+        // Each layer carries half the current on its own full grid.
+        rep.worst_ir_drop = grid_drop(current / 2.0);
+        rep.metal_area = 2.0 * one_pdn_metal;
+        break;
+      case PdnStyle::SingleTop: {
+        // One grid carries everything; the bottom layer's half of the
+        // current additionally crosses the MIV feed array.
+        rep.worst_ir_drop = grid_drop(current);
+        rep.metal_area = one_pdn_metal;
+        rep.miv_count = static_cast<int>(
+            (width_ / kMivFeedPitch) * (height_ / kMivFeedPitch));
+        const double r_array =
+            tech_.via.resistance / std::max(rep.miv_count, 1);
+        rep.via_drop = (current / 2.0) * r_array;
+        rep.worst_ir_drop += rep.via_drop;
+        break;
+      }
+    }
+    return rep;
+}
+
+} // namespace m3d

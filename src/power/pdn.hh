@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Power delivery network model (Section 3.3).
+ *
+ * Two M3D options exist: give each device layer its own PDN (more
+ * metal, more routing complexity), or build a single PDN in the top
+ * layer and feed the bottom layer through an MIV array.  Billoint et
+ * al. [10] find the single-PDN option preferable; this model derives
+ * the comparison: the MIV array's parallel resistance is tiny, so
+ * the extra IR drop is negligible while a whole PDN's metal is saved.
+ */
+
+#ifndef M3D_POWER_PDN_HH_
+#define M3D_POWER_PDN_HH_
+
+#include "tech/technology.hh"
+
+namespace m3d {
+
+/** PDN organization options for an M3D stack. */
+enum class PdnStyle {
+    Planar,      ///< single-layer chip, one PDN
+    PerLayer,    ///< each M3D layer has a full PDN
+    SingleTop,   ///< one PDN on top, MIV array feeds the bottom layer
+};
+
+/** Results of a PDN evaluation. */
+struct PdnReport
+{
+    double worst_ir_drop = 0.0;  ///< V, at the grid's center
+    double metal_area = 0.0;     ///< m^2 of PDN metal (cost proxy)
+    double via_drop = 0.0;       ///< V, across the MIV array (if any)
+    int miv_count = 0;           ///< MIVs feeding the bottom layer
+};
+
+/** Analytical power-grid model. */
+class PdnModel
+{
+  public:
+    /**
+     * @param tech Technology (global wire sheet R, via R).
+     * @param width Footprint width (m).
+     * @param height Footprint height (m).
+     * @param strap_pitch Distance between power straps (m).
+     */
+    PdnModel(const Technology &tech, double width, double height,
+             double strap_pitch=50e-6);
+
+    /**
+     * Evaluate an organization for a core drawing `power` watts at
+     * `vdd`.
+     */
+    PdnReport evaluate(PdnStyle style, double power,
+                       double vdd=0.8) const;
+
+  private:
+    Technology tech_;
+    double width_;
+    double height_;
+    double strap_pitch_;
+};
+
+} // namespace m3d
+
+#endif // M3D_POWER_PDN_HH_

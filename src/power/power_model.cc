@@ -1,0 +1,156 @@
+#include "power/power_model.hh"
+
+#include <cmath>
+
+#include "sram/array_model.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace m3d {
+
+using namespace units;
+
+namespace {
+
+// Activity factor applied to array energies: precharge, clocking, and
+// partially-activated redundant structures make effective per-access
+// energy a few times the pure read energy (McPAT calibration knob).
+constexpr double kArrayActivityScale = 9.0;
+
+// Logic switching energy per instruction at 0.8 V (decode + rename +
+// schedule control + execute datapath), calibrated so the Base core
+// averages ~6.4 W (paper, Section 7.1.3).
+constexpr double kLogicEnergyPerInstr = 340.0 * pJ;
+// Execute-cluster share of the logic energy (the part the 3D layout
+// shrinks by the measured ALU-cluster factor).
+constexpr double kExecuteShare = 0.60;
+
+// Clock-tree power at the base frequency and full 2D footprint.
+constexpr double kClockPowerBase = 2.2; // W at 3.3 GHz
+// Logic (non-array) leakage of the 2D core.
+constexpr double kLogicLeakage = 0.55;  // W
+
+// NoC energy per remote transfer (flit burst for a 64B line).
+constexpr double kNocEnergyPerFlit = 1.2 * nJ;
+
+constexpr double kNominalVdd = 0.8;
+
+} // namespace
+
+PowerModel::PowerModel(const CoreDesign &design) : design_(design)
+{
+    // Per-access energies of the 2D structures, scaled by the
+    // design's partition outcome.
+    ArrayModel planar(Technology::planar2D());
+    for (const ArrayConfig &cfg : CoreStructures::all()) {
+        ArrayMetrics m = planar.evaluate2D(cfg);
+        access_energy_[cfg.name] =
+            m.access_energy * kArrayActivityScale *
+            design_.structureEnergyFactor(cfg.name);
+        leak_power_[cfg.name] = m.leakage_power;
+    }
+}
+
+double
+PowerModel::accessEnergy(const std::string &structure) const
+{
+    auto it = access_energy_.find(structure);
+    M3D_ASSERT(it != access_energy_.end(), "unknown structure: ",
+               structure);
+    return it->second;
+}
+
+EnergyReport
+PowerModel::evaluate(const Activity &a, double seconds) const
+{
+    EnergyReport rep;
+    const double v_scale2 =
+        (design_.vdd / kNominalVdd) * (design_.vdd / kNominalVdd);
+    const double v_scale3 = v_scale2 * (design_.vdd / kNominalVdd);
+
+    auto count = [](std::uint64_t c) { return static_cast<double>(c); };
+
+    // --- Arrays.
+    double arrays = 0.0;
+    arrays += count(a.rf_reads + a.rf_writes) * accessEnergy("RF");
+    arrays += count(a.iq_writes + a.iq_wakeups) * accessEnergy("IQ");
+    arrays += count(a.sq_searches + a.stores) * accessEnergy("SQ");
+    arrays += count(a.lq_searches + a.loads) * accessEnergy("LQ");
+    arrays += count(a.rat_reads + a.rat_writes) * accessEnergy("RAT");
+    arrays += count(a.bpt_lookups) * accessEnergy("BPT");
+    arrays += count(a.btb_lookups) * accessEnergy("BTB");
+    arrays += count(a.loads + a.stores) * accessEnergy("DTLB");
+    arrays += count(a.fetches) * accessEnergy("ITLB");
+    arrays += count(a.l1i_accesses) * accessEnergy("IL1");
+    arrays += count(a.l1d_accesses) * accessEnergy("DL1");
+    arrays += count(a.l2_accesses) * accessEnergy("L2");
+    rep.array_j = arrays * v_scale2;
+
+    // --- Logic.
+    const double exec_factor =
+        1.0 - design_.execute_gains.energy_reduction;
+    const double logic_factor =
+        (1.0 - kExecuteShare) + kExecuteShare * exec_factor;
+    rep.logic_j = count(a.instructions) * kLogicEnergyPerInstr *
+                  logic_factor * v_scale2;
+
+    // --- Clock tree: scales with frequency and the 3D switching
+    // factor (0.75 for stacked designs).
+    const double clock_power = kClockPowerBase *
+        (design_.frequency / kBaseFrequency) *
+        design_.clock_tree_switch_factor * v_scale2;
+    rep.clock_j = clock_power * seconds;
+
+    // --- Leakage: structures + logic, unchanged by partitioning
+    // (Section 6), integrated over the runtime.
+    double leak = kLogicLeakage;
+    for (const auto &[name, watts] : leak_power_)
+        leak += watts;
+    rep.leakage_j = leak * v_scale3 * seconds;
+
+    // --- NoC.
+    rep.noc_j = count(a.noc_flits) * kNocEnergyPerFlit * v_scale2;
+    return rep;
+}
+
+std::map<std::string, double>
+PowerModel::blockPower(const Activity &a, double seconds) const
+{
+    M3D_ASSERT(seconds > 0.0);
+    const EnergyReport rep = evaluate(a, seconds);
+    auto count = [](std::uint64_t c) { return static_cast<double>(c); };
+    const double v_scale2 =
+        (design_.vdd / kNominalVdd) * (design_.vdd / kNominalVdd);
+
+    auto arr = [&](const std::string &s, double accesses) {
+        return (accesses * accessEnergy(s) * v_scale2) / seconds +
+               leak_power_.at(s);
+    };
+
+    std::map<std::string, double> blocks;
+    blocks["RF"] = arr("RF", count(a.rf_reads + a.rf_writes));
+    blocks["IQ"] = arr("IQ", count(a.iq_writes + a.iq_wakeups));
+    blocks["LSU"] = arr("SQ", count(a.sq_searches + a.stores)) +
+                    arr("LQ", count(a.lq_searches + a.loads)) +
+                    arr("DTLB", count(a.loads + a.stores));
+    blocks["RAT"] = arr("RAT", count(a.rat_reads + a.rat_writes));
+    blocks["Fetch"] = arr("BPT", count(a.bpt_lookups)) +
+                      arr("BTB", count(a.btb_lookups)) +
+                      arr("ITLB", count(a.fetches)) +
+                      arr("IL1", count(a.l1i_accesses));
+    blocks["DL1"] = arr("DL1", count(a.l1d_accesses));
+
+    // Split logic power between decode and execute clusters.
+    const double logic_power = rep.logic_j / seconds + kLogicLeakage;
+    blocks["Decode"] = logic_power * 0.35;
+    const double fpu_share =
+        count(a.fp_ops) /
+        std::max(count(a.alu_ops + a.fp_ops + a.mul_div_ops), 1.0);
+    blocks["FPU"] = logic_power * 0.65 * fpu_share;
+    blocks["ALU"] = logic_power * 0.65 * (1.0 - fpu_share);
+
+    blocks["Clock"] = rep.clock_j / seconds;
+    return blocks;
+}
+
+} // namespace m3d

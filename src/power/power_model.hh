@@ -1,0 +1,81 @@
+/**
+ * @file
+ * McPAT-style core power/energy model (Section 6).
+ *
+ * Energy for a run decomposes into:
+ *  - array dynamic energy: activity counts x per-access energy from
+ *    the CACTI-style model, scaled by each structure's partition
+ *    energy factor for 3D designs;
+ *  - logic dynamic energy: per-instruction switching energy of the
+ *    decode/rename/execute stages, scaled by the ALU-cluster
+ *    switching-power reduction measured on the laid-out circuit;
+ *  - clock tree: a frequency-proportional power, scaled by 0.75 for
+ *    3D designs [42];
+ *  - leakage: structure + logic static power, integrated over time.
+ * Dynamic terms scale with Vdd^2 and leakage with Vdd^3 when a design
+ * undervolts (M3D-Het-2X).
+ */
+
+#ifndef M3D_POWER_POWER_MODEL_HH_
+#define M3D_POWER_POWER_MODEL_HH_
+
+#include <map>
+#include <string>
+
+#include "arch/activity.hh"
+#include "core/design.hh"
+
+namespace m3d {
+
+/** Energy of one simulated run. */
+struct EnergyReport
+{
+    double array_j = 0.0;   ///< SRAM/CAM dynamic energy
+    double logic_j = 0.0;   ///< pipeline logic dynamic energy
+    double clock_j = 0.0;   ///< clock tree
+    double leakage_j = 0.0; ///< static energy
+    double noc_j = 0.0;     ///< interconnect (multicore)
+
+    double total() const
+    {
+        return array_j + logic_j + clock_j + leakage_j + noc_j;
+    }
+
+    /** Average power over `seconds`. */
+    double avgPower(double seconds) const
+    {
+        return seconds > 0.0 ? total() / seconds : 0.0;
+    }
+};
+
+/** Power model bound to one core design. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const CoreDesign &design);
+
+    /** Energy of a run described by activity counters + runtime. */
+    EnergyReport evaluate(const Activity &activity,
+                          double seconds) const;
+
+    /**
+     * Per-block average power (W) for the thermal floorplan, given a
+     * run.  Keys match FloorplanLibrary block names.
+     */
+    std::map<std::string, double>
+    blockPower(const Activity &activity, double seconds) const;
+
+    /** Per-access energy (J) used for a structure in this design. */
+    double accessEnergy(const std::string &structure) const;
+
+    const CoreDesign &design() const { return design_; }
+
+  private:
+    CoreDesign design_;
+    std::map<std::string, double> access_energy_;  ///< per structure
+    std::map<std::string, double> leak_power_;     ///< per structure
+};
+
+} // namespace m3d
+
+#endif // M3D_POWER_POWER_MODEL_HH_

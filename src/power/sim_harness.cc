@@ -1,0 +1,47 @@
+#include "power/sim_harness.hh"
+
+namespace m3d {
+
+AppRun
+runSingleCore(const CoreDesign &design, const WorkloadProfile &profile,
+              const SimBudget &budget)
+{
+    HierarchyTiming timing;
+    timing.l1_rt = design.load_to_use;
+    timing.frequency = design.frequency;
+    CacheHierarchy hierarchy(timing);
+    CoreModel core(design, hierarchy);
+    TraceGenerator gen(profile, budget.seed);
+
+    // Warm caches and predictors structures; discard the timing.
+    core.run(gen, budget.warmup);
+    SimResult r = core.run(gen, budget.measured);
+
+    AppRun out;
+    out.sim = r;
+    out.seconds = r.seconds();
+    PowerModel pm(design);
+    out.energy = pm.evaluate(r.activity, out.seconds);
+    return out;
+}
+
+MultiRun
+runMulticore(const CoreDesign &design, const WorkloadProfile &profile,
+             const SimBudget &budget)
+{
+    MulticoreModel mc(design);
+    // Every design executes the same total work - the reference
+    // 4-core machine's budget - so that an 8-core design shows up as
+    // a speedup, not as more work.
+    constexpr std::uint64_t kReferenceCores = 4;
+    MulticoreResult r = mc.run(
+        profile, budget.measured * kReferenceCores, budget.seed);
+
+    MultiRun out;
+    out.result = r;
+    PowerModel pm(design);
+    out.energy = pm.evaluate(r.total, r.seconds);
+    return out;
+}
+
+} // namespace m3d

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Convenience harness shared by the benchmark binaries, the examples,
+ * and the integration tests: run one application on one design with
+ * proper cache warmup, and return timing plus energy.
+ */
+
+#ifndef M3D_POWER_SIM_HARNESS_HH_
+#define M3D_POWER_SIM_HARNESS_HH_
+
+#include <cstdint>
+
+#include "arch/core_model.hh"
+#include "arch/multicore.hh"
+#include "power/power_model.hh"
+
+namespace m3d {
+
+/** One (application, design) evaluation. */
+struct AppRun
+{
+    SimResult sim;
+    EnergyReport energy;
+    double seconds = 0.0;
+
+    double energyJ() const { return energy.total(); }
+};
+
+/** Default instruction counts for the paper experiments. */
+struct SimBudget
+{
+    std::uint64_t warmup = 100000;
+    std::uint64_t measured = 300000;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Run a serial application on a single core of `design` with cache
+ * warmup, and price its energy.
+ */
+AppRun runSingleCore(const CoreDesign &design,
+                     const WorkloadProfile &profile,
+                     const SimBudget &budget=SimBudget{});
+
+/** One (parallel application, multicore design) evaluation. */
+struct MultiRun
+{
+    MulticoreResult result;
+    EnergyReport energy;
+
+    double seconds() const { return result.seconds; }
+    double energyJ() const { return energy.total(); }
+};
+
+/**
+ * Run a parallel application on the multicore `design` and price the
+ * total energy of all cores.
+ */
+MultiRun runMulticore(const CoreDesign &design,
+                      const WorkloadProfile &profile,
+                      const SimBudget &budget=SimBudget{});
+
+} // namespace m3d
+
+#endif // M3D_POWER_SIM_HARNESS_HH_

@@ -1,0 +1,423 @@
+#include "sram/array3d.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace m3d {
+
+using namespace units;
+
+std::string
+toString(PartitionKind kind)
+{
+    switch (kind) {
+      case PartitionKind::None: return "2D";
+      case PartitionKind::Bit: return "BP";
+      case PartitionKind::Word: return "WP";
+      case PartitionKind::Port: return "PP";
+    }
+    return "?";
+}
+
+PartitionSpec
+PartitionSpec::none()
+{
+    return PartitionSpec{};
+}
+
+PartitionSpec
+PartitionSpec::bit(double bottom_share, double top_access_scale,
+                   double top_cell_scale)
+{
+    PartitionSpec s;
+    s.kind = PartitionKind::Bit;
+    s.bottom_share = bottom_share;
+    s.top_access_scale = top_access_scale;
+    s.top_cell_scale = top_cell_scale;
+    return s;
+}
+
+PartitionSpec
+PartitionSpec::word(double bottom_share, double top_access_scale,
+                    double top_cell_scale)
+{
+    PartitionSpec s = bit(bottom_share, top_access_scale, top_cell_scale);
+    s.kind = PartitionKind::Word;
+    return s;
+}
+
+PartitionSpec
+PartitionSpec::port(int bottom_ports, double top_access_scale)
+{
+    PartitionSpec s;
+    s.kind = PartitionKind::Port;
+    s.bottom_ports = bottom_ports;
+    s.top_access_scale = top_access_scale;
+    return s;
+}
+
+double
+Array3D::viaFootprint(double count) const
+{
+    const ViaParams &via = model_.tech().via;
+    double area = count * via.areaWithKoz();
+    // Section 6: for TSVs "we also perform further layout
+    // optimizations by considering different via placement schemes to
+    // minimize the overhead" - clustering shares KOZ between
+    // neighbouring vias and roughly halves the effective footprint.
+    if (!via.isMiv())
+        area *= 0.5;
+    return area;
+}
+
+ArrayMetrics
+Array3D::evaluate(const ArrayConfig &cfg, const PartitionSpec &spec) const
+{
+    switch (spec.kind) {
+      case PartitionKind::None:
+        return model_.evaluate2D(cfg);
+      case PartitionKind::Bit:
+      case PartitionKind::Word:
+        return evaluateBitWord(cfg, spec);
+      case PartitionKind::Port:
+        return evaluatePort(cfg, spec);
+    }
+    M3D_PANIC("unknown partition kind");
+}
+
+ArrayMetrics
+Array3D::evaluateBitWord(const ArrayConfig &cfg,
+                         const PartitionSpec &spec) const
+{
+    const Technology &tech = model_.tech();
+    M3D_ASSERT(tech.layers() == 2,
+               "3D partitioning needs a two-layer technology");
+    M3D_ASSERT(spec.bottom_share > 0.0 && spec.bottom_share < 1.0);
+    const bool by_bits = spec.kind == PartitionKind::Bit;
+    const int cols_total = cfg.bits + cfg.cam_tag_bits;
+
+    // Split the partitioned axis.
+    const int axis_total = by_bits ? cols_total : cfg.words;
+    int axis_bottom = std::clamp(
+        static_cast<int>(std::lround(axis_total * spec.bottom_share)),
+        1, axis_total - 1);
+    const int axis_top = axis_total - axis_bottom;
+
+    // Bottom slice: native process, normal cells, hosts the decoder.
+    SliceSpec bottom;
+    bottom.rows = by_bits ? cfg.words : axis_bottom;
+    bottom.cols = by_bits ? axis_bottom : cols_total;
+    bottom.wordline_ports = cfg.ports();
+    bottom.cell = CellGeometry::sram(cfg.ports());
+    bottom.pitch_w = bottom.cell.width;
+    bottom.pitch_h = bottom.cell.height;
+    bottom.cam = cfg.cam;
+    bottom.driver_process = &tech.bottom_process;
+    bottom.cell_process = &tech.bottom_process;
+
+    // Top slice: slower process, optionally upsized cells, and the
+    // inter-layer via in its wordline (BP) or bitline (WP) path.
+    SliceSpec top = bottom;
+    top.rows = by_bits ? cfg.words : axis_top;
+    top.cols = by_bits ? axis_top : cols_total;
+    top.cell = CellGeometry::sram(cfg.ports(), spec.top_access_scale,
+                                  spec.top_cell_scale);
+    top.pitch_w = top.cell.width;
+    top.pitch_h = top.cell.height;
+    top.cell_process = &tech.top_process;
+    top.driver_process = &tech.bottom_process; // decode stays below
+    const ViaParams &via = tech.via;
+    if (by_bits) {
+        // Wordline select crosses up once per word.
+        top.via_r = via.resistance;
+        top.via_c = via.capacitance;
+    } else {
+        // Bitlines cross down to the bottom-layer sense amps.
+        top.bitline_extra_r = via.resistance;
+        top.via_r = via.resistance;
+        top.via_c = via.capacitance;
+    }
+
+    SubarrayPlan plan_b = model_.bestPlan(bottom);
+    SubarrayPlan plan_t = model_.bestPlan(top);
+    SliceMetrics mb = model_.evaluateSlice(bottom, plan_b);
+    SliceMetrics mt = model_.evaluateSlice(top, plan_t);
+
+    // Via count: one per word and port for BP; one per bit(line) and
+    // port for WP (Section 3.2), plus the returned data bits.
+    const double nvias = by_bits
+        ? static_cast<double>(cfg.words) * cfg.ports() + axis_top
+        : static_cast<double>(cols_total) * cfg.ports();
+    const double via_area = viaFootprint(nvias);
+
+    // Footprint: the layers stack; the larger slice defines it.
+    const double slice_area = std::max(mb.area, mt.area) + via_area;
+    const double foot_w = std::max(mb.array_w, mt.array_w);
+    const double foot_h = std::max(mb.array_h, mt.array_h);
+
+    ArrayMetrics out;
+    const SliceMetrics &worst =
+        mb.accessDelay() >= mt.accessDelay() ? mb : mt;
+    out.decode_delay = worst.decode_delay;
+    out.wordline_delay = worst.wordline_delay;
+    out.bitline_delay = worst.bitline_delay;
+    out.sense_delay = worst.sense_delay;
+
+    double out_delay = 0.0;
+    double out_energy = 0.0;
+    model_.dataReturn(foot_w, foot_h, cfg.bits, tech.bottom_process,
+                      out_delay, out_energy);
+    out.output_delay = out_delay;
+
+    double route_delay = 0.0;
+    double route_energy = 0.0;
+    model_.bankRouting(cfg, slice_area, route_delay, route_energy);
+    out.routing_delay = route_delay;
+
+    const double read_path = route_delay +
+        std::max(mb.accessDelay(), mt.accessDelay()) + out_delay;
+
+    // Active via switching energy: ports crossing plus data return.
+    const double via_energy =
+        (cfg.ports() + cfg.bits / 2.0) * via.capacitance *
+        tech.bottom_process.vdd * tech.bottom_process.vdd;
+
+    double cam_delay = 0.0;
+    double cam_energy = 0.0;
+    if (cfg.cam) {
+        double cd_b = 0.0, ce_b = 0.0, cd_t = 0.0, ce_t = 0.0;
+        model_.camSearch(bottom, plan_b, cfg.cam_tag_bits, cd_b, ce_b);
+        model_.camSearch(top, plan_t, cfg.cam_tag_bits, cd_t, ce_t);
+        cam_delay = std::max(cd_b, cd_t);
+        cam_energy = ce_b + ce_t;
+    }
+    out.cam_search_delay =
+        cam_delay > 0.0 ? route_delay + cam_delay : 0.0;
+
+    out.access_latency = std::max(read_path, out.cam_search_delay);
+    // Both slices take part in every access (each holds part of every
+    // word for BP; for WP only one slice's bitlines swing, so halve
+    // the inactive slice's array energy).
+    const double array_energy = by_bits
+        ? mb.read_energy + mt.read_energy
+        : std::max(mb.read_energy, mt.read_energy) +
+          0.15 * std::min(mb.read_energy, mt.read_energy);
+    out.access_energy = route_energy + array_energy + out_energy +
+                        via_energy + cam_energy;
+    out.write_energy = out.access_energy;
+    out.area = cfg.banks * slice_area;
+    out.leakage_power = cfg.banks * (mb.leakage + mt.leakage);
+    return out;
+}
+
+ArrayMetrics
+Array3D::evaluateMultiLayerBit(const ArrayConfig &cfg,
+                               int layers) const
+{
+    const Technology &tech = model_.tech();
+    M3D_ASSERT(layers >= 2 && layers <= 8,
+               "multi-layer evaluation supports 2..8 layers");
+    M3D_ASSERT(tech.layers() == 2,
+               "needs a stacked technology (its top-layer process "
+               "models every non-bottom layer)");
+    const int cols_total = cfg.bits + cfg.cam_tag_bits;
+    M3D_ASSERT(cols_total >= layers, "fewer bits than layers");
+    const ViaParams &via = tech.via;
+
+    // Equal slices of the word per layer; layer 0 keeps the decoder
+    // and the fast process, every other layer runs on the top-layer
+    // process and sees `k` via crossings in its wordline path.
+    double worst_access = 0.0;
+    double read_energy = 0.0;
+    double max_area = 0.0;
+    double foot_w = 0.0;
+    double foot_h = 0.0;
+    double leakage = 0.0;
+    SliceMetrics worst_metrics;
+    for (int k = 0; k < layers; ++k) {
+        const int cols =
+            cols_total / layers + (k < cols_total % layers ? 1 : 0);
+        SliceSpec s;
+        s.rows = cfg.words;
+        s.cols = std::max(cols, 1);
+        s.wordline_ports = cfg.ports();
+        s.cell = CellGeometry::sram(cfg.ports());
+        s.pitch_w = s.cell.width;
+        s.pitch_h = s.cell.height;
+        s.cam = cfg.cam;
+        s.driver_process = &tech.bottom_process;
+        s.cell_process =
+            k == 0 ? &tech.bottom_process : &tech.top_process;
+        s.via_r = k * via.resistance;
+        s.via_c = k * via.capacitance;
+        const SubarrayPlan plan = model_.bestPlan(s);
+        const SliceMetrics m = model_.evaluateSlice(s, plan);
+        if (m.accessDelay() > worst_access) {
+            worst_access = m.accessDelay();
+            worst_metrics = m;
+        }
+        read_energy += m.read_energy;
+        max_area = std::max(max_area, m.area);
+        foot_w = std::max(foot_w, m.array_w);
+        foot_h = std::max(foot_h, m.array_h);
+        leakage += m.leakage;
+    }
+
+    // One via column per word and port per crossed boundary.
+    const double nvias = static_cast<double>(cfg.words) *
+                         cfg.ports() * (layers - 1);
+    const double slice_area = max_area + viaFootprint(nvias);
+
+    ArrayMetrics out;
+    out.decode_delay = worst_metrics.decode_delay;
+    out.wordline_delay = worst_metrics.wordline_delay;
+    out.bitline_delay = worst_metrics.bitline_delay;
+    out.sense_delay = worst_metrics.sense_delay;
+
+    double out_delay = 0.0;
+    double out_energy = 0.0;
+    model_.dataReturn(foot_w, foot_h, cfg.bits, tech.bottom_process,
+                      out_delay, out_energy);
+    out.output_delay = out_delay;
+
+    double route_delay = 0.0;
+    double route_energy = 0.0;
+    model_.bankRouting(cfg, slice_area, route_delay, route_energy);
+    out.routing_delay = route_delay;
+
+    const double via_energy = (layers - 1) *
+        (cfg.ports() + cfg.bits / 2.0) * via.capacitance *
+        tech.bottom_process.vdd * tech.bottom_process.vdd;
+
+    out.access_latency = route_delay + worst_access + out_delay;
+    out.access_energy =
+        route_energy + read_energy + out_energy + via_energy;
+    out.write_energy = out.access_energy;
+    out.area = cfg.banks * slice_area;
+    out.leakage_power = cfg.banks * leakage;
+    return out;
+}
+
+ArrayMetrics
+Array3D::evaluatePort(const ArrayConfig &cfg,
+                      const PartitionSpec &spec) const
+{
+    const Technology &tech = model_.tech();
+    M3D_ASSERT(tech.layers() == 2,
+               "3D partitioning needs a two-layer technology");
+    const int p_total = cfg.ports();
+    M3D_ASSERT(p_total >= 2, "port partitioning needs >= 2 ports: ",
+               cfg.name);
+    int p_bottom = spec.bottom_ports;
+    if (p_bottom <= 0)
+        p_bottom = p_total / 2;
+    M3D_ASSERT(p_bottom >= 1 && p_bottom < p_total,
+               "invalid port split for ", cfg.name);
+    const int p_top = p_total - p_bottom;
+    const int cols_total = cfg.bits + cfg.cam_tag_bits;
+    const ViaParams &via = tech.via;
+
+    // Cell slices: inverters stay below (Figure 3(c)).
+    CellGeometry cell_b = CellGeometry::sram(p_bottom);
+    CellGeometry cell_t =
+        CellGeometry::portsOnly(p_top, spec.top_access_scale);
+
+    // Layers align vertically: shared pitch is the max per dimension,
+    // plus the footprint of the two per-cell vias.  A via and its
+    // keep-out zone pack as a square that must fit inside the cell
+    // pitch: TSVs stretch the cell in both dimensions (Section 3.2.3),
+    // which is what makes TSV-based PP catastrophic.
+    const double via_side = std::sqrt(via.areaWithKoz());
+    double pitch_h = std::max({cell_b.height, cell_t.height, via_side});
+    double pitch_w = std::max(cell_b.width, cell_t.width) +
+                     2.0 * via_side * via_side / pitch_h;
+
+    SliceSpec bottom;
+    bottom.rows = cfg.words;
+    bottom.cols = cols_total;
+    bottom.wordline_ports = p_bottom;
+    bottom.cell = cell_b;
+    bottom.pitch_w = pitch_w;
+    bottom.pitch_h = pitch_h;
+    bottom.cam = cfg.cam;
+    bottom.driver_process = &tech.bottom_process;
+    bottom.cell_process = &tech.bottom_process;
+
+    SliceSpec top = bottom;
+    top.wordline_ports = p_top;
+    top.cell = cell_t;
+    top.cell_process = &tech.top_process;
+    // Top-port wordline select crosses a via; the discharge path runs
+    // through the bottom-layer cell core plus the via.
+    top.via_r = via.resistance;
+    top.via_c = via.capacitance;
+    top.bitline_extra_r =
+        tech.bottom_process.r_on / std::max(cell_b.core_width, 0.5) +
+        via.resistance;
+
+    SubarrayPlan plan_b = model_.bestPlan(bottom);
+    SubarrayPlan plan_t = model_.bestPlan(top);
+    SliceMetrics mb = model_.evaluateSlice(bottom, plan_b);
+    SliceMetrics mt = model_.evaluateSlice(top, plan_t);
+
+    const double slice_area = std::max(mb.area, mt.area);
+    const double foot_w = std::max(mb.array_w, mt.array_w);
+    const double foot_h = std::max(mb.array_h, mt.array_h);
+
+    ArrayMetrics out;
+    const SliceMetrics &worst =
+        mb.accessDelay() >= mt.accessDelay() ? mb : mt;
+    out.decode_delay = worst.decode_delay;
+    out.wordline_delay = worst.wordline_delay;
+    out.bitline_delay = worst.bitline_delay;
+    out.sense_delay = worst.sense_delay;
+
+    double out_delay = 0.0;
+    double out_energy = 0.0;
+    model_.dataReturn(foot_w, foot_h, cfg.bits, tech.bottom_process,
+                      out_delay, out_energy);
+    out.output_delay = out_delay;
+
+    double route_delay = 0.0;
+    double route_energy = 0.0;
+    model_.bankRouting(cfg, slice_area, route_delay, route_energy);
+    out.routing_delay = route_delay;
+
+    const double read_path = route_delay +
+        std::max(mb.accessDelay(), mt.accessDelay()) + out_delay;
+
+    double cam_delay = 0.0;
+    double cam_energy = 0.0;
+    if (cfg.cam) {
+        double cd_b = 0.0, ce_b = 0.0, cd_t = 0.0, ce_t = 0.0;
+        model_.camSearch(bottom, plan_b, cfg.cam_tag_bits, cd_b, ce_b);
+        model_.camSearch(top, plan_t, cfg.cam_tag_bits, cd_t, ce_t);
+        cam_delay = std::max(cd_b, cd_t);
+        cam_energy = std::max(ce_b, ce_t);
+    }
+    out.cam_search_delay =
+        cam_delay > 0.0 ? route_delay + cam_delay : 0.0;
+
+    out.access_latency = std::max(read_path, out.cam_search_delay);
+
+    // An access exercises one port; weight the two layers' costs by
+    // how many ports each hosts.
+    const double wb = static_cast<double>(p_bottom) / p_total;
+    const double wt = static_cast<double>(p_top) / p_total;
+    const double via_energy = 2.0 * via.capacitance *
+        tech.bottom_process.vdd * tech.bottom_process.vdd;
+    out.access_energy = route_energy +
+        wb * mb.read_energy + wt * (mt.read_energy + via_energy) +
+        out_energy + cam_energy;
+    out.write_energy = out.access_energy;
+    out.area = cfg.banks * slice_area;
+    // The storage cells leak once (bottom); the top layer adds only
+    // its access transistors.
+    out.leakage_power = cfg.banks * (mb.leakage + mt.leakage);
+    return out;
+}
+
+} // namespace m3d

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Two-layer 3D SRAM/CAM arrays: bit partitioning (BP), word
+ * partitioning (WP), and port partitioning (PP), in both their
+ * symmetric (iso-layer, Section 3.2) and asymmetric hetero-layer
+ * (Section 4.2) forms.
+ *
+ * The via technology, the top-layer process, and the layout knobs
+ * (bottom share, top access-transistor scale, top cell scale, port
+ * split) fully describe a 3D design point; evaluate() prices it with
+ * the same component physics as the 2D model.
+ */
+
+#ifndef M3D_SRAM_ARRAY3D_HH_
+#define M3D_SRAM_ARRAY3D_HH_
+
+#include <string>
+
+#include "sram/array_model.hh"
+
+namespace m3d {
+
+/** The three partitioning strategies of Figure 3, plus "none". */
+enum class PartitionKind { None, Bit, Word, Port };
+
+/** Short label used in tables ("BP", "WP", "PP", "2D"). */
+std::string toString(PartitionKind kind);
+
+/** A fully specified partition design point. */
+struct PartitionSpec
+{
+    PartitionKind kind = PartitionKind::None;
+
+    /**
+     * BP/WP: fraction of the bits (BP) or words (WP) placed in the
+     * bottom layer.  0.5 is the symmetric split; hetero-layer designs
+     * favour ~2/3 (Section 4.2.2).
+     */
+    double bottom_share = 0.5;
+
+    /** PP: number of ports kept in the bottom layer (with the core). */
+    int bottom_ports = 0;
+
+    /**
+     * Width multiplier for top-layer access transistors (PP) or for
+     * the whole top-layer cell (BP/WP).  The hetero-layer technique
+     * doubles them to recover the slower top layer's drive.
+     */
+    double top_access_scale = 1.0;
+
+    /** Uniform top-layer bitcell upsizing for BP/WP (area headroom). */
+    double top_cell_scale = 1.0;
+
+    static PartitionSpec none();
+    static PartitionSpec bit(double bottom_share=0.5,
+                             double top_access_scale=1.0,
+                             double top_cell_scale=1.0);
+    static PartitionSpec word(double bottom_share=0.5,
+                              double top_access_scale=1.0,
+                              double top_cell_scale=1.0);
+    static PartitionSpec port(int bottom_ports,
+                              double top_access_scale=1.0);
+};
+
+/**
+ * Evaluator for two-layer arrays.  Owns nothing; borrows the 2D model
+ * (and through it the technology, including the via parameters and
+ * the top-layer process corner).
+ */
+class Array3D
+{
+  public:
+    explicit Array3D(const ArrayModel &model) : model_(model) {}
+
+    /**
+     * Price a partitioned design.
+     *
+     * @param cfg The logical structure.
+     * @param spec The partition design point; spec.kind == None
+     *             falls back to the 2D evaluation.
+     */
+    ArrayMetrics evaluate(const ArrayConfig &cfg,
+                          const PartitionSpec &spec) const;
+
+    /**
+     * Generalized bit partitioning across `layers` device layers
+     * (the paper's techniques "partition ... into two or more
+     * layers"; M3D prototypes stack further).  Layer 0 is the fast
+     * bottom layer with the decoder; every higher layer is reached
+     * through one more via and, on hetero technology, runs slow.
+     *
+     * @param cfg The logical structure.
+     * @param layers Device layers (2..8).
+     */
+    ArrayMetrics evaluateMultiLayerBit(const ArrayConfig &cfg,
+                                       int layers) const;
+
+    const ArrayModel &model() const { return model_; }
+
+  private:
+    ArrayMetrics evaluateBitWord(const ArrayConfig &cfg,
+                                 const PartitionSpec &spec) const;
+    ArrayMetrics evaluatePort(const ArrayConfig &cfg,
+                              const PartitionSpec &spec) const;
+
+    /** Effective via area including TSV layout optimization. */
+    double viaFootprint(double count) const;
+
+    const ArrayModel &model_;
+};
+
+} // namespace m3d
+
+#endif // M3D_SRAM_ARRAY3D_HH_

@@ -1,0 +1,183 @@
+#include "sram/array_config.hh"
+
+namespace m3d {
+
+ArrayConfig
+CoreStructures::registerFile()
+{
+    ArrayConfig c;
+    c.name = "RF";
+    c.words = 160;
+    c.bits = 64;
+    c.read_ports = 12;
+    c.write_ports = 6;
+    return c;
+}
+
+ArrayConfig
+CoreStructures::issueQueue()
+{
+    ArrayConfig c;
+    c.name = "IQ";
+    c.words = 84;
+    c.bits = 16;
+    // As many ports as the issue width (Section 4.4).
+    c.read_ports = 4;
+    c.write_ports = 2;
+    c.cam = true;
+    c.cam_tag_bits = 8; // physical register tag per operand
+    return c;
+}
+
+ArrayConfig
+CoreStructures::storeQueue()
+{
+    ArrayConfig c;
+    c.name = "SQ";
+    c.words = 56;
+    c.bits = 48;
+    c.read_ports = 1;
+    c.write_ports = 1;
+    c.cam = true;
+    c.cam_tag_bits = 40; // searched address bits
+    return c;
+}
+
+ArrayConfig
+CoreStructures::loadQueue()
+{
+    ArrayConfig c;
+    c.name = "LQ";
+    c.words = 72;
+    c.bits = 48;
+    c.read_ports = 1;
+    c.write_ports = 1;
+    c.cam = true;
+    c.cam_tag_bits = 40;
+    return c;
+}
+
+ArrayConfig
+CoreStructures::registerAliasTable()
+{
+    ArrayConfig c;
+    c.name = "RAT";
+    c.words = 32;
+    c.bits = 8;
+    c.read_ports = 12;
+    c.write_ports = 4;
+    return c;
+}
+
+ArrayConfig
+CoreStructures::branchPredictor()
+{
+    ArrayConfig c;
+    c.name = "BPT";
+    c.words = 4096;
+    c.bits = 8;
+    c.read_ports = 1;
+    c.write_ports = 0;
+    return c;
+}
+
+ArrayConfig
+CoreStructures::branchTargetBuffer()
+{
+    ArrayConfig c;
+    c.name = "BTB";
+    c.words = 4096;
+    c.bits = 32;
+    c.read_ports = 1;
+    c.write_ports = 0;
+    return c;
+}
+
+ArrayConfig
+CoreStructures::dataTlb()
+{
+    ArrayConfig c;
+    c.name = "DTLB";
+    c.words = 192;
+    c.bits = 64;
+    c.banks = 8;
+    c.read_ports = 1;
+    c.write_ports = 0;
+    return c;
+}
+
+ArrayConfig
+CoreStructures::instructionTlb()
+{
+    ArrayConfig c;
+    c.name = "ITLB";
+    c.words = 192;
+    c.bits = 64;
+    c.banks = 4;
+    c.read_ports = 1;
+    c.write_ports = 0;
+    return c;
+}
+
+ArrayConfig
+CoreStructures::instructionL1()
+{
+    ArrayConfig c;
+    c.name = "IL1";
+    c.words = 256;
+    c.bits = 256;
+    c.banks = 4;
+    c.read_ports = 1;
+    c.write_ports = 0;
+    return c;
+}
+
+ArrayConfig
+CoreStructures::dataL1()
+{
+    ArrayConfig c;
+    c.name = "DL1";
+    c.words = 128;
+    c.bits = 256;
+    c.banks = 8;
+    c.read_ports = 1;
+    c.write_ports = 1;
+    return c;
+}
+
+ArrayConfig
+CoreStructures::l2Cache()
+{
+    ArrayConfig c;
+    c.name = "L2";
+    c.words = 512;
+    c.bits = 512;
+    c.banks = 8;
+    c.read_ports = 1;
+    c.write_ports = 0;
+    return c;
+}
+
+ArrayConfig
+CoreStructures::ucodeRom()
+{
+    ArrayConfig c;
+    c.name = "uROM";
+    c.words = 4096;
+    c.bits = 72; // one wide uop per entry
+    c.read_ports = 1;
+    c.write_ports = 0;
+    return c;
+}
+
+std::vector<ArrayConfig>
+CoreStructures::all()
+{
+    return {
+        registerFile(), issueQueue(), storeQueue(), loadQueue(),
+        registerAliasTable(), branchPredictor(), branchTargetBuffer(),
+        dataTlb(), instructionTlb(), instructionL1(), dataL1(), l2Cache(),
+    };
+}
+
+} // namespace m3d

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Logical descriptions of the core's storage structures.
+ *
+ * The paper partitions twelve SRAM/CAM structures (Table 6).  An
+ * ArrayConfig captures the logical organization CACTI needs: words,
+ * bits per word, ports, banks, and whether the structure has a CAM
+ * search path (IQ/LQ/SQ and cache tags).
+ */
+
+#ifndef M3D_SRAM_ARRAY_CONFIG_HH_
+#define M3D_SRAM_ARRAY_CONFIG_HH_
+
+#include <string>
+#include <vector>
+
+namespace m3d {
+
+/** Logical array organization. */
+struct ArrayConfig
+{
+    std::string name;   ///< e.g. "RF"
+    int words = 0;      ///< array height (entries)
+    int bits = 0;       ///< array width (bits per entry)
+    int read_ports = 1;
+    int write_ports = 0;
+    int banks = 1;      ///< identical banks; one is active per access
+    bool cam = false;   ///< true if the structure is searched (CAM)
+    int cam_tag_bits = 0; ///< searched tag width for CAM structures
+
+    /** Total ports into the bitcell. */
+    int ports() const { return read_ports + write_ports; }
+
+    /** Total capacity in bits across banks. */
+    long long totalBits() const
+    {
+        return static_cast<long long>(words) * bits * banks;
+    }
+};
+
+/**
+ * Factory for the structures of the modeled core (Tables 6, 8, 9).
+ * Sizes follow Table 9: 160-entry RF, 84-entry IQ, 72/56-entry LQ/SQ,
+ * 4K-entry BPT and BTB, 32KB L1s, 256KB L2.
+ */
+class CoreStructures
+{
+  public:
+    static ArrayConfig registerFile();      ///< RF [160; 64], 12R 6W
+    static ArrayConfig issueQueue();        ///< IQ [84; 16], CAM, 6 ports
+    static ArrayConfig storeQueue();        ///< SQ [56; 48], CAM, 2 ports
+    static ArrayConfig loadQueue();         ///< LQ [72; 48], CAM, 2 ports
+    static ArrayConfig registerAliasTable();///< RAT [32; 8], 12R 4W
+    static ArrayConfig branchPredictor();   ///< BPT [4096; 8], 1 port
+    static ArrayConfig branchTargetBuffer();///< BTB [4096; 32], 1 port
+    static ArrayConfig dataTlb();           ///< DTLB [192; 64] x8
+    static ArrayConfig instructionTlb();    ///< ITLB [192; 64] x4
+    static ArrayConfig instructionL1();     ///< IL1 [256; 256] x4
+    static ArrayConfig dataL1();            ///< DL1 [128; 256] x8
+    static ArrayConfig l2Cache();           ///< L2 [512; 512] x8
+
+    /**
+     * Microcode ROM (Section 4.1.2): read by the complex decoder for
+     * multi-uop instructions; multi-cycle already, so it lives whole
+     * in the top layer.  Not part of Table 6's twelve structures.
+     */
+    static ArrayConfig ucodeRom();
+
+    /** All twelve structures in Table 6 order. */
+    static std::vector<ArrayConfig> all();
+};
+
+} // namespace m3d
+
+#endif // M3D_SRAM_ARRAY_CONFIG_HH_

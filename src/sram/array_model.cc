@@ -1,0 +1,326 @@
+#include "sram/array_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "circuit/delay.hh"
+#include "circuit/senseamp.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace m3d {
+
+using namespace units;
+
+namespace {
+
+// Peripheral layout constants (22nm).
+constexpr double kDecoderStripBase = 2.0 * um;   // row decoder strip width
+constexpr double kDecoderStripPerPort = 0.10 * um;
+constexpr double kSenseStripHeight = 2.0 * um;   // sense/column strip
+constexpr double kAreaOverhead = 1.10;           // misc (precharge, ECC)
+constexpr double kBitlineSwing = 0.10;           // fraction of Vdd sensed
+constexpr int kMaxDivisions = 16;                // subarray split search
+
+/** Gate capacitance presented to a wordline by one bit of one port. */
+double
+wordlineLoadPerBit(const ProcessCorner &p, double access_width)
+{
+    // Two access transistors (differential bitline pair) per port;
+    // array access devices are drawn ~1.25x minimum width.
+    return 2.5 * p.c_gate * access_width;
+}
+
+} // namespace
+
+ArrayModel::ArrayModel(const Technology &tech) : tech_(tech)
+{
+}
+
+SliceSpec
+ArrayModel::fullSlice(const ArrayConfig &cfg) const
+{
+    SliceSpec s;
+    s.rows = cfg.words;
+    s.cols = cfg.bits + cfg.cam_tag_bits;
+    s.wordline_ports = cfg.ports();
+    s.cell = CellGeometry::sram(cfg.ports());
+    s.pitch_w = s.cell.width;
+    s.pitch_h = s.cell.height;
+    s.cam = cfg.cam;
+    s.driver_process = &tech_.bottom_process;
+    s.cell_process = &tech_.bottom_process;
+    return s;
+}
+
+SubarrayPlan
+ArrayModel::bestPlan(const SliceSpec &spec) const
+{
+    // Pass 1: find the minimum access delay over all organizations.
+    // Pass 2: among plans within 5% of it, minimize energy x area.
+    std::vector<std::pair<SubarrayPlan, SliceMetrics>> cands;
+    const int max_fold = spec.cam ? 1 : 32;
+    for (int fold = 1; fold <= max_fold; fold *= 2) {
+        if (fold > 1 && spec.rows / fold < 16)
+            break;
+        for (int ndwl = 1; ndwl <= kMaxDivisions; ndwl *= 2) {
+            if (ndwl > 1 && (spec.cols * fold) / ndwl < 8)
+                break;
+            for (int ndbl = 1; ndbl <= kMaxDivisions; ndbl *= 2) {
+                if (ndbl > 1 && spec.rows / (fold * ndbl) < 16)
+                    break;
+                SubarrayPlan plan{ndwl, ndbl, fold};
+                cands.emplace_back(plan, evaluateSlice(spec, plan));
+            }
+        }
+    }
+    M3D_ASSERT(!cands.empty());
+    double best_delay = cands.front().second.accessDelay();
+    for (const auto &[plan, m] : cands)
+        best_delay = std::min(best_delay, m.accessDelay());
+
+    const SubarrayPlan *best = nullptr;
+    double best_cost = 0.0;
+    for (const auto &[plan, m] : cands) {
+        if (m.accessDelay() > 1.05 * best_delay)
+            continue;
+        const double cost = m.read_energy * m.area;
+        if (!best || cost < best_cost) {
+            best = &plan;
+            best_cost = cost;
+        }
+    }
+    return *best;
+}
+
+SliceMetrics
+ArrayModel::evaluateSlice(const SliceSpec &spec,
+                          const SubarrayPlan &plan) const
+{
+    M3D_ASSERT(spec.rows > 0 && spec.cols > 0);
+    M3D_ASSERT(spec.driver_process && spec.cell_process);
+    const ProcessCorner &drv = *spec.driver_process;
+    const ProcessCorner &cp = *spec.cell_process;
+    const WireParams &lw = tech_.local_wire;
+
+    const double pitch_w = spec.pitch_w > 0.0 ? spec.pitch_w
+                                              : spec.cell.width;
+    const double pitch_h = spec.pitch_h > 0.0 ? spec.pitch_h
+                                              : spec.cell.height;
+    M3D_ASSERT(!spec.cam || plan.fold == 1,
+               "CAM slices cannot use column muxing");
+    const int phys_rows = (spec.rows + plan.fold - 1) / plan.fold;
+    const int phys_cols = spec.cols * plan.fold;
+    const int rows_sub = (phys_rows + plan.ndbl - 1) / plan.ndbl;
+    const int cols_sub = (phys_cols + plan.ndwl - 1) / plan.ndwl;
+
+    SliceMetrics out;
+    out.array_w = phys_cols * pitch_w;
+    out.array_h = phys_rows * pitch_h;
+
+    // --- Row decode: predecode gates plus the select H-tree.  The
+    // tree must reach the farthest subarray, so its span is set by the
+    // full matrix footprint, not by the subarray size; subdividing
+    // adds select levels instead.  This is what makes SRAM access
+    // wire-dominated, and what 3D footprint reduction attacks.
+    const double fo4 = drv.fo4Delay();
+    const double levels = std::log2(std::max(phys_rows, 2));
+    const double divisions =
+        std::log2(static_cast<double>(plan.ndwl * plan.ndbl));
+    const double gate_delay =
+        (0.5 + 0.25 * levels + 0.35 * divisions) * fo4;
+    // Square-equivalent H-tree span: layout folds the select tree,
+    // so its reach scales with sqrt(footprint area).
+    const double pre_len =
+        0.5 * std::sqrt(out.array_w * out.array_h);
+    DrivenWire pre = driveWire(drv, lw.resOf(pre_len), lw.capOf(pre_len),
+                               20.0 * drv.c_gate);
+    out.decode_delay = gate_delay + pre.delay;
+    double decode_energy =
+        pre.energy * 4.0 + 8.0 * levels * drv.switchEnergy();
+
+    // --- Wordline: one driver per subarray, in the cell layer.
+    const double wl_len = cols_sub * pitch_w;
+    const double wl_load =
+        cols_sub * wordlineLoadPerBit(cp, spec.cell.access_width);
+    // Wordline drivers are peripheral circuits: they stay in the
+    // bottom layer and reach a top-layer wordline through a via, so
+    // they always run at full speed (only the gate caps they drive
+    // belong to the slice's cells).
+    DrivenWire wl = driveWire(drv, lw.resOf(wl_len) + spec.via_r,
+                              lw.capOf(wl_len) + spec.via_c, wl_load);
+    out.wordline_delay = wl.delay;
+    const double wordline_energy = wl.energy * plan.ndwl;
+
+    // --- Bitline: current-mode discharge until the sense swing.
+    const double c_bl_per_row =
+        cp.c_drain * spec.cell.access_width * 1.0 + lw.capOf(pitch_h);
+    const double c_bl = rows_sub * c_bl_per_row + 2.0 * fF;
+    double r_discharge =
+        cp.r_on / std::max(spec.cell.access_width, 0.1) +
+        spec.bitline_extra_r;
+    if (spec.cell.has_core)
+        r_discharge += cp.r_on / std::max(spec.cell.core_width, 0.1);
+    const double i_cell = cp.vdd / r_discharge;
+    out.bitline_delay = c_bl * (kBitlineSwing * cp.vdd) / i_cell;
+    // Every physical bitline on the active row discharges, including
+    // the fold-1 columns that are muxed away (the classic column-mux
+    // energy cost).
+    const double bitline_energy =
+        phys_cols * c_bl * cp.vdd * (kBitlineSwing * cp.vdd);
+
+    // --- Column mux (if folded) + sense amplifiers on logical bits.
+    // Sense amps are peripheral too: they sit at the bottom-layer
+    // subarray edge (top-layer bitlines cross down through vias).
+    const double mux_delay = plan.fold > 1 ? 0.5 * drv.fo4Delay() : 0.0;
+    out.sense_delay = SenseAmp::delay(drv) + mux_delay;
+    const double sense_energy = spec.cols * SenseAmp::energy(drv);
+
+    out.read_energy =
+        decode_energy + wordline_energy + bitline_energy + sense_energy;
+
+    // --- Leakage: six transistors per full cell, ports only for
+    // port-slices; peripherals add ~15%.
+    const double cell_tx = spec.cell.has_core
+        ? 6.0 + 2.0 * (spec.cell.ports - 1)
+        : 2.0 * spec.cell.ports;
+    out.leakage = 1.15 * spec.rows * spec.cols * (cell_tx / 6.0) *
+                  cp.i_leak * cp.vdd;
+
+    // --- Area: matrix plus decoder strips and sense strips.
+    const double dec_w = plan.ndwl *
+        (kDecoderStripBase + kDecoderStripPerPort * spec.wordline_ports);
+    const double sa_h = plan.ndbl * kSenseStripHeight;
+    out.area = kAreaOverhead * (out.array_w + dec_w) *
+               (out.array_h + sa_h);
+    return out;
+}
+
+void
+ArrayModel::bankRouting(const ArrayConfig &cfg, double bank_area,
+                        double &delay, double &energy) const
+{
+    delay = 0.0;
+    energy = 0.0;
+    if (cfg.banks <= 1)
+        return;
+    const ProcessCorner &p = tech_.bottom_process;
+    const WireParams &sg = tech_.semi_global_wire;
+    const double total_area = cfg.banks * bank_area;
+    const double route_len = 0.7 * std::sqrt(total_area);
+    DrivenWire w = driveWire(p, sg.resOf(route_len), sg.capOf(route_len),
+                             10.0 * fF);
+    delay = w.delay;
+    // Address plus one data word distributed on the bank bus.
+    energy = w.energy * (16.0 + cfg.bits / 4.0);
+}
+
+void
+ArrayModel::camSearch(const SliceSpec &spec, const SubarrayPlan &plan,
+                      int tag_bits, double &delay, double &energy) const
+{
+    delay = 0.0;
+    energy = 0.0;
+    if (tag_bits <= 0)
+        return;
+    const ProcessCorner &cp = *spec.cell_process;
+    const WireParams &lw = tech_.local_wire;
+    const double pitch_w = spec.pitch_w > 0.0 ? spec.pitch_w
+                                              : spec.cell.width;
+    const double pitch_h = spec.pitch_h > 0.0 ? spec.pitch_h
+                                              : spec.cell.height;
+    const int rows_sub = (spec.rows + plan.ndbl - 1) / plan.ndbl;
+
+    // Tag broadcast down the (sub)array height.
+    const double tag_len = rows_sub * pitch_h;
+    const double tag_load =
+        rows_sub * 2.0 * cp.c_gate * spec.cell.access_width;
+    // Tag drivers are peripheral (bottom layer), like wordline
+    // drivers.
+    DrivenWire tag = driveWire(*spec.driver_process,
+                               lw.resOf(tag_len) + spec.via_r,
+                               lw.capOf(tag_len) + spec.via_c, tag_load);
+
+    // Match line across the searched bits.  The compare transistors
+    // read the stored bit through their gates, so the pulldown path
+    // lives entirely in this slice's layer - no inter-layer series
+    // resistance is involved (unlike the bitline read path).
+    const double ml_len = tag_bits * pitch_w;
+    const double c_ml = tag_bits *
+        (cp.c_drain * spec.cell.access_width * 0.5 + lw.capOf(pitch_w));
+    const double r_match =
+        cp.r_on / (1.5 * std::max(spec.cell.access_width, 0.5));
+    const double t_ml = 0.69 * r_match * c_ml +
+                        0.69 * lw.resOf(ml_len) * c_ml * 0.5 +
+                        MatchLine::evalDelay(cp);
+
+    // Priority encode / hit OR over the words.
+    const double prio = 0.35 * std::log2(std::max(spec.rows, 2)) *
+                        spec.driver_process->fo4Delay();
+
+    delay = tag.delay + t_ml + prio;
+    // All rows evaluate their match lines; tags broadcast everywhere.
+    energy = tag.energy * tag_bits * plan.ndbl +
+             spec.rows * MatchLine::energy(cp, c_ml);
+}
+
+void
+ArrayModel::dataReturn(double w, double h, int bits,
+                       const ProcessCorner &p, double &delay,
+                       double &energy) const
+{
+    const WireParams &sg = tech_.semi_global_wire;
+    // Square-equivalent route: a folded footprint shortens the data
+    // return in both dimensions.
+    const double len = std::sqrt(w * h);
+    DrivenWire d = driveWire(p, sg.resOf(len), sg.capOf(len),
+                             4.0 * p.c_gate);
+    delay = d.delay;
+    energy = d.energy * bits;
+}
+
+ArrayMetrics
+ArrayModel::evaluate2D(const ArrayConfig &cfg) const
+{
+    SliceSpec slice = fullSlice(cfg);
+    SubarrayPlan plan = bestPlan(slice);
+    SliceMetrics sm = evaluateSlice(slice, plan);
+
+    ArrayMetrics out;
+    out.decode_delay = sm.decode_delay;
+    out.wordline_delay = sm.wordline_delay;
+    out.bitline_delay = sm.bitline_delay;
+    out.sense_delay = sm.sense_delay;
+
+    double out_delay = 0.0;
+    double out_energy = 0.0;
+    dataReturn(sm.array_w, sm.array_h, cfg.bits, tech_.bottom_process,
+               out_delay, out_energy);
+    out.output_delay = out_delay;
+
+    double route_delay = 0.0;
+    double route_energy = 0.0;
+    bankRouting(cfg, sm.area, route_delay, route_energy);
+    out.routing_delay = route_delay;
+
+    const double read_path = route_delay + sm.accessDelay() + out_delay;
+
+    double cam_delay = 0.0;
+    double cam_energy = 0.0;
+    if (cfg.cam)
+        camSearch(slice, plan, cfg.cam_tag_bits, cam_delay, cam_energy);
+    out.cam_search_delay = cam_delay > 0.0
+        ? route_delay + cam_delay : 0.0;
+
+    out.access_latency = std::max(read_path, out.cam_search_delay);
+    out.access_energy =
+        route_energy + sm.read_energy + out_energy + cam_energy;
+    out.write_energy = route_energy + sm.read_energy;
+    out.area = cfg.banks * sm.area;
+    out.leakage_power = cfg.banks * sm.leakage;
+    return out;
+}
+
+} // namespace m3d

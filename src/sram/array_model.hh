@@ -1,0 +1,156 @@
+/**
+ * @file
+ * CACTI-style analytical SRAM/CAM array model.
+ *
+ * An array access is decomposed into: bank routing, row decode,
+ * wordline drive, bitline develop, sense, and data return.  Each bank
+ * is internally organized as a grid of subarrays; the organization
+ * (number of wordline/bitline divisions) is chosen by exhaustive
+ * search to minimize access delay, exactly as CACTI does.
+ *
+ * The same component functions evaluate both the 2D baseline and the
+ * per-layer slices of the 3D partitioned arrays (array3d.hh), so 2D
+ * and 3D numbers come from one set of physics.
+ */
+
+#ifndef M3D_SRAM_ARRAY_MODEL_HH_
+#define M3D_SRAM_ARRAY_MODEL_HH_
+
+#include <optional>
+
+#include "sram/array_config.hh"
+#include "sram/cell.hh"
+#include "tech/technology.hh"
+
+namespace m3d {
+
+/** Results of evaluating one array design point. */
+struct ArrayMetrics
+{
+    double access_latency = 0.0; ///< read access time (s)
+    double access_energy = 0.0;  ///< dynamic energy per read (J)
+    double write_energy = 0.0;   ///< dynamic energy per write (J)
+    double area = 0.0;           ///< silicon footprint (m^2)
+    double leakage_power = 0.0;  ///< static power (W)
+
+    // Delay breakdown (s); the paper's analysis leans on which
+    // component dominates (wordline vs bitline vs fixed).
+    double routing_delay = 0.0;
+    double decode_delay = 0.0;
+    double wordline_delay = 0.0;
+    double bitline_delay = 0.0;
+    double sense_delay = 0.0;
+    double output_delay = 0.0;
+    double cam_search_delay = 0.0; ///< CAM structures: tag+match path
+};
+
+/** One subarray organization candidate. */
+struct SubarrayPlan
+{
+    int ndwl = 1; ///< wordline divisions (columns split)
+    int ndbl = 1; ///< bitline divisions (rows split)
+    /**
+     * Column-mux folding: `fold` logical words share one physical row
+     * (CACTI's degree of column muxing).  Tall, narrow arrays such as
+     * the 4096x8 branch predictor fold heavily.
+     */
+    int fold = 1;
+};
+
+/**
+ * Inputs for evaluating one physical slice (a full 2D array, or the
+ * piece of an array mapped to one M3D layer).
+ */
+struct SliceSpec
+{
+    int rows = 0;           ///< words in this slice
+    int cols = 0;           ///< bits in this slice
+    int wordline_ports = 1; ///< ports loading each wordline/bitline
+    CellGeometry cell;      ///< geometry of this slice's cells
+    /** Cell pitch actually used (3D slices share the max pitch). */
+    double pitch_w = 0.0;
+    double pitch_h = 0.0;
+    /** Extra series R / parallel C in the wordline path (layer via). */
+    double via_r = 0.0;
+    double via_c = 0.0;
+    /** Extra series resistance in the bitline discharge path. */
+    double bitline_extra_r = 0.0;
+    /** CAM slices cannot fold (all words must match concurrently). */
+    bool cam = false;
+    /** Process of the wordline driver / decoder feeding this slice. */
+    const ProcessCorner *driver_process = nullptr;
+    /** Process of the cells (access transistors) in this slice. */
+    const ProcessCorner *cell_process = nullptr;
+};
+
+/** Per-slice evaluation results. */
+struct SliceMetrics
+{
+    double decode_delay = 0.0;
+    double wordline_delay = 0.0;
+    double bitline_delay = 0.0;
+    double sense_delay = 0.0;
+    double read_energy = 0.0;    ///< decode+wordline+bitline+sense
+    double leakage = 0.0;
+    double array_w = 0.0;        ///< cell matrix width (m)
+    double array_h = 0.0;        ///< cell matrix height (m)
+    double area = 0.0;           ///< matrix + peripherals (m^2)
+
+    double accessDelay() const
+    {
+        return decode_delay + wordline_delay + bitline_delay +
+               sense_delay;
+    }
+};
+
+/**
+ * The analytical model.  Construct once per technology; evaluation is
+ * stateless and cheap (microseconds), so design-space exploration can
+ * call it millions of times.
+ */
+class ArrayModel
+{
+  public:
+    explicit ArrayModel(const Technology &tech);
+
+    /** Evaluate the conventional planar layout of `cfg`. */
+    ArrayMetrics evaluate2D(const ArrayConfig &cfg) const;
+
+    /**
+     * Evaluate one slice with a fixed subarray plan.  Used directly by
+     * the 3D model, and internally by evaluate2D.
+     */
+    SliceMetrics evaluateSlice(const SliceSpec &spec,
+                               const SubarrayPlan &plan) const;
+
+    /** Pick the delay-minimizing plan for a slice. */
+    SubarrayPlan bestPlan(const SliceSpec &spec) const;
+
+    /** Build the slice describing the full 2D array of `cfg`. */
+    SliceSpec fullSlice(const ArrayConfig &cfg) const;
+
+    /** Bank-level routing delay/energy for a structure of area `a`. */
+    void bankRouting(const ArrayConfig &cfg, double bank_area,
+                     double &delay, double &energy) const;
+
+    /**
+     * CAM search path for a slice: tag broadcast + match-line
+     * evaluation + priority logic.
+     */
+    void camSearch(const SliceSpec &spec, const SubarrayPlan &plan,
+                   int tag_bits, double &delay, double &energy) const;
+
+    /** Output data return across a footprint of (w, h). */
+    void dataReturn(double w, double h, int bits,
+                    const ProcessCorner &p, double &delay,
+                    double &energy) const;
+
+    const Technology &tech() const { return tech_; }
+
+  private:
+    Technology tech_;
+};
+
+} // namespace m3d
+
+#endif // M3D_SRAM_ARRAY_MODEL_HH_

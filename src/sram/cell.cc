@@ -1,0 +1,69 @@
+#include "sram/cell.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace m3d {
+
+using namespace units;
+
+namespace {
+
+// 22nm-calibrated layout constants.  A 1-port 6T cell comes out at
+// 0.35um x 0.26um (~0.092 um^2, the Intel 22nm HD cell ballpark).
+constexpr double kCoreWidth = 0.17 * um;   // cross-coupled inverters
+constexpr double kPortWidth = 0.25 * um;   // bitline tracks per port
+constexpr double kBaseHeight = 0.16 * um;  // diffusion + well spacing
+constexpr double kPortHeight = 0.14 * um;  // wordline track per port
+
+// Wire pitch dominates port width; transistor widening is sublinear.
+constexpr double kWidthVsScale = 0.45;
+
+double
+scaledPortWidth(double access_scale)
+{
+    return kPortWidth * (1.0 + kWidthVsScale * (access_scale - 1.0));
+}
+
+} // namespace
+
+double
+CellGeometry::portPitch(int ports, double access_scale)
+{
+    return ports * scaledPortWidth(access_scale);
+}
+
+CellGeometry
+CellGeometry::sram(int ports, double access_scale, double cell_scale)
+{
+    M3D_ASSERT(ports >= 1);
+    M3D_ASSERT(access_scale >= 1.0 && cell_scale >= 1.0);
+    CellGeometry c;
+    c.ports = ports;
+    c.has_core = true;
+    c.access_width = access_scale * cell_scale;
+    c.core_width = cell_scale;
+    c.width = kCoreWidth * cell_scale + portPitch(ports, access_scale);
+    c.height = (kBaseHeight + ports * kPortHeight) *
+               (1.0 + 0.25 * (cell_scale - 1.0));
+    return c;
+}
+
+CellGeometry
+CellGeometry::portsOnly(int ports, double access_scale)
+{
+    M3D_ASSERT(ports >= 1);
+    CellGeometry c;
+    c.ports = ports;
+    c.has_core = false;
+    c.access_width = access_scale;
+    c.core_width = 0.0;
+    c.width = portPitch(ports, access_scale);
+    c.height = kBaseHeight + ports * kPortHeight;
+    return c;
+}
+
+} // namespace m3d

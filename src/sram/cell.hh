@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Bitcell geometry model.
+ *
+ * A multi-ported bitcell grows in both dimensions with the port count
+ * (each port adds bitline tracks to the width and a wordline track to
+ * the height), which is why "the area is proportional to the square of
+ * the number of ports" (Section 3.2).  Port partitioning exploits
+ * exactly this: halving the ports per layer shrinks both dimensions.
+ *
+ * For hetero-layer M3D, access transistors can be widened; wire pitch
+ * dominates cell pitch, so a 2x transistor only costs ~1.45x port
+ * width (the paper's 10+8-port register file split balances only under
+ * such sublinear growth).
+ */
+
+#ifndef M3D_SRAM_CELL_HH_
+#define M3D_SRAM_CELL_HH_
+
+namespace m3d {
+
+/** Physical geometry of one bitcell slice on one layer. */
+struct CellGeometry
+{
+    double width = 0.0;   ///< cell width (m), along the wordline
+    double height = 0.0;  ///< cell height (m), along the bitline
+    double access_width = 1.0;  ///< access transistor width (x min)
+    double core_width = 1.0;    ///< storage inverter width (x min)
+    bool has_core = true; ///< contains the cross-coupled inverters
+    int ports = 1;        ///< ports realized in this slice
+
+    double area() const { return width * height; }
+
+    /**
+     * A complete SRAM/CAM cell with `ports` ports.
+     *
+     * @param ports Total ports (>= 1).
+     * @param access_scale Access transistor width multiplier.
+     * @param cell_scale Uniform upsizing of the whole cell (hetero
+     *        BP/WP gives the top layer larger cells); scales drive
+     *        strength and dimensions.
+     */
+    static CellGeometry sram(int ports, double access_scale=1.0,
+                             double cell_scale=1.0);
+
+    /**
+     * A port-only slice (port partitioning's second layer): access
+     * transistors and wiring but no storage inverters.
+     */
+    static CellGeometry portsOnly(int ports, double access_scale=1.0);
+
+    /** Width contribution of `ports` ports at a given access scale. */
+    static double portPitch(int ports, double access_scale);
+};
+
+} // namespace m3d
+
+#endif // M3D_SRAM_CELL_HH_

@@ -1,0 +1,159 @@
+#include "sram/explorer.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace m3d {
+
+double
+PartitionResult::latencyReduction() const
+{
+    return reductionVs(planar.access_latency, stacked.access_latency);
+}
+
+double
+PartitionResult::energyReduction() const
+{
+    return reductionVs(planar.access_energy, stacked.access_energy);
+}
+
+double
+PartitionResult::areaReduction() const
+{
+    return reductionVs(planar.area, stacked.area);
+}
+
+PartitionExplorer::PartitionExplorer(const Technology &tech3d,
+                                     const Technology &tech2d)
+    : tech3d_(tech3d), tech2d_(tech2d), model3d_(tech3d_),
+      model2d_(tech2d_), stacked_(model3d_)
+{
+    M3D_ASSERT(tech3d_.layers() == 2,
+               "explorer needs a stacked technology");
+}
+
+PartitionExplorer::PartitionExplorer(const Technology &tech3d)
+    : PartitionExplorer(tech3d, Technology::planar2D())
+{
+}
+
+PartitionResult
+PartitionExplorer::evaluate(const ArrayConfig &cfg,
+                            const PartitionSpec &spec) const
+{
+    PartitionResult r;
+    r.cfg = cfg;
+    r.spec = spec;
+    r.planar = model2d_.evaluate2D(cfg);
+    r.stacked = stacked_.evaluate(cfg, spec);
+    return r;
+}
+
+std::vector<PartitionSpec>
+PartitionExplorer::candidates(const ArrayConfig &cfg,
+                              PartitionKind kind) const
+{
+    std::vector<PartitionSpec> out;
+    const bool hetero = tech3d_.top_layer_slowdown > 1e-9;
+    const std::vector<double> shares = hetero
+        ? std::vector<double>{0.5, 0.55, 0.6, 2.0 / 3.0, 0.7, 0.75}
+        : std::vector<double>{0.5};
+    const std::vector<double> scales = hetero
+        ? std::vector<double>{1.0, 1.5, 2.0}
+        : std::vector<double>{1.0};
+
+    switch (kind) {
+      case PartitionKind::None:
+        out.push_back(PartitionSpec::none());
+        break;
+      case PartitionKind::Bit:
+      case PartitionKind::Word:
+        for (double share : shares) {
+            for (double scale : scales) {
+                // Hetero BP/WP upsizes the whole top-layer bitcell
+                // (Section 4.2.2); access width follows the cell.
+                PartitionSpec s = kind == PartitionKind::Bit
+                    ? PartitionSpec::bit(share, 1.0, scale)
+                    : PartitionSpec::word(share, 1.0, scale);
+                out.push_back(s);
+            }
+        }
+        break;
+      case PartitionKind::Port:
+        if (cfg.ports() >= 2) {
+            for (int pb = 1; pb < cfg.ports(); ++pb) {
+                for (double scale : scales)
+                    out.push_back(PartitionSpec::port(pb, scale));
+            }
+        }
+        break;
+    }
+    return out;
+}
+
+PartitionResult
+PartitionExplorer::best(const ArrayConfig &cfg, PartitionKind kind) const
+{
+    std::vector<PartitionSpec> specs = candidates(cfg, kind);
+    M3D_ASSERT(!specs.empty(), "no legal design point for ", cfg.name,
+               " with strategy ", toString(kind));
+
+    std::vector<PartitionResult> results;
+    results.reserve(specs.size());
+    for (const PartitionSpec &s : specs)
+        results.push_back(evaluate(cfg, s));
+
+    double best_lat = results.front().stacked.access_latency;
+    for (const PartitionResult &r : results)
+        best_lat = std::min(best_lat, r.stacked.access_latency);
+
+    const PartitionResult *winner = nullptr;
+    for (const PartitionResult &r : results) {
+        if (r.stacked.access_latency > 1.02 * best_lat)
+            continue;
+        if (!winner ||
+            r.stacked.access_energy < winner->stacked.access_energy) {
+            winner = &r;
+        }
+    }
+    return *winner;
+}
+
+PartitionResult
+PartitionExplorer::bestOverall(const ArrayConfig &cfg) const
+{
+    std::vector<PartitionKind> kinds = {PartitionKind::Bit,
+                                        PartitionKind::Word};
+    if (cfg.ports() >= 2)
+        kinds.push_back(PartitionKind::Port);
+
+    bool have = false;
+    PartitionResult best_r;
+    for (PartitionKind k : kinds) {
+        PartitionResult r = best(cfg, k);
+        if (!have ||
+            r.stacked.access_latency < best_r.stacked.access_latency ||
+            (r.stacked.access_latency <
+                 1.02 * best_r.stacked.access_latency &&
+             r.stacked.access_energy < best_r.stacked.access_energy)) {
+            best_r = r;
+            have = true;
+        }
+    }
+    M3D_ASSERT(have);
+    return best_r;
+}
+
+std::vector<PartitionResult>
+PartitionExplorer::bestForAll(const std::vector<ArrayConfig> &cfgs) const
+{
+    std::vector<PartitionResult> out;
+    out.reserve(cfgs.size());
+    for (const ArrayConfig &cfg : cfgs)
+        out.push_back(bestOverall(cfg));
+    return out;
+}
+
+} // namespace m3d

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Design-space exploration over partition strategies.
+ *
+ * For each structure the explorer prices every strategy (BP, WP, PP
+ * where legal) across a grid of layout knobs and reports the best
+ * design, preferring access-latency reduction (the paper's stated
+ * objective), with energy as the tie-break.
+ */
+
+#ifndef M3D_SRAM_EXPLORER_HH_
+#define M3D_SRAM_EXPLORER_HH_
+
+#include <vector>
+
+#include "sram/array3d.hh"
+
+namespace m3d {
+
+/** Outcome of pricing one (structure, partition) design point. */
+struct PartitionResult
+{
+    ArrayConfig cfg;
+    PartitionSpec spec;
+    ArrayMetrics planar;  ///< 2D baseline
+    ArrayMetrics stacked; ///< partitioned design
+
+    /** Positive = improvement over 2D. */
+    double latencyReduction() const;
+    double energyReduction() const;
+    double areaReduction() const;
+};
+
+/** Explorer bound to one 3D technology (M3D iso/hetero or TSV3D). */
+class PartitionExplorer
+{
+  public:
+    /**
+     * @param tech3d Two-layer technology for the stacked design.
+     * @param tech2d Planar technology for the baseline.
+     */
+    PartitionExplorer(const Technology &tech3d, const Technology &tech2d);
+
+    /** Convenience: baseline defaults to planar 22nm HP. */
+    explicit PartitionExplorer(const Technology &tech3d);
+
+    /** Price one strategy with the default symmetric knobs. */
+    PartitionResult evaluate(const ArrayConfig &cfg,
+                             const PartitionSpec &spec) const;
+
+    /** Best knobs for a given strategy (grid search). */
+    PartitionResult best(const ArrayConfig &cfg,
+                         PartitionKind kind) const;
+
+    /** Best strategy overall for a structure. */
+    PartitionResult bestOverall(const ArrayConfig &cfg) const;
+
+    /** Best strategy for every structure in Table 6 order. */
+    std::vector<PartitionResult>
+    bestForAll(const std::vector<ArrayConfig> &cfgs) const;
+
+    const Technology &tech3d() const { return tech3d_; }
+
+  private:
+    std::vector<PartitionSpec> candidates(const ArrayConfig &cfg,
+                                          PartitionKind kind) const;
+
+    Technology tech3d_;
+    Technology tech2d_;
+    ArrayModel model3d_;
+    ArrayModel model2d_;
+    Array3D stacked_;
+};
+
+} // namespace m3d
+
+#endif // M3D_SRAM_EXPLORER_HH_

@@ -1,0 +1,83 @@
+#include "tech/process.hh"
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace m3d {
+
+using namespace units;
+
+ProcessCorner
+ProcessCorner::degraded(double slowdown) const
+{
+    M3D_ASSERT(slowdown >= 0.0 && slowdown < 1.0,
+               "slowdown must be a fraction in [0,1)");
+    ProcessCorner out = *this;
+    // A uniform R increase degrades every RC product - and hence the
+    // FO4 delay - by the same fraction.
+    out.r_on = r_on * (1.0 + slowdown);
+    out.name = name + "+top" ;
+    return out;
+}
+
+ProcessCorner
+ProcessCorner::widened(double factor) const
+{
+    M3D_ASSERT(factor >= 1.0, "widening factor must be >= 1");
+    ProcessCorner out = *this;
+    out.r_on = r_on / factor;
+    out.c_gate = c_gate * factor;
+    out.c_drain = c_drain * factor;
+    out.i_leak = i_leak * factor;
+    return out;
+}
+
+ProcessCorner
+ProcessLibrary::hp22()
+{
+    ProcessCorner p;
+    p.name = "hp22";
+    p.device = DeviceType::HpBulk;
+    p.feature_size = 22.0 * nm;
+    p.vdd = 0.8 * V;      // ITRS nominal at 22nm, per Section 6
+    p.r_on = 14.0 * kOhm; // min inverter equivalent resistance
+    p.c_gate = 0.09 * fF;
+    p.c_drain = 0.06 * fF;
+    p.i_leak = 30e-9;     // 30 nA per min inverter
+    return p;
+}
+
+ProcessCorner
+ProcessLibrary::lp22()
+{
+    ProcessCorner p = hp22();
+    p.name = "lp22";
+    p.device = DeviceType::LpBulk;
+    p.r_on *= 1.35;
+    p.i_leak /= 10.0;
+    return p;
+}
+
+ProcessCorner
+ProcessLibrary::fdsoi22()
+{
+    ProcessCorner p = hp22();
+    p.name = "fdsoi22";
+    p.device = DeviceType::Fdsoi;
+    p.r_on *= 1.25;
+    p.c_gate *= 0.9;   // thin-body devices have lower parasitics
+    p.c_drain *= 0.8;
+    p.i_leak /= 5.0;
+    return p;
+}
+
+ProcessCorner
+ProcessLibrary::forLayer(const ProcessCorner &base, Layer layer,
+                         double top_slowdown)
+{
+    if (layer == Layer::Bottom)
+        return base;
+    return base.degraded(top_slowdown);
+}
+
+} // namespace m3d

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Transistor/process models.
+ *
+ * The paper evaluates arrays with CACTI's 22nm high-performance (HP)
+ * process and logic with McPAT's HP-CMOS process.  We model a process
+ * corner as the small set of electrical parameters the delay/energy
+ * models need: equivalent drive resistance of a minimum inverter, gate
+ * and drain capacitance, leakage current, and nominal Vdd.
+ *
+ * M3D's defining constraint is captured by Layer::Top: the sequentially
+ * fabricated top layer is processed at low temperature and its devices
+ * are slower (Shi et al. [45] report a 17% slower inverter).
+ */
+
+#ifndef M3D_TECH_PROCESS_HH_
+#define M3D_TECH_PROCESS_HH_
+
+#include <string>
+
+namespace m3d {
+
+/** Which M3D layer a device lives in. */
+enum class Layer { Bottom, Top };
+
+/** Device families the paper discusses. */
+enum class DeviceType {
+    HpBulk,   ///< high-performance bulk CMOS (bottom layer default)
+    LpBulk,   ///< low-power bulk CMOS
+    Fdsoi,    ///< low-power FDSOI (candidate top-layer process, Section 5)
+};
+
+/** Electrical parameters of a minimum-sized inverter in a process. */
+struct ProcessCorner
+{
+    std::string name;       ///< human-readable identifier
+    DeviceType device;      ///< device family
+    double feature_size;    ///< drawn feature size (m)
+    double vdd;             ///< nominal supply (V)
+    /**
+     * Equivalent switching resistance of a minimum inverter (ohm).
+     * Wider drivers scale this down linearly.
+     */
+    double r_on;
+    double c_gate;          ///< input (gate) capacitance of min inverter (F)
+    double c_drain;         ///< parasitic drain capacitance (F)
+    double i_leak;          ///< leakage current of a min inverter (A)
+
+    /** Intrinsic (parasitic-only) delay of a min inverter: 0.69*R*Cd. */
+    double intrinsicDelay() const { return 0.69 * r_on * c_drain; }
+
+    /** FO4 delay of this corner; the canonical logic speed metric. */
+    double fo4Delay() const
+    {
+        return 0.69 * r_on * (4.0 * c_gate + c_drain);
+    }
+
+    /** Dynamic energy of one min-inverter output transition (J). */
+    double switchEnergy() const
+    {
+        return 0.5 * (c_gate + c_drain) * vdd * vdd;
+    }
+
+    /**
+     * Return this corner slowed down for the M3D top layer.
+     *
+     * @param slowdown Fractional inverter-delay degradation, e.g. 0.17
+     *                 per Shi et al.; resistance is scaled so that the
+     *                 FO4 delay degrades by exactly this fraction.
+     */
+    ProcessCorner degraded(double slowdown) const;
+
+    /**
+     * Return this corner with all transistor widths scaled by `factor`
+     * (resistance down, capacitances and leakage up).  Used for the
+     * hetero-layer technique of doubling top-layer access transistors.
+     */
+    ProcessCorner widened(double factor) const;
+};
+
+/** Factory for the process corners used throughout the paper. */
+class ProcessLibrary
+{
+  public:
+    /** CACTI-style 22nm HP bulk (arrays and logic baseline). */
+    static ProcessCorner hp22();
+
+    /** 22nm LP bulk: ~35% slower, ~10x lower leakage. */
+    static ProcessCorner lp22();
+
+    /** 22nm FDSOI: ~25% slower than HP, ~5x lower leakage. */
+    static ProcessCorner fdsoi22();
+
+    /** Corner for a layer: bottom = base; top = degraded(slowdown). */
+    static ProcessCorner forLayer(const ProcessCorner &base, Layer layer,
+                                  double top_slowdown);
+};
+
+} // namespace m3d
+
+#endif // M3D_TECH_PROCESS_HH_

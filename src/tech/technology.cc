@@ -1,0 +1,88 @@
+#include "tech/technology.hh"
+
+namespace m3d {
+
+namespace {
+
+Technology
+baseTech()
+{
+    Technology t;
+    t.bottom_process = ProcessLibrary::hp22();
+    t.top_process = t.bottom_process;
+    t.local_wire = WireLibrary::local22();
+    t.semi_global_wire = WireLibrary::semiGlobal22();
+    t.global_wire = WireLibrary::global22();
+    t.via = ViaLibrary::miv();
+    return t;
+}
+
+} // namespace
+
+Technology
+Technology::planar2D()
+{
+    Technology t = baseTech();
+    t.name = "2D";
+    t.integration = Integration::Planar2D;
+    return t;
+}
+
+Technology
+Technology::m3dHetero(double slowdown)
+{
+    Technology t = baseTech();
+    t.name = "M3D-hetero";
+    t.integration = Integration::M3D;
+    t.top_layer_slowdown = slowdown;
+    t.top_process = t.bottom_process.degraded(slowdown);
+    t.via = ViaLibrary::miv();
+    return t;
+}
+
+Technology
+Technology::m3dIso()
+{
+    Technology t = m3dHetero(0.0);
+    t.name = "M3D-iso";
+    return t;
+}
+
+Technology
+Technology::m3dLpTop()
+{
+    Technology t = baseTech();
+    t.name = "M3D-lp-top";
+    t.integration = Integration::M3D;
+    // The LP/FDSOI top layer is both the process choice and its own
+    // slowdown; no extra low-temperature degradation is layered on,
+    // because FDSOI is itself fabricated cold (Section 5).
+    t.top_process = ProcessLibrary::fdsoi22();
+    t.top_layer_slowdown =
+        t.top_process.fo4Delay() / t.bottom_process.fo4Delay() - 1.0;
+    t.via = ViaLibrary::miv();
+    return t;
+}
+
+Technology
+Technology::tsv3D()
+{
+    Technology t = baseTech();
+    t.name = "TSV3D";
+    t.integration = Integration::Tsv3D;
+    // Pre-fabricated dies: both layers are full-performance.
+    t.top_layer_slowdown = 0.0;
+    t.via = ViaLibrary::tsv1300();
+    return t;
+}
+
+Technology
+Technology::tsv3DResearch()
+{
+    Technology t = tsv3D();
+    t.name = "TSV3D-5um";
+    t.via = ViaLibrary::tsv5000();
+    return t;
+}
+
+} // namespace m3d

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Aggregate technology description handed to every model: which 3D
+ * integration style is in use, its via technology, the process corners
+ * of each layer, and wire models.
+ */
+
+#ifndef M3D_TECH_TECHNOLOGY_HH_
+#define M3D_TECH_TECHNOLOGY_HH_
+
+#include <string>
+
+#include "tech/process.hh"
+#include "tech/via.hh"
+#include "tech/wire.hh"
+
+namespace m3d {
+
+/** Integration styles compared in the paper. */
+enum class Integration {
+    Planar2D, ///< conventional single-layer die (baseline)
+    M3D,      ///< sequential monolithic 3D, two device layers
+    Tsv3D,    ///< parallel die stacking with TSVs
+};
+
+/**
+ * One self-consistent technology point.
+ *
+ * The defaults match the paper's conservative assumptions: 22nm HP
+ * arrays and logic, a 17% top-layer inverter slowdown for M3D, 50nm
+ * MIVs, and an aggressive 1.3um TSV for the TSV3D comparison.
+ */
+struct Technology
+{
+    std::string name;
+    Integration integration = Integration::Planar2D;
+    ProcessCorner bottom_process; ///< bottom (or only) device layer
+    ProcessCorner top_process;    ///< top device layer (3D only)
+    double top_layer_slowdown = 0.0; ///< inverter-delay degradation
+    ViaParams via;                ///< inter-layer via (3D only)
+    WireParams local_wire;
+    WireParams semi_global_wire;
+    WireParams global_wire;
+
+    /** Number of device layers (1 or 2). */
+    int layers() const { return integration == Integration::Planar2D ?
+                         1 : 2; }
+
+    /** Process corner of a given layer. */
+    const ProcessCorner &
+    process(Layer layer) const
+    {
+        return layer == Layer::Bottom ? bottom_process : top_process;
+    }
+
+    /** Conventional planar 2D at 22nm HP. */
+    static Technology planar2D();
+
+    /**
+     * M3D with a degraded top layer (hetero-layer).
+     * @param slowdown top-layer inverter degradation (0.17 default).
+     */
+    static Technology m3dHetero(double slowdown=0.17);
+
+    /** Hypothetical M3D with iso-performance layers. */
+    static Technology m3dIso();
+
+    /** M3D with an FDSOI low-power top layer (Section 5 / 7.1.2). */
+    static Technology m3dLpTop();
+
+    /** TSV3D with the aggressive 1.3um TSV. */
+    static Technology tsv3D();
+
+    /** TSV3D with the 5um research TSV. */
+    static Technology tsv3DResearch();
+};
+
+} // namespace m3d
+
+#endif // M3D_TECH_TECHNOLOGY_HH_

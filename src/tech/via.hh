@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Inter-layer via models: Monolithic Inter-layer Vias (MIVs) and
+ * Through-Silicon Vias (TSVs), with the physical and electrical
+ * parameters of the paper's Table 2 and the Keep-Out-Zone (KOZ)
+ * area accounting behind Table 1.
+ */
+
+#ifndef M3D_TECH_VIA_HH_
+#define M3D_TECH_VIA_HH_
+
+#include <string>
+
+namespace m3d {
+
+/** The via technologies the paper compares. */
+enum class ViaKind {
+    Miv,        ///< monolithic inter-layer via, 50nm (CEA-LETI, 15nm node)
+    TsvAggressive, ///< 1.3um TSV: half the ITRS-projected 2020 diameter
+    TsvResearch,   ///< 5um TSV: most recent research TSV [20]
+};
+
+/** Physical + electrical description of one via technology. */
+struct ViaParams
+{
+    std::string name;
+    ViaKind kind;
+    double diameter;   ///< side (MIV, square) or diameter (TSV) (m)
+    double height;     ///< via height (m)
+    double capacitance;///< total via capacitance (F)
+    double resistance; ///< series resistance (ohm)
+    double koz_width;  ///< keep-out-zone ring width around the via (m)
+
+    /** Silicon area consumed, including the KOZ ring (m^2). */
+    double areaWithKoz() const;
+
+    /** Silicon area of the bare via (m^2). */
+    double areaBare() const;
+
+    /** True for MIVs (no KOZ, lithography-aligned). */
+    bool isMiv() const { return kind == ViaKind::Miv; }
+};
+
+/** Factory with the paper's Table 2 values. */
+class ViaLibrary
+{
+  public:
+    static ViaParams miv();
+    static ViaParams tsv1300();
+    static ViaParams tsv5000();
+    static ViaParams of(ViaKind kind);
+};
+
+/**
+ * Reference-cell areas used in Table 1 / Figure 2, taken from Intel
+ * publications at the 14/15nm node [24, 34].
+ */
+struct ReferenceCells
+{
+    /** 32-bit adder area: 77.7 um^2. */
+    static double adder32Area();
+    /** 32-bit SRAM word (32 6T cells): 2.3 um^2. */
+    static double sramWord32Area();
+    /** Single 6T SRAM bitcell (~0.072 um^2). */
+    static double sramBitcellArea();
+    /** FO1 inverter footprint; the Figure 2 unit square. */
+    static double inverterFo1Area();
+};
+
+} // namespace m3d
+
+#endif // M3D_TECH_VIA_HH_

@@ -1,0 +1,80 @@
+#include "tech/wire.hh"
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace m3d {
+
+using namespace units;
+
+WireParams
+WireParams::inMetal(WireMetal m) const
+{
+    WireParams out = *this;
+    if (m == metal)
+        return out;
+    // Bulk resistivity ratio W:Cu is about 3:1 at these dimensions.
+    const double tungsten_penalty = 3.0;
+    if (m == WireMetal::Tungsten) {
+        out.r_per_m = r_per_m * tungsten_penalty;
+        out.name = name + "-W";
+    } else {
+        out.r_per_m = r_per_m / tungsten_penalty;
+        out.name = name + "-Cu";
+    }
+    out.metal = m;
+    return out;
+}
+
+WireParams
+WireLibrary::local22()
+{
+    WireParams w;
+    w.name = "local22";
+    w.wire_class = WireClass::Local;
+    w.metal = WireMetal::Copper;
+    // Minimum-pitch M1/M2 at 22nm: narrow, thin, resistive.
+    w.r_per_m = 25.0 * Ohm / um;
+    w.c_per_m = 0.30 * fF / um;
+    w.pitch = 80.0 * nm;
+    return w;
+}
+
+WireParams
+WireLibrary::semiGlobal22()
+{
+    WireParams w;
+    w.name = "semiglobal22";
+    w.wire_class = WireClass::SemiGlobal;
+    w.metal = WireMetal::Copper;
+    w.r_per_m = 3.0 * Ohm / um;
+    w.c_per_m = 0.35 * fF / um;
+    w.pitch = 160.0 * nm;
+    return w;
+}
+
+WireParams
+WireLibrary::global22()
+{
+    WireParams w;
+    w.name = "global22";
+    w.wire_class = WireClass::Global;
+    w.metal = WireMetal::Copper;
+    w.r_per_m = 0.25 * Ohm / um;
+    w.c_per_m = 0.28 * fF / um;
+    w.pitch = 400.0 * nm;
+    return w;
+}
+
+WireParams
+WireLibrary::of(WireClass wc)
+{
+    switch (wc) {
+      case WireClass::Local: return local22();
+      case WireClass::SemiGlobal: return semiGlobal22();
+      case WireClass::Global: return global22();
+    }
+    M3D_PANIC("unknown wire class");
+}
+
+} // namespace m3d

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * On-chip wire models: per-length resistance and capacitance for the
+ * three wire classes the paper distinguishes (local, semi-global,
+ * global), plus the tungsten bottom-layer interconnect option that M3D
+ * manufacturing may force (Section 2.4.2).
+ */
+
+#ifndef M3D_TECH_WIRE_HH_
+#define M3D_TECH_WIRE_HH_
+
+#include <string>
+
+namespace m3d {
+
+/** Wire classes per Section 3.1. */
+enum class WireClass {
+    Local,      ///< intra-block, minimum-pitch metal
+    SemiGlobal, ///< block-to-block within a stage (bypass, load-to-use)
+    Global,     ///< spans a chip region (NoC links, clock spines)
+};
+
+/** Interconnect metal. */
+enum class WireMetal {
+    Copper,
+    Tungsten, ///< ~3x the resistivity of copper (Section 2.4.2)
+};
+
+/** Distributed-RC description of one wire class. */
+struct WireParams
+{
+    std::string name;
+    WireClass wire_class;
+    WireMetal metal;
+    double r_per_m;  ///< resistance per metre (ohm/m)
+    double c_per_m;  ///< capacitance per metre (F/m)
+    double pitch;    ///< wire pitch (m); sets MIV diameter for local metal
+
+    /** Elmore delay of an unrepeated wire of length `len` (s). */
+    double
+    unrepeatedDelay(double len) const
+    {
+        return 0.38 * r_per_m * c_per_m * len * len;
+    }
+
+    /** Total capacitance of a wire of length `len` (F). */
+    double capOf(double len) const { return c_per_m * len; }
+
+    /** Total resistance of a wire of length `len` (ohm). */
+    double resOf(double len) const { return r_per_m * len; }
+
+    /** Return the same geometry in a different metal. */
+    WireParams inMetal(WireMetal m) const;
+};
+
+/** Factory for 22nm wire classes. */
+class WireLibrary
+{
+  public:
+    static WireParams local22();
+    static WireParams semiGlobal22();
+    static WireParams global22();
+    static WireParams of(WireClass wc);
+};
+
+} // namespace m3d
+
+#endif // M3D_TECH_WIRE_HH_

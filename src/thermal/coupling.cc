@@ -1,0 +1,70 @@
+#include "thermal/coupling.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace m3d {
+
+namespace {
+
+constexpr double kReferenceC = 45.0;
+/** Leakage doubles roughly every this many degrees. */
+constexpr double kDoublingC = 22.0;
+constexpr int kMaxIterations = 120;
+
+} // namespace
+
+double
+leakageTemperatureFactor(double t_c)
+{
+    return std::exp2((t_c - kReferenceC) / kDoublingC);
+}
+
+CoupledResult
+solveCoupled(const CoreDesign &design,
+             const std::map<std::string, double> &block_power,
+             double leakage_fraction, int grid)
+{
+    M3D_ASSERT(leakage_fraction >= 0.0 && leakage_fraction < 1.0);
+    ThermalModel tm(design, grid);
+
+    CoupledResult out;
+    out.peak_c_uncoupled = tm.solve(block_power).peak_c;
+
+    // Seed the loop from the uncoupled solution's temperature.
+    double factor = leakageTemperatureFactor(out.peak_c_uncoupled);
+    double peak = out.peak_c_uncoupled;
+    for (int iter = 1; iter <= kMaxIterations; ++iter) {
+        out.iterations = iter;
+        // Scale each block's leakage share by the temperature factor.
+        std::map<std::string, double> scaled;
+        for (const auto &[name, watts] : block_power) {
+            scaled[name] = watts * ((1.0 - leakage_fraction) +
+                                    leakage_fraction * factor);
+        }
+        const double new_peak = tm.solve(scaled).peak_c;
+        // Damped update: near thermal runaway the undamped fixed-
+        // point iteration oscillates or crawls.
+        const double new_factor =
+            0.5 * factor +
+            0.5 * leakageTemperatureFactor(new_peak);
+        const bool settled = std::abs(new_peak - peak) < 0.02;
+        peak = new_peak;
+        factor = new_factor;
+        if (settled) {
+            out.converged = true;
+            break;
+        }
+        if (factor > 32.0) {
+            // Genuine runaway: leakage has grown past any plausible
+            // operating point; report the last state unconverged.
+            break;
+        }
+    }
+    out.peak_c = peak;
+    out.leakage_factor = factor;
+    return out;
+}
+
+} // namespace m3d

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Power-thermal coupling: leakage grows exponentially with
+ * temperature (roughly doubling every ~22 C), and the extra leakage
+ * heats the die further.  This solver iterates the power and thermal
+ * models to their fixed point, which compounds TSV3D's thermal
+ * disadvantage - hot dies leak more, which makes them hotter.
+ */
+
+#ifndef M3D_THERMAL_COUPLING_HH_
+#define M3D_THERMAL_COUPLING_HH_
+
+#include <map>
+#include <string>
+
+#include "core/design.hh"
+#include "thermal/thermal_model.hh"
+
+namespace m3d {
+
+/** Result of the coupled fixed-point solve. */
+struct CoupledResult
+{
+    double peak_c = 0.0;            ///< converged peak temperature
+    double peak_c_uncoupled = 0.0;  ///< peak with 45 C leakage
+    double leakage_factor = 1.0;    ///< leakage vs the 45 C reference
+    int iterations = 0;
+    bool converged = false;
+};
+
+/** Leakage multiplier at temperature `t_c` vs the 45 C reference. */
+double leakageTemperatureFactor(double t_c);
+
+/**
+ * Iterate power -> temperature -> leakage -> power to a fixed point.
+ *
+ * @param design The core design (selects the layer stack/floorplan).
+ * @param block_power Block powers at the 45 C reference (from
+ *        PowerModel::blockPower).
+ * @param leakage_fraction Fraction of each block's power that is
+ *        leakage (and thus temperature-dependent).
+ * @param grid Thermal grid resolution.
+ */
+CoupledResult
+solveCoupled(const CoreDesign &design,
+             const std::map<std::string, double> &block_power,
+             double leakage_fraction=0.20, int grid=16);
+
+} // namespace m3d
+
+#endif // M3D_THERMAL_COUPLING_HH_

@@ -1,0 +1,69 @@
+#include "thermal/floorplan.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace m3d {
+
+using namespace units;
+
+Floorplan
+Floorplan::scaled(double area_factor) const
+{
+    M3D_ASSERT(area_factor > 0.0);
+    const double lin = std::sqrt(area_factor);
+    Floorplan out = *this;
+    out.width *= lin;
+    out.height *= lin;
+    for (FloorplanBlock &b : out.blocks) {
+        b.x *= lin;
+        b.y *= lin;
+        b.w *= lin;
+        b.h *= lin;
+    }
+    return out;
+}
+
+double
+Floorplan::area() const
+{
+    double a = 0.0;
+    for (const FloorplanBlock &b : blocks)
+        a += b.area();
+    return a;
+}
+
+Floorplan
+Floorplan::ryzenLikeCore()
+{
+    // 3.26 x 3.26 mm core, blocks laid out in three rows:
+    //   frontend (fetch/decode/rename), execution, memory.
+    Floorplan fp;
+    fp.width = 3.26 * mm;
+    fp.height = 3.26 * mm;
+
+    const double w = fp.width;
+    const double row1 = 1.10 * mm; // frontend height
+    const double row2 = 1.16 * mm; // execution height
+    const double row3 = 1.00 * mm; // memory height
+
+    // Row 1 (y = 0): Fetch | Decode | RAT.
+    fp.blocks.push_back({"Fetch", 0.0, 0.0, 0.52 * w, row1});
+    fp.blocks.push_back({"Decode", 0.52 * w, 0.0, 0.33 * w, row1});
+    fp.blocks.push_back({"RAT", 0.85 * w, 0.0, 0.15 * w, row1});
+
+    // Row 2: IQ | RF | ALU | FPU.
+    fp.blocks.push_back({"IQ", 0.0, row1, 0.16 * w, row2});
+    fp.blocks.push_back({"RF", 0.16 * w, row1, 0.18 * w, row2});
+    fp.blocks.push_back({"ALU", 0.34 * w, row1, 0.26 * w, row2});
+    fp.blocks.push_back({"FPU", 0.60 * w, row1, 0.40 * w, row2});
+
+    // Row 3: LSU | DL1.
+    fp.blocks.push_back({"LSU", 0.0, row1 + row2, 0.45 * w, row3});
+    fp.blocks.push_back({"DL1", 0.45 * w, row1 + row2, 0.55 * w, row3});
+    return fp;
+}
+
+} // namespace m3d

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Core floorplans for thermal analysis.  The paper bases its chip
+ * floorplan on AMD Ryzen and conservatively assumes the 3D core folds
+ * into 50% of the 2D footprint.
+ */
+
+#ifndef M3D_THERMAL_FLOORPLAN_HH_
+#define M3D_THERMAL_FLOORPLAN_HH_
+
+#include <string>
+#include <vector>
+
+namespace m3d {
+
+/** One rectangular block of the floorplan (metres). */
+struct FloorplanBlock
+{
+    std::string name;
+    double x = 0.0;
+    double y = 0.0;
+    double w = 0.0;
+    double h = 0.0;
+
+    double area() const { return w * h; }
+};
+
+/** A core floorplan. */
+struct Floorplan
+{
+    std::vector<FloorplanBlock> blocks;
+    double width = 0.0;  ///< bounding box (m)
+    double height = 0.0;
+
+    /** Uniformly shrink to `area_factor` of the original area. */
+    Floorplan scaled(double area_factor) const;
+
+    /** Total block area. */
+    double area() const;
+
+    /**
+     * Ryzen-like out-of-order core floorplan (~10.6 mm^2 at 22nm)
+     * with blocks named to match PowerModel::blockPower: Fetch,
+     * Decode, RAT, IQ, RF, ALU, FPU, LSU, DL1.
+     */
+    static Floorplan ryzenLikeCore();
+};
+
+} // namespace m3d
+
+#endif // M3D_THERMAL_FLOORPLAN_HH_

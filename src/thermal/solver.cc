@@ -1,0 +1,288 @@
+#include "thermal/solver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace m3d {
+
+double
+ThermalField::at(int layer, int y, int x) const
+{
+    return t_c[(static_cast<std::size_t>(layer) * grid + y) * grid + x];
+}
+
+double
+ThermalField::peak() const
+{
+    double p = t_c.empty() ? 0.0 : t_c.front();
+    for (double v : t_c)
+        p = std::max(p, v);
+    return p;
+}
+
+double
+ThermalField::peakIn(int layer, double x0, double y0, double x1,
+                     double y1) const
+{
+    const int ix0 = std::clamp(static_cast<int>(x0 * grid), 0, grid - 1);
+    const int iy0 = std::clamp(static_cast<int>(y0 * grid), 0, grid - 1);
+    const int ix1 =
+        std::clamp(static_cast<int>(std::ceil(x1 * grid)) - 1, 0,
+                   grid - 1);
+    const int iy1 =
+        std::clamp(static_cast<int>(std::ceil(y1 * grid)) - 1, 0,
+                   grid - 1);
+    double p = at(layer, iy0, ix0);
+    for (int y = iy0; y <= iy1; ++y) {
+        for (int x = ix0; x <= ix1; ++x)
+            p = std::max(p, at(layer, y, x));
+    }
+    return p;
+}
+
+std::vector<GridSolver::TransientSample>
+GridSolver::solveTransient(
+    const std::vector<std::vector<double>> &power_per_source,
+    double dt, int steps) const
+{
+    M3D_ASSERT(dt > 0.0 && steps >= 1);
+    const int n = grid_;
+    const int nl = static_cast<int>(stack_.layers.size());
+    const std::vector<std::size_t> sources = stack_.sourceLayers();
+    M3D_ASSERT(power_per_source.size() == sources.size(),
+               "one power map per source layer required");
+
+    const double a_cell = cell_w_ * cell_h_;
+
+    std::vector<double> g_up(static_cast<std::size_t>(nl), 0.0);
+    for (int l = 0; l + 1 < nl; ++l) {
+        const ThermalLayer &a = stack_.layers[static_cast<std::size_t>(l)];
+        const ThermalLayer &b =
+            stack_.layers[static_cast<std::size_t>(l + 1)];
+        const double r = a.thickness / (2.0 * a.conductivity * a_cell) +
+                         b.thickness / (2.0 * b.conductivity * a_cell);
+        g_up[static_cast<std::size_t>(l)] = 1.0 / r;
+    }
+    std::vector<double> g_lat(static_cast<std::size_t>(nl), 0.0);
+    std::vector<double> cap(static_cast<std::size_t>(nl), 0.0);
+    for (int l = 0; l < nl; ++l) {
+        const ThermalLayer &s = stack_.layers[static_cast<std::size_t>(l)];
+        g_lat[static_cast<std::size_t>(l)] =
+            s.conductivity * s.thickness * (cell_h_ / cell_w_);
+        cap[static_cast<std::size_t>(l)] =
+            s.heat_capacity * s.thickness * a_cell;
+    }
+    const double g_sink =
+        1.0 / (stack_.sink_resistance * static_cast<double>(n) *
+               static_cast<double>(n));
+    // The heat sink's own thermal mass buffers the last layer.
+    const double sink_cap_per_cell = 50.0 /* J/K total */ /
+        (static_cast<double>(n) * n);
+
+    std::vector<double> power(
+        static_cast<std::size_t>(nl) * n * n, 0.0);
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+        const std::size_t l = sources[s];
+        for (int i = 0; i < n * n; ++i) {
+            power[l * static_cast<std::size_t>(n) * n +
+                  static_cast<std::size_t>(i)] =
+                power_per_source[s][static_cast<std::size_t>(i)];
+        }
+    }
+
+    std::vector<double> t(static_cast<std::size_t>(nl) * n * n,
+                          stack_.ambient_c);
+    auto idx = [n](int l, int y, int x) {
+        return (static_cast<std::size_t>(l) * n + y) * n + x;
+    };
+
+    std::vector<TransientSample> out;
+    out.reserve(static_cast<std::size_t>(steps));
+    std::vector<double> t_prev = t;
+
+    for (int step = 1; step <= steps; ++step) {
+        t_prev = t;
+        // Backward Euler: a few Gauss-Seidel sweeps per step suffice
+        // because dt couples each node mostly to itself.
+        for (int sweep = 0; sweep < 60; ++sweep) {
+            double max_delta = 0.0;
+            for (int l = 0; l < nl; ++l) {
+                const double gl = g_lat[static_cast<std::size_t>(l)];
+                const double c_node =
+                    cap[static_cast<std::size_t>(l)] +
+                    (l + 1 == nl ? sink_cap_per_cell : 0.0);
+                for (int y = 0; y < n; ++y) {
+                    for (int x = 0; x < n; ++x) {
+                        double g_total = c_node / dt;
+                        double flow =
+                            (c_node / dt) * t_prev[idx(l, y, x)];
+                        auto couple = [&](double g, double tn) {
+                            g_total += g;
+                            flow += g * tn;
+                        };
+                        if (x > 0)
+                            couple(gl, t[idx(l, y, x - 1)]);
+                        if (x + 1 < n)
+                            couple(gl, t[idx(l, y, x + 1)]);
+                        if (y > 0)
+                            couple(gl, t[idx(l, y - 1, x)]);
+                        if (y + 1 < n)
+                            couple(gl, t[idx(l, y + 1, x)]);
+                        if (l + 1 < nl) {
+                            couple(g_up[static_cast<std::size_t>(l)],
+                                   t[idx(l + 1, y, x)]);
+                        } else {
+                            couple(g_sink, stack_.ambient_c);
+                        }
+                        if (l > 0) {
+                            couple(
+                                g_up[static_cast<std::size_t>(l - 1)],
+                                t[idx(l - 1, y, x)]);
+                        }
+                        const double p = power[idx(l, y, x)];
+                        const double t_new = (flow + p) / g_total;
+                        max_delta = std::max(
+                            max_delta,
+                            std::abs(t_new - t[idx(l, y, x)]));
+                        t[idx(l, y, x)] = t_new;
+                    }
+                }
+            }
+            if (max_delta < 1e-6)
+                break;
+        }
+        double peak = t.front();
+        for (double v : t)
+            peak = std::max(peak, v);
+        out.push_back({static_cast<double>(step) * dt, peak});
+    }
+    return out;
+}
+
+GridSolver::GridSolver(const LayerStack &stack, double chip_w,
+                       double chip_h, int grid)
+    : stack_(stack), chip_w_(chip_w), chip_h_(chip_h),
+      cell_w_(chip_w / grid), cell_h_(chip_h / grid), grid_(grid)
+{
+    M3D_ASSERT(grid >= 4, "grid too coarse");
+    M3D_ASSERT(!stack_.layers.empty());
+    M3D_ASSERT(!stack_.sourceLayers().empty(),
+               "stack has no heat-source layer");
+}
+
+ThermalField
+GridSolver::solve(
+    const std::vector<std::vector<double>> &power_per_source) const
+{
+    const int n = grid_;
+    const int nl = static_cast<int>(stack_.layers.size());
+    const std::vector<std::size_t> sources = stack_.sourceLayers();
+    M3D_ASSERT(power_per_source.size() == sources.size(),
+               "one power map per source layer required");
+    for (const auto &m : power_per_source) {
+        M3D_ASSERT(m.size() ==
+                   static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+    }
+
+    const double a_cell = cell_w_ * cell_h_;
+
+    // Vertical conductance between layer l and l+1 (per cell).
+    std::vector<double> g_up(static_cast<std::size_t>(nl), 0.0);
+    for (int l = 0; l + 1 < nl; ++l) {
+        const ThermalLayer &a = stack_.layers[static_cast<std::size_t>(l)];
+        const ThermalLayer &b =
+            stack_.layers[static_cast<std::size_t>(l + 1)];
+        const double r = a.thickness / (2.0 * a.conductivity * a_cell) +
+                         b.thickness / (2.0 * b.conductivity * a_cell);
+        g_up[static_cast<std::size_t>(l)] = 1.0 / r;
+    }
+
+    // Lateral conductance inside a layer (square cells: k * t).
+    std::vector<double> g_lat(static_cast<std::size_t>(nl), 0.0);
+    for (int l = 0; l < nl; ++l) {
+        const ThermalLayer &s = stack_.layers[static_cast<std::size_t>(l)];
+        g_lat[static_cast<std::size_t>(l)] =
+            s.conductivity * s.thickness * (cell_h_ / cell_w_);
+    }
+
+    // Sink conductance per cell behind the last layer.
+    const double g_sink =
+        1.0 / (stack_.sink_resistance * static_cast<double>(n) *
+               static_cast<double>(n));
+
+    // Power injection per node.
+    std::vector<double> power(
+        static_cast<std::size_t>(nl) * n * n, 0.0);
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+        const std::size_t l = sources[s];
+        for (int i = 0; i < n * n; ++i) {
+            power[l * static_cast<std::size_t>(n) * n +
+                  static_cast<std::size_t>(i)] =
+                power_per_source[s][static_cast<std::size_t>(i)];
+        }
+    }
+
+    // SOR solve.
+    ThermalField field;
+    field.grid = n;
+    field.layers = nl;
+    field.t_c.assign(static_cast<std::size_t>(nl) * n * n,
+                     stack_.ambient_c);
+    std::vector<double> &t = field.t_c;
+
+    auto idx = [n](int l, int y, int x) {
+        return (static_cast<std::size_t>(l) * n + y) * n + x;
+    };
+
+    const double omega = 1.8;
+    const int max_iters = 20000;
+    for (int iter = 0; iter < max_iters; ++iter) {
+        double max_delta = 0.0;
+        for (int l = 0; l < nl; ++l) {
+            const double gl = g_lat[static_cast<std::size_t>(l)];
+            for (int y = 0; y < n; ++y) {
+                for (int x = 0; x < n; ++x) {
+                    double g_total = 0.0;
+                    double flow = 0.0;
+                    auto couple = [&](double g, double tn) {
+                        g_total += g;
+                        flow += g * tn;
+                    };
+                    if (x > 0)
+                        couple(gl, t[idx(l, y, x - 1)]);
+                    if (x + 1 < n)
+                        couple(gl, t[idx(l, y, x + 1)]);
+                    if (y > 0)
+                        couple(gl, t[idx(l, y - 1, x)]);
+                    if (y + 1 < n)
+                        couple(gl, t[idx(l, y + 1, x)]);
+                    if (l + 1 < nl) {
+                        couple(g_up[static_cast<std::size_t>(l)],
+                               t[idx(l + 1, y, x)]);
+                    } else {
+                        couple(g_sink, stack_.ambient_c);
+                    }
+                    if (l > 0) {
+                        couple(g_up[static_cast<std::size_t>(l - 1)],
+                               t[idx(l - 1, y, x)]);
+                    }
+                    const double p = power[idx(l, y, x)];
+                    const double t_new = (flow + p) / g_total;
+                    const double t_old = t[idx(l, y, x)];
+                    const double t_sor =
+                        t_old + omega * (t_new - t_old);
+                    max_delta =
+                        std::max(max_delta, std::abs(t_sor - t_old));
+                    t[idx(l, y, x)] = t_sor;
+                }
+            }
+        }
+        if (max_delta < 1e-5)
+            break;
+    }
+    return field;
+}
+
+} // namespace m3d

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Steady-state 3D thermal grid solver (HotSpot-style grid model).
+ *
+ * The chip footprint is discretized into an NxN grid; every material
+ * layer of the stack contributes one slab of nodes.  Vertical and
+ * lateral conductances follow from layer thickness and conductivity;
+ * the heat sink is a lumped per-cell conductance to ambient behind
+ * the IHS.  Power is injected at the active layers.  The linear
+ * system is solved with successive over-relaxation.
+ */
+
+#ifndef M3D_THERMAL_SOLVER_HH_
+#define M3D_THERMAL_SOLVER_HH_
+
+#include <vector>
+
+#include "thermal/stack.hh"
+
+namespace m3d {
+
+/** Temperature field of one solve. */
+struct ThermalField
+{
+    int grid = 0;            ///< N (cells per side)
+    int layers = 0;
+    std::vector<double> t_c; ///< layer-major [layer][y][x], deg C
+
+    double at(int layer, int y, int x) const;
+    double peak() const;
+    /** Peak over a rectangle (fractions of the chip side) of a layer. */
+    double peakIn(int layer, double x0, double y0, double x1,
+                  double y1) const;
+};
+
+/** The grid solver. */
+class GridSolver
+{
+  public:
+    /**
+     * @param stack Vertical material stack.
+     * @param chip_w Chip width (m).
+     * @param chip_h Chip height (m).
+     * @param grid Cells per side (default 32).
+     */
+    GridSolver(const LayerStack &stack, double chip_w, double chip_h,
+               int grid=32);
+
+    /**
+     * Solve for a power map.
+     *
+     * @param power_per_source One NxN power map (W per cell) for each
+     *        heat-source layer of the stack, in stack order.
+     * @return Temperature field for all layers.
+     */
+    ThermalField
+    solve(const std::vector<std::vector<double>> &power_per_source)
+        const;
+
+    /** One transient sample. */
+    struct TransientSample
+    {
+        double t_seconds = 0.0;
+        double peak_c = 0.0;
+    };
+
+    /**
+     * Transient solve with implicit (backward-Euler) time stepping
+     * from a uniform ambient start: apply the power step at t = 0 and
+     * record the peak temperature at each step.  Useful for thermal
+     * time constants and turbo-style transient questions.
+     *
+     * @param power_per_source As for solve().
+     * @param dt Time step (s); implicit stepping is unconditionally
+     *        stable, so ~1e-4 s steps resolve package-level
+     *        transients.
+     * @param steps Number of steps to take.
+     */
+    std::vector<TransientSample>
+    solveTransient(const std::vector<std::vector<double>> &
+                       power_per_source,
+                   double dt, int steps) const;
+
+    int grid() const { return grid_; }
+    double cellArea() const { return cell_w_ * cell_h_; }
+
+  private:
+    LayerStack stack_;
+    double chip_w_;
+    double chip_h_;
+    double cell_w_;
+    double cell_h_;
+    int grid_;
+};
+
+} // namespace m3d
+
+#endif // M3D_THERMAL_SOLVER_HH_

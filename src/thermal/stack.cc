@@ -1,0 +1,82 @@
+#include "thermal/stack.hh"
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace m3d {
+
+using namespace units;
+
+std::vector<std::size_t>
+LayerStack::sourceLayers() const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        if (layers[i].heat_source)
+            out.push_back(i);
+    }
+    return out;
+}
+
+LayerStack
+LayerStack::planar2D()
+{
+    // Order: away from sink -> towards sink (Table 10; the heat sink
+    // attaches behind the bulk silicon through TIM and IHS).
+    LayerStack s;
+    s.layers = {
+        {"metal", 12.0 * um, 12.0, 3.4e6, false},
+        {"active-si", 2.0 * um, 120.0, 1.6e6, true},
+        {"bulk-si", 100.0 * um, 120.0, 1.6e6, false},
+        {"tim", 50.0 * um, 5.0, 2.0e6, false},
+        {"ihs", 1000.0 * um, 400.0, 3.4e6, false},
+    };
+    return s;
+}
+
+LayerStack
+LayerStack::m3d()
+{
+    LayerStack s;
+    s.layers = {
+        {"top-metal", 12.0 * um, 12.0, 3.4e6, false},
+        {"top-si", 0.1 * um, 120.0, 1.6e6, true},
+        {"ild", 0.1 * um, 1.5, 1.5e6, false},
+        {"bottom-metal", 1.0 * um, 12.0, 3.4e6, false},
+        {"bottom-si", 2.0 * um, 120.0, 1.6e6, true},
+        {"bulk-si", 100.0 * um, 120.0, 1.6e6, false},
+        {"tim", 50.0 * um, 5.0, 2.0e6, false},
+        {"ihs", 1000.0 * um, 400.0, 3.4e6, false},
+    };
+    return s;
+}
+
+LayerStack
+LayerStack::tsv3d()
+{
+    LayerStack s;
+    s.layers = {
+        {"top-metal", 12.0 * um, 12.0, 3.4e6, false},
+        {"top-si", 20.0 * um, 120.0, 1.6e6, true},
+        {"d2d-ild", 20.0 * um, 1.5, 1.5e6, false},
+        {"bottom-metal", 12.0 * um, 12.0, 3.4e6, false},
+        {"bottom-si", 2.0 * um, 120.0, 1.6e6, true},
+        {"bulk-si", 100.0 * um, 120.0, 1.6e6, false},
+        {"tim", 50.0 * um, 5.0, 2.0e6, false},
+        {"ihs", 1000.0 * um, 400.0, 3.4e6, false},
+    };
+    return s;
+}
+
+LayerStack
+LayerStack::of(Integration integration)
+{
+    switch (integration) {
+      case Integration::Planar2D: return planar2D();
+      case Integration::M3D: return m3d();
+      case Integration::Tsv3D: return tsv3d();
+    }
+    M3D_PANIC("unknown integration style");
+}
+
+} // namespace m3d

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Vertical layer stacks for thermal modeling (Table 10).
+ *
+ * Heat flows from the active layers through the bulk silicon, TIM,
+ * and integrated heat spreader to the heat sink.  The M3D stack's
+ * inter-layer dielectric is only 100nm thick, so its two device
+ * layers are tightly thermally coupled; TSV3D interposes ~20um of
+ * low-conductivity material between the dies, which is the root of
+ * its thermal troubles.
+ */
+
+#ifndef M3D_THERMAL_STACK_HH_
+#define M3D_THERMAL_STACK_HH_
+
+#include <string>
+#include <vector>
+
+#include "tech/technology.hh"
+
+namespace m3d {
+
+/** One slab of material in the vertical stack. */
+struct ThermalLayer
+{
+    std::string name;
+    double thickness = 0.0;    ///< m
+    double conductivity = 0.0; ///< W/(m.K)
+    /** Volumetric heat capacity (J/(m^3.K)); silicon ~1.6e6. */
+    double heat_capacity = 1.6e6;
+    bool heat_source = false;  ///< an active device layer
+};
+
+/**
+ * A vertical stack, ordered from the face far from the heat sink
+ * (index 0) towards the sink.  The sink itself is lumped into a
+ * per-area sink resistance.
+ */
+struct LayerStack
+{
+    std::vector<ThermalLayer> layers;
+
+    /**
+     * Heat sink + spreader boundary: total thermal resistance from
+     * the IHS surface to ambient (K/W), for the whole chip area.
+     */
+    double sink_resistance = 0.25;
+
+    /** Ambient temperature (deg C). */
+    double ambient_c = 45.0;
+
+    /** Indices of the heat-source layers. */
+    std::vector<std::size_t> sourceLayers() const;
+
+    /** Conventional single-die stack (Table 10 dimensions). */
+    static LayerStack planar2D();
+
+    /** M3D: two active layers <1um apart. */
+    static LayerStack m3d();
+
+    /**
+     * TSV3D with an aggressively thinned 20um top die (the paper's
+     * optimistic assumption for TSV3D).
+     */
+    static LayerStack tsv3d();
+
+    /** Pick by integration style. */
+    static LayerStack of(Integration integration);
+};
+
+} // namespace m3d
+
+#endif // M3D_THERMAL_STACK_HH_

@@ -1,0 +1,103 @@
+#include "thermal/thermal_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace m3d {
+
+ThermalModel::ThermalModel(const CoreDesign &design, int grid)
+    : design_(design), stack_(LayerStack::of(design.tech.integration)),
+      grid_(grid)
+{
+    Floorplan fp = Floorplan::ryzenLikeCore();
+    if (design_.stacked()) {
+        // Conservative 50% footprint fold for peak temperature
+        // (Section 7.1.3) - conservative because it concentrates the
+        // power into the smallest plausible area.
+        fp = fp.scaled(0.5);
+    }
+    floorplan_ = fp;
+}
+
+ThermalResult
+ThermalModel::solve(
+    const std::map<std::string, double> &block_power) const
+{
+    const int n = grid_;
+    GridSolver solver(stack_, floorplan_.width, floorplan_.height, n);
+    const std::vector<std::size_t> sources = stack_.sourceLayers();
+    const std::size_t n_sources = sources.size();
+
+    // Rasterize block power onto the grid; clock power spreads
+    // uniformly; stacked designs split every block across layers
+    // (intra-block partitioning puts half of each block per layer).
+    std::vector<std::vector<double>> maps(
+        n_sources,
+        std::vector<double>(static_cast<std::size_t>(n) * n, 0.0));
+
+    const double clock_w = [&block_power] {
+        auto it = block_power.find("Clock");
+        return it == block_power.end() ? 0.0 : it->second;
+    }();
+    const double clock_per_cell =
+        clock_w / (static_cast<double>(n) * n * n_sources);
+    for (auto &m : maps) {
+        for (double &p : m)
+            p += clock_per_cell;
+    }
+
+    for (const FloorplanBlock &b : floorplan_.blocks) {
+        auto it = block_power.find(b.name);
+        if (it == block_power.end())
+            continue;
+        const double per_layer = it->second / static_cast<double>(
+            n_sources);
+
+        const int x0 = std::clamp(
+            static_cast<int>(b.x / floorplan_.width * n), 0, n - 1);
+        const int y0 = std::clamp(
+            static_cast<int>(b.y / floorplan_.height * n), 0, n - 1);
+        const int x1 = std::clamp(
+            static_cast<int>((b.x + b.w) / floorplan_.width * n) - 1,
+            x0, n - 1);
+        const int y1 = std::clamp(
+            static_cast<int>((b.y + b.h) / floorplan_.height * n) - 1,
+            y0, n - 1);
+        const int cells = (x1 - x0 + 1) * (y1 - y0 + 1);
+        const double per_cell = per_layer / cells;
+        for (std::size_t s = 0; s < n_sources; ++s) {
+            for (int y = y0; y <= y1; ++y) {
+                for (int x = x0; x <= x1; ++x) {
+                    maps[s][static_cast<std::size_t>(y) * n + x] +=
+                        per_cell;
+                }
+            }
+        }
+    }
+
+    ThermalField field = solver.solve(maps);
+
+    ThermalResult out;
+    out.peak_c = field.peak();
+    for (const FloorplanBlock &b : floorplan_.blocks) {
+        double peak = 0.0;
+        for (std::size_t s = 0; s < n_sources; ++s) {
+            peak = std::max(
+                peak,
+                field.peakIn(static_cast<int>(sources[s]),
+                             b.x / floorplan_.width,
+                             b.y / floorplan_.height,
+                             (b.x + b.w) / floorplan_.width,
+                             (b.y + b.h) / floorplan_.height));
+        }
+        out.block_peak_c[b.name] = peak;
+        if (out.hottest_block.empty() ||
+            peak > out.block_peak_c[out.hottest_block]) {
+            out.hottest_block = b.name;
+        }
+    }
+    return out;
+}
+
+} // namespace m3d

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * End-to-end thermal evaluation of a core design: maps the power
+ * model's block powers onto the (possibly folded) floorplan, builds
+ * the design's layer stack, and solves for the peak temperature -
+ * the Figure 8 experiment.
+ */
+
+#ifndef M3D_THERMAL_THERMAL_MODEL_HH_
+#define M3D_THERMAL_THERMAL_MODEL_HH_
+
+#include <map>
+#include <string>
+
+#include "core/design.hh"
+#include "thermal/floorplan.hh"
+#include "thermal/solver.hh"
+
+namespace m3d {
+
+/** Peak temperatures of one design under one workload. */
+struct ThermalResult
+{
+    double peak_c = 0.0;          ///< hottest point anywhere
+    std::string hottest_block;    ///< which block holds it
+    std::map<std::string, double> block_peak_c;
+};
+
+/** Thermal evaluation harness. */
+class ThermalModel
+{
+  public:
+    /**
+     * @param design The core design (integration style, footprint).
+     * @param grid Solver resolution per side.
+     */
+    explicit ThermalModel(const CoreDesign &design, int grid=32);
+
+    /**
+     * Solve for a block power map (from PowerModel::blockPower).
+     * "Clock" power is spread uniformly over the whole core.
+     */
+    ThermalResult solve(const std::map<std::string, double> &
+                            block_power) const;
+
+    const Floorplan &floorplan() const { return floorplan_; }
+
+  private:
+    CoreDesign design_;
+    Floorplan floorplan_;
+    LayerStack stack_;
+    int grid_;
+};
+
+} // namespace m3d
+
+#endif // M3D_THERMAL_THERMAL_MODEL_HH_

@@ -1,0 +1,56 @@
+#include "util/logging.hh"
+
+#include <atomic>
+#include <mutex>
+
+namespace m3d {
+
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::Warn};
+std::mutex g_log_mutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return g_threshold.load(std::memory_order_relaxed);
+}
+
+LogLevel
+setLogThreshold(LogLevel level)
+{
+    return g_threshold.exchange(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+emitLog(LogLevel level, std::string_view file, int line,
+        const std::string &message)
+{
+    if (static_cast<int>(level) < static_cast<int>(logThreshold()))
+        return;
+    std::lock_guard<std::mutex> guard(g_log_mutex);
+    std::cerr << levelName(level) << ": " << message;
+    if (level == LogLevel::Panic || level == LogLevel::Fatal)
+        std::cerr << " @ " << file << ":" << line;
+    std::cerr << std::endl;
+}
+
+} // namespace detail
+
+} // namespace m3d

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  - an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger or core dump can capture state.
+ * fatal()  - the caller supplied an unusable configuration; exits cleanly
+ *            with an error code.
+ * warn()   - something is approximated or suspicious but simulation can
+ *            continue.
+ * inform() - status messages with no connotation of incorrectness.
+ */
+
+#ifndef M3D_UTIL_LOGGING_HH_
+#define M3D_UTIL_LOGGING_HH_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace m3d {
+
+/** Severity levels understood by the logger. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Stream a pack of arguments into a single string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+/** Emit one formatted log record to stderr. */
+void emitLog(LogLevel level, std::string_view file, int line,
+             const std::string &message);
+
+} // namespace detail
+
+/** Minimum level that is actually printed (Inform prints everything). */
+LogLevel logThreshold();
+
+/** Adjust the global log threshold; returns the previous value. */
+LogLevel setLogThreshold(LogLevel level);
+
+/**
+ * Report an internal library bug and abort.
+ *
+ * @param file Source file of the call site (use M3D_PANIC).
+ * @param line Source line of the call site.
+ * @param args Message fragments streamed together.
+ */
+template <typename... Args>
+[[noreturn]] void
+panicImpl(std::string_view file, int line, Args &&...args)
+{
+    detail::emitLog(LogLevel::Panic, file, line,
+                    detail::concat(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatalImpl(std::string_view file, int line, Args &&...args)
+{
+    detail::emitLog(LogLevel::Fatal, file, line,
+                    detail::concat(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/** Report a recoverable modeling concern. */
+template <typename... Args>
+void
+warnImpl(std::string_view file, int line, Args &&...args)
+{
+    detail::emitLog(LogLevel::Warn, file, line,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report simulation status. */
+template <typename... Args>
+void
+informImpl(std::string_view file, int line, Args &&...args)
+{
+    detail::emitLog(LogLevel::Inform, file, line,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace m3d
+
+#define M3D_PANIC(...) ::m3d::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define M3D_FATAL(...) ::m3d::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define M3D_WARN(...) ::m3d::warnImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define M3D_INFORM(...) ::m3d::informImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Checked invariant: panics with the stringified condition on failure. */
+#define M3D_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::m3d::panicImpl(__FILE__, __LINE__, "assertion failed: ",     \
+                             #cond, " ", ##__VA_ARGS__);                    \
+        }                                                                   \
+    } while (0)
+
+#endif // M3D_UTIL_LOGGING_HH_

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic random number generation for reproducible simulation.
+ *
+ * Every simulated entity that needs randomness owns its own Rng seeded
+ * from (experiment seed, entity id), so results are independent of the
+ * order in which entities are evaluated.
+ */
+
+#ifndef M3D_UTIL_RNG_HH_
+#define M3D_UTIL_RNG_HH_
+
+#include <cstdint>
+#include <random>
+
+namespace m3d {
+
+/** A small, fast, reproducible random source (xoshiro-style splitmix). */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed=0x9e3779b97f4a7c15ull) : state_(seed)
+    {
+        // Warm the state so nearby seeds diverge immediately.
+        next();
+        next();
+    }
+
+    /** Derive an independent stream for a sub-entity. */
+    Rng
+    fork(std::uint64_t stream_id) const
+    {
+        return Rng(state_ ^ (0xbf58476d1ce4e5b9ull * (stream_id + 1)));
+    }
+
+    /** Next raw 64-bit value (splitmix64). */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Geometric-ish burst length >= 1 with mean approximately `mean`. */
+    std::uint64_t
+    burst(double mean)
+    {
+        if (mean <= 1.0)
+            return 1;
+        const double p = 1.0 / mean;
+        std::uint64_t n = 1;
+        while (!chance(p) && n < 64 * static_cast<std::uint64_t>(mean))
+            ++n;
+        return n;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace m3d
+
+#endif // M3D_UTIL_RNG_HH_

@@ -1,0 +1,62 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace m3d {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    M3D_ASSERT(buckets >= 1);
+    M3D_ASSERT(hi > lo);
+}
+
+void
+Histogram::sample(double v)
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto idx = static_cast<std::int64_t>((v - lo_) / width);
+    idx = std::clamp<std::int64_t>(
+        idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++count_;
+    sum_ += v;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * static_cast<double>(i);
+}
+
+void
+StatGroup::addCounter(const std::string &stat_name, const Counter &c)
+{
+    counters_[stat_name] = &c;
+}
+
+void
+StatGroup::addScalar(const std::string &stat_name, const Scalar &s)
+{
+    scalars_[stat_name] = &s;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[stat_name, c] : counters_)
+        os << name_ << "." << stat_name << " " << c->value() << "\n";
+    for (const auto &[stat_name, s] : scalars_)
+        os << name_ << "." << stat_name << " " << s->value() << "\n";
+}
+
+} // namespace m3d

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A small statistics package: named counters, scalars, and histograms
+ * grouped per simulated component, with a registry that can dump all
+ * statistics at end of simulation.
+ */
+
+#ifndef M3D_UTIL_STATS_HH_
+#define M3D_UTIL_STATS_HH_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace m3d {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    void operator+=(std::uint64_t n) { value_ += n; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A running scalar (e.g. accumulated energy in joules). */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    void operator+=(double v) { value_ += v; }
+    void set(double v) { value_ = v; }
+
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** A fixed-bucket histogram over [lo, hi). */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first bucket.
+     * @param hi Upper edge of the last bucket.
+     * @param buckets Number of equal-width buckets (>= 1).
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    /** Record one sample; out-of-range samples clamp to edge buckets. */
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    double bucketLo(std::size_t i) const;
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    std::size_t buckets() const { return counts_.size(); }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * A per-component group of named statistics.  Components register their
+ * counters/scalars by reference; StatGroup does not own them.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void addCounter(const std::string &stat_name, const Counter &c);
+    void addScalar(const std::string &stat_name, const Scalar &s);
+
+    const std::string &name() const { return name_; }
+
+    /** Write "group.stat value" lines. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, const Counter *> counters_;
+    std::map<std::string, const Scalar *> scalars_;
+};
+
+} // namespace m3d
+
+#endif // M3D_UTIL_STATS_HH_

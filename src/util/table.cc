@@ -1,0 +1,110 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace m3d {
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    if (!header_.empty() && cells.size() != header_.size()) {
+        M3D_PANIC("table '", title_, "': row width ", cells.size(),
+                  " != header width ", header_.size());
+    }
+    M3D_ASSERT(!cells.empty(), "separator rows are added via separator()");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::separator()
+{
+    rows_.emplace_back();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    auto widen = [&widths](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << cells[i];
+        }
+        os << "\n";
+    };
+
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    total = std::max<std::size_t>(total, title_.size());
+
+    os << "\n== " << title_ << " ==\n";
+    if (!header_.empty()) {
+        emit(header_);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_) {
+        if (r.empty())
+            os << std::string(total, '-') << "\n";
+        else
+            emit(r);
+    }
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&os](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                os << ",";
+            os << cells[i];
+        }
+        os << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_) {
+        if (!r.empty())
+            emit(r);
+    }
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << fraction * 100.0
+        << "%";
+    return oss.str();
+}
+
+} // namespace m3d

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ASCII table and CSV emitters used by the benchmark harnesses to print
+ * paper tables and figure series.
+ */
+
+#ifndef M3D_UTIL_TABLE_HH_
+#define M3D_UTIL_TABLE_HH_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace m3d {
+
+/**
+ * Accumulates rows of strings and prints them with aligned columns.
+ * Numeric cells are produced with Table::num / Table::pct helpers so
+ * precision is consistent across benches.
+ */
+class Table
+{
+  public:
+    /** @param title Caption printed above the table. */
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header width if one was set. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a separator line between row groups. */
+    void separator();
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment, no separators). */
+    void printCsv(std::ostream &os) const;
+
+    /** Format a double with fixed precision. */
+    static std::string num(double v, int precision=2);
+
+    /** Format a 0..1 fraction as a percentage string, e.g. "41%". */
+    static std::string pct(double fraction, int precision=0);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    // Empty vector encodes a separator row.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace m3d
+
+#endif // M3D_UTIL_TABLE_HH_

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Physical-unit helpers.
+ *
+ * All model code works in SI base units (metres, seconds, farads, ohms,
+ * watts, joules, kelvin).  These constexpr helpers make literals in
+ * configuration tables readable, e.g. `50.0 * units::nm`.
+ */
+
+#ifndef M3D_UTIL_UNITS_HH_
+#define M3D_UTIL_UNITS_HH_
+
+namespace m3d {
+namespace units {
+
+// Length.
+constexpr double m = 1.0;
+constexpr double cm = 1e-2;
+constexpr double mm = 1e-3;
+constexpr double um = 1e-6;
+constexpr double nm = 1e-9;
+
+// Time.
+constexpr double s = 1.0;
+constexpr double ms = 1e-3;
+constexpr double us = 1e-6;
+constexpr double ns = 1e-9;
+constexpr double ps = 1e-12;
+
+// Capacitance.
+constexpr double F = 1.0;
+constexpr double pF = 1e-12;
+constexpr double fF = 1e-15;
+constexpr double aF = 1e-18;
+
+// Resistance.
+constexpr double Ohm = 1.0;
+constexpr double mOhm = 1e-3;
+constexpr double kOhm = 1e3;
+
+// Frequency.
+constexpr double Hz = 1.0;
+constexpr double MHz = 1e6;
+constexpr double GHz = 1e9;
+
+// Power / energy / voltage.
+constexpr double W = 1.0;
+constexpr double mW = 1e-3;
+constexpr double uW = 1e-6;
+constexpr double J = 1.0;
+constexpr double nJ = 1e-9;
+constexpr double pJ = 1e-12;
+constexpr double fJ = 1e-15;
+constexpr double V = 1.0;
+constexpr double mV = 1e-3;
+
+// Area (square metres).
+constexpr double m2 = 1.0;
+constexpr double mm2 = 1e-6;
+constexpr double um2 = 1e-12;
+constexpr double nm2 = 1e-18;
+
+} // namespace units
+
+/** Fractional change of `now` relative to `base`: positive = reduction. */
+constexpr double
+reductionVs(double base, double now)
+{
+    return (base - now) / base;
+}
+
+/** Express a 0..1 fraction as percent. */
+constexpr double
+asPercent(double fraction)
+{
+    return fraction * 100.0;
+}
+
+} // namespace m3d
+
+#endif // M3D_UTIL_UNITS_HH_

@@ -1,0 +1,226 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace m3d {
+
+namespace {
+
+constexpr std::uint64_t kLineBytes = 64;
+/** Shared data lives in a distinct region tagged by this bit. */
+constexpr std::uint64_t kSharedBit = 1ull << 40;
+/** Each thread's private data starts at its own 1 TB region. */
+constexpr std::uint64_t kThreadRegion = 1ull << 41;
+
+} // namespace
+
+TraceGenerator::TraceGenerator(const WorkloadProfile &profile,
+                               std::uint64_t seed, int thread_id)
+    : profile_(profile),
+      rng_(Rng(seed).fork(static_cast<std::uint64_t>(thread_id) + 17)),
+      thread_id_(thread_id)
+{
+    const auto ws_bytes = static_cast<std::uint64_t>(
+        std::max(profile_.working_set_kb, 4.0) * 1024.0);
+    const std::uint64_t base =
+        kThreadRegion * static_cast<std::uint64_t>(thread_id_ + 1);
+    for (std::size_t i = 0; i < stream_ptr_.size(); ++i) {
+        stream_ptr_[i] = base + rng_.below(ws_bytes);
+        // Element-granularity strides: a stream dwells on a cache
+        // line for several accesses before moving on.
+        stream_stride_[i] = 8 * (1 + rng_.below(4));
+    }
+    last_line_ = base;
+    buildBranchSites();
+}
+
+void
+TraceGenerator::buildBranchSites()
+{
+    // The synthetic program has a fixed population of static branch
+    // sites in its code footprint.  Their behaviour mix is chosen so
+    // that a good predictor's emergent misprediction rate tracks the
+    // profile's MPKI: loops and biased branches predict well (~2-6%
+    // miss), 50/50 data-dependent branches predict at ~50%.
+    const int sites = 256;
+    const double miss_per_branch = profile_.branch_frac > 0.0
+        ? (profile_.branch_mpki / 1000.0) / profile_.branch_frac
+        : 0.0;
+    // Difficulty knob: predictable codes have short (history-
+    // capturable) loops and strongly biased branches; branchy codes
+    // have long loops, weak biases, and data-dependent branches.
+    const double hard = std::clamp(miss_per_branch * 6.0, 0.0, 1.0);
+    // m ~= f_random * 0.5 + (1 - f_random) * floor(hard)
+    // The effective slope of f_random on the emergent miss rate is
+    // ~2 (random branches also pollute the shared histories), hence
+    // the divisor.
+    const double f_random = std::clamp(
+        (miss_per_branch - 0.01 - 0.05 * hard) / 2.0, 0.0, 1.0);
+    // Few distinct loop periods for predictable codes (their loop
+    // exits train cleanly); a wide mix, including periods beyond the
+    // local history depth, for branchy codes.
+    const int loop_span = 1 + static_cast<int>(60.0 * hard * hard);
+    const double bias_tail = 0.004 + 0.10 * hard;
+
+    branch_sites_.reserve(sites);
+    for (int i = 0; i < sites; ++i) {
+        BranchSite b;
+        b.pc = 0x400000 + static_cast<std::uint64_t>(i) * 36 + 4;
+        const double u = rng_.uniform();
+        if (u < f_random) {
+            b.cls = BranchClass::Random;
+            b.taken_bias = 0.5;
+        } else if (u < f_random + 0.4) {
+            b.cls = BranchClass::Loop;
+            b.loop_period =
+                4 + static_cast<int>(rng_.below(
+                    static_cast<std::uint64_t>(loop_span)));
+        } else {
+            b.cls = BranchClass::Biased;
+            const double tail = bias_tail * rng_.uniform();
+            b.taken_bias = rng_.chance(0.7) ? 1.0 - tail : tail;
+        }
+        branch_sites_.push_back(b);
+    }
+}
+
+void
+TraceGenerator::emitBranch(MicroOp &op)
+{
+    // Real programs execute the same branch in runs (a loop branch
+    // fires once per iteration); without runs the history-based
+    // predictors would see white noise.
+    if (branch_run_left_ <= 0) {
+        current_branch_ = rng_.below(branch_sites_.size());
+        const BranchSite &nb = branch_sites_[current_branch_];
+        branch_run_left_ = nb.cls == BranchClass::Loop
+            ? nb.loop_period
+            : 1 + static_cast<int>(rng_.below(3));
+    }
+    --branch_run_left_;
+    BranchSite &b = branch_sites_[current_branch_];
+    op.address = b.pc;
+    switch (b.cls) {
+      case BranchClass::Loop:
+        ++b.loop_count;
+        if (b.loop_count >= b.loop_period) {
+            b.loop_count = 0;
+            op.taken = false; // loop exit
+        } else {
+            op.taken = true;
+        }
+        break;
+      case BranchClass::Biased:
+      case BranchClass::Random:
+        op.taken = rng_.chance(b.taken_bias);
+        break;
+    }
+}
+
+std::uint64_t
+TraceGenerator::nextAddress(bool is_shared)
+{
+    const auto ws_bytes = static_cast<std::uint64_t>(
+        std::max(profile_.working_set_kb, 4.0) * 1024.0);
+    const std::uint64_t base = is_shared
+        ? kSharedBit
+        : kThreadRegion * static_cast<std::uint64_t>(thread_id_ + 1);
+
+    // Spatial locality: stay in the last touched line.
+    if (rng_.chance(profile_.spatial_locality))
+        return last_line_ + rng_.below(kLineBytes);
+
+    std::uint64_t addr = 0;
+    if (rng_.chance(profile_.stride_frac)) {
+        // Advance one of the strided streams; wrap in the working set.
+        stream_idx_ = (stream_idx_ + 1) % stream_ptr_.size();
+        stream_ptr_[stream_idx_] += stream_stride_[stream_idx_];
+        addr = base + (stream_ptr_[stream_idx_] % ws_bytes);
+    } else if (rng_.chance(profile_.temporal_locality)) {
+        // Temporal locality: most irregular accesses touch a small
+        // hot region (top of the reuse-distance distribution).
+        const std::uint64_t hot_bytes =
+            std::min<std::uint64_t>(ws_bytes, 16 * 1024);
+        addr = base + rng_.below(hot_bytes);
+    } else {
+        // Pointer-chase style random access over the working set.
+        addr = base + rng_.below(ws_bytes);
+    }
+    last_line_ = addr & ~(kLineBytes - 1);
+    return addr;
+}
+
+MicroOp
+TraceGenerator::next()
+{
+    MicroOp op;
+
+    // Dependency distances: geometric-ish around the profile's mean.
+    auto draw_dist = [this]() -> std::uint32_t {
+        const double mean = profile_.mean_dep_distance;
+        const double u = std::max(rng_.uniform(), 1e-12);
+        const double d = -mean * std::log(u) * 0.7 + 1.0;
+        return static_cast<std::uint32_t>(std::min(d, 512.0));
+    };
+    op.src1_dist = draw_dist();
+    op.src2_dist = rng_.chance(0.6) ? draw_dist() : 0;
+
+    // Pick the op class from the profile's mix.
+    double r = rng_.uniform();
+    const WorkloadProfile &p = profile_;
+    if ((r -= p.load_frac) < 0.0) {
+        op.op = OpClass::Load;
+        op.address = nextAddress(p.parallel &&
+                                 rng_.chance(p.shared_frac));
+    } else if ((r -= p.store_frac) < 0.0) {
+        op.op = OpClass::Store;
+        op.address = nextAddress(p.parallel &&
+                                 rng_.chance(p.shared_frac));
+    } else if ((r -= p.branch_frac) < 0.0) {
+        op.op = OpClass::Branch;
+        // ~8% of branches are calls/returns exercising the RAS; the
+        // stream keeps them balanced and well nested.
+        const double cr = rng_.uniform();
+        if (cr < 0.04 && call_depth_ < 64) {
+            op.is_call = true;
+            op.address = 0x400000 + rng_.below(4096) * 36 + 8;
+            op.taken = true;
+            call_stack_.push_back(op.address + 4);
+            ++call_depth_;
+        } else if (cr < 0.08 && call_depth_ > 0) {
+            op.is_return = true;
+            op.address = call_stack_.back();
+            call_stack_.pop_back();
+            --call_depth_;
+            op.taken = true;
+        } else {
+            emitBranch(op);
+        }
+        const double mispredict_per_branch =
+            p.branch_frac > 0.0
+                ? (p.branch_mpki / 1000.0) / p.branch_frac
+                : 0.0;
+        op.mispredicted = rng_.chance(mispredict_per_branch);
+    } else if ((r -= p.fp_frac) < 0.0) {
+        const double s = rng_.uniform();
+        op.op = s < 0.55 ? OpClass::FpAdd
+              : s < 0.90 ? OpClass::FpMult : OpClass::FpDiv;
+    } else if ((r -= p.mult_frac) < 0.0) {
+        op.op = OpClass::IntMult;
+    } else if ((r -= p.div_frac) < 0.0) {
+        op.op = OpClass::IntDiv;
+    } else {
+        op.op = OpClass::IntAlu;
+    }
+
+    op.complex_decode = rng_.chance(p.complex_decode_frac);
+    if (p.parallel) {
+        const double serializing_per_instr =
+            (p.barrier_per_kinstr + p.lock_per_kinstr) / 1000.0;
+        op.serializing = rng_.chance(serializing_per_instr);
+    }
+    return op;
+}
+
+} // namespace m3d

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic synthetic instruction-stream generator.
+ *
+ * Draws a micro-op stream from a WorkloadProfile: instruction mix,
+ * geometric dependency distances, strided + random memory streams
+ * over the profile's working set, branch mispredictions at the
+ * profile's MPKI, and (for parallel profiles) shared-data accesses
+ * and lock/barrier markers.  Identical (profile, seed, thread) always
+ * produces the identical stream.
+ */
+
+#ifndef M3D_WORKLOAD_GENERATOR_HH_
+#define M3D_WORKLOAD_GENERATOR_HH_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/instruction.hh"
+#include "util/rng.hh"
+#include "workload/profile.hh"
+
+namespace m3d {
+
+/** Generates the dynamic stream of one hardware thread. */
+class TraceGenerator
+{
+  public:
+    /**
+     * @param profile The application model.
+     * @param seed Experiment seed (same across designs so every
+     *             design executes the same work).
+     * @param thread_id Distinguishes threads of a parallel run.
+     */
+    TraceGenerator(const WorkloadProfile &profile, std::uint64_t seed,
+                   int thread_id=0);
+
+    /** Produce the next micro-op. */
+    MicroOp next();
+
+    const WorkloadProfile &profile() const { return profile_; }
+
+  private:
+    /** Behaviour classes of static branch sites. */
+    enum class BranchClass { Loop, Biased, Random };
+
+    /** One static branch site of the synthetic program. */
+    struct BranchSite
+    {
+        std::uint64_t pc = 0;
+        BranchClass cls = BranchClass::Biased;
+        double taken_bias = 0.9; ///< Biased/Random: P(taken)
+        int loop_period = 16;    ///< Loop: taken except every Nth
+        int loop_count = 0;
+    };
+
+    std::uint64_t nextAddress(bool is_shared);
+    void buildBranchSites();
+    void emitBranch(MicroOp &op);
+
+    WorkloadProfile profile_;
+    Rng rng_;
+    int thread_id_;
+    std::uint64_t last_line_ = 0;
+    std::array<std::uint64_t, 4> stream_ptr_{};
+    std::array<std::uint64_t, 4> stream_stride_{};
+    std::size_t stream_idx_ = 0;
+    std::vector<BranchSite> branch_sites_;
+    std::size_t current_branch_ = 0;
+    int branch_run_left_ = 0;
+    int call_depth_ = 0;
+    std::vector<std::uint64_t> call_stack_;
+};
+
+} // namespace m3d
+
+#endif // M3D_WORKLOAD_GENERATOR_HH_

@@ -1,0 +1,125 @@
+#include "workload/profile.hh"
+
+#include "util/logging.hh"
+
+namespace m3d {
+
+namespace {
+
+/** Compact builder for serial (SPEC) profiles. */
+WorkloadProfile
+spec(const std::string &name, double fp, double load, double store,
+     double branch, double mpki, double ws_kb, double stride,
+     double dep_dist, double temporal=0.85)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.fp_frac = fp;
+    p.load_frac = load;
+    p.store_frac = store;
+    p.branch_frac = branch;
+    p.branch_mpki = mpki;
+    p.working_set_kb = ws_kb;
+    p.stride_frac = stride;
+    p.mean_dep_distance = dep_dist;
+    p.temporal_locality = temporal;
+    p.complex_decode_frac = fp > 0.2 ? 0.01 : 0.03;
+    // Branchy integer codes have larger hot instruction footprints.
+    p.code_footprint_kb = branch > 0.15 ? 48.0 : 20.0;
+    return p;
+}
+
+/** Compact builder for parallel (SPLASH2/PARSEC) profiles. */
+WorkloadProfile
+par(const std::string &name, double fp, double load, double mpki,
+    double ws_kb, double stride, double dep_dist, double pfrac,
+    double shared, double barriers, double locks, double temporal=0.85)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.fp_frac = fp;
+    p.load_frac = load;
+    p.store_frac = 0.12;
+    p.branch_frac = 0.12;
+    p.branch_mpki = mpki;
+    p.working_set_kb = ws_kb;
+    p.stride_frac = stride;
+    p.mean_dep_distance = dep_dist;
+    p.temporal_locality = temporal;
+    p.parallel = true;
+    p.parallel_frac = pfrac;
+    p.shared_frac = shared;
+    p.barrier_per_kinstr = barriers;
+    p.lock_per_kinstr = locks;
+    return p;
+}
+
+} // namespace
+
+std::vector<WorkloadProfile>
+WorkloadLibrary::spec2006()
+{
+    // name              fp    load  store branch mpki  ws_kb  stride dep
+    return {
+        spec("Astar",     0.00, 0.28, 0.08, 0.18, 9.0,  2048,  0.35, 7),
+        spec("Bzip2",     0.00, 0.26, 0.11, 0.15, 6.0,  1024,  0.55, 9),
+        spec("Calculix",  0.30, 0.26, 0.09, 0.07, 1.2,  512,   0.75, 16),
+        spec("Dealii",    0.28, 0.30, 0.10, 0.12, 2.2,  4096,  0.55, 12),
+        spec("Gamess",    0.35, 0.24, 0.08, 0.06, 0.8,  128,   0.80, 18),
+        spec("Gcc",       0.00, 0.27, 0.12, 0.18, 6.5,  2048,  0.40, 8),
+        spec("Gems",      0.36, 0.32, 0.11, 0.05, 0.7,  16384, 0.85, 14),
+        spec("Gobmk",     0.00, 0.26, 0.10, 0.19, 11.0, 512,   0.45, 7),
+        spec("Gromacs",   0.32, 0.26, 0.09, 0.05, 1.0,  256,   0.80, 17),
+        spec("H264Ref",   0.06, 0.32, 0.10, 0.10, 2.8,  512,   0.70, 14),
+        spec("Hmmer",     0.00, 0.32, 0.12, 0.08, 1.4,  128,   0.75, 16),
+        spec("Lbm",       0.38, 0.30, 0.16, 0.02, 0.5,  32768, 0.92, 15),
+        spec("Libquantum",0.00, 0.26, 0.06, 0.14, 1.2,  16384, 0.95, 13),
+        spec("Mcf",       0.00, 0.34, 0.10, 0.17, 8.0,  65536, 0.15, 5, 0.45),
+        spec("Milc",      0.36, 0.32, 0.12, 0.03, 0.6,  16384, 0.85, 13),
+        spec("Namd",      0.34, 0.26, 0.08, 0.05, 0.9,  256,   0.80, 18),
+        spec("Omnetpp",   0.00, 0.31, 0.14, 0.15, 5.5,  8192,  0.20, 7, 0.60),
+        spec("Povray",    0.30, 0.28, 0.09, 0.12, 4.0,  64,    0.65, 13),
+        spec("Sjeng",     0.00, 0.24, 0.08, 0.19, 9.5,  256,   0.45, 7),
+        spec("Soplex",    0.26, 0.32, 0.08, 0.10, 3.0,  8192,  0.60, 10),
+        spec("Xalancbmk", 0.00, 0.31, 0.10, 0.17, 4.5,  4096,  0.35, 8),
+    };
+}
+
+std::vector<WorkloadProfile>
+WorkloadLibrary::splash2parsec()
+{
+    // name                fp    load  mpki  ws_kb  strd dep  pfrac shar  barr  lock
+    return {
+        par("Barnes",        0.30, 0.30, 2.5,  2048,  0.45, 11, 0.97, 0.05, 0.02, 0.05),
+        par("Blackscholes",  0.40, 0.26, 0.6,  256,   0.80, 16, 0.99, 0.01, 0.01, 0.00),
+        par("Canneal",       0.02, 0.33, 4.5,  32768, 0.15, 7,  0.96, 0.14, 0.01, 0.02, 0.55),
+        par("Cholesky",      0.32, 0.30, 1.8,  4096,  0.60, 12, 0.93, 0.07, 0.03, 0.10),
+        par("Fft",           0.34, 0.30, 0.8,  8192,  0.85, 14, 0.98, 0.04, 0.08, 0.00),
+        par("Fluidanimate",  0.30, 0.28, 1.6,  4096,  0.55, 12, 0.96, 0.08, 0.04, 0.12),
+        par("Fmm",           0.32, 0.29, 1.5,  2048,  0.55, 13, 0.97, 0.05, 0.03, 0.04),
+        par("Lu",            0.34, 0.30, 0.7,  2048,  0.80, 15, 0.98, 0.03, 0.06, 0.00),
+        par("Ocean",         0.33, 0.33, 1.0,  16384, 0.85, 13, 0.98, 0.06, 0.10, 0.00),
+        par("Radiosity",     0.28, 0.28, 3.0,  1024,  0.40, 10, 0.95, 0.08, 0.01, 0.15),
+        par("Radix",         0.02, 0.30, 0.5,  8192,  0.85, 14, 0.98, 0.03, 0.06, 0.00),
+        par("Raytrace",      0.28, 0.30, 3.5,  4096,  0.35, 9,  0.95, 0.06, 0.01, 0.12),
+        par("Streamcluster", 0.30, 0.32, 0.8,  8192,  0.85, 13, 0.97, 0.10, 0.09, 0.01),
+        par("Water-Nsquared",0.33, 0.28, 1.2,  512,   0.70, 14, 0.97, 0.04, 0.03, 0.06),
+        par("Water-Spatial", 0.33, 0.28, 1.1,  512,   0.70, 14, 0.98, 0.03, 0.03, 0.03),
+    };
+}
+
+WorkloadProfile
+WorkloadLibrary::byName(const std::string &name)
+{
+    for (const WorkloadProfile &p : spec2006()) {
+        if (p.name == name)
+            return p;
+    }
+    for (const WorkloadProfile &p : splash2parsec()) {
+        if (p.name == name)
+            return p;
+    }
+    M3D_FATAL("unknown workload: ", name);
+}
+
+} // namespace m3d

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Statistical workload profiles.
+ *
+ * The paper runs 21 SPEC CPU2006 applications (single-core) and 12
+ * SPLASH2 + 3 PARSEC applications (multicore) under Multi2Sim.  Those
+ * binaries and inputs are not redistributable, so each application is
+ * modeled as a statistical profile - instruction mix, dependency
+ * locality, branch predictability, memory working sets and access
+ * patterns, and (for parallel apps) parallel fraction and sharing -
+ * from which a deterministic synthetic instruction stream is drawn.
+ * The profiles are calibrated to the published characteristics of the
+ * benchmarks (memory-bound vs compute-bound, branchy vs regular).
+ */
+
+#ifndef M3D_WORKLOAD_PROFILE_HH_
+#define M3D_WORKLOAD_PROFILE_HH_
+
+#include <string>
+#include <vector>
+
+namespace m3d {
+
+/** Statistical description of one application. */
+struct WorkloadProfile
+{
+    std::string name;
+
+    // Instruction mix (fractions of the dynamic stream; remainder is
+    // integer ALU work).
+    double load_frac = 0.25;
+    double store_frac = 0.10;
+    double branch_frac = 0.15;
+    double fp_frac = 0.0;
+    double mult_frac = 0.02;
+    double div_frac = 0.005;
+
+    /** Fraction of instructions needing the complex decoder. */
+    double complex_decode_frac = 0.02;
+
+    /**
+     * Dependency locality: mean distance (in instructions) to a
+     * producer.  Small = serial chains (low ILP); large = independent.
+     */
+    double mean_dep_distance = 12.0;
+
+    /** Branch mispredictions per kilo-instruction. */
+    double branch_mpki = 4.0;
+
+    // Memory behaviour.
+    double working_set_kb = 256.0; ///< hot data footprint
+    double code_footprint_kb = 24.0; ///< hot instruction footprint
+    double stride_frac = 0.7;      ///< streaming vs random accesses
+    double spatial_locality = 0.6; ///< P(next access in same line)
+    /**
+     * Temporal locality of the non-strided accesses: probability of
+     * drawing from a small hot region instead of the whole working
+     * set.  Pointer-chasing codes (mcf, omnetpp, canneal) are low.
+     */
+    double temporal_locality = 0.85;
+
+    // Parallel behaviour (multicore apps only).
+    bool parallel = false;
+    double parallel_frac = 1.0;    ///< Amdahl parallel fraction
+    double shared_frac = 0.0;      ///< loads hitting shared (remote) data
+    double barrier_per_kinstr = 0.0; ///< barriers per kilo-instruction
+    double lock_per_kinstr = 0.0;  ///< lock acquisitions per kilo-instr
+};
+
+/** The benchmark suites used in the paper's evaluation. */
+class WorkloadLibrary
+{
+  public:
+    /** 21 SPEC CPU2006 profiles (Figure 6/7/8 x-axis). */
+    static std::vector<WorkloadProfile> spec2006();
+
+    /** 12 SPLASH2 + 3 PARSEC profiles (Figure 9/10 x-axis). */
+    static std::vector<WorkloadProfile> splash2parsec();
+
+    /** Look up one profile by name in either suite. */
+    static WorkloadProfile byName(const std::string &name);
+};
+
+} // namespace m3d
+
+#endif // M3D_WORKLOAD_PROFILE_HH_

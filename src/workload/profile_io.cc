@@ -1,0 +1,149 @@
+#include "workload/profile_io.hh"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace m3d {
+
+namespace {
+
+/** Field registry: name -> {getter, setter} over doubles. */
+struct Field
+{
+    std::function<double(const WorkloadProfile &)> get;
+    std::function<void(WorkloadProfile &, double)> set;
+};
+
+const std::map<std::string, Field> &
+fields()
+{
+    static const std::map<std::string, Field> f = {
+#define M3D_FIELD(name)                                               \
+    {#name,                                                           \
+     Field{[](const WorkloadProfile &p) { return p.name; },           \
+           [](WorkloadProfile &p, double v) { p.name = v; }}}
+        M3D_FIELD(load_frac),
+        M3D_FIELD(store_frac),
+        M3D_FIELD(branch_frac),
+        M3D_FIELD(fp_frac),
+        M3D_FIELD(mult_frac),
+        M3D_FIELD(div_frac),
+        M3D_FIELD(complex_decode_frac),
+        M3D_FIELD(mean_dep_distance),
+        M3D_FIELD(branch_mpki),
+        M3D_FIELD(working_set_kb),
+        M3D_FIELD(code_footprint_kb),
+        M3D_FIELD(stride_frac),
+        M3D_FIELD(spatial_locality),
+        M3D_FIELD(temporal_locality),
+        M3D_FIELD(parallel_frac),
+        M3D_FIELD(shared_frac),
+        M3D_FIELD(barrier_per_kinstr),
+        M3D_FIELD(lock_per_kinstr),
+#undef M3D_FIELD
+    };
+    return f;
+}
+
+std::string
+trim(const std::string &s)
+{
+    const auto first = s.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return "";
+    const auto last = s.find_last_not_of(" \t\r");
+    return s.substr(first, last - first + 1);
+}
+
+} // namespace
+
+WorkloadProfile
+readProfile(std::istream &in, const std::string &origin)
+{
+    WorkloadProfile p;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            M3D_FATAL(origin, ":", lineno,
+                      ": expected 'key = value', got '", line, "'");
+        }
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+
+        if (key == "name") {
+            p.name = value;
+            continue;
+        }
+        if (key == "parallel") {
+            if (value != "true" && value != "false") {
+                M3D_FATAL(origin, ":", lineno,
+                          ": parallel must be true/false");
+            }
+            p.parallel = value == "true";
+            continue;
+        }
+        const auto it = fields().find(key);
+        if (it == fields().end())
+            M3D_FATAL(origin, ":", lineno, ": unknown key '", key, "'");
+        try {
+            std::size_t used = 0;
+            const double v = std::stod(value, &used);
+            if (used != value.size())
+                throw std::invalid_argument(value);
+            it->second.set(p, v);
+        } catch (const std::exception &) {
+            M3D_FATAL(origin, ":", lineno, ": bad number '", value,
+                      "' for key '", key, "'");
+        }
+    }
+    if (p.name.empty())
+        M3D_FATAL(origin, ": profile has no 'name'");
+    return p;
+}
+
+WorkloadProfile
+loadProfile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        M3D_FATAL("cannot open profile: ", path);
+    return readProfile(in, path);
+}
+
+void
+writeProfile(std::ostream &out, const WorkloadProfile &profile)
+{
+    out << "# m3d workload profile\n";
+    out << "name = " << profile.name << "\n";
+    out << "parallel = " << (profile.parallel ? "true" : "false")
+        << "\n";
+    for (const auto &[key, field] : fields())
+        out << key << " = " << field.get(profile) << "\n";
+}
+
+void
+saveProfile(const std::string &path, const WorkloadProfile &profile)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        M3D_FATAL("cannot write profile: ", path);
+    writeProfile(out, profile);
+    if (!out)
+        M3D_FATAL("failed writing profile: ", path);
+}
+
+} // namespace m3d

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Load and save workload profiles as plain "key = value" text files,
+ * so users can define their own applications without recompiling.
+ *
+ * Format: one field per line, `#` starts a comment, unknown keys are
+ * fatal (they are almost always typos).  `name` and booleans take
+ * strings ("true"/"false"); everything else is a double.
+ */
+
+#ifndef M3D_WORKLOAD_PROFILE_IO_HH_
+#define M3D_WORKLOAD_PROFILE_IO_HH_
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/profile.hh"
+
+namespace m3d {
+
+/** Parse a profile from a stream; fatal on malformed input. */
+WorkloadProfile readProfile(std::istream &in,
+                            const std::string &origin="<stream>");
+
+/** Load a profile from a file; fatal if unreadable or malformed. */
+WorkloadProfile loadProfile(const std::string &path);
+
+/** Serialize a profile (round-trips through readProfile). */
+void writeProfile(std::ostream &out, const WorkloadProfile &profile);
+
+/** Save a profile to a file; fatal if the file cannot be written. */
+void saveProfile(const std::string &path,
+                 const WorkloadProfile &profile);
+
+} // namespace m3d
+
+#endif // M3D_WORKLOAD_PROFILE_IO_HH_

@@ -1,0 +1,148 @@
+#include "workload/trace_file.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/logging.hh"
+#include "workload/generator.hh"
+
+namespace m3d {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4d334454; // "M3DT"
+constexpr std::uint32_t kVersion = 1;
+
+/** On-disk record: 16 bytes per micro-op. */
+struct PackedOp
+{
+    std::uint64_t address;
+    std::uint16_t src1_dist;
+    std::uint16_t src2_dist;
+    std::uint8_t op;
+    std::uint8_t flags; // bit0 taken, bit1 mispredicted,
+                        // bit2 complex, bit3 serializing
+    std::uint8_t pad[2];
+};
+static_assert(sizeof(PackedOp) == 16, "trace record must be packed");
+
+PackedOp
+pack(const MicroOp &op)
+{
+    PackedOp p{};
+    p.address = op.address;
+    p.src1_dist = static_cast<std::uint16_t>(op.src1_dist);
+    p.src2_dist = static_cast<std::uint16_t>(op.src2_dist);
+    p.op = static_cast<std::uint8_t>(op.op);
+    p.flags = static_cast<std::uint8_t>(
+        (op.taken ? 1 : 0) | (op.mispredicted ? 2 : 0) |
+        (op.complex_decode ? 4 : 0) | (op.serializing ? 8 : 0));
+    return p;
+}
+
+MicroOp
+unpack(const PackedOp &p)
+{
+    MicroOp op;
+    op.address = p.address;
+    op.src1_dist = p.src1_dist;
+    op.src2_dist = p.src2_dist;
+    op.op = static_cast<OpClass>(p.op);
+    op.taken = (p.flags & 1) != 0;
+    op.mispredicted = (p.flags & 2) != 0;
+    op.complex_decode = (p.flags & 4) != 0;
+    op.serializing = (p.flags & 8) != 0;
+    return op;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path) : path_(path)
+{
+    buffer_.reserve(1 << 20);
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!closed_)
+        close();
+}
+
+void
+TraceWriter::append(const MicroOp &op)
+{
+    M3D_ASSERT(!closed_, "trace writer already closed");
+    const PackedOp p = pack(op);
+    const auto *bytes = reinterpret_cast<const std::uint8_t *>(&p);
+    buffer_.insert(buffer_.end(), bytes, bytes + sizeof(PackedOp));
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    if (!out)
+        M3D_FATAL("cannot open trace file for writing: ", path_);
+    const std::uint32_t magic = kMagic;
+    const std::uint32_t version = kVersion;
+    out.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char *>(&version),
+              sizeof(version));
+    out.write(reinterpret_cast<const char *>(&count_), sizeof(count_));
+    out.write(reinterpret_cast<const char *>(buffer_.data()),
+              static_cast<std::streamsize>(buffer_.size()));
+    if (!out)
+        M3D_FATAL("failed writing trace file: ", path_);
+}
+
+void
+TraceWriter::record(const std::string &path, TraceGenerator &gen,
+                    std::uint64_t n)
+{
+    TraceWriter w(path);
+    for (std::uint64_t i = 0; i < n; ++i)
+        w.append(gen.next());
+    w.close();
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        M3D_FATAL("cannot open trace file: ", path);
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    std::uint64_t count = 0;
+    in.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    in.read(reinterpret_cast<char *>(&version), sizeof(version));
+    in.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!in || magic != kMagic)
+        M3D_FATAL("not an m3d trace file: ", path);
+    if (version != kVersion)
+        M3D_FATAL("unsupported trace version ", version, ": ", path);
+
+    ops_.reserve(static_cast<std::size_t>(count));
+    PackedOp p{};
+    for (std::uint64_t i = 0; i < count; ++i) {
+        in.read(reinterpret_cast<char *>(&p), sizeof(p));
+        if (!in)
+            M3D_FATAL("truncated trace file: ", path);
+        ops_.push_back(unpack(p));
+    }
+}
+
+MicroOp
+TraceReader::next()
+{
+    M3D_ASSERT(!ops_.empty(), "empty trace");
+    const MicroOp &op = ops_[static_cast<std::size_t>(pos_)];
+    pos_ = (pos_ + 1) % ops_.size();
+    return op;
+}
+
+} // namespace m3d

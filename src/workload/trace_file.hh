@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Trace record/replay (TraceCPU-style).
+ *
+ * A recorded trace freezes a synthetic (or externally produced)
+ * micro-op stream into a compact binary file, so experiments can be
+ * pinned to an exact instruction sequence independent of the
+ * generator's evolution, and users can bring their own traces.
+ *
+ * Format: a 16-byte header (magic, version, count) followed by one
+ * packed record per micro-op.
+ */
+
+#ifndef M3D_WORKLOAD_TRACE_FILE_HH_
+#define M3D_WORKLOAD_TRACE_FILE_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/instruction.hh"
+
+namespace m3d {
+
+class TraceGenerator;
+
+/** Writes micro-ops to a trace file. */
+class TraceWriter
+{
+  public:
+    /** @param path Output file; truncated if present. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one micro-op. */
+    void append(const MicroOp &op);
+
+    /** Flush and finalize the header. Called by the destructor. */
+    void close();
+
+    std::uint64_t count() const { return count_; }
+
+    /** Convenience: record `n` ops from a generator. */
+    static void record(const std::string &path, TraceGenerator &gen,
+                       std::uint64_t n);
+
+  private:
+    std::string path_;
+    std::vector<std::uint8_t> buffer_;
+    std::uint64_t count_ = 0;
+    bool closed_ = false;
+};
+
+/** Replays a recorded trace as a micro-op source. */
+class TraceReader
+{
+  public:
+    /** Loads the whole trace; fatal on a malformed file. */
+    explicit TraceReader(const std::string &path);
+
+    std::uint64_t size() const
+    {
+        return static_cast<std::uint64_t>(ops_.size());
+    }
+
+    /** Next op; wraps around at the end of the trace. */
+    MicroOp next();
+
+    /** Restart from the beginning. */
+    void rewind() { pos_ = 0; }
+
+    const MicroOp &at(std::uint64_t i) const
+    {
+        return ops_[static_cast<std::size_t>(i)];
+    }
+
+  private:
+    std::vector<MicroOp> ops_;
+    std::uint64_t pos_ = 0;
+};
+
+} // namespace m3d
+
+#endif // M3D_WORKLOAD_TRACE_FILE_HH_

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit tests for the cache models: tag/LRU behaviour, the hierarchy's
+ * level selection and latencies, partner-L2 sharing, and the stream
+ * prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/cache.hh"
+
+namespace m3d {
+namespace {
+
+CacheConfig
+tinyCache()
+{
+    // 4 sets x 2 ways x 64B lines = 512 B.
+    return CacheConfig{"tiny", 512, 2, 64, 3};
+}
+
+TEST(Cache, GeometryDerived)
+{
+    const Cache c(tinyCache());
+    EXPECT_EQ(c.config().sets(), 4u);
+}
+
+TEST(CacheDeathTest, NonPowerOfTwoSetsRejected)
+{
+    CacheConfig cfg{"bad", 3 * 64 * 2, 2, 64, 3};
+    EXPECT_DEATH(Cache c(cfg), "");
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(tinyCache());
+    EXPECT_FALSE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1030, false)); // same 64B line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    Cache c(tinyCache());
+    // Three lines mapping to set 0 in a 2-way cache: lines 0, 4, 8
+    // (line index & 3 == 0).
+    c.access(0 * 64, false);
+    c.access(4 * 64, false);
+    c.access(0 * 64, false);  // touch line 0: line 4 becomes LRU
+    c.access(8 * 64, false);  // evicts line 4
+    EXPECT_TRUE(c.contains(0 * 64));
+    EXPECT_FALSE(c.contains(4 * 64));
+    EXPECT_TRUE(c.contains(8 * 64));
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c(tinyCache());
+    c.access(0x2000, true);
+    EXPECT_TRUE(c.contains(0x2000));
+    c.invalidate(0x2000);
+    EXPECT_FALSE(c.contains(0x2000));
+    c.invalidate(0x9999000); // no-op on absent lines
+}
+
+TEST(Cache, FillDoesNotTouchStats)
+{
+    Cache c(tinyCache());
+    c.fill(0x3000);
+    EXPECT_EQ(c.hits() + c.misses(), 0u);
+    EXPECT_TRUE(c.contains(0x3000));
+    EXPECT_TRUE(c.access(0x3000, false));
+}
+
+TEST(Cache, ContainsDoesNotDisturbLru)
+{
+    Cache c(tinyCache());
+    c.access(0 * 64, false);
+    c.access(4 * 64, false);
+    // Probing line 0 must not refresh it...
+    EXPECT_TRUE(c.contains(0 * 64));
+    c.access(8 * 64, false); // ... so line 0 (LRU) is the victim
+    EXPECT_FALSE(c.contains(0 * 64));
+    EXPECT_TRUE(c.contains(4 * 64));
+}
+
+TEST(Cache, MissRate)
+{
+    Cache c(tinyCache());
+    c.access(0x0, false);
+    c.access(0x0, false);
+    c.access(0x0, false);
+    c.access(0x0, false);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.25);
+}
+
+HierarchyTiming
+defaultTiming()
+{
+    HierarchyTiming t;
+    t.l1_rt = 4;
+    t.l2_rt = 10;
+    t.l3_rt = 32;
+    t.dram_ns = 50.0;
+    t.frequency = 3.3e9;
+    return t;
+}
+
+TEST(HierarchyTiming, DramCyclesScaleWithFrequency)
+{
+    HierarchyTiming t = defaultTiming();
+    const int at33 = t.dramCycles();
+    t.frequency = 4.4e9;
+    EXPECT_GT(t.dramCycles(), at33);
+    EXPECT_EQ(at33, 165); // 50 ns at 3.3 GHz
+}
+
+TEST(CacheHierarchy, FirstAccessGoesToDram)
+{
+    CacheHierarchy h(defaultTiming());
+    const MemAccessResult r = h.access(0x123400, false);
+    EXPECT_EQ(r.level, MemLevel::Dram);
+    EXPECT_EQ(h.dramAccesses(), 1u);
+    EXPECT_GT(r.extra_cycles, 150);
+}
+
+TEST(CacheHierarchy, SecondAccessHitsL1)
+{
+    CacheHierarchy h(defaultTiming());
+    h.access(0x123400, false);
+    const MemAccessResult r = h.access(0x123400, false);
+    EXPECT_EQ(r.level, MemLevel::L1);
+    EXPECT_EQ(r.extra_cycles, 0);
+}
+
+TEST(CacheHierarchy, L2HitAfterL1Eviction)
+{
+    CacheHierarchy h(defaultTiming());
+    h.access(0x40000, false);
+    // Evict from the 32KB L1 by sweeping > 32KB of conflicting lines;
+    // the 256KB L2 retains them.
+    for (std::uint64_t a = 0; a < 64 * 1024; a += 32)
+        h.access(0x100000 + a, false);
+    const MemAccessResult r = h.access(0x40000, false);
+    EXPECT_EQ(r.level, MemLevel::L2);
+    EXPECT_EQ(r.extra_cycles, 10 - 4);
+}
+
+TEST(CacheHierarchy, PrefetcherFillsNextLines)
+{
+    CacheHierarchy h(defaultTiming());
+    h.access(0x800000, false); // deep miss: prefetch 0x800040/80
+    EXPECT_TRUE(h.l2().contains(0x800040));
+    EXPECT_TRUE(h.l2().contains(0x800080));
+}
+
+TEST(CacheHierarchy, PartnerL2Hit)
+{
+    CacheHierarchy a(defaultTiming(), 0);
+    CacheHierarchy b(defaultTiming(), 1);
+    a.setPartner(&b);
+    b.setPartner(&a);
+    // Load the line into b's L2 via a demand access.
+    b.access(0xabc000, false);
+    const MemAccessResult r = a.access(0xabc000, false);
+    EXPECT_EQ(r.level, MemLevel::PartnerL2);
+    EXPECT_EQ(r.extra_cycles, defaultTiming().partner_l2_cycles - 4);
+}
+
+TEST(CacheHierarchy, RemoteHitOnlyForSharedAddresses)
+{
+    CacheHierarchy h(defaultTiming());
+    h.setRemoteHitRate(1.0);
+    const std::uint64_t shared = (1ull << 40) | 0x5000;
+    const MemAccessResult r = h.access(shared, false);
+    EXPECT_EQ(r.level, MemLevel::RemoteL2);
+
+    CacheHierarchy h2(defaultTiming());
+    h2.setRemoteHitRate(1.0);
+    const MemAccessResult r2 = h2.access(0x5000, false);
+    EXPECT_NE(r2.level, MemLevel::RemoteL2);
+}
+
+TEST(CacheHierarchy, FetchPathUsesInstructionCache)
+{
+    CacheHierarchy h(defaultTiming());
+    h.fetchAccess(0x400000);
+    const MemAccessResult r = h.fetchAccess(0x400000);
+    EXPECT_EQ(r.level, MemLevel::L1);
+    EXPECT_EQ(h.l1i().hits(), 1u);
+    EXPECT_EQ(h.l1d().hits() + h.l1d().misses(), 0u);
+}
+
+TEST(CacheHierarchy, LevelsHaveTable9Geometry)
+{
+    CacheHierarchy h(defaultTiming());
+    EXPECT_EQ(h.l1i().config().size_bytes, 32u * 1024);
+    EXPECT_EQ(h.l1i().config().associativity, 4);
+    EXPECT_EQ(h.l1d().config().size_bytes, 32u * 1024);
+    EXPECT_EQ(h.l1d().config().associativity, 8);
+    EXPECT_EQ(h.l2().config().size_bytes, 256u * 1024);
+    EXPECT_EQ(h.l3().config().size_bytes, 2u * 1024 * 1024);
+    EXPECT_EQ(h.l3().config().associativity, 16);
+}
+
+} // namespace
+} // namespace m3d

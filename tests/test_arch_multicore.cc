@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the ring NoC and the multicore model: scaling,
+ * Amdahl behaviour, shared-L2 pairing, and synchronization costs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/multicore.hh"
+
+namespace m3d {
+namespace {
+
+TEST(RingNoc, StopCounts)
+{
+    EXPECT_EQ(RingNoc(4, false).stops(), 4);
+    EXPECT_EQ(RingNoc(4, true).stops(), 2);
+    EXPECT_EQ(RingNoc(8, true).stops(), 4);
+    EXPECT_EQ(RingNoc(1, true).stops(), 1);
+}
+
+TEST(RingNoc, SharedStopsHalveLatency)
+{
+    const RingNoc flat(8, false);
+    const RingNoc folded(8, true);
+    EXPECT_NEAR(folded.averageLatency() / flat.averageLatency(), 0.5,
+                1e-9);
+}
+
+TEST(RingNoc, HopsGrowWithCores)
+{
+    EXPECT_GT(RingNoc(16, false).averageHops(),
+              RingNoc(4, false).averageHops());
+    EXPECT_DOUBLE_EQ(RingNoc(1, false).averageHops(), 0.0);
+}
+
+TEST(RingNoc, RoundTripIsTwiceOneWay)
+{
+    const RingNoc n(8, false);
+    EXPECT_NEAR(n.remoteRoundTrip(), 2.0 * n.averageLatency(), 1.0);
+}
+
+CoreDesign
+multicoreDesign(int cores, bool shared_pairs)
+{
+    CoreDesign d;
+    d.name = "test-mc";
+    d.tech = shared_pairs ? Technology::m3dHetero()
+                          : Technology::planar2D();
+    d.frequency = 3.3e9;
+    d.num_cores = cores;
+    d.shared_l2_pairs = shared_pairs;
+    if (shared_pairs) {
+        d.load_to_use = 3;
+        d.mispredict_penalty = 12;
+    }
+    return d;
+}
+
+TEST(Multicore, ParallelAppScalesWithCores)
+{
+    const WorkloadProfile app = WorkloadLibrary::byName("Ocean");
+    const std::uint64_t work = 800000;
+    MulticoreModel m2(multicoreDesign(2, false));
+    MulticoreModel m8(multicoreDesign(8, false));
+    const double t2 = m2.run(app, work, 7).seconds;
+    const double t8 = m8.run(app, work, 7).seconds;
+    EXPECT_GT(t2 / t8, 1.8); // should be ~3-4x for a 0.98 pfrac app
+}
+
+TEST(Multicore, AmdahlLimitsSerialApps)
+{
+    WorkloadProfile app = WorkloadLibrary::byName("Ocean");
+    app.parallel_frac = 0.30;
+    const std::uint64_t work = 400000;
+    MulticoreModel m1(multicoreDesign(1, false));
+    MulticoreModel m8(multicoreDesign(8, false));
+    const double t1 = m1.run(app, work, 7).seconds;
+    const double t8 = m8.run(app, work, 7).seconds;
+    EXPECT_LT(t1 / t8, 1.5); // speedup capped near 1/(0.7)
+}
+
+TEST(Multicore, ResultDecomposesIntoSections)
+{
+    const WorkloadProfile app = WorkloadLibrary::byName("Fft");
+    MulticoreModel m(multicoreDesign(4, false));
+    const MulticoreResult r = m.run(app, 400000, 7);
+    EXPECT_NEAR(r.seconds,
+                r.serial_seconds + r.parallel_seconds +
+                    r.sync_seconds,
+                r.seconds * 1e-9);
+    EXPECT_GT(r.parallel_seconds, 0.0);
+    EXPECT_GT(r.sync_seconds, 0.0);
+    EXPECT_EQ(r.num_cores, 4);
+    // Serial chunk + 4 parallel chunks reported.
+    EXPECT_EQ(r.per_core.size(), 5u);
+}
+
+TEST(Multicore, Deterministic)
+{
+    const WorkloadProfile app = WorkloadLibrary::byName("Radix");
+    MulticoreModel m(multicoreDesign(4, false));
+    const MulticoreResult a = m.run(app, 400000, 7);
+    const MulticoreResult b = m.run(app, 400000, 7);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.total.instructions, b.total.instructions);
+}
+
+TEST(Multicore, SharedL2PairsHelpSharingApps)
+{
+    // Canneal has the highest shared fraction; the folded NoC and
+    // partner L2s should shorten its remote accesses.
+    const WorkloadProfile app = WorkloadLibrary::byName("Canneal");
+    MulticoreModel flat(multicoreDesign(4, false));
+    CoreDesign folded_d = multicoreDesign(4, true);
+    folded_d.frequency = 3.3e9;
+    MulticoreModel folded(folded_d);
+    const double t_flat = flat.run(app, 600000, 7).seconds;
+    const double t_folded = folded.run(app, 600000, 7).seconds;
+    EXPECT_LT(t_folded, t_flat);
+}
+
+TEST(Multicore, TotalActivityAggregatesCores)
+{
+    const WorkloadProfile app = WorkloadLibrary::byName("Lu");
+    MulticoreModel m(multicoreDesign(4, false));
+    const MulticoreResult r = m.run(app, 400000, 7, /*warmup=*/10000);
+    std::uint64_t sum = 0;
+    for (const SimResult &c : r.per_core)
+        sum += c.activity.instructions;
+    EXPECT_EQ(r.total.instructions, sum);
+    // Roughly all the requested work is accounted (integer split).
+    EXPECT_NEAR(static_cast<double>(sum), 400000.0, 4000.0);
+}
+
+TEST(Multicore, LockHeavyAppsPayMoreSync)
+{
+    WorkloadProfile calm = WorkloadLibrary::byName("Lu");
+    WorkloadProfile locky = calm;
+    locky.lock_per_kinstr = 20.0;
+    MulticoreModel m(multicoreDesign(8, false));
+    const MulticoreResult rc = m.run(calm, 400000, 7);
+    const MulticoreResult rl = m.run(locky, 400000, 7);
+    EXPECT_GT(rl.sync_seconds, rc.sync_seconds);
+}
+
+TEST(MulticoreDeathTest, RejectsZeroCores)
+{
+    CoreDesign d = multicoreDesign(0, false);
+    EXPECT_DEATH(MulticoreModel m(d), "");
+}
+
+} // namespace
+} // namespace m3d

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the core area model and the NoC contention model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/noc.hh"
+#include "core/area_model.hh"
+#include "util/units.hh"
+
+namespace m3d {
+namespace {
+
+using namespace units;
+
+class AreaModelTest : public ::testing::Test
+{
+  protected:
+    static const DesignFactory &factory()
+    {
+        static DesignFactory f;
+        return f;
+    }
+    CoreAreaModel model_;
+};
+
+TEST_F(AreaModelTest, PlanarCoreNearFloorplanSize)
+{
+    const CoreAreaReport r = model_.evaluate(factory().base());
+    // The Ryzen-like floorplan is ~10.6 mm^2; the area model should
+    // land within a factor of ~2.
+    EXPECT_GT(r.footprint, 4.0 * mm2);
+    EXPECT_LT(r.footprint, 16.0 * mm2);
+    EXPECT_NEAR(r.total_area, r.array_area + r.logic_area, 1e-12);
+}
+
+TEST_F(AreaModelTest, M3dFoldsToAboutHalf)
+{
+    const double factor = model_.footprintFactor(factory().m3dHet());
+    EXPECT_GT(factor, 0.45);
+    EXPECT_LT(factor, 0.70);
+}
+
+TEST_F(AreaModelTest, PlanarFactorIsUnity)
+{
+    EXPECT_NEAR(model_.footprintFactor(factory().base()), 1.0, 1e-9);
+}
+
+TEST_F(AreaModelTest, EveryStructureShrinksUnderM3d)
+{
+    const CoreAreaReport base = model_.evaluate(factory().base());
+    const CoreAreaReport het = model_.evaluate(factory().m3dHet());
+    for (const auto &[name, area] : base.structures) {
+        EXPECT_LT(het.structures.at(name), area) << name;
+    }
+}
+
+TEST_F(AreaModelTest, TsvFoldsLessEffectivelyThanM3d)
+{
+    const double tsv = model_.footprintFactor(factory().tsv3d());
+    const double m3d = model_.footprintFactor(factory().m3dHet());
+    EXPECT_LE(m3d, tsv + 1e-9);
+}
+
+TEST(NocContention, UncontendedEqualsBaseLatency)
+{
+    const RingNoc noc(8, false);
+    EXPECT_NEAR(noc.contendedLatency(0.0), noc.averageLatency(),
+                1e-12);
+}
+
+TEST(NocContention, LatencyRisesWithLoad)
+{
+    const RingNoc noc(8, false);
+    const double lo = noc.contendedLatency(0.1 * noc.capacity());
+    const double hi = noc.contendedLatency(0.8 * noc.capacity());
+    EXPECT_GT(hi, lo);
+    EXPECT_GT(lo, noc.averageLatency() * 0.999);
+}
+
+TEST(NocContention, SaturationIsBounded)
+{
+    // The queueing term clamps at rho = 0.95 instead of diverging.
+    const RingNoc noc(8, false);
+    const double sat = noc.contendedLatency(100.0 * noc.capacity());
+    EXPECT_LT(sat, noc.averageLatency() * 25.0);
+    EXPECT_GT(sat, noc.averageLatency() * 10.0);
+}
+
+TEST(NocContention, FoldedRingHasMoreHeadroomPerStop)
+{
+    // Same cores, half the stops: shorter paths mean each flit
+    // occupies fewer links, so effective capacity stays comparable
+    // while latency halves.
+    const RingNoc flat(8, false);
+    const RingNoc folded(8, true);
+    const double load = 0.5;
+    EXPECT_LT(folded.contendedLatency(load),
+              flat.contendedLatency(load));
+}
+
+} // namespace
+} // namespace m3d

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the circuit module: RC delays, Horowitz, buffer
+ * chains, driven wires, and sense-amp constants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/delay.hh"
+#include "circuit/senseamp.hh"
+#include "tech/wire.hh"
+#include "util/units.hh"
+
+namespace m3d {
+namespace {
+
+using namespace units;
+
+TEST(RcStageDelay, MatchesClosedForm)
+{
+    // 0.69*Rd*(Cw+Cl) + 0.38*Rw*Cw + 0.69*Rw*Cl
+    const double d = rcStageDelay(1000.0, 500.0, 10.0 * fF, 5.0 * fF);
+    const double expect = 0.69 * 1000.0 * 15e-15 +
+                          0.38 * 500.0 * 10e-15 +
+                          0.69 * 500.0 * 5e-15;
+    EXPECT_NEAR(d, expect, 1e-18);
+}
+
+TEST(RcStageDelay, ZeroWireReducesToLumped)
+{
+    const double d = rcStageDelay(1000.0, 0.0, 0.0, 8.0 * fF);
+    EXPECT_NEAR(d, 0.69 * 1000.0 * 8e-15, 1e-20);
+}
+
+TEST(Horowitz, StepInputReducesToTfTerm)
+{
+    const double tf = 10.0 * ps;
+    const double d = horowitz(0.0, tf, 0.5);
+    EXPECT_NEAR(d, tf * std::log(2.0), tf * 1e-6);
+}
+
+TEST(Horowitz, SlowerInputSlowsGate)
+{
+    const double tf = 10.0 * ps;
+    EXPECT_GT(horowitz(40.0 * ps, tf), horowitz(10.0 * ps, tf));
+    EXPECT_GT(horowitz(10.0 * ps, tf), horowitz(0.0, tf));
+}
+
+TEST(HorowitzDeathTest, RejectsBadThreshold)
+{
+    EXPECT_DEATH(horowitz(1e-12, 1e-12, 0.0), "");
+    EXPECT_DEATH(horowitz(1e-12, 1e-12, 1.0), "");
+}
+
+TEST(BufferChain, MoreLoadMoreStages)
+{
+    const ProcessCorner p = ProcessLibrary::hp22();
+    const BufferChain small = sizeBufferChain(p, 4.0 * p.c_gate);
+    const BufferChain big = sizeBufferChain(p, 4000.0 * p.c_gate);
+    EXPECT_GE(big.stages, small.stages);
+    EXPECT_GT(big.delay, small.delay);
+    EXPECT_GT(big.energy, small.energy);
+}
+
+TEST(BufferChain, DelayGrowsLogarithmically)
+{
+    // Chain delay ~ log(load); a 256x load increase should cost far
+    // less than 256x the delay.
+    const ProcessCorner p = ProcessLibrary::hp22();
+    const double d1 = sizeBufferChain(p, 16.0 * p.c_gate).delay;
+    const double d2 = sizeBufferChain(p, 4096.0 * p.c_gate).delay;
+    EXPECT_LT(d2 / d1, 8.0);
+}
+
+TEST(DriveWire, MonotonicInWireLength)
+{
+    const ProcessCorner p = ProcessLibrary::hp22();
+    const WireParams w = WireLibrary::local22();
+    double prev_delay = 0.0;
+    double prev_energy = 0.0;
+    for (double len : {10.0 * um, 50.0 * um, 200.0 * um, 800.0 * um}) {
+        const DrivenWire d =
+            driveWire(p, w.resOf(len), w.capOf(len), 10.0 * fF);
+        EXPECT_GT(d.delay, prev_delay);
+        EXPECT_GT(d.energy, prev_energy);
+        prev_delay = d.delay;
+        prev_energy = d.energy;
+    }
+}
+
+TEST(DriveWire, MonotonicInLoad)
+{
+    const ProcessCorner p = ProcessLibrary::hp22();
+    const DrivenWire small = driveWire(p, 100.0, 5.0 * fF, 1.0 * fF);
+    const DrivenWire big = driveWire(p, 100.0, 5.0 * fF, 50.0 * fF);
+    EXPECT_GT(big.delay, small.delay);
+    EXPECT_GT(big.energy, small.energy);
+}
+
+TEST(DriveWire, SlowerProcessSlowerDrive)
+{
+    const ProcessCorner hp = ProcessLibrary::hp22();
+    const ProcessCorner slow = hp.degraded(0.17);
+    const DrivenWire fast_d =
+        driveWire(hp, 200.0, 20.0 * fF, 5.0 * fF);
+    const DrivenWire slow_d =
+        driveWire(slow, 200.0, 20.0 * fF, 5.0 * fF);
+    EXPECT_GT(slow_d.delay, fast_d.delay);
+}
+
+TEST(DriveWire, TinyLoadStillPositive)
+{
+    const ProcessCorner p = ProcessLibrary::hp22();
+    const DrivenWire d = driveWire(p, 0.0, 0.0, 0.1 * p.c_gate);
+    EXPECT_GT(d.delay, 0.0);
+    EXPECT_GT(d.energy, 0.0);
+}
+
+TEST(SenseAmp, DelayScalesWithProcess)
+{
+    const ProcessCorner hp = ProcessLibrary::hp22();
+    const ProcessCorner slow = hp.degraded(0.2);
+    EXPECT_NEAR(SenseAmp::delay(slow) / SenseAmp::delay(hp), 1.2,
+                1e-9);
+    EXPECT_GT(SenseAmp::energy(hp), 0.0);
+}
+
+TEST(MatchLine, EnergyGrowsWithLineCap)
+{
+    const ProcessCorner p = ProcessLibrary::hp22();
+    EXPECT_GT(MatchLine::energy(p, 20.0 * fF),
+              MatchLine::energy(p, 2.0 * fF));
+    EXPECT_GT(MatchLine::evalDelay(p), 0.0);
+}
+
+} // namespace
+} // namespace m3d

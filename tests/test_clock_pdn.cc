@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the clock-tree and PDN models (Section 3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/clock_tree.hh"
+#include "power/pdn.hh"
+#include "util/units.hh"
+
+namespace m3d {
+namespace {
+
+using namespace units;
+
+TEST(ClockTree, WireLengthGrowsWithFootprint)
+{
+    ClockTreeModel small(Technology::planar2D(), 1.0 * mm, 1.0 * mm);
+    ClockTreeModel big(Technology::planar2D(), 4.0 * mm, 4.0 * mm);
+    EXPECT_GT(big.wireLength(), 4.0 * small.wireLength());
+}
+
+TEST(ClockTree, CapacitanceIncludesLeaves)
+{
+    ClockTreeModel few(Technology::planar2D(), 2.0 * mm, 2.0 * mm,
+                       10000);
+    ClockTreeModel many(Technology::planar2D(), 2.0 * mm, 2.0 * mm,
+                        200000);
+    EXPECT_GT(many.capacitance(), few.capacitance());
+    EXPECT_DOUBLE_EQ(many.wireLength(), few.wireLength());
+}
+
+TEST(ClockTree, PowerQuadraticInVdd)
+{
+    ClockTreeModel m(Technology::planar2D(), 3.0 * mm, 3.0 * mm);
+    EXPECT_NEAR(m.power(3.3e9, 0.8) / m.power(3.3e9, 0.4), 4.0, 1e-9);
+    EXPECT_NEAR(m.power(6.6e9, 0.8) / m.power(3.3e9, 0.8), 2.0, 1e-9);
+}
+
+TEST(ClockTree, M3dFoldSavesSwitchingPower)
+{
+    const double factor = ClockTreeModel::m3dSwitchFactor(
+        Technology::m3dHetero(), 3.26 * mm, 3.26 * mm);
+    // Between the paper's adopted 0.75 and unity; well below 1.
+    EXPECT_GT(factor, 0.6);
+    EXPECT_LT(factor, 0.95);
+}
+
+TEST(ClockTree, PlausibleAbsolutePower)
+{
+    // A ~10 mm^2 core's global tree + grid: a few hundred mW of the
+    // ~2 W total clocking power (the rest is in latches and local
+    // buffers the PowerModel carries).
+    ClockTreeModel m(Technology::planar2D(), 3.26 * mm, 3.26 * mm);
+    const double watts = m.power(3.3e9, 0.8);
+    EXPECT_GT(watts, 0.1);
+    EXPECT_LT(watts, 2.0);
+}
+
+TEST(ClockTreeDeathTest, TwoLayersNeedStackedTech)
+{
+    EXPECT_DEATH(ClockTreeModel(Technology::planar2D(), 1.0 * mm,
+                                1.0 * mm, 1000, 2),
+                 "");
+}
+
+TEST(Pdn, DropScalesWithPower)
+{
+    PdnModel pdn(Technology::m3dHetero(), 2.3 * mm, 2.3 * mm);
+    const PdnReport lo = pdn.evaluate(PdnStyle::Planar, 3.0);
+    const PdnReport hi = pdn.evaluate(PdnStyle::Planar, 9.0);
+    EXPECT_NEAR(hi.worst_ir_drop / lo.worst_ir_drop, 3.0, 1e-6);
+}
+
+TEST(Pdn, DropStaysWithinBudget)
+{
+    // A healthy grid keeps IR drop under ~5% of an 0.8 V supply.
+    PdnModel pdn(Technology::m3dHetero(), 2.3 * mm, 2.3 * mm);
+    const PdnReport r = pdn.evaluate(PdnStyle::SingleTop, 6.4);
+    EXPECT_LT(r.worst_ir_drop, 0.05 * 0.8);
+    EXPECT_GT(r.worst_ir_drop, 0.0);
+}
+
+TEST(Pdn, PerLayerHalvesDropButDoublesMetal)
+{
+    PdnModel pdn(Technology::m3dHetero(), 2.3 * mm, 2.3 * mm);
+    const PdnReport one = pdn.evaluate(PdnStyle::Planar, 6.4);
+    const PdnReport two = pdn.evaluate(PdnStyle::PerLayer, 6.4);
+    EXPECT_NEAR(two.worst_ir_drop / one.worst_ir_drop, 0.5, 1e-6);
+    EXPECT_NEAR(two.metal_area / one.metal_area, 2.0, 1e-9);
+}
+
+TEST(Pdn, MivArrayDropIsNegligible)
+{
+    // Billoint et al.'s conclusion: the single-top-PDN option's MIV
+    // array adds only microvolts.
+    PdnModel pdn(Technology::m3dHetero(), 2.3 * mm, 2.3 * mm);
+    const PdnReport r = pdn.evaluate(PdnStyle::SingleTop, 6.4);
+    EXPECT_GT(r.miv_count, 10000);
+    EXPECT_LT(r.via_drop, 0.5 * mV);
+    // Same metal as a single planar grid.
+    const PdnReport planar = pdn.evaluate(PdnStyle::Planar, 6.4);
+    EXPECT_DOUBLE_EQ(r.metal_area, planar.metal_area);
+}
+
+TEST(Pdn, SingleTopBeatsPerLayerOnMetalAtTinyDropCost)
+{
+    PdnModel pdn(Technology::m3dHetero(), 2.3 * mm, 2.3 * mm);
+    const PdnReport top = pdn.evaluate(PdnStyle::SingleTop, 6.4);
+    const PdnReport per = pdn.evaluate(PdnStyle::PerLayer, 6.4);
+    EXPECT_LT(top.metal_area, per.metal_area);
+    // The drop penalty is bounded (a few mV plus the via microvolts).
+    EXPECT_LT(top.worst_ir_drop - per.worst_ir_drop, 30.0 * mV);
+}
+
+} // namespace
+} // namespace m3d

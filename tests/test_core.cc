@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the core module: frequency derivation policies and
+ * the design factory (Table 11 configurations).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/design.hh"
+
+namespace m3d {
+namespace {
+
+/** Hand-built partition results with chosen latency reductions. */
+PartitionResult
+fakeResult(const std::string &name, double latency_reduction)
+{
+    PartitionResult r;
+    r.cfg.name = name;
+    r.planar.access_latency = 100e-12;
+    r.planar.access_energy = 1e-12;
+    r.planar.area = 1e-9;
+    r.stacked = r.planar;
+    r.stacked.access_latency = 100e-12 * (1.0 - latency_reduction);
+    return r;
+}
+
+TEST(FrequencyDerivation, ConservativeUsesMinimum)
+{
+    std::vector<PartitionResult> results = {
+        fakeResult("RF", 0.41), fakeResult("IQ", 0.26),
+        fakeResult("SQ", 0.14), fakeResult("BPT", 0.14)};
+    const FrequencyDerivation d =
+        deriveFrequency(results, FrequencyPolicy::Conservative);
+    EXPECT_NEAR(d.min_reduction, 0.14, 1e-12);
+    // 3.3/(1-0.14) = 3.83 GHz: the paper's M3D-Iso.
+    EXPECT_NEAR(d.frequency / 1e9, 3.83, 0.01);
+    EXPECT_TRUE(d.limiting_structure == "SQ" ||
+                d.limiting_structure == "BPT");
+}
+
+TEST(FrequencyDerivation, AggressiveIgnoresNonCriticalStructures)
+{
+    std::vector<PartitionResult> results = {
+        fakeResult("RF", 0.41), fakeResult("IQ", 0.26),
+        fakeResult("SQ", 0.05), fakeResult("BPT", 0.02)};
+    const FrequencyDerivation d =
+        deriveFrequency(results, FrequencyPolicy::Aggressive);
+    EXPECT_EQ(d.limiting_structure, "IQ");
+    EXPECT_NEAR(d.min_reduction, 0.26, 1e-12);
+}
+
+TEST(FrequencyDerivation, NegativeReductionNeverOverclocks)
+{
+    std::vector<PartitionResult> results = {
+        fakeResult("RF", 0.2), fakeResult("SQ", -0.10)};
+    const FrequencyDerivation d =
+        deriveFrequency(results, FrequencyPolicy::Conservative);
+    EXPECT_DOUBLE_EQ(d.frequency, d.base_frequency);
+}
+
+TEST(FrequencyDerivation, CustomBaseFrequency)
+{
+    std::vector<PartitionResult> results = {fakeResult("RF", 0.5)};
+    const FrequencyDerivation d = deriveFrequency(
+        results, FrequencyPolicy::Conservative, 2.0e9);
+    EXPECT_NEAR(d.frequency, 4.0e9, 1.0);
+}
+
+TEST(FrequencyDerivationDeathTest, EmptyResultsPanic)
+{
+    std::vector<PartitionResult> empty;
+    EXPECT_DEATH(
+        deriveFrequency(empty, FrequencyPolicy::Conservative), "");
+}
+
+class DesignFactoryTest : public ::testing::Test
+{
+  protected:
+    static const DesignFactory &factory()
+    {
+        static DesignFactory f;
+        return f;
+    }
+};
+
+TEST_F(DesignFactoryTest, BaseIs2DAt33GHz)
+{
+    const CoreDesign d = factory().base();
+    EXPECT_EQ(d.tech.integration, Integration::Planar2D);
+    EXPECT_DOUBLE_EQ(d.frequency, kBaseFrequency);
+    EXPECT_EQ(d.load_to_use, 4);
+    EXPECT_EQ(d.mispredict_penalty, 14);
+    EXPECT_FALSE(d.stacked());
+}
+
+TEST_F(DesignFactoryTest, All3DDesignsHaveShorterPaths)
+{
+    for (const CoreDesign &d : factory().singleCoreDesigns()) {
+        if (!d.stacked())
+            continue;
+        EXPECT_EQ(d.load_to_use, 3) << d.name;
+        EXPECT_EQ(d.mispredict_penalty, 12) << d.name;
+        EXPECT_LT(d.footprint_factor, 0.75) << d.name;
+        EXPECT_NEAR(d.clock_tree_switch_factor, 0.75, 1e-9) << d.name;
+    }
+}
+
+TEST_F(DesignFactoryTest, FrequencyOrdering)
+{
+    const DesignFactory &f = factory();
+    EXPECT_GT(f.m3dIso().frequency, f.base().frequency);
+    EXPECT_GT(f.m3dHetAgg().frequency, f.m3dHet().frequency);
+    EXPECT_GE(f.m3dIso().frequency, f.m3dHet().frequency);
+    EXPECT_LT(f.m3dHetNaive().frequency, f.m3dIso().frequency);
+    EXPECT_DOUBLE_EQ(f.tsv3d().frequency, kBaseFrequency);
+}
+
+TEST_F(DesignFactoryTest, NaiveIsIsoTimesZeroPointNineOne)
+{
+    const DesignFactory &f = factory();
+    EXPECT_NEAR(f.m3dHetNaive().frequency,
+                f.m3dIso().frequency * 0.91,
+                f.m3dIso().frequency * 1e-9);
+}
+
+TEST_F(DesignFactoryTest, HeteroRecoversMostOfTheNaiveLoss)
+{
+    // The paper's central hetero-layer claim, at the frequency level.
+    const DesignFactory &f = factory();
+    const double iso = f.m3dIso().frequency;
+    const double het = f.m3dHet().frequency;
+    const double naive = f.m3dHetNaive().frequency;
+    EXPECT_GT(het, naive);
+    EXPECT_GT((het - naive) / (iso - naive), 0.5);
+}
+
+TEST_F(DesignFactoryTest, SingleCoreLineupMatchesFigure6)
+{
+    const auto designs = factory().singleCoreDesigns();
+    ASSERT_EQ(designs.size(), 6u);
+    EXPECT_EQ(designs[0].name, "Base");
+    EXPECT_EQ(designs[1].name, "TSV3D");
+    EXPECT_EQ(designs[2].name, "M3D-Iso");
+    EXPECT_EQ(designs[3].name, "M3D-HetNaive");
+    EXPECT_EQ(designs[4].name, "M3D-Het");
+    EXPECT_EQ(designs[5].name, "M3D-HetAgg");
+}
+
+TEST_F(DesignFactoryTest, MulticoreConfigs)
+{
+    const DesignFactory &f = factory();
+    const CoreDesign w = f.m3dHetW();
+    EXPECT_EQ(w.issue_width, 8);
+    EXPECT_DOUBLE_EQ(w.frequency, kBaseFrequency);
+    EXPECT_TRUE(w.shared_l2_pairs);
+
+    const CoreDesign x2 = f.m3dHet2x();
+    EXPECT_EQ(x2.num_cores, 8);
+    EXPECT_DOUBLE_EQ(x2.vdd, 0.75);
+    EXPECT_DOUBLE_EQ(x2.frequency, kBaseFrequency);
+
+    EXPECT_FALSE(f.baseMulti().shared_l2_pairs);
+    EXPECT_TRUE(f.tsv3dMulti().shared_l2_pairs);
+}
+
+TEST_F(DesignFactoryTest, PartitionsMapCoversAllStructures)
+{
+    const CoreDesign d = factory().m3dHet();
+    for (const ArrayConfig &cfg : CoreStructures::all()) {
+        EXPECT_EQ(d.partitions.count(cfg.name), 1u) << cfg.name;
+        EXPECT_LT(d.structureEnergyFactor(cfg.name), 1.0) << cfg.name;
+        EXPECT_LT(d.structureLatencyFactor(cfg.name), 1.0) << cfg.name;
+    }
+    EXPECT_DOUBLE_EQ(d.structureEnergyFactor("no-such"), 1.0);
+}
+
+TEST_F(DesignFactoryTest, HetDesignsPayComplexDecodeCycle)
+{
+    EXPECT_EQ(factory().m3dHet().complex_decode_extra, 1);
+    EXPECT_EQ(factory().m3dIso().complex_decode_extra, 0);
+    EXPECT_EQ(factory().base().complex_decode_extra, 0);
+}
+
+TEST_F(DesignFactoryTest, ExecuteGainsPopulatedFor3D)
+{
+    EXPECT_GT(factory().m3dHet().execute_gains.freq_gain, 0.2);
+    EXPECT_DOUBLE_EQ(factory().base().execute_gains.freq_gain, 0.0);
+}
+
+} // namespace
+} // namespace m3d

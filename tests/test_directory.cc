@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the MESI directory and its integration with the
+ * cache hierarchies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/directory.hh"
+#include "arch/cache.hh"
+
+namespace m3d {
+namespace {
+
+constexpr std::uint64_t kShared = 1ull << 40;
+
+HierarchyTiming
+timing()
+{
+    return HierarchyTiming{};
+}
+
+TEST(MesiDirectory, FirstReaderGetsNoForward)
+{
+    MesiDirectory dir(4);
+    const DirectoryOutcome o = dir.access(0, kShared | 0x100, false);
+    EXPECT_FALSE(o.forward);
+    EXPECT_EQ(o.invalidations, 0);
+    EXPECT_EQ(dir.trackedLines(), 1u);
+}
+
+TEST(MesiDirectory, SecondReaderIsForwarded)
+{
+    MesiDirectory dir(4);
+    dir.access(0, kShared | 0x100, false);
+    const DirectoryOutcome o = dir.access(1, kShared | 0x100, false);
+    EXPECT_TRUE(o.forward);
+    EXPECT_EQ(o.forwarder, 0);
+    EXPECT_EQ(dir.forwards(), 1u);
+}
+
+TEST(MesiDirectory, SameCoreReaccessIsNotAForward)
+{
+    MesiDirectory dir(4);
+    dir.access(2, kShared | 0x200, false);
+    const DirectoryOutcome o = dir.access(2, kShared | 0x200, false);
+    EXPECT_FALSE(o.forward);
+}
+
+TEST(MesiDirectory, WriteInvalidatesAllOtherSharers)
+{
+    MesiDirectory dir(4);
+    for (int c = 0; c < 4; ++c)
+        dir.access(c, kShared | 0x300, false);
+    const DirectoryOutcome o = dir.access(0, kShared | 0x300, true);
+    EXPECT_EQ(o.invalidations, 3);
+    EXPECT_EQ(dir.invalidations(), 3u);
+    // Afterwards core 0 is the sole owner: a re-read by core 1 is
+    // forwarded from core 0.
+    const DirectoryOutcome r = dir.access(1, kShared | 0x300, false);
+    EXPECT_TRUE(r.forward);
+    EXPECT_EQ(r.forwarder, 0);
+}
+
+TEST(MesiDirectory, WriteByOnlyHolderInvalidatesNothing)
+{
+    MesiDirectory dir(4);
+    dir.access(3, kShared | 0x400, false);
+    const DirectoryOutcome o = dir.access(3, kShared | 0x400, true);
+    EXPECT_EQ(o.invalidations, 0);
+}
+
+TEST(MesiDirectory, DistinctLinesAreIndependent)
+{
+    MesiDirectory dir(2);
+    dir.access(0, kShared | 0x1000, false);
+    const DirectoryOutcome o = dir.access(1, kShared | 0x2000, false);
+    EXPECT_FALSE(o.forward);
+    EXPECT_EQ(dir.trackedLines(), 2u);
+}
+
+TEST(MesiDirectoryDeathTest, RejectsTooManyCores)
+{
+    EXPECT_DEATH(MesiDirectory dir(64), "");
+}
+
+TEST(DirectoryIntegration, InvalidationRemovesVictimLines)
+{
+    MesiDirectory dir(2);
+    CacheHierarchy a(timing(), 0);
+    CacheHierarchy b(timing(), 1);
+    dir.attach(0, &a);
+    dir.attach(1, &b);
+    a.setDirectory(&dir);
+    b.setDirectory(&dir);
+
+    const std::uint64_t addr = kShared | 0x5000;
+    b.access(addr, false);                 // b caches the line
+    EXPECT_TRUE(b.l1d().contains(addr));
+    a.access(addr, true);                  // a writes: b invalidated
+    EXPECT_FALSE(b.l1d().contains(addr));
+    EXPECT_FALSE(b.l2().contains(addr));
+    // b's next read is a coherence miss served by a forward.
+    const MemAccessResult r = b.access(addr, false);
+    EXPECT_EQ(r.level, MemLevel::RemoteL2);
+}
+
+TEST(DirectoryIntegration, ForwardChargesNocLatency)
+{
+    MesiDirectory dir(2);
+    CacheHierarchy a(timing(), 0);
+    CacheHierarchy b(timing(), 1);
+    dir.attach(0, &a);
+    dir.attach(1, &b);
+    a.setDirectory(&dir);
+    b.setDirectory(&dir);
+
+    const std::uint64_t addr = kShared | 0x6000;
+    a.access(addr, false);
+    const MemAccessResult r = b.access(addr, false);
+    EXPECT_EQ(r.level, MemLevel::RemoteL2);
+    EXPECT_GE(r.extra_cycles, timing().noc_remote_cycles);
+}
+
+TEST(DirectoryIntegration, PrivateDataNeverTouchesTheDirectory)
+{
+    MesiDirectory dir(2);
+    CacheHierarchy a(timing(), 0);
+    dir.attach(0, &a);
+    a.setDirectory(&dir);
+    a.access(0x7000, false); // no shared bit
+    a.access(0x7000, true);
+    EXPECT_EQ(dir.trackedLines(), 0u);
+}
+
+TEST(DirectoryIntegration, PingPongWritesKeepInvalidating)
+{
+    MesiDirectory dir(2);
+    CacheHierarchy a(timing(), 0);
+    CacheHierarchy b(timing(), 1);
+    dir.attach(0, &a);
+    dir.attach(1, &b);
+    a.setDirectory(&dir);
+    b.setDirectory(&dir);
+
+    const std::uint64_t addr = kShared | 0x8000;
+    for (int i = 0; i < 10; ++i) {
+        a.access(addr, true);
+        b.access(addr, true);
+    }
+    // Every write after the first invalidates exactly one victim.
+    EXPECT_GE(dir.invalidations(), 19u);
+}
+
+} // namespace
+} // namespace m3d

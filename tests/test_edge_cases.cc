@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Edge cases and failure injection across modules: degenerate
+ * configurations, extreme parameters, and boundary geometries that
+ * production users will eventually feed the library.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/sim_harness.hh"
+#include "sram/explorer.hh"
+#include "thermal/thermal_model.hh"
+#include "util/units.hh"
+
+namespace m3d {
+namespace {
+
+using namespace units;
+
+// ---------------------------------------------------------------
+// SRAM model extremes.
+// ---------------------------------------------------------------
+
+TEST(EdgeSram, TinyArrayStillEvaluates)
+{
+    ArrayModel model(Technology::planar2D());
+    ArrayConfig tiny;
+    tiny.name = "tiny";
+    tiny.words = 16;
+    tiny.bits = 8;
+    const ArrayMetrics m = model.evaluate2D(tiny);
+    EXPECT_GT(m.access_latency, 0.0);
+    EXPECT_GT(m.area, 0.0);
+}
+
+TEST(EdgeSram, HugeArrayStaysFinite)
+{
+    ArrayModel model(Technology::planar2D());
+    ArrayConfig big;
+    big.name = "llc-slice";
+    big.words = 8192;
+    big.bits = 512;
+    big.banks = 16; // 64 MB total
+    const ArrayMetrics m = model.evaluate2D(big);
+    EXPECT_TRUE(std::isfinite(m.access_latency));
+    EXPECT_TRUE(std::isfinite(m.access_energy));
+    EXPECT_GT(m.access_latency,
+              model.evaluate2D(CoreStructures::l2Cache())
+                  .access_latency);
+}
+
+TEST(EdgeSram, ManyPortedMonster)
+{
+    ArrayModel model(Technology::planar2D());
+    ArrayConfig monster = CoreStructures::registerFile();
+    monster.read_ports = 24;
+    monster.write_ports = 12;
+    const ArrayMetrics m = model.evaluate2D(monster);
+    EXPECT_GT(m.area,
+              model.evaluate2D(CoreStructures::registerFile()).area *
+                  2.0);
+}
+
+TEST(EdgeSram, ExtremePartitionShares)
+{
+    static const ArrayModel model{Technology::m3dIso()};
+    Array3D stacked(model);
+    const ArrayConfig btb = CoreStructures::branchTargetBuffer();
+    for (double share : {0.05, 0.95}) {
+        const ArrayMetrics m =
+            stacked.evaluate(btb, PartitionSpec::bit(share));
+        EXPECT_TRUE(std::isfinite(m.access_latency)) << share;
+        EXPECT_GT(m.area, 0.0) << share;
+    }
+}
+
+TEST(EdgeSramDeathTest, ShareOfZeroOrOneRejected)
+{
+    ArrayModel model(Technology::m3dIso());
+    Array3D stacked(model);
+    const ArrayConfig btb = CoreStructures::branchTargetBuffer();
+    EXPECT_DEATH(stacked.evaluate(btb, PartitionSpec::bit(0.0)), "");
+    EXPECT_DEATH(stacked.evaluate(btb, PartitionSpec::bit(1.0)), "");
+}
+
+TEST(EdgeSram, TwoPortMinimumForPortPartitioning)
+{
+    PartitionExplorer ex(Technology::m3dIso());
+    ArrayConfig two = CoreStructures::storeQueue(); // 1R + 1W
+    const PartitionResult r = ex.best(two, PartitionKind::Port);
+    EXPECT_EQ(r.spec.bottom_ports, 1);
+}
+
+// ---------------------------------------------------------------
+// Workload extremes.
+// ---------------------------------------------------------------
+
+TEST(EdgeWorkload, AllLoadsProfile)
+{
+    WorkloadProfile p = WorkloadLibrary::byName("Gcc");
+    p.load_frac = 1.0;
+    p.store_frac = 0.0;
+    p.branch_frac = 0.0;
+    p.fp_frac = 0.0;
+    p.mult_frac = 0.0;
+    p.div_frac = 0.0;
+    TraceGenerator gen(p, 1);
+    for (int i = 0; i < 2000; ++i)
+        ASSERT_EQ(static_cast<int>(gen.next().op),
+                  static_cast<int>(OpClass::Load));
+}
+
+TEST(EdgeWorkload, TinyWorkingSetClampsSafely)
+{
+    WorkloadProfile p = WorkloadLibrary::byName("Gcc");
+    p.working_set_kb = 0.001; // sub-line working set
+    TraceGenerator gen(p, 1);
+    for (int i = 0; i < 2000; ++i) {
+        const MicroOp op = gen.next();
+        (void)op; // must not crash or divide by zero
+    }
+    SUCCEED();
+}
+
+TEST(EdgeWorkload, ZeroMpkiProfileStillRuns)
+{
+    WorkloadProfile p = WorkloadLibrary::byName("Gamess");
+    p.branch_mpki = 0.0;
+    DesignFactory factory;
+    const AppRun r = runSingleCore(factory.base(), p,
+                                   SimBudget{5000, 20000, 1});
+    EXPECT_GT(r.sim.ipc(), 0.1);
+}
+
+// ---------------------------------------------------------------
+// Core model extremes.
+// ---------------------------------------------------------------
+
+TEST(EdgeCore, OneWideMachineStillCorrect)
+{
+    DesignFactory factory;
+    CoreDesign d = factory.base();
+    d.dispatch_width = 1;
+    d.issue_width = 1;
+    d.commit_width = 1;
+    const AppRun r = runSingleCore(
+        d, WorkloadLibrary::byName("Hmmer"), SimBudget{5000, 20000, 1});
+    EXPECT_LE(r.sim.ipc(), 1.001);
+    EXPECT_GT(r.sim.ipc(), 0.05);
+}
+
+TEST(EdgeCore, ZeroInstructionRun)
+{
+    DesignFactory factory;
+    const CoreDesign d = factory.base();
+    HierarchyTiming t;
+    t.frequency = d.frequency;
+    CacheHierarchy h(t);
+    CoreModel core(d, h);
+    TraceGenerator gen(WorkloadLibrary::byName("Gcc"), 1);
+    const SimResult r = core.run(gen, 0);
+    EXPECT_EQ(r.instructions, 0u);
+    EXPECT_EQ(r.cycles, 0u);
+}
+
+TEST(EdgeCore, SingleCoreMulticoreDegenerates)
+{
+    CoreDesign d;
+    d.tech = Technology::planar2D();
+    d.num_cores = 1;
+    MulticoreModel m(d);
+    const MulticoreResult r =
+        m.run(WorkloadLibrary::byName("Fft"), 100000, 3);
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_EQ(r.num_cores, 1);
+}
+
+// ---------------------------------------------------------------
+// Thermal extremes.
+// ---------------------------------------------------------------
+
+TEST(EdgeThermal, ExtremePowerScalesLinearly)
+{
+    DesignFactory factory;
+    ThermalModel tm(factory.base(), 16);
+    std::map<std::string, double> low = {{"ALU", 1.0}};
+    std::map<std::string, double> high = {{"ALU", 50.0}};
+    const double dt_low = tm.solve(low).peak_c - 45.0;
+    const double dt_high = tm.solve(high).peak_c - 45.0;
+    EXPECT_NEAR(dt_high / dt_low, 50.0, 2.0);
+}
+
+TEST(EdgeThermal, UnknownBlockNamesAreIgnored)
+{
+    DesignFactory factory;
+    ThermalModel tm(factory.base(), 16);
+    std::map<std::string, double> blocks = {{"NotABlock", 10.0}};
+    const ThermalResult r = tm.solve(blocks);
+    EXPECT_NEAR(r.peak_c, 45.0, 0.5); // nothing was injected
+}
+
+TEST(EdgeThermal, CoarseAndFineGridsAgree)
+{
+    DesignFactory factory;
+    std::map<std::string, double> blocks = {
+        {"ALU", 1.5}, {"FPU", 1.5}, {"Fetch", 1.0}, {"DL1", 0.8}};
+    ThermalModel coarse(factory.m3dHet(), 8);
+    ThermalModel fine(factory.m3dHet(), 32);
+    EXPECT_NEAR(coarse.solve(blocks).peak_c, fine.solve(blocks).peak_c,
+                4.0);
+}
+
+// ---------------------------------------------------------------
+// Frequency derivation extremes.
+// ---------------------------------------------------------------
+
+TEST(EdgeFrequency, AllNegativeReductionsStayAtBase)
+{
+    PartitionResult r;
+    r.cfg.name = "RF";
+    r.planar.access_latency = 100e-12;
+    r.stacked = r.planar;
+    r.stacked.access_latency = 150e-12; // 50% slower
+    const FrequencyDerivation d = deriveFrequency(
+        {r}, FrequencyPolicy::Conservative);
+    EXPECT_DOUBLE_EQ(d.frequency, d.base_frequency);
+}
+
+TEST(EdgeFrequency, NearUnityReductionBounded)
+{
+    PartitionResult r;
+    r.cfg.name = "RF";
+    r.planar.access_latency = 100e-12;
+    r.stacked = r.planar;
+    r.stacked.access_latency = 1e-12; // 99% reduction
+    const FrequencyDerivation d = deriveFrequency(
+        {r}, FrequencyPolicy::Conservative);
+    EXPECT_TRUE(std::isfinite(d.frequency));
+    EXPECT_NEAR(d.frequency, d.base_frequency / 0.01,
+                d.base_frequency);
+}
+
+} // namespace
+} // namespace m3d

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Integration tests: the full pipeline (designs -> simulation ->
+ * power -> thermal) reproduces the paper's qualitative results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/sim_harness.hh"
+#include "thermal/thermal_model.hh"
+
+namespace m3d {
+namespace {
+
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    static const DesignFactory &factory()
+    {
+        static DesignFactory f;
+        return f;
+    }
+
+    static SimBudget quickBudget()
+    {
+        SimBudget b;
+        b.warmup = 60000;
+        b.measured = 150000;
+        return b;
+    }
+};
+
+TEST_F(IntegrationTest, M3dDesignsBeatBaseOnComputeApps)
+{
+    const WorkloadProfile app = WorkloadLibrary::byName("Hmmer");
+    const AppRun base =
+        runSingleCore(factory().base(), app, quickBudget());
+    for (const CoreDesign &d : {factory().m3dIso(), factory().m3dHet(),
+                                factory().m3dHetAgg()}) {
+        const AppRun r = runSingleCore(d, app, quickBudget());
+        EXPECT_LT(r.seconds, base.seconds) << d.name;
+    }
+}
+
+TEST_F(IntegrationTest, SpeedupOrderingMatchesFigure6)
+{
+    const WorkloadProfile app = WorkloadLibrary::byName("Gamess");
+    const SimBudget b = quickBudget();
+    const double t_base =
+        runSingleCore(factory().base(), app, b).seconds;
+    const double t_naive =
+        runSingleCore(factory().m3dHetNaive(), app, b).seconds;
+    const double t_het =
+        runSingleCore(factory().m3dHet(), app, b).seconds;
+    const double t_iso =
+        runSingleCore(factory().m3dIso(), app, b).seconds;
+    const double t_agg =
+        runSingleCore(factory().m3dHetAgg(), app, b).seconds;
+    // HetAgg fastest; Iso >= Het > HetNaive; everything beats Base.
+    EXPECT_LT(t_agg, t_iso);
+    EXPECT_LE(t_iso, t_het * 1.001);
+    EXPECT_LT(t_het, t_naive);
+    EXPECT_LT(t_naive, t_base * 1.001);
+}
+
+TEST_F(IntegrationTest, All3dDesignsSaveEnergy)
+{
+    const WorkloadProfile app = WorkloadLibrary::byName("Gcc");
+    const SimBudget b = quickBudget();
+    const double e_base =
+        runSingleCore(factory().base(), app, b).energyJ();
+    for (const CoreDesign &d : factory().singleCoreDesigns()) {
+        if (!d.stacked())
+            continue;
+        const double e = runSingleCore(d, app, b).energyJ();
+        EXPECT_LT(e, e_base * 0.95) << d.name;
+    }
+}
+
+TEST_F(IntegrationTest, M3dSavesMoreEnergyThanTsv)
+{
+    const WorkloadProfile app = WorkloadLibrary::byName("Sjeng");
+    const SimBudget b = quickBudget();
+    const double e_tsv =
+        runSingleCore(factory().tsv3d(), app, b).energyJ();
+    const double e_het =
+        runSingleCore(factory().m3dHet(), app, b).energyJ();
+    EXPECT_LT(e_het, e_tsv);
+}
+
+TEST_F(IntegrationTest, SameWorkAcrossDesigns)
+{
+    // Every design must execute the identical instruction stream.
+    const WorkloadProfile app = WorkloadLibrary::byName("Astar");
+    const SimBudget b = quickBudget();
+    const AppRun r1 = runSingleCore(factory().base(), app, b);
+    const AppRun r2 = runSingleCore(factory().m3dHetAgg(), app, b);
+    EXPECT_EQ(r1.sim.instructions, r2.sim.instructions);
+    EXPECT_EQ(r1.sim.activity.loads, r2.sim.activity.loads);
+    EXPECT_EQ(r1.sim.activity.mispredicts,
+              r2.sim.activity.mispredicts);
+}
+
+TEST_F(IntegrationTest, ThermalOrderingMatchesFigure8)
+{
+    const WorkloadProfile app = WorkloadLibrary::byName("Gamess");
+    const SimBudget b = quickBudget();
+    std::map<std::string, double> peaks;
+    for (const CoreDesign &d : {factory().base(), factory().tsv3d(),
+                                factory().m3dHet()}) {
+        const AppRun r = runSingleCore(d, app, b);
+        PowerModel pm(d);
+        ThermalModel tm(d, 16);
+        peaks[d.name] =
+            tm.solve(pm.blockPower(r.sim.activity, r.seconds)).peak_c;
+    }
+    // M3D runs a little hotter than 2D; TSV3D much hotter than M3D.
+    EXPECT_GT(peaks["M3D-Het"], peaks["Base"]);
+    EXPECT_GT(peaks["TSV3D"], peaks["M3D-Het"]);
+    EXPECT_LT(peaks["M3D-Het"] - peaks["Base"], 12.0);
+    EXPECT_GT(peaks["TSV3D"] - peaks["Base"], 5.0);
+}
+
+TEST_F(IntegrationTest, MulticoreIsoPowerDoublingWins)
+{
+    const WorkloadProfile app = WorkloadLibrary::byName("Ocean");
+    SimBudget b;
+    b.measured = 150000;
+    const MultiRun base = runMulticore(factory().baseMulti(), app, b);
+    const MultiRun x2 = runMulticore(factory().m3dHet2x(), app, b);
+    // Much faster...
+    EXPECT_GT(base.seconds() / x2.seconds(), 1.3);
+    // ... at comparable power (iso-power target; paper allows ~13%).
+    const double p_base = base.energyJ() / base.seconds();
+    const double p_x2 = x2.energyJ() / x2.seconds();
+    EXPECT_LT(p_x2 / p_base, 1.6);
+    // ... and lower total energy.
+    EXPECT_LT(x2.energyJ(), base.energyJ());
+}
+
+TEST_F(IntegrationTest, MulticoreOrderingMatchesFigure9)
+{
+    const WorkloadProfile app = WorkloadLibrary::byName("Fft");
+    SimBudget b;
+    b.measured = 150000;
+    const double t_base =
+        runMulticore(factory().baseMulti(), app, b).seconds();
+    const double t_tsv =
+        runMulticore(factory().tsv3dMulti(), app, b).seconds();
+    const double t_het =
+        runMulticore(factory().m3dHetMulti(), app, b).seconds();
+    const double t_2x =
+        runMulticore(factory().m3dHet2x(), app, b).seconds();
+    EXPECT_LT(t_2x, t_het);
+    EXPECT_LT(t_het, t_tsv * 1.001);
+    EXPECT_LT(t_tsv, t_base * 1.001);
+}
+
+TEST_F(IntegrationTest, HarnessDeterministic)
+{
+    const WorkloadProfile app = WorkloadLibrary::byName("Milc");
+    const SimBudget b = quickBudget();
+    const AppRun a = runSingleCore(factory().m3dHet(), app, b);
+    const AppRun c = runSingleCore(factory().m3dHet(), app, b);
+    EXPECT_EQ(a.sim.cycles, c.sim.cycles);
+    EXPECT_DOUBLE_EQ(a.energyJ(), c.energyJ());
+}
+
+TEST_F(IntegrationTest, EveryFigureSixAppRunsOnEveryDesign)
+{
+    // Smoke coverage: all 21 x 6 combinations simulate and produce
+    // sane IPC.
+    SimBudget b;
+    b.warmup = 20000;
+    b.measured = 40000;
+    for (const WorkloadProfile &app : WorkloadLibrary::spec2006()) {
+        for (const CoreDesign &d : factory().singleCoreDesigns()) {
+            const AppRun r = runSingleCore(d, app, b);
+            EXPECT_GT(r.sim.ipc(), 0.005) << app.name << "/" << d.name;
+            EXPECT_LT(r.sim.ipc(), 4.2) << app.name << "/" << d.name;
+        }
+    }
+}
+
+} // namespace
+} // namespace m3d

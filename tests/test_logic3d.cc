@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unit tests for the logic3d module: static timing analysis, the
+ * hetero-layer assignment, the carry-skip adder generator, and the
+ * calibrated stage model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "logic3d/adder.hh"
+#include "logic3d/select_tree.hh"
+#include "logic3d/stage.hh"
+#include "util/units.hh"
+
+namespace m3d {
+namespace {
+
+using namespace units;
+
+/** A hand-checkable diamond: in -> {a, b} -> out, with b slower. */
+Netlist
+diamond()
+{
+    Netlist nl;
+    const int in = nl.addGate("in", 1.0, 1.0, {});
+    const int a = nl.addGate("a", 1.0, 1.0, {in});
+    const int b = nl.addGate("b", 3.0, 1.0, {in});
+    nl.addGate("out", 1.0, 1.0, {a, b});
+    return nl;
+}
+
+TEST(Netlist, DiamondArrivalTimes)
+{
+    Netlist nl = diamond();
+    const TimingReport rep = nl.analyze();
+    EXPECT_DOUBLE_EQ(rep.critical_delay_fo4, 5.0); // in + b + out
+    EXPECT_DOUBLE_EQ(rep.arrival[0], 1.0);
+    EXPECT_DOUBLE_EQ(rep.arrival[1], 2.0);
+    EXPECT_DOUBLE_EQ(rep.arrival[2], 4.0);
+    EXPECT_DOUBLE_EQ(rep.arrival[3], 5.0);
+}
+
+TEST(Netlist, DiamondSlacks)
+{
+    Netlist nl = diamond();
+    const TimingReport rep = nl.analyze();
+    EXPECT_DOUBLE_EQ(rep.slack[1], 2.0); // the fast branch
+    EXPECT_DOUBLE_EQ(rep.slack[2], 0.0); // the slow branch
+    EXPECT_DOUBLE_EQ(rep.slack[3], 0.0); // the sink
+}
+
+TEST(Netlist, DiamondCriticalPath)
+{
+    Netlist nl = diamond();
+    const TimingReport rep = nl.analyze();
+    ASSERT_EQ(rep.critical_path.size(), 3u);
+    EXPECT_EQ(nl.gate(rep.critical_path[0]).name, "in");
+    EXPECT_EQ(nl.gate(rep.critical_path[1]).name, "b");
+    EXPECT_EQ(nl.gate(rep.critical_path[2]).name, "out");
+}
+
+TEST(Netlist, HeteroAnalysisSlowsTopGates)
+{
+    Netlist nl = diamond();
+    // Everything bottom: same as plain analysis.
+    EXPECT_DOUBLE_EQ(nl.analyzeHetero(0.2).critical_delay_fo4, 5.0);
+}
+
+TEST(Netlist, AssignLayersMovesSlackGatesOnly)
+{
+    Netlist nl = diamond();
+    const LayerAssignment asg = nl.assignLayers(0.5, 0.5);
+    // With a 50% slowdown only gate "a" (slack 2.0 vs delay 0.5
+    // penalty) can move; the critical path must be intact.
+    EXPECT_DOUBLE_EQ(asg.delay_penalty, 0.0);
+    EXPECT_GE(asg.gates_top, 1);
+    EXPECT_DOUBLE_EQ(asg.delay_fo4, 5.0);
+}
+
+TEST(Netlist, AssignLayersZeroSlowdownMovesHalf)
+{
+    Netlist nl = CarrySkipAdder::build();
+    const LayerAssignment asg = nl.assignLayers(0.0, 0.5);
+    EXPECT_NEAR(asg.top_fraction, 0.5, 0.05);
+    EXPECT_DOUBLE_EQ(asg.delay_penalty, 0.0);
+}
+
+TEST(Netlist, CriticalFractionMonotoneInThreshold)
+{
+    Netlist nl = CarrySkipAdder::build();
+    const TimingReport rep = nl.analyze();
+    const double f0 = nl.criticalFraction(1e-9);
+    const double f20 =
+        nl.criticalFraction(0.2 * rep.critical_delay_fo4);
+    const double f100 =
+        nl.criticalFraction(rep.critical_delay_fo4 + 1.0);
+    EXPECT_LE(f0, f20);
+    EXPECT_LE(f20, f100);
+    EXPECT_DOUBLE_EQ(f100, 1.0);
+}
+
+TEST(NetlistDeathTest, FaninMustBeTopological)
+{
+    Netlist nl;
+    EXPECT_DEATH(nl.addGate("bad", 1.0, 1.0, {5}), "");
+}
+
+TEST(CarrySkipAdder, GateCountScalesWithWidth)
+{
+    const Netlist a32 = CarrySkipAdder::build(32, 4);
+    const Netlist a64 = CarrySkipAdder::build(64, 4);
+    EXPECT_GT(a64.size(), a32.size());
+    EXPECT_GT(a64.size(), 250u);
+}
+
+TEST(CarrySkipAdder, CriticalPathIsRippleThenSkips)
+{
+    // Figure 5: block-0 ripple (4) + p/g (1) + 15 skip muxes + final
+    // sum = 22 FO4 for a 64-bit, 4-bit-block design.
+    const Netlist a = CarrySkipAdder::build(64, 4);
+    const TimingReport rep = a.analyze();
+    EXPECT_NEAR(rep.critical_delay_fo4, 22.0, 1.0);
+}
+
+TEST(CarrySkipAdder, FewGatesAreCritical)
+{
+    // Section 4.1.1: only a small fraction of the gates lie on the
+    // critical path.
+    Netlist a = CarrySkipAdder::build();
+    EXPECT_LT(a.criticalFraction(1e-9), 0.15);
+}
+
+TEST(CarrySkipAdder, HalfTheGatesFitOnASlowTopLayer)
+{
+    Netlist a = CarrySkipAdder::build();
+    const LayerAssignment asg = a.assignLayers(0.17, 0.5);
+    EXPECT_NEAR(asg.top_fraction, 0.5, 0.05);
+    EXPECT_NEAR(asg.delay_penalty, 0.0, 1e-9);
+}
+
+TEST(CarrySkipAdder, EvenTwentyPercentSlowdownIsHidden)
+{
+    // Section 4.1.1: "even if we assumed that the top layer was 20%
+    // slower ... we can always find 50% of gates that are not
+    // critical".
+    Netlist a = CarrySkipAdder::build();
+    const LayerAssignment asg = a.assignLayers(0.20, 0.5);
+    EXPECT_GT(asg.top_fraction, 0.45);
+    EXPECT_NEAR(asg.delay_penalty, 0.0, 1e-9);
+}
+
+TEST(CarrySkipAdderDeathTest, WidthMustDivide)
+{
+    EXPECT_DEATH(CarrySkipAdder::build(10, 4), "");
+}
+
+TEST(LogicStageModel, PaperAnchorFrequencies)
+{
+    LogicStageModel m(Technology::m3dIso());
+    EXPECT_NEAR(m.aluBypass(1).freq_gain, 0.15, 0.02);
+    EXPECT_NEAR(m.aluBypass(4).freq_gain, 0.28, 0.02);
+}
+
+TEST(LogicStageModel, PaperAnchorEnergyAndFootprint)
+{
+    LogicStageModel m(Technology::m3dIso());
+    const LogicStageGains g = m.aluBypass(4);
+    EXPECT_NEAR(g.energy_reduction, 0.10, 0.02);
+    EXPECT_NEAR(g.footprint_reduction, 0.41, 1e-9);
+}
+
+TEST(LogicStageModel, GainsGrowWithClusterSize)
+{
+    LogicStageModel m(Technology::m3dIso());
+    EXPECT_GT(m.aluBypass(2).freq_gain, m.aluBypass(1).freq_gain);
+    EXPECT_GT(m.aluBypass(4).freq_gain, m.aluBypass(2).freq_gain);
+    EXPECT_GT(m.wireFraction(4), m.wireFraction(1));
+}
+
+TEST(LogicStageModel, HeteroPlacementHidesSlowdown)
+{
+    LogicStageModel m(Technology::m3dHetero());
+    const LogicStageGains g = m.aluBypassHetero(4);
+    EXPECT_NEAR(g.hetero_penalty, 0.0, 1e-6);
+    EXPECT_NEAR(g.freq_gain, 0.28, 0.02);
+}
+
+TEST(LogicStageModel, IsoTechHasNoHeteroPenalty)
+{
+    LogicStageModel m(Technology::m3dIso());
+    EXPECT_DOUBLE_EQ(m.aluBypassHetero(4).hetero_penalty, 0.0);
+}
+
+TEST(LogicStageModel, StageDelayPositiveAndOrdered)
+{
+    LogicStageModel m(Technology::m3dIso());
+    EXPECT_GT(m.stageDelay2D(1), 0.0);
+    EXPECT_GT(m.stageDelay2D(4), m.stageDelay2D(1));
+}
+
+TEST(SelectTree, BuildsForIssueQueueSize)
+{
+    const Netlist nl = SelectTree::build(84, 4);
+    EXPECT_GT(nl.size(), 200u);
+    const TimingReport rep = nl.analyze();
+    // Up the request tree and down the grant chain: ~2 * ceil(log4(84))
+    // levels plus the endpoints.
+    EXPECT_GT(rep.critical_delay_fo4, 6.0);
+    EXPECT_LT(rep.critical_delay_fo4, 16.0);
+}
+
+TEST(SelectTree, LocalGrantLogicHasSlack)
+{
+    // Section 4.4.1: the local grant generation is off the critical
+    // path; a meaningful fraction of gates can absorb a slow layer.
+    Netlist nl = SelectTree::build(84, 4);
+    const TimingReport rep = nl.analyze();
+    const double critical =
+        nl.criticalFraction(0.17 * rep.critical_delay_fo4);
+    EXPECT_LT(critical, 0.75);
+}
+
+TEST(SelectTree, HeteroAssignmentKeepsIsoLatency)
+{
+    // The paper's claim: with local grants on top and the request +
+    // arbiter-grant chain below, the select stage keeps the
+    // iso-layer latency.
+    Netlist nl = SelectTree::build(84, 4);
+    const double base = nl.analyze().critical_delay_fo4;
+    const LayerAssignment asg = nl.assignLayers(0.17, 0.35);
+    EXPECT_NEAR(asg.delay_fo4, base, 1e-9);
+    EXPECT_GT(asg.top_fraction, 0.2);
+}
+
+TEST(SelectTree, ScalesWithEntries)
+{
+    const double d64 =
+        SelectTree::build(64, 4).analyze().critical_delay_fo4;
+    const double d256 =
+        SelectTree::build(256, 4).analyze().critical_delay_fo4;
+    EXPECT_GT(d256, d64);
+}
+
+TEST(SelectTreeDeathTest, RejectsDegenerateInputs)
+{
+    EXPECT_DEATH(SelectTree::build(1, 4), "");
+    EXPECT_DEATH(SelectTree::build(84, 1), "");
+}
+
+} // namespace
+} // namespace m3d

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the McPAT-style power model: component accounting,
+ * voltage scaling, partitioning effects, and the block power map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/sim_harness.hh"
+#include "thermal/floorplan.hh"
+
+namespace m3d {
+namespace {
+
+Activity
+syntheticActivity(std::uint64_t instructions)
+{
+    Activity a;
+    a.instructions = instructions;
+    a.cycles = instructions; // IPC 1
+    a.fetches = instructions / 8;
+    a.l1i_accesses = a.fetches;
+    a.decodes = instructions;
+    a.dispatches = instructions;
+    a.issues = instructions;
+    a.iq_writes = instructions;
+    a.iq_wakeups = instructions;
+    a.rf_reads = 2 * instructions;
+    a.rf_writes = instructions;
+    a.rat_reads = 2 * instructions;
+    a.rat_writes = instructions;
+    a.bpt_lookups = instructions / 6;
+    a.btb_lookups = instructions / 6;
+    a.loads = instructions / 4;
+    a.stores = instructions / 10;
+    a.l1d_accesses = a.loads + a.stores;
+    a.lq_searches = a.stores;
+    a.sq_searches = a.loads;
+    a.l2_accesses = instructions / 50;
+    a.alu_ops = instructions / 2;
+    return a;
+}
+
+TEST(PowerModel, BaseCorePowerInPaperBallpark)
+{
+    DesignFactory factory;
+    const CoreDesign base = factory.base();
+    PowerModel pm(base);
+    // 300k instructions at IPC ~1 and 3.3 GHz.
+    const Activity a = syntheticActivity(300000);
+    const double seconds = 300000.0 / 3.3e9;
+    const EnergyReport e = pm.evaluate(a, seconds);
+    const double watts = e.avgPower(seconds);
+    // The paper reports ~6.4 W average for a single core.
+    EXPECT_GT(watts, 3.0);
+    EXPECT_LT(watts, 10.0);
+}
+
+TEST(PowerModel, ComponentsAllPositive)
+{
+    DesignFactory factory;
+    PowerModel pm(factory.base());
+    const Activity a = syntheticActivity(100000);
+    const EnergyReport e = pm.evaluate(a, 100000.0 / 3.3e9);
+    EXPECT_GT(e.array_j, 0.0);
+    EXPECT_GT(e.logic_j, 0.0);
+    EXPECT_GT(e.clock_j, 0.0);
+    EXPECT_GT(e.leakage_j, 0.0);
+    EXPECT_NEAR(e.total(),
+                e.array_j + e.logic_j + e.clock_j + e.leakage_j +
+                    e.noc_j,
+                e.total() * 1e-12);
+}
+
+TEST(PowerModel, PartitionedDesignUsesLessArrayEnergy)
+{
+    DesignFactory factory;
+    PowerModel base_pm(factory.base());
+    PowerModel het_pm(factory.m3dHet());
+    const Activity a = syntheticActivity(100000);
+    const double s = 100000.0 / 3.3e9;
+    EXPECT_LT(het_pm.evaluate(a, s).array_j,
+              base_pm.evaluate(a, s).array_j * 0.85);
+}
+
+TEST(PowerModel, AccessEnergyScaledByPartition)
+{
+    DesignFactory factory;
+    PowerModel base_pm(factory.base());
+    PowerModel het_pm(factory.m3dHet());
+    for (const ArrayConfig &cfg : CoreStructures::all()) {
+        EXPECT_LT(het_pm.accessEnergy(cfg.name),
+                  base_pm.accessEnergy(cfg.name))
+            << cfg.name;
+    }
+}
+
+TEST(PowerModelDeathTest, UnknownStructurePanics)
+{
+    DesignFactory factory;
+    PowerModel pm(factory.base());
+    EXPECT_DEATH(pm.accessEnergy("ROB2"), "");
+}
+
+TEST(PowerModel, UndervoltingSavesQuadratically)
+{
+    DesignFactory factory;
+    CoreDesign nominal = factory.m3dHet();
+    nominal.frequency = kBaseFrequency;
+    CoreDesign low = nominal;
+    low.vdd = 0.75;
+    PowerModel pm_n(nominal);
+    PowerModel pm_l(low);
+    const Activity a = syntheticActivity(100000);
+    const double s = 100000.0 / 3.3e9;
+    const EnergyReport en = pm_n.evaluate(a, s);
+    const EnergyReport el = pm_l.evaluate(a, s);
+    EXPECT_NEAR(el.array_j / en.array_j, (0.75 / 0.8) * (0.75 / 0.8),
+                1e-6);
+    EXPECT_LT(el.leakage_j / en.leakage_j,
+              (0.75 / 0.8) * (0.75 / 0.8));
+}
+
+TEST(PowerModel, ClockEnergyTracksFrequencyAndFactor)
+{
+    DesignFactory factory;
+    const CoreDesign base = factory.base();
+    CoreDesign fast = base;
+    fast.frequency = base.frequency * 1.2;
+    PowerModel pm_b(base);
+    PowerModel pm_f(fast);
+    const Activity a = syntheticActivity(100000);
+    const double s = 1e-4;
+    EXPECT_NEAR(pm_f.evaluate(a, s).clock_j /
+                    pm_b.evaluate(a, s).clock_j,
+                1.2, 1e-9);
+
+    CoreDesign stacked = base;
+    stacked.clock_tree_switch_factor = 0.75;
+    PowerModel pm_s(stacked);
+    EXPECT_NEAR(pm_s.evaluate(a, s).clock_j /
+                    pm_b.evaluate(a, s).clock_j,
+                0.75, 1e-9);
+}
+
+TEST(PowerModel, LeakageScalesWithTimeOnly)
+{
+    DesignFactory factory;
+    PowerModel pm(factory.base());
+    const Activity a = syntheticActivity(100000);
+    const EnergyReport e1 = pm.evaluate(a, 1e-4);
+    const EnergyReport e2 = pm.evaluate(a, 2e-4);
+    EXPECT_NEAR(e2.leakage_j / e1.leakage_j, 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(e1.array_j, e2.array_j); // count-based
+}
+
+TEST(PowerModel, BlockPowerKeysMatchFloorplan)
+{
+    DesignFactory factory;
+    const CoreDesign d = factory.m3dHet();
+    PowerModel pm(d);
+    const Activity a = syntheticActivity(100000);
+    const auto blocks = pm.blockPower(a, 100000.0 / d.frequency);
+    const Floorplan fp = Floorplan::ryzenLikeCore();
+    for (const FloorplanBlock &b : fp.blocks) {
+        EXPECT_EQ(blocks.count(b.name), 1u)
+            << "floorplan block " << b.name
+            << " has no power entry";
+        EXPECT_GE(blocks.at(b.name), 0.0) << b.name;
+    }
+    EXPECT_EQ(blocks.count("Clock"), 1u);
+}
+
+TEST(PowerModel, NocEnergyOnlyWithTraffic)
+{
+    DesignFactory factory;
+    PowerModel pm(factory.m3dHetMulti());
+    Activity a = syntheticActivity(100000);
+    const double s = 1e-4;
+    EXPECT_DOUBLE_EQ(pm.evaluate(a, s).noc_j, 0.0);
+    a.noc_flits = 1000;
+    EXPECT_GT(pm.evaluate(a, s).noc_j, 0.0);
+}
+
+TEST(SimHarness, RunSingleCoreProducesConsistentReport)
+{
+    DesignFactory factory;
+    SimBudget budget;
+    budget.warmup = 20000;
+    budget.measured = 60000;
+    const AppRun r = runSingleCore(
+        factory.base(), WorkloadLibrary::byName("Hmmer"), budget);
+    EXPECT_EQ(r.sim.instructions, 60000u);
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_GT(r.energyJ(), 0.0);
+    EXPECT_DOUBLE_EQ(r.seconds, r.sim.seconds());
+}
+
+} // namespace
+} // namespace m3d

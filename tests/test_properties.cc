@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Property-based sweeps with parameterized gtest: invariants that
+ * must hold over every structure, via technology, slowdown level,
+ * and workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/cache.hh"
+#include "logic3d/adder.hh"
+#include "power/sim_harness.hh"
+#include "sram/explorer.hh"
+
+namespace m3d {
+namespace {
+
+// ---------------------------------------------------------------
+// For every storage structure: partitioning invariants.
+// ---------------------------------------------------------------
+
+class PerStructure : public ::testing::TestWithParam<ArrayConfig>
+{
+};
+
+TEST_P(PerStructure, M3dBestPartitionImprovesAllMetrics)
+{
+    PartitionExplorer ex(Technology::m3dIso());
+    const PartitionResult r = ex.bestOverall(GetParam());
+    EXPECT_GT(r.latencyReduction(), 0.0);
+    EXPECT_GT(r.energyReduction(), 0.0);
+    EXPECT_GT(r.areaReduction(), 0.0);
+}
+
+TEST_P(PerStructure, FootprintNeverWorseThanSixtyPercentOf2D)
+{
+    // Two layers can at best halve the footprint; vias and peripheral
+    // overheads eat some of it, but M3D must stay close.
+    PartitionExplorer ex(Technology::m3dIso());
+    const PartitionResult r = ex.bestOverall(GetParam());
+    EXPECT_GT(r.areaReduction(), 0.25);
+    EXPECT_LT(r.areaReduction(), 0.80);
+}
+
+TEST_P(PerStructure, HeteroLatencyWithinSixPointsOfIso)
+{
+    PartitionExplorer iso(Technology::m3dIso());
+    PartitionExplorer het(Technology::m3dHetero());
+    const PartitionResult ri = iso.bestOverall(GetParam());
+    const PartitionResult rh = het.bestOverall(GetParam());
+    EXPECT_GE(rh.latencyReduction(),
+              ri.latencyReduction() - 0.06);
+}
+
+TEST_P(PerStructure, StackedMetricsArePositiveAndFinite)
+{
+    PartitionExplorer ex(Technology::m3dHetero());
+    const PartitionResult r = ex.bestOverall(GetParam());
+    EXPECT_TRUE(std::isfinite(r.stacked.access_latency));
+    EXPECT_TRUE(std::isfinite(r.stacked.access_energy));
+    EXPECT_GT(r.stacked.access_latency, 0.0);
+    EXPECT_GT(r.stacked.access_energy, 0.0);
+    EXPECT_GT(r.stacked.leakage_power, 0.0);
+}
+
+TEST_P(PerStructure, EveryLegalStrategyKeepsCamSemantics)
+{
+    const ArrayConfig cfg = GetParam();
+    PartitionExplorer ex(Technology::m3dIso());
+    std::vector<PartitionKind> kinds = {PartitionKind::Bit,
+                                        PartitionKind::Word};
+    if (cfg.ports() >= 2)
+        kinds.push_back(PartitionKind::Port);
+    for (PartitionKind k : kinds) {
+        const PartitionResult r = ex.best(cfg, k);
+        if (cfg.cam) {
+            EXPECT_GT(r.stacked.cam_search_delay, 0.0)
+                << toString(k);
+        } else {
+            EXPECT_DOUBLE_EQ(r.stacked.cam_search_delay, 0.0)
+                << toString(k);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStructures, PerStructure,
+    ::testing::ValuesIn(CoreStructures::all()),
+    [](const ::testing::TestParamInfo<ArrayConfig> &info) {
+        return info.param.name;
+    });
+
+// ---------------------------------------------------------------
+// For every top-layer slowdown: hetero-layer invariants.
+// ---------------------------------------------------------------
+
+class PerSlowdown : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PerSlowdown, HeteroFrequencyDecaysGracefully)
+{
+    const double slowdown = GetParam();
+    PartitionExplorer iso(Technology::m3dIso());
+    PartitionExplorer het(Technology::m3dHetero(slowdown));
+    const FrequencyDerivation fi = deriveFrequency(
+        iso.bestForAll(CoreStructures::all()),
+        FrequencyPolicy::Conservative);
+    const FrequencyDerivation fh = deriveFrequency(
+        het.bestForAll(CoreStructures::all()),
+        FrequencyPolicy::Conservative);
+    // Hetero-aware partitioning never exceeds iso, and recovers more
+    // than half the naive loss.
+    EXPECT_LE(fh.frequency, fi.frequency * 1.001);
+    const double naive = fi.frequency * (1.0 - slowdown);
+    EXPECT_GE(fh.frequency, naive);
+    if (slowdown > 0.01) {
+        EXPECT_GT((fh.frequency - naive) / (fi.frequency - naive),
+                  0.5);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Slowdowns, PerSlowdown,
+                         ::testing::Values(0.0, 0.05, 0.10, 0.17,
+                                           0.25, 0.30));
+
+// ---------------------------------------------------------------
+// For every serial workload: simulator invariants.
+// ---------------------------------------------------------------
+
+class PerWorkload : public ::testing::TestWithParam<WorkloadProfile>
+{
+  protected:
+    static SimBudget budget()
+    {
+        SimBudget b;
+        b.warmup = 30000;
+        b.measured = 60000;
+        return b;
+    }
+};
+
+TEST_P(PerWorkload, SimulatesWithPlausibleIpc)
+{
+    DesignFactory factory;
+    const AppRun r =
+        runSingleCore(factory.base(), GetParam(), budget());
+    EXPECT_GT(r.sim.ipc(), 0.005) << GetParam().name;
+    EXPECT_LT(r.sim.ipc(), 4.1) << GetParam().name;
+}
+
+TEST_P(PerWorkload, FasterClockNeverSlowsWallClock)
+{
+    DesignFactory factory;
+    CoreDesign slow = factory.base();
+    CoreDesign fast = factory.base();
+    fast.frequency *= 1.2;
+    const AppRun rs = runSingleCore(slow, GetParam(), budget());
+    const AppRun rf = runSingleCore(fast, GetParam(), budget());
+    EXPECT_LE(rf.seconds, rs.seconds * 1.001) << GetParam().name;
+}
+
+TEST_P(PerWorkload, EnergyComponentsBalance)
+{
+    DesignFactory factory;
+    const AppRun r =
+        runSingleCore(factory.m3dHet(), GetParam(), budget());
+    EXPECT_GT(r.energy.array_j, 0.0);
+    EXPECT_GT(r.energy.logic_j, 0.0);
+    EXPECT_GT(r.energy.clock_j, 0.0);
+    EXPECT_GT(r.energy.leakage_j, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spec2006, PerWorkload,
+    ::testing::ValuesIn(WorkloadLibrary::spec2006()),
+    [](const ::testing::TestParamInfo<WorkloadProfile> &info) {
+        return info.param.name;
+    });
+
+// ---------------------------------------------------------------
+// For every parallel workload: multicore invariants.
+// ---------------------------------------------------------------
+
+class PerParallelWorkload
+    : public ::testing::TestWithParam<WorkloadProfile>
+{
+};
+
+TEST_P(PerParallelWorkload, EightCoresBeatTwo)
+{
+    CoreDesign d2;
+    d2.tech = Technology::planar2D();
+    d2.num_cores = 2;
+    CoreDesign d8 = d2;
+    d8.num_cores = 8;
+    MulticoreModel m2(d2);
+    MulticoreModel m8(d8);
+    const double t2 = m2.run(GetParam(), 400000, 7).seconds;
+    const double t8 = m8.run(GetParam(), 400000, 7).seconds;
+    EXPECT_LT(t8, t2) << GetParam().name;
+}
+
+TEST_P(PerParallelWorkload, SharedL2PairingNeverHurtsMuch)
+{
+    DesignFactory factory;
+    CoreDesign flat = factory.m3dHetMulti();
+    flat.shared_l2_pairs = false;
+    MulticoreModel m_flat(flat);
+    MulticoreModel m_pair(factory.m3dHetMulti());
+    const double t_flat = m_flat.run(GetParam(), 400000, 7).seconds;
+    const double t_pair = m_pair.run(GetParam(), 400000, 7).seconds;
+    EXPECT_LT(t_pair, t_flat * 1.02) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Splash2Parsec, PerParallelWorkload,
+    ::testing::ValuesIn(WorkloadLibrary::splash2parsec()),
+    [](const ::testing::TestParamInfo<WorkloadProfile> &info) {
+        std::string name = info.param.name;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+// ---------------------------------------------------------------
+// Structure x strategy combinatorial sweep.
+// ---------------------------------------------------------------
+
+using StructureKind = std::tuple<ArrayConfig, PartitionKind>;
+
+class PerStructureKind
+    : public ::testing::TestWithParam<StructureKind>
+{
+};
+
+TEST_P(PerStructureKind, EveryLegalDesignPointIsSane)
+{
+    const auto &[cfg, kind] = GetParam();
+    PartitionExplorer ex(Technology::m3dIso());
+    const PartitionResult r = ex.best(cfg, kind);
+    // Finite, positive metrics.
+    EXPECT_TRUE(std::isfinite(r.stacked.access_latency));
+    EXPECT_GT(r.stacked.access_latency, 0.0);
+    EXPECT_GT(r.stacked.access_energy, 0.0);
+    // Two layers always buy meaningful footprint on MIV technology.
+    EXPECT_GT(r.areaReduction(), 0.15);
+    // And never cost more than a sliver of latency.
+    EXPECT_GT(r.latencyReduction(), -0.05);
+}
+
+std::vector<StructureKind>
+allStructureKinds()
+{
+    std::vector<StructureKind> out;
+    for (const ArrayConfig &cfg : CoreStructures::all()) {
+        out.emplace_back(cfg, PartitionKind::Bit);
+        out.emplace_back(cfg, PartitionKind::Word);
+        if (cfg.ports() >= 2)
+            out.emplace_back(cfg, PartitionKind::Port);
+    }
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PerStructureKind, ::testing::ValuesIn(allStructureKinds()),
+    [](const ::testing::TestParamInfo<StructureKind> &info) {
+        return std::get<0>(info.param).name +
+               toString(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------
+// Adder width sweep.
+// ---------------------------------------------------------------
+
+class PerAdderWidth : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PerAdderWidth, CriticalPathFollowsTheSkipFormula)
+{
+    const int bits = GetParam();
+    const int block = 4;
+    const Netlist a = CarrySkipAdder::build(bits, block);
+    const TimingReport rep = a.analyze();
+    // ripple(block) + p/g + skip muxes (blocks - 1) + sum + cout.
+    const double expected = 1.0 + block + (bits / block - 1) + 2.0;
+    EXPECT_NEAR(rep.critical_delay_fo4, expected, 1.5) << bits;
+}
+
+TEST_P(PerAdderWidth, HeteroPlacementAlwaysFree)
+{
+    Netlist a = CarrySkipAdder::build(GetParam(), 4);
+    const LayerAssignment asg = a.assignLayers(0.17, 0.5);
+    EXPECT_NEAR(asg.delay_penalty, 0.0, 1e-9) << GetParam();
+    EXPECT_GT(asg.top_fraction, 0.40) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PerAdderWidth,
+                         ::testing::Values(16, 32, 64, 128));
+
+// ---------------------------------------------------------------
+// Cache geometry sweep.
+// ---------------------------------------------------------------
+
+using CacheGeom = std::tuple<int, int, int>; // kb, assoc, line
+
+class PerCacheGeometry : public ::testing::TestWithParam<CacheGeom>
+{
+};
+
+TEST_P(PerCacheGeometry, BasicInvariants)
+{
+    const auto &[kb, assoc, line] = GetParam();
+    CacheConfig cfg{"sweep",
+                    static_cast<std::uint64_t>(kb) * 1024, assoc,
+                    line, 3};
+    Cache c(cfg);
+    EXPECT_EQ(cfg.sets() * static_cast<std::uint64_t>(assoc) * line,
+              static_cast<std::uint64_t>(kb) * 1024);
+    // Fill the whole cache with distinct lines: all miss, then all
+    // hit.
+    const std::uint64_t lines = cfg.sets() * assoc;
+    for (std::uint64_t i = 0; i < lines; ++i)
+        EXPECT_FALSE(c.access(i * line, false));
+    for (std::uint64_t i = 0; i < lines; ++i)
+        EXPECT_TRUE(c.access(i * line, false));
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.5);
+    // One more distinct line evicts exactly one resident line.
+    c.access(lines * line, false);
+    std::uint64_t resident = 0;
+    for (std::uint64_t i = 0; i <= lines; ++i)
+        resident += c.contains(i * line);
+    EXPECT_EQ(resident, lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PerCacheGeometry,
+    ::testing::Values(CacheGeom{4, 1, 32}, CacheGeom{8, 2, 64},
+                      CacheGeom{32, 8, 32}, CacheGeom{64, 4, 64},
+                      CacheGeom{256, 16, 64}));
+
+} // namespace
+} // namespace m3d

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests for the 2D SRAM/CAM array model: cell geometry, the
+ * subarray organization search, and metric monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sram/array_model.hh"
+#include "util/units.hh"
+
+namespace m3d {
+namespace {
+
+using namespace units;
+
+TEST(CellGeometry, SinglePortMatchesIntelBallpark)
+{
+    const CellGeometry c = CellGeometry::sram(1);
+    // ~0.09-0.12 um^2 for a 22nm 6T cell.
+    EXPECT_GT(c.area(), 0.05 * um2);
+    EXPECT_LT(c.area(), 0.20 * um2);
+}
+
+TEST(CellGeometry, BothDimensionsGrowWithPorts)
+{
+    double prev_w = 0.0;
+    double prev_h = 0.0;
+    for (int p = 1; p <= 18; ++p) {
+        const CellGeometry c = CellGeometry::sram(p);
+        EXPECT_GT(c.width, prev_w);
+        EXPECT_GT(c.height, prev_h);
+        prev_w = c.width;
+        prev_h = c.height;
+    }
+}
+
+TEST(CellGeometry, AreaSuperlinearInPorts)
+{
+    // "The area is proportional to the square of the number of
+    // ports" (Section 3.2): doubling ports should much more than
+    // double the area for large port counts.
+    const double a9 = CellGeometry::sram(9).area();
+    const double a18 = CellGeometry::sram(18).area();
+    EXPECT_GT(a18 / a9, 3.0);
+}
+
+TEST(CellGeometry, PortsOnlySliceSmallerThanFullCell)
+{
+    const CellGeometry full = CellGeometry::sram(9);
+    const CellGeometry ports = CellGeometry::portsOnly(9);
+    EXPECT_LT(ports.width, full.width);
+    EXPECT_FALSE(ports.has_core);
+    EXPECT_DOUBLE_EQ(ports.core_width, 0.0);
+}
+
+TEST(CellGeometry, AccessScaleWidensSublinearly)
+{
+    const CellGeometry base = CellGeometry::sram(4, 1.0);
+    const CellGeometry wide = CellGeometry::sram(4, 2.0);
+    EXPECT_GT(wide.width, base.width);
+    // Wire pitch dominates: 2x transistors cost well under 2x width.
+    EXPECT_LT(wide.width / base.width, 1.5);
+    EXPECT_DOUBLE_EQ(wide.access_width, 2.0);
+}
+
+TEST(CellGeometryDeathTest, RejectsBadArguments)
+{
+    EXPECT_DEATH(CellGeometry::sram(0), "");
+    EXPECT_DEATH(CellGeometry::sram(2, 0.5), "");
+    EXPECT_DEATH(CellGeometry::portsOnly(0), "");
+}
+
+class ArrayModel2DTest : public ::testing::Test
+{
+  protected:
+    ArrayModel model_{Technology::planar2D()};
+};
+
+TEST_F(ArrayModel2DTest, AllStructuresProducePositiveMetrics)
+{
+    for (const ArrayConfig &cfg : CoreStructures::all()) {
+        const ArrayMetrics m = model_.evaluate2D(cfg);
+        EXPECT_GT(m.access_latency, 0.0) << cfg.name;
+        EXPECT_GT(m.access_energy, 0.0) << cfg.name;
+        EXPECT_GT(m.area, 0.0) << cfg.name;
+        EXPECT_GT(m.leakage_power, 0.0) << cfg.name;
+    }
+}
+
+TEST_F(ArrayModel2DTest, LatencyBreakdownSumsToReadPath)
+{
+    const ArrayConfig rf = CoreStructures::registerFile();
+    const ArrayMetrics m = model_.evaluate2D(rf);
+    const double parts = m.routing_delay + m.decode_delay +
+                         m.wordline_delay + m.bitline_delay +
+                         m.sense_delay + m.output_delay;
+    // RF is not a CAM, so the access latency is the read path.
+    EXPECT_NEAR(m.access_latency, parts, 1e-15);
+}
+
+TEST_F(ArrayModel2DTest, CamLatencyCoversSearchPath)
+{
+    const ArrayConfig iq = CoreStructures::issueQueue();
+    const ArrayMetrics m = model_.evaluate2D(iq);
+    EXPECT_GT(m.cam_search_delay, 0.0);
+    EXPECT_GE(m.access_latency, m.cam_search_delay);
+}
+
+TEST_F(ArrayModel2DTest, NonCamHasNoSearchDelay)
+{
+    const ArrayMetrics m =
+        model_.evaluate2D(CoreStructures::registerFile());
+    EXPECT_DOUBLE_EQ(m.cam_search_delay, 0.0);
+}
+
+TEST_F(ArrayModel2DTest, MoreWordsCostMore)
+{
+    ArrayConfig a = CoreStructures::branchPredictor();
+    ArrayConfig b = a;
+    b.words *= 4;
+    const ArrayMetrics ma = model_.evaluate2D(a);
+    const ArrayMetrics mb = model_.evaluate2D(b);
+    EXPECT_GT(mb.area, ma.area);
+    EXPECT_GE(mb.access_latency, ma.access_latency);
+    EXPECT_GT(mb.leakage_power, ma.leakage_power);
+}
+
+TEST_F(ArrayModel2DTest, MorePortsCostMore)
+{
+    ArrayConfig a = CoreStructures::registerFile();
+    ArrayConfig b = a;
+    b.read_ports += 6;
+    const ArrayMetrics ma = model_.evaluate2D(a);
+    const ArrayMetrics mb = model_.evaluate2D(b);
+    EXPECT_GT(mb.area, ma.area);
+    EXPECT_GT(mb.access_latency, ma.access_latency);
+}
+
+TEST_F(ArrayModel2DTest, BanksMultiplyAreaAndAddRouting)
+{
+    ArrayConfig one = CoreStructures::dataL1();
+    one.banks = 1;
+    ArrayConfig eight = one;
+    eight.banks = 8;
+    const ArrayMetrics m1 = model_.evaluate2D(one);
+    const ArrayMetrics m8 = model_.evaluate2D(eight);
+    EXPECT_NEAR(m8.area / m1.area, 8.0, 0.01);
+    EXPECT_GT(m8.routing_delay, 0.0);
+    EXPECT_DOUBLE_EQ(m1.routing_delay, 0.0);
+}
+
+TEST_F(ArrayModel2DTest, BestPlanRespectsCamFoldBan)
+{
+    const SliceSpec iq = model_.fullSlice(CoreStructures::issueQueue());
+    const SubarrayPlan plan = model_.bestPlan(iq);
+    EXPECT_EQ(plan.fold, 1);
+}
+
+TEST_F(ArrayModel2DTest, TallNarrowArraysFold)
+{
+    // The 4096x8 BPT is pathological unfolded; the plan search must
+    // fold or subdivide it.
+    const SliceSpec bpt =
+        model_.fullSlice(CoreStructures::branchPredictor());
+    const SubarrayPlan plan = model_.bestPlan(bpt);
+    EXPECT_GT(plan.fold * plan.ndbl, 1);
+}
+
+TEST_F(ArrayModel2DTest, PlanSearchBeatsDegenerateOrganization)
+{
+    const SliceSpec bpt =
+        model_.fullSlice(CoreStructures::branchPredictor());
+    const SubarrayPlan best = model_.bestPlan(bpt);
+    const SliceMetrics m_best = model_.evaluateSlice(bpt, best);
+    const SliceMetrics m_flat =
+        model_.evaluateSlice(bpt, SubarrayPlan{1, 1, 1});
+    EXPECT_LE(m_best.accessDelay(), m_flat.accessDelay());
+}
+
+TEST_F(ArrayModel2DTest, RegisterFileIsTheSlowestSmallStructure)
+{
+    // Section 6.1: the RF access limits the 2D cycle time among the
+    // core-internal (non-cache) structures.
+    const double rf = model_
+        .evaluate2D(CoreStructures::registerFile()).access_latency;
+    for (const char *name : {"IQ", "SQ", "LQ", "RAT", "BPT", "BTB"}) {
+        for (const ArrayConfig &cfg : CoreStructures::all()) {
+            if (cfg.name == name) {
+                EXPECT_LT(model_.evaluate2D(cfg).access_latency, rf)
+                    << name;
+            }
+        }
+    }
+}
+
+TEST_F(ArrayModel2DTest, BaseCycleTimeNearPaper)
+{
+    // The paper sets the 2D clock to 3.3 GHz from the RF access
+    // (~303 ps); our model should land in the same decade.
+    const double rf = model_
+        .evaluate2D(CoreStructures::registerFile()).access_latency;
+    EXPECT_GT(rf, 150.0 * ps);
+    EXPECT_LT(rf, 600.0 * ps);
+}
+
+TEST_F(ArrayModel2DTest, DeterministicEvaluation)
+{
+    const ArrayConfig cfg = CoreStructures::l2Cache();
+    const ArrayMetrics a = model_.evaluate2D(cfg);
+    const ArrayMetrics b = model_.evaluate2D(cfg);
+    EXPECT_DOUBLE_EQ(a.access_latency, b.access_latency);
+    EXPECT_DOUBLE_EQ(a.access_energy, b.access_energy);
+    EXPECT_DOUBLE_EQ(a.area, b.area);
+}
+
+TEST_F(ArrayModel2DTest, ConfigTotalBits)
+{
+    EXPECT_EQ(CoreStructures::l2Cache().totalBits(),
+              512LL * 512 * 8); // 256 KB
+    EXPECT_EQ(CoreStructures::instructionL1().totalBits(),
+              256LL * 256 * 4); // 32 KB
+    EXPECT_EQ(CoreStructures::registerFile().ports(), 18);
+}
+
+TEST_F(ArrayModel2DTest, AllTwelveStructuresPresent)
+{
+    const auto all = CoreStructures::all();
+    EXPECT_EQ(all.size(), 12u);
+    EXPECT_EQ(all.front().name, "RF");
+    EXPECT_EQ(all.back().name, "L2");
+}
+
+TEST_F(ArrayModel2DTest, UcodeRomIsSinglePortedAndMultiCycleFriendly)
+{
+    const ArrayConfig urom = CoreStructures::ucodeRom();
+    EXPECT_EQ(urom.ports(), 1);
+    const ArrayMetrics m = model_.evaluate2D(urom);
+    // Smaller than the cycle-critical RF: it never limits the clock.
+    const ArrayMetrics rf =
+        model_.evaluate2D(CoreStructures::registerFile());
+    EXPECT_LT(m.access_latency, rf.access_latency);
+}
+
+TEST(ArrayModelDeathTest, SliceNeedsProcesses)
+{
+    ArrayModel model(Technology::planar2D());
+    SliceSpec bad;
+    bad.rows = 16;
+    bad.cols = 16;
+    bad.cell = CellGeometry::sram(1);
+    EXPECT_DEATH(model.evaluateSlice(bad, SubarrayPlan{}), "");
+}
+
+} // namespace
+} // namespace m3d

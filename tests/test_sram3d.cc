@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Unit and property tests for the 3D partitioned arrays and the
+ * partition explorer: the Section 3.2 / 4.2 behaviours.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sram/explorer.hh"
+#include "util/units.hh"
+
+namespace m3d {
+namespace {
+
+using namespace units;
+
+class Array3DTest : public ::testing::Test
+{
+  protected:
+    ArrayModel iso_model_{Technology::m3dIso()};
+    ArrayModel het_model_{Technology::m3dHetero()};
+    ArrayModel tsv_model_{Technology::tsv3D()};
+    Array3D iso_{iso_model_};
+    Array3D het_{het_model_};
+    Array3D tsv_{tsv_model_};
+    ArrayModel planar_{Technology::planar2D()};
+};
+
+TEST_F(Array3DTest, NoneSpecEqualsPlanar)
+{
+    const ArrayConfig rf = CoreStructures::registerFile();
+    const ArrayMetrics a = iso_.evaluate(rf, PartitionSpec::none());
+    const ArrayMetrics b = iso_model_.evaluate2D(rf);
+    EXPECT_DOUBLE_EQ(a.access_latency, b.access_latency);
+}
+
+TEST_F(Array3DTest, BitPartitionHalvesFootprintApproximately)
+{
+    const ArrayConfig btb = CoreStructures::branchTargetBuffer();
+    const ArrayMetrics m2d = planar_.evaluate2D(btb);
+    const ArrayMetrics m3d = iso_.evaluate(btb, PartitionSpec::bit());
+    const double reduction = reductionVs(m2d.area, m3d.area);
+    EXPECT_GT(reduction, 0.30);
+    EXPECT_LT(reduction, 0.55);
+}
+
+TEST_F(Array3DTest, WordPartitionShortensBitlines)
+{
+    const ArrayConfig btb = CoreStructures::branchTargetBuffer();
+    const ArrayMetrics m2d = planar_.evaluate2D(btb);
+    const ArrayMetrics wp = iso_.evaluate(btb, PartitionSpec::word());
+    EXPECT_LT(wp.bitline_delay, m2d.bitline_delay * 1.001);
+    EXPECT_LT(wp.access_latency, m2d.access_latency);
+}
+
+TEST_F(Array3DTest, PortPartitionShrinksBothWireDimensions)
+{
+    const ArrayConfig rf = CoreStructures::registerFile();
+    const ArrayMetrics m2d = planar_.evaluate2D(rf);
+    const ArrayMetrics pp =
+        iso_.evaluate(rf, PartitionSpec::port(9));
+    EXPECT_LT(pp.wordline_delay, m2d.wordline_delay);
+    EXPECT_LT(pp.bitline_delay, m2d.bitline_delay);
+    EXPECT_LT(pp.access_latency, m2d.access_latency);
+    EXPECT_LT(pp.area, m2d.area * 0.6);
+}
+
+TEST_F(Array3DTest, PortPartitionCatastrophicWithTsvs)
+{
+    // Table 5: two TSVs per bitcell explode the cell area.
+    const ArrayConfig rf = CoreStructures::registerFile();
+    const ArrayMetrics m2d = planar_.evaluate2D(rf);
+    const ArrayMetrics pp = tsv_.evaluate(rf, PartitionSpec::port(9));
+    EXPECT_GT(pp.area, m2d.area); // an area *increase*
+    EXPECT_GT(pp.access_latency, m2d.access_latency * 0.95);
+}
+
+TEST_F(Array3DTest, MivBeatsTsvOnEveryStructure)
+{
+    for (const ArrayConfig &cfg : CoreStructures::all()) {
+        const PartitionSpec spec = PartitionSpec::bit();
+        const ArrayMetrics m = iso_.evaluate(cfg, spec);
+        const ArrayMetrics t = tsv_.evaluate(cfg, spec);
+        EXPECT_LE(m.access_latency, t.access_latency * 1.001)
+            << cfg.name;
+        EXPECT_LE(m.area, t.area * 1.001) << cfg.name;
+    }
+}
+
+TEST_F(Array3DTest, HeteroSlowerThanIsoButClose)
+{
+    for (const ArrayConfig &cfg : CoreStructures::all()) {
+        const PartitionSpec spec = PartitionSpec::bit();
+        const ArrayMetrics i = iso_.evaluate(cfg, spec);
+        const ArrayMetrics h = het_.evaluate(cfg, spec);
+        EXPECT_GE(h.access_latency, i.access_latency * 0.999)
+            << cfg.name;
+        // The whole point of Section 4: the loss stays below the
+        // 17% device slowdown even for this fixed symmetric spec
+        // (CAM match paths cannot move off the top layer, so they
+        // retain a larger share of it; the explorer's asymmetric
+        // specs recover more).
+        EXPECT_LE(h.access_latency, i.access_latency * 1.15)
+            << cfg.name;
+    }
+}
+
+TEST_F(Array3DTest, AsymmetricShareShiftsFootprint)
+{
+    const ArrayConfig btb = CoreStructures::branchTargetBuffer();
+    const ArrayMetrics even =
+        het_.evaluate(btb, PartitionSpec::word(0.5));
+    const ArrayMetrics uneven =
+        het_.evaluate(btb, PartitionSpec::word(2.0 / 3.0));
+    // A 2/3 bottom share leaves the larger slice as the footprint.
+    EXPECT_GE(uneven.area, even.area);
+}
+
+TEST_F(Array3DTest, TopCellUpsizingCostsEnergy)
+{
+    const ArrayConfig btb = CoreStructures::branchTargetBuffer();
+    const ArrayMetrics plain =
+        het_.evaluate(btb, PartitionSpec::word(0.5, 1.0, 1.0));
+    const ArrayMetrics upsized =
+        het_.evaluate(btb, PartitionSpec::word(0.5, 1.0, 2.0));
+    EXPECT_GT(upsized.access_energy, plain.access_energy * 0.999);
+}
+
+TEST_F(Array3DTest, DeathOnPortPartitionOfSinglePorted)
+{
+    const ArrayConfig bpt = CoreStructures::branchPredictor();
+    EXPECT_DEATH(iso_.evaluate(bpt, PartitionSpec::port(1)), "");
+}
+
+TEST_F(Array3DTest, DeathOnPlanarTechnology)
+{
+    ArrayModel planar(Technology::planar2D());
+    Array3D stacked(planar);
+    EXPECT_DEATH(stacked.evaluate(CoreStructures::registerFile(),
+                                  PartitionSpec::bit()),
+                 "");
+}
+
+TEST_F(Array3DTest, MultiLayerBitImprovesFootprintMonotonically)
+{
+    const ArrayConfig l2 = CoreStructures::l2Cache();
+    double prev_area = planar_.evaluate2D(l2).area;
+    for (int layers : {2, 3, 4}) {
+        const ArrayMetrics m = het_.evaluateMultiLayerBit(l2, layers);
+        EXPECT_LT(m.area, prev_area) << layers;
+        prev_area = m.area;
+    }
+}
+
+TEST_F(Array3DTest, MultiLayerTwoMatchesPairwiseBitClosely)
+{
+    const ArrayConfig btb = CoreStructures::branchTargetBuffer();
+    const ArrayMetrics two = het_.evaluateMultiLayerBit(btb, 2);
+    const ArrayMetrics bp = het_.evaluate(btb, PartitionSpec::bit());
+    EXPECT_NEAR(two.access_latency, bp.access_latency,
+                bp.access_latency * 0.10);
+    EXPECT_NEAR(two.area, bp.area, bp.area * 0.15);
+}
+
+TEST_F(Array3DTest, MultiLayerLatencyGainsFlatten)
+{
+    // The marginal latency improvement from layer 3 onward is much
+    // smaller than the first fold's.
+    const ArrayConfig l2 = CoreStructures::l2Cache();
+    const double base = planar_.evaluate2D(l2).access_latency;
+    const double two =
+        het_.evaluateMultiLayerBit(l2, 2).access_latency;
+    const double four =
+        het_.evaluateMultiLayerBit(l2, 4).access_latency;
+    EXPECT_LT(two, base);
+    EXPECT_GT((base - two), (two - four));
+}
+
+TEST_F(Array3DTest, MultiLayerDeathOnBadLayerCount)
+{
+    const ArrayConfig rf = CoreStructures::registerFile();
+    EXPECT_DEATH(iso_.evaluateMultiLayerBit(rf, 1), "");
+    EXPECT_DEATH(iso_.evaluateMultiLayerBit(rf, 9), "");
+}
+
+TEST(PartitionSpecTest, FactoriesSetKinds)
+{
+    EXPECT_EQ(PartitionSpec::none().kind, PartitionKind::None);
+    EXPECT_EQ(PartitionSpec::bit().kind, PartitionKind::Bit);
+    EXPECT_EQ(PartitionSpec::word().kind, PartitionKind::Word);
+    EXPECT_EQ(PartitionSpec::port(4).kind, PartitionKind::Port);
+    EXPECT_EQ(PartitionSpec::port(4).bottom_ports, 4);
+}
+
+TEST(PartitionKindTest, ToStringLabels)
+{
+    EXPECT_EQ(toString(PartitionKind::None), "2D");
+    EXPECT_EQ(toString(PartitionKind::Bit), "BP");
+    EXPECT_EQ(toString(PartitionKind::Word), "WP");
+    EXPECT_EQ(toString(PartitionKind::Port), "PP");
+}
+
+class ExplorerTest : public ::testing::Test
+{
+  protected:
+    PartitionExplorer iso_{Technology::m3dIso()};
+    PartitionExplorer het_{Technology::m3dHetero()};
+    PartitionExplorer tsv_{Technology::tsv3D()};
+};
+
+TEST_F(ExplorerTest, PortPartitionWinsForRegisterFile)
+{
+    // Table 6's headline: PP is the best strategy for the RF.
+    const PartitionResult r =
+        iso_.bestOverall(CoreStructures::registerFile());
+    EXPECT_EQ(r.spec.kind, PartitionKind::Port);
+    EXPECT_GT(r.latencyReduction(), 0.30);
+}
+
+TEST_F(ExplorerTest, MultiPortedStructuresPreferPortPartitioning)
+{
+    for (const char *name : {"RF", "IQ", "RAT"}) {
+        for (const ArrayConfig &cfg : CoreStructures::all()) {
+            if (cfg.name != name)
+                continue;
+            const PartitionResult r = iso_.bestOverall(cfg);
+            EXPECT_EQ(r.spec.kind, PartitionKind::Port) << name;
+        }
+    }
+}
+
+TEST_F(ExplorerTest, SinglePortedStructuresUseBitOrWord)
+{
+    for (const ArrayConfig &cfg : CoreStructures::all()) {
+        if (cfg.ports() >= 2)
+            continue;
+        const PartitionResult r = iso_.bestOverall(cfg);
+        EXPECT_NE(r.spec.kind, PartitionKind::Port) << cfg.name;
+        EXPECT_NE(r.spec.kind, PartitionKind::None) << cfg.name;
+    }
+}
+
+TEST_F(ExplorerTest, EveryStructureImprovesWithM3D)
+{
+    for (const PartitionResult &r :
+         iso_.bestForAll(CoreStructures::all())) {
+        EXPECT_GT(r.latencyReduction(), 0.0) << r.cfg.name;
+        EXPECT_GT(r.energyReduction(), 0.0) << r.cfg.name;
+        EXPECT_GT(r.areaReduction(), 0.25) << r.cfg.name;
+    }
+}
+
+TEST_F(ExplorerTest, HeteroWithinFewPointsOfIso)
+{
+    const auto iso_results = iso_.bestForAll(CoreStructures::all());
+    const auto het_results = het_.bestForAll(CoreStructures::all());
+    ASSERT_EQ(iso_results.size(), het_results.size());
+    for (std::size_t i = 0; i < iso_results.size(); ++i) {
+        EXPECT_GE(het_results[i].latencyReduction(),
+                  iso_results[i].latencyReduction() - 0.06)
+            << iso_results[i].cfg.name;
+    }
+}
+
+TEST_F(ExplorerTest, TsvNeverBeatsM3d)
+{
+    const auto m = iso_.bestForAll(CoreStructures::all());
+    const auto t = tsv_.bestForAll(CoreStructures::all());
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        EXPECT_GE(m[i].latencyReduction(),
+                  t[i].latencyReduction() - 1e-9)
+            << m[i].cfg.name;
+    }
+}
+
+TEST_F(ExplorerTest, TsvNeverPicksPortPartitioning)
+{
+    for (const PartitionResult &r :
+         tsv_.bestForAll(CoreStructures::all())) {
+        EXPECT_NE(r.spec.kind, PartitionKind::Port) << r.cfg.name;
+    }
+}
+
+TEST_F(ExplorerTest, BestMatchesEvaluateForChosenSpec)
+{
+    const ArrayConfig rf = CoreStructures::registerFile();
+    const PartitionResult best = iso_.best(rf, PartitionKind::Port);
+    const PartitionResult again = iso_.evaluate(rf, best.spec);
+    EXPECT_DOUBLE_EQ(best.stacked.access_latency,
+                     again.stacked.access_latency);
+}
+
+TEST_F(ExplorerTest, PlanarBaselineIndependentOfStackTech)
+{
+    const ArrayConfig rf = CoreStructures::registerFile();
+    const PartitionResult a = iso_.evaluate(rf, PartitionSpec::bit());
+    const PartitionResult b = tsv_.evaluate(rf, PartitionSpec::bit());
+    EXPECT_DOUBLE_EQ(a.planar.access_latency,
+                     b.planar.access_latency);
+}
+
+} // namespace
+} // namespace m3d

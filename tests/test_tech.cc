@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit tests for the tech module: process corners, wires, vias, and
+ * the technology presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tech/technology.hh"
+#include "util/units.hh"
+
+namespace m3d {
+namespace {
+
+using namespace units;
+
+TEST(Process, Hp22SanityValues)
+{
+    const ProcessCorner p = ProcessLibrary::hp22();
+    EXPECT_DOUBLE_EQ(p.vdd, 0.8);
+    EXPECT_GT(p.r_on, 0.0);
+    EXPECT_GT(p.c_gate, 0.0);
+    // FO4 in the low single-digit ps range at 22nm HP.
+    EXPECT_GT(p.fo4Delay(), 1.0 * ps);
+    EXPECT_LT(p.fo4Delay(), 20.0 * ps);
+}
+
+TEST(Process, DegradedScalesFo4Exactly)
+{
+    const ProcessCorner p = ProcessLibrary::hp22();
+    const ProcessCorner d = p.degraded(0.17);
+    EXPECT_NEAR(d.fo4Delay() / p.fo4Delay(), 1.17, 1e-12);
+    // Capacitances are untouched (the devices are the same size).
+    EXPECT_DOUBLE_EQ(d.c_gate, p.c_gate);
+    EXPECT_DOUBLE_EQ(d.c_drain, p.c_drain);
+}
+
+TEST(Process, DegradedZeroIsIdentity)
+{
+    const ProcessCorner p = ProcessLibrary::hp22();
+    EXPECT_DOUBLE_EQ(p.degraded(0.0).fo4Delay(), p.fo4Delay());
+}
+
+TEST(ProcessDeathTest, DegradedRejectsBadFraction)
+{
+    const ProcessCorner p = ProcessLibrary::hp22();
+    EXPECT_DEATH(p.degraded(-0.1), "");
+    EXPECT_DEATH(p.degraded(1.0), "");
+}
+
+TEST(Process, WidenedTradesResistanceForCapacitance)
+{
+    const ProcessCorner p = ProcessLibrary::hp22();
+    const ProcessCorner w = p.widened(2.0);
+    EXPECT_DOUBLE_EQ(w.r_on, p.r_on / 2.0);
+    EXPECT_DOUBLE_EQ(w.c_gate, p.c_gate * 2.0);
+    EXPECT_DOUBLE_EQ(w.i_leak, p.i_leak * 2.0);
+    // FO4 is invariant under pure widening.
+    EXPECT_NEAR(w.fo4Delay(), p.fo4Delay(), 1e-15);
+}
+
+TEST(Process, LowPowerCornersAreSlowerButLeakLess)
+{
+    const ProcessCorner hp = ProcessLibrary::hp22();
+    const ProcessCorner lp = ProcessLibrary::lp22();
+    const ProcessCorner soi = ProcessLibrary::fdsoi22();
+    EXPECT_GT(lp.fo4Delay(), hp.fo4Delay());
+    EXPECT_LT(lp.i_leak, hp.i_leak / 5.0);
+    EXPECT_GT(soi.fo4Delay(), hp.fo4Delay());
+    EXPECT_LT(soi.i_leak, hp.i_leak);
+}
+
+TEST(Process, ForLayerAppliesSlowdownOnlyOnTop)
+{
+    const ProcessCorner hp = ProcessLibrary::hp22();
+    const ProcessCorner bottom =
+        ProcessLibrary::forLayer(hp, Layer::Bottom, 0.17);
+    const ProcessCorner top =
+        ProcessLibrary::forLayer(hp, Layer::Top, 0.17);
+    EXPECT_DOUBLE_EQ(bottom.fo4Delay(), hp.fo4Delay());
+    EXPECT_GT(top.fo4Delay(), hp.fo4Delay());
+}
+
+TEST(Wire, ClassesOrderedByResistance)
+{
+    const WireParams local = WireLibrary::local22();
+    const WireParams semi = WireLibrary::semiGlobal22();
+    const WireParams global = WireLibrary::global22();
+    EXPECT_GT(local.r_per_m, semi.r_per_m);
+    EXPECT_GT(semi.r_per_m, global.r_per_m);
+    EXPECT_LT(local.pitch, semi.pitch);
+}
+
+TEST(Wire, TungstenTriplesResistance)
+{
+    const WireParams cu = WireLibrary::local22();
+    const WireParams w = cu.inMetal(WireMetal::Tungsten);
+    EXPECT_NEAR(w.r_per_m / cu.r_per_m, 3.0, 1e-9);
+    EXPECT_DOUBLE_EQ(w.c_per_m, cu.c_per_m);
+    // Round trip restores copper.
+    const WireParams back = w.inMetal(WireMetal::Copper);
+    EXPECT_NEAR(back.r_per_m, cu.r_per_m, cu.r_per_m * 1e-9);
+}
+
+TEST(Wire, DelayQuadraticInLength)
+{
+    const WireParams w = WireLibrary::semiGlobal22();
+    const double d1 = w.unrepeatedDelay(100.0 * um);
+    const double d2 = w.unrepeatedDelay(200.0 * um);
+    EXPECT_NEAR(d2 / d1, 4.0, 1e-9);
+}
+
+TEST(Wire, OfReturnsMatchingClass)
+{
+    EXPECT_EQ(WireLibrary::of(WireClass::Local).wire_class,
+              WireClass::Local);
+    EXPECT_EQ(WireLibrary::of(WireClass::Global).wire_class,
+              WireClass::Global);
+}
+
+TEST(Via, Table2Parameters)
+{
+    const ViaParams miv = ViaLibrary::miv();
+    EXPECT_NEAR(miv.diameter, 50.0 * nm, 1e-12);
+    EXPECT_NEAR(miv.capacitance, 0.1 * fF, 1e-20);
+    EXPECT_NEAR(miv.resistance, 5.5, 1e-9);
+    EXPECT_TRUE(miv.isMiv());
+
+    const ViaParams tsv = ViaLibrary::tsv1300();
+    EXPECT_NEAR(tsv.diameter, 1.3 * um, 1e-12);
+    EXPECT_NEAR(tsv.capacitance, 2.5 * fF, 1e-20);
+    EXPECT_FALSE(tsv.isMiv());
+}
+
+TEST(Via, MivHasNoKoz)
+{
+    const ViaParams miv = ViaLibrary::miv();
+    EXPECT_DOUBLE_EQ(miv.areaBare(), miv.areaWithKoz());
+}
+
+TEST(Via, Table1OverheadRatios)
+{
+    // MIV: <0.01% of a 32-bit adder; TSV(1.3um): ~8%; TSV(5um): ~129%.
+    const double adder = ReferenceCells::adder32Area();
+    EXPECT_LT(ViaLibrary::miv().areaWithKoz() / adder, 1e-4);
+    EXPECT_NEAR(ViaLibrary::tsv1300().areaWithKoz() / adder, 0.080,
+                0.004);
+    EXPECT_NEAR(ViaLibrary::tsv5000().areaWithKoz() / adder, 1.287,
+                0.05);
+}
+
+TEST(Via, Figure2RelativeAreas)
+{
+    const double inv = ReferenceCells::inverterFo1Area();
+    EXPECT_NEAR(ViaLibrary::miv().areaBare() / inv, 0.07, 0.01);
+    EXPECT_NEAR(ReferenceCells::sramBitcellArea() / inv, 2.0, 0.1);
+    EXPECT_NEAR(ViaLibrary::tsv1300().areaBare() / inv, 37.0, 2.0);
+}
+
+TEST(Via, AreasOrderedByDiameter)
+{
+    EXPECT_LT(ViaLibrary::miv().areaWithKoz(),
+              ViaLibrary::tsv1300().areaWithKoz());
+    EXPECT_LT(ViaLibrary::tsv1300().areaWithKoz(),
+              ViaLibrary::tsv5000().areaWithKoz());
+}
+
+TEST(Technology, LayerCounts)
+{
+    EXPECT_EQ(Technology::planar2D().layers(), 1);
+    EXPECT_EQ(Technology::m3dHetero().layers(), 2);
+    EXPECT_EQ(Technology::tsv3D().layers(), 2);
+}
+
+TEST(Technology, HeteroTopProcessIsSlower)
+{
+    const Technology t = Technology::m3dHetero(0.17);
+    EXPECT_NEAR(t.process(Layer::Top).fo4Delay() /
+                    t.process(Layer::Bottom).fo4Delay(),
+                1.17, 1e-9);
+}
+
+TEST(Technology, IsoLayersMatch)
+{
+    const Technology t = Technology::m3dIso();
+    EXPECT_DOUBLE_EQ(t.process(Layer::Top).fo4Delay(),
+                     t.process(Layer::Bottom).fo4Delay());
+    EXPECT_DOUBLE_EQ(t.top_layer_slowdown, 0.0);
+}
+
+TEST(Technology, TsvUsesTsvVia)
+{
+    EXPECT_FALSE(Technology::tsv3D().via.isMiv());
+    EXPECT_TRUE(Technology::m3dHetero().via.isMiv());
+    EXPECT_NEAR(Technology::tsv3DResearch().via.diameter, 5.0 * um,
+                1e-12);
+}
+
+TEST(Technology, LpTopLayerSlowdownDerivedFromProcess)
+{
+    const Technology t = Technology::m3dLpTop();
+    EXPECT_GT(t.top_layer_slowdown, 0.0);
+    EXPECT_NEAR(t.top_process.fo4Delay() / t.bottom_process.fo4Delay(),
+                1.0 + t.top_layer_slowdown, 1e-9);
+    EXPECT_LT(t.top_process.i_leak, t.bottom_process.i_leak);
+}
+
+} // namespace
+} // namespace m3d

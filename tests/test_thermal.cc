@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Unit tests for the thermal module: layer stacks, floorplans, the
+ * grid solver's physics, and the end-to-end thermal model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "thermal/coupling.hh"
+#include "thermal/thermal_model.hh"
+#include "util/units.hh"
+
+namespace m3d {
+namespace {
+
+using namespace units;
+
+TEST(LayerStack, SourceLayers)
+{
+    EXPECT_EQ(LayerStack::planar2D().sourceLayers().size(), 1u);
+    EXPECT_EQ(LayerStack::m3d().sourceLayers().size(), 2u);
+    EXPECT_EQ(LayerStack::tsv3d().sourceLayers().size(), 2u);
+}
+
+TEST(LayerStack, M3dIldIsThin)
+{
+    // The defining thermal property (Section 2.1.3): the M3D
+    // inter-layer dielectric is ~100nm; TSV3D's D2D layer is ~20um.
+    double m3d_ild = 0.0;
+    double tsv_ild = 0.0;
+    for (const ThermalLayer &l : LayerStack::m3d().layers) {
+        if (l.name == "ild")
+            m3d_ild = l.thickness;
+    }
+    for (const ThermalLayer &l : LayerStack::tsv3d().layers) {
+        if (l.name == "d2d-ild")
+            tsv_ild = l.thickness;
+    }
+    EXPECT_NEAR(m3d_ild, 100.0 * nm, 1e-12);
+    EXPECT_GT(tsv_ild / m3d_ild, 100.0);
+}
+
+TEST(LayerStack, OfSelectsByIntegration)
+{
+    EXPECT_EQ(LayerStack::of(Integration::Planar2D).sourceLayers()
+                  .size(),
+              1u);
+    EXPECT_EQ(LayerStack::of(Integration::M3D).layers.size(),
+              LayerStack::m3d().layers.size());
+}
+
+TEST(Floorplan, RyzenLikeCoreBlocks)
+{
+    const Floorplan fp = Floorplan::ryzenLikeCore();
+    EXPECT_EQ(fp.blocks.size(), 9u);
+    EXPECT_GT(fp.width, 1.0 * mm);
+    // Blocks tile most of the bounding box.
+    EXPECT_NEAR(fp.area() / (fp.width * fp.height), 1.0, 0.05);
+}
+
+TEST(Floorplan, ScaledHalvesArea)
+{
+    const Floorplan fp = Floorplan::ryzenLikeCore();
+    const Floorplan half = fp.scaled(0.5);
+    EXPECT_NEAR(half.area() / fp.area(), 0.5, 1e-9);
+    EXPECT_NEAR(half.width / fp.width, std::sqrt(0.5), 1e-9);
+}
+
+class SolverTest : public ::testing::Test
+{
+  protected:
+    static std::vector<std::vector<double>>
+    uniformPower(const LayerStack &stack, int grid, double watts)
+    {
+        const std::size_t sources = stack.sourceLayers().size();
+        const double per_cell =
+            watts / (static_cast<double>(grid) * grid * sources);
+        return std::vector<std::vector<double>>(
+            sources,
+            std::vector<double>(
+                static_cast<std::size_t>(grid) * grid, per_cell));
+    }
+};
+
+TEST_F(SolverTest, ZeroPowerStaysAmbient)
+{
+    const LayerStack stack = LayerStack::planar2D();
+    GridSolver solver(stack, 3.0 * mm, 3.0 * mm, 16);
+    const ThermalField f = solver.solve(uniformPower(stack, 16, 0.0));
+    EXPECT_NEAR(f.peak(), stack.ambient_c, 1e-6);
+}
+
+TEST_F(SolverTest, TemperatureRisesWithPower)
+{
+    const LayerStack stack = LayerStack::planar2D();
+    GridSolver solver(stack, 3.0 * mm, 3.0 * mm, 16);
+    const double t2 =
+        solver.solve(uniformPower(stack, 16, 2.0)).peak();
+    const double t8 =
+        solver.solve(uniformPower(stack, 16, 8.0)).peak();
+    EXPECT_GT(t2, stack.ambient_c);
+    EXPECT_GT(t8, t2);
+    // Steady-state conduction is linear in power.
+    EXPECT_NEAR((t8 - stack.ambient_c) / (t2 - stack.ambient_c), 4.0,
+                0.05);
+}
+
+TEST_F(SolverTest, UniformSixWattsIsPlausiblyWarm)
+{
+    // ~6 W on a ~10 mm^2 core behind TIM+IHS+sink: tens of degrees
+    // over ambient, nowhere near boiling.
+    const LayerStack stack = LayerStack::planar2D();
+    GridSolver solver(stack, 3.26 * mm, 3.26 * mm, 16);
+    const double peak =
+        solver.solve(uniformPower(stack, 16, 6.4)).peak();
+    EXPECT_GT(peak, 50.0);
+    EXPECT_LT(peak, 110.0);
+}
+
+TEST_F(SolverTest, HotspotAppearsWhereThePowerIs)
+{
+    const LayerStack stack = LayerStack::planar2D();
+    const int n = 16;
+    GridSolver solver(stack, 3.0 * mm, 3.0 * mm, n);
+    auto maps = uniformPower(stack, n, 0.0);
+    // 2 W concentrated in the top-left quadrant.
+    for (int y = 0; y < n / 2; ++y) {
+        for (int x = 0; x < n / 2; ++x)
+            maps[0][static_cast<std::size_t>(y) * n + x] =
+                2.0 / (n * n / 4.0);
+    }
+    const ThermalField f = solver.solve(maps);
+    const int src = static_cast<int>(
+        LayerStack::planar2D().sourceLayers()[0]);
+    EXPECT_GT(f.peakIn(src, 0.0, 0.0, 0.5, 0.5),
+              f.peakIn(src, 0.5, 0.5, 1.0, 1.0) + 1.0);
+}
+
+TEST_F(SolverTest, TsvStackHotterThanM3dAtEqualPower)
+{
+    // The paper's Figure 8 mechanism: same power, same footprint,
+    // but TSV3D's far die sits behind a thick resistive D2D layer.
+    const double watts = 6.0;
+    const LayerStack m3d = LayerStack::m3d();
+    const LayerStack tsv = LayerStack::tsv3d();
+    GridSolver sm(m3d, 2.3 * mm, 2.3 * mm, 16);
+    GridSolver st(tsv, 2.3 * mm, 2.3 * mm, 16);
+    const double peak_m = sm.solve(uniformPower(m3d, 16, watts)).peak();
+    const double peak_t = st.solve(uniformPower(tsv, 16, watts)).peak();
+    EXPECT_GT(peak_t, peak_m + 2.0);
+}
+
+TEST_F(SolverTest, M3dBarelyWarmerThanPlanarAtEqualPowerDensity)
+{
+    // M3D splits the same power across two tightly coupled layers;
+    // at the same footprint it should track the planar die closely.
+    const double watts = 6.0;
+    const LayerStack p2d = LayerStack::planar2D();
+    const LayerStack m3d = LayerStack::m3d();
+    GridSolver sp(p2d, 3.0 * mm, 3.0 * mm, 16);
+    GridSolver sm(m3d, 3.0 * mm, 3.0 * mm, 16);
+    const double peak_p = sp.solve(uniformPower(p2d, 16, watts)).peak();
+    const double peak_m = sm.solve(uniformPower(m3d, 16, watts)).peak();
+    EXPECT_NEAR(peak_m, peak_p, 3.0);
+}
+
+TEST_F(SolverTest, FieldAccessorsConsistent)
+{
+    const LayerStack stack = LayerStack::planar2D();
+    GridSolver solver(stack, 3.0 * mm, 3.0 * mm, 8);
+    const ThermalField f = solver.solve(uniformPower(stack, 8, 4.0));
+    EXPECT_EQ(f.grid, 8);
+    EXPECT_EQ(f.layers,
+              static_cast<int>(stack.layers.size()));
+    double manual_peak = 0.0;
+    for (int l = 0; l < f.layers; ++l) {
+        for (int y = 0; y < f.grid; ++y) {
+            for (int x = 0; x < f.grid; ++x)
+                manual_peak = std::max(manual_peak, f.at(l, y, x));
+        }
+    }
+    EXPECT_DOUBLE_EQ(manual_peak, f.peak());
+}
+
+TEST(SolverDeathTest, RejectsMismatchedPowerMaps)
+{
+    const LayerStack stack = LayerStack::m3d(); // two sources
+    GridSolver solver(stack, 2.0 * mm, 2.0 * mm, 8);
+    std::vector<std::vector<double>> one_map(
+        1, std::vector<double>(64, 0.0));
+    EXPECT_DEATH(solver.solve(one_map), "");
+}
+
+TEST(ThermalModel, StackedDesignUsesHalfFootprint)
+{
+    DesignFactory factory;
+    ThermalModel base(factory.base());
+    ThermalModel het(factory.m3dHet());
+    EXPECT_NEAR(het.floorplan().area() / base.floorplan().area(), 0.5,
+                1e-9);
+}
+
+TEST(ThermalModel, SolvesBlockPowersEndToEnd)
+{
+    DesignFactory factory;
+    const CoreDesign d = factory.m3dHet();
+    ThermalModel tm(d, 16);
+    std::map<std::string, double> blocks = {
+        {"Fetch", 0.8}, {"Decode", 0.9}, {"RAT", 0.1}, {"IQ", 0.4},
+        {"RF", 0.5},    {"ALU", 1.0},    {"FPU", 0.9}, {"LSU", 0.4},
+        {"DL1", 0.4},   {"Clock", 1.2},
+    };
+    const ThermalResult r = tm.solve(blocks);
+    EXPECT_GT(r.peak_c, 45.0);
+    EXPECT_LT(r.peak_c, 120.0);
+    EXPECT_FALSE(r.hottest_block.empty());
+    EXPECT_EQ(r.block_peak_c.size(), 9u);
+    // The reported hottest block holds the maximum block peak.
+    for (const auto &[name, peak] : r.block_peak_c)
+        EXPECT_LE(peak, r.block_peak_c.at(r.hottest_block) + 1e-9);
+}
+
+TEST_F(SolverTest, TransientApproachesSteadyState)
+{
+    const LayerStack stack = LayerStack::planar2D();
+    GridSolver solver(stack, 3.0 * mm, 3.0 * mm, 8);
+    const auto maps = uniformPower(stack, 8, 6.0);
+    const double steady = solver.solve(maps).peak();
+    const auto samples = solver.solveTransient(maps, 5e-4, 120);
+    // Monotone heating from ambient...
+    EXPECT_GT(samples.front().peak_c, stack.ambient_c);
+    for (std::size_t i = 1; i < samples.size(); ++i)
+        EXPECT_GE(samples[i].peak_c, samples[i - 1].peak_c - 1e-6);
+    // ... converging towards the steady-state peak.
+    EXPECT_GT(samples.back().peak_c,
+              stack.ambient_c + 0.7 * (steady - stack.ambient_c));
+    EXPECT_LT(samples.back().peak_c, steady + 1.0);
+}
+
+TEST_F(SolverTest, TransientTimeAxisIsUniform)
+{
+    const LayerStack stack = LayerStack::m3d();
+    GridSolver solver(stack, 2.0 * mm, 2.0 * mm, 8);
+    const auto samples =
+        solver.solveTransient(uniformPower(stack, 8, 4.0), 1e-4, 10);
+    ASSERT_EQ(samples.size(), 10u);
+    EXPECT_NEAR(samples[0].t_seconds, 1e-4, 1e-12);
+    EXPECT_NEAR(samples[9].t_seconds, 1e-3, 1e-12);
+}
+
+TEST_F(SolverTest, TsvHeatsFasterThanPlanar)
+{
+    // The resistive D2D layer traps heat near the top die early on.
+    const auto p2d = LayerStack::planar2D();
+    const auto tsv = LayerStack::tsv3d();
+    GridSolver sp(p2d, 2.3 * mm, 2.3 * mm, 8);
+    GridSolver st(tsv, 2.3 * mm, 2.3 * mm, 8);
+    const auto a = sp.solveTransient(uniformPower(p2d, 8, 6.0), 1e-3, 5);
+    const auto b = st.solveTransient(uniformPower(tsv, 8, 6.0), 1e-3, 5);
+    EXPECT_GT(b.back().peak_c, a.back().peak_c);
+}
+
+TEST(Coupling, LeakageFactorReference)
+{
+    EXPECT_NEAR(leakageTemperatureFactor(45.0), 1.0, 1e-12);
+    EXPECT_NEAR(leakageTemperatureFactor(67.0), 2.0, 1e-9);
+    EXPECT_LT(leakageTemperatureFactor(30.0), 1.0);
+}
+
+TEST(Coupling, FixedPointConvergesAboveUncoupled)
+{
+    DesignFactory factory;
+    std::map<std::string, double> blocks = {
+        {"ALU", 0.8}, {"FPU", 0.6}, {"Fetch", 0.5}, {"Decode", 0.5},
+        {"DL1", 0.3}, {"RF", 0.3},  {"Clock", 1.0},
+    };
+    const CoupledResult r = solveCoupled(factory.tsv3d(), blocks);
+    EXPECT_TRUE(r.converged);
+    EXPECT_GT(r.peak_c, r.peak_c_uncoupled);
+    EXPECT_GT(r.leakage_factor, 1.0);
+}
+
+TEST(Coupling, DetectsThermalRunaway)
+{
+    // Enough power on the thermally-challenged TSV stack tips the
+    // leakage loop past unity gain: the solver must report the
+    // runaway instead of spinning or diverging silently.
+    DesignFactory factory;
+    std::map<std::string, double> blocks = {
+        {"ALU", 4.0}, {"FPU", 4.0}, {"Clock", 4.0}};
+    const CoupledResult r =
+        solveCoupled(factory.tsv3d(), blocks, /*leakage=*/0.35);
+    EXPECT_FALSE(r.converged);
+    EXPECT_GT(r.leakage_factor, 4.0);
+}
+
+TEST(Coupling, HotterStackPaysBiggerFeedbackPenalty)
+{
+    DesignFactory factory;
+    std::map<std::string, double> blocks = {
+        {"ALU", 1.2}, {"FPU", 1.0}, {"Fetch", 0.8}, {"Decode", 0.8},
+        {"DL1", 0.5}, {"RF", 0.4},  {"Clock", 1.5},
+    };
+    for (auto &[name, watts] : blocks)
+        watts *= 0.7;
+    const CoupledResult m3d = solveCoupled(factory.m3dHet(), blocks);
+    const CoupledResult tsv = solveCoupled(factory.tsv3d(), blocks);
+    EXPECT_GT(tsv.peak_c - tsv.peak_c_uncoupled,
+              m3d.peak_c - m3d.peak_c_uncoupled);
+}
+
+TEST(Coupling, ZeroLeakageFractionIsUncoupled)
+{
+    DesignFactory factory;
+    std::map<std::string, double> blocks = {{"ALU", 3.0}};
+    const CoupledResult r =
+        solveCoupled(factory.base(), blocks, /*leakage_fraction=*/0.0);
+    EXPECT_NEAR(r.peak_c, r.peak_c_uncoupled, 1e-9);
+}
+
+} // namespace
+} // namespace m3d

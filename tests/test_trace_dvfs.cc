@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for trace record/replay and the voltage-frequency model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "power/dvfs.hh"
+#include "workload/generator.hh"
+#include "workload/trace_file.hh"
+
+namespace m3d {
+namespace {
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = ::testing::TempDir() + "m3d_trace_test.bin";
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+TEST_F(TraceFileTest, RoundTripPreservesEveryField)
+{
+    const WorkloadProfile p = WorkloadLibrary::byName("Gcc");
+    TraceGenerator gen(p, 42);
+    {
+        TraceWriter w(path_);
+        for (int i = 0; i < 5000; ++i)
+            w.append(gen.next());
+        w.close();
+        EXPECT_EQ(w.count(), 5000u);
+    }
+
+    TraceGenerator gen2(p, 42); // identical reference stream
+    TraceReader r(path_);
+    ASSERT_EQ(r.size(), 5000u);
+    for (int i = 0; i < 5000; ++i) {
+        const MicroOp a = gen2.next();
+        const MicroOp b = r.next();
+        ASSERT_EQ(static_cast<int>(a.op), static_cast<int>(b.op)) << i;
+        ASSERT_EQ(a.address, b.address) << i;
+        ASSERT_EQ(a.src1_dist, b.src1_dist) << i;
+        ASSERT_EQ(a.src2_dist, b.src2_dist) << i;
+        ASSERT_EQ(a.taken, b.taken) << i;
+        ASSERT_EQ(a.complex_decode, b.complex_decode) << i;
+        ASSERT_EQ(a.serializing, b.serializing) << i;
+    }
+}
+
+TEST_F(TraceFileTest, RecordHelperAndWrapAround)
+{
+    const WorkloadProfile p = WorkloadLibrary::byName("Lbm");
+    TraceGenerator gen(p, 7);
+    TraceWriter::record(path_, gen, 100);
+
+    TraceReader r(path_);
+    EXPECT_EQ(r.size(), 100u);
+    const MicroOp first = r.at(0);
+    for (int i = 0; i < 100; ++i)
+        r.next();
+    // Wrapped: the 101st op is the first again.
+    const MicroOp again = r.next();
+    EXPECT_EQ(first.address, again.address);
+    r.rewind();
+    EXPECT_EQ(r.next().address, first.address);
+}
+
+TEST_F(TraceFileTest, DestructorFinalizesFile)
+{
+    {
+        TraceWriter w(path_);
+        MicroOp op;
+        op.op = OpClass::Load;
+        op.address = 0xabcd;
+        w.append(op);
+        // no explicit close(): the destructor must write the file
+    }
+    TraceReader r(path_);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r.at(0).address, 0xabcdu);
+    EXPECT_EQ(static_cast<int>(r.at(0).op),
+              static_cast<int>(OpClass::Load));
+}
+
+TEST_F(TraceFileTest, RejectsGarbageFiles)
+{
+    {
+        std::FILE *f = std::fopen(path_.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("not a trace", f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(TraceReader r(path_), ::testing::ExitedWithCode(1),
+                "");
+}
+
+TEST(Dvfs, NominalVoltageHasUnitDelay)
+{
+    DvfsModel m;
+    EXPECT_NEAR(m.delayFactor(0.8), 1.0, 1e-12);
+}
+
+TEST(Dvfs, LowerVoltageIsSlower)
+{
+    DvfsModel m;
+    EXPECT_GT(m.delayFactor(0.75), 1.0);
+    EXPECT_GT(m.delayFactor(0.70), m.delayFactor(0.75));
+    EXPECT_LT(m.delayFactor(0.9), 1.0);
+}
+
+TEST(Dvfs, MaxFrequencyInverseOfDelay)
+{
+    DvfsModel m;
+    const double f = m.maxFrequency(0.75, 3.3e9);
+    EXPECT_NEAR(f * m.delayFactor(0.75), 3.3e9, 1.0);
+}
+
+TEST(Dvfs, MinVddMonotoneInSlack)
+{
+    DvfsModel m;
+    const double v5 = m.minVddForSlack(0.05);
+    const double v13 = m.minVddForSlack(0.13);
+    const double v25 = m.minVddForSlack(0.25);
+    EXPECT_GT(v5, v13);
+    EXPECT_GT(v13, v25);
+    EXPECT_LT(v5, 0.8);
+}
+
+TEST(Dvfs, ZeroSlackKeepsNominal)
+{
+    DvfsModel m;
+    EXPECT_NEAR(m.minVddForSlack(0.0), 0.8, 1e-6);
+}
+
+TEST(Dvfs, PaperSlackLandsNearPaperVoltage)
+{
+    // M3D-Het's 13% cycle-time slack supports roughly the paper's
+    // 0.75 V undervolt (they cap at 50 mV per [18, 23]).
+    DvfsModel m;
+    const double v = m.minVddForSlack(0.13);
+    EXPECT_GT(v, 0.69);
+    EXPECT_LT(v, 0.76);
+}
+
+TEST(DvfsDeathTest, RejectsSubthresholdQueries)
+{
+    DvfsModel m;
+    EXPECT_DEATH(m.delayFactor(0.2), "");
+}
+
+} // namespace
+} // namespace m3d

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit tests for the util module: logging thresholds, statistics,
+ * tables, and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace m3d {
+namespace {
+
+TEST(Logging, ThresholdRoundTrip)
+{
+    const LogLevel old = setLogThreshold(LogLevel::Fatal);
+    EXPECT_EQ(logThreshold(), LogLevel::Fatal);
+    setLogThreshold(old);
+    EXPECT_EQ(logThreshold(), old);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    M3D_ASSERT(1 + 1 == 2);
+    SUCCEED();
+}
+
+TEST(LoggingDeathTest, AssertAbortsOnFalse)
+{
+    EXPECT_DEATH({ M3D_ASSERT(false, "should abort"); }, "");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH({ M3D_PANIC("boom"); }, "");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT({ M3D_FATAL("bad config"); },
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Units, ReductionVs)
+{
+    EXPECT_DOUBLE_EQ(reductionVs(100.0, 50.0), 0.5);
+    EXPECT_DOUBLE_EQ(reductionVs(100.0, 100.0), 0.0);
+    EXPECT_LT(reductionVs(100.0, 150.0), 0.0);
+}
+
+TEST(Units, AsPercent)
+{
+    EXPECT_DOUBLE_EQ(asPercent(0.41), 41.0);
+}
+
+TEST(Units, ScaleRelations)
+{
+    using namespace units;
+    EXPECT_DOUBLE_EQ(1000.0 * nm, 1.0 * um);
+    EXPECT_DOUBLE_EQ(1000.0 * um, 1.0 * mm);
+    EXPECT_DOUBLE_EQ(1e6 * pJ, 1.0 * uW * s);
+    EXPECT_DOUBLE_EQ(1.0 * GHz, 1e9 * Hz);
+    EXPECT_DOUBLE_EQ(1.0 * um2, 1e-12 * m2);
+}
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c++;
+    c += 10;
+    EXPECT_EQ(c.value(), 12u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Scalar, AccumulateAndSet)
+{
+    Scalar s;
+    s += 1.5;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    s.set(-1.0);
+    EXPECT_DOUBLE_EQ(s.value(), -1.0);
+}
+
+TEST(Histogram, BucketsAndMean)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.sample(static_cast<double>(i) + 0.5);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_NEAR(h.mean(), 5.0, 1e-9);
+    for (std::size_t b = 0; b < h.buckets(); ++b)
+        EXPECT_EQ(h.bucketCount(b), 1u);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.sample(-100.0);
+    h.sample(100.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+}
+
+TEST(HistogramDeathTest, RejectsEmptyRange)
+{
+    EXPECT_DEATH({ Histogram h(1.0, 1.0, 4); }, "");
+}
+
+TEST(StatGroup, DumpsRegisteredStats)
+{
+    Counter c;
+    c += 7;
+    Scalar s;
+    s.set(2.5);
+    StatGroup g("core0");
+    g.addCounter("commits", c);
+    g.addScalar("energy", s);
+    std::ostringstream oss;
+    g.dump(oss);
+    EXPECT_NE(oss.str().find("core0.commits 7"), std::string::npos);
+    EXPECT_NE(oss.str().find("core0.energy 2.5"), std::string::npos);
+}
+
+TEST(Table, AlignedPrintContainsCells)
+{
+    Table t("demo");
+    t.header({"a", "b"});
+    t.row({"x", "123"});
+    t.separator();
+    t.row({"y", "456"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string s = oss.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("123"), std::string::npos);
+    EXPECT_NE(s.find("456"), std::string::npos);
+}
+
+TEST(Table, CsvOmitsSeparators)
+{
+    Table t("demo");
+    t.header({"a", "b"});
+    t.row({"x", "1"});
+    t.separator();
+    t.row({"y", "2"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\nx,1\ny,2\n");
+}
+
+TEST(TableDeathTest, RowWidthMustMatchHeader)
+{
+    Table t("demo");
+    t.header({"a", "b"});
+    EXPECT_DEATH(t.row({"only-one"}), "");
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::pct(0.41, 0), "41%");
+    EXPECT_EQ(Table::pct(0.415, 1), "41.5%");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIndependentOfParentUse)
+{
+    Rng a(7);
+    Rng fork_early = a.fork(3);
+    a.next();
+    a.next();
+    Rng b(7);
+    Rng fork_late = b.fork(3);
+    // Forking is a pure function of (state at construction, id)...
+    // both parents forked before consuming numbers, so the streams
+    // must coincide.
+    EXPECT_EQ(fork_early.next(), fork_late.next());
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(42);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(42);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, BurstMeanApproximation)
+{
+    Rng r(42);
+    double total = 0.0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i)
+        total += static_cast<double>(r.burst(4.0));
+    EXPECT_NEAR(total / n, 4.0, 0.5);
+}
+
+} // namespace
+} // namespace m3d

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Unit and statistical tests for the workload module: profile
+ * libraries and the synthetic trace generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/generator.hh"
+#include "workload/profile_io.hh"
+
+#include <sstream>
+
+namespace m3d {
+namespace {
+
+TEST(WorkloadLibrary, TwentyOneSpecApplications)
+{
+    const auto apps = WorkloadLibrary::spec2006();
+    EXPECT_EQ(apps.size(), 21u);
+    std::set<std::string> names;
+    for (const WorkloadProfile &p : apps) {
+        names.insert(p.name);
+        EXPECT_FALSE(p.parallel) << p.name;
+    }
+    EXPECT_EQ(names.size(), 21u); // unique
+    EXPECT_TRUE(names.count("Mcf"));
+    EXPECT_TRUE(names.count("Gamess"));
+    EXPECT_TRUE(names.count("Xalancbmk"));
+}
+
+TEST(WorkloadLibrary, FifteenParallelApplications)
+{
+    const auto apps = WorkloadLibrary::splash2parsec();
+    EXPECT_EQ(apps.size(), 15u);
+    for (const WorkloadProfile &p : apps) {
+        EXPECT_TRUE(p.parallel) << p.name;
+        EXPECT_GT(p.parallel_frac, 0.85) << p.name;
+        EXPECT_LT(p.parallel_frac, 1.0) << p.name;
+    }
+}
+
+TEST(WorkloadLibrary, ByNameFindsBothSuites)
+{
+    EXPECT_EQ(WorkloadLibrary::byName("Lbm").name, "Lbm");
+    EXPECT_EQ(WorkloadLibrary::byName("Ocean").name, "Ocean");
+}
+
+TEST(WorkloadLibraryDeathTest, ByNameFatalOnUnknown)
+{
+    EXPECT_EXIT(WorkloadLibrary::byName("NotABenchmark"),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(WorkloadLibrary, MixFractionsAreSane)
+{
+    for (const WorkloadProfile &p : WorkloadLibrary::spec2006()) {
+        const double total = p.load_frac + p.store_frac +
+                             p.branch_frac + p.fp_frac + p.mult_frac +
+                             p.div_frac;
+        EXPECT_LT(total, 1.0) << p.name; // room for plain ALU ops
+        EXPECT_GT(p.load_frac, 0.1) << p.name;
+        EXPECT_GT(p.working_set_kb, 0.0) << p.name;
+    }
+}
+
+TEST(WorkloadLibrary, MemoryBoundAppsAreMarked)
+{
+    const WorkloadProfile mcf = WorkloadLibrary::byName("Mcf");
+    const WorkloadProfile gamess = WorkloadLibrary::byName("Gamess");
+    EXPECT_GT(mcf.working_set_kb, 30.0 * 1024.0);
+    EXPECT_LT(gamess.working_set_kb, 1024.0);
+    EXPECT_LT(mcf.temporal_locality, gamess.temporal_locality);
+}
+
+TEST(TraceGenerator, DeterministicForSameSeed)
+{
+    const WorkloadProfile p = WorkloadLibrary::byName("Gcc");
+    TraceGenerator a(p, 99);
+    TraceGenerator b(p, 99);
+    for (int i = 0; i < 5000; ++i) {
+        const MicroOp x = a.next();
+        const MicroOp y = b.next();
+        ASSERT_EQ(static_cast<int>(x.op), static_cast<int>(y.op));
+        ASSERT_EQ(x.address, y.address);
+        ASSERT_EQ(x.src1_dist, y.src1_dist);
+        ASSERT_EQ(x.mispredicted, y.mispredicted);
+    }
+}
+
+TEST(TraceGenerator, DifferentThreadsDiverge)
+{
+    const WorkloadProfile p = WorkloadLibrary::byName("Ocean");
+    TraceGenerator a(p, 99, 0);
+    TraceGenerator b(p, 99, 1);
+    int same = 0;
+    int compared = 0;
+    for (int i = 0; i < 3000; ++i) {
+        const MicroOp x = a.next();
+        const MicroOp y = b.next();
+        if (x.address == 0 || y.address == 0)
+            continue; // non-memory ops carry no address
+        ++compared;
+        same += x.address == y.address;
+    }
+    EXPECT_GT(compared, 100);
+    EXPECT_LT(same, compared / 10);
+}
+
+TEST(TraceGenerator, MixMatchesProfileStatistically)
+{
+    const WorkloadProfile p = WorkloadLibrary::byName("Hmmer");
+    TraceGenerator gen(p, 7);
+    const int n = 100000;
+    int loads = 0;
+    int stores = 0;
+    int branches = 0;
+    for (int i = 0; i < n; ++i) {
+        const MicroOp op = gen.next();
+        loads += op.op == OpClass::Load;
+        stores += op.op == OpClass::Store;
+        branches += op.op == OpClass::Branch;
+    }
+    EXPECT_NEAR(static_cast<double>(loads) / n, p.load_frac, 0.01);
+    EXPECT_NEAR(static_cast<double>(stores) / n, p.store_frac, 0.01);
+    EXPECT_NEAR(static_cast<double>(branches) / n, p.branch_frac,
+                0.01);
+}
+
+TEST(TraceGenerator, MispredictRateMatchesMpki)
+{
+    const WorkloadProfile p = WorkloadLibrary::byName("Gobmk");
+    TraceGenerator gen(p, 7);
+    const int n = 300000;
+    int mispredicts = 0;
+    for (int i = 0; i < n; ++i)
+        mispredicts += gen.next().mispredicted;
+    const double mpki = 1000.0 * mispredicts / n;
+    EXPECT_NEAR(mpki, p.branch_mpki, p.branch_mpki * 0.2);
+}
+
+TEST(TraceGenerator, AddressesStayInThreadRegion)
+{
+    const WorkloadProfile p = WorkloadLibrary::byName("Gamess");
+    TraceGenerator gen(p, 7, /*thread_id=*/2);
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.op != OpClass::Load && op.op != OpClass::Store)
+            continue;
+        // Serial profile: never in the shared region.
+        EXPECT_EQ(op.address & (1ull << 40), 0u);
+        EXPECT_NE(op.address, 0u);
+    }
+}
+
+TEST(TraceGenerator, ParallelProfilesTouchSharedData)
+{
+    const WorkloadProfile p = WorkloadLibrary::byName("Canneal");
+    TraceGenerator gen(p, 7, 1);
+    int shared = 0;
+    int mem = 0;
+    for (int i = 0; i < 100000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.op != OpClass::Load && op.op != OpClass::Store)
+            continue;
+        ++mem;
+        shared += (op.address & (1ull << 40)) != 0;
+    }
+    EXPECT_NEAR(static_cast<double>(shared) / mem, p.shared_frac,
+                0.03);
+}
+
+TEST(TraceGenerator, SerializingOpsOnlyInParallelProfiles)
+{
+    TraceGenerator serial(WorkloadLibrary::byName("Gcc"), 7);
+    for (int i = 0; i < 20000; ++i)
+        ASSERT_FALSE(serial.next().serializing);
+
+    TraceGenerator par(WorkloadLibrary::byName("Radiosity"), 7, 1);
+    int serializing = 0;
+    for (int i = 0; i < 100000; ++i)
+        serializing += par.next().serializing;
+    EXPECT_GT(serializing, 0);
+}
+
+TEST(TraceGenerator, DependencyDistancesTrackProfile)
+{
+    const WorkloadProfile tight = WorkloadLibrary::byName("Mcf");
+    const WorkloadProfile loose = WorkloadLibrary::byName("Gamess");
+    TraceGenerator a(tight, 7);
+    TraceGenerator b(loose, 7);
+    double sum_a = 0.0;
+    double sum_b = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        sum_a += a.next().src1_dist;
+        sum_b += b.next().src1_dist;
+    }
+    EXPECT_LT(sum_a / n, sum_b / n);
+}
+
+TEST(TraceGenerator, FpOpsOnlyWhenProfiled)
+{
+    TraceGenerator integer(WorkloadLibrary::byName("Sjeng"), 7);
+    for (int i = 0; i < 20000; ++i) {
+        const OpClass op = integer.next().op;
+        ASSERT_NE(op, OpClass::FpAdd);
+        ASSERT_NE(op, OpClass::FpMult);
+        ASSERT_NE(op, OpClass::FpDiv);
+    }
+}
+
+TEST(ProfileIo, RoundTripPreservesFields)
+{
+    const WorkloadProfile original = WorkloadLibrary::byName("Ocean");
+    std::stringstream ss;
+    writeProfile(ss, original);
+    const WorkloadProfile copy = readProfile(ss, "roundtrip");
+    EXPECT_EQ(copy.name, original.name);
+    EXPECT_EQ(copy.parallel, original.parallel);
+    EXPECT_DOUBLE_EQ(copy.load_frac, original.load_frac);
+    EXPECT_DOUBLE_EQ(copy.branch_mpki, original.branch_mpki);
+    EXPECT_DOUBLE_EQ(copy.working_set_kb, original.working_set_kb);
+    EXPECT_DOUBLE_EQ(copy.parallel_frac, original.parallel_frac);
+    EXPECT_DOUBLE_EQ(copy.temporal_locality,
+                     original.temporal_locality);
+}
+
+TEST(ProfileIo, ParsesCommentsAndWhitespace)
+{
+    std::stringstream ss;
+    ss << "# a workload\n"
+          "name = Demo   # trailing comment\n"
+          "\n"
+          "  load_frac =  0.3\n"
+          "branch_mpki=12\n";
+    const WorkloadProfile p = readProfile(ss, "inline");
+    EXPECT_EQ(p.name, "Demo");
+    EXPECT_DOUBLE_EQ(p.load_frac, 0.3);
+    EXPECT_DOUBLE_EQ(p.branch_mpki, 12.0);
+    // Unset fields keep their defaults.
+    EXPECT_DOUBLE_EQ(p.store_frac, WorkloadProfile{}.store_frac);
+}
+
+TEST(ProfileIoDeathTest, RejectsUnknownKeys)
+{
+    std::stringstream ss;
+    ss << "name = X\nbogus_key = 1\n";
+    EXPECT_EXIT(readProfile(ss, "inline"),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(ProfileIoDeathTest, RejectsBadNumbersAndMissingName)
+{
+    {
+        std::stringstream ss;
+        ss << "name = X\nload_frac = lots\n";
+        EXPECT_EXIT(readProfile(ss, "inline"),
+                    ::testing::ExitedWithCode(1), "");
+    }
+    {
+        std::stringstream ss;
+        ss << "load_frac = 0.2\n";
+        EXPECT_EXIT(readProfile(ss, "inline"),
+                    ::testing::ExitedWithCode(1), "");
+    }
+}
+
+TEST(ProfileIo, LoadedProfileDrivesTheGenerator)
+{
+    std::stringstream ss;
+    ss << "name = AllAlu\nload_frac = 0\nstore_frac = 0\n"
+          "branch_frac = 0\nfp_frac = 0\nmult_frac = 0\n"
+          "div_frac = 0\n";
+    const WorkloadProfile p = readProfile(ss, "inline");
+    TraceGenerator gen(p, 3);
+    for (int i = 0; i < 3000; ++i)
+        ASSERT_EQ(static_cast<int>(gen.next().op),
+                  static_cast<int>(OpClass::IntAlu));
+}
+
+TEST(TraceGenerator, CallsAndReturnsStayBalanced)
+{
+    const WorkloadProfile p = WorkloadLibrary::byName("Gcc");
+    TraceGenerator gen(p, 5);
+    int depth = 0;
+    int calls = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.is_call) {
+            ++depth;
+            ++calls;
+        }
+        if (op.is_return) {
+            --depth;
+            ASSERT_GE(depth, 0); // returns never outnumber calls
+        }
+    }
+    EXPECT_GT(calls, 100);
+    EXPECT_LE(depth, 64);
+}
+
+TEST(TraceGenerator, ReturnsTargetTheMatchingCallSite)
+{
+    const WorkloadProfile p = WorkloadLibrary::byName("Gcc");
+    TraceGenerator gen(p, 5);
+    std::vector<std::uint64_t> stack;
+    for (int i = 0; i < 200000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.is_call)
+            stack.push_back(op.address + 4);
+        if (op.is_return) {
+            ASSERT_FALSE(stack.empty());
+            EXPECT_EQ(op.address, stack.back());
+            stack.pop_back();
+        }
+    }
+}
+
+} // namespace
+} // namespace m3d

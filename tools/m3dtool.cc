@@ -1,0 +1,307 @@
+/**
+ * @file
+ * m3dtool - the command-line front end to the library.
+ *
+ *   m3dtool designs                      list the Table 11 designs
+ *   m3dtool workloads                    list the bundled profiles
+ *   m3dtool partition <structure|all> [--tech T]
+ *                                        best partition vs 2D
+ *   m3dtool simulate <app> [--design D] [--instructions N] [--stats]
+ *                                        run one app on one design
+ *   m3dtool thermal <app> [--design D]   peak-temperature solve
+ *
+ * Technologies: m3d-het (default), m3d-iso, tsv3d.
+ * Designs: base, tsv3d, m3d-iso, m3d-het-naive, m3d-het, m3d-het-agg.
+ * Apps: SPEC2006/SPLASH2/PARSEC names or a profile file path.
+ */
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arch/stats_dump.hh"
+#include "util/logging.hh"
+#include "power/sim_harness.hh"
+#include "thermal/thermal_model.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+#include "workload/profile_io.hh"
+
+using namespace m3d;
+using namespace m3d::units;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  m3dtool designs\n"
+           "  m3dtool workloads\n"
+           "  m3dtool partition <structure|all> [--tech m3d-het|"
+           "m3d-iso|tsv3d]\n"
+           "  m3dtool simulate <app> [--design <name>] "
+           "[--instructions N] [--stats]\n"
+           "  m3dtool thermal <app> [--design <name>]\n";
+    return 2;
+}
+
+std::string
+flagValue(std::vector<std::string> &args, const std::string &flag,
+          const std::string &fallback)
+{
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == flag) {
+            const std::string v = args[i + 1];
+            args.erase(args.begin() + static_cast<long>(i),
+                       args.begin() + static_cast<long>(i) + 2);
+            return v;
+        }
+    }
+    return fallback;
+}
+
+bool
+flagPresent(std::vector<std::string> &args, const std::string &flag)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == flag) {
+            args.erase(args.begin() + static_cast<long>(i));
+            return true;
+        }
+    }
+    return false;
+}
+
+Technology
+techByName(const std::string &name)
+{
+    if (name == "m3d-het")
+        return Technology::m3dHetero();
+    if (name == "m3d-iso")
+        return Technology::m3dIso();
+    if (name == "tsv3d")
+        return Technology::tsv3D();
+    M3D_FATAL("unknown technology '", name,
+              "' (try m3d-het, m3d-iso, tsv3d)");
+}
+
+CoreDesign
+designByName(const DesignFactory &factory, const std::string &name)
+{
+    for (const CoreDesign &d : factory.singleCoreDesigns()) {
+        std::string lower = d.name;
+        for (char &c : lower)
+            c = static_cast<char>(std::tolower(c));
+        std::string key = lower;
+        for (char &c : key) {
+            if (c == ' ')
+                c = '-';
+        }
+        if (key == name || lower == name)
+            return d;
+    }
+    if (name == "m3d-het-naive" || name == "m3d-hetnaive")
+        return factory.m3dHetNaive();
+    if (name == "m3d-het-agg" || name == "m3d-hetagg")
+        return factory.m3dHetAgg();
+    M3D_FATAL("unknown design '", name,
+              "' (try base, tsv3d, m3d-iso, m3d-het-naive, m3d-het, "
+              "m3d-het-agg)");
+}
+
+WorkloadProfile
+appByName(const std::string &name)
+{
+    // A path (contains '/' or '.') loads a profile file; otherwise
+    // look up the bundled suites.
+    if (name.find('/') != std::string::npos ||
+        name.find('.') != std::string::npos) {
+        return loadProfile(name);
+    }
+    return WorkloadLibrary::byName(name);
+}
+
+int
+cmdDesigns()
+{
+    DesignFactory factory;
+    Table t("Core designs (Table 11)");
+    t.header({"Name", "f (GHz)", "Vdd", "Cores", "Ld2Use",
+              "MispPenalty"});
+    for (const CoreDesign &d : factory.singleCoreDesigns()) {
+        t.row({d.name, Table::num(d.frequency / 1e9, 2),
+               Table::num(d.vdd, 2), std::to_string(d.num_cores),
+               std::to_string(d.load_to_use),
+               std::to_string(d.mispredict_penalty)});
+    }
+    t.separator();
+    for (const CoreDesign &d :
+         {factory.m3dHetW(), factory.m3dHet2x()}) {
+        t.row({d.name, Table::num(d.frequency / 1e9, 2),
+               Table::num(d.vdd, 2), std::to_string(d.num_cores),
+               std::to_string(d.load_to_use),
+               std::to_string(d.mispredict_penalty)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdWorkloads()
+{
+    Table t("Bundled workload profiles");
+    t.header({"Name", "Suite", "WS (KB)", "MPKI", "Parallel"});
+    for (const WorkloadProfile &p : WorkloadLibrary::spec2006()) {
+        t.row({p.name, "SPEC2006", Table::num(p.working_set_kb, 0),
+               Table::num(p.branch_mpki, 1), "-"});
+    }
+    t.separator();
+    for (const WorkloadProfile &p :
+         WorkloadLibrary::splash2parsec()) {
+        t.row({p.name, "SPLASH2/PARSEC",
+               Table::num(p.working_set_kb, 0),
+               Table::num(p.branch_mpki, 1),
+               Table::pct(p.parallel_frac, 0)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdPartition(std::vector<std::string> args)
+{
+    const std::string tech_name =
+        flagValue(args, "--tech", "m3d-het");
+    if (args.empty())
+        return usage();
+    const std::string which = args[0];
+
+    PartitionExplorer ex(techByName(tech_name));
+    std::vector<ArrayConfig> cfgs;
+    if (which == "all") {
+        cfgs = CoreStructures::all();
+    } else {
+        for (const ArrayConfig &c : CoreStructures::all()) {
+            if (c.name == which)
+                cfgs.push_back(c);
+        }
+        if (cfgs.empty())
+            M3D_FATAL("unknown structure '", which,
+                      "' (try RF, IQ, SQ, LQ, RAT, BPT, BTB, DTLB, "
+                      "ITLB, IL1, DL1, L2, or all)");
+    }
+
+    Table t("Best partition on " + tech_name);
+    t.header({"Structure", "Strategy", "Latency red.", "Energy red.",
+              "Footprint red.", "2D latency", "3D latency"});
+    for (const ArrayConfig &cfg : cfgs) {
+        const PartitionResult r = ex.bestOverall(cfg);
+        t.row({cfg.name, toString(r.spec.kind),
+               Table::pct(r.latencyReduction(), 0),
+               Table::pct(r.energyReduction(), 0),
+               Table::pct(r.areaReduction(), 0),
+               Table::num(r.planar.access_latency / ps, 1) + " ps",
+               Table::num(r.stacked.access_latency / ps, 1) + " ps"});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdSimulate(std::vector<std::string> args)
+{
+    DesignFactory factory;
+    const std::string design_name =
+        flagValue(args, "--design", "m3d-het");
+    SimBudget budget;
+    budget.measured = std::strtoull(
+        flagValue(args, "--instructions", "300000").c_str(), nullptr,
+        10);
+    const bool stats = flagPresent(args, "--stats");
+    if (args.empty())
+        return usage();
+
+    const CoreDesign design = designByName(factory, design_name);
+    const WorkloadProfile app = appByName(args[0]);
+    const AppRun r = runSingleCore(design, app, budget);
+
+    Table t(app.name + " on " + design.name);
+    t.header({"Metric", "Value"});
+    t.row({"Frequency", Table::num(design.frequency / 1e9, 2) +
+                            " GHz"});
+    t.row({"Instructions", std::to_string(r.sim.instructions)});
+    t.row({"IPC", Table::num(r.sim.ipc(), 2)});
+    t.row({"Runtime", Table::num(r.seconds * 1e6, 1) + " us"});
+    t.row({"Average power",
+           Table::num(r.energy.avgPower(r.seconds), 2) + " W"});
+    t.row({"Energy", Table::num(r.energyJ() * 1e6, 1) + " uJ"});
+    t.row({"MPKI", Table::num(
+        1000.0 * static_cast<double>(r.sim.activity.mispredicts) /
+            static_cast<double>(r.sim.instructions), 2)});
+    t.print(std::cout);
+
+    if (stats) {
+        std::cout << "\n";
+        dumpStats(std::cout, design.name, r.sim);
+    }
+    return 0;
+}
+
+int
+cmdThermal(std::vector<std::string> args)
+{
+    DesignFactory factory;
+    const std::string design_name =
+        flagValue(args, "--design", "m3d-het");
+    if (args.empty())
+        return usage();
+
+    const CoreDesign design = designByName(factory, design_name);
+    const WorkloadProfile app = appByName(args[0]);
+    const AppRun r = runSingleCore(design, app);
+    PowerModel pm(design);
+    const auto blocks = pm.blockPower(r.sim.activity, r.seconds);
+    ThermalModel tm(design);
+    const ThermalResult th = tm.solve(blocks);
+
+    Table t("Thermal: " + app.name + " on " + design.name);
+    t.header({"Block", "Power (W)", "Peak (C)"});
+    for (const auto &[name, peak] : th.block_peak_c) {
+        t.row({name,
+               Table::num(blocks.count(name) ? blocks.at(name) : 0.0,
+                          2),
+               Table::num(peak, 1)});
+    }
+    t.print(std::cout);
+    std::cout << "Peak: " << Table::num(th.peak_c, 1) << " C in "
+              << th.hottest_block << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+
+    if (cmd == "designs")
+        return cmdDesigns();
+    if (cmd == "workloads")
+        return cmdWorkloads();
+    if (cmd == "partition")
+        return cmdPartition(std::move(args));
+    if (cmd == "simulate")
+        return cmdSimulate(std::move(args));
+    if (cmd == "thermal")
+        return cmdThermal(std::move(args));
+    return usage();
+}

@@ -1,0 +1,12 @@
+# An in-memory graph analytics kernel: pointer-chasing over a large
+# working set with unpredictable branches.
+name = GraphAnalytics
+load_frac = 0.34
+store_frac = 0.07
+branch_frac = 0.16
+branch_mpki = 9
+working_set_kb = 32768
+stride_frac = 0.20
+temporal_locality = 0.55
+spatial_locality = 0.45
+mean_dep_distance = 6

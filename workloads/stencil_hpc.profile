@@ -1,0 +1,11 @@
+# A structured-grid stencil: streaming FP sweeps, few branches.
+name = StencilHPC
+load_frac = 0.31
+store_frac = 0.14
+branch_frac = 0.04
+fp_frac = 0.36
+branch_mpki = 0.6
+working_set_kb = 65536
+stride_frac = 0.95
+spatial_locality = 0.7
+mean_dep_distance = 16

@@ -1,0 +1,12 @@
+# A request-processing service: branchy integer code, moderate
+# working set, large hot instruction footprint.
+name = WebService
+load_frac = 0.29
+store_frac = 0.12
+branch_frac = 0.19
+branch_mpki = 6
+working_set_kb = 4096
+code_footprint_kb = 96
+stride_frac = 0.4
+mean_dep_distance = 9
+complex_decode_frac = 0.05

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_clock_pdn.dir/ablation_clock_pdn.cc.o"
+  "CMakeFiles/ablation_clock_pdn.dir/ablation_clock_pdn.cc.o.d"
+  "ablation_clock_pdn"
+  "ablation_clock_pdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_clock_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_layer_count.dir/ablation_layer_count.cc.o"
+  "CMakeFiles/ablation_layer_count.dir/ablation_layer_count.cc.o.d"
+  "ablation_layer_count"
+  "ablation_layer_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_layer_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_thermal_dynamics.dir/ablation_thermal_dynamics.cc.o"
+  "CMakeFiles/ablation_thermal_dynamics.dir/ablation_thermal_dynamics.cc.o.d"
+  "ablation_thermal_dynamics"
+  "ablation_thermal_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_thermal_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

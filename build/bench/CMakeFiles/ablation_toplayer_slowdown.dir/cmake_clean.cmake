@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_toplayer_slowdown.dir/ablation_toplayer_slowdown.cc.o"
+  "CMakeFiles/ablation_toplayer_slowdown.dir/ablation_toplayer_slowdown.cc.o.d"
+  "ablation_toplayer_slowdown"
+  "ablation_toplayer_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_toplayer_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_via_diameter.dir/ablation_via_diameter.cc.o"
+  "CMakeFiles/ablation_via_diameter.dir/ablation_via_diameter.cc.o.d"
+  "ablation_via_diameter"
+  "ablation_via_diameter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_via_diameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

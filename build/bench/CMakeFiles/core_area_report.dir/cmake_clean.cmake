@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_area_report.dir/core_area_report.cc.o"
+  "CMakeFiles/core_area_report.dir/core_area_report.cc.o.d"
+  "core_area_report"
+  "core_area_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_area_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_energy_multi.dir/fig10_energy_multi.cc.o"
+  "CMakeFiles/fig10_energy_multi.dir/fig10_energy_multi.cc.o.d"
+  "fig10_energy_multi"
+  "fig10_energy_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_energy_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

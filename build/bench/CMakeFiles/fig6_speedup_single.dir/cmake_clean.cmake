@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_speedup_single.dir/fig6_speedup_single.cc.o"
+  "CMakeFiles/fig6_speedup_single.dir/fig6_speedup_single.cc.o.d"
+  "fig6_speedup_single"
+  "fig6_speedup_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_speedup_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_energy_single.dir/fig7_energy_single.cc.o"
+  "CMakeFiles/fig7_energy_single.dir/fig7_energy_single.cc.o.d"
+  "fig7_energy_single"
+  "fig7_energy_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_energy_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

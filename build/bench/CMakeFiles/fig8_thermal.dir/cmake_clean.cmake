@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_thermal.dir/fig8_thermal.cc.o"
+  "CMakeFiles/fig8_thermal.dir/fig8_thermal.cc.o.d"
+  "fig8_thermal"
+  "fig8_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

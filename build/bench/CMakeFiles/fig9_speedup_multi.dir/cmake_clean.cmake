@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_speedup_multi.dir/fig9_speedup_multi.cc.o"
+  "CMakeFiles/fig9_speedup_multi.dir/fig9_speedup_multi.cc.o.d"
+  "fig9_speedup_multi"
+  "fig9_speedup_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_speedup_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_stage_gains.dir/logic_stage_gains.cc.o"
+  "CMakeFiles/logic_stage_gains.dir/logic_stage_gains.cc.o.d"
+  "logic_stage_gains"
+  "logic_stage_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_stage_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

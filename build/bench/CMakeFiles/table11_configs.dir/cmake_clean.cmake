@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_configs.dir/table11_configs.cc.o"
+  "CMakeFiles/table11_configs.dir/table11_configs.cc.o.d"
+  "table11_configs"
+  "table11_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_via_electrical.dir/table2_via_electrical.cc.o"
+  "CMakeFiles/table2_via_electrical.dir/table2_via_electrical.cc.o.d"
+  "table2_via_electrical"
+  "table2_via_electrical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_via_electrical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

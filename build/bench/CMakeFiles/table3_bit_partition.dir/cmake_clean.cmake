@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_bit_partition.dir/table3_bit_partition.cc.o"
+  "CMakeFiles/table3_bit_partition.dir/table3_bit_partition.cc.o.d"
+  "table3_bit_partition"
+  "table3_bit_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bit_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_word_partition.dir/table4_word_partition.cc.o"
+  "CMakeFiles/table4_word_partition.dir/table4_word_partition.cc.o.d"
+  "table4_word_partition"
+  "table4_word_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_word_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

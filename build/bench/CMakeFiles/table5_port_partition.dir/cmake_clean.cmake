@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_port_partition.dir/table5_port_partition.cc.o"
+  "CMakeFiles/table5_port_partition.dir/table5_port_partition.cc.o.d"
+  "table5_port_partition"
+  "table5_port_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_port_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

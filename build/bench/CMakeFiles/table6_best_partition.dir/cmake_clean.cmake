@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_best_partition.dir/table6_best_partition.cc.o"
+  "CMakeFiles/table6_best_partition.dir/table6_best_partition.cc.o.d"
+  "table6_best_partition"
+  "table6_best_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_best_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

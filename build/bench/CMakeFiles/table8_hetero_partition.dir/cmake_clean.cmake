@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_hetero_partition.dir/table8_hetero_partition.cc.o"
+  "CMakeFiles/table8_hetero_partition.dir/table8_hetero_partition.cc.o.d"
+  "table8_hetero_partition"
+  "table8_hetero_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_hetero_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_integration.dir/accelerator_integration.cc.o"
+  "CMakeFiles/accelerator_integration.dir/accelerator_integration.cc.o.d"
+  "accelerator_integration"
+  "accelerator_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

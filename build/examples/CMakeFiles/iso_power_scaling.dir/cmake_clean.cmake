@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iso_power_scaling.dir/iso_power_scaling.cc.o"
+  "CMakeFiles/iso_power_scaling.dir/iso_power_scaling.cc.o.d"
+  "iso_power_scaling"
+  "iso_power_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iso_power_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_map.dir/thermal_map.cc.o"
+  "CMakeFiles/thermal_map.dir/thermal_map.cc.o.d"
+  "thermal_map"
+  "thermal_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertical_core_sim.dir/vertical_core_sim.cc.o"
+  "CMakeFiles/vertical_core_sim.dir/vertical_core_sim.cc.o.d"
+  "vertical_core_sim"
+  "vertical_core_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertical_core_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

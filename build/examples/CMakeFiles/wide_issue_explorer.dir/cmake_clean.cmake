@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_issue_explorer.dir/wide_issue_explorer.cc.o"
+  "CMakeFiles/wide_issue_explorer.dir/wide_issue_explorer.cc.o.d"
+  "wide_issue_explorer"
+  "wide_issue_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_issue_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/branch_predictor.cc" "src/arch/CMakeFiles/m3d_arch.dir/branch_predictor.cc.o" "gcc" "src/arch/CMakeFiles/m3d_arch.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/arch/cache.cc" "src/arch/CMakeFiles/m3d_arch.dir/cache.cc.o" "gcc" "src/arch/CMakeFiles/m3d_arch.dir/cache.cc.o.d"
+  "/root/repo/src/arch/core_model.cc" "src/arch/CMakeFiles/m3d_arch.dir/core_model.cc.o" "gcc" "src/arch/CMakeFiles/m3d_arch.dir/core_model.cc.o.d"
+  "/root/repo/src/arch/directory.cc" "src/arch/CMakeFiles/m3d_arch.dir/directory.cc.o" "gcc" "src/arch/CMakeFiles/m3d_arch.dir/directory.cc.o.d"
+  "/root/repo/src/arch/multicore.cc" "src/arch/CMakeFiles/m3d_arch.dir/multicore.cc.o" "gcc" "src/arch/CMakeFiles/m3d_arch.dir/multicore.cc.o.d"
+  "/root/repo/src/arch/noc.cc" "src/arch/CMakeFiles/m3d_arch.dir/noc.cc.o" "gcc" "src/arch/CMakeFiles/m3d_arch.dir/noc.cc.o.d"
+  "/root/repo/src/arch/stats_dump.cc" "src/arch/CMakeFiles/m3d_arch.dir/stats_dump.cc.o" "gcc" "src/arch/CMakeFiles/m3d_arch.dir/stats_dump.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/m3d_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/m3d_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/m3d_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/m3d_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic3d/CMakeFiles/m3d_logic3d.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/m3d_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/m3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

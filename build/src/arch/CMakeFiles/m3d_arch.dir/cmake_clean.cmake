@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_arch.dir/branch_predictor.cc.o"
+  "CMakeFiles/m3d_arch.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/m3d_arch.dir/cache.cc.o"
+  "CMakeFiles/m3d_arch.dir/cache.cc.o.d"
+  "CMakeFiles/m3d_arch.dir/core_model.cc.o"
+  "CMakeFiles/m3d_arch.dir/core_model.cc.o.d"
+  "CMakeFiles/m3d_arch.dir/directory.cc.o"
+  "CMakeFiles/m3d_arch.dir/directory.cc.o.d"
+  "CMakeFiles/m3d_arch.dir/multicore.cc.o"
+  "CMakeFiles/m3d_arch.dir/multicore.cc.o.d"
+  "CMakeFiles/m3d_arch.dir/noc.cc.o"
+  "CMakeFiles/m3d_arch.dir/noc.cc.o.d"
+  "CMakeFiles/m3d_arch.dir/stats_dump.cc.o"
+  "CMakeFiles/m3d_arch.dir/stats_dump.cc.o.d"
+  "libm3d_arch.a"
+  "libm3d_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

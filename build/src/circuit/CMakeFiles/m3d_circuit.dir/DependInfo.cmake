@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/delay.cc" "src/circuit/CMakeFiles/m3d_circuit.dir/delay.cc.o" "gcc" "src/circuit/CMakeFiles/m3d_circuit.dir/delay.cc.o.d"
+  "/root/repo/src/circuit/senseamp.cc" "src/circuit/CMakeFiles/m3d_circuit.dir/senseamp.cc.o" "gcc" "src/circuit/CMakeFiles/m3d_circuit.dir/senseamp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/m3d_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/m3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

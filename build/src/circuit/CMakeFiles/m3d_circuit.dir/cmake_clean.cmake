@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_circuit.dir/delay.cc.o"
+  "CMakeFiles/m3d_circuit.dir/delay.cc.o.d"
+  "CMakeFiles/m3d_circuit.dir/senseamp.cc.o"
+  "CMakeFiles/m3d_circuit.dir/senseamp.cc.o.d"
+  "libm3d_circuit.a"
+  "libm3d_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/area_model.cc" "src/core/CMakeFiles/m3d_core.dir/area_model.cc.o" "gcc" "src/core/CMakeFiles/m3d_core.dir/area_model.cc.o.d"
+  "/root/repo/src/core/design.cc" "src/core/CMakeFiles/m3d_core.dir/design.cc.o" "gcc" "src/core/CMakeFiles/m3d_core.dir/design.cc.o.d"
+  "/root/repo/src/core/frequency.cc" "src/core/CMakeFiles/m3d_core.dir/frequency.cc.o" "gcc" "src/core/CMakeFiles/m3d_core.dir/frequency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sram/CMakeFiles/m3d_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic3d/CMakeFiles/m3d_logic3d.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/m3d_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/m3d_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/m3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

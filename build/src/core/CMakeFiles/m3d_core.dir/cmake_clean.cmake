@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_core.dir/area_model.cc.o"
+  "CMakeFiles/m3d_core.dir/area_model.cc.o.d"
+  "CMakeFiles/m3d_core.dir/design.cc.o"
+  "CMakeFiles/m3d_core.dir/design.cc.o.d"
+  "CMakeFiles/m3d_core.dir/frequency.cc.o"
+  "CMakeFiles/m3d_core.dir/frequency.cc.o.d"
+  "libm3d_core.a"
+  "libm3d_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic3d/adder.cc" "src/logic3d/CMakeFiles/m3d_logic3d.dir/adder.cc.o" "gcc" "src/logic3d/CMakeFiles/m3d_logic3d.dir/adder.cc.o.d"
+  "/root/repo/src/logic3d/netlist.cc" "src/logic3d/CMakeFiles/m3d_logic3d.dir/netlist.cc.o" "gcc" "src/logic3d/CMakeFiles/m3d_logic3d.dir/netlist.cc.o.d"
+  "/root/repo/src/logic3d/select_tree.cc" "src/logic3d/CMakeFiles/m3d_logic3d.dir/select_tree.cc.o" "gcc" "src/logic3d/CMakeFiles/m3d_logic3d.dir/select_tree.cc.o.d"
+  "/root/repo/src/logic3d/stage.cc" "src/logic3d/CMakeFiles/m3d_logic3d.dir/stage.cc.o" "gcc" "src/logic3d/CMakeFiles/m3d_logic3d.dir/stage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/m3d_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/m3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

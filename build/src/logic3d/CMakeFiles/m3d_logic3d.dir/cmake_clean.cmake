@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_logic3d.dir/adder.cc.o"
+  "CMakeFiles/m3d_logic3d.dir/adder.cc.o.d"
+  "CMakeFiles/m3d_logic3d.dir/netlist.cc.o"
+  "CMakeFiles/m3d_logic3d.dir/netlist.cc.o.d"
+  "CMakeFiles/m3d_logic3d.dir/select_tree.cc.o"
+  "CMakeFiles/m3d_logic3d.dir/select_tree.cc.o.d"
+  "CMakeFiles/m3d_logic3d.dir/stage.cc.o"
+  "CMakeFiles/m3d_logic3d.dir/stage.cc.o.d"
+  "libm3d_logic3d.a"
+  "libm3d_logic3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_logic3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

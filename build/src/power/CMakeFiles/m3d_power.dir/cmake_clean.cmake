@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_power.dir/clock_tree.cc.o"
+  "CMakeFiles/m3d_power.dir/clock_tree.cc.o.d"
+  "CMakeFiles/m3d_power.dir/dvfs.cc.o"
+  "CMakeFiles/m3d_power.dir/dvfs.cc.o.d"
+  "CMakeFiles/m3d_power.dir/pdn.cc.o"
+  "CMakeFiles/m3d_power.dir/pdn.cc.o.d"
+  "CMakeFiles/m3d_power.dir/power_model.cc.o"
+  "CMakeFiles/m3d_power.dir/power_model.cc.o.d"
+  "CMakeFiles/m3d_power.dir/sim_harness.cc.o"
+  "CMakeFiles/m3d_power.dir/sim_harness.cc.o.d"
+  "libm3d_power.a"
+  "libm3d_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sram/array3d.cc" "src/sram/CMakeFiles/m3d_sram.dir/array3d.cc.o" "gcc" "src/sram/CMakeFiles/m3d_sram.dir/array3d.cc.o.d"
+  "/root/repo/src/sram/array_config.cc" "src/sram/CMakeFiles/m3d_sram.dir/array_config.cc.o" "gcc" "src/sram/CMakeFiles/m3d_sram.dir/array_config.cc.o.d"
+  "/root/repo/src/sram/array_model.cc" "src/sram/CMakeFiles/m3d_sram.dir/array_model.cc.o" "gcc" "src/sram/CMakeFiles/m3d_sram.dir/array_model.cc.o.d"
+  "/root/repo/src/sram/cell.cc" "src/sram/CMakeFiles/m3d_sram.dir/cell.cc.o" "gcc" "src/sram/CMakeFiles/m3d_sram.dir/cell.cc.o.d"
+  "/root/repo/src/sram/explorer.cc" "src/sram/CMakeFiles/m3d_sram.dir/explorer.cc.o" "gcc" "src/sram/CMakeFiles/m3d_sram.dir/explorer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/m3d_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/m3d_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/m3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

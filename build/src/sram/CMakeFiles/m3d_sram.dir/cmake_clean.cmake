@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_sram.dir/array3d.cc.o"
+  "CMakeFiles/m3d_sram.dir/array3d.cc.o.d"
+  "CMakeFiles/m3d_sram.dir/array_config.cc.o"
+  "CMakeFiles/m3d_sram.dir/array_config.cc.o.d"
+  "CMakeFiles/m3d_sram.dir/array_model.cc.o"
+  "CMakeFiles/m3d_sram.dir/array_model.cc.o.d"
+  "CMakeFiles/m3d_sram.dir/cell.cc.o"
+  "CMakeFiles/m3d_sram.dir/cell.cc.o.d"
+  "CMakeFiles/m3d_sram.dir/explorer.cc.o"
+  "CMakeFiles/m3d_sram.dir/explorer.cc.o.d"
+  "libm3d_sram.a"
+  "libm3d_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/process.cc" "src/tech/CMakeFiles/m3d_tech.dir/process.cc.o" "gcc" "src/tech/CMakeFiles/m3d_tech.dir/process.cc.o.d"
+  "/root/repo/src/tech/technology.cc" "src/tech/CMakeFiles/m3d_tech.dir/technology.cc.o" "gcc" "src/tech/CMakeFiles/m3d_tech.dir/technology.cc.o.d"
+  "/root/repo/src/tech/via.cc" "src/tech/CMakeFiles/m3d_tech.dir/via.cc.o" "gcc" "src/tech/CMakeFiles/m3d_tech.dir/via.cc.o.d"
+  "/root/repo/src/tech/wire.cc" "src/tech/CMakeFiles/m3d_tech.dir/wire.cc.o" "gcc" "src/tech/CMakeFiles/m3d_tech.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/m3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

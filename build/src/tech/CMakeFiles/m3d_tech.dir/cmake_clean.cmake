@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_tech.dir/process.cc.o"
+  "CMakeFiles/m3d_tech.dir/process.cc.o.d"
+  "CMakeFiles/m3d_tech.dir/technology.cc.o"
+  "CMakeFiles/m3d_tech.dir/technology.cc.o.d"
+  "CMakeFiles/m3d_tech.dir/via.cc.o"
+  "CMakeFiles/m3d_tech.dir/via.cc.o.d"
+  "CMakeFiles/m3d_tech.dir/wire.cc.o"
+  "CMakeFiles/m3d_tech.dir/wire.cc.o.d"
+  "libm3d_tech.a"
+  "libm3d_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_thermal.dir/coupling.cc.o"
+  "CMakeFiles/m3d_thermal.dir/coupling.cc.o.d"
+  "CMakeFiles/m3d_thermal.dir/floorplan.cc.o"
+  "CMakeFiles/m3d_thermal.dir/floorplan.cc.o.d"
+  "CMakeFiles/m3d_thermal.dir/solver.cc.o"
+  "CMakeFiles/m3d_thermal.dir/solver.cc.o.d"
+  "CMakeFiles/m3d_thermal.dir/stack.cc.o"
+  "CMakeFiles/m3d_thermal.dir/stack.cc.o.d"
+  "CMakeFiles/m3d_thermal.dir/thermal_model.cc.o"
+  "CMakeFiles/m3d_thermal.dir/thermal_model.cc.o.d"
+  "libm3d_thermal.a"
+  "libm3d_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

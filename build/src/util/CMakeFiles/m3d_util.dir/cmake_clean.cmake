@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_util.dir/logging.cc.o"
+  "CMakeFiles/m3d_util.dir/logging.cc.o.d"
+  "CMakeFiles/m3d_util.dir/stats.cc.o"
+  "CMakeFiles/m3d_util.dir/stats.cc.o.d"
+  "CMakeFiles/m3d_util.dir/table.cc.o"
+  "CMakeFiles/m3d_util.dir/table.cc.o.d"
+  "libm3d_util.a"
+  "libm3d_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3d_workload.dir/generator.cc.o"
+  "CMakeFiles/m3d_workload.dir/generator.cc.o.d"
+  "CMakeFiles/m3d_workload.dir/profile.cc.o"
+  "CMakeFiles/m3d_workload.dir/profile.cc.o.d"
+  "CMakeFiles/m3d_workload.dir/profile_io.cc.o"
+  "CMakeFiles/m3d_workload.dir/profile_io.cc.o.d"
+  "CMakeFiles/m3d_workload.dir/trace_file.cc.o"
+  "CMakeFiles/m3d_workload.dir/trace_file.cc.o.d"
+  "libm3d_workload.a"
+  "libm3d_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3d_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

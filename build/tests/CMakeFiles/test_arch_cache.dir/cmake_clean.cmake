@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_cache.dir/test_arch_cache.cc.o"
+  "CMakeFiles/test_arch_cache.dir/test_arch_cache.cc.o.d"
+  "test_arch_cache"
+  "test_arch_cache.pdb"
+  "test_arch_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

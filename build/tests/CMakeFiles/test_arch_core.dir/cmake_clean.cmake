@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_core.dir/test_arch_core.cc.o"
+  "CMakeFiles/test_arch_core.dir/test_arch_core.cc.o.d"
+  "test_arch_core"
+  "test_arch_core.pdb"
+  "test_arch_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_multicore.dir/test_arch_multicore.cc.o"
+  "CMakeFiles/test_arch_multicore.dir/test_arch_multicore.cc.o.d"
+  "test_arch_multicore"
+  "test_arch_multicore.pdb"
+  "test_arch_multicore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

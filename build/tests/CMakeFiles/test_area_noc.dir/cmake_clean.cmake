@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_area_noc.dir/test_area_noc.cc.o"
+  "CMakeFiles/test_area_noc.dir/test_area_noc.cc.o.d"
+  "test_area_noc"
+  "test_area_noc.pdb"
+  "test_area_noc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_area_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clock_pdn.dir/test_clock_pdn.cc.o"
+  "CMakeFiles/test_clock_pdn.dir/test_clock_pdn.cc.o.d"
+  "test_clock_pdn"
+  "test_clock_pdn.pdb"
+  "test_clock_pdn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clock_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logic3d.dir/test_logic3d.cc.o"
+  "CMakeFiles/test_logic3d.dir/test_logic3d.cc.o.d"
+  "test_logic3d"
+  "test_logic3d.pdb"
+  "test_logic3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logic3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

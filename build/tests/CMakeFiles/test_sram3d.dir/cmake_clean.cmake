@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sram3d.dir/test_sram3d.cc.o"
+  "CMakeFiles/test_sram3d.dir/test_sram3d.cc.o.d"
+  "test_sram3d"
+  "test_sram3d.pdb"
+  "test_sram3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sram3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_dump.dir/test_stats_dump.cc.o"
+  "CMakeFiles/test_stats_dump.dir/test_stats_dump.cc.o.d"
+  "test_stats_dump"
+  "test_stats_dump.pdb"
+  "test_stats_dump[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

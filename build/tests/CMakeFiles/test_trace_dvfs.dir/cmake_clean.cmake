@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_dvfs.dir/test_trace_dvfs.cc.o"
+  "CMakeFiles/test_trace_dvfs.dir/test_trace_dvfs.cc.o.d"
+  "test_trace_dvfs"
+  "test_trace_dvfs.pdb"
+  "test_trace_dvfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

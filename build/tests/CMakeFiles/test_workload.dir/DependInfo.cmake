@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/test_workload.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/m3d_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/m3d_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/m3d_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/m3d_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/m3d_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic3d/CMakeFiles/m3d_logic3d.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/m3d_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/m3d_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/m3d_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/m3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

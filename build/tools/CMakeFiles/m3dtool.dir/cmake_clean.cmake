@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3dtool.dir/m3dtool.cc.o"
+  "CMakeFiles/m3dtool.dir/m3dtool.cc.o.d"
+  "m3dtool"
+  "m3dtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3dtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

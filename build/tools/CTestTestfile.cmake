@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(m3dtool_designs "/root/repo/build/tools/m3dtool" "designs")
+set_tests_properties(m3dtool_designs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(m3dtool_workloads "/root/repo/build/tools/m3dtool" "workloads")
+set_tests_properties(m3dtool_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(m3dtool_partition "/root/repo/build/tools/m3dtool" "partition" "RF")
+set_tests_properties(m3dtool_partition PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(m3dtool_partition_tsv "/root/repo/build/tools/m3dtool" "partition" "IQ" "--tech" "tsv3d")
+set_tests_properties(m3dtool_partition_tsv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(m3dtool_simulate "/root/repo/build/tools/m3dtool" "simulate" "Hmmer" "--instructions" "50000")
+set_tests_properties(m3dtool_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(m3dtool_simulate_stats "/root/repo/build/tools/m3dtool" "simulate" "Gcc" "--design" "base" "--instructions" "50000" "--stats")
+set_tests_properties(m3dtool_simulate_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(m3dtool_thermal "/root/repo/build/tools/m3dtool" "thermal" "Gamess")
+set_tests_properties(m3dtool_thermal PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(m3dtool_profile_file "/root/repo/build/tools/m3dtool" "simulate" "/root/repo/workloads/stencil_hpc.profile" "--instructions" "50000")
+set_tests_properties(m3dtool_profile_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(m3dtool_usage_error "/root/repo/build/tools/m3dtool" "frobnicate")
+set_tests_properties(m3dtool_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")

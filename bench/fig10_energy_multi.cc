@@ -1,7 +1,8 @@
 /**
  * @file
  * Reproduces Figure 10: energy of the multicore designs normalized
- * to the four-core 2D Base multicore.
+ * to the four-core 2D Base multicore, batched through the evaluation
+ * engine.
  *
  * Paper averages: TSV3D 0.83, M3D-Het 0.67, M3D-Het-W 0.74,
  * M3D-Het-2X 0.61.
@@ -11,20 +12,42 @@
 #include <iostream>
 #include <vector>
 
-#include "power/sim_harness.hh"
+#include "engine/evaluator.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 
 using namespace m3d;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = 0;
+    cli::Parser parser("fig10_energy_multi",
+                       "Figure 10: multicore energy normalized to "
+                       "4-core Base (2D).");
+    parser.flag("jobs", &jobs,
+                "worker threads; 0 means all hardware threads");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
     DesignFactory factory;
     const std::vector<CoreDesign> designs =
         factory.multicoreDesigns();
     const std::vector<WorkloadProfile> apps =
         WorkloadLibrary::splash2parsec();
-    const SimBudget budget;
+
+    engine::EvalOptions opts;
+    opts.threads = jobs;
+    engine::Evaluator ev(opts);
+
+    std::vector<engine::MultiJob> batch;
+    batch.reserve(apps.size() * designs.size());
+    for (const WorkloadProfile &app : apps) {
+        for (const CoreDesign &d : designs)
+            batch.push_back({d, app});
+    }
+    const std::vector<MultiRun> runs = ev.runMultiBatch(batch);
 
     Table t("Figure 10: multicore energy normalized to 4-core Base");
     std::vector<std::string> head = {"App"};
@@ -33,11 +56,11 @@ main()
     t.header(head);
 
     std::vector<double> geo(designs.size(), 0.0);
-    for (const WorkloadProfile &app : apps) {
+    for (std::size_t a = 0; a < apps.size(); ++a) {
         double base_energy = 0.0;
-        std::vector<std::string> row = {app.name};
+        std::vector<std::string> row = {apps[a].name};
         for (std::size_t i = 0; i < designs.size(); ++i) {
-            MultiRun r = runMulticore(designs[i], app, budget);
+            const MultiRun &r = runs[a * designs.size() + i];
             if (i == 0)
                 base_energy = r.energyJ();
             const double norm = r.energyJ() / base_energy;

@@ -3,26 +3,57 @@
  * Reproduces Figure 6: speedup of every single-core design over the
  * 2D Base core across the 21 SPEC CPU2006 applications.
  *
+ * All (app, design) runs are independent, so the whole figure is one
+ * batch through the evaluation engine; --jobs picks the parallelism
+ * and the output is identical at any thread count.
+ *
  * Paper averages: TSV3D 1.10, M3D-Iso 1.28, M3D-HetNaive 1.17,
  * M3D-Het 1.25, M3D-HetAgg 1.38.
  */
 
+#include <cmath>
 #include <iostream>
 #include <vector>
 
-#include "power/sim_harness.hh"
+#include "engine/evaluator.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 
 using namespace m3d;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = 0;
+    std::uint64_t instructions = 300000;
+    cli::Parser parser("fig6_speedup_single",
+                       "Figure 6: single-core speedup over Base "
+                       "(2D).");
+    parser.flag("jobs", &jobs,
+                "worker threads; 0 means all hardware threads")
+        .flag("instructions", &instructions,
+              "measured instruction count per run");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
     DesignFactory factory;
     const std::vector<CoreDesign> designs = factory.singleCoreDesigns();
     const std::vector<WorkloadProfile> apps =
         WorkloadLibrary::spec2006();
-    const SimBudget budget;
+
+    engine::EvalOptions opts;
+    opts.threads = jobs;
+    opts.budget.measured = instructions;
+    engine::Evaluator ev(opts);
+
+    std::vector<engine::SingleJob> batch;
+    batch.reserve(apps.size() * designs.size());
+    for (const WorkloadProfile &app : apps) {
+        for (const CoreDesign &d : designs)
+            batch.push_back({d, app});
+    }
+    const std::vector<AppRun> runs = ev.runBatch(batch);
 
     Table t("Figure 6: single-core speedup over Base (2D)");
     std::vector<std::string> head = {"App"};
@@ -31,11 +62,11 @@ main()
     t.header(head);
 
     std::vector<double> geo(designs.size(), 0.0);
-    for (const WorkloadProfile &app : apps) {
+    for (std::size_t a = 0; a < apps.size(); ++a) {
         double base_seconds = 0.0;
-        std::vector<std::string> row = {app.name};
+        std::vector<std::string> row = {apps[a].name};
         for (std::size_t i = 0; i < designs.size(); ++i) {
-            AppRun r = runSingleCore(designs[i], app, budget);
+            const AppRun &r = runs[a * designs.size() + i];
             if (i == 0)
                 base_seconds = r.seconds;
             const double speedup = base_seconds / r.seconds;

@@ -13,7 +13,7 @@
 #include <iostream>
 #include <vector>
 
-#include "power/sim_harness.hh"
+#include "engine/evaluator.hh"
 #include "util/table.hh"
 
 using namespace m3d;
@@ -33,7 +33,15 @@ main()
 
     const std::vector<WorkloadProfile> apps =
         WorkloadLibrary::spec2006();
-    const SimBudget budget;
+
+    engine::Evaluator ev(engine::EvalOptions{.threads = 0});
+    std::vector<engine::SingleJob> batch;
+    batch.reserve(apps.size() * designs.size());
+    for (const WorkloadProfile &app : apps) {
+        for (const CoreDesign &d : designs)
+            batch.push_back({d, app});
+    }
+    const std::vector<AppRun> runs = ev.runBatch(batch);
 
     Table t("Figure 7: single-core energy normalized to Base (2D)");
     std::vector<std::string> head = {"App"};
@@ -42,11 +50,11 @@ main()
     t.header(head);
 
     std::vector<double> geo(designs.size(), 0.0);
-    for (const WorkloadProfile &app : apps) {
+    for (std::size_t a = 0; a < apps.size(); ++a) {
         double base_energy = 0.0;
-        std::vector<std::string> row = {app.name};
+        std::vector<std::string> row = {apps[a].name};
         for (std::size_t i = 0; i < designs.size(); ++i) {
-            AppRun r = runSingleCore(designs[i], app, budget);
+            const AppRun &r = runs[a * designs.size() + i];
             double energy = r.energyJ();
             // The LP top layer cuts the leakage of the top-layer
             // devices (~half the core) by ~5x.

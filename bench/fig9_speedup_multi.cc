@@ -2,7 +2,8 @@
  * @file
  * Reproduces Figure 9: speedup of the multicore designs over the
  * four-core 2D Base multicore across 12 SPLASH2 + 3 PARSEC parallel
- * applications.
+ * applications, batched through the evaluation engine (--jobs picks
+ * the parallelism; output is identical at any thread count).
  *
  * Paper averages: TSV3D 1.11, M3D-Het 1.26, M3D-Het-W 1.25,
  * M3D-Het-2X 1.92.
@@ -12,20 +13,42 @@
 #include <iostream>
 #include <vector>
 
-#include "power/sim_harness.hh"
+#include "engine/evaluator.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 
 using namespace m3d;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = 0;
+    cli::Parser parser("fig9_speedup_multi",
+                       "Figure 9: multicore speedup over 4-core Base "
+                       "(2D).");
+    parser.flag("jobs", &jobs,
+                "worker threads; 0 means all hardware threads");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
     DesignFactory factory;
     const std::vector<CoreDesign> designs =
         factory.multicoreDesigns();
     const std::vector<WorkloadProfile> apps =
         WorkloadLibrary::splash2parsec();
-    const SimBudget budget;
+
+    engine::EvalOptions opts;
+    opts.threads = jobs;
+    engine::Evaluator ev(opts);
+
+    std::vector<engine::MultiJob> batch;
+    batch.reserve(apps.size() * designs.size());
+    for (const WorkloadProfile &app : apps) {
+        for (const CoreDesign &d : designs)
+            batch.push_back({d, app});
+    }
+    const std::vector<MultiRun> runs = ev.runMultiBatch(batch);
 
     Table t("Figure 9: multicore speedup over 4-core Base (2D)");
     std::vector<std::string> head = {"App"};
@@ -34,11 +57,11 @@ main()
     t.header(head);
 
     std::vector<double> geo(designs.size(), 0.0);
-    for (const WorkloadProfile &app : apps) {
+    for (std::size_t a = 0; a < apps.size(); ++a) {
         double base_seconds = 0.0;
-        std::vector<std::string> row = {app.name};
+        std::vector<std::string> row = {apps[a].name};
         for (std::size_t i = 0; i < designs.size(); ++i) {
-            MultiRun r = runMulticore(designs[i], app, budget);
+            const MultiRun &r = runs[a * designs.size() + i];
             if (i == 0)
                 base_seconds = r.seconds();
             const double speedup = base_seconds / r.seconds();

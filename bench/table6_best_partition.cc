@@ -12,7 +12,7 @@
 
 #include <iostream>
 
-#include "sram/explorer.hh"
+#include "engine/evaluator.hh"
 #include "util/table.hh"
 
 using namespace m3d;
@@ -20,8 +20,12 @@ using namespace m3d;
 int
 main()
 {
-    PartitionExplorer m3d_ex(Technology::m3dIso());
-    PartitionExplorer tsv_ex(Technology::tsv3D());
+    const std::vector<ArrayConfig> cfgs = CoreStructures::all();
+    engine::Evaluator ev(engine::EvalOptions{.threads = 0});
+    const std::vector<PartitionResult> m3d_best =
+        ev.bestForAll(Technology::m3dIso(), cfgs);
+    const std::vector<PartitionResult> tsv_best =
+        ev.bestForAll(Technology::tsv3D(), cfgs);
 
     Table t("Table 6: best partition per structure (iso-layer M3D "
             "vs TSV3D), % reduction vs 2D");
@@ -29,9 +33,10 @@ main()
               "TSV best", "M3D lat", "TSV lat", "M3D ener", "TSV ener",
               "M3D footpr", "TSV footpr"});
 
-    for (const ArrayConfig &cfg : CoreStructures::all()) {
-        PartitionResult rm = m3d_ex.bestOverall(cfg);
-        PartitionResult rt = tsv_ex.bestOverall(cfg);
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        const ArrayConfig &cfg = cfgs[i];
+        const PartitionResult &rm = m3d_best[i];
+        const PartitionResult &rt = tsv_best[i];
         std::string dims = "[" + std::to_string(cfg.words) + "; " +
                            std::to_string(cfg.bits) + "]";
         if (cfg.banks > 1)

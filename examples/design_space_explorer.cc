@@ -5,13 +5,20 @@
  * the kind of sweep an architect would run before committing to a
  * partitioning plan.
  *
- * Usage: design_space_explorer [output.csv]   (default: stdout)
+ * The sweep fans out across the evaluation engine's thread pool; rows
+ * are merged in submission order, so the CSV is identical at any
+ * --jobs value.
+ *
+ * Usage: design_space_explorer [output.csv] [--jobs N]
+ *        (default: stdout, all hardware threads)
  */
 
 #include <fstream>
 #include <iostream>
+#include <vector>
 
-#include "sram/explorer.hh"
+#include "engine/evaluator.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 
 using namespace m3d;
@@ -19,9 +26,21 @@ using namespace m3d;
 int
 main(int argc, char **argv)
 {
+    int jobs = 0;
+    cli::Parser parser("design_space_explorer",
+                       "CSV sweep of every (technology, structure, "
+                       "strategy) best design point.");
+    parser.positional("output.csv", "output file (default: stdout)",
+                      /*required=*/false)
+        .flag("jobs", &jobs,
+              "worker threads; 0 means all hardware threads");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
     std::ofstream file;
-    if (argc > 1)
-        file.open(argv[1]);
+    if (!parser.positionals().empty())
+        file.open(parser.positionals()[0]);
     std::ostream &os = file.is_open() ? file : std::cout;
 
     struct TechRow
@@ -36,33 +55,41 @@ main(int argc, char **argv)
         {"tsv3d-5um", Technology::tsv3DResearch()},
     };
 
+    // Flatten the full (tech, structure, strategy) grid so every
+    // point is one independent engine task.
+    std::vector<engine::PartitionJob> points;
+    std::vector<std::string> tech_names;
+    for (const TechRow &tr : techs) {
+        for (const ArrayConfig &cfg : CoreStructures::all()) {
+            for (PartitionKind kind :
+                 PartitionExplorer::legalKinds(cfg)) {
+                points.push_back({tr.tech, cfg, kind});
+                tech_names.push_back(tr.name);
+            }
+        }
+    }
+
+    engine::Evaluator ev(engine::EvalOptions{.threads = jobs});
+    const std::vector<PartitionResult> results = ev.bestBatch(points);
+
     Table csv("design space");
     csv.header({"technology", "structure", "strategy", "latency_ps",
                 "energy_pJ", "area_um2", "latency_reduction",
                 "energy_reduction", "area_reduction"});
-
-    for (const TechRow &tr : techs) {
-        PartitionExplorer ex(tr.tech);
-        for (const ArrayConfig &cfg : CoreStructures::all()) {
-            std::vector<PartitionKind> kinds = {PartitionKind::Bit,
-                                                PartitionKind::Word};
-            if (cfg.ports() >= 2)
-                kinds.push_back(PartitionKind::Port);
-            for (PartitionKind kind : kinds) {
-                PartitionResult r = ex.best(cfg, kind);
-                csv.row({tr.name, cfg.name, toString(kind),
-                         Table::num(r.stacked.access_latency * 1e12, 2),
-                         Table::num(r.stacked.access_energy * 1e12, 3),
-                         Table::num(r.stacked.area * 1e12, 1),
-                         Table::num(r.latencyReduction(), 4),
-                         Table::num(r.energyReduction(), 4),
-                         Table::num(r.areaReduction(), 4)});
-            }
-        }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const PartitionResult &r = results[i];
+        csv.row({tech_names[i], points[i].cfg.name,
+                 toString(points[i].kind),
+                 Table::num(r.stacked.access_latency * 1e12, 2),
+                 Table::num(r.stacked.access_energy * 1e12, 3),
+                 Table::num(r.stacked.area * 1e12, 1),
+                 Table::num(r.latencyReduction(), 4),
+                 Table::num(r.energyReduction(), 4),
+                 Table::num(r.areaReduction(), 4)});
     }
     csv.printCsv(os);
 
     if (file.is_open())
-        std::cout << "Wrote " << argv[1] << "\n";
+        std::cout << "Wrote " << parser.positionals()[0] << "\n";
     return 0;
 }

@@ -1,0 +1,316 @@
+#include "engine/eval_cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace m3d {
+namespace engine {
+
+namespace {
+
+// Bump when the serialized layout changes; old files are ignored.
+const char *const kFileHeader = "m3d-eval-cache v1";
+
+std::string
+doubleHex(double v)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(bits));
+    return buf;
+}
+
+bool
+hexDouble(const std::string &s, double *out)
+{
+    if (s.size() != 16)
+        return false;
+    char *end = nullptr;
+    const std::uint64_t bits = std::strtoull(s.c_str(), &end, 16);
+    if (end != s.c_str() + 16)
+        return false;
+    std::memcpy(out, &bits, sizeof(*out));
+    return true;
+}
+
+/** Space-safe field encoding for free-form names. */
+std::string
+encodeName(const std::string &name)
+{
+    std::string out;
+    for (char c : name) {
+        if (c == ' ')
+            out += "%20";
+        else if (c == '%')
+            out += "%25";
+        else
+            out += c;
+    }
+    return out.empty() ? "%00" : out;
+}
+
+std::string
+decodeName(const std::string &field)
+{
+    if (field == "%00")
+        return "";
+    std::string out;
+    for (std::size_t i = 0; i < field.size(); ++i) {
+        if (field[i] == '%' && i + 2 < field.size()) {
+            if (field.compare(i, 3, "%20") == 0) {
+                out += ' ';
+                i += 2;
+                continue;
+            }
+            if (field.compare(i, 3, "%25") == 0) {
+                out += '%';
+                i += 2;
+                continue;
+            }
+        }
+        out += field[i];
+    }
+    return out;
+}
+
+void
+writeMetrics(std::ostream &out, const ArrayMetrics &m)
+{
+    out << ' ' << doubleHex(m.access_latency)
+        << ' ' << doubleHex(m.access_energy)
+        << ' ' << doubleHex(m.write_energy)
+        << ' ' << doubleHex(m.area)
+        << ' ' << doubleHex(m.leakage_power)
+        << ' ' << doubleHex(m.routing_delay)
+        << ' ' << doubleHex(m.decode_delay)
+        << ' ' << doubleHex(m.wordline_delay)
+        << ' ' << doubleHex(m.bitline_delay)
+        << ' ' << doubleHex(m.sense_delay)
+        << ' ' << doubleHex(m.output_delay)
+        << ' ' << doubleHex(m.cam_search_delay);
+}
+
+bool
+readMetrics(std::istringstream &in, ArrayMetrics *m)
+{
+    std::string f[12];
+    for (std::string &s : f) {
+        if (!(in >> s))
+            return false;
+    }
+    return hexDouble(f[0], &m->access_latency) &&
+           hexDouble(f[1], &m->access_energy) &&
+           hexDouble(f[2], &m->write_energy) &&
+           hexDouble(f[3], &m->area) &&
+           hexDouble(f[4], &m->leakage_power) &&
+           hexDouble(f[5], &m->routing_delay) &&
+           hexDouble(f[6], &m->decode_delay) &&
+           hexDouble(f[7], &m->wordline_delay) &&
+           hexDouble(f[8], &m->bitline_delay) &&
+           hexDouble(f[9], &m->sense_delay) &&
+           hexDouble(f[10], &m->output_delay) &&
+           hexDouble(f[11], &m->cam_search_delay);
+}
+
+} // namespace
+
+bool
+EvalCache::lookupPartition(const EvalKey &key, PartitionResult *out)
+{
+    std::unique_lock lock(mutex_);
+    auto it = partitions_.find(key);
+    if (it == partitions_.end()) {
+        ++partition_stats_.misses;
+        return false;
+    }
+    ++partition_stats_.hits;
+    *out = it->second;
+    return true;
+}
+
+void
+EvalCache::storePartition(const EvalKey &key, const PartitionResult &r)
+{
+    std::unique_lock lock(mutex_);
+    partitions_.emplace(key, r);
+}
+
+bool
+EvalCache::lookupRun(const EvalKey &key, AppRun *out)
+{
+    std::unique_lock lock(mutex_);
+    auto it = runs_.find(key);
+    if (it == runs_.end()) {
+        ++run_stats_.misses;
+        return false;
+    }
+    ++run_stats_.hits;
+    *out = it->second;
+    return true;
+}
+
+void
+EvalCache::storeRun(const EvalKey &key, const AppRun &r)
+{
+    std::unique_lock lock(mutex_);
+    runs_.emplace(key, r);
+}
+
+bool
+EvalCache::lookupMulti(const EvalKey &key, MultiRun *out)
+{
+    std::unique_lock lock(mutex_);
+    auto it = multis_.find(key);
+    if (it == multis_.end()) {
+        ++multi_stats_.misses;
+        return false;
+    }
+    ++multi_stats_.hits;
+    *out = it->second;
+    return true;
+}
+
+void
+EvalCache::storeMulti(const EvalKey &key, const MultiRun &r)
+{
+    std::unique_lock lock(mutex_);
+    multis_.emplace(key, r);
+}
+
+CacheStats
+EvalCache::partitionStats() const
+{
+    std::shared_lock lock(mutex_);
+    return partition_stats_;
+}
+
+CacheStats
+EvalCache::runStats() const
+{
+    std::shared_lock lock(mutex_);
+    return run_stats_;
+}
+
+CacheStats
+EvalCache::multiStats() const
+{
+    std::shared_lock lock(mutex_);
+    return multi_stats_;
+}
+
+CacheStats
+EvalCache::stats() const
+{
+    std::shared_lock lock(mutex_);
+    return partition_stats_ + run_stats_ + multi_stats_;
+}
+
+std::size_t
+EvalCache::partitionEntries() const
+{
+    std::shared_lock lock(mutex_);
+    return partitions_.size();
+}
+
+void
+EvalCache::clear()
+{
+    std::unique_lock lock(mutex_);
+    partitions_.clear();
+    runs_.clear();
+    multis_.clear();
+    partition_stats_ = {};
+    run_stats_ = {};
+    multi_stats_ = {};
+}
+
+std::size_t
+EvalCache::loadPartitions(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        return 0;
+    return loadPartitions(in);
+}
+
+std::size_t
+EvalCache::savePartitions(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out.is_open())
+        return 0;
+    return savePartitions(out);
+}
+
+std::size_t
+EvalCache::loadPartitions(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line) || line != kFileHeader)
+        return 0;
+
+    std::size_t loaded = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string key_text, name;
+        EvalKey key;
+        PartitionResult r;
+        int kind = 0, cam = 0;
+        std::string share, access_scale, cell_scale;
+        if (!(ls >> key_text >> name >> r.cfg.words >> r.cfg.bits >>
+              r.cfg.read_ports >> r.cfg.write_ports >> r.cfg.banks >>
+              cam >> r.cfg.cam_tag_bits >> kind >> share >>
+              r.spec.bottom_ports >> access_scale >> cell_scale))
+            continue;
+        if (!EvalKey::parse(key_text, &key) ||
+            !hexDouble(share, &r.spec.bottom_share) ||
+            !hexDouble(access_scale, &r.spec.top_access_scale) ||
+            !hexDouble(cell_scale, &r.spec.top_cell_scale))
+            continue;
+        r.cfg.name = decodeName(name);
+        r.cfg.cam = cam != 0;
+        r.spec.kind = static_cast<PartitionKind>(kind);
+        if (!readMetrics(ls, &r.planar) || !readMetrics(ls, &r.stacked))
+            continue;
+
+        std::unique_lock lock(mutex_);
+        partitions_.emplace(key, std::move(r));
+        ++loaded;
+    }
+    return loaded;
+}
+
+std::size_t
+EvalCache::savePartitions(std::ostream &out) const
+{
+    out << kFileHeader << '\n';
+    std::shared_lock lock(mutex_);
+    for (const auto &[key, r] : partitions_) {
+        out << key.str() << ' ' << encodeName(r.cfg.name) << ' '
+            << r.cfg.words << ' ' << r.cfg.bits << ' '
+            << r.cfg.read_ports << ' ' << r.cfg.write_ports << ' '
+            << r.cfg.banks << ' ' << (r.cfg.cam ? 1 : 0) << ' '
+            << r.cfg.cam_tag_bits << ' '
+            << static_cast<int>(r.spec.kind) << ' '
+            << doubleHex(r.spec.bottom_share) << ' '
+            << r.spec.bottom_ports << ' '
+            << doubleHex(r.spec.top_access_scale) << ' '
+            << doubleHex(r.spec.top_cell_scale);
+        writeMetrics(out, r.planar);
+        writeMetrics(out, r.stacked);
+        out << '\n';
+    }
+    return partitions_.size();
+}
+
+} // namespace engine
+} // namespace m3d

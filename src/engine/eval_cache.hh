@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Thread-safe memoization cache for the evaluation engine.
+ *
+ * Three key families share one cache object: partition design points
+ * (PartitionResult), single-core runs (AppRun), and multicore runs
+ * (MultiRun).  Each family keeps its own hit/miss counters so a sweep
+ * can report exactly where its reuse came from.
+ *
+ * The partition family can be persisted to a small text file (one
+ * entry per line; doubles stored as IEEE-754 bit patterns in hex, so
+ * a round trip is bit-exact).  Run results hold large per-core
+ * vectors and stay in-memory only.
+ */
+
+#ifndef M3D_ENGINE_EVAL_CACHE_HH_
+#define M3D_ENGINE_EVAL_CACHE_HH_
+
+#include <cstdint>
+#include <iosfwd>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "engine/eval_key.hh"
+#include "power/sim_harness.hh"
+#include "sram/explorer.hh"
+
+namespace m3d {
+namespace engine {
+
+/** Hit/miss counters of one key family (or the sum of all). */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    std::uint64_t lookups() const { return hits + misses; }
+    double hitRate() const
+    {
+        return lookups() == 0
+            ? 0.0
+            : static_cast<double>(hits) /
+              static_cast<double>(lookups());
+    }
+    CacheStats operator+(const CacheStats &o) const
+    {
+        return {hits + o.hits, misses + o.misses};
+    }
+};
+
+/** Shared, thread-safe result store. */
+class EvalCache
+{
+  public:
+    EvalCache() = default;
+    EvalCache(const EvalCache &) = delete;
+    EvalCache &operator=(const EvalCache &) = delete;
+
+    // Partition design points.
+    bool lookupPartition(const EvalKey &key, PartitionResult *out);
+    void storePartition(const EvalKey &key, const PartitionResult &r);
+
+    // Single-core runs.
+    bool lookupRun(const EvalKey &key, AppRun *out);
+    void storeRun(const EvalKey &key, const AppRun &r);
+
+    // Multicore runs.
+    bool lookupMulti(const EvalKey &key, MultiRun *out);
+    void storeMulti(const EvalKey &key, const MultiRun &r);
+
+    CacheStats partitionStats() const;
+    CacheStats runStats() const;
+    CacheStats multiStats() const;
+    /** All families summed. */
+    CacheStats stats() const;
+
+    std::size_t partitionEntries() const;
+
+    /** Drop every entry and reset the counters. */
+    void clear();
+
+    /**
+     * Load persisted partition entries (counters untouched).
+     * @return entries loaded; 0 if the file is missing or from a
+     *         different schema version.
+     */
+    std::size_t loadPartitions(const std::string &path);
+
+    /** Persist the partition family. @return entries written. */
+    std::size_t savePartitions(const std::string &path) const;
+
+    // Stream versions (used by the tests; path versions wrap these).
+    std::size_t loadPartitions(std::istream &in);
+    std::size_t savePartitions(std::ostream &out) const;
+
+  private:
+    mutable std::shared_mutex mutex_;
+    std::unordered_map<EvalKey, PartitionResult, EvalKeyHash>
+        partitions_;
+    std::unordered_map<EvalKey, AppRun, EvalKeyHash> runs_;
+    std::unordered_map<EvalKey, MultiRun, EvalKeyHash> multis_;
+
+    // Guarded by mutex_ (writers take the exclusive lock anyway, and
+    // lookups mutate counters, so lookups lock exclusively too; the
+    // critical sections are tiny next to an evaluation).
+    CacheStats partition_stats_;
+    CacheStats run_stats_;
+    CacheStats multi_stats_;
+};
+
+} // namespace engine
+} // namespace m3d
+
+#endif // M3D_ENGINE_EVAL_CACHE_HH_

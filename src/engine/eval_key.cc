@@ -1,0 +1,309 @@
+#include "engine/eval_key.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace m3d {
+namespace engine {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+constexpr std::uint64_t kFnvBasisHi = 0xcbf29ce484222325ull;
+// Second stream: same prime, different basis, so the two 64-bit
+// halves are decorrelated.
+constexpr std::uint64_t kFnvBasisLo = 0x84222325cbf29ce4ull;
+
+// Domain tags; changing any hashed layout must bump kSchemaVersion so
+// stale on-disk caches are invalidated rather than misread.
+constexpr std::uint64_t kSchemaVersion = 1;
+constexpr std::uint64_t kDomainPartition = 0x7061727469ull; // "parti"
+constexpr std::uint64_t kDomainSingleRun = 0x73696e676cull; // "singl"
+constexpr std::uint64_t kDomainMultiRun = 0x6d756c7469ull;  // "multi"
+
+void
+hashProcessCorner(KeyBuilder &kb, const ProcessCorner &p)
+{
+    kb.add(p.name)
+        .add(static_cast<int>(p.device))
+        .add(p.feature_size)
+        .add(p.vdd)
+        .add(p.r_on)
+        .add(p.c_gate)
+        .add(p.c_drain)
+        .add(p.i_leak);
+}
+
+void
+hashViaParams(KeyBuilder &kb, const ViaParams &v)
+{
+    kb.add(v.name)
+        .add(static_cast<int>(v.kind))
+        .add(v.diameter)
+        .add(v.height)
+        .add(v.capacitance)
+        .add(v.resistance)
+        .add(v.koz_width);
+}
+
+void
+hashWireParams(KeyBuilder &kb, const WireParams &w)
+{
+    kb.add(w.name)
+        .add(static_cast<int>(w.wire_class))
+        .add(static_cast<int>(w.metal))
+        .add(w.r_per_m)
+        .add(w.c_per_m)
+        .add(w.pitch);
+}
+
+void
+hashArrayMetrics(KeyBuilder &kb, const ArrayMetrics &m)
+{
+    kb.add(m.access_latency)
+        .add(m.access_energy)
+        .add(m.write_energy)
+        .add(m.area)
+        .add(m.leakage_power)
+        .add(m.routing_delay)
+        .add(m.decode_delay)
+        .add(m.wordline_delay)
+        .add(m.bitline_delay)
+        .add(m.sense_delay)
+        .add(m.output_delay)
+        .add(m.cam_search_delay);
+}
+
+void
+hashLogicStageGains(KeyBuilder &kb, const LogicStageGains &g)
+{
+    kb.add(g.freq_gain)
+        .add(g.energy_reduction)
+        .add(g.footprint_reduction)
+        .add(g.delay_2d)
+        .add(g.delay_3d)
+        .add(g.hetero_penalty);
+}
+
+} // namespace
+
+std::string
+EvalKey::str() const
+{
+    char buf[36];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return buf;
+}
+
+bool
+EvalKey::parse(const std::string &text, EvalKey *out)
+{
+    if (text.size() != 32)
+        return false;
+    for (char c : text) {
+        if (!std::isxdigit(static_cast<unsigned char>(c)))
+            return false;
+    }
+    out->hi = std::strtoull(text.substr(0, 16).c_str(), nullptr, 16);
+    out->lo = std::strtoull(text.substr(16).c_str(), nullptr, 16);
+    return true;
+}
+
+KeyBuilder::KeyBuilder(std::uint64_t domain_tag)
+    : hi_(kFnvBasisHi), lo_(kFnvBasisLo)
+{
+    add(kSchemaVersion);
+    add(domain_tag);
+}
+
+KeyBuilder &
+KeyBuilder::byte(std::uint8_t b)
+{
+    hi_ = (hi_ ^ b) * kFnvPrime;
+    lo_ = (lo_ ^ b) * kFnvPrime;
+    return *this;
+}
+
+KeyBuilder &
+KeyBuilder::add(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    return *this;
+}
+
+KeyBuilder &
+KeyBuilder::add(std::int64_t v)
+{
+    return add(static_cast<std::uint64_t>(v));
+}
+
+KeyBuilder &
+KeyBuilder::add(int v)
+{
+    return add(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+}
+
+KeyBuilder &
+KeyBuilder::add(bool v)
+{
+    return byte(v ? 1 : 0);
+}
+
+KeyBuilder &
+KeyBuilder::add(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return add(bits);
+}
+
+KeyBuilder &
+KeyBuilder::add(const std::string &s)
+{
+    add(static_cast<std::uint64_t>(s.size()));
+    for (char c : s)
+        byte(static_cast<std::uint8_t>(c));
+    return *this;
+}
+
+void
+hashTechnology(KeyBuilder &kb, const Technology &tech)
+{
+    kb.add(tech.name).add(static_cast<int>(tech.integration));
+    hashProcessCorner(kb, tech.bottom_process);
+    hashProcessCorner(kb, tech.top_process);
+    kb.add(tech.top_layer_slowdown);
+    hashViaParams(kb, tech.via);
+    hashWireParams(kb, tech.local_wire);
+    hashWireParams(kb, tech.semi_global_wire);
+    hashWireParams(kb, tech.global_wire);
+}
+
+void
+hashArrayConfig(KeyBuilder &kb, const ArrayConfig &cfg)
+{
+    kb.add(cfg.name)
+        .add(cfg.words)
+        .add(cfg.bits)
+        .add(cfg.read_ports)
+        .add(cfg.write_ports)
+        .add(cfg.banks)
+        .add(cfg.cam)
+        .add(cfg.cam_tag_bits);
+}
+
+void
+hashPartitionSpec(KeyBuilder &kb, const PartitionSpec &spec)
+{
+    kb.add(static_cast<int>(spec.kind))
+        .add(spec.bottom_share)
+        .add(spec.bottom_ports)
+        .add(spec.top_access_scale)
+        .add(spec.top_cell_scale);
+}
+
+void
+hashCoreDesign(KeyBuilder &kb, const CoreDesign &design)
+{
+    kb.add(design.name);
+    hashTechnology(kb, design.tech);
+    kb.add(design.frequency)
+        .add(design.vdd)
+        .add(design.dispatch_width)
+        .add(design.issue_width)
+        .add(design.commit_width)
+        .add(design.rob_entries)
+        .add(design.iq_entries)
+        .add(design.lq_entries)
+        .add(design.sq_entries)
+        .add(design.num_cores)
+        .add(design.shared_l2_pairs)
+        .add(design.load_to_use)
+        .add(design.mispredict_penalty)
+        .add(design.complex_decode_extra);
+    kb.add(static_cast<std::uint64_t>(design.partitions.size()));
+    for (const auto &[name, r] : design.partitions) {
+        kb.add(name);
+        hashArrayConfig(kb, r.cfg);
+        hashPartitionSpec(kb, r.spec);
+        hashArrayMetrics(kb, r.planar);
+        hashArrayMetrics(kb, r.stacked);
+    }
+    hashLogicStageGains(kb, design.execute_gains);
+    kb.add(design.clock_tree_switch_factor)
+        .add(design.footprint_factor);
+}
+
+void
+hashWorkloadProfile(KeyBuilder &kb, const WorkloadProfile &p)
+{
+    kb.add(p.name)
+        .add(p.load_frac)
+        .add(p.store_frac)
+        .add(p.branch_frac)
+        .add(p.fp_frac)
+        .add(p.mult_frac)
+        .add(p.div_frac)
+        .add(p.complex_decode_frac)
+        .add(p.mean_dep_distance)
+        .add(p.branch_mpki)
+        .add(p.working_set_kb)
+        .add(p.code_footprint_kb)
+        .add(p.stride_frac)
+        .add(p.spatial_locality)
+        .add(p.temporal_locality)
+        .add(p.parallel)
+        .add(p.parallel_frac)
+        .add(p.shared_frac)
+        .add(p.barrier_per_kinstr)
+        .add(p.lock_per_kinstr);
+}
+
+void
+hashSimBudget(KeyBuilder &kb, const SimBudget &b)
+{
+    kb.add(b.warmup).add(b.measured).add(b.seed);
+}
+
+EvalKey
+partitionKey(const Technology &tech2d, const Technology &tech3d,
+             const ArrayConfig &cfg, const PartitionSpec &spec)
+{
+    KeyBuilder kb(kDomainPartition);
+    hashTechnology(kb, tech2d);
+    hashTechnology(kb, tech3d);
+    hashArrayConfig(kb, cfg);
+    hashPartitionSpec(kb, spec);
+    return kb.key();
+}
+
+EvalKey
+singleRunKey(const CoreDesign &design, const WorkloadProfile &profile,
+             const SimBudget &budget)
+{
+    KeyBuilder kb(kDomainSingleRun);
+    hashCoreDesign(kb, design);
+    hashWorkloadProfile(kb, profile);
+    hashSimBudget(kb, budget);
+    return kb.key();
+}
+
+EvalKey
+multiRunKey(const CoreDesign &design, const WorkloadProfile &profile,
+            const SimBudget &budget)
+{
+    KeyBuilder kb(kDomainMultiRun);
+    hashCoreDesign(kb, design);
+    hashWorkloadProfile(kb, profile);
+    hashSimBudget(kb, budget);
+    return kb.key();
+}
+
+} // namespace engine
+} // namespace m3d

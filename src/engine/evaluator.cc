@@ -1,0 +1,181 @@
+#include "engine/evaluator.hh"
+
+#include "util/logging.hh"
+
+namespace m3d {
+namespace engine {
+
+Evaluator::Evaluator(EvalOptions options)
+    : options_(std::move(options)),
+      pool_(std::make_unique<ThreadPool>(
+          ThreadPool::resolveThreads(options_.threads)))
+{
+    if (options_.cache && !options_.cache_file.empty())
+        cache_.loadPartitions(options_.cache_file);
+}
+
+Evaluator::~Evaluator() = default;
+
+const PartitionExplorer &
+Evaluator::explorerFor(const Technology &tech3d)
+{
+    KeyBuilder kb(0);
+    hashTechnology(kb, tech3d);
+    const std::string id = kb.key().str();
+
+    std::lock_guard<std::mutex> lock(explorers_mutex_);
+    auto it = explorers_.find(id);
+    if (it == explorers_.end()) {
+        it = explorers_
+                 .emplace(id,
+                          std::make_unique<PartitionExplorer>(tech3d))
+                 .first;
+    }
+    return *it->second;
+}
+
+PartitionResult
+Evaluator::evaluate(const Technology &tech3d, const ArrayConfig &cfg,
+                    const PartitionSpec &spec)
+{
+    const PartitionExplorer &ex = explorerFor(tech3d);
+    if (!options_.cache)
+        return ex.evaluate(cfg, spec);
+
+    const EvalKey key =
+        partitionKey(Technology::planar2D(), tech3d, cfg, spec);
+    PartitionResult r;
+    if (cache_.lookupPartition(key, &r))
+        return r;
+    r = ex.evaluate(cfg, spec);
+    cache_.storePartition(key, r);
+    return r;
+}
+
+PartitionResult
+Evaluator::best(const Technology &tech3d, const ArrayConfig &cfg,
+                PartitionKind kind)
+{
+    const PartitionExplorer &ex = explorerFor(tech3d);
+    const std::vector<PartitionSpec> specs = ex.candidates(cfg, kind);
+    M3D_ASSERT(!specs.empty(), "no legal design point for ", cfg.name,
+               " with strategy ", toString(kind));
+
+    std::vector<PartitionResult> results;
+    results.reserve(specs.size());
+    for (const PartitionSpec &s : specs)
+        results.push_back(evaluate(tech3d, cfg, s));
+    return PartitionExplorer::selectBest(results);
+}
+
+PartitionResult
+Evaluator::bestOverall(const Technology &tech3d, const ArrayConfig &cfg)
+{
+    bool have = false;
+    PartitionResult best_r;
+    for (PartitionKind k : PartitionExplorer::legalKinds(cfg)) {
+        PartitionResult r = best(tech3d, cfg, k);
+        if (!have || PartitionExplorer::betterOverall(r, best_r)) {
+            best_r = r;
+            have = true;
+        }
+    }
+    M3D_ASSERT(have);
+    return best_r;
+}
+
+std::vector<PartitionResult>
+Evaluator::bestForAll(const Technology &tech3d,
+                      const std::vector<ArrayConfig> &cfgs)
+{
+    // Build the shared explorer up front so tasks only read it.
+    explorerFor(tech3d);
+
+    std::vector<PartitionResult> out(cfgs.size());
+    pool_->parallelFor(cfgs.size(), [&](std::size_t i) {
+        out[i] = bestOverall(tech3d, cfgs[i]);
+    });
+    return out;
+}
+
+std::vector<PartitionResult>
+Evaluator::bestBatch(const std::vector<PartitionJob> &jobs)
+{
+    // Materialize every explorer before fanning out; explorerFor()
+    // would also be safe to race, but this keeps construction serial.
+    for (const PartitionJob &j : jobs)
+        explorerFor(j.tech3d);
+
+    std::vector<PartitionResult> out(jobs.size());
+    pool_->parallelFor(jobs.size(), [&](std::size_t i) {
+        const PartitionJob &j = jobs[i];
+        out[i] = j.kind == PartitionKind::None
+            ? bestOverall(j.tech3d, j.cfg)
+            : best(j.tech3d, j.cfg, j.kind);
+    });
+    return out;
+}
+
+AppRun
+Evaluator::run(const CoreDesign &design, const WorkloadProfile &app)
+{
+    if (!options_.cache)
+        return detail::runSingleCoreUncached(design, app,
+                                             options_.budget);
+
+    const EvalKey key = singleRunKey(design, app, options_.budget);
+    AppRun r;
+    if (cache_.lookupRun(key, &r))
+        return r;
+    r = detail::runSingleCoreUncached(design, app, options_.budget);
+    cache_.storeRun(key, r);
+    return r;
+}
+
+MultiRun
+Evaluator::runMulti(const CoreDesign &design,
+                    const WorkloadProfile &app)
+{
+    if (!options_.cache)
+        return detail::runMulticoreUncached(design, app,
+                                            options_.budget);
+
+    const EvalKey key = multiRunKey(design, app, options_.budget);
+    MultiRun r;
+    if (cache_.lookupMulti(key, &r))
+        return r;
+    r = detail::runMulticoreUncached(design, app, options_.budget);
+    cache_.storeMulti(key, r);
+    return r;
+}
+
+std::vector<AppRun>
+Evaluator::runBatch(const std::vector<SingleJob> &jobs)
+{
+    std::vector<AppRun> out(jobs.size());
+    pool_->parallelFor(jobs.size(), [&](std::size_t i) {
+        out[i] = run(jobs[i].design, jobs[i].app);
+    });
+    return out;
+}
+
+std::vector<MultiRun>
+Evaluator::runMultiBatch(const std::vector<MultiJob> &jobs)
+{
+    std::vector<MultiRun> out(jobs.size());
+    pool_->parallelFor(jobs.size(), [&](std::size_t i) {
+        out[i] = runMulti(jobs[i].design, jobs[i].app);
+    });
+    return out;
+}
+
+std::size_t
+Evaluator::savePartitionCache()
+{
+    if (options_.cache_file.empty())
+        return 0;
+    return cache_.savePartitions(options_.cache_file);
+}
+
+} // namespace engine
+} // namespace m3d

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The unified evaluation engine (Evaluator facade).
+ *
+ * Every figure/table reproduction boils down to two primitives priced
+ * thousands of times: a partition design point
+ * (PartitionExplorer::evaluate) and an application run
+ * (runSingleCore / runMulticore).  The Evaluator owns both behind one
+ * API and adds, orthogonally:
+ *
+ *  - memoization: results are cached under canonical input hashes
+ *    (engine/eval_key.hh), so repeated sweeps - and overlapping grid
+ *    searches within one sweep - evaluate each point once;
+ *  - parallelism: batch entry points fan independent points across a
+ *    fixed thread pool and merge results **in submission order**, so
+ *    output is bit-identical to a serial run regardless of thread
+ *    count (each run seeds its own TraceGenerator from
+ *    SimBudget::seed; no evaluation shares mutable state);
+ *  - persistence: the partition cache can be loaded/saved from a
+ *    file, carrying grid-search work across processes.
+ *
+ * The legacy free functions and PartitionExplorer methods remain as
+ * thin wrappers over the same primitives for existing call sites.
+ */
+
+#ifndef M3D_ENGINE_EVALUATOR_HH_
+#define M3D_ENGINE_EVALUATOR_HH_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/eval_cache.hh"
+#include "engine/eval_key.hh"
+#include "power/sim_harness.hh"
+#include "sram/explorer.hh"
+#include "util/thread_pool.hh"
+
+namespace m3d {
+namespace engine {
+
+/** Knobs of one Evaluator instance. */
+struct EvalOptions
+{
+    /** Worker threads; <= 0 means all hardware threads. */
+    int threads = 1;
+
+    /** Instruction budget for simulation runs. */
+    SimBudget budget{};
+
+    /** Memoize results (disable to force re-evaluation). */
+    bool cache = true;
+
+    /**
+     * Optional partition-cache file: loaded at construction, saved by
+     * savePartitionCache() (callers decide when to persist).
+     */
+    std::string cache_file;
+};
+
+/** One single-core batch request. */
+struct SingleJob
+{
+    CoreDesign design;
+    WorkloadProfile app;
+};
+
+/** One multicore batch request. */
+struct MultiJob
+{
+    CoreDesign design;
+    WorkloadProfile app;
+};
+
+/** One partition grid-search batch request. */
+struct PartitionJob
+{
+    Technology tech3d;
+    ArrayConfig cfg;
+    PartitionKind kind = PartitionKind::None; ///< None = best overall
+};
+
+/** Batch evaluation facade; see file comment. */
+class Evaluator
+{
+  public:
+    explicit Evaluator(EvalOptions options=EvalOptions{});
+    ~Evaluator();
+
+    Evaluator(const Evaluator &) = delete;
+    Evaluator &operator=(const Evaluator &) = delete;
+
+    // ------------------------------------------------------------------
+    // Partition exploration (mirrors PartitionExplorer, memoized).
+    // The 2D baseline defaults to planar 22nm HP, like the explorer.
+    // ------------------------------------------------------------------
+
+    /** Price one design point. */
+    PartitionResult evaluate(const Technology &tech3d,
+                             const ArrayConfig &cfg,
+                             const PartitionSpec &spec);
+
+    /** Best knobs for one strategy (memoized grid search). */
+    PartitionResult best(const Technology &tech3d,
+                         const ArrayConfig &cfg, PartitionKind kind);
+
+    /** Best strategy overall for one structure. */
+    PartitionResult bestOverall(const Technology &tech3d,
+                                const ArrayConfig &cfg);
+
+    /**
+     * Best strategy for every structure; fans structures across the
+     * pool, returns results in `cfgs` order.
+     */
+    std::vector<PartitionResult>
+    bestForAll(const Technology &tech3d,
+               const std::vector<ArrayConfig> &cfgs);
+
+    /**
+     * Arbitrary batch of grid searches (mixed technologies and
+     * strategies); results in `jobs` order.  A job with
+     * kind == PartitionKind::None resolves to bestOverall().
+     */
+    std::vector<PartitionResult>
+    bestBatch(const std::vector<PartitionJob> &jobs);
+
+    // ------------------------------------------------------------------
+    // Application runs (mirror runSingleCore / runMulticore).
+    // ------------------------------------------------------------------
+
+    /** Run one serial app on one design (memoized). */
+    AppRun run(const CoreDesign &design, const WorkloadProfile &app);
+
+    /** Run one parallel app on one multicore design (memoized). */
+    MultiRun runMulti(const CoreDesign &design,
+                      const WorkloadProfile &app);
+
+    /** Batch runs, results in submission order. */
+    std::vector<AppRun> runBatch(const std::vector<SingleJob> &jobs);
+    std::vector<MultiRun>
+    runMultiBatch(const std::vector<MultiJob> &jobs);
+
+    // ------------------------------------------------------------------
+    // Introspection / cache control.
+    // ------------------------------------------------------------------
+
+    const EvalOptions &options() const { return options_; }
+    int threads() const { return pool_->threads() == 0 ? 1
+                                                       : pool_->threads(); }
+    EvalCache &cache() { return cache_; }
+
+    /** Persist the partition cache to options().cache_file (if set). */
+    std::size_t savePartitionCache();
+
+  private:
+    /** Shared per-technology explorer (stateless once built). */
+    const PartitionExplorer &explorerFor(const Technology &tech3d);
+
+    EvalOptions options_;
+    EvalCache cache_;
+    std::unique_ptr<ThreadPool> pool_;
+
+    std::mutex explorers_mutex_;
+    std::map<std::string, std::unique_ptr<PartitionExplorer>>
+        explorers_; ///< keyed by technology hash
+};
+
+} // namespace engine
+} // namespace m3d
+
+#endif // M3D_ENGINE_EVALUATOR_HH_

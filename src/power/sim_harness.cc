@@ -1,10 +1,12 @@
 #include "power/sim_harness.hh"
 
 namespace m3d {
+namespace detail {
 
 AppRun
-runSingleCore(const CoreDesign &design, const WorkloadProfile &profile,
-              const SimBudget &budget)
+runSingleCoreUncached(const CoreDesign &design,
+                      const WorkloadProfile &profile,
+                      const SimBudget &budget)
 {
     HierarchyTiming timing;
     timing.l1_rt = design.load_to_use;
@@ -26,8 +28,9 @@ runSingleCore(const CoreDesign &design, const WorkloadProfile &profile,
 }
 
 MultiRun
-runMulticore(const CoreDesign &design, const WorkloadProfile &profile,
-             const SimBudget &budget)
+runMulticoreUncached(const CoreDesign &design,
+                     const WorkloadProfile &profile,
+                     const SimBudget &budget)
 {
     MulticoreModel mc(design);
     // Every design executes the same total work - the reference
@@ -42,6 +45,22 @@ runMulticore(const CoreDesign &design, const WorkloadProfile &profile,
     PowerModel pm(design);
     out.energy = pm.evaluate(r.total, r.seconds);
     return out;
+}
+
+} // namespace detail
+
+AppRun
+runSingleCore(const CoreDesign &design, const WorkloadProfile &profile,
+              const SimBudget &budget)
+{
+    return detail::runSingleCoreUncached(design, profile, budget);
+}
+
+MultiRun
+runMulticore(const CoreDesign &design, const WorkloadProfile &profile,
+             const SimBudget &budget)
+{
+    return detail::runMulticoreUncached(design, profile, budget);
 }
 
 } // namespace m3d

@@ -37,6 +37,10 @@ struct SimBudget
 /**
  * Run a serial application on a single core of `design` with cache
  * warmup, and price its energy.
+ *
+ * Thin forwarding wrapper kept for existing call sites; batch or
+ * repeated evaluations should go through engine/evaluator.hh, which
+ * adds memoization and a thread pool on top of the same primitive.
  */
 AppRun runSingleCore(const CoreDesign &design,
                      const WorkloadProfile &profile,
@@ -54,11 +58,25 @@ struct MultiRun
 
 /**
  * Run a parallel application on the multicore `design` and price the
- * total energy of all cores.
+ * total energy of all cores.  Thin wrapper; see runSingleCore().
  */
 MultiRun runMulticore(const CoreDesign &design,
                       const WorkloadProfile &profile,
                       const SimBudget &budget=SimBudget{});
+
+namespace detail {
+
+/** Uncached single-core evaluation; the engine memoizes around it. */
+AppRun runSingleCoreUncached(const CoreDesign &design,
+                             const WorkloadProfile &profile,
+                             const SimBudget &budget);
+
+/** Uncached multicore evaluation; the engine memoizes around it. */
+MultiRun runMulticoreUncached(const CoreDesign &design,
+                              const WorkloadProfile &profile,
+                              const SimBudget &budget);
+
+} // namespace detail
 
 } // namespace m3d
 

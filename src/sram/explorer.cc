@@ -93,17 +93,20 @@ PartitionExplorer::candidates(const ArrayConfig &cfg,
     return out;
 }
 
-PartitionResult
-PartitionExplorer::best(const ArrayConfig &cfg, PartitionKind kind) const
+std::vector<PartitionKind>
+PartitionExplorer::legalKinds(const ArrayConfig &cfg)
 {
-    std::vector<PartitionSpec> specs = candidates(cfg, kind);
-    M3D_ASSERT(!specs.empty(), "no legal design point for ", cfg.name,
-               " with strategy ", toString(kind));
+    std::vector<PartitionKind> kinds = {PartitionKind::Bit,
+                                        PartitionKind::Word};
+    if (cfg.ports() >= 2)
+        kinds.push_back(PartitionKind::Port);
+    return kinds;
+}
 
-    std::vector<PartitionResult> results;
-    results.reserve(specs.size());
-    for (const PartitionSpec &s : specs)
-        results.push_back(evaluate(cfg, s));
+PartitionResult
+PartitionExplorer::selectBest(const std::vector<PartitionResult> &results)
+{
+    M3D_ASSERT(!results.empty(), "no design points to select from");
 
     double best_lat = results.front().stacked.access_latency;
     for (const PartitionResult &r : results)
@@ -121,23 +124,40 @@ PartitionExplorer::best(const ArrayConfig &cfg, PartitionKind kind) const
     return *winner;
 }
 
+bool
+PartitionExplorer::betterOverall(const PartitionResult &r,
+                                 const PartitionResult &incumbent)
+{
+    return r.stacked.access_latency <
+               incumbent.stacked.access_latency ||
+           (r.stacked.access_latency <
+                1.02 * incumbent.stacked.access_latency &&
+            r.stacked.access_energy < incumbent.stacked.access_energy);
+}
+
+PartitionResult
+PartitionExplorer::best(const ArrayConfig &cfg, PartitionKind kind) const
+{
+    std::vector<PartitionSpec> specs = candidates(cfg, kind);
+    M3D_ASSERT(!specs.empty(), "no legal design point for ", cfg.name,
+               " with strategy ", toString(kind));
+
+    std::vector<PartitionResult> results;
+    results.reserve(specs.size());
+    for (const PartitionSpec &s : specs)
+        results.push_back(evaluate(cfg, s));
+
+    return selectBest(results);
+}
+
 PartitionResult
 PartitionExplorer::bestOverall(const ArrayConfig &cfg) const
 {
-    std::vector<PartitionKind> kinds = {PartitionKind::Bit,
-                                        PartitionKind::Word};
-    if (cfg.ports() >= 2)
-        kinds.push_back(PartitionKind::Port);
-
     bool have = false;
     PartitionResult best_r;
-    for (PartitionKind k : kinds) {
+    for (PartitionKind k : legalKinds(cfg)) {
         PartitionResult r = best(cfg, k);
-        if (!have ||
-            r.stacked.access_latency < best_r.stacked.access_latency ||
-            (r.stacked.access_latency <
-                 1.02 * best_r.stacked.access_latency &&
-             r.stacked.access_energy < best_r.stacked.access_energy)) {
+        if (!have || betterOverall(r, best_r)) {
             best_r = r;
             have = true;
         }

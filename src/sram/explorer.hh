@@ -59,12 +59,35 @@ class PartitionExplorer
     std::vector<PartitionResult>
     bestForAll(const std::vector<ArrayConfig> &cfgs) const;
 
-    const Technology &tech3d() const { return tech3d_; }
-
-  private:
+    /**
+     * The grid of candidate design points for one strategy - the
+     * exact set best() searches.  Public so the batch engine can
+     * price (and memoize) each point individually.
+     */
     std::vector<PartitionSpec> candidates(const ArrayConfig &cfg,
                                           PartitionKind kind) const;
 
+    /** Strategies legal for a structure (PP needs >= 2 ports). */
+    static std::vector<PartitionKind>
+    legalKinds(const ArrayConfig &cfg);
+
+    /**
+     * Selection policy over one strategy's grid: minimize access
+     * latency, with access energy breaking ties within 2%.
+     */
+    static PartitionResult
+    selectBest(const std::vector<PartitionResult> &results);
+
+    /**
+     * Cross-strategy policy of bestOverall(): does `r` displace the
+     * `incumbent` best result?
+     */
+    static bool betterOverall(const PartitionResult &r,
+                              const PartitionResult &incumbent);
+
+    const Technology &tech3d() const { return tech3d_; }
+
+  private:
     Technology tech3d_;
     Technology tech2d_;
     ArrayModel model3d_;

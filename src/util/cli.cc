@@ -1,0 +1,243 @@
+#include "util/cli.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace m3d {
+namespace cli {
+
+Parser::Parser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary))
+{
+}
+
+Parser &
+Parser::add(const std::string &name, Kind kind, void *target,
+            const std::string &help, std::string defval)
+{
+    flags_.push_back({"--" + name, kind, target, help,
+                      std::move(defval)});
+    return *this;
+}
+
+Parser &
+Parser::flag(const std::string &name, std::string *value,
+             const std::string &help)
+{
+    return add(name, Kind::String, value, help,
+               value->empty() ? "" : *value);
+}
+
+Parser &
+Parser::flag(const std::string &name, int *value,
+             const std::string &help)
+{
+    return add(name, Kind::Int, value, help, std::to_string(*value));
+}
+
+Parser &
+Parser::flag(const std::string &name, std::uint64_t *value,
+             const std::string &help)
+{
+    return add(name, Kind::Uint64, value, help, std::to_string(*value));
+}
+
+Parser &
+Parser::flag(const std::string &name, double *value,
+             const std::string &help)
+{
+    std::ostringstream os;
+    os << *value;
+    return add(name, Kind::Double, value, help, os.str());
+}
+
+Parser &
+Parser::flag(const std::string &name, bool *value,
+             const std::string &help)
+{
+    return add(name, Kind::Bool, value, help, "");
+}
+
+Parser &
+Parser::positional(const std::string &name, const std::string &help,
+                   bool required)
+{
+    pos_spec_.push_back({name, help, required});
+    return *this;
+}
+
+const Parser::Flag *
+Parser::find(const std::string &name) const
+{
+    for (const Flag &f : flags_) {
+        if (f.name == name)
+            return &f;
+    }
+    return nullptr;
+}
+
+bool
+Parser::assign(const Flag &f, const std::string &text,
+               std::string *err) const
+{
+    const char *s = text.c_str();
+    char *end = nullptr;
+    switch (f.kind) {
+      case Kind::String:
+        *static_cast<std::string *>(f.target) = text;
+        return true;
+      case Kind::Int: {
+        const long v = std::strtol(s, &end, 10);
+        if (end == s || *end != '\0') {
+            *err = "expects an integer";
+            return false;
+        }
+        *static_cast<int *>(f.target) = static_cast<int>(v);
+        return true;
+      }
+      case Kind::Uint64: {
+        const unsigned long long v = std::strtoull(s, &end, 10);
+        if (end == s || *end != '\0' || text[0] == '-') {
+            *err = "expects a non-negative integer";
+            return false;
+        }
+        *static_cast<std::uint64_t *>(f.target) = v;
+        return true;
+      }
+      case Kind::Double: {
+        const double v = std::strtod(s, &end);
+        if (end == s || *end != '\0') {
+            *err = "expects a number";
+            return false;
+        }
+        *static_cast<double *>(f.target) = v;
+        return true;
+      }
+      case Kind::Bool:
+        *static_cast<bool *>(f.target) = true;
+        return true;
+    }
+    return false;
+}
+
+ParseStatus
+Parser::parse(const std::vector<std::string> &args)
+{
+    positionals_.clear();
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--help" || arg == "-h") {
+            std::cout << usage();
+            return ParseStatus::Help;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            positionals_.push_back(arg);
+            continue;
+        }
+
+        std::string name = arg;
+        std::string inline_value;
+        bool has_inline = false;
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            inline_value = arg.substr(eq + 1);
+            has_inline = true;
+        }
+
+        const Flag *f = find(name);
+        if (!f) {
+            std::cerr << program_ << ": unknown flag '" << name
+                      << "' (try --help)\n";
+            return ParseStatus::Error;
+        }
+
+        std::string value;
+        if (f->kind == Kind::Bool) {
+            if (has_inline) {
+                std::cerr << program_ << ": " << name
+                          << " takes no value\n";
+                return ParseStatus::Error;
+            }
+        } else if (has_inline) {
+            value = inline_value;
+        } else {
+            if (i + 1 >= args.size()) {
+                std::cerr << program_ << ": " << name
+                          << " requires a value\n";
+                return ParseStatus::Error;
+            }
+            value = args[++i];
+        }
+
+        std::string err;
+        if (!assign(*f, value, &err)) {
+            std::cerr << program_ << ": " << name << " " << err
+                      << ", got '" << value << "'\n";
+            return ParseStatus::Error;
+        }
+    }
+
+    std::size_t required = 0;
+    for (const Positional &p : pos_spec_) {
+        if (p.required)
+            ++required;
+    }
+    if (positionals_.size() < required) {
+        std::cerr << program_ << ": missing "
+                  << pos_spec_[positionals_.size()].name
+                  << " argument (try --help)\n";
+        return ParseStatus::Error;
+    }
+    if (positionals_.size() > pos_spec_.size()) {
+        std::cerr << program_ << ": unexpected argument '"
+                  << positionals_[pos_spec_.size()] << "'\n";
+        return ParseStatus::Error;
+    }
+    return ParseStatus::Ok;
+}
+
+ParseStatus
+Parser::parse(int argc, char **argv)
+{
+    return parse(std::vector<std::string>(argv + (argc > 0 ? 1 : 0),
+                                          argv + argc));
+}
+
+std::string
+Parser::usage() const
+{
+    std::ostringstream os;
+    os << "usage: " << program_;
+    for (const Positional &p : pos_spec_)
+        os << (p.required ? " <" : " [") << p.name
+           << (p.required ? ">" : "]");
+    if (!flags_.empty())
+        os << " [flags]";
+    os << "\n";
+    if (!summary_.empty())
+        os << "  " << summary_ << "\n";
+    if (!pos_spec_.empty()) {
+        os << "\narguments:\n";
+        for (const Positional &p : pos_spec_)
+            os << "  " << p.name << "  " << p.help << "\n";
+    }
+    if (!flags_.empty()) {
+        os << "\nflags:\n";
+        for (const Flag &f : flags_) {
+            os << "  " << f.name;
+            if (f.kind != Kind::Bool)
+                os << " <v>";
+            os << "  " << f.help;
+            if (!f.defval.empty())
+                os << " (default: " << f.defval << ")";
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace cli
+} // namespace m3d

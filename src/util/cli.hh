@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Minimal typed command-line parser shared by m3dtool and the bench
+ * binaries, replacing the ad-hoc flagValue/flagPresent scanning that
+ * each tool used to carry.
+ *
+ * Flags bind directly to caller-owned variables (the bound value's
+ * current content is the default), accept both `--flag value` and
+ * `--flag=value`, and unknown flags or malformed values are hard
+ * errors.  `--help` is always recognized and prints a generated
+ * usage text.
+ */
+
+#ifndef M3D_UTIL_CLI_HH_
+#define M3D_UTIL_CLI_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace m3d {
+namespace cli {
+
+/** Outcome of a parse. */
+enum class ParseStatus {
+    Ok,       ///< flags consumed; positionals() is valid
+    Help,     ///< --help was given; usage printed to stdout
+    Error,    ///< bad input; message printed to stderr
+};
+
+/** One command (or subcommand) line. */
+class Parser
+{
+  public:
+    /**
+     * @param program Name shown in the usage line, e.g.
+     *                "m3dtool sweep".
+     * @param summary One-line description for --help.
+     */
+    Parser(std::string program, std::string summary);
+
+    // Typed flags.  The bound variable supplies the default and
+    // receives the parsed value.
+    Parser &flag(const std::string &name, std::string *value,
+                 const std::string &help);
+    Parser &flag(const std::string &name, int *value,
+                 const std::string &help);
+    Parser &flag(const std::string &name, std::uint64_t *value,
+                 const std::string &help);
+    Parser &flag(const std::string &name, double *value,
+                 const std::string &help);
+    /** Presence flag: no argument, sets the bool to true. */
+    Parser &flag(const std::string &name, bool *value,
+                 const std::string &help);
+
+    /**
+     * Declare a positional argument (documentation + arity check).
+     * Required positionals must be present; at most one optional
+     * trailing positional is supported.
+     */
+    Parser &positional(const std::string &name, const std::string &help,
+                       bool required=true);
+
+    /** Parse an argument vector (no argv[0]). */
+    ParseStatus parse(const std::vector<std::string> &args);
+
+    /** Parse main()-style arguments, skipping argv[0]. */
+    ParseStatus parse(int argc, char **argv);
+
+    /** Positional arguments collected by the last parse(). */
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
+
+    /** Generated usage text (what --help prints). */
+    std::string usage() const;
+
+  private:
+    enum class Kind { String, Int, Uint64, Double, Bool };
+
+    struct Flag
+    {
+        std::string name; ///< including leading "--"
+        Kind kind;
+        void *target;
+        std::string help;
+        std::string defval; ///< rendered default for --help
+    };
+
+    Parser &add(const std::string &name, Kind kind, void *target,
+                const std::string &help, std::string defval);
+    const Flag *find(const std::string &name) const;
+    bool assign(const Flag &f, const std::string &text,
+                std::string *err) const;
+
+    std::string program_;
+    std::string summary_;
+    std::vector<Flag> flags_;
+
+    struct Positional
+    {
+        std::string name;
+        std::string help;
+        bool required;
+    };
+    std::vector<Positional> pos_spec_;
+    std::vector<std::string> positionals_;
+};
+
+} // namespace cli
+} // namespace m3d
+
+#endif // M3D_UTIL_CLI_HH_

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fixed-size thread pool for the evaluation engine.
+ *
+ * Deliberately simple - a single locked queue, no work stealing:
+ * every task in this codebase is a coarse, CPU-bound design-point
+ * evaluation (microseconds to milliseconds), so queue contention is
+ * negligible and a deterministic structure is worth more than the
+ * last few percent of throughput.
+ *
+ * With `threads <= 1` the pool runs everything inline on the calling
+ * thread, so a serial run takes exactly the code path a parallel run
+ * takes minus the threads - results must be identical by construction.
+ */
+
+#ifndef M3D_UTIL_THREAD_POOL_HH_
+#define M3D_UTIL_THREAD_POOL_HH_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace m3d {
+
+/** Fixed pool of worker threads executing queued tasks FIFO. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; <= 1 means no workers are spawned
+     *                and tasks run inline when submitted or waited on.
+     */
+    explicit ThreadPool(int threads);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (0 for an inline pool). */
+    int threads() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Queue one task.  The future rethrows any exception the task
+     * threw.  Inline pools execute the task before returning.
+     */
+    std::future<void> submit(std::function<void()> task);
+
+    /**
+     * Run `body(0) .. body(n-1)` across the pool and block until all
+     * complete.  Iterations must be independent; the index is the
+     * caller's handle for ordered result merging.  The first
+     * exception (lowest index) is rethrown.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Resolve a user-facing thread request: values >= 1 pass through,
+     * anything else means "all hardware threads".
+     */
+    static int resolveThreads(int requested);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace m3d
+
+#endif // M3D_UTIL_THREAD_POOL_HH_

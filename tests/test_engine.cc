@@ -1,0 +1,445 @@
+/**
+ * @file
+ * Tests for the parallel evaluation engine: canonical cache keys,
+ * hit/miss accounting, serial-vs-parallel result equality, ordered
+ * batch merging, legacy-API parity, and cache persistence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "engine/eval_cache.hh"
+#include "engine/eval_key.hh"
+#include "engine/evaluator.hh"
+#include "util/thread_pool.hh"
+
+using namespace m3d;
+using namespace m3d::engine;
+
+namespace {
+
+/** Small budget so simulation-backed tests stay fast. */
+SimBudget
+tinyBudget()
+{
+    SimBudget b;
+    b.warmup = 2000;
+    b.measured = 10000;
+    return b;
+}
+
+EvalOptions
+tinyOptions(int threads, bool cache=true)
+{
+    EvalOptions o;
+    o.threads = threads;
+    o.budget = tinyBudget();
+    o.cache = cache;
+    return o;
+}
+
+void
+expectSameMetrics(const ArrayMetrics &a, const ArrayMetrics &b)
+{
+    EXPECT_EQ(a.access_latency, b.access_latency);
+    EXPECT_EQ(a.access_energy, b.access_energy);
+    EXPECT_EQ(a.write_energy, b.write_energy);
+    EXPECT_EQ(a.area, b.area);
+    EXPECT_EQ(a.leakage_power, b.leakage_power);
+    EXPECT_EQ(a.cam_search_delay, b.cam_search_delay);
+}
+
+void
+expectSameResult(const PartitionResult &a, const PartitionResult &b)
+{
+    EXPECT_EQ(a.cfg.name, b.cfg.name);
+    EXPECT_EQ(a.spec.kind, b.spec.kind);
+    EXPECT_EQ(a.spec.bottom_share, b.spec.bottom_share);
+    EXPECT_EQ(a.spec.bottom_ports, b.spec.bottom_ports);
+    EXPECT_EQ(a.spec.top_access_scale, b.spec.top_access_scale);
+    EXPECT_EQ(a.spec.top_cell_scale, b.spec.top_cell_scale);
+    expectSameMetrics(a.planar, b.planar);
+    expectSameMetrics(a.stacked, b.stacked);
+}
+
+void
+expectSameRun(const AppRun &a, const AppRun &b)
+{
+    EXPECT_EQ(a.sim.instructions, b.sim.instructions);
+    EXPECT_EQ(a.sim.cycles, b.sim.cycles);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.energy.total(), b.energy.total());
+    EXPECT_EQ(a.sim.activity.mispredicts, b.sim.activity.mispredicts);
+}
+
+// ---------------------------------------------------------------------
+// Canonical keys
+// ---------------------------------------------------------------------
+
+TEST(EvalKey, DistinguishesEveryInput)
+{
+    const Technology t2d = Technology::planar2D();
+    const Technology iso = Technology::m3dIso();
+    const Technology het = Technology::m3dHetero();
+    const ArrayConfig rf = CoreStructures::registerFile();
+    const ArrayConfig rat = CoreStructures::registerAliasTable();
+    const PartitionSpec bit = PartitionSpec::bit();
+    const PartitionSpec word = PartitionSpec::word();
+
+    const EvalKey base = partitionKey(t2d, iso, rf, bit);
+    EXPECT_EQ(base, partitionKey(t2d, iso, rf, bit));
+    EXPECT_NE(base, partitionKey(t2d, het, rf, bit));
+    EXPECT_NE(base, partitionKey(t2d, iso, rat, bit));
+    EXPECT_NE(base, partitionKey(t2d, iso, rf, word));
+
+    // A knob tweak inside the spec must change the key.
+    PartitionSpec tweaked = bit;
+    tweaked.bottom_share = 0.5000001;
+    EXPECT_NE(base, partitionKey(t2d, iso, rf, tweaked));
+}
+
+TEST(EvalKey, RunKeysSeparateDomainsAndBudgets)
+{
+    DesignFactory factory;
+    const CoreDesign design = factory.base();
+    const WorkloadProfile app = WorkloadLibrary::byName("Gcc");
+    const SimBudget b1 = tinyBudget();
+    SimBudget b2 = b1;
+    b2.seed = b1.seed + 1;
+
+    EXPECT_EQ(singleRunKey(design, app, b1),
+              singleRunKey(design, app, b1));
+    EXPECT_NE(singleRunKey(design, app, b1),
+              singleRunKey(design, app, b2));
+    // Same inputs, different primitive -> different key.
+    EXPECT_NE(singleRunKey(design, app, b1),
+              multiRunKey(design, app, b1));
+}
+
+TEST(EvalKey, StringRoundTrip)
+{
+    const EvalKey key = partitionKey(
+        Technology::planar2D(), Technology::m3dIso(),
+        CoreStructures::registerFile(), PartitionSpec::bit());
+    EXPECT_EQ(key.str().size(), 32u);
+
+    EvalKey parsed;
+    ASSERT_TRUE(EvalKey::parse(key.str(), &parsed));
+    EXPECT_EQ(parsed, key);
+    EXPECT_FALSE(EvalKey::parse("not-a-key", &parsed));
+    EXPECT_FALSE(EvalKey::parse(key.str().substr(1), &parsed));
+}
+
+// ---------------------------------------------------------------------
+// Cache behaviour
+// ---------------------------------------------------------------------
+
+TEST(EvalCache, PartitionHitAndMissAccounting)
+{
+    Evaluator ev(tinyOptions(1));
+    const Technology iso = Technology::m3dIso();
+    const ArrayConfig rat = CoreStructures::registerAliasTable();
+    const PartitionSpec spec = PartitionSpec::bit();
+
+    const PartitionResult first = ev.evaluate(iso, rat, spec);
+    EXPECT_EQ(ev.cache().partitionStats().hits, 0u);
+    EXPECT_EQ(ev.cache().partitionStats().misses, 1u);
+
+    const PartitionResult second = ev.evaluate(iso, rat, spec);
+    EXPECT_EQ(ev.cache().partitionStats().hits, 1u);
+    EXPECT_EQ(ev.cache().partitionStats().misses, 1u);
+    expectSameResult(first, second);
+
+    // A different technology is a different key family entry.
+    ev.evaluate(Technology::m3dHetero(), rat, spec);
+    EXPECT_EQ(ev.cache().partitionStats().misses, 2u);
+    EXPECT_NEAR(ev.cache().partitionStats().hitRate(), 1.0 / 3.0,
+                1e-12);
+}
+
+TEST(EvalCache, RunMemoizationReturnsIdenticalResult)
+{
+    DesignFactory factory;
+    Evaluator ev(tinyOptions(1));
+    const CoreDesign design = factory.m3dHet();
+    const WorkloadProfile app = WorkloadLibrary::byName("Mcf");
+
+    const AppRun first = ev.run(design, app);
+    const AppRun second = ev.run(design, app);
+    EXPECT_EQ(ev.cache().runStats().hits, 1u);
+    EXPECT_EQ(ev.cache().runStats().misses, 1u);
+    expectSameRun(first, second);
+}
+
+TEST(EvalCache, DisabledCacheNeverCounts)
+{
+    Evaluator ev(tinyOptions(1, /*cache=*/false));
+    const Technology iso = Technology::m3dIso();
+    const ArrayConfig rat = CoreStructures::registerAliasTable();
+    ev.evaluate(iso, rat, PartitionSpec::bit());
+    ev.evaluate(iso, rat, PartitionSpec::bit());
+    EXPECT_EQ(ev.cache().stats().lookups(), 0u);
+}
+
+TEST(EvalCache, PersistenceRoundTripIsBitExact)
+{
+    Evaluator ev(tinyOptions(1));
+    const Technology iso = Technology::m3dIso();
+    const std::vector<ArrayConfig> cfgs = {
+        CoreStructures::registerAliasTable(),
+        CoreStructures::storeQueue(), // CAM structure
+    };
+    for (const ArrayConfig &cfg : cfgs)
+        ev.bestOverall(iso, cfg);
+    ASSERT_GT(ev.cache().partitionEntries(), 0u);
+
+    std::stringstream file;
+    const std::size_t written = ev.cache().savePartitions(file);
+    EXPECT_EQ(written, ev.cache().partitionEntries());
+
+    EvalCache fresh;
+    EXPECT_EQ(fresh.loadPartitions(file), written);
+
+    // Every point the warm evaluator knows must hit in the loaded
+    // cache with bit-identical contents.
+    Evaluator check(tinyOptions(1));
+    for (const ArrayConfig &cfg : cfgs) {
+        for (PartitionKind kind : PartitionExplorer::legalKinds(cfg)) {
+            const PartitionResult direct = check.best(iso, cfg, kind);
+            const EvalKey key = partitionKey(
+                Technology::planar2D(), iso, cfg, direct.spec);
+            PartitionResult loaded;
+            ASSERT_TRUE(fresh.lookupPartition(key, &loaded));
+            expectSameResult(direct, loaded);
+        }
+    }
+}
+
+TEST(EvalCache, RejectsCorruptHeader)
+{
+    std::stringstream file;
+    file << "something-else v9\n";
+    EvalCache cache;
+    EXPECT_EQ(cache.loadPartitions(file), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Serial vs parallel equality and ordering
+// ---------------------------------------------------------------------
+
+TEST(EvaluatorParallel, BestForAllMatchesSerialAtAnyThreadCount)
+{
+    const Technology het = Technology::m3dHetero();
+    const std::vector<ArrayConfig> cfgs = CoreStructures::all();
+
+    Evaluator serial(tinyOptions(1));
+    const std::vector<PartitionResult> expected =
+        serial.bestForAll(het, cfgs);
+    ASSERT_EQ(expected.size(), cfgs.size());
+
+    for (int threads : {2, 8}) {
+        Evaluator parallel(tinyOptions(threads));
+        const std::vector<PartitionResult> got =
+            parallel.bestForAll(het, cfgs);
+        ASSERT_EQ(got.size(), expected.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            // Ordering: slot i is structure i, regardless of which
+            // worker finished first.
+            EXPECT_EQ(got[i].cfg.name, cfgs[i].name);
+            expectSameResult(expected[i], got[i]);
+        }
+    }
+}
+
+TEST(EvaluatorParallel, RunBatchMatchesSerialAtAnyThreadCount)
+{
+    DesignFactory factory;
+    const std::vector<CoreDesign> designs = {factory.base(),
+                                             factory.m3dHet()};
+    const std::vector<WorkloadProfile> apps = {
+        WorkloadLibrary::byName("Gcc"),
+        WorkloadLibrary::byName("Mcf"),
+        WorkloadLibrary::byName("Hmmer"),
+    };
+    std::vector<SingleJob> jobs;
+    for (const CoreDesign &d : designs) {
+        for (const WorkloadProfile &a : apps)
+            jobs.push_back({d, a});
+    }
+
+    Evaluator serial(tinyOptions(1));
+    const std::vector<AppRun> expected = serial.runBatch(jobs);
+
+    for (int threads : {2, 8}) {
+        Evaluator parallel(tinyOptions(threads));
+        const std::vector<AppRun> got = parallel.runBatch(jobs);
+        ASSERT_EQ(got.size(), expected.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            expectSameRun(expected[i], got[i]);
+    }
+}
+
+TEST(EvaluatorParallel, RunBatchPreservesSubmissionOrder)
+{
+    DesignFactory factory;
+    Evaluator ev(tinyOptions(4));
+    const std::vector<WorkloadProfile> apps = {
+        WorkloadLibrary::byName("Gcc"),
+        WorkloadLibrary::byName("Mcf"),
+    };
+    std::vector<SingleJob> jobs;
+    for (const WorkloadProfile &a : apps)
+        jobs.push_back({factory.base(), a});
+
+    const std::vector<AppRun> batch = ev.runBatch(jobs);
+    ASSERT_EQ(batch.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const AppRun direct = ev.run(jobs[i].design, jobs[i].app);
+        expectSameRun(direct, batch[i]);
+    }
+}
+
+TEST(EvaluatorParallel, MultiRunBatchMatchesSerial)
+{
+    DesignFactory factory;
+    const std::vector<MultiJob> jobs = {
+        {factory.baseMulti(), WorkloadLibrary::byName("Barnes")},
+        {factory.m3dHetMulti(), WorkloadLibrary::byName("Barnes")},
+    };
+
+    Evaluator serial(tinyOptions(1));
+    Evaluator parallel(tinyOptions(8));
+    const std::vector<MultiRun> a = serial.runMultiBatch(jobs);
+    const std::vector<MultiRun> b = parallel.runMultiBatch(jobs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].result.seconds, b[i].result.seconds);
+        EXPECT_EQ(a[i].result.num_cores, b[i].result.num_cores);
+        EXPECT_EQ(a[i].energyJ(), b[i].energyJ());
+    }
+}
+
+TEST(EvaluatorParallel, BestBatchMixesTechnologiesInOrder)
+{
+    const std::vector<PartitionJob> jobs = {
+        {Technology::m3dIso(), CoreStructures::registerAliasTable(),
+         PartitionKind::Bit},
+        {Technology::tsv3D(), CoreStructures::registerAliasTable(),
+         PartitionKind::Word},
+        {Technology::m3dHetero(), CoreStructures::dataTlb(),
+         PartitionKind::None}, // None = best overall
+    };
+    Evaluator ev(tinyOptions(4));
+    const std::vector<PartitionResult> got = ev.bestBatch(jobs);
+    ASSERT_EQ(got.size(), jobs.size());
+    EXPECT_EQ(got[0].spec.kind, PartitionKind::Bit);
+    EXPECT_EQ(got[1].spec.kind, PartitionKind::Word);
+    EXPECT_EQ(got[2].cfg.name, "DTLB");
+
+    Evaluator serial(tinyOptions(1));
+    expectSameResult(
+        got[2], serial.bestOverall(Technology::m3dHetero(),
+                                   CoreStructures::dataTlb()));
+}
+
+// ---------------------------------------------------------------------
+// Parity with the legacy API
+// ---------------------------------------------------------------------
+
+TEST(EvaluatorParity, MatchesPartitionExplorer)
+{
+    const Technology het = Technology::m3dHetero();
+    PartitionExplorer legacy(het);
+    Evaluator ev(tinyOptions(1));
+    const ArrayConfig rf = CoreStructures::registerFile();
+
+    expectSameResult(legacy.evaluate(rf, PartitionSpec::port(2, 2.0)),
+                     ev.evaluate(het, rf,
+                                 PartitionSpec::port(2, 2.0)));
+    expectSameResult(legacy.best(rf, PartitionKind::Port),
+                     ev.best(het, rf, PartitionKind::Port));
+    expectSameResult(legacy.bestOverall(rf),
+                     ev.bestOverall(het, rf));
+
+    const std::vector<ArrayConfig> cfgs = {
+        CoreStructures::registerAliasTable(),
+        CoreStructures::branchPredictor()};
+    const std::vector<PartitionResult> a = legacy.bestForAll(cfgs);
+    const std::vector<PartitionResult> b = ev.bestForAll(het, cfgs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expectSameResult(a[i], b[i]);
+}
+
+TEST(EvaluatorParity, MatchesLegacyRunFunctions)
+{
+    DesignFactory factory;
+    const CoreDesign design = factory.m3dHet();
+    const WorkloadProfile app = WorkloadLibrary::byName("Gcc");
+    const SimBudget budget = tinyBudget();
+
+    EvalOptions opts = tinyOptions(1);
+    Evaluator ev(opts);
+    expectSameRun(runSingleCore(design, app, budget),
+                  ev.run(design, app));
+
+    const MultiRun legacy = runMulticore(
+        factory.m3dHetMulti(), WorkloadLibrary::byName("Barnes"),
+        budget);
+    const MultiRun engine_run = ev.runMulti(
+        factory.m3dHetMulti(), WorkloadLibrary::byName("Barnes"));
+    EXPECT_EQ(legacy.result.seconds, engine_run.result.seconds);
+    EXPECT_EQ(legacy.energyJ(), engine_run.energyJ());
+}
+
+// ---------------------------------------------------------------------
+// Thread pool
+// ---------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4);
+
+    std::vector<std::atomic<int>> counts(257);
+    pool.parallelFor(counts.size(), [&](std::size_t i) {
+        counts[i].fetch_add(1);
+    });
+    for (const std::atomic<int> &c : counts)
+        EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, InlinePoolRunsOnCallerThread)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 0); // no workers spawned
+
+    const std::thread::id caller = std::this_thread::get_id();
+    std::thread::id seen;
+    pool.submit([&] { seen = std::this_thread::get_id(); }).get();
+    EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFutures)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(
+        pool.parallelFor(8,
+                         [](std::size_t i) {
+                             if (i == 3)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ResolveThreads)
+{
+    EXPECT_EQ(ThreadPool::resolveThreads(3), 3);
+    EXPECT_EQ(ThreadPool::resolveThreads(1), 1);
+    EXPECT_GE(ThreadPool::resolveThreads(0), 1);
+    EXPECT_GE(ThreadPool::resolveThreads(-1), 1);
+}
+
+} // namespace

@@ -1,13 +1,14 @@
 /**
  * @file
  * Unit tests for the util module: logging thresholds, statistics,
- * tables, and the deterministic RNG.
+ * tables, the deterministic RNG, and the typed CLI parser.
  */
 
 #include <gtest/gtest.h>
 
 #include <sstream>
 
+#include "util/cli.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
@@ -242,6 +243,75 @@ TEST(Rng, BurstMeanApproximation)
     for (int i = 0; i < n; ++i)
         total += static_cast<double>(r.burst(4.0));
     EXPECT_NEAR(total / n, 4.0, 0.5);
+}
+
+
+TEST(Cli, TypedFlagsAndDefaults)
+{
+    int jobs = 4;
+    std::uint64_t instructions = 300000;
+    double scale = 1.5;
+    std::string tech = "m3d-het";
+    bool stats = false;
+
+    cli::Parser p("prog", "test parser");
+    p.flag("jobs", &jobs, "worker threads")
+        .flag("instructions", &instructions, "budget")
+        .flag("scale", &scale, "factor")
+        .flag("tech", &tech, "technology")
+        .flag("stats", &stats, "dump stats");
+
+    EXPECT_EQ(p.parse({"--jobs", "8", "--scale=2.25", "--stats"}),
+              cli::ParseStatus::Ok);
+    EXPECT_EQ(jobs, 8);
+    EXPECT_EQ(instructions, 300000u); // untouched default
+    EXPECT_EQ(scale, 2.25);
+    EXPECT_EQ(tech, "m3d-het");
+    EXPECT_TRUE(stats);
+}
+
+TEST(Cli, PositionalsAndArityChecks)
+{
+    cli::Parser p("prog", "test parser");
+    int jobs = 1;
+    p.positional("app", "application").flag("jobs", &jobs, "threads");
+
+    EXPECT_EQ(p.parse({"Gcc", "--jobs", "2"}), cli::ParseStatus::Ok);
+    ASSERT_EQ(p.positionals().size(), 1u);
+    EXPECT_EQ(p.positionals()[0], "Gcc");
+
+    // Missing required positional.
+    EXPECT_EQ(p.parse({"--jobs", "2"}), cli::ParseStatus::Error);
+    // Excess positional.
+    EXPECT_EQ(p.parse({"Gcc", "extra"}), cli::ParseStatus::Error);
+}
+
+TEST(Cli, RejectsUnknownAndMalformed)
+{
+    cli::Parser p("prog", "test parser");
+    int jobs = 1;
+    bool verbose = false;
+    p.flag("jobs", &jobs, "threads").flag("verbose", &verbose, "log");
+
+    EXPECT_EQ(p.parse({"--frobnicate"}), cli::ParseStatus::Error);
+    EXPECT_EQ(p.parse({"--jobs", "many"}), cli::ParseStatus::Error);
+    EXPECT_EQ(p.parse({"--jobs"}), cli::ParseStatus::Error);
+    EXPECT_EQ(p.parse({"--verbose=yes"}), cli::ParseStatus::Error);
+}
+
+TEST(Cli, HelpGeneration)
+{
+    cli::Parser p("m3dtool sweep", "Partition sweep.");
+    int jobs = 0;
+    p.positional("tech", "technology name")
+        .flag("jobs", &jobs, "worker threads");
+
+    EXPECT_EQ(p.parse({"--help"}), cli::ParseStatus::Help);
+    const std::string usage = p.usage();
+    EXPECT_NE(usage.find("m3dtool sweep"), std::string::npos);
+    EXPECT_NE(usage.find("--jobs"), std::string::npos);
+    EXPECT_NE(usage.find("<tech>"), std::string::npos);
+    EXPECT_NE(usage.find("worker threads"), std::string::npos);
 }
 
 } // namespace

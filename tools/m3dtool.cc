@@ -6,6 +6,9 @@
  *   m3dtool workloads                    list the bundled profiles
  *   m3dtool partition <structure|all> [--tech T]
  *                                        best partition vs 2D
+ *   m3dtool sweep <tech|all> [--jobs N] [--cache-stats]
+ *                                        full partition sweep through
+ *                                        the parallel engine
  *   m3dtool simulate <app> [--design D] [--instructions N] [--stats]
  *                                        run one app on one design
  *   m3dtool thermal <app> [--design D]   peak-temperature solve
@@ -16,13 +19,14 @@
  */
 
 #include <cctype>
-#include <cstdlib>
-#include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "arch/stats_dump.hh"
+#include "engine/evaluator.hh"
+#include "util/cli.hh"
 #include "util/logging.hh"
 #include "power/sim_harness.hh"
 #include "thermal/thermal_model.hh"
@@ -44,37 +48,19 @@ usage()
            "  m3dtool workloads\n"
            "  m3dtool partition <structure|all> [--tech m3d-het|"
            "m3d-iso|tsv3d]\n"
+           "  m3dtool sweep <tech|all> [--jobs N] [--cache-stats]\n"
            "  m3dtool simulate <app> [--design <name>] "
            "[--instructions N] [--stats]\n"
-           "  m3dtool thermal <app> [--design <name>]\n";
+           "  m3dtool thermal <app> [--design <name>]\n"
+           "(every subcommand accepts --help)\n";
     return 2;
 }
 
-std::string
-flagValue(std::vector<std::string> &args, const std::string &flag,
-          const std::string &fallback)
+/** Map a subcommand parse status to main()'s contract. */
+int
+exitCode(cli::ParseStatus status)
 {
-    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
-        if (args[i] == flag) {
-            const std::string v = args[i + 1];
-            args.erase(args.begin() + static_cast<long>(i),
-                       args.begin() + static_cast<long>(i) + 2);
-            return v;
-        }
-    }
-    return fallback;
-}
-
-bool
-flagPresent(std::vector<std::string> &args, const std::string &flag)
-{
-    for (std::size_t i = 0; i < args.size(); ++i) {
-        if (args[i] == flag) {
-            args.erase(args.begin() + static_cast<long>(i));
-            return true;
-        }
-    }
-    return false;
+    return status == cli::ParseStatus::Help ? 0 : 2;
 }
 
 Technology
@@ -126,6 +112,29 @@ appByName(const std::string &name)
     return WorkloadLibrary::byName(name);
 }
 
+/** Best-partition table for one technology, shared by partition/sweep. */
+void
+printPartitionTable(engine::Evaluator &ev, const std::string &tech_name,
+                    const std::vector<ArrayConfig> &cfgs)
+{
+    const std::vector<PartitionResult> results =
+        ev.bestForAll(techByName(tech_name), cfgs);
+
+    Table t("Best partition on " + tech_name);
+    t.header({"Structure", "Strategy", "Latency red.", "Energy red.",
+              "Footprint red.", "2D latency", "3D latency"});
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        const PartitionResult &r = results[i];
+        t.row({cfgs[i].name, toString(r.spec.kind),
+               Table::pct(r.latencyReduction(), 0),
+               Table::pct(r.energyReduction(), 0),
+               Table::pct(r.areaReduction(), 0),
+               Table::num(r.planar.access_latency / ps, 1) + " ps",
+               Table::num(r.stacked.access_latency / ps, 1) + " ps"});
+    }
+    t.print(std::cout);
+}
+
 int
 cmdDesigns()
 {
@@ -173,15 +182,21 @@ cmdWorkloads()
 }
 
 int
-cmdPartition(std::vector<std::string> args)
+cmdPartition(const std::vector<std::string> &args)
 {
-    const std::string tech_name =
-        flagValue(args, "--tech", "m3d-het");
-    if (args.empty())
-        return usage();
-    const std::string which = args[0];
+    std::string tech_name = "m3d-het";
+    cli::Parser parser("m3dtool partition",
+                       "Best partition per structure vs the 2D "
+                       "baseline.");
+    parser.positional("structure",
+                      "RF, IQ, SQ, LQ, RAT, BPT, BTB, DTLB, ITLB, "
+                      "IL1, DL1, L2, or all")
+        .flag("tech", &tech_name, "m3d-het, m3d-iso, or tsv3d");
+    const cli::ParseStatus status = parser.parse(args);
+    if (status != cli::ParseStatus::Ok)
+        return exitCode(status);
+    const std::string which = parser.positionals()[0];
 
-    PartitionExplorer ex(techByName(tech_name));
     std::vector<ArrayConfig> cfgs;
     if (which == "all") {
         cfgs = CoreStructures::all();
@@ -196,39 +211,107 @@ cmdPartition(std::vector<std::string> args)
                       "ITLB, IL1, DL1, L2, or all)");
     }
 
-    Table t("Best partition on " + tech_name);
-    t.header({"Structure", "Strategy", "Latency red.", "Energy red.",
-              "Footprint red.", "2D latency", "3D latency"});
-    for (const ArrayConfig &cfg : cfgs) {
-        const PartitionResult r = ex.bestOverall(cfg);
-        t.row({cfg.name, toString(r.spec.kind),
-               Table::pct(r.latencyReduction(), 0),
-               Table::pct(r.energyReduction(), 0),
-               Table::pct(r.areaReduction(), 0),
-               Table::num(r.planar.access_latency / ps, 1) + " ps",
-               Table::num(r.stacked.access_latency / ps, 1) + " ps"});
-    }
-    t.print(std::cout);
+    engine::Evaluator ev;
+    printPartitionTable(ev, tech_name, cfgs);
     return 0;
 }
 
 int
-cmdSimulate(std::vector<std::string> args)
+cmdSweep(const std::vector<std::string> &args)
 {
-    DesignFactory factory;
-    const std::string design_name =
-        flagValue(args, "--design", "m3d-het");
-    SimBudget budget;
-    budget.measured = std::strtoull(
-        flagValue(args, "--instructions", "300000").c_str(), nullptr,
-        10);
-    const bool stats = flagPresent(args, "--stats");
-    if (args.empty())
-        return usage();
+    int jobs = 0;
+    bool cache_stats = false;
+    bool no_cache = false;
+    std::string cache_file = ".m3d_cache/partition.cache";
+    cli::Parser parser("m3dtool sweep",
+                       "Full best-partition sweep through the "
+                       "parallel evaluation engine.");
+    parser.positional("tech", "m3d-het, m3d-iso, tsv3d, or all")
+        .flag("jobs", &jobs,
+              "worker threads; 0 means all hardware threads")
+        .flag("cache-stats", &cache_stats,
+              "print memoization-cache statistics after the sweep")
+        .flag("cache-file", &cache_file,
+              "persistent partition cache location")
+        .flag("no-cache", &no_cache,
+              "disable memoization (forces full re-evaluation)");
+    const cli::ParseStatus status = parser.parse(args);
+    if (status != cli::ParseStatus::Ok)
+        return exitCode(status);
+    const std::string which = parser.positionals()[0];
 
-    const CoreDesign design = designByName(factory, design_name);
-    const WorkloadProfile app = appByName(args[0]);
-    const AppRun r = runSingleCore(design, app, budget);
+    std::vector<std::string> tech_names;
+    if (which == "all")
+        tech_names = {"m3d-het", "m3d-iso", "tsv3d"};
+    else
+        tech_names = {which};
+    for (const std::string &name : tech_names)
+        techByName(name); // validate before doing any work
+
+    engine::EvalOptions opts;
+    opts.threads = jobs;
+    opts.cache = !no_cache;
+    opts.cache_file = no_cache ? "" : cache_file;
+    engine::Evaluator ev(opts);
+
+    const std::vector<ArrayConfig> cfgs = CoreStructures::all();
+    for (const std::string &name : tech_names)
+        printPartitionTable(ev, name, cfgs);
+
+    if (!opts.cache_file.empty()) {
+        const std::filesystem::path parent =
+            std::filesystem::path(opts.cache_file).parent_path();
+        if (!parent.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(parent, ec);
+        }
+        ev.savePartitionCache();
+    }
+
+    if (cache_stats) {
+        const engine::CacheStats s = ev.cache().partitionStats();
+        Table t("Evaluation cache");
+        t.header({"Metric", "Value"});
+        t.row({"Design points", std::to_string(s.lookups())});
+        t.row({"Cache hits", std::to_string(s.hits)});
+        t.row({"Cache misses", std::to_string(s.misses)});
+        t.row({"Hit rate", Table::pct(s.hitRate(), 1)});
+        t.row({"Entries stored",
+               std::to_string(ev.cache().partitionEntries())});
+        t.row({"Worker threads", std::to_string(ev.threads())});
+        t.print(std::cout);
+    }
+    return 0;
+}
+
+int
+cmdSimulate(const std::vector<std::string> &args)
+{
+    std::string design_name = "m3d-het";
+    std::uint64_t instructions = 300000;
+    bool stats = false;
+    cli::Parser parser("m3dtool simulate",
+                       "Run one application on one core design.");
+    parser.positional("app", "profile name or profile file path")
+        .flag("design", &design_name,
+              "base, tsv3d, m3d-iso, m3d-het-naive, m3d-het, or "
+              "m3d-het-agg")
+        .flag("instructions", &instructions,
+              "measured instruction count")
+        .flag("stats", &stats, "dump the full statistics block");
+    const cli::ParseStatus status = parser.parse(args);
+    if (status != cli::ParseStatus::Ok)
+        return exitCode(status);
+
+    DesignFactory factory;
+    const CoreDesign design =
+        designByName(factory, design_name);
+    const WorkloadProfile app = appByName(parser.positionals()[0]);
+
+    engine::EvalOptions opts;
+    opts.budget.measured = instructions;
+    engine::Evaluator ev(opts);
+    const AppRun r = ev.run(design, app);
 
     Table t(app.name + " on " + design.name);
     t.header({"Metric", "Value"});
@@ -253,17 +336,27 @@ cmdSimulate(std::vector<std::string> args)
 }
 
 int
-cmdThermal(std::vector<std::string> args)
+cmdThermal(const std::vector<std::string> &args)
 {
-    DesignFactory factory;
-    const std::string design_name =
-        flagValue(args, "--design", "m3d-het");
-    if (args.empty())
-        return usage();
+    std::string design_name = "m3d-het";
+    cli::Parser parser("m3dtool thermal",
+                       "Peak-temperature solve for one app on one "
+                       "design.");
+    parser.positional("app", "profile name or profile file path")
+        .flag("design", &design_name,
+              "base, tsv3d, m3d-iso, m3d-het-naive, m3d-het, or "
+              "m3d-het-agg");
+    const cli::ParseStatus status = parser.parse(args);
+    if (status != cli::ParseStatus::Ok)
+        return exitCode(status);
 
-    const CoreDesign design = designByName(factory, design_name);
-    const WorkloadProfile app = appByName(args[0]);
-    const AppRun r = runSingleCore(design, app);
+    DesignFactory factory;
+    const CoreDesign design =
+        designByName(factory, design_name);
+    const WorkloadProfile app = appByName(parser.positionals()[0]);
+
+    engine::Evaluator ev;
+    const AppRun r = ev.run(design, app);
     PowerModel pm(design);
     const auto blocks = pm.blockPower(r.sim.activity, r.seconds);
     ThermalModel tm(design);
@@ -291,17 +384,19 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     const std::string cmd = argv[1];
-    std::vector<std::string> args(argv + 2, argv + argc);
+    const std::vector<std::string> args(argv + 2, argv + argc);
 
     if (cmd == "designs")
         return cmdDesigns();
     if (cmd == "workloads")
         return cmdWorkloads();
     if (cmd == "partition")
-        return cmdPartition(std::move(args));
+        return cmdPartition(args);
+    if (cmd == "sweep")
+        return cmdSweep(args);
     if (cmd == "simulate")
-        return cmdSimulate(std::move(args));
+        return cmdSimulate(args);
     if (cmd == "thermal")
-        return cmdThermal(std::move(args));
+        return cmdThermal(args);
     return usage();
 }

@@ -10,7 +10,9 @@
 
 #include <iostream>
 
+#include "report/report.hh"
 #include "sram/explorer.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 #include "util/units.hh"
 
@@ -18,39 +20,64 @@ using namespace m3d;
 using namespace m3d::units;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    cli::Parser parser("ablation_asymmetry",
+                       "Ablation: hetero-layer asymmetry knobs "
+                       "(Section 4.2).");
+    parser.flag("json", &json_path,
+                "write metrics as m3d-report JSON to this file");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    report::Report rep("ablation_asymmetry");
+
     PartitionExplorer ex(Technology::m3dHetero());
 
     const ArrayConfig rf = CoreStructures::registerFile();
     Table t1("Ablation: RF port split (hetero layers, top access "
              "transistors 2x)");
+    t1.bindMetrics(rep.hook("asymmetry/rf"));
     t1.header({"Bottom ports", "Top ports", "Latency red.",
                "Energy red.", "Footprint red."});
     for (int pb = 6; pb <= 14; ++pb) {
         PartitionResult r =
             ex.evaluate(rf, PartitionSpec::port(pb, 2.0));
+        const std::string m =
+            "split_" + std::to_string(pb) + "b/";
         t1.row({std::to_string(pb),
                 std::to_string(rf.ports() - pb),
-                Table::pct(r.latencyReduction(), 1),
-                Table::pct(r.energyReduction(), 1),
-                Table::pct(r.areaReduction(), 1)});
+                t1.cellPct(m + "latency_reduction_pct",
+                           r.latencyReduction(), 1),
+                t1.cellPct(m + "energy_reduction_pct",
+                           r.energyReduction(), 1),
+                t1.cellPct(m + "footprint_reduction_pct",
+                           r.areaReduction(), 1)});
     }
     t1.print(std::cout);
 
     const ArrayConfig bpt = CoreStructures::branchPredictor();
     Table t2("Ablation: BPT bottom share x top cell upsizing "
              "(hetero WP)");
+    t2.bindMetrics(rep.hook("asymmetry/bpt"));
     t2.header({"Bottom share", "Top cell scale", "Latency red.",
                "Energy red.", "Footprint red."});
     for (double share : {0.5, 0.6, 2.0 / 3.0, 0.75}) {
         for (double scale : {1.0, 1.5, 2.0}) {
             PartitionResult r = ex.evaluate(
                 bpt, PartitionSpec::word(share, 1.0, scale));
+            const std::string m = "share_" + Table::num(share, 2) +
+                                  "_scale_" + Table::num(scale, 1) +
+                                  "/";
             t2.row({Table::num(share, 2), Table::num(scale, 1),
-                    Table::pct(r.latencyReduction(), 1),
-                    Table::pct(r.energyReduction(), 1),
-                    Table::pct(r.areaReduction(), 1)});
+                    t2.cellPct(m + "latency_reduction_pct",
+                               r.latencyReduction(), 1),
+                    t2.cellPct(m + "energy_reduction_pct",
+                               r.energyReduction(), 1),
+                    t2.cellPct(m + "footprint_reduction_pct",
+                               r.areaReduction(), 1)});
         }
     }
     t2.print(std::cout);
@@ -59,5 +86,7 @@ main()
                  "below) beats the even one on hetero layers; for "
                  "BP/WP a ~2/3 bottom share with upsized top cells "
                  "recovers most of the iso-layer latency.\n";
+
+    report::emitIfRequested(rep, json_path);
     return 0;
 }

@@ -18,6 +18,8 @@
 
 #include "power/clock_tree.hh"
 #include "power/pdn.hh"
+#include "report/report.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 #include "util/units.hh"
 
@@ -25,12 +27,25 @@ using namespace m3d;
 using namespace m3d::units;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    cli::Parser parser("ablation_clock_pdn",
+                       "Section 3.3: clock tree and PDN under M3D "
+                       "folding.");
+    parser.flag("json", &json_path,
+                "write metrics as m3d-report JSON to this file");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    report::Report rep("ablation_clock_pdn");
+
     const double w = 3.26 * mm;
     const double h = 3.26 * mm;
 
     Table c("Clock tree: 2D vs folded two-layer M3D");
+    c.bindMetrics(rep.hook("clock"));
     c.header({"Layout", "Wire length", "Capacitance",
               "Power @3.3GHz", "vs 2D"});
     ClockTreeModel planar(Technology::planar2D(), w, h);
@@ -38,42 +53,58 @@ main()
     ClockTreeModel folded(Technology::m3dHetero(), w * lin, h * lin,
                           120000, 2);
     auto row = [&c, &planar](const std::string &name,
+                             const std::string &metric,
                              const ClockTreeModel &m) {
-        c.row({name, Table::num(m.wireLength() / mm, 1) + " mm",
-               Table::num(m.capacitance() / pF, 1) + " pF",
-               Table::num(m.power(3.3e9, 0.8), 2) + " W",
-               Table::num(m.capacitance() / planar.capacitance(), 3)});
+        c.row({name,
+               c.cell(metric + "/wire_mm", m.wireLength() / mm, 1,
+                      " mm"),
+               c.cell(metric + "/cap_pf", m.capacitance() / pF, 1,
+                      " pF"),
+               c.cell(metric + "/power_w", m.power(3.3e9, 0.8), 2,
+                      " W"),
+               c.cell(metric + "/cap_vs_2d",
+                      m.capacitance() / planar.capacitance(), 3)});
     };
-    row("2D", planar);
-    row("M3D (2 layers)", folded);
+    row("2D", "planar", planar);
+    row("M3D (2 layers)", "m3d", folded);
     c.print(std::cout);
-    std::cout << "Derived switching factor: "
-              << Table::num(ClockTreeModel::m3dSwitchFactor(
-                     Technology::m3dHetero(), w, h), 3)
+    const double factor = ClockTreeModel::m3dSwitchFactor(
+        Technology::m3dHetero(), w, h);
+    rep.add("clock/switch_factor", factor);
+    std::cout << "Derived switching factor: " << Table::num(factor, 3)
               << " (paper adopts 0.75 from [42])\n";
 
     Table p("PDN options for a 6.4 W core (Section 3.3)");
+    p.bindMetrics(rep.hook("pdn"));
     p.header({"Style", "Worst IR drop", "PDN metal", "MIV-array drop",
               "Feed MIVs"});
     PdnModel pdn(Technology::m3dHetero(), w * lin, h * lin);
     struct Row
     {
         const char *name;
+        const char *metric;
         PdnStyle style;
     };
-    for (const Row &r : {Row{"per-layer PDNs", PdnStyle::PerLayer},
-                         Row{"single top PDN + MIVs",
-                             PdnStyle::SingleTop}}) {
-        const PdnReport rep = pdn.evaluate(r.style, 6.4);
+    for (const Row &r :
+         {Row{"per-layer PDNs", "per_layer", PdnStyle::PerLayer},
+          Row{"single top PDN + MIVs", "single_top",
+              PdnStyle::SingleTop}}) {
+        const PdnReport prep = pdn.evaluate(r.style, 6.4);
+        const std::string m = std::string(r.metric) + "/";
         p.row({r.name,
-               Table::num(rep.worst_ir_drop / mV, 2) + " mV",
-               Table::num(rep.metal_area / mm2, 3) + " mm2",
-               Table::num(rep.via_drop / mV, 4) + " mV",
-               std::to_string(rep.miv_count)});
+               p.cell(m + "ir_drop_mv", prep.worst_ir_drop / mV, 2,
+                      " mV"),
+               p.cell(m + "metal_mm2", prep.metal_area / mm2, 3,
+                      " mm2"),
+               p.cell(m + "via_drop_mv", prep.via_drop / mV, 4,
+                      " mV"),
+               std::to_string(prep.miv_count)});
     }
     p.print(std::cout);
     std::cout << "Expected shape: the single-PDN option pays "
                  "microvolts across the MIV array and halves the PDN "
                  "metal - Billoint et al.'s recommendation.\n";
+
+    report::emitIfRequested(rep, json_path);
     return 0;
 }

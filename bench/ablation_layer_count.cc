@@ -12,7 +12,9 @@
 
 #include <iostream>
 
+#include "report/report.hh"
 #include "sram/array3d.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 #include "util/units.hh"
 
@@ -20,8 +22,20 @@ using namespace m3d;
 using namespace m3d::units;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    cli::Parser parser("ablation_layer_count",
+                       "Ablation: bit partitioning across 2-8 device "
+                       "layers.");
+    parser.flag("json", &json_path,
+                "write metrics as m3d-report JSON to this file");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    report::Report rep("ablation_layer_count");
+
     ArrayModel model(Technology::m3dHetero());
     ArrayModel planar(Technology::planar2D());
     Array3D stacked(model);
@@ -33,6 +47,7 @@ main()
     };
 
     Table t("Bit partitioning vs device-layer count (hetero M3D)");
+    t.bindMetrics(rep.hook("layers"));
     t.header({"Structure", "Layers", "Latency red.", "Energy red.",
               "Footprint red."});
     for (const ArrayConfig &cfg : structures) {
@@ -40,12 +55,17 @@ main()
         for (int layers : {2, 3, 4, 8}) {
             const ArrayMetrics m =
                 stacked.evaluateMultiLayerBit(cfg, layers);
+            const std::string p =
+                cfg.name + "/" + std::to_string(layers) + "L/";
             t.row({cfg.name, std::to_string(layers),
-                   Table::pct(reductionVs(base.access_latency,
-                                          m.access_latency), 0),
-                   Table::pct(reductionVs(base.access_energy,
-                                          m.access_energy), 0),
-                   Table::pct(reductionVs(base.area, m.area), 0)});
+                   t.cellPct(p + "latency_reduction_pct",
+                             reductionVs(base.access_latency,
+                                         m.access_latency), 0),
+                   t.cellPct(p + "energy_reduction_pct",
+                             reductionVs(base.access_energy,
+                                         m.access_energy), 0),
+                   t.cellPct(p + "footprint_reduction_pct",
+                             reductionVs(base.area, m.area), 0)});
         }
         t.separator();
     }
@@ -56,5 +76,7 @@ main()
                  "and slow-layer exposure grow linearly - the first "
                  "fold (the paper's two-layer design) is the largest "
                  "single step.\n";
+
+    report::emitIfRequested(rep, json_path);
     return 0;
 }

@@ -13,8 +13,10 @@
 #include <iostream>
 
 #include "power/sim_harness.hh"
+#include "report/report.hh"
 #include "thermal/coupling.hh"
 #include "thermal/solver.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 #include "util/units.hh"
 
@@ -37,23 +39,37 @@ uniformPower(const LayerStack &stack, int grid, double watts)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    cli::Parser parser("ablation_thermal_dynamics",
+                       "Ablation: transient heating and leakage-"
+                       "temperature feedback.");
+    parser.flag("json", &json_path,
+                "write metrics as m3d-report JSON to this file");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    report::Report rep("ablation_thermal_dynamics");
+
     const int grid = 16;
     const double watts = 6.4;
 
     Table t("Transient heating: peak temperature after a 6.4 W step");
+    t.bindMetrics(rep.hook("transient"));
     t.header({"Time", "2D", "M3D", "TSV3D"});
     struct Sim
     {
+        std::string metric;
         LayerStack stack;
         double side;
         std::vector<GridSolver::TransientSample> samples;
     };
     std::vector<Sim> sims = {
-        {LayerStack::planar2D(), 3.26 * mm, {}},
-        {LayerStack::m3d(), 2.3 * mm, {}},
-        {LayerStack::tsv3d(), 2.3 * mm, {}},
+        {"planar", LayerStack::planar2D(), 3.26 * mm, {}},
+        {"m3d", LayerStack::m3d(), 2.3 * mm, {}},
+        {"tsv3d", LayerStack::tsv3d(), 2.3 * mm, {}},
     };
     for (Sim &s : sims) {
         GridSolver solver(s.stack, s.side, s.side, grid);
@@ -61,16 +77,19 @@ main()
             uniformPower(s.stack, grid, watts), 2e-4, 50);
     }
     for (std::size_t k : {0ul, 4ul, 9ul, 24ul, 49ul}) {
-        t.row({Table::num(sims[0].samples[k].t_seconds * 1e3, 1) +
-                   " ms",
-               Table::num(sims[0].samples[k].peak_c, 1),
-               Table::num(sims[1].samples[k].peak_c, 1),
-               Table::num(sims[2].samples[k].peak_c, 1)});
+        const std::string ms =
+            Table::num(sims[0].samples[k].t_seconds * 1e3, 1);
+        std::vector<std::string> row = {ms + " ms"};
+        for (Sim &s : sims)
+            row.push_back(t.cell(s.metric + "/peak_c_at_" + ms + "ms",
+                                 s.samples[k].peak_c, 1));
+        t.row(row);
     }
     t.print(std::cout);
 
     DesignFactory factory;
     Table c("Leakage-temperature fixed point (Gamess block powers)");
+    c.bindMetrics(rep.hook("coupling"));
     c.header({"Design", "Uncoupled peak", "Coupled peak",
               "Extra heating", "Leakage factor", "Iters"});
     const WorkloadProfile app = WorkloadLibrary::byName("Gamess");
@@ -80,11 +99,14 @@ main()
         PowerModel pm(d);
         const auto blocks = pm.blockPower(r.sim.activity, r.seconds);
         const CoupledResult res = solveCoupled(d, blocks);
-        c.row({d.name, Table::num(res.peak_c_uncoupled, 1) + " C",
-               Table::num(res.peak_c, 1) + " C",
-               Table::num(res.peak_c - res.peak_c_uncoupled, 2) +
-                   " C",
-               Table::num(res.leakage_factor, 2),
+        const std::string m = d.name + "/";
+        c.row({d.name,
+               c.cell(m + "uncoupled_peak_c", res.peak_c_uncoupled,
+                      1, " C"),
+               c.cell(m + "coupled_peak_c", res.peak_c, 1, " C"),
+               c.cell(m + "extra_heating_c",
+                      res.peak_c - res.peak_c_uncoupled, 2, " C"),
+               c.cell(m + "leakage_factor", res.leakage_factor, 2),
                std::to_string(res.iterations)});
     }
     c.print(std::cout);
@@ -93,5 +115,7 @@ main()
                  "~ms time constant; TSV3D settles hottest and pays "
                  "the largest leakage-feedback penalty, compounding "
                  "the Figure 8 gap.\n";
+
+    report::emitIfRequested(rep, json_path);
     return 0;
 }

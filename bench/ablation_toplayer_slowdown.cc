@@ -10,16 +10,31 @@
 #include <iostream>
 
 #include "core/design.hh"
+#include "report/report.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 
 using namespace m3d;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    cli::Parser parser("ablation_toplayer_slowdown",
+                       "Ablation: derived frequency vs top-layer "
+                       "slowdown.");
+    parser.flag("json", &json_path,
+                "write metrics as m3d-report JSON to this file");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    report::Report rep("ablation_toplayer_slowdown");
+
     const std::vector<ArrayConfig> structures = CoreStructures::all();
 
     Table t("Ablation: derived frequency vs top-layer slowdown");
+    t.bindMetrics(rep.hook("slowdown"));
     t.header({"Top slowdown", "f (hetero-aware)", "f (naive)",
               "Limiting structure", "Recovered"});
 
@@ -39,11 +54,14 @@ main()
         const double gap = iso.frequency - naive;
         const double recovered =
             gap > 0.0 ? (het.frequency - naive) / gap : 1.0;
+        const std::string m =
+            Table::pct(slowdown, 0) + "/";
         t.row({Table::pct(slowdown, 0),
-               Table::num(het.frequency / 1e9, 2) + " GHz",
-               Table::num(naive / 1e9, 2) + " GHz",
+               t.cell(m + "hetero_ghz", het.frequency / 1e9, 2,
+                      " GHz"),
+               t.cell(m + "naive_ghz", naive / 1e9, 2, " GHz"),
                het.limiting_structure,
-               Table::pct(recovered, 0)});
+               t.cellPct(m + "recovered_pct", recovered, 0)});
     }
     t.print(std::cout);
 
@@ -51,5 +69,7 @@ main()
                  "near the iso-layer frequency across the sweep, "
                  "while the naive design decays linearly with the "
                  "slowdown.\n";
+
+    report::emitIfRequested(rep, json_path);
     return 0;
 }

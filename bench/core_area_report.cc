@@ -9,6 +9,8 @@
 #include <iostream>
 
 #include "core/area_model.hh"
+#include "report/report.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 #include "util/units.hh"
 
@@ -16,8 +18,20 @@ using namespace m3d;
 using namespace m3d::units;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    cli::Parser parser("core_area_report",
+                       "Per-structure area and whole-core footprint "
+                       "for Base, TSV3D, M3D-Het.");
+    parser.flag("json", &json_path,
+                "write metrics as m3d-report JSON to this file");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    report::Report rep("core_area_report");
+
     DesignFactory factory;
     CoreAreaModel model;
 
@@ -29,26 +43,35 @@ main()
         reports.push_back(model.evaluate(d));
 
     Table t("Per-structure area (mm^2 x 1e-3)");
+    t.bindMetrics(rep.hook("area"));
     t.header({"Structure", "2D", "TSV3D", "M3D-Het", "M3D vs 2D"});
     for (const auto &[name, area_2d] : reports[0].structures) {
         const double tsv = reports[1].structures.at(name);
         const double m3d = reports[2].structures.at(name);
-        t.row({name, Table::num(area_2d / mm2 * 1e3, 1),
-               Table::num(tsv / mm2 * 1e3, 1),
-               Table::num(m3d / mm2 * 1e3, 1),
-               Table::pct(1.0 - m3d / area_2d, 0)});
+        t.row({name,
+               t.cell(name + "/base_mm2e3", area_2d / mm2 * 1e3, 1),
+               t.cell(name + "/tsv3d_mm2e3", tsv / mm2 * 1e3, 1),
+               t.cell(name + "/m3d_het_mm2e3", m3d / mm2 * 1e3, 1),
+               t.cellPct(name + "/m3d_reduction_pct",
+                         1.0 - m3d / area_2d, 0)});
     }
     t.print(std::cout);
 
     Table s("Whole-core footprint");
+    s.bindMetrics(rep.hook("footprint"));
     s.header({"Design", "Arrays (mm2)", "Logic (mm2)",
               "Footprint (mm2)", "vs 2D"});
     for (std::size_t i = 0; i < designs.size(); ++i) {
+        const std::string m = designs[i].name + "/";
         s.row({designs[i].name,
-               Table::num(reports[i].array_area / mm2, 2),
-               Table::num(reports[i].logic_area / mm2, 2),
-               Table::num(reports[i].footprint / mm2, 2),
-               Table::num(model.footprintFactor(designs[i]), 2)});
+               s.cell(m + "array_mm2", reports[i].array_area / mm2,
+                      2),
+               s.cell(m + "logic_mm2", reports[i].logic_area / mm2,
+                      2),
+               s.cell(m + "footprint_mm2", reports[i].footprint / mm2,
+                      2),
+               s.cell(m + "footprint_factor",
+                      model.footprintFactor(designs[i]), 2)});
     }
     s.print(std::cout);
 
@@ -56,5 +79,7 @@ main()
                  "half the 2D plan area (the paper assumes 50% for "
                  "thermal analysis and uses the freed area to pair "
                  "cores on router stops, Figure 4).\n";
+
+    report::emitIfRequested(rep, json_path);
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "engine/evaluator.hh"
+#include "report/report.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
 
@@ -22,24 +23,37 @@ int
 main(int argc, char **argv)
 {
     int jobs = 0;
+    std::uint64_t instructions = 300000;
+    std::string json_path;
+    std::string cache_file;
     cli::Parser parser("fig10_energy_multi",
                        "Figure 10: multicore energy normalized to "
                        "4-core Base (2D).");
     parser.flag("jobs", &jobs,
-                "worker threads; 0 means all hardware threads");
+                "worker threads; 0 means all hardware threads")
+        .flag("instructions", &instructions,
+              "measured instruction count per run")
+        .flag("json", &json_path,
+              "write metrics as m3d-report JSON to this file")
+        .flag("cache-file", &cache_file,
+              "persistent partition cache location");
     const cli::ParseStatus status = parser.parse(argc, argv);
     if (status != cli::ParseStatus::Ok)
         return status == cli::ParseStatus::Help ? 0 : 2;
 
-    DesignFactory factory;
+    report::Report rep("fig10_energy_multi");
+
+    engine::EvalOptions opts;
+    opts.threads = jobs;
+    opts.budget.measured = instructions;
+    opts.cache_file = cache_file;
+    engine::Evaluator ev(opts);
+
+    const DesignFactory factory = engine::designFactory(ev);
     const std::vector<CoreDesign> designs =
         factory.multicoreDesigns();
     const std::vector<WorkloadProfile> apps =
         WorkloadLibrary::splash2parsec();
-
-    engine::EvalOptions opts;
-    opts.threads = jobs;
-    engine::Evaluator ev(opts);
 
     std::vector<engine::MultiJob> batch;
     batch.reserve(apps.size() * designs.size());
@@ -50,6 +64,7 @@ main(int argc, char **argv)
     const std::vector<MultiRun> runs = ev.runMultiBatch(batch);
 
     Table t("Figure 10: multicore energy normalized to 4-core Base");
+    t.bindMetrics(rep.hook("fig10"));
     std::vector<std::string> head = {"App"};
     for (const CoreDesign &d : designs)
         head.push_back(d.name);
@@ -65,22 +80,31 @@ main(int argc, char **argv)
                 base_energy = r.energyJ();
             const double norm = r.energyJ() / base_energy;
             geo[i] += std::log(norm);
-            row.push_back(Table::num(norm, 2));
+            row.push_back(t.cell(
+                apps[a].name + "/" + designs[i].name +
+                    "/energy_norm",
+                norm, 2));
         }
         t.row(row);
     }
     t.separator();
     std::vector<std::string> avg = {"GeoMean"};
     for (std::size_t i = 0; i < designs.size(); ++i)
-        avg.push_back(Table::num(
+        avg.push_back(t.cell(
+            designs[i].name + "/geomean_energy_norm",
             std::exp(geo[i] / static_cast<double>(apps.size())), 2));
     t.row(avg);
     t.print(std::cout);
+
+    if (!cache_file.empty())
+        ev.savePartitionCache();
 
     std::cout << "\nPaper averages: TSV3D 0.83, M3D-Het 0.67, "
                  "M3D-Het-W 0.74, M3D-Het-2X 0.61.\nExpected shape: "
                  "M3D-Het-2X lowest despite running 8 cores (iso-"
                  "power undervolting); TSV3D highest of the 3D "
                  "designs.\n";
+
+    report::emitIfRequested(rep, json_path);
     return 0;
 }

@@ -5,7 +5,10 @@
  *
  * All (app, design) runs are independent, so the whole figure is one
  * batch through the evaluation engine; --jobs picks the parallelism
- * and the output is identical at any thread count.
+ * and the output is identical at any thread count.  The partition
+ * sweeps behind the design frequencies also run through the engine,
+ * so --cache-file lets a warm `.m3d_cache` skip them - with, again,
+ * byte-identical output (the determinism regression test pins this).
  *
  * Paper averages: TSV3D 1.10, M3D-Iso 1.28, M3D-HetNaive 1.17,
  * M3D-Het 1.25, M3D-HetAgg 1.38.
@@ -16,6 +19,7 @@
 #include <vector>
 
 #include "engine/evaluator.hh"
+#include "report/report.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
 
@@ -26,26 +30,35 @@ main(int argc, char **argv)
 {
     int jobs = 0;
     std::uint64_t instructions = 300000;
+    std::string json_path;
+    std::string cache_file;
     cli::Parser parser("fig6_speedup_single",
                        "Figure 6: single-core speedup over Base "
                        "(2D).");
     parser.flag("jobs", &jobs,
                 "worker threads; 0 means all hardware threads")
         .flag("instructions", &instructions,
-              "measured instruction count per run");
+              "measured instruction count per run")
+        .flag("json", &json_path,
+              "write metrics as m3d-report JSON to this file")
+        .flag("cache-file", &cache_file,
+              "persistent partition cache location");
     const cli::ParseStatus status = parser.parse(argc, argv);
     if (status != cli::ParseStatus::Ok)
         return status == cli::ParseStatus::Help ? 0 : 2;
 
-    DesignFactory factory;
-    const std::vector<CoreDesign> designs = factory.singleCoreDesigns();
-    const std::vector<WorkloadProfile> apps =
-        WorkloadLibrary::spec2006();
+    report::Report rep("fig6_speedup_single");
 
     engine::EvalOptions opts;
     opts.threads = jobs;
     opts.budget.measured = instructions;
+    opts.cache_file = cache_file;
     engine::Evaluator ev(opts);
+
+    const DesignFactory factory = engine::designFactory(ev);
+    const std::vector<CoreDesign> designs = factory.singleCoreDesigns();
+    const std::vector<WorkloadProfile> apps =
+        WorkloadLibrary::spec2006();
 
     std::vector<engine::SingleJob> batch;
     batch.reserve(apps.size() * designs.size());
@@ -56,6 +69,7 @@ main(int argc, char **argv)
     const std::vector<AppRun> runs = ev.runBatch(batch);
 
     Table t("Figure 6: single-core speedup over Base (2D)");
+    t.bindMetrics(rep.hook("fig6"));
     std::vector<std::string> head = {"App"};
     for (const CoreDesign &d : designs)
         head.push_back(d.name);
@@ -71,21 +85,29 @@ main(int argc, char **argv)
                 base_seconds = r.seconds;
             const double speedup = base_seconds / r.seconds;
             geo[i] += std::log(speedup);
-            row.push_back(Table::num(speedup, 2));
+            row.push_back(t.cell(
+                apps[a].name + "/" + designs[i].name + "/speedup",
+                speedup, 2));
         }
         t.row(row);
     }
     t.separator();
     std::vector<std::string> avg = {"GeoMean"};
     for (std::size_t i = 0; i < designs.size(); ++i)
-        avg.push_back(Table::num(
+        avg.push_back(t.cell(
+            designs[i].name + "/geomean_speedup",
             std::exp(geo[i] / static_cast<double>(apps.size())), 2));
     t.row(avg);
     t.print(std::cout);
+
+    if (!cache_file.empty())
+        ev.savePartitionCache();
 
     std::cout << "\nPaper averages: Base 1.00, TSV3D 1.10, M3D-Iso "
                  "1.28, M3D-HetNaive 1.17, M3D-Het 1.25, M3D-HetAgg "
                  "1.38.\nExpected shape: HetAgg > Iso >= Het > "
                  "HetNaive > TSV3D > Base.\n";
+
+    report::emitIfRequested(rep, json_path);
     return 0;
 }

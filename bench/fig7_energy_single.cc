@@ -14,14 +14,43 @@
 #include <vector>
 
 #include "engine/evaluator.hh"
+#include "report/report.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 
 using namespace m3d;
 
 int
-main()
+main(int argc, char **argv)
 {
-    DesignFactory factory;
+    int jobs = 0;
+    std::uint64_t instructions = 300000;
+    std::string json_path;
+    std::string cache_file;
+    cli::Parser parser("fig7_energy_single",
+                       "Figure 7: single-core energy normalized to "
+                       "Base (2D).");
+    parser.flag("jobs", &jobs,
+                "worker threads; 0 means all hardware threads")
+        .flag("instructions", &instructions,
+              "measured instruction count per run")
+        .flag("json", &json_path,
+              "write metrics as m3d-report JSON to this file")
+        .flag("cache-file", &cache_file,
+              "persistent partition cache location");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    report::Report rep("fig7_energy_single");
+
+    engine::EvalOptions opts;
+    opts.threads = jobs;
+    opts.budget.measured = instructions;
+    opts.cache_file = cache_file;
+    engine::Evaluator ev(opts);
+
+    const DesignFactory factory = engine::designFactory(ev);
     std::vector<CoreDesign> designs = factory.singleCoreDesigns();
 
     // Section 7.1.2: an M3D-Het whose top layer uses the LP FDSOI
@@ -34,7 +63,6 @@ main()
     const std::vector<WorkloadProfile> apps =
         WorkloadLibrary::spec2006();
 
-    engine::Evaluator ev(engine::EvalOptions{.threads = 0});
     std::vector<engine::SingleJob> batch;
     batch.reserve(apps.size() * designs.size());
     for (const WorkloadProfile &app : apps) {
@@ -44,6 +72,7 @@ main()
     const std::vector<AppRun> runs = ev.runBatch(batch);
 
     Table t("Figure 7: single-core energy normalized to Base (2D)");
+    t.bindMetrics(rep.hook("fig7"));
     std::vector<std::string> head = {"App"};
     for (const CoreDesign &d : designs)
         head.push_back(d.name);
@@ -64,22 +93,31 @@ main()
                 base_energy = energy;
             const double norm = energy / base_energy;
             geo[i] += std::log(norm);
-            row.push_back(Table::num(norm, 2));
+            row.push_back(t.cell(
+                apps[a].name + "/" + designs[i].name +
+                    "/energy_norm",
+                norm, 2));
         }
         t.row(row);
     }
     t.separator();
     std::vector<std::string> avg = {"GeoMean"};
     for (std::size_t i = 0; i < designs.size(); ++i)
-        avg.push_back(Table::num(
+        avg.push_back(t.cell(
+            designs[i].name + "/geomean_energy_norm",
             std::exp(geo[i] / static_cast<double>(apps.size())), 2));
     t.row(avg);
     t.print(std::cout);
+
+    if (!cache_file.empty())
+        ev.savePartitionCache();
 
     std::cout << "\nPaper averages: TSV3D 0.76, M3D-Iso 0.59, "
                  "M3D-HetNaive 0.62, M3D-Het 0.61, M3D-HetAgg 0.59; "
                  "LP top layer ~9 points below M3D-Het.\nExpected "
                  "shape: all M3D designs well below TSV3D, which is "
                  "well below Base.\n";
+
+    report::emitIfRequested(rep, json_path);
     return 0;
 }

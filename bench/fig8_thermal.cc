@@ -5,6 +5,10 @@
  * HotSpot-style grid solver with the Table 10 layer stacks and a
  * Ryzen-like floorplan folded to 50% footprint for the 3D designs.
  *
+ * The application runs fan out through the evaluation engine
+ * (--jobs); the thermal solves stay serial and in app order, so the
+ * output is identical at any thread count.
+ *
  * Paper shape: M3D-Het averages only ~5 C above Base (max ~10 C,
  * in the IQ for Gamess), while TSV3D averages ~30 C above Base and
  * exceeds Tjmax (~100 C) for some applications.
@@ -13,32 +17,71 @@
 #include <iostream>
 #include <vector>
 
-#include "power/sim_harness.hh"
+#include "engine/evaluator.hh"
+#include "report/report.hh"
 #include "thermal/thermal_model.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 
 using namespace m3d;
 
 int
-main()
+main(int argc, char **argv)
 {
-    DesignFactory factory;
+    int jobs = 0;
+    std::uint64_t instructions = 300000;
+    std::string json_path;
+    std::string cache_file;
+    cli::Parser parser("fig8_thermal",
+                       "Figure 8: peak temperature for Base, TSV3D, "
+                       "and M3D-Het.");
+    parser.flag("jobs", &jobs,
+                "worker threads; 0 means all hardware threads")
+        .flag("instructions", &instructions,
+              "measured instruction count per run")
+        .flag("json", &json_path,
+              "write metrics as m3d-report JSON to this file")
+        .flag("cache-file", &cache_file,
+              "persistent partition cache location");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    report::Report rep("fig8_thermal");
+
+    engine::EvalOptions opts;
+    opts.threads = jobs;
+    opts.budget.measured = instructions;
+    opts.cache_file = cache_file;
+    engine::Evaluator ev(opts);
+
+    const DesignFactory factory = engine::designFactory(ev);
     const std::vector<CoreDesign> designs = {
         factory.base(), factory.tsv3d(), factory.m3dHet()};
     const std::vector<WorkloadProfile> apps =
         WorkloadLibrary::spec2006();
-    const SimBudget budget;
+
+    std::vector<engine::SingleJob> batch;
+    batch.reserve(apps.size() * designs.size());
+    for (const WorkloadProfile &app : apps) {
+        for (const CoreDesign &d : designs)
+            batch.push_back({d, app});
+    }
+    const std::vector<AppRun> runs = ev.runBatch(batch);
 
     Table t("Figure 8: peak temperature (deg C)");
+    t.bindMetrics(rep.hook("fig8"));
     t.header({"App", "Base", "TSV3D", "M3D-Het", "M3D hottest block",
               "M3D - Base"});
 
     std::vector<double> sums(designs.size(), 0.0);
-    for (const WorkloadProfile &app : apps) {
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const WorkloadProfile &app = apps[a];
         std::vector<double> peaks;
         std::string hottest;
-        for (const CoreDesign &d : designs) {
-            AppRun r = runSingleCore(d, app, budget);
+        for (std::size_t i = 0; i < designs.size(); ++i) {
+            const CoreDesign &d = designs[i];
+            const AppRun &r = runs[a * designs.size() + i];
             PowerModel pm(d);
             auto blocks = pm.blockPower(r.sim.activity, r.seconds);
             ThermalModel tm(d);
@@ -49,19 +92,32 @@ main()
         }
         for (std::size_t i = 0; i < peaks.size(); ++i)
             sums[i] += peaks[i];
-        t.row({app.name, Table::num(peaks[0], 1),
-               Table::num(peaks[1], 1), Table::num(peaks[2], 1),
-               hottest, Table::num(peaks[2] - peaks[0], 1)});
+        t.row({app.name,
+               t.cell(app.name + "/Base/peak_c", peaks[0], 1),
+               t.cell(app.name + "/TSV3D/peak_c", peaks[1], 1),
+               t.cell(app.name + "/M3D-Het/peak_c", peaks[2], 1),
+               hottest,
+               t.cell(app.name + "/m3d_minus_base_c",
+                      peaks[2] - peaks[0], 1)});
     }
     t.separator();
     const auto n = static_cast<double>(apps.size());
-    t.row({"Average", Table::num(sums[0] / n, 1),
-           Table::num(sums[1] / n, 1), Table::num(sums[2] / n, 1),
-           "-", Table::num((sums[2] - sums[0]) / n, 1)});
+    t.row({"Average",
+           t.cell("Base/avg_peak_c", sums[0] / n, 1),
+           t.cell("TSV3D/avg_peak_c", sums[1] / n, 1),
+           t.cell("M3D-Het/avg_peak_c", sums[2] / n, 1),
+           "-",
+           t.cell("avg_m3d_minus_base_c", (sums[2] - sums[0]) / n,
+                  1)});
     t.print(std::cout);
+
+    if (!cache_file.empty())
+        ev.savePartitionCache();
 
     std::cout << "\nPaper: M3D-Het ~+5 C over Base on average "
                  "(max +10 C); TSV3D ~+30 C, breaching Tjmax "
                  "(~100 C) on some applications.\n";
+
+    report::emitIfRequested(rep, json_path);
     return 0;
 }

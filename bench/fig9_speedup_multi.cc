@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "engine/evaluator.hh"
+#include "report/report.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
 
@@ -23,24 +24,37 @@ int
 main(int argc, char **argv)
 {
     int jobs = 0;
+    std::uint64_t instructions = 300000;
+    std::string json_path;
+    std::string cache_file;
     cli::Parser parser("fig9_speedup_multi",
                        "Figure 9: multicore speedup over 4-core Base "
                        "(2D).");
     parser.flag("jobs", &jobs,
-                "worker threads; 0 means all hardware threads");
+                "worker threads; 0 means all hardware threads")
+        .flag("instructions", &instructions,
+              "measured instruction count per run")
+        .flag("json", &json_path,
+              "write metrics as m3d-report JSON to this file")
+        .flag("cache-file", &cache_file,
+              "persistent partition cache location");
     const cli::ParseStatus status = parser.parse(argc, argv);
     if (status != cli::ParseStatus::Ok)
         return status == cli::ParseStatus::Help ? 0 : 2;
 
-    DesignFactory factory;
+    report::Report rep("fig9_speedup_multi");
+
+    engine::EvalOptions opts;
+    opts.threads = jobs;
+    opts.budget.measured = instructions;
+    opts.cache_file = cache_file;
+    engine::Evaluator ev(opts);
+
+    const DesignFactory factory = engine::designFactory(ev);
     const std::vector<CoreDesign> designs =
         factory.multicoreDesigns();
     const std::vector<WorkloadProfile> apps =
         WorkloadLibrary::splash2parsec();
-
-    engine::EvalOptions opts;
-    opts.threads = jobs;
-    engine::Evaluator ev(opts);
 
     std::vector<engine::MultiJob> batch;
     batch.reserve(apps.size() * designs.size());
@@ -51,6 +65,7 @@ main(int argc, char **argv)
     const std::vector<MultiRun> runs = ev.runMultiBatch(batch);
 
     Table t("Figure 9: multicore speedup over 4-core Base (2D)");
+    t.bindMetrics(rep.hook("fig9"));
     std::vector<std::string> head = {"App"};
     for (const CoreDesign &d : designs)
         head.push_back(d.name);
@@ -66,22 +81,30 @@ main(int argc, char **argv)
                 base_seconds = r.seconds();
             const double speedup = base_seconds / r.seconds();
             geo[i] += std::log(speedup);
-            row.push_back(Table::num(speedup, 2));
+            row.push_back(t.cell(
+                apps[a].name + "/" + designs[i].name + "/speedup",
+                speedup, 2));
         }
         t.row(row);
     }
     t.separator();
     std::vector<std::string> avg = {"GeoMean"};
     for (std::size_t i = 0; i < designs.size(); ++i)
-        avg.push_back(Table::num(
+        avg.push_back(t.cell(
+            designs[i].name + "/geomean_speedup",
             std::exp(geo[i] / static_cast<double>(apps.size())), 2));
     t.row(avg);
     t.print(std::cout);
+
+    if (!cache_file.empty())
+        ev.savePartitionCache();
 
     std::cout << "\nPaper averages: TSV3D 1.11, M3D-Het 1.26, "
                  "M3D-Het-W 1.25, M3D-Het-2X 1.92.\nExpected shape: "
                  "the iso-power 8-core M3D-Het-2X dominates; "
                  "M3D-Het edges out the wide M3D-Het-W;\nTSV3D "
                  "trails every M3D design.\n";
+
+    report::emitIfRequested(rep, json_path);
     return 0;
 }

@@ -15,8 +15,10 @@
 
 #include "logic3d/adder.hh"
 #include "logic3d/select_tree.hh"
+#include "report/report.hh"
 #include "sram/array_model.hh"
 #include "logic3d/stage.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 #include "util/units.hh"
 
@@ -24,24 +26,41 @@ using namespace m3d;
 using namespace m3d::units;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    cli::Parser parser("logic_stage_gains",
+                       "Section 3.1/4.1 logic-stage gains and "
+                       "criticality analysis.");
+    parser.flag("json", &json_path,
+                "write metrics as m3d-report JSON to this file");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    report::Report report("logic_stage_gains");
+
     LogicStageModel iso(Technology::m3dIso());
     LogicStageModel het(Technology::m3dHetero());
 
     Table t("Section 3.1: ALU + bypass cluster, two-layer M3D vs 2D");
+    t.bindMetrics(report.hook("logic/alu_bypass"));
     t.header({"ALUs", "2D delay", "3D delay", "Freq gain",
               "Energy red.", "Footprint red.", "Hetero penalty"});
     for (int n : {1, 2, 4}) {
         LogicStageGains g = iso.aluBypass(n);
         LogicStageGains gh = het.aluBypassHetero(n);
+        const std::string m = std::to_string(n) + "alu/";
         t.row({std::to_string(n),
-               Table::num(g.delay_2d / ps, 1) + " ps",
-               Table::num(g.delay_3d / ps, 1) + " ps",
-               Table::pct(g.freq_gain, 0),
-               Table::pct(g.energy_reduction, 0),
-               Table::pct(g.footprint_reduction, 0),
-               Table::pct(gh.hetero_penalty, 2)});
+               t.cell(m + "delay_2d_ps", g.delay_2d / ps, 1, " ps"),
+               t.cell(m + "delay_3d_ps", g.delay_3d / ps, 1, " ps"),
+               t.cellPct(m + "freq_gain_pct", g.freq_gain, 0),
+               t.cellPct(m + "energy_reduction_pct",
+                         g.energy_reduction, 0),
+               t.cellPct(m + "footprint_reduction_pct",
+                         g.footprint_reduction, 0),
+               t.cellPct(m + "hetero_penalty_pct", gh.hetero_penalty,
+                         2)});
     }
     t.print(std::cout);
 
@@ -50,21 +69,24 @@ main()
     TimingReport rep = adder.analyze();
 
     Table c("Section 4.1.1: 64-bit carry-skip adder criticality");
+    c.bindMetrics(report.hook("logic/adder"));
     c.header({"Metric", "Value"});
     c.row({"Gates", std::to_string(adder.size())});
     c.row({"Critical path (FO4)",
-           Table::num(rep.critical_delay_fo4, 1)});
+           c.cell("critical_delay_fo4", rep.critical_delay_fo4, 1)});
     c.row({"Zero-slack gates",
-           Table::pct(adder.criticalFraction(1e-9), 1)});
+           c.cellPct("zero_slack_gates_pct",
+                     adder.criticalFraction(1e-9), 1)});
     c.row({"Gates critical at 20% slack",
-           Table::pct(adder.criticalFraction(
-               0.2 * rep.critical_delay_fo4), 1)});
+           c.cellPct("critical_at_20pct_slack_pct",
+                     adder.criticalFraction(
+                         0.2 * rep.critical_delay_fo4), 1)});
 
     LayerAssignment asg = adder.assignLayers(0.17, 0.5);
     c.row({"Area moved to top layer (17% slower)",
-           Table::pct(asg.top_fraction, 1)});
+           c.cellPct("top_fraction_pct", asg.top_fraction, 1)});
     c.row({"Stage delay penalty after placement",
-           Table::pct(asg.delay_penalty, 2)});
+           c.cellPct("delay_penalty_pct", asg.delay_penalty, 2)});
     c.print(std::cout);
 
     // Select logic (Section 4.4.1): request + arbiter-grant chain in
@@ -73,14 +95,16 @@ main()
     const TimingReport sel_rep = sel.analyze();
     const LayerAssignment sel_asg = sel.assignLayers(0.17, 0.35);
     Table s("Section 4.4.1: issue select tree (84 entries, radix 4)");
+    s.bindMetrics(report.hook("logic/select"));
     s.header({"Metric", "Value"});
     s.row({"Gates", std::to_string(sel.size())});
     s.row({"Critical path (FO4)",
-           Table::num(sel_rep.critical_delay_fo4, 1)});
+           s.cell("critical_delay_fo4", sel_rep.critical_delay_fo4,
+                  1)});
     s.row({"Area moved to top layer",
-           Table::pct(sel_asg.top_fraction, 1)});
+           s.cellPct("top_fraction_pct", sel_asg.top_fraction, 1)});
     s.row({"Select-stage delay penalty",
-           Table::pct(sel_asg.delay_penalty, 2)});
+           s.cellPct("delay_penalty_pct", sel_asg.delay_penalty, 2)});
     s.print(std::cout);
 
     // Decode stage (Section 4.1.2): the simple decoders stay in the
@@ -98,12 +122,14 @@ main()
         bottom_m.evaluate2D(urom).access_latency;
     const double t_top = top_m.evaluate2D(urom).access_latency;
     Table d("Section 4.1.2: uROM in the top layer");
+    d.bindMetrics(report.hook("logic/urom"));
     d.header({"Placement", "Access latency", "Cycles @3.3GHz"});
-    d.row({"bottom layer", Table::num(t_bottom / ps, 1) + " ps",
-           Table::num(t_bottom * 3.3e9, 2)});
+    d.row({"bottom layer",
+           d.cell("bottom_latency_ps", t_bottom / ps, 1, " ps"),
+           d.cell("bottom_cycles", t_bottom * 3.3e9, 2)});
     d.row({"top layer (whole array)",
-           Table::num(t_top / ps, 1) + " ps",
-           Table::num(t_top * 3.3e9, 2)});
+           d.cell("top_latency_ps", t_top / ps, 1, " ps"),
+           d.cell("top_cycles", t_top * 3.3e9, 2)});
     d.print(std::cout);
 
     std::cout << "\nPaper: 1 ALU +15% freq / -41% footprint; 4 ALUs "
@@ -111,5 +137,7 @@ main()
                  "~1.5% of adder gates critical; <=38% critical at a "
                  "20% slack threshold; placement hides the whole\n"
                  "top-layer slowdown (zero stage-delay penalty).\n";
+
+    report::emitIfRequested(report, json_path);
     return 0;
 }

@@ -2,8 +2,9 @@
  * @file
  * Shared helper for the Table 3/4/5 benches: evaluate one fixed
  * partitioning strategy on the register file and the branch
- * prediction table for both M3D and TSV3D, and print the percentage
- * reductions versus 2D, in the paper's format.
+ * prediction table for both M3D and TSV3D, print the percentage
+ * reductions versus 2D in the paper's format, and emit them as named
+ * metrics for the golden-number harness (--json).
  */
 
 #ifndef M3D_BENCH_PARTITION_BENCH_HH_
@@ -13,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "report/report.hh"
 #include "sram/explorer.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 
 namespace m3d {
@@ -22,6 +25,7 @@ namespace bench {
 /** Print one strategy's RF/BPT reductions for M3D and TSV3D. */
 inline void
 printStrategyTable(const std::string &title, PartitionKind kind,
+                   report::Report &rep, const std::string &prefix,
                    bool bpt_applicable=true)
 {
     const std::vector<ArrayConfig> structures = {
@@ -30,6 +34,7 @@ printStrategyTable(const std::string &title, PartitionKind kind,
     };
 
     Table t(title);
+    t.bindMetrics(rep.hook(prefix));
     t.header({"Tech", "RF lat.", "RF ener.", "RF footpr.", "BPT lat.",
               "BPT ener.", "BPT footpr."});
 
@@ -55,13 +60,43 @@ printStrategyTable(const std::string &title, PartitionKind kind,
                 continue;
             }
             PartitionResult r = ex.best(cfg, kind);
-            cells.push_back(Table::pct(r.latencyReduction(), 0));
-            cells.push_back(Table::pct(r.energyReduction(), 0));
-            cells.push_back(Table::pct(r.areaReduction(), 0));
+            const std::string m = tr.name + "/" + cfg.name + "/";
+            cells.push_back(t.cellPct(m + "latency_reduction_pct",
+                                      r.latencyReduction(), 0));
+            cells.push_back(t.cellPct(m + "energy_reduction_pct",
+                                      r.energyReduction(), 0));
+            cells.push_back(t.cellPct(m + "footprint_reduction_pct",
+                                      r.areaReduction(), 0));
         }
         t.row(cells);
     }
     t.print(std::cout);
+}
+
+/**
+ * Whole main() of a Table 3/4/5 bench: parse --json, run the
+ * strategy table, print the paper note, emit metrics.
+ */
+inline int
+strategyBenchMain(int argc, char **argv,
+                  const std::string &bench_name,
+                  const std::string &prefix, const std::string &title,
+                  PartitionKind kind, const std::string &paper_note,
+                  bool bpt_applicable=true)
+{
+    std::string json_path;
+    cli::Parser parser(bench_name, title);
+    parser.flag("json", &json_path,
+                "write metrics as m3d-report JSON to this file");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    report::Report rep(bench_name);
+    printStrategyTable(title, kind, rep, prefix, bpt_applicable);
+    std::cout << paper_note;
+    report::emitIfRequested(rep, json_path);
+    return 0;
 }
 
 } // namespace bench

@@ -13,21 +13,40 @@
 
 #include "core/design.hh"
 #include "power/dvfs.hh"
+#include "report/report.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 
 using namespace m3d;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    cli::Parser parser("table11_configs",
+                       "Table 11: core configurations and frequency "
+                       "derivations.");
+    parser.flag("json", &json_path,
+                "write metrics as m3d-report JSON to this file");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    report::Report rep("table11_configs");
+
     DesignFactory factory;
 
     Table t("Table 11: core configurations evaluated");
+    t.bindMetrics(rep.hook("table11"));
     t.header({"Name", "f (GHz)", "Vdd", "Issue", "Cores", "SharedL2",
               "Ld2Use", "MispPen."});
-    auto add = [&t](const CoreDesign &d) {
-        t.row({d.name, Table::num(d.frequency / 1e9, 2),
-               Table::num(d.vdd, 2) + " V",
+    // The multicore section reuses the single-core names (Base,
+    // TSV3D, M3D-Het), so the metric path carries the section.
+    auto add = [&t](const std::string &section, const CoreDesign &d) {
+        const std::string m = section + "/" + d.name + "/";
+        t.row({d.name,
+               t.cell(m + "frequency_ghz", d.frequency / 1e9, 2),
+               t.cell(m + "vdd_v", d.vdd, 2, " V"),
                std::to_string(d.issue_width),
                std::to_string(d.num_cores),
                d.shared_l2_pairs ? "yes" : "no",
@@ -35,14 +54,15 @@ main()
                std::to_string(d.mispredict_penalty)});
     };
     for (const CoreDesign &d : factory.singleCoreDesigns())
-        add(d);
+        add("single", d);
     t.separator();
     for (const CoreDesign &d : factory.multicoreDesigns())
-        add(d);
+        add("multi", d);
     t.print(std::cout);
 
     // Show the frequency derivations with their limiting structures.
     Table f("Frequency derivations (Section 6.1)");
+    f.bindMetrics(rep.hook("freq"));
     f.header({"Design", "Policy", "Limiting structure",
               "Min latency reduction", "Frequency"});
     struct Row
@@ -65,12 +85,15 @@ main()
     };
     for (const Row &r : rows) {
         FrequencyDerivation d = deriveFrequency(*r.results, r.policy);
+        const std::string m = std::string(r.name) + "/";
         f.row({r.name,
                r.policy == FrequencyPolicy::Conservative
                    ? "conservative" : "aggressive",
                d.limiting_structure,
-               Table::pct(d.min_reduction, 1),
-               Table::num(d.frequency / 1e9, 2) + " GHz"});
+               f.cellPct(m + "min_reduction_pct", d.min_reduction,
+                         1),
+               f.cell(m + "frequency_ghz", d.frequency / 1e9, 2,
+                      " GHz")});
     }
     f.print(std::cout);
 
@@ -82,9 +105,12 @@ main()
         factory.hetResults(), FrequencyPolicy::Conservative);
     const double slack =
         std::max(het.min_reduction, 0.0);
+    const double min_vdd = dvfs.minVddForSlack(slack);
+    rep.add("undervolt/slack_pct", slack * 100.0);
+    rep.add("undervolt/min_vdd_v", min_vdd);
     std::cout << "\nIso-power undervolt: M3D-Het slack "
               << Table::pct(slack, 1) << " supports Vdd >= "
-              << Table::num(dvfs.minVddForSlack(slack), 3)
+              << Table::num(min_vdd, 3)
               << " V (alpha-power law); the paper adopts 0.75 V "
                  "(50 mV drop) for M3D-Het-2X.\n";
 
@@ -92,5 +118,7 @@ main()
                  "14%), M3D-HetNaive 3.5, M3D-Het 3.79 (13%),\n"
                  "M3D-HetAgg 4.34 (IQ-limited at 24%), TSV3D 3.3 GHz "
                  "(kept at the 2D clock).\n";
+
+    report::emitIfRequested(rep, json_path);
     return 0;
 }

@@ -12,7 +12,9 @@
 
 #include <iostream>
 
+#include "report/report.hh"
 #include "tech/via.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 #include "util/units.hh"
 
@@ -20,40 +22,63 @@ using namespace m3d;
 using namespace m3d::units;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    cli::Parser parser("table1_via_overhead",
+                       "Table 1: via area overhead; Figure 2: "
+                       "relative areas.");
+    parser.flag("json", &json_path,
+                "write metrics as m3d-report JSON to this file");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    report::Report rep("table1_via_overhead");
+
     const double adder = ReferenceCells::adder32Area();
     const double word = ReferenceCells::sramWord32Area();
 
     Table t1("Table 1: via area overhead vs 32-bit adder and 32-bit "
              "SRAM word (15nm)");
+    t1.bindMetrics(rep.hook("table1"));
     t1.header({"Structure", "32b Adder (77.7 um2)",
                "32b SRAM word (2.3 um2)"});
     for (ViaKind kind : {ViaKind::Miv, ViaKind::TsvAggressive,
                          ViaKind::TsvResearch}) {
         const ViaParams via = ViaLibrary::of(kind);
         const double a = via.areaWithKoz();
-        t1.row({via.name, Table::pct(a / adder, 2),
-                Table::pct(a / word, 1)});
+        t1.row({via.name,
+                t1.cellPct(via.name + "/adder_pct", a / adder, 2),
+                t1.cellPct(via.name + "/sram_word_pct", a / word,
+                           1)});
     }
     t1.print(std::cout);
 
     Table f2("Figure 2: relative area (FO1 inverter = 1x)");
+    f2.bindMetrics(rep.hook("fig2"));
     f2.header({"Structure", "Relative area"});
     const double inv = ReferenceCells::inverterFo1Area();
-    f2.row({"INV FO1", Table::num(1.0, 2) + "x"});
-    f2.row({"MIV", Table::num(
-        ViaLibrary::miv().areaWithKoz() / inv, 2) + "x"});
-    f2.row({"SRAM bitcell", Table::num(
-        ReferenceCells::sramBitcellArea() / inv, 1) + "x"});
+    f2.row({"INV FO1", f2.cell("INV_FO1/rel_area", 1.0, 2, "x")});
+    f2.row({"MIV", f2.cell("MIV/rel_area",
+                           ViaLibrary::miv().areaWithKoz() / inv, 2,
+                           "x")});
+    f2.row({"SRAM bitcell",
+            f2.cell("SRAM_bitcell/rel_area",
+                    ReferenceCells::sramBitcellArea() / inv, 1,
+                    "x")});
     // Figure 2 draws the bare via (the KOZ shows in Table 1 instead).
-    f2.row({"TSV(1.3um)", Table::num(
-        ViaLibrary::tsv1300().areaBare() / inv, 0) + "x"});
+    f2.row({"TSV(1.3um)",
+            f2.cell("TSV(1.3um)/rel_area",
+                    ViaLibrary::tsv1300().areaBare() / inv, 0,
+                    "x")});
     f2.print(std::cout);
 
     std::cout << "\nPaper: MIV <0.01% / 0.1%; TSV(1.3um) 8.0% / "
                  "271.7%; TSV(5um) 128.7% / 4347.8%.\n"
                  "Figure 2 paper values: MIV 0.07x, bitcell 2x, "
                  "TSV 37x.\n";
+
+    report::emitIfRequested(rep, json_path);
     return 0;
 }

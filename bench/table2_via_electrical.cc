@@ -10,8 +10,10 @@
 #include <iostream>
 
 #include "circuit/delay.hh"
+#include "report/report.hh"
 #include "tech/process.hh"
 #include "tech/via.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 #include "util/units.hh"
 
@@ -19,30 +21,48 @@ using namespace m3d;
 using namespace m3d::units;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    cli::Parser parser("table2_via_electrical",
+                       "Table 2: via electrical characteristics and "
+                       "the gate-drive comparison.");
+    parser.flag("json", &json_path,
+                "write metrics as m3d-report JSON to this file");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    report::Report rep("table2_via_electrical");
+
     Table t2("Table 2: via physical dimensions and electrical "
              "characteristics");
+    t2.bindMetrics(rep.hook("table2"));
     t2.header({"Parameter", "MIV", "TSV(1.3um)", "TSV(5um)"});
     const ViaParams miv = ViaLibrary::miv();
     const ViaParams t13 = ViaLibrary::tsv1300();
     const ViaParams t50 = ViaLibrary::tsv5000();
 
-    auto row = [&t2](const std::string &name, double a, double b,
+    auto row = [&t2](const std::string &name,
+                     const std::string &metric, double a, double b,
                      double c, double unit, const std::string &suffix,
                      int precision) {
-        t2.row({name, Table::num(a / unit, precision) + suffix,
-                Table::num(b / unit, precision) + suffix,
-                Table::num(c / unit, precision) + suffix});
+        t2.row({name,
+                t2.cell("MIV/" + metric, a / unit, precision,
+                        suffix),
+                t2.cell("TSV(1.3um)/" + metric, b / unit, precision,
+                        suffix),
+                t2.cell("TSV(5um)/" + metric, c / unit, precision,
+                        suffix)});
     };
-    row("Diameter", miv.diameter, t13.diameter, t50.diameter, um,
-        " um", 2);
-    row("Via height", miv.height, t13.height, t50.height, um, " um",
-        2);
-    row("Capacitance", miv.capacitance, t13.capacitance,
-        t50.capacitance, fF, " fF", 1);
-    row("Resistance", miv.resistance, t13.resistance, t50.resistance,
-        Ohm, " Ohm", 3);
+    row("Diameter", "diameter_um", miv.diameter, t13.diameter,
+        t50.diameter, um, " um", 2);
+    row("Via height", "height_um", miv.height, t13.height,
+        t50.height, um, " um", 2);
+    row("Capacitance", "capacitance_ff", miv.capacitance,
+        t13.capacitance, t50.capacitance, fF, " fF", 1);
+    row("Resistance", "resistance_ohm", miv.resistance,
+        t13.resistance, t50.resistance, Ohm, " Ohm", 3);
     t2.print(std::cout);
 
     // Gate-drive delay comparison: a min-size inverter chain driving
@@ -55,13 +75,21 @@ main()
                               load);
 
     Table drv("Gate driving a via (Section 2.1.2)");
+    drv.bindMetrics(rep.hook("drive"));
     drv.header({"Via", "Drive delay", "vs TSV(1.3um)"});
-    drv.row({"MIV", Table::num(dm.delay / ps, 2) + " ps",
-             Table::pct(1.0 - dm.delay / dt.delay, 0) + " lower"});
-    drv.row({"TSV(1.3um)", Table::num(dt.delay / ps, 2) + " ps", "-"});
+    drv.row({"MIV",
+             drv.cell("MIV/delay_ps", dm.delay / ps, 2, " ps"),
+             drv.cellPct("MIV/delay_vs_tsv_reduction_pct",
+                         1.0 - dm.delay / dt.delay, 0) + " lower"});
+    drv.row({"TSV(1.3um)",
+             drv.cell("TSV(1.3um)/delay_ps", dt.delay / ps, 2,
+                      " ps"),
+             "-"});
     drv.print(std::cout);
 
     std::cout << "\nPaper: MIV-driving gate delay is ~78% lower than "
                  "TSV-driving [47].\n";
+
+    report::emitIfRequested(rep, json_path);
     return 0;
 }

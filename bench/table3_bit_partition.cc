@@ -11,14 +11,14 @@
 #include "partition_bench.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    m3d::bench::printStrategyTable(
+    return m3d::bench::strategyBenchMain(
+        argc, argv, "table3_bit_partition", "table3",
         "Table 3: reductions from bit partitioning (BP) vs 2D",
-        m3d::PartitionKind::Bit);
-    std::cout << "\nPaper: M3D RF 28%/22%/40%, BPT 14%/15%/37%; "
-                 "TSV3D RF 25%/19%/31%, BPT 4%/-3%/4%.\n"
-                 "Expected shape: M3D beats TSV3D everywhere; the "
-                 "multi-ported RF gains more than the BPT.\n";
-    return 0;
+        m3d::PartitionKind::Bit,
+        "\nPaper: M3D RF 28%/22%/40%, BPT 14%/15%/37%; "
+        "TSV3D RF 25%/19%/31%, BPT 4%/-3%/4%.\n"
+        "Expected shape: M3D beats TSV3D everywhere; the "
+        "multi-ported RF gains more than the BPT.\n");
 }

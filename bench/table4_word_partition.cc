@@ -10,14 +10,14 @@
 #include "partition_bench.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    m3d::bench::printStrategyTable(
+    return m3d::bench::strategyBenchMain(
+        argc, argv, "table4_word_partition", "table4",
         "Table 4: reductions from word partitioning (WP) vs 2D",
-        m3d::PartitionKind::Word);
-    std::cout << "\nPaper: M3D RF 27%/35%/43%, BPT 14%/36%/57%; "
-                 "TSV3D RF 24%/32%/39%, BPT -6%/9%/19%.\n"
-                 "Expected shape: WP is the winning strategy for the "
-                 "tall, narrow BPT array.\n";
-    return 0;
+        m3d::PartitionKind::Word,
+        "\nPaper: M3D RF 27%/35%/43%, BPT 14%/36%/57%; "
+        "TSV3D RF 24%/32%/39%, BPT -6%/9%/19%.\n"
+        "Expected shape: WP is the winning strategy for the "
+        "tall, narrow BPT array.\n");
 }

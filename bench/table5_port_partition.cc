@@ -11,14 +11,15 @@
 #include "partition_bench.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    m3d::bench::printStrategyTable(
+    return m3d::bench::strategyBenchMain(
+        argc, argv, "table5_port_partition", "table5",
         "Table 5: reductions from port partitioning (PP) vs 2D",
-        m3d::PartitionKind::Port, /*bpt_applicable=*/false);
-    std::cout << "\nPaper: M3D RF 41%/38%/56%; TSV3D RF "
-                 "-361%/-84%/-498%.\n"
-                 "Expected shape: PP is the best M3D strategy for "
-                 "multi-ported arrays and catastrophic with TSVs.\n";
-    return 0;
+        m3d::PartitionKind::Port,
+        "\nPaper: M3D RF 41%/38%/56%; TSV3D RF "
+        "-361%/-84%/-498%.\n"
+        "Expected shape: PP is the best M3D strategy for "
+        "multi-ported arrays and catastrophic with TSVs.\n",
+        /*bpt_applicable=*/false);
 }

@@ -5,6 +5,11 @@
  * access latency, access energy, and footprint versus 2D, for
  * iso-layer M3D and for TSV3D.
  *
+ * The grid searches run through the evaluation engine (--jobs picks
+ * the parallelism; --cache-file persists the partition cache), and
+ * the output is identical at any thread count and any cache
+ * temperature.
+ *
  * Paper shape to check: PP wins for the multi-ported structures
  * (RF, IQ, SQ, LQ, RAT); BP/WP wins for the single-ported ones, with
  * WP on the tall BPT; TSV3D is uniformly weaker and cannot use PP.
@@ -13,15 +18,38 @@
 #include <iostream>
 
 #include "engine/evaluator.hh"
+#include "report/report.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 
 using namespace m3d;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = 0;
+    std::string json_path;
+    std::string cache_file;
+    cli::Parser parser("table6_best_partition",
+                       "Table 6: best partition per structure "
+                       "(iso-layer M3D vs TSV3D).");
+    parser.flag("jobs", &jobs,
+                "worker threads; 0 means all hardware threads")
+        .flag("json", &json_path,
+              "write metrics as m3d-report JSON to this file")
+        .flag("cache-file", &cache_file,
+              "persistent partition cache location");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    report::Report rep("table6_best_partition");
+
     const std::vector<ArrayConfig> cfgs = CoreStructures::all();
-    engine::Evaluator ev(engine::EvalOptions{.threads = 0});
+    engine::EvalOptions opts;
+    opts.threads = jobs;
+    opts.cache_file = cache_file;
+    engine::Evaluator ev(opts);
     const std::vector<PartitionResult> m3d_best =
         ev.bestForAll(Technology::m3dIso(), cfgs);
     const std::vector<PartitionResult> tsv_best =
@@ -29,6 +57,7 @@ main()
 
     Table t("Table 6: best partition per structure (iso-layer M3D "
             "vs TSV3D), % reduction vs 2D");
+    t.bindMetrics(rep.hook("table6"));
     t.header({"Structure", "[Words;Bits]xBanks", "M3D best",
               "TSV best", "M3D lat", "TSV lat", "M3D ener", "TSV ener",
               "M3D footpr", "TSV footpr"});
@@ -41,21 +70,33 @@ main()
                            std::to_string(cfg.bits) + "]";
         if (cfg.banks > 1)
             dims += " x" + std::to_string(cfg.banks);
+        const std::string m = cfg.name + "/";
         t.row({cfg.name, dims, toString(rm.spec.kind),
                toString(rt.spec.kind),
-               Table::pct(rm.latencyReduction(), 0),
-               Table::pct(rt.latencyReduction(), 0),
-               Table::pct(rm.energyReduction(), 0),
-               Table::pct(rt.energyReduction(), 0),
-               Table::pct(rm.areaReduction(), 0),
-               Table::pct(rt.areaReduction(), 0)});
+               t.cellPct(m + "latency_reduction_pct",
+                         rm.latencyReduction(), 0),
+               t.cellPct(m + "tsv_latency_reduction_pct",
+                         rt.latencyReduction(), 0),
+               t.cellPct(m + "energy_reduction_pct",
+                         rm.energyReduction(), 0),
+               t.cellPct(m + "tsv_energy_reduction_pct",
+                         rt.energyReduction(), 0),
+               t.cellPct(m + "footprint_reduction_pct",
+                         rm.areaReduction(), 0),
+               t.cellPct(m + "tsv_footprint_reduction_pct",
+                         rt.areaReduction(), 0)});
     }
     t.print(std::cout);
+
+    if (!cache_file.empty())
+        ev.savePartitionCache();
 
     std::cout << "\nPaper (M3D lat/ener/footpr): RF PP 41/38/56, "
                  "IQ PP 26/35/50, SQ PP 14/21/44, LQ PP 15/36/48,\n"
                  "RAT PP 20/32/45, BPT WP 14/36/57, BTB BP 15/20/37, "
                  "DTLB BP 26/28/35, ITLB BP 20/28/36,\n"
                  "IL1 BP 30/36/41, DL1 BP 41/40/44, L2 BP 32/47/53.\n";
+
+    report::emitIfRequested(rep, json_path);
     return 0;
 }

@@ -9,19 +9,34 @@
 
 #include <iostream>
 
+#include "report/report.hh"
 #include "sram/explorer.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 
 using namespace m3d;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    cli::Parser parser("table8_hetero_partition",
+                       "Table 8: best hetero-layer partition per "
+                       "structure.");
+    parser.flag("json", &json_path,
+                "write metrics as m3d-report JSON to this file");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    report::Report rep("table8_hetero_partition");
+
     PartitionExplorer het_ex(Technology::m3dHetero());
     PartitionExplorer iso_ex(Technology::m3dIso());
 
     Table t("Table 8: best hetero-layer partition per structure, "
             "% reduction vs 2D (iso-layer in parentheses)");
+    t.bindMetrics(rep.hook("table8"));
     t.header({"Structure", "Partition", "Latency", "Energy",
               "Footprint", "Knobs"});
 
@@ -40,13 +55,20 @@ main()
                     ", top cell x" +
                     Table::num(rh.spec.top_cell_scale, 1);
         }
+        const std::string m = cfg.name + "/";
         t.row({cfg.name, toString(rh.spec.kind),
-               Table::pct(rh.latencyReduction(), 0) + " (" +
-                   Table::pct(ri.latencyReduction(), 0) + ")",
-               Table::pct(rh.energyReduction(), 0) + " (" +
-                   Table::pct(ri.energyReduction(), 0) + ")",
-               Table::pct(rh.areaReduction(), 0) + " (" +
-                   Table::pct(ri.areaReduction(), 0) + ")",
+               t.cellPct(m + "latency_reduction_pct",
+                         rh.latencyReduction(), 0) + " (" +
+                   t.cellPct(m + "iso_latency_reduction_pct",
+                             ri.latencyReduction(), 0) + ")",
+               t.cellPct(m + "energy_reduction_pct",
+                         rh.energyReduction(), 0) + " (" +
+                   t.cellPct(m + "iso_energy_reduction_pct",
+                             ri.energyReduction(), 0) + ")",
+               t.cellPct(m + "footprint_reduction_pct",
+                         rh.areaReduction(), 0) + " (" +
+                   t.cellPct(m + "iso_footprint_reduction_pct",
+                             ri.areaReduction(), 0) + ")",
                knobs});
     }
     t.print(std::cout);
@@ -57,5 +79,7 @@ main()
                  "18/25/28, IL1 27/33/30, DL1 37/36/31, L2 29/42/42.\n"
                  "Expected shape: hetero numbers within a few points "
                  "of the iso-layer ones.\n";
+
+    report::emitIfRequested(rep, json_path);
     return 0;
 }

@@ -1,0 +1,60 @@
+# Determinism regression: the fig6 bench must emit byte-identical
+# JSON no matter the thread count or the temperature of the
+# persistent partition cache.
+#
+# Three runs at a small instruction budget:
+#   1. --jobs 1, cold cache file (fresh directory);
+#   2. --jobs 8, warm cache file from run 1 (partition sweeps served
+#      from disk);
+#   3. --jobs 8, no cache file at all.
+# All three emissions must compare byte-for-byte equal.
+#
+# Variables (all -D):
+#   BENCH   - fig6_speedup_single executable
+#   OUT_DIR - scratch directory (recreated every run)
+
+foreach(var BENCH OUT_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "RunDeterminism.cmake: ${var} not set")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+set(budget 20000)
+set(cache ${OUT_DIR}/det.m3d_cache)
+
+function(run_bench out)
+    execute_process(
+        COMMAND ${BENCH} ${ARGN} --instructions ${budget} --json ${out}
+        RESULT_VARIABLE rc
+        OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "${BENCH} ${ARGN} failed with exit code ${rc}")
+    endif()
+endfunction()
+
+run_bench(${OUT_DIR}/serial_cold.json --jobs 1 --cache-file ${cache})
+if(NOT EXISTS ${cache})
+    message(FATAL_ERROR
+        "cold run did not write the partition cache ${cache}")
+endif()
+run_bench(${OUT_DIR}/parallel_warm.json --jobs 8 --cache-file ${cache})
+run_bench(${OUT_DIR}/parallel_nocache.json --jobs 8)
+
+foreach(other parallel_warm parallel_nocache)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${OUT_DIR}/serial_cold.json ${OUT_DIR}/${other}.json
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "emission differs between serial_cold and ${other}: "
+            "fig6 output is not deterministic")
+    endif()
+endforeach()
+
+message(STATUS "fig6 emission byte-identical across 1/8 threads and "
+               "cold/warm/no cache")

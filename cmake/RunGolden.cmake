@@ -1,0 +1,39 @@
+# Driver behind every `ctest -L golden` test: run one bench with its
+# canonical arguments, emitting metrics as JSON, then compare the
+# emission against the checked-in golden with check_golden.
+#
+# Variables (all -D):
+#   BENCH      - bench executable
+#   BENCH_ARGS - ;-list of arguments (may be empty)
+#   OUT        - where the bench writes its --json emission
+#   CHECK      - check_golden executable
+#   GOLDEN     - checked-in golden JSON
+#
+# To re-bless after an intentional model change:
+#   build/bench/<name> <canonical args> --json out.json
+#   build/tools/check_golden out.json goldens/<name>.json --bless
+# (tools/regen_goldens.sh re-blesses the whole suite.)
+
+foreach(var BENCH OUT CHECK GOLDEN)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "RunGolden.cmake: ${var} not set")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${BENCH} ${BENCH_ARGS} --json ${OUT}
+    RESULT_VARIABLE bench_rc
+    OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} failed with exit code ${bench_rc}")
+endif()
+
+execute_process(
+    COMMAND ${CHECK} ${OUT} ${GOLDEN}
+    RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "golden comparison failed (exit ${check_rc}); see the diff "
+        "report above.  If the change is intentional, re-bless with: "
+        "check_golden ${OUT} ${GOLDEN} --bless")
+endif()

@@ -74,6 +74,24 @@ DesignFactory::DesignFactory()
         LogicStageModel(Technology::m3dHetero()).aluBypassHetero(4);
 }
 
+DesignFactory::DesignFactory(std::vector<PartitionResult> iso_results,
+                             std::vector<PartitionResult> het_results,
+                             std::vector<PartitionResult> tsv_results)
+    : iso_results_(std::move(iso_results)),
+      het_results_(std::move(het_results)),
+      tsv_results_(std::move(tsv_results))
+{
+    const std::size_t n = CoreStructures::all().size();
+    M3D_ASSERT(iso_results_.size() == n &&
+               het_results_.size() == n &&
+               tsv_results_.size() == n,
+               "partition sweeps must cover every core structure");
+    iso_exec_gains_ =
+        LogicStageModel(Technology::m3dIso()).aluBypass(4);
+    het_exec_gains_ =
+        LogicStageModel(Technology::m3dHetero()).aluBypassHetero(4);
+}
+
 CoreDesign
 DesignFactory::stackedCommon(const Technology &tech,
                              const std::vector<PartitionResult> &results,

@@ -82,7 +82,18 @@ struct CoreDesign
 class DesignFactory
 {
   public:
+    /** Runs the three partition sweeps (iso/het/TSV) on the spot. */
     DesignFactory();
+
+    /**
+     * Construct from precomputed partition sweeps, each in
+     * CoreStructures::all() order - the hook the evaluation engine
+     * uses to route the sweeps through its memo/persistent cache
+     * (engine::designFactory) instead of recomputing them here.
+     */
+    DesignFactory(std::vector<PartitionResult> iso_results,
+                  std::vector<PartitionResult> het_results,
+                  std::vector<PartitionResult> tsv_results);
 
     // Single-core designs.
     CoreDesign base() const;         ///< 2D, 3.3 GHz

@@ -1,5 +1,6 @@
 #include "engine/evaluator.hh"
 
+#include "core/design.hh"
 #include "util/logging.hh"
 
 namespace m3d {
@@ -175,6 +176,17 @@ Evaluator::savePartitionCache()
     if (options_.cache_file.empty())
         return 0;
     return cache_.savePartitions(options_.cache_file);
+}
+
+DesignFactory
+designFactory(Evaluator &ev)
+{
+    const std::vector<ArrayConfig> structures =
+        CoreStructures::all();
+    return DesignFactory(
+        ev.bestForAll(Technology::m3dIso(), structures),
+        ev.bestForAll(Technology::m3dHetero(), structures),
+        ev.bestForAll(Technology::tsv3D(), structures));
 }
 
 } // namespace engine

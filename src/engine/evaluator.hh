@@ -39,6 +39,9 @@
 #include "util/thread_pool.hh"
 
 namespace m3d {
+
+class DesignFactory;
+
 namespace engine {
 
 /** Knobs of one Evaluator instance. */
@@ -166,6 +169,16 @@ class Evaluator
     std::map<std::string, std::unique_ptr<PartitionExplorer>>
         explorers_; ///< keyed by technology hash
 };
+
+/**
+ * Build the Table 11 DesignFactory through an Evaluator: the three
+ * partition sweeps (iso-layer M3D, hetero M3D, TSV3D) behind the
+ * frequency derivations run as evaluator grid searches, so they hit
+ * the memo cache - and, when options().cache_file is set, a warm
+ * `.m3d_cache` skips them entirely.  Results are identical to
+ * DesignFactory's own constructor (same primitives, same order).
+ */
+DesignFactory designFactory(Evaluator &ev);
 
 } // namespace engine
 } // namespace m3d

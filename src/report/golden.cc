@@ -1,0 +1,332 @@
+#include "report/golden.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace m3d {
+namespace report {
+
+std::string
+Tolerance::describe() const
+{
+    return (kind == Kind::Absolute ? "abs " : "rel ") +
+           Json::formatNumber(value);
+}
+
+bool
+withinTolerance(double actual, double expect, const Tolerance &tol)
+{
+    if (!std::isfinite(actual) || !std::isfinite(expect))
+        return false;
+    const double delta = std::fabs(actual - expect);
+    const double allowed = tol.kind == Tolerance::Kind::Absolute
+        ? tol.value
+        : tol.value * std::fabs(expect);
+    return delta <= allowed;
+}
+
+void
+Golden::add(GoldenMetric metric)
+{
+    M3D_ASSERT(!metric.name.empty(),
+               "golden metric name must not be empty");
+    if (find(metric.name)) {
+        M3D_PANIC("golden metric '", metric.name,
+                  "' registered twice in '", experiment_, "'");
+    }
+    metrics_.push_back(std::move(metric));
+}
+
+const GoldenMetric *
+Golden::find(const std::string &name) const
+{
+    for (const GoldenMetric &m : metrics_) {
+        if (m.name == name)
+            return &m;
+    }
+    return nullptr;
+}
+
+Json
+Golden::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("kind", Json::string(kGoldenKind));
+    doc.set("version", Json::number(kGoldenVersion));
+    doc.set("experiment", Json::string(experiment_));
+    if (!command_.empty())
+        doc.set("command", Json::string(command_));
+    Json metrics = Json::object();
+    for (const GoldenMetric &m : metrics_) {
+        Json entry = Json::object();
+        entry.set("expect", Json::number(m.expect));
+        entry.set(m.tol.kind == Tolerance::Kind::Absolute
+                      ? "abs_tol" : "rel_tol",
+                  Json::number(m.tol.value));
+        if (m.paper)
+            entry.set("paper", Json::number(*m.paper));
+        metrics.set(m.name, std::move(entry));
+    }
+    doc.set("metrics", std::move(metrics));
+    return doc;
+}
+
+bool
+Golden::save(const std::string &path, std::string *error) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (out.is_open())
+        write(out);
+    if (!out) {
+        if (error)
+            *error = "cannot write golden file '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+std::optional<Golden>
+Golden::fromJson(const Json &doc, std::string *error)
+{
+    auto reject = [error](const std::string &what) {
+        if (error)
+            *error = what;
+        return std::nullopt;
+    };
+
+    if (!doc.isObject())
+        return reject("golden document is not a JSON object");
+    const Json *kind = doc.find("kind");
+    if (!kind || !kind->isString() ||
+        kind->asString() != kGoldenKind) {
+        return reject("not an m3d-golden document (bad \"kind\")");
+    }
+    const Json *version = doc.find("version");
+    if (!version || !version->isNumber())
+        return reject("golden has no numeric \"version\"");
+    if (version->asNumber() != kGoldenVersion) {
+        return reject("unsupported golden version " +
+                      Json::formatNumber(version->asNumber()) +
+                      " (expected " +
+                      std::to_string(kGoldenVersion) + ")");
+    }
+    const Json *experiment = doc.find("experiment");
+    if (!experiment || !experiment->isString())
+        return reject("golden has no \"experiment\" string");
+    const Json *metrics = doc.find("metrics");
+    if (!metrics || !metrics->isObject())
+        return reject("golden has no \"metrics\" object");
+
+    Golden g(experiment->asString());
+    if (const Json *command = doc.find("command")) {
+        if (!command->isString())
+            return reject("golden \"command\" is not a string");
+        g.setCommand(command->asString());
+    }
+
+    for (const Json::Member &m : metrics->members()) {
+        if (!m.second.isObject()) {
+            return reject("golden metric \"" + m.first +
+                          "\" is not an object");
+        }
+        GoldenMetric gm;
+        gm.name = m.first;
+        const Json *expect = m.second.find("expect");
+        if (!expect || !expect->isNumber() ||
+            !std::isfinite(expect->asNumber())) {
+            return reject("golden metric \"" + m.first +
+                          "\" has no finite \"expect\" number");
+        }
+        gm.expect = expect->asNumber();
+
+        const Json *abs_tol = m.second.find("abs_tol");
+        const Json *rel_tol = m.second.find("rel_tol");
+        if ((abs_tol == nullptr) == (rel_tol == nullptr)) {
+            return reject("golden metric \"" + m.first +
+                          "\" needs exactly one of \"abs_tol\" / "
+                          "\"rel_tol\"");
+        }
+        const Json *tol = abs_tol ? abs_tol : rel_tol;
+        if (!tol->isNumber() || !std::isfinite(tol->asNumber()) ||
+            tol->asNumber() < 0.0) {
+            return reject("golden metric \"" + m.first +
+                          "\" tolerance is not a finite number "
+                          ">= 0");
+        }
+        gm.tol = abs_tol ? Tolerance::absolute(tol->asNumber())
+                         : Tolerance::relative(tol->asNumber());
+
+        if (const Json *paper = m.second.find("paper")) {
+            if (!paper->isNumber()) {
+                return reject("golden metric \"" + m.first +
+                              "\" \"paper\" is not a number");
+            }
+            gm.paper = paper->asNumber();
+        }
+        g.add(std::move(gm));
+    }
+    return g;
+}
+
+std::optional<Golden>
+Golden::parse(const std::string &text, std::string *error)
+{
+    Json doc;
+    if (!Json::parse(text, &doc, error))
+        return std::nullopt;
+    return fromJson(doc, error);
+}
+
+std::optional<Golden>
+Golden::load(const std::string &path, std::string *error)
+{
+    std::ifstream in(path);
+    if (!in.is_open()) {
+        if (error)
+            *error = "cannot open golden file '" + path + "'";
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse(text.str(), error);
+}
+
+Golden
+Golden::bless(const Report &report, const Golden *previous,
+              double default_rel_tol)
+{
+    Golden g(report.experiment());
+    if (previous)
+        g.setCommand(previous->command());
+    for (const Metric &m : report.metrics()) {
+        GoldenMetric gm;
+        gm.name = m.name;
+        gm.expect = m.value;
+        const GoldenMetric *old =
+            previous ? previous->find(m.name) : nullptr;
+        if (old) {
+            gm.tol = old->tol;
+            gm.paper = old->paper;
+        } else if (m.value == 0.0) {
+            // A relative band around zero is empty; allow noise at
+            // the scale double rounding could plausibly introduce.
+            gm.tol = Tolerance::absolute(1e-12);
+        } else {
+            gm.tol = Tolerance::relative(default_rel_tol);
+        }
+        g.add(std::move(gm));
+    }
+    return g;
+}
+
+std::size_t
+CheckResult::failures() const
+{
+    std::size_t n = 0;
+    for (const MetricCheck &c : checks) {
+        if (c.status != CheckStatus::Pass)
+            ++n;
+    }
+    return n;
+}
+
+CheckResult
+check(const Report &report, const Golden &golden)
+{
+    CheckResult result;
+    result.experiment_mismatch =
+        report.experiment() != golden.experiment();
+
+    for (const GoldenMetric &gm : golden.metrics()) {
+        MetricCheck c;
+        c.name = gm.name;
+        c.expect = gm.expect;
+        c.tol = gm.tol;
+        c.paper = gm.paper;
+        if (!report.has(gm.name)) {
+            c.status = CheckStatus::Missing;
+        } else {
+            c.actual = report.value(gm.name);
+            c.status = withinTolerance(c.actual, gm.expect, gm.tol)
+                ? CheckStatus::Pass
+                : CheckStatus::Mismatch;
+        }
+        result.checks.push_back(std::move(c));
+    }
+    for (const Metric &m : report.metrics()) {
+        if (golden.find(m.name))
+            continue;
+        MetricCheck c;
+        c.name = m.name;
+        c.status = CheckStatus::Unexpected;
+        c.actual = m.value;
+        result.checks.push_back(std::move(c));
+    }
+    return result;
+}
+
+namespace {
+
+const char *
+statusWord(CheckStatus s)
+{
+    switch (s) {
+      case CheckStatus::Pass: return "ok";
+      case CheckStatus::Mismatch: return "MISMATCH";
+      case CheckStatus::Missing: return "MISSING";
+      case CheckStatus::Unexpected: return "UNEXPECTED";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+printCheckReport(std::ostream &os, const CheckResult &result,
+                 const Report &report, const Golden &golden,
+                 bool verbose)
+{
+    if (result.experiment_mismatch) {
+        os << "experiment mismatch: emission is '"
+           << report.experiment() << "', golden is '"
+           << golden.experiment() << "'\n";
+    }
+
+    const std::size_t failed = result.failures();
+    if (failed > 0 || verbose) {
+        Table t("Golden check: " + golden.experiment());
+        t.header({"Metric", "Status", "Expected", "Actual", "Delta",
+                  "Tolerance", "Paper"});
+        for (const MetricCheck &c : result.checks) {
+            if (c.status == CheckStatus::Pass && !verbose)
+                continue;
+            const bool has_both = c.status == CheckStatus::Pass ||
+                                  c.status == CheckStatus::Mismatch;
+            t.row({c.name, statusWord(c.status),
+                   c.status == CheckStatus::Unexpected
+                       ? "-" : Json::formatNumber(c.expect),
+                   c.status == CheckStatus::Missing
+                       ? "-" : Json::formatNumber(c.actual),
+                   has_both
+                       ? Json::formatNumber(c.actual - c.expect)
+                       : "-",
+                   c.status == CheckStatus::Unexpected
+                       ? "-" : c.tol.describe(),
+                   c.paper ? Json::formatNumber(*c.paper) : "-"});
+        }
+        t.print(os);
+        os << "\n";
+    }
+
+    os << golden.experiment() << ": "
+       << (result.passed() ? "PASS" : "FAIL") << " ("
+       << result.checks.size() - failed << "/"
+       << result.checks.size() << " metrics within tolerance)\n";
+}
+
+} // namespace report
+} // namespace m3d

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Golden reference files and the tolerance comparison behind
+ * `ctest -L golden`.
+ *
+ * A golden file (goldens/<bench>.json) holds, per metric, the value
+ * this reproduction is expected to emit, a per-metric tolerance
+ * (absolute or relative), and - for the headline numbers - the value
+ * the paper publishes, kept for documentation and printed in diff
+ * reports.  check(report, golden) compares an emission against a
+ * golden strictly: a drifted value, a metric missing from the
+ * emission, or a new metric absent from the golden all fail, so the
+ * golden set is an exact contract over what every bench reports.
+ */
+
+#ifndef M3D_REPORT_GOLDEN_HH_
+#define M3D_REPORT_GOLDEN_HH_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "report/report.hh"
+
+namespace m3d {
+namespace report {
+
+/** Schema version stamped into every golden file. */
+constexpr int kGoldenVersion = 1;
+
+/** The "kind" tag of a golden document. */
+constexpr const char *kGoldenKind = "m3d-golden";
+
+/** Default relative tolerance used by `check_golden --bless`. */
+constexpr double kDefaultRelTol = 1e-6;
+
+/** Per-metric allowed deviation. */
+struct Tolerance
+{
+    enum class Kind { Absolute, Relative };
+
+    Kind kind = Kind::Relative;
+    double value = kDefaultRelTol;
+
+    static Tolerance absolute(double v) {
+        return {Kind::Absolute, v};
+    }
+    static Tolerance relative(double v) {
+        return {Kind::Relative, v};
+    }
+
+    /** "rel 1e-06" / "abs 0.5" for diff reports. */
+    std::string describe() const;
+};
+
+/**
+ * True iff |actual - expect| is within the tolerance.  Non-finite
+ * inputs never pass (a NaN comparing false against everything must
+ * not slip through as "no detected difference"); a relative
+ * tolerance around an exactly-zero expectation only admits an
+ * exactly-zero actual.
+ */
+bool withinTolerance(double actual, double expect,
+                     const Tolerance &tol);
+
+/** One expected metric. */
+struct GoldenMetric
+{
+    std::string name;
+    double expect = 0.0;
+    Tolerance tol;
+    /** The paper's published value, where one exists. */
+    std::optional<double> paper;
+};
+
+/** Expected metric set of one experiment. */
+class Golden
+{
+  public:
+    explicit Golden(std::string experiment)
+        : experiment_(std::move(experiment)) {}
+
+    const std::string &experiment() const { return experiment_; }
+
+    /** Free-form provenance note: how to regenerate the emission. */
+    const std::string &command() const { return command_; }
+    void setCommand(std::string command)
+    {
+        command_ = std::move(command);
+    }
+
+    void add(GoldenMetric metric);
+    const std::vector<GoldenMetric> &metrics() const
+    {
+        return metrics_;
+    }
+    const GoldenMetric *find(const std::string &name) const;
+
+    Json toJson() const;
+    void write(std::ostream &os) const { toJson().write(os); }
+    bool save(const std::string &path, std::string *error) const;
+
+    static std::optional<Golden> fromJson(const Json &doc,
+                                          std::string *error);
+    static std::optional<Golden> parse(const std::string &text,
+                                       std::string *error);
+    static std::optional<Golden> load(const std::string &path,
+                                      std::string *error);
+
+    /**
+     * Build a golden from an emission.  Metrics present in
+     * `previous` keep their hand-tuned tolerance and paper
+     * annotation; new metrics get a relative tolerance of
+     * `default_rel_tol` (or a small absolute one when the emitted
+     * value is exactly zero, where a relative band is empty).
+     */
+    static Golden bless(const Report &report, const Golden *previous,
+                        double default_rel_tol = kDefaultRelTol);
+
+  private:
+    std::string experiment_;
+    std::string command_;
+    std::vector<GoldenMetric> metrics_;
+};
+
+// ---------------------------------------------------------------------
+// Comparison.
+// ---------------------------------------------------------------------
+
+/** Outcome of one metric comparison. */
+enum class CheckStatus {
+    Pass,       ///< within tolerance
+    Mismatch,   ///< outside tolerance
+    Missing,    ///< in the golden, absent from the emission
+    Unexpected, ///< in the emission, absent from the golden
+};
+
+/** One row of a diff report. */
+struct MetricCheck
+{
+    std::string name;
+    CheckStatus status = CheckStatus::Pass;
+    double expect = 0.0;
+    double actual = 0.0;
+    Tolerance tol;
+    std::optional<double> paper;
+};
+
+/** Full comparison outcome. */
+struct CheckResult
+{
+    /** Golden metrics in file order, then unexpected emissions. */
+    std::vector<MetricCheck> checks;
+    /** Set when report.experiment() != golden.experiment(). */
+    bool experiment_mismatch = false;
+
+    std::size_t failures() const;
+    bool passed() const
+    {
+        return !experiment_mismatch && failures() == 0;
+    }
+};
+
+/** Compare an emission against a golden (see file comment). */
+CheckResult check(const Report &report, const Golden &golden);
+
+/**
+ * Human-readable pass/fail diff: one row per non-passing metric (or
+ * per metric with `verbose`), plus a summary line.
+ */
+void printCheckReport(std::ostream &os, const CheckResult &result,
+                      const Report &report, const Golden &golden,
+                      bool verbose = false);
+
+} // namespace report
+} // namespace m3d
+
+#endif // M3D_REPORT_GOLDEN_HH_

@@ -1,0 +1,509 @@
+#include "report/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string_view>
+
+#include "util/logging.hh"
+
+namespace m3d {
+namespace report {
+
+Json
+Json::boolean(bool v)
+{
+    Json j;
+    j.type_ = Type::Bool;
+    j.bool_ = v;
+    return j;
+}
+
+Json
+Json::number(double v)
+{
+    Json j;
+    j.type_ = Type::Number;
+    j.number_ = v;
+    return j;
+}
+
+Json
+Json::string(std::string v)
+{
+    Json j;
+    j.type_ = Type::String;
+    j.string_ = std::move(v);
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+bool
+Json::asBool() const
+{
+    M3D_ASSERT(type_ == Type::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+double
+Json::asNumber() const
+{
+    M3D_ASSERT(type_ == Type::Number, "JSON value is not a number");
+    return number_;
+}
+
+const std::string &
+Json::asString() const
+{
+    M3D_ASSERT(type_ == Type::String, "JSON value is not a string");
+    return string_;
+}
+
+const std::vector<Json> &
+Json::elements() const
+{
+    M3D_ASSERT(type_ == Type::Array, "JSON value is not an array");
+    return elements_;
+}
+
+const std::vector<Json::Member> &
+Json::members() const
+{
+    M3D_ASSERT(type_ == Type::Object, "JSON value is not an object");
+    return members_;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const Member &m : members_) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+void
+Json::set(std::string key, Json value)
+{
+    M3D_ASSERT(type_ == Type::Object, "set() on a non-object");
+    members_.emplace_back(std::move(key), std::move(value));
+}
+
+void
+Json::push(Json value)
+{
+    M3D_ASSERT(type_ == Type::Array, "push() on a non-array");
+    elements_.push_back(std::move(value));
+}
+
+std::string
+Json::formatNumber(double v)
+{
+    M3D_ASSERT(std::isfinite(v),
+               "JSON cannot represent a non-finite number");
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    M3D_ASSERT(res.ec == std::errc(), "to_chars overflow");
+    return std::string(buf, res.ptr);
+}
+
+namespace {
+
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+indent(std::ostream &os, int depth)
+{
+    for (int i = 0; i < depth; ++i)
+        os << "  ";
+}
+
+} // namespace
+
+void
+Json::writeIndented(std::ostream &os, int depth) const
+{
+    switch (type_) {
+      case Type::Null:
+        os << "null";
+        break;
+      case Type::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Type::Number:
+        os << formatNumber(number_);
+        break;
+      case Type::String:
+        writeEscaped(os, string_);
+        break;
+      case Type::Array:
+        if (elements_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << "[\n";
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+            indent(os, depth + 1);
+            elements_[i].writeIndented(os, depth + 1);
+            os << (i + 1 < elements_.size() ? ",\n" : "\n");
+        }
+        indent(os, depth);
+        os << "]";
+        break;
+      case Type::Object:
+        if (members_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << "{\n";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            indent(os, depth + 1);
+            writeEscaped(os, members_[i].first);
+            os << ": ";
+            members_[i].second.writeIndented(os, depth + 1);
+            os << (i + 1 < members_.size() ? ",\n" : "\n");
+        }
+        indent(os, depth);
+        os << "}";
+        break;
+    }
+}
+
+void
+Json::write(std::ostream &os) const
+{
+    writeIndented(os, 0);
+    os << "\n";
+}
+
+std::string
+Json::dump() const
+{
+    std::ostringstream oss;
+    write(oss);
+    return oss.str();
+}
+
+// ---------------------------------------------------------------------
+// Parser: recursive descent over the full document.
+// ---------------------------------------------------------------------
+
+namespace {
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *error)
+        : text_(text), error_(error) {}
+
+    bool parseDocument(Json *out)
+    {
+        skipWhitespace();
+        if (!parseValue(out, 0))
+            return false;
+        skipWhitespace();
+        if (pos_ != text_.size())
+            return fail("trailing characters after JSON value");
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool fail(const std::string &what)
+    {
+        if (error_) {
+            std::size_t line = 1, col = 1;
+            for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+                if (text_[i] == '\n') {
+                    ++line;
+                    col = 1;
+                } else {
+                    ++col;
+                }
+            }
+            *error_ = what + " at line " + std::to_string(line) +
+                      ", column " + std::to_string(col);
+        }
+        return false;
+    }
+
+    void skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    bool literal(const char *word, Json value, Json *out)
+    {
+        const std::size_t n = std::string_view(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return fail("invalid literal");
+        pos_ += n;
+        *out = std::move(value);
+        return true;
+    }
+
+    bool parseValue(Json *out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (atEnd())
+            return fail("unexpected end of input");
+        switch (peek()) {
+          case 'n': return literal("null", Json(), out);
+          case 't': return literal("true", Json::boolean(true), out);
+          case 'f': return literal("false", Json::boolean(false), out);
+          case '"': return parseString(out);
+          case '[': return parseArray(out, depth);
+          case '{': return parseObject(out, depth);
+          default: return parseNumber(out);
+        }
+    }
+
+    bool parseNumber(Json *out)
+    {
+        const std::size_t start = pos_;
+        if (!atEnd() && peek() == '-')
+            ++pos_;
+        while (!atEnd() &&
+               (std::isdigit(static_cast<unsigned char>(peek())) ||
+                peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                peek() == '+' || peek() == '-')) {
+            ++pos_;
+        }
+        double v = 0.0;
+        const char *first = text_.data() + start;
+        const char *last = text_.data() + pos_;
+        const auto res = std::from_chars(first, last, v);
+        if (res.ec != std::errc() || res.ptr != last ||
+            first == last) {
+            pos_ = start;
+            return fail("malformed number");
+        }
+        *out = Json::number(v);
+        return true;
+    }
+
+    bool parseHex4(unsigned *out)
+    {
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (atEnd())
+                return fail("truncated \\u escape");
+            const char c = peek();
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+            ++pos_;
+        }
+        *out = v;
+        return true;
+    }
+
+    bool parseString(Json *out)
+    {
+        ++pos_; // opening quote
+        std::string s;
+        while (true) {
+            if (atEnd())
+                return fail("unterminated string");
+            char c = peek();
+            ++pos_;
+            if (c == '"')
+                break;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                s += c;
+                continue;
+            }
+            if (atEnd())
+                return fail("truncated escape");
+            const char e = peek();
+            ++pos_;
+            switch (e) {
+              case '"': s += '"'; break;
+              case '\\': s += '\\'; break;
+              case '/': s += '/'; break;
+              case 'b': s += '\b'; break;
+              case 'f': s += '\f'; break;
+              case 'n': s += '\n'; break;
+              case 'r': s += '\r'; break;
+              case 't': s += '\t'; break;
+              case 'u': {
+                unsigned cp = 0;
+                if (!parseHex4(&cp))
+                    return false;
+                if (cp >= 0xD800 && cp <= 0xDFFF)
+                    return fail("surrogate \\u escapes unsupported");
+                // Encode the BMP code point as UTF-8.
+                if (cp < 0x80) {
+                    s += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    s += static_cast<char>(0xC0 | (cp >> 6));
+                    s += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    s += static_cast<char>(0xE0 | (cp >> 12));
+                    s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                    s += static_cast<char>(0x80 | (cp & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape sequence");
+            }
+        }
+        *out = Json::string(std::move(s));
+        return true;
+    }
+
+    bool parseArray(Json *out, int depth)
+    {
+        ++pos_; // '['
+        Json arr = Json::array();
+        skipWhitespace();
+        if (!atEnd() && peek() == ']') {
+            ++pos_;
+            *out = std::move(arr);
+            return true;
+        }
+        while (true) {
+            skipWhitespace();
+            Json elem;
+            if (!parseValue(&elem, depth + 1))
+                return false;
+            arr.push(std::move(elem));
+            skipWhitespace();
+            if (atEnd())
+                return fail("unterminated array");
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                break;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+        *out = std::move(arr);
+        return true;
+    }
+
+    bool parseObject(Json *out, int depth)
+    {
+        ++pos_; // '{'
+        Json obj = Json::object();
+        skipWhitespace();
+        if (!atEnd() && peek() == '}') {
+            ++pos_;
+            *out = std::move(obj);
+            return true;
+        }
+        while (true) {
+            skipWhitespace();
+            if (atEnd() || peek() != '"')
+                return fail("expected string key in object");
+            Json key;
+            if (!parseString(&key))
+                return false;
+            if (obj.find(key.asString()) != nullptr)
+                return fail("duplicate key \"" + key.asString() +
+                            "\" in object");
+            skipWhitespace();
+            if (atEnd() || peek() != ':')
+                return fail("expected ':' after object key");
+            ++pos_;
+            skipWhitespace();
+            Json value;
+            if (!parseValue(&value, depth + 1))
+                return false;
+            obj.set(key.asString(), std::move(value));
+            skipWhitespace();
+            if (atEnd())
+                return fail("unterminated object");
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                break;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+        *out = std::move(obj);
+        return true;
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+Json::parse(const std::string &text, Json *out, std::string *error)
+{
+    return JsonParser(text, error).parseDocument(out);
+}
+
+} // namespace report
+} // namespace m3d

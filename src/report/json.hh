@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Minimal JSON value, parser, and writer for the golden-number
+ * harness (report/golden files).
+ *
+ * Scope is deliberately small: the standard JSON grammar with
+ * UTF-8 pass-through strings, objects that preserve insertion order
+ * (so emissions are byte-stable), and numbers stored as doubles and
+ * rendered with shortest-round-trip formatting (std::to_chars), so a
+ * value survives write -> parse -> write byte-identically.  Parsing
+ * is non-throwing: failures return false with a position-annotated
+ * error message, which check_golden surfaces verbatim.
+ */
+
+#ifndef M3D_REPORT_JSON_HH_
+#define M3D_REPORT_JSON_HH_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace m3d {
+namespace report {
+
+/** One JSON value; objects keep member order. */
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+    using Member = std::pair<std::string, Json>;
+
+    Json() = default;
+
+    static Json boolean(bool v);
+    static Json number(double v);
+    static Json string(std::string v);
+    static Json array();
+    static Json object();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    // Accessors panic if the type does not match.
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<Json> &elements() const;
+    const std::vector<Member> &members() const;
+
+    /** Object member by key; nullptr if absent or not an object. */
+    const Json *find(const std::string &key) const;
+
+    /** Append an object member (does not overwrite duplicates). */
+    void set(std::string key, Json value);
+
+    /** Append an array element. */
+    void push(Json value);
+
+    /**
+     * Render with 2-space indentation and a trailing newline at the
+     * top level, deterministically (member order is insertion order,
+     * numbers use formatNumber).
+     */
+    void write(std::ostream &os) const;
+    std::string dump() const;
+
+    /**
+     * Parse a complete JSON document (trailing garbage is an error).
+     * @return false with *error set on malformed input.
+     */
+    static bool parse(const std::string &text, Json *out,
+                      std::string *error);
+
+    /**
+     * Shortest decimal string that round-trips the double exactly.
+     * Panics on NaN/inf: JSON cannot represent them, and no metric
+     * emitted by a healthy model should produce one.
+     */
+    static std::string formatNumber(double v);
+
+  private:
+    void writeIndented(std::ostream &os, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Json> elements_;
+    std::vector<Member> members_;
+};
+
+} // namespace report
+} // namespace m3d
+
+#endif // M3D_REPORT_JSON_HH_

@@ -1,0 +1,157 @@
+#include "report/report.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace m3d {
+namespace report {
+
+void
+Report::add(const std::string &name, double value)
+{
+    M3D_ASSERT(!name.empty(), "metric name must not be empty");
+    if (!std::isfinite(value)) {
+        M3D_PANIC("metric '", name, "' of experiment '", experiment_,
+                  "' is not finite");
+    }
+    if (index_.count(name)) {
+        M3D_PANIC("metric '", name, "' registered twice in '",
+                  experiment_, "'");
+    }
+    index_.emplace(name, metrics_.size());
+    metrics_.push_back({name, value});
+}
+
+bool
+Report::has(const std::string &name) const
+{
+    return index_.count(name) != 0;
+}
+
+double
+Report::value(const std::string &name) const
+{
+    auto it = index_.find(name);
+    if (it == index_.end())
+        M3D_PANIC("unknown metric '", name, "'");
+    return metrics_[it->second].value;
+}
+
+MetricHook
+Report::hook(std::string prefix)
+{
+    return [this, prefix = std::move(prefix)](const std::string &name,
+                                              double value) {
+        add(prefix.empty() ? name : prefix + "/" + name, value);
+    };
+}
+
+Json
+Report::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("kind", Json::string(kReportKind));
+    doc.set("version", Json::number(kReportVersion));
+    doc.set("experiment", Json::string(experiment_));
+    Json metrics = Json::object();
+    for (const Metric &m : metrics_)
+        metrics.set(m.name, Json::number(m.value));
+    doc.set("metrics", std::move(metrics));
+    return doc;
+}
+
+bool
+Report::save(const std::string &path, std::string *error) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (out.is_open())
+        write(out);
+    if (!out) {
+        if (error)
+            *error = "cannot write report file '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+std::optional<Report>
+Report::fromJson(const Json &doc, std::string *error)
+{
+    auto reject = [error](const std::string &what) {
+        if (error)
+            *error = what;
+        return std::nullopt;
+    };
+
+    if (!doc.isObject())
+        return reject("report document is not a JSON object");
+    const Json *kind = doc.find("kind");
+    if (!kind || !kind->isString() ||
+        kind->asString() != kReportKind) {
+        return reject("not an m3d-report document (bad \"kind\")");
+    }
+    const Json *version = doc.find("version");
+    if (!version || !version->isNumber())
+        return reject("report has no numeric \"version\"");
+    if (version->asNumber() != kReportVersion) {
+        return reject("unsupported report version " +
+                      Json::formatNumber(version->asNumber()) +
+                      " (expected " +
+                      std::to_string(kReportVersion) + ")");
+    }
+    const Json *experiment = doc.find("experiment");
+    if (!experiment || !experiment->isString())
+        return reject("report has no \"experiment\" string");
+    const Json *metrics = doc.find("metrics");
+    if (!metrics || !metrics->isObject())
+        return reject("report has no \"metrics\" object");
+
+    Report r(experiment->asString());
+    for (const Json::Member &m : metrics->members()) {
+        if (!m.second.isNumber()) {
+            return reject("metric \"" + m.first +
+                          "\" is not a number");
+        }
+        r.add(m.first, m.second.asNumber());
+    }
+    return r;
+}
+
+std::optional<Report>
+Report::parse(const std::string &text, std::string *error)
+{
+    Json doc;
+    if (!Json::parse(text, &doc, error))
+        return std::nullopt;
+    return fromJson(doc, error);
+}
+
+void
+emitIfRequested(const Report &report, const std::string &json_path)
+{
+    if (json_path.empty())
+        return;
+    std::string error;
+    if (!report.save(json_path, &error))
+        M3D_FATAL(error);
+}
+
+std::optional<Report>
+Report::load(const std::string &path, std::string *error)
+{
+    std::ifstream in(path);
+    if (!in.is_open()) {
+        if (error)
+            *error = "cannot open report file '" + path + "'";
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse(text.str(), error);
+}
+
+} // namespace report
+} // namespace m3d

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Structured metric emission for the benchmark binaries.
+ *
+ * Every bench registers its result cells as named metrics
+ * ("table6/RF/latency_reduction_pct", "fig6/GeoMean/M3D-Het", ...)
+ * and can dump them as a versioned JSON document next to its table
+ * output (the benches' `--json <file>` flag).  The emission is the
+ * machine-checkable half of the golden-number harness: check_golden
+ * compares it against a checked-in golden file (report/golden.hh).
+ *
+ * Emissions are byte-deterministic: metric order is registration
+ * order and numbers are written with shortest-round-trip formatting,
+ * so two runs that compute identical doubles emit identical bytes -
+ * the property the determinism regression test asserts across thread
+ * counts and cache temperatures.
+ */
+
+#ifndef M3D_REPORT_REPORT_HH_
+#define M3D_REPORT_REPORT_HH_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "report/json.hh"
+#include "util/table.hh"
+
+namespace m3d {
+namespace report {
+
+/** Schema version stamped into every emission file. */
+constexpr int kReportVersion = 1;
+
+/** The "kind" tag of an emission document. */
+constexpr const char *kReportKind = "m3d-report";
+
+/** One named scalar result. */
+struct Metric
+{
+    std::string name;
+    double value = 0.0;
+};
+
+/** Ordered, named metric set of one experiment run. */
+class Report
+{
+  public:
+    explicit Report(std::string experiment)
+        : experiment_(std::move(experiment)) {}
+
+    const std::string &experiment() const { return experiment_; }
+
+    /**
+     * Register one metric.  Panics on a duplicate name or a
+     * non-finite value: both mean the bench is broken, and a golden
+     * comparison against garbage must not succeed quietly.
+     */
+    void add(const std::string &name, double value);
+
+    bool has(const std::string &name) const;
+
+    /** Value of a registered metric; panics if absent. */
+    double value(const std::string &name) const;
+
+    const std::vector<Metric> &metrics() const { return metrics_; }
+
+    /**
+     * Bridge to util/table.hh: a hook that registers
+     * "<prefix>/<cell name>" (or just the cell name when prefix is
+     * empty) for every metric-bearing cell of a bound Table.
+     */
+    MetricHook hook(std::string prefix = "");
+
+    Json toJson() const;
+    void write(std::ostream &os) const { toJson().write(os); }
+
+    /** @return false with *error set if the file cannot be written. */
+    bool save(const std::string &path, std::string *error) const;
+
+    /** @return nullopt with *error set on parse/schema failure. */
+    static std::optional<Report> fromJson(const Json &doc,
+                                          std::string *error);
+    static std::optional<Report> parse(const std::string &text,
+                                       std::string *error);
+    static std::optional<Report> load(const std::string &path,
+                                      std::string *error);
+
+  private:
+    std::string experiment_;
+    std::vector<Metric> metrics_;
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+/**
+ * The benches' `--json` exit path: no-op when `json_path` is empty,
+ * otherwise save the emission there and exit fatally on I/O failure
+ * (a golden run must never silently proceed without its emission).
+ */
+void emitIfRequested(const Report &report,
+                     const std::string &json_path);
+
+} // namespace report
+} // namespace m3d
+
+#endif // M3D_REPORT_REPORT_HH_

@@ -90,6 +90,30 @@ Table::printCsv(std::ostream &os) const
     }
 }
 
+void
+Table::bindMetrics(MetricHook hook)
+{
+    hook_ = std::move(hook);
+}
+
+std::string
+Table::cell(const std::string &metric, double v, int precision,
+            const std::string &suffix)
+{
+    if (hook_)
+        hook_(metric, v);
+    return num(v, precision) + suffix;
+}
+
+std::string
+Table::cellPct(const std::string &metric, double fraction,
+               int precision)
+{
+    if (hook_)
+        hook_(metric, fraction * 100.0);
+    return pct(fraction, precision);
+}
+
 std::string
 Table::num(double v, int precision)
 {

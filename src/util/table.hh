@@ -7,6 +7,7 @@
 #ifndef M3D_UTIL_TABLE_HH_
 #define M3D_UTIL_TABLE_HH_
 
+#include <functional>
 #include <initializer_list>
 #include <ostream>
 #include <string>
@@ -15,9 +16,23 @@
 namespace m3d {
 
 /**
+ * Receives every metric-bearing table cell as (name, full-precision
+ * value).  The report library (report/report.hh) supplies hooks that
+ * register the metrics for golden-number comparison; the hook type
+ * lives here so util stays free of a report dependency.
+ */
+using MetricHook = std::function<void(const std::string &name,
+                                      double value)>;
+
+/**
  * Accumulates rows of strings and prints them with aligned columns.
  * Numeric cells are produced with Table::num / Table::pct helpers so
  * precision is consistent across benches.
+ *
+ * A table can carry a MetricHook (bindMetrics); the cell / cellPct
+ * helpers then both format a cell string *and* forward the named,
+ * unrounded value to the hook, so the printed tables and the machine
+ * emission can never drift apart.
  */
 class Table
 {
@@ -40,6 +55,26 @@ class Table
     /** Render as CSV (no alignment, no separators). */
     void printCsv(std::ostream &os) const;
 
+    /** Attach a metric hook; cell()/cellPct() report through it. */
+    void bindMetrics(MetricHook hook);
+
+    /**
+     * Format like num(v, precision) + suffix and, when a hook is
+     * bound, report the unrounded value under `metric`.
+     */
+    std::string cell(const std::string &metric, double v,
+                     int precision=2,
+                     const std::string &suffix="");
+
+    /**
+     * Format like pct(fraction, precision) and, when a hook is
+     * bound, report the unrounded *percentage* (fraction x 100)
+     * under `metric` - golden metric names carry a _pct suffix, so
+     * the stored value matches the printed unit.
+     */
+    std::string cellPct(const std::string &metric, double fraction,
+                        int precision=0);
+
     /** Format a double with fixed precision. */
     static std::string num(double v, int precision=2);
 
@@ -49,6 +84,7 @@ class Table
   private:
     std::string title_;
     std::vector<std::string> header_;
+    MetricHook hook_;
     // Empty vector encodes a separator row.
     std::vector<std::vector<std::string>> rows_;
 };

@@ -394,6 +394,43 @@ TEST(EvaluatorParity, MatchesLegacyRunFunctions)
     EXPECT_EQ(legacy.energyJ(), engine_run.energyJ());
 }
 
+TEST(EvaluatorParity, DesignFactoryThroughEngineIsIdentical)
+{
+    // The figure benches build their DesignFactory through the
+    // engine (engine::designFactory) so a warm cache can skip the
+    // partition grid searches; the resulting designs must be
+    // bit-identical to DesignFactory's own construction.
+    const DesignFactory direct;
+    Evaluator ev(tinyOptions(2));
+    const DesignFactory routed = engine::designFactory(ev);
+
+    auto expect_same = [](const std::vector<CoreDesign> &a,
+                          const std::vector<CoreDesign> &b) {
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].name, b[i].name);
+            EXPECT_EQ(a[i].frequency, b[i].frequency);
+            EXPECT_EQ(a[i].vdd, b[i].vdd);
+            EXPECT_EQ(a[i].num_cores, b[i].num_cores);
+            EXPECT_EQ(a[i].issue_width, b[i].issue_width);
+        }
+    };
+    expect_same(direct.singleCoreDesigns(),
+                routed.singleCoreDesigns());
+    expect_same(direct.multicoreDesigns(), routed.multicoreDesigns());
+
+    const std::vector<PartitionResult> &a = direct.hetResults();
+    const std::vector<PartitionResult> &b = routed.hetResults();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].stacked.access_latency,
+                  b[i].stacked.access_latency);
+        EXPECT_EQ(a[i].stacked.access_energy,
+                  b[i].stacked.access_energy);
+        EXPECT_EQ(a[i].stacked.area, b[i].stacked.area);
+    }
+}
+
 // ---------------------------------------------------------------------
 // Thread pool
 // ---------------------------------------------------------------------

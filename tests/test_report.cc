@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Unit tests for the golden-number harness: the JSON layer, metric
+ * emission, tolerance semantics, and the emission-vs-golden check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "report/golden.hh"
+#include "report/json.hh"
+#include "report/report.hh"
+
+namespace m3d {
+namespace report {
+namespace {
+
+// ---------------------------------------------------------------------
+// Json
+// ---------------------------------------------------------------------
+
+TEST(Json, WriteParseWriteIsByteStable)
+{
+    Json doc = Json::object();
+    doc.set("b", Json::number(2.5));
+    doc.set("a", Json::number(0.1)); // insertion order, not sorted
+    Json arr = Json::array();
+    arr.push(Json::string("x \"quoted\" \n"));
+    arr.push(Json::boolean(false));
+    arr.push(Json());
+    doc.set("list", std::move(arr));
+    doc.set("tiny", Json::number(1e-300));
+    doc.set("exact", Json::number(0.30000000000000004));
+
+    const std::string once = doc.dump();
+    Json reparsed;
+    std::string error;
+    ASSERT_TRUE(Json::parse(once, &reparsed, &error)) << error;
+    EXPECT_EQ(reparsed.dump(), once);
+
+    // Insertion order survives.
+    ASSERT_EQ(reparsed.members().size(), 5u);
+    EXPECT_EQ(reparsed.members()[0].first, "b");
+    EXPECT_EQ(reparsed.members()[1].first, "a");
+    EXPECT_EQ(reparsed.find("exact")->asNumber(),
+              0.30000000000000004);
+}
+
+TEST(Json, FormatNumberIsShortestRoundTrip)
+{
+    EXPECT_EQ(Json::formatNumber(1.0), "1");
+    EXPECT_EQ(Json::formatNumber(0.1), "0.1");
+    const double third = 1.0 / 3.0;
+    double back = 0.0;
+    Json parsed;
+    std::string error;
+    ASSERT_TRUE(Json::parse(Json::formatNumber(third), &parsed,
+                            &error)) << error;
+    back = parsed.asNumber();
+    EXPECT_EQ(back, third); // exact, not approximate
+}
+
+TEST(JsonDeathTest, FormatNumberPanicsOnNonFinite)
+{
+    EXPECT_DEATH(Json::formatNumber(
+                     std::numeric_limits<double>::quiet_NaN()),
+                 "");
+    EXPECT_DEATH(Json::formatNumber(
+                     std::numeric_limits<double>::infinity()),
+                 "");
+}
+
+TEST(Json, ParseRejectsMalformedInput)
+{
+    Json out;
+    std::string error;
+    EXPECT_FALSE(Json::parse("{\"a\": }", &out, &error));
+    EXPECT_NE(error.find("line"), std::string::npos);
+    EXPECT_FALSE(Json::parse("[1, 2", &out, &error));
+    EXPECT_FALSE(Json::parse("{} trailing", &out, &error));
+    EXPECT_FALSE(Json::parse("{\"a\": 1, \"a\": 2}", &out, &error))
+        << "duplicate keys must be rejected";
+    EXPECT_FALSE(Json::parse("", &out, &error));
+    EXPECT_FALSE(Json::parse("nan", &out, &error));
+}
+
+// ---------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------
+
+TEST(Report, JsonRoundTripPreservesOrderAndValues)
+{
+    Report rep("demo_bench");
+    rep.add("t/first", 1.5);
+    rep.add("t/second", -2.25);
+    rep.add("t/zero", 0.0);
+
+    std::string error;
+    const auto copy = Report::parse(rep.toJson().dump(), &error);
+    ASSERT_TRUE(copy) << error;
+    EXPECT_EQ(copy->experiment(), "demo_bench");
+    ASSERT_EQ(copy->metrics().size(), 3u);
+    EXPECT_EQ(copy->metrics()[0].name, "t/first");
+    EXPECT_EQ(copy->metrics()[1].name, "t/second");
+    EXPECT_DOUBLE_EQ(copy->value("t/second"), -2.25);
+    EXPECT_DOUBLE_EQ(copy->value("t/zero"), 0.0);
+}
+
+TEST(Report, EmissionIsByteDeterministic)
+{
+    auto build = [] {
+        Report rep("twice");
+        rep.add("a", 0.1 + 0.2); // not exactly 0.3
+        rep.add("b", 1.0 / 3.0);
+        return rep.toJson().dump();
+    };
+    EXPECT_EQ(build(), build());
+}
+
+TEST(ReportDeathTest, RejectsDuplicateAndNonFinite)
+{
+    Report rep("bad");
+    rep.add("m", 1.0);
+    EXPECT_DEATH(rep.add("m", 2.0), "twice");
+    EXPECT_DEATH(rep.add("nan",
+                         std::numeric_limits<double>::quiet_NaN()),
+                 "");
+    EXPECT_DEATH(rep.add("", 1.0), "");
+}
+
+TEST(Report, HookPrefixesTableCells)
+{
+    Report rep("hooked");
+    Table t("title");
+    t.bindMetrics(rep.hook("tab"));
+    t.header({"Name", "Value", "Share"});
+    t.row({"row", t.cell("latency_ps", 12.5, 1),
+           t.cellPct("share_pct", 0.25, 0)});
+    ASSERT_TRUE(rep.has("tab/latency_ps"));
+    EXPECT_DOUBLE_EQ(rep.value("tab/latency_ps"), 12.5);
+    // cellPct records the *percent*, matching the printed unit.
+    EXPECT_DOUBLE_EQ(rep.value("tab/share_pct"), 25.0);
+
+    Report bare("bare");
+    Table u("title");
+    u.bindMetrics(bare.hook());
+    u.header({"Name", "Value"});
+    u.row({"row", u.cell("plain", 2.0)});
+    EXPECT_TRUE(bare.has("plain"));
+}
+
+TEST(Report, ParseRejectsWrongSchema)
+{
+    std::string error;
+    EXPECT_FALSE(Report::parse("[1, 2]", &error));
+    EXPECT_FALSE(Report::parse(
+        "{\"kind\": \"m3d-report\", \"version\": 999, "
+        "\"experiment\": \"x\", \"metrics\": {}}",
+        &error));
+    EXPECT_NE(error.find("version"), std::string::npos);
+    EXPECT_FALSE(Report::parse(
+        "{\"kind\": \"wrong\", \"version\": 1, "
+        "\"experiment\": \"x\", \"metrics\": {}}",
+        &error));
+}
+
+// ---------------------------------------------------------------------
+// Tolerance
+// ---------------------------------------------------------------------
+
+TEST(Tolerance, AbsoluteSemantics)
+{
+    const Tolerance tol = Tolerance::absolute(0.5);
+    EXPECT_TRUE(withinTolerance(10.4, 10.0, tol));
+    EXPECT_TRUE(withinTolerance(10.5, 10.0, tol));
+    EXPECT_FALSE(withinTolerance(10.6, 10.0, tol));
+    EXPECT_TRUE(withinTolerance(-0.5, 0.0, tol));
+}
+
+TEST(Tolerance, RelativeSemantics)
+{
+    const Tolerance tol = Tolerance::relative(0.01);
+    EXPECT_TRUE(withinTolerance(101.0, 100.0, tol));
+    EXPECT_FALSE(withinTolerance(101.1, 100.0, tol));
+    // Scales with the magnitude of the expectation.
+    EXPECT_TRUE(withinTolerance(-100.9, -100.0, tol));
+    EXPECT_FALSE(withinTolerance(-101.1, -100.0, tol));
+    // A relative band around zero admits only zero.
+    EXPECT_TRUE(withinTolerance(0.0, 0.0, tol));
+    EXPECT_FALSE(withinTolerance(1e-12, 0.0, tol));
+}
+
+TEST(Tolerance, NonFiniteValuesNeverPass)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    for (const Tolerance &tol :
+         {Tolerance::absolute(1e9), Tolerance::relative(1e9)}) {
+        EXPECT_FALSE(withinTolerance(nan, 1.0, tol));
+        EXPECT_FALSE(withinTolerance(1.0, nan, tol));
+        EXPECT_FALSE(withinTolerance(nan, nan, tol));
+        EXPECT_FALSE(withinTolerance(inf, inf, tol));
+        EXPECT_FALSE(withinTolerance(-inf, 1.0, tol));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden
+// ---------------------------------------------------------------------
+
+Report
+smallReport()
+{
+    Report rep("exp");
+    rep.add("a", 1.0);
+    rep.add("b", 100.0);
+    return rep;
+}
+
+TEST(Golden, BlessThenCheckPasses)
+{
+    const Report rep = smallReport();
+    const Golden golden = Golden::bless(rep, nullptr);
+    const CheckResult result = check(rep, golden);
+    EXPECT_TRUE(result.passed());
+    EXPECT_EQ(result.failures(), 0u);
+    ASSERT_EQ(result.checks.size(), 2u);
+    EXPECT_EQ(result.checks[0].status, CheckStatus::Pass);
+}
+
+TEST(Golden, BlessKeepsHandTunedToleranceAndPaper)
+{
+    const Report rep = smallReport();
+    Golden previous = Golden::bless(rep, nullptr);
+    GoldenMetric tuned;
+    tuned.name = "a";
+    tuned.expect = 0.9; // stale expectation, must be refreshed
+    tuned.tol = Tolerance::absolute(0.25);
+    tuned.paper = 1.1;
+    Golden hand("exp");
+    hand.add(tuned);
+    hand.setCommand("exp --canonical");
+
+    const Golden fresh = Golden::bless(rep, &hand);
+    const GoldenMetric *a = fresh.find("a");
+    ASSERT_NE(a, nullptr);
+    EXPECT_DOUBLE_EQ(a->expect, 1.0); // refreshed from the emission
+    EXPECT_EQ(a->tol.kind, Tolerance::Kind::Absolute);
+    EXPECT_DOUBLE_EQ(a->tol.value, 0.25);
+    ASSERT_TRUE(a->paper.has_value());
+    EXPECT_DOUBLE_EQ(*a->paper, 1.1);
+    EXPECT_EQ(fresh.command(), "exp --canonical");
+
+    const GoldenMetric *b = fresh.find("b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->tol.kind, Tolerance::Kind::Relative);
+    EXPECT_FALSE(b->paper.has_value());
+}
+
+TEST(Golden, JsonRoundTripPreservesEverything)
+{
+    Golden golden("exp");
+    golden.setCommand("exp --flag");
+    GoldenMetric m;
+    m.name = "x";
+    m.expect = 2.5;
+    m.tol = Tolerance::absolute(0.125);
+    m.paper = 2.4;
+    golden.add(m);
+    GoldenMetric r;
+    r.name = "y";
+    r.expect = -1.0;
+    r.tol = Tolerance::relative(1e-3);
+    golden.add(r);
+
+    std::string error;
+    const auto copy = Golden::parse(golden.toJson().dump(), &error);
+    ASSERT_TRUE(copy) << error;
+    EXPECT_EQ(copy->command(), "exp --flag");
+    const GoldenMetric *x = copy->find("x");
+    ASSERT_NE(x, nullptr);
+    EXPECT_EQ(x->tol.kind, Tolerance::Kind::Absolute);
+    EXPECT_DOUBLE_EQ(x->tol.value, 0.125);
+    ASSERT_TRUE(x->paper.has_value());
+    EXPECT_DOUBLE_EQ(*x->paper, 2.4);
+    const GoldenMetric *y = copy->find("y");
+    ASSERT_NE(y, nullptr);
+    EXPECT_EQ(y->tol.kind, Tolerance::Kind::Relative);
+    EXPECT_FALSE(y->paper.has_value());
+}
+
+TEST(Golden, ParseRejectsVersionMismatchAndBadTolerances)
+{
+    std::string error;
+    EXPECT_FALSE(Golden::parse(
+        "{\"kind\": \"m3d-golden\", \"version\": 2, "
+        "\"experiment\": \"x\", \"metrics\": {}}",
+        &error));
+    EXPECT_NE(error.find("version"), std::string::npos);
+
+    // A metric must carry exactly one of abs_tol / rel_tol.
+    EXPECT_FALSE(Golden::parse(
+        "{\"kind\": \"m3d-golden\", \"version\": 1, "
+        "\"experiment\": \"x\", \"metrics\": "
+        "{\"m\": {\"expect\": 1}}}",
+        &error));
+    EXPECT_FALSE(Golden::parse(
+        "{\"kind\": \"m3d-golden\", \"version\": 1, "
+        "\"experiment\": \"x\", \"metrics\": "
+        "{\"m\": {\"expect\": 1, \"abs_tol\": 0.1, "
+        "\"rel_tol\": 0.1}}}",
+        &error));
+    // Negative tolerances are nonsense.
+    EXPECT_FALSE(Golden::parse(
+        "{\"kind\": \"m3d-golden\", \"version\": 1, "
+        "\"experiment\": \"x\", \"metrics\": "
+        "{\"m\": {\"expect\": 1, \"rel_tol\": -0.1}}}",
+        &error));
+    // Malformed JSON surfaces the parser's error.
+    EXPECT_FALSE(Golden::parse("{\"kind\": ", &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Golden, CheckFlagsMismatchMissingAndUnexpected)
+{
+    Report rep("exp");
+    rep.add("drifted", 2.0);
+    rep.add("unexpected", 5.0);
+
+    Golden golden("exp");
+    GoldenMetric d;
+    d.name = "drifted";
+    d.expect = 1.0;
+    d.tol = Tolerance::relative(1e-6);
+    golden.add(d);
+    GoldenMetric m;
+    m.name = "missing";
+    m.expect = 3.0;
+    m.tol = Tolerance::relative(1e-6);
+    golden.add(m);
+
+    const CheckResult result = check(rep, golden);
+    EXPECT_FALSE(result.passed());
+    EXPECT_EQ(result.failures(), 3u);
+    ASSERT_EQ(result.checks.size(), 3u);
+    EXPECT_EQ(result.checks[0].name, "drifted");
+    EXPECT_EQ(result.checks[0].status, CheckStatus::Mismatch);
+    EXPECT_EQ(result.checks[1].name, "missing");
+    EXPECT_EQ(result.checks[1].status, CheckStatus::Missing);
+    EXPECT_EQ(result.checks[2].name, "unexpected");
+    EXPECT_EQ(result.checks[2].status, CheckStatus::Unexpected);
+
+    std::ostringstream os;
+    printCheckReport(os, result, rep, golden);
+    EXPECT_NE(os.str().find("FAIL"), std::string::npos);
+    EXPECT_NE(os.str().find("MISMATCH"), std::string::npos);
+}
+
+TEST(Golden, CheckFlagsExperimentMismatch)
+{
+    const Report rep = smallReport();
+    Golden other = Golden::bless(rep, nullptr);
+    Golden renamed("different");
+    for (const GoldenMetric &m : other.metrics())
+        renamed.add(m);
+    const CheckResult result = check(rep, renamed);
+    EXPECT_TRUE(result.experiment_mismatch);
+    EXPECT_FALSE(result.passed());
+}
+
+} // namespace
+} // namespace report
+} // namespace m3d

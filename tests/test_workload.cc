@@ -228,6 +228,69 @@ TEST(ProfileIo, RoundTripPreservesFields)
                      original.temporal_locality);
 }
 
+TEST(ProfileIo, BundledProfilesRoundTrip)
+{
+    // The three example profiles shipped in workloads/ must survive
+    // load -> write -> read with every field intact.
+    const std::string dir = M3D_WORKLOADS_DIR;
+    for (const char *file : {"graph_analytics.profile",
+                             "stencil_hpc.profile",
+                             "web_service.profile"}) {
+        const WorkloadProfile p = loadProfile(dir + "/" + file);
+        EXPECT_FALSE(p.name.empty()) << file;
+        std::stringstream ss;
+        writeProfile(ss, p);
+        const WorkloadProfile q = readProfile(ss, file);
+        EXPECT_EQ(q.name, p.name) << file;
+        EXPECT_EQ(q.parallel, p.parallel) << file;
+        EXPECT_DOUBLE_EQ(q.load_frac, p.load_frac) << file;
+        EXPECT_DOUBLE_EQ(q.store_frac, p.store_frac) << file;
+        EXPECT_DOUBLE_EQ(q.branch_frac, p.branch_frac) << file;
+        EXPECT_DOUBLE_EQ(q.fp_frac, p.fp_frac) << file;
+        EXPECT_DOUBLE_EQ(q.mult_frac, p.mult_frac) << file;
+        EXPECT_DOUBLE_EQ(q.div_frac, p.div_frac) << file;
+        EXPECT_DOUBLE_EQ(q.complex_decode_frac,
+                         p.complex_decode_frac) << file;
+        EXPECT_DOUBLE_EQ(q.mean_dep_distance, p.mean_dep_distance)
+            << file;
+        EXPECT_DOUBLE_EQ(q.branch_mpki, p.branch_mpki) << file;
+        EXPECT_DOUBLE_EQ(q.working_set_kb, p.working_set_kb) << file;
+        EXPECT_DOUBLE_EQ(q.code_footprint_kb, p.code_footprint_kb)
+            << file;
+        EXPECT_DOUBLE_EQ(q.stride_frac, p.stride_frac) << file;
+        EXPECT_DOUBLE_EQ(q.spatial_locality, p.spatial_locality)
+            << file;
+        EXPECT_DOUBLE_EQ(q.temporal_locality, p.temporal_locality)
+            << file;
+        EXPECT_DOUBLE_EQ(q.parallel_frac, p.parallel_frac) << file;
+        EXPECT_DOUBLE_EQ(q.shared_frac, p.shared_frac) << file;
+        EXPECT_DOUBLE_EQ(q.barrier_per_kinstr, p.barrier_per_kinstr)
+            << file;
+        EXPECT_DOUBLE_EQ(q.lock_per_kinstr, p.lock_per_kinstr)
+            << file;
+    }
+}
+
+TEST(ProfileIo, BundledProfilesDriveTheGenerator)
+{
+    // Each bundled profile must produce a usable trace: the profiles
+    // are user-facing examples, so a field drifting out of range
+    // would break the documented custom-workload flow.
+    const std::string dir = M3D_WORKLOADS_DIR;
+    for (const char *file : {"graph_analytics.profile",
+                             "stencil_hpc.profile",
+                             "web_service.profile"}) {
+        const WorkloadProfile p = loadProfile(dir + "/" + file);
+        TraceGenerator gen(p, 11);
+        int mem = 0;
+        for (int i = 0; i < 20000; ++i) {
+            const MicroOp op = gen.next();
+            mem += op.op == OpClass::Load || op.op == OpClass::Store;
+        }
+        EXPECT_GT(mem, 0) << file;
+    }
+}
+
 TEST(ProfileIo, ParsesCommentsAndWhitespace)
 {
     std::stringstream ss;

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * check_golden - compare a bench's metric emission against a
+ * checked-in golden reference, or (re)generate the golden.
+ *
+ *   check_golden <report.json> <golden.json>
+ *       Load both files, compare every metric within its tolerance,
+ *       print a pass/fail diff report.  Exit 0 on pass, 1 on any
+ *       drifted/missing/unexpected metric, 2 on unreadable or
+ *       malformed input.
+ *
+ *   check_golden <report.json> <golden.json> --bless
+ *       Rewrite the golden from the emission.  Metrics already in
+ *       the golden keep their hand-tuned tolerance and paper
+ *       annotation; new ones get --rel-tol.  --command annotates how
+ *       the emission was produced (kept from the old golden
+ *       otherwise).
+ *
+ * `ctest -L golden` drives this via cmake/RunGolden.cmake; the
+ * goldens/ directory holds one golden per bench.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "report/golden.hh"
+#include "util/cli.hh"
+
+using namespace m3d;
+
+int
+main(int argc, char **argv)
+{
+    bool bless = false;
+    bool verbose = false;
+    double rel_tol = report::kDefaultRelTol;
+    std::string command;
+    cli::Parser parser(
+        "check_golden",
+        "Compare a bench metric emission against a golden "
+        "reference (exit 0 pass / 1 fail / 2 bad input).");
+    parser.positional("report", "emission JSON written by a bench's "
+                                "--json flag")
+        .positional("golden", "golden reference JSON")
+        .flag("bless", &bless,
+              "rewrite the golden from the emission, keeping "
+              "existing tolerances and paper annotations")
+        .flag("rel-tol", &rel_tol,
+              "relative tolerance for metrics new to the golden "
+              "(with --bless)")
+        .flag("command", &command,
+              "provenance note stored in the golden (with --bless)")
+        .flag("verbose", &verbose,
+              "print every metric row, not just failures");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    const std::string &report_path = parser.positionals()[0];
+    const std::string &golden_path = parser.positionals()[1];
+
+    std::string error;
+    const auto emission = report::Report::load(report_path, &error);
+    if (!emission) {
+        std::cerr << "check_golden: " << error << "\n";
+        return 2;
+    }
+
+    if (bless) {
+        // An existing golden donates tolerances and paper values; a
+        // missing or malformed one is not an error here (first
+        // bless, or recovering from a bad file).
+        std::string old_error;
+        const auto previous =
+            report::Golden::load(golden_path, &old_error);
+        report::Golden fresh = report::Golden::bless(
+            *emission, previous ? &*previous : nullptr, rel_tol);
+        if (!command.empty())
+            fresh.setCommand(command);
+        if (!fresh.save(golden_path, &error)) {
+            std::cerr << "check_golden: " << error << "\n";
+            return 2;
+        }
+        std::cout << "blessed " << golden_path << " ("
+                  << fresh.metrics().size() << " metrics)\n";
+        return 0;
+    }
+
+    const auto golden = report::Golden::load(golden_path, &error);
+    if (!golden) {
+        std::cerr << "check_golden: " << error << "\n";
+        return 2;
+    }
+
+    const report::CheckResult result =
+        report::check(*emission, *golden);
+    report::printCheckReport(std::cout, result, *emission, *golden,
+                             verbose);
+    return result.passed() ? 0 : 1;
+}

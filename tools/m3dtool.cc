@@ -20,6 +20,7 @@
 
 #include <cctype>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -252,12 +253,11 @@ cmdSweep(const std::vector<std::string> &args)
     opts.threads = jobs;
     opts.cache = !no_cache;
     opts.cache_file = no_cache ? "" : cache_file;
-    engine::Evaluator ev(opts);
 
-    const std::vector<ArrayConfig> cfgs = CoreStructures::all();
-    for (const std::string &name : tech_names)
-        printPartitionTable(ev, name, cfgs);
-
+    // Probe the cache path up front: appending preserves an existing
+    // cache, and a failure means every result of the sweep would be
+    // silently thrown away at save time - warn now and run cold
+    // instead.
     if (!opts.cache_file.empty()) {
         const std::filesystem::path parent =
             std::filesystem::path(opts.cache_file).parent_path();
@@ -265,8 +265,22 @@ cmdSweep(const std::vector<std::string> &args)
             std::error_code ec;
             std::filesystem::create_directories(parent, ec);
         }
-        ev.savePartitionCache();
+        std::ofstream probe(opts.cache_file, std::ios::app);
+        if (!probe.is_open()) {
+            M3D_WARN("cache file '", opts.cache_file,
+                     "' is not writable; continuing without a "
+                     "persistent cache");
+            opts.cache_file.clear();
+        }
     }
+    engine::Evaluator ev(opts);
+
+    const std::vector<ArrayConfig> cfgs = CoreStructures::all();
+    for (const std::string &name : tech_names)
+        printPartitionTable(ev, name, cfgs);
+
+    if (!opts.cache_file.empty())
+        ev.savePartitionCache();
 
     if (cache_stats) {
         const engine::CacheStats s = ev.cache().partitionStats();

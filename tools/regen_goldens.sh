@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Regenerate every goldens/<bench>.json from the current build.
+#
+# Each bench runs with its *canonical* arguments - the same ones the
+# `ctest -L golden` tests use (bench/CMakeLists.txt).  Blessing keeps
+# any hand-tuned tolerances and paper annotations already present in
+# the golden, so re-running this after an intentional model change is
+# safe and cheap.
+#
+# Usage: tools/regen_goldens.sh [build-dir]
+set -euo pipefail
+
+build=${1:-build}
+root=$(cd "$(dirname "$0")/.." && pwd)
+build=$(cd "$root" && cd "$build" && pwd)
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+mkdir -p "$root/goldens"
+
+run() {
+    local name=$1
+    shift
+    # The provenance note skips --cache-file: the cache only changes
+    # speed, never the emission, and its path is machine-specific.
+    local note="$name" skip=0
+    for a in "$@"; do
+        if [ "$skip" = 1 ]; then skip=0; continue; fi
+        if [ "$a" = "--cache-file" ]; then skip=1; continue; fi
+        note="$note $a"
+    done
+    echo "== $name $*"
+    "$build/bench/$name" "$@" --json "$tmp/$name.json" > /dev/null
+    "$build/tools/check_golden" "$tmp/$name.json" \
+        "$root/goldens/$name.json" --bless --command "$note"
+}
+
+run table1_via_overhead
+run table2_via_electrical
+run table3_bit_partition
+run table4_word_partition
+run table5_port_partition
+run table6_best_partition --jobs 8
+run table8_hetero_partition
+run table11_configs
+run logic_stage_gains
+run core_area_report
+run ablation_clock_pdn
+run ablation_layer_count
+run ablation_via_diameter
+run ablation_asymmetry
+run ablation_toplayer_slowdown
+run ablation_thermal_dynamics
+
+# Reduced instruction budget keeps the figure goldens fast; the
+# emission is independent of --jobs and cache temperature (the
+# determinism test pins that), so any cache file works here.
+run fig6_speedup_single --jobs 8 --instructions 60000 \
+    --cache-file "$tmp/fig6.m3d_cache"
+run fig7_energy_single --jobs 8 --instructions 60000 \
+    --cache-file "$tmp/fig7.m3d_cache"
+run fig8_thermal --jobs 8 --instructions 60000 \
+    --cache-file "$tmp/fig8.m3d_cache"
+run fig9_speedup_multi --jobs 8 --instructions 60000 \
+    --cache-file "$tmp/fig9.m3d_cache"
+run fig10_energy_multi --jobs 8 --instructions 60000 \
+    --cache-file "$tmp/fig10.m3d_cache"
+
+echo "goldens regenerated under $root/goldens"

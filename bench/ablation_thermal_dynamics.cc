@@ -10,6 +10,7 @@
  *    steady-state disadvantage.
  */
 
+#include <algorithm>
 #include <iostream>
 
 #include "power/sim_harness.hh"
@@ -65,16 +66,17 @@ main(int argc, char **argv)
         LayerStack stack;
         double side;
         std::vector<GridSolver::TransientSample> samples;
+        SolveStats stats;
     };
     std::vector<Sim> sims = {
-        {"planar", LayerStack::planar2D(), 3.26 * mm, {}},
-        {"m3d", LayerStack::m3d(), 2.3 * mm, {}},
-        {"tsv3d", LayerStack::tsv3d(), 2.3 * mm, {}},
+        {"planar", LayerStack::planar2D(), 3.26 * mm, {}, {}},
+        {"m3d", LayerStack::m3d(), 2.3 * mm, {}, {}},
+        {"tsv3d", LayerStack::tsv3d(), 2.3 * mm, {}, {}},
     };
     for (Sim &s : sims) {
         GridSolver solver(s.stack, s.side, s.side, grid);
         s.samples = solver.solveTransient(
-            uniformPower(s.stack, grid, watts), 2e-4, 50);
+            uniformPower(s.stack, grid, watts), 2e-4, 50, &s.stats);
     }
     for (std::size_t k : {0ul, 4ul, 9ul, 24ul, 49ul}) {
         const std::string ms =
@@ -86,6 +88,21 @@ main(int argc, char **argv)
         t.row(row);
     }
     t.print(std::cout);
+
+    // Per-stack solver telemetry.  Every backward-Euler step above is
+    // now convergence-checked (the solver errors out rather than
+    // silently hitting a sweep cap), and the sweep counts land in the
+    // golden so a future change to the solver's work is visible.
+    double residual_max = 0.0;
+    double seconds_total = 0.0;
+    for (const Sim &s : sims) {
+        rep.add("transient/" + s.metric + "/solver_sweeps",
+                static_cast<double>(s.stats.iterations));
+        residual_max = std::max(residual_max, s.stats.residual);
+        seconds_total += s.stats.seconds;
+    }
+    rep.add("transient/solver_residual_max", residual_max);
+    rep.add("transient/solver_seconds_total", seconds_total);
 
     DesignFactory factory;
     Table c("Leakage-temperature fixed point (Gamess block powers)");
@@ -108,6 +125,8 @@ main(int argc, char **argv)
                       res.peak_c - res.peak_c_uncoupled, 2, " C"),
                c.cell(m + "leakage_factor", res.leakage_factor, 2),
                std::to_string(res.iterations)});
+        rep.add("coupling/" + d.name + "/solver_iterations",
+                static_cast<double>(res.solver.iterations));
     }
     c.print(std::cout);
 

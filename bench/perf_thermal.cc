@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Wall-clock benchmark of the thermal grid solver: serial vs
+ * parallel red-black sweeps, for the steady and transient paths, on
+ * the Table 10 layer stacks.  Emits BENCH_thermal.json (hand-built
+ * JSON, not an m3d-report emission: wall time is machine-dependent,
+ * so this file is exempt from the golden harness like perf_models).
+ *
+ * Because red-black ordering makes the parallel sweeps bit-identical
+ * to the serial ones, this bench also cross-checks the two fields
+ * and reports the max absolute difference (expected: 0).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "report/json.hh"
+#include "thermal/solver.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace m3d;
+using namespace m3d::units;
+
+namespace {
+
+std::vector<std::vector<double>>
+uniformPower(const LayerStack &stack, int grid, double watts)
+{
+    const std::size_t sources = stack.sourceLayers().size();
+    const double per_cell =
+        watts / (static_cast<double>(grid) * grid * sources);
+    return std::vector<std::vector<double>>(
+        sources, std::vector<double>(
+                     static_cast<std::size_t>(grid) * grid, per_cell));
+}
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Best-of-reps wall time of `fn`, in milliseconds. */
+template <typename Fn>
+double
+bestMs(int reps, Fn &&fn)
+{
+    double best = 0.0;
+    for (int i = 0; i < reps; ++i) {
+        const double t0 = nowMs();
+        fn();
+        const double ms = nowMs() - t0;
+        if (i == 0 || ms < best)
+            best = ms;
+    }
+    return best;
+}
+
+double
+maxAbsDiff(const ThermalField &a, const ThermalField &b)
+{
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.t_c.size(); ++i)
+        worst = std::max(worst, std::abs(a.t_c[i] - b.t_c[i]));
+    return worst;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int grid = 64;
+    int reps = 3;
+    int jobs = 8;
+    int steps = 20;
+    std::string json_path = "BENCH_thermal.json";
+    cli::Parser parser("perf_thermal",
+                       "Thermal solver wall-clock benchmark: serial "
+                       "vs parallel red-black sweeps.");
+    parser.flag("grid", &grid, "grid cells per side")
+        .flag("reps", &reps, "repetitions; best time wins")
+        .flag("jobs", &jobs,
+              "threads for the parallel runs; 0 means all hardware "
+              "threads")
+        .flag("steps", &steps, "transient steps to time")
+        .flag("json", &json_path, "write results to this file");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    const double watts = 6.4;
+    const int hw =
+        static_cast<int>(std::thread::hardware_concurrency());
+
+    struct Case
+    {
+        std::string name;
+        LayerStack stack;
+        double side;
+    };
+    const std::vector<Case> cases = {
+        {"planar2d", LayerStack::planar2D(), 3.26 * mm},
+        {"m3d", LayerStack::m3d(), 2.3 * mm},
+        {"tsv3d", LayerStack::tsv3d(), 2.3 * mm},
+    };
+
+    report::Json results = report::Json::object();
+
+    Table t("Thermal solver wall clock (grid " +
+            std::to_string(grid) + ", best of " +
+            std::to_string(reps) + ")");
+    t.header({"Stack", "Steady 1T", "Steady " + std::to_string(jobs) +
+                  "T", "Speedup", "Transient 1T",
+              "Transient " + std::to_string(jobs) + "T", "Speedup",
+              "Max |dT|"});
+
+    for (const Case &c : cases) {
+        const auto power = uniformPower(c.stack, grid, watts);
+
+        SolverConfig serial_cfg;
+        serial_cfg.threads = 1;
+        SolverConfig par_cfg;
+        par_cfg.threads = jobs;
+
+        const GridSolver serial(c.stack, c.side, c.side, grid,
+                                serial_cfg);
+        const GridSolver parallel(c.stack, c.side, c.side, grid,
+                                  par_cfg);
+
+        SolveStats serial_stats;
+        ThermalField serial_field;
+        const double steady_serial_ms = bestMs(reps, [&] {
+            serial_field = serial.solve(power, &serial_stats);
+        });
+        ThermalField par_field;
+        const double steady_par_ms = bestMs(reps, [&] {
+            par_field = parallel.solve(power);
+        });
+        const double diff = maxAbsDiff(serial_field, par_field);
+
+        const double transient_serial_ms = bestMs(reps, [&] {
+            serial.solveTransient(power, 2e-4, steps);
+        });
+        const double transient_par_ms = bestMs(reps, [&] {
+            parallel.solveTransient(power, 2e-4, steps);
+        });
+
+        const double steady_speedup =
+            steady_par_ms > 0.0 ? steady_serial_ms / steady_par_ms
+                                : 0.0;
+        const double transient_speedup =
+            transient_par_ms > 0.0
+                ? transient_serial_ms / transient_par_ms
+                : 0.0;
+
+        t.row({c.name, Table::num(steady_serial_ms, 1) + " ms",
+               Table::num(steady_par_ms, 1) + " ms",
+               Table::num(steady_speedup, 2) + "x",
+               Table::num(transient_serial_ms, 1) + " ms",
+               Table::num(transient_par_ms, 1) + " ms",
+               Table::num(transient_speedup, 2) + "x",
+               report::Json::formatNumber(diff)});
+
+        report::Json r = report::Json::object();
+        r.set("steady_serial_ms",
+              report::Json::number(steady_serial_ms));
+        r.set("steady_parallel_ms",
+              report::Json::number(steady_par_ms));
+        r.set("steady_speedup",
+              report::Json::number(steady_speedup));
+        r.set("steady_iterations",
+              report::Json::number(serial_stats.iterations));
+        r.set("steady_residual",
+              report::Json::number(serial_stats.residual));
+        r.set("transient_serial_ms",
+              report::Json::number(transient_serial_ms));
+        r.set("transient_parallel_ms",
+              report::Json::number(transient_par_ms));
+        r.set("transient_speedup",
+              report::Json::number(transient_speedup));
+        r.set("field_max_abs_diff_c", report::Json::number(diff));
+        results.set(c.name, std::move(r));
+    }
+    t.print(std::cout);
+
+    report::Json doc = report::Json::object();
+    doc.set("kind", report::Json::string("m3d-bench"));
+    doc.set("version", report::Json::number(1));
+    doc.set("bench", report::Json::string("perf_thermal"));
+    report::Json cfg = report::Json::object();
+    cfg.set("grid", report::Json::number(grid));
+    cfg.set("jobs", report::Json::number(jobs));
+    cfg.set("reps", report::Json::number(reps));
+    cfg.set("steps", report::Json::number(steps));
+    cfg.set("hardware_threads", report::Json::number(hw));
+    doc.set("config", std::move(cfg));
+    doc.set("results", std::move(results));
+
+    std::ofstream out(json_path);
+    if (!out.is_open()) {
+        std::cerr << "perf_thermal: cannot write '" << json_path
+                  << "'\n";
+        return 1;
+    }
+    doc.write(out);
+    std::cout << "\nWrote " << json_path << " (hardware threads: "
+              << hw << ")\n";
+    return 0;
+}

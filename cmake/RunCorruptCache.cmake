@@ -1,0 +1,42 @@
+# Corrupt-cache recovery test driver (see tools/CMakeLists.txt).
+#
+#   cmake -DTOOL=<m3dtool> -DCACHE_FILE=<path> -P RunCorruptCache.cmake
+#
+# 1. Pre-corrupt CACHE_FILE, run a sweep against it: the run must
+#    warn that the cache is corrupt, continue cold, and exit 0.
+# 2. Run the same sweep again: the first run's atomic save must have
+#    published a clean replacement, so no warning this time.
+
+file(WRITE ${CACHE_FILE} "definitely not an m3d eval cache\x01\ntrailing garbage\n")
+
+execute_process(
+    COMMAND ${TOOL} sweep m3d-iso --jobs 2 --cache-file ${CACHE_FILE}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "sweep against a corrupt cache exited ${rc} - a corrupt "
+        "cache must never abort a sweep:\n${out}${err}")
+endif()
+if(NOT "${out}${err}" MATCHES "corrupt or from an incompatible version")
+    message(FATAL_ERROR
+        "sweep silently accepted a corrupt cache file (no warning "
+        "in output):\n${out}${err}")
+endif()
+
+execute_process(
+    COMMAND ${TOOL} sweep m3d-iso --jobs 2 --cache-file ${CACHE_FILE}
+    RESULT_VARIABLE rc2
+    OUTPUT_VARIABLE out2
+    ERROR_VARIABLE err2)
+if(NOT rc2 EQUAL 0)
+    message(FATAL_ERROR "second sweep exited ${rc2}:\n${out2}${err2}")
+endif()
+if("${out2}${err2}" MATCHES "corrupt or from an incompatible version")
+    message(FATAL_ERROR
+        "cache still corrupt after a save - savePartitions did not "
+        "publish a clean file:\n${out2}${err2}")
+endif()
+
+message(STATUS "corrupt cache skipped with a warning, then repaired")

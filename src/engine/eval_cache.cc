@@ -1,12 +1,18 @@
 #include "engine/eval_cache.hh"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <sstream>
+#include <system_error>
 #include <vector>
+
+#include "util/logging.hh"
 
 namespace m3d {
 namespace engine {
@@ -236,24 +242,66 @@ EvalCache::loadPartitions(const std::string &path)
 {
     std::ifstream in(path);
     if (!in.is_open())
-        return 0;
-    return loadPartitions(in);
+        return 0; // cold start: no cache yet
+    bool header_ok = false;
+    const std::size_t loaded = loadPartitions(in, &header_ok);
+    if (!header_ok) {
+        M3D_WARN("partition cache '", path,
+                 "' is corrupt or from an incompatible version; "
+                 "skipping it and continuing cold");
+    }
+    return loaded;
 }
 
 std::size_t
 EvalCache::savePartitions(const std::string &path) const
 {
-    std::ofstream out(path, std::ios::trunc);
-    if (!out.is_open())
+    // Write-to-temp + atomic rename: a crash mid-write, or another
+    // process saving the same path concurrently, must never publish
+    // a truncated cache.  The pid suffix keeps concurrent writers
+    // off each other's temp file; last rename wins with a complete
+    // file either way.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    std::size_t written = 0;
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out.is_open())
+            return 0;
+        written = savePartitions(out);
+        out.flush();
+        if (!out) {
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            M3D_WARN("failed writing partition cache temp file '",
+                     tmp, "'; cache not persisted");
+            return 0;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        M3D_WARN("failed renaming partition cache into place at '",
+                 path, "'; cache not persisted");
         return 0;
-    return savePartitions(out);
+    }
+    return written;
 }
 
 std::size_t
-EvalCache::loadPartitions(std::istream &in)
+EvalCache::loadPartitions(std::istream &in, bool *header_ok)
 {
     std::string line;
-    if (!std::getline(in, line) || line != kFileHeader)
+    const bool have_line = static_cast<bool>(std::getline(in, line));
+    // A completely empty stream is a cold start (m3dtool's
+    // writability probe creates 0-byte cache files), not corruption.
+    const bool good_header =
+        (have_line && line == kFileHeader) ||
+        (!have_line && line.empty());
+    if (header_ok)
+        *header_ok = good_header;
+    if (!have_line || line != kFileHeader)
         return 0;
 
     std::size_t loaded = 0;

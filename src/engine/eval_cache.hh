@@ -81,17 +81,31 @@ class EvalCache
     void clear();
 
     /**
-     * Load persisted partition entries (counters untouched).
-     * @return entries loaded; 0 if the file is missing or from a
-     *         different schema version.
+     * Load persisted partition entries (counters untouched).  A
+     * missing file is a silent cold start; an existing file whose
+     * header does not parse (truncated, torn, or from a different
+     * schema version) is skipped with a warning - a corrupt cache
+     * must never abort a sweep, only forfeit its reuse.
+     * @return entries loaded; 0 in both cases above.
      */
     std::size_t loadPartitions(const std::string &path);
 
-    /** Persist the partition family. @return entries written. */
+    /**
+     * Persist the partition family atomically: the entries are
+     * written to `<path>.tmp.<pid>` and renamed over `path`, so a
+     * crash mid-write or two runs sharing one cache file can never
+     * leave a truncated/torn cache behind - readers see either the
+     * old complete file or the new complete file.
+     * @return entries written; 0 (with a warning) on I/O failure.
+     */
     std::size_t savePartitions(const std::string &path) const;
 
     // Stream versions (used by the tests; path versions wrap these).
-    std::size_t loadPartitions(std::istream &in);
+    // `header_ok`, when given, reports whether the stream began with
+    // a recognized cache header (distinguishes "empty cache" from
+    // "corrupt file" for the path loader's warning).
+    std::size_t loadPartitions(std::istream &in,
+                               bool *header_ok=nullptr);
     std::size_t savePartitions(std::ostream &out) const;
 
   private:

@@ -1,5 +1,6 @@
 #include "thermal/coupling.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.hh"
@@ -21,16 +22,34 @@ leakageTemperatureFactor(double t_c)
     return std::exp2((t_c - kReferenceC) / kDoublingC);
 }
 
+namespace {
+
+/** Fold one solve's telemetry into the loop-wide aggregate. */
+void
+accumulate(SolveStats *total, const SolveStats &one, bool first)
+{
+    total->iterations += one.iterations;
+    total->steps += one.steps;
+    total->residual = std::max(total->residual, one.residual);
+    total->converged = (first || total->converged) && one.converged;
+    total->seconds += one.seconds;
+}
+
+} // namespace
+
 CoupledResult
 solveCoupled(const CoreDesign &design,
              const std::map<std::string, double> &block_power,
-             double leakage_fraction, int grid)
+             double leakage_fraction, int grid,
+             const SolverConfig &config)
 {
     M3D_ASSERT(leakage_fraction >= 0.0 && leakage_fraction < 1.0);
-    ThermalModel tm(design, grid);
+    ThermalModel tm(design, grid, config);
 
     CoupledResult out;
-    out.peak_c_uncoupled = tm.solve(block_power).peak_c;
+    const ThermalResult uncoupled = tm.solve(block_power);
+    out.peak_c_uncoupled = uncoupled.peak_c;
+    accumulate(&out.solver, uncoupled.solver, /*first=*/true);
 
     // Seed the loop from the uncoupled solution's temperature.
     double factor = leakageTemperatureFactor(out.peak_c_uncoupled);
@@ -43,7 +62,9 @@ solveCoupled(const CoreDesign &design,
             scaled[name] = watts * ((1.0 - leakage_fraction) +
                                     leakage_fraction * factor);
         }
-        const double new_peak = tm.solve(scaled).peak_c;
+        const ThermalResult coupled = tm.solve(scaled);
+        accumulate(&out.solver, coupled.solver, /*first=*/false);
+        const double new_peak = coupled.peak_c;
         // Damped update: near thermal runaway the undamped fixed-
         // point iteration oscillates or crawls.
         const double new_factor =

@@ -26,6 +26,12 @@ struct CoupledResult
     double leakage_factor = 1.0;    ///< leakage vs the 45 C reference
     int iterations = 0;
     bool converged = false;
+    /**
+     * Grid-solver telemetry aggregated over every thermal solve of
+     * the fixed-point loop (iterations and seconds summed, residual
+     * the worst seen, converged iff every solve converged).
+     */
+    SolveStats solver;
 };
 
 /** Leakage multiplier at temperature `t_c` vs the 45 C reference. */
@@ -40,11 +46,13 @@ double leakageTemperatureFactor(double t_c);
  * @param leakage_fraction Fraction of each block's power that is
  *        leakage (and thus temperature-dependent).
  * @param grid Thermal grid resolution.
+ * @param config Grid-solver policy for the inner thermal solves.
  */
 CoupledResult
 solveCoupled(const CoreDesign &design,
              const std::map<std::string, double> &block_power,
-             double leakage_fraction=0.20, int grid=16);
+             double leakage_fraction=0.20, int grid=16,
+             const SolverConfig &config=SolverConfig());
 
 } // namespace m3d
 

@@ -1,11 +1,26 @@
 #include "thermal/solver.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <sstream>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace m3d {
+
+namespace {
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+} // namespace
 
 double
 ThermalField::at(int layer, int y, int x) const
@@ -42,138 +57,21 @@ ThermalField::peakIn(int layer, double x0, double y0, double x1,
     return p;
 }
 
-std::vector<GridSolver::TransientSample>
-GridSolver::solveTransient(
-    const std::vector<std::vector<double>> &power_per_source,
-    double dt, int steps) const
+/** Per-solve conductances, capacitances, and power injection. */
+struct GridSolver::Coefficients
 {
-    M3D_ASSERT(dt > 0.0 && steps >= 1);
-    const int n = grid_;
-    const int nl = static_cast<int>(stack_.layers.size());
-    const std::vector<std::size_t> sources = stack_.sourceLayers();
-    M3D_ASSERT(power_per_source.size() == sources.size(),
-               "one power map per source layer required");
+    int n = 0;
+    int nl = 0;
+    std::vector<double> g_up;  ///< vertical conductance l -> l+1
+    std::vector<double> g_lat; ///< lateral conductance inside layer l
+    std::vector<double> cap;   ///< per-cell heat capacity of layer l
+    std::vector<double> power; ///< W injected per node
+    double g_sink = 0.0;       ///< per-cell conductance to ambient
+    double sink_cap_per_cell = 0.0;
+};
 
-    const double a_cell = cell_w_ * cell_h_;
-
-    std::vector<double> g_up(static_cast<std::size_t>(nl), 0.0);
-    for (int l = 0; l + 1 < nl; ++l) {
-        const ThermalLayer &a = stack_.layers[static_cast<std::size_t>(l)];
-        const ThermalLayer &b =
-            stack_.layers[static_cast<std::size_t>(l + 1)];
-        const double r = a.thickness / (2.0 * a.conductivity * a_cell) +
-                         b.thickness / (2.0 * b.conductivity * a_cell);
-        g_up[static_cast<std::size_t>(l)] = 1.0 / r;
-    }
-    std::vector<double> g_lat(static_cast<std::size_t>(nl), 0.0);
-    std::vector<double> cap(static_cast<std::size_t>(nl), 0.0);
-    for (int l = 0; l < nl; ++l) {
-        const ThermalLayer &s = stack_.layers[static_cast<std::size_t>(l)];
-        g_lat[static_cast<std::size_t>(l)] =
-            s.conductivity * s.thickness * (cell_h_ / cell_w_);
-        cap[static_cast<std::size_t>(l)] =
-            s.heat_capacity * s.thickness * a_cell;
-    }
-    const double g_sink =
-        1.0 / (stack_.sink_resistance * static_cast<double>(n) *
-               static_cast<double>(n));
-    // The heat sink's own thermal mass buffers the last layer.
-    const double sink_cap_per_cell = 50.0 /* J/K total */ /
-        (static_cast<double>(n) * n);
-
-    std::vector<double> power(
-        static_cast<std::size_t>(nl) * n * n, 0.0);
-    for (std::size_t s = 0; s < sources.size(); ++s) {
-        const std::size_t l = sources[s];
-        for (int i = 0; i < n * n; ++i) {
-            power[l * static_cast<std::size_t>(n) * n +
-                  static_cast<std::size_t>(i)] =
-                power_per_source[s][static_cast<std::size_t>(i)];
-        }
-    }
-
-    std::vector<double> t(static_cast<std::size_t>(nl) * n * n,
-                          stack_.ambient_c);
-    auto idx = [n](int l, int y, int x) {
-        return (static_cast<std::size_t>(l) * n + y) * n + x;
-    };
-
-    std::vector<TransientSample> out;
-    out.reserve(static_cast<std::size_t>(steps));
-    std::vector<double> t_prev = t;
-
-    for (int step = 1; step <= steps; ++step) {
-        t_prev = t;
-        // Backward Euler: a few Gauss-Seidel sweeps per step suffice
-        // because dt couples each node mostly to itself.
-        for (int sweep = 0; sweep < 60; ++sweep) {
-            double max_delta = 0.0;
-            for (int l = 0; l < nl; ++l) {
-                const double gl = g_lat[static_cast<std::size_t>(l)];
-                const double c_node =
-                    cap[static_cast<std::size_t>(l)] +
-                    (l + 1 == nl ? sink_cap_per_cell : 0.0);
-                for (int y = 0; y < n; ++y) {
-                    for (int x = 0; x < n; ++x) {
-                        double g_total = c_node / dt;
-                        double flow =
-                            (c_node / dt) * t_prev[idx(l, y, x)];
-                        auto couple = [&](double g, double tn) {
-                            g_total += g;
-                            flow += g * tn;
-                        };
-                        if (x > 0)
-                            couple(gl, t[idx(l, y, x - 1)]);
-                        if (x + 1 < n)
-                            couple(gl, t[idx(l, y, x + 1)]);
-                        if (y > 0)
-                            couple(gl, t[idx(l, y - 1, x)]);
-                        if (y + 1 < n)
-                            couple(gl, t[idx(l, y + 1, x)]);
-                        if (l + 1 < nl) {
-                            couple(g_up[static_cast<std::size_t>(l)],
-                                   t[idx(l + 1, y, x)]);
-                        } else {
-                            couple(g_sink, stack_.ambient_c);
-                        }
-                        if (l > 0) {
-                            couple(
-                                g_up[static_cast<std::size_t>(l - 1)],
-                                t[idx(l - 1, y, x)]);
-                        }
-                        const double p = power[idx(l, y, x)];
-                        const double t_new = (flow + p) / g_total;
-                        max_delta = std::max(
-                            max_delta,
-                            std::abs(t_new - t[idx(l, y, x)]));
-                        t[idx(l, y, x)] = t_new;
-                    }
-                }
-            }
-            if (max_delta < 1e-6)
-                break;
-        }
-        double peak = t.front();
-        for (double v : t)
-            peak = std::max(peak, v);
-        out.push_back({static_cast<double>(step) * dt, peak});
-    }
-    return out;
-}
-
-GridSolver::GridSolver(const LayerStack &stack, double chip_w,
-                       double chip_h, int grid)
-    : stack_(stack), chip_w_(chip_w), chip_h_(chip_h),
-      cell_w_(chip_w / grid), cell_h_(chip_h / grid), grid_(grid)
-{
-    M3D_ASSERT(grid >= 4, "grid too coarse");
-    M3D_ASSERT(!stack_.layers.empty());
-    M3D_ASSERT(!stack_.sourceLayers().empty(),
-               "stack has no heat-source layer");
-}
-
-ThermalField
-GridSolver::solve(
+GridSolver::Coefficients
+GridSolver::assemble(
     const std::vector<std::vector<double>> &power_per_source) const
 {
     const int n = grid_;
@@ -187,102 +85,297 @@ GridSolver::solve(
     }
 
     const double a_cell = cell_w_ * cell_h_;
+    Coefficients c;
+    c.n = n;
+    c.nl = nl;
 
     // Vertical conductance between layer l and l+1 (per cell).
-    std::vector<double> g_up(static_cast<std::size_t>(nl), 0.0);
+    c.g_up.assign(static_cast<std::size_t>(nl), 0.0);
     for (int l = 0; l + 1 < nl; ++l) {
         const ThermalLayer &a = stack_.layers[static_cast<std::size_t>(l)];
         const ThermalLayer &b =
             stack_.layers[static_cast<std::size_t>(l + 1)];
         const double r = a.thickness / (2.0 * a.conductivity * a_cell) +
                          b.thickness / (2.0 * b.conductivity * a_cell);
-        g_up[static_cast<std::size_t>(l)] = 1.0 / r;
+        c.g_up[static_cast<std::size_t>(l)] = 1.0 / r;
     }
 
-    // Lateral conductance inside a layer (square cells: k * t).
-    std::vector<double> g_lat(static_cast<std::size_t>(nl), 0.0);
+    // Lateral conductance inside a layer (square cells: k * t) and
+    // per-cell heat capacity (transient only).
+    c.g_lat.assign(static_cast<std::size_t>(nl), 0.0);
+    c.cap.assign(static_cast<std::size_t>(nl), 0.0);
     for (int l = 0; l < nl; ++l) {
         const ThermalLayer &s = stack_.layers[static_cast<std::size_t>(l)];
-        g_lat[static_cast<std::size_t>(l)] =
+        c.g_lat[static_cast<std::size_t>(l)] =
             s.conductivity * s.thickness * (cell_h_ / cell_w_);
+        c.cap[static_cast<std::size_t>(l)] =
+            s.heat_capacity * s.thickness * a_cell;
     }
 
-    // Sink conductance per cell behind the last layer.
-    const double g_sink =
-        1.0 / (stack_.sink_resistance * static_cast<double>(n) *
-               static_cast<double>(n));
+    // Sink conductance per cell behind the last layer; the sink's own
+    // thermal mass buffers the last layer in transient solves.
+    c.g_sink = 1.0 / (stack_.sink_resistance * static_cast<double>(n) *
+                      static_cast<double>(n));
+    c.sink_cap_per_cell =
+        50.0 /* J/K total */ / (static_cast<double>(n) * n);
 
     // Power injection per node.
-    std::vector<double> power(
-        static_cast<std::size_t>(nl) * n * n, 0.0);
+    c.power.assign(static_cast<std::size_t>(nl) * n * n, 0.0);
     for (std::size_t s = 0; s < sources.size(); ++s) {
         const std::size_t l = sources[s];
         for (int i = 0; i < n * n; ++i) {
-            power[l * static_cast<std::size_t>(n) * n +
-                  static_cast<std::size_t>(i)] =
+            c.power[l * static_cast<std::size_t>(n) * n +
+                    static_cast<std::size_t>(i)] =
                 power_per_source[s][static_cast<std::size_t>(i)];
         }
     }
+    return c;
+}
 
-    // SOR solve.
+double
+GridSolver::sweepColor(const Coefficients &c, std::vector<double> &t,
+                       const std::vector<double> &flow_base,
+                       const std::vector<double> &diag, double omega,
+                       int color) const
+{
+    const int n = c.n;
+    const int nl = c.nl;
+    const std::size_t plane = static_cast<std::size_t>(n) * n;
+
+    // Each grid row (one l,y pair) holds cells of alternating color;
+    // a cell's 6 neighbors all have the opposite parity of
+    // (l + y + x), so updating one color only reads the other - rows
+    // can be processed concurrently with bit-identical results.
+    auto sweepRows = [&](int row_begin, int row_end) {
+        double local_max = 0.0;
+        for (int r = row_begin; r < row_end; ++r) {
+            const int l = r / n;
+            const int y = r % n;
+            const double gl = c.g_lat[static_cast<std::size_t>(l)];
+            const double g_diag = diag.empty()
+                ? 0.0
+                : diag[static_cast<std::size_t>(l)];
+            const std::size_t row_base =
+                static_cast<std::size_t>(l) * plane +
+                static_cast<std::size_t>(y) * n;
+            for (int x = (color + l + y) & 1; x < n; x += 2) {
+                const std::size_t i = row_base + x;
+                double g_total = g_diag;
+                double flow = flow_base[i];
+                auto couple = [&](double g, double tn) {
+                    g_total += g;
+                    flow += g * tn;
+                };
+                if (x > 0)
+                    couple(gl, t[i - 1]);
+                if (x + 1 < n)
+                    couple(gl, t[i + 1]);
+                if (y > 0)
+                    couple(gl, t[i - n]);
+                if (y + 1 < n)
+                    couple(gl, t[i + n]);
+                if (l + 1 < nl) {
+                    couple(c.g_up[static_cast<std::size_t>(l)],
+                           t[i + plane]);
+                } else {
+                    couple(c.g_sink, stack_.ambient_c);
+                }
+                if (l > 0) {
+                    couple(c.g_up[static_cast<std::size_t>(l - 1)],
+                           t[i - plane]);
+                }
+                const double t_new = flow / g_total;
+                const double t_old = t[i];
+                const double t_next =
+                    t_old + omega * (t_new - t_old);
+                local_max = std::max(local_max,
+                                     std::abs(t_next - t_old));
+                t[i] = t_next;
+            }
+        }
+        return local_max;
+    };
+
+    const int rows = nl * n;
+    if (!pool_)
+        return sweepRows(0, rows);
+
+    const int workers = std::max(1, pool_->threads());
+    const int chunk = config_.rows_per_task > 0
+        ? config_.rows_per_task
+        : std::max(1, (rows + workers - 1) / workers);
+    const int tasks = (rows + chunk - 1) / chunk;
+    std::vector<double> task_max(static_cast<std::size_t>(tasks), 0.0);
+    pool_->parallelFor(static_cast<std::size_t>(tasks),
+                       [&](std::size_t ti) {
+                           const int begin = static_cast<int>(ti) * chunk;
+                           const int end =
+                               std::min(rows, begin + chunk);
+                           task_max[ti] = sweepRows(begin, end);
+                       });
+    double max_delta = 0.0;
+    for (double v : task_max)
+        max_delta = std::max(max_delta, v);
+    return max_delta;
+}
+
+void
+GridSolver::finishSolve(SolveStats &st, SolveStats *stats_out,
+                        const char *what) const
+{
+    if (!st.converged) {
+        std::ostringstream oss;
+        oss << what << " thermal solve did not converge: residual "
+            << st.residual << " C after " << st.iterations
+            << " sweeps (tolerance " << config_.tolerance << " C)";
+        if (config_.on_non_convergence ==
+            SolverConfig::OnNonConvergence::Error) {
+            if (stats_out)
+                *stats_out = st;
+            throw NonConvergenceError(oss.str(), st);
+        }
+        M3D_WARN(oss.str(), "; returning the partial field");
+    }
+    if (stats_out)
+        *stats_out = st;
+}
+
+GridSolver::GridSolver(const LayerStack &stack, double chip_w,
+                       double chip_h, int grid,
+                       const SolverConfig &config)
+    : stack_(stack), chip_w_(chip_w), chip_h_(chip_h),
+      cell_w_(chip_w / grid), cell_h_(chip_h / grid), grid_(grid),
+      config_(config)
+{
+    M3D_ASSERT(grid >= 4, "grid too coarse");
+    M3D_ASSERT(!stack_.layers.empty());
+    M3D_ASSERT(!stack_.sourceLayers().empty(),
+               "stack has no heat-source layer");
+    M3D_ASSERT(config_.tolerance > 0.0, "tolerance must be positive");
+    M3D_ASSERT(config_.max_steady_iterations >= 1);
+    M3D_ASSERT(config_.max_transient_sweeps >= 1);
+    const int threads = ThreadPool::resolveThreads(config_.threads);
+    if (threads > 1)
+        pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+GridSolver::~GridSolver() = default;
+
+ThermalField
+GridSolver::solve(
+    const std::vector<std::vector<double>> &power_per_source,
+    SolveStats *stats) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const Coefficients c = assemble(power_per_source);
+
     ThermalField field;
-    field.grid = n;
-    field.layers = nl;
-    field.t_c.assign(static_cast<std::size_t>(nl) * n * n,
+    field.grid = c.n;
+    field.layers = c.nl;
+    field.t_c.assign(static_cast<std::size_t>(c.nl) * c.n * c.n,
                      stack_.ambient_c);
     std::vector<double> &t = field.t_c;
 
-    auto idx = [n](int l, int y, int x) {
-        return (static_cast<std::size_t>(l) * n + y) * n + x;
-    };
+    // Steady state has no capacitive diagonal term; the sweep's base
+    // flow is just the injected power.
+    const std::vector<double> no_diag;
 
-    const double omega = 1.8;
-    const int max_iters = 20000;
-    for (int iter = 0; iter < max_iters; ++iter) {
-        double max_delta = 0.0;
+    SolveStats st;
+    double max_delta = 0.0;
+    for (int iter = 1; iter <= config_.max_steady_iterations; ++iter) {
+        st.iterations = iter;
+        max_delta = std::max(
+            sweepColor(c, t, c.power, no_diag, config_.omega, 0),
+            sweepColor(c, t, c.power, no_diag, config_.omega, 1));
+        if (max_delta < config_.tolerance) {
+            st.converged = true;
+            break;
+        }
+    }
+    st.residual = max_delta;
+    st.seconds = elapsedSeconds(t0);
+    finishSolve(st, stats, "steady-state");
+    return field;
+}
+
+std::vector<GridSolver::TransientSample>
+GridSolver::solveTransient(
+    const std::vector<std::vector<double>> &power_per_source,
+    double dt, int steps, SolveStats *stats) const
+{
+    M3D_ASSERT(dt > 0.0 && steps >= 1);
+    const auto t0 = std::chrono::steady_clock::now();
+    const Coefficients c = assemble(power_per_source);
+    const int n = c.n;
+    const int nl = c.nl;
+    const std::size_t cells =
+        static_cast<std::size_t>(nl) * n * n;
+
+    // Backward Euler adds c_node/dt to each node's diagonal and
+    // (c_node/dt) * T_prev to its flow.
+    std::vector<double> diag(static_cast<std::size_t>(nl), 0.0);
+    for (int l = 0; l < nl; ++l) {
+        const double c_node = c.cap[static_cast<std::size_t>(l)] +
+            (l + 1 == nl ? c.sink_cap_per_cell : 0.0);
+        diag[static_cast<std::size_t>(l)] = c_node / dt;
+    }
+
+    std::vector<double> t(cells, stack_.ambient_c);
+    // Per-step constant part of each node's flow: the capacitive
+    // pull towards the previous state plus the injected power.
+    // Hoisting it here (instead of copying the field and recomputing
+    // it inside every sweep) does the work once per step, not once
+    // per sweep.
+    std::vector<double> flow_base(cells, 0.0);
+
+    std::vector<TransientSample> out;
+    out.reserve(static_cast<std::size_t>(steps));
+
+    SolveStats st;
+    int failed_steps = 0;
+    for (int step = 1; step <= steps; ++step) {
+        st.steps = step;
         for (int l = 0; l < nl; ++l) {
-            const double gl = g_lat[static_cast<std::size_t>(l)];
-            for (int y = 0; y < n; ++y) {
-                for (int x = 0; x < n; ++x) {
-                    double g_total = 0.0;
-                    double flow = 0.0;
-                    auto couple = [&](double g, double tn) {
-                        g_total += g;
-                        flow += g * tn;
-                    };
-                    if (x > 0)
-                        couple(gl, t[idx(l, y, x - 1)]);
-                    if (x + 1 < n)
-                        couple(gl, t[idx(l, y, x + 1)]);
-                    if (y > 0)
-                        couple(gl, t[idx(l, y - 1, x)]);
-                    if (y + 1 < n)
-                        couple(gl, t[idx(l, y + 1, x)]);
-                    if (l + 1 < nl) {
-                        couple(g_up[static_cast<std::size_t>(l)],
-                               t[idx(l + 1, y, x)]);
-                    } else {
-                        couple(g_sink, stack_.ambient_c);
-                    }
-                    if (l > 0) {
-                        couple(g_up[static_cast<std::size_t>(l - 1)],
-                               t[idx(l - 1, y, x)]);
-                    }
-                    const double p = power[idx(l, y, x)];
-                    const double t_new = (flow + p) / g_total;
-                    const double t_old = t[idx(l, y, x)];
-                    const double t_sor =
-                        t_old + omega * (t_new - t_old);
-                    max_delta =
-                        std::max(max_delta, std::abs(t_sor - t_old));
-                    t[idx(l, y, x)] = t_sor;
-                }
+            const double d = diag[static_cast<std::size_t>(l)];
+            const std::size_t base =
+                static_cast<std::size_t>(l) * n * n;
+            for (std::size_t i = 0;
+                 i < static_cast<std::size_t>(n) * n; ++i) {
+                flow_base[base + i] =
+                    d * t[base + i] + c.power[base + i];
             }
         }
-        if (max_delta < 1e-5)
-            break;
+        bool step_converged = false;
+        double max_delta = 0.0;
+        for (int sweep = 0; sweep < config_.max_transient_sweeps;
+             ++sweep) {
+            ++st.iterations;
+            max_delta =
+                std::max(sweepColor(c, t, flow_base, diag, 1.0, 0),
+                         sweepColor(c, t, flow_base, diag, 1.0, 1));
+            if (max_delta < config_.tolerance) {
+                step_converged = true;
+                break;
+            }
+        }
+        st.residual = std::max(st.residual, max_delta);
+        if (!step_converged) {
+            ++failed_steps;
+            if (config_.on_non_convergence ==
+                SolverConfig::OnNonConvergence::Error) {
+                st.seconds = elapsedSeconds(t0);
+                finishSolve(st, stats, "transient");
+            }
+        }
+        double peak = t.front();
+        for (double v : t)
+            peak = std::max(peak, v);
+        out.push_back({static_cast<double>(step) * dt, peak});
     }
-    return field;
+    st.converged = failed_steps == 0;
+    st.seconds = elapsedSeconds(t0);
+    finishSolve(st, stats, "transient");
+    return out;
 }
 
 } // namespace m3d

@@ -6,9 +6,10 @@
 
 namespace m3d {
 
-ThermalModel::ThermalModel(const CoreDesign &design, int grid)
+ThermalModel::ThermalModel(const CoreDesign &design, int grid,
+                           const SolverConfig &config)
     : design_(design), stack_(LayerStack::of(design.tech.integration)),
-      grid_(grid)
+      grid_(grid), config_(config)
 {
     Floorplan fp = Floorplan::ryzenLikeCore();
     if (design_.stacked()) {
@@ -25,7 +26,8 @@ ThermalModel::solve(
     const std::map<std::string, double> &block_power) const
 {
     const int n = grid_;
-    GridSolver solver(stack_, floorplan_.width, floorplan_.height, n);
+    GridSolver solver(stack_, floorplan_.width, floorplan_.height, n,
+                      config_);
     const std::vector<std::size_t> sources = stack_.sourceLayers();
     const std::size_t n_sources = sources.size();
 
@@ -76,9 +78,8 @@ ThermalModel::solve(
         }
     }
 
-    ThermalField field = solver.solve(maps);
-
     ThermalResult out;
+    ThermalField field = solver.solve(maps, &out.solver);
     out.peak_c = field.peak();
     for (const FloorplanBlock &b : floorplan_.blocks) {
         double peak = 0.0;

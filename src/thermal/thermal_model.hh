@@ -24,6 +24,8 @@ struct ThermalResult
     double peak_c = 0.0;          ///< hottest point anywhere
     std::string hottest_block;    ///< which block holds it
     std::map<std::string, double> block_peak_c;
+    /** Telemetry of the underlying grid solve. */
+    SolveStats solver;
 };
 
 /** Thermal evaluation harness. */
@@ -33,8 +35,11 @@ class ThermalModel
     /**
      * @param design The core design (integration style, footprint).
      * @param grid Solver resolution per side.
+     * @param config Solver convergence/execution policy (threads,
+     *        tolerance, non-convergence handling).
      */
-    explicit ThermalModel(const CoreDesign &design, int grid=32);
+    explicit ThermalModel(const CoreDesign &design, int grid=32,
+                          const SolverConfig &config=SolverConfig());
 
     /**
      * Solve for a block power map (from PowerModel::blockPower).
@@ -44,12 +49,14 @@ class ThermalModel
                             block_power) const;
 
     const Floorplan &floorplan() const { return floorplan_; }
+    const SolverConfig &config() const { return config_; }
 
   private:
     CoreDesign design_;
     Floorplan floorplan_;
     LayerStack stack_;
     int grid_;
+    SolverConfig config_;
 };
 
 } // namespace m3d

@@ -7,6 +7,8 @@ namespace m3d {
 
 ThreadPool::ThreadPool(int threads)
 {
+    // threads <= 1 spawns no workers: the inline pool (see the
+    // header's "threads == 1 contract").
     const int n = std::max(0, threads <= 1 ? 0 : threads);
     workers_.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i)

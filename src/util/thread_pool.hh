@@ -8,9 +8,22 @@
  * negligible and a deterministic structure is worth more than the
  * last few percent of throughput.
  *
- * With `threads <= 1` the pool runs everything inline on the calling
- * thread, so a serial run takes exactly the code path a parallel run
- * takes minus the threads - results must be identical by construction.
+ * ## The `threads == 1` contract
+ *
+ * With `threads <= 1` the pool spawns NO worker threads: submit()
+ * runs each task inline on the calling thread, in submission order,
+ * before returning.  A request for exactly one worker is therefore
+ * deliberately identical to a serial run - one worker thread would
+ * execute the same tasks in the same FIFO order, only with extra
+ * queue/wakeup latency and a nondeterministic interleaving against
+ * the submitting thread.  Every layer agrees on this meaning:
+ * resolveThreads(1) returns 1, ThreadPool(1) is the inline pool, and
+ * a user-facing `--jobs 1` always means "deterministic serial
+ * order", never "one background worker".  threads() reports 0 for an
+ * inline pool (the number of spawned workers, not the request).
+ *
+ * A serial run thus takes exactly the code path a parallel run takes
+ * minus the threads - results must be identical by construction.
  */
 
 #ifndef M3D_UTIL_THREAD_POOL_HH_
@@ -33,7 +46,9 @@ class ThreadPool
   public:
     /**
      * @param threads Worker count; <= 1 means no workers are spawned
-     *                and tasks run inline when submitted or waited on.
+     *                and tasks run inline, in submission order, when
+     *                submitted (see the file comment: a 1-thread
+     *                request IS the serial inline pool).
      */
     explicit ThreadPool(int threads);
 
@@ -62,8 +77,10 @@ class ThreadPool
                      const std::function<void(std::size_t)> &body);
 
     /**
-     * Resolve a user-facing thread request: values >= 1 pass through,
-     * anything else means "all hardware threads".
+     * Resolve a user-facing thread request (e.g. a `--jobs` flag):
+     * values >= 1 pass through unchanged - in particular 1 stays 1,
+     * which constructs the inline serial pool - and anything else
+     * means "all hardware threads" (never less than 1).
      */
     static int resolveThreads(int requested);
 

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the grid solver's convergence machinery: the
+ * SolveStats telemetry, the non-convergence policy, the analytic
+ * 1-D limit, and the bit-identical parallel red-black sweeps.
+ * (test_thermal.cc covers the physics; this file covers the solver.)
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "thermal/solver.hh"
+#include "thermal/thermal_model.hh"
+#include "util/units.hh"
+
+namespace m3d {
+namespace {
+
+using namespace units;
+
+std::vector<std::vector<double>>
+uniformPower(const LayerStack &stack, int grid, double watts)
+{
+    const std::size_t sources = stack.sourceLayers().size();
+    const double per_cell =
+        watts / (static_cast<double>(grid) * grid * sources);
+    return std::vector<std::vector<double>>(
+        sources, std::vector<double>(
+                     static_cast<std::size_t>(grid) * grid, per_cell));
+}
+
+TEST(SolverConvergence, MatchesAnalyticOneDStack)
+{
+    // Uniform power has no lateral gradient, so every column is the
+    // same 1-D resistor chain: the source layer sits at
+    //   ambient + W * R_sink + (W / n^2) * sum(interface resistances)
+    // over the interfaces between the source and the sink, and the
+    // layers above the source are isothermal with it.
+    const LayerStack stack = LayerStack::planar2D();
+    const int n = 16;
+    const double side = 3.0 * mm;
+    const double watts = 5.0;
+
+    SolverConfig cfg;
+    cfg.tolerance = 1e-9; // analytic check: far below the default
+    GridSolver solver(stack, side, side, n, cfg);
+    SolveStats stats;
+    const ThermalField f =
+        solver.solve(uniformPower(stack, n, watts), &stats);
+    EXPECT_TRUE(stats.converged);
+
+    const double cell = side / n;
+    const double a_cell = cell * cell;
+    const int src = static_cast<int>(stack.sourceLayers()[0]);
+    const int nl = static_cast<int>(stack.layers.size());
+    double expect = stack.ambient_c + watts * stack.sink_resistance;
+    for (int l = src; l + 1 < nl; ++l) {
+        const ThermalLayer &a = stack.layers[static_cast<std::size_t>(l)];
+        const ThermalLayer &b =
+            stack.layers[static_cast<std::size_t>(l + 1)];
+        const double r =
+            a.thickness / (2.0 * a.conductivity * a_cell) +
+            b.thickness / (2.0 * b.conductivity * a_cell);
+        expect += (watts / (n * n)) * r;
+    }
+    EXPECT_NEAR(f.at(src, n / 2, n / 2), expect, 1e-5);
+    // No vertical flux above the source: isothermal.
+    EXPECT_NEAR(f.at(0, n / 2, n / 2), f.at(src, n / 2, n / 2), 1e-6);
+}
+
+TEST(SolverConvergence, ExhaustedBudgetThrowsWithStats)
+{
+    const LayerStack stack = LayerStack::m3d();
+    SolverConfig cfg;
+    cfg.max_steady_iterations = 2; // cannot possibly converge
+    GridSolver solver(stack, 2.3 * mm, 2.3 * mm, 16, cfg);
+    const auto power = uniformPower(stack, 16, 6.4);
+    try {
+        solver.solve(power);
+        FAIL() << "non-converged solve returned silently";
+    } catch (const NonConvergenceError &e) {
+        EXPECT_EQ(e.stats().iterations, 2);
+        EXPECT_FALSE(e.stats().converged);
+        EXPECT_GT(e.stats().residual, cfg.tolerance);
+    }
+    // The out-param carries the same telemetry when the caller asked
+    // for it (so a catch site can report without parsing the what()).
+    SolveStats stats;
+    EXPECT_THROW(solver.solve(power, &stats), NonConvergenceError);
+    EXPECT_FALSE(stats.converged);
+    EXPECT_EQ(stats.iterations, 2);
+}
+
+TEST(SolverConvergence, TransientBudgetThrowsOnStiffStack)
+{
+    // The M3D stack's sub-um layers make its backward-Euler systems
+    // stiff; one sweep per step is nowhere near enough.  This is the
+    // regression test for the old silent 60-sweep cap.
+    const LayerStack stack = LayerStack::m3d();
+    SolverConfig cfg;
+    cfg.max_transient_sweeps = 1;
+    GridSolver solver(stack, 2.3 * mm, 2.3 * mm, 16, cfg);
+    EXPECT_THROW(
+        solver.solveTransient(uniformPower(stack, 16, 6.4), 2e-4, 10),
+        NonConvergenceError);
+}
+
+TEST(SolverConvergence, WarnPolicyReturnsPartialField)
+{
+    const LayerStack stack = LayerStack::m3d();
+    SolverConfig cfg;
+    cfg.max_steady_iterations = 2;
+    cfg.on_non_convergence = SolverConfig::OnNonConvergence::Warn;
+    GridSolver solver(stack, 2.3 * mm, 2.3 * mm, 16, cfg);
+    SolveStats stats;
+    const ThermalField f =
+        solver.solve(uniformPower(stack, 16, 6.4), &stats);
+    EXPECT_FALSE(stats.converged);
+    EXPECT_EQ(stats.iterations, 2);
+    EXPECT_GT(stats.residual, cfg.tolerance);
+    // The partial field is still a field (warmer than nothing).
+    EXPECT_GT(f.peak(), stack.ambient_c);
+}
+
+TEST(SolverConvergence, StatsPopulatedOnSuccess)
+{
+    const LayerStack stack = LayerStack::planar2D();
+    GridSolver solver(stack, 3.0 * mm, 3.0 * mm, 16);
+    SolveStats steady;
+    solver.solve(uniformPower(stack, 16, 4.0), &steady);
+    EXPECT_TRUE(steady.converged);
+    EXPECT_GT(steady.iterations, 0);
+    EXPECT_EQ(steady.steps, 0);
+    EXPECT_LT(steady.residual, solver.config().tolerance);
+    EXPECT_GE(steady.seconds, 0.0);
+
+    SolveStats transient;
+    solver.solveTransient(uniformPower(stack, 16, 4.0), 2e-4, 7,
+                          &transient);
+    EXPECT_TRUE(transient.converged);
+    EXPECT_EQ(transient.steps, 7);
+    EXPECT_GE(transient.iterations, 7);
+    EXPECT_LT(transient.residual, solver.config().tolerance);
+}
+
+TEST(SolverConvergence, LooserToleranceConvergesFaster)
+{
+    const LayerStack stack = LayerStack::planar2D();
+    SolverConfig tight;
+    tight.tolerance = 1e-7;
+    SolverConfig loose;
+    loose.tolerance = 1e-3;
+    GridSolver st(stack, 3.0 * mm, 3.0 * mm, 16, tight);
+    GridSolver sl(stack, 3.0 * mm, 3.0 * mm, 16, loose);
+    SolveStats a, b;
+    st.solve(uniformPower(stack, 16, 6.0), &a);
+    sl.solve(uniformPower(stack, 16, 6.0), &b);
+    EXPECT_LT(b.iterations, a.iterations);
+}
+
+TEST(SolverParallel, RedBlackMatchesSerialBitExactly)
+{
+    // The red-black update of one color reads only the other color,
+    // so the parallel sweeps must reproduce the serial field exactly
+    // - not merely within tolerance - at any thread count.
+    const LayerStack stack = LayerStack::m3d();
+    const int n = 16;
+    const auto power = uniformPower(stack, n, 6.4);
+
+    SolverConfig serial_cfg;
+    serial_cfg.threads = 1;
+    SolverConfig par_cfg;
+    par_cfg.threads = 8;
+    GridSolver serial(stack, 2.3 * mm, 2.3 * mm, n, serial_cfg);
+    GridSolver parallel(stack, 2.3 * mm, 2.3 * mm, n, par_cfg);
+
+    SolveStats ss, ps;
+    const ThermalField a = serial.solve(power, &ss);
+    const ThermalField b = parallel.solve(power, &ps);
+    ASSERT_EQ(a.t_c.size(), b.t_c.size());
+    for (std::size_t i = 0; i < a.t_c.size(); ++i)
+        EXPECT_NEAR(a.t_c[i], b.t_c[i], 1e-9) << "cell " << i;
+    EXPECT_EQ(ss.iterations, ps.iterations);
+
+    const auto ta = serial.solveTransient(power, 2e-4, 10);
+    const auto tb = parallel.solveTransient(power, 2e-4, 10);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t i = 0; i < ta.size(); ++i)
+        EXPECT_NEAR(ta[i].peak_c, tb[i].peak_c, 1e-9);
+}
+
+TEST(SolverParallel, RowChunkingNeverAffectsResults)
+{
+    const LayerStack stack = LayerStack::tsv3d();
+    const int n = 16;
+    const auto power = uniformPower(stack, n, 6.0);
+    SolverConfig base;
+    base.threads = 4;
+    SolverConfig odd = base;
+    odd.rows_per_task = 3; // deliberately ragged chunks
+    GridSolver sa(stack, 2.3 * mm, 2.3 * mm, n, base);
+    GridSolver sb(stack, 2.3 * mm, 2.3 * mm, n, odd);
+    const ThermalField a = sa.solve(power);
+    const ThermalField b = sb.solve(power);
+    for (std::size_t i = 0; i < a.t_c.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.t_c[i], b.t_c[i]);
+}
+
+TEST(SolverTelemetry, ThermalModelThreadsStatsThrough)
+{
+    DesignFactory factory;
+    ThermalModel tm(factory.m3dHet(), 16);
+    std::map<std::string, double> blocks = {
+        {"ALU", 1.0}, {"FPU", 0.8}, {"Fetch", 0.6}, {"Clock", 1.2}};
+    const ThermalResult r = tm.solve(blocks);
+    EXPECT_TRUE(r.solver.converged);
+    EXPECT_GT(r.solver.iterations, 0);
+    EXPECT_LT(r.solver.residual, tm.config().tolerance);
+    EXPECT_GE(r.solver.seconds, 0.0);
+}
+
+} // namespace
+} // namespace m3d

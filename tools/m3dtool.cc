@@ -27,6 +27,7 @@
 
 #include "arch/stats_dump.hh"
 #include "engine/evaluator.hh"
+#include "report/json.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "power/sim_harness.hh"
@@ -387,6 +388,11 @@ cmdThermal(const std::vector<std::string> &args)
     t.print(std::cout);
     std::cout << "Peak: " << Table::num(th.peak_c, 1) << " C in "
               << th.hottest_block << "\n";
+    std::cout << "Solver: " << th.solver.iterations
+              << " sweeps, residual "
+              << report::Json::formatNumber(th.solver.residual)
+              << " C, " << Table::num(th.solver.seconds * 1e3, 1)
+              << " ms\n";
     return 0;
 }
 

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Wall-clock benchmark of the design-space search: serial vs
+ * parallel pricing of one seeded random search, plus a warm rerun
+ * that measures the evaluation engine's cache leverage.  Emits
+ * BENCH_search.json (hand-built JSON, not an m3d-report emission:
+ * wall time is machine-dependent, so this file is exempt from the
+ * golden harness like perf_thermal / perf_models).
+ *
+ * Because every strategy routes through the engine's
+ * submission-order merge, the serial and parallel runs must return
+ * identical results - this bench cross-checks that too.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/evaluator.hh"
+#include "report/json.hh"
+#include "search/strategy.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+
+using namespace m3d;
+
+namespace {
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** One full random-strategy search on a fresh objective evaluator. */
+search::SearchResult
+runOnce(engine::Evaluator &ev, const search::SearchSpace &space,
+        const search::StrategyOptions &sopts, double *ms,
+        engine::BatchStats *stats)
+{
+    search::ObjectiveEvaluator objectives(ev);
+    const double t0 = nowMs();
+    search::SearchResult r = search::runSearch(
+        space, "random", sopts,
+        search::enginePricer(space, objectives),
+        search::coreBaselinePoint(space));
+    *ms = nowMs() - t0;
+    // The strategy's main fan-out is the last run batch the engine
+    // saw; its hit/miss split is the cache leverage of this pass.
+    *stats = ev.lastBatchStats();
+    return r;
+}
+
+bool
+sameResult(const search::SearchResult &a,
+           const search::SearchResult &b)
+{
+    if (a.evaluated != b.evaluated ||
+        a.frontier.size() != b.frontier.size() ||
+        a.best.point != b.best.point || a.best_score != b.best_score)
+        return false;
+    for (std::size_t i = 0; i < a.frontier.size(); ++i) {
+        if (a.frontier[i].point != b.frontier[i].point ||
+            a.frontier[i].obj != b.frontier[i].obj)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int jobs = 8;
+    std::uint64_t budget = 12;
+    std::uint64_t instructions = 20000;
+    std::string json_path = "BENCH_search.json";
+    cli::Parser parser("perf_search",
+                       "Design-space search wall clock: serial vs "
+                       "parallel pricing, plus warm-cache rerun.");
+    parser.flag("jobs", &jobs,
+                "threads for the parallel run; 0 means all hardware "
+                "threads")
+        .flag("budget", &budget, "points to price per search")
+        .flag("instructions", &instructions,
+              "measured instruction count per application run")
+        .flag("json", &json_path, "write results to this file");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    const int hw =
+        static_cast<int>(std::thread::hardware_concurrency());
+    const search::SearchSpace space = search::coreSpace();
+    search::StrategyOptions sopts;
+    sopts.seed = 7;
+    sopts.budget = budget;
+
+    engine::EvalOptions serial_opts;
+    serial_opts.threads = 1;
+    serial_opts.budget.measured = instructions;
+    engine::EvalOptions par_opts = serial_opts;
+    par_opts.threads = jobs;
+
+    double serial_ms = 0.0, par_ms = 0.0, warm_ms = 0.0;
+    engine::BatchStats serial_stats, par_stats, warm_stats;
+
+    engine::Evaluator serial_ev(serial_opts);
+    const search::SearchResult serial_r =
+        runOnce(serial_ev, space, sopts, &serial_ms, &serial_stats);
+
+    engine::Evaluator par_ev(par_opts);
+    const search::SearchResult par_r =
+        runOnce(par_ev, space, sopts, &par_ms, &par_stats);
+
+    // Same evaluator, fresh objective memo: every application run
+    // now hits the engine's cache.
+    const search::SearchResult warm_r =
+        runOnce(par_ev, space, sopts, &warm_ms, &warm_stats);
+
+    const bool identical =
+        sameResult(serial_r, par_r) && sameResult(par_r, warm_r);
+    const double evaluated =
+        static_cast<double>(serial_r.evaluated);
+    const double speedup = par_ms > 0.0 ? serial_ms / par_ms : 0.0;
+    const auto pps = [&](double ms) {
+        return ms > 0.0 ? evaluated / (ms / 1e3) : 0.0;
+    };
+
+    Table t("Search wall clock (budget " + std::to_string(budget) +
+            ", " + std::to_string(instructions) + " instructions)");
+    t.header({"Pass", "Wall (ms)", "Points/s", "Run-cache hits"});
+    const auto hitCell = [](const engine::BatchStats &s) {
+        return std::to_string(s.run.hits) + "/" +
+               std::to_string(s.run.lookups());
+    };
+    t.row({"serial (1T)", Table::num(serial_ms, 1),
+           Table::num(pps(serial_ms), 2), hitCell(serial_stats)});
+    t.row({"parallel (" + std::to_string(jobs) + "T)",
+           Table::num(par_ms, 1), Table::num(pps(par_ms), 2),
+           hitCell(par_stats)});
+    t.row({"warm rerun", Table::num(warm_ms, 1),
+           Table::num(pps(warm_ms), 2), hitCell(warm_stats)});
+    t.print(std::cout);
+    std::cout << "Serial vs parallel vs warm results identical: "
+              << (identical ? "yes" : "NO") << "\n";
+
+    report::Json results = report::Json::object();
+    results.set("serial_ms", report::Json::number(serial_ms));
+    results.set("parallel_ms", report::Json::number(par_ms));
+    results.set("speedup", report::Json::number(speedup));
+    results.set("warm_ms", report::Json::number(warm_ms));
+    results.set("points_per_sec_serial",
+                report::Json::number(pps(serial_ms)));
+    results.set("points_per_sec_parallel",
+                report::Json::number(pps(par_ms)));
+    results.set("points_per_sec_warm",
+                report::Json::number(pps(warm_ms)));
+    results.set("evaluated", report::Json::number(evaluated));
+    results.set("cold_run_hit_rate",
+                report::Json::number(par_stats.run.hitRate()));
+    results.set("warm_run_hit_rate",
+                report::Json::number(warm_stats.run.hitRate()));
+    results.set("results_identical",
+                report::Json::boolean(identical));
+
+    report::Json doc = report::Json::object();
+    doc.set("kind", report::Json::string("m3d-bench"));
+    doc.set("version", report::Json::number(1));
+    doc.set("bench", report::Json::string("perf_search"));
+    report::Json cfg = report::Json::object();
+    cfg.set("budget",
+            report::Json::number(static_cast<double>(budget)));
+    cfg.set("jobs", report::Json::number(jobs));
+    cfg.set("instructions", report::Json::number(
+                                static_cast<double>(instructions)));
+    cfg.set("hardware_threads", report::Json::number(hw));
+    doc.set("config", std::move(cfg));
+    doc.set("results", std::move(results));
+
+    std::ofstream out(json_path);
+    if (!out.is_open()) {
+        std::cerr << "perf_search: cannot write '" << json_path
+                  << "'\n";
+        return 1;
+    }
+    doc.write(out);
+    std::cout << "\nWrote " << json_path << " (hardware threads: "
+              << hw << ")\n";
+    return identical ? 0 : 1;
+}

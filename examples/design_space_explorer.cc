@@ -5,6 +5,13 @@
  * the kind of sweep an architect would run before committing to a
  * partitioning plan.
  *
+ * The grid itself is search::partitionSpace() - the same declarative
+ * SearchSpace the search subsystem uses - so this example, the tests,
+ * and `m3dtool search` share one definition instead of duplicated
+ * loop nests.  enumerate() yields the valid points in flat-index
+ * order (technology outermost, strategies in legalKinds order), which
+ * preserves this example's historical row order.
+ *
  * The sweep fans out across the evaluation engine's thread pool; rows
  * are merged in submission order, so the CSV is identical at any
  * --jobs value.
@@ -18,6 +25,7 @@
 #include <vector>
 
 #include "engine/evaluator.hh"
+#include "search/design_point.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
 
@@ -43,30 +51,17 @@ main(int argc, char **argv)
         file.open(parser.positionals()[0]);
     std::ostream &os = file.is_open() ? file : std::cout;
 
-    struct TechRow
-    {
-        std::string name;
-        Technology tech;
-    };
-    const std::vector<TechRow> techs = {
-        {"m3d-iso", Technology::m3dIso()},
-        {"m3d-hetero", Technology::m3dHetero()},
-        {"tsv3d-1.3um", Technology::tsv3D()},
-        {"tsv3d-5um", Technology::tsv3DResearch()},
-    };
-
-    // Flatten the full (tech, structure, strategy) grid so every
-    // point is one independent engine task.
+    // The shared grid definition; every valid point is one
+    // independent engine task.
+    const search::SearchSpace space = search::partitionSpace();
+    const std::vector<search::Point> grid = space.enumerate();
     std::vector<engine::PartitionJob> points;
     std::vector<std::string> tech_names;
-    for (const TechRow &tr : techs) {
-        for (const ArrayConfig &cfg : CoreStructures::all()) {
-            for (PartitionKind kind :
-                 PartitionExplorer::legalKinds(cfg)) {
-                points.push_back({tr.tech, cfg, kind});
-                tech_names.push_back(tr.name);
-            }
-        }
+    points.reserve(grid.size());
+    tech_names.reserve(grid.size());
+    for (const search::Point &p : grid) {
+        points.push_back(search::decodePartitionJob(space, p));
+        tech_names.push_back(space.value(p, "tech"));
     }
 
     engine::Evaluator ev(engine::EvalOptions{.threads = jobs});

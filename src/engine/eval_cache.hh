@@ -47,6 +47,11 @@ struct CacheStats
     {
         return {hits + o.hits, misses + o.misses};
     }
+    /** Counter delta since an earlier snapshot `o` of this family. */
+    CacheStats operator-(const CacheStats &o) const
+    {
+        return {hits - o.hits, misses - o.misses};
+    }
 };
 
 /** Shared, thread-safe result store. */

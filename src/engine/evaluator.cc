@@ -17,6 +17,37 @@ Evaluator::Evaluator(EvalOptions options)
 
 Evaluator::~Evaluator() = default;
 
+/**
+ * Captures the cache counters at construction and publishes the delta
+ * as lastBatchStats() at destruction, so every batch entry point
+ * reports exactly the traffic it generated.
+ */
+class Evaluator::BatchScope
+{
+  public:
+    explicit BatchScope(Evaluator &ev)
+        : ev_(ev), partition_(ev.cache_.partitionStats()),
+          run_(ev.cache_.runStats()), multi_(ev.cache_.multiStats())
+    {
+    }
+
+    ~BatchScope()
+    {
+        BatchStats delta;
+        delta.partition = ev_.cache_.partitionStats() - partition_;
+        delta.run = ev_.cache_.runStats() - run_;
+        delta.multi = ev_.cache_.multiStats() - multi_;
+        std::lock_guard<std::mutex> lock(ev_.batch_stats_mutex_);
+        ev_.last_batch_stats_ = delta;
+    }
+
+  private:
+    Evaluator &ev_;
+    CacheStats partition_;
+    CacheStats run_;
+    CacheStats multi_;
+};
+
 const PartitionExplorer &
 Evaluator::explorerFor(const Technology &tech3d)
 {
@@ -92,6 +123,7 @@ Evaluator::bestForAll(const Technology &tech3d,
     // Build the shared explorer up front so tasks only read it.
     explorerFor(tech3d);
 
+    BatchScope scope(*this);
     std::vector<PartitionResult> out(cfgs.size());
     pool_->parallelFor(cfgs.size(), [&](std::size_t i) {
         out[i] = bestOverall(tech3d, cfgs[i]);
@@ -102,17 +134,27 @@ Evaluator::bestForAll(const Technology &tech3d,
 std::vector<PartitionResult>
 Evaluator::bestBatch(const std::vector<PartitionJob> &jobs)
 {
+    return bestBatch(jobs, PartitionHook());
+}
+
+std::vector<PartitionResult>
+Evaluator::bestBatch(const std::vector<PartitionJob> &jobs,
+                     const PartitionHook &hook)
+{
     // Materialize every explorer before fanning out; explorerFor()
     // would also be safe to race, but this keeps construction serial.
     for (const PartitionJob &j : jobs)
         explorerFor(j.tech3d);
 
+    BatchScope scope(*this);
     std::vector<PartitionResult> out(jobs.size());
     pool_->parallelFor(jobs.size(), [&](std::size_t i) {
         const PartitionJob &j = jobs[i];
         out[i] = j.kind == PartitionKind::None
             ? bestOverall(j.tech3d, j.cfg)
             : best(j.tech3d, j.cfg, j.kind);
+        if (hook)
+            hook(i, out[i]);
     });
     return out;
 }
@@ -153,9 +195,19 @@ Evaluator::runMulti(const CoreDesign &design,
 std::vector<AppRun>
 Evaluator::runBatch(const std::vector<SingleJob> &jobs)
 {
+    return runBatch(jobs, RunHook());
+}
+
+std::vector<AppRun>
+Evaluator::runBatch(const std::vector<SingleJob> &jobs,
+                    const RunHook &hook)
+{
+    BatchScope scope(*this);
     std::vector<AppRun> out(jobs.size());
     pool_->parallelFor(jobs.size(), [&](std::size_t i) {
         out[i] = run(jobs[i].design, jobs[i].app);
+        if (hook)
+            hook(i, out[i]);
     });
     return out;
 }
@@ -163,11 +215,26 @@ Evaluator::runBatch(const std::vector<SingleJob> &jobs)
 std::vector<MultiRun>
 Evaluator::runMultiBatch(const std::vector<MultiJob> &jobs)
 {
+    BatchScope scope(*this);
     std::vector<MultiRun> out(jobs.size());
     pool_->parallelFor(jobs.size(), [&](std::size_t i) {
         out[i] = runMulti(jobs[i].design, jobs[i].app);
     });
     return out;
+}
+
+void
+Evaluator::parallelFor(std::size_t n,
+                       const std::function<void(std::size_t)> &body)
+{
+    pool_->parallelFor(n, body);
+}
+
+BatchStats
+Evaluator::lastBatchStats() const
+{
+    std::lock_guard<std::mutex> lock(batch_stats_mutex_);
+    return last_batch_stats_;
 }
 
 std::size_t

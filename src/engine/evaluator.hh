@@ -26,6 +26,7 @@
 #ifndef M3D_ENGINE_EVALUATOR_HH_
 #define M3D_ENGINE_EVALUATOR_HH_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -85,6 +86,21 @@ struct PartitionJob
     PartitionKind kind = PartitionKind::None; ///< None = best overall
 };
 
+/**
+ * Per-batch cache traffic: the counter deltas one batch entry point
+ * (runBatch, bestBatch, runMultiBatch, bestForAll) produced, by key
+ * family.  Lets a caller report the hit rate of *its* batch instead
+ * of the process-lifetime totals EvalCache accumulates.
+ */
+struct BatchStats
+{
+    CacheStats partition;
+    CacheStats run;
+    CacheStats multi;
+
+    CacheStats total() const { return partition + run + multi; }
+};
+
 /** Batch evaluation facade; see file comment. */
 class Evaluator
 {
@@ -125,9 +141,19 @@ class Evaluator
      * Arbitrary batch of grid searches (mixed technologies and
      * strategies); results in `jobs` order.  A job with
      * kind == PartitionKind::None resolves to bestOverall().
+     *
+     * The hooked overload calls `hook(i, result)` once per job as it
+     * completes - possibly from a worker thread, so the hook must be
+     * thread-safe (e.g. a search::ParetoArchive insert).
      */
     std::vector<PartitionResult>
     bestBatch(const std::vector<PartitionJob> &jobs);
+
+    using PartitionHook =
+        std::function<void(std::size_t, const PartitionResult &)>;
+    std::vector<PartitionResult>
+    bestBatch(const std::vector<PartitionJob> &jobs,
+              const PartitionHook &hook);
 
     // ------------------------------------------------------------------
     // Application runs (mirror runSingleCore / runMulticore).
@@ -140,10 +166,29 @@ class Evaluator
     MultiRun runMulti(const CoreDesign &design,
                       const WorkloadProfile &app);
 
-    /** Batch runs, results in submission order. */
+    /**
+     * Batch runs, results in submission order.  The hooked overload
+     * calls `hook(i, result)` once per job as it completes - possibly
+     * from a worker thread, so the hook must be thread-safe.
+     */
     std::vector<AppRun> runBatch(const std::vector<SingleJob> &jobs);
+
+    using RunHook = std::function<void(std::size_t, const AppRun &)>;
+    std::vector<AppRun> runBatch(const std::vector<SingleJob> &jobs,
+                                 const RunHook &hook);
+
     std::vector<MultiRun>
     runMultiBatch(const std::vector<MultiJob> &jobs);
+
+    /**
+     * Run independent tasks `body(0) .. body(n-1)` across this
+     * evaluator's pool (serial inline when --jobs 1, per the
+     * ThreadPool contract).  For derived work that should share the
+     * engine's parallelism - e.g. the search subsystem's per-design
+     * thermal solves - without a second pool.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
 
     // ------------------------------------------------------------------
     // Introspection / cache control.
@@ -154,6 +199,14 @@ class Evaluator
                                                        : pool_->threads(); }
     EvalCache &cache() { return cache_; }
 
+    /**
+     * Cache traffic of the most recent batch entry point (runBatch,
+     * bestBatch, runMultiBatch, or bestForAll) on this evaluator.
+     * Meaningful between batches, not while one is in flight; batches
+     * themselves are expected to be issued from one thread.
+     */
+    BatchStats lastBatchStats() const;
+
     /** Persist the partition cache to options().cache_file (if set). */
     std::size_t savePartitionCache();
 
@@ -161,9 +214,15 @@ class Evaluator
     /** Shared per-technology explorer (stateless once built). */
     const PartitionExplorer &explorerFor(const Technology &tech3d);
 
+    /** RAII cache-counter snapshot feeding lastBatchStats(). */
+    class BatchScope;
+
     EvalOptions options_;
     EvalCache cache_;
     std::unique_ptr<ThreadPool> pool_;
+
+    mutable std::mutex batch_stats_mutex_;
+    BatchStats last_batch_stats_;
 
     std::mutex explorers_mutex_;
     std::map<std::string, std::unique_ptr<PartitionExplorer>>

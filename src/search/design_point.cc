@@ -1,0 +1,326 @@
+#include "search/design_point.hh"
+
+#include "core/design.hh"
+#include "core/frequency.hh"
+#include "logic3d/stage.hh"
+#include "util/logging.hh"
+
+namespace m3d {
+namespace search {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Knob vocabularies.  Keep index 0 = the paper default on every knob:
+// the all-zeros point then decodes to M3D-Het, and neighbors() of the
+// paper point walks exactly one decision away from it.
+// ---------------------------------------------------------------------
+
+const char *const kTechKnob = "tech";
+const char *const kWidthKnob = "width";
+const char *const kDepthKnob = "depth";
+const char *const kPolicyKnob = "fpolicy";
+const char *const kAsymKnob = "asym";
+const char *const kPartPrefix = "part/";
+
+Technology
+searchTech(const std::string &value)
+{
+    if (value == "m3d-het")
+        return Technology::m3dHetero();
+    if (value == "m3d-iso")
+        return Technology::m3dIso();
+    if (value == "tsv3d")
+        return Technology::tsv3D();
+    M3D_FATAL("unknown technology knob value '", value, "'");
+}
+
+/** Same area-weighted proxy DesignFactory::stackedCommon uses. */
+double
+averageAreaReduction(const std::vector<PartitionResult> &results)
+{
+    double total_2d = 0.0;
+    double total_3d = 0.0;
+    for (const PartitionResult &r : results) {
+        total_2d += r.planar.area;
+        total_3d += r.stacked.area;
+    }
+    return 1.0 - total_3d / total_2d;
+}
+
+/** Default symmetric spec for one strategy (no layer tuning). */
+PartitionSpec
+symmetricSpec(const ArrayConfig &cfg, PartitionKind kind)
+{
+    switch (kind) {
+    case PartitionKind::Bit:
+        return PartitionSpec::bit();
+    case PartitionKind::Word:
+        return PartitionSpec::word();
+    case PartitionKind::Port:
+        return PartitionSpec::port(cfg.ports() / 2);
+    case PartitionKind::None:
+        break;
+    }
+    M3D_FATAL("no symmetric spec for strategy 'best'");
+}
+
+PartitionKind
+kindOf(const std::string &value)
+{
+    if (value == "bp")
+        return PartitionKind::Bit;
+    if (value == "wp")
+        return PartitionKind::Word;
+    if (value == "pp")
+        return PartitionKind::Port;
+    M3D_FATAL("unknown partition knob value '", value, "'");
+}
+
+/**
+ * Price one structure's partition under the asymmetry knob: "tuned"
+ * grid-searches the layout knobs like the paper; "sym" pins the
+ * forced-symmetric split (bottom_share 0.5, no top-layer upsizing),
+ * which is the Section 4.2.2 ablation.
+ */
+PartitionResult
+structureResult(engine::Evaluator &ev, const Technology &tech,
+                const ArrayConfig &cfg, const std::string &strategy,
+                bool symmetric)
+{
+    if (!symmetric) {
+        if (strategy == "best")
+            return ev.bestOverall(tech, cfg);
+        return ev.best(tech, cfg, kindOf(strategy));
+    }
+    if (strategy != "best") {
+        const PartitionKind kind = kindOf(strategy);
+        return ev.evaluate(tech, cfg, symmetricSpec(cfg, kind));
+    }
+    bool have = false;
+    PartitionResult best{};
+    for (PartitionKind kind : PartitionExplorer::legalKinds(cfg)) {
+        const PartitionResult r =
+            ev.evaluate(tech, cfg, symmetricSpec(cfg, kind));
+        if (!have || PartitionExplorer::betterOverall(r, best)) {
+            best = r;
+            have = true;
+        }
+    }
+    M3D_ASSERT(have, "structure '", cfg.name, "' has no strategies");
+    return best;
+}
+
+void
+applyWidth(CoreDesign &d, const std::string &value)
+{
+    if (value == "base")
+        return;
+    if (value == "narrow") {
+        d.dispatch_width = 3;
+        d.issue_width = 4;
+        d.commit_width = 3;
+        return;
+    }
+    if (value == "wide") {
+        // The Table 12 M3D-Het-W widths.
+        d.dispatch_width = 5;
+        d.issue_width = 8;
+        d.commit_width = 5;
+        return;
+    }
+    M3D_FATAL("unknown width knob value '", value, "'");
+}
+
+void
+applyDepth(CoreDesign &d, const std::string &value)
+{
+    if (value == "base")
+        return;
+    if (value == "shallow") {
+        d.rob_entries = 128;
+        d.iq_entries = 56;
+        d.lq_entries = 48;
+        d.sq_entries = 40;
+        return;
+    }
+    if (value == "deep") {
+        d.rob_entries = 256;
+        d.iq_entries = 112;
+        d.lq_entries = 96;
+        d.sq_entries = 72;
+        return;
+    }
+    M3D_FATAL("unknown depth knob value '", value, "'");
+}
+
+} // namespace
+
+SearchSpace
+coreSpace()
+{
+    SearchSpace space("core");
+    space.knob(kWidthKnob, {"base", "narrow", "wide"});
+    space.knob(kDepthKnob, {"base", "shallow", "deep"});
+    space.knob(kPolicyKnob, {"cons", "agg"});
+    space.knob(kAsymKnob, {"tuned", "sym"});
+    for (const ArrayConfig &cfg : CoreStructures::all()) {
+        std::vector<std::string> domain = {"best", "bp", "wp"};
+        if (cfg.ports() >= 2)
+            domain.push_back("pp");
+        space.knob(kPartPrefix + cfg.name, std::move(domain));
+    }
+    // Last knob = least-significant digit of the flat index, so the
+    // strided grid() scan skips a rejected planar-2D variant in one
+    // step instead of a whole partition-knob block.
+    space.knob(kTechKnob, {"m3d-het", "m3d-iso", "tsv3d", "2d"});
+
+    space.setValidator([](const SearchSpace &s, const Point &p) {
+        if (s.value(p, kTechKnob) != "2d")
+            return true;
+        // The planar baseline has no partition, policy, or asymmetry
+        // decisions; only its canonical form is a distinct design.
+        for (std::size_t i = 0; i < s.knobCount(); ++i) {
+            const std::string &knob_name = s.knobAt(i).name;
+            if (knob_name == kWidthKnob || knob_name == kDepthKnob ||
+                knob_name == kTechKnob)
+                continue;
+            if (p[i] != 0)
+                return false;
+        }
+        return true;
+    });
+    return space;
+}
+
+Point
+coreBaselinePoint(const SearchSpace &space)
+{
+    Point p(space.knobCount(), 0);
+    const std::size_t tech = space.knobIndex(kTechKnob);
+    const std::vector<std::string> &domain =
+        space.knobAt(tech).values;
+    for (std::size_t v = 0; v < domain.size(); ++v) {
+        if (domain[v] == "2d")
+            p[tech] = static_cast<int>(v);
+    }
+    M3D_ASSERT(space.value(p, kTechKnob) == "2d",
+               "core space lost its 2d baseline");
+    return p;
+}
+
+CoreDesign
+decodeCore(const SearchSpace &space, const Point &p,
+           engine::Evaluator &ev)
+{
+    M3D_ASSERT(space.valid(p), "cannot decode an invalid point");
+    const std::string &tech_value = space.value(p, kTechKnob);
+
+    CoreDesign d;
+    d.name = "dse-" + std::to_string(space.indexOf(p));
+    if (tech_value == "2d") {
+        d.tech = Technology::planar2D();
+        d.frequency = kBaseFrequency;
+        d.execute_gains = LogicStageGains{}; // no 3D gains
+    } else {
+        const Technology tech = searchTech(tech_value);
+        const bool symmetric = space.value(p, kAsymKnob) == "sym";
+        std::vector<PartitionResult> results;
+        for (const ArrayConfig &cfg : CoreStructures::all()) {
+            results.push_back(structureResult(
+                ev, tech, cfg, space.value(p, kPartPrefix + cfg.name),
+                symmetric));
+        }
+        d.tech = tech;
+        for (const PartitionResult &r : results)
+            d.partitions.emplace(r.cfg.name, r);
+
+        // DesignFactory::stackedCommon's rules (Section 6): shorter
+        // semi-global paths, 3D clock tree, folded footprint.
+        d.load_to_use = 3;
+        d.mispredict_penalty = 12;
+        d.clock_tree_switch_factor = 0.75;
+        d.footprint_factor = 1.0 - averageAreaReduction(results);
+
+        const FrequencyPolicy policy =
+            space.value(p, kPolicyKnob) == "agg"
+                ? FrequencyPolicy::Aggressive
+                : FrequencyPolicy::Conservative;
+        if (tech_value == "tsv3d") {
+            // TSVs are too coarse to speed the arrays up; the TSV3D
+            // core keeps the 2D clock (DesignFactory::tsv3d).
+            d.frequency = kBaseFrequency;
+        } else {
+            d.frequency = deriveFrequency(results, policy).frequency;
+        }
+        if (tech_value == "m3d-het") {
+            d.execute_gains =
+                LogicStageModel(tech).aluBypassHetero(4);
+            d.complex_decode_extra = 1;
+        } else if (tech_value == "m3d-iso") {
+            d.execute_gains = LogicStageModel(tech).aluBypass(4);
+        }
+    }
+    applyWidth(d, space.value(p, kWidthKnob));
+    applyDepth(d, space.value(p, kDepthKnob));
+    return d;
+}
+
+SearchSpace
+partitionSpace()
+{
+    SearchSpace space("partition");
+    space.knob(kTechKnob,
+               {"m3d-iso", "m3d-hetero", "tsv3d-1.3um", "tsv3d-5um"});
+    std::vector<std::string> names;
+    for (const ArrayConfig &cfg : CoreStructures::all())
+        names.push_back(cfg.name);
+    space.knob("structure", std::move(names));
+    // legalKinds order (Bit, Word, Port), so enumerate() preserves
+    // the example's historical row order.
+    space.knob("strategy", {"bp", "wp", "pp"});
+
+    space.setValidator([](const SearchSpace &s, const Point &p) {
+        if (s.value(p, "strategy") != "pp")
+            return true;
+        for (const ArrayConfig &cfg : CoreStructures::all()) {
+            if (cfg.name == s.value(p, "structure"))
+                return cfg.ports() >= 2;
+        }
+        return false;
+    });
+    return space;
+}
+
+engine::PartitionJob
+decodePartitionJob(const SearchSpace &space, const Point &p)
+{
+    M3D_ASSERT(space.valid(p), "cannot decode an invalid point");
+    engine::PartitionJob job;
+    const std::string &tech_value = space.value(p, kTechKnob);
+    if (tech_value == "m3d-iso")
+        job.tech3d = Technology::m3dIso();
+    else if (tech_value == "m3d-hetero")
+        job.tech3d = Technology::m3dHetero();
+    else if (tech_value == "tsv3d-1.3um")
+        job.tech3d = Technology::tsv3D();
+    else if (tech_value == "tsv3d-5um")
+        job.tech3d = Technology::tsv3DResearch();
+    else
+        M3D_FATAL("unknown technology knob value '", tech_value, "'");
+
+    const std::string &structure = space.value(p, "structure");
+    bool found = false;
+    for (const ArrayConfig &cfg : CoreStructures::all()) {
+        if (cfg.name == structure) {
+            job.cfg = cfg;
+            found = true;
+        }
+    }
+    M3D_ASSERT(found, "unknown structure '", structure, "'");
+    job.kind = kindOf(space.value(p, "strategy"));
+    return job;
+}
+
+} // namespace search
+} // namespace m3d

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The canonical design spaces of this repository and their decoders.
+ *
+ * coreSpace() is the processor space the search subsystem explores:
+ * technology (planar 2D, TSV3D, iso- and hetero-layer M3D), the
+ * frequency-derivation policy, layer asymmetry (paper-tuned partition
+ * knobs vs forced-symmetric splits), per-structure partition strategy
+ * for all twelve Table 6 arrays, and the core width/depth
+ * microarchitecture knobs.  The all-zeros point decodes to the
+ * paper's M3D-Het configuration, so the published design is *in* the
+ * searched space rather than a separate special case.  The planar-2D
+ * baseline only exists in canonical form (conservative policy,
+ * tuned/no partitions) - the validator rejects the redundant
+ * combinations so enumeration never prices duplicates.
+ *
+ * decodeCore() turns a point into a CoreDesign exclusively through
+ * engine::Evaluator (partition grid searches hit the memo and the
+ * on-disk cache), mirroring DesignFactory's construction rules so a
+ * decoded paper point is model-identical to the factory design.
+ *
+ * partitionSpace() is the small (technology x structure x strategy)
+ * grid that examples/design_space_explorer.cc enumerates; it shares
+ * the same declarative machinery instead of a hand-rolled loop nest.
+ */
+
+#ifndef M3D_SEARCH_DESIGN_POINT_HH_
+#define M3D_SEARCH_DESIGN_POINT_HH_
+
+#include "engine/evaluator.hh"
+#include "search/search_space.hh"
+
+namespace m3d {
+namespace search {
+
+/** The processor design space; see the file comment. */
+SearchSpace coreSpace();
+
+/**
+ * The canonical 2D reference point of `space` (all knobs at their
+ * paper-default index, technology = planar 2D) - the scalarization
+ * baseline of the climb/anneal strategies.
+ */
+Point coreBaselinePoint(const SearchSpace &space);
+
+/**
+ * Decode one valid coreSpace() point into a CoreDesign.  All
+ * partition pricing routes through `ev` (memoized), so decoding the
+ * same point twice - or two points sharing a (technology, structure,
+ * strategy) sub-decision - costs one evaluation.  The design name is
+ * "dse-<flat index>", which is deterministic and unique per point.
+ */
+CoreDesign decodeCore(const SearchSpace &space, const Point &p,
+                      engine::Evaluator &ev);
+
+/**
+ * The (technology x structure x strategy) partition grid of
+ * examples/design_space_explorer.cc.  Enumeration order matches the
+ * example's historical loop nest (technology outermost, strategies in
+ * legalKinds order).
+ */
+SearchSpace partitionSpace();
+
+/** Decode one valid partitionSpace() point into an engine batch job. */
+engine::PartitionJob decodePartitionJob(const SearchSpace &space,
+                                        const Point &p);
+
+} // namespace search
+} // namespace m3d
+
+#endif // M3D_SEARCH_DESIGN_POINT_HH_

@@ -1,0 +1,170 @@
+#include "search/objectives.hh"
+
+#include <algorithm>
+
+#include "power/power_model.hh"
+#include "thermal/thermal_model.hh"
+#include "util/logging.hh"
+
+namespace m3d {
+namespace search {
+
+namespace {
+
+/** Domain tag for objective-vector memo keys (see eval_key.hh). */
+constexpr std::uint64_t kObjectiveDomain = 0x6f626a65637469ull;
+
+std::vector<WorkloadProfile>
+defaultApps()
+{
+    // Branchy (Gcc), memory-bound (Mcf), and the Figure 8 hot spot
+    // (Gamess) - small enough to price thousands of points, diverse
+    // enough that EPI and peak temperature are not redundant.
+    return {WorkloadLibrary::byName("Gcc"),
+            WorkloadLibrary::byName("Mcf"),
+            WorkloadLibrary::byName("Gamess")};
+}
+
+} // namespace
+
+bool
+dominates(const Objectives &a, const Objectives &b)
+{
+    if (a.frequency < b.frequency || a.epi > b.epi ||
+        a.peak_c > b.peak_c)
+        return false;
+    return a.frequency > b.frequency || a.epi < b.epi ||
+           a.peak_c < b.peak_c;
+}
+
+bool
+dominatesBeyond(const Objectives &a, const Objectives &b,
+                const Margins &m)
+{
+    return a.frequency > b.frequency * (1.0 + m.frequency_rel) &&
+           a.epi < b.epi * (1.0 - m.epi_rel) &&
+           a.peak_c < b.peak_c - m.peak_abs_c;
+}
+
+ObjectiveEvaluator::ObjectiveEvaluator(engine::Evaluator &ev,
+                                       ObjectiveConfig config)
+    : ev_(ev), config_(std::move(config))
+{
+    if (config_.apps.empty())
+        config_.apps = defaultApps();
+    M3D_ASSERT(config_.thermal_grid > 0,
+               "thermal grid must be positive");
+}
+
+engine::EvalKey
+ObjectiveEvaluator::designKey(const CoreDesign &design) const
+{
+    engine::KeyBuilder kb(kObjectiveDomain);
+    engine::hashCoreDesign(kb, design);
+    for (const WorkloadProfile &app : config_.apps)
+        engine::hashWorkloadProfile(kb, app);
+    engine::hashSimBudget(kb, ev_.options().budget);
+    kb.add(config_.thermal_grid);
+    return kb.key();
+}
+
+Objectives
+ObjectiveEvaluator::compute(const CoreDesign &design,
+                            const std::vector<AppRun> &runs) const
+{
+    M3D_ASSERT(runs.size() == config_.apps.size(),
+               "one run per application expected");
+    Objectives obj;
+    obj.frequency = design.frequency;
+
+    double energy_j = 0.0;
+    double instructions = 0.0;
+    // Thermal solves run serially inside compute(): evaluateBatch
+    // already fans whole designs across the pool, and nesting
+    // parallelism would oversubscribe it.
+    SolverConfig solver_cfg;
+    solver_cfg.threads = 1;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const AppRun &r = runs[i];
+        energy_j += r.energyJ();
+        instructions += static_cast<double>(r.sim.instructions);
+        PowerModel pm(design);
+        ThermalModel tm(design, config_.thermal_grid, solver_cfg);
+        const ThermalResult th =
+            tm.solve(pm.blockPower(r.sim.activity, r.seconds));
+        obj.peak_c = std::max(obj.peak_c, th.peak_c);
+    }
+    M3D_ASSERT(instructions > 0.0, "empty simulation result");
+    obj.epi = energy_j / instructions;
+    return obj;
+}
+
+Objectives
+ObjectiveEvaluator::evaluate(const CoreDesign &design)
+{
+    return evaluateBatch({design}).front();
+}
+
+std::vector<Objectives>
+ObjectiveEvaluator::evaluateBatch(
+    const std::vector<CoreDesign> &designs, const Hook &hook)
+{
+    std::vector<Objectives> out(designs.size());
+    std::vector<std::size_t> missing;
+    {
+        std::lock_guard<std::mutex> lock(memo_mutex_);
+        for (std::size_t i = 0; i < designs.size(); ++i) {
+            const auto it = memo_.find(designKey(designs[i]));
+            if (it != memo_.end())
+                out[i] = it->second;
+            else
+                missing.push_back(i);
+        }
+    }
+
+    // Memo hits have no work left; report them before the fan-out.
+    if (hook) {
+        for (std::size_t i = 0; i < designs.size(); ++i) {
+            if (std::find(missing.begin(), missing.end(), i) ==
+                missing.end())
+                hook(i, out[i]);
+        }
+    }
+    if (missing.empty())
+        return out;
+
+    // Stage 1: all application runs through the engine (memoized,
+    // submission-order merged, bit-identical at any thread count).
+    std::vector<engine::SingleJob> jobs;
+    jobs.reserve(missing.size() * config_.apps.size());
+    for (const std::size_t i : missing) {
+        for (const WorkloadProfile &app : config_.apps)
+            jobs.push_back({designs[i], app});
+    }
+    const std::vector<AppRun> runs = ev_.runBatch(jobs);
+
+    // Stage 2: per-design thermal solves fan across the same pool.
+    // Each slot is written by exactly one task, so results land in
+    // `designs` order regardless of completion order.
+    ev_.parallelFor(missing.size(), [&](std::size_t m) {
+        const std::size_t i = missing[m];
+        const std::size_t base = m * config_.apps.size();
+        const std::vector<AppRun> slice(
+            runs.begin() + static_cast<std::ptrdiff_t>(base),
+            runs.begin() + static_cast<std::ptrdiff_t>(
+                               base + config_.apps.size()));
+        out[i] = compute(designs[i], slice);
+        if (hook)
+            hook(i, out[i]);
+    });
+
+    {
+        std::lock_guard<std::mutex> lock(memo_mutex_);
+        for (const std::size_t i : missing)
+            memo_.emplace(designKey(designs[i]), out[i]);
+    }
+    return out;
+}
+
+} // namespace search
+} // namespace m3d

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The multi-objective vector of the design-space search and its
+ * dominance relations.
+ *
+ * Every design point is priced on the paper's three headline axes:
+ *
+ *  - core frequency (Hz, maximize) - Section 6.1's derived clock;
+ *  - energy per instruction (J, minimize) - total workload energy
+ *    over total measured instructions (Figure 7's currency);
+ *  - peak steady-state temperature (deg C, minimize) - the Figure 8
+ *    thermal solve on the design's folded floorplan.
+ *
+ * Dominance is the standard weak Pareto relation.  The golden bench
+ * additionally needs a *margin* dominance ("is the paper's M3D-Het
+ * beaten by more than tolerance on every axis?") so that a frontier
+ * claim survives small cross-toolchain float drift - that is
+ * dominatesBeyond().
+ *
+ * ObjectiveEvaluator prices CoreDesigns exclusively through
+ * engine::Evaluator (memoized, submission-order merged), fans the
+ * per-design thermal solves across the engine's pool, and memoizes
+ * the finished objective vectors, so repeated visits (annealing
+ * walks, overlapping strategies) cost one lookup.
+ */
+
+#ifndef M3D_SEARCH_OBJECTIVES_HH_
+#define M3D_SEARCH_OBJECTIVES_HH_
+
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/evaluator.hh"
+
+namespace m3d {
+namespace search {
+
+/** One priced design point (see the file comment for units). */
+struct Objectives
+{
+    double frequency = 0.0; ///< Hz; higher is better
+    double epi = 0.0;       ///< J per instruction; lower is better
+    double peak_c = 0.0;    ///< deg C; lower is better
+
+    bool operator==(const Objectives &o) const
+    {
+        return frequency == o.frequency && epi == o.epi &&
+               peak_c == o.peak_c;
+    }
+    bool operator!=(const Objectives &o) const
+    {
+        return !(*this == o);
+    }
+};
+
+/** Weak Pareto dominance: a is no worse everywhere, better somewhere. */
+bool dominates(const Objectives &a, const Objectives &b);
+
+/** Per-axis margins for tolerance-aware dominance. */
+struct Margins
+{
+    double frequency_rel = 0.01; ///< relative, on frequency
+    double epi_rel = 0.01;       ///< relative, on energy/instruction
+    double peak_abs_c = 0.5;     ///< absolute deg C, on temperature
+};
+
+/**
+ * True iff `a` beats `b` by more than the margin on *every* axis -
+ * the refutation test behind "the paper's design is non-dominated
+ * within tolerance".
+ */
+bool dominatesBeyond(const Objectives &a, const Objectives &b,
+                     const Margins &m);
+
+/** Knobs of one ObjectiveEvaluator. */
+struct ObjectiveConfig
+{
+    /**
+     * Applications the point is priced on (empty selects the default
+     * mix: Gcc, Mcf, Gamess - branchy, memory-bound, and hot).  EPI
+     * aggregates energy and instructions across all of them; peak
+     * temperature is the max over them.
+     */
+    std::vector<WorkloadProfile> apps;
+
+    /** Thermal grid resolution per side (Figure 8 uses 32). */
+    int thermal_grid = 32;
+};
+
+/** Prices CoreDesigns into Objectives; see the file comment. */
+class ObjectiveEvaluator
+{
+  public:
+    /** Called per priced design; may run on engine worker threads. */
+    using Hook =
+        std::function<void(std::size_t, const Objectives &)>;
+
+    explicit ObjectiveEvaluator(engine::Evaluator &ev,
+                                ObjectiveConfig config =
+                                    ObjectiveConfig());
+
+    const ObjectiveConfig &config() const { return config_; }
+    engine::Evaluator &evaluator() { return ev_; }
+
+    /** Price one design (memoized). */
+    Objectives evaluate(const CoreDesign &design);
+
+    /**
+     * Price a batch: application runs fan through the engine
+     * (memoized, submission-order merged), then the per-design
+     * thermal solves fan across the same pool.  Results are in
+     * `designs` order and bit-identical at any thread count; `hook`
+     * fires once per design as it completes, possibly concurrently.
+     */
+    std::vector<Objectives>
+    evaluateBatch(const std::vector<CoreDesign> &designs,
+                  const Hook &hook = Hook());
+
+  private:
+    engine::EvalKey designKey(const CoreDesign &design) const;
+    Objectives compute(const CoreDesign &design,
+                       const std::vector<AppRun> &runs) const;
+
+    engine::Evaluator &ev_;
+    ObjectiveConfig config_;
+
+    std::mutex memo_mutex_;
+    std::unordered_map<engine::EvalKey, Objectives,
+                       engine::EvalKeyHash>
+        memo_;
+};
+
+} // namespace search
+} // namespace m3d
+
+#endif // M3D_SEARCH_OBJECTIVES_HH_

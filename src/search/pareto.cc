@@ -1,0 +1,81 @@
+#include "search/pareto.hh"
+
+#include <algorithm>
+
+namespace m3d {
+namespace search {
+
+bool
+pointLess(const Point &a, const Point &b)
+{
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+}
+
+bool
+ParetoArchive::insert(const Point &p, const Objectives &obj)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const ParetoEntry &e : entries_) {
+        if (e.obj == obj) {
+            // Objective tie: the lexicographically smaller point is
+            // the canonical representative.
+            if (!pointLess(p, e.point))
+                return false;
+            break;
+        }
+        if (dominates(e.obj, obj))
+            return false;
+    }
+    entries_.erase(
+        std::remove_if(entries_.begin(), entries_.end(),
+                       [&](const ParetoEntry &e) {
+                           return e.obj == obj ||
+                                  dominates(obj, e.obj);
+                       }),
+        entries_.end());
+    entries_.push_back({p, obj});
+    return true;
+}
+
+std::size_t
+ParetoArchive::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::vector<ParetoEntry>
+ParetoArchive::frontier() const
+{
+    std::vector<ParetoEntry> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out = entries_;
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ParetoEntry &a, const ParetoEntry &b) {
+                  if (a.obj.frequency != b.obj.frequency)
+                      return a.obj.frequency > b.obj.frequency;
+                  if (a.obj.epi != b.obj.epi)
+                      return a.obj.epi < b.obj.epi;
+                  if (a.obj.peak_c != b.obj.peak_c)
+                      return a.obj.peak_c < b.obj.peak_c;
+                  return pointLess(a.point, b.point);
+              });
+    return out;
+}
+
+bool
+ParetoArchive::nonDominated(const Objectives &obj) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const ParetoEntry &e : entries_) {
+        if (dominates(e.obj, obj))
+            return false;
+    }
+    return true;
+}
+
+} // namespace search
+} // namespace m3d

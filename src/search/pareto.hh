@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Thread-safe Pareto archive with deterministic tie-breaking.
+ *
+ * The archive keeps every non-dominated (point, objectives) pair seen
+ * so far, at most one entry per distinct objective vector (ties on
+ * all three objectives keep the lexicographically smallest point).
+ * Both rules are insertion-order independent: for any fixed set of
+ * inserted pairs the final contents are the same regardless of the
+ * order - or the thread - the insertions arrive in.  That is what
+ * lets ObjectiveEvaluator's batch hook feed the archive concurrently
+ * from pool workers while `m3dtool search --jobs 1` and `--jobs 8`
+ * stay byte-identical.
+ *
+ * frontier() returns a canonical ordering (frequency descending, then
+ * energy/instruction, peak temperature, point ascending) for tables,
+ * JSON, and goldens.
+ */
+
+#ifndef M3D_SEARCH_PARETO_HH_
+#define M3D_SEARCH_PARETO_HH_
+
+#include <mutex>
+#include <vector>
+
+#include "search/objectives.hh"
+#include "search/search_space.hh"
+
+namespace m3d {
+namespace search {
+
+/** One archived design point. */
+struct ParetoEntry
+{
+    Point point;
+    Objectives obj;
+};
+
+/** Lexicographic point order (the canonical tie-break). */
+bool pointLess(const Point &a, const Point &b);
+
+/** See the file comment. */
+class ParetoArchive
+{
+  public:
+    /**
+     * Offer one pair; returns true iff it is now archived (not
+     * dominated by, or an objective-tie with a smaller point than,
+     * an existing entry).  Entries the newcomer dominates are
+     * removed.  Safe to call from multiple threads.
+     */
+    bool insert(const Point &p, const Objectives &obj);
+
+    /** Number of archived entries. */
+    std::size_t size() const;
+
+    /** Canonically ordered snapshot; see the file comment. */
+    std::vector<ParetoEntry> frontier() const;
+
+    /**
+     * True iff `obj` is not dominated by any archived entry - the
+     * golden bench's "is this paper design still on the frontier?"
+     * query.
+     */
+    bool nonDominated(const Objectives &obj) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<ParetoEntry> entries_;
+};
+
+} // namespace search
+} // namespace m3d
+
+#endif // M3D_SEARCH_PARETO_HH_

@@ -1,0 +1,210 @@
+#include "search/search_space.hh"
+
+#include <unordered_set>
+
+#include "util/logging.hh"
+
+namespace m3d {
+namespace search {
+
+SearchSpace &
+SearchSpace::knob(std::string knob_name,
+                  std::vector<std::string> values)
+{
+    M3D_ASSERT(!values.empty(), "knob '", knob_name,
+               "' needs a non-empty domain");
+    knobs_.push_back({std::move(knob_name), std::move(values)});
+    return *this;
+}
+
+std::size_t
+SearchSpace::knobIndex(const std::string &knob_name) const
+{
+    for (std::size_t i = 0; i < knobs_.size(); ++i) {
+        if (knobs_[i].name == knob_name)
+            return i;
+    }
+    M3D_FATAL("space '", name_, "' has no knob '", knob_name, "'");
+}
+
+std::uint64_t
+SearchSpace::cardinality() const
+{
+    std::uint64_t card = 1;
+    for (const Knob &k : knobs_)
+        card *= static_cast<std::uint64_t>(k.values.size());
+    return card;
+}
+
+bool
+SearchSpace::wellFormed(const Point &p) const
+{
+    if (p.size() != knobs_.size())
+        return false;
+    for (std::size_t i = 0; i < knobs_.size(); ++i) {
+        if (p[i] < 0 ||
+            p[i] >= static_cast<int>(knobs_[i].values.size()))
+            return false;
+    }
+    return true;
+}
+
+bool
+SearchSpace::valid(const Point &p) const
+{
+    if (!wellFormed(p))
+        return false;
+    return !validator_ || validator_(*this, p);
+}
+
+const std::string &
+SearchSpace::value(const Point &p,
+                   const std::string &knob_name) const
+{
+    const std::size_t i = knobIndex(knob_name);
+    M3D_ASSERT(wellFormed(p), "malformed point in space '", name_,
+               "'");
+    return knobs_[i].values[static_cast<std::size_t>(p[i])];
+}
+
+Point
+SearchSpace::pointAt(std::uint64_t index) const
+{
+    M3D_ASSERT(index < cardinality(), "flat index out of range");
+    Point p(knobs_.size(), 0);
+    for (std::size_t i = knobs_.size(); i-- > 0;) {
+        const std::uint64_t radix = knobs_[i].values.size();
+        p[i] = static_cast<int>(index % radix);
+        index /= radix;
+    }
+    return p;
+}
+
+std::uint64_t
+SearchSpace::indexOf(const Point &p) const
+{
+    M3D_ASSERT(wellFormed(p), "malformed point in space '", name_,
+               "'");
+    std::uint64_t index = 0;
+    for (std::size_t i = 0; i < knobs_.size(); ++i) {
+        index = index * knobs_[i].values.size() +
+                static_cast<std::uint64_t>(p[i]);
+    }
+    return index;
+}
+
+std::vector<Point>
+SearchSpace::enumerate(std::uint64_t limit) const
+{
+    const std::uint64_t card = cardinality();
+    M3D_ASSERT(card <= limit, "space '", name_, "' is too large to ",
+               "materialize (", card, " points); use grid()");
+    std::vector<Point> out;
+    for (std::uint64_t i = 0; i < card; ++i) {
+        Point p = pointAt(i);
+        if (valid(p))
+            out.push_back(std::move(p));
+    }
+    return out;
+}
+
+std::vector<Point>
+SearchSpace::grid(std::size_t budget) const
+{
+    std::vector<Point> out;
+    if (budget == 0)
+        return out;
+    const std::uint64_t card = cardinality();
+    std::unordered_set<std::uint64_t> used;
+    for (std::size_t i = 0; i < budget; ++i) {
+        // Evenly strided probe, advanced past invalid/used indices.
+        std::uint64_t idx = static_cast<std::uint64_t>(
+            static_cast<unsigned __int128>(i) * card / budget);
+        std::uint64_t scanned = 0;
+        while (scanned < card &&
+               (used.count(idx) != 0 || !valid(pointAt(idx)))) {
+            idx = (idx + 1) % card;
+            ++scanned;
+        }
+        if (scanned >= card)
+            break; // every valid point is already taken
+        used.insert(idx);
+        out.push_back(pointAt(idx));
+    }
+    return out;
+}
+
+Point
+SearchSpace::randomPoint(Rng &rng) const
+{
+    constexpr int kAttempts = 100000;
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+        Point p(knobs_.size(), 0);
+        for (std::size_t i = 0; i < knobs_.size(); ++i) {
+            p[i] = static_cast<int>(
+                rng.below(knobs_[i].values.size()));
+        }
+        if (valid(p))
+            return p;
+    }
+    M3D_FATAL("space '", name_, "' rejected ", kAttempts,
+              " random draws; validator too strict?");
+}
+
+std::vector<Point>
+SearchSpace::neighbors(const Point &p) const
+{
+    M3D_ASSERT(valid(p), "neighbors() of an invalid point");
+    std::vector<Point> out;
+    for (std::size_t i = 0; i < knobs_.size(); ++i) {
+        for (int v = 0;
+             v < static_cast<int>(knobs_[i].values.size()); ++v) {
+            if (v == p[i])
+                continue;
+            Point q = p;
+            q[i] = v;
+            if (valid(q))
+                out.push_back(std::move(q));
+        }
+    }
+    return out;
+}
+
+Point
+SearchSpace::mutate(const Point &p, Rng &rng) const
+{
+    constexpr int kAttempts = 100000;
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+        const std::size_t i = rng.below(knobs_.size());
+        const std::uint64_t domain = knobs_[i].values.size();
+        if (domain < 2)
+            continue;
+        // Draw from the domain minus the current value.
+        int v = static_cast<int>(rng.below(domain - 1));
+        if (v >= p[i])
+            ++v;
+        Point q = p;
+        q[i] = v;
+        if (valid(q))
+            return q;
+    }
+    M3D_FATAL("space '", name_, "': no valid mutation found");
+}
+
+std::string
+SearchSpace::describe(const Point &p) const
+{
+    M3D_ASSERT(wellFormed(p), "malformed point in space '", name_,
+               "'");
+    std::string out;
+    for (std::size_t i = 0; i < knobs_.size(); ++i) {
+        if (!out.empty())
+            out += " ";
+        out += knobs_[i].name + "=" +
+               knobs_[i].values[static_cast<std::size_t>(p[i])];
+    }
+    return out;
+}
+
+} // namespace search
+} // namespace m3d

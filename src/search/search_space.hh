@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Declarative design spaces for the search subsystem.
+ *
+ * A SearchSpace is an ordered list of named discrete knobs, each with
+ * a finite string-valued domain, plus an optional validity predicate
+ * over whole points (e.g. "the planar-2D baseline only exists in its
+ * canonical form").  A Point assigns one domain index per knob.
+ *
+ * Points are totally ordered by the mixed-radix flat index (the first
+ * knob is the most significant digit), which gives the subsystem a
+ * deterministic enumeration order, a deterministic strided grid
+ * sample, and a canonical lexicographic tie-break - the properties
+ * that make every strategy reproducible at any thread count.
+ *
+ * The canonical spaces of this repo (the single-core processor space
+ * and the per-structure partition grid) live in design_point.hh; this
+ * file is the generic machinery.
+ */
+
+#ifndef M3D_SEARCH_SEARCH_SPACE_HH_
+#define M3D_SEARCH_SEARCH_SPACE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace m3d {
+namespace search {
+
+/** One named discrete knob. */
+struct Knob
+{
+    std::string name;
+    std::vector<std::string> values;
+};
+
+/** One design point: a domain index per knob, in knob order. */
+using Point = std::vector<int>;
+
+/** A declarative knob space; see the file comment. */
+class SearchSpace
+{
+  public:
+    /**
+     * Whole-point validity predicate.  Arity and index-range checks
+     * run first, so the predicate only sees well-formed points.
+     */
+    using Validator =
+        std::function<bool(const SearchSpace &, const Point &)>;
+
+    explicit SearchSpace(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Append one knob.  @pre `values` is non-empty. */
+    SearchSpace &knob(std::string knob_name,
+                      std::vector<std::string> values);
+
+    void setValidator(Validator v) { validator_ = std::move(v); }
+
+    std::size_t knobCount() const { return knobs_.size(); }
+    const Knob &knobAt(std::size_t i) const { return knobs_[i]; }
+
+    /** Index of a knob by name; panics if absent. */
+    std::size_t knobIndex(const std::string &knob_name) const;
+
+    /** Product of all domain sizes (valid and invalid points). */
+    std::uint64_t cardinality() const;
+
+    /** Well-formed (arity + ranges) and accepted by the validator. */
+    bool valid(const Point &p) const;
+
+    /** Value string a point assigns to a knob (by name). */
+    const std::string &value(const Point &p,
+                             const std::string &knob_name) const;
+
+    /** Mixed-radix decode of a flat index; first knob is the MSD. */
+    Point pointAt(std::uint64_t index) const;
+
+    /** Inverse of pointAt(). @pre p is well-formed. */
+    std::uint64_t indexOf(const Point &p) const;
+
+    /**
+     * Every valid point in flat-index order.  @pre the space is small
+     * enough to materialize (cardinality <= `limit`, panics
+     * otherwise); large spaces use grid()/randomPoint() instead.
+     */
+    std::vector<Point> enumerate(std::uint64_t limit = 1000000) const;
+
+    /**
+     * Deterministic evenly-strided sample of up to `budget` distinct
+     * valid points: stride the flat index range, advancing each probe
+     * to the next valid unused index.  Returns fewer than `budget`
+     * points only when the space holds fewer valid points.
+     */
+    std::vector<Point> grid(std::size_t budget) const;
+
+    /**
+     * Uniform valid point by rejection sampling from `rng` (panics
+     * after a generous attempt cap: a space that rejects nearly
+     * everything is a declaration bug).
+     */
+    Point randomPoint(Rng &rng) const;
+
+    /**
+     * All valid single-knob mutations of `p`, in (knob, value) order.
+     * Never contains `p` itself.
+     */
+    std::vector<Point> neighbors(const Point &p) const;
+
+    /**
+     * One random valid single-knob mutation of `p` (panics after an
+     * attempt cap when `p` has no valid neighbor).
+     */
+    Point mutate(const Point &p, Rng &rng) const;
+
+    /** "tech=m3d-het width=base ..." - for tables and JSON. */
+    std::string describe(const Point &p) const;
+
+  private:
+    bool wellFormed(const Point &p) const;
+
+    std::string name_;
+    std::vector<Knob> knobs_;
+    Validator validator_;
+};
+
+} // namespace search
+} // namespace m3d
+
+#endif // M3D_SEARCH_SEARCH_SPACE_HH_

@@ -1,0 +1,284 @@
+#include "search/strategy.hh"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.hh"
+
+namespace m3d {
+namespace search {
+
+namespace {
+
+/**
+ * Shared strategy plumbing: budget accounting, archiving every priced
+ * point, and best-scalarized tracking.  Archiving happens inside the
+ * pricer's hook (possibly concurrently - the archive is order
+ * independent); best tracking happens serially in batch order, so the
+ * reported champion is deterministic.
+ */
+class Context
+{
+  public:
+    Context(const SearchSpace &space, const StrategyOptions &opts,
+            const BatchPricer &pricer)
+        : space_(space), opts_(opts), pricer_(pricer)
+    {
+    }
+
+    void priceReference(const Point &ref)
+    {
+        const std::vector<Objectives> objs = run({ref});
+        M3D_ASSERT(objs.size() == 1, "pricer dropped the reference");
+        ref_obj_ = objs[0];
+        have_ref_ = true;
+        ++evaluated_;
+        best_ = {ref, ref_obj_};
+        best_score_ = score(ref_obj_);
+    }
+
+    /**
+     * Price up to remaining-budget points from the front of `pts`;
+     * returns the objectives of the points actually priced.
+     */
+    std::vector<Objectives> price(std::vector<Point> pts)
+    {
+        if (pts.size() > remaining())
+            pts.resize(remaining());
+        if (pts.empty())
+            return {};
+        const std::vector<Objectives> objs = run(pts);
+        M3D_ASSERT(objs.size() == pts.size(),
+                   "pricer returned a short batch");
+        evaluated_ += pts.size();
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            const double s = score(objs[i]);
+            if (s > best_score_ ||
+                (s == best_score_ && pointLess(pts[i], best_.point))) {
+                best_ = {pts[i], objs[i]};
+                best_score_ = s;
+            }
+        }
+        return objs;
+    }
+
+    std::size_t remaining() const
+    {
+        return opts_.budget - budget_spent();
+    }
+    bool exhausted() const { return remaining() == 0; }
+
+    double score(const Objectives &o) const
+    {
+        M3D_ASSERT(have_ref_, "score() before priceReference()");
+        return scalarScore(o, ref_obj_);
+    }
+
+    SearchResult result(const std::string &strategy) const
+    {
+        SearchResult r;
+        r.strategy = strategy;
+        r.evaluated = evaluated_;
+        r.frontier = archive_.frontier();
+        r.best = best_;
+        r.best_score = best_score_;
+        r.reference = ref_obj_;
+        return r;
+    }
+
+    const SearchSpace &space() const { return space_; }
+    const StrategyOptions &options() const { return opts_; }
+
+  private:
+    std::size_t budget_spent() const
+    {
+        // The reference is free; everything else spends budget.
+        return evaluated_ - (have_ref_ ? 1 : 0);
+    }
+
+    std::vector<Objectives> run(const std::vector<Point> &pts)
+    {
+        ParetoArchive *archive = &archive_;
+        const std::vector<Point> *points = &pts;
+        return pricer_(
+            pts, [archive, points](std::size_t i,
+                                   const Objectives &obj) {
+                archive->insert((*points)[i], obj);
+            });
+    }
+
+    const SearchSpace &space_;
+    const StrategyOptions &opts_;
+    const BatchPricer &pricer_;
+    ParetoArchive archive_;
+
+    bool have_ref_ = false;
+    Objectives ref_obj_;
+    std::size_t evaluated_ = 0;
+    ParetoEntry best_;
+    double best_score_ = 0.0;
+};
+
+void
+runGrid(Context &ctx)
+{
+    ctx.price(ctx.space().grid(ctx.options().budget));
+}
+
+void
+runRandom(Context &ctx, Rng &rng)
+{
+    // Draw distinct points (dedupe by flat index), then price them as
+    // one batch so the engine fans the whole sample at once.
+    const std::size_t budget = ctx.options().budget;
+    std::vector<Point> pts;
+    std::unordered_set<std::uint64_t> used;
+    const std::size_t attempts = budget * 50 + 1000;
+    for (std::size_t a = 0; a < attempts && pts.size() < budget; ++a) {
+        Point p = ctx.space().randomPoint(rng);
+        if (used.insert(ctx.space().indexOf(p)).second)
+            pts.push_back(std::move(p));
+    }
+    ctx.price(std::move(pts));
+}
+
+void
+runClimb(Context &ctx, Rng &rng)
+{
+    Point cur = ctx.space().randomPoint(rng);
+    std::vector<Objectives> objs = ctx.price({cur});
+    if (objs.empty())
+        return;
+    double cur_score = ctx.score(objs[0]);
+
+    while (!ctx.exhausted()) {
+        const std::vector<Point> nbrs = ctx.space().neighbors(cur);
+        const std::vector<Objectives> nbr_objs = ctx.price(nbrs);
+        // Best priced neighbor; the first wins ties, which is
+        // deterministic because neighbors() orders by (knob, value).
+        std::size_t best_i = nbr_objs.size();
+        double best_s = 0.0;
+        for (std::size_t i = 0; i < nbr_objs.size(); ++i) {
+            const double s = ctx.score(nbr_objs[i]);
+            if (best_i == nbr_objs.size() || s > best_s) {
+                best_i = i;
+                best_s = s;
+            }
+        }
+        if (best_i < nbr_objs.size() && best_s > cur_score) {
+            cur = nbrs[best_i];
+            cur_score = best_s;
+            continue;
+        }
+        // Local optimum (or truncated batch): random restart.
+        if (ctx.exhausted())
+            break;
+        cur = ctx.space().randomPoint(rng);
+        objs = ctx.price({cur});
+        if (objs.empty())
+            break;
+        cur_score = ctx.score(objs[0]);
+    }
+}
+
+void
+runAnneal(Context &ctx, Rng &rng)
+{
+    Point cur = ctx.space().randomPoint(rng);
+    std::vector<Objectives> objs = ctx.price({cur});
+    if (objs.empty())
+        return;
+    double cur_score = ctx.score(objs[0]);
+
+    double temperature = ctx.options().anneal_t0;
+    while (!ctx.exhausted()) {
+        const Point cand = ctx.space().mutate(cur, rng);
+        objs = ctx.price({cand});
+        if (objs.empty())
+            break;
+        const double cand_score = ctx.score(objs[0]);
+        // Draw the acceptance uniform unconditionally so the random
+        // stream does not depend on whether the move improved.
+        const double u = rng.uniform();
+        if (u < annealAcceptProbability(cand_score - cur_score,
+                                        temperature)) {
+            cur = cand;
+            cur_score = cand_score;
+        }
+        temperature *= ctx.options().anneal_cooling;
+    }
+}
+
+} // namespace
+
+BatchPricer
+enginePricer(const SearchSpace &space, ObjectiveEvaluator &objectives)
+{
+    const SearchSpace *sp = &space;
+    ObjectiveEvaluator *obj = &objectives;
+    return [sp, obj](
+               const std::vector<Point> &pts,
+               const std::function<void(std::size_t,
+                                        const Objectives &)> &hook) {
+        std::vector<CoreDesign> designs;
+        designs.reserve(pts.size());
+        for (const Point &p : pts)
+            designs.push_back(decodeCore(*sp, p, obj->evaluator()));
+        return obj->evaluateBatch(designs, hook);
+    };
+}
+
+double
+scalarScore(const Objectives &obj, const Objectives &ref)
+{
+    M3D_ASSERT(ref.frequency > 0.0 && ref.epi > 0.0 &&
+                   ref.peak_c > 0.0,
+               "scalarization reference must be positive");
+    return obj.frequency / ref.frequency - obj.epi / ref.epi -
+           0.5 * obj.peak_c / ref.peak_c;
+}
+
+double
+annealAcceptProbability(double delta, double temperature)
+{
+    if (delta >= 0.0)
+        return 1.0;
+    if (temperature <= 0.0)
+        return 0.0;
+    return std::exp(delta / temperature);
+}
+
+const std::vector<std::string> &
+strategyNames()
+{
+    static const std::vector<std::string> names = {"grid", "random",
+                                                   "climb", "anneal"};
+    return names;
+}
+
+SearchResult
+runSearch(const SearchSpace &space, const std::string &strategy,
+          const StrategyOptions &opts, const BatchPricer &pricer,
+          const Point &reference)
+{
+    M3D_ASSERT(space.valid(reference),
+               "the scalarization reference must be a valid point");
+    Context ctx(space, opts, pricer);
+    ctx.priceReference(reference);
+    Rng rng(opts.seed);
+    if (strategy == "grid")
+        runGrid(ctx);
+    else if (strategy == "random")
+        runRandom(ctx, rng);
+    else if (strategy == "climb")
+        runClimb(ctx, rng);
+    else if (strategy == "anneal")
+        runAnneal(ctx, rng);
+    else
+        M3D_FATAL("unknown strategy '", strategy,
+                  "' (expected grid, random, climb, or anneal)");
+    return ctx.result(strategy);
+}
+
+} // namespace search
+} // namespace m3d

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Pluggable search strategies over a SearchSpace.
+ *
+ * Four strategies - exhaustive/strided grid, seeded random sampling,
+ * greedy hill-climb with random restarts, and simulated annealing -
+ * all drive the same loop: pick points, price them through a
+ * BatchPricer, feed every result into a ParetoArchive, and track the
+ * best scalarized point.  Determinism rules:
+ *
+ *  - every strategy is a *sequential* algorithm over batch prices;
+ *    parallelism lives entirely inside the pricer (the engine's
+ *    submission-order merge), so results are bit-identical at any
+ *    `--jobs`;
+ *  - all randomness comes from one util::Rng seeded by
+ *    StrategyOptions::seed, drawn in a fixed order (annealing draws
+ *    its acceptance uniform unconditionally, even when the move is
+ *    an improvement, so the stream never depends on float compares
+ *    that accepted moves would skip);
+ *  - ties break on the lexicographic point order.
+ *
+ * The scalarization for climb/anneal compares a point against the
+ * reference design (the canonical 2D baseline in the core space):
+ *   score = f/f_ref - epi/epi_ref - 0.5 * peak/peak_ref
+ * i.e. "buy frequency, pay energy, and pay temperature at half
+ * weight" - the paper's qualitative trade (Sections 6-7).  The
+ * reference is priced first by every strategy (and archived), so
+ * `evaluated` counts budget + 1 points.
+ */
+
+#ifndef M3D_SEARCH_STRATEGY_HH_
+#define M3D_SEARCH_STRATEGY_HH_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "search/design_point.hh"
+#include "search/pareto.hh"
+
+namespace m3d {
+namespace search {
+
+/**
+ * Prices a batch of points into objective vectors, in batch order.
+ * The optional hook fires once per priced point (possibly from a
+ * worker thread) - strategies use it to archive results as they
+ * land.  Tests substitute synthetic pricers; production uses
+ * enginePricer().
+ */
+using BatchPricer = std::function<std::vector<Objectives>(
+    const std::vector<Point> &,
+    const std::function<void(std::size_t, const Objectives &)> &)>;
+
+/** A pricer backed by ObjectiveEvaluator::evaluateBatch. */
+BatchPricer enginePricer(const SearchSpace &space,
+                         ObjectiveEvaluator &objectives);
+
+/** Strategy knobs (defaults match `m3dtool search`). */
+struct StrategyOptions
+{
+    std::uint64_t seed = 7;
+
+    /** Points to price, excluding the reference design. */
+    std::size_t budget = 64;
+
+    /** Annealing: initial temperature (score units). */
+    double anneal_t0 = 0.1;
+
+    /** Annealing: geometric cooling factor per step. */
+    double anneal_cooling = 0.95;
+};
+
+/** Outcome of one strategy run. */
+struct SearchResult
+{
+    std::string strategy;
+    std::size_t evaluated = 0; ///< priced points incl. the reference
+    std::vector<ParetoEntry> frontier; ///< canonical order
+    ParetoEntry best;                  ///< best scalarized point
+    double best_score = 0.0;
+    Objectives reference; ///< the scalarization baseline
+};
+
+/** The scalarized score of `obj` against `ref`; see file comment. */
+double scalarScore(const Objectives &obj, const Objectives &ref);
+
+/**
+ * Metropolis acceptance: 1 if the move does not lose score, else
+ * exp(delta / temperature) (0 when the temperature has decayed to
+ * zero).  Exposed for the unit tests.
+ */
+double annealAcceptProbability(double delta, double temperature);
+
+/** Strategy names accepted by runSearch, in documentation order. */
+const std::vector<std::string> &strategyNames();
+
+/**
+ * Run one strategy over `space`.
+ *
+ * @param strategy one of strategyNames(): "grid", "random", "climb",
+ *        or "anneal".
+ * @param reference the scalarization baseline point (must be valid);
+ *        coreBaselinePoint() in the core space.
+ */
+SearchResult runSearch(const SearchSpace &space,
+                       const std::string &strategy,
+                       const StrategyOptions &opts,
+                       const BatchPricer &pricer,
+                       const Point &reference);
+
+} // namespace search
+} // namespace m3d
+
+#endif // M3D_SEARCH_STRATEGY_HH_

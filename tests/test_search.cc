@@ -1,0 +1,578 @@
+/**
+ * @file
+ * Unit and determinism tests for the search subsystem (src/search).
+ *
+ * Four layers, cheapest first:
+ *  - SearchSpace mechanics (flat-index round trips, validators,
+ *    strided grids, neighborhoods) on tiny synthetic spaces;
+ *  - Pareto dominance, margin dominance, and the archive's
+ *    order-independent tie-breaking (including a concurrent-insert
+ *    check - the archive is fed from engine worker threads);
+ *  - strategy algebra on a closed-form synthetic objective: seeded
+ *    reproducibility, budget accounting, and the Metropolis
+ *    acceptance math;
+ *  - the full stack against engine::Evaluator at a tiny instruction
+ *    budget: every strategy must return bit-identical results at
+ *    1 thread and 8 threads, and decoding the all-zeros core point
+ *    must reproduce DesignFactory's M3D-Het model-for-model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/design.hh"
+#include "engine/evaluator.hh"
+#include "search/design_point.hh"
+#include "search/pareto.hh"
+#include "search/strategy.hh"
+#include "util/rng.hh"
+#include "workload/profile.hh"
+
+using namespace m3d;
+using search::Objectives;
+using search::ParetoArchive;
+using search::ParetoEntry;
+using search::Point;
+using search::SearchSpace;
+
+namespace {
+
+/** a x b x c toy space; "c" is the least-significant digit. */
+SearchSpace
+toySpace()
+{
+    SearchSpace space("toy");
+    space.knob("a", {"a0", "a1", "a2"})
+        .knob("b", {"b0", "b1"})
+        .knob("c", {"c0", "c1", "c2", "c3"});
+    return space;
+}
+
+Objectives
+obj(double f, double epi, double peak)
+{
+    Objectives o;
+    o.frequency = f;
+    o.epi = epi;
+    o.peak_c = peak;
+    return o;
+}
+
+/**
+ * Closed-form objective over toySpace(): "a" buys frequency, "b"
+ * costs energy, "c" costs temperature.  Distinct per point, with a
+ * genuine trade-off along the "a" axis.
+ */
+Objectives
+toyObjectives(const Point &p)
+{
+    return obj(1e9 * (1.0 + 0.5 * p[0]),
+               1e-9 * (1.0 + 0.3 * p[0] + 0.4 * p[1]),
+               50.0 + 2.0 * p[2] + 0.5 * p[0]);
+}
+
+/** A BatchPricer over toyObjectives that honors the archive hook. */
+search::BatchPricer
+toyPricer()
+{
+    return [](const std::vector<Point> &pts,
+              const std::function<void(std::size_t,
+                                       const Objectives &)> &hook) {
+        std::vector<Objectives> out(pts.size());
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            out[i] = toyObjectives(pts[i]);
+            if (hook)
+                hook(i, out[i]);
+        }
+        return out;
+    };
+}
+
+bool
+sameResult(const search::SearchResult &a,
+           const search::SearchResult &b)
+{
+    if (a.strategy != b.strategy || a.evaluated != b.evaluated ||
+        a.frontier.size() != b.frontier.size() ||
+        a.best.point != b.best.point || a.best.obj != b.best.obj ||
+        a.best_score != b.best_score || a.reference != b.reference)
+        return false;
+    for (std::size_t i = 0; i < a.frontier.size(); ++i) {
+        if (a.frontier[i].point != b.frontier[i].point ||
+            a.frontier[i].obj != b.frontier[i].obj)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// SearchSpace mechanics
+// ---------------------------------------------------------------------------
+
+TEST(SearchSpace, FlatIndexRoundTrip)
+{
+    const SearchSpace space = toySpace();
+    EXPECT_EQ(space.cardinality(), 3u * 2u * 4u);
+    for (std::uint64_t i = 0; i < space.cardinality(); ++i) {
+        const Point p = space.pointAt(i);
+        EXPECT_EQ(space.indexOf(p), i);
+    }
+    // First knob is the most significant digit.
+    EXPECT_EQ(space.pointAt(0), (Point{0, 0, 0}));
+    EXPECT_EQ(space.pointAt(1), (Point{0, 0, 1}));
+    EXPECT_EQ(space.pointAt(8), (Point{1, 0, 0}));
+}
+
+TEST(SearchSpace, KnobLookupAndValues)
+{
+    const SearchSpace space = toySpace();
+    EXPECT_EQ(space.knobIndex("c"), 2u);
+    const Point p{2, 1, 3};
+    EXPECT_EQ(space.value(p, "a"), "a2");
+    EXPECT_EQ(space.value(p, "c"), "c3");
+    EXPECT_EQ(space.describe(p), "a=a2 b=b1 c=c3");
+}
+
+TEST(SearchSpace, ValidatorFiltersEnumerationAndValidity)
+{
+    SearchSpace space = toySpace();
+    // Forbid the b1 half of the space.
+    space.setValidator([](const SearchSpace &s, const Point &p) {
+        return p[s.knobIndex("b")] == 0;
+    });
+    EXPECT_TRUE(space.valid(Point{0, 0, 0}));
+    EXPECT_FALSE(space.valid(Point{0, 1, 0}));
+    EXPECT_FALSE(space.valid(Point{0, 0}));    // arity
+    EXPECT_FALSE(space.valid(Point{0, 0, 4})); // range
+    const std::vector<Point> all = space.enumerate();
+    EXPECT_EQ(all.size(), 12u);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        EXPECT_EQ(all[i][1], 0);
+        if (i > 0) {
+            EXPECT_LT(space.indexOf(all[i - 1]),
+                      space.indexOf(all[i]));
+        }
+    }
+}
+
+TEST(SearchSpace, GridIsDistinctValidAndDeterministic)
+{
+    SearchSpace space = toySpace();
+    space.setValidator([](const SearchSpace &s, const Point &p) {
+        return p[s.knobIndex("b")] == 0;
+    });
+    const std::vector<Point> g1 = space.grid(5);
+    const std::vector<Point> g2 = space.grid(5);
+    EXPECT_EQ(g1, g2);
+    EXPECT_EQ(g1.size(), 5u);
+    std::set<std::uint64_t> seen;
+    for (const Point &p : g1) {
+        EXPECT_TRUE(space.valid(p));
+        EXPECT_TRUE(seen.insert(space.indexOf(p)).second);
+    }
+    // Over-budget grids degrade to full enumeration.
+    EXPECT_EQ(space.grid(100).size(), 12u);
+}
+
+TEST(SearchSpace, NeighborsAreSingleKnobMutations)
+{
+    const SearchSpace space = toySpace();
+    const Point p{1, 0, 2};
+    const std::vector<Point> n = space.neighbors(p);
+    // (3-1) + (2-1) + (4-1) alternatives.
+    EXPECT_EQ(n.size(), 6u);
+    for (const Point &q : n) {
+        EXPECT_NE(q, p);
+        int changed = 0;
+        for (std::size_t k = 0; k < q.size(); ++k)
+            changed += q[k] != p[k];
+        EXPECT_EQ(changed, 1);
+        EXPECT_TRUE(space.valid(q));
+    }
+}
+
+TEST(SearchSpace, MutateAndRandomPointStayValid)
+{
+    SearchSpace space = toySpace();
+    space.setValidator([](const SearchSpace &s, const Point &p) {
+        return p[s.knobIndex("b")] == 0;
+    });
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i) {
+        const Point p = space.randomPoint(rng);
+        EXPECT_TRUE(space.valid(p));
+        const Point q = space.mutate(p, rng);
+        EXPECT_TRUE(space.valid(q));
+        EXPECT_NE(q, p);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dominance and the Pareto archive
+// ---------------------------------------------------------------------------
+
+TEST(Dominance, WeakParetoSemantics)
+{
+    const Objectives a = obj(2e9, 1e-9, 60.0);
+    // Better everywhere.
+    EXPECT_TRUE(search::dominates(obj(3e9, 0.5e-9, 55.0), a));
+    // Equal on two axes, better on one.
+    EXPECT_TRUE(search::dominates(obj(2e9, 1e-9, 59.0), a));
+    // Identical: no strict improvement anywhere.
+    EXPECT_FALSE(search::dominates(a, a));
+    // Trade-off: faster but hotter.
+    EXPECT_FALSE(search::dominates(obj(3e9, 1e-9, 61.0), a));
+    EXPECT_FALSE(search::dominates(a, obj(3e9, 1e-9, 61.0)));
+}
+
+TEST(Dominance, MarginDominanceNeedsEveryAxisBeyondTolerance)
+{
+    const search::Margins m; // 1% f, 1% epi, 0.5 C
+    const Objectives base = obj(2e9, 1e-9, 60.0);
+    // Clear win on every axis.
+    EXPECT_TRUE(search::dominatesBeyond(
+        obj(2.1e9, 0.9e-9, 58.0), base, m));
+    // Wins, but the temperature edge is within tolerance.
+    EXPECT_FALSE(search::dominatesBeyond(
+        obj(2.1e9, 0.9e-9, 59.8), base, m));
+    // Wins, but the frequency edge is within 1%.
+    EXPECT_FALSE(search::dominatesBeyond(
+        obj(2.01e9, 0.9e-9, 58.0), base, m));
+    // Weakly dominated is never beyond-dominated.
+    EXPECT_FALSE(search::dominatesBeyond(base, base, m));
+}
+
+TEST(ParetoArchive, KeepsOnlyNonDominated)
+{
+    ParetoArchive archive;
+    EXPECT_TRUE(archive.insert(Point{0}, obj(2e9, 1e-9, 60.0)));
+    // Dominated newcomer is rejected.
+    EXPECT_FALSE(archive.insert(Point{1}, obj(2e9, 1e-9, 61.0)));
+    // Dominating newcomer evicts.
+    EXPECT_TRUE(archive.insert(Point{2}, obj(2e9, 0.9e-9, 60.0)));
+    EXPECT_EQ(archive.size(), 1u);
+    // Incomparable trade-off coexists.
+    EXPECT_TRUE(archive.insert(Point{3}, obj(3e9, 2e-9, 70.0)));
+    EXPECT_EQ(archive.size(), 2u);
+    EXPECT_TRUE(archive.nonDominated(obj(2e9, 0.9e-9, 60.0)));
+    EXPECT_FALSE(archive.nonDominated(obj(2e9, 1e-9, 60.5)));
+}
+
+TEST(ParetoArchive, ObjectiveTiesKeepLexSmallestPoint)
+{
+    const Objectives tie = obj(2e9, 1e-9, 60.0);
+    ParetoArchive archive;
+    EXPECT_TRUE(archive.insert(Point{1, 2}, tie));
+    // A lex-larger point with the same objectives is rejected...
+    EXPECT_FALSE(archive.insert(Point{1, 3}, tie));
+    // ...a lex-smaller one replaces it.
+    EXPECT_TRUE(archive.insert(Point{0, 9}, tie));
+    const std::vector<ParetoEntry> f = archive.frontier();
+    ASSERT_EQ(f.size(), 1u);
+    EXPECT_EQ(f[0].point, (Point{0, 9}));
+}
+
+TEST(ParetoArchive, InsertionOrderIndependent)
+{
+    std::vector<std::pair<Point, Objectives>> pairs;
+    const SearchSpace space = toySpace();
+    for (const Point &p : space.enumerate())
+        pairs.emplace_back(p, toyObjectives(p));
+
+    ParetoArchive forward;
+    for (const auto &pr : pairs)
+        forward.insert(pr.first, pr.second);
+    ParetoArchive backward;
+    for (auto it = pairs.rbegin(); it != pairs.rend(); ++it)
+        backward.insert(it->first, it->second);
+
+    const std::vector<ParetoEntry> ff = forward.frontier();
+    const std::vector<ParetoEntry> bf = backward.frontier();
+    ASSERT_EQ(ff.size(), bf.size());
+    ASSERT_FALSE(ff.empty());
+    for (std::size_t i = 0; i < ff.size(); ++i) {
+        EXPECT_EQ(ff[i].point, bf[i].point);
+        EXPECT_EQ(ff[i].obj, bf[i].obj);
+    }
+    // Every frontier pair is mutually non-dominating.
+    for (const ParetoEntry &x : ff) {
+        for (const ParetoEntry &y : ff) {
+            if (x.point != y.point) {
+                EXPECT_FALSE(search::dominates(x.obj, y.obj));
+            }
+        }
+    }
+}
+
+TEST(ParetoArchive, ConcurrentInsertsMatchSerial)
+{
+    std::vector<std::pair<Point, Objectives>> pairs;
+    const SearchSpace space = toySpace();
+    for (const Point &p : space.enumerate())
+        pairs.emplace_back(p, toyObjectives(p));
+
+    ParetoArchive serial;
+    for (const auto &pr : pairs)
+        serial.insert(pr.first, pr.second);
+
+    ParetoArchive shared;
+    std::vector<std::thread> workers;
+    const std::size_t kThreads = 8;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t]() {
+            for (std::size_t i = t; i < pairs.size(); i += kThreads)
+                shared.insert(pairs[i].first, pairs[i].second);
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+
+    const std::vector<ParetoEntry> sf = serial.frontier();
+    const std::vector<ParetoEntry> cf = shared.frontier();
+    ASSERT_EQ(sf.size(), cf.size());
+    for (std::size_t i = 0; i < sf.size(); ++i) {
+        EXPECT_EQ(sf[i].point, cf[i].point);
+        EXPECT_EQ(sf[i].obj, cf[i].obj);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy algebra on the synthetic objective
+// ---------------------------------------------------------------------------
+
+TEST(Strategies, AnnealAcceptanceMath)
+{
+    // Non-losing moves are always accepted.
+    EXPECT_DOUBLE_EQ(search::annealAcceptProbability(0.0, 0.1), 1.0);
+    EXPECT_DOUBLE_EQ(search::annealAcceptProbability(0.5, 0.1), 1.0);
+    // Losing moves follow the Metropolis curve.
+    EXPECT_DOUBLE_EQ(search::annealAcceptProbability(-0.05, 0.1),
+                     std::exp(-0.05 / 0.1));
+    EXPECT_DOUBLE_EQ(search::annealAcceptProbability(-1.0, 0.5),
+                     std::exp(-2.0));
+    // Monotone in temperature for a fixed loss.
+    EXPECT_LT(search::annealAcceptProbability(-0.1, 0.01),
+              search::annealAcceptProbability(-0.1, 0.1));
+    // A fully cooled walk rejects every losing move.
+    EXPECT_DOUBLE_EQ(search::annealAcceptProbability(-0.1, 0.0), 0.0);
+}
+
+TEST(Strategies, ScalarScoreMatchesDocumentedForm)
+{
+    const Objectives ref = obj(2e9, 2e-9, 50.0);
+    const Objectives x = obj(3e9, 1e-9, 60.0);
+    EXPECT_DOUBLE_EQ(search::scalarScore(x, ref),
+                     3e9 / 2e9 - 1e-9 / 2e-9 - 0.5 * (60.0 / 50.0));
+    // The reference scores 1 - 1 - 0.5 against itself.
+    EXPECT_DOUBLE_EQ(search::scalarScore(ref, ref), -0.5);
+}
+
+TEST(Strategies, NamesAndUnknownStrategy)
+{
+    const std::vector<std::string> &names = search::strategyNames();
+    EXPECT_EQ(names,
+              (std::vector<std::string>{"grid", "random", "climb",
+                                        "anneal"}));
+    const SearchSpace space = toySpace();
+    EXPECT_DEATH(search::runSearch(space, "frobnicate",
+                                   search::StrategyOptions(),
+                                   toyPricer(), Point{0, 0, 0}),
+                 "");
+}
+
+TEST(Strategies, SeededRunsReproduceExactly)
+{
+    const SearchSpace space = toySpace();
+    search::StrategyOptions opts;
+    opts.seed = 11;
+    opts.budget = 10;
+    for (const std::string &name : search::strategyNames()) {
+        const search::SearchResult r1 = search::runSearch(
+            space, name, opts, toyPricer(), Point{0, 0, 0});
+        const search::SearchResult r2 = search::runSearch(
+            space, name, opts, toyPricer(), Point{0, 0, 0});
+        EXPECT_TRUE(sameResult(r1, r2)) << name;
+        EXPECT_EQ(r1.strategy, name);
+        // budget points + the reference.
+        EXPECT_EQ(r1.evaluated, 11u) << name;
+        EXPECT_EQ(r1.reference, toyObjectives(Point{0, 0, 0}));
+        // The frontier is mutually non-dominating and contains the
+        // best scalarized point's objectives... the best point is
+        // archived, so nothing archived dominates it.
+        for (const ParetoEntry &e : r1.frontier)
+            EXPECT_FALSE(search::dominates(e.obj, r1.best.obj));
+    }
+}
+
+TEST(Strategies, GridExhaustsSmallSpaces)
+{
+    const SearchSpace space = toySpace();
+    search::StrategyOptions opts;
+    opts.budget = 100; // > 24 valid points
+    const search::SearchResult r = search::runSearch(
+        space, "grid", opts, toyPricer(), Point{0, 0, 0});
+    EXPECT_EQ(r.evaluated, space.cardinality() + 1);
+    // With the whole space priced, the frontier is the true Pareto
+    // set of the synthetic objective: a=2 buys the most frequency,
+    // b=0/c=0 minimize the costs, plus the lower-frequency trade-off
+    // points a=1 and a=0 (cooler and cheaper).
+    ASSERT_EQ(r.frontier.size(), 3u);
+    EXPECT_EQ(r.frontier[0].point, (Point{2, 0, 0}));
+    EXPECT_EQ(r.frontier[1].point, (Point{1, 0, 0}));
+    EXPECT_EQ(r.frontier[2].point, (Point{0, 0, 0}));
+    // Best scalarized: each "a" step buys more normalized frequency
+    // than it costs in energy and temperature, so a=2,b=0,c=0 wins.
+    EXPECT_EQ(r.best.point, (Point{2, 0, 0}));
+}
+
+TEST(Strategies, DifferentSeedsChangeTheSampledWalk)
+{
+    const SearchSpace space = toySpace();
+    // Record the exact point sequence each walk prices.
+    const auto recordingPricer = [](std::vector<Point> *trace) {
+        search::BatchPricer inner = toyPricer();
+        return [trace, inner](
+                   const std::vector<Point> &pts,
+                   const std::function<void(
+                       std::size_t, const Objectives &)> &hook) {
+            trace->insert(trace->end(), pts.begin(), pts.end());
+            return inner(pts, hook);
+        };
+    };
+    std::vector<Point> trace_a, trace_b;
+    search::StrategyOptions a, b;
+    a.seed = 1;
+    b.seed = 2;
+    a.budget = b.budget = 6;
+    const search::SearchResult ra = search::runSearch(
+        space, "anneal", a, recordingPricer(&trace_a),
+        Point{0, 0, 0});
+    const search::SearchResult rb = search::runSearch(
+        space, "anneal", b, recordingPricer(&trace_b),
+        Point{0, 0, 0});
+    // Both price the full budget either way...
+    EXPECT_EQ(ra.evaluated, rb.evaluated);
+    // ...but the walks themselves differ (an identical sequence for
+    // different seeds would mean the seed is ignored).
+    EXPECT_NE(trace_a, trace_b);
+}
+
+// ---------------------------------------------------------------------------
+// Full stack against the engine (tiny budgets)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+engine::EvalOptions
+tinyEngineOptions(int threads)
+{
+    engine::EvalOptions opts;
+    opts.threads = threads;
+    opts.budget.warmup = 2000;
+    opts.budget.measured = 10000;
+    return opts;
+}
+
+search::ObjectiveConfig
+tinyObjectiveConfig()
+{
+    search::ObjectiveConfig cfg;
+    cfg.apps = {WorkloadLibrary::byName("Gcc")};
+    cfg.thermal_grid = 12;
+    return cfg;
+}
+
+search::SearchResult
+runTiny(const std::string &strategy, int threads)
+{
+    engine::Evaluator ev(tinyEngineOptions(threads));
+    search::ObjectiveEvaluator objectives(ev, tinyObjectiveConfig());
+    const SearchSpace space = search::coreSpace();
+    search::StrategyOptions opts;
+    opts.seed = 7;
+    opts.budget = 5;
+    return search::runSearch(space, strategy, opts,
+                             search::enginePricer(space, objectives),
+                             search::coreBaselinePoint(space));
+}
+
+} // namespace
+
+TEST(EngineSearch, SerialAndEightThreadRunsAreBitIdentical)
+{
+    for (const std::string &name : search::strategyNames()) {
+        const search::SearchResult serial = runTiny(name, 1);
+        const search::SearchResult parallel = runTiny(name, 8);
+        EXPECT_TRUE(sameResult(serial, parallel)) << name;
+        EXPECT_EQ(serial.evaluated, 6u) << name;
+    }
+}
+
+TEST(EngineSearch, ObjectiveMemoReturnsIdenticalVectors)
+{
+    engine::Evaluator ev(tinyEngineOptions(4));
+    search::ObjectiveEvaluator objectives(ev, tinyObjectiveConfig());
+    const DesignFactory factory = engine::designFactory(ev);
+    const CoreDesign het = factory.m3dHet();
+    const Objectives first = objectives.evaluate(het);
+    const Objectives again = objectives.evaluate(het);
+    EXPECT_EQ(first, again);
+    EXPECT_GT(first.frequency, 0.0);
+    EXPECT_GT(first.epi, 0.0);
+    EXPECT_GT(first.peak_c, 20.0);
+}
+
+TEST(EngineSearch, AllZerosPointDecodesToPaperM3DHet)
+{
+    engine::Evaluator ev(tinyEngineOptions(4));
+    const SearchSpace space = search::coreSpace();
+    const Point origin(space.knobCount(), 0);
+    ASSERT_TRUE(space.valid(origin));
+    const CoreDesign decoded = search::decodeCore(space, origin, ev);
+    const CoreDesign het = engine::designFactory(ev).m3dHet();
+
+    EXPECT_EQ(decoded.frequency, het.frequency);
+    EXPECT_EQ(decoded.tech.integration, het.tech.integration);
+    EXPECT_EQ(decoded.dispatch_width, het.dispatch_width);
+    EXPECT_EQ(decoded.issue_width, het.issue_width);
+    EXPECT_EQ(decoded.commit_width, het.commit_width);
+    EXPECT_EQ(decoded.rob_entries, het.rob_entries);
+    EXPECT_EQ(decoded.iq_entries, het.iq_entries);
+    EXPECT_EQ(decoded.load_to_use, het.load_to_use);
+    EXPECT_EQ(decoded.mispredict_penalty, het.mispredict_penalty);
+    EXPECT_EQ(decoded.complex_decode_extra, het.complex_decode_extra);
+    EXPECT_EQ(decoded.clock_tree_switch_factor,
+              het.clock_tree_switch_factor);
+    EXPECT_EQ(decoded.footprint_factor, het.footprint_factor);
+    ASSERT_EQ(decoded.partitions.size(), het.partitions.size());
+    for (const auto &kv : het.partitions) {
+        const auto it = decoded.partitions.find(kv.first);
+        ASSERT_NE(it, decoded.partitions.end()) << kv.first;
+        EXPECT_EQ(it->second.latencyReduction(),
+                  kv.second.latencyReduction())
+            << kv.first;
+        EXPECT_EQ(it->second.energyReduction(),
+                  kv.second.energyReduction())
+            << kv.first;
+    }
+}
+
+TEST(EngineSearch, BaselinePointIsPlanar2D)
+{
+    engine::Evaluator ev(tinyEngineOptions(1));
+    const SearchSpace space = search::coreSpace();
+    const Point base = search::coreBaselinePoint(space);
+    ASSERT_TRUE(space.valid(base));
+    EXPECT_EQ(space.value(base, "tech"), "2d");
+    const CoreDesign design = search::decodeCore(space, base, ev);
+    EXPECT_EQ(design.tech.integration, Integration::Planar2D);
+    EXPECT_EQ(design.frequency, kBaseFrequency);
+    EXPECT_TRUE(design.partitions.empty());
+}

@@ -12,12 +12,16 @@
  *   m3dtool simulate <app> [--design D] [--instructions N] [--stats]
  *                                        run one app on one design
  *   m3dtool thermal <app> [--design D]   peak-temperature solve
+ *   m3dtool search <strategy> [--seed S] [--budget N] [--jobs N]
+ *                  [--json F]            multi-objective design-space
+ *                                        search (src/search)
  *
  * Technologies: m3d-het (default), m3d-iso, tsv3d.
  * Designs: base, tsv3d, m3d-iso, m3d-het-naive, m3d-het, m3d-het-agg.
  * Apps: SPEC2006/SPLASH2/PARSEC names or a profile file path.
  */
 
+#include <algorithm>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
@@ -28,6 +32,7 @@
 #include "arch/stats_dump.hh"
 #include "engine/evaluator.hh"
 #include "report/json.hh"
+#include "search/strategy.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "power/sim_harness.hh"
@@ -54,6 +59,8 @@ usage()
            "  m3dtool simulate <app> [--design <name>] "
            "[--instructions N] [--stats]\n"
            "  m3dtool thermal <app> [--design <name>]\n"
+           "  m3dtool search <grid|random|climb|anneal> [--seed S] "
+           "[--budget N] [--jobs N] [--json F]\n"
            "(every subcommand accepts --help)\n";
     return 2;
 }
@@ -277,8 +284,15 @@ cmdSweep(const std::vector<std::string> &args)
     engine::Evaluator ev(opts);
 
     const std::vector<ArrayConfig> cfgs = CoreStructures::all();
-    for (const std::string &name : tech_names)
+    std::vector<std::pair<std::string, engine::CacheStats>>
+        batch_stats;
+    for (const std::string &name : tech_names) {
         printPartitionTable(ev, name, cfgs);
+        // The per-batch delta the engine just produced for this
+        // technology (the totals below mix all batches together).
+        batch_stats.emplace_back(name,
+                                 ev.lastBatchStats().partition);
+    }
 
     if (!opts.cache_file.empty())
         ev.savePartitionCache();
@@ -294,6 +308,13 @@ cmdSweep(const std::vector<std::string> &args)
         t.row({"Entries stored",
                std::to_string(ev.cache().partitionEntries())});
         t.row({"Worker threads", std::to_string(ev.threads())});
+        t.separator();
+        for (const auto &[name, b] : batch_stats) {
+            t.row({"Batch " + name,
+                   std::to_string(b.hits) + "/" +
+                       std::to_string(b.lookups()) + " hits (" +
+                       Table::pct(b.hitRate(), 1) + ")"});
+        }
         t.print(std::cout);
     }
     return 0;
@@ -396,6 +417,157 @@ cmdThermal(const std::vector<std::string> &args)
     return 0;
 }
 
+/** One frontier/best entry as a JSON object. */
+report::Json
+searchEntryJson(const search::SearchSpace &space,
+                const search::ParetoEntry &e)
+{
+    report::Json o = report::Json::object();
+    o.set("index", report::Json::number(static_cast<double>(
+                       space.indexOf(e.point))));
+    o.set("point", report::Json::string(space.describe(e.point)));
+    o.set("frequency_ghz",
+          report::Json::number(e.obj.frequency / 1e9));
+    o.set("epi_nj", report::Json::number(e.obj.epi * 1e9));
+    o.set("peak_c", report::Json::number(e.obj.peak_c));
+    return o;
+}
+
+int
+cmdSearch(const std::vector<std::string> &args)
+{
+    int jobs = 0;
+    std::uint64_t seed = 7;
+    std::uint64_t budget = 16;
+    std::uint64_t instructions = 60000;
+    int thermal_grid = 32;
+    std::string json_path;
+    std::string cache_file;
+    cli::Parser parser(
+        "m3dtool search",
+        "Multi-objective design-space search: frequency up, "
+        "energy/instruction and peak temperature down, every point "
+        "priced through the evaluation engine.");
+    parser.positional("strategy", "grid, random, climb, or anneal")
+        .flag("seed", &seed, "random seed (fixed seed = fixed result)")
+        .flag("budget", &budget,
+              "points to price, excluding the 2D reference")
+        .flag("jobs", &jobs,
+              "worker threads; 0 means all hardware threads "
+              "(results do not depend on this)")
+        .flag("instructions", &instructions,
+              "measured instruction count per application run")
+        .flag("thermal-grid", &thermal_grid,
+              "thermal solver grid resolution per side")
+        .flag("json", &json_path,
+              "write the result as m3d-search JSON to this file")
+        .flag("cache-file", &cache_file,
+              "persistent partition cache location");
+    const cli::ParseStatus status = parser.parse(args);
+    if (status != cli::ParseStatus::Ok)
+        return exitCode(status);
+    const std::string strategy = parser.positionals()[0];
+    {
+        const std::vector<std::string> &names =
+            search::strategyNames();
+        if (std::find(names.begin(), names.end(), strategy) ==
+            names.end()) {
+            M3D_FATAL("unknown strategy '", strategy,
+                      "' (try grid, random, climb, or anneal)");
+        }
+    }
+
+    engine::EvalOptions opts;
+    opts.threads = jobs;
+    opts.budget.measured = instructions;
+    opts.cache_file = cache_file;
+    engine::Evaluator ev(opts);
+
+    const search::SearchSpace space = search::coreSpace();
+    search::ObjectiveConfig ocfg;
+    ocfg.thermal_grid = thermal_grid;
+    search::ObjectiveEvaluator objectives(ev, ocfg);
+
+    search::StrategyOptions sopts;
+    sopts.seed = seed;
+    sopts.budget = budget;
+    const search::SearchResult result = search::runSearch(
+        space, strategy, sopts,
+        search::enginePricer(space, objectives),
+        search::coreBaselinePoint(space));
+
+    if (!cache_file.empty())
+        ev.savePartitionCache();
+
+    Table t("Pareto frontier: " + strategy + ", seed " +
+            std::to_string(seed) + " (" +
+            std::to_string(result.evaluated) + " points priced)");
+    t.header({"Design", "Tech", "Width", "Depth", "f (GHz)",
+              "EPI (nJ)", "Peak (C)"});
+    for (const search::ParetoEntry &e : result.frontier) {
+        t.row({"dse-" + std::to_string(space.indexOf(e.point)),
+               space.value(e.point, "tech"),
+               space.value(e.point, "width"),
+               space.value(e.point, "depth"),
+               Table::num(e.obj.frequency / 1e9, 2),
+               Table::num(e.obj.epi * 1e9, 3),
+               Table::num(e.obj.peak_c, 1)});
+    }
+    t.print(std::cout);
+    std::cout << "Best scalarized: dse-"
+              << space.indexOf(result.best.point) << " ("
+              << space.describe(result.best.point) << "), score "
+              << report::Json::formatNumber(result.best_score)
+              << "\n";
+
+    if (!json_path.empty()) {
+        // Deliberately excludes --jobs and any wall-clock times: the
+        // emission must be byte-identical at any thread count.
+        report::Json doc = report::Json::object();
+        doc.set("kind", report::Json::string("m3d-search"));
+        doc.set("version", report::Json::number(1));
+        doc.set("strategy", report::Json::string(strategy));
+        doc.set("seed", report::Json::number(
+                            static_cast<double>(seed)));
+        doc.set("budget", report::Json::number(
+                              static_cast<double>(budget)));
+        report::Json sp = report::Json::object();
+        sp.set("name", report::Json::string(space.name()));
+        sp.set("knobs", report::Json::number(static_cast<double>(
+                            space.knobCount())));
+        sp.set("cardinality",
+               report::Json::number(static_cast<double>(
+                   space.cardinality())));
+        doc.set("space", std::move(sp));
+        doc.set("evaluated", report::Json::number(
+                                 static_cast<double>(
+                                     result.evaluated)));
+        report::Json ref = report::Json::object();
+        ref.set("frequency_ghz", report::Json::number(
+                                     result.reference.frequency /
+                                     1e9));
+        ref.set("epi_nj", report::Json::number(
+                              result.reference.epi * 1e9));
+        ref.set("peak_c",
+                report::Json::number(result.reference.peak_c));
+        doc.set("reference", std::move(ref));
+        report::Json best = searchEntryJson(space, result.best);
+        best.set("score", report::Json::number(result.best_score));
+        doc.set("best", std::move(best));
+        report::Json frontier = report::Json::array();
+        for (const search::ParetoEntry &e : result.frontier)
+            frontier.push(searchEntryJson(space, e));
+        doc.set("frontier", std::move(frontier));
+
+        std::ofstream out(json_path);
+        if (!out.is_open())
+            M3D_FATAL("cannot write '", json_path, "'");
+        doc.write(out);
+        std::cout << "Wrote " << json_path << "\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -418,5 +590,7 @@ main(int argc, char **argv)
         return cmdSimulate(args);
     if (cmd == "thermal")
         return cmdThermal(args);
+    if (cmd == "search")
+        return cmdSearch(args);
     return usage();
 }

@@ -65,5 +65,7 @@ run fig9_speedup_multi --jobs 8 --instructions 60000 \
     --cache-file "$tmp/fig9.m3d_cache"
 run fig10_energy_multi --jobs 8 --instructions 60000 \
     --cache-file "$tmp/fig10.m3d_cache"
+run pareto_frontier --jobs 8 --instructions 60000 --budget 48 \
+    --cache-file "$tmp/pareto.m3d_cache"
 
 echo "goldens regenerated under $root/goldens"

@@ -75,6 +75,48 @@ BM_CoreSimulation(benchmark::State &state)
 BENCHMARK(BM_CoreSimulation);
 
 void
+BM_CoreModelRun(benchmark::State &state)
+{
+    DesignFactory factory;
+    const CoreDesign design = factory.m3dHet();
+    const WorkloadProfile app = WorkloadLibrary::byName("Gcc");
+    HierarchyTiming timing;
+    timing.l1_rt = design.load_to_use;
+    timing.frequency = design.frequency;
+    for (auto _ : state) {
+        CacheHierarchy hierarchy(timing);
+        CoreModel core(design, hierarchy);
+        TraceGenerator gen(app, 42);
+        SimResult r = core.run(gen, 100000);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_CoreModelRun);
+
+void
+BM_CoreModelReplay(benchmark::State &state)
+{
+    DesignFactory factory;
+    const CoreDesign design = factory.m3dHet();
+    const WorkloadProfile app = WorkloadLibrary::byName("Gcc");
+    HierarchyTiming timing;
+    timing.l1_rt = design.load_to_use;
+    timing.frequency = design.frequency;
+    auto buf =
+        TraceRegistry::global().acquire(app, 42, 0, 100000);
+    for (auto _ : state) {
+        CacheHierarchy hierarchy(timing);
+        CoreModel core(design, hierarchy);
+        TraceCursor cursor(buf);
+        SimResult r = core.run(cursor, 100000);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_CoreModelReplay);
+
+void
 BM_ThermalSolve(benchmark::State &state)
 {
     DesignFactory factory;

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Wall-clock benchmark of the shared-trace replay engine: how much
+ * cheaper one design evaluation becomes when the instruction stream
+ * and predictor outcomes are captured once and replayed, instead of
+ * regenerated per design.  Emits BENCH_core.json (hand-built JSON,
+ * not an m3d-report emission: wall time is machine-dependent, so
+ * this file is exempt from the golden harness like perf_thermal /
+ * perf_search / perf_models).
+ *
+ * Two levels:
+ *
+ *  - harness level: the same design sweep through runSingleCore on
+ *    both trace paths; the replay pass is timed cold (first design
+ *    pays the capture) and marginally (remaining designs);
+ *  - search level: a cold serial `m3dtool search grid`-equivalent at
+ *    two budgets per path; differencing the budgets isolates the
+ *    marginal per-design cost of the search from its fixed costs
+ *    (factory partition sweeps, reference pricing).
+ *
+ * Replay must be a pure optimization, so both levels also cross-check
+ * that the two paths return identical results.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/replay_mem.hh"
+#include "engine/evaluator.hh"
+#include "report/json.hh"
+#include "search/strategy.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+#include "workload/trace_buffer.hh"
+
+using namespace m3d;
+
+namespace {
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** A small sweep of distinct designs around the M3D-Het point. */
+std::vector<CoreDesign>
+designSweep(const CoreDesign &base, std::size_t count)
+{
+    std::vector<CoreDesign> designs;
+    designs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        CoreDesign d = base;
+        d.rob_entries = base.rob_entries + 16 * static_cast<int>(i);
+        d.iq_entries = base.iq_entries + 4 * static_cast<int>(i % 3);
+        d.lq_entries = base.lq_entries + 4 * static_cast<int>(i % 2);
+        designs.push_back(d);
+    }
+    return designs;
+}
+
+bool
+sameRun(const AppRun &a, const AppRun &b)
+{
+    return a.sim.instructions == b.sim.instructions &&
+           a.sim.cycles == b.sim.cycles &&
+           a.sim.activity.mispredicts == b.sim.activity.mispredicts &&
+           a.sim.activity.dram_accesses ==
+               b.sim.activity.dram_accesses &&
+           a.energyJ() == b.energyJ();
+}
+
+bool
+sameResult(const search::SearchResult &a,
+           const search::SearchResult &b)
+{
+    if (a.evaluated != b.evaluated ||
+        a.frontier.size() != b.frontier.size() ||
+        a.best.point != b.best.point || a.best_score != b.best_score)
+        return false;
+    for (std::size_t i = 0; i < a.frontier.size(); ++i) {
+        if (a.frontier[i].point != b.frontier[i].point ||
+            a.frontier[i].obj != b.frontier[i].obj)
+            return false;
+    }
+    return true;
+}
+
+/** One cold serial grid search; registry and caches start empty. */
+search::SearchResult
+runGrid(std::uint64_t budget, std::uint64_t instructions,
+        int thermal_grid, TracePath path, double *ms)
+{
+    TraceRegistry::global().clear();
+    MemLevelRegistry::global().clear();
+    engine::EvalOptions opts;
+    opts.threads = 1;
+    opts.budget.measured = instructions;
+    opts.trace_path = path;
+    engine::Evaluator ev(opts);
+
+    search::ObjectiveConfig ocfg;
+    ocfg.thermal_grid = thermal_grid;
+    search::ObjectiveEvaluator objectives(ev, ocfg);
+
+    const search::SearchSpace space = search::coreSpace();
+    search::StrategyOptions sopts;
+    sopts.seed = 7;
+    sopts.budget = budget;
+
+    const double t0 = nowMs();
+    search::SearchResult r = search::runSearch(
+        space, "grid", sopts,
+        search::enginePricer(space, objectives),
+        search::coreBaselinePoint(space));
+    *ms = nowMs() - t0;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t instructions = 300000;
+    std::uint64_t budget = 48;
+    std::uint64_t small_budget = 12;
+    int thermal_grid = 16;
+    std::uint64_t sweep = 12;
+    std::string json_path = "BENCH_core.json";
+    cli::Parser parser("perf_replay",
+                       "Shared-trace replay wall clock: generate vs "
+                       "replay per design, plus a cold grid search "
+                       "end to end on both paths.");
+    parser.flag("instructions", &instructions,
+                "measured instruction count per application run")
+        .flag("budget", &budget, "points of the large grid search")
+        .flag("small-budget", &small_budget,
+              "points of the differencing grid search")
+        .flag("thermal-grid", &thermal_grid,
+              "thermal grid resolution per side")
+        .flag("sweep", &sweep, "designs in the harness-level sweep")
+        .flag("json", &json_path, "write results to this file");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+    if (budget <= small_budget) {
+        std::cerr << "perf_replay: --budget must exceed "
+                     "--small-budget\n";
+        return 2;
+    }
+
+    const int hw =
+        static_cast<int>(std::thread::hardware_concurrency());
+    bool identical = true;
+
+    // ------------------------------------------------------------
+    // Harness level: the same sweep through both trace paths.
+    // ------------------------------------------------------------
+    DesignFactory factory;
+    const std::vector<CoreDesign> designs =
+        designSweep(factory.m3dHet(), sweep);
+    const std::vector<WorkloadProfile> apps = {
+        WorkloadLibrary::byName("Gcc"),
+        WorkloadLibrary::byName("Mcf"),
+        WorkloadLibrary::byName("Gamess"),
+    };
+    SimBudget sim_budget;
+    sim_budget.measured = instructions;
+
+    std::vector<AppRun> gen_runs;
+    const double gen_t0 = nowMs();
+    for (const CoreDesign &d : designs) {
+        for (const WorkloadProfile &app : apps) {
+            gen_runs.push_back(runSingleCore(d, app, sim_budget,
+                                             TracePath::Generate));
+        }
+    }
+    const double gen_ms = nowMs() - gen_t0;
+
+    TraceRegistry::global().clear();
+    MemLevelRegistry::global().clear();
+    std::vector<AppRun> replay_runs;
+    const double cold_t0 = nowMs();
+    for (const WorkloadProfile &app : apps) {
+        replay_runs.push_back(runSingleCore(
+            designs[0], app, sim_budget, TracePath::Replay));
+    }
+    const double replay_cold_ms = nowMs() - cold_t0;
+    const double warm_t0 = nowMs();
+    for (std::size_t i = 1; i < designs.size(); ++i) {
+        for (const WorkloadProfile &app : apps) {
+            replay_runs.push_back(runSingleCore(
+                designs[i], app, sim_budget, TracePath::Replay));
+        }
+    }
+    const double replay_warm_ms = nowMs() - warm_t0;
+
+    for (std::size_t i = 0; i < gen_runs.size(); ++i)
+        identical = identical && sameRun(gen_runs[i], replay_runs[i]);
+
+    const auto n_runs = static_cast<double>(designs.size() *
+                                            apps.size());
+    const auto n_warm = static_cast<double>(
+        (designs.size() - 1) * apps.size());
+    const double gen_per_run = gen_ms / n_runs;
+    const double replay_per_run = replay_warm_ms / n_warm;
+    const double run_speedup =
+        replay_per_run > 0.0 ? gen_per_run / replay_per_run : 0.0;
+
+    // ------------------------------------------------------------
+    // Search level: cold serial grid at two budgets on both paths.
+    // ------------------------------------------------------------
+    double gen_small_ms = 0.0, gen_large_ms = 0.0;
+    double rep_small_ms = 0.0, rep_large_ms = 0.0;
+    const search::SearchResult gen_small = runGrid(
+        small_budget, instructions, thermal_grid,
+        TracePath::Generate, &gen_small_ms);
+    const search::SearchResult gen_large = runGrid(
+        budget, instructions, thermal_grid, TracePath::Generate,
+        &gen_large_ms);
+    const search::SearchResult rep_small = runGrid(
+        small_budget, instructions, thermal_grid, TracePath::Replay,
+        &rep_small_ms);
+    const search::SearchResult rep_large = runGrid(
+        budget, instructions, thermal_grid, TracePath::Replay,
+        &rep_large_ms);
+    identical = identical && sameResult(gen_small, rep_small) &&
+                sameResult(gen_large, rep_large);
+
+    const auto extra_points = static_cast<double>(budget -
+                                                  small_budget);
+    const double gen_marginal =
+        (gen_large_ms - gen_small_ms) / extra_points;
+    const double rep_marginal =
+        (rep_large_ms - rep_small_ms) / extra_points;
+    const double marginal_speedup =
+        rep_marginal > 0.0 ? gen_marginal / rep_marginal : 0.0;
+    const double end_to_end_speedup =
+        rep_large_ms > 0.0 ? gen_large_ms / rep_large_ms : 0.0;
+
+    Table t("Trace replay wall clock (" +
+            std::to_string(instructions) + " instructions)");
+    t.header({"Pass", "Wall (ms)", "Per design-run (ms)"});
+    t.row({"harness generate", Table::num(gen_ms, 1),
+           Table::num(gen_per_run, 2)});
+    t.row({"harness replay cold", Table::num(replay_cold_ms, 1),
+           Table::num(replay_cold_ms /
+                          static_cast<double>(apps.size()),
+                      2)});
+    t.row({"harness replay warm", Table::num(replay_warm_ms, 1),
+           Table::num(replay_per_run, 2)});
+    t.row({"grid-" + std::to_string(budget) + " generate",
+           Table::num(gen_large_ms, 1), Table::num(gen_marginal, 2)});
+    t.row({"grid-" + std::to_string(budget) + " replay",
+           Table::num(rep_large_ms, 1), Table::num(rep_marginal, 2)});
+    t.print(std::cout);
+    std::cout << "Harness marginal speedup: "
+              << Table::num(run_speedup, 2)
+              << "x; search marginal speedup: "
+              << Table::num(marginal_speedup, 2)
+              << "x; generate vs replay results identical: "
+              << (identical ? "yes" : "NO") << "\n";
+
+    report::Json results = report::Json::object();
+    results.set("generate_ms_per_run",
+                report::Json::number(gen_per_run));
+    results.set("replay_ms_per_run",
+                report::Json::number(replay_per_run));
+    results.set("replay_capture_ms",
+                report::Json::number(replay_cold_ms));
+    results.set("run_marginal_speedup",
+                report::Json::number(run_speedup));
+    results.set("search_generate_ms",
+                report::Json::number(gen_large_ms));
+    results.set("search_replay_ms",
+                report::Json::number(rep_large_ms));
+    results.set("search_generate_marginal_ms",
+                report::Json::number(gen_marginal));
+    results.set("search_replay_marginal_ms",
+                report::Json::number(rep_marginal));
+    results.set("search_marginal_speedup",
+                report::Json::number(marginal_speedup));
+    results.set("search_end_to_end_speedup",
+                report::Json::number(end_to_end_speedup));
+    results.set("results_identical",
+                report::Json::boolean(identical));
+
+    report::Json doc = report::Json::object();
+    doc.set("kind", report::Json::string("m3d-bench"));
+    doc.set("version", report::Json::number(1));
+    doc.set("bench", report::Json::string("perf_replay"));
+    report::Json cfg = report::Json::object();
+    cfg.set("instructions", report::Json::number(
+                                static_cast<double>(instructions)));
+    cfg.set("budget",
+            report::Json::number(static_cast<double>(budget)));
+    cfg.set("small_budget", report::Json::number(
+                                static_cast<double>(small_budget)));
+    cfg.set("thermal_grid", report::Json::number(thermal_grid));
+    cfg.set("sweep",
+            report::Json::number(static_cast<double>(sweep)));
+    cfg.set("hardware_threads", report::Json::number(hw));
+    doc.set("config", std::move(cfg));
+    doc.set("results", std::move(results));
+
+    std::ofstream out(json_path);
+    if (!out.is_open()) {
+        std::cerr << "perf_replay: cannot write '" << json_path
+                  << "'\n";
+        return 1;
+    }
+    doc.write(out);
+    std::cout << "\nWrote " << json_path << " (hardware threads: "
+              << hw << ")\n";
+    return identical ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+# Trace record/info round-trip driver (see tools/CMakeLists.txt).
+#
+#   cmake -DTOOL=<m3dtool> -DOUT_DIR=<dir> -P RunTraceRoundTrip.cmake
+#
+# 1. `trace record` an application to a file.
+# 2. `trace info --app` the file: the resolved-mispredict count
+#    printed by info (recomputed from the loaded bytes) must equal
+#    the count printed at record time (captured live).  That pins the
+#    on-disk format: predictor outcomes are derived state, so a
+#    lossy save/load would show up as a count mismatch here.
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+set(trace_file ${OUT_DIR}/roundtrip.trace)
+
+execute_process(
+    COMMAND ${TOOL} trace record Gobmk --out ${trace_file}
+            --instructions 60000
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE rec_out
+    ERROR_VARIABLE rec_err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "trace record exited ${rc}:\n${rec_out}${rec_err}")
+endif()
+if(NOT rec_out MATCHES "Resolved mispredicts *([0-9]+)")
+    message(FATAL_ERROR
+        "trace record printed no resolved-mispredict count:\n"
+        "${rec_out}")
+endif()
+set(recorded ${CMAKE_MATCH_1})
+
+execute_process(
+    COMMAND ${TOOL} trace info ${trace_file} --app Gobmk
+    RESULT_VARIABLE rc2
+    OUTPUT_VARIABLE info_out
+    ERROR_VARIABLE info_err)
+if(NOT rc2 EQUAL 0)
+    message(FATAL_ERROR
+        "trace info exited ${rc2}:\n${info_out}${info_err}")
+endif()
+if(NOT info_out MATCHES "Micro-ops *60000")
+    message(FATAL_ERROR
+        "trace info did not report the recorded op count:\n"
+        "${info_out}")
+endif()
+if(NOT info_out MATCHES "Resolved mispredicts *([0-9]+)")
+    message(FATAL_ERROR
+        "trace info printed no resolved-mispredict count:\n"
+        "${info_out}")
+endif()
+if(NOT CMAKE_MATCH_1 EQUAL recorded)
+    message(FATAL_ERROR
+        "resolved mispredicts changed across the disk round trip: "
+        "recorded ${recorded}, reloaded ${CMAKE_MATCH_1}")
+endif()
+
+message(STATUS
+    "trace round trip intact (${recorded} resolved mispredicts)")

@@ -11,73 +11,43 @@ Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
                cfg_.name);
     M3D_ASSERT((cfg_.sets() & (cfg_.sets() - 1)) == 0,
                "set count must be a power of two: ", cfg_.name);
-    ways_.resize(cfg_.sets() * static_cast<std::uint64_t>(
-        cfg_.associativity));
+    M3D_ASSERT((cfg_.line_bytes & (cfg_.line_bytes - 1)) == 0,
+               "line size must be a power of two: ", cfg_.name);
+    while ((1 << line_shift_) < cfg_.line_bytes)
+        ++line_shift_;
+    set_mask_ = cfg_.sets() - 1;
+    const std::size_t entries = static_cast<std::size_t>(
+        cfg_.sets() * static_cast<std::uint64_t>(cfg_.associativity));
+    tags_.assign(entries, 0);
+    lru_.assign(entries, 0);
+    meta_.assign(entries, 0);
 }
 
-std::uint64_t
-Cache::lineOf(std::uint64_t addr) const
+void
+Cache::missFill(std::size_t base, std::uint64_t line, bool is_write)
 {
-    return addr / cfg_.line_bytes;
-}
-
-std::uint64_t
-Cache::setOf(std::uint64_t line) const
-{
-    return line & (cfg_.sets() - 1);
-}
-
-bool
-Cache::access(std::uint64_t addr, bool is_write)
-{
-    ++tick_;
-    const std::uint64_t line = lineOf(addr);
-    const std::uint64_t set = setOf(line);
-    Way *base = &ways_[set * cfg_.associativity];
-
-    for (int w = 0; w < cfg_.associativity; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.tag == line) {
-            way.lru = tick_;
-            way.dirty = way.dirty || is_write;
-            ++hits_;
-            return true;
+    // Fill into an invalid way if one exists, else evict true LRU
+    // (earliest way wins ties, matching the original scan order).
+    std::size_t victim = base;
+    bool found = false;
+    const std::size_t end = base +
+        static_cast<std::size_t>(cfg_.associativity);
+    for (std::size_t w = base; w < end && !found; ++w) {
+        if ((meta_[w] & kValid) == 0) {
+            victim = w;
+            found = true;
         }
     }
-
-    // Miss: fill into an invalid way if one exists, else evict LRU.
-    Way *victim = nullptr;
-    for (int w = 0; w < cfg_.associativity && !victim; ++w) {
-        if (!base[w].valid)
-            victim = &base[w];
-    }
-    if (!victim) {
-        victim = base;
-        for (int w = 1; w < cfg_.associativity; ++w) {
-            if (base[w].lru < victim->lru)
-                victim = &base[w];
+    if (!found) {
+        for (std::size_t w = base + 1; w < end; ++w) {
+            if (lru_[w] < lru_[victim])
+                victim = w;
         }
     }
-
     ++misses_;
-    victim->valid = true;
-    victim->tag = line;
-    victim->lru = tick_;
-    victim->dirty = is_write;
-    return false;
-}
-
-bool
-Cache::contains(std::uint64_t addr) const
-{
-    const std::uint64_t line = lineOf(addr);
-    const std::uint64_t set = setOf(line);
-    const Way *base = &ways_[set * cfg_.associativity];
-    for (int w = 0; w < cfg_.associativity; ++w) {
-        if (base[w].valid && base[w].tag == line)
-            return true;
-    }
-    return false;
+    tags_[victim] = line;
+    lru_[victim] = tick_;
+    meta_[victim] = is_write ? (kValid | kDirty) : kValid;
 }
 
 void
@@ -85,37 +55,41 @@ Cache::fill(std::uint64_t addr)
 {
     ++tick_;
     const std::uint64_t line = lineOf(addr);
-    const std::uint64_t set = setOf(line);
-    Way *base = &ways_[set * cfg_.associativity];
-    Way *victim = nullptr;
-    for (int w = 0; w < cfg_.associativity; ++w) {
-        if (base[w].valid && base[w].tag == line)
+    const std::size_t base = static_cast<std::size_t>(
+        setOf(line) * static_cast<std::uint64_t>(cfg_.associativity));
+    const std::size_t end = base +
+        static_cast<std::size_t>(cfg_.associativity);
+    std::size_t victim = base;
+    bool found = false;
+    for (std::size_t w = base; w < end; ++w) {
+        if ((meta_[w] & kValid) != 0 && tags_[w] == line)
             return; // already present
-        if (!victim && !base[w].valid)
-            victim = &base[w];
-    }
-    if (!victim) {
-        victim = base;
-        for (int w = 1; w < cfg_.associativity; ++w) {
-            if (base[w].lru < victim->lru)
-                victim = &base[w];
+        if (!found && (meta_[w] & kValid) == 0) {
+            victim = w;
+            found = true;
         }
     }
-    victim->valid = true;
-    victim->tag = line;
-    victim->lru = tick_;
-    victim->dirty = false;
+    if (!found) {
+        for (std::size_t w = base + 1; w < end; ++w) {
+            if (lru_[w] < lru_[victim])
+                victim = w;
+        }
+    }
+    tags_[victim] = line;
+    lru_[victim] = tick_;
+    meta_[victim] = kValid;
 }
 
 void
 Cache::invalidate(std::uint64_t addr)
 {
     const std::uint64_t line = lineOf(addr);
-    const std::uint64_t set = setOf(line);
-    Way *base = &ways_[set * cfg_.associativity];
+    const std::size_t base = static_cast<std::size_t>(
+        setOf(line) * static_cast<std::uint64_t>(cfg_.associativity));
     for (int w = 0; w < cfg_.associativity; ++w) {
-        if (base[w].valid && base[w].tag == line) {
-            base[w].valid = false;
+        if ((meta_[base + w] & kValid) != 0 &&
+            tags_[base + w] == line) {
+            meta_[base + w] &= ~kValid;
             return;
         }
     }
@@ -181,14 +155,9 @@ CacheHierarchy::coin(double p)
 }
 
 MemAccessResult
-CacheHierarchy::access(std::uint64_t addr, bool is_write)
+CacheHierarchy::accessMiss(std::uint64_t addr, bool is_write)
 {
     MemAccessResult r;
-    if (l1d_.access(addr, is_write)) {
-        r.level = MemLevel::L1;
-        r.extra_cycles = 0;
-        return r;
-    }
     if (l2_.access(addr, is_write)) {
         r.level = MemLevel::L2;
         r.extra_cycles = timing_.l2_rt - timing_.l1_rt;
@@ -239,14 +208,9 @@ CacheHierarchy::access(std::uint64_t addr, bool is_write)
 }
 
 MemAccessResult
-CacheHierarchy::fetchAccess(std::uint64_t addr)
+CacheHierarchy::fetchMiss(std::uint64_t addr)
 {
     MemAccessResult r;
-    if (l1i_.access(addr, false)) {
-        r.level = MemLevel::L1;
-        r.extra_cycles = 0;
-        return r;
-    }
     if (l2_.access(addr, false)) {
         r.level = MemLevel::L2;
         r.extra_cycles = timing_.l2_rt;

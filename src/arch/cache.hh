@@ -48,11 +48,46 @@ class Cache
     /**
      * Look up (and on miss, fill) a line.
      * @return true on hit.
+     *
+     * Defined inline: this is the innermost call of the timing model
+     * and integer-only, so header inlining is free of numeric risk.
      */
-    bool access(std::uint64_t addr, bool is_write);
+    bool access(std::uint64_t addr, bool is_write)
+    {
+        ++tick_;
+        const std::uint64_t line = lineOf(addr);
+        const std::uint64_t set = setOf(line);
+        const std::size_t base = static_cast<std::size_t>(
+            set * static_cast<std::uint64_t>(cfg_.associativity));
+        const int assoc = cfg_.associativity;
+        for (int w = 0; w < assoc; ++w) {
+            if (tags_[base + w] == line &&
+                (meta_[base + w] & kValid) != 0) {
+                lru_[base + w] = tick_;
+                meta_[base + w] |=
+                    is_write ? (kValid | kDirty) : kValid;
+                ++hits_;
+                return true;
+            }
+        }
+        missFill(base, line, is_write);
+        return false;
+    }
 
     /** Probe without filling or updating LRU. */
-    bool contains(std::uint64_t addr) const;
+    bool contains(std::uint64_t addr) const
+    {
+        const std::uint64_t line = lineOf(addr);
+        const std::size_t base = static_cast<std::size_t>(
+            setOf(line) * static_cast<std::uint64_t>(
+                cfg_.associativity));
+        for (int w = 0; w < cfg_.associativity; ++w) {
+            if (tags_[base + w] == line &&
+                (meta_[base + w] & kValid) != 0)
+                return true;
+        }
+        return false;
+    }
 
     /** Insert a line without touching the hit/miss statistics
      * (prefetch fill). */
@@ -67,19 +102,33 @@ class Cache
     double missRate() const;
 
   private:
-    struct Way
-    {
-        std::uint64_t tag = 0;
-        std::uint64_t lru = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
+    static constexpr std::uint8_t kValid = 1;
+    static constexpr std::uint8_t kDirty = 2;
 
-    std::uint64_t lineOf(std::uint64_t addr) const;
-    std::uint64_t setOf(std::uint64_t line) const;
+    std::uint64_t lineOf(std::uint64_t addr) const
+    {
+        return addr >> line_shift_;
+    }
+    std::uint64_t setOf(std::uint64_t line) const
+    {
+        return line & set_mask_;
+    }
+
+    /** Miss path of access(): victim selection + fill. */
+    void missFill(std::size_t base, std::uint64_t line, bool is_write);
 
     CacheConfig cfg_;
-    std::vector<Way> ways_; ///< sets() x associativity, row-major
+    // Geometry folded to shift/mask once (line size and set count
+    // are asserted powers of two) - access() is the timing model's
+    // innermost call, so it must not divide.
+    int line_shift_ = 0;
+    std::uint64_t set_mask_ = 0;
+    // Way state as parallel arrays (sets x associativity, row-major):
+    // the hit scan touches one cache line of tags per probe instead
+    // of striding across 24-byte way structs.
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint64_t> lru_;
+    std::vector<std::uint8_t> meta_; ///< kValid | kDirty bits
     std::uint64_t tick_ = 0;
     Counter hits_;
     Counter misses_;
@@ -122,11 +171,26 @@ class CacheHierarchy
   public:
     CacheHierarchy(const HierarchyTiming &timing, int core_id=0);
 
-    /** Data access; returns serving level and extra latency. */
-    MemAccessResult access(std::uint64_t addr, bool is_write);
+    /**
+     * Data access; returns serving level and extra latency.
+     * The L1-hit fast path is inline so the core's timing loop pays
+     * no call on the (overwhelmingly common) hit; everything deeper
+     * funnels through the out-of-line miss path.
+     */
+    MemAccessResult access(std::uint64_t addr, bool is_write)
+    {
+        if (l1d_.access(addr, is_write))
+            return MemAccessResult{MemLevel::L1, 0};
+        return accessMiss(addr, is_write);
+    }
 
     /** Instruction fetch access. */
-    MemAccessResult fetchAccess(std::uint64_t addr);
+    MemAccessResult fetchAccess(std::uint64_t addr)
+    {
+        if (l1i_.access(addr, false))
+            return MemAccessResult{MemLevel::L1, 0};
+        return fetchMiss(addr);
+    }
 
     /** Wire up the partner core whose L2 is one MIV-hop away. */
     void setPartner(CacheHierarchy *partner) { partner_ = partner; }
@@ -141,6 +205,22 @@ class CacheHierarchy
 
     /** Attach the multicore's MESI directory (overrides the coin). */
     void setDirectory(MesiDirectory *dir) { directory_ = dir; }
+
+    /** The timing parameters this hierarchy charges. */
+    const HierarchyTiming &timing() const { return timing_; }
+
+    /**
+     * True when the level serving every access is a pure function of
+     * the access stream: no partner L2, no directory, and no
+     * remote-hit coin.  This is the validity condition for replaying
+     * pre-resolved memory levels (arch/replay_mem.hh) instead of
+     * simulating the caches.
+     */
+    bool streamDetermined() const
+    {
+        return partner_ == nullptr && directory_ == nullptr &&
+               remote_hit_rate_ == 0.0;
+    }
 
     Cache &l1d() { return l1d_; }
     Cache &l1i() { return l1i_; }
@@ -169,6 +249,8 @@ class CacheHierarchy
     Counter dram_accesses_;
 
     bool coin(double p);
+    MemAccessResult accessMiss(std::uint64_t addr, bool is_write);
+    MemAccessResult fetchMiss(std::uint64_t addr);
 };
 
 } // namespace m3d

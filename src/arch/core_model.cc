@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "arch/replay_mem.hh"
 #include "util/logging.hh"
 
 namespace m3d {
@@ -12,8 +13,9 @@ namespace {
 // dependency distance the generator emits (512) and the ROB size.
 constexpr std::size_t kHistSize = 1024;
 
-// Instructions per fetch block (one I-cache access covers a block).
-constexpr std::uint64_t kFetchBlock = 8;
+// Instructions per fetch block: CoreModel::kFetchBlock, shortened
+// for the loop body below.
+constexpr std::uint64_t kFetchBlock = CoreModel::kFetchBlock;
 
 // FU pool sizes (Table 9): ALU x4, IntMult/Div x2, LSU x2, FPU x2.
 constexpr int kFuCount[] = {4, 2, 2, 2, 1};
@@ -24,6 +26,160 @@ constexpr std::uint64_t kDispatchDepth = 2;
 // Minimum cycles between DRAM bursts on the core's channel share
 // (64B per burst at ~50 GB/s of per-core bandwidth at 3.3 GHz).
 constexpr std::uint64_t kDramGapCycles = 4;
+
+// Sentinel cycle of an issue-window entry that was never claimed.
+constexpr std::uint64_t kFreeSlot = ~0ull;
+
+// Extra issue-window entries beyond the ROB, covering the spread of
+// in-flight issue times past the fetch frontier (long dependence
+// chains through DRAM misses).  reserveIssue()'s eviction assert
+// turns an undersized window into a loud failure, not a silent
+// over-issue; the margin is validated across the golden suite.
+constexpr std::uint64_t kIssueWindowSlack = 4096;
+
+std::uint64_t
+nextPow2(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+// Field bundle the shared timing loop consumes per op; the replay
+// stream fills only what that path uses (no predictor inputs).
+struct StreamOp
+{
+    OpClass op;
+    std::uint32_t src1_dist;
+    std::uint32_t src2_dist;
+    std::uint64_t address;
+    bool complex_decode;
+    bool taken;
+    bool is_call;
+    bool is_return;
+    bool resolved_mispredict;
+    /** Pre-resolved level codes (MemLevelTable packing); only the
+     * resolved-memory stream fills it. */
+    std::uint8_t mem;
+};
+
+/** Op source that draws from the generator (trains the predictor). */
+struct GeneratorStream
+{
+    static constexpr bool kReplay = false;
+    static constexpr bool kResolvedMem = false;
+
+    TraceGenerator &gen;
+
+    const WorkloadProfile &profile() const { return gen.profile(); }
+
+    StreamOp
+    next()
+    {
+        const MicroOp m = gen.next();
+        StreamOp op;
+        op.op = m.op;
+        op.src1_dist = m.src1_dist;
+        op.src2_dist = m.src2_dist;
+        op.address = m.address;
+        op.complex_decode = m.complex_decode;
+        op.taken = m.taken;
+        op.is_call = m.is_call;
+        op.is_return = m.is_return;
+        op.resolved_mispredict = false;
+        return op;
+    }
+};
+
+/** Op source that walks a pre-resolved TraceBuffer chunk by chunk,
+ * simulating the caches live (multicore replay, where the serving
+ * level depends on the design via directory and partners). */
+struct ReplayStream
+{
+    static constexpr bool kReplay = true;
+    static constexpr bool kResolvedMem = false;
+
+    const TraceBuffer &buf;
+    std::uint64_t pos;
+    const TraceBuffer::Chunk *chunk = nullptr;
+    std::uint64_t off = TraceBuffer::kChunkOps;
+
+    const WorkloadProfile &profile() const { return buf.profile(); }
+
+    StreamOp
+    next()
+    {
+        if (off >= TraceBuffer::kChunkOps) {
+            chunk = &buf.chunk(pos >> TraceBuffer::kChunkShift);
+            off = pos & TraceBuffer::kChunkMask;
+        }
+        const auto o = static_cast<std::size_t>(off);
+        ++off;
+        ++pos;
+        const std::uint8_t flags = chunk->flags[o];
+        StreamOp op;
+        op.op = static_cast<OpClass>(chunk->op[o]);
+        op.src1_dist = chunk->src1[o];
+        op.src2_dist = chunk->src2[o];
+        op.address = chunk->address[o];
+        op.complex_decode =
+            (flags & TraceBuffer::kFlagComplex) != 0;
+        op.taken = false;
+        op.is_call = false;
+        op.is_return = false;
+        op.resolved_mispredict =
+            (flags & TraceBuffer::kFlagMispredict) != 0;
+        return op;
+    }
+};
+
+/** The search fast path: trace columns plus pre-resolved memory
+ * levels (arch/replay_mem.hh) - no cache is touched per design, and
+ * the address column is never even read. */
+struct ResolvedStream
+{
+    static constexpr bool kReplay = true;
+    static constexpr bool kResolvedMem = true;
+
+    const TraceBuffer &buf;
+    const MemLevelTable &mem;
+    std::uint64_t pos;
+    const TraceBuffer::Chunk *chunk = nullptr;
+    const std::uint8_t *mem_chunk = nullptr;
+    std::uint64_t off = TraceBuffer::kChunkOps;
+
+    const WorkloadProfile &profile() const { return buf.profile(); }
+
+    StreamOp
+    next()
+    {
+        if (off >= TraceBuffer::kChunkOps) {
+            const std::uint64_t ci = pos >> TraceBuffer::kChunkShift;
+            chunk = &buf.chunk(ci);
+            mem_chunk = mem.chunk(ci);
+            off = pos & TraceBuffer::kChunkMask;
+        }
+        const auto o = static_cast<std::size_t>(off);
+        ++off;
+        ++pos;
+        const std::uint8_t flags = chunk->flags[o];
+        StreamOp op;
+        op.op = static_cast<OpClass>(chunk->op[o]);
+        op.src1_dist = chunk->src1[o];
+        op.src2_dist = chunk->src2[o];
+        op.address = 0; // memory levels are pre-resolved
+        op.complex_decode =
+            (flags & TraceBuffer::kFlagComplex) != 0;
+        op.taken = false;
+        op.is_call = false;
+        op.is_return = false;
+        op.resolved_mispredict =
+            (flags & TraceBuffer::kFlagMispredict) != 0;
+        op.mem = mem_chunk[o];
+        return op;
+    }
+};
 
 } // namespace
 
@@ -37,68 +193,77 @@ CoreModel::CoreModel(const CoreDesign &design, CacheHierarchy &hierarchy)
         static_cast<std::size_t>(design_.lq_entries), 0);
     store_commit_hist_.assign(
         static_cast<std::size_t>(design_.sq_entries), 0);
-    for (int c = 0; c < kFuClasses; ++c)
-        fu_free_[c].assign(static_cast<std::size_t>(kFuCount[c]), 0);
-    // Power-of-two window, far wider than any in-flight time spread.
-    issue_slots_.assign(1u << 16, {~0ull, 0});
-}
-
-int
-CoreModel::execLatency(OpClass op) const
-{
-    switch (op) {
-      case OpClass::IntAlu: return 1;
-      case OpClass::Branch: return 1;
-      case OpClass::IntMult: return 2;
-      case OpClass::IntDiv: return 4;
-      case OpClass::FpAdd: return 2;
-      case OpClass::FpMult: return 4;
-      case OpClass::FpDiv: return 8;
-      case OpClass::Load: return design_.load_to_use;
-      case OpClass::Store: return 1;
+    fu_free_.fill(~0ull); // sentinel: absent units are never free
+    for (int c = 0; c < kFuClasses; ++c) {
+        for (int u = 0; u < kFuCount[c]; ++u)
+            fu_free_[static_cast<std::size_t>(
+                c * kMaxFuPerClass + u)] = 0;
     }
-    return 1;
+
+    // Table 9 latencies, with the design's load-to-use path.
+    exec_latency_ = {
+        1,                  // IntAlu
+        2,                  // IntMult
+        4,                  // IntDiv
+        design_.load_to_use, // Load
+        1,                  // Store
+        2,                  // FpAdd
+        4,                  // FpMult
+        8,                  // FpDiv
+        1,                  // Branch
+    };
+
+    M3D_ASSERT(design_.issue_width <
+                   (1 << kIssueCountBits),
+               "issue width overflows the packed slot count field");
+    const std::uint64_t window = nextPow2(
+        static_cast<std::uint64_t>(design_.rob_entries) +
+        kIssueWindowSlack);
+    issue_slots_.assign(static_cast<std::size_t>(window), kFreeSlot);
 }
 
 int
 CoreModel::fuIndex(OpClass op)
 {
-    switch (op) {
-      case OpClass::IntAlu:
-      case OpClass::Branch: return 0;
-      case OpClass::IntMult:
-      case OpClass::IntDiv: return 1;
-      case OpClass::Load:
-      case OpClass::Store: return 2;
-      case OpClass::FpAdd:
-      case OpClass::FpMult:
-      case OpClass::FpDiv: return 3;
-    }
-    return 4;
+    // ALU, IntMult/Div, LSU, FPU - indexed by OpClass order.
+    constexpr int kFuIndexTable[9] = {0, 1, 1, 2, 2, 3, 3, 3, 0};
+    return kFuIndexTable[static_cast<std::size_t>(op)];
 }
 
-std::uint64_t
-CoreModel::reserveIssue(OpClass op, std::uint64_t ready)
+inline std::uint64_t
+CoreModel::reserveIssue(OpClass op, std::uint64_t ready,
+                        std::uint64_t min_live)
 {
-    auto &units = fu_free_[fuIndex(op)];
-    // Earliest-free unit of the class.
+    // Earliest-free unit of the class: a constant-width row scan
+    // (absent units hold the never-free sentinel, see fu_free_).
+    std::uint64_t *const units =
+        fu_free_.data() + fuIndex(op) * kMaxFuPerClass;
     std::size_t pick = 0;
-    for (std::size_t u = 1; u < units.size(); ++u) {
+    for (std::size_t u = 1; u < kMaxFuPerClass; ++u) {
         if (units[u] < units[pick])
             pick = u;
     }
     std::uint64_t issue = std::max(ready, units[pick]);
 
-    // Claim an issue slot: at most issue_width ops per cycle.
+    // Claim an issue slot: at most issue_width ops per cycle.  The
+    // slot word packs (cycle << kIssueCountBits) | issued_count.
     const std::uint64_t mask = issue_slots_.size() - 1;
+    const auto iw = static_cast<std::uint64_t>(design_.issue_width);
     while (true) {
-        auto &slot = issue_slots_[issue & mask];
-        if (slot.first != issue) {
-            slot.first = issue;
-            slot.second = 0;
+        std::uint64_t &slot = issue_slots_[issue & mask];
+        std::uint64_t word = slot;
+        if ((word >> kIssueCountBits) != issue) {
+            // Recycling an entry is safe only if its cycle can never
+            // be issued at again (every later op issues at or after
+            // min_live); a live eviction would silently break the
+            // issue-width limit for that cycle.
+            M3D_ASSERT(word == kFreeSlot ||
+                           (word >> kIssueCountBits) < min_live,
+                       "issue window too small: evicting live cycle");
+            word = issue << kIssueCountBits;
         }
-        if (slot.second < design_.issue_width) {
-            ++slot.second;
+        if ((word & ((1ull << kIssueCountBits) - 1)) < iw) {
+            slot = word + 1;
             break;
         }
         ++issue;
@@ -106,13 +271,17 @@ CoreModel::reserveIssue(OpClass op, std::uint64_t ready)
 
     // FP divide blocks its unit for its full latency; everything
     // else is pipelined (occupancy one cycle).
-    const std::uint64_t occupancy = op == OpClass::FpDiv ? 8 : 1;
+    const std::uint64_t occupancy =
+        op == OpClass::FpDiv
+            ? static_cast<std::uint64_t>(execLatency(OpClass::FpDiv))
+            : 1;
     units[pick] = issue + occupancy;
     return issue;
 }
 
+template <typename Stream>
 SimResult
-CoreModel::run(TraceGenerator &gen, std::uint64_t n)
+CoreModel::runImpl(Stream &stream, std::uint64_t n)
 {
     const std::uint64_t start_cycle = last_commit_;
     const std::uint64_t start_instr = seq_;
@@ -121,68 +290,130 @@ CoreModel::run(TraceGenerator &gen, std::uint64_t n)
     const auto rob = static_cast<std::uint64_t>(design_.rob_entries);
     const auto iq = static_cast<std::uint64_t>(design_.iq_entries);
     const auto width = static_cast<std::uint64_t>(design_.dispatch_width);
+    const auto lq = static_cast<std::uint64_t>(design_.lq_entries);
+    const auto sq = static_cast<std::uint64_t>(design_.sq_entries);
+    // The hot code footprint is a per-run constant of the profile.
+    const std::uint64_t code_bytes = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(
+            stream.profile().code_footprint_kb * 1024.0),
+        4096);
 
+    // Per-level latency charges for pre-resolved memory levels,
+    // indexed by MemLevelTable code.  The int arithmetic and the
+    // cast at the charge site mirror the live hierarchy path exactly.
+    int data_extra[4] = {0, 0, 0, 0};
+    int fetch_extra[4] = {0, 0, 0, 0};
+    if constexpr (Stream::kResolvedMem) {
+        const HierarchyTiming &t = hierarchy_.timing();
+        data_extra[MemLevelTable::kL2] = t.l2_rt - t.l1_rt;
+        data_extra[MemLevelTable::kL3] = t.l3_rt - t.l1_rt;
+        data_extra[MemLevelTable::kDram] =
+            t.l3_rt - t.l1_rt + t.dramCycles();
+        fetch_extra[MemLevelTable::kL2] = t.l2_rt;
+        fetch_extra[MemLevelTable::kL3] = t.l3_rt;
+        fetch_extra[MemLevelTable::kDram] = t.l3_rt + t.dramCycles();
+    }
+
+    // Per-op state lives in locals for the duration of the loop (the
+    // hierarchy calls are opaque, so member accesses would reload).
     std::uint64_t frontier = clock_;
     std::uint64_t in_cycle = fetch_group_;
+    std::uint64_t last_commit = last_commit_;
+    std::uint64_t dram_free = dram_free_;
+    std::uint64_t fetch_pc = fetch_pc_;
+    std::uint64_t load_seq = load_seq_;
+    std::uint64_t store_seq = store_seq_;
+    // LQ/SQ ring heads: both the occupancy probe at dispatch
+    // ((load_seq - lq) % lq) and the commit write (load_seq % lq)
+    // address the same slot, advanced by one per load - so a single
+    // incrementally wrapped index replaces the per-op divisions.
+    std::uint64_t load_head = load_seq % lq;
+    std::uint64_t store_head = store_seq % sq;
+    std::uint64_t *const complete_hist = complete_hist_.data();
+    std::uint64_t *const issue_hist = issue_hist_.data();
+    std::uint64_t *const commit_hist = commit_hist_.data();
+    std::uint64_t *const load_commit_hist = load_commit_hist_.data();
+    std::uint64_t *const store_commit_hist =
+        store_commit_hist_.data();
+
+    // Event counters accumulate in locals and fold into activity_
+    // once at the end: the hierarchy calls are opaque, so Counter
+    // members would be re-loaded and re-stored on every event.
+    std::uint64_t fetch_blocks = 0, stall_icache = 0;
+    // Stall attributions, indexed none/rob/iq/lsq so the per-op
+    // bookkeeping is an indexed add instead of an escaping pointer.
+    std::uint64_t stall_counts[4] = {0, 0, 0, 0};
+    std::uint64_t complex_decodes = 0, bound_fu = 0, bound_deps = 0;
+    std::uint64_t loads = 0, stores = 0, alu_ops = 0;
+    std::uint64_t mul_div_ops = 0, fp_ops = 0;
+    std::uint64_t branches = 0, mispredicts = 0;
+    std::uint64_t l2_accesses = 0, l3_accesses = 0;
+    std::uint64_t dram_accesses = 0, noc_flits = 0;
 
     for (std::uint64_t k = 0; k < n; ++k) {
-        MicroOp op = gen.next();
-        const std::uint64_t i = seq_;
+        const StreamOp op = stream.next();
+        const std::uint64_t i = start_instr + k;
 
         // --- Fetch/dispatch time under bandwidth + occupancy
         // limits; attribute whichever constraint dominates.
         std::uint64_t d = frontier;
-        std::uint64_t *stall_cause = nullptr;
-        auto raise = [&d, &stall_cause](std::uint64_t t,
-                                        std::uint64_t &counter) {
+        int stall_cause = 0;
+        auto raise = [&d, &stall_cause](std::uint64_t t, int cause) {
             if (t > d) {
                 d = t;
-                stall_cause = &counter;
+                stall_cause = cause;
             }
         };
         if (i >= rob) {
-            raise(commit_hist_[(i - rob) % kHistSize],
-                  activity_.stall_rob);
+            raise(commit_hist[(i - rob) % kHistSize], 1);
         }
         if (i >= iq) {
-            raise(issue_hist_[(i - iq) % kHistSize],
-                  activity_.stall_iq);
+            raise(issue_hist[(i - iq) % kHistSize], 2);
         }
         if (op.op == OpClass::Load) {
-            const auto lq = static_cast<std::uint64_t>(
-                design_.lq_entries);
-            if (load_seq_ >= lq) {
-                raise(load_commit_hist_[(load_seq_ - lq) % lq],
-                      activity_.stall_lsq);
+            if (load_seq >= lq) {
+                raise(load_commit_hist[load_head], 3);
             }
         }
         if (op.op == OpClass::Store) {
-            const auto sq = static_cast<std::uint64_t>(
-                design_.sq_entries);
-            if (store_seq_ >= sq) {
-                raise(store_commit_hist_[(store_seq_ - sq) % sq],
-                      activity_.stall_lsq);
+            if (store_seq >= sq) {
+                raise(store_commit_hist[store_head], 3);
             }
         }
         if (stall_cause)
-            ++*stall_cause;
+            ++stall_counts[stall_cause];
 
         // One I-cache access per fetch block; the instruction
         // stream loops within the application's hot code footprint.
         if (i % kFetchBlock == 0) {
-            const auto code_bytes = static_cast<std::uint64_t>(
-                gen.profile().code_footprint_kb * 1024.0);
-            fetch_pc_ = 0x400000 +
-                (fetch_pc_ + 64 - 0x400000) % std::max<std::uint64_t>(
-                    code_bytes, 4096);
-            MemAccessResult f = hierarchy_.fetchAccess(fetch_pc_);
-            ++activity_.fetches;
-            ++activity_.l1i_accesses;
-            if (f.level != MemLevel::L1) {
-                d += static_cast<std::uint64_t>(f.extra_cycles);
-                ++activity_.stall_icache;
-                if (f.level == MemLevel::Dram)
-                    ++activity_.dram_accesses;
+            ++fetch_blocks;
+            if constexpr (Stream::kResolvedMem) {
+                const unsigned f = (op.mem >> MemLevelTable::kFetchShift)
+                    & MemLevelTable::kLevelMask;
+                if (f != MemLevelTable::kL1) {
+                    d += static_cast<std::uint64_t>(fetch_extra[f]);
+                    ++stall_icache;
+                    if (f == MemLevelTable::kDram)
+                        ++dram_accesses;
+                }
+            } else {
+                // The PC advances by one line per block, so the wrap
+                // is a compare in the common case (the modulo only
+                // fires when a caller left fetch_pc outside the
+                // footprint, e.g. after a profile change between
+                // runs).
+                std::uint64_t off = fetch_pc + 64 - 0x400000;
+                if (off >= code_bytes)
+                    off = off < code_bytes + 64 ? off - code_bytes
+                                                : off % code_bytes;
+                fetch_pc = 0x400000 + off;
+                MemAccessResult f = hierarchy_.fetchAccess(fetch_pc);
+                if (f.level != MemLevel::L1) {
+                    d += static_cast<std::uint64_t>(f.extra_cycles);
+                    ++stall_icache;
+                    if (f.level == MemLevel::Dram)
+                        ++dram_accesses;
+                }
             }
         }
 
@@ -201,103 +432,138 @@ CoreModel::run(TraceGenerator &gen, std::uint64_t n)
         // Complex instructions spend extra time in decode when the
         // complex decoder lives in the slow top layer.
         if (op.complex_decode) {
-            ++activity_.complex_decodes;
+            ++complex_decodes;
             d += static_cast<std::uint64_t>(
                 design_.complex_decode_extra);
         }
 
         // --- Operand readiness.
         std::uint64_t ready = d + kDispatchDepth;
-        auto dep_ready = [this, i](std::uint32_t dist) -> std::uint64_t {
+        auto dep_ready = [complete_hist,
+                          i](std::uint32_t dist) -> std::uint64_t {
             if (dist == 0 || dist > i)
                 return 0;
-            return complete_hist_[(i - dist) % kHistSize];
+            return complete_hist[(i - dist) % kHistSize];
         };
         ready = std::max(ready, dep_ready(op.src1_dist));
         ready = std::max(ready, dep_ready(op.src2_dist));
 
         // --- Issue: earliest cycle with a free FU and issue slot.
-        const std::uint64_t issue = reserveIssue(op.op, ready);
+        const std::uint64_t issue =
+            reserveIssue(op.op, ready, frontier + kDispatchDepth);
         if (issue > ready)
-            ++activity_.bound_fu;
+            ++bound_fu;
         else if (ready > d + kDispatchDepth)
-            ++activity_.bound_deps;
+            ++bound_deps;
 
         // --- Execute.
         std::uint64_t lat =
             static_cast<std::uint64_t>(execLatency(op.op));
         switch (op.op) {
           case OpClass::Load: {
-            MemAccessResult m = hierarchy_.access(op.address, false);
-            ++activity_.loads;
-            ++activity_.l1d_accesses;
-            ++activity_.sq_searches; // store-queue forwarding check
-            if (m.level == MemLevel::Dram) {
-                // Bandwidth wall: bursts serialize on the channel.
-                const std::uint64_t start =
-                    std::max(issue, dram_free_);
-                lat += start - issue;
-                dram_free_ = start + kDramGapCycles;
-            }
-            if (m.level != MemLevel::L1) {
-                lat += static_cast<std::uint64_t>(m.extra_cycles);
-                ++activity_.l2_accesses;
-                if (m.level == MemLevel::L3 || m.level == MemLevel::Dram)
-                    ++activity_.l3_accesses;
-                if (m.level == MemLevel::Dram)
-                    ++activity_.dram_accesses;
-                if (m.level == MemLevel::RemoteL2 ||
-                    m.level == MemLevel::PartnerL2) {
-                    ++activity_.noc_flits;
+            ++loads;
+            if constexpr (Stream::kResolvedMem) {
+                const unsigned c = op.mem & MemLevelTable::kLevelMask;
+                if (c == MemLevelTable::kDram) {
+                    // Bandwidth wall: bursts serialize on the channel.
+                    const std::uint64_t start =
+                        std::max(issue, dram_free);
+                    lat += start - issue;
+                    dram_free = start + kDramGapCycles;
+                    ++dram_accesses;
+                }
+                if (c != MemLevelTable::kL1) {
+                    lat += static_cast<std::uint64_t>(data_extra[c]);
+                    ++l2_accesses;
+                    if (c >= MemLevelTable::kL3)
+                        ++l3_accesses;
+                    // Partner/remote levels cannot occur on a
+                    // stream-determined hierarchy, so noc_flits
+                    // stays untouched - as it would live.
+                }
+            } else {
+                MemAccessResult m =
+                    hierarchy_.access(op.address, false);
+                if (m.level == MemLevel::Dram) {
+                    // Bandwidth wall: bursts serialize on the channel.
+                    const std::uint64_t start =
+                        std::max(issue, dram_free);
+                    lat += start - issue;
+                    dram_free = start + kDramGapCycles;
+                }
+                if (m.level != MemLevel::L1) {
+                    lat += static_cast<std::uint64_t>(m.extra_cycles);
+                    ++l2_accesses;
+                    if (m.level == MemLevel::L3 ||
+                        m.level == MemLevel::Dram)
+                        ++l3_accesses;
+                    if (m.level == MemLevel::Dram)
+                        ++dram_accesses;
+                    if (m.level == MemLevel::RemoteL2 ||
+                        m.level == MemLevel::PartnerL2) {
+                        ++noc_flits;
+                    }
                 }
             }
             break;
           }
           case OpClass::Store: {
-            MemAccessResult m = hierarchy_.access(op.address, true);
-            ++activity_.stores;
-            ++activity_.l1d_accesses;
-            ++activity_.lq_searches; // load-queue ordering check
-            if (m.level != MemLevel::L1) {
-                ++activity_.l2_accesses;
-                if (m.level == MemLevel::Dram)
-                    ++activity_.dram_accesses;
+            ++stores;
+            if constexpr (Stream::kResolvedMem) {
+                const unsigned c = op.mem & MemLevelTable::kLevelMask;
+                if (c != MemLevelTable::kL1) {
+                    ++l2_accesses;
+                    if (c == MemLevelTable::kDram)
+                        ++dram_accesses;
+                }
+            } else {
+                MemAccessResult m =
+                    hierarchy_.access(op.address, true);
+                if (m.level != MemLevel::L1) {
+                    ++l2_accesses;
+                    if (m.level == MemLevel::Dram)
+                        ++dram_accesses;
+                }
             }
             break;
           }
           case OpClass::IntAlu:
           case OpClass::Branch:
-            ++activity_.alu_ops;
+            ++alu_ops;
             break;
           case OpClass::IntMult:
           case OpClass::IntDiv:
-            ++activity_.mul_div_ops;
+            ++mul_div_ops;
             break;
           default:
-            ++activity_.fp_ops;
+            ++fp_ops;
             break;
         }
         const std::uint64_t complete = issue + lat;
 
-        // --- Branch resolution: consult the tournament predictor
-        // (Table 9) and, on a miss, squash and refill the frontend.
+        // --- Branch resolution: the tournament predictor's verdict
+        // (Table 9) - live, or pre-resolved in the trace buffer -
+        // and, on a miss, squash and refill the frontend.
         if (op.op == OpClass::Branch) {
-            ++activity_.bpt_lookups;
-            ++activity_.btb_lookups;
+            ++branches;
             bool mispredicted = false;
-            if (op.is_call) {
-                predictor_.pushCall(op.address);
-            } else if (op.is_return) {
-                // A RAS hit predicts the return target perfectly; a
-                // miss (deep recursion overflow) redirects like any
-                // other misprediction.
-                mispredicted = !predictor_.popReturn(op.address);
+            if constexpr (Stream::kReplay) {
+                mispredicted = op.resolved_mispredict;
             } else {
-                mispredicted =
-                    predictor_.predictAndTrain(op.address, op.taken);
+                if (op.is_call) {
+                    predictor_.pushCall(op.address);
+                } else if (op.is_return) {
+                    // A RAS hit predicts the return target perfectly;
+                    // a miss (deep recursion overflow) redirects like
+                    // any other misprediction.
+                    mispredicted = !predictor_.popReturn(op.address);
+                } else {
+                    mispredicted = predictor_.predictAndTrain(
+                        op.address, op.taken);
+                }
             }
             if (mispredicted) {
-                ++activity_.mispredicts;
+                ++mispredicts;
                 const std::uint64_t redirect = complete +
                     static_cast<std::uint64_t>(
                         design_.mispredict_penalty);
@@ -309,47 +575,80 @@ CoreModel::run(TraceGenerator &gen, std::uint64_t n)
         }
 
         // --- In-order commit under the commit width.
-        std::uint64_t commit = std::max(complete + 1, last_commit_);
+        std::uint64_t commit = std::max(complete + 1, last_commit);
         const auto cw = static_cast<std::uint64_t>(design_.commit_width);
         if (i >= cw) {
             commit = std::max(commit,
-                              commit_hist_[(i - cw) % kHistSize] + 1);
+                              commit_hist[(i - cw) % kHistSize] + 1);
         }
-        last_commit_ = commit;
+        last_commit = commit;
 
         // --- Bookkeeping.
-        complete_hist_[i % kHistSize] = complete;
-        issue_hist_[i % kHistSize] = issue;
-        commit_hist_[i % kHistSize] = commit;
+        complete_hist[i % kHistSize] = complete;
+        issue_hist[i % kHistSize] = issue;
+        commit_hist[i % kHistSize] = commit;
         if (op.op == OpClass::Load) {
-            load_commit_hist_[load_seq_ %
-                              static_cast<std::uint64_t>(
-                                  design_.lq_entries)] = commit;
-            ++load_seq_;
+            load_commit_hist[load_head] = commit;
+            ++load_seq;
+            if (++load_head == lq)
+                load_head = 0;
         }
         if (op.op == OpClass::Store) {
-            store_commit_hist_[store_seq_ %
-                               static_cast<std::uint64_t>(
-                                   design_.sq_entries)] = commit;
-            ++store_seq_;
+            store_commit_hist[store_head] = commit;
+            ++store_seq;
+            if (++store_head == sq)
+                store_head = 0;
         }
-
-        ++activity_.decodes;
-        ++activity_.dispatches;
-        activity_.rat_reads += 2;
-        ++activity_.rat_writes;
-        ++activity_.iq_writes;
-        ++activity_.iq_wakeups;
-        ++activity_.issues;
-        activity_.rf_reads += 2;
-        ++activity_.rf_writes;
-        ++activity_.instructions;
-        ++seq_;
     }
 
+    // Fold the local event counters back into the shared record.
+    activity_.fetches += fetch_blocks;
+    activity_.l1i_accesses += fetch_blocks;
+    activity_.stall_icache += stall_icache;
+    activity_.stall_rob += stall_counts[1];
+    activity_.stall_iq += stall_counts[2];
+    activity_.stall_lsq += stall_counts[3];
+    activity_.complex_decodes += complex_decodes;
+    activity_.bound_fu += bound_fu;
+    activity_.bound_deps += bound_deps;
+    activity_.loads += loads;
+    activity_.stores += stores;
+    activity_.l1d_accesses += loads + stores;
+    activity_.sq_searches += loads;  // store-queue forwarding checks
+    activity_.lq_searches += stores; // load-queue ordering checks
+    activity_.alu_ops += alu_ops;
+    activity_.mul_div_ops += mul_div_ops;
+    activity_.fp_ops += fp_ops;
+    activity_.bpt_lookups += branches;
+    activity_.btb_lookups += branches;
+    activity_.mispredicts += mispredicts;
+    activity_.l2_accesses += l2_accesses;
+    activity_.l3_accesses += l3_accesses;
+    activity_.dram_accesses += dram_accesses;
+    activity_.noc_flits += noc_flits;
+
+    // Per-op constants of the pipeline front/backend accumulate once
+    // per run instead of once per op.
+    activity_.decodes += n;
+    activity_.dispatches += n;
+    activity_.rat_reads += 2 * n;
+    activity_.rat_writes += n;
+    activity_.iq_writes += n;
+    activity_.iq_wakeups += n;
+    activity_.issues += n;
+    activity_.rf_reads += 2 * n;
+    activity_.rf_writes += n;
+    activity_.instructions += n;
+
+    seq_ = start_instr + n;
+    load_seq_ = load_seq;
+    store_seq_ = store_seq;
+    last_commit_ = last_commit;
+    dram_free_ = dram_free;
+    fetch_pc_ = fetch_pc;
     clock_ = frontier;
     fetch_group_ = in_cycle;
-    activity_.cycles = last_commit_;
+    activity_.cycles = last_commit;
 
     SimResult res;
     res.instructions = seq_ - start_instr;
@@ -359,6 +658,39 @@ CoreModel::run(TraceGenerator &gen, std::uint64_t n)
     // leaks into measured energy.
     res.activity = Activity::windowed(activity_, start_activity);
     res.activity.cycles = res.cycles;
+    return res;
+}
+
+SimResult
+CoreModel::run(TraceGenerator &gen, std::uint64_t n)
+{
+    GeneratorStream stream{gen};
+    return runImpl(stream, n);
+}
+
+SimResult
+CoreModel::run(TraceCursor &cursor, std::uint64_t n)
+{
+    M3D_ASSERT(cursor.valid(), "replay needs a bound cursor");
+    M3D_ASSERT(cursor.position() + n <= cursor.buffer().size(),
+               "trace buffer shorter than the requested replay");
+    SimResult res;
+    if (hierarchy_.streamDetermined()) {
+        // Single-core fast path: the serving level of every access
+        // is a pure function of the stream, so replay charges
+        // pre-resolved levels instead of simulating the caches.
+        const MemLevelTable &mem = MemLevelRegistry::global().acquire(
+            cursor.share(), cursor.position() + n);
+        ResolvedStream stream{cursor.buffer(), mem,
+                              cursor.position()};
+        res = runImpl(stream, n);
+    } else {
+        // Multicore: directory and partner traffic make the level
+        // design-dependent - simulate the hierarchy live.
+        ReplayStream stream{cursor.buffer(), cursor.position()};
+        res = runImpl(stream, n);
+    }
+    cursor.advance(n);
     return res;
 }
 

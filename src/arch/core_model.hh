@@ -10,6 +10,12 @@
  * and latencies (Table 9), the cache hierarchy, branch-misprediction
  * refill, and the design-dependent load-to-use and misprediction
  * notification paths that M3D shortens.
+ *
+ * Two op sources feed the same timing math: a live TraceGenerator
+ * (which also trains the tournament predictor per run), or a shared
+ * pre-resolved TraceBuffer via a TraceCursor (the fast path of
+ * design-space search - no generation or predictor work per design).
+ * Both produce bit-identical results for the same stream.
  */
 
 #ifndef M3D_ARCH_CORE_MODEL_HH_
@@ -20,11 +26,12 @@
 #include <vector>
 
 #include "arch/activity.hh"
-#include "arch/branch_predictor.hh"
 #include "arch/cache.hh"
 #include "arch/instruction.hh"
 #include "core/design.hh"
+#include "workload/branch_predictor.hh"
 #include "workload/generator.hh"
+#include "workload/trace_buffer.hh"
 
 namespace m3d {
 
@@ -61,17 +68,38 @@ class CoreModel
      */
     CoreModel(const CoreDesign &design, CacheHierarchy &hierarchy);
 
+    /** Instructions per fetch block (one I-cache access per block);
+     * shared with the memory-level pre-resolver so both walk the
+     * identical fetch sequence. */
+    static constexpr std::uint64_t kFetchBlock = 8;
+
     /**
      * Execute `n` micro-ops from `gen` and return timing/activity.
      * Can be called repeatedly; state (caches, clock) persists.
      */
     SimResult run(TraceGenerator &gen, std::uint64_t n);
 
+    /**
+     * Replay `n` micro-ops from a shared pre-resolved trace,
+     * advancing the cursor.  Bit-identical to the generator overload
+     * on the same stream, provided the cursor started at op 0 of the
+     * buffer on a freshly constructed core (the pre-resolved
+     * predictor outcomes assume an untrained predictor at op 0, just
+     * as a fresh core's predictor is).  The buffer must already hold
+     * `position() + n` ops.  Do not mix sources on one core: after a
+     * replay run the live predictor is untrained.
+     */
+    SimResult run(TraceCursor &cursor, std::uint64_t n);
+
     const Activity &activity() const { return activity_; }
 
   private:
     /** Execution latency for an op class (non-memory). */
-    int execLatency(OpClass op) const;
+    int
+    execLatency(OpClass op) const
+    {
+        return exec_latency_[static_cast<std::size_t>(op)];
+    }
 
     /** Index into the FU next-free table. */
     static int fuIndex(OpClass op);
@@ -79,14 +107,28 @@ class CoreModel
     /**
      * Find the earliest cycle >= `ready` with both a free unit of the
      * op's FU class and a free issue slot (issue_width per cycle),
-     * and reserve both.
+     * and reserve both.  `min_live` is the smallest cycle any later
+     * op can still issue at; the sliding window asserts it never
+     * evicts a count at or above it.
      */
-    std::uint64_t reserveIssue(OpClass op, std::uint64_t ready);
+#if defined(__GNUC__)
+    __attribute__((always_inline))
+#endif
+    inline std::uint64_t reserveIssue(OpClass op, std::uint64_t ready,
+                                      std::uint64_t min_live);
+
+    /** The timing loop, shared by both op sources (see run()). */
+    template <typename Stream>
+    SimResult runImpl(Stream &stream, std::uint64_t n);
 
     const CoreDesign design_;
     CacheHierarchy &hierarchy_;
     TournamentPredictor predictor_;
     Activity activity_;
+
+    /** Per-class execution latencies, indexed by OpClass; built once
+     * from the design so the hot loop avoids a switch per op. */
+    std::array<int, 9> exec_latency_{};
 
     // Rolling completion-time history for dependency resolution and
     // occupancy constraints (sized to the ROB).
@@ -101,20 +143,28 @@ class CoreModel
     std::uint64_t clock_ = 0;     ///< current fetch frontier (cycles)
     std::uint64_t fetch_group_ = 0;
     /**
-     * Per-cycle issued-op counts in a sliding window: entry holds the
-     * cycle it counts for and the ops issued that cycle.  The window
-     * far exceeds the maximum spread of in-flight issue times.
+     * Per-cycle issued-op counts in a sliding window.  Each word
+     * packs the cycle it counts for in the upper bits and the ops
+     * issued that cycle in the low kIssueCountBits, so a claim is a
+     * single 8-byte load/store.  Sized to a power of two covering
+     * the ROB plus the worst in-flight issue spread; reserveIssue()
+     * asserts the window is never too small.
      */
-    std::vector<std::pair<std::uint64_t, int>> issue_slots_;
+    static constexpr int kIssueCountBits = 6;
+    std::vector<std::uint64_t> issue_slots_;
     std::uint64_t last_commit_ = 0;
     /** DRAM channel occupancy: enforces a minimum gap between
      * off-chip transfers (bandwidth wall). */
     std::uint64_t dram_free_ = 0;
     std::uint64_t fetch_pc_ = 0x400000;
 
-    // Per-FU-class next-free times.
+    // Per-FU-class next-free times, flattened to a fixed row of
+    // kMaxFuPerClass entries per class.  Absent units sit at the
+    // UINT64_MAX sentinel so the earliest-free scan can always run
+    // the full constant-width row (branch-free) and never pick one.
     static constexpr int kFuClasses = 5;
-    std::array<std::vector<std::uint64_t>, kFuClasses> fu_free_;
+    static constexpr int kMaxFuPerClass = 4;
+    std::array<std::uint64_t, kFuClasses * kMaxFuPerClass> fu_free_;
 };
 
 } // namespace m3d

@@ -46,7 +46,8 @@ MulticoreResult
 MulticoreModel::run(const WorkloadProfile &profile,
                     std::uint64_t total_instructions,
                     std::uint64_t seed,
-                    std::uint64_t warmup_per_core) const
+                    std::uint64_t warmup_per_core,
+                    TracePath path) const
 {
     const int cores = design_.num_cores;
     RingNoc noc(cores, design_.shared_l2_pairs);
@@ -84,13 +85,27 @@ MulticoreModel::run(const WorkloadProfile &profile,
         }
     }
 
+    // One thread's work on one fresh core, from op 0 of the thread's
+    // stream: shared registry trace or a live generator.
+    auto run_thread = [&](CoreModel &core, int thread_id,
+                          std::uint64_t measured) -> SimResult {
+        if (path == TracePath::Replay) {
+            TraceCursor cursor(TraceRegistry::global().acquire(
+                profile, seed, thread_id,
+                warmup_per_core + measured));
+            core.run(cursor, warmup_per_core);
+            return core.run(cursor, measured);
+        }
+        TraceGenerator gen(profile, seed, thread_id);
+        core.run(gen, warmup_per_core);
+        return core.run(gen, measured);
+    };
+
     // Serial section on core 0.
     double serial_seconds = 0.0;
     if (serial_instr > 0) {
         CoreModel core0(design_, *hier[0]);
-        TraceGenerator gen(profile, seed, /*thread_id=*/0);
-        core0.run(gen, warmup_per_core);
-        SimResult r = core0.run(gen, serial_instr);
+        SimResult r = run_thread(core0, /*thread_id=*/0, serial_instr);
         serial_seconds = r.seconds();
         out.total.accumulate(r.activity);
         out.per_core.push_back(r);
@@ -100,9 +115,8 @@ MulticoreModel::run(const WorkloadProfile &profile,
     double slowest = 0.0;
     for (int c = 0; c < cores; ++c) {
         CoreModel core(design_, *hier[static_cast<std::size_t>(c)]);
-        TraceGenerator gen(profile, seed, /*thread_id=*/c + 1);
-        core.run(gen, warmup_per_core);
-        SimResult r = core.run(gen, per_core_instr);
+        SimResult r = run_thread(core, /*thread_id=*/c + 1,
+                                 per_core_instr);
         slowest = std::max(slowest, r.seconds());
         out.total.accumulate(r.activity);
         out.per_core.push_back(r);

@@ -44,11 +44,14 @@ class MulticoreModel
      * Amdahl across the design's cores.
      *
      * @param seed Workload seed (same across designs).
+     * @param path Replay shared registry traces (fast path) or run
+     *             the generator live; results are bit-identical.
      */
     MulticoreResult run(const WorkloadProfile &profile,
                         std::uint64_t total_instructions,
                         std::uint64_t seed,
-                        std::uint64_t warmup_per_core=50000) const;
+                        std::uint64_t warmup_per_core=50000,
+                        TracePath path=TracePath::Replay) const;
 
   private:
     HierarchyTiming timingFor(const RingNoc &noc) const;

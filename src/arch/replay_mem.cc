@@ -1,0 +1,144 @@
+#include "arch/replay_mem.hh"
+
+#include <algorithm>
+
+#include "arch/core_model.hh"
+#include "util/logging.hh"
+
+namespace m3d {
+
+namespace {
+
+// Mirrors TraceBuffer's growth cap; reserving up front keeps chunk
+// addresses stable for lock-free readers of resolved prefixes.
+constexpr std::size_t kMaxChunks = 4096;
+
+unsigned
+levelCode(MemLevel level)
+{
+    switch (level) {
+      case MemLevel::L1:
+        return MemLevelTable::kL1;
+      case MemLevel::L2:
+        return MemLevelTable::kL2;
+      case MemLevel::L3:
+        return MemLevelTable::kL3;
+      case MemLevel::Dram:
+        return MemLevelTable::kDram;
+      default:
+        // Partner/remote levels need a partner or directory, which
+        // the resolver hierarchy never has.
+        M3D_FATAL("non-private level from the resolver hierarchy");
+    }
+}
+
+} // namespace
+
+MemLevelTable::MemLevelTable(std::shared_ptr<const TraceBuffer> buf)
+    : buf_(std::move(buf)),
+      // Same hot-code footprint the timing loop derives per run.
+      code_bytes_(std::max<std::uint64_t>(
+          static_cast<std::uint64_t>(
+              buf_->profile().code_footprint_kb * 1024.0),
+          4096)),
+      resolver_(HierarchyTiming{})
+{
+    chunks_.reserve(kMaxChunks);
+}
+
+std::uint64_t
+MemLevelTable::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return resolved_;
+}
+
+void
+MemLevelTable::ensure(std::uint64_t n)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (n <= resolved_)
+        return;
+    M3D_ASSERT(buf_->size() >= n,
+               "level resolution past the captured trace: ", n,
+               " > ", buf_->size());
+    while (resolved_ < n) {
+        const std::uint64_t ci = resolved_ >> TraceBuffer::kChunkShift;
+        const std::uint64_t chunk_base = ci << TraceBuffer::kChunkShift;
+        if (ci == chunks_.size())
+            chunks_.push_back(std::make_unique<LevelChunk>());
+        const TraceBuffer::Chunk &src = buf_->chunk(ci);
+        LevelChunk &dst = *chunks_[static_cast<std::size_t>(ci)];
+        const std::uint64_t end =
+            std::min(n - chunk_base, TraceBuffer::kChunkOps);
+        for (std::uint64_t o = resolved_ - chunk_base; o < end; ++o) {
+            const std::uint64_t i = chunk_base + o;
+            const auto idx = static_cast<std::size_t>(o);
+            std::uint8_t m = 0;
+            // The exact access order of CoreModel::runImpl: the
+            // fetch-block I-cache access first, then the op's own
+            // data access.
+            if (i % CoreModel::kFetchBlock == 0) {
+                std::uint64_t off = fetch_pc_ + 64 - 0x400000;
+                if (off >= code_bytes_)
+                    off = off < code_bytes_ + 64 ? off - code_bytes_
+                                                 : off % code_bytes_;
+                fetch_pc_ = 0x400000 + off;
+                m = static_cast<std::uint8_t>(
+                    levelCode(resolver_.fetchAccess(fetch_pc_).level)
+                    << kFetchShift);
+            }
+            const auto op = static_cast<OpClass>(src.op[idx]);
+            if (op == OpClass::Load) {
+                m |= static_cast<std::uint8_t>(levelCode(
+                    resolver_.access(src.address[idx], false).level));
+            } else if (op == OpClass::Store) {
+                m |= static_cast<std::uint8_t>(levelCode(
+                    resolver_.access(src.address[idx], true).level));
+            }
+            dst[idx] = m;
+        }
+        resolved_ = chunk_base + end;
+    }
+}
+
+MemLevelRegistry &
+MemLevelRegistry::global()
+{
+    static MemLevelRegistry registry;
+    return registry;
+}
+
+const MemLevelTable &
+MemLevelRegistry::acquire(std::shared_ptr<const TraceBuffer> buf,
+                          std::uint64_t min_ops)
+{
+    MemLevelTable *table;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_ptr<MemLevelTable> &slot = tables_[buf.get()];
+        if (!slot)
+            slot = std::make_unique<MemLevelTable>(std::move(buf));
+        table = slot.get();
+    }
+    // Resolution runs outside the registry lock: other buffers'
+    // replays proceed while this stream annotates.
+    table->ensure(min_ops);
+    return *table;
+}
+
+std::size_t
+MemLevelRegistry::tableCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tables_.size();
+}
+
+void
+MemLevelRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    tables_.clear();
+}
+
+} // namespace m3d

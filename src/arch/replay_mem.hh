@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Pre-resolved cache-level annotations for shared-trace replay.
+ *
+ * For a single-core hierarchy with no partner L2, no MESI directory,
+ * and no remote-hit coin (CacheHierarchy::streamDetermined()), the
+ * level that serves every access is a pure function of the op stream:
+ * the cache geometry is fixed (Table 9), the L2 prefetch depth is a
+ * constant, and accesses hit the hierarchy in op order - one I-fetch
+ * per fetch block followed by the op's own load or store.  Nothing
+ * about the core design (widths, latencies, queue sizes) can change
+ * which level answers.
+ *
+ * A MemLevelTable therefore walks a shared TraceBuffer once with a
+ * default hierarchy and records one byte per op: bits 0-1 the level
+ * serving its data access (loads and stores), bits 2-3 the level
+ * serving the instruction fetch of ops that start a fetch block.
+ * CoreModel's replay path then charges the *current* design's latency
+ * for the recorded level from a four-entry table - bit-identical to
+ * simulating the caches, with no tag arrays touched per design.
+ *
+ * The process-wide MemLevelRegistry shares tables across evaluations,
+ * keyed by buffer identity, exactly like the TraceRegistry shares the
+ * op columns themselves.  Multicore replay never uses annotations:
+ * with a directory and partners attached, the serving level depends on
+ * the design, and CoreModel falls back to live cache simulation.
+ */
+
+#ifndef M3D_ARCH_REPLAY_MEM_HH_
+#define M3D_ARCH_REPLAY_MEM_HH_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/cache.hh"
+#include "workload/trace_buffer.hh"
+
+namespace m3d {
+
+/** Per-op cache-level annotations of one trace (see file comment). */
+class MemLevelTable
+{
+  public:
+    /** Level codes (2 bits); only private-hierarchy levels occur. */
+    static constexpr unsigned kL1 = 0;
+    static constexpr unsigned kL2 = 1;
+    static constexpr unsigned kL3 = 2;
+    static constexpr unsigned kDram = 3;
+    static constexpr unsigned kLevelMask = 3;
+    /** Bit position of the fetch-level code (data code is bits 0-1). */
+    static constexpr unsigned kFetchShift = 2;
+
+    /** One column chunk, mirroring TraceBuffer's chunking. */
+    using LevelChunk = std::array<std::uint8_t, TraceBuffer::kChunkOps>;
+
+    /** Annotations for `buf`; the table keeps the buffer alive. */
+    explicit MemLevelTable(std::shared_ptr<const TraceBuffer> buf);
+
+    MemLevelTable(const MemLevelTable &) = delete;
+    MemLevelTable &operator=(const MemLevelTable &) = delete;
+
+    /**
+     * Resolve levels out to at least `n` ops (the buffer must already
+     * hold them).  Thread-safe; returns immediately when already
+     * resolved far enough.  Resolution always continues from where it
+     * stopped - the resolver hierarchy's state carries across calls,
+     * so a later extension sees exactly the cache contents a single
+     * front-to-back walk would have.
+     */
+    void ensure(std::uint64_t n);
+
+    /** Ops resolved so far. */
+    std::uint64_t size() const;
+
+    /**
+     * Level bytes of chunk `ci`.  Like TraceBuffer::chunk(), safe
+     * without locking for chunks fully below a count some ensure()
+     * call has returned for on this thread (storage never moves).
+     */
+    const std::uint8_t *
+    chunk(std::uint64_t ci) const
+    {
+        return chunks_[static_cast<std::size_t>(ci)]->data();
+    }
+
+  private:
+    std::shared_ptr<const TraceBuffer> buf_;
+    std::uint64_t code_bytes_;
+
+    mutable std::mutex mutex_;
+    /** Reserved to the buffer's chunk cap so append never moves the
+     * pointer array under a concurrent reader. */
+    std::vector<std::unique_ptr<LevelChunk>> chunks_;
+    std::uint64_t resolved_ = 0;
+
+    /** Resolver continuation state: a default single-core hierarchy
+     * walked in op order, plus the fetch PC it has reached. */
+    CacheHierarchy resolver_;
+    std::uint64_t fetch_pc_ = 0x400000;
+};
+
+/**
+ * Process-wide cache of level tables, one per live TraceBuffer.  Every
+ * replay of the same shared buffer - across designs, worker threads,
+ * and Evaluator instances - shares one table.
+ */
+class MemLevelRegistry
+{
+  public:
+    /** The process-wide instance CoreModel's replay path uses. */
+    static MemLevelRegistry &global();
+
+    /**
+     * The shared table for `buf`, resolved out to at least `min_ops`
+     * before returning.  Creates the table on first use.
+     */
+    const MemLevelTable &
+    acquire(std::shared_ptr<const TraceBuffer> buf,
+            std::uint64_t min_ops);
+
+    /** Number of distinct buffers annotated. */
+    std::size_t tableCount() const;
+
+    /** Drop every table (benchmarks that need a cold registry). */
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<const TraceBuffer *,
+                       std::unique_ptr<MemLevelTable>>
+        tables_;
+};
+
+} // namespace m3d
+
+#endif // M3D_ARCH_REPLAY_MEM_HH_

@@ -1,24 +1,13 @@
 #include "engine/eval_key.hh"
 
-#include <cctype>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-
 namespace m3d {
 namespace engine {
 
 namespace {
 
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
-constexpr std::uint64_t kFnvBasisHi = 0xcbf29ce484222325ull;
-// Second stream: same prime, different basis, so the two 64-bit
-// halves are decorrelated.
-constexpr std::uint64_t kFnvBasisLo = 0x84222325cbf29ce4ull;
-
-// Domain tags; changing any hashed layout must bump kSchemaVersion so
-// stale on-disk caches are invalidated rather than misread.
-constexpr std::uint64_t kSchemaVersion = 1;
+// Domain tags; the schema version prefixed by KeyBuilder itself
+// (util/key128.cc) invalidates stale on-disk caches when any hashed
+// layout changes.
 constexpr std::uint64_t kDomainPartition = 0x7061727469ull; // "parti"
 constexpr std::uint64_t kDomainSingleRun = 0x73696e676cull; // "singl"
 constexpr std::uint64_t kDomainMultiRun = 0x6d756c7469ull;  // "multi"
@@ -89,89 +78,6 @@ hashLogicStageGains(KeyBuilder &kb, const LogicStageGains &g)
 
 } // namespace
 
-std::string
-EvalKey::str() const
-{
-    char buf[36];
-    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
-                  static_cast<unsigned long long>(hi),
-                  static_cast<unsigned long long>(lo));
-    return buf;
-}
-
-bool
-EvalKey::parse(const std::string &text, EvalKey *out)
-{
-    if (text.size() != 32)
-        return false;
-    for (char c : text) {
-        if (!std::isxdigit(static_cast<unsigned char>(c)))
-            return false;
-    }
-    out->hi = std::strtoull(text.substr(0, 16).c_str(), nullptr, 16);
-    out->lo = std::strtoull(text.substr(16).c_str(), nullptr, 16);
-    return true;
-}
-
-KeyBuilder::KeyBuilder(std::uint64_t domain_tag)
-    : hi_(kFnvBasisHi), lo_(kFnvBasisLo)
-{
-    add(kSchemaVersion);
-    add(domain_tag);
-}
-
-KeyBuilder &
-KeyBuilder::byte(std::uint8_t b)
-{
-    hi_ = (hi_ ^ b) * kFnvPrime;
-    lo_ = (lo_ ^ b) * kFnvPrime;
-    return *this;
-}
-
-KeyBuilder &
-KeyBuilder::add(std::uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        byte(static_cast<std::uint8_t>(v >> (8 * i)));
-    return *this;
-}
-
-KeyBuilder &
-KeyBuilder::add(std::int64_t v)
-{
-    return add(static_cast<std::uint64_t>(v));
-}
-
-KeyBuilder &
-KeyBuilder::add(int v)
-{
-    return add(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
-}
-
-KeyBuilder &
-KeyBuilder::add(bool v)
-{
-    return byte(v ? 1 : 0);
-}
-
-KeyBuilder &
-KeyBuilder::add(double v)
-{
-    std::uint64_t bits = 0;
-    static_assert(sizeof(bits) == sizeof(v));
-    std::memcpy(&bits, &v, sizeof(bits));
-    return add(bits);
-}
-
-KeyBuilder &
-KeyBuilder::add(const std::string &s)
-{
-    add(static_cast<std::uint64_t>(s.size()));
-    for (char c : s)
-        byte(static_cast<std::uint8_t>(c));
-    return *this;
-}
-
 void
 hashTechnology(KeyBuilder &kb, const Technology &tech)
 {
@@ -238,31 +144,6 @@ hashCoreDesign(KeyBuilder &kb, const CoreDesign &design)
     hashLogicStageGains(kb, design.execute_gains);
     kb.add(design.clock_tree_switch_factor)
         .add(design.footprint_factor);
-}
-
-void
-hashWorkloadProfile(KeyBuilder &kb, const WorkloadProfile &p)
-{
-    kb.add(p.name)
-        .add(p.load_frac)
-        .add(p.store_frac)
-        .add(p.branch_frac)
-        .add(p.fp_frac)
-        .add(p.mult_frac)
-        .add(p.div_frac)
-        .add(p.complex_decode_frac)
-        .add(p.mean_dep_distance)
-        .add(p.branch_mpki)
-        .add(p.working_set_kb)
-        .add(p.code_footprint_kb)
-        .add(p.stride_frac)
-        .add(p.spatial_locality)
-        .add(p.temporal_locality)
-        .add(p.parallel)
-        .add(p.parallel_frac)
-        .add(p.shared_frac)
-        .add(p.barrier_per_kinstr)
-        .add(p.lock_per_kinstr);
 }
 
 void

@@ -2,31 +2,18 @@
  * @file
  * Canonical cache keys for the evaluation engine.
  *
- * A key is a 128-bit FNV-1a digest over a canonical byte stream of
- * every model input that can change the result:
+ * The 128-bit digest machinery itself (Key128/KeyBuilder) lives in
+ * util/key128.hh so that layers below the engine - notably the
+ * workload trace registry - can key on the same canonical hashes;
+ * this header aliases it into the engine namespace and supplies the
+ * engine's domain keys:
  *
  *  - partition evaluations hash (Technology, ArrayConfig,
  *    PartitionSpec);
  *  - single-core runs hash (CoreDesign, WorkloadProfile, SimBudget);
  *  - multicore runs hash the same triple under a distinct domain tag.
  *
- * Canonicalization rules (documented here because cache correctness
- * depends on them):
- *  - doubles are hashed by their IEEE-754 bit pattern, never by a
- *    formatted representation, so distinct values never collide and
- *    equal values always match;
- *  - strings are hashed length-prefixed;
- *  - every struct field is hashed in declaration order, and each
- *    domain (partition / single run / multi run) starts from its own
- *    tag so the same bytes in different domains produce different
- *    keys;
- *  - std::map members (CoreDesign::partitions) iterate in key order,
- *    which is already canonical.
- *
- * Keys deliberately hash the *inputs*, not object identity: two
- * Technology objects built independently with the same parameters
- * share cache entries, which is what makes the on-disk cache useful
- * across processes.
+ * See util/key128.hh for the canonicalization rules.
  */
 
 #ifndef M3D_ENGINE_EVAL_KEY_HH_
@@ -40,70 +27,32 @@
 #include "power/sim_harness.hh"
 #include "sram/array3d.hh"
 #include "tech/technology.hh"
+#include "util/key128.hh"
 #include "workload/profile.hh"
 
 namespace m3d {
 namespace engine {
 
 /** 128-bit digest used as a cache key. */
-struct EvalKey
-{
-    std::uint64_t hi = 0;
-    std::uint64_t lo = 0;
+using EvalKey = ::m3d::Key128;
+using EvalKeyHash = ::m3d::Key128Hash;
 
-    bool operator==(const EvalKey &o) const
-    {
-        return hi == o.hi && lo == o.lo;
-    }
-    bool operator!=(const EvalKey &o) const { return !(*this == o); }
-
-    /** Fixed-width hex rendering, e.g. for the on-disk cache. */
-    std::string str() const;
-
-    /** Parse str()'s format; returns false on malformed input. */
-    static bool parse(const std::string &text, EvalKey *out);
-};
-
-struct EvalKeyHash
-{
-    std::size_t operator()(const EvalKey &k) const
-    {
-        return static_cast<std::size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ull));
-    }
-};
-
-/**
- * Incremental canonical hasher: two independent FNV-1a 64-bit streams
- * with different offset bases, fed identically.
- */
-class KeyBuilder
-{
-  public:
-    explicit KeyBuilder(std::uint64_t domain_tag);
-
-    KeyBuilder &add(std::uint64_t v);
-    KeyBuilder &add(std::int64_t v);
-    KeyBuilder &add(int v);
-    KeyBuilder &add(bool v);
-    KeyBuilder &add(double v); ///< IEEE-754 bit pattern
-    KeyBuilder &add(const std::string &s); ///< length-prefixed
-
-    EvalKey key() const { return {hi_, lo_}; }
-
-  private:
-    KeyBuilder &byte(std::uint8_t b);
-
-    std::uint64_t hi_;
-    std::uint64_t lo_;
-};
+/** Incremental canonical hasher (see util/key128.hh). */
+using KeyBuilder = ::m3d::KeyBuilder;
 
 // Component hashers (append the component to an existing stream).
 void hashTechnology(KeyBuilder &kb, const Technology &tech);
 void hashArrayConfig(KeyBuilder &kb, const ArrayConfig &cfg);
 void hashPartitionSpec(KeyBuilder &kb, const PartitionSpec &spec);
 void hashCoreDesign(KeyBuilder &kb, const CoreDesign &design);
-void hashWorkloadProfile(KeyBuilder &kb, const WorkloadProfile &p);
 void hashSimBudget(KeyBuilder &kb, const SimBudget &b);
+
+/** Forwarder to the workload layer's canonical profile hasher. */
+inline void
+hashWorkloadProfile(KeyBuilder &kb, const WorkloadProfile &p)
+{
+    ::m3d::hashProfile(kb, p);
+}
 
 /** Key of one (technology, structure, partition point) evaluation. */
 EvalKey partitionKey(const Technology &tech2d, const Technology &tech3d,

@@ -164,13 +164,15 @@ Evaluator::run(const CoreDesign &design, const WorkloadProfile &app)
 {
     if (!options_.cache)
         return detail::runSingleCoreUncached(design, app,
-                                             options_.budget);
+                                             options_.budget,
+                                             options_.trace_path);
 
     const EvalKey key = singleRunKey(design, app, options_.budget);
     AppRun r;
     if (cache_.lookupRun(key, &r))
         return r;
-    r = detail::runSingleCoreUncached(design, app, options_.budget);
+    r = detail::runSingleCoreUncached(design, app, options_.budget,
+                                      options_.trace_path);
     cache_.storeRun(key, r);
     return r;
 }
@@ -181,13 +183,15 @@ Evaluator::runMulti(const CoreDesign &design,
 {
     if (!options_.cache)
         return detail::runMulticoreUncached(design, app,
-                                            options_.budget);
+                                            options_.budget,
+                                            options_.trace_path);
 
     const EvalKey key = multiRunKey(design, app, options_.budget);
     MultiRun r;
     if (cache_.lookupMulti(key, &r))
         return r;
-    r = detail::runMulticoreUncached(design, app, options_.budget);
+    r = detail::runMulticoreUncached(design, app, options_.budget,
+                                     options_.trace_path);
     cache_.storeMulti(key, r);
     return r;
 }

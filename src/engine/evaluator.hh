@@ -58,6 +58,16 @@ struct EvalOptions
     bool cache = true;
 
     /**
+     * Op source for simulation runs (workload/trace_buffer.hh).
+     * Replay - the default - shares one pre-resolved trace per
+     * (app, seed, thread) across every design via the process-wide
+     * TraceRegistry.  Generate runs the generator live.  Results are
+     * bit-identical either way, so the choice is deliberately NOT
+     * part of the memo keys.
+     */
+    TracePath trace_path = TracePath::Replay;
+
+    /**
      * Optional partition-cache file: loaded at construction, saved by
      * savePartitionCache() (callers decide when to persist).
      */

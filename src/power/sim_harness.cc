@@ -6,18 +6,27 @@ namespace detail {
 AppRun
 runSingleCoreUncached(const CoreDesign &design,
                       const WorkloadProfile &profile,
-                      const SimBudget &budget)
+                      const SimBudget &budget, TracePath path)
 {
     HierarchyTiming timing;
     timing.l1_rt = design.load_to_use;
     timing.frequency = design.frequency;
     CacheHierarchy hierarchy(timing);
     CoreModel core(design, hierarchy);
-    TraceGenerator gen(profile, budget.seed);
 
-    // Warm caches and predictors structures; discard the timing.
-    core.run(gen, budget.warmup);
-    SimResult r = core.run(gen, budget.measured);
+    // Warm caches and predictor structures; discard the timing.
+    SimResult r;
+    if (path == TracePath::Replay) {
+        TraceCursor cursor(TraceRegistry::global().acquire(
+            profile, budget.seed, /*thread_id=*/0,
+            budget.warmup + budget.measured));
+        core.run(cursor, budget.warmup);
+        r = core.run(cursor, budget.measured);
+    } else {
+        TraceGenerator gen(profile, budget.seed);
+        core.run(gen, budget.warmup);
+        r = core.run(gen, budget.measured);
+    }
 
     AppRun out;
     out.sim = r;
@@ -30,7 +39,7 @@ runSingleCoreUncached(const CoreDesign &design,
 MultiRun
 runMulticoreUncached(const CoreDesign &design,
                      const WorkloadProfile &profile,
-                     const SimBudget &budget)
+                     const SimBudget &budget, TracePath path)
 {
     MulticoreModel mc(design);
     // Every design executes the same total work - the reference
@@ -38,7 +47,8 @@ runMulticoreUncached(const CoreDesign &design,
     // a speedup, not as more work.
     constexpr std::uint64_t kReferenceCores = 4;
     MulticoreResult r = mc.run(
-        profile, budget.measured * kReferenceCores, budget.seed);
+        profile, budget.measured * kReferenceCores, budget.seed,
+        /*warmup_per_core=*/50000, path);
 
     MultiRun out;
     out.result = r;
@@ -51,16 +61,16 @@ runMulticoreUncached(const CoreDesign &design,
 
 AppRun
 runSingleCore(const CoreDesign &design, const WorkloadProfile &profile,
-              const SimBudget &budget)
+              const SimBudget &budget, TracePath path)
 {
-    return detail::runSingleCoreUncached(design, profile, budget);
+    return detail::runSingleCoreUncached(design, profile, budget, path);
 }
 
 MultiRun
 runMulticore(const CoreDesign &design, const WorkloadProfile &profile,
-             const SimBudget &budget)
+             const SimBudget &budget, TracePath path)
 {
-    return detail::runMulticoreUncached(design, profile, budget);
+    return detail::runMulticoreUncached(design, profile, budget, path);
 }
 
 } // namespace m3d

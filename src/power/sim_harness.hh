@@ -41,10 +41,15 @@ struct SimBudget
  * Thin forwarding wrapper kept for existing call sites; batch or
  * repeated evaluations should go through engine/evaluator.hh, which
  * adds memoization and a thread pool on top of the same primitive.
+ *
+ * `path` selects the op source (workload/trace_buffer.hh): Replay
+ * shares one pre-resolved trace across every design; Generate runs
+ * the generator live.  Results are bit-identical either way.
  */
 AppRun runSingleCore(const CoreDesign &design,
                      const WorkloadProfile &profile,
-                     const SimBudget &budget=SimBudget{});
+                     const SimBudget &budget=SimBudget{},
+                     TracePath path=TracePath::Replay);
 
 /** One (parallel application, multicore design) evaluation. */
 struct MultiRun
@@ -62,19 +67,22 @@ struct MultiRun
  */
 MultiRun runMulticore(const CoreDesign &design,
                       const WorkloadProfile &profile,
-                      const SimBudget &budget=SimBudget{});
+                      const SimBudget &budget=SimBudget{},
+                      TracePath path=TracePath::Replay);
 
 namespace detail {
 
 /** Uncached single-core evaluation; the engine memoizes around it. */
 AppRun runSingleCoreUncached(const CoreDesign &design,
                              const WorkloadProfile &profile,
-                             const SimBudget &budget);
+                             const SimBudget &budget,
+                             TracePath path=TracePath::Replay);
 
 /** Uncached multicore evaluation; the engine memoizes around it. */
 MultiRun runMulticoreUncached(const CoreDesign &design,
                               const WorkloadProfile &profile,
-                              const SimBudget &budget);
+                              const SimBudget &budget,
+                              TracePath path=TracePath::Replay);
 
 } // namespace detail
 

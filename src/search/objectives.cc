@@ -84,12 +84,14 @@ ObjectiveEvaluator::compute(const CoreDesign &design,
     // parallelism would oversubscribe it.
     SolverConfig solver_cfg;
     solver_cfg.threads = 1;
+    // Both models depend only on the design, so one instance prices
+    // every application's run (solve() is const).
+    PowerModel pm(design);
+    ThermalModel tm(design, config_.thermal_grid, solver_cfg);
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const AppRun &r = runs[i];
         energy_j += r.energyJ();
         instructions += static_cast<double>(r.sim.instructions);
-        PowerModel pm(design);
-        ThermalModel tm(design, config_.thermal_grid, solver_cfg);
         const ThermalResult th =
             tm.solve(pm.blockPower(r.sim.activity, r.seconds));
         obj.peak_c = std::max(obj.peak_c, th.peak_c);

@@ -132,10 +132,51 @@ GridSolver::assemble(
     return c;
 }
 
+std::vector<double>
+GridSolver::totalConductance(const Coefficients &c,
+                             const std::vector<double> &diag) const
+{
+    const int n = c.n;
+    const int nl = c.nl;
+    const std::size_t plane = static_cast<std::size_t>(n) * n;
+    std::vector<double> g_total(static_cast<std::size_t>(nl) * plane);
+    for (int l = 0; l < nl; ++l) {
+        const double gl = c.g_lat[static_cast<std::size_t>(l)];
+        const double g_diag =
+            diag.empty() ? 0.0 : diag[static_cast<std::size_t>(l)];
+        for (int y = 0; y < n; ++y) {
+            const std::size_t row_base =
+                static_cast<std::size_t>(l) * plane +
+                static_cast<std::size_t>(y) * n;
+            for (int x = 0; x < n; ++x) {
+                // Accumulation order matches the historical per-cell
+                // couple() sequence exactly: left, right, north,
+                // south, up/sink, down.
+                double g = g_diag;
+                if (x > 0)
+                    g += gl;
+                if (x + 1 < n)
+                    g += gl;
+                if (y > 0)
+                    g += gl;
+                if (y + 1 < n)
+                    g += gl;
+                g += l + 1 < nl
+                    ? c.g_up[static_cast<std::size_t>(l)]
+                    : c.g_sink;
+                if (l > 0)
+                    g += c.g_up[static_cast<std::size_t>(l - 1)];
+                g_total[row_base + x] = g;
+            }
+        }
+    }
+    return g_total;
+}
+
 double
 GridSolver::sweepColor(const Coefficients &c, std::vector<double> &t,
                        const std::vector<double> &flow_base,
-                       const std::vector<double> &diag, double omega,
+                       const std::vector<double> &g_total, double omega,
                        int color) const
 {
     const int n = c.n;
@@ -148,49 +189,51 @@ GridSolver::sweepColor(const Coefficients &c, std::vector<double> &t,
     // can be processed concurrently with bit-identical results.
     auto sweepRows = [&](int row_begin, int row_end) {
         double local_max = 0.0;
+        double *const tp = t.data();
+        const double *const fb = flow_base.data();
+        const double *const gt = g_total.data();
+        const double sink_flow = c.g_sink * stack_.ambient_c;
         for (int r = row_begin; r < row_end; ++r) {
             const int l = r / n;
             const int y = r % n;
             const double gl = c.g_lat[static_cast<std::size_t>(l)];
-            const double g_diag = diag.empty()
-                ? 0.0
-                : diag[static_cast<std::size_t>(l)];
             const std::size_t row_base =
                 static_cast<std::size_t>(l) * plane +
                 static_cast<std::size_t>(y) * n;
+            // Row-invariant stencil legs: which vertical neighbors
+            // exist and whether the row touches the y boundaries.
+            const bool has_up = l + 1 < nl;
+            const double g_up =
+                has_up ? c.g_up[static_cast<std::size_t>(l)] : 0.0;
+            const bool has_dn = l > 0;
+            const double g_dn =
+                has_dn ? c.g_up[static_cast<std::size_t>(l - 1)] : 0.0;
+            const bool has_n = y > 0;
+            const bool has_s = y + 1 < n;
             for (int x = (color + l + y) & 1; x < n; x += 2) {
                 const std::size_t i = row_base + x;
-                double g_total = g_diag;
-                double flow = flow_base[i];
-                auto couple = [&](double g, double tn) {
-                    g_total += g;
-                    flow += g * tn;
-                };
+                // Flow accumulates in the historical couple() order
+                // (left, right, north, south, up/sink, down) so each
+                // quotient is bit-identical to the original sweep.
+                double flow = fb[i];
                 if (x > 0)
-                    couple(gl, t[i - 1]);
+                    flow += gl * tp[i - 1];
                 if (x + 1 < n)
-                    couple(gl, t[i + 1]);
-                if (y > 0)
-                    couple(gl, t[i - n]);
-                if (y + 1 < n)
-                    couple(gl, t[i + n]);
-                if (l + 1 < nl) {
-                    couple(c.g_up[static_cast<std::size_t>(l)],
-                           t[i + plane]);
-                } else {
-                    couple(c.g_sink, stack_.ambient_c);
-                }
-                if (l > 0) {
-                    couple(c.g_up[static_cast<std::size_t>(l - 1)],
-                           t[i - plane]);
-                }
-                const double t_new = flow / g_total;
-                const double t_old = t[i];
+                    flow += gl * tp[i + 1];
+                if (has_n)
+                    flow += gl * tp[i - n];
+                if (has_s)
+                    flow += gl * tp[i + n];
+                flow += has_up ? g_up * tp[i + plane] : sink_flow;
+                if (has_dn)
+                    flow += g_dn * tp[i - plane];
+                const double t_new = flow / gt[i];
+                const double t_old = tp[i];
                 const double t_next =
                     t_old + omega * (t_new - t_old);
                 local_max = std::max(local_max,
                                      std::abs(t_next - t_old));
-                t[i] = t_next;
+                tp[i] = t_next;
             }
         }
         return local_max;
@@ -278,15 +321,16 @@ GridSolver::solve(
 
     // Steady state has no capacitive diagonal term; the sweep's base
     // flow is just the injected power.
-    const std::vector<double> no_diag;
+    const std::vector<double> g_total =
+        totalConductance(c, std::vector<double>());
 
     SolveStats st;
     double max_delta = 0.0;
     for (int iter = 1; iter <= config_.max_steady_iterations; ++iter) {
         st.iterations = iter;
         max_delta = std::max(
-            sweepColor(c, t, c.power, no_diag, config_.omega, 0),
-            sweepColor(c, t, c.power, no_diag, config_.omega, 1));
+            sweepColor(c, t, c.power, g_total, config_.omega, 0),
+            sweepColor(c, t, c.power, g_total, config_.omega, 1));
         if (max_delta < config_.tolerance) {
             st.converged = true;
             break;
@@ -319,6 +363,9 @@ GridSolver::solveTransient(
             (l + 1 == nl ? c.sink_cap_per_cell : 0.0);
         diag[static_cast<std::size_t>(l)] = c_node / dt;
     }
+    // The capacitive diagonal is fixed across steps, so the stencil
+    // conductance total is too.
+    const std::vector<double> g_total = totalConductance(c, diag);
 
     std::vector<double> t(cells, stack_.ambient_c);
     // Per-step constant part of each node's flow: the capacitive
@@ -351,8 +398,8 @@ GridSolver::solveTransient(
              ++sweep) {
             ++st.iterations;
             max_delta =
-                std::max(sweepColor(c, t, flow_base, diag, 1.0, 0),
-                         sweepColor(c, t, flow_base, diag, 1.0, 1));
+                std::max(sweepColor(c, t, flow_base, g_total, 1.0, 0),
+                         sweepColor(c, t, flow_base, g_total, 1.0, 1));
             if (max_delta < config_.tolerance) {
                 step_converged = true;
                 break;

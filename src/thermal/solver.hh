@@ -209,12 +209,21 @@ class GridSolver
         const std::vector<std::vector<double>> &power_per_source)
         const;
     /**
+     * Per-cell total conductance (stencil diagonal).  It never
+     * depends on temperature, so each solve computes it once - with
+     * the exact accumulation order the sweep historically used,
+     * keeping every quotient bit-identical - instead of re-summing
+     * it for every cell of every sweep.
+     */
+    std::vector<double> totalConductance(
+        const Coefficients &c, const std::vector<double> &diag) const;
+    /**
      * One red-black half sweep over every cell of `color`; returns
      * the max temperature delta.  Runs on the pool when one exists.
      */
     double sweepColor(const Coefficients &c, std::vector<double> &t,
                       const std::vector<double> &flow_base,
-                      const std::vector<double> &diag, double omega,
+                      const std::vector<double> &g_total, double omega,
                       int color) const;
     void finishSolve(SolveStats &st, SolveStats *stats_out,
                      const char *what) const;

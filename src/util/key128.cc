@@ -1,0 +1,107 @@
+#include "util/key128.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace m3d {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+constexpr std::uint64_t kFnvBasisHi = 0xcbf29ce484222325ull;
+// Second stream: same prime, different basis, so the two 64-bit
+// halves are decorrelated.
+constexpr std::uint64_t kFnvBasisLo = 0x84222325cbf29ce4ull;
+
+// Bump whenever any hashed layout changes so stale on-disk caches are
+// invalidated rather than misread.
+constexpr std::uint64_t kSchemaVersion = 1;
+
+} // namespace
+
+std::string
+Key128::str() const
+{
+    char buf[36];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return buf;
+}
+
+bool
+Key128::parse(const std::string &text, Key128 *out)
+{
+    if (text.size() != 32)
+        return false;
+    for (char c : text) {
+        if (!std::isxdigit(static_cast<unsigned char>(c)))
+            return false;
+    }
+    out->hi = std::strtoull(text.substr(0, 16).c_str(), nullptr, 16);
+    out->lo = std::strtoull(text.substr(16).c_str(), nullptr, 16);
+    return true;
+}
+
+KeyBuilder::KeyBuilder(std::uint64_t domain_tag)
+    : hi_(kFnvBasisHi), lo_(kFnvBasisLo)
+{
+    add(kSchemaVersion);
+    add(domain_tag);
+}
+
+KeyBuilder &
+KeyBuilder::byte(std::uint8_t b)
+{
+    hi_ = (hi_ ^ b) * kFnvPrime;
+    lo_ = (lo_ ^ b) * kFnvPrime;
+    return *this;
+}
+
+KeyBuilder &
+KeyBuilder::add(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    return *this;
+}
+
+KeyBuilder &
+KeyBuilder::add(std::int64_t v)
+{
+    return add(static_cast<std::uint64_t>(v));
+}
+
+KeyBuilder &
+KeyBuilder::add(int v)
+{
+    return add(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+}
+
+KeyBuilder &
+KeyBuilder::add(bool v)
+{
+    return byte(v ? 1 : 0);
+}
+
+KeyBuilder &
+KeyBuilder::add(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return add(bits);
+}
+
+KeyBuilder &
+KeyBuilder::add(const std::string &s)
+{
+    add(static_cast<std::uint64_t>(s.size()));
+    for (char c : s)
+        byte(static_cast<std::uint8_t>(c));
+    return *this;
+}
+
+} // namespace m3d

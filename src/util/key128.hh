@@ -1,0 +1,97 @@
+/**
+ * @file
+ * 128-bit canonical digests (the "EvalKey machinery").
+ *
+ * A Key128 is a digest over a canonical byte stream of model inputs:
+ * two independent 64-bit FNV-1a streams with different offset bases,
+ * fed identically.  The evaluation engine keys its memo caches on it
+ * (engine/eval_key.hh) and the workload layer keys the process-wide
+ * trace registry on it (workload/trace_buffer.hh), so the machinery
+ * lives here, below both.
+ *
+ * Canonicalization rules (cache correctness depends on them):
+ *  - doubles are hashed by their IEEE-754 bit pattern, never by a
+ *    formatted representation, so distinct values never collide and
+ *    equal values always match;
+ *  - strings are hashed length-prefixed;
+ *  - every struct field is hashed in declaration order, and each
+ *    domain starts from its own tag so the same bytes in different
+ *    domains produce different keys.
+ *
+ * Keys deliberately hash the *inputs*, not object identity: two
+ * objects built independently with the same parameters share cache
+ * entries, which is what makes on-disk caches useful across
+ * processes.
+ */
+
+#ifndef M3D_UTIL_KEY128_HH_
+#define M3D_UTIL_KEY128_HH_
+
+#include <cstdint>
+#include <string>
+
+namespace m3d {
+
+/** 128-bit digest used as a cache/registry key. */
+struct Key128
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    bool operator==(const Key128 &o) const
+    {
+        return hi == o.hi && lo == o.lo;
+    }
+    bool operator!=(const Key128 &o) const { return !(*this == o); }
+    bool operator<(const Key128 &o) const
+    {
+        return hi != o.hi ? hi < o.hi : lo < o.lo;
+    }
+
+    /** Fixed-width hex rendering, e.g. for the on-disk cache. */
+    std::string str() const;
+
+    /** Parse str()'s format; returns false on malformed input. */
+    static bool parse(const std::string &text, Key128 *out);
+};
+
+struct Key128Hash
+{
+    std::size_t operator()(const Key128 &k) const
+    {
+        return static_cast<std::size_t>(
+            k.hi ^ (k.lo * 0x9e3779b97f4a7c15ull));
+    }
+};
+
+/**
+ * Incremental canonical hasher: two independent FNV-1a 64-bit streams
+ * with different offset bases, fed identically.  Every stream starts
+ * with a schema version (bumped whenever any hashed layout changes,
+ * so stale on-disk caches are invalidated rather than misread) and
+ * the caller's domain tag.
+ */
+class KeyBuilder
+{
+  public:
+    explicit KeyBuilder(std::uint64_t domain_tag);
+
+    KeyBuilder &add(std::uint64_t v);
+    KeyBuilder &add(std::int64_t v);
+    KeyBuilder &add(int v);
+    KeyBuilder &add(bool v);
+    KeyBuilder &add(double v); ///< IEEE-754 bit pattern
+    KeyBuilder &add(const std::string &s); ///< length-prefixed
+
+    Key128 key() const { return {hi_, lo_}; }
+
+  private:
+    KeyBuilder &byte(std::uint8_t b);
+
+    std::uint64_t hi_;
+    std::uint64_t lo_;
+};
+
+} // namespace m3d
+
+#endif // M3D_UTIL_KEY128_HH_

@@ -1,4 +1,4 @@
-#include "arch/branch_predictor.hh"
+#include "workload/branch_predictor.hh"
 
 #include "util/logging.hh"
 

@@ -10,10 +10,17 @@
  * these structures with asymmetric bit/word partitioning (Section
  * 4.3.2); this functional model supplies the *misprediction stream*
  * that the timing model charges at the design's notification latency.
+ *
+ * The geometry is fixed across the whole design space (partitioning
+ * changes a structure's latency/energy, never its contents), so the
+ * prediction stream depends only on the workload's (pc, taken)
+ * sequence.  That makes the predictor part of the workload layer: the
+ * trace buffer pre-resolves it once per stream and every design
+ * replays the annotated outcomes (workload/trace_buffer.hh).
  */
 
-#ifndef M3D_ARCH_BRANCH_PREDICTOR_HH_
-#define M3D_ARCH_BRANCH_PREDICTOR_HH_
+#ifndef M3D_WORKLOAD_BRANCH_PREDICTOR_HH_
+#define M3D_WORKLOAD_BRANCH_PREDICTOR_HH_
 
 #include <cstdint>
 #include <vector>
@@ -95,4 +102,4 @@ class TournamentPredictor
 
 } // namespace m3d
 
-#endif // M3D_ARCH_BRANCH_PREDICTOR_HH_
+#endif // M3D_WORKLOAD_BRANCH_PREDICTOR_HH_

@@ -122,4 +122,29 @@ WorkloadLibrary::byName(const std::string &name)
     M3D_FATAL("unknown workload: ", name);
 }
 
+void
+hashProfile(KeyBuilder &kb, const WorkloadProfile &p)
+{
+    kb.add(p.name)
+        .add(p.load_frac)
+        .add(p.store_frac)
+        .add(p.branch_frac)
+        .add(p.fp_frac)
+        .add(p.mult_frac)
+        .add(p.div_frac)
+        .add(p.complex_decode_frac)
+        .add(p.mean_dep_distance)
+        .add(p.branch_mpki)
+        .add(p.working_set_kb)
+        .add(p.code_footprint_kb)
+        .add(p.stride_frac)
+        .add(p.spatial_locality)
+        .add(p.temporal_locality)
+        .add(p.parallel)
+        .add(p.parallel_frac)
+        .add(p.shared_frac)
+        .add(p.barrier_per_kinstr)
+        .add(p.lock_per_kinstr);
+}
+
 } // namespace m3d

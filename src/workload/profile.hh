@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "util/key128.hh"
+
 namespace m3d {
 
 /** Statistical description of one application. */
@@ -80,6 +82,14 @@ class WorkloadLibrary
     /** Look up one profile by name in either suite. */
     static WorkloadProfile byName(const std::string &name);
 };
+
+/**
+ * Append every field of `p` to a canonical hash stream, in
+ * declaration order.  The evaluation engine's run keys and the trace
+ * registry's buffer keys both build on this, so two profiles hash
+ * equal exactly when they generate the same instruction stream.
+ */
+void hashProfile(KeyBuilder &kb, const WorkloadProfile &p);
 
 } // namespace m3d
 

@@ -1,0 +1,228 @@
+#include "workload/trace_buffer.hh"
+
+#include "util/logging.hh"
+#include "workload/trace_file.hh"
+
+namespace m3d {
+
+namespace {
+
+// Hard cap on buffer growth: kMaxChunks * kChunkOps ops (~134M ops,
+// ~1.8 GB of columns).  Reserving the pointer vector up front keeps
+// chunk addresses stable for lock-free readers; hitting the cap means
+// a runaway instruction budget, not a legitimate workload.
+constexpr std::size_t kMaxChunks = 4096;
+
+// Domain tag for traceKey ("trace" in ASCII), disjoint from the
+// engine's run-key domains so trace keys never collide with them.
+constexpr std::uint64_t kDomainTrace = 0x7472616365;
+
+} // namespace
+
+Key128
+traceKey(const WorkloadProfile &profile, std::uint64_t seed,
+         int thread_id)
+{
+    KeyBuilder kb(kDomainTrace);
+    hashProfile(kb, profile);
+    kb.add(seed).add(thread_id);
+    return kb.key();
+}
+
+TraceBuffer::TraceBuffer(const WorkloadProfile &profile,
+                         std::uint64_t seed, int thread_id)
+    : profile_(profile), seed_(seed), thread_id_(thread_id),
+      gen_(profile, seed, thread_id)
+{
+    chunks_.reserve(kMaxChunks);
+}
+
+TraceBuffer::TraceBuffer(const std::string &path,
+                         const WorkloadProfile &profile)
+    : profile_(profile), extendable_(false), gen_(profile, 0, 0)
+{
+    chunks_.reserve(kMaxChunks);
+    TraceReader reader(path);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::uint64_t i = 0; i < reader.size(); ++i)
+        appendResolved(reader.at(static_cast<std::size_t>(i)));
+}
+
+void
+TraceBuffer::appendResolved(const MicroOp &op)
+{
+    const std::uint64_t off = size_ & kChunkMask;
+    if (off == 0) {
+        if (chunks_.size() >= kMaxChunks)
+            M3D_FATAL("trace buffer for ", profile_.name,
+                      " exceeds ", kMaxChunks * kChunkOps, " ops");
+        chunks_.push_back(std::make_unique<Chunk>());
+    }
+    Chunk &c = *chunks_.back();
+    const auto o = static_cast<std::size_t>(off);
+
+    M3D_ASSERT(op.src1_dist <= 0xffff && op.src2_dist <= 0xffff,
+               "dependency distance overflows the trace column");
+    c.op[o] = static_cast<std::uint8_t>(op.op);
+    c.src1[o] = static_cast<std::uint16_t>(op.src1_dist);
+    c.src2[o] = static_cast<std::uint16_t>(op.src2_dist);
+    c.address[o] = op.address;
+
+    std::uint8_t flags = static_cast<std::uint8_t>(
+        (op.taken ? kFlagTaken : 0) |
+        (op.mispredicted ? kFlagStatMispredict : 0) |
+        (op.complex_decode ? kFlagComplex : 0) |
+        (op.serializing ? kFlagSerializing : 0) |
+        (op.is_call ? kFlagCall : 0) |
+        (op.is_return ? kFlagReturn : 0));
+
+    // Pre-resolve the branch against the fixed Table-9 predictor -
+    // the exact sequence CoreModel::run would perform, so the
+    // annotated outcome replays bit-identically.
+    if (op.op == OpClass::Branch) {
+        bool mispredicted = false;
+        if (op.is_call) {
+            predictor_.pushCall(op.address);
+        } else if (op.is_return) {
+            mispredicted = !predictor_.popReturn(op.address);
+        } else {
+            mispredicted =
+                predictor_.predictAndTrain(op.address, op.taken);
+        }
+        if (mispredicted) {
+            flags |= kFlagMispredict;
+            ++resolved_mispredicts_;
+        }
+    }
+    c.flags[o] = flags;
+    ++size_;
+}
+
+void
+TraceBuffer::ensure(std::uint64_t n)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (size_ >= n)
+        return;
+    if (!extendable_)
+        M3D_FATAL("file-backed trace has ", size_,
+                  " ops but the run needs ", n);
+    while (size_ < n)
+        appendResolved(gen_.next());
+}
+
+std::uint64_t
+TraceBuffer::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+}
+
+MicroOp
+TraceBuffer::at(std::uint64_t i) const
+{
+    M3D_ASSERT(i < size(), "trace index out of range");
+    const Chunk &c = chunk(i >> kChunkShift);
+    const auto o = static_cast<std::size_t>(i & kChunkMask);
+    MicroOp op;
+    op.op = static_cast<OpClass>(c.op[o]);
+    op.src1_dist = c.src1[o];
+    op.src2_dist = c.src2[o];
+    op.address = c.address[o];
+    const std::uint8_t flags = c.flags[o];
+    op.taken = (flags & kFlagTaken) != 0;
+    op.mispredicted = (flags & kFlagStatMispredict) != 0;
+    op.complex_decode = (flags & kFlagComplex) != 0;
+    op.serializing = (flags & kFlagSerializing) != 0;
+    op.is_call = (flags & kFlagCall) != 0;
+    op.is_return = (flags & kFlagReturn) != 0;
+    return op;
+}
+
+void
+TraceBuffer::save(const std::string &path) const
+{
+    const std::uint64_t n = size();
+    TraceWriter w(path);
+    for (std::uint64_t i = 0; i < n; ++i)
+        w.append(at(i));
+    w.close();
+}
+
+std::uint64_t
+TraceBuffer::resolvedMispredicts() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return resolved_mispredicts_;
+}
+
+std::uint64_t
+TraceBuffer::memoryBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return chunks_.size() * sizeof(Chunk);
+}
+
+TraceRegistry &
+TraceRegistry::global()
+{
+    static TraceRegistry registry;
+    return registry;
+}
+
+std::shared_ptr<const TraceBuffer>
+TraceRegistry::acquire(const WorkloadProfile &profile,
+                       std::uint64_t seed, int thread_id,
+                       std::uint64_t min_ops)
+{
+    std::shared_ptr<TraceBuffer> buf;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto &slot = buffers_[traceKey(profile, seed, thread_id)];
+        if (!slot) {
+            slot = std::make_shared<TraceBuffer>(profile, seed,
+                                                 thread_id);
+        }
+        buf = slot;
+    }
+    // Extend outside the registry lock: long captures of one stream
+    // must not serialize acquisitions of other streams.
+    buf->ensure(min_ops);
+    return buf;
+}
+
+std::size_t
+TraceRegistry::bufferCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return buffers_.size();
+}
+
+std::uint64_t
+TraceRegistry::totalOps() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto &kv : buffers_)
+        total += kv.second->size();
+    return total;
+}
+
+std::uint64_t
+TraceRegistry::totalBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto &kv : buffers_)
+        total += kv.second->memoryBytes();
+    return total;
+}
+
+void
+TraceRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.clear();
+}
+
+} // namespace m3d

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Shared-trace replay: capture a synthetic instruction stream once,
+ * replay it for every design.
+ *
+ * Everything TraceGenerator does (RNG forks, branch-site mixing,
+ * stream-pointer updates) and everything the fixed Table-9 tournament
+ * predictor learns is *design-independent*: the same (profile, seed,
+ * thread) stream - and the same prediction outcomes - feed every
+ * design a search or figure sweep evaluates.  A TraceBuffer therefore
+ * freezes the stream once into structure-of-arrays chunks and runs
+ * the predictor (and return-address stack) over it once, annotating
+ * every branch with its resolved outcome.  CoreModel::run's replay
+ * overload then consumes the columns directly: no per-op RNG, no
+ * per-design predictor training, and bit-identical SimResult/Activity
+ * to the generator path.
+ *
+ * The process-wide TraceRegistry shares buffers read-only across all
+ * evaluations, keyed by the canonical 128-bit digest of
+ * (profile, seed, thread).  Buffers extend on demand - generation is
+ * a prefix-stable stream, so asking for more ops later appends to the
+ * same buffer - and chunk storage is address-stable, so concurrent
+ * readers of already-ensured prefixes never race an extension.
+ *
+ * Buffers can be pinned to disk in the existing TraceWriter /
+ * TraceReader record format (workload/trace_file.hh); the resolved
+ * outcomes are recomputed on load (they are derived state).
+ */
+
+#ifndef M3D_WORKLOAD_TRACE_BUFFER_HH_
+#define M3D_WORKLOAD_TRACE_BUFFER_HH_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "workload/branch_predictor.hh"
+#include "arch/instruction.hh"
+#include "util/key128.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace m3d {
+
+/**
+ * Which op source a simulation draws from.  Replay (the default) is
+ * the fast path: shared pre-resolved buffers from the TraceRegistry.
+ * Generate runs the TraceGenerator and tournament predictor live per
+ * evaluation; results are bit-identical either way, so Generate
+ * exists for parity tests, benchmarks, and memory-constrained runs.
+ */
+enum class TracePath { Replay, Generate };
+
+/** Canonical registry key of one (profile, seed, thread) stream. */
+Key128 traceKey(const WorkloadProfile &profile, std::uint64_t seed,
+                int thread_id);
+
+/** One frozen, pre-resolved micro-op stream (see file comment). */
+class TraceBuffer
+{
+  public:
+    /** Ops per chunk (power of two; ~448 KB of columns). */
+    static constexpr std::uint64_t kChunkOps = 1ull << 15;
+    static constexpr std::uint64_t kChunkMask = kChunkOps - 1;
+    static constexpr int kChunkShift = 15;
+
+    /** Per-op flag bits (bits 0-5 match the trace-file format). */
+    enum Flag : std::uint8_t {
+        kFlagTaken = 1,          ///< branches: actual direction
+        kFlagStatMispredict = 2, ///< generator's statistical draw
+        kFlagComplex = 4,        ///< needs the complex decoder
+        kFlagSerializing = 8,    ///< parallel apps: lock/barrier op
+        kFlagCall = 16,          ///< branches: call (pushes the RAS)
+        kFlagReturn = 32,        ///< branches: return (pops the RAS)
+        /** Pre-resolved Table-9 tournament/RAS outcome. */
+        kFlagMispredict = 64,
+    };
+
+    /** Structure-of-arrays columns of kChunkOps micro-ops. */
+    struct Chunk
+    {
+        std::array<std::uint8_t, kChunkOps> op;    ///< OpClass
+        std::array<std::uint16_t, kChunkOps> src1; ///< dep distance
+        std::array<std::uint16_t, kChunkOps> src2; ///< dep distance
+        std::array<std::uint64_t, kChunkOps> address;
+        std::array<std::uint8_t, kChunkOps> flags; ///< Flag bits
+    };
+
+    /** A generator-backed buffer; extends on demand via ensure(). */
+    TraceBuffer(const WorkloadProfile &profile, std::uint64_t seed,
+                int thread_id);
+
+    /**
+     * A file-backed buffer (fixed length): loads every record of a
+     * recorded trace and pre-resolves its branches.  `profile` is
+     * kept for the replay engine's code-footprint model; the trace
+     * format itself stores only the op stream.
+     */
+    TraceBuffer(const std::string &path, const WorkloadProfile &profile);
+
+    TraceBuffer(const TraceBuffer &) = delete;
+    TraceBuffer &operator=(const TraceBuffer &) = delete;
+
+    /**
+     * Capture and pre-resolve the stream out to at least `n` ops.
+     * Thread-safe; returns immediately when already long enough.
+     * Fatal on a file-backed buffer shorter than `n`.
+     */
+    void ensure(std::uint64_t n);
+
+    /** Ops captured and resolved so far. */
+    std::uint64_t size() const;
+
+    /**
+     * Chunk `ci` of the columns.  Safe to call without locking for
+     * any chunk fully below a count some ensure() call has returned
+     * for on this thread (chunk storage is address-stable).
+     */
+    const Chunk &
+    chunk(std::uint64_t ci) const
+    {
+        return *chunks_[static_cast<std::size_t>(ci)];
+    }
+
+    /** AoS view of op `i` (tests, tooling; not the replay hot path). */
+    MicroOp at(std::uint64_t i) const;
+
+    /** Pin the first size() ops to disk in the trace-file format. */
+    void save(const std::string &path) const;
+
+    const WorkloadProfile &profile() const { return profile_; }
+    std::uint64_t seed() const { return seed_; }
+    int threadId() const { return thread_id_; }
+
+    /** Branches whose pre-resolved outcome is a mispredict. */
+    std::uint64_t resolvedMispredicts() const;
+
+    /** Approximate resident bytes of the captured columns. */
+    std::uint64_t memoryBytes() const;
+
+  private:
+    void appendResolved(const MicroOp &op);
+
+    WorkloadProfile profile_;
+    std::uint64_t seed_ = 0;
+    int thread_id_ = 0;
+    bool extendable_ = true; ///< false for file-backed buffers
+
+    mutable std::mutex mutex_;
+    /**
+     * Reserved to kMaxChunks at construction so append never moves
+     * the pointer array under a concurrent reader's feet.
+     */
+    std::vector<std::unique_ptr<Chunk>> chunks_;
+    std::uint64_t size_ = 0;
+    std::uint64_t resolved_mispredicts_ = 0;
+
+    /** Continuation state for prefix-stable extension. */
+    TraceGenerator gen_;
+    /** Pre-resolve state (default Table-9 geometry, like CoreModel). */
+    TournamentPredictor predictor_;
+};
+
+/**
+ * Read-only sequential position into a shared TraceBuffer.  One
+ * cursor per (design evaluation, hardware thread); consecutive
+ * CoreModel::run calls (warmup then measurement) continue the same
+ * cursor, exactly like consecutive TraceGenerator::next() streams.
+ */
+class TraceCursor
+{
+  public:
+    TraceCursor() = default;
+    explicit TraceCursor(std::shared_ptr<const TraceBuffer> buf)
+        : buf_(std::move(buf))
+    {
+    }
+
+    const TraceBuffer &buffer() const { return *buf_; }
+    /** The shared ownership handle (keeps side tables keyed by
+     * buffer identity safe against address reuse). */
+    std::shared_ptr<const TraceBuffer> share() const { return buf_; }
+    bool valid() const { return buf_ != nullptr; }
+    std::uint64_t position() const { return pos_; }
+
+    /** Advance past `n` consumed ops (CoreModel::run does this). */
+    void advance(std::uint64_t n) { pos_ += n; }
+
+  private:
+    std::shared_ptr<const TraceBuffer> buf_;
+    std::uint64_t pos_ = 0;
+};
+
+/**
+ * Process-wide cache of trace buffers, keyed by traceKey().  Every
+ * evaluation of the same (profile, seed, thread) - across designs,
+ * worker threads, and Evaluator instances - shares one buffer.
+ */
+class TraceRegistry
+{
+  public:
+    /** The process-wide instance the simulation harness uses. */
+    static TraceRegistry &global();
+
+    /**
+     * The shared buffer for (profile, seed, thread), captured out to
+     * at least `min_ops` before returning.  Creates the buffer on
+     * first use.
+     */
+    std::shared_ptr<const TraceBuffer>
+    acquire(const WorkloadProfile &profile, std::uint64_t seed,
+            int thread_id, std::uint64_t min_ops);
+
+    /** Number of distinct streams captured. */
+    std::size_t bufferCount() const;
+
+    /** Total ops captured across all buffers. */
+    std::uint64_t totalOps() const;
+
+    /** Total resident bytes across all buffers. */
+    std::uint64_t totalBytes() const;
+
+    /** Drop every buffer (benchmarks that need a cold registry). */
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<Key128, std::shared_ptr<TraceBuffer>, Key128Hash>
+        buffers_;
+};
+
+} // namespace m3d
+
+#endif // M3D_WORKLOAD_TRACE_BUFFER_HH_

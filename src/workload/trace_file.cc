@@ -12,7 +12,11 @@ namespace m3d {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4d334454; // "M3DT"
-constexpr std::uint32_t kVersion = 1;
+// Version 2 added the call/return bits (4/5) so the return address
+// stack replays exactly; version-1 files still load (their streams
+// simply predate the RAS-aware generator).
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMinVersion = 1;
 
 /** On-disk record: 16 bytes per micro-op. */
 struct PackedOp
@@ -22,7 +26,8 @@ struct PackedOp
     std::uint16_t src2_dist;
     std::uint8_t op;
     std::uint8_t flags; // bit0 taken, bit1 mispredicted,
-                        // bit2 complex, bit3 serializing
+                        // bit2 complex, bit3 serializing,
+                        // bit4 call, bit5 return (v2)
     std::uint8_t pad[2];
 };
 static_assert(sizeof(PackedOp) == 16, "trace record must be packed");
@@ -37,7 +42,8 @@ pack(const MicroOp &op)
     p.op = static_cast<std::uint8_t>(op.op);
     p.flags = static_cast<std::uint8_t>(
         (op.taken ? 1 : 0) | (op.mispredicted ? 2 : 0) |
-        (op.complex_decode ? 4 : 0) | (op.serializing ? 8 : 0));
+        (op.complex_decode ? 4 : 0) | (op.serializing ? 8 : 0) |
+        (op.is_call ? 16 : 0) | (op.is_return ? 32 : 0));
     return p;
 }
 
@@ -53,6 +59,8 @@ unpack(const PackedOp &p)
     op.mispredicted = (p.flags & 2) != 0;
     op.complex_decode = (p.flags & 4) != 0;
     op.serializing = (p.flags & 8) != 0;
+    op.is_call = (p.flags & 16) != 0;
+    op.is_return = (p.flags & 32) != 0;
     return op;
 }
 
@@ -123,7 +131,7 @@ TraceReader::TraceReader(const std::string &path)
     in.read(reinterpret_cast<char *>(&count), sizeof(count));
     if (!in || magic != kMagic)
         M3D_FATAL("not an m3d trace file: ", path);
-    if (version != kVersion)
+    if (version < kMinVersion || version > kVersion)
         M3D_FATAL("unsupported trace version ", version, ": ", path);
 
     ops_.reserve(static_cast<std::size_t>(count));

@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "arch/branch_predictor.hh"
+#include "workload/branch_predictor.hh"
 #include "workload/generator.hh"
 
 namespace m3d {

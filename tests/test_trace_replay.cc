@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Bit-parity tests of the shared-trace replay engine.
+ *
+ * Replay exists purely as a performance optimization: for every
+ * workload the project ships - SPEC CPU2006, SPLASH2/PARSEC, and the
+ * bundled .profile files - a replayed evaluation must return the
+ * exact SimResult/Activity bits the live generator path returns, on
+ * single cores (pre-resolved memory levels), on multicores (live
+ * cache simulation under the directory), at any worker thread count,
+ * and across buffer prefix extensions and disk round trips.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arch/core_model.hh"
+#include "arch/replay_mem.hh"
+#include "engine/evaluator.hh"
+#include "power/sim_harness.hh"
+#include "workload/generator.hh"
+#include "workload/profile_io.hh"
+#include "workload/trace_buffer.hh"
+
+using namespace m3d;
+
+namespace {
+
+SimBudget
+smallBudget()
+{
+    SimBudget b;
+    b.warmup = 20000;
+    b.measured = 50000;
+    return b;
+}
+
+void
+expectSameActivity(const Activity &a, const Activity &b,
+                   const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.fetches, b.fetches) << what;
+    EXPECT_EQ(a.decodes, b.decodes) << what;
+    EXPECT_EQ(a.complex_decodes, b.complex_decodes) << what;
+    EXPECT_EQ(a.bpt_lookups, b.bpt_lookups) << what;
+    EXPECT_EQ(a.btb_lookups, b.btb_lookups) << what;
+    EXPECT_EQ(a.mispredicts, b.mispredicts) << what;
+    EXPECT_EQ(a.rat_reads, b.rat_reads) << what;
+    EXPECT_EQ(a.rat_writes, b.rat_writes) << what;
+    EXPECT_EQ(a.dispatches, b.dispatches) << what;
+    EXPECT_EQ(a.iq_writes, b.iq_writes) << what;
+    EXPECT_EQ(a.iq_wakeups, b.iq_wakeups) << what;
+    EXPECT_EQ(a.issues, b.issues) << what;
+    EXPECT_EQ(a.rf_reads, b.rf_reads) << what;
+    EXPECT_EQ(a.rf_writes, b.rf_writes) << what;
+    EXPECT_EQ(a.alu_ops, b.alu_ops) << what;
+    EXPECT_EQ(a.fp_ops, b.fp_ops) << what;
+    EXPECT_EQ(a.mul_div_ops, b.mul_div_ops) << what;
+    EXPECT_EQ(a.loads, b.loads) << what;
+    EXPECT_EQ(a.stores, b.stores) << what;
+    EXPECT_EQ(a.lq_searches, b.lq_searches) << what;
+    EXPECT_EQ(a.sq_searches, b.sq_searches) << what;
+    EXPECT_EQ(a.l1d_accesses, b.l1d_accesses) << what;
+    EXPECT_EQ(a.l1i_accesses, b.l1i_accesses) << what;
+    EXPECT_EQ(a.l2_accesses, b.l2_accesses) << what;
+    EXPECT_EQ(a.l3_accesses, b.l3_accesses) << what;
+    EXPECT_EQ(a.dram_accesses, b.dram_accesses) << what;
+    EXPECT_EQ(a.noc_flits, b.noc_flits) << what;
+    EXPECT_EQ(a.stall_rob, b.stall_rob) << what;
+    EXPECT_EQ(a.stall_iq, b.stall_iq) << what;
+    EXPECT_EQ(a.stall_lsq, b.stall_lsq) << what;
+    EXPECT_EQ(a.stall_icache, b.stall_icache) << what;
+    EXPECT_EQ(a.bound_deps, b.bound_deps) << what;
+    EXPECT_EQ(a.bound_fu, b.bound_fu) << what;
+}
+
+void
+expectSameSim(const SimResult &a, const SimResult &b,
+              const std::string &what)
+{
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.frequency, b.frequency) << what;
+    expectSameActivity(a.activity, b.activity, what);
+}
+
+void
+expectParity(const CoreDesign &design, const WorkloadProfile &app)
+{
+    const SimBudget budget = smallBudget();
+    const AppRun gen = runSingleCore(design, app, budget,
+                                     TracePath::Generate);
+    const AppRun rep = runSingleCore(design, app, budget,
+                                     TracePath::Replay);
+    expectSameSim(gen.sim, rep.sim, app.name);
+    EXPECT_EQ(gen.energyJ(), rep.energyJ()) << app.name;
+}
+
+} // namespace
+
+TEST(ReplayParity, EverySpecProfile)
+{
+    DesignFactory factory;
+    const CoreDesign design = factory.m3dHet();
+    for (const WorkloadProfile &app : WorkloadLibrary::spec2006())
+        expectParity(design, app);
+}
+
+TEST(ReplayParity, EverySplash2ParsecProfile)
+{
+    DesignFactory factory;
+    const CoreDesign design = factory.m3dHet();
+    for (const WorkloadProfile &app :
+         WorkloadLibrary::splash2parsec())
+        expectParity(design, app);
+}
+
+TEST(ReplayParity, EveryBundledProfileFile)
+{
+    DesignFactory factory;
+    const CoreDesign design = factory.m3dHet();
+    const std::string dir = M3D_WORKLOADS_DIR;
+    for (const char *file : {"graph_analytics.profile",
+                             "stencil_hpc.profile",
+                             "web_service.profile"}) {
+        expectParity(design, loadProfile(dir + "/" + file));
+    }
+}
+
+TEST(ReplayParity, AcrossDesignExtremes)
+{
+    // Parity must hold for every design a search can visit, not just
+    // the named points: exercise small/large queue extremes (which
+    // also stress the sliding issue window's eviction safety).
+    DesignFactory factory;
+    const WorkloadProfile app = WorkloadLibrary::byName("Mcf");
+    CoreDesign tiny = factory.m3dHet();
+    tiny.rob_entries = 32;
+    tiny.iq_entries = 16;
+    tiny.lq_entries = 16;
+    tiny.sq_entries = 12;
+    expectParity(tiny, app);
+
+    CoreDesign wide = factory.m3dHetW();
+    wide.rob_entries = 512;
+    expectParity(wide, app);
+}
+
+TEST(ReplayParity, Multicore)
+{
+    // Multicore replay keeps live cache simulation (directory and
+    // partner traffic are design-dependent); the op columns are
+    // still shared.  Both the private-L2 and shared-pair designs
+    // must match the generator path bit for bit.
+    DesignFactory factory;
+    const WorkloadProfile app = WorkloadLibrary::byName("Ocean");
+    const SimBudget budget = smallBudget();
+    for (const CoreDesign &design :
+         {factory.m3dHet(), factory.m3dHetMulti()}) {
+        const MultiRun gen = runMulticore(design, app, budget,
+                                          TracePath::Generate);
+        const MultiRun rep = runMulticore(design, app, budget,
+                                          TracePath::Replay);
+        EXPECT_EQ(gen.result.seconds, rep.result.seconds)
+            << design.name;
+        EXPECT_EQ(gen.result.serial_seconds,
+                  rep.result.serial_seconds) << design.name;
+        EXPECT_EQ(gen.result.parallel_seconds,
+                  rep.result.parallel_seconds) << design.name;
+        EXPECT_EQ(gen.result.sync_seconds, rep.result.sync_seconds)
+            << design.name;
+        expectSameActivity(gen.result.total, rep.result.total,
+                           design.name);
+        ASSERT_EQ(gen.result.per_core.size(),
+                  rep.result.per_core.size()) << design.name;
+        for (std::size_t c = 0; c < gen.result.per_core.size(); ++c) {
+            expectSameSim(gen.result.per_core[c],
+                          rep.result.per_core[c],
+                          design.name + " core " + std::to_string(c));
+        }
+        EXPECT_EQ(gen.energyJ(), rep.energyJ()) << design.name;
+    }
+}
+
+TEST(ReplayParity, EvaluatorJobCountInvariance)
+{
+    // The registry is shared across worker threads; replayed results
+    // must not depend on how many workers raced to capture it.
+    DesignFactory factory;
+    std::vector<engine::SingleJob> jobs;
+    for (const char *app : {"Gcc", "Mcf", "Gamess"}) {
+        jobs.push_back({factory.m3dHet(),
+                        WorkloadLibrary::byName(app)});
+        jobs.push_back({factory.base(),
+                        WorkloadLibrary::byName(app)});
+    }
+
+    engine::EvalOptions opts;
+    opts.threads = 1;
+    opts.cache = false;
+    opts.budget = smallBudget();
+    opts.trace_path = TracePath::Replay;
+    engine::Evaluator serial(opts);
+    const std::vector<AppRun> base = serial.runBatch(jobs);
+
+    opts.threads = 8;
+    engine::Evaluator parallel(opts);
+    const std::vector<AppRun> out = parallel.runBatch(jobs);
+
+    ASSERT_EQ(base.size(), out.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        expectSameSim(base[i].sim, out[i].sim,
+                      "job " + std::to_string(i));
+        EXPECT_EQ(base[i].energyJ(), out[i].energyJ()) << i;
+    }
+}
+
+TEST(ReplayParity, WarmupSplitTelescopes)
+{
+    // Consecutive replay runs on one cursor must tile the stream
+    // exactly: summed windows equal one whole-stream run.
+    DesignFactory factory;
+    const CoreDesign design = factory.m3dHet();
+    const WorkloadProfile app = WorkloadLibrary::byName("Gcc");
+    const std::uint64_t total = 70000;
+
+    auto buf = TraceRegistry::global().acquire(app, 42, 0, total);
+
+    HierarchyTiming timing;
+    timing.l1_rt = design.load_to_use;
+    timing.frequency = design.frequency;
+
+    CacheHierarchy h1(timing);
+    CoreModel one(design, h1);
+    TraceCursor c1(buf);
+    const SimResult whole = one.run(c1, total);
+
+    CacheHierarchy h2(timing);
+    CoreModel two(design, h2);
+    TraceCursor c2(buf);
+    const SimResult first = two.run(c2, 20000);
+    const SimResult second = two.run(c2, total - 20000);
+
+    EXPECT_EQ(whole.instructions,
+              first.instructions + second.instructions);
+    EXPECT_EQ(whole.cycles, first.cycles + second.cycles);
+    EXPECT_EQ(whole.activity.mispredicts,
+              first.activity.mispredicts +
+                  second.activity.mispredicts);
+    EXPECT_EQ(whole.activity.dram_accesses,
+              first.activity.dram_accesses +
+                  second.activity.dram_accesses);
+    EXPECT_EQ(whole.activity.stall_icache,
+              first.activity.stall_icache +
+                  second.activity.stall_icache);
+}
+
+TEST(ReplayParity, LiveCacheReplayWithPartner)
+{
+    // A partner L2 makes the serving level design-dependent, so the
+    // replay path must fall back to live cache simulation - and
+    // still match the generator bit for bit on the same wiring.
+    DesignFactory factory;
+    const CoreDesign design = factory.m3dHetMulti();
+    const WorkloadProfile app = WorkloadLibrary::byName("Ocean");
+    const std::uint64_t n = 60000;
+
+    HierarchyTiming timing;
+    timing.l1_rt = design.load_to_use;
+    timing.frequency = design.frequency;
+
+    auto run_pair = [&](bool replay) -> SimResult {
+        CacheHierarchy a(timing, 0);
+        CacheHierarchy b(timing, 1);
+        a.setPartner(&b);
+        b.setPartner(&a);
+        EXPECT_FALSE(a.streamDetermined());
+        CoreModel core(design, a);
+        if (replay) {
+            TraceCursor cursor(
+                TraceRegistry::global().acquire(app, 42, 0, n));
+            return core.run(cursor, n);
+        }
+        TraceGenerator gen(app, 42, 0);
+        return core.run(gen, n);
+    };
+
+    const SimResult gen = run_pair(false);
+    const SimResult rep = run_pair(true);
+    expectSameSim(gen, rep, "partner pair");
+}
+
+TEST(ReplayParity, TraceFileRoundTrip)
+{
+    // Pin a captured buffer to disk, reload it, and replay from the
+    // file-backed buffer: resolved outcomes (predictor, RAS via the
+    // call/return record bits, memory levels) are derived state and
+    // must reproduce the generator run exactly.
+    const std::string path =
+        ::testing::TempDir() + "m3d_replay_roundtrip.bin";
+    DesignFactory factory;
+    const CoreDesign design = factory.m3dHet();
+    const WorkloadProfile app = WorkloadLibrary::byName("Gobmk");
+    const std::uint64_t n = 40000;
+
+    HierarchyTiming timing;
+    timing.l1_rt = design.load_to_use;
+    timing.frequency = design.frequency;
+
+    auto buf = TraceRegistry::global().acquire(app, 42, 0, n);
+    buf->save(path);
+
+    auto from_file = std::shared_ptr<const TraceBuffer>(
+        new TraceBuffer(path, app));
+    ASSERT_GE(from_file->size(), n);
+    EXPECT_EQ(from_file->resolvedMispredicts(),
+              buf->resolvedMispredicts());
+
+    CacheHierarchy h1(timing);
+    CoreModel live(design, h1);
+    TraceGenerator gen(app, 42, 0);
+    const SimResult expect = live.run(gen, n);
+
+    CacheHierarchy h2(timing);
+    CoreModel replayed(design, h2);
+    TraceCursor cursor(from_file);
+    const SimResult got = replayed.run(cursor, n);
+
+    expectSameSim(expect, got, "file round trip");
+    std::remove(path.c_str());
+}
+
+TEST(MemLevels, PrefixExtensionMatchesFullResolve)
+{
+    // Growing a level table in steps must leave exactly the bytes a
+    // single front-to-back resolve produces (the resolver hierarchy
+    // state carries across extensions), including across a chunk
+    // boundary.
+    const WorkloadProfile app = WorkloadLibrary::byName("Mcf");
+    const std::uint64_t n = TraceBuffer::kChunkOps + 9000;
+
+    auto buf = TraceRegistry::global().acquire(app, 42, 0, n);
+
+    MemLevelTable stepped(buf);
+    stepped.ensure(5000);
+    stepped.ensure(TraceBuffer::kChunkOps + 100);
+    stepped.ensure(n);
+
+    MemLevelTable whole(buf);
+    whole.ensure(n);
+
+    ASSERT_EQ(stepped.size(), n);
+    ASSERT_EQ(whole.size(), n);
+    for (std::uint64_t ci = 0; ci <= (n - 1) >> TraceBuffer::kChunkShift;
+         ++ci) {
+        const std::uint8_t *a = stepped.chunk(ci);
+        const std::uint8_t *b = whole.chunk(ci);
+        const std::uint64_t base = ci << TraceBuffer::kChunkShift;
+        const std::uint64_t end =
+            std::min(n - base, TraceBuffer::kChunkOps);
+        for (std::uint64_t o = 0; o < end; ++o)
+            ASSERT_EQ(a[o], b[o]) << "op " << base + o;
+    }
+}
+
+TEST(MemLevels, RegistrySharesOneTablePerBuffer)
+{
+    const WorkloadProfile app = WorkloadLibrary::byName("Gamess");
+    auto buf = TraceRegistry::global().acquire(app, 42, 0, 10000);
+
+    MemLevelRegistry &reg = MemLevelRegistry::global();
+    const MemLevelTable &a = reg.acquire(buf, 4000);
+    const MemLevelTable &b = reg.acquire(buf, 10000);
+    EXPECT_EQ(&a, &b);
+    EXPECT_GE(b.size(), 10000u);
+}

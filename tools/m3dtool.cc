@@ -15,6 +15,9 @@
  *   m3dtool search <strategy> [--seed S] [--budget N] [--jobs N]
  *                  [--json F]            multi-objective design-space
  *                                        search (src/search)
+ *   m3dtool trace record <app> --out F [--instructions N] [--seed S]
+ *                  [--thread T]          pin a captured trace to disk
+ *   m3dtool trace info <file> [--app A]  summarize a recorded trace
  *
  * Technologies: m3d-het (default), m3d-iso, tsv3d.
  * Designs: base, tsv3d, m3d-iso, m3d-het-naive, m3d-het, m3d-het-agg.
@@ -40,6 +43,8 @@
 #include "util/table.hh"
 #include "util/units.hh"
 #include "workload/profile_io.hh"
+#include "workload/trace_buffer.hh"
+#include "workload/trace_file.hh"
 
 using namespace m3d;
 using namespace m3d::units;
@@ -61,6 +66,9 @@ usage()
            "  m3dtool thermal <app> [--design <name>]\n"
            "  m3dtool search <grid|random|climb|anneal> [--seed S] "
            "[--budget N] [--jobs N] [--json F]\n"
+           "  m3dtool trace record <app> --out <file> "
+           "[--instructions N] [--seed S] [--thread T]\n"
+           "  m3dtool trace info <file> [--app <name>]\n"
            "(every subcommand accepts --help)\n";
     return 2;
 }
@@ -568,6 +576,162 @@ cmdSearch(const std::vector<std::string> &args)
     return 0;
 }
 
+int
+cmdTraceRecord(const std::vector<std::string> &args)
+{
+    std::string out_path;
+    std::uint64_t instructions = 400000;
+    std::uint64_t seed = 42;
+    std::uint64_t thread = 0;
+    cli::Parser parser("m3dtool trace record",
+                       "Capture an application's micro-op stream "
+                       "into the shared trace registry and pin it to "
+                       "a file for later replay.");
+    parser.positional("app", "profile name or profile file path")
+        .flag("out", &out_path, "output trace file (required)")
+        .flag("instructions", &instructions, "micro-ops to record")
+        .flag("seed", &seed, "generator seed")
+        .flag("thread", &thread,
+              "logical thread id (parallel apps shift per-thread "
+              "phase)");
+    const cli::ParseStatus status = parser.parse(args);
+    if (status != cli::ParseStatus::Ok)
+        return exitCode(status);
+    if (out_path.empty())
+        M3D_FATAL("trace record requires --out <file>");
+
+    const WorkloadProfile app = appByName(parser.positionals()[0]);
+    const auto buf = TraceRegistry::global().acquire(
+        app, seed, static_cast<int>(thread), instructions);
+    buf->save(out_path);
+
+    Table t("Recorded " + app.name);
+    t.header({"Field", "Value"});
+    t.row({"File", out_path});
+    t.row({"Micro-ops", std::to_string(buf->size())});
+    t.row({"Seed", std::to_string(seed)});
+    t.row({"Thread", std::to_string(thread)});
+    t.row({"Resolved mispredicts",
+           std::to_string(buf->resolvedMispredicts())});
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdTraceInfo(const std::vector<std::string> &args)
+{
+    std::string app_name;
+    cli::Parser parser("m3dtool trace info",
+                       "Summarize a recorded trace file: op mix, "
+                       "branch statistics, memory footprint.");
+    parser.positional("file", "trace file written by `trace record`")
+        .flag("app", &app_name,
+              "profile name or file; enables predictor "
+              "pre-resolution over the loaded trace");
+    const cli::ParseStatus status = parser.parse(args);
+    if (status != cli::ParseStatus::Ok)
+        return exitCode(status);
+    const std::string path = parser.positionals()[0];
+
+    TraceReader reader(path);
+    std::uint64_t loads = 0, stores = 0, branches = 0, taken = 0;
+    std::uint64_t calls = 0, returns = 0, fp = 0, complex_ops = 0;
+    std::uint64_t min_addr = UINT64_MAX, max_addr = 0;
+    for (std::uint64_t i = 0; i < reader.size(); ++i) {
+        const MicroOp &op = reader.at(i);
+        switch (op.op) {
+        case OpClass::Load:
+            ++loads;
+            break;
+        case OpClass::Store:
+            ++stores;
+            break;
+        case OpClass::Branch:
+            ++branches;
+            taken += op.taken ? 1 : 0;
+            calls += op.is_call ? 1 : 0;
+            returns += op.is_return ? 1 : 0;
+            break;
+        case OpClass::FpAdd:
+        case OpClass::FpMult:
+        case OpClass::FpDiv:
+            ++fp;
+            break;
+        default:
+            break;
+        }
+        complex_ops += op.complex_decode ? 1 : 0;
+        if ((op.op == OpClass::Load || op.op == OpClass::Store) &&
+            op.address != 0) {
+            min_addr = std::min(min_addr, op.address);
+            max_addr = std::max(max_addr, op.address);
+        }
+    }
+    const auto n = static_cast<double>(reader.size());
+
+    Table t("Trace " + path);
+    t.header({"Field", "Value"});
+    t.row({"Micro-ops", std::to_string(reader.size())});
+    t.row({"Loads", Table::pct(static_cast<double>(loads) / n, 1)});
+    t.row({"Stores", Table::pct(static_cast<double>(stores) / n, 1)});
+    t.row({"Branches",
+           Table::pct(static_cast<double>(branches) / n, 1)});
+    t.row({"Taken",
+           branches ? Table::pct(static_cast<double>(taken) /
+                                     static_cast<double>(branches),
+                                 1)
+                    : "-"});
+    t.row({"Calls", std::to_string(calls)});
+    t.row({"Returns", std::to_string(returns)});
+    t.row({"FP ops", Table::pct(static_cast<double>(fp) / n, 1)});
+    t.row({"Complex decodes",
+           Table::pct(static_cast<double>(complex_ops) / n, 1)});
+    if (max_addr != 0) {
+        t.row({"Data span",
+               Table::num(static_cast<double>(max_addr - min_addr) /
+                              1024.0,
+                          0) +
+                   " KB"});
+    }
+    if (!app_name.empty()) {
+        // Reload through the SoA buffer: recomputes the fixed-core
+        // predictor outcomes (tournament + RAS) over the trace, the
+        // same derived state the replay engine shares per process.
+        const WorkloadProfile app = appByName(app_name);
+        const TraceBuffer buf(path, app);
+        t.row({"Resolved mispredicts",
+               std::to_string(buf.resolvedMispredicts())});
+        t.row({"Resolved MPKI",
+               Table::num(1000.0 *
+                              static_cast<double>(
+                                  buf.resolvedMispredicts()) /
+                              n,
+                          2)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdTrace(const std::vector<std::string> &args)
+{
+    if (args.empty()) {
+        std::cerr << "usage:\n"
+                     "  m3dtool trace record <app> --out <file> "
+                     "[--instructions N] [--seed S] [--thread T]\n"
+                     "  m3dtool trace info <file> [--app <name>]\n";
+        return 2;
+    }
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (args[0] == "record")
+        return cmdTraceRecord(rest);
+    if (args[0] == "info")
+        return cmdTraceInfo(rest);
+    std::cerr << "m3dtool trace: unknown subcommand '" << args[0]
+              << "' (try record, info)\n";
+    return 2;
+}
+
 } // namespace
 
 int
@@ -592,5 +756,7 @@ main(int argc, char **argv)
         return cmdThermal(args);
     if (cmd == "search")
         return cmdSearch(args);
+    if (cmd == "trace")
+        return cmdTrace(args);
     return usage();
 }

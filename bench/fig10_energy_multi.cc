@@ -55,13 +55,16 @@ main(int argc, char **argv)
     const std::vector<WorkloadProfile> apps =
         WorkloadLibrary::splash2parsec();
 
-    std::vector<engine::MultiJob> batch;
-    batch.reserve(apps.size() * designs.size());
+    engine::BatchRunRequest req;
+    req.runs.reserve(apps.size() * designs.size());
     for (const WorkloadProfile &app : apps) {
-        for (const CoreDesign &d : designs)
-            batch.push_back({d, app});
+        for (const CoreDesign &d : designs) {
+            req.runs.push_back({RunKind::Multi, d, app,
+                                ev.options().budget,
+                                ev.options().trace_path});
+        }
     }
-    const std::vector<MultiRun> runs = ev.runMultiBatch(batch);
+    const engine::BatchRunResult batch = ev.submit(req);
 
     Table t("Figure 10: multicore energy normalized to 4-core Base");
     t.bindMetrics(rep.hook("fig10"));
@@ -75,7 +78,8 @@ main(int argc, char **argv)
         double base_energy = 0.0;
         std::vector<std::string> row = {apps[a].name};
         for (std::size_t i = 0; i < designs.size(); ++i) {
-            const MultiRun &r = runs[a * designs.size() + i];
+            const MultiRun &r =
+                batch.runs[a * designs.size() + i].multi;
             if (i == 0)
                 base_energy = r.energyJ();
             const double norm = r.energyJ() / base_energy;

@@ -60,13 +60,16 @@ main(int argc, char **argv)
     const std::vector<WorkloadProfile> apps =
         WorkloadLibrary::spec2006();
 
-    std::vector<engine::SingleJob> batch;
-    batch.reserve(apps.size() * designs.size());
+    engine::BatchRunRequest req;
+    req.runs.reserve(apps.size() * designs.size());
     for (const WorkloadProfile &app : apps) {
-        for (const CoreDesign &d : designs)
-            batch.push_back({d, app});
+        for (const CoreDesign &d : designs) {
+            req.runs.push_back({RunKind::Single, d, app,
+                                ev.options().budget,
+                                ev.options().trace_path});
+        }
     }
-    const std::vector<AppRun> runs = ev.runBatch(batch);
+    const engine::BatchRunResult batch = ev.submit(req);
 
     Table t("Figure 6: single-core speedup over Base (2D)");
     t.bindMetrics(rep.hook("fig6"));
@@ -80,7 +83,8 @@ main(int argc, char **argv)
         double base_seconds = 0.0;
         std::vector<std::string> row = {apps[a].name};
         for (std::size_t i = 0; i < designs.size(); ++i) {
-            const AppRun &r = runs[a * designs.size() + i];
+            const AppRun &r =
+                batch.runs[a * designs.size() + i].single;
             if (i == 0)
                 base_seconds = r.seconds;
             const double speedup = base_seconds / r.seconds;

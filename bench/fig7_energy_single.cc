@@ -63,13 +63,16 @@ main(int argc, char **argv)
     const std::vector<WorkloadProfile> apps =
         WorkloadLibrary::spec2006();
 
-    std::vector<engine::SingleJob> batch;
-    batch.reserve(apps.size() * designs.size());
+    engine::BatchRunRequest req;
+    req.runs.reserve(apps.size() * designs.size());
     for (const WorkloadProfile &app : apps) {
-        for (const CoreDesign &d : designs)
-            batch.push_back({d, app});
+        for (const CoreDesign &d : designs) {
+            req.runs.push_back({RunKind::Single, d, app,
+                                ev.options().budget,
+                                ev.options().trace_path});
+        }
     }
-    const std::vector<AppRun> runs = ev.runBatch(batch);
+    const engine::BatchRunResult batch = ev.submit(req);
 
     Table t("Figure 7: single-core energy normalized to Base (2D)");
     t.bindMetrics(rep.hook("fig7"));
@@ -83,7 +86,8 @@ main(int argc, char **argv)
         double base_energy = 0.0;
         std::vector<std::string> row = {apps[a].name};
         for (std::size_t i = 0; i < designs.size(); ++i) {
-            const AppRun &r = runs[a * designs.size() + i];
+            const AppRun &r =
+                batch.runs[a * designs.size() + i].single;
             double energy = r.energyJ();
             // The LP top layer cuts the leakage of the top-layer
             // devices (~half the core) by ~5x.

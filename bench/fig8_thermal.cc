@@ -64,13 +64,16 @@ main(int argc, char **argv)
     const std::vector<WorkloadProfile> apps =
         WorkloadLibrary::spec2006();
 
-    std::vector<engine::SingleJob> batch;
-    batch.reserve(apps.size() * designs.size());
+    engine::BatchRunRequest req;
+    req.runs.reserve(apps.size() * designs.size());
     for (const WorkloadProfile &app : apps) {
-        for (const CoreDesign &d : designs)
-            batch.push_back({d, app});
+        for (const CoreDesign &d : designs) {
+            req.runs.push_back({RunKind::Single, d, app,
+                                ev.options().budget,
+                                ev.options().trace_path});
+        }
     }
-    const std::vector<AppRun> runs = ev.runBatch(batch);
+    const engine::BatchRunResult batch = ev.submit(req);
 
     Table t("Figure 8: peak temperature (deg C)");
     t.bindMetrics(rep.hook("fig8"));
@@ -88,7 +91,8 @@ main(int argc, char **argv)
         std::string hottest;
         for (std::size_t i = 0; i < designs.size(); ++i) {
             const CoreDesign &d = designs[i];
-            const AppRun &r = runs[a * designs.size() + i];
+            const AppRun &r =
+                batch.runs[a * designs.size() + i].single;
             PowerModel pm(d);
             auto blocks = pm.blockPower(r.sim.activity, r.seconds);
             ThermalModel tm(d, 32, solver_cfg);

@@ -64,8 +64,16 @@ main(int argc, char **argv)
         tech_names.push_back(space.value(p, "tech"));
     }
 
-    engine::Evaluator ev(engine::EvalOptions{.threads = jobs});
-    const std::vector<PartitionResult> results = ev.bestBatch(points);
+    // One unified batch submission: partition jobs ride the same
+    // BatchRunRequest envelope as core runs (this sweep has no core
+    // runs, so `runs` stays empty).
+    engine::EvalOptions opts;
+    opts.threads = jobs;
+    engine::Evaluator ev(opts);
+    engine::BatchRunRequest req;
+    req.partitions = points;
+    const std::vector<PartitionResult> results =
+        ev.submit(req).partitions;
 
     Table csv("design space");
     csv.header({"technology", "structure", "strategy", "latency_ps",

@@ -1,0 +1,1394 @@
+#include "arch/batch_replay.hh"
+
+#include <algorithm>
+
+#include "arch/replay_mem.hh"
+#include "util/logging.hh"
+#include "util/simd.hh"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define M3D_HAVE_AVX2_KERNEL 1
+#define M3D_TARGET_AVX2 __attribute__((target("avx2")))
+#define M3D_TARGET_AVX512 \
+    __attribute__((target("avx512f,avx512vl,avx512dq,avx512bw")))
+#include <immintrin.h>
+#else
+#define M3D_HAVE_AVX2_KERNEL 0
+#endif
+
+namespace m3d {
+
+namespace {
+
+/**
+ * Stream-dependent facts of one op, decoded once per (op, block):
+ * identical for every design lane, so all branches on them are
+ * uniform - the batched loop's perfectly predicted shared work.
+ */
+struct SharedOp
+{
+    OpClass op;
+    std::size_t op_index; ///< numeric OpClass, for latency tables
+    std::uint32_t src1;
+    std::uint32_t src2;
+    unsigned data_level;  ///< MemLevelTable code of the data access
+    unsigned fetch_level; ///< MemLevelTable code of the fetch access
+    bool is_load;
+    bool is_store;
+    bool is_branch;
+    bool complex_decode;
+    bool mispredict;      ///< pre-resolved, only set for branches
+    bool fetch_boundary;  ///< op starts a fetch block
+    bool fetch_miss;      ///< fetch boundary served beyond the L1I
+    bool dep1;            ///< src1 names a still-windowed producer
+    bool dep2;
+    std::size_t dep1_row; ///< history row (already scaled by width)
+    std::size_t dep2_row;
+    std::size_t hist_row; ///< this op's history row (scaled)
+    int fu;               ///< FU class
+    int fu_units;         ///< pool size of that class
+    std::uint64_t occupancy;
+    std::uint64_t base_latency; ///< Table 9 latency (non-load)
+};
+
+inline SharedOp
+decodeShared(const TraceBuffer::Chunk &ch, const std::uint8_t *mem_col,
+             std::uint32_t o, std::uint64_t i, int w)
+{
+    SharedOp s;
+    s.op_index = static_cast<std::size_t>(ch.op[o]);
+    s.op = static_cast<OpClass>(ch.op[o]);
+    s.src1 = ch.src1[o];
+    s.src2 = ch.src2[o];
+    const std::uint8_t flags = ch.flags[o];
+    const std::uint8_t mem = mem_col[o];
+    s.data_level = mem & MemLevelTable::kLevelMask;
+    s.fetch_level =
+        (mem >> MemLevelTable::kFetchShift) & MemLevelTable::kLevelMask;
+    s.is_load = s.op == OpClass::Load;
+    s.is_store = s.op == OpClass::Store;
+    s.is_branch = s.op == OpClass::Branch;
+    s.complex_decode = (flags & TraceBuffer::kFlagComplex) != 0;
+    s.mispredict = s.is_branch &&
+        (flags & TraceBuffer::kFlagMispredict) != 0;
+    s.fetch_boundary = i % CoreModel::kFetchBlock == 0;
+    s.fetch_miss =
+        s.fetch_boundary && s.fetch_level != MemLevelTable::kL1;
+    s.dep1 = s.src1 != 0 && s.src1 <= i;
+    s.dep2 = s.src2 != 0 && s.src2 <= i;
+    const auto uw = static_cast<std::size_t>(w);
+    s.dep1_row = s.dep1
+        ? static_cast<std::size_t>((i - s.src1) & timing::kHistMask) * uw
+        : 0;
+    s.dep2_row = s.dep2
+        ? static_cast<std::size_t>((i - s.src2) & timing::kHistMask) * uw
+        : 0;
+    s.hist_row = static_cast<std::size_t>(i & timing::kHistMask) * uw;
+    s.fu = timing::fuIndex(s.op);
+    s.fu_units = timing::kFuCount[s.fu];
+    s.occupancy =
+        s.op == OpClass::FpDiv ? timing::kFpDivLatency : 1;
+    s.base_latency = timing::kBaseExecLatency[s.op_index];
+    return s;
+}
+
+/** Uniform per-op event counters of one run window (identical for
+ * every lane; folded into each lane's Activity at the end). */
+struct WindowShared
+{
+    std::uint64_t fetch_blocks = 0;
+    std::uint64_t stall_icache = 0;
+    std::uint64_t complex_decodes = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t alu_ops = 0;
+    std::uint64_t mul_div_ops = 0;
+    std::uint64_t fp_ops = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t l2_accesses = 0;
+    std::uint64_t l3_accesses = 0;
+    std::uint64_t dram_accesses = 0;
+};
+
+/** The uniform accounting of one op (mirrors runImpl's counter
+ * increments exactly; order within an op is irrelevant - they sum). */
+inline void
+countShared(WindowShared &ws, const SharedOp &s)
+{
+    if (s.fetch_boundary) {
+        ++ws.fetch_blocks;
+        if (s.fetch_level != MemLevelTable::kL1) {
+            ++ws.stall_icache;
+            if (s.fetch_level == MemLevelTable::kDram)
+                ++ws.dram_accesses;
+        }
+    }
+    if (s.complex_decode)
+        ++ws.complex_decodes;
+    switch (s.op) {
+      case OpClass::Load:
+        ++ws.loads;
+        if (s.data_level == MemLevelTable::kDram)
+            ++ws.dram_accesses;
+        if (s.data_level != MemLevelTable::kL1) {
+            ++ws.l2_accesses;
+            if (s.data_level >= MemLevelTable::kL3)
+                ++ws.l3_accesses;
+        }
+        break;
+      case OpClass::Store:
+        ++ws.stores;
+        if (s.data_level != MemLevelTable::kL1) {
+            ++ws.l2_accesses;
+            if (s.data_level == MemLevelTable::kDram)
+                ++ws.dram_accesses;
+        }
+        break;
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+        ++ws.alu_ops;
+        break;
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+        ++ws.mul_div_ops;
+        break;
+      default:
+        ++ws.fp_ops;
+        break;
+    }
+    if (s.is_branch) {
+        ++ws.branches;
+        if (s.mispredict)
+            ++ws.mispredicts;
+    }
+}
+
+#if M3D_HAVE_AVX2_KERNEL
+
+/** max over 64-bit lanes; all model quantities are < 2^63, so the
+ * signed compare is exact. */
+M3D_TARGET_AVX2 inline __m256i
+max64(__m256i a, __m256i b)
+{
+    return _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(b, a));
+}
+
+M3D_TARGET_AVX2 inline __m256i
+loadVec(const std::uint64_t *p)
+{
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+}
+
+M3D_TARGET_AVX2 inline void
+storeVec(std::uint64_t *p, __m256i v)
+{
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
+}
+
+/** Gather rows[idx] for lanes with the mask sign bit set; masked-out
+ * lanes read as 0, which every use site treats as "no constraint"
+ * (the matching slots are provably still zero-initialized whenever a
+ * lane's condition is false - see the scalar path's guards). */
+M3D_TARGET_AVX2 inline __m256i
+maskGather(const std::uint64_t *rows, __m256i idx, __m256i mask)
+{
+    return _mm256_mask_i64gather_epi64(
+        _mm256_setzero_si256(),
+        reinterpret_cast<const long long *>(rows), idx, mask, 8);
+}
+
+// 512-bit forms of the same helpers for the 8-lane path.
+
+M3D_TARGET_AVX512 inline __m512i
+load512(const std::uint64_t *p)
+{
+    return _mm512_loadu_si512(p);
+}
+
+M3D_TARGET_AVX512 inline void
+store512(std::uint64_t *p, __m512i v)
+{
+    _mm512_storeu_si512(p, v);
+}
+
+M3D_TARGET_AVX512 inline __m512i
+maskGather512(const std::uint64_t *rows, __m512i idx, __mmask8 k)
+{
+    return _mm512_mask_i64gather_epi64(_mm512_setzero_si512(), k,
+                                       idx, rows, 8);
+}
+
+#endif // M3D_HAVE_AVX2_KERNEL
+
+} // namespace
+
+/**
+ * One SIMD block: up to kLaneWidth design lanes over the shared
+ * stream.  All per-lane state is interleaved with stride `width()`
+ * (row-major [slot][lane]), so the vector path loads a row of lanes
+ * with one 32-byte access and the scalar path walks the identical
+ * storage - the two paths are different schedules of the same
+ * integer recurrence, hence bit-identical.
+ */
+class BatchReplay::Block
+{
+  public:
+    /** Lane execution path of one block. */
+    enum class Kind { Scalar, Avx2, Avx512 };
+
+    Block(const CoreDesign *designs, int w, Kind kind);
+
+    int width() const { return w_; }
+    bool vectorized() const { return kind_ != Kind::Scalar; }
+
+    /** Run ops [pos, pos + n) of the stream on every lane. */
+    void run(const TraceBuffer &buf, const MemLevelTable &mem,
+             std::uint64_t pos, std::uint64_t n, SimResult *out);
+
+  private:
+    void runScalar(const TraceBuffer &buf, const MemLevelTable &mem,
+                   std::uint64_t pos, std::uint64_t n,
+                   WindowShared &ws);
+#if M3D_HAVE_AVX2_KERNEL
+    M3D_TARGET_AVX2
+    void runAvx2(const TraceBuffer &buf, const MemLevelTable &mem,
+                 std::uint64_t pos, std::uint64_t n, WindowShared &ws);
+    M3D_TARGET_AVX512
+    void runAvx512(const TraceBuffer &buf, const MemLevelTable &mem,
+                   std::uint64_t pos, std::uint64_t n,
+                   WindowShared &ws);
+#endif
+
+    /** The issue-slot claim: identical to CoreModel::reserveIssue's
+     * window walk (same packing, same eviction assert). */
+    std::uint64_t
+    claimSlot(int l, std::uint64_t issue, std::uint64_t min_live)
+    {
+        std::uint64_t *const slots = slots_ptr_[static_cast<std::size_t>(l)];
+        const std::uint64_t mask = slot_mask_[static_cast<std::size_t>(l)];
+        const std::uint64_t iw = iw_[static_cast<std::size_t>(l)];
+        while (true) {
+            std::uint64_t &slot = slots[issue & mask];
+            std::uint64_t word = slot;
+            if ((word >> timing::kIssueCountBits) != issue) {
+                M3D_ASSERT(word == timing::kFreeSlot ||
+                               (word >> timing::kIssueCountBits) <
+                                   min_live,
+                           "issue window too small: evicting live "
+                           "cycle");
+                word = issue << timing::kIssueCountBits;
+            }
+            if ((word & ((1ull << timing::kIssueCountBits) - 1)) < iw) {
+                slot = word + 1;
+                return issue;
+            }
+            ++issue;
+        }
+    }
+
+    int w_;
+    Kind kind_;
+
+    // Per-lane design parameters (index [lane], or [slot * w_ + lane]
+    // for the per-level charge tables).
+    std::vector<std::uint64_t> rob_, iq_, dispatch_, cw_, lq_, sq_, iw_;
+    std::vector<std::uint64_t> complex_extra_, penalty_, load_lat_;
+    std::vector<std::uint64_t> data_extra_, fetch_extra_; // [4][w]
+    std::vector<double> frequency_;
+
+    // Per-lane persistent state ([lane] scalars, [row][lane] rings).
+    std::vector<std::uint64_t> frontier_, in_cycle_, last_commit_,
+        dram_free_;
+    std::vector<std::uint64_t> complete_hist_, issue_hist_,
+        commit_hist_;                       // [kHistSize][w]
+    std::vector<std::uint64_t> lq_hist_, sq_hist_; // [max ring][w]
+    std::vector<std::uint64_t> load_head_, store_head_;
+    std::vector<std::uint64_t> fu_free_; // [kFuClasses*kMaxFu][w]
+    std::vector<std::vector<std::uint64_t>> issue_slots_;
+    std::vector<std::uint64_t *> slots_ptr_;
+    std::vector<std::uint64_t> slot_mask_;
+    std::uint64_t load_seq_ = 0;
+    std::uint64_t store_seq_ = 0;
+
+    std::vector<Activity> activity_;
+
+    // Per-window lane-dependent counters (zeroed each run window).
+    std::vector<std::uint64_t> win_stall_rob_, win_stall_iq_,
+        win_stall_lsq_, win_bound_fu_, win_bound_deps_;
+};
+
+BatchReplay::Block::Block(const CoreDesign *designs, int w,
+                          Kind kind)
+    : w_(w), kind_(kind)
+{
+    const auto uw = static_cast<std::size_t>(w);
+    rob_.resize(uw);
+    iq_.resize(uw);
+    dispatch_.resize(uw);
+    cw_.resize(uw);
+    lq_.resize(uw);
+    sq_.resize(uw);
+    iw_.resize(uw);
+    complex_extra_.resize(uw);
+    penalty_.resize(uw);
+    load_lat_.resize(uw);
+    data_extra_.assign(4 * uw, 0);
+    fetch_extra_.assign(4 * uw, 0);
+    frequency_.resize(uw);
+
+    std::uint64_t max_lq = 0, max_sq = 0;
+    for (int l = 0; l < w; ++l) {
+        const CoreDesign &d = designs[l];
+        const auto ul = static_cast<std::size_t>(l);
+        M3D_ASSERT(d.issue_width < (1 << timing::kIssueCountBits),
+                   "issue width overflows the packed slot count "
+                   "field");
+        rob_[ul] = static_cast<std::uint64_t>(d.rob_entries);
+        iq_[ul] = static_cast<std::uint64_t>(d.iq_entries);
+        dispatch_[ul] = static_cast<std::uint64_t>(d.dispatch_width);
+        cw_[ul] = static_cast<std::uint64_t>(d.commit_width);
+        lq_[ul] = static_cast<std::uint64_t>(d.lq_entries);
+        sq_[ul] = static_cast<std::uint64_t>(d.sq_entries);
+        iw_[ul] = static_cast<std::uint64_t>(d.issue_width);
+        complex_extra_[ul] =
+            static_cast<std::uint64_t>(d.complex_decode_extra);
+        penalty_[ul] =
+            static_cast<std::uint64_t>(d.mispredict_penalty);
+        load_lat_[ul] = static_cast<std::uint64_t>(d.load_to_use);
+        frequency_[ul] = d.frequency;
+        max_lq = std::max(max_lq, lq_[ul]);
+        max_sq = std::max(max_sq, sq_[ul]);
+
+        // The same single-core replay hierarchy runSingleCore's
+        // replay path derives: l1_rt is the design's load-to-use
+        // path, DRAM cycles follow its frequency.  The charge-table
+        // int arithmetic and the cast mirror runImpl exactly (the
+        // u64 conversion wraps identically at the charge site).
+        HierarchyTiming t;
+        t.l1_rt = d.load_to_use;
+        t.frequency = d.frequency;
+        data_extra_[MemLevelTable::kL2 * uw + ul] =
+            static_cast<std::uint64_t>(t.l2_rt - t.l1_rt);
+        data_extra_[MemLevelTable::kL3 * uw + ul] =
+            static_cast<std::uint64_t>(t.l3_rt - t.l1_rt);
+        data_extra_[MemLevelTable::kDram * uw + ul] =
+            static_cast<std::uint64_t>(t.l3_rt - t.l1_rt +
+                                       t.dramCycles());
+        fetch_extra_[MemLevelTable::kL2 * uw + ul] =
+            static_cast<std::uint64_t>(t.l2_rt);
+        fetch_extra_[MemLevelTable::kL3 * uw + ul] =
+            static_cast<std::uint64_t>(t.l3_rt);
+        fetch_extra_[MemLevelTable::kDram * uw + ul] =
+            static_cast<std::uint64_t>(t.l3_rt + t.dramCycles());
+    }
+
+    frontier_.assign(uw, 0);
+    in_cycle_.assign(uw, 0);
+    last_commit_.assign(uw, 0);
+    dram_free_.assign(uw, 0);
+    complete_hist_.assign(timing::kHistSize * uw, 0);
+    issue_hist_.assign(timing::kHistSize * uw, 0);
+    commit_hist_.assign(timing::kHistSize * uw, 0);
+    lq_hist_.assign(static_cast<std::size_t>(max_lq) * uw, 0);
+    sq_hist_.assign(static_cast<std::size_t>(max_sq) * uw, 0);
+    load_head_.assign(uw, 0);
+    store_head_.assign(uw, 0);
+
+    fu_free_.assign(static_cast<std::size_t>(timing::kFuClasses) *
+                        timing::kMaxFuPerClass * uw,
+                    timing::kFreeSlot);
+    for (int c = 0; c < timing::kFuClasses; ++c) {
+        for (int u = 0; u < timing::kFuCount[c]; ++u) {
+            for (int l = 0; l < w; ++l) {
+                fu_free_[static_cast<std::size_t>(
+                             c * timing::kMaxFuPerClass + u) * uw +
+                         static_cast<std::size_t>(l)] = 0;
+            }
+        }
+    }
+
+    issue_slots_.resize(uw);
+    slots_ptr_.resize(uw);
+    slot_mask_.resize(uw);
+    for (std::size_t l = 0; l < uw; ++l) {
+        const std::uint64_t window =
+            timing::nextPow2(rob_[l] + timing::kIssueWindowSlack);
+        issue_slots_[l].assign(static_cast<std::size_t>(window),
+                               timing::kFreeSlot);
+        slots_ptr_[l] = issue_slots_[l].data();
+        slot_mask_[l] = window - 1;
+    }
+
+    activity_.resize(uw);
+    win_stall_rob_.resize(uw);
+    win_stall_iq_.resize(uw);
+    win_stall_lsq_.resize(uw);
+    win_bound_fu_.resize(uw);
+    win_bound_deps_.resize(uw);
+}
+
+void
+BatchReplay::Block::runScalar(const TraceBuffer &buf,
+                              const MemLevelTable &mem,
+                              std::uint64_t pos, std::uint64_t n,
+                              WindowShared &ws)
+{
+    const int w = w_;
+    const auto uw = static_cast<std::size_t>(w);
+    const std::uint64_t *const rob = rob_.data();
+    const std::uint64_t *const iq = iq_.data();
+    const std::uint64_t *const dispatch = dispatch_.data();
+    const std::uint64_t *const cw = cw_.data();
+    const std::uint64_t *const lq = lq_.data();
+    const std::uint64_t *const sq = sq_.data();
+    const std::uint64_t *const complex_extra = complex_extra_.data();
+    const std::uint64_t *const penalty = penalty_.data();
+    const std::uint64_t *const load_lat = load_lat_.data();
+    const std::uint64_t *const data_extra = data_extra_.data();
+    const std::uint64_t *const fetch_extra = fetch_extra_.data();
+    std::uint64_t *const frontier = frontier_.data();
+    std::uint64_t *const in_cycle = in_cycle_.data();
+    std::uint64_t *const last_commit = last_commit_.data();
+    std::uint64_t *const dram_free = dram_free_.data();
+    std::uint64_t *const complete_hist = complete_hist_.data();
+    std::uint64_t *const issue_hist = issue_hist_.data();
+    std::uint64_t *const commit_hist = commit_hist_.data();
+    std::uint64_t *const lq_hist = lq_hist_.data();
+    std::uint64_t *const sq_hist = sq_hist_.data();
+    std::uint64_t *const load_head = load_head_.data();
+    std::uint64_t *const store_head = store_head_.data();
+    std::uint64_t *const fu = fu_free_.data();
+    std::uint64_t *const stall_rob = win_stall_rob_.data();
+    std::uint64_t *const stall_iq = win_stall_iq_.data();
+    std::uint64_t *const stall_lsq = win_stall_lsq_.data();
+    std::uint64_t *const bound_fu = win_bound_fu_.data();
+    std::uint64_t *const bound_deps = win_bound_deps_.data();
+    std::uint64_t load_seq = load_seq_;
+    std::uint64_t store_seq = store_seq_;
+
+    std::uint64_t i = pos;
+    for (const TraceBuffer::ChunkView v : buf.range(pos, n)) {
+        const TraceBuffer::Chunk &ch = *v.chunk;
+        const std::uint8_t *mem_col = mem.chunk(v.index());
+        for (std::uint32_t o = v.begin; o < v.end; ++o, ++i) {
+            const SharedOp s = decodeShared(ch, mem_col, o, i, w);
+            std::uint64_t *const units =
+                fu + static_cast<std::size_t>(
+                         s.fu * timing::kMaxFuPerClass) * uw;
+
+            for (int l = 0; l < w; ++l) {
+                const auto ul = static_cast<std::size_t>(l);
+                // --- Fetch/dispatch time under bandwidth +
+                // occupancy limits; attribute the dominant
+                // constraint (strict raises, like runImpl).
+                std::uint64_t d = frontier[ul];
+                int cause = 0;
+                if (i >= rob[ul]) {
+                    const std::uint64_t t =
+                        commit_hist[((i - rob[ul]) &
+                                     timing::kHistMask) * uw + ul];
+                    if (t > d) {
+                        d = t;
+                        cause = 1;
+                    }
+                }
+                if (i >= iq[ul]) {
+                    const std::uint64_t t =
+                        issue_hist[((i - iq[ul]) &
+                                    timing::kHistMask) * uw + ul];
+                    if (t > d) {
+                        d = t;
+                        cause = 2;
+                    }
+                }
+                if (s.is_load && load_seq >= lq[ul]) {
+                    const std::uint64_t t =
+                        lq_hist[load_head[ul] * uw + ul];
+                    if (t > d) {
+                        d = t;
+                        cause = 3;
+                    }
+                }
+                if (s.is_store && store_seq >= sq[ul]) {
+                    const std::uint64_t t =
+                        sq_hist[store_head[ul] * uw + ul];
+                    if (t > d) {
+                        d = t;
+                        cause = 3;
+                    }
+                }
+                if (cause == 1)
+                    ++stall_rob[ul];
+                else if (cause == 2)
+                    ++stall_iq[ul];
+                else if (cause == 3)
+                    ++stall_lsq[ul];
+
+                if (s.fetch_miss)
+                    d += fetch_extra[s.fetch_level * uw + ul];
+
+                // --- Advance the fetch frontier.
+                if (d > frontier[ul]) {
+                    frontier[ul] = d;
+                    in_cycle[ul] = 1;
+                } else if (++in_cycle[ul] >= dispatch[ul]) {
+                    ++frontier[ul];
+                    in_cycle[ul] = 0;
+                }
+
+                if (s.complex_decode)
+                    d += complex_extra[ul];
+
+                // --- Operand readiness (shared history rows).
+                std::uint64_t ready = d + timing::kDispatchDepth;
+                if (s.dep1)
+                    ready = std::max(ready,
+                                     complete_hist[s.dep1_row + ul]);
+                if (s.dep2)
+                    ready = std::max(ready,
+                                     complete_hist[s.dep2_row + ul]);
+
+                // --- Issue: earliest free unit (first-min), then
+                // the issue-slot claim.
+                std::size_t pick = 0;
+                std::uint64_t best = units[ul];
+                for (int u = 1; u < s.fu_units; ++u) {
+                    const std::uint64_t t =
+                        units[static_cast<std::size_t>(u) * uw + ul];
+                    if (t < best) {
+                        best = t;
+                        pick = static_cast<std::size_t>(u);
+                    }
+                }
+                std::uint64_t issue = std::max(ready, best);
+                issue = claimSlot(l, issue,
+                                  frontier[ul] +
+                                      timing::kDispatchDepth);
+                units[pick * uw + ul] = issue + s.occupancy;
+                if (issue > ready)
+                    ++bound_fu[ul];
+                else if (ready > d + timing::kDispatchDepth)
+                    ++bound_deps[ul];
+
+                // --- Execute: per-design load-to-use and the
+                // pre-resolved level charges.
+                std::uint64_t lat =
+                    s.is_load ? load_lat[ul] : s.base_latency;
+                if (s.is_load) {
+                    if (s.data_level == MemLevelTable::kDram) {
+                        const std::uint64_t start =
+                            std::max(issue, dram_free[ul]);
+                        lat += start - issue;
+                        dram_free[ul] =
+                            start + timing::kDramGapCycles;
+                    }
+                    if (s.data_level != MemLevelTable::kL1)
+                        lat += data_extra[s.data_level * uw + ul];
+                }
+                const std::uint64_t complete = issue + lat;
+
+                // --- Branch resolution (pre-resolved outcome).
+                if (s.mispredict) {
+                    const std::uint64_t redirect =
+                        complete + penalty[ul];
+                    if (redirect > frontier[ul]) {
+                        frontier[ul] = redirect;
+                        in_cycle[ul] = 0;
+                    }
+                }
+
+                // --- In-order commit under the commit width.
+                std::uint64_t commit =
+                    std::max(complete + 1, last_commit[ul]);
+                if (i >= cw[ul]) {
+                    commit = std::max(
+                        commit,
+                        commit_hist[((i - cw[ul]) &
+                                     timing::kHistMask) * uw + ul] +
+                            1);
+                }
+                last_commit[ul] = commit;
+
+                // --- Bookkeeping.
+                complete_hist[s.hist_row + ul] = complete;
+                issue_hist[s.hist_row + ul] = issue;
+                commit_hist[s.hist_row + ul] = commit;
+                if (s.is_load) {
+                    lq_hist[load_head[ul] * uw + ul] = commit;
+                    if (++load_head[ul] == lq[ul])
+                        load_head[ul] = 0;
+                }
+                if (s.is_store) {
+                    sq_hist[store_head[ul] * uw + ul] = commit;
+                    if (++store_head[ul] == sq[ul])
+                        store_head[ul] = 0;
+                }
+            }
+
+            countShared(ws, s);
+            if (s.is_load)
+                ++load_seq;
+            if (s.is_store)
+                ++store_seq;
+        }
+    }
+    load_seq_ = load_seq;
+    store_seq_ = store_seq;
+}
+
+#if M3D_HAVE_AVX2_KERNEL
+
+M3D_TARGET_AVX2 void
+BatchReplay::Block::runAvx2(const TraceBuffer &buf,
+                            const MemLevelTable &mem,
+                            std::uint64_t pos, std::uint64_t n,
+                            WindowShared &ws)
+{
+    constexpr int w = BatchReplay::kLaneWidth;
+    M3D_ASSERT(w_ == w, "vector path needs a full-width block");
+    const auto uw = static_cast<std::size_t>(w);
+
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i one = _mm256_set1_epi64x(1);
+    const __m256i lane = _mm256_set_epi64x(3, 2, 1, 0);
+    const __m256i histmask = _mm256_set1_epi64x(
+        static_cast<long long>(timing::kHistMask));
+    const __m256i depth = _mm256_set1_epi64x(
+        static_cast<long long>(timing::kDispatchDepth));
+    const __m256i dram_gap = _mm256_set1_epi64x(
+        static_cast<long long>(timing::kDramGapCycles));
+    const __m256i cause1 = _mm256_set1_epi64x(1);
+    const __m256i cause2 = _mm256_set1_epi64x(2);
+    const __m256i cause3 = _mm256_set1_epi64x(3);
+
+    const __m256i rob_v = loadVec(rob_.data());
+    const __m256i iq_v = loadVec(iq_.data());
+    const __m256i lq_v = loadVec(lq_.data());
+    const __m256i sq_v = loadVec(sq_.data());
+    const __m256i cw_v = loadVec(cw_.data());
+    const __m256i width_m1 =
+        _mm256_sub_epi64(loadVec(dispatch_.data()), one);
+    const __m256i complex_v = loadVec(complex_extra_.data());
+    const __m256i penalty_v = loadVec(penalty_.data());
+    const __m256i load_lat_v = loadVec(load_lat_.data());
+    __m256i data_extra_v[4], fetch_extra_v[4];
+    for (int k = 0; k < 4; ++k) {
+        data_extra_v[k] =
+            loadVec(data_extra_.data() + static_cast<std::size_t>(k) * uw);
+        fetch_extra_v[k] =
+            loadVec(fetch_extra_.data() + static_cast<std::size_t>(k) * uw);
+    }
+
+    std::uint64_t *const complete_hist = complete_hist_.data();
+    std::uint64_t *const issue_hist = issue_hist_.data();
+    std::uint64_t *const commit_hist = commit_hist_.data();
+    std::uint64_t *const lq_hist = lq_hist_.data();
+    std::uint64_t *const sq_hist = sq_hist_.data();
+    std::uint64_t *const fu = fu_free_.data();
+
+    __m256i frontier = loadVec(frontier_.data());
+    __m256i in_cycle = loadVec(in_cycle_.data());
+    __m256i last_commit = loadVec(last_commit_.data());
+    __m256i dram_free = loadVec(dram_free_.data());
+    __m256i lq_head = loadVec(load_head_.data());
+    __m256i sq_head = loadVec(store_head_.data());
+    __m256i st_rob = zero, st_iq = zero, st_lsq = zero;
+    __m256i b_fu = zero, b_deps = zero;
+    std::uint64_t load_seq = load_seq_;
+    std::uint64_t store_seq = store_seq_;
+
+    std::uint64_t i = pos;
+    for (const TraceBuffer::ChunkView v : buf.range(pos, n)) {
+        const TraceBuffer::Chunk &ch = *v.chunk;
+        const std::uint8_t *mem_col = mem.chunk(v.index());
+        for (std::uint32_t o = v.begin; o < v.end; ++o, ++i) {
+            const SharedOp s = decodeShared(ch, mem_col, o, i, w);
+            std::uint64_t *const units =
+                fu + static_cast<std::size_t>(
+                         s.fu * timing::kMaxFuPerClass) * uw;
+            const __m256i i_v =
+                _mm256_set1_epi64x(static_cast<long long>(i));
+            const __m256i i1_v = _mm256_add_epi64(i_v, one);
+
+            // --- Fetch/dispatch constraints (strict raises; masked
+            // gathers read 0 for lanes whose guard is false, which
+            // never raises - the scalar path's skip).
+            __m256i d = frontier;
+            __m256i cause = zero;
+            {
+                const __m256i valid = _mm256_cmpgt_epi64(i1_v, rob_v);
+                const __m256i row = _mm256_and_si256(
+                    _mm256_sub_epi64(i_v, rob_v), histmask);
+                const __m256i idx = _mm256_add_epi64(
+                    _mm256_slli_epi64(row, 2), lane);
+                const __m256i t = maskGather(commit_hist, idx, valid);
+                const __m256i gt = _mm256_cmpgt_epi64(t, d);
+                d = _mm256_blendv_epi8(d, t, gt);
+                cause = _mm256_blendv_epi8(cause, cause1, gt);
+            }
+            {
+                const __m256i valid = _mm256_cmpgt_epi64(i1_v, iq_v);
+                const __m256i row = _mm256_and_si256(
+                    _mm256_sub_epi64(i_v, iq_v), histmask);
+                const __m256i idx = _mm256_add_epi64(
+                    _mm256_slli_epi64(row, 2), lane);
+                const __m256i t = maskGather(issue_hist, idx, valid);
+                const __m256i gt = _mm256_cmpgt_epi64(t, d);
+                d = _mm256_blendv_epi8(d, t, gt);
+                cause = _mm256_blendv_epi8(cause, cause2, gt);
+            }
+            if (s.is_load) {
+                const __m256i valid = _mm256_cmpgt_epi64(
+                    _mm256_set1_epi64x(
+                        static_cast<long long>(load_seq + 1)),
+                    lq_v);
+                const __m256i idx = _mm256_add_epi64(
+                    _mm256_slli_epi64(lq_head, 2), lane);
+                const __m256i t = maskGather(lq_hist, idx, valid);
+                const __m256i gt = _mm256_cmpgt_epi64(t, d);
+                d = _mm256_blendv_epi8(d, t, gt);
+                cause = _mm256_blendv_epi8(cause, cause3, gt);
+            }
+            if (s.is_store) {
+                const __m256i valid = _mm256_cmpgt_epi64(
+                    _mm256_set1_epi64x(
+                        static_cast<long long>(store_seq + 1)),
+                    sq_v);
+                const __m256i idx = _mm256_add_epi64(
+                    _mm256_slli_epi64(sq_head, 2), lane);
+                const __m256i t = maskGather(sq_hist, idx, valid);
+                const __m256i gt = _mm256_cmpgt_epi64(t, d);
+                d = _mm256_blendv_epi8(d, t, gt);
+                cause = _mm256_blendv_epi8(cause, cause3, gt);
+            }
+            st_rob = _mm256_sub_epi64(
+                st_rob, _mm256_cmpeq_epi64(cause, cause1));
+            st_iq = _mm256_sub_epi64(
+                st_iq, _mm256_cmpeq_epi64(cause, cause2));
+            st_lsq = _mm256_sub_epi64(
+                st_lsq, _mm256_cmpeq_epi64(cause, cause3));
+
+            if (s.fetch_miss)
+                d = _mm256_add_epi64(d, fetch_extra_v[s.fetch_level]);
+
+            // --- Advance the fetch frontier (branchless form of the
+            // scalar advance).
+            {
+                const __m256i adv = _mm256_cmpgt_epi64(d, frontier);
+                const __m256i inc = _mm256_add_epi64(in_cycle, one);
+                const __m256i wrap =
+                    _mm256_cmpgt_epi64(inc, width_m1);
+                const __m256i fr_else =
+                    _mm256_sub_epi64(frontier, wrap);
+                const __m256i ic_else =
+                    _mm256_andnot_si256(wrap, inc);
+                frontier = _mm256_blendv_epi8(fr_else, d, adv);
+                in_cycle = _mm256_blendv_epi8(ic_else, one, adv);
+            }
+
+            if (s.complex_decode)
+                d = _mm256_add_epi64(d, complex_v);
+
+            // --- Operand readiness: dependency rows are shared, so
+            // the history reads are contiguous lane rows.
+            __m256i ready = _mm256_add_epi64(d, depth);
+            if (s.dep1)
+                ready = max64(ready,
+                              loadVec(complete_hist + s.dep1_row));
+            if (s.dep2)
+                ready = max64(ready,
+                              loadVec(complete_hist + s.dep2_row));
+
+            // --- Issue: vertical first-min over the FU pool rows,
+            // then the (scalar) per-lane issue-slot claims.
+            __m256i best = loadVec(units);
+            __m256i pick = zero;
+            for (int u = 1; u < s.fu_units; ++u) {
+                const __m256i t =
+                    loadVec(units + static_cast<std::size_t>(u) * uw);
+                const __m256i lt = _mm256_cmpgt_epi64(best, t);
+                best = _mm256_blendv_epi8(best, t, lt);
+                pick = _mm256_blendv_epi8(
+                    pick, _mm256_set1_epi64x(u), lt);
+            }
+            __m256i issue = max64(ready, best);
+            alignas(32) std::uint64_t iss[4], pk[4], fr[4];
+            storeVec(iss, issue);
+            storeVec(pk, pick);
+            storeVec(fr, frontier);
+            for (int l = 0; l < w; ++l) {
+                const auto ul = static_cast<std::size_t>(l);
+                iss[ul] = claimSlot(l, iss[ul],
+                                    fr[ul] + timing::kDispatchDepth);
+                units[(static_cast<std::size_t>(pk[ul])) * uw + ul] =
+                    iss[ul] + s.occupancy;
+            }
+            issue = loadVec(iss);
+            const __m256i bf = _mm256_cmpgt_epi64(issue, ready);
+            b_fu = _mm256_sub_epi64(b_fu, bf);
+            b_deps = _mm256_sub_epi64(
+                b_deps,
+                _mm256_andnot_si256(
+                    bf, _mm256_cmpgt_epi64(
+                            ready, _mm256_add_epi64(d, depth))));
+
+            // --- Execute.
+            __m256i lat = s.is_load
+                ? load_lat_v
+                : _mm256_set1_epi64x(
+                      static_cast<long long>(s.base_latency));
+            if (s.is_load) {
+                if (s.data_level == MemLevelTable::kDram) {
+                    const __m256i start = max64(issue, dram_free);
+                    lat = _mm256_add_epi64(
+                        lat, _mm256_sub_epi64(start, issue));
+                    dram_free = _mm256_add_epi64(start, dram_gap);
+                }
+                if (s.data_level != MemLevelTable::kL1)
+                    lat = _mm256_add_epi64(
+                        lat, data_extra_v[s.data_level]);
+            }
+            const __m256i complete = _mm256_add_epi64(issue, lat);
+
+            // --- Branch resolution (pre-resolved outcome).
+            if (s.mispredict) {
+                const __m256i redirect =
+                    _mm256_add_epi64(complete, penalty_v);
+                const __m256i gt =
+                    _mm256_cmpgt_epi64(redirect, frontier);
+                frontier = _mm256_blendv_epi8(frontier, redirect, gt);
+                in_cycle = _mm256_andnot_si256(gt, in_cycle);
+            }
+
+            // --- In-order commit under the commit width.  Masked
+            // lanes gather 0, and 0 + 1 never exceeds complete + 1.
+            __m256i commit =
+                max64(_mm256_add_epi64(complete, one), last_commit);
+            {
+                const __m256i valid = _mm256_cmpgt_epi64(i1_v, cw_v);
+                const __m256i row = _mm256_and_si256(
+                    _mm256_sub_epi64(i_v, cw_v), histmask);
+                const __m256i idx = _mm256_add_epi64(
+                    _mm256_slli_epi64(row, 2), lane);
+                const __m256i t = maskGather(commit_hist, idx, valid);
+                commit =
+                    max64(commit, _mm256_add_epi64(t, one));
+            }
+            last_commit = commit;
+
+            // --- Bookkeeping (history rows are shared: contiguous
+            // lane stores; ring writes are per-lane indexed).
+            storeVec(complete_hist + s.hist_row, complete);
+            storeVec(issue_hist + s.hist_row, issue);
+            storeVec(commit_hist + s.hist_row, commit);
+            if (s.is_load) {
+                alignas(32) std::uint64_t cm[4], hd[4];
+                storeVec(cm, commit);
+                storeVec(hd, lq_head);
+                for (int l = 0; l < w; ++l) {
+                    const auto ul = static_cast<std::size_t>(l);
+                    lq_hist[static_cast<std::size_t>(hd[ul]) * uw +
+                            ul] = cm[ul];
+                }
+                lq_head = _mm256_add_epi64(lq_head, one);
+                lq_head = _mm256_andnot_si256(
+                    _mm256_cmpeq_epi64(lq_head, lq_v), lq_head);
+                ++load_seq;
+            }
+            if (s.is_store) {
+                alignas(32) std::uint64_t cm[4], hd[4];
+                storeVec(cm, commit);
+                storeVec(hd, sq_head);
+                for (int l = 0; l < w; ++l) {
+                    const auto ul = static_cast<std::size_t>(l);
+                    sq_hist[static_cast<std::size_t>(hd[ul]) * uw +
+                            ul] = cm[ul];
+                }
+                sq_head = _mm256_add_epi64(sq_head, one);
+                sq_head = _mm256_andnot_si256(
+                    _mm256_cmpeq_epi64(sq_head, sq_v), sq_head);
+                ++store_seq;
+            }
+
+            countShared(ws, s);
+        }
+    }
+
+    storeVec(frontier_.data(), frontier);
+    storeVec(in_cycle_.data(), in_cycle);
+    storeVec(last_commit_.data(), last_commit);
+    storeVec(dram_free_.data(), dram_free);
+    storeVec(load_head_.data(), lq_head);
+    storeVec(store_head_.data(), sq_head);
+    storeVec(win_stall_rob_.data(), st_rob);
+    storeVec(win_stall_iq_.data(), st_iq);
+    storeVec(win_stall_lsq_.data(), st_lsq);
+    storeVec(win_bound_fu_.data(), b_fu);
+    storeVec(win_bound_deps_.data(), b_deps);
+    load_seq_ = load_seq;
+    store_seq_ = store_seq;
+}
+
+M3D_TARGET_AVX512 void
+BatchReplay::Block::runAvx512(const TraceBuffer &buf,
+                              const MemLevelTable &mem,
+                              std::uint64_t pos, std::uint64_t n,
+                              WindowShared &ws)
+{
+    // The 8-lane twin of runAvx2: same stage order, same state
+    // layout at stride 8, with the AVX2 compare/blend pairs replaced
+    // by k-mask compares/moves and the lq/sq ring writes by native
+    // scatters.  Masked gathers still read 0 for lanes whose guard
+    // is false.
+    constexpr int w = BatchReplay::kLaneWidth512;
+    M3D_ASSERT(w_ == w, "512-bit vector path needs a full block");
+    const auto uw = static_cast<std::size_t>(w);
+    constexpr __mmask8 kAll = 0xff;
+
+    const __m512i zero = _mm512_setzero_si512();
+    const __m512i one = _mm512_set1_epi64(1);
+    const __m512i lane = _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0);
+    const __m512i histmask = _mm512_set1_epi64(
+        static_cast<long long>(timing::kHistMask));
+    const __m512i depth = _mm512_set1_epi64(
+        static_cast<long long>(timing::kDispatchDepth));
+    const __m512i dram_gap = _mm512_set1_epi64(
+        static_cast<long long>(timing::kDramGapCycles));
+    const __m512i cause1 = _mm512_set1_epi64(1);
+    const __m512i cause2 = _mm512_set1_epi64(2);
+    const __m512i cause3 = _mm512_set1_epi64(3);
+
+    const __m512i rob_v = load512(rob_.data());
+    const __m512i iq_v = load512(iq_.data());
+    const __m512i lq_v = load512(lq_.data());
+    const __m512i sq_v = load512(sq_.data());
+    const __m512i cw_v = load512(cw_.data());
+    const __m512i width_v = load512(dispatch_.data());
+    const __m512i complex_v = load512(complex_extra_.data());
+    const __m512i penalty_v = load512(penalty_.data());
+    const __m512i load_lat_v = load512(load_lat_.data());
+    __m512i data_extra_v[4], fetch_extra_v[4];
+    for (int k = 0; k < 4; ++k) {
+        data_extra_v[k] = load512(
+            data_extra_.data() + static_cast<std::size_t>(k) * uw);
+        fetch_extra_v[k] = load512(
+            fetch_extra_.data() + static_cast<std::size_t>(k) * uw);
+    }
+
+    std::uint64_t *const complete_hist = complete_hist_.data();
+    std::uint64_t *const issue_hist = issue_hist_.data();
+    std::uint64_t *const commit_hist = commit_hist_.data();
+    std::uint64_t *const lq_hist = lq_hist_.data();
+    std::uint64_t *const sq_hist = sq_hist_.data();
+    std::uint64_t *const fu = fu_free_.data();
+
+    __m512i frontier = load512(frontier_.data());
+    __m512i in_cycle = load512(in_cycle_.data());
+    __m512i last_commit = load512(last_commit_.data());
+    __m512i dram_free = load512(dram_free_.data());
+    __m512i lq_head = load512(load_head_.data());
+    __m512i sq_head = load512(store_head_.data());
+    __m512i st_rob = zero, st_iq = zero, st_lsq = zero;
+    __m512i b_fu = zero, b_deps = zero;
+    std::uint64_t load_seq = load_seq_;
+    std::uint64_t store_seq = store_seq_;
+
+    std::uint64_t i = pos;
+    for (const TraceBuffer::ChunkView v : buf.range(pos, n)) {
+        const TraceBuffer::Chunk &ch = *v.chunk;
+        const std::uint8_t *mem_col = mem.chunk(v.index());
+        for (std::uint32_t o = v.begin; o < v.end; ++o, ++i) {
+            const SharedOp s = decodeShared(ch, mem_col, o, i, w);
+            std::uint64_t *const units =
+                fu + static_cast<std::size_t>(
+                         s.fu * timing::kMaxFuPerClass) * uw;
+            const __m512i i_v =
+                _mm512_set1_epi64(static_cast<long long>(i));
+            const __m512i i1_v = _mm512_add_epi64(i_v, one);
+
+            // --- Fetch/dispatch constraints (strict raises).
+            __m512i d = frontier;
+            __m512i cause = zero;
+            {
+                const __mmask8 valid = _mm512_cmp_epi64_mask(
+                    i1_v, rob_v, _MM_CMPINT_NLE);
+                const __m512i row = _mm512_and_si512(
+                    _mm512_sub_epi64(i_v, rob_v), histmask);
+                const __m512i idx = _mm512_add_epi64(
+                    _mm512_slli_epi64(row, 3), lane);
+                const __m512i t =
+                    maskGather512(commit_hist, idx, valid);
+                const __mmask8 gt = _mm512_cmp_epi64_mask(
+                    t, d, _MM_CMPINT_NLE);
+                d = _mm512_mask_mov_epi64(d, gt, t);
+                cause = _mm512_mask_mov_epi64(cause, gt, cause1);
+            }
+            {
+                const __mmask8 valid = _mm512_cmp_epi64_mask(
+                    i1_v, iq_v, _MM_CMPINT_NLE);
+                const __m512i row = _mm512_and_si512(
+                    _mm512_sub_epi64(i_v, iq_v), histmask);
+                const __m512i idx = _mm512_add_epi64(
+                    _mm512_slli_epi64(row, 3), lane);
+                const __m512i t =
+                    maskGather512(issue_hist, idx, valid);
+                const __mmask8 gt = _mm512_cmp_epi64_mask(
+                    t, d, _MM_CMPINT_NLE);
+                d = _mm512_mask_mov_epi64(d, gt, t);
+                cause = _mm512_mask_mov_epi64(cause, gt, cause2);
+            }
+            if (s.is_load) {
+                const __mmask8 valid = _mm512_cmp_epi64_mask(
+                    _mm512_set1_epi64(
+                        static_cast<long long>(load_seq)),
+                    lq_v, _MM_CMPINT_NLT);
+                const __m512i idx = _mm512_add_epi64(
+                    _mm512_slli_epi64(lq_head, 3), lane);
+                const __m512i t = maskGather512(lq_hist, idx, valid);
+                const __mmask8 gt = _mm512_cmp_epi64_mask(
+                    t, d, _MM_CMPINT_NLE);
+                d = _mm512_mask_mov_epi64(d, gt, t);
+                cause = _mm512_mask_mov_epi64(cause, gt, cause3);
+            }
+            if (s.is_store) {
+                const __mmask8 valid = _mm512_cmp_epi64_mask(
+                    _mm512_set1_epi64(
+                        static_cast<long long>(store_seq)),
+                    sq_v, _MM_CMPINT_NLT);
+                const __m512i idx = _mm512_add_epi64(
+                    _mm512_slli_epi64(sq_head, 3), lane);
+                const __m512i t = maskGather512(sq_hist, idx, valid);
+                const __mmask8 gt = _mm512_cmp_epi64_mask(
+                    t, d, _MM_CMPINT_NLE);
+                d = _mm512_mask_mov_epi64(d, gt, t);
+                cause = _mm512_mask_mov_epi64(cause, gt, cause3);
+            }
+            st_rob = _mm512_mask_add_epi64(
+                st_rob,
+                _mm512_cmp_epi64_mask(cause, cause1, _MM_CMPINT_EQ),
+                st_rob, one);
+            st_iq = _mm512_mask_add_epi64(
+                st_iq,
+                _mm512_cmp_epi64_mask(cause, cause2, _MM_CMPINT_EQ),
+                st_iq, one);
+            st_lsq = _mm512_mask_add_epi64(
+                st_lsq,
+                _mm512_cmp_epi64_mask(cause, cause3, _MM_CMPINT_EQ),
+                st_lsq, one);
+
+            if (s.fetch_miss)
+                d = _mm512_add_epi64(d, fetch_extra_v[s.fetch_level]);
+
+            // --- Advance the fetch frontier.
+            {
+                const __mmask8 adv = _mm512_cmp_epi64_mask(
+                    d, frontier, _MM_CMPINT_NLE);
+                const __m512i inc = _mm512_add_epi64(in_cycle, one);
+                const __mmask8 wrap = _mm512_cmp_epi64_mask(
+                    inc, width_v, _MM_CMPINT_NLT);
+                const __m512i fr_else = _mm512_mask_add_epi64(
+                    frontier, wrap, frontier, one);
+                const __m512i ic_else = _mm512_maskz_mov_epi64(
+                    static_cast<__mmask8>(~wrap), inc);
+                frontier = _mm512_mask_mov_epi64(fr_else, adv, d);
+                in_cycle = _mm512_mask_mov_epi64(ic_else, adv, one);
+            }
+
+            if (s.complex_decode)
+                d = _mm512_add_epi64(d, complex_v);
+
+            // --- Operand readiness: contiguous shared-row loads.
+            __m512i ready = _mm512_add_epi64(d, depth);
+            if (s.dep1)
+                ready = _mm512_max_epi64(
+                    ready, load512(complete_hist + s.dep1_row));
+            if (s.dep2)
+                ready = _mm512_max_epi64(
+                    ready, load512(complete_hist + s.dep2_row));
+
+            // --- Issue: vertical first-min over the FU pool rows,
+            // then the (scalar) per-lane issue-slot claims.
+            __m512i best = load512(units);
+            __m512i pick = zero;
+            for (int u = 1; u < s.fu_units; ++u) {
+                const __m512i t =
+                    load512(units + static_cast<std::size_t>(u) * uw);
+                const __mmask8 lt = _mm512_cmp_epi64_mask(
+                    t, best, _MM_CMPINT_LT);
+                best = _mm512_mask_mov_epi64(best, lt, t);
+                pick = _mm512_mask_mov_epi64(pick, lt,
+                                             _mm512_set1_epi64(u));
+            }
+            __m512i issue = _mm512_max_epi64(ready, best);
+            alignas(64) std::uint64_t iss[8], pk[8], fr[8];
+            store512(iss, issue);
+            store512(pk, pick);
+            store512(fr, frontier);
+            for (int l = 0; l < w; ++l) {
+                const auto ul = static_cast<std::size_t>(l);
+                iss[ul] = claimSlot(l, iss[ul],
+                                    fr[ul] + timing::kDispatchDepth);
+                units[(static_cast<std::size_t>(pk[ul])) * uw + ul] =
+                    iss[ul] + s.occupancy;
+            }
+            issue = load512(iss);
+            const __mmask8 bf = _mm512_cmp_epi64_mask(
+                issue, ready, _MM_CMPINT_NLE);
+            b_fu = _mm512_mask_add_epi64(b_fu, bf, b_fu, one);
+            const __mmask8 bd = _mm512_mask_cmp_epi64_mask(
+                static_cast<__mmask8>(~bf), ready,
+                _mm512_add_epi64(d, depth), _MM_CMPINT_NLE);
+            b_deps = _mm512_mask_add_epi64(b_deps, bd, b_deps, one);
+
+            // --- Execute.
+            __m512i lat = s.is_load
+                ? load_lat_v
+                : _mm512_set1_epi64(
+                      static_cast<long long>(s.base_latency));
+            if (s.is_load) {
+                if (s.data_level == MemLevelTable::kDram) {
+                    const __m512i start =
+                        _mm512_max_epi64(issue, dram_free);
+                    lat = _mm512_add_epi64(
+                        lat, _mm512_sub_epi64(start, issue));
+                    dram_free = _mm512_add_epi64(start, dram_gap);
+                }
+                if (s.data_level != MemLevelTable::kL1)
+                    lat = _mm512_add_epi64(
+                        lat, data_extra_v[s.data_level]);
+            }
+            const __m512i complete = _mm512_add_epi64(issue, lat);
+
+            // --- Branch resolution (pre-resolved outcome).
+            if (s.mispredict) {
+                const __m512i redirect =
+                    _mm512_add_epi64(complete, penalty_v);
+                const __mmask8 gt = _mm512_cmp_epi64_mask(
+                    redirect, frontier, _MM_CMPINT_NLE);
+                frontier = _mm512_mask_mov_epi64(frontier, gt,
+                                                 redirect);
+                in_cycle = _mm512_maskz_mov_epi64(
+                    static_cast<__mmask8>(~gt), in_cycle);
+            }
+
+            // --- In-order commit under the commit width.
+            __m512i commit = _mm512_max_epi64(
+                _mm512_add_epi64(complete, one), last_commit);
+            {
+                const __mmask8 valid = _mm512_cmp_epi64_mask(
+                    i1_v, cw_v, _MM_CMPINT_NLE);
+                const __m512i row = _mm512_and_si512(
+                    _mm512_sub_epi64(i_v, cw_v), histmask);
+                const __m512i idx = _mm512_add_epi64(
+                    _mm512_slli_epi64(row, 3), lane);
+                const __m512i t =
+                    maskGather512(commit_hist, idx, valid);
+                commit = _mm512_max_epi64(
+                    commit, _mm512_add_epi64(t, one));
+            }
+            last_commit = commit;
+
+            // --- Bookkeeping: shared history rows are contiguous
+            // stores; the lq/sq ring writes are native scatters
+            // (per-lane heads never alias across lane columns).
+            store512(complete_hist + s.hist_row, complete);
+            store512(issue_hist + s.hist_row, issue);
+            store512(commit_hist + s.hist_row, commit);
+            if (s.is_load) {
+                const __m512i idx = _mm512_add_epi64(
+                    _mm512_slli_epi64(lq_head, 3), lane);
+                _mm512_mask_i64scatter_epi64(lq_hist, kAll, idx,
+                                             commit, 8);
+                lq_head = _mm512_add_epi64(lq_head, one);
+                const __mmask8 wrapq = _mm512_cmp_epi64_mask(
+                    lq_head, lq_v, _MM_CMPINT_EQ);
+                lq_head = _mm512_maskz_mov_epi64(
+                    static_cast<__mmask8>(~wrapq), lq_head);
+                ++load_seq;
+            }
+            if (s.is_store) {
+                const __m512i idx = _mm512_add_epi64(
+                    _mm512_slli_epi64(sq_head, 3), lane);
+                _mm512_mask_i64scatter_epi64(sq_hist, kAll, idx,
+                                             commit, 8);
+                sq_head = _mm512_add_epi64(sq_head, one);
+                const __mmask8 wrapq = _mm512_cmp_epi64_mask(
+                    sq_head, sq_v, _MM_CMPINT_EQ);
+                sq_head = _mm512_maskz_mov_epi64(
+                    static_cast<__mmask8>(~wrapq), sq_head);
+                ++store_seq;
+            }
+
+            countShared(ws, s);
+        }
+    }
+
+    store512(frontier_.data(), frontier);
+    store512(in_cycle_.data(), in_cycle);
+    store512(last_commit_.data(), last_commit);
+    store512(dram_free_.data(), dram_free);
+    store512(load_head_.data(), lq_head);
+    store512(store_head_.data(), sq_head);
+    store512(win_stall_rob_.data(), st_rob);
+    store512(win_stall_iq_.data(), st_iq);
+    store512(win_stall_lsq_.data(), st_lsq);
+    store512(win_bound_fu_.data(), b_fu);
+    store512(win_bound_deps_.data(), b_deps);
+    load_seq_ = load_seq;
+    store_seq_ = store_seq;
+}
+
+#endif // M3D_HAVE_AVX2_KERNEL
+
+void
+BatchReplay::Block::run(const TraceBuffer &buf,
+                        const MemLevelTable &mem, std::uint64_t pos,
+                        std::uint64_t n, SimResult *out)
+{
+    // Snapshot the window start, mirroring runImpl's locals.
+    const std::vector<Activity> start_activity = activity_;
+    const std::vector<std::uint64_t> start_cycle = last_commit_;
+    std::fill(win_stall_rob_.begin(), win_stall_rob_.end(), 0);
+    std::fill(win_stall_iq_.begin(), win_stall_iq_.end(), 0);
+    std::fill(win_stall_lsq_.begin(), win_stall_lsq_.end(), 0);
+    std::fill(win_bound_fu_.begin(), win_bound_fu_.end(), 0);
+    std::fill(win_bound_deps_.begin(), win_bound_deps_.end(), 0);
+
+    WindowShared ws;
+#if M3D_HAVE_AVX2_KERNEL
+    switch (kind_) {
+      case Kind::Avx512:
+        runAvx512(buf, mem, pos, n, ws);
+        break;
+      case Kind::Avx2:
+        runAvx2(buf, mem, pos, n, ws);
+        break;
+      case Kind::Scalar:
+        runScalar(buf, mem, pos, n, ws);
+        break;
+    }
+#else
+    runScalar(buf, mem, pos, n, ws);
+#endif
+
+    // Fold counters into each lane's Activity exactly like runImpl.
+    for (int l = 0; l < w_; ++l) {
+        const auto ul = static_cast<std::size_t>(l);
+        Activity &a = activity_[ul];
+        a.fetches += ws.fetch_blocks;
+        a.l1i_accesses += ws.fetch_blocks;
+        a.stall_icache += ws.stall_icache;
+        a.stall_rob += win_stall_rob_[ul];
+        a.stall_iq += win_stall_iq_[ul];
+        a.stall_lsq += win_stall_lsq_[ul];
+        a.complex_decodes += ws.complex_decodes;
+        a.bound_fu += win_bound_fu_[ul];
+        a.bound_deps += win_bound_deps_[ul];
+        a.loads += ws.loads;
+        a.stores += ws.stores;
+        a.l1d_accesses += ws.loads + ws.stores;
+        a.sq_searches += ws.loads;  // store-queue forwarding checks
+        a.lq_searches += ws.stores; // load-queue ordering checks
+        a.alu_ops += ws.alu_ops;
+        a.mul_div_ops += ws.mul_div_ops;
+        a.fp_ops += ws.fp_ops;
+        a.bpt_lookups += ws.branches;
+        a.btb_lookups += ws.branches;
+        a.mispredicts += ws.mispredicts;
+        a.l2_accesses += ws.l2_accesses;
+        a.l3_accesses += ws.l3_accesses;
+        a.dram_accesses += ws.dram_accesses;
+
+        a.decodes += n;
+        a.dispatches += n;
+        a.rat_reads += 2 * n;
+        a.rat_writes += n;
+        a.iq_writes += n;
+        a.iq_wakeups += n;
+        a.issues += n;
+        a.rf_reads += 2 * n;
+        a.rf_writes += n;
+        a.instructions += n;
+        a.cycles = last_commit_[ul];
+
+        SimResult r;
+        r.instructions = n;
+        r.cycles = last_commit_[ul] - start_cycle[ul];
+        r.frequency = frequency_[ul];
+        r.activity = Activity::windowed(a, start_activity[ul]);
+        r.activity.cycles = r.cycles;
+        out[l] = r;
+    }
+}
+
+BatchReplay::BatchReplay(std::vector<CoreDesign> designs,
+                         std::shared_ptr<const TraceBuffer> buf,
+                         BatchReplayOptions options)
+    : designs_(std::move(designs)), buf_(std::move(buf)),
+      options_(options)
+{
+    M3D_ASSERT(buf_ != nullptr, "batched replay needs a trace");
+    M3D_ASSERT(!designs_.empty(),
+               "batched replay needs at least one design");
+    const bool have_x86 = M3D_HAVE_AVX2_KERNEL != 0;
+    const bool v512 = have_x86 && !options_.force_scalar &&
+        simd::useAvx512();
+    const bool v256 = have_x86 && !options_.force_scalar &&
+        simd::useAvx2();
+    const auto step =
+        static_cast<std::size_t>(preferredWidth(options_));
+    for (std::size_t base = 0; base < designs_.size();
+         base += step) {
+        const int w = static_cast<int>(
+            std::min(step, designs_.size() - base));
+        Block::Kind kind = Block::Kind::Scalar;
+        if (v512 && w == kLaneWidth512)
+            kind = Block::Kind::Avx512;
+        else if (v256 && w == kLaneWidth)
+            kind = Block::Kind::Avx2;
+        blocks_.push_back(std::make_unique<Block>(
+            designs_.data() + base, w, kind));
+    }
+}
+
+int
+BatchReplay::preferredWidth(const BatchReplayOptions &options)
+{
+    if (M3D_HAVE_AVX2_KERNEL != 0 && !options.force_scalar &&
+        simd::useAvx512()) {
+        return kLaneWidth512;
+    }
+    return kLaneWidth;
+}
+
+BatchReplay::~BatchReplay() = default;
+
+bool
+BatchReplay::vectorized() const
+{
+    for (const auto &b : blocks_) {
+        if (b->vectorized())
+            return true;
+    }
+    return false;
+}
+
+std::vector<SimResult>
+BatchReplay::run(std::uint64_t n)
+{
+    M3D_ASSERT(buf_->size() >= pos_ + n,
+               "trace buffer shorter than the requested replay");
+    const MemLevelTable &mem =
+        MemLevelRegistry::global().acquire(buf_, pos_ + n);
+    std::vector<SimResult> out(designs_.size());
+    std::size_t base = 0;
+    for (const auto &b : blocks_) {
+        b->run(*buf_, mem, pos_, n, out.data() + base);
+        base += static_cast<std::size_t>(b->width());
+    }
+    pos_ += n;
+    return out;
+}
+
+} // namespace m3d

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Batched multi-design replay: the op-major inversion of the replay
+ * loop.
+ *
+ * CoreModel::run walks the whole trace once per design.  For the
+ * stream-determined single-core replay path (shared TraceBuffer plus
+ * pre-resolved MemLevelTable, see arch/replay_mem.hh) nothing a
+ * design evaluation computes feeds back into the stream: the op
+ * columns and memory levels are read-only, and every per-op quantity
+ * either depends only on the stream (op class, flags, serving level,
+ * dependency rows) or only on one design's private state.  The loop
+ * order is therefore free - and BatchReplay inverts it, streaming
+ * each trace chunk ONCE against N designs at a time (design-major
+ * blocking, kLaneWidth designs per block) so the op columns stay hot
+ * in L1/L2 and all stream-dependent branches become perfectly
+ * predicted shared work.
+ *
+ * Per-op latency charging is vectorized across the design lanes with
+ * AVX-512 (8 x 64-bit cycle arithmetic, masked gathers/scatters) or
+ * AVX2 (4 x 64-bit; the 4-entry per-level charge tables and the
+ * flags column decode into uniform per-op work, and the
+ * lane-dependent occupancy/readiness maxima become branchless
+ * compare/blend chains).  A scalar lane path covers non-x86 hosts,
+ * ragged blocks, and the `M3D_NO_SIMD` escape hatch - and is
+ * **bit-identical** to the vector path by construction: both evaluate
+ * the same integer recurrences from arch/core_timing.hh in the same
+ * per-lane order, and SimResult/Activity are bit-identical to
+ * CoreModel::run on the same stream window.
+ *
+ * Consumers: power/sim_harness.hh wraps one (designs, app, budget)
+ * group into AppRuns; engine::Evaluator::submit groups and fans
+ * blocks across its pool.
+ */
+
+#ifndef M3D_ARCH_BATCH_REPLAY_HH_
+#define M3D_ARCH_BATCH_REPLAY_HH_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/core_model.hh"
+#include "core/design.hh"
+#include "workload/trace_buffer.hh"
+
+namespace m3d {
+
+/** Knobs of one batched replay. */
+struct BatchReplayOptions
+{
+    /**
+     * Force the scalar lane path even where AVX2 is available.  The
+     * vector path is bit-identical, so this is a test/benchmark knob,
+     * never a correctness one.  The `M3D_NO_SIMD` environment
+     * variable (util/simd.hh) forces the same thing process-wide.
+     */
+    bool force_scalar = false;
+};
+
+/**
+ * Replays one shared pre-resolved trace against N designs at once.
+ *
+ * Each design runs the standard single-core replay hierarchy derived
+ * from it (l1_rt = load_to_use at the design's frequency), exactly
+ * like runSingleCore's replay path; results telescope across run()
+ * calls exactly like consecutive CoreModel::run calls on one cursor
+ * that started at op 0.
+ */
+class BatchReplay
+{
+  public:
+    /** Designs per AVX2 SIMD block: the 256-bit lane count of 64-bit
+     * cycle arithmetic.  Wider batches run as consecutive blocks of
+     * the preferred width plus one ragged tail block. */
+    static constexpr int kLaneWidth = 4;
+
+    /** Designs per AVX-512 SIMD block.  The per-op computation is a
+     * latency chain (each op's dispatch time feeds the next), so
+     * wider blocks amortize the chain over more designs - the 8-lane
+     * path is the fastest where the host supports it. */
+    static constexpr int kLaneWidth512 = 8;
+
+    /** The block width construction uses on this host under
+     * `options`: kLaneWidth512 with AVX-512, else kLaneWidth (both
+     * the AVX2 and scalar paths; scalar blocks share the layout). */
+    static int preferredWidth(const BatchReplayOptions &options = {});
+
+    /**
+     * @param designs The lanes, in result order.
+     * @param buf The shared trace (must outlive the batch; must be
+     *   ensure()d out to every op a run() call will consume).
+     */
+    BatchReplay(std::vector<CoreDesign> designs,
+                std::shared_ptr<const TraceBuffer> buf,
+                BatchReplayOptions options = {});
+    ~BatchReplay();
+
+    BatchReplay(const BatchReplay &) = delete;
+    BatchReplay &operator=(const BatchReplay &) = delete;
+
+    /**
+     * Replay the next `n` ops on every design; result `k` is
+     * bit-identical to the corresponding CoreModel::run window of
+     * design `k`.
+     */
+    std::vector<SimResult> run(std::uint64_t n);
+
+    /** Ops consumed so far (the shared cursor position). */
+    std::uint64_t position() const { return pos_; }
+
+    /** Number of design lanes. */
+    int width() const { return static_cast<int>(designs_.size()); }
+
+    /** True when this batch executes the AVX2 lane path for its
+     * full-width blocks. */
+    bool vectorized() const;
+
+  private:
+    class Block;
+
+    std::vector<CoreDesign> designs_;
+    std::shared_ptr<const TraceBuffer> buf_;
+    BatchReplayOptions options_;
+    std::vector<std::unique_ptr<Block>> blocks_;
+    std::uint64_t pos_ = 0;
+};
+
+} // namespace m3d
+
+#endif // M3D_ARCH_BATCH_REPLAY_HH_

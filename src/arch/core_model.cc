@@ -9,42 +9,20 @@ namespace m3d {
 
 namespace {
 
-// History window for dependency lookups; must exceed the maximum
-// dependency distance the generator emits (512) and the ROB size.
-constexpr std::size_t kHistSize = 1024;
+// The microarchitectural constants live in arch/core_timing.hh,
+// shared verbatim with the batched replay kernel (whose contract is
+// bit-identity with this loop).
+using timing::kDispatchDepth;
+using timing::kDramGapCycles;
+using timing::kFreeSlot;
+using timing::kFuCount;
+using timing::kHistSize;
+using timing::kIssueWindowSlack;
+using timing::nextPow2;
 
 // Instructions per fetch block: CoreModel::kFetchBlock, shortened
 // for the loop body below.
 constexpr std::uint64_t kFetchBlock = CoreModel::kFetchBlock;
-
-// FU pool sizes (Table 9): ALU x4, IntMult/Div x2, LSU x2, FPU x2.
-constexpr int kFuCount[] = {4, 2, 2, 2, 1};
-
-// Rename-to-issue depth of the frontend pipe (cycles).
-constexpr std::uint64_t kDispatchDepth = 2;
-
-// Minimum cycles between DRAM bursts on the core's channel share
-// (64B per burst at ~50 GB/s of per-core bandwidth at 3.3 GHz).
-constexpr std::uint64_t kDramGapCycles = 4;
-
-// Sentinel cycle of an issue-window entry that was never claimed.
-constexpr std::uint64_t kFreeSlot = ~0ull;
-
-// Extra issue-window entries beyond the ROB, covering the spread of
-// in-flight issue times past the fetch frontier (long dependence
-// chains through DRAM misses).  reserveIssue()'s eviction assert
-// turns an undersized window into a loud failure, not a silent
-// over-issue; the margin is validated across the golden suite.
-constexpr std::uint64_t kIssueWindowSlack = 4096;
-
-std::uint64_t
-nextPow2(std::uint64_t v)
-{
-    std::uint64_t p = 1;
-    while (p < v)
-        p <<= 1;
-    return p;
-}
 
 // Field bundle the shared timing loop consumes per op; the replay
 // stream fills only what that path uses (no predictor inputs).
@@ -92,31 +70,39 @@ struct GeneratorStream
     }
 };
 
-/** Op source that walks a pre-resolved TraceBuffer chunk by chunk,
- * simulating the caches live (multicore replay, where the serving
- * level depends on the design via directory and partners). */
+/** Op source that walks a pre-resolved TraceBuffer view by view
+ * (TraceBuffer::ChunkRange), simulating the caches live (multicore
+ * replay, where the serving level depends on the design via directory
+ * and partners). */
 struct ReplayStream
 {
     static constexpr bool kReplay = true;
     static constexpr bool kResolvedMem = false;
 
     const TraceBuffer &buf;
-    std::uint64_t pos;
-    const TraceBuffer::Chunk *chunk = nullptr;
-    std::uint64_t off = TraceBuffer::kChunkOps;
+    TraceBuffer::ChunkRange::iterator it;
+    TraceBuffer::ChunkView view{};
+    std::uint32_t off = 0;
+
+    ReplayStream(const TraceBuffer &b, std::uint64_t pos,
+                 std::uint64_t n)
+        : buf(b), it(b.range(pos, n).begin())
+    {
+    }
 
     const WorkloadProfile &profile() const { return buf.profile(); }
 
     StreamOp
     next()
     {
-        if (off >= TraceBuffer::kChunkOps) {
-            chunk = &buf.chunk(pos >> TraceBuffer::kChunkShift);
-            off = pos & TraceBuffer::kChunkMask;
+        if (view.chunk == nullptr || off >= view.end) {
+            view = *it;
+            ++it;
+            off = view.begin;
         }
+        const TraceBuffer::Chunk *chunk = view.chunk;
         const auto o = static_cast<std::size_t>(off);
         ++off;
-        ++pos;
         const std::uint8_t flags = chunk->flags[o];
         StreamOp op;
         op.op = static_cast<OpClass>(chunk->op[o]);
@@ -144,25 +130,31 @@ struct ResolvedStream
 
     const TraceBuffer &buf;
     const MemLevelTable &mem;
-    std::uint64_t pos;
-    const TraceBuffer::Chunk *chunk = nullptr;
+    TraceBuffer::ChunkRange::iterator it;
+    TraceBuffer::ChunkView view{};
     const std::uint8_t *mem_chunk = nullptr;
-    std::uint64_t off = TraceBuffer::kChunkOps;
+    std::uint32_t off = 0;
+
+    ResolvedStream(const TraceBuffer &b, const MemLevelTable &m,
+                   std::uint64_t pos, std::uint64_t n)
+        : buf(b), mem(m), it(b.range(pos, n).begin())
+    {
+    }
 
     const WorkloadProfile &profile() const { return buf.profile(); }
 
     StreamOp
     next()
     {
-        if (off >= TraceBuffer::kChunkOps) {
-            const std::uint64_t ci = pos >> TraceBuffer::kChunkShift;
-            chunk = &buf.chunk(ci);
-            mem_chunk = mem.chunk(ci);
-            off = pos & TraceBuffer::kChunkMask;
+        if (view.chunk == nullptr || off >= view.end) {
+            view = *it;
+            ++it;
+            mem_chunk = mem.chunk(view.index());
+            off = view.begin;
         }
+        const TraceBuffer::Chunk *chunk = view.chunk;
         const auto o = static_cast<std::size_t>(off);
         ++off;
-        ++pos;
         const std::uint8_t flags = chunk->flags[o];
         StreamOp op;
         op.op = static_cast<OpClass>(chunk->op[o]);
@@ -225,9 +217,7 @@ CoreModel::CoreModel(const CoreDesign &design, CacheHierarchy &hierarchy)
 int
 CoreModel::fuIndex(OpClass op)
 {
-    // ALU, IntMult/Div, LSU, FPU - indexed by OpClass order.
-    constexpr int kFuIndexTable[9] = {0, 1, 1, 2, 2, 3, 3, 3, 0};
-    return kFuIndexTable[static_cast<std::size_t>(op)];
+    return timing::fuIndex(op);
 }
 
 inline std::uint64_t
@@ -662,15 +652,14 @@ CoreModel::runImpl(Stream &stream, std::uint64_t n)
 }
 
 SimResult
-CoreModel::run(TraceGenerator &gen, std::uint64_t n)
+CoreModel::run(OpSource source, std::uint64_t n)
 {
-    GeneratorStream stream{gen};
-    return runImpl(stream, n);
-}
+    if (!source.replay()) {
+        GeneratorStream stream{*source.generator()};
+        return runImpl(stream, n);
+    }
 
-SimResult
-CoreModel::run(TraceCursor &cursor, std::uint64_t n)
-{
+    TraceCursor &cursor = *source.cursor();
     M3D_ASSERT(cursor.valid(), "replay needs a bound cursor");
     M3D_ASSERT(cursor.position() + n <= cursor.buffer().size(),
                "trace buffer shorter than the requested replay");
@@ -681,13 +670,13 @@ CoreModel::run(TraceCursor &cursor, std::uint64_t n)
         // pre-resolved levels instead of simulating the caches.
         const MemLevelTable &mem = MemLevelRegistry::global().acquire(
             cursor.share(), cursor.position() + n);
-        ResolvedStream stream{cursor.buffer(), mem,
-                              cursor.position()};
+        ResolvedStream stream(cursor.buffer(), mem,
+                              cursor.position(), n);
         res = runImpl(stream, n);
     } else {
         // Multicore: directory and partner traffic make the level
         // design-dependent - simulate the hierarchy live.
-        ReplayStream stream{cursor.buffer(), cursor.position()};
+        ReplayStream stream(cursor.buffer(), cursor.position(), n);
         res = runImpl(stream, n);
     }
     cursor.advance(n);

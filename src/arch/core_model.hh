@@ -27,6 +27,7 @@
 
 #include "arch/activity.hh"
 #include "arch/cache.hh"
+#include "arch/core_timing.hh"
 #include "arch/instruction.hh"
 #include "core/design.hh"
 #include "workload/branch_predictor.hh"
@@ -58,6 +59,31 @@ struct SimResult
     }
 };
 
+/**
+ * Type-erased op source for CoreModel::run: one request shape for
+ * every way of feeding the timing loop.  Constructs implicitly from
+ * either a live TraceGenerator (trains the predictor per run) or a
+ * TraceCursor over a shared pre-resolved TraceBuffer (the replay fast
+ * path); CoreModel picks the matching stream internally, including
+ * the resolved-memory specialization for stream-determined
+ * hierarchies.  Holds a reference - the source must outlive the call.
+ */
+class OpSource
+{
+  public:
+    OpSource(TraceGenerator &gen) : gen_(&gen) {}
+    OpSource(TraceCursor &cursor) : cursor_(&cursor) {}
+
+    /** True when the source replays a shared buffer. */
+    bool replay() const { return cursor_ != nullptr; }
+    TraceGenerator *generator() const { return gen_; }
+    TraceCursor *cursor() const { return cursor_; }
+
+  private:
+    TraceGenerator *gen_ = nullptr;
+    TraceCursor *cursor_ = nullptr;
+};
+
 /** The timing model for one core of a given design. */
 class CoreModel
 {
@@ -74,22 +100,33 @@ class CoreModel
     static constexpr std::uint64_t kFetchBlock = 8;
 
     /**
-     * Execute `n` micro-ops from `gen` and return timing/activity.
+     * Execute `n` micro-ops from `source` and return timing/activity.
      * Can be called repeatedly; state (caches, clock) persists.
-     */
-    SimResult run(TraceGenerator &gen, std::uint64_t n);
-
-    /**
-     * Replay `n` micro-ops from a shared pre-resolved trace,
-     * advancing the cursor.  Bit-identical to the generator overload
-     * on the same stream, provided the cursor started at op 0 of the
-     * buffer on a freshly constructed core (the pre-resolved
+     *
+     * Results are bit-identical for the generator and replay forms of
+     * the same stream, provided a replay cursor started at op 0 of
+     * the buffer on a freshly constructed core (the pre-resolved
      * predictor outcomes assume an untrained predictor at op 0, just
-     * as a fresh core's predictor is).  The buffer must already hold
-     * `position() + n` ops.  Do not mix sources on one core: after a
-     * replay run the live predictor is untrained.
+     * as a fresh core's predictor is).  A replay source must already
+     * hold `position() + n` ops; the cursor advances past them.  Do
+     * not mix sources on one core: after a replay run the live
+     * predictor is untrained.
      */
-    SimResult run(TraceCursor &cursor, std::uint64_t n);
+    SimResult run(OpSource source, std::uint64_t n);
+
+    /** Deprecated-documented wrapper: run(OpSource(gen), n). */
+    SimResult
+    run(TraceGenerator &gen, std::uint64_t n)
+    {
+        return run(OpSource(gen), n);
+    }
+
+    /** Deprecated-documented wrapper: run(OpSource(cursor), n). */
+    SimResult
+    run(TraceCursor &cursor, std::uint64_t n)
+    {
+        return run(OpSource(cursor), n);
+    }
 
     const Activity &activity() const { return activity_; }
 
@@ -150,7 +187,7 @@ class CoreModel
      * the ROB plus the worst in-flight issue spread; reserveIssue()
      * asserts the window is never too small.
      */
-    static constexpr int kIssueCountBits = 6;
+    static constexpr int kIssueCountBits = timing::kIssueCountBits;
     std::vector<std::uint64_t> issue_slots_;
     std::uint64_t last_commit_ = 0;
     /** DRAM channel occupancy: enforces a minimum gap between
@@ -162,8 +199,8 @@ class CoreModel
     // kMaxFuPerClass entries per class.  Absent units sit at the
     // UINT64_MAX sentinel so the earliest-free scan can always run
     // the full constant-width row (branch-free) and never pick one.
-    static constexpr int kFuClasses = 5;
-    static constexpr int kMaxFuPerClass = 4;
+    static constexpr int kFuClasses = timing::kFuClasses;
+    static constexpr int kMaxFuPerClass = timing::kMaxFuPerClass;
     std::array<std::uint64_t, kFuClasses * kMaxFuPerClass> fu_free_;
 };
 

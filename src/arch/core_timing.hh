@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared microarchitectural timing constants of the core model.
+ *
+ * CoreModel::runImpl (the sequential constraint-propagation loop) and
+ * BatchReplay (the op-major batched kernel) must charge identical
+ * latencies from identical structures - the batched path's contract
+ * is bit-identity with the sequential one.  Every constant both loops
+ * consume therefore lives here, once: FU pool geometry (Table 9),
+ * history-window sizes, frontend depth, DRAM bandwidth gap, and the
+ * issue-window packing.
+ */
+
+#ifndef M3D_ARCH_CORE_TIMING_HH_
+#define M3D_ARCH_CORE_TIMING_HH_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "arch/instruction.hh"
+
+namespace m3d {
+namespace timing {
+
+/** History window for dependency lookups; must exceed the maximum
+ * dependency distance the generator emits (512) and the ROB size. */
+constexpr std::size_t kHistSize = 1024;
+constexpr std::uint64_t kHistMask = kHistSize - 1;
+
+/** FU classes and the fixed row width of the next-free table. */
+constexpr int kFuClasses = 5;
+constexpr int kMaxFuPerClass = 4;
+
+/** FU pool sizes (Table 9): ALU x4, IntMult/Div x2, LSU x2, FPU x2,
+ * and the complex unit x1. */
+constexpr int kFuCount[kFuClasses] = {4, 2, 2, 2, 1};
+
+/** Rename-to-issue depth of the frontend pipe (cycles). */
+constexpr std::uint64_t kDispatchDepth = 2;
+
+/** Minimum cycles between DRAM bursts on the core's channel share
+ * (64B per burst at ~50 GB/s of per-core bandwidth at 3.3 GHz). */
+constexpr std::uint64_t kDramGapCycles = 4;
+
+/** Sentinel cycle of an issue-window entry that was never claimed. */
+constexpr std::uint64_t kFreeSlot = ~0ull;
+
+/** Extra issue-window entries beyond the ROB, covering the spread of
+ * in-flight issue times past the fetch frontier (long dependence
+ * chains through DRAM misses).  The claim loop's eviction assert
+ * turns an undersized window into a loud failure, not a silent
+ * over-issue; the margin is validated across the golden suite. */
+constexpr std::uint64_t kIssueWindowSlack = 4096;
+
+/** Low bits of an issue-window word holding the issued-op count. */
+constexpr int kIssueCountBits = 6;
+
+/** Table 9 execution latencies by OpClass.  Load (index 3) is the
+ * design's load-to-use path, not a constant - callers substitute it. */
+constexpr std::uint64_t kBaseExecLatency[9] = {1, 2, 4, 0, 1, 2, 4, 8, 1};
+
+/** FpDiv blocks its unit for its full (design-independent) latency;
+ * everything else is pipelined (occupancy one cycle). */
+constexpr std::uint64_t kFpDivLatency =
+    kBaseExecLatency[static_cast<std::size_t>(OpClass::FpDiv)];
+
+/** ALU, IntMult/Div, LSU, FPU - indexed by OpClass order. */
+constexpr int kFuIndexTable[9] = {0, 1, 1, 2, 2, 3, 3, 3, 0};
+
+inline int
+fuIndex(OpClass op)
+{
+    return kFuIndexTable[static_cast<std::size_t>(op)];
+}
+
+inline std::uint64_t
+nextPow2(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace timing
+} // namespace m3d
+
+#endif // M3D_ARCH_CORE_TIMING_HH_

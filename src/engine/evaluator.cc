@@ -1,5 +1,8 @@
 #include "engine/evaluator.hh"
 
+#include <algorithm>
+#include <map>
+
 #include "core/design.hh"
 #include "util/logging.hh"
 
@@ -120,15 +123,12 @@ std::vector<PartitionResult>
 Evaluator::bestForAll(const Technology &tech3d,
                       const std::vector<ArrayConfig> &cfgs)
 {
-    // Build the shared explorer up front so tasks only read it.
-    explorerFor(tech3d);
-
-    BatchScope scope(*this);
-    std::vector<PartitionResult> out(cfgs.size());
-    pool_->parallelFor(cfgs.size(), [&](std::size_t i) {
-        out[i] = bestOverall(tech3d, cfgs[i]);
-    });
-    return out;
+    BatchRunRequest req;
+    req.partitions.reserve(cfgs.size());
+    for (const ArrayConfig &cfg : cfgs)
+        req.partitions.push_back(
+            PartitionJob{tech3d, cfg, PartitionKind::None});
+    return submit(req).partitions;
 }
 
 std::vector<PartitionResult>
@@ -141,38 +141,172 @@ std::vector<PartitionResult>
 Evaluator::bestBatch(const std::vector<PartitionJob> &jobs,
                      const PartitionHook &hook)
 {
+    BatchRunRequest req;
+    req.partitions = jobs;
+    return submit(req, ResultHook(), hook).partitions;
+}
+
+BatchRunResult
+Evaluator::submit(const BatchRunRequest &req, const ResultHook &run_hook,
+                  const PartitionHook &partition_hook)
+{
     // Materialize every explorer before fanning out; explorerFor()
     // would also be safe to race, but this keeps construction serial.
-    for (const PartitionJob &j : jobs)
+    for (const PartitionJob &j : req.partitions)
         explorerFor(j.tech3d);
 
     BatchScope scope(*this);
-    std::vector<PartitionResult> out(jobs.size());
-    pool_->parallelFor(jobs.size(), [&](std::size_t i) {
-        const PartitionJob &j = jobs[i];
-        out[i] = j.kind == PartitionKind::None
+    BatchRunResult out;
+    out.partitions.resize(req.partitions.size());
+    out.runs.resize(req.runs.size());
+
+    pool_->parallelFor(req.partitions.size(), [&](std::size_t i) {
+        const PartitionJob &j = req.partitions[i];
+        out.partitions[i] = j.kind == PartitionKind::None
             ? bestOverall(j.tech3d, j.cfg)
             : best(j.tech3d, j.cfg, j.kind);
-        if (hook)
-            hook(i, out[i]);
+        if (partition_hook)
+            partition_hook(i, out.partitions[i]);
     });
+
+    if (req.runs.empty())
+        return out;
+
+    BatchReplayOptions replay_opts;
+    replay_opts.force_scalar = req.force_scalar;
+    int width = req.batch_width != 0 ? req.batch_width
+                                     : options_.batch_width;
+    if (width <= 0)
+        width = BatchReplay::preferredWidth(replay_opts);
+
+    // Resolve memo hits up front, then split the misses: single-core
+    // Replay runs group by (app, budget) onto the batched replay
+    // kernel, everything else executes one run at a time.
+    struct Group
+    {
+        std::size_t exemplar = 0;         ///< index into req.runs
+        std::vector<std::size_t> members; ///< indices into req.runs
+    };
+    std::map<std::string, Group> groups;
+    std::vector<std::size_t> loners;
+    std::vector<EvalKey> keys(req.runs.size());
+    for (std::size_t i = 0; i < req.runs.size(); ++i) {
+        const RunRequest &r = req.runs[i];
+        const bool single = r.kind == RunKind::Single;
+        keys[i] = single ? singleRunKey(r.design, r.app, r.budget)
+                         : multiRunKey(r.design, r.app, r.budget);
+        if (options_.cache) {
+            bool hit = false;
+            if (single)
+                hit = cache_.lookupRun(keys[i], &out.runs[i].single);
+            else
+                hit = cache_.lookupMulti(keys[i], &out.runs[i].multi);
+            if (hit) {
+                out.runs[i].kind = r.kind;
+                if (run_hook)
+                    run_hook(i, out.runs[i]);
+                continue;
+            }
+        }
+        if (single && r.path == TracePath::Replay && width > 1) {
+            KeyBuilder kb(0);
+            hashWorkloadProfile(kb, r.app);
+            hashSimBudget(kb, r.budget);
+            Group &g = groups[kb.key().str()];
+            if (g.members.empty())
+                g.exemplar = i;
+            g.members.push_back(i);
+        } else {
+            loners.push_back(i);
+        }
+    }
+
+    // Flatten the groups into width-aligned chunks, splitting each
+    // group across the pool; the chunking never affects results (the
+    // batched kernel is bit-identical at every width).
+    struct Chunk
+    {
+        const Group *group;
+        std::size_t begin;
+        std::size_t end;
+    };
+    std::vector<Chunk> chunks;
+    const std::size_t w = static_cast<std::size_t>(width);
+    const std::size_t workers =
+        static_cast<std::size_t>(std::max(1, threads()));
+    for (const auto &kv : groups) {
+        const Group &g = kv.second;
+        const std::size_t blocks = (g.members.size() + w - 1) / w;
+        const std::size_t per_task =
+            std::max<std::size_t>(1, (blocks + workers - 1) / workers);
+        const std::size_t chunk = per_task * w;
+        for (std::size_t b = 0; b < g.members.size(); b += chunk)
+            chunks.push_back(Chunk{
+                &g, b, std::min(g.members.size(), b + chunk)});
+    }
+
+    pool_->parallelFor(chunks.size(), [&](std::size_t ci) {
+        const Chunk &c = chunks[ci];
+        const RunRequest &ex = req.runs[c.group->exemplar];
+        std::vector<CoreDesign> designs;
+        designs.reserve(c.end - c.begin);
+        for (std::size_t j = c.begin; j < c.end; ++j)
+            designs.push_back(
+                req.runs[c.group->members[j]].design);
+        const std::vector<AppRun> runs = runSingleCoreBatch(
+            designs, ex.app, ex.budget, replay_opts);
+        for (std::size_t j = c.begin; j < c.end; ++j) {
+            const std::size_t idx = c.group->members[j];
+            out.runs[idx].kind = RunKind::Single;
+            out.runs[idx].single = runs[j - c.begin];
+            if (options_.cache)
+                cache_.storeRun(keys[idx], out.runs[idx].single);
+            if (run_hook)
+                run_hook(idx, out.runs[idx]);
+        }
+    });
+
+    pool_->parallelFor(loners.size(), [&](std::size_t li) {
+        const std::size_t idx = loners[li];
+        out.runs[idx] = execute(req.runs[idx]);
+        if (options_.cache) {
+            if (out.runs[idx].kind == RunKind::Single)
+                cache_.storeRun(keys[idx], out.runs[idx].single);
+            else
+                cache_.storeMulti(keys[idx], out.runs[idx].multi);
+        }
+        if (run_hook)
+            run_hook(idx, out.runs[idx]);
+    });
+
     return out;
+}
+
+RunRequest
+Evaluator::makeRequest(RunKind kind, const CoreDesign &design,
+                       const WorkloadProfile &app) const
+{
+    RunRequest r;
+    r.kind = kind;
+    r.design = design;
+    r.app = app;
+    r.budget = options_.budget;
+    r.path = options_.trace_path;
+    return r;
 }
 
 AppRun
 Evaluator::run(const CoreDesign &design, const WorkloadProfile &app)
 {
+    const RunRequest req = makeRequest(RunKind::Single, design, app);
     if (!options_.cache)
-        return detail::runSingleCoreUncached(design, app,
-                                             options_.budget,
-                                             options_.trace_path);
+        return execute(req).single;
 
     const EvalKey key = singleRunKey(design, app, options_.budget);
     AppRun r;
     if (cache_.lookupRun(key, &r))
         return r;
-    r = detail::runSingleCoreUncached(design, app, options_.budget,
-                                      options_.trace_path);
+    r = execute(req).single;
     cache_.storeRun(key, r);
     return r;
 }
@@ -181,17 +315,15 @@ MultiRun
 Evaluator::runMulti(const CoreDesign &design,
                     const WorkloadProfile &app)
 {
+    const RunRequest req = makeRequest(RunKind::Multi, design, app);
     if (!options_.cache)
-        return detail::runMulticoreUncached(design, app,
-                                            options_.budget,
-                                            options_.trace_path);
+        return execute(req).multi;
 
     const EvalKey key = multiRunKey(design, app, options_.budget);
     MultiRun r;
     if (cache_.lookupMulti(key, &r))
         return r;
-    r = detail::runMulticoreUncached(design, app, options_.budget,
-                                     options_.trace_path);
+    r = execute(req).multi;
     cache_.storeMulti(key, r);
     return r;
 }
@@ -206,24 +338,41 @@ std::vector<AppRun>
 Evaluator::runBatch(const std::vector<SingleJob> &jobs,
                     const RunHook &hook)
 {
-    BatchScope scope(*this);
-    std::vector<AppRun> out(jobs.size());
-    pool_->parallelFor(jobs.size(), [&](std::size_t i) {
-        out[i] = run(jobs[i].design, jobs[i].app);
-        if (hook)
-            hook(i, out[i]);
-    });
+    BatchRunRequest req;
+    req.runs.reserve(jobs.size());
+    for (const SingleJob &j : jobs)
+        req.runs.push_back(
+            makeRequest(RunKind::Single, j.design, j.app));
+
+    ResultHook rh;
+    if (hook)
+        rh = [&hook](std::size_t i, const RunResult &r) {
+            hook(i, r.single);
+        };
+    BatchRunResult res = submit(req, rh);
+
+    std::vector<AppRun> out;
+    out.reserve(res.runs.size());
+    for (RunResult &r : res.runs)
+        out.push_back(std::move(r.single));
     return out;
 }
 
 std::vector<MultiRun>
 Evaluator::runMultiBatch(const std::vector<MultiJob> &jobs)
 {
-    BatchScope scope(*this);
-    std::vector<MultiRun> out(jobs.size());
-    pool_->parallelFor(jobs.size(), [&](std::size_t i) {
-        out[i] = runMulti(jobs[i].design, jobs[i].app);
-    });
+    BatchRunRequest req;
+    req.runs.reserve(jobs.size());
+    for (const MultiJob &j : jobs)
+        req.runs.push_back(
+            makeRequest(RunKind::Multi, j.design, j.app));
+
+    BatchRunResult res = submit(req);
+
+    std::vector<MultiRun> out;
+    out.reserve(res.runs.size());
+    for (RunResult &r : res.runs)
+        out.push_back(std::move(r.multi));
     return out;
 }
 

@@ -16,8 +16,22 @@
  *    output is bit-identical to a serial run regardless of thread
  *    count (each run seeds its own TraceGenerator from
  *    SimBudget::seed; no evaluation shares mutable state);
+ *  - batched replay: single-core Replay misses of one submit() that
+ *    share a workload and budget are regrouped and streamed through
+ *    arch/batch_replay.hh - one trace pass against N designs, SIMD
+ *    lanes - instead of N separate passes.  Batching is bit-identical
+ *    to sequential execution, so it composes silently with the memo
+ *    cache;
  *  - persistence: the partition cache can be loaded/saved from a
  *    file, carrying grid-search work across processes.
+ *
+ * submit() is the one batch entry point: a BatchRunRequest carries
+ * any mix of RunRequests (power/sim_harness.hh) and partition grid
+ * searches, and comes back as one BatchRunResult in submission order.
+ * The historical batch sextet (runBatch x2, bestBatch x2,
+ * runMultiBatch, bestForAll) remains as thin documented wrappers that
+ * build the equivalent BatchRunRequest, so existing call sites keep
+ * compiling; new code should build the request directly.
  *
  * The legacy free functions and PartitionExplorer methods remain as
  * thin wrappers over the same primitives for existing call sites.
@@ -68,6 +82,17 @@ struct EvalOptions
     TracePath trace_path = TracePath::Replay;
 
     /**
+     * Default design-batch width of submit()'s batched replay path
+     * when the request itself does not pin one
+     * (BatchRunRequest::batch_width).  0 picks the host's preferred
+     * SIMD width (BatchReplay::preferredWidth); 1 disables batching
+     * (every run executes sequentially); N >= 2 streams designs in
+     * chunks of N.  Results are bit-identical at every width, so this
+     * is a throughput/test knob, never a correctness one.
+     */
+    int batch_width = 0;
+
+    /**
      * Optional partition-cache file: loaded at construction, saved by
      * savePartitionCache() (callers decide when to persist).
      */
@@ -94,6 +119,47 @@ struct PartitionJob
     Technology tech3d;
     ArrayConfig cfg;
     PartitionKind kind = PartitionKind::None; ///< None = best overall
+};
+
+/**
+ * One unified batch: any mix of simulation runs and partition grid
+ * searches, evaluated together by Evaluator::submit().
+ *
+ * Single-core runs with TracePath::Replay that share a workload and
+ * budget are regrouped design-major and streamed through the batched
+ * replay kernel (arch/batch_replay.hh); everything else - multicore
+ * runs, Generate-path runs - fans across the pool one run at a time.
+ * Both partitions of the batch are memoized per-element, so a request
+ * whose runs are all cache hits costs nothing.
+ */
+struct BatchRunRequest
+{
+    /** Simulation runs, in result order. */
+    std::vector<RunRequest> runs;
+
+    /** Partition grid searches, in result order. */
+    std::vector<PartitionJob> partitions;
+
+    /**
+     * Design-batch width of the batched replay path for this request:
+     * 0 defers to EvalOptions::batch_width (and from there to the
+     * host's preferred SIMD width), 1 forces sequential per-run
+     * execution, N >= 2 streams designs in chunks of N.
+     * Bit-identical at every width.
+     */
+    int batch_width = 0;
+
+    /** Force the scalar lane path of the batched kernel (see
+     * BatchReplayOptions::force_scalar).  Bit-identical; a test and
+     * benchmark knob. */
+    bool force_scalar = false;
+};
+
+/** Results of one submit(), in BatchRunRequest order. */
+struct BatchRunResult
+{
+    std::vector<RunResult> runs;           ///< one per request run
+    std::vector<PartitionResult> partitions; ///< one per request job
 };
 
 /**
@@ -141,7 +207,9 @@ class Evaluator
 
     /**
      * Best strategy for every structure; fans structures across the
-     * pool, returns results in `cfgs` order.
+     * pool, returns results in `cfgs` order.  Deprecated-style
+     * wrapper: builds the equivalent BatchRunRequest (one
+     * PartitionKind::None job per structure) and submit()s it.
      */
     std::vector<PartitionResult>
     bestForAll(const Technology &tech3d,
@@ -151,6 +219,7 @@ class Evaluator
      * Arbitrary batch of grid searches (mixed technologies and
      * strategies); results in `jobs` order.  A job with
      * kind == PartitionKind::None resolves to bestOverall().
+     * Deprecated-style wrapper over submit().
      *
      * The hooked overload calls `hook(i, result)` once per job as it
      * completes - possibly from a worker thread, so the hook must be
@@ -177,9 +246,11 @@ class Evaluator
                       const WorkloadProfile &app);
 
     /**
-     * Batch runs, results in submission order.  The hooked overload
-     * calls `hook(i, result)` once per job as it completes - possibly
-     * from a worker thread, so the hook must be thread-safe.
+     * Batch runs, results in submission order.  Deprecated-style
+     * wrappers over submit(): jobs sharing an app ride the batched
+     * replay kernel.  The hooked overload calls `hook(i, result)`
+     * once per job as it completes - possibly from a worker thread,
+     * so the hook must be thread-safe.
      */
     std::vector<AppRun> runBatch(const std::vector<SingleJob> &jobs);
 
@@ -189,6 +260,34 @@ class Evaluator
 
     std::vector<MultiRun>
     runMultiBatch(const std::vector<MultiJob> &jobs);
+
+    // ------------------------------------------------------------------
+    // Unified batch submission.
+    // ------------------------------------------------------------------
+
+    /** Per-run completion hook of submit(); like RunHook, it may fire
+     * from a worker thread and must be thread-safe.  Cache hits fire
+     * it too. */
+    using ResultHook =
+        std::function<void(std::size_t, const RunResult &)>;
+
+    /**
+     * Evaluate one unified batch: every run and partition job of
+     * `req`, memoized, fanned across the pool, with the single-core
+     * Replay misses regrouped through the batched replay kernel (see
+     * BatchRunRequest).  Results come back in submission order and
+     * are bit-identical to executing each element alone, at any
+     * thread count and any batch width.
+     *
+     * All other batch entry points (runBatch, runMultiBatch,
+     * bestBatch, bestForAll) are wrappers over this method, so
+     * lastBatchStats() reports one submit()'s traffic regardless of
+     * the spelling used.
+     */
+    BatchRunResult submit(const BatchRunRequest &req,
+                          const ResultHook &run_hook = ResultHook(),
+                          const PartitionHook &partition_hook =
+                              PartitionHook());
 
     /**
      * Run independent tasks `body(0) .. body(n-1)` across this
@@ -223,6 +322,10 @@ class Evaluator
   private:
     /** Shared per-technology explorer (stateless once built). */
     const PartitionExplorer &explorerFor(const Technology &tech3d);
+
+    /** A RunRequest carrying this evaluator's budget and trace path. */
+    RunRequest makeRequest(RunKind kind, const CoreDesign &design,
+                           const WorkloadProfile &app) const;
 
     /** RAII cache-counter snapshot feeding lastBatchStats(). */
     class BatchScope;

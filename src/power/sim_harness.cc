@@ -1,12 +1,11 @@
 #include "power/sim_harness.hh"
 
 namespace m3d {
-namespace detail {
+namespace {
 
 AppRun
-runSingleCoreUncached(const CoreDesign &design,
-                      const WorkloadProfile &profile,
-                      const SimBudget &budget, TracePath path)
+executeSingle(const CoreDesign &design, const WorkloadProfile &profile,
+              const SimBudget &budget, TracePath path)
 {
     HierarchyTiming timing;
     timing.l1_rt = design.load_to_use;
@@ -37,9 +36,8 @@ runSingleCoreUncached(const CoreDesign &design,
 }
 
 MultiRun
-runMulticoreUncached(const CoreDesign &design,
-                     const WorkloadProfile &profile,
-                     const SimBudget &budget, TracePath path)
+executeMulti(const CoreDesign &design, const WorkloadProfile &profile,
+             const SimBudget &budget, TracePath path)
 {
     MulticoreModel mc(design);
     // Every design executes the same total work - the reference
@@ -57,20 +55,81 @@ runMulticoreUncached(const CoreDesign &design,
     return out;
 }
 
-} // namespace detail
+} // namespace
+
+RunResult
+execute(const RunRequest &req)
+{
+    RunResult out;
+    out.kind = req.kind;
+    if (req.kind == RunKind::Single)
+        out.single = executeSingle(req.design, req.app, req.budget,
+                                   req.path);
+    else
+        out.multi = executeMulti(req.design, req.app, req.budget,
+                                 req.path);
+    return out;
+}
+
+std::vector<AppRun>
+runSingleCoreBatch(const std::vector<CoreDesign> &designs,
+                   const WorkloadProfile &app, const SimBudget &budget,
+                   const BatchReplayOptions &options)
+{
+    if (designs.empty())
+        return {};
+
+    BatchReplay batch(designs,
+                      TraceRegistry::global().acquire(
+                          app, budget.seed, /*thread_id=*/0,
+                          budget.warmup + budget.measured),
+                      options);
+    // Warm caches and predictor structures; discard the timing.
+    batch.run(budget.warmup);
+    std::vector<SimResult> results = batch.run(budget.measured);
+
+    std::vector<AppRun> out(designs.size());
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        out[i].sim = results[i];
+        out[i].seconds = results[i].seconds();
+        PowerModel pm(designs[i]);
+        out[i].energy =
+            pm.evaluate(results[i].activity, out[i].seconds);
+    }
+    return out;
+}
 
 AppRun
 runSingleCore(const CoreDesign &design, const WorkloadProfile &profile,
               const SimBudget &budget, TracePath path)
 {
-    return detail::runSingleCoreUncached(design, profile, budget, path);
+    return executeSingle(design, profile, budget, path);
 }
 
 MultiRun
 runMulticore(const CoreDesign &design, const WorkloadProfile &profile,
              const SimBudget &budget, TracePath path)
 {
-    return detail::runMulticoreUncached(design, profile, budget, path);
+    return executeMulti(design, profile, budget, path);
 }
 
+namespace detail {
+
+AppRun
+runSingleCoreUncached(const CoreDesign &design,
+                      const WorkloadProfile &profile,
+                      const SimBudget &budget, TracePath path)
+{
+    return executeSingle(design, profile, budget, path);
+}
+
+MultiRun
+runMulticoreUncached(const CoreDesign &design,
+                     const WorkloadProfile &profile,
+                     const SimBudget &budget, TracePath path)
+{
+    return executeMulti(design, profile, budget, path);
+}
+
+} // namespace detail
 } // namespace m3d

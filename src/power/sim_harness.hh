@@ -1,15 +1,26 @@
 /**
  * @file
- * Convenience harness shared by the benchmark binaries, the examples,
- * and the integration tests: run one application on one design with
- * proper cache warmup, and return timing plus energy.
+ * The unified run-request harness: one description of "run this
+ * workload on this design" (RunRequest), one uncached primitive that
+ * executes it (execute()), and one batched fast path that replays a
+ * shared trace against many designs at once (runSingleCoreBatch, on
+ * top of arch/batch_replay.hh).
+ *
+ * Everything above this layer - the memoizing engine
+ * (engine/evaluator.hh), the search subsystem, the benchmark binaries
+ * - funnels through these entry points.  The historical quartet
+ * (runSingleCore / runMulticore and their detail::*Uncached twins)
+ * remains as thin documented wrappers so existing call sites keep
+ * compiling, but new code should build a RunRequest.
  */
 
 #ifndef M3D_POWER_SIM_HARNESS_HH_
 #define M3D_POWER_SIM_HARNESS_HH_
 
 #include <cstdint>
+#include <vector>
 
+#include "arch/batch_replay.hh"
 #include "arch/core_model.hh"
 #include "arch/multicore.hh"
 #include "power/power_model.hh"
@@ -34,23 +45,6 @@ struct SimBudget
     std::uint64_t seed = 42;
 };
 
-/**
- * Run a serial application on a single core of `design` with cache
- * warmup, and price its energy.
- *
- * Thin forwarding wrapper kept for existing call sites; batch or
- * repeated evaluations should go through engine/evaluator.hh, which
- * adds memoization and a thread pool on top of the same primitive.
- *
- * `path` selects the op source (workload/trace_buffer.hh): Replay
- * shares one pre-resolved trace across every design; Generate runs
- * the generator live.  Results are bit-identical either way.
- */
-AppRun runSingleCore(const CoreDesign &design,
-                     const WorkloadProfile &profile,
-                     const SimBudget &budget=SimBudget{},
-                     TracePath path=TracePath::Replay);
-
 /** One (parallel application, multicore design) evaluation. */
 struct MultiRun
 {
@@ -61,9 +55,84 @@ struct MultiRun
     double energyJ() const { return energy.total(); }
 };
 
+/** What a RunRequest simulates. */
+enum class RunKind
+{
+    Single, ///< one serial app on one core (AppRun)
+    Multi,  ///< one parallel app on the whole multicore (MultiRun)
+};
+
+/**
+ * One complete evaluation request: everything execute() needs to
+ * produce a result, with no implicit state.  Requests are plain
+ * values, so batch layers can group, reorder, and fan them without
+ * re-deriving context.
+ *
+ * `path` selects the op source (workload/trace_buffer.hh): Replay -
+ * the default - shares one pre-resolved trace per (app, seed, thread)
+ * across every design via the process-wide TraceRegistry; Generate
+ * runs the generator live.  Results are bit-identical either way.
+ */
+struct RunRequest
+{
+    RunKind kind = RunKind::Single;
+    CoreDesign design;
+    WorkloadProfile app;
+    SimBudget budget{};
+    TracePath path = TracePath::Replay;
+};
+
+/**
+ * The result of executing one RunRequest: `single` is populated for
+ * RunKind::Single requests, `multi` for RunKind::Multi ones.
+ */
+struct RunResult
+{
+    RunKind kind = RunKind::Single;
+    AppRun single;
+    MultiRun multi;
+};
+
+/**
+ * Execute one request with cache warmup and energy pricing.  This is
+ * the uncached primitive; the engine (engine/evaluator.hh) memoizes
+ * and batches around it.
+ */
+RunResult execute(const RunRequest &req);
+
+/**
+ * Batched single-core replay: run `app` on every design at once by
+ * streaming the shared pre-resolved trace through
+ * arch/batch_replay.hh (design-major blocking, SIMD lanes), then
+ * price each design's energy.  Result `k` is bit-identical to
+ * executing the equivalent RunKind::Single / TracePath::Replay
+ * request for design `k` - batching is purely a throughput
+ * optimization (one trace pass for N designs instead of N).
+ */
+std::vector<AppRun>
+runSingleCoreBatch(const std::vector<CoreDesign> &designs,
+                   const WorkloadProfile &app,
+                   const SimBudget &budget = SimBudget{},
+                   const BatchReplayOptions &options = {});
+
+/**
+ * Run a serial application on a single core of `design` with cache
+ * warmup, and price its energy.
+ *
+ * Deprecated-style wrapper over execute(); kept for existing call
+ * sites.  Batch or repeated evaluations should go through
+ * engine/evaluator.hh, which adds memoization, batched replay, and a
+ * thread pool on top of the same primitive.
+ */
+AppRun runSingleCore(const CoreDesign &design,
+                     const WorkloadProfile &profile,
+                     const SimBudget &budget=SimBudget{},
+                     TracePath path=TracePath::Replay);
+
 /**
  * Run a parallel application on the multicore `design` and price the
- * total energy of all cores.  Thin wrapper; see runSingleCore().
+ * total energy of all cores.  Deprecated-style wrapper over
+ * execute(); see runSingleCore().
  */
 MultiRun runMulticore(const CoreDesign &design,
                       const WorkloadProfile &profile,
@@ -72,13 +141,14 @@ MultiRun runMulticore(const CoreDesign &design,
 
 namespace detail {
 
-/** Uncached single-core evaluation; the engine memoizes around it. */
+/** Wrapper over execute() kept for existing call sites; the engine
+ * memoizes around the same primitive. */
 AppRun runSingleCoreUncached(const CoreDesign &design,
                              const WorkloadProfile &profile,
                              const SimBudget &budget,
                              TracePath path=TracePath::Replay);
 
-/** Uncached multicore evaluation; the engine memoizes around it. */
+/** Wrapper over execute(); see runSingleCoreUncached(). */
 MultiRun runMulticoreUncached(const CoreDesign &design,
                               const WorkloadProfile &profile,
                               const SimBudget &budget,

@@ -85,17 +85,20 @@ ObjectiveEvaluator::compute(const CoreDesign &design,
     SolverConfig solver_cfg;
     solver_cfg.threads = 1;
     // Both models depend only on the design, so one instance prices
-    // every application's run (solve() is const).
+    // every application's run (solve() is const); the per-app power
+    // maps solve together in one multi-field pass (bit-identical to
+    // per-app solve() calls, see ThermalModel::solveMany).
     PowerModel pm(design);
     ThermalModel tm(design, config_.thermal_grid, solver_cfg);
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-        const AppRun &r = runs[i];
+    std::vector<std::map<std::string, double>> powers;
+    powers.reserve(runs.size());
+    for (const AppRun &r : runs) {
         energy_j += r.energyJ();
         instructions += static_cast<double>(r.sim.instructions);
-        const ThermalResult th =
-            tm.solve(pm.blockPower(r.sim.activity, r.seconds));
-        obj.peak_c = std::max(obj.peak_c, th.peak_c);
+        powers.push_back(pm.blockPower(r.sim.activity, r.seconds));
     }
+    for (const ThermalResult &th : tm.solveMany(powers))
+        obj.peak_c = std::max(obj.peak_c, th.peak_c);
     M3D_ASSERT(instructions > 0.0, "empty simulation result");
     obj.epi = energy_j / instructions;
     return obj;
@@ -135,15 +138,26 @@ ObjectiveEvaluator::evaluateBatch(
     if (missing.empty())
         return out;
 
-    // Stage 1: all application runs through the engine (memoized,
-    // submission-order merged, bit-identical at any thread count).
-    std::vector<engine::SingleJob> jobs;
-    jobs.reserve(missing.size() * config_.apps.size());
+    // Stage 1: all application runs through the engine's unified
+    // batch entry point (memoized, submission-order merged,
+    // bit-identical at any thread count).  The design-major request
+    // lets submit() regroup the misses app-major onto the batched
+    // replay kernel - one trace pass per app for every missing
+    // design instead of one per (design, app).
+    engine::BatchRunRequest breq;
+    breq.runs.reserve(missing.size() * config_.apps.size());
     for (const std::size_t i : missing) {
-        for (const WorkloadProfile &app : config_.apps)
-            jobs.push_back({designs[i], app});
+        for (const WorkloadProfile &app : config_.apps) {
+            RunRequest rr;
+            rr.kind = RunKind::Single;
+            rr.design = designs[i];
+            rr.app = app;
+            rr.budget = ev_.options().budget;
+            rr.path = ev_.options().trace_path;
+            breq.runs.push_back(std::move(rr));
+        }
     }
-    const std::vector<AppRun> runs = ev_.runBatch(jobs);
+    const engine::BatchRunResult bres = ev_.submit(breq);
 
     // Stage 2: per-design thermal solves fan across the same pool.
     // Each slot is written by exactly one task, so results land in
@@ -151,10 +165,10 @@ ObjectiveEvaluator::evaluateBatch(
     ev_.parallelFor(missing.size(), [&](std::size_t m) {
         const std::size_t i = missing[m];
         const std::size_t base = m * config_.apps.size();
-        const std::vector<AppRun> slice(
-            runs.begin() + static_cast<std::ptrdiff_t>(base),
-            runs.begin() + static_cast<std::ptrdiff_t>(
-                               base + config_.apps.size()));
+        std::vector<AppRun> slice;
+        slice.reserve(config_.apps.size());
+        for (std::size_t a = 0; a < config_.apps.size(); ++a)
+            slice.push_back(bres.runs[base + a].single);
         out[i] = compute(designs[i], slice);
         if (hook)
             hook(i, out[i]);

@@ -6,7 +6,13 @@
 #include <sstream>
 
 #include "util/logging.hh"
+#include "util/simd.hh"
 #include "util/thread_pool.hh"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define M3D_HAVE_AVX512_SWEEP 1
+#include <immintrin.h>
+#endif
 
 namespace m3d {
 
@@ -19,6 +25,347 @@ elapsedSeconds(std::chrono::steady_clock::time_point since)
                std::chrono::steady_clock::now() - since)
         .count();
 }
+
+#if defined(M3D_HAVE_AVX512_SWEEP)
+
+/**
+ * Shared geometry of the color-packed field used by the AVX-512
+ * steady-state fast path.
+ *
+ * The red-black coloring partitions the field into two planes; the
+ * packed copy stores each color's cells of a grid row (an l,y pair)
+ * contiguously, h = n/2 per row.  That layout makes every stencil
+ * read of a half sweep a CONTIGUOUS load: for a center cell at packed
+ * index j of its row, the left/right neighbors sit at packed index
+ * j - (1 - x0) / j + x0 of the SAME row of the other color's plane,
+ * and the north/south/up/down neighbors sit at packed index j of the
+ * adjacent rows - so eight cells update from nine unaligned vector
+ * loads with no gathers or shuffles, and the per-cell division (the
+ * sweep's real cost) runs eight lanes wide.
+ *
+ * One guard element before and after each plane absorbs the two
+ * single-element overhangs (the left read of the global first cell
+ * and the right read of the global last one); both lanes are masked
+ * out of the flow sum, exactly like the scalar boundary branches.
+ */
+struct PackedField
+{
+    int n = 0;       ///< cells per side (even)
+    int nl = 0;      ///< layers
+    int h = 0;       ///< packed cells per row: n / 2
+    const double *g_lat = nullptr; ///< per-layer lateral conductance
+    const double *g_up = nullptr;  ///< per-layer vertical conductance
+    double sink_flow = 0.0;        ///< g_sink * ambient
+    double *t[2] = {nullptr, nullptr};        ///< packed field
+    const double *fb[2] = {nullptr, nullptr}; ///< packed base flow
+    const double *gt[2] = {nullptr, nullptr}; ///< packed conductance
+};
+
+/** Packed index of (row r, lane j): planes are [row][j] + 1 guard. */
+inline std::size_t
+packedIndex(int h, int r, int j)
+{
+    return static_cast<std::size_t>(r) * h + static_cast<std::size_t>(j);
+}
+
+/** Copy one color's cells of `src` into packed layout (plus guards). */
+void
+packColor(const PackedField &p, int color, const double *src,
+          double *dst)
+{
+    for (int r = 0; r < p.nl * p.n; ++r) {
+        const int l = r / p.n;
+        const int y = r % p.n;
+        const int x0 = (color + l + y) & 1;
+        const double *row = src + static_cast<std::size_t>(r) * p.n;
+        double *out = dst + packedIndex(p.h, r, 0);
+        for (int j = 0; j < p.h; ++j)
+            out[j] = row[x0 + 2 * j];
+    }
+}
+
+/** Inverse of packColor for the temperature planes. */
+void
+unpackColor(const PackedField &p, int color, const double *src,
+            double *dst)
+{
+    for (int r = 0; r < p.nl * p.n; ++r) {
+        const int l = r / p.n;
+        const int y = r % p.n;
+        const int x0 = (color + l + y) & 1;
+        const double *in = src + packedIndex(p.h, r, 0);
+        double *row = dst + static_cast<std::size_t>(r) * p.n;
+        for (int j = 0; j < p.h; ++j)
+            row[x0 + 2 * j] = in[j];
+    }
+}
+
+/**
+ * AVX-512 half sweep of `color` over packed rows [row_begin,
+ * row_end); returns the max temperature delta.  Bit-identical to the
+ * scalar loop in GridSolver::sweepColor: each lane evaluates the
+ * exact scalar expression - the six flow terms accumulate in the
+ * historical couple() order through explicit mul/add intrinsics
+ * (which the compiler never contracts into FMA, and the scalar build
+ * targets baseline x86-64, which has no FMA to contract into), the
+ * division and over-relaxation update use the same IEEE operations,
+ * and the max reduction is order-independent over non-NaN values.
+ */
+__attribute__((target("avx512f,avx512vl,avx512dq")))
+double
+sweepPackedRows(const PackedField &p, double omega, int color,
+                int row_begin, int row_end)
+{
+    const __m512d omega_v = _mm512_set1_pd(omega);
+    const __m512d sink_v = _mm512_set1_pd(p.sink_flow);
+    __m512d vmax = _mm512_setzero_pd();
+
+    const int n = p.n;
+    const int h = p.h;
+    double *const tc = p.t[color];
+    const double *const to = p.t[1 - color];
+    const double *const fbp = p.fb[color];
+    const double *const gtp = p.gt[color];
+    const std::ptrdiff_t plane_h =
+        static_cast<std::ptrdiff_t>(n) * h;
+
+    // Track (layer, y) incrementally - at one vector chunk per row,
+    // a per-row integer division would be real overhead - and hoist
+    // the per-layer constants across each layer's n rows.
+    int l = row_begin / n;
+    int y = row_begin % n;
+    __m512d gl_v = _mm512_set1_pd(p.g_lat[l]);
+    __m512d gup_v =
+        _mm512_set1_pd(l + 1 < p.nl ? p.g_up[l] : 0.0);
+    __m512d gdn_v = _mm512_set1_pd(l > 0 ? p.g_up[l - 1] : 0.0);
+    for (int r = row_begin; r < row_end; ++r, ++y) {
+        if (y == n) {
+            y = 0;
+            ++l;
+            gl_v = _mm512_set1_pd(p.g_lat[l]);
+            gup_v =
+                _mm512_set1_pd(l + 1 < p.nl ? p.g_up[l] : 0.0);
+            gdn_v = _mm512_set1_pd(l > 0 ? p.g_up[l - 1] : 0.0);
+        }
+        const int x0 = (color + l + y) & 1;
+        const bool has_up = l + 1 < p.nl;
+        const bool has_dn = l > 0;
+        const bool has_n = y > 0;
+        const bool has_s = y + 1 < n;
+
+        double *const cen = tc + packedIndex(h, r, 0);
+        // Other-color neighbors of packed lane j: left at j-(1-x0),
+        // right at j+x0, north/south/up/down at j of adjacent rows.
+        const double *const oth = to + packedIndex(h, r, 0);
+        const double *const leftp = oth - (1 - x0);
+        const double *const rightp = oth + x0;
+        const double *const fbr = fbp + packedIndex(h, r, 0);
+        const double *const gtr = gtp + packedIndex(h, r, 0);
+
+        for (int j0 = 0; j0 < h; j0 += 8) {
+            const int m = std::min(8, h - j0);
+            const __mmask8 km =
+                static_cast<__mmask8>((1u << m) - 1u);
+            // The global first cell has no left neighbor and the
+            // global last none to the right; their lanes read a
+            // guard element and are masked out of the sum.
+            __mmask8 k_left = km;
+            if (x0 == 0 && j0 == 0)
+                k_left = static_cast<__mmask8>(k_left & 0xFEu);
+            __mmask8 k_right = km;
+            if (x0 == 1 && j0 + m == h)
+                k_right = static_cast<__mmask8>(
+                    k_right & ~(1u << (m - 1)));
+
+            const __m512d t_old = _mm512_maskz_loadu_pd(km, cen + j0);
+            // Flow accumulates in the historical couple() order
+            // (left, right, north, south, up/sink, down).
+            __m512d flow = _mm512_maskz_loadu_pd(km, fbr + j0);
+            flow = _mm512_mask_add_pd(
+                flow, k_left, flow,
+                _mm512_mul_pd(gl_v,
+                              _mm512_maskz_loadu_pd(km, leftp + j0)));
+            flow = _mm512_mask_add_pd(
+                flow, k_right, flow,
+                _mm512_mul_pd(gl_v,
+                              _mm512_maskz_loadu_pd(km, rightp + j0)));
+            if (has_n)
+                flow = _mm512_add_pd(
+                    flow,
+                    _mm512_mul_pd(gl_v,
+                                  _mm512_maskz_loadu_pd(km, oth - h + j0)));
+            if (has_s)
+                flow = _mm512_add_pd(
+                    flow,
+                    _mm512_mul_pd(gl_v,
+                                  _mm512_maskz_loadu_pd(km, oth + h + j0)));
+            flow = has_up
+                ? _mm512_add_pd(
+                      flow,
+                      _mm512_mul_pd(
+                          gup_v,
+                          _mm512_maskz_loadu_pd(km, oth + plane_h + j0)))
+                : _mm512_add_pd(flow, sink_v);
+            if (has_dn)
+                flow = _mm512_add_pd(
+                    flow,
+                    _mm512_mul_pd(
+                        gdn_v,
+                        _mm512_maskz_loadu_pd(km, oth - plane_h + j0)));
+
+            const __m512d t_new = _mm512_maskz_div_pd(
+                km, flow, _mm512_maskz_loadu_pd(km, gtr + j0));
+            const __m512d delta = _mm512_sub_pd(t_new, t_old);
+            const __m512d t_next =
+                _mm512_add_pd(t_old, _mm512_mul_pd(omega_v, delta));
+            const __m512d diff =
+                _mm512_abs_pd(_mm512_sub_pd(t_next, t_old));
+            vmax = _mm512_mask_max_pd(vmax, km, vmax, diff);
+            _mm512_mask_storeu_pd(cen + j0, km, t_next);
+        }
+    }
+    return _mm512_reduce_max_pd(vmax);
+}
+
+/** One field's packed planes inside a multi-field solve. */
+struct PackedStreams
+{
+    double *t[2] = {nullptr, nullptr};
+    const double *fb[2] = {nullptr, nullptr};
+};
+
+/** Fields one multi-solve can interleave (apps per design is 3). */
+constexpr int kMaxPackedFields = 8;
+
+/**
+ * Multi-field AVX-512 half sweep: the sweepPackedRows update applied
+ * to `nf` independent fields per row, sharing the geometry, masks,
+ * and stencil-diagonal load.  Per field the arithmetic sequence is
+ * exactly sweepPackedRows' (fields never mix), so each field's result
+ * is bit-identical to sweeping it alone; running them together keeps
+ * nf independent flow-accumulation chains in flight where one field's
+ * serial chain would stall the core.  Writes field f's max delta to
+ * max_out[f].
+ */
+__attribute__((target("avx512f,avx512vl,avx512dq")))
+void
+sweepPackedRowsMulti(const PackedField &p, const PackedStreams *fs,
+                     int nf, double omega, int color, int row_begin,
+                     int row_end, double *max_out)
+{
+    const __m512d omega_v = _mm512_set1_pd(omega);
+    const __m512d sink_v = _mm512_set1_pd(p.sink_flow);
+    __m512d vmax[kMaxPackedFields];
+    for (int f = 0; f < nf; ++f)
+        vmax[f] = _mm512_setzero_pd();
+
+    const int n = p.n;
+    const int h = p.h;
+    const double *const gtp = p.gt[color];
+    const std::ptrdiff_t plane_h =
+        static_cast<std::ptrdiff_t>(n) * h;
+
+    int l = row_begin / n;
+    int y = row_begin % n;
+    __m512d gl_v = _mm512_set1_pd(p.g_lat[l]);
+    __m512d gup_v =
+        _mm512_set1_pd(l + 1 < p.nl ? p.g_up[l] : 0.0);
+    __m512d gdn_v = _mm512_set1_pd(l > 0 ? p.g_up[l - 1] : 0.0);
+    for (int r = row_begin; r < row_end; ++r, ++y) {
+        if (y == n) {
+            y = 0;
+            ++l;
+            gl_v = _mm512_set1_pd(p.g_lat[l]);
+            gup_v =
+                _mm512_set1_pd(l + 1 < p.nl ? p.g_up[l] : 0.0);
+            gdn_v = _mm512_set1_pd(l > 0 ? p.g_up[l - 1] : 0.0);
+        }
+        const int x0 = (color + l + y) & 1;
+        const bool has_up = l + 1 < p.nl;
+        const bool has_dn = l > 0;
+        const bool has_n = y > 0;
+        const bool has_s = y + 1 < n;
+        const std::size_t ro = packedIndex(h, r, 0);
+        const double *const gtr = gtp + ro;
+
+        for (int j0 = 0; j0 < h; j0 += 8) {
+            const int m = std::min(8, h - j0);
+            const __mmask8 km =
+                static_cast<__mmask8>((1u << m) - 1u);
+            __mmask8 k_left = km;
+            if (x0 == 0 && j0 == 0)
+                k_left = static_cast<__mmask8>(k_left & 0xFEu);
+            __mmask8 k_right = km;
+            if (x0 == 1 && j0 + m == h)
+                k_right = static_cast<__mmask8>(
+                    k_right & ~(1u << (m - 1)));
+
+            const __m512d gt_v =
+                _mm512_maskz_loadu_pd(km, gtr + j0);
+            for (int f = 0; f < nf; ++f) {
+                double *const cen = fs[f].t[color] + ro;
+                const double *const oth = fs[f].t[1 - color] + ro;
+                const double *const leftp = oth - (1 - x0);
+                const double *const rightp = oth + x0;
+                const double *const fbr = fs[f].fb[color] + ro;
+
+                const __m512d t_old =
+                    _mm512_maskz_loadu_pd(km, cen + j0);
+                __m512d flow = _mm512_maskz_loadu_pd(km, fbr + j0);
+                flow = _mm512_mask_add_pd(
+                    flow, k_left, flow,
+                    _mm512_mul_pd(
+                        gl_v, _mm512_maskz_loadu_pd(km, leftp + j0)));
+                flow = _mm512_mask_add_pd(
+                    flow, k_right, flow,
+                    _mm512_mul_pd(
+                        gl_v, _mm512_maskz_loadu_pd(km, rightp + j0)));
+                if (has_n)
+                    flow = _mm512_add_pd(
+                        flow,
+                        _mm512_mul_pd(
+                            gl_v,
+                            _mm512_maskz_loadu_pd(km, oth - h + j0)));
+                if (has_s)
+                    flow = _mm512_add_pd(
+                        flow,
+                        _mm512_mul_pd(
+                            gl_v,
+                            _mm512_maskz_loadu_pd(km, oth + h + j0)));
+                flow = has_up
+                    ? _mm512_add_pd(
+                          flow,
+                          _mm512_mul_pd(
+                              gup_v,
+                              _mm512_maskz_loadu_pd(
+                                  km, oth + plane_h + j0)))
+                    : _mm512_add_pd(flow, sink_v);
+                if (has_dn)
+                    flow = _mm512_add_pd(
+                        flow,
+                        _mm512_mul_pd(
+                            gdn_v,
+                            _mm512_maskz_loadu_pd(
+                                km, oth - plane_h + j0)));
+
+                const __m512d t_new =
+                    _mm512_maskz_div_pd(km, flow, gt_v);
+                const __m512d delta = _mm512_sub_pd(t_new, t_old);
+                const __m512d t_next = _mm512_add_pd(
+                    t_old, _mm512_mul_pd(omega_v, delta));
+                const __m512d diff =
+                    _mm512_abs_pd(_mm512_sub_pd(t_next, t_old));
+                vmax[f] =
+                    _mm512_mask_max_pd(vmax[f], km, vmax[f], diff);
+                _mm512_mask_storeu_pd(cen + j0, km, t_next);
+            }
+        }
+    }
+    for (int f = 0; f < nf; ++f)
+        max_out[f] = _mm512_reduce_max_pd(vmax[f]);
+}
+
+#endif // M3D_HAVE_AVX512_SWEEP
 
 } // namespace
 
@@ -262,6 +609,212 @@ GridSolver::sweepColor(const Coefficients &c, std::vector<double> &t,
     return max_delta;
 }
 
+#if defined(M3D_HAVE_AVX512_SWEEP)
+
+void
+GridSolver::solvePackedSteady(const Coefficients &c,
+                              const std::vector<double> &g_total,
+                              std::vector<double> &t,
+                              SolveStats &st) const
+{
+    const int n = c.n;
+    const int nl = c.nl;
+    const int h = n / 2;
+    const int rows = nl * n;
+    const std::size_t cells = static_cast<std::size_t>(rows) * h;
+
+    // Pack the field, base flow, and stencil diagonal per color; the
+    // packing is a pure copy, done once per ~thousand sweeps.  One
+    // guard element on each side absorbs the two boundary overhangs.
+    PackedField p;
+    p.n = n;
+    p.nl = nl;
+    p.h = h;
+    p.g_lat = c.g_lat.data();
+    p.g_up = c.g_up.data();
+    p.sink_flow = c.g_sink * stack_.ambient_c;
+    std::vector<double> tp[2], fbp[2], gtp[2];
+    for (int color = 0; color < 2; ++color) {
+        tp[color].assign(cells + 2, 0.0);
+        fbp[color].assign(cells + 2, 0.0);
+        gtp[color].assign(cells + 2, 1.0);
+        packColor(p, color, t.data(), tp[color].data() + 1);
+        packColor(p, color, c.power.data(), fbp[color].data() + 1);
+        packColor(p, color, g_total.data(), gtp[color].data() + 1);
+        p.t[color] = tp[color].data() + 1;
+        p.fb[color] = fbp[color].data() + 1;
+        p.gt[color] = gtp[color].data() + 1;
+    }
+
+    auto sweep = [&](int color) {
+        if (!pool_)
+            return sweepPackedRows(p, config_.omega, color, 0, rows);
+        const int workers = std::max(1, pool_->threads());
+        const int chunk = config_.rows_per_task > 0
+            ? config_.rows_per_task
+            : std::max(1, (rows + workers - 1) / workers);
+        const int tasks = (rows + chunk - 1) / chunk;
+        std::vector<double> task_max(static_cast<std::size_t>(tasks),
+                                     0.0);
+        pool_->parallelFor(
+            static_cast<std::size_t>(tasks), [&](std::size_t ti) {
+                const int begin = static_cast<int>(ti) * chunk;
+                const int end = std::min(rows, begin + chunk);
+                task_max[ti] = sweepPackedRows(p, config_.omega,
+                                               color, begin, end);
+            });
+        double max_delta = 0.0;
+        for (double v : task_max)
+            max_delta = std::max(max_delta, v);
+        return max_delta;
+    };
+
+    double max_delta = 0.0;
+    for (int iter = 1; iter <= config_.max_steady_iterations; ++iter) {
+        st.iterations = iter;
+        // Color 1 sweeps before color 0: the historical call spelled
+        // std::max(sweep(0), sweep(1)), whose unspecified argument
+        // order this compiler evaluates right to left, and the golden
+        // thermal metrics were blessed under that de-facto order.
+        const double d1 = sweep(1);
+        const double d0 = sweep(0);
+        max_delta = std::max(d0, d1);
+        if (max_delta < config_.tolerance) {
+            st.converged = true;
+            break;
+        }
+    }
+    st.residual = max_delta;
+
+    for (int color = 0; color < 2; ++color)
+        unpackColor(p, color, p.t[color], t.data());
+}
+
+void
+GridSolver::solveManyPackedSteady(
+    const std::vector<Coefficients> &cs,
+    const std::vector<double> &g_total,
+    const std::vector<std::vector<double> *> &ts,
+    std::vector<SolveStats> &sts) const
+{
+    const std::size_t k = cs.size();
+    M3D_ASSERT(k >= 1 && k <= kMaxPackedFields,
+               "multi-solve supports up to ", kMaxPackedFields,
+               " fields");
+    const int n = cs[0].n;
+    const int nl = cs[0].nl;
+    const int h = n / 2;
+    const int rows = nl * n;
+    const std::size_t cells = static_cast<std::size_t>(rows) * h;
+
+    // Geometry and stencil diagonal are shared by every field (the
+    // conductances never depend on power); only the base flow and the
+    // evolving temperature planes are per-field.
+    PackedField p;
+    p.n = n;
+    p.nl = nl;
+    p.h = h;
+    p.g_lat = cs[0].g_lat.data();
+    p.g_up = cs[0].g_up.data();
+    p.sink_flow = cs[0].g_sink * stack_.ambient_c;
+    std::vector<double> gtp[2];
+    for (int color = 0; color < 2; ++color) {
+        gtp[color].assign(cells + 2, 1.0);
+        packColor(p, color, g_total.data(), gtp[color].data() + 1);
+        p.gt[color] = gtp[color].data() + 1;
+    }
+    std::vector<std::vector<double>> tp(2 * k), fbp(2 * k);
+    std::vector<PackedStreams> streams(k);
+    for (std::size_t f = 0; f < k; ++f) {
+        for (int color = 0; color < 2; ++color) {
+            std::vector<double> &tf = tp[2 * f + color];
+            std::vector<double> &ff = fbp[2 * f + color];
+            tf.assign(cells + 2, 0.0);
+            ff.assign(cells + 2, 0.0);
+            packColor(p, color, ts[f]->data(), tf.data() + 1);
+            packColor(p, color, cs[f].power.data(), ff.data() + 1);
+            streams[f].t[color] = tf.data() + 1;
+            streams[f].fb[color] = ff.data() + 1;
+        }
+    }
+
+    // Sweep one color over the still-active fields; alive[a] maps the
+    // compact stream slot a back to its field index.
+    std::vector<std::size_t> alive(k);
+    for (std::size_t f = 0; f < k; ++f)
+        alive[f] = f;
+    std::vector<PackedStreams> active(k);
+    const auto sweep = [&](int color, double *max_out) {
+        const int nf = static_cast<int>(alive.size());
+        if (!pool_) {
+            sweepPackedRowsMulti(p, active.data(), nf, config_.omega,
+                                 color, 0, rows, max_out);
+            return;
+        }
+        const int workers = std::max(1, pool_->threads());
+        const int chunk = config_.rows_per_task > 0
+            ? config_.rows_per_task
+            : std::max(1, (rows + workers - 1) / workers);
+        const int tasks = (rows + chunk - 1) / chunk;
+        std::vector<double> task_max(
+            static_cast<std::size_t>(tasks) * alive.size(), 0.0);
+        pool_->parallelFor(
+            static_cast<std::size_t>(tasks), [&](std::size_t ti) {
+                const int begin = static_cast<int>(ti) * chunk;
+                const int end = std::min(rows, begin + chunk);
+                sweepPackedRowsMulti(
+                    p, active.data(), nf, config_.omega, color, begin,
+                    end, task_max.data() + ti * alive.size());
+            });
+        for (std::size_t f = 0; f < alive.size(); ++f) {
+            double m = 0.0;
+            for (int ti = 0; ti < tasks; ++ti)
+                m = std::max(
+                    m, task_max[static_cast<std::size_t>(ti) *
+                                    alive.size() +
+                                f]);
+            max_out[f] = m;
+        }
+    };
+
+    double max0[kMaxPackedFields];
+    double max1[kMaxPackedFields];
+    for (int iter = 1;
+         iter <= config_.max_steady_iterations && !alive.empty();
+         ++iter) {
+        for (std::size_t a = 0; a < alive.size(); ++a)
+            active[a] = streams[alive[a]];
+        active.resize(alive.size());
+        // Same color-1-first order as every other sweep loop (see
+        // solvePackedSteady) - swapping it flips which parity class
+        // reads freshly updated neighbors and changes every result.
+        sweep(1, max1);
+        sweep(0, max0);
+        // Freeze converged fields: their planes are never touched
+        // again, so they hold exactly the state a solo solve of the
+        // same field would have stopped at.
+        for (std::size_t a = alive.size(); a-- > 0;) {
+            const std::size_t f = alive[a];
+            const double max_delta = std::max(max0[a], max1[a]);
+            sts[f].iterations = iter;
+            sts[f].residual = max_delta;
+            if (max_delta < config_.tolerance) {
+                sts[f].converged = true;
+                alive.erase(alive.begin() +
+                            static_cast<std::ptrdiff_t>(a));
+            }
+        }
+    }
+
+    for (std::size_t f = 0; f < k; ++f) {
+        for (int color = 0; color < 2; ++color)
+            unpackColor(p, color, streams[f].t[color],
+                        ts[f]->data());
+    }
+}
+
+#endif // M3D_HAVE_AVX512_SWEEP
+
 void
 GridSolver::finishSolve(SolveStats &st, SolveStats *stats_out,
                         const char *what) const
@@ -325,12 +878,25 @@ GridSolver::solve(
         totalConductance(c, std::vector<double>());
 
     SolveStats st;
+#if defined(M3D_HAVE_AVX512_SWEEP)
+    if (simd::useAvx512() && c.n % 2 == 0) {
+        solvePackedSteady(c, g_total, t, st);
+        st.seconds = elapsedSeconds(t0);
+        finishSolve(st, stats, "steady-state");
+        return field;
+    }
+#endif
     double max_delta = 0.0;
     for (int iter = 1; iter <= config_.max_steady_iterations; ++iter) {
         st.iterations = iter;
-        max_delta = std::max(
-            sweepColor(c, t, c.power, g_total, config_.omega, 0),
-            sweepColor(c, t, c.power, g_total, config_.omega, 1));
+        // Explicit color-1-first order (the historical std::max call
+        // left it to unspecified argument evaluation; this compiler
+        // ran right to left and the goldens bless that order).
+        const double d1 =
+            sweepColor(c, t, c.power, g_total, config_.omega, 1);
+        const double d0 =
+            sweepColor(c, t, c.power, g_total, config_.omega, 0);
+        max_delta = std::max(d0, d1);
         if (max_delta < config_.tolerance) {
             st.converged = true;
             break;
@@ -340,6 +906,58 @@ GridSolver::solve(
     st.seconds = elapsedSeconds(t0);
     finishSolve(st, stats, "steady-state");
     return field;
+}
+
+std::vector<ThermalField>
+GridSolver::solveMany(
+    const std::vector<std::vector<std::vector<double>>> &power_maps,
+    std::vector<SolveStats> *stats) const
+{
+    const std::size_t k = power_maps.size();
+    if (stats)
+        stats->assign(k, SolveStats{});
+
+#if defined(M3D_HAVE_AVX512_SWEEP)
+    if (k > 1 && k <= kMaxPackedFields && simd::useAvx512() &&
+        grid_ % 2 == 0) {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<Coefficients> cs;
+        cs.reserve(k);
+        for (const auto &maps : power_maps)
+            cs.push_back(assemble(maps));
+        // The stencil total ignores power, so one field's serves all.
+        const std::vector<double> g_total =
+            totalConductance(cs[0], std::vector<double>());
+
+        std::vector<ThermalField> out(k);
+        std::vector<std::vector<double> *> ts(k);
+        for (std::size_t f = 0; f < k; ++f) {
+            out[f].grid = cs[f].n;
+            out[f].layers = cs[f].nl;
+            out[f].t_c.assign(static_cast<std::size_t>(cs[f].nl) *
+                                  cs[f].n * cs[f].n,
+                              stack_.ambient_c);
+            ts[f] = &out[f].t_c;
+        }
+
+        std::vector<SolveStats> sts(k);
+        solveManyPackedSteady(cs, g_total, ts, sts);
+        const double seconds = elapsedSeconds(t0);
+        for (std::size_t f = 0; f < k; ++f) {
+            sts[f].seconds = seconds;
+            finishSolve(sts[f], stats ? &(*stats)[f] : nullptr,
+                        "steady-state");
+        }
+        return out;
+    }
+#endif
+
+    std::vector<ThermalField> out;
+    out.reserve(k);
+    for (std::size_t f = 0; f < k; ++f)
+        out.push_back(
+            solve(power_maps[f], stats ? &(*stats)[f] : nullptr));
+    return out;
 }
 
 std::vector<GridSolver::TransientSample>
@@ -397,9 +1015,12 @@ GridSolver::solveTransient(
         for (int sweep = 0; sweep < config_.max_transient_sweeps;
              ++sweep) {
             ++st.iterations;
-            max_delta =
-                std::max(sweepColor(c, t, flow_base, g_total, 1.0, 0),
-                         sweepColor(c, t, flow_base, g_total, 1.0, 1));
+            // Same explicit color-1-first order as the steady loop.
+            const double d1 =
+                sweepColor(c, t, flow_base, g_total, 1.0, 1);
+            const double d0 =
+                sweepColor(c, t, flow_base, g_total, 1.0, 0);
+            max_delta = std::max(d0, d1);
             if (max_delta < config_.tolerance) {
                 step_converged = true;
                 break;

@@ -169,6 +169,27 @@ class GridSolver
     solve(const std::vector<std::vector<double>> &power_per_source,
           SolveStats *stats=nullptr) const;
 
+    /**
+     * Solve several power maps over the same stack in one pass.
+     * Element `k` of the result (and of `*stats`, when given) is
+     * bit-identical to `solve(power_maps[k])` - the fields share
+     * nothing but the (power-independent) conductance stencil, and
+     * each one stops sweeping at exactly the iteration its solo solve
+     * would.  Batching exists because the per-cell update is a serial
+     * dependence chain (six ordered flow additions feeding one
+     * division): interleaving K independent fields through one sweep
+     * loop keeps K chains in flight and amortizes every stencil
+     * constant, which one field alone cannot.
+     *
+     * Under the default policy the first non-converged field (in
+     * `power_maps` order) throws, like the equivalent solve()
+     * sequence.
+     */
+    std::vector<ThermalField>
+    solveMany(const std::vector<std::vector<std::vector<double>>> &
+                  power_maps,
+              std::vector<SolveStats> *stats=nullptr) const;
+
     /** One transient sample. */
     struct TransientSample
     {
@@ -225,6 +246,30 @@ class GridSolver
                       const std::vector<double> &flow_base,
                       const std::vector<double> &g_total, double omega,
                       int color) const;
+    /**
+     * Steady-state iteration loop on an AVX-512 color-packed copy of
+     * the field; bit-identical to the sweepColor loop (same per-cell
+     * arithmetic, same iteration count, same residual).  Defined for
+     * x86-64 builds and called only when the runtime dispatch
+     * (util/simd.hh) selects the vector path and the grid side is
+     * even.  Fills `t` (standard layout) and the convergence fields
+     * of `st`.
+     */
+    void solvePackedSteady(const Coefficients &c,
+                           const std::vector<double> &g_total,
+                           std::vector<double> &t,
+                           SolveStats &st) const;
+    /**
+     * Multi-field companion of solvePackedSteady: runs every field's
+     * steady iteration concurrently through one packed sweep loop,
+     * freezing each field at its own convergence iteration.  Same
+     * availability rules as solvePackedSteady.
+     */
+    void solveManyPackedSteady(const std::vector<Coefficients> &cs,
+                               const std::vector<double> &g_total,
+                               const std::vector<std::vector<double> *>
+                                   &ts,
+                               std::vector<SolveStats> &sts) const;
     void finishSolve(SolveStats &st, SolveStats *stats_out,
                      const char *what) const;
 

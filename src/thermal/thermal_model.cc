@@ -21,13 +21,11 @@ ThermalModel::ThermalModel(const CoreDesign &design, int grid,
     floorplan_ = fp;
 }
 
-ThermalResult
-ThermalModel::solve(
+std::vector<std::vector<double>>
+ThermalModel::rasterize(
     const std::map<std::string, double> &block_power) const
 {
     const int n = grid_;
-    GridSolver solver(stack_, floorplan_.width, floorplan_.height, n,
-                      config_);
     const std::vector<std::size_t> sources = stack_.sourceLayers();
     const std::size_t n_sources = sources.size();
 
@@ -77,13 +75,18 @@ ThermalModel::solve(
             }
         }
     }
+    return maps;
+}
 
+ThermalResult
+ThermalModel::summarize(const ThermalField &field) const
+{
+    const std::vector<std::size_t> sources = stack_.sourceLayers();
     ThermalResult out;
-    ThermalField field = solver.solve(maps, &out.solver);
     out.peak_c = field.peak();
     for (const FloorplanBlock &b : floorplan_.blocks) {
         double peak = 0.0;
-        for (std::size_t s = 0; s < n_sources; ++s) {
+        for (std::size_t s = 0; s < sources.size(); ++s) {
             peak = std::max(
                 peak,
                 field.peakIn(static_cast<int>(sources[s]),
@@ -97,6 +100,45 @@ ThermalModel::solve(
             peak > out.block_peak_c[out.hottest_block]) {
             out.hottest_block = b.name;
         }
+    }
+    return out;
+}
+
+ThermalResult
+ThermalModel::solve(
+    const std::map<std::string, double> &block_power) const
+{
+    GridSolver solver(stack_, floorplan_.width, floorplan_.height,
+                      grid_, config_);
+    SolveStats stats;
+    const ThermalField field =
+        solver.solve(rasterize(block_power), &stats);
+    ThermalResult out = summarize(field);
+    out.solver = stats;
+    return out;
+}
+
+std::vector<ThermalResult>
+ThermalModel::solveMany(
+    const std::vector<std::map<std::string, double>> &block_powers)
+    const
+{
+    GridSolver solver(stack_, floorplan_.width, floorplan_.height,
+                      grid_, config_);
+    std::vector<std::vector<std::vector<double>>> maps;
+    maps.reserve(block_powers.size());
+    for (const auto &bp : block_powers)
+        maps.push_back(rasterize(bp));
+
+    std::vector<SolveStats> stats;
+    const std::vector<ThermalField> fields =
+        solver.solveMany(maps, &stats);
+
+    std::vector<ThermalResult> out;
+    out.reserve(fields.size());
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        out.push_back(summarize(fields[i]));
+        out.back().solver = stats[i];
     }
     return out;
 }

@@ -48,10 +48,28 @@ class ThermalModel
     ThermalResult solve(const std::map<std::string, double> &
                             block_power) const;
 
+    /**
+     * Solve several block power maps of this design in one pass.
+     * Result `k` is bit-identical to `solve(block_powers[k])`; the
+     * maps ride GridSolver::solveMany, which interleaves the
+     * independent per-map iterations through one sweep loop instead
+     * of solving them back to back.  The design-space search uses
+     * this for its per-design (one map per application) solves.
+     */
+    std::vector<ThermalResult>
+    solveMany(const std::vector<std::map<std::string, double>> &
+                  block_powers) const;
+
     const Floorplan &floorplan() const { return floorplan_; }
     const SolverConfig &config() const { return config_; }
 
   private:
+    /** Block powers onto per-source-layer grid power maps. */
+    std::vector<std::vector<double>>
+    rasterize(const std::map<std::string, double> &block_power) const;
+    /** Per-block peak extraction of one solved field. */
+    ThermalResult summarize(const ThermalField &field) const;
+
     CoreDesign design_;
     Floorplan floorplan_;
     LayerStack stack_;

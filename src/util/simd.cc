@@ -1,0 +1,56 @@
+#include "util/simd.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace m3d {
+namespace simd {
+
+bool
+avx2Supported()
+{
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+    static const bool supported = __builtin_cpu_supports("avx2");
+    return supported;
+#else
+    return false;
+#endif
+}
+
+bool
+avx512Supported()
+{
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+    static const bool supported = __builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512vl") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512bw");
+    return supported;
+#else
+    return false;
+#endif
+}
+
+bool
+disabledByEnv()
+{
+    const char *v = std::getenv("M3D_NO_SIMD");
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+bool
+useAvx2()
+{
+    static const bool use = avx2Supported() && !disabledByEnv();
+    return use;
+}
+
+bool
+useAvx512()
+{
+    static const bool use = avx512Supported() && !disabledByEnv();
+    return use;
+}
+
+} // namespace simd
+} // namespace m3d

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Runtime SIMD dispatch shared by every vectorized kernel.
+ *
+ * Vector paths in this codebase (the batched replay kernel, the
+ * thermal red-black sweep) are required to be bit-identical to their
+ * scalar fallbacks, so selecting between them is purely a performance
+ * decision.  This helper centralizes that decision:
+ *
+ *  - the host must actually support AVX2 (checked once via cpuid);
+ *  - the `M3D_NO_SIMD` environment variable, when set to anything but
+ *    "0" or the empty string, forces the scalar fallback everywhere -
+ *    the hook CI uses to cover the non-x86 code path on x86 runners.
+ *
+ * Kernels compile their AVX2 bodies with the GCC/Clang
+ * `target("avx2")` function attribute, so the translation units stay
+ * buildable (and the scalar paths runnable) with baseline codegen
+ * flags on any x86-64, and build cleanly to scalar-only on other
+ * architectures.
+ */
+
+#ifndef M3D_UTIL_SIMD_HH_
+#define M3D_UTIL_SIMD_HH_
+
+namespace m3d {
+namespace simd {
+
+/** True iff this CPU executes AVX2 (false off x86). */
+bool avx2Supported();
+
+/** True iff this CPU executes the AVX-512 subsets the kernels use
+ * (F, VL, DQ, BW); false off x86. */
+bool avx512Supported();
+
+/** True iff the M3D_NO_SIMD environment variable disables SIMD. */
+bool disabledByEnv();
+
+/** The dispatch decision: supported and not disabled.  Cached after
+ * the first call, so flipping the environment mid-process has no
+ * effect (kernels would otherwise mix paths within one batch). */
+bool useAvx2();
+
+/** Like useAvx2(), for the 8-lane AVX-512 kernel paths. */
+bool useAvx512();
+
+} // namespace simd
+} // namespace m3d
+
+#endif // M3D_UTIL_SIMD_HH_

@@ -118,12 +118,20 @@ TraceBuffer::size() const
     return size_;
 }
 
+TraceBuffer::ChunkRange
+TraceBuffer::range(std::uint64_t pos, std::uint64_t n) const
+{
+    M3D_ASSERT(pos + n <= size(),
+               "trace range past the resolved prefix");
+    return ChunkRange(this, pos, pos + n);
+}
+
 MicroOp
 TraceBuffer::at(std::uint64_t i) const
 {
-    M3D_ASSERT(i < size(), "trace index out of range");
-    const Chunk &c = chunk(i >> kChunkShift);
-    const auto o = static_cast<std::size_t>(i & kChunkMask);
+    const ChunkView v = *range(i, 1).begin();
+    const Chunk &c = *v.chunk;
+    const auto o = static_cast<std::size_t>(v.begin);
     MicroOp op;
     op.op = static_cast<OpClass>(c.op[o]);
     op.src1_dist = c.src1[o];

@@ -30,6 +30,7 @@
 #ifndef M3D_WORKLOAD_TRACE_BUFFER_HH_
 #define M3D_WORKLOAD_TRACE_BUFFER_HH_
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
@@ -125,6 +126,98 @@ class TraceBuffer
     {
         return *chunks_[static_cast<std::size_t>(ci)];
     }
+
+    /**
+     * One contiguous span of resolved ops inside a single chunk: the
+     * column arrays plus the half-open offset window [begin, end)
+     * valid in them.  `base` is the global op index of the op at
+     * column offset `begin`, so the op at offset `o` has global index
+     * `base + (o - begin)`.
+     */
+    struct ChunkView
+    {
+        const Chunk *chunk = nullptr;
+        std::uint64_t base = 0;
+        std::uint32_t begin = 0;
+        std::uint32_t end = 0;
+
+        std::uint32_t size() const { return end - begin; }
+        /** Chunk index of the viewed columns (MemLevelTable rows and
+         * other per-op side tables mirror this chunking). */
+        std::uint64_t index() const
+        {
+            return (base - begin) >> kChunkShift;
+        }
+    };
+
+    /**
+     * Iterable sequence of ChunkViews covering [pos, pos + n): one
+     * view per chunk the window touches, in stream order.  The one
+     * chunk-walking interface shared by the sequential replay
+     * streams, the batched replay kernel, and trace tooling.
+     */
+    class ChunkRange
+    {
+      public:
+        class iterator
+        {
+          public:
+            iterator(const TraceBuffer *buf, std::uint64_t pos,
+                     std::uint64_t end)
+                : buf_(buf), pos_(pos), end_(end)
+            {
+            }
+
+            ChunkView operator*() const
+            {
+                const std::uint64_t ci = pos_ >> kChunkShift;
+                const auto off =
+                    static_cast<std::uint32_t>(pos_ & kChunkMask);
+                const std::uint64_t stop =
+                    std::min(end_, (ci + 1) << kChunkShift);
+                return ChunkView{
+                    &buf_->chunk(ci), pos_, off,
+                    off + static_cast<std::uint32_t>(stop - pos_)};
+            }
+
+            iterator &operator++()
+            {
+                const std::uint64_t ci = pos_ >> kChunkShift;
+                pos_ = std::min(end_, (ci + 1) << kChunkShift);
+                return *this;
+            }
+
+            bool operator!=(const iterator &o) const
+            {
+                return pos_ != o.pos_;
+            }
+
+          private:
+            const TraceBuffer *buf_;
+            std::uint64_t pos_;
+            std::uint64_t end_;
+        };
+
+        ChunkRange(const TraceBuffer *buf, std::uint64_t pos,
+                   std::uint64_t end)
+            : buf_(buf), pos_(pos), end_(end)
+        {
+        }
+
+        iterator begin() const { return {buf_, pos_, end_}; }
+        iterator end() const { return {buf_, end_, end_}; }
+
+      private:
+        const TraceBuffer *buf_;
+        std::uint64_t pos_;
+        std::uint64_t end_;
+    };
+
+    /**
+     * The views covering ops [pos, pos + n); the window must already
+     * be resolved (some ensure() call returned for pos + n).
+     */
+    ChunkRange range(std::uint64_t pos, std::uint64_t n) const;
 
     /** AoS view of op `i` (tests, tooling; not the replay hot path). */
     MicroOp at(std::uint64_t i) const;

@@ -208,6 +208,73 @@ TEST(SolverParallel, RowChunkingNeverAffectsResults)
         EXPECT_DOUBLE_EQ(a.t_c[i], b.t_c[i]);
 }
 
+TEST(SolverParallel, SolveManyIsBitIdenticalToSoloSolves)
+{
+    // The multi-field packed path interleaves K independent fields
+    // through one sweep, and its contract is EXACT equality with K
+    // solo solve() calls - not closeness.  Golden tolerances cannot
+    // catch a few-ulp drift here (a sweep-order swap once slipped
+    // through every golden test at ~5e-6), so this compares every
+    // cell with ==.  Distinct per-field hotspots make the fields
+    // converge at different iterations, exercising the per-field
+    // alive-list freezing.
+    const LayerStack stack = LayerStack::m3d();
+    const int n = 16;
+    std::vector<std::vector<std::vector<double>>> maps;
+    for (int f = 0; f < 3; ++f) {
+        auto power = uniformPower(stack, n, 2.0 + f);
+        // Hotspot at a field-dependent cell of the first source layer.
+        power[0][static_cast<std::size_t>((5 + 3 * f) * n + 7)] +=
+            1.5 * (f + 1);
+        maps.push_back(std::move(power));
+    }
+
+    GridSolver solver(stack, 2.3 * mm, 2.3 * mm, n);
+    std::vector<SolveStats> many_stats;
+    const std::vector<ThermalField> many =
+        solver.solveMany(maps, &many_stats);
+    ASSERT_EQ(many.size(), maps.size());
+    ASSERT_EQ(many_stats.size(), maps.size());
+
+    for (std::size_t f = 0; f < maps.size(); ++f) {
+        SolveStats solo_stats;
+        const ThermalField solo = solver.solve(maps[f], &solo_stats);
+        ASSERT_EQ(solo.t_c.size(), many[f].t_c.size());
+        for (std::size_t i = 0; i < solo.t_c.size(); ++i) {
+            ASSERT_EQ(solo.t_c[i], many[f].t_c[i])
+                << "field " << f << " cell " << i;
+        }
+        EXPECT_EQ(solo_stats.iterations, many_stats[f].iterations);
+        EXPECT_EQ(solo_stats.residual, many_stats[f].residual);
+    }
+}
+
+TEST(SolverParallel, ThermalModelSolveManyMatchesSolo)
+{
+    // Same contract one level up: ThermalModel::solveMany (the search
+    // subsystem's entry point) against per-map solve() calls, with
+    // realistic rasterized block powers instead of synthetic fields.
+    DesignFactory factory;
+    ThermalModel tm(factory.m3dHet(), 16);
+    const std::vector<std::map<std::string, double>> maps = {
+        {{"ALU", 1.0}, {"FPU", 0.8}, {"Fetch", 0.6}, {"Clock", 1.2}},
+        {{"ALU", 0.4}, {"LSQ", 1.1}, {"Rename", 0.7}, {"Clock", 0.9}},
+        {{"ALU", 1.6}, {"FPU", 0.2}, {"ROB", 0.9}, {"Clock", 1.4}},
+    };
+    const std::vector<ThermalResult> many = tm.solveMany(maps);
+    ASSERT_EQ(many.size(), maps.size());
+    for (std::size_t f = 0; f < maps.size(); ++f) {
+        const ThermalResult solo = tm.solve(maps[f]);
+        EXPECT_EQ(solo.peak_c, many[f].peak_c) << "map " << f;
+        EXPECT_EQ(solo.hottest_block, many[f].hottest_block)
+            << "map " << f;
+        EXPECT_EQ(solo.block_peak_c, many[f].block_peak_c)
+            << "map " << f;
+        EXPECT_EQ(solo.solver.iterations, many[f].solver.iterations)
+            << "map " << f;
+    }
+}
+
 TEST(SolverTelemetry, ThermalModelThreadsStatsThrough)
 {
     DesignFactory factory;

@@ -633,45 +633,58 @@ cmdTraceInfo(const std::vector<std::string> &args)
         return exitCode(status);
     const std::string path = parser.positionals()[0];
 
-    TraceReader reader(path);
+    // Load through the SoA buffer and walk it with the same
+    // ChunkView range the replay engines use: one pass over the
+    // column arrays, no per-op AoS materialization.  The op-mix
+    // numbers are pure stream properties, so any profile yields the
+    // same table; the profile only matters for the predictor
+    // resolution reported under --app.
+    const WorkloadProfile app =
+        app_name.empty() ? WorkloadProfile() : appByName(app_name);
+    const TraceBuffer buf(path, app);
     std::uint64_t loads = 0, stores = 0, branches = 0, taken = 0;
     std::uint64_t calls = 0, returns = 0, fp = 0, complex_ops = 0;
     std::uint64_t min_addr = UINT64_MAX, max_addr = 0;
-    for (std::uint64_t i = 0; i < reader.size(); ++i) {
-        const MicroOp &op = reader.at(i);
-        switch (op.op) {
-        case OpClass::Load:
-            ++loads;
-            break;
-        case OpClass::Store:
-            ++stores;
-            break;
-        case OpClass::Branch:
-            ++branches;
-            taken += op.taken ? 1 : 0;
-            calls += op.is_call ? 1 : 0;
-            returns += op.is_return ? 1 : 0;
-            break;
-        case OpClass::FpAdd:
-        case OpClass::FpMult:
-        case OpClass::FpDiv:
-            ++fp;
-            break;
-        default:
-            break;
-        }
-        complex_ops += op.complex_decode ? 1 : 0;
-        if ((op.op == OpClass::Load || op.op == OpClass::Store) &&
-            op.address != 0) {
-            min_addr = std::min(min_addr, op.address);
-            max_addr = std::max(max_addr, op.address);
+    for (const TraceBuffer::ChunkView v : buf.range(0, buf.size())) {
+        const TraceBuffer::Chunk &ch = *v.chunk;
+        for (std::uint32_t o = v.begin; o < v.end; ++o) {
+            const auto op = static_cast<OpClass>(ch.op[o]);
+            const std::uint8_t flags = ch.flags[o];
+            switch (op) {
+            case OpClass::Load:
+                ++loads;
+                break;
+            case OpClass::Store:
+                ++stores;
+                break;
+            case OpClass::Branch:
+                ++branches;
+                taken += (flags & TraceBuffer::kFlagTaken) ? 1 : 0;
+                calls += (flags & TraceBuffer::kFlagCall) ? 1 : 0;
+                returns += (flags & TraceBuffer::kFlagReturn) ? 1 : 0;
+                break;
+            case OpClass::FpAdd:
+            case OpClass::FpMult:
+            case OpClass::FpDiv:
+                ++fp;
+                break;
+            default:
+                break;
+            }
+            complex_ops +=
+                (flags & TraceBuffer::kFlagComplex) ? 1 : 0;
+            if ((op == OpClass::Load || op == OpClass::Store) &&
+                ch.address[o] != 0) {
+                min_addr = std::min(min_addr, ch.address[o]);
+                max_addr = std::max(max_addr, ch.address[o]);
+            }
         }
     }
-    const auto n = static_cast<double>(reader.size());
+    const auto n = static_cast<double>(buf.size());
 
     Table t("Trace " + path);
     t.header({"Field", "Value"});
-    t.row({"Micro-ops", std::to_string(reader.size())});
+    t.row({"Micro-ops", std::to_string(buf.size())});
     t.row({"Loads", Table::pct(static_cast<double>(loads) / n, 1)});
     t.row({"Stores", Table::pct(static_cast<double>(stores) / n, 1)});
     t.row({"Branches",
@@ -694,11 +707,10 @@ cmdTraceInfo(const std::vector<std::string> &args)
                    " KB"});
     }
     if (!app_name.empty()) {
-        // Reload through the SoA buffer: recomputes the fixed-core
-        // predictor outcomes (tournament + RAS) over the trace, the
-        // same derived state the replay engine shares per process.
-        const WorkloadProfile app = appByName(app_name);
-        const TraceBuffer buf(path, app);
+        // The load above already recomputed the fixed-core predictor
+        // outcomes (tournament + RAS) over the trace under the named
+        // profile - the same derived state the replay engine shares
+        // per process.
         t.row({"Resolved mispredicts",
                std::to_string(buf.resolvedMispredicts())});
         t.row({"Resolved MPKI",

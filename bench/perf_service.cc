@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Wall-clock benchmark of the m3dd evaluation service: a many-client
+ * request storm against one warm in-process daemon, versus the
+ * per-process cold-start cost the daemon exists to amortize.  Emits
+ * BENCH_service.json (hand-built JSON, not an m3d-report emission:
+ * wall time is machine-dependent, so this file is exempt from the
+ * golden harness like perf_thermal / perf_search).
+ *
+ * Three measurements:
+ *
+ *  - cold per-process query: clear the process-wide TraceRegistry,
+ *    build a fresh Evaluator + DesignFactory, run one evaluation -
+ *    exactly what every short-lived CLI invocation pays;
+ *  - warm daemon storm: C concurrent clients each issue R eval
+ *    requests over the Unix-domain socket against a pre-warmed
+ *    server; per-request latency gives p50/p99 and throughput;
+ *  - byte-identity: every storm response is compared against the
+ *    in-process rendering of the same key - the daemon must be
+ *    invisible in the results (exit 1 on any mismatch).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/evaluator.hh"
+#include "report/json.hh"
+#include "service/client.hh"
+#include "service/protocol.hh"
+#include "service/server.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+#include "workload/trace_buffer.hh"
+
+using namespace m3d;
+
+namespace {
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** The daemon-resolvable name of a design (server/addNameForms). */
+std::string
+wireName(const CoreDesign &d)
+{
+    std::string key = d.name;
+    for (char &c : key) {
+        c = static_cast<char>(std::tolower(c));
+        if (c == ' ')
+            c = '-';
+    }
+    return key;
+}
+
+struct QueryKey
+{
+    std::string design;
+    std::string app;
+};
+
+report::Json
+evalRequest(const QueryKey &q, const SimBudget &budget)
+{
+    report::Json run = report::Json::object();
+    run.set("kind", report::Json::string("single"));
+    run.set("design", report::Json::string(q.design));
+    run.set("app", report::Json::string(q.app));
+    run.set("warmup", report::Json::number(
+                          static_cast<double>(budget.warmup)));
+    run.set("measured", report::Json::number(
+                            static_cast<double>(budget.measured)));
+    run.set("seed", report::Json::number(
+                        static_cast<double>(budget.seed)));
+    report::Json runs = report::Json::array();
+    runs.push(std::move(run));
+    report::Json req = report::Json::object();
+    req.set("type", report::Json::string("eval"));
+    req.set("runs", std::move(runs));
+    return req;
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double idx =
+        p * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi =
+        std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int clients = 8;
+    int requests = 16;
+    int jobs = 8;
+    int cold_samples = 4;
+    std::uint64_t instructions = 20000;
+    std::string json_path = "BENCH_service.json";
+    std::string socket_path = "perf_service.sock";
+    cli::Parser parser(
+        "perf_service",
+        "m3dd service wall clock: many-client storm latency vs "
+        "per-process cold start, with byte-identity checks.");
+    parser.flag("clients", &clients, "concurrent storm clients")
+        .flag("requests", &requests, "eval requests per client")
+        .flag("jobs", &jobs,
+              "daemon worker threads; 0 means all hardware threads")
+        .flag("cold-samples", &cold_samples,
+              "cold per-process queries to average")
+        .flag("instructions", &instructions,
+              "measured instruction count per evaluation")
+        .flag("json", &json_path, "write results to this file")
+        .flag("socket", &socket_path,
+              "scratch Unix-domain socket for the storm");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+    clients = std::max(1, clients);
+    requests = std::max(1, requests);
+    cold_samples = std::max(1, cold_samples);
+
+    const int hw =
+        static_cast<int>(std::thread::hardware_concurrency());
+    SimBudget budget;
+    budget.warmup = 2000;
+    budget.measured = instructions;
+
+    // The query mix: every single-core design x a few apps, so the
+    // storm has both distinct keys and plenty of duplicates to
+    // coalesce.
+    const std::vector<std::string> apps = {"Gcc", "Mcf", "Hmmer",
+                                           "Gamess"};
+    std::vector<QueryKey> keys;
+    std::map<std::string, CoreDesign> designs;
+    {
+        engine::EvalOptions eopts;
+        eopts.threads = 1;
+        engine::Evaluator ev(eopts);
+        const DesignFactory factory = engine::designFactory(ev);
+        for (const CoreDesign &d : factory.singleCoreDesigns())
+            designs.emplace(wireName(d), d);
+    }
+    for (const auto &[name, d] : designs)
+        for (const std::string &app : apps)
+            keys.push_back(QueryKey{name, app});
+
+    // --- Cold per-process baseline -----------------------------------
+    // Each sample pays what a short-lived CLI process pays: trace
+    // capture from scratch, partition sweeps for the factory, one
+    // evaluation.  Done BEFORE the daemon exists - clearing the
+    // process-wide registry under a live server would be unfair to
+    // both sides.
+    std::vector<double> cold_ms;
+    for (int i = 0; i < cold_samples; ++i) {
+        const QueryKey &q = keys[static_cast<std::size_t>(i) %
+                                 keys.size()];
+        TraceRegistry::global().clear();
+        const double t0 = nowMs();
+        engine::EvalOptions eopts;
+        eopts.threads = jobs;
+        engine::Evaluator ev(eopts);
+        const DesignFactory factory = engine::designFactory(ev);
+        (void)factory;
+        engine::BatchRunRequest batch;
+        RunRequest rr;
+        rr.kind = RunKind::Single;
+        rr.design = designs.at(q.design);
+        rr.app = WorkloadLibrary::byName(q.app);
+        rr.budget = budget;
+        batch.runs.push_back(rr);
+        (void)ev.submit(batch);
+        cold_ms.push_back(nowMs() - t0);
+    }
+    double cold_mean_ms = 0.0;
+    for (const double ms : cold_ms)
+        cold_mean_ms += ms;
+    cold_mean_ms /= static_cast<double>(cold_ms.size());
+
+    // --- Expected bytes, computed in-process -------------------------
+    // One shared evaluator renders the reference response for every
+    // key; the storm responses must match these bytes exactly.
+    std::map<std::string, std::string> expected;
+    {
+        engine::EvalOptions eopts;
+        eopts.threads = jobs;
+        engine::Evaluator ev(eopts);
+        engine::BatchRunRequest batch;
+        for (const QueryKey &q : keys) {
+            RunRequest rr;
+            rr.kind = RunKind::Single;
+            rr.design = designs.at(q.design);
+            rr.app = WorkloadLibrary::byName(q.app);
+            rr.budget = budget;
+            batch.runs.push_back(rr);
+        }
+        const engine::BatchRunResult out = ev.submit(batch);
+        for (std::size_t i = 0; i < keys.size(); ++i)
+            expected[keys[i].design + "/" + keys[i].app] =
+                service::runResultJson(out.runs[i]).dump();
+    }
+
+    // --- Warm daemon storm -------------------------------------------
+    service::ServerOptions sopts;
+    sopts.socket_path = socket_path;
+    sopts.threads = jobs;
+    service::Server server(sopts);
+    std::string err;
+    if (!server.start(&err)) {
+        std::cerr << "perf_service: daemon failed to start: " << err
+                  << "\n";
+        return 1;
+    }
+
+    // Pre-warm: one pass over every key so the storm measures warm
+    // service latency, not first-touch simulation cost.
+    {
+        service::Client c;
+        report::Json resp;
+        if (!c.connect(socket_path, &err)) {
+            std::cerr << "perf_service: " << err << "\n";
+            return 1;
+        }
+        for (const QueryKey &q : keys) {
+            if (!c.callChecked(evalRequest(q, budget), &resp,
+                               &err)) {
+                std::cerr << "perf_service: warmup failed: " << err
+                          << "\n";
+                return 1;
+            }
+        }
+    }
+
+    std::vector<std::vector<double>> lat(
+        static_cast<std::size_t>(clients));
+    std::vector<int> mismatches(static_cast<std::size_t>(clients),
+                                0);
+    std::vector<int> failures(static_cast<std::size_t>(clients), 0);
+    const double storm_t0 = nowMs();
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(clients));
+        for (int ci = 0; ci < clients; ++ci) {
+            threads.emplace_back([&, ci] {
+                service::Client c;
+                std::string cerr_;
+                if (!c.connect(socket_path, &cerr_)) {
+                    failures[static_cast<std::size_t>(ci)] =
+                        requests;
+                    return;
+                }
+                for (int r = 0; r < requests; ++r) {
+                    // Stagger the walk so clients collide on some
+                    // keys (coalescing) but not all.
+                    const QueryKey &q =
+                        keys[static_cast<std::size_t>(ci + r) %
+                             keys.size()];
+                    report::Json resp;
+                    const double t0 = nowMs();
+                    if (!c.callChecked(evalRequest(q, budget),
+                                       &resp, &cerr_)) {
+                        ++failures[static_cast<std::size_t>(ci)];
+                        continue;
+                    }
+                    lat[static_cast<std::size_t>(ci)].push_back(
+                        nowMs() - t0);
+                    const report::Json *results =
+                        resp.find("results");
+                    const std::string got =
+                        results->elements().at(0).dump();
+                    if (got !=
+                        expected.at(q.design + "/" + q.app))
+                        ++mismatches[static_cast<std::size_t>(ci)];
+                }
+            });
+        }
+        for (std::thread &t : threads)
+            t.join();
+    }
+    const double storm_ms = nowMs() - storm_t0;
+    const service::ServerStats sstats = server.stats();
+    server.stop();
+
+    std::vector<double> all;
+    int total_mismatches = 0;
+    int total_failures = 0;
+    for (int ci = 0; ci < clients; ++ci) {
+        const auto i = static_cast<std::size_t>(ci);
+        all.insert(all.end(), lat[i].begin(), lat[i].end());
+        total_mismatches += mismatches[i];
+        total_failures += failures[i];
+    }
+    std::sort(all.begin(), all.end());
+    const double p50 = percentile(all, 0.50);
+    const double p99 = percentile(all, 0.99);
+    const double mean =
+        all.empty() ? 0.0
+                    : [&] {
+                          double s = 0.0;
+                          for (const double v : all)
+                              s += v;
+                          return s / static_cast<double>(all.size());
+                      }();
+    const double throughput =
+        storm_ms > 0.0
+            ? static_cast<double>(all.size()) / (storm_ms / 1e3)
+            : 0.0;
+    const double warm_speedup =
+        mean > 0.0 ? cold_mean_ms / mean : 0.0;
+    const bool identical = total_mismatches == 0 &&
+                           total_failures == 0 && !all.empty();
+
+    Table t("m3dd service storm (" + std::to_string(clients) +
+            " clients x " + std::to_string(requests) +
+            " requests, " + std::to_string(instructions) +
+            " instructions)");
+    t.header({"Metric", "Value"});
+    t.row({"cold per-process query", Table::num(cold_mean_ms, 2) +
+                                         " ms"});
+    t.row({"warm daemon mean", Table::num(mean, 3) + " ms"});
+    t.row({"warm daemon p50", Table::num(p50, 3) + " ms"});
+    t.row({"warm daemon p99", Table::num(p99, 3) + " ms"});
+    t.row({"throughput", Table::num(throughput, 1) + " req/s"});
+    t.row({"warm speedup vs cold", Table::num(warm_speedup, 1) +
+                                       "x"});
+    t.separator();
+    t.row({"runs requested",
+           std::to_string(sstats.runs_requested)});
+    t.row({"runs coalesced",
+           std::to_string(sstats.runs_coalesced)});
+    t.row({"backend evaluations",
+           std::to_string(sstats.run_hook_fires)});
+    t.row({"drain cycles", std::to_string(sstats.drains)});
+    t.print(std::cout);
+    std::cout << "Storm responses byte-identical to in-process: "
+              << (identical ? "yes" : "NO") << "\n";
+
+    report::Json results = report::Json::object();
+    results.set("cold_query_ms",
+                report::Json::number(cold_mean_ms));
+    results.set("warm_mean_ms", report::Json::number(mean));
+    results.set("warm_p50_ms", report::Json::number(p50));
+    results.set("warm_p99_ms", report::Json::number(p99));
+    results.set("throughput_rps",
+                report::Json::number(throughput));
+    results.set("warm_speedup", report::Json::number(warm_speedup));
+    results.set("requests", report::Json::number(
+                                static_cast<double>(all.size())));
+    results.set("runs_requested",
+                report::Json::number(static_cast<double>(
+                    sstats.runs_requested)));
+    results.set("runs_coalesced",
+                report::Json::number(static_cast<double>(
+                    sstats.runs_coalesced)));
+    results.set("backend_evaluations",
+                report::Json::number(static_cast<double>(
+                    sstats.run_hook_fires)));
+    results.set("drains", report::Json::number(
+                              static_cast<double>(sstats.drains)));
+    results.set("results_identical",
+                report::Json::boolean(identical));
+
+    report::Json doc = report::Json::object();
+    doc.set("kind", report::Json::string("m3d-bench"));
+    doc.set("version", report::Json::number(1));
+    doc.set("bench", report::Json::string("perf_service"));
+    report::Json cfg = report::Json::object();
+    cfg.set("clients", report::Json::number(clients));
+    cfg.set("requests_per_client",
+            report::Json::number(requests));
+    cfg.set("jobs", report::Json::number(jobs));
+    cfg.set("cold_samples", report::Json::number(cold_samples));
+    cfg.set("instructions", report::Json::number(
+                                static_cast<double>(instructions)));
+    cfg.set("distinct_keys", report::Json::number(
+                                 static_cast<double>(keys.size())));
+    cfg.set("hardware_threads", report::Json::number(hw));
+    doc.set("config", std::move(cfg));
+    doc.set("results", std::move(results));
+
+    std::ofstream out(json_path);
+    if (!out.is_open()) {
+        std::cerr << "perf_service: cannot write '" << json_path
+                  << "'\n";
+        return 1;
+    }
+    doc.write(out);
+    std::remove(socket_path.c_str());
+    std::cout << "\nWrote " << json_path << " (hardware threads: "
+              << hw << ")\n";
+    return identical ? 0 : 1;
+}

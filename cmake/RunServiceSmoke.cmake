@@ -1,0 +1,139 @@
+# End-to-end m3dd service smoke test (see tools/CMakeLists.txt).
+#
+#   cmake -DTOOL=<m3dtool> -DOUT_DIR=<scratch> -P RunServiceSmoke.cmake
+#
+# 1. Start a detached daemon (readiness-gated, so no startup race).
+# 2. Sweep through the daemon and in-process; stdout must be
+#    byte-identical - the service must be invisible in the results.
+# 3. Search through the daemon and in-process; same contract.
+# 4. A second daemon on the same cache dir must fail fast.
+# 5. client stats answers; client stop shuts the daemon down and a
+#    follow-up ping must fail.
+#
+# Everything runs inside OUT_DIR with a relative socket path (the
+# AF_UNIX sun_path limit makes absolute build paths fragile).
+
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+# Stop the daemon (best effort) before failing so a broken assertion
+# never leaks a background process into the test environment.
+function(die msg)
+    execute_process(
+        COMMAND ${TOOL} client stop --socket m3dd.sock
+        WORKING_DIRECTORY ${OUT_DIR}
+        OUTPUT_QUIET ERROR_QUIET)
+    message(FATAL_ERROR "${msg}")
+endfunction()
+
+execute_process(
+    COMMAND ${TOOL} serve --detach --socket m3dd.sock
+            --cache-dir cache --jobs 2 --log m3dd.log
+    WORKING_DIRECTORY ${OUT_DIR}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "m3dd failed to start:\n${out}${err}")
+endif()
+if(NOT out MATCHES "listening on m3dd.sock")
+    die("serve --detach did not announce the socket:\n${out}${err}")
+endif()
+
+execute_process(
+    COMMAND ${TOOL} client ping --socket m3dd.sock
+    WORKING_DIRECTORY ${OUT_DIR}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "pong")
+    die("client ping failed against a fresh daemon:\n${out}${err}")
+endif()
+
+# --- Sweep byte-identity -------------------------------------------------
+execute_process(
+    COMMAND ${TOOL} sweep m3d-iso --daemon require --socket m3dd.sock
+    WORKING_DIRECTORY ${OUT_DIR}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE daemon_sweep
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    die("daemon sweep failed:\n${daemon_sweep}${err}")
+endif()
+execute_process(
+    COMMAND ${TOOL} sweep m3d-iso --daemon off --no-cache
+    WORKING_DIRECTORY ${OUT_DIR}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE local_sweep
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    die("in-process sweep failed:\n${local_sweep}${err}")
+endif()
+if(NOT daemon_sweep STREQUAL local_sweep)
+    die("daemon sweep output differs from in-process output.\n"
+        "--- daemon ---\n${daemon_sweep}\n"
+        "--- in-process ---\n${local_sweep}")
+endif()
+
+# --- Search byte-identity ------------------------------------------------
+set(search_args search random --seed 5 --budget 4
+    --instructions 20000 --thermal-grid 16 --jobs 2)
+execute_process(
+    COMMAND ${TOOL} ${search_args} --daemon require --socket m3dd.sock
+    WORKING_DIRECTORY ${OUT_DIR}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE daemon_search
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    die("daemon search failed:\n${daemon_search}${err}")
+endif()
+execute_process(
+    COMMAND ${TOOL} ${search_args} --daemon off
+    WORKING_DIRECTORY ${OUT_DIR}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE local_search
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    die("in-process search failed:\n${local_search}${err}")
+endif()
+if(NOT daemon_search STREQUAL local_search)
+    die("daemon search output differs from in-process output.\n"
+        "--- daemon ---\n${daemon_search}\n"
+        "--- in-process ---\n${local_search}")
+endif()
+
+# --- One daemon per cache dir --------------------------------------------
+execute_process(
+    COMMAND ${TOOL} serve --detach --socket other.sock
+            --cache-dir cache --jobs 2 --log other.log
+    WORKING_DIRECTORY ${OUT_DIR}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+    die("a second daemon on the same cache dir started instead of "
+        "failing fast:\n${out}${err}")
+endif()
+if(NOT "${out}${err}" MATCHES "already served")
+    die("second-daemon failure did not name the lock owner:\n"
+        "${out}${err}")
+endif()
+
+# --- Stats and shutdown --------------------------------------------------
+execute_process(
+    COMMAND ${TOOL} client stats --socket m3dd.sock
+    WORKING_DIRECTORY ${OUT_DIR}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "partitions_requested")
+    die("client stats failed:\n${out}${err}")
+endif()
+
+execute_process(
+    COMMAND ${TOOL} client stop --socket m3dd.sock
+    WORKING_DIRECTORY ${OUT_DIR}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "client stop failed:\n${out}${err}")
+endif()
+execute_process(
+    COMMAND ${TOOL} client ping --socket m3dd.sock
+    WORKING_DIRECTORY ${OUT_DIR}
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+    message(FATAL_ERROR
+        "the daemon still answers after client stop")
+endif()
+
+message(STATUS
+    "service smoke: daemon-vs-in-process sweep and search "
+    "byte-identical; lock, stats, and shutdown behave")

@@ -1,0 +1,142 @@
+# m3dd crash/corruption recovery test (see tools/CMakeLists.txt).
+#
+#   cmake -DTOOL=<m3dtool> -DOUT_DIR=<scratch> -P RunShardRecovery.cmake
+#
+# 1. Start a daemon, warm it with a sweep, snapshot via client save.
+# 2. kill -9 the daemon (the kernel drops its flock, so no stale-lock
+#    state can survive) and vandalize the snapshot: overwrite one
+#    shard with garbage and plant a stale mid-save temp file.
+# 3. Restart on the same cache dir: it must come up, skip the corrupt
+#    shard with a warning, sweep away the temp debris, and serve.
+# 4. Re-warm and save: the next snapshot must repair the bad shard -
+#    a further restart loads with no corruption warning.
+
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+function(die msg)
+    execute_process(
+        COMMAND ${TOOL} client stop --socket m3dd.sock
+        WORKING_DIRECTORY ${OUT_DIR}
+        OUTPUT_QUIET ERROR_QUIET)
+    message(FATAL_ERROR "${msg}")
+endfunction()
+
+function(start_daemon)
+    execute_process(
+        COMMAND ${TOOL} serve --detach --socket m3dd.sock
+                --cache-dir cache --jobs 2 --log m3dd.log
+        WORKING_DIRECTORY ${OUT_DIR}
+        RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "m3dd failed to start:\n${out}${err}")
+    endif()
+    if(NOT out MATCHES "pid ([0-9]+)")
+        die("serve --detach did not report a pid:\n${out}${err}")
+    endif()
+    set(daemon_pid ${CMAKE_MATCH_1} PARENT_SCOPE)
+endfunction()
+
+function(warm_and_save)
+    execute_process(
+        COMMAND ${TOOL} sweep m3d-iso --daemon require
+                --socket m3dd.sock
+        WORKING_DIRECTORY ${OUT_DIR}
+        RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        die("daemon sweep failed:\n${out}${err}")
+    endif()
+    execute_process(
+        COMMAND ${TOOL} client save --socket m3dd.sock
+        WORKING_DIRECTORY ${OUT_DIR}
+        RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0 OR NOT out MATCHES "Saved [1-9]")
+        die("client save did not write entries:\n${out}${err}")
+    endif()
+endfunction()
+
+start_daemon()
+warm_and_save()
+
+# Crash: SIGKILL means no shutdown path runs at all.  flock must be
+# released by the kernel, never by daemon cleanup code.
+execute_process(COMMAND kill -9 ${daemon_pid} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    die("could not kill daemon pid ${daemon_pid}")
+endif()
+# Wait for the pid to disappear so the restart cannot race the kill.
+foreach(attempt RANGE 50)
+    execute_process(COMMAND kill -0 ${daemon_pid}
+                    RESULT_VARIABLE alive ERROR_QUIET)
+    if(NOT alive EQUAL 0)
+        break()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+
+# Vandalize the snapshot: corrupt the largest shard (guaranteed to
+# hold entries) and plant the debris of an interrupted save.
+file(GLOB shards ${OUT_DIR}/cache/partition-*.cache)
+if(shards STREQUAL "")
+    message(FATAL_ERROR "client save left no shard files on disk")
+endif()
+set(victim "")
+set(victim_size 0)
+foreach(shard ${shards})
+    file(SIZE ${shard} sz)
+    if(sz GREATER victim_size)
+        set(victim ${shard})
+        set(victim_size ${sz})
+    endif()
+endforeach()
+file(WRITE ${victim} "this is definitely not a cache shard\n")
+file(WRITE ${OUT_DIR}/cache/partition-07.cache.tmp.999
+     "half-written snapshot debris\n")
+
+# Restart over the wreckage: the flock must be acquirable, the bad
+# shard skipped with a warning, and the temp file swept.
+file(REMOVE ${OUT_DIR}/m3dd.log)
+start_daemon()
+file(READ ${OUT_DIR}/m3dd.log log)
+if(NOT log MATCHES "corrupt or from an incompatible version")
+    die("restart over a corrupt shard did not warn:\n${log}")
+endif()
+if(NOT log MATCHES "removing stale cache snapshot temp file")
+    die("restart did not sweep the stale save debris:\n${log}")
+endif()
+if(EXISTS ${OUT_DIR}/cache/partition-07.cache.tmp.999)
+    die("stale temp file still on disk after restart")
+endif()
+
+# Self-repair: re-derive the lost entries and snapshot again, then
+# prove a third start loads every shard cleanly.
+warm_and_save()
+execute_process(
+    COMMAND ${TOOL} client stop --socket m3dd.sock
+    WORKING_DIRECTORY ${OUT_DIR}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "client stop failed:\n${out}${err}")
+endif()
+
+file(REMOVE ${OUT_DIR}/m3dd.log)
+start_daemon()
+file(READ ${OUT_DIR}/m3dd.log log)
+if(log MATCHES "corrupt or from an incompatible version")
+    die("snapshot after recovery did not repair the corrupt "
+        "shard:\n${log}")
+endif()
+if(NOT log MATCHES "loaded [1-9][0-9]* cached partition entries")
+    die("repaired snapshot loaded no entries:\n${log}")
+endif()
+execute_process(
+    COMMAND ${TOOL} client stop --socket m3dd.sock
+    WORKING_DIRECTORY ${OUT_DIR}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "final client stop failed:\n${out}${err}")
+endif()
+
+message(STATUS
+    "shard recovery: kill -9 + corrupt shard + stale tmp all "
+    "self-repaired across restarts")

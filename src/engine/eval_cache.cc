@@ -125,18 +125,61 @@ readMetrics(std::istringstream &in, ArrayMetrics *m)
            hexDouble(f[11], &m->cam_search_delay);
 }
 
+void
+writeEntry(std::ostream &out, const EvalKey &key,
+           const PartitionResult &r)
+{
+    out << key.str() << ' ' << encodeName(r.cfg.name) << ' '
+        << r.cfg.words << ' ' << r.cfg.bits << ' '
+        << r.cfg.read_ports << ' ' << r.cfg.write_ports << ' '
+        << r.cfg.banks << ' ' << (r.cfg.cam ? 1 : 0) << ' '
+        << r.cfg.cam_tag_bits << ' '
+        << static_cast<int>(r.spec.kind) << ' '
+        << doubleHex(r.spec.bottom_share) << ' '
+        << r.spec.bottom_ports << ' '
+        << doubleHex(r.spec.top_access_scale) << ' '
+        << doubleHex(r.spec.top_cell_scale);
+    writeMetrics(out, r.planar);
+    writeMetrics(out, r.stacked);
+    out << '\n';
+}
+
+bool
+parseEntry(const std::string &line, EvalKey *key, PartitionResult *r)
+{
+    std::istringstream ls(line);
+    std::string key_text, name;
+    int kind = 0, cam = 0;
+    std::string share, access_scale, cell_scale;
+    if (!(ls >> key_text >> name >> r->cfg.words >> r->cfg.bits >>
+          r->cfg.read_ports >> r->cfg.write_ports >> r->cfg.banks >>
+          cam >> r->cfg.cam_tag_bits >> kind >> share >>
+          r->spec.bottom_ports >> access_scale >> cell_scale))
+        return false;
+    if (!EvalKey::parse(key_text, key) ||
+        !hexDouble(share, &r->spec.bottom_share) ||
+        !hexDouble(access_scale, &r->spec.top_access_scale) ||
+        !hexDouble(cell_scale, &r->spec.top_cell_scale))
+        return false;
+    r->cfg.name = decodeName(name);
+    r->cfg.cam = cam != 0;
+    r->spec.kind = static_cast<PartitionKind>(kind);
+    return readMetrics(ls, &r->planar) && readMetrics(ls, &r->stacked);
+}
+
 } // namespace
 
 bool
 EvalCache::lookupPartition(const EvalKey &key, PartitionResult *out)
 {
-    std::unique_lock lock(mutex_);
-    auto it = partitions_.find(key);
-    if (it == partitions_.end()) {
-        ++partition_stats_.misses;
+    Shard &s = shards_[shardOf(key)];
+    std::unique_lock lock(s.mutex);
+    auto it = s.partitions.find(key);
+    if (it == s.partitions.end()) {
+        ++s.partition_stats.misses;
         return false;
     }
-    ++partition_stats_.hits;
+    ++s.partition_stats.hits;
     *out = it->second;
     return true;
 }
@@ -144,20 +187,22 @@ EvalCache::lookupPartition(const EvalKey &key, PartitionResult *out)
 void
 EvalCache::storePartition(const EvalKey &key, const PartitionResult &r)
 {
-    std::unique_lock lock(mutex_);
-    partitions_.emplace(key, r);
+    Shard &s = shards_[shardOf(key)];
+    std::unique_lock lock(s.mutex);
+    s.partitions.emplace(key, r);
 }
 
 bool
 EvalCache::lookupRun(const EvalKey &key, AppRun *out)
 {
-    std::unique_lock lock(mutex_);
-    auto it = runs_.find(key);
-    if (it == runs_.end()) {
-        ++run_stats_.misses;
+    Shard &s = shards_[shardOf(key)];
+    std::unique_lock lock(s.mutex);
+    auto it = s.runs.find(key);
+    if (it == s.runs.end()) {
+        ++s.run_stats.misses;
         return false;
     }
-    ++run_stats_.hits;
+    ++s.run_stats.hits;
     *out = it->second;
     return true;
 }
@@ -165,20 +210,22 @@ EvalCache::lookupRun(const EvalKey &key, AppRun *out)
 void
 EvalCache::storeRun(const EvalKey &key, const AppRun &r)
 {
-    std::unique_lock lock(mutex_);
-    runs_.emplace(key, r);
+    Shard &s = shards_[shardOf(key)];
+    std::unique_lock lock(s.mutex);
+    s.runs.emplace(key, r);
 }
 
 bool
 EvalCache::lookupMulti(const EvalKey &key, MultiRun *out)
 {
-    std::unique_lock lock(mutex_);
-    auto it = multis_.find(key);
-    if (it == multis_.end()) {
-        ++multi_stats_.misses;
+    Shard &s = shards_[shardOf(key)];
+    std::unique_lock lock(s.mutex);
+    auto it = s.multis.find(key);
+    if (it == s.multis.end()) {
+        ++s.multi_stats.misses;
         return false;
     }
-    ++multi_stats_.hits;
+    ++s.multi_stats.hits;
     *out = it->second;
     return true;
 }
@@ -186,55 +233,95 @@ EvalCache::lookupMulti(const EvalKey &key, MultiRun *out)
 void
 EvalCache::storeMulti(const EvalKey &key, const MultiRun &r)
 {
-    std::unique_lock lock(mutex_);
-    multis_.emplace(key, r);
+    Shard &s = shards_[shardOf(key)];
+    std::unique_lock lock(s.mutex);
+    s.multis.emplace(key, r);
 }
 
 CacheStats
 EvalCache::partitionStats() const
 {
-    std::shared_lock lock(mutex_);
-    return partition_stats_;
+    CacheStats total;
+    for (const Shard &s : shards_) {
+        std::shared_lock lock(s.mutex);
+        total = total + s.partition_stats;
+    }
+    return total;
 }
 
 CacheStats
 EvalCache::runStats() const
 {
-    std::shared_lock lock(mutex_);
-    return run_stats_;
+    CacheStats total;
+    for (const Shard &s : shards_) {
+        std::shared_lock lock(s.mutex);
+        total = total + s.run_stats;
+    }
+    return total;
 }
 
 CacheStats
 EvalCache::multiStats() const
 {
-    std::shared_lock lock(mutex_);
-    return multi_stats_;
+    CacheStats total;
+    for (const Shard &s : shards_) {
+        std::shared_lock lock(s.mutex);
+        total = total + s.multi_stats;
+    }
+    return total;
 }
 
 CacheStats
 EvalCache::stats() const
 {
-    std::shared_lock lock(mutex_);
-    return partition_stats_ + run_stats_ + multi_stats_;
+    return partitionStats() + runStats() + multiStats();
 }
 
 std::size_t
 EvalCache::partitionEntries() const
 {
-    std::shared_lock lock(mutex_);
-    return partitions_.size();
+    std::size_t n = 0;
+    for (const Shard &s : shards_) {
+        std::shared_lock lock(s.mutex);
+        n += s.partitions.size();
+    }
+    return n;
+}
+
+std::size_t
+EvalCache::runEntries() const
+{
+    std::size_t n = 0;
+    for (const Shard &s : shards_) {
+        std::shared_lock lock(s.mutex);
+        n += s.runs.size();
+    }
+    return n;
+}
+
+std::size_t
+EvalCache::multiEntries() const
+{
+    std::size_t n = 0;
+    for (const Shard &s : shards_) {
+        std::shared_lock lock(s.mutex);
+        n += s.multis.size();
+    }
+    return n;
 }
 
 void
 EvalCache::clear()
 {
-    std::unique_lock lock(mutex_);
-    partitions_.clear();
-    runs_.clear();
-    multis_.clear();
-    partition_stats_ = {};
-    run_stats_ = {};
-    multi_stats_ = {};
+    for (Shard &s : shards_) {
+        std::unique_lock lock(s.mutex);
+        s.partitions.clear();
+        s.runs.clear();
+        s.multis.clear();
+        s.partition_stats = {};
+        s.run_stats = {};
+        s.multi_stats = {};
+    }
 }
 
 std::size_t
@@ -289,6 +376,101 @@ EvalCache::savePartitions(const std::string &path) const
     return written;
 }
 
+std::string
+EvalCache::shardFileName(int shard)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "partition-%02d.cache", shard);
+    return buf;
+}
+
+std::size_t
+EvalCache::saveShards(const std::string &dir) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+
+    std::size_t written = 0;
+    for (int i = 0; i < kNumShards; ++i) {
+        const std::string path =
+            (std::filesystem::path(dir) / shardFileName(i)).string();
+        const std::string tmp =
+            path + ".tmp." +
+            std::to_string(static_cast<long>(::getpid()));
+        std::size_t shard_written = 0;
+        {
+            std::ofstream out(tmp, std::ios::trunc);
+            if (!out.is_open()) {
+                M3D_WARN("cannot open cache shard temp file '", tmp,
+                         "'; shard ", i, " not persisted");
+                continue;
+            }
+            out << kFileHeader << '\n';
+            shard_written = saveShardEntries(out, i);
+            out.flush();
+            if (!out) {
+                std::filesystem::remove(tmp, ec);
+                M3D_WARN("failed writing cache shard temp file '",
+                         tmp, "'; shard ", i, " not persisted");
+                continue;
+            }
+        }
+        std::filesystem::rename(tmp, path, ec);
+        if (ec) {
+            std::filesystem::remove(tmp, ec);
+            M3D_WARN("failed renaming cache shard into place at '",
+                     path, "'; shard ", i, " not persisted");
+            ec.clear();
+            continue;
+        }
+        written += shard_written;
+    }
+    return written;
+}
+
+std::size_t
+EvalCache::loadShards(const std::string &dir)
+{
+    std::error_code ec;
+    if (!std::filesystem::is_directory(dir, ec))
+        return 0; // cold start: no snapshot yet
+
+    // Sweep the debris of a writer killed mid-snapshot.  The shard
+    // files themselves are always complete (tmp+rename), but the tmp
+    // file the dead writer was filling can linger; under the single-
+    // writer contract nobody else can be mid-save here, so removal
+    // is safe.
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.find(".cache.tmp.") != std::string::npos) {
+            M3D_WARN("removing stale cache snapshot temp file '",
+                     entry.path().string(),
+                     "' left by an interrupted save");
+            std::filesystem::remove(entry.path(), ec);
+        }
+    }
+
+    std::size_t loaded = 0;
+    for (int i = 0; i < kNumShards; ++i) {
+        const std::string path =
+            (std::filesystem::path(dir) / shardFileName(i)).string();
+        std::ifstream in(path);
+        if (!in.is_open())
+            continue; // cold shard
+        bool header_ok = false;
+        const std::size_t n = loadPartitions(in, &header_ok);
+        if (!header_ok) {
+            M3D_WARN("cache shard '", path,
+                     "' is corrupt or from an incompatible version; "
+                     "skipping it (the next snapshot repairs it)");
+            continue;
+        }
+        loaded += n;
+    }
+    return loaded;
+}
+
 std::size_t
 EvalCache::loadPartitions(std::istream &in, bool *header_ok)
 {
@@ -308,56 +490,39 @@ EvalCache::loadPartitions(std::istream &in, bool *header_ok)
     while (std::getline(in, line)) {
         if (line.empty())
             continue;
-        std::istringstream ls(line);
-        std::string key_text, name;
         EvalKey key;
         PartitionResult r;
-        int kind = 0, cam = 0;
-        std::string share, access_scale, cell_scale;
-        if (!(ls >> key_text >> name >> r.cfg.words >> r.cfg.bits >>
-              r.cfg.read_ports >> r.cfg.write_ports >> r.cfg.banks >>
-              cam >> r.cfg.cam_tag_bits >> kind >> share >>
-              r.spec.bottom_ports >> access_scale >> cell_scale))
+        if (!parseEntry(line, &key, &r))
             continue;
-        if (!EvalKey::parse(key_text, &key) ||
-            !hexDouble(share, &r.spec.bottom_share) ||
-            !hexDouble(access_scale, &r.spec.top_access_scale) ||
-            !hexDouble(cell_scale, &r.spec.top_cell_scale))
-            continue;
-        r.cfg.name = decodeName(name);
-        r.cfg.cam = cam != 0;
-        r.spec.kind = static_cast<PartitionKind>(kind);
-        if (!readMetrics(ls, &r.planar) || !readMetrics(ls, &r.stacked))
-            continue;
-
-        std::unique_lock lock(mutex_);
-        partitions_.emplace(key, std::move(r));
+        // Route by the key, not by the file the entry came from: a
+        // renamed/merged snapshot still lands every entry in the
+        // shard its key selects.
+        Shard &s = shards_[shardOf(key)];
+        std::unique_lock lock(s.mutex);
+        s.partitions.emplace(key, std::move(r));
         ++loaded;
     }
     return loaded;
 }
 
 std::size_t
+EvalCache::saveShardEntries(std::ostream &out, int shard) const
+{
+    const Shard &s = shards_[shard];
+    std::shared_lock lock(s.mutex);
+    for (const auto &[key, r] : s.partitions)
+        writeEntry(out, key, r);
+    return s.partitions.size();
+}
+
+std::size_t
 EvalCache::savePartitions(std::ostream &out) const
 {
     out << kFileHeader << '\n';
-    std::shared_lock lock(mutex_);
-    for (const auto &[key, r] : partitions_) {
-        out << key.str() << ' ' << encodeName(r.cfg.name) << ' '
-            << r.cfg.words << ' ' << r.cfg.bits << ' '
-            << r.cfg.read_ports << ' ' << r.cfg.write_ports << ' '
-            << r.cfg.banks << ' ' << (r.cfg.cam ? 1 : 0) << ' '
-            << r.cfg.cam_tag_bits << ' '
-            << static_cast<int>(r.spec.kind) << ' '
-            << doubleHex(r.spec.bottom_share) << ' '
-            << r.spec.bottom_ports << ' '
-            << doubleHex(r.spec.top_access_scale) << ' '
-            << doubleHex(r.spec.top_cell_scale);
-        writeMetrics(out, r.planar);
-        writeMetrics(out, r.stacked);
-        out << '\n';
-    }
-    return partitions_.size();
+    std::size_t written = 0;
+    for (int i = 0; i < kNumShards; ++i)
+        written += saveShardEntries(out, i);
+    return written;
 }
 
 } // namespace engine

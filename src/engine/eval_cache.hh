@@ -7,10 +7,34 @@
  * (MultiRun).  Each family keeps its own hit/miss counters so a sweep
  * can report exactly where its reuse came from.
  *
- * The partition family can be persisted to a small text file (one
- * entry per line; doubles stored as IEEE-754 bit patterns in hex, so
- * a round trip is bit-exact).  Run results hold large per-core
- * vectors and stay in-memory only.
+ * Internally the store is split into kNumShards shards selected by
+ * the top bits of the 128-bit key (the keys are FNV digests, so the
+ * prefix is uniformly distributed).  Each shard carries its own lock
+ * and its own counters: concurrent clients of a long-lived evaluator
+ * (the m3dd daemon's drain cycles, its stats requests, its snapshot
+ * writer) contend per shard instead of on one global mutex.
+ *
+ * The partition family can be persisted in two shapes:
+ *
+ *  - one text file (loadPartitions/savePartitions) - the historical
+ *    single-file cache every sweep uses; doubles are stored as
+ *    IEEE-754 bit patterns in hex, so a round trip is bit-exact;
+ *  - one file per shard in a directory (loadShards/saveShards) - the
+ *    m3dd daemon's snapshot shape.  Each shard file is written with
+ *    the same tmp+rename machinery as the single file, so a crash
+ *    mid-snapshot can tear at most nothing: every published shard is
+ *    complete, and a corrupt or torn shard is skipped with a warning
+ *    at load (forfeiting only that shard's reuse) and repaired by the
+ *    next save.
+ *
+ * Persistence assumes a SINGLE WRITER per path/directory: concurrent
+ * savers would interleave last-rename-wins per shard and could
+ * publish a mix of generations (each file still complete).  The
+ * daemon enforces one-writer-per-cache-dir with a lock file
+ * (service/cache_lock.hh); ad-hoc sweeps sharing a single-file cache
+ * tolerate the race because every generation is a superset of the
+ * deterministic grid.  Run results hold large per-core vectors and
+ * stay in-memory only.
  */
 
 #ifndef M3D_ENGINE_EVAL_CACHE_HH_
@@ -58,6 +82,9 @@ struct CacheStats
 class EvalCache
 {
   public:
+    /** Shard fan-out; also the file count of a sharded snapshot. */
+    static constexpr int kNumShards = 16;
+
     EvalCache() = default;
     EvalCache(const EvalCache &) = delete;
     EvalCache &operator=(const EvalCache &) = delete;
@@ -81,6 +108,8 @@ class EvalCache
     CacheStats stats() const;
 
     std::size_t partitionEntries() const;
+    std::size_t runEntries() const;
+    std::size_t multiEntries() const;
 
     /** Drop every entry and reset the counters. */
     void clear();
@@ -105,6 +134,33 @@ class EvalCache
      */
     std::size_t savePartitions(const std::string &path) const;
 
+    /**
+     * Sharded snapshot: persist the partition family as
+     * `<dir>/partition-NN.cache`, one file per shard, each written
+     * atomically (tmp+rename).  Creates `dir` if needed.  The caller
+     * must be the directory's single writer (see the file comment);
+     * the m3dd daemon holds a service::CacheLock on `dir` for its
+     * whole lifetime to enforce this.
+     * @return entries written across all shards; a shard that fails
+     *         to persist warns and contributes 0.
+     */
+    std::size_t saveShards(const std::string &dir) const;
+
+    /**
+     * Load a sharded snapshot: every `<dir>/partition-NN.cache` that
+     * exists and parses.  A missing shard is a cold shard; a corrupt
+     * shard is skipped with a warning and repaired (rewritten whole)
+     * by the next saveShards().  Stale `*.tmp.*` files - the debris
+     * of a writer killed mid-snapshot - are removed; the single-
+     * writer lock makes that safe.  Entries land in the shard their
+     * key selects regardless of which file carried them.
+     * @return entries loaded.
+     */
+    std::size_t loadShards(const std::string &dir);
+
+    /** Snapshot file of one shard index, e.g. "partition-03.cache". */
+    static std::string shardFileName(int shard);
+
     // Stream versions (used by the tests; path versions wrap these).
     // `header_ok`, when given, reports whether the stream began with
     // a recognized cache header (distinguishes "empty cache" from
@@ -114,18 +170,33 @@ class EvalCache
     std::size_t savePartitions(std::ostream &out) const;
 
   private:
-    mutable std::shared_mutex mutex_;
-    std::unordered_map<EvalKey, PartitionResult, EvalKeyHash>
-        partitions_;
-    std::unordered_map<EvalKey, AppRun, EvalKeyHash> runs_;
-    std::unordered_map<EvalKey, MultiRun, EvalKeyHash> multis_;
+    /** Shard selector: top bits of the uniformly-distributed digest. */
+    static int shardOf(const EvalKey &key)
+    {
+        return static_cast<int>(key.hi >> 60) & (kNumShards - 1);
+    }
 
-    // Guarded by mutex_ (writers take the exclusive lock anyway, and
-    // lookups mutate counters, so lookups lock exclusively too; the
-    // critical sections are tiny next to an evaluation).
-    CacheStats partition_stats_;
-    CacheStats run_stats_;
-    CacheStats multi_stats_;
+    /** One lock's worth of store: all three families plus counters. */
+    struct Shard
+    {
+        mutable std::shared_mutex mutex;
+        std::unordered_map<EvalKey, PartitionResult, EvalKeyHash>
+            partitions;
+        std::unordered_map<EvalKey, AppRun, EvalKeyHash> runs;
+        std::unordered_map<EvalKey, MultiRun, EvalKeyHash> multis;
+
+        // Guarded by mutex (lookups mutate counters, so they lock
+        // exclusively; the critical sections are tiny next to an
+        // evaluation).
+        CacheStats partition_stats;
+        CacheStats run_stats;
+        CacheStats multi_stats;
+    };
+
+    /** Serialize one shard's partition entries (no header). */
+    std::size_t saveShardEntries(std::ostream &out, int shard) const;
+
+    Shard shards_[kNumShards];
 };
 
 } // namespace engine

@@ -1,0 +1,62 @@
+#include "search/search_json.hh"
+
+namespace m3d {
+namespace search {
+
+report::Json
+searchEntryJson(const SearchSpace &space, const ParetoEntry &e)
+{
+    report::Json o = report::Json::object();
+    o.set("index", report::Json::number(static_cast<double>(
+                       space.indexOf(e.point))));
+    o.set("point", report::Json::string(space.describe(e.point)));
+    o.set("frequency_ghz",
+          report::Json::number(e.obj.frequency / 1e9));
+    o.set("epi_nj", report::Json::number(e.obj.epi * 1e9));
+    o.set("peak_c", report::Json::number(e.obj.peak_c));
+    return o;
+}
+
+report::Json
+searchResultJson(const SearchSpace &space, const std::string &strategy,
+                 std::uint64_t seed, std::uint64_t budget,
+                 const SearchResult &result)
+{
+    report::Json doc = report::Json::object();
+    doc.set("kind", report::Json::string("m3d-search"));
+    doc.set("version", report::Json::number(1));
+    doc.set("strategy", report::Json::string(strategy));
+    doc.set("seed",
+            report::Json::number(static_cast<double>(seed)));
+    doc.set("budget",
+            report::Json::number(static_cast<double>(budget)));
+    report::Json sp = report::Json::object();
+    sp.set("name", report::Json::string(space.name()));
+    sp.set("knobs", report::Json::number(
+                        static_cast<double>(space.knobCount())));
+    sp.set("cardinality",
+           report::Json::number(
+               static_cast<double>(space.cardinality())));
+    doc.set("space", std::move(sp));
+    doc.set("evaluated",
+            report::Json::number(
+                static_cast<double>(result.evaluated)));
+    report::Json ref = report::Json::object();
+    ref.set("frequency_ghz",
+            report::Json::number(result.reference.frequency / 1e9));
+    ref.set("epi_nj",
+            report::Json::number(result.reference.epi * 1e9));
+    ref.set("peak_c", report::Json::number(result.reference.peak_c));
+    doc.set("reference", std::move(ref));
+    report::Json best = searchEntryJson(space, result.best);
+    best.set("score", report::Json::number(result.best_score));
+    doc.set("best", std::move(best));
+    report::Json frontier = report::Json::array();
+    for (const ParetoEntry &e : result.frontier)
+        frontier.push(searchEntryJson(space, e));
+    doc.set("frontier", std::move(frontier));
+    return doc;
+}
+
+} // namespace search
+} // namespace m3d

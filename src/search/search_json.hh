@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The canonical "m3d-search" JSON emission of a SearchResult.
+ *
+ * Exactly one piece of code builds this document, and both front
+ * ends use it: `m3dtool search --json` (in-process) and the m3dd
+ * daemon's search responses (src/service).  That single origin is
+ * what makes the daemon-vs-in-process byte-identity contract testable
+ * at the document level - a client that writes the daemon's response
+ * verbatim produces the same bytes the in-process path would have.
+ *
+ * The document deliberately excludes thread counts and wall-clock
+ * times: the emission must be byte-identical at any --jobs and on
+ * any machine for a fixed (strategy, seed, budget, space).
+ */
+
+#ifndef M3D_SEARCH_SEARCH_JSON_HH_
+#define M3D_SEARCH_SEARCH_JSON_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "report/json.hh"
+#include "search/strategy.hh"
+
+namespace m3d {
+namespace search {
+
+/** One frontier/best entry as a JSON object. */
+report::Json searchEntryJson(const SearchSpace &space,
+                             const ParetoEntry &e);
+
+/**
+ * The complete versioned m3d-search document for one finished run:
+ * strategy/seed/budget, the space's shape, the reference objectives,
+ * the best scalarized point with its score, and the frontier in
+ * canonical order.
+ */
+report::Json searchResultJson(const SearchSpace &space,
+                              const std::string &strategy,
+                              std::uint64_t seed, std::uint64_t budget,
+                              const SearchResult &result);
+
+} // namespace search
+} // namespace m3d
+
+#endif // M3D_SEARCH_SEARCH_JSON_HH_

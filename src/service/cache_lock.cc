@@ -1,0 +1,78 @@
+#include "service/cache_lock.hh"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace m3d {
+namespace service {
+
+std::string
+CacheLock::lockPath(const std::string &dir)
+{
+    return (std::filesystem::path(dir) / "m3dd.lock").string();
+}
+
+bool
+CacheLock::acquire(const std::string &dir, std::string *error)
+{
+    release();
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+
+    const std::string path = lockPath(dir);
+    const int fd = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+    if (fd < 0) {
+        if (error)
+            *error = "cannot open lock file '" + path +
+                     "': " + std::strerror(errno);
+        return false;
+    }
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+        std::string owner = "unknown pid";
+        {
+            std::ifstream in(path);
+            std::string pid;
+            if (in >> pid && !pid.empty())
+                owner = "pid " + pid;
+        }
+        if (error)
+            *error = "cache dir '" + dir +
+                     "' is already served by another m3dd (" + owner +
+                     "); only one daemon may own a cache dir - pick "
+                     "a different --cache-dir or stop the other "
+                     "daemon";
+        ::close(fd);
+        return false;
+    }
+    // Advisory owner pid for error messages and operators; the flock
+    // itself is the contract (auto-released if we die).
+    const std::string pid =
+        std::to_string(static_cast<long>(::getpid())) + "\n";
+    if (::ftruncate(fd, 0) == 0) {
+        ssize_t ignored =
+            ::write(fd, pid.data(), pid.size());
+        (void)ignored;
+    }
+    fd_ = fd;
+    return true;
+}
+
+void
+CacheLock::release()
+{
+    if (fd_ >= 0) {
+        ::close(fd_); // drops the flock
+        fd_ = -1;
+    }
+}
+
+} // namespace service
+} // namespace m3d

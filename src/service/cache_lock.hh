@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Single-daemon-per-cache-dir enforcement.
+ *
+ * EvalCache's sharded snapshot machinery assumes one writer per
+ * directory (engine/eval_cache.hh): concurrent savers would publish a
+ * mix of shard generations, and the stale-tmp sweep at load would
+ * race a live writer's temp files.  CacheLock makes the contract
+ * enforceable: the daemon takes an exclusive flock(2) on
+ * `<dir>/m3dd.lock` for its entire lifetime, so a second daemon
+ * pointed at the same cache dir fails fast with a message naming the
+ * owner instead of silently corrupting the snapshot cadence.
+ *
+ * flock is the right primitive here because the kernel drops it when
+ * the holder dies - including kill -9 mid-snapshot - so crash
+ * recovery needs no stale-pidfile heuristics: a restart simply
+ * acquires the lock.  The pid written into the file is advisory,
+ * purely for the error message and operator inspection.
+ */
+
+#ifndef M3D_SERVICE_CACHE_LOCK_HH_
+#define M3D_SERVICE_CACHE_LOCK_HH_
+
+#include <string>
+
+namespace m3d {
+namespace service {
+
+/** RAII exclusive lock on a cache directory; see file comment. */
+class CacheLock
+{
+  public:
+    CacheLock() = default;
+    ~CacheLock() { release(); }
+
+    CacheLock(const CacheLock &) = delete;
+    CacheLock &operator=(const CacheLock &) = delete;
+
+    /**
+     * Take the exclusive lock on `dir` (created if missing).
+     * Non-blocking: if another live process holds it, returns false
+     * with *error naming the owner's pid.
+     */
+    bool acquire(const std::string &dir, std::string *error);
+
+    /** Drop the lock (also done by the destructor). */
+    void release();
+
+    bool held() const { return fd_ >= 0; }
+
+    /** The lock file inside `dir`. */
+    static std::string lockPath(const std::string &dir);
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace service
+} // namespace m3d
+
+#endif // M3D_SERVICE_CACHE_LOCK_HH_

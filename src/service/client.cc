@@ -1,0 +1,130 @@
+#include "service/client.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace m3d {
+namespace service {
+
+Client::~Client() { close(); }
+
+bool
+Client::connect(const std::string &socket_path, std::string *error)
+{
+    close();
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "socket path '" + socket_path +
+                     "' exceeds the AF_UNIX limit";
+        return false;
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::string("socket(): ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error)
+            *error = "cannot connect to '" + socket_path +
+                     "': " + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    fd_ = fd;
+    return true;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::call(const report::Json &request, report::Json *response,
+             std::string *error)
+{
+    if (fd_ < 0) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    if (!writeFrame(fd_, request.dump(), error))
+        return false;
+    std::string payload;
+    const FrameStatus st =
+        readFrame(fd_, &payload, max_frame_bytes_, error);
+    if (st != FrameStatus::Ok) {
+        if (st == FrameStatus::Eof && error)
+            *error = "daemon closed the connection";
+        return false;
+    }
+    std::string perr;
+    if (!report::Json::parse(payload, response, &perr)) {
+        if (error)
+            *error = "malformed response: " + perr;
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::callChecked(const report::Json &request,
+                    report::Json *response, std::string *error)
+{
+    if (!call(request, response, error))
+        return false;
+    const report::Json *ok = response->find("ok");
+    if (ok == nullptr || !ok->isBool()) {
+        if (error)
+            *error = "response without an 'ok' member";
+        return false;
+    }
+    if (!ok->asBool()) {
+        std::string message = "daemon error";
+        if (const report::Json *e = response->find("error")) {
+            const report::Json *m = e->find("message");
+            if (m != nullptr && m->isString())
+                message = m->asString();
+        }
+        if (error)
+            *error = message;
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::available(const std::string &socket_path)
+{
+    Client c;
+    std::string err;
+    if (!c.connect(socket_path, &err))
+        return false;
+    report::Json ping = report::Json::object();
+    ping.set("type", report::Json::string("ping"));
+    report::Json resp;
+    if (!c.callChecked(ping, &resp, &err))
+        return false;
+    const report::Json *type = resp.find("type");
+    return type != nullptr && type->isString() &&
+           type->asString() == "pong";
+}
+
+} // namespace service
+} // namespace m3d

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The m3dd client: one blocking request/response connection to a
+ * daemon's Unix-domain socket, speaking the framed JSON protocol
+ * (service/protocol.hh).
+ *
+ * The client is deliberately thin: call() sends one request object
+ * and returns the parsed response; the typed helpers on top of it
+ * (ping/stats/save/shutdown) wrap the fixed request shapes.  Result
+ * reconstruction - turning a response's JSON back into AppRun /
+ * PartitionResult structs - lives in protocol.hh's parsers, shared
+ * with the tests.
+ *
+ * available() is the probe behind `--daemon auto`: a cheap
+ * connect+ping that tells a front end whether to route through the
+ * daemon or transparently fall back to in-process evaluation.
+ */
+
+#ifndef M3D_SERVICE_CLIENT_HH_
+#define M3D_SERVICE_CLIENT_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "report/json.hh"
+#include "service/protocol.hh"
+
+namespace m3d {
+namespace service {
+
+/** One connection to a running m3dd; see file comment. */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to a daemon's socket; false + *error if none listens. */
+    bool connect(const std::string &socket_path, std::string *error);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /**
+     * One request/response round trip.  False + *error on transport
+     * or parse failure; a daemon-side {"ok":false} response still
+     * returns true (the caller inspects the response).
+     */
+    bool call(const report::Json &request, report::Json *response,
+              std::string *error);
+
+    /**
+     * Like call(), but also fails on {"ok":false} responses, with
+     * *error carrying the daemon's error message.
+     */
+    bool callChecked(const report::Json &request,
+                     report::Json *response, std::string *error);
+
+    /**
+     * True iff a live daemon answers a ping on `socket_path` - the
+     * `--daemon auto` probe.  Never raises; any failure is "no".
+     */
+    static bool available(const std::string &socket_path);
+
+  private:
+    int fd_ = -1;
+    std::uint32_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+} // namespace service
+} // namespace m3d
+
+#endif // M3D_SERVICE_CLIENT_HH_

@@ -1,0 +1,520 @@
+#include "service/protocol.hh"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace m3d {
+namespace service {
+
+const char kFrameMagic[4] = {'M', '3', 'D', '1'};
+
+namespace {
+
+/** Full read: false on EOF/error before `n` bytes arrive. */
+bool
+readAll(int fd, void *buf, std::size_t n, bool *clean_eof)
+{
+    auto *p = static_cast<char *>(buf);
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, p + got, n - got);
+        if (r == 0) {
+            if (clean_eof)
+                *clean_eof = (got == 0);
+            return false;
+        }
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            if (clean_eof)
+                *clean_eof = false;
+            return false;
+        }
+        got += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+bool
+writeAll(int fd, const void *buf, std::size_t n)
+{
+    const auto *p = static_cast<const char *>(buf);
+    std::size_t sent = 0;
+    while (sent < n) {
+        // MSG_NOSIGNAL: a peer that vanished mid-response must fail
+        // the write, not SIGPIPE the daemon.
+        const ssize_t r =
+            ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+report::Json
+jnum(double v)
+{
+    return report::Json::number(v);
+}
+
+report::Json
+jcount(std::uint64_t v)
+{
+    return report::Json::number(static_cast<double>(v));
+}
+
+bool
+getNumber(const report::Json &obj, const char *key, double *out)
+{
+    const report::Json *m = obj.find(key);
+    if (!m || !m->isNumber())
+        return false;
+    *out = m->asNumber();
+    return true;
+}
+
+bool
+getCount(const report::Json &obj, const char *key, std::uint64_t *out)
+{
+    double v = 0.0;
+    if (!getNumber(obj, key, &v) || v < 0.0)
+        return false;
+    *out = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+bool
+getInt(const report::Json &obj, const char *key, int *out)
+{
+    double v = 0.0;
+    if (!getNumber(obj, key, &v))
+        return false;
+    *out = static_cast<int>(v);
+    return true;
+}
+
+/** Field table driving Activity's (de)serialization. */
+struct ActField
+{
+    const char *name;
+    std::uint64_t Activity::*member;
+};
+
+const ActField kActFields[] = {
+    {"cycles", &Activity::cycles},
+    {"instructions", &Activity::instructions},
+    {"fetches", &Activity::fetches},
+    {"decodes", &Activity::decodes},
+    {"complex_decodes", &Activity::complex_decodes},
+    {"bpt_lookups", &Activity::bpt_lookups},
+    {"btb_lookups", &Activity::btb_lookups},
+    {"mispredicts", &Activity::mispredicts},
+    {"rat_reads", &Activity::rat_reads},
+    {"rat_writes", &Activity::rat_writes},
+    {"dispatches", &Activity::dispatches},
+    {"iq_writes", &Activity::iq_writes},
+    {"iq_wakeups", &Activity::iq_wakeups},
+    {"issues", &Activity::issues},
+    {"rf_reads", &Activity::rf_reads},
+    {"rf_writes", &Activity::rf_writes},
+    {"alu_ops", &Activity::alu_ops},
+    {"fp_ops", &Activity::fp_ops},
+    {"mul_div_ops", &Activity::mul_div_ops},
+    {"loads", &Activity::loads},
+    {"stores", &Activity::stores},
+    {"lq_searches", &Activity::lq_searches},
+    {"sq_searches", &Activity::sq_searches},
+    {"l1d_accesses", &Activity::l1d_accesses},
+    {"l1i_accesses", &Activity::l1i_accesses},
+    {"l2_accesses", &Activity::l2_accesses},
+    {"l3_accesses", &Activity::l3_accesses},
+    {"dram_accesses", &Activity::dram_accesses},
+    {"noc_flits", &Activity::noc_flits},
+    {"stall_rob", &Activity::stall_rob},
+    {"stall_iq", &Activity::stall_iq},
+    {"stall_lsq", &Activity::stall_lsq},
+    {"stall_icache", &Activity::stall_icache},
+    {"bound_deps", &Activity::bound_deps},
+    {"bound_fu", &Activity::bound_fu},
+};
+
+/** Field table driving ArrayMetrics' (de)serialization. */
+struct MetField
+{
+    const char *name;
+    double ArrayMetrics::*member;
+};
+
+const MetField kMetFields[] = {
+    {"access_latency", &ArrayMetrics::access_latency},
+    {"access_energy", &ArrayMetrics::access_energy},
+    {"write_energy", &ArrayMetrics::write_energy},
+    {"area", &ArrayMetrics::area},
+    {"leakage_power", &ArrayMetrics::leakage_power},
+    {"routing_delay", &ArrayMetrics::routing_delay},
+    {"decode_delay", &ArrayMetrics::decode_delay},
+    {"wordline_delay", &ArrayMetrics::wordline_delay},
+    {"bitline_delay", &ArrayMetrics::bitline_delay},
+    {"sense_delay", &ArrayMetrics::sense_delay},
+    {"output_delay", &ArrayMetrics::output_delay},
+    {"cam_search_delay", &ArrayMetrics::cam_search_delay},
+};
+
+report::Json
+metricsJson(const ArrayMetrics &m)
+{
+    report::Json o = report::Json::object();
+    for (const MetField &f : kMetFields)
+        o.set(f.name, jnum(m.*(f.member)));
+    return o;
+}
+
+bool
+parseMetrics(const report::Json &j, ArrayMetrics *out)
+{
+    if (!j.isObject())
+        return false;
+    for (const MetField &f : kMetFields) {
+        if (!getNumber(j, f.name, &(out->*(f.member))))
+            return false;
+    }
+    return true;
+}
+
+report::Json
+energyJson(const EnergyReport &e)
+{
+    report::Json o = report::Json::object();
+    o.set("array_j", jnum(e.array_j));
+    o.set("logic_j", jnum(e.logic_j));
+    o.set("clock_j", jnum(e.clock_j));
+    o.set("leakage_j", jnum(e.leakage_j));
+    o.set("noc_j", jnum(e.noc_j));
+    return o;
+}
+
+bool
+parseEnergy(const report::Json &j, EnergyReport *out)
+{
+    return j.isObject() &&
+           getNumber(j, "array_j", &out->array_j) &&
+           getNumber(j, "logic_j", &out->logic_j) &&
+           getNumber(j, "clock_j", &out->clock_j) &&
+           getNumber(j, "leakage_j", &out->leakage_j) &&
+           getNumber(j, "noc_j", &out->noc_j);
+}
+
+} // namespace
+
+FrameStatus
+readFrame(int fd, std::string *payload, std::uint32_t max_bytes,
+          std::string *error)
+{
+    payload->clear();
+    char header[8];
+    bool clean_eof = false;
+    if (!readAll(fd, header, sizeof(header), &clean_eof)) {
+        if (clean_eof)
+            return FrameStatus::Eof;
+        if (error)
+            *error = "truncated frame header";
+        return FrameStatus::Error;
+    }
+    if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+        if (error)
+            *error = "bad frame magic (not the m3dd protocol?)";
+        return FrameStatus::BadMagic;
+    }
+    std::uint32_t len = 0;
+    for (int i = 3; i >= 0; --i)
+        len = (len << 8) |
+              static_cast<unsigned char>(header[4 + i]);
+    if (len > max_bytes) {
+        if (error)
+            *error = "frame payload of " + std::to_string(len) +
+                     " bytes exceeds the " +
+                     std::to_string(max_bytes) + "-byte limit";
+        return FrameStatus::TooLarge;
+    }
+    payload->resize(len);
+    if (len > 0 && !readAll(fd, payload->data(), len, nullptr)) {
+        if (error)
+            *error = "truncated frame payload (expected " +
+                     std::to_string(len) + " bytes)";
+        payload->clear();
+        return FrameStatus::Error;
+    }
+    return FrameStatus::Ok;
+}
+
+bool
+writeFrame(int fd, const std::string &payload, std::string *error)
+{
+    if (payload.size() > UINT32_MAX) {
+        if (error)
+            *error = "payload too large to frame";
+        return false;
+    }
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    char header[8];
+    std::memcpy(header, kFrameMagic, sizeof(kFrameMagic));
+    for (int i = 0; i < 4; ++i)
+        header[4 + i] = static_cast<char>((len >> (8 * i)) & 0xff);
+    if (!writeAll(fd, header, sizeof(header)) ||
+        !writeAll(fd, payload.data(), payload.size())) {
+        if (error)
+            *error = std::string("frame write failed: ") +
+                     std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+report::Json
+okResponse(const std::string &type)
+{
+    report::Json o = report::Json::object();
+    o.set("ok", report::Json::boolean(true));
+    o.set("type", report::Json::string(type));
+    return o;
+}
+
+report::Json
+errorResponse(const std::string &code, const std::string &message)
+{
+    report::Json o = report::Json::object();
+    o.set("ok", report::Json::boolean(false));
+    report::Json e = report::Json::object();
+    e.set("code", report::Json::string(code));
+    e.set("message", report::Json::string(message));
+    o.set("error", std::move(e));
+    return o;
+}
+
+report::Json
+activityJson(const Activity &a)
+{
+    report::Json o = report::Json::object();
+    for (const ActField &f : kActFields)
+        o.set(f.name, jcount(a.*(f.member)));
+    return o;
+}
+
+bool
+parseActivity(const report::Json &j, Activity *out)
+{
+    if (!j.isObject())
+        return false;
+    for (const ActField &f : kActFields) {
+        if (!getCount(j, f.name, &(out->*(f.member))))
+            return false;
+    }
+    return true;
+}
+
+report::Json
+simResultJson(const SimResult &r)
+{
+    report::Json o = report::Json::object();
+    o.set("instructions", jcount(r.instructions));
+    o.set("cycles", jcount(r.cycles));
+    o.set("frequency", jnum(r.frequency));
+    o.set("activity", activityJson(r.activity));
+    return o;
+}
+
+bool
+parseSimResult(const report::Json &j, SimResult *out)
+{
+    if (!j.isObject())
+        return false;
+    const report::Json *act = j.find("activity");
+    return getCount(j, "instructions", &out->instructions) &&
+           getCount(j, "cycles", &out->cycles) &&
+           getNumber(j, "frequency", &out->frequency) &&
+           act && parseActivity(*act, &out->activity);
+}
+
+report::Json
+appRunJson(const AppRun &r)
+{
+    report::Json o = report::Json::object();
+    o.set("sim", simResultJson(r.sim));
+    o.set("energy", energyJson(r.energy));
+    o.set("seconds", jnum(r.seconds));
+    return o;
+}
+
+bool
+parseAppRun(const report::Json &j, AppRun *out)
+{
+    if (!j.isObject())
+        return false;
+    const report::Json *sim = j.find("sim");
+    const report::Json *energy = j.find("energy");
+    return sim && parseSimResult(*sim, &out->sim) &&
+           energy && parseEnergy(*energy, &out->energy) &&
+           getNumber(j, "seconds", &out->seconds);
+}
+
+report::Json
+multiRunJson(const MultiRun &r)
+{
+    report::Json o = report::Json::object();
+    report::Json res = report::Json::object();
+    res.set("seconds", jnum(r.result.seconds));
+    res.set("serial_seconds", jnum(r.result.serial_seconds));
+    res.set("parallel_seconds", jnum(r.result.parallel_seconds));
+    res.set("sync_seconds", jnum(r.result.sync_seconds));
+    res.set("frequency", jnum(r.result.frequency));
+    res.set("num_cores", jnum(r.result.num_cores));
+    res.set("total", activityJson(r.result.total));
+    report::Json cores = report::Json::array();
+    for (const SimResult &c : r.result.per_core)
+        cores.push(simResultJson(c));
+    res.set("per_core", std::move(cores));
+    o.set("result", std::move(res));
+    o.set("energy", energyJson(r.energy));
+    return o;
+}
+
+bool
+parseMultiRun(const report::Json &j, MultiRun *out)
+{
+    if (!j.isObject())
+        return false;
+    const report::Json *res = j.find("result");
+    const report::Json *energy = j.find("energy");
+    if (!res || !res->isObject() || !energy ||
+        !parseEnergy(*energy, &out->energy))
+        return false;
+    const report::Json *total = res->find("total");
+    const report::Json *cores = res->find("per_core");
+    if (!getNumber(*res, "seconds", &out->result.seconds) ||
+        !getNumber(*res, "serial_seconds",
+                   &out->result.serial_seconds) ||
+        !getNumber(*res, "parallel_seconds",
+                   &out->result.parallel_seconds) ||
+        !getNumber(*res, "sync_seconds", &out->result.sync_seconds) ||
+        !getNumber(*res, "frequency", &out->result.frequency) ||
+        !getInt(*res, "num_cores", &out->result.num_cores) ||
+        !total || !parseActivity(*total, &out->result.total) ||
+        !cores || !cores->isArray())
+        return false;
+    out->result.per_core.clear();
+    for (const report::Json &c : cores->elements()) {
+        SimResult sr;
+        if (!parseSimResult(c, &sr))
+            return false;
+        out->result.per_core.push_back(sr);
+    }
+    return true;
+}
+
+report::Json
+runResultJson(const RunResult &r)
+{
+    report::Json o = report::Json::object();
+    if (r.kind == RunKind::Single) {
+        o.set("kind", report::Json::string("single"));
+        o.set("run", appRunJson(r.single));
+    } else {
+        o.set("kind", report::Json::string("multi"));
+        o.set("run", multiRunJson(r.multi));
+    }
+    return o;
+}
+
+bool
+parseRunResult(const report::Json &j, RunResult *out)
+{
+    if (!j.isObject())
+        return false;
+    const report::Json *kind = j.find("kind");
+    const report::Json *run = j.find("run");
+    if (!kind || !kind->isString() || !run)
+        return false;
+    if (kind->asString() == "single") {
+        out->kind = RunKind::Single;
+        return parseAppRun(*run, &out->single);
+    }
+    if (kind->asString() == "multi") {
+        out->kind = RunKind::Multi;
+        return parseMultiRun(*run, &out->multi);
+    }
+    return false;
+}
+
+report::Json
+partitionResultJson(const PartitionResult &r)
+{
+    report::Json o = report::Json::object();
+    report::Json cfg = report::Json::object();
+    cfg.set("name", report::Json::string(r.cfg.name));
+    cfg.set("words", jnum(r.cfg.words));
+    cfg.set("bits", jnum(r.cfg.bits));
+    cfg.set("read_ports", jnum(r.cfg.read_ports));
+    cfg.set("write_ports", jnum(r.cfg.write_ports));
+    cfg.set("banks", jnum(r.cfg.banks));
+    cfg.set("cam", report::Json::boolean(r.cfg.cam));
+    cfg.set("cam_tag_bits", jnum(r.cfg.cam_tag_bits));
+    o.set("cfg", std::move(cfg));
+    report::Json spec = report::Json::object();
+    spec.set("kind", jnum(static_cast<int>(r.spec.kind)));
+    spec.set("bottom_share", jnum(r.spec.bottom_share));
+    spec.set("bottom_ports", jnum(r.spec.bottom_ports));
+    spec.set("top_access_scale", jnum(r.spec.top_access_scale));
+    spec.set("top_cell_scale", jnum(r.spec.top_cell_scale));
+    o.set("spec", std::move(spec));
+    o.set("planar", metricsJson(r.planar));
+    o.set("stacked", metricsJson(r.stacked));
+    return o;
+}
+
+bool
+parsePartitionResult(const report::Json &j, PartitionResult *out)
+{
+    if (!j.isObject())
+        return false;
+    const report::Json *cfg = j.find("cfg");
+    const report::Json *spec = j.find("spec");
+    const report::Json *planar = j.find("planar");
+    const report::Json *stacked = j.find("stacked");
+    if (!cfg || !cfg->isObject() || !spec || !spec->isObject() ||
+        !planar || !stacked)
+        return false;
+    const report::Json *name = cfg->find("name");
+    const report::Json *cam = cfg->find("cam");
+    if (!name || !name->isString() || !cam || !cam->isBool())
+        return false;
+    out->cfg.name = name->asString();
+    out->cfg.cam = cam->asBool();
+    int kind = 0;
+    if (!getInt(*cfg, "words", &out->cfg.words) ||
+        !getInt(*cfg, "bits", &out->cfg.bits) ||
+        !getInt(*cfg, "read_ports", &out->cfg.read_ports) ||
+        !getInt(*cfg, "write_ports", &out->cfg.write_ports) ||
+        !getInt(*cfg, "banks", &out->cfg.banks) ||
+        !getInt(*cfg, "cam_tag_bits", &out->cfg.cam_tag_bits) ||
+        !getInt(*spec, "kind", &kind) ||
+        !getNumber(*spec, "bottom_share", &out->spec.bottom_share) ||
+        !getInt(*spec, "bottom_ports", &out->spec.bottom_ports) ||
+        !getNumber(*spec, "top_access_scale",
+                   &out->spec.top_access_scale) ||
+        !getNumber(*spec, "top_cell_scale",
+                   &out->spec.top_cell_scale))
+        return false;
+    out->spec.kind = static_cast<PartitionKind>(kind);
+    return parseMetrics(*planar, &out->planar) &&
+           parseMetrics(*stacked, &out->stacked);
+}
+
+} // namespace service
+} // namespace m3d

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The m3dd wire protocol: length-framed JSON over a local stream
+ * socket, built on src/report's writer/parser.
+ *
+ * Framing.  Every message is one frame:
+ *
+ *     bytes 0-3   magic "M3D1" (protocol generation; bumped on any
+ *                 incompatible change)
+ *     bytes 4-7   payload length, unsigned 32-bit little-endian
+ *     bytes 8-    payload: one complete JSON document (UTF-8)
+ *
+ * A reader that sees a bad magic or a length above its limit cannot
+ * resynchronize the stream (the remainder is unframed bytes), so
+ * those conditions answer with a structured error and close the
+ * connection; the daemon itself stays up and keeps serving other
+ * connections.  In-frame problems - malformed JSON, unknown request
+ * types, unresolvable names - answer with a structured error on the
+ * same connection, which remains usable.
+ *
+ * Payloads.  Requests are objects with a "type" member ("ping",
+ * "eval", "sweep", "search", "stats", "save", "shutdown"); responses
+ * are objects with a boolean "ok" - `true` plus type-specific
+ * members, or `false` plus {"error":{"code","message"}}.
+ *
+ * Results cross the wire losslessly: every double is rendered with
+ * report::Json's shortest-round-trip formatting (bit-exact through
+ * write -> parse), and counters are exact in a double up to 2^53 -
+ * far above any simulation budget this model runs.  That is the
+ * foundation of the daemon-vs-in-process byte-identity contract
+ * (tests/test_service.cc): a client that re-renders daemon results
+ * produces the same bytes as the in-process path.
+ */
+
+#ifndef M3D_SERVICE_PROTOCOL_HH_
+#define M3D_SERVICE_PROTOCOL_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "power/sim_harness.hh"
+#include "report/json.hh"
+#include "sram/explorer.hh"
+
+namespace m3d {
+namespace service {
+
+/** Protocol magic; the generation digit is part of compatibility. */
+extern const char kFrameMagic[4];
+
+/** Default cap on one frame's payload (requests and responses). */
+constexpr std::uint32_t kDefaultMaxFrameBytes = 8u << 20;
+
+/** Outcome of reading one frame. */
+enum class FrameStatus
+{
+    Ok,       ///< *payload holds one complete JSON document
+    Eof,      ///< peer closed cleanly before any frame byte
+    BadMagic, ///< stream is not speaking this protocol; close it
+    TooLarge, ///< declared length above the cap; close the stream
+    Error,    ///< short read / I/O error mid-frame; close the stream
+};
+
+/**
+ * Read one frame from `fd` (blocking).  On Ok, `*payload` holds the
+ * payload bytes.  On any other status `*error` describes the
+ * condition; only Eof is a clean shutdown.
+ */
+FrameStatus readFrame(int fd, std::string *payload,
+                      std::uint32_t max_bytes, std::string *error);
+
+/** Write one frame to `fd` (blocking); false + *error on failure. */
+bool writeFrame(int fd, const std::string &payload,
+                std::string *error);
+
+// ---------------------------------------------------------------------
+// Response envelopes.
+// ---------------------------------------------------------------------
+
+/** `{"ok":true,"type":<type>}` - callers append members. */
+report::Json okResponse(const std::string &type);
+
+/** `{"ok":false,"error":{"code":...,"message":...}}`. */
+report::Json errorResponse(const std::string &code,
+                           const std::string &message);
+
+// ---------------------------------------------------------------------
+// Result serialization (bit-exact through the JSON writer/parser).
+// Parsers return false on missing/mistyped members and leave *out in
+// an unspecified state.
+// ---------------------------------------------------------------------
+
+report::Json activityJson(const Activity &a);
+bool parseActivity(const report::Json &j, Activity *out);
+
+report::Json simResultJson(const SimResult &r);
+bool parseSimResult(const report::Json &j, SimResult *out);
+
+report::Json appRunJson(const AppRun &r);
+bool parseAppRun(const report::Json &j, AppRun *out);
+
+report::Json multiRunJson(const MultiRun &r);
+bool parseMultiRun(const report::Json &j, MultiRun *out);
+
+/** Tagged union: {"kind":"single"|"multi", ...}. */
+report::Json runResultJson(const RunResult &r);
+bool parseRunResult(const report::Json &j, RunResult *out);
+
+report::Json partitionResultJson(const PartitionResult &r);
+bool parsePartitionResult(const report::Json &j,
+                          PartitionResult *out);
+
+} // namespace service
+} // namespace m3d
+
+#endif // M3D_SERVICE_PROTOCOL_HH_

@@ -1,0 +1,1013 @@
+#include "service/server.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+
+#include "search/objectives.hh"
+#include "search/search_json.hh"
+#include "search/search_space.hh"
+#include "search/strategy.hh"
+#include "sram/array_config.hh"
+#include "util/logging.hh"
+
+namespace m3d {
+namespace service {
+
+namespace {
+
+/** Domain tag of the daemon's partition-coalescing keys. */
+constexpr std::uint64_t kServicePartitionDomain = 0x6d336464'70617274ULL;
+
+/** Sanity cap on runs in one eval request (not a protocol limit). */
+constexpr std::size_t kMaxRunsPerRequest = 1024;
+
+const std::string *
+getString(const report::Json &j, const char *key)
+{
+    const report::Json *v = j.find(key);
+    if (v == nullptr || !v->isString())
+        return nullptr;
+    return &v->asString();
+}
+
+bool
+getUint(const report::Json &j, const char *key, std::uint64_t *out)
+{
+    const report::Json *v = j.find(key);
+    if (v == nullptr)
+        return false; // absent: caller keeps its default
+    if (v->isNumber() && v->asNumber() >= 0.0)
+        *out = static_cast<std::uint64_t>(v->asNumber());
+    return true;
+}
+
+report::Json
+statsJson(const engine::CacheStats &s, std::size_t entries)
+{
+    report::Json o = report::Json::object();
+    o.set("hits",
+          report::Json::number(static_cast<double>(s.hits)));
+    o.set("misses",
+          report::Json::number(static_cast<double>(s.misses)));
+    o.set("entries",
+          report::Json::number(static_cast<double>(entries)));
+    return o;
+}
+
+bool
+techByNameNoFatal(const std::string &name, Technology *out)
+{
+    if (name == "m3d-het") {
+        *out = Technology::m3dHetero();
+        return true;
+    }
+    if (name == "m3d-iso") {
+        *out = Technology::m3dIso();
+        return true;
+    }
+    if (name == "tsv3d") {
+        *out = Technology::tsv3D();
+        return true;
+    }
+    return false;
+}
+
+/** The m3dtool name forms: lowercased, and lowercased-hyphenated. */
+void
+addNameForms(std::unordered_map<std::string, CoreDesign> *map,
+             const CoreDesign &d)
+{
+    std::string lower = d.name;
+    for (char &c : lower)
+        c = static_cast<char>(std::tolower(c));
+    map->emplace(lower, d);
+    std::string key = lower;
+    for (char &c : key) {
+        if (c == ' ')
+            c = '-';
+    }
+    map->emplace(key, d);
+}
+
+} // namespace
+
+/** One pending evaluation's rendezvous: producer fulfills, waiters
+ * block.  fulfill/fail are first-write-wins so a drain-side failure
+ * after a hook already fired cannot clobber a result. */
+template <typename T> struct Server::Slot
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    T value{};
+    std::string error;
+
+    void fulfill(const T &v)
+    {
+        {
+            std::lock_guard<std::mutex> lock(m);
+            if (done)
+                return;
+            value = v;
+            done = true;
+        }
+        cv.notify_all();
+    }
+
+    void fail(const std::string &e)
+    {
+        {
+            std::lock_guard<std::mutex> lock(m);
+            if (done)
+                return;
+            error = e;
+            done = true;
+        }
+        cv.notify_all();
+    }
+
+    /** Block until done; true iff the slot holds a value. */
+    bool wait()
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [this] { return done; });
+        return error.empty();
+    }
+};
+
+Server::Server(ServerOptions options) : options_(std::move(options))
+{
+    engine::EvalOptions eopts;
+    eopts.threads = options_.threads;
+    ev_ = std::make_unique<engine::Evaluator>(eopts);
+}
+
+Server::~Server() { stop(); }
+
+bool
+Server::start(std::string *error)
+{
+    if (running_.load()) {
+        if (error)
+            *error = "server is already running";
+        return false;
+    }
+    if (options_.socket_path.empty()) {
+        if (error)
+            *error = "no socket path configured";
+        return false;
+    }
+
+    // Persistence first: refuse to serve at all if another daemon
+    // owns the cache dir (satellite contract: fail fast, not
+    // corrupt slowly).
+    if (!options_.cache_dir.empty()) {
+        if (!lock_.acquire(options_.cache_dir, error))
+            return false;
+        const std::size_t loaded =
+            ev_->cache().loadShards(options_.cache_dir);
+        if (loaded != 0)
+            std::cerr << "m3dd: loaded " << loaded
+                      << " cached partition entries from '"
+                      << options_.cache_dir << "'\n";
+    }
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "socket path '" + options_.socket_path +
+                     "' exceeds the AF_UNIX limit of " +
+                     std::to_string(sizeof(addr.sun_path) - 1) +
+                     " bytes";
+        lock_.release();
+        return false;
+    }
+    std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+                options_.socket_path.size() + 1);
+
+    // A leftover socket file is either a live daemon (connectable:
+    // refuse) or the debris of a dead one (unlink and take over).
+    if (std::filesystem::exists(options_.socket_path)) {
+        const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (probe >= 0) {
+            const bool live =
+                ::connect(probe,
+                          reinterpret_cast<const sockaddr *>(&addr),
+                          sizeof(addr)) == 0;
+            ::close(probe);
+            if (live) {
+                if (error)
+                    *error = "socket '" + options_.socket_path +
+                             "' is already served by a live m3dd; "
+                             "stop it or pick a different --socket";
+                lock_.release();
+                return false;
+            }
+        }
+        ::unlink(options_.socket_path.c_str());
+    }
+
+    const std::filesystem::path parent =
+        std::filesystem::path(options_.socket_path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
+
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        if (error)
+            *error = std::string("socket(): ") + std::strerror(errno);
+        lock_.release();
+        return false;
+    }
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+        if (error)
+            *error = "cannot listen on '" + options_.socket_path +
+                     "': " + std::strerror(errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        lock_.release();
+        return false;
+    }
+
+    stopping_.store(false);
+    stop_requested_.store(false);
+    running_.store(true);
+    accept_thread_ = std::thread(&Server::acceptLoop, this);
+    drain_thread_ = std::thread(&Server::drainLoop, this);
+    if (options_.snapshot_every_s > 0.0 &&
+        !options_.cache_dir.empty())
+        snapshot_thread_ = std::thread(&Server::snapshotLoop, this);
+    return true;
+}
+
+void
+Server::wait(const volatile std::sig_atomic_t *external_stop)
+{
+    if (!running_.load())
+        return;
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    while (!stop_requested_.load() && !stopping_.load() &&
+           (external_stop == nullptr || *external_stop == 0)) {
+        stop_cv_.wait_for(lock, std::chrono::milliseconds(200));
+    }
+}
+
+void
+Server::requestStop()
+{
+    stop_requested_.store(true);
+    {
+        std::lock_guard<std::mutex> lock(stop_mutex_);
+    }
+    stop_cv_.notify_all();
+}
+
+void
+Server::stop()
+{
+    if (!running_.exchange(false)) {
+        // Never started (or a second stop); nothing to tear down.
+        return;
+    }
+    stopping_.store(true);
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+    }
+    queue_cv_.notify_all();
+    requestStop();
+
+    if (listen_fd_ >= 0)
+        ::shutdown(listen_fd_, SHUT_RDWR);
+    {
+        // Unblock every connection handler stuck in readFrame().
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        for (const int fd : conn_fds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    if (drain_thread_.joinable())
+        drain_thread_.join();
+    if (snapshot_thread_.joinable())
+        snapshot_thread_.join();
+    // Join the handlers WITHOUT holding conn_mutex_: a handler's
+    // epilogue takes that mutex to record its exit, so joining under
+    // it deadlocks against any connection that is winding down.
+    std::vector<std::thread> conns;
+    {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        conns.swap(conn_threads_);
+        finished_conn_threads_.clear();
+    }
+    for (std::thread &t : conns) {
+        if (t.joinable())
+            t.join();
+    }
+
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    ::unlink(options_.socket_path.c_str());
+
+    if (!options_.cache_dir.empty() && lock_.held()) {
+        ev_->cache().saveShards(options_.cache_dir);
+        snapshots_.fetch_add(1);
+        lock_.release();
+    }
+}
+
+ServerStats
+Server::stats() const
+{
+    ServerStats s;
+    s.connections = connections_.load();
+    s.requests = requests_.load();
+    s.errors = errors_.load();
+    s.runs_requested = runs_requested_.load();
+    s.runs_coalesced = runs_coalesced_.load();
+    s.runs_submitted = runs_submitted_.load();
+    s.run_hook_fires = run_hook_fires_.load();
+    s.partitions_requested = partitions_requested_.load();
+    s.partitions_coalesced = partitions_coalesced_.load();
+    s.partitions_submitted = partitions_submitted_.load();
+    s.drains = drains_.load();
+    s.searches = searches_.load();
+    s.snapshots = snapshots_.load();
+    return s;
+}
+
+std::size_t
+Server::snapshot()
+{
+    if (options_.cache_dir.empty())
+        return 0;
+    const std::size_t n = ev_->cache().saveShards(options_.cache_dir);
+    snapshots_.fetch_add(1);
+    return n;
+}
+
+void
+Server::holdDrain(bool hold)
+{
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        drain_hold_ = hold;
+    }
+    queue_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------
+// Threads.
+// ---------------------------------------------------------------------
+
+void
+Server::acceptLoop()
+{
+    while (!stopping_.load()) {
+        pollfd pfd{};
+        pfd.fd = listen_fd_;
+        pfd.events = POLLIN;
+        const int r = ::poll(&pfd, 1, 200);
+        if (stopping_.load())
+            break;
+        if (r <= 0)
+            continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        connections_.fetch_add(1);
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        // Reap handlers that already finished so a long-lived daemon
+        // does not accumulate one dead thread per past connection.
+        for (const std::thread::id id : finished_conn_threads_) {
+            const auto it = std::find_if(
+                conn_threads_.begin(), conn_threads_.end(),
+                [&](const std::thread &t) {
+                    return t.get_id() == id;
+                });
+            if (it != conn_threads_.end()) {
+                it->join();
+                conn_threads_.erase(it);
+            }
+        }
+        finished_conn_threads_.clear();
+        conn_fds_.insert(fd);
+        conn_threads_.emplace_back(&Server::serveConnection, this,
+                                   fd);
+    }
+}
+
+void
+Server::drainLoop()
+{
+    for (;;) {
+        std::vector<std::pair<Key128, std::shared_ptr<RunSlot>>>
+            runs;
+        std::vector<std::pair<Key128, std::shared_ptr<PartSlot>>>
+            parts;
+        engine::BatchRunRequest batch;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [this] {
+                return stopping_ ||
+                       (!drain_hold_ && (!pending_runs_.empty() ||
+                                         !pending_parts_.empty()));
+            });
+            if (stopping_) {
+                // Fail everything still queued so no client hangs.
+                for (auto &[key, slot] : pending_runs_)
+                    slot->fail("daemon is shutting down");
+                for (auto &[key, slot] : pending_parts_)
+                    slot->fail("daemon is shutting down");
+                pending_runs_.clear();
+                pending_parts_.clear();
+                run_reqs_.clear();
+                part_reqs_.clear();
+                inflight_runs_.clear();
+                inflight_parts_.clear();
+                return;
+            }
+            runs.swap(pending_runs_);
+            parts.swap(pending_parts_);
+            batch.runs.reserve(runs.size());
+            for (const auto &[key, slot] : runs) {
+                batch.runs.push_back(run_reqs_.at(key));
+                run_reqs_.erase(key);
+            }
+            batch.partitions.reserve(parts.size());
+            for (const auto &[key, slot] : parts) {
+                batch.partitions.push_back(part_reqs_.at(key));
+                part_reqs_.erase(key);
+            }
+        }
+
+        drains_.fetch_add(1);
+        runs_submitted_.fetch_add(runs.size());
+        partitions_submitted_.fetch_add(parts.size());
+        try {
+            ev_->submit(
+                batch,
+                [&](std::size_t i, const RunResult &r) {
+                    run_hook_fires_.fetch_add(1);
+                    runs[i].second->fulfill(r);
+                },
+                [&](std::size_t i, const PartitionResult &p) {
+                    parts[i].second->fulfill(p);
+                });
+        } catch (const std::exception &e) {
+            const std::string what = e.what();
+            for (auto &[key, slot] : runs)
+                slot->fail("evaluation failed: " + what);
+            for (auto &[key, slot] : parts)
+                slot->fail("evaluation failed: " + what);
+        }
+
+        {
+            // Only now do repeats of these keys re-enqueue; anything
+            // that attached meanwhile was fulfilled above.
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            for (const auto &[key, slot] : runs)
+                inflight_runs_.erase(key);
+            for (const auto &[key, slot] : parts)
+                inflight_parts_.erase(key);
+        }
+    }
+}
+
+void
+Server::snapshotLoop()
+{
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    const auto period = std::chrono::duration<double>(
+        options_.snapshot_every_s);
+    while (!stopping_.load()) {
+        stop_cv_.wait_for(lock, period);
+        if (stopping_.load())
+            break;
+        lock.unlock();
+        snapshot();
+        lock.lock();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection handling.
+// ---------------------------------------------------------------------
+
+void
+Server::serveConnection(int fd)
+{
+    for (;;) {
+        std::string payload;
+        std::string err;
+        const FrameStatus st = readFrame(
+            fd, &payload, options_.max_frame_bytes, &err);
+        if (st == FrameStatus::Eof || st == FrameStatus::Error ||
+            stopping_.load()) {
+            // Clean close, torn frame, or shutdown: nothing useful
+            // to answer.
+            break;
+        }
+        if (st == FrameStatus::BadMagic ||
+            st == FrameStatus::TooLarge) {
+            // The stream cannot be resynchronized after these, so
+            // answer once and close this connection; the daemon
+            // keeps serving everyone else.
+            errors_.fetch_add(1);
+            std::string werr;
+            writeFrame(fd,
+                       errorResponse(st == FrameStatus::BadMagic
+                                         ? "bad-magic"
+                                         : "too-large",
+                                     err)
+                           .dump(),
+                       &werr);
+            break;
+        }
+
+        requests_.fetch_add(1);
+        report::Json req;
+        report::Json resp;
+        bool shutdown = false;
+        std::string perr;
+        if (!report::Json::parse(payload, &req, &perr)) {
+            errors_.fetch_add(1);
+            resp = errorResponse("bad-json", perr);
+        } else {
+            resp = handleRequest(req, &shutdown);
+            const report::Json *ok = resp.find("ok");
+            if (ok != nullptr && ok->isBool() && !ok->asBool())
+                errors_.fetch_add(1);
+        }
+
+        std::string werr;
+        if (!writeFrame(fd, resp.dump(), &werr))
+            break;
+        if (shutdown) {
+            requestStop();
+            break;
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        conn_fds_.erase(fd);
+        finished_conn_threads_.push_back(
+            std::this_thread::get_id());
+    }
+    ::close(fd);
+}
+
+report::Json
+Server::handleRequest(const report::Json &req, bool *shutdown)
+{
+    if (!req.isObject())
+        return errorResponse("bad-request",
+                             "request must be a JSON object");
+    const std::string *type = getString(req, "type");
+    if (type == nullptr)
+        return errorResponse("bad-request",
+                             "request needs a string 'type'");
+
+    if (*type == "ping") {
+        report::Json resp = okResponse("pong");
+        resp.set("pid", report::Json::number(
+                            static_cast<double>(::getpid())));
+        resp.set("protocol", report::Json::number(1));
+        return resp;
+    }
+    if (*type == "eval")
+        return handleEval(req);
+    if (*type == "sweep")
+        return handleSweep(req);
+    if (*type == "search")
+        return handleSearch(req);
+    if (*type == "stats")
+        return handleStats();
+    if (*type == "save")
+        return handleSave();
+    if (*type == "shutdown") {
+        *shutdown = true;
+        return okResponse("shutdown");
+    }
+    return errorResponse("unknown-type",
+                         "unknown request type '" + *type +
+                             "' (try ping, eval, sweep, search, "
+                             "stats, save, shutdown)");
+}
+
+// ---------------------------------------------------------------------
+// Warm design state.
+// ---------------------------------------------------------------------
+
+void
+Server::ensureFactory()
+{
+    std::call_once(factory_once_, [this] {
+        factory_ = std::make_unique<DesignFactory>(
+            engine::designFactory(*ev_));
+        for (const CoreDesign &d : factory_->singleCoreDesigns())
+            addNameForms(&designs_by_name_, d);
+        for (const CoreDesign &d : factory_->multicoreDesigns())
+            addNameForms(&designs_by_name_, d);
+        addNameForms(&designs_by_name_, factory_->m3dHetNaive());
+        addNameForms(&designs_by_name_, factory_->m3dHetAgg());
+        addNameForms(&designs_by_name_, factory_->m3dHetW());
+        addNameForms(&designs_by_name_, factory_->m3dHet2x());
+        designs_by_name_.emplace("m3d-het-naive",
+                                 factory_->m3dHetNaive());
+        designs_by_name_.emplace("m3d-hetnaive",
+                                 factory_->m3dHetNaive());
+        designs_by_name_.emplace("m3d-het-agg",
+                                 factory_->m3dHetAgg());
+        designs_by_name_.emplace("m3d-hetagg",
+                                 factory_->m3dHetAgg());
+    });
+}
+
+bool
+Server::resolveDesign(const std::string &name, CoreDesign *out)
+{
+    ensureFactory();
+    const auto it = designs_by_name_.find(name);
+    if (it == designs_by_name_.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+bool
+Server::resolveApp(const std::string &name, WorkloadProfile *out)
+{
+    // Only the bundled suites resolve over the wire: a daemon must
+    // never trust a client-supplied filesystem path, and the fatal
+    // path of loadProfile() would take the whole service down.
+    for (const WorkloadProfile &p : WorkloadLibrary::spec2006()) {
+        if (p.name == name) {
+            *out = p;
+            return true;
+        }
+    }
+    for (const WorkloadProfile &p :
+         WorkloadLibrary::splash2parsec()) {
+        if (p.name == name) {
+            *out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Coalescing queue.
+// ---------------------------------------------------------------------
+
+std::shared_ptr<Server::RunSlot>
+Server::enqueueRun(const RunRequest &req)
+{
+    const Key128 key =
+        req.kind == RunKind::Single
+            ? engine::singleRunKey(req.design, req.app, req.budget)
+            : engine::multiRunKey(req.design, req.app, req.budget);
+    std::shared_ptr<RunSlot> slot;
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        runs_requested_.fetch_add(1);
+        const auto it = inflight_runs_.find(key);
+        if (it != inflight_runs_.end()) {
+            runs_coalesced_.fetch_add(1);
+            return it->second;
+        }
+        slot = std::make_shared<RunSlot>();
+        inflight_runs_.emplace(key, slot);
+        run_reqs_.emplace(key, req);
+        pending_runs_.emplace_back(key, slot);
+    }
+    queue_cv_.notify_all();
+    return slot;
+}
+
+std::shared_ptr<Server::PartSlot>
+Server::enqueuePartition(const engine::PartitionJob &job)
+{
+    engine::KeyBuilder kb(kServicePartitionDomain);
+    engine::hashTechnology(kb, job.tech3d);
+    engine::hashArrayConfig(kb, job.cfg);
+    kb.add(static_cast<std::uint64_t>(job.kind));
+    const Key128 key = kb.key();
+
+    std::shared_ptr<PartSlot> slot;
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        partitions_requested_.fetch_add(1);
+        const auto it = inflight_parts_.find(key);
+        if (it != inflight_parts_.end()) {
+            partitions_coalesced_.fetch_add(1);
+            return it->second;
+        }
+        slot = std::make_shared<PartSlot>();
+        inflight_parts_.emplace(key, slot);
+        part_reqs_.emplace(key, job);
+        pending_parts_.emplace_back(key, slot);
+    }
+    queue_cv_.notify_all();
+    return slot;
+}
+
+// ---------------------------------------------------------------------
+// Request handlers.
+// ---------------------------------------------------------------------
+
+report::Json
+Server::handleEval(const report::Json &req)
+{
+    const report::Json *runs = req.find("runs");
+    if (runs == nullptr || !runs->isArray() ||
+        runs->elements().empty())
+        return errorResponse("bad-request",
+                             "eval needs a non-empty 'runs' array");
+    if (runs->elements().size() > kMaxRunsPerRequest)
+        return errorResponse(
+            "bad-request",
+            "eval is limited to " +
+                std::to_string(kMaxRunsPerRequest) +
+                " runs per request");
+
+    std::vector<RunRequest> requests;
+    requests.reserve(runs->elements().size());
+    for (const report::Json &r : runs->elements()) {
+        if (!r.isObject())
+            return errorResponse("bad-request",
+                                 "each run must be an object");
+        RunRequest rr;
+        const std::string *kind = getString(r, "kind");
+        if (kind != nullptr) {
+            if (*kind == "single")
+                rr.kind = RunKind::Single;
+            else if (*kind == "multi")
+                rr.kind = RunKind::Multi;
+            else
+                return errorResponse("bad-request",
+                                     "run kind must be 'single' or "
+                                     "'multi'");
+        }
+        const std::string *design = getString(r, "design");
+        const std::string *app = getString(r, "app");
+        if (design == nullptr || app == nullptr)
+            return errorResponse(
+                "bad-request",
+                "each run needs string 'design' and 'app'");
+        if (!resolveDesign(*design, &rr.design))
+            return errorResponse(
+                "unknown-design",
+                "unknown design '" + *design +
+                    "' (try base, tsv3d, m3d-iso, m3d-het-naive, "
+                    "m3d-het, m3d-het-agg)");
+        if (!resolveApp(*app, &rr.app))
+            return errorResponse(
+                "unknown-app",
+                "unknown app '" + *app +
+                    "' (bundled SPEC2006/SPLASH2/PARSEC names only; "
+                    "profile files do not resolve over the wire)");
+        getUint(r, "warmup", &rr.budget.warmup);
+        getUint(r, "measured", &rr.budget.measured);
+        getUint(r, "seed", &rr.budget.seed);
+        rr.path = ev_->options().trace_path;
+        requests.push_back(std::move(rr));
+    }
+
+    std::vector<std::shared_ptr<RunSlot>> slots;
+    slots.reserve(requests.size());
+    for (const RunRequest &rr : requests)
+        slots.push_back(enqueueRun(rr));
+
+    report::Json results = report::Json::array();
+    for (const std::shared_ptr<RunSlot> &slot : slots) {
+        if (!slot->wait())
+            return errorResponse("eval-failed", slot->error);
+        results.push(runResultJson(slot->value));
+    }
+    report::Json resp = okResponse("eval");
+    resp.set("results", std::move(results));
+    return resp;
+}
+
+report::Json
+Server::handleSweep(const report::Json &req)
+{
+    const std::string *tech_name = getString(req, "tech");
+    if (tech_name == nullptr)
+        return errorResponse("bad-request",
+                             "sweep needs a string 'tech'");
+    engine::PartitionJob proto;
+    if (!techByNameNoFatal(*tech_name, &proto.tech3d))
+        return errorResponse("unknown-tech",
+                             "unknown technology '" + *tech_name +
+                                 "' (try m3d-het, m3d-iso, tsv3d)");
+
+    std::vector<ArrayConfig> cfgs;
+    const report::Json *structures = req.find("structures");
+    if (structures == nullptr) {
+        cfgs = CoreStructures::all();
+    } else {
+        if (!structures->isArray())
+            return errorResponse("bad-request",
+                                 "'structures' must be an array of "
+                                 "names");
+        for (const report::Json &s : structures->elements()) {
+            if (!s.isString())
+                return errorResponse("bad-request",
+                                     "'structures' must be an array "
+                                     "of names");
+            bool found = false;
+            for (const ArrayConfig &c : CoreStructures::all()) {
+                if (c.name == s.asString()) {
+                    cfgs.push_back(c);
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                return errorResponse("unknown-structure",
+                                     "unknown structure '" +
+                                         s.asString() + "'");
+        }
+        if (cfgs.empty())
+            return errorResponse("bad-request",
+                                 "'structures' must not be empty");
+    }
+
+    std::vector<std::shared_ptr<PartSlot>> slots;
+    slots.reserve(cfgs.size());
+    for (const ArrayConfig &cfg : cfgs) {
+        engine::PartitionJob job = proto;
+        job.cfg = cfg;
+        job.kind = PartitionKind::None; // best overall
+        slots.push_back(enqueuePartition(job));
+    }
+
+    report::Json results = report::Json::array();
+    for (const std::shared_ptr<PartSlot> &slot : slots) {
+        if (!slot->wait())
+            return errorResponse("sweep-failed", slot->error);
+        results.push(partitionResultJson(slot->value));
+    }
+    report::Json resp = okResponse("sweep");
+    resp.set("tech", report::Json::string(*tech_name));
+    resp.set("results", std::move(results));
+    return resp;
+}
+
+report::Json
+Server::handleSearch(const report::Json &req)
+{
+    const std::string *strategy = getString(req, "strategy");
+    if (strategy == nullptr)
+        return errorResponse("bad-request",
+                             "search needs a string 'strategy'");
+    const std::vector<std::string> &names = search::strategyNames();
+    if (std::find(names.begin(), names.end(), *strategy) ==
+        names.end())
+        return errorResponse("bad-strategy",
+                             "unknown strategy '" + *strategy +
+                                 "' (try grid, random, climb, or "
+                                 "anneal)");
+
+    std::uint64_t seed = 7;
+    std::uint64_t budget = 16;
+    std::uint64_t instructions = 60000;
+    std::uint64_t thermal_grid = 32;
+    getUint(req, "seed", &seed);
+    getUint(req, "budget", &budget);
+    getUint(req, "instructions", &instructions);
+    getUint(req, "thermal_grid", &thermal_grid);
+    if (instructions == 0 || thermal_grid == 0 ||
+        thermal_grid > 4096)
+        return errorResponse("bad-request",
+                             "instructions and thermal_grid must be "
+                             "positive (thermal_grid <= 4096)");
+
+    // The search prices runs under the *request's* instruction
+    // budget, which ObjectiveEvaluator reads from its evaluator's
+    // options - so each search runs on a private evaluator seeded
+    // with the shared partition cache (budget-independent) and the
+    // process-wide warm trace registry.  New partition entries merge
+    // back afterwards, so later sweeps and searches reuse them.
+    engine::EvalOptions eopts;
+    eopts.threads = options_.threads;
+    eopts.budget.measured = instructions;
+    engine::Evaluator local(eopts);
+    {
+        std::stringstream warm;
+        ev_->cache().savePartitions(warm);
+        local.cache().loadPartitions(warm);
+    }
+
+    const search::SearchSpace space = search::coreSpace();
+    search::ObjectiveConfig ocfg;
+    ocfg.thermal_grid = static_cast<int>(thermal_grid);
+    search::ObjectiveEvaluator objectives(local, ocfg);
+
+    search::StrategyOptions sopts;
+    sopts.seed = seed;
+    sopts.budget = budget;
+    search::SearchResult result;
+    try {
+        result = search::runSearch(
+            space, *strategy, sopts,
+            search::enginePricer(space, objectives),
+            search::coreBaselinePoint(space));
+    } catch (const std::exception &e) {
+        return errorResponse("search-failed", e.what());
+    }
+    searches_.fetch_add(1);
+
+    {
+        std::stringstream merge;
+        local.cache().savePartitions(merge);
+        ev_->cache().loadPartitions(merge);
+    }
+
+    report::Json resp = okResponse("search");
+    resp.set("result", search::searchResultJson(space, *strategy,
+                                                seed, budget,
+                                                result));
+    return resp;
+}
+
+report::Json
+Server::handleStats()
+{
+    const ServerStats s = stats();
+    report::Json server = report::Json::object();
+    const auto num = [](std::uint64_t v) {
+        return report::Json::number(static_cast<double>(v));
+    };
+    server.set("connections", num(s.connections));
+    server.set("requests", num(s.requests));
+    server.set("errors", num(s.errors));
+    server.set("runs_requested", num(s.runs_requested));
+    server.set("runs_coalesced", num(s.runs_coalesced));
+    server.set("runs_submitted", num(s.runs_submitted));
+    server.set("run_hook_fires", num(s.run_hook_fires));
+    server.set("partitions_requested", num(s.partitions_requested));
+    server.set("partitions_coalesced", num(s.partitions_coalesced));
+    server.set("partitions_submitted", num(s.partitions_submitted));
+    server.set("drains", num(s.drains));
+    server.set("searches", num(s.searches));
+    server.set("snapshots", num(s.snapshots));
+
+    report::Json cache = report::Json::object();
+    cache.set("partition",
+              statsJson(ev_->cache().partitionStats(),
+                        ev_->cache().partitionEntries()));
+    cache.set("run", statsJson(ev_->cache().runStats(),
+                               ev_->cache().runEntries()));
+    cache.set("multi", statsJson(ev_->cache().multiStats(),
+                                 ev_->cache().multiEntries()));
+
+    report::Json resp = okResponse("stats");
+    resp.set("pid", report::Json::number(
+                        static_cast<double>(::getpid())));
+    resp.set("threads", report::Json::number(
+                            static_cast<double>(ev_->threads())));
+    resp.set("server", std::move(server));
+    resp.set("cache", std::move(cache));
+    return resp;
+}
+
+report::Json
+Server::handleSave()
+{
+    if (options_.cache_dir.empty())
+        return errorResponse("no-cache-dir",
+                             "this daemon was started without "
+                             "--cache-dir; nothing to save");
+    const std::size_t n = snapshot();
+    report::Json resp = okResponse("save");
+    resp.set("entries",
+             report::Json::number(static_cast<double>(n)));
+    resp.set("dir", report::Json::string(options_.cache_dir));
+    return resp;
+}
+
+} // namespace service
+} // namespace m3d

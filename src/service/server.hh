@@ -1,0 +1,261 @@
+/**
+ * @file
+ * The m3dd evaluation daemon (server side).
+ *
+ * A Server is the long-lived half of the "millions of users" story:
+ * it holds the expensive warm state - the process-wide TraceRegistry,
+ * the DesignFactory's partition sweeps, and the sharded EvalCache -
+ * in memory once, and serves eval/sweep/search requests from many
+ * concurrent clients over a local Unix-domain socket speaking the
+ * length-framed JSON protocol (service/protocol.hh).
+ *
+ * Request flow.  Each accepted connection gets a handler thread that
+ * reads frames and dispatches requests.  Simulation runs and
+ * partition grid searches do not execute on the connection thread:
+ * they are keyed (engine/eval_key.hh) and enqueued, and a dedicated
+ * drain thread periodically swaps out everything pending and submits
+ * it as ONE BatchRunRequest through Evaluator::submit() - so requests
+ * from N different clients land in the same design-major batched
+ * replay blocks the search subsystem uses.  Two layers of dedup
+ * stack:
+ *
+ *  - the coalescing map: while a key is in flight, later requests for
+ *    the same key attach to the first one's slot and wait - N clients
+ *    asking for the same design pay ONE backend evaluation (the
+ *    hooks-fire-once contract of submit() makes this observable:
+ *    ServerStats::run_hook_fires counts exactly the deduped work);
+ *  - the memo cache: once a key completes, repeats are cache hits.
+ *
+ * Search requests run synchronously on their connection thread
+ * against the shared evaluator (every strategy is a sequential loop
+ * over batch prices, so its result is byte-identical to an
+ * in-process run by construction); the response embeds the canonical
+ * m3d-search document (search/search_json.hh).
+ *
+ * Persistence.  With a cache_dir configured, the server takes the
+ * single-writer CacheLock for its lifetime, loads the sharded
+ * snapshot at start (corrupt shards are skipped with a warning), and
+ * saves shards atomically on snapshot()/stop and optionally on a
+ * timer.  Killing the daemon at any point - including mid-snapshot -
+ * leaves only complete shard files plus possibly a stale tmp file
+ * that the next start sweeps away.
+ *
+ * Results are bit-identical to in-process evaluation at any thread
+ * count, drain timing, and batch width (the engine's contract);
+ * tests/test_service.cc pins daemon-vs-in-process byte-identity end
+ * to end.
+ */
+
+#ifndef M3D_SERVICE_SERVER_HH_
+#define M3D_SERVICE_SERVER_HH_
+
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/design.hh"
+#include "engine/evaluator.hh"
+#include "service/cache_lock.hh"
+#include "service/protocol.hh"
+
+namespace m3d {
+namespace service {
+
+/** Knobs of one daemon instance. */
+struct ServerOptions
+{
+    /** Unix-domain socket path to listen on (required). */
+    std::string socket_path;
+
+    /**
+     * Sharded snapshot directory; empty disables persistence (and
+     * the single-writer lock).  A non-empty dir is locked for the
+     * server's lifetime - a second daemon on the same dir fails
+     * fast at start().
+     */
+    std::string cache_dir;
+
+    /** Evaluator worker threads; <= 0 means all hardware threads. */
+    int threads = 0;
+
+    /** Per-frame payload cap for requests on this server. */
+    std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+    /** Snapshot cadence in seconds; 0 = only on save/stop. */
+    double snapshot_every_s = 0.0;
+};
+
+/** Monotonic counters exposed by "stats" requests; see file comment. */
+struct ServerStats
+{
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+
+    std::uint64_t runs_requested = 0; ///< runs asked for by clients
+    std::uint64_t runs_coalesced = 0; ///< attached to an in-flight key
+    std::uint64_t runs_submitted = 0; ///< reached Evaluator::submit()
+    std::uint64_t run_hook_fires = 0; ///< submit() completions seen
+
+    std::uint64_t partitions_requested = 0;
+    std::uint64_t partitions_coalesced = 0;
+    std::uint64_t partitions_submitted = 0;
+
+    std::uint64_t drains = 0;    ///< drain cycles that submitted work
+    std::uint64_t searches = 0;  ///< search requests served
+    std::uint64_t snapshots = 0; ///< sharded saves completed
+};
+
+/** The m3dd daemon; see file comment. */
+class Server
+{
+  public:
+    explicit Server(ServerOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Acquire the cache lock, load the sharded snapshot, bind the
+     * socket, and spawn the accept/drain/snapshot threads.  False
+     * with *error on any failure (socket already live, lock held by
+     * another daemon, ...); the server is then inert.
+     */
+    bool start(std::string *error);
+
+    /**
+     * Block until a shutdown request arrives or `*external_stop`
+     * becomes nonzero (polled; pass the signal handler's flag).
+     * Returns immediately if the server never started.
+     */
+    void wait(const volatile std::sig_atomic_t *external_stop =
+                  nullptr);
+
+    /**
+     * Stop serving: close the listener and every connection, fail
+     * pending work, join all threads, take a final snapshot, release
+     * the lock.  Idempotent.
+     */
+    void stop();
+
+    bool running() const { return running_.load(); }
+    const ServerOptions &options() const { return options_; }
+    ServerStats stats() const;
+    engine::Evaluator &evaluator() { return *ev_; }
+
+    /** Snapshot the cache shards now; entries written (0 if no dir). */
+    std::size_t snapshot();
+
+    /**
+     * Test knob: freeze (true) / thaw (false) the drain thread so a
+     * test can pile up concurrent duplicate requests and observe one
+     * coalesced submission.  Never used in production flows.
+     */
+    void holdDrain(bool hold);
+
+  private:
+    template <typename T> struct Slot;
+    using RunSlot = Slot<RunResult>;
+    using PartSlot = Slot<PartitionResult>;
+
+    // Threads.
+    void acceptLoop();
+    void drainLoop();
+    void snapshotLoop();
+    void serveConnection(int fd);
+
+    // Request dispatch (returns the response; may flag shutdown).
+    report::Json handleRequest(const report::Json &req,
+                               bool *shutdown);
+    report::Json handleEval(const report::Json &req);
+    report::Json handleSweep(const report::Json &req);
+    report::Json handleSearch(const report::Json &req);
+    report::Json handleStats();
+    report::Json handleSave();
+
+    // Warm design state (built once, on first use).
+    void ensureFactory();
+    bool resolveDesign(const std::string &name, CoreDesign *out);
+    static bool resolveApp(const std::string &name,
+                           WorkloadProfile *out);
+
+    // Coalescing queue.
+    std::shared_ptr<RunSlot> enqueueRun(const RunRequest &req);
+    std::shared_ptr<PartSlot>
+    enqueuePartition(const engine::PartitionJob &job);
+    void requestStop();
+
+    ServerOptions options_;
+    std::unique_ptr<engine::Evaluator> ev_;
+    CacheLock lock_;
+    int listen_fd_ = -1;
+
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> stop_requested_{false};
+
+    // Warm factory (lazy: robustness-only tests never pay for it).
+    std::once_flag factory_once_;
+    std::unique_ptr<DesignFactory> factory_;
+    std::unordered_map<std::string, CoreDesign> designs_by_name_;
+
+    // Coalescing queue state (guarded by queue_mutex_).
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    bool drain_hold_ = false;
+    std::unordered_map<Key128, std::shared_ptr<RunSlot>, Key128Hash>
+        inflight_runs_;
+    std::vector<std::pair<Key128, std::shared_ptr<RunSlot>>>
+        pending_runs_;
+    std::unordered_map<Key128, std::shared_ptr<PartSlot>, Key128Hash>
+        inflight_parts_;
+    std::vector<std::pair<Key128, std::shared_ptr<PartSlot>>>
+        pending_parts_;
+    std::unordered_map<Key128, RunRequest, Key128Hash> run_reqs_;
+    std::unordered_map<Key128, engine::PartitionJob, Key128Hash>
+        part_reqs_;
+
+    // Connection bookkeeping (guarded by conn_mutex_).
+    std::mutex conn_mutex_;
+    std::unordered_set<int> conn_fds_;
+    std::vector<std::thread> conn_threads_;
+    std::vector<std::thread::id> finished_conn_threads_;
+
+    // Stop/wait coordination.
+    std::mutex stop_mutex_;
+    std::condition_variable stop_cv_;
+
+    // Counters (atomic: bumped from connection + drain threads).
+    std::atomic<std::uint64_t> connections_{0};
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> errors_{0};
+    std::atomic<std::uint64_t> runs_requested_{0};
+    std::atomic<std::uint64_t> runs_coalesced_{0};
+    std::atomic<std::uint64_t> runs_submitted_{0};
+    std::atomic<std::uint64_t> run_hook_fires_{0};
+    std::atomic<std::uint64_t> partitions_requested_{0};
+    std::atomic<std::uint64_t> partitions_coalesced_{0};
+    std::atomic<std::uint64_t> partitions_submitted_{0};
+    std::atomic<std::uint64_t> drains_{0};
+    std::atomic<std::uint64_t> searches_{0};
+    std::atomic<std::uint64_t> snapshots_{0};
+
+    std::thread accept_thread_;
+    std::thread drain_thread_;
+    std::thread snapshot_thread_;
+};
+
+} // namespace service
+} // namespace m3d
+
+#endif // M3D_SERVICE_SERVER_HH_

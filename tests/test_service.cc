@@ -1,0 +1,890 @@
+/**
+ * @file
+ * Service-grade battery for the m3dd daemon (src/service).
+ *
+ * The load-bearing contract is byte-identity: a client that talks to
+ * a warm daemon must see exactly the bytes an in-process evaluation
+ * would have produced - for single/multi eval, the partition sweep,
+ * and full searches - at any client count and drain timing.  On top
+ * of that the suite pins the service-only behaviors: duplicate-key
+ * coalescing (N clients, one backend evaluation), protocol
+ * robustness (malformed frames get structured errors, the daemon
+ * stays up), the single-writer cache lock, and the sharded
+ * snapshot's corruption recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/evaluator.hh"
+#include "report/json.hh"
+#include "search/objectives.hh"
+#include "search/search_json.hh"
+#include "search/search_space.hh"
+#include "search/strategy.hh"
+#include "service/cache_lock.hh"
+#include "service/client.hh"
+#include "service/protocol.hh"
+#include "service/server.hh"
+#include "sram/array_config.hh"
+#include "tech/technology.hh"
+#include "workload/profile.hh"
+
+namespace m3d {
+namespace {
+
+SimBudget
+tinyBudget()
+{
+    SimBudget b;
+    b.warmup = 2000;
+    b.measured = 10000;
+    return b;
+}
+
+/** Unique per-test scratch names: ctest runs gtest cases in parallel. */
+std::string
+scratchName(const std::string &suffix)
+{
+    const ::testing::TestInfo *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return std::string("svc_") + info->test_suite_name() + "_" +
+           info->name() + suffix;
+}
+
+service::ServerOptions
+baseOptions(const std::string &socket_path)
+{
+    service::ServerOptions o;
+    o.socket_path = socket_path;
+    o.threads = 2;
+    return o;
+}
+
+std::unique_ptr<service::Server>
+startServer(const service::ServerOptions &opts)
+{
+    ::unlink(opts.socket_path.c_str());
+    auto server = std::make_unique<service::Server>(opts);
+    std::string err;
+    if (!server->start(&err)) {
+        ADD_FAILURE() << "server failed to start: " << err;
+        return nullptr;
+    }
+    return server;
+}
+
+report::Json
+pingRequest()
+{
+    report::Json req = report::Json::object();
+    req.set("type", report::Json::string("ping"));
+    return req;
+}
+
+report::Json
+evalRequest(const std::string &kind, const std::string &design,
+            const std::string &app, const SimBudget &budget)
+{
+    report::Json run = report::Json::object();
+    run.set("kind", report::Json::string(kind));
+    run.set("design", report::Json::string(design));
+    run.set("app", report::Json::string(app));
+    run.set("warmup", report::Json::number(
+                          static_cast<double>(budget.warmup)));
+    run.set("measured", report::Json::number(
+                            static_cast<double>(budget.measured)));
+    run.set("seed", report::Json::number(
+                        static_cast<double>(budget.seed)));
+    report::Json runs = report::Json::array();
+    runs.push(std::move(run));
+    report::Json req = report::Json::object();
+    req.set("type", report::Json::string("eval"));
+    req.set("runs", std::move(runs));
+    return req;
+}
+
+/** One checked round trip on a fresh connection. */
+report::Json
+callDaemon(const std::string &socket_path, const report::Json &req)
+{
+    service::Client c;
+    std::string err;
+    EXPECT_TRUE(c.connect(socket_path, &err)) << err;
+    report::Json resp;
+    EXPECT_TRUE(c.callChecked(req, &resp, &err)) << err;
+    return resp;
+}
+
+CoreDesign
+designNamed(DesignFactory &factory, const std::string &name)
+{
+    for (const CoreDesign &d : factory.singleCoreDesigns())
+        if (d.name == name)
+            return d;
+    ADD_FAILURE() << "no single-core design named " << name;
+    return factory.singleCoreDesigns().front();
+}
+
+WorkloadProfile
+appNamed(const std::string &name)
+{
+    for (const WorkloadProfile &p : WorkloadLibrary::spec2006())
+        if (p.name == name)
+            return p;
+    for (const WorkloadProfile &p : WorkloadLibrary::splash2parsec())
+        if (p.name == name)
+            return p;
+    ADD_FAILURE() << "no bundled app named " << name;
+    return WorkloadLibrary::spec2006().front();
+}
+
+/** Raw AF_UNIX connect for tests that must speak broken protocol. */
+int
+rawConnect(const std::string &socket_path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    EXPECT_LT(socket_path.size(), sizeof(addr.sun_path));
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    EXPECT_EQ(::connect(fd,
+                        reinterpret_cast<const sockaddr *>(&addr),
+                        sizeof(addr)),
+              0)
+        << std::strerror(errno);
+    return fd;
+}
+
+// ---------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------
+
+TEST(ServiceFraming, RoundTripsPayloadsInOrder)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    std::string err;
+    ASSERT_TRUE(service::writeFrame(fds[0], "{\"a\":1}", &err)) << err;
+    ASSERT_TRUE(service::writeFrame(fds[0], "", &err)) << err;
+    const std::string big(100000, 'x');
+    ASSERT_TRUE(service::writeFrame(fds[0], big, &err)) << err;
+
+    std::string payload;
+    EXPECT_EQ(service::readFrame(fds[1], &payload,
+                                 service::kDefaultMaxFrameBytes,
+                                 &err),
+              service::FrameStatus::Ok);
+    EXPECT_EQ(payload, "{\"a\":1}");
+    EXPECT_EQ(service::readFrame(fds[1], &payload,
+                                 service::kDefaultMaxFrameBytes,
+                                 &err),
+              service::FrameStatus::Ok);
+    EXPECT_EQ(payload, "");
+    EXPECT_EQ(service::readFrame(fds[1], &payload,
+                                 service::kDefaultMaxFrameBytes,
+                                 &err),
+              service::FrameStatus::Ok);
+    EXPECT_EQ(payload, big);
+
+    ::close(fds[0]);
+    EXPECT_EQ(service::readFrame(fds[1], &payload,
+                                 service::kDefaultMaxFrameBytes,
+                                 &err),
+              service::FrameStatus::Eof);
+    ::close(fds[1]);
+}
+
+TEST(ServiceFraming, RejectsBadMagic)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const char junk[] = "HTTP/1.1 GET /";
+    ASSERT_GT(::send(fds[0], junk, sizeof(junk), 0), 0);
+    std::string payload, err;
+    EXPECT_EQ(service::readFrame(fds[1], &payload,
+                                 service::kDefaultMaxFrameBytes,
+                                 &err),
+              service::FrameStatus::BadMagic);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(ServiceFraming, RejectsOversizedDeclaredLength)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    unsigned char header[8];
+    std::memcpy(header, service::kFrameMagic, 4);
+    const std::uint32_t huge = 1u << 30;
+    std::memcpy(header + 4, &huge, 4);
+    ASSERT_EQ(::send(fds[0], header, sizeof(header), 0), 8);
+    std::string payload, err;
+    EXPECT_EQ(service::readFrame(fds[1], &payload, 1024, &err),
+              service::FrameStatus::TooLarge);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(ServiceFraming, ReportsTruncatedFrame)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    unsigned char header[8];
+    std::memcpy(header, service::kFrameMagic, 4);
+    const std::uint32_t declared = 64;
+    std::memcpy(header + 4, &declared, 4);
+    ASSERT_EQ(::send(fds[0], header, sizeof(header), 0), 8);
+    ASSERT_EQ(::send(fds[0], "abc", 3, 0), 3);
+    ::close(fds[0]); // peer dies mid-payload
+    std::string payload, err;
+    EXPECT_EQ(service::readFrame(fds[1], &payload,
+                                 service::kDefaultMaxFrameBytes,
+                                 &err),
+              service::FrameStatus::Error);
+    ::close(fds[1]);
+}
+
+// ---------------------------------------------------------------------
+// Serializers: write -> parse -> write must be byte-identical.
+// ---------------------------------------------------------------------
+
+TEST(ServiceSerializers, RunAndPartitionResultsRoundTripBitExact)
+{
+    engine::EvalOptions eopts;
+    eopts.threads = 2;
+    eopts.budget = tinyBudget();
+    engine::Evaluator ev(eopts);
+    DesignFactory factory = engine::designFactory(ev);
+
+    engine::BatchRunRequest batch;
+    RunRequest single;
+    single.kind = RunKind::Single;
+    single.design = designNamed(factory, "Base");
+    single.app = appNamed("Gcc");
+    single.budget = tinyBudget();
+    batch.runs.push_back(single);
+    RunRequest multi = single;
+    multi.kind = RunKind::Multi;
+    multi.design = factory.m3dHetW();
+    multi.app = appNamed("Barnes");
+    batch.runs.push_back(multi);
+    engine::PartitionJob job;
+    job.tech3d = Technology::m3dIso();
+    job.cfg = CoreStructures::all().front();
+    batch.partitions.push_back(job);
+
+    const engine::BatchRunResult out = ev.submit(batch);
+    ASSERT_EQ(out.runs.size(), 2u);
+    ASSERT_EQ(out.partitions.size(), 1u);
+
+    for (const RunResult &r : out.runs) {
+        const std::string first = service::runResultJson(r).dump();
+        report::Json parsed;
+        std::string perr;
+        ASSERT_TRUE(report::Json::parse(first, &parsed, &perr))
+            << perr;
+        RunResult back;
+        ASSERT_TRUE(service::parseRunResult(parsed, &back));
+        EXPECT_EQ(service::runResultJson(back).dump(), first);
+    }
+    const std::string first =
+        service::partitionResultJson(out.partitions[0]).dump();
+    report::Json parsed;
+    std::string perr;
+    ASSERT_TRUE(report::Json::parse(first, &parsed, &perr)) << perr;
+    PartitionResult back;
+    ASSERT_TRUE(service::parsePartitionResult(parsed, &back));
+    EXPECT_EQ(service::partitionResultJson(back).dump(), first);
+}
+
+// ---------------------------------------------------------------------
+// Daemon-vs-in-process byte-identity.
+// ---------------------------------------------------------------------
+
+TEST(ServiceParity, SingleEvalMatchesInProcessBytes)
+{
+    const std::string sock = scratchName(".sock");
+    auto server = startServer(baseOptions(sock));
+    ASSERT_NE(server, nullptr);
+
+    const report::Json resp = callDaemon(
+        sock, evalRequest("single", "base", "Gcc", tinyBudget()));
+    ASSERT_TRUE(resp.find("results") != nullptr);
+    const std::string daemon_bytes =
+        resp.find("results")->elements().at(0).dump();
+
+    engine::EvalOptions eopts;
+    eopts.threads = 2;
+    engine::Evaluator ev(eopts);
+    DesignFactory factory = engine::designFactory(ev);
+    engine::BatchRunRequest batch;
+    RunRequest rr;
+    rr.kind = RunKind::Single;
+    rr.design = designNamed(factory, "Base");
+    rr.app = appNamed("Gcc");
+    rr.budget = tinyBudget();
+    batch.runs.push_back(rr);
+    const RunResult local = ev.submit(batch).runs.at(0);
+
+    EXPECT_EQ(daemon_bytes, service::runResultJson(local).dump());
+    server->stop();
+}
+
+TEST(ServiceParity, MultiEvalMatchesInProcessBytes)
+{
+    const std::string sock = scratchName(".sock");
+    auto server = startServer(baseOptions(sock));
+    ASSERT_NE(server, nullptr);
+
+    const report::Json resp = callDaemon(
+        sock,
+        evalRequest("multi", "m3d-het-w", "Barnes", tinyBudget()));
+    ASSERT_TRUE(resp.find("results") != nullptr);
+    const std::string daemon_bytes =
+        resp.find("results")->elements().at(0).dump();
+
+    engine::EvalOptions eopts;
+    eopts.threads = 2;
+    engine::Evaluator ev(eopts);
+    DesignFactory factory = engine::designFactory(ev);
+    engine::BatchRunRequest batch;
+    RunRequest rr;
+    rr.kind = RunKind::Multi;
+    rr.design = factory.m3dHetW();
+    rr.app = appNamed("Barnes");
+    rr.budget = tinyBudget();
+    batch.runs.push_back(rr);
+    const RunResult local = ev.submit(batch).runs.at(0);
+
+    EXPECT_EQ(daemon_bytes, service::runResultJson(local).dump());
+    server->stop();
+}
+
+TEST(ServiceParity, SweepMatchesInProcessBytes)
+{
+    const std::string sock = scratchName(".sock");
+    auto server = startServer(baseOptions(sock));
+    ASSERT_NE(server, nullptr);
+
+    report::Json req = report::Json::object();
+    req.set("type", report::Json::string("sweep"));
+    req.set("tech", report::Json::string("m3d-iso"));
+    const report::Json resp = callDaemon(sock, req);
+    ASSERT_TRUE(resp.find("results") != nullptr);
+    const std::vector<report::Json> &daemon_results =
+        resp.find("results")->elements();
+
+    engine::EvalOptions eopts;
+    eopts.threads = 2;
+    engine::Evaluator ev(eopts);
+    const std::vector<PartitionResult> local = ev.bestForAll(
+        Technology::m3dIso(), CoreStructures::all());
+
+    ASSERT_EQ(daemon_results.size(), local.size());
+    for (std::size_t i = 0; i < local.size(); ++i)
+        EXPECT_EQ(daemon_results[i].dump(),
+                  service::partitionResultJson(local[i]).dump())
+            << "structure index " << i;
+    server->stop();
+}
+
+TEST(ServiceParity, SearchMatchesInProcessBytes)
+{
+    const std::string sock = scratchName(".sock");
+    auto server = startServer(baseOptions(sock));
+    ASSERT_NE(server, nullptr);
+
+    constexpr std::uint64_t kSeed = 11;
+    constexpr std::uint64_t kBudget = 3;
+    constexpr std::uint64_t kInstructions = 10000;
+    constexpr std::uint64_t kThermalGrid = 8;
+
+    report::Json req = report::Json::object();
+    req.set("type", report::Json::string("search"));
+    req.set("strategy", report::Json::string("random"));
+    req.set("seed", report::Json::number(kSeed));
+    req.set("budget", report::Json::number(kBudget));
+    req.set("instructions", report::Json::number(kInstructions));
+    req.set("thermal_grid", report::Json::number(kThermalGrid));
+    const report::Json resp = callDaemon(sock, req);
+    ASSERT_TRUE(resp.find("result") != nullptr);
+    const std::string daemon_doc = resp.find("result")->dump();
+
+    // The exact recipe cmdSearch uses in-process.
+    engine::EvalOptions eopts;
+    eopts.threads = 2;
+    eopts.budget.measured = kInstructions;
+    engine::Evaluator ev(eopts);
+    const search::SearchSpace space = search::coreSpace();
+    search::ObjectiveConfig ocfg;
+    ocfg.thermal_grid = static_cast<int>(kThermalGrid);
+    search::ObjectiveEvaluator objectives(ev, ocfg);
+    search::StrategyOptions sopts;
+    sopts.seed = kSeed;
+    sopts.budget = kBudget;
+    const search::SearchResult result = search::runSearch(
+        space, "random", sopts,
+        search::enginePricer(space, objectives),
+        search::coreBaselinePoint(space));
+
+    EXPECT_EQ(daemon_doc,
+              search::searchResultJson(space, "random", kSeed,
+                                       kBudget, result)
+                  .dump());
+    server->stop();
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: many clients, one answer.
+// ---------------------------------------------------------------------
+
+TEST(ServiceConcurrency, EightClientsSeeIdenticalBytes)
+{
+    const std::string sock = scratchName(".sock");
+    auto server = startServer(baseOptions(sock));
+    ASSERT_NE(server, nullptr);
+
+    constexpr int kClients = 8;
+    std::vector<std::string> answers(kClients);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+        clients.emplace_back([&, i] {
+            service::Client c;
+            std::string err;
+            ASSERT_TRUE(c.connect(sock, &err)) << err;
+            report::Json resp;
+            ASSERT_TRUE(c.callChecked(
+                evalRequest("single", "m3d-het", "Mcf",
+                            tinyBudget()),
+                &resp, &err))
+                << err;
+            answers[i] = resp.dump();
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+
+    for (int i = 1; i < kClients; ++i)
+        EXPECT_EQ(answers[i], answers[0]) << "client " << i;
+    EXPECT_FALSE(answers[0].empty());
+    server->stop();
+}
+
+TEST(ServiceConcurrency, DuplicateKeysEvaluateExactlyOnce)
+{
+    const std::string sock = scratchName(".sock");
+    auto server = startServer(baseOptions(sock));
+    ASSERT_NE(server, nullptr);
+
+    // Freeze the drain thread so all eight duplicates pile up in the
+    // same pending window, then release and observe one submission.
+    server->holdDrain(true);
+
+    constexpr int kClients = 8;
+    std::vector<std::string> answers(kClients);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+        clients.emplace_back([&, i] {
+            service::Client c;
+            std::string err;
+            ASSERT_TRUE(c.connect(sock, &err)) << err;
+            report::Json resp;
+            ASSERT_TRUE(c.callChecked(
+                evalRequest("single", "m3d-iso", "Hmmer",
+                            tinyBudget()),
+                &resp, &err))
+                << err;
+            answers[i] = resp.dump();
+        });
+    }
+
+    while (server->stats().runs_requested < kClients)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    server->holdDrain(false);
+    for (std::thread &t : clients)
+        t.join();
+
+    const service::ServerStats s = server->stats();
+    EXPECT_EQ(s.runs_requested, static_cast<std::uint64_t>(kClients));
+    EXPECT_EQ(s.runs_coalesced,
+              static_cast<std::uint64_t>(kClients - 1));
+    EXPECT_EQ(s.runs_submitted, 1u);
+    EXPECT_EQ(s.run_hook_fires, 1u); // the backend ran the key ONCE
+    for (int i = 1; i < kClients; ++i)
+        EXPECT_EQ(answers[i], answers[0]) << "client " << i;
+    server->stop();
+}
+
+// ---------------------------------------------------------------------
+// Protocol robustness: garbage in, daemon stays up.
+// ---------------------------------------------------------------------
+
+TEST(ServiceRobustness, MalformedJsonGetsErrorAndConnectionSurvives)
+{
+    const std::string sock = scratchName(".sock");
+    auto server = startServer(baseOptions(sock));
+    ASSERT_NE(server, nullptr);
+
+    const int fd = rawConnect(sock);
+    std::string err;
+    ASSERT_TRUE(service::writeFrame(fd, "{not json", &err)) << err;
+    std::string payload;
+    ASSERT_EQ(service::readFrame(fd, &payload,
+                                 service::kDefaultMaxFrameBytes,
+                                 &err),
+              service::FrameStatus::Ok);
+    report::Json resp;
+    ASSERT_TRUE(report::Json::parse(payload, &resp, &err)) << err;
+    ASSERT_TRUE(resp.find("ok") != nullptr);
+    EXPECT_FALSE(resp.find("ok")->asBool());
+    EXPECT_EQ(resp.find("error")->find("code")->asString(),
+              "bad-json");
+
+    // The same connection must still answer a well-formed request.
+    ASSERT_TRUE(service::writeFrame(fd, pingRequest().dump(), &err))
+        << err;
+    ASSERT_EQ(service::readFrame(fd, &payload,
+                                 service::kDefaultMaxFrameBytes,
+                                 &err),
+              service::FrameStatus::Ok);
+    ASSERT_TRUE(report::Json::parse(payload, &resp, &err)) << err;
+    EXPECT_TRUE(resp.find("ok")->asBool());
+    ::close(fd);
+    EXPECT_TRUE(server->running());
+    server->stop();
+}
+
+TEST(ServiceRobustness, UnknownTypeDesignAppAndTechAreStructured)
+{
+    const std::string sock = scratchName(".sock");
+    auto server = startServer(baseOptions(sock));
+    ASSERT_NE(server, nullptr);
+
+    service::Client c;
+    std::string err;
+    ASSERT_TRUE(c.connect(sock, &err)) << err;
+
+    const auto errorCode = [&](const report::Json &req) {
+        report::Json resp;
+        EXPECT_TRUE(c.call(req, &resp, &err)) << err;
+        EXPECT_FALSE(resp.find("ok")->asBool());
+        return resp.find("error")->find("code")->asString();
+    };
+
+    report::Json unknown_type = report::Json::object();
+    unknown_type.set("type", report::Json::string("frobnicate"));
+    EXPECT_EQ(errorCode(unknown_type), "unknown-type");
+
+    EXPECT_EQ(errorCode(evalRequest("single", "frobnicore", "Gcc",
+                                    tinyBudget())),
+              "unknown-design");
+    EXPECT_EQ(errorCode(evalRequest("single", "base", "Frobmark",
+                                    tinyBudget())),
+              "unknown-app");
+
+    report::Json bad_sweep = report::Json::object();
+    bad_sweep.set("type", report::Json::string("sweep"));
+    bad_sweep.set("tech", report::Json::string("frobtech"));
+    EXPECT_EQ(errorCode(bad_sweep), "unknown-tech");
+
+    report::Json no_type = report::Json::object();
+    no_type.set("hello", report::Json::string("world"));
+    EXPECT_EQ(errorCode(no_type), "bad-request");
+
+    // After five bad requests the daemon still serves good ones.
+    report::Json resp;
+    ASSERT_TRUE(c.callChecked(pingRequest(), &resp, &err)) << err;
+    EXPECT_EQ(resp.find("type")->asString(), "pong");
+    server->stop();
+}
+
+TEST(ServiceRobustness, OversizedFrameClosesConnectionDaemonSurvives)
+{
+    const std::string sock = scratchName(".sock");
+    service::ServerOptions opts = baseOptions(sock);
+    opts.max_frame_bytes = 1024;
+    auto server = startServer(opts);
+    ASSERT_NE(server, nullptr);
+
+    const int fd = rawConnect(sock);
+    // The daemon may answer and close after the 8-byte header alone,
+    // so the tail of this write can die with EPIPE - that is the
+    // rejection happening, not a test failure.
+    std::string err;
+    service::writeFrame(fd, std::string(4096, ' '), &err);
+    std::string payload;
+    service::FrameStatus st = service::readFrame(
+        fd, &payload, service::kDefaultMaxFrameBytes, &err);
+    if (st == service::FrameStatus::Ok) {
+        report::Json resp;
+        ASSERT_TRUE(report::Json::parse(payload, &resp, &err))
+            << err;
+        EXPECT_FALSE(resp.find("ok")->asBool());
+        EXPECT_EQ(resp.find("error")->find("code")->asString(),
+                  "too-large");
+        // Unresyncable condition: after answering once the daemon
+        // closes; the discarded payload bytes may surface as a
+        // reset rather than a clean EOF.
+        st = service::readFrame(fd, &payload,
+                                service::kDefaultMaxFrameBytes,
+                                &err);
+    }
+    EXPECT_NE(st, service::FrameStatus::Ok);
+    ::close(fd);
+
+    report::Json pong = callDaemon(sock, pingRequest());
+    EXPECT_EQ(pong.find("type")->asString(), "pong");
+    EXPECT_GE(server->stats().errors, 1u);
+    server->stop();
+}
+
+TEST(ServiceRobustness, BadMagicClosesConnectionDaemonSurvives)
+{
+    const std::string sock = scratchName(".sock");
+    auto server = startServer(baseOptions(sock));
+    ASSERT_NE(server, nullptr);
+
+    const int fd = rawConnect(sock);
+    const char junk[] = "GET / HTTP/1.1\r\n\r\n";
+    ASSERT_GT(::send(fd, junk, sizeof(junk) - 1, 0), 0);
+    std::string payload, err;
+    service::FrameStatus st = service::readFrame(
+        fd, &payload, service::kDefaultMaxFrameBytes, &err);
+    if (st == service::FrameStatus::Ok) {
+        report::Json resp;
+        ASSERT_TRUE(report::Json::parse(payload, &resp, &err))
+            << err;
+        EXPECT_FALSE(resp.find("ok")->asBool());
+        EXPECT_EQ(resp.find("error")->find("code")->asString(),
+                  "bad-magic");
+        // The daemon closes with our junk bytes unread, which may
+        // read back as a reset instead of a clean EOF.
+        st = service::readFrame(fd, &payload,
+                                service::kDefaultMaxFrameBytes,
+                                &err);
+    }
+    EXPECT_NE(st, service::FrameStatus::Ok);
+    ::close(fd);
+
+    report::Json pong = callDaemon(sock, pingRequest());
+    EXPECT_EQ(pong.find("type")->asString(), "pong");
+    server->stop();
+}
+
+// ---------------------------------------------------------------------
+// Single daemon per cache dir.
+// ---------------------------------------------------------------------
+
+TEST(ServiceLock, SecondServerOnSameCacheDirFailsFast)
+{
+    const std::string dir = scratchName("_dir");
+    std::filesystem::remove_all(dir);
+
+    service::ServerOptions first = baseOptions(scratchName("_a.sock"));
+    first.cache_dir = dir;
+    auto server = startServer(first);
+    ASSERT_NE(server, nullptr);
+
+    service::ServerOptions second =
+        baseOptions(scratchName("_b.sock"));
+    second.cache_dir = dir;
+    ::unlink(second.socket_path.c_str());
+    service::Server loser(second);
+    std::string err;
+    EXPECT_FALSE(loser.start(&err));
+    EXPECT_NE(err.find("already served"), std::string::npos) << err;
+    EXPECT_FALSE(loser.running());
+
+    // The first daemon is unaffected by the failed contender.
+    report::Json pong = callDaemon(first.socket_path, pingRequest());
+    EXPECT_EQ(pong.find("type")->asString(), "pong");
+    server->stop();
+
+    // With the winner gone the dir is claimable again.
+    auto heir = startServer(second);
+    ASSERT_NE(heir, nullptr);
+    heir->stop();
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ServiceLock, LockIsAdvisoryPerDirectory)
+{
+    const std::string dir_a = scratchName("_a");
+    const std::string dir_b = scratchName("_b");
+    std::filesystem::remove_all(dir_a);
+    std::filesystem::remove_all(dir_b);
+
+    service::CacheLock a, b;
+    std::string err;
+    ASSERT_TRUE(a.acquire(dir_a, &err)) << err;
+    EXPECT_TRUE(b.acquire(dir_b, &err)) << err; // different dir: fine
+
+    service::CacheLock contender;
+    EXPECT_FALSE(contender.acquire(dir_a, &err));
+    EXPECT_NE(err.find("already served"), std::string::npos) << err;
+
+    a.release();
+    EXPECT_TRUE(contender.acquire(dir_a, &err)) << err;
+    std::filesystem::remove_all(dir_a);
+    std::filesystem::remove_all(dir_b);
+}
+
+// ---------------------------------------------------------------------
+// Sharded snapshots: atomicity, recovery, self-repair.
+// ---------------------------------------------------------------------
+
+TEST(ServiceShards, SaveLoadRoundTripPreservesEveryEntry)
+{
+    const std::string dir = scratchName("_dir");
+    std::filesystem::remove_all(dir);
+
+    engine::EvalOptions eopts;
+    eopts.threads = 2;
+    engine::Evaluator warm(eopts);
+    const std::vector<PartitionResult> expect = warm.bestForAll(
+        Technology::m3dIso(), CoreStructures::all());
+    const std::size_t entries = warm.cache().partitionEntries();
+    ASSERT_GT(entries, 0u);
+    EXPECT_EQ(warm.cache().saveShards(dir), entries);
+
+    engine::Evaluator cold(eopts);
+    EXPECT_EQ(cold.cache().loadShards(dir), entries);
+    const std::size_t miss_before =
+        cold.cache().partitionStats().misses;
+    const std::vector<PartitionResult> got = cold.bestForAll(
+        Technology::m3dIso(), CoreStructures::all());
+    EXPECT_EQ(cold.cache().partitionStats().misses, miss_before)
+        << "reload must serve the sweep without recomputing";
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(service::partitionResultJson(got[i]).dump(),
+                  service::partitionResultJson(expect[i]).dump());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ServiceShards, CorruptShardIsSkippedAndRepairedOnNextSave)
+{
+    const std::string dir = scratchName("_dir");
+    std::filesystem::remove_all(dir);
+
+    engine::EvalOptions eopts;
+    eopts.threads = 2;
+    engine::Evaluator warm(eopts);
+    warm.bestForAll(Technology::m3dIso(), CoreStructures::all());
+    warm.bestForAll(Technology::m3dHetero(), CoreStructures::all());
+    const std::size_t entries = warm.cache().partitionEntries();
+    ASSERT_EQ(warm.cache().saveShards(dir), entries);
+
+    // Find a shard that actually holds entries and trash it.
+    std::string victim;
+    for (int shard = 0; shard < 16 && victim.empty(); ++shard) {
+        const std::string path =
+            dir + "/" + engine::EvalCache::shardFileName(shard);
+        std::error_code ec;
+        if (std::filesystem::file_size(path, ec) > 64 && !ec)
+            victim = path;
+    }
+    ASSERT_FALSE(victim.empty());
+    {
+        std::ofstream out(victim, std::ios::trunc);
+        out << "this is not a cache shard\n";
+    }
+
+    engine::Evaluator cold(eopts);
+    const std::size_t loaded = cold.cache().loadShards(dir);
+    EXPECT_LT(loaded, entries) << "the corrupt shard must be skipped";
+    EXPECT_GT(loaded, 0u) << "healthy shards must still load";
+
+    // Re-deriving the missing entries and saving must repair the dir.
+    cold.bestForAll(Technology::m3dIso(), CoreStructures::all());
+    cold.bestForAll(Technology::m3dHetero(), CoreStructures::all());
+    EXPECT_EQ(cold.cache().saveShards(dir), entries);
+    engine::Evaluator verify(eopts);
+    EXPECT_EQ(verify.cache().loadShards(dir), entries);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ServiceShards, StaleTmpDebrisIsSweptOnLoad)
+{
+    const std::string dir = scratchName("_dir");
+    std::filesystem::remove_all(dir);
+
+    engine::EvalOptions eopts;
+    eopts.threads = 2;
+    engine::Evaluator warm(eopts);
+    warm.bestForAll(Technology::m3dIso(), CoreStructures::all());
+    const std::size_t entries = warm.cache().partitionEntries();
+    ASSERT_EQ(warm.cache().saveShards(dir), entries);
+
+    // Debris a crashed mid-snapshot writer would leave behind.
+    const std::string stale =
+        dir + "/" + engine::EvalCache::shardFileName(3) + ".tmp.777";
+    {
+        std::ofstream out(stale);
+        out << "half-written snapshot\n";
+    }
+    ASSERT_TRUE(std::filesystem::exists(stale));
+
+    engine::Evaluator cold(eopts);
+    EXPECT_EQ(cold.cache().loadShards(dir), entries);
+    EXPECT_FALSE(std::filesystem::exists(stale))
+        << "stale tmp files must be swept at load";
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ServiceShards, ServerPersistsAcrossRestart)
+{
+    const std::string dir = scratchName("_dir");
+    std::filesystem::remove_all(dir);
+
+    service::ServerOptions opts = baseOptions(scratchName(".sock"));
+    opts.cache_dir = dir;
+    {
+        auto server = startServer(opts);
+        ASSERT_NE(server, nullptr);
+        report::Json req = report::Json::object();
+        req.set("type", report::Json::string("sweep"));
+        req.set("tech", report::Json::string("m3d-iso"));
+        callDaemon(opts.socket_path, req);
+        EXPECT_GT(server->snapshot(), 0u);
+        server->stop(); // also snapshots
+    }
+    {
+        auto reborn = startServer(opts);
+        ASSERT_NE(reborn, nullptr);
+        EXPECT_GT(reborn->evaluator().cache().partitionEntries(), 0u)
+            << "restart must reload the sharded snapshot";
+        // The reloaded entries must serve the same sweep from cache.
+        const std::size_t misses_before =
+            reborn->evaluator().cache().partitionStats().misses;
+        report::Json req = report::Json::object();
+        req.set("type", report::Json::string("sweep"));
+        req.set("tech", report::Json::string("m3d-iso"));
+        callDaemon(opts.socket_path, req);
+        EXPECT_EQ(
+            reborn->evaluator().cache().partitionStats().misses,
+            misses_before);
+        reborn->stop();
+    }
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace m3d

@@ -18,6 +18,16 @@
  *   m3dtool trace record <app> --out F [--instructions N] [--seed S]
  *                  [--thread T]          pin a captured trace to disk
  *   m3dtool trace info <file> [--app A]  summarize a recorded trace
+ *   m3dtool serve [--socket S] [--cache-dir D] [--jobs N] [--detach]
+ *                                        run the m3dd evaluation
+ *                                        daemon (src/service)
+ *   m3dtool client <ping|stats|save|stop> [--socket S]
+ *                                        control a running daemon
+ *
+ * sweep and search accept `--daemon auto|require|off` (default auto):
+ * when a daemon listens on --socket, they route through it and render
+ * byte-identical output from the wire results; otherwise they fall
+ * back to in-process evaluation.
  *
  * Technologies: m3d-het (default), m3d-iso, tsv3d.
  * Designs: base, tsv3d, m3d-iso, m3d-het-naive, m3d-het, m3d-het-agg.
@@ -26,16 +36,28 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "arch/stats_dump.hh"
 #include "engine/evaluator.hh"
 #include "report/json.hh"
+#include "search/search_json.hh"
 #include "search/strategy.hh"
+#include "service/client.hh"
+#include "service/server.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "power/sim_harness.hh"
@@ -69,7 +91,11 @@ usage()
            "  m3dtool trace record <app> --out <file> "
            "[--instructions N] [--seed S] [--thread T]\n"
            "  m3dtool trace info <file> [--app <name>]\n"
-           "(every subcommand accepts --help)\n";
+           "  m3dtool serve [--socket S] [--cache-dir D] [--jobs N] "
+           "[--detach] [--log F]\n"
+           "  m3dtool client <ping|stats|save|stop> [--socket S]\n"
+           "(every subcommand accepts --help; sweep/search accept "
+           "--daemon auto|require|off)\n";
     return 2;
 }
 
@@ -129,14 +155,17 @@ appByName(const std::string &name)
     return WorkloadLibrary::byName(name);
 }
 
-/** Best-partition table for one technology, shared by partition/sweep. */
+/**
+ * Render one technology's best-partition table from finished
+ * results.  Shared by the in-process path (engine results) and the
+ * daemon path (results reconstructed from the wire), so both produce
+ * the same bytes for the same results.
+ */
 void
-printPartitionTable(engine::Evaluator &ev, const std::string &tech_name,
-                    const std::vector<ArrayConfig> &cfgs)
+printPartitionResults(const std::string &tech_name,
+                      const std::vector<ArrayConfig> &cfgs,
+                      const std::vector<PartitionResult> &results)
 {
-    const std::vector<PartitionResult> results =
-        ev.bestForAll(techByName(tech_name), cfgs);
-
     Table t("Best partition on " + tech_name);
     t.header({"Structure", "Strategy", "Latency red.", "Energy red.",
               "Footprint red.", "2D latency", "3D latency"});
@@ -150,6 +179,81 @@ printPartitionTable(engine::Evaluator &ev, const std::string &tech_name,
                Table::num(r.stacked.access_latency / ps, 1) + " ps"});
     }
     t.print(std::cout);
+}
+
+/** Best-partition table for one technology, shared by partition/sweep. */
+void
+printPartitionTable(engine::Evaluator &ev, const std::string &tech_name,
+                    const std::vector<ArrayConfig> &cfgs)
+{
+    printPartitionResults(tech_name, cfgs,
+                          ev.bestForAll(techByName(tech_name), cfgs));
+}
+
+/** The m3dd socket every daemon-aware subcommand defaults to. */
+const char *const kDefaultSocket = ".m3d_cache/m3dd.sock";
+
+/** Validate a --daemon value; fatal on anything unrecognized. */
+void
+checkDaemonMode(const std::string &mode)
+{
+    if (mode != "auto" && mode != "require" && mode != "off")
+        M3D_FATAL("unknown --daemon mode '", mode,
+                  "' (try auto, require, or off)");
+}
+
+/**
+ * Decide whether to route through a daemon: probe the socket under
+ * `auto` and `require`, fall back silently under `auto`, and fail
+ * loudly under `require` when nothing answers.
+ */
+bool
+useDaemon(const std::string &mode, const std::string &socket)
+{
+    if (mode == "off")
+        return false;
+    if (service::Client::available(socket))
+        return true;
+    if (mode == "require")
+        M3D_FATAL("no m3dd daemon answers on '", socket,
+                  "' (--daemon require; start one with `m3dtool "
+                  "serve` or use --daemon auto)");
+    return false;
+}
+
+/** One sweep through the daemon; results in `cfgs` order. */
+std::vector<PartitionResult>
+daemonSweep(const std::string &socket, const std::string &tech_name,
+            const std::vector<ArrayConfig> &cfgs)
+{
+    service::Client client;
+    std::string err;
+    if (!client.connect(socket, &err))
+        M3D_FATAL("daemon sweep failed: ", err);
+
+    report::Json req = report::Json::object();
+    req.set("type", report::Json::string("sweep"));
+    req.set("tech", report::Json::string(tech_name));
+    report::Json structures = report::Json::array();
+    for (const ArrayConfig &c : cfgs)
+        structures.push(report::Json::string(c.name));
+    req.set("structures", std::move(structures));
+
+    report::Json resp;
+    if (!client.callChecked(req, &resp, &err))
+        M3D_FATAL("daemon sweep failed: ", err);
+    const report::Json *results = resp.find("results");
+    if (results == nullptr || !results->isArray() ||
+        results->elements().size() != cfgs.size())
+        M3D_FATAL("daemon sweep failed: malformed response");
+
+    std::vector<PartitionResult> out(cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        if (!service::parsePartitionResult(results->elements()[i],
+                                           &out[i]))
+            M3D_FATAL("daemon sweep failed: malformed result ", i);
+    }
+    return out;
 }
 
 int
@@ -240,6 +344,8 @@ cmdSweep(const std::vector<std::string> &args)
     bool cache_stats = false;
     bool no_cache = false;
     std::string cache_file = ".m3d_cache/partition.cache";
+    std::string daemon_mode = "auto";
+    std::string socket = kDefaultSocket;
     cli::Parser parser("m3dtool sweep",
                        "Full best-partition sweep through the "
                        "parallel evaluation engine.");
@@ -247,15 +353,20 @@ cmdSweep(const std::vector<std::string> &args)
         .flag("jobs", &jobs,
               "worker threads; 0 means all hardware threads")
         .flag("cache-stats", &cache_stats,
-              "print memoization-cache statistics after the sweep")
+              "print memoization-cache statistics after the sweep "
+              "(implies in-process evaluation)")
         .flag("cache-file", &cache_file,
               "persistent partition cache location")
         .flag("no-cache", &no_cache,
-              "disable memoization (forces full re-evaluation)");
+              "disable memoization (forces full re-evaluation)")
+        .flag("daemon", &daemon_mode,
+              "auto (use a daemon when one answers), require, or off")
+        .flag("socket", &socket, "m3dd socket to probe");
     const cli::ParseStatus status = parser.parse(args);
     if (status != cli::ParseStatus::Ok)
         return exitCode(status);
     const std::string which = parser.positionals()[0];
+    checkDaemonMode(daemon_mode);
 
     std::vector<std::string> tech_names;
     if (which == "all")
@@ -264,6 +375,19 @@ cmdSweep(const std::vector<std::string> &args)
         tech_names = {which};
     for (const std::string &name : tech_names)
         techByName(name); // validate before doing any work
+
+    // --cache-stats reports this process's evaluator, which a remote
+    // sweep never touches - force the in-process path for it.
+    if (cache_stats && daemon_mode == "require")
+        M3D_FATAL("--cache-stats reports in-process evaluation; "
+                  "drop it or use --daemon off");
+    if (!cache_stats && useDaemon(daemon_mode, socket)) {
+        const std::vector<ArrayConfig> cfgs = CoreStructures::all();
+        for (const std::string &name : tech_names)
+            printPartitionResults(name, cfgs,
+                                  daemonSweep(socket, name, cfgs));
+        return 0;
+    }
 
     engine::EvalOptions opts;
     opts.threads = jobs;
@@ -425,20 +549,79 @@ cmdThermal(const std::vector<std::string> &args)
     return 0;
 }
 
-/** One frontier/best entry as a JSON object. */
-report::Json
-searchEntryJson(const search::SearchSpace &space,
-                const search::ParetoEntry &e)
+/**
+ * Render one finished search from its canonical m3d-search document
+ * (search/search_json.hh) - the frontier table, the best-scalarized
+ * line, and the optional --json emission.
+ *
+ * Both search paths funnel through here: the in-process path builds
+ * the document from its SearchResult, the daemon path receives it
+ * over the wire.  Doubles cross the wire bit-exactly (report::Json's
+ * shortest-round-trip formatting), so the two paths print the same
+ * bytes for the same (strategy, seed, budget).
+ */
+void
+renderSearchDoc(const search::SearchSpace &space,
+                const report::Json &doc,
+                const std::string &json_path)
 {
-    report::Json o = report::Json::object();
-    o.set("index", report::Json::number(static_cast<double>(
-                       space.indexOf(e.point))));
-    o.set("point", report::Json::string(space.describe(e.point)));
-    o.set("frequency_ghz",
-          report::Json::number(e.obj.frequency / 1e9));
-    o.set("epi_nj", report::Json::number(e.obj.epi * 1e9));
-    o.set("peak_c", report::Json::number(e.obj.peak_c));
-    return o;
+    const auto uintOf = [&](const report::Json &o, const char *key) {
+        const report::Json *v = o.find(key);
+        if (v == nullptr || !v->isNumber())
+            M3D_FATAL("malformed m3d-search document: missing '",
+                      key, "'");
+        return static_cast<std::uint64_t>(v->asNumber());
+    };
+    const auto numOf = [&](const report::Json &o, const char *key) {
+        const report::Json *v = o.find(key);
+        if (v == nullptr || !v->isNumber())
+            M3D_FATAL("malformed m3d-search document: missing '",
+                      key, "'");
+        return v->asNumber();
+    };
+    const report::Json *strategy = doc.find("strategy");
+    const report::Json *frontier = doc.find("frontier");
+    const report::Json *best = doc.find("best");
+    if (strategy == nullptr || !strategy->isString() ||
+        frontier == nullptr || !frontier->isArray() ||
+        best == nullptr || !best->isObject())
+        M3D_FATAL("malformed m3d-search document");
+
+    Table t("Pareto frontier: " + strategy->asString() + ", seed " +
+            std::to_string(uintOf(doc, "seed")) + " (" +
+            std::to_string(uintOf(doc, "evaluated")) +
+            " points priced)");
+    t.header({"Design", "Tech", "Width", "Depth", "f (GHz)",
+              "EPI (nJ)", "Peak (C)"});
+    for (const report::Json &e : frontier->elements()) {
+        const std::uint64_t index = uintOf(e, "index");
+        const search::Point p =
+            space.pointAt(static_cast<std::size_t>(index));
+        t.row({"dse-" + std::to_string(index),
+               space.value(p, "tech"), space.value(p, "width"),
+               space.value(p, "depth"),
+               Table::num(numOf(e, "frequency_ghz"), 2),
+               Table::num(numOf(e, "epi_nj"), 3),
+               Table::num(numOf(e, "peak_c"), 1)});
+    }
+    t.print(std::cout);
+    const report::Json *point = best->find("point");
+    std::cout << "Best scalarized: dse-" << uintOf(*best, "index")
+              << " ("
+              << (point != nullptr && point->isString()
+                      ? point->asString()
+                      : std::string("?"))
+              << "), score "
+              << report::Json::formatNumber(numOf(*best, "score"))
+              << "\n";
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out.is_open())
+            M3D_FATAL("cannot write '", json_path, "'");
+        doc.write(out);
+        std::cout << "Wrote " << json_path << "\n";
+    }
 }
 
 int
@@ -451,6 +634,8 @@ cmdSearch(const std::vector<std::string> &args)
     int thermal_grid = 32;
     std::string json_path;
     std::string cache_file;
+    std::string daemon_mode = "auto";
+    std::string socket = kDefaultSocket;
     cli::Parser parser(
         "m3dtool search",
         "Multi-objective design-space search: frequency up, "
@@ -470,11 +655,15 @@ cmdSearch(const std::vector<std::string> &args)
         .flag("json", &json_path,
               "write the result as m3d-search JSON to this file")
         .flag("cache-file", &cache_file,
-              "persistent partition cache location");
+              "persistent partition cache location")
+        .flag("daemon", &daemon_mode,
+              "auto (use a daemon when one answers), require, or off")
+        .flag("socket", &socket, "m3dd socket to probe");
     const cli::ParseStatus status = parser.parse(args);
     if (status != cli::ParseStatus::Ok)
         return exitCode(status);
     const std::string strategy = parser.positionals()[0];
+    checkDaemonMode(daemon_mode);
     {
         const std::vector<std::string> &names =
             search::strategyNames();
@@ -483,6 +672,34 @@ cmdSearch(const std::vector<std::string> &args)
             M3D_FATAL("unknown strategy '", strategy,
                       "' (try grid, random, climb, or anneal)");
         }
+    }
+
+    if (useDaemon(daemon_mode, socket)) {
+        service::Client client;
+        std::string err;
+        if (!client.connect(socket, &err))
+            M3D_FATAL("daemon search failed: ", err);
+        report::Json req = report::Json::object();
+        req.set("type", report::Json::string("search"));
+        req.set("strategy", report::Json::string(strategy));
+        req.set("seed", report::Json::number(
+                            static_cast<double>(seed)));
+        req.set("budget", report::Json::number(
+                              static_cast<double>(budget)));
+        req.set("instructions",
+                report::Json::number(
+                    static_cast<double>(instructions)));
+        req.set("thermal_grid",
+                report::Json::number(
+                    static_cast<double>(thermal_grid)));
+        report::Json resp;
+        if (!client.callChecked(req, &resp, &err))
+            M3D_FATAL("daemon search failed: ", err);
+        const report::Json *doc = resp.find("result");
+        if (doc == nullptr || !doc->isObject())
+            M3D_FATAL("daemon search failed: malformed response");
+        renderSearchDoc(search::coreSpace(), *doc, json_path);
+        return 0;
     }
 
     engine::EvalOptions opts;
@@ -507,72 +724,12 @@ cmdSearch(const std::vector<std::string> &args)
     if (!cache_file.empty())
         ev.savePartitionCache();
 
-    Table t("Pareto frontier: " + strategy + ", seed " +
-            std::to_string(seed) + " (" +
-            std::to_string(result.evaluated) + " points priced)");
-    t.header({"Design", "Tech", "Width", "Depth", "f (GHz)",
-              "EPI (nJ)", "Peak (C)"});
-    for (const search::ParetoEntry &e : result.frontier) {
-        t.row({"dse-" + std::to_string(space.indexOf(e.point)),
-               space.value(e.point, "tech"),
-               space.value(e.point, "width"),
-               space.value(e.point, "depth"),
-               Table::num(e.obj.frequency / 1e9, 2),
-               Table::num(e.obj.epi * 1e9, 3),
-               Table::num(e.obj.peak_c, 1)});
-    }
-    t.print(std::cout);
-    std::cout << "Best scalarized: dse-"
-              << space.indexOf(result.best.point) << " ("
-              << space.describe(result.best.point) << "), score "
-              << report::Json::formatNumber(result.best_score)
-              << "\n";
-
-    if (!json_path.empty()) {
-        // Deliberately excludes --jobs and any wall-clock times: the
-        // emission must be byte-identical at any thread count.
-        report::Json doc = report::Json::object();
-        doc.set("kind", report::Json::string("m3d-search"));
-        doc.set("version", report::Json::number(1));
-        doc.set("strategy", report::Json::string(strategy));
-        doc.set("seed", report::Json::number(
-                            static_cast<double>(seed)));
-        doc.set("budget", report::Json::number(
-                              static_cast<double>(budget)));
-        report::Json sp = report::Json::object();
-        sp.set("name", report::Json::string(space.name()));
-        sp.set("knobs", report::Json::number(static_cast<double>(
-                            space.knobCount())));
-        sp.set("cardinality",
-               report::Json::number(static_cast<double>(
-                   space.cardinality())));
-        doc.set("space", std::move(sp));
-        doc.set("evaluated", report::Json::number(
-                                 static_cast<double>(
-                                     result.evaluated)));
-        report::Json ref = report::Json::object();
-        ref.set("frequency_ghz", report::Json::number(
-                                     result.reference.frequency /
-                                     1e9));
-        ref.set("epi_nj", report::Json::number(
-                              result.reference.epi * 1e9));
-        ref.set("peak_c",
-                report::Json::number(result.reference.peak_c));
-        doc.set("reference", std::move(ref));
-        report::Json best = searchEntryJson(space, result.best);
-        best.set("score", report::Json::number(result.best_score));
-        doc.set("best", std::move(best));
-        report::Json frontier = report::Json::array();
-        for (const search::ParetoEntry &e : result.frontier)
-            frontier.push(searchEntryJson(space, e));
-        doc.set("frontier", std::move(frontier));
-
-        std::ofstream out(json_path);
-        if (!out.is_open())
-            M3D_FATAL("cannot write '", json_path, "'");
-        doc.write(out);
-        std::cout << "Wrote " << json_path << "\n";
-    }
+    // One document builder (search/search_json.hh) and one renderer
+    // serve both this path and the daemon path; see renderSearchDoc.
+    renderSearchDoc(space,
+                    search::searchResultJson(space, strategy, seed,
+                                             budget, result),
+                    json_path);
     return 0;
 }
 
@@ -744,6 +901,296 @@ cmdTrace(const std::vector<std::string> &args)
     return 2;
 }
 
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void
+onServeSignal(int)
+{
+    g_serve_stop = 1;
+}
+
+/** Run one server until a signal or a shutdown request. */
+int
+runServer(const service::ServerOptions &sopts, bool announce)
+{
+    service::Server server(sopts);
+    std::string err;
+    if (!server.start(&err))
+        M3D_FATAL("m3dd: ", err);
+    if (announce) {
+        std::cout << "m3dd: listening on " << sopts.socket_path
+                  << " (pid " << ::getpid() << ", "
+                  << server.evaluator().threads() << " threads"
+                  << (sopts.cache_dir.empty()
+                          ? std::string(", no persistence")
+                          : ", cache dir '" + sopts.cache_dir + "'")
+                  << ")\n"
+                  << std::flush;
+    }
+    std::signal(SIGINT, onServeSignal);
+    std::signal(SIGTERM, onServeSignal);
+    server.wait(&g_serve_stop);
+    server.stop();
+    return 0;
+}
+
+int
+cmdServe(const std::vector<std::string> &args)
+{
+    std::string socket = kDefaultSocket;
+    std::string cache_dir = ".m3d_cache/m3dd";
+    std::string log_path;
+    int jobs = 0;
+    bool detach = false;
+    bool no_cache = false;
+    double snapshot_every = 0.0;
+    cli::Parser parser(
+        "m3dtool serve",
+        "Run the m3dd evaluation daemon: a warm trace registry and a "
+        "sharded, persistent evaluation cache serving concurrent "
+        "clients over a Unix-domain socket.");
+    parser.flag("socket", &socket, "Unix-domain socket to listen on")
+        .flag("cache-dir", &cache_dir,
+              "sharded cache snapshot directory (locked: one daemon "
+              "per dir)")
+        .flag("jobs", &jobs,
+              "worker threads; 0 means all hardware threads")
+        .flag("detach", &detach,
+              "daemonize: fork, report readiness, and return")
+        .flag("log", &log_path,
+              "detached daemon's log file (default "
+              "<cache-dir>/m3dd.log)")
+        .flag("no-cache-dir", &no_cache,
+              "serve without persistence (no lock, no snapshots)")
+        .flag("snapshot-every", &snapshot_every,
+              "also snapshot the cache every N seconds (0 = only on "
+              "save/stop)");
+    const cli::ParseStatus status = parser.parse(args);
+    if (status != cli::ParseStatus::Ok)
+        return exitCode(status);
+
+    service::ServerOptions sopts;
+    sopts.socket_path = socket;
+    sopts.cache_dir = no_cache ? "" : cache_dir;
+    sopts.threads = jobs;
+    sopts.snapshot_every_s = snapshot_every;
+
+    if (!detach)
+        return runServer(sopts, /*announce=*/true);
+
+    // Detached mode: fork, let the child own the server, and only
+    // report success once the child has actually bound the socket
+    // and loaded its cache - so `serve --detach && client ping`
+    // cannot race the startup.
+    if (log_path.empty())
+        log_path = (sopts.cache_dir.empty() ? std::string(".m3d_cache")
+                                            : sopts.cache_dir) +
+                   "/m3dd.log";
+    {
+        const std::filesystem::path parent =
+            std::filesystem::path(log_path).parent_path();
+        if (!parent.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(parent, ec);
+        }
+    }
+
+    int ready[2];
+    if (::pipe(ready) != 0)
+        M3D_FATAL("m3dd: pipe() failed: ", std::strerror(errno));
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        M3D_FATAL("m3dd: fork() failed: ", std::strerror(errno));
+
+    if (pid == 0) {
+        // Child: new session, stdio onto the log file.  The
+        // redirection is not cosmetic - an inherited stdout/stderr
+        // pipe would keep the parent's callers (cmake's
+        // execute_process, command substitutions) blocked for the
+        // daemon's whole lifetime.
+        ::close(ready[0]);
+        ::setsid();
+        const int devnull = ::open("/dev/null", O_RDONLY);
+        if (devnull >= 0) {
+            ::dup2(devnull, STDIN_FILENO);
+            ::close(devnull);
+        }
+        const int log = ::open(log_path.c_str(),
+                               O_CREAT | O_WRONLY | O_APPEND, 0644);
+        if (log >= 0) {
+            ::dup2(log, STDOUT_FILENO);
+            ::dup2(log, STDERR_FILENO);
+            ::close(log);
+        }
+
+        service::Server server(sopts);
+        std::string err;
+        const bool ok = server.start(&err);
+        const std::string msg = ok ? "ok\n" : "error: " + err + "\n";
+        if (::write(ready[1], msg.data(), msg.size()) < 0) {
+            // The parent is gone; serve anyway.
+        }
+        ::close(ready[1]);
+        if (!ok) {
+            std::cerr << "m3dd: " << err << "\n";
+            std::_Exit(1);
+        }
+        std::cout << "m3dd: listening on " << sopts.socket_path
+                  << " (pid " << ::getpid() << ")\n"
+                  << std::flush;
+        std::signal(SIGINT, onServeSignal);
+        std::signal(SIGTERM, onServeSignal);
+        server.wait(&g_serve_stop);
+        server.stop();
+        std::cout.flush();
+        std::cerr.flush();
+        std::_Exit(0);
+    }
+
+    // Parent: relay the child's verdict.
+    ::close(ready[1]);
+    std::string verdict;
+    char buf[256];
+    ssize_t n;
+    while ((n = ::read(ready[0], buf, sizeof(buf))) > 0)
+        verdict.append(buf, static_cast<std::size_t>(n));
+    ::close(ready[0]);
+    if (verdict.rfind("ok", 0) == 0) {
+        std::cout << "m3dd: listening on " << socket << " (pid "
+                  << pid << ", log " << log_path << ")\n";
+        return 0;
+    }
+    int wstatus = 0;
+    ::waitpid(pid, &wstatus, 0);
+    std::cerr << "m3dd: failed to start: "
+              << (verdict.empty() ? std::string("child died before "
+                                                "reporting readiness")
+                                  : verdict);
+    return 1;
+}
+
+int
+cmdClient(const std::vector<std::string> &args)
+{
+    std::string socket = kDefaultSocket;
+    cli::Parser parser("m3dtool client",
+                       "Control a running m3dd daemon.");
+    parser.positional("action", "ping, stats, save, or stop")
+        .flag("socket", &socket, "daemon socket to talk to");
+    const cli::ParseStatus status = parser.parse(args);
+    if (status != cli::ParseStatus::Ok)
+        return exitCode(status);
+    const std::string action = parser.positionals()[0];
+    if (action != "ping" && action != "stats" && action != "save" &&
+        action != "stop")
+        M3D_FATAL("unknown client action '", action,
+                  "' (try ping, stats, save, stop)");
+
+    service::Client client;
+    std::string err;
+    if (!client.connect(socket, &err))
+        M3D_FATAL("no m3dd daemon answers on '", socket, "': ", err);
+
+    const auto uintMember = [](const report::Json &o,
+                               const char *key) -> std::uint64_t {
+        const report::Json *v = o.find(key);
+        return v != nullptr && v->isNumber()
+                   ? static_cast<std::uint64_t>(v->asNumber())
+                   : 0;
+    };
+
+    // A stop must be synchronous: the daemon acknowledges the
+    // shutdown request before it snapshots and releases the cache
+    // lock, so "stop && serve" would otherwise race the teardown.
+    // Learn the pid first, then wait for the process to be gone.
+    pid_t stop_pid = 0;
+    if (action == "stop") {
+        report::Json ping = report::Json::object();
+        ping.set("type", report::Json::string("ping"));
+        report::Json pong;
+        if (client.callChecked(ping, &pong, &err))
+            stop_pid =
+                static_cast<pid_t>(uintMember(pong, "pid"));
+    }
+
+    report::Json req = report::Json::object();
+    req.set("type", report::Json::string(
+                        action == "stop" ? "shutdown"
+                        : action == "ping" ? "ping"
+                                           : action));
+    report::Json resp;
+    if (!client.callChecked(req, &resp, &err))
+        M3D_FATAL("daemon request failed: ", err);
+
+    if (action == "ping") {
+        std::cout << "pong from pid " << uintMember(resp, "pid")
+                  << " on " << socket << "\n";
+        return 0;
+    }
+    if (action == "save") {
+        const report::Json *dir = resp.find("dir");
+        std::cout << "Saved " << uintMember(resp, "entries")
+                  << " entries to "
+                  << (dir != nullptr && dir->isString()
+                          ? dir->asString()
+                          : std::string("?"))
+                  << "\n";
+        return 0;
+    }
+    if (action == "stop") {
+        // Wait (bounded) for the daemon process to exit so the
+        // caller can immediately restart on the same cache dir.
+        bool exited = stop_pid <= 0;
+        for (int i = 0; !exited && i < 1000; ++i) {
+            if (::kill(stop_pid, 0) != 0 && errno == ESRCH)
+                exited = true;
+            else
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+        }
+        if (!exited)
+            M3D_WARN("m3dd pid ", stop_pid,
+                     " acknowledged the shutdown but is still "
+                     "running; its cache lock may linger briefly");
+        std::cout << "m3dd on " << socket << " stopped\n";
+        return 0;
+    }
+
+    // stats
+    const report::Json *server = resp.find("server");
+    const report::Json *cache = resp.find("cache");
+    if (server == nullptr || cache == nullptr)
+        M3D_FATAL("daemon request failed: malformed stats response");
+    Table t("m3dd on " + socket + " (pid " +
+            std::to_string(uintMember(resp, "pid")) + ", " +
+            std::to_string(uintMember(resp, "threads")) +
+            " threads)");
+    t.header({"Counter", "Value"});
+    for (const char *key :
+         {"connections", "requests", "errors", "runs_requested",
+          "runs_coalesced", "runs_submitted", "run_hook_fires",
+          "partitions_requested", "partitions_coalesced",
+          "partitions_submitted", "drains", "searches",
+          "snapshots"}) {
+        t.row({key, std::to_string(uintMember(*server, key))});
+    }
+    t.separator();
+    for (const char *family : {"partition", "run", "multi"}) {
+        const report::Json *f = cache->find(family);
+        if (f == nullptr)
+            continue;
+        t.row({std::string(family) + " cache",
+               std::to_string(uintMember(*f, "hits")) + "/" +
+                   std::to_string(uintMember(*f, "hits") +
+                                  uintMember(*f, "misses")) +
+                   " hits, " +
+                   std::to_string(uintMember(*f, "entries")) +
+                   " entries"});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -770,5 +1217,9 @@ main(int argc, char **argv)
         return cmdSearch(args);
     if (cmd == "trace")
         return cmdTrace(args);
+    if (cmd == "serve")
+        return cmdServe(args);
+    if (cmd == "client")
+        return cmdClient(args);
     return usage();
 }

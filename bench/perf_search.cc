@@ -37,22 +37,26 @@ nowMs()
         .count();
 }
 
-/** One full random-strategy search on a fresh objective evaluator. */
+/** One full search on a fresh objective evaluator. */
 search::SearchResult
 runOnce(engine::Evaluator &ev, const search::SearchSpace &space,
+        const std::string &strategy,
         const search::StrategyOptions &sopts, double *ms,
-        engine::BatchStats *stats)
+        engine::BatchStats *stats,
+        search::ObjectiveStats *ostats = nullptr)
 {
     search::ObjectiveEvaluator objectives(ev);
     const double t0 = nowMs();
     search::SearchResult r = search::runSearch(
-        space, "random", sopts,
+        space, strategy, sopts,
         search::enginePricer(space, objectives),
         search::coreBaselinePoint(space));
     *ms = nowMs() - t0;
     // The strategy's main fan-out is the last run batch the engine
     // saw; its hit/miss split is the cache leverage of this pass.
     *stats = ev.lastBatchStats();
+    if (ostats != nullptr)
+        *ostats = objectives.stats();
     return r;
 }
 
@@ -112,20 +116,62 @@ main(int argc, char **argv)
     engine::BatchStats serial_stats, par_stats, warm_stats;
 
     engine::Evaluator serial_ev(serial_opts);
-    const search::SearchResult serial_r =
-        runOnce(serial_ev, space, sopts, &serial_ms, &serial_stats);
+    const search::SearchResult serial_r = runOnce(
+        serial_ev, space, "random", sopts, &serial_ms, &serial_stats);
 
     engine::Evaluator par_ev(par_opts);
-    const search::SearchResult par_r =
-        runOnce(par_ev, space, sopts, &par_ms, &par_stats);
+    const search::SearchResult par_r = runOnce(
+        par_ev, space, "random", sopts, &par_ms, &par_stats);
 
     // Same evaluator, fresh objective memo: every application run
-    // now hits the engine's cache.
-    const search::SearchResult warm_r =
-        runOnce(par_ev, space, sopts, &warm_ms, &warm_stats);
+    // now hits the engine's cache (and the objective memo re-warms
+    // from the cache's objective family).
+    const search::SearchResult warm_r = runOnce(
+        par_ev, space, "random", sopts, &warm_ms, &warm_stats);
 
-    const bool identical =
-        sameResult(serial_r, par_r) && sameResult(par_r, warm_r);
+    // The two large-scale strategies at the same budget.  The
+    // surrogate runs twice on one evaluator: the second pass
+    // warm-starts its objective memo from the cache's persisted
+    // objective family, so its memo hit rate is the cache leverage a
+    // daemon (or a --cache-file) hands a repeated search.
+    double evolve_ms = 0.0, sur_ms = 0.0, sur_warm_ms = 0.0;
+    engine::BatchStats evolve_stats, sur_stats, sur_warm_stats;
+    search::ObjectiveStats sur_ostats, sur_warm_ostats;
+
+    search::StrategyOptions gopts = sopts;
+    gopts.budget = 2 * budget;
+    gopts.population = 8;
+    gopts.surrogate_pool = 64;
+    gopts.surrogate_fraction = 0.125;
+
+    engine::Evaluator evolve_ev(par_opts);
+    const search::SearchResult evolve_r = runOnce(
+        evolve_ev, space, "evolve", gopts, &evolve_ms,
+        &evolve_stats);
+
+    engine::Evaluator sur_ev(par_opts);
+    const search::SearchResult sur_r =
+        runOnce(sur_ev, space, "surrogate", gopts, &sur_ms,
+                &sur_stats, &sur_ostats);
+    const search::SearchResult sur_warm_r =
+        runOnce(sur_ev, space, "surrogate", gopts, &sur_warm_ms,
+                &sur_warm_stats, &sur_warm_ostats);
+
+    const bool identical = sameResult(serial_r, par_r) &&
+                           sameResult(par_r, warm_r) &&
+                           sameResult(sur_r, sur_warm_r);
+    const auto fractionOf = [](const search::SearchResult &r) {
+        return r.generated == 0
+                   ? 0.0
+                   : static_cast<double>(r.evaluated - 1) /
+                         static_cast<double>(r.generated);
+    };
+    const auto memoRate = [](const search::ObjectiveStats &s) {
+        const std::uint64_t lookups = s.memo_hits + s.memo_misses;
+        return lookups == 0 ? 0.0
+                            : static_cast<double>(s.memo_hits) /
+                                  static_cast<double>(lookups);
+    };
     const double evaluated =
         static_cast<double>(serial_r.evaluated);
     const double speedup = par_ms > 0.0 ? serial_ms / par_ms : 0.0;
@@ -147,9 +193,34 @@ main(int argc, char **argv)
            hitCell(par_stats)});
     t.row({"warm rerun", Table::num(warm_ms, 1),
            Table::num(pps(warm_ms), 2), hitCell(warm_stats)});
+    t.row({"evolve (" + std::to_string(jobs) + "T)",
+           Table::num(evolve_ms, 1),
+           Table::num(static_cast<double>(evolve_r.evaluated) /
+                          (evolve_ms > 0.0 ? evolve_ms / 1e3 : 1.0),
+                      2),
+           hitCell(evolve_stats)});
+    t.row({"surrogate cold", Table::num(sur_ms, 1),
+           Table::num(static_cast<double>(sur_r.evaluated) /
+                          (sur_ms > 0.0 ? sur_ms / 1e3 : 1.0),
+                      2),
+           hitCell(sur_stats)});
+    t.row({"surrogate warm", Table::num(sur_warm_ms, 1),
+           Table::num(static_cast<double>(sur_warm_r.evaluated) /
+                          (sur_warm_ms > 0.0 ? sur_warm_ms / 1e3
+                                             : 1.0),
+                      2),
+           hitCell(sur_warm_stats)});
     t.print(std::cout);
-    std::cout << "Serial vs parallel vs warm results identical: "
-              << (identical ? "yes" : "NO") << "\n";
+    std::cout << "Serial/parallel/warm and surrogate cold/warm "
+                 "results identical: "
+              << (identical ? "yes" : "NO") << "\n"
+              << "Surrogate evaluated "
+              << (sur_r.evaluated - 1) << "/" << sur_r.generated
+              << " generated candidates (fraction "
+              << report::Json::formatNumber(fractionOf(sur_r))
+              << "), warm memo hit rate "
+              << report::Json::formatNumber(memoRate(sur_warm_ostats))
+              << "\n";
 
     report::Json results = report::Json::object();
     results.set("serial_ms", report::Json::number(serial_ms));
@@ -167,6 +238,31 @@ main(int argc, char **argv)
                 report::Json::number(par_stats.run.hitRate()));
     results.set("warm_run_hit_rate",
                 report::Json::number(warm_stats.run.hitRate()));
+    results.set("evolve_ms", report::Json::number(evolve_ms));
+    results.set("evolve_evaluated",
+                report::Json::number(
+                    static_cast<double>(evolve_r.evaluated)));
+    results.set("evolve_generated",
+                report::Json::number(
+                    static_cast<double>(evolve_r.generated)));
+    results.set("surrogate_ms", report::Json::number(sur_ms));
+    results.set("surrogate_warm_ms",
+                report::Json::number(sur_warm_ms));
+    results.set("surrogate_evaluated",
+                report::Json::number(
+                    static_cast<double>(sur_r.evaluated)));
+    results.set("surrogate_generated",
+                report::Json::number(
+                    static_cast<double>(sur_r.generated)));
+    results.set("surrogate_eval_fraction",
+                report::Json::number(fractionOf(sur_r)));
+    results.set("surrogate_model_fits",
+                report::Json::number(
+                    static_cast<double>(sur_r.model_fits)));
+    results.set("surrogate_cold_memo_hit_rate",
+                report::Json::number(memoRate(sur_ostats)));
+    results.set("surrogate_warm_memo_hit_rate",
+                report::Json::number(memoRate(sur_warm_ostats)));
     results.set("results_identical",
                 report::Json::boolean(identical));
 

@@ -24,6 +24,8 @@ function(run_search strategy jobs out)
     execute_process(
         COMMAND ${TOOL} search ${strategy} --seed 7 --budget 6
             --instructions 20000 --thermal-grid 16 --jobs ${jobs}
+            --population 4 --surrogate-pool 16
+            --surrogate-fraction 0.25 --daemon off
             --json ${out}
         RESULT_VARIABLE rc
         OUTPUT_QUIET)
@@ -34,7 +36,7 @@ function(run_search strategy jobs out)
     endif()
 endfunction()
 
-foreach(strategy grid random climb anneal)
+foreach(strategy grid random climb anneal evolve surrogate)
     run_search(${strategy} 1 ${OUT_DIR}/${strategy}_j1.json)
     run_search(${strategy} 8 ${OUT_DIR}/${strategy}_j8.json)
     execute_process(

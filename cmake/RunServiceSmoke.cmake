@@ -5,10 +5,17 @@
 # 1. Start a detached daemon (readiness-gated, so no startup race).
 # 2. Sweep through the daemon and in-process; stdout must be
 #    byte-identical - the service must be invisible in the results.
-# 3. Search through the daemon and in-process; same contract.
+# 3. Search through the daemon and in-process for a baseline strategy
+#    and both large-scale strategies (evolve, surrogate); same
+#    contract.  The surrogate run also checks that a warm daemon
+#    cache never changes the emission ("the cache accelerates, never
+#    steers").
 # 4. A second daemon on the same cache dir must fail fast.
 # 5. client stats answers; client stop shuts the daemon down and a
 #    follow-up ping must fail.
+# 6. A stale socket file (daemon killed without unlinking) must be
+#    detected under --daemon auto: warn, remove it, and continue
+#    in-process with exit code 0.
 #
 # Everything runs inside OUT_DIR with a relative socket path (the
 # AF_UNIX sun_path limit makes absolute build paths fragile).
@@ -70,29 +77,43 @@ if(NOT daemon_sweep STREQUAL local_sweep)
 endif()
 
 # --- Search byte-identity ------------------------------------------------
-set(search_args search random --seed 5 --budget 4
-    --instructions 20000 --thermal-grid 16 --jobs 2)
-execute_process(
-    COMMAND ${TOOL} ${search_args} --daemon require --socket m3dd.sock
-    WORKING_DIRECTORY ${OUT_DIR}
-    RESULT_VARIABLE rc OUTPUT_VARIABLE daemon_search
-    ERROR_VARIABLE err)
-if(NOT rc EQUAL 0)
-    die("daemon search failed:\n${daemon_search}${err}")
-endif()
-execute_process(
-    COMMAND ${TOOL} ${search_args} --daemon off
-    WORKING_DIRECTORY ${OUT_DIR}
-    RESULT_VARIABLE rc OUTPUT_VARIABLE local_search
-    ERROR_VARIABLE err)
-if(NOT rc EQUAL 0)
-    die("in-process search failed:\n${local_search}${err}")
-endif()
-if(NOT daemon_search STREQUAL local_search)
-    die("daemon search output differs from in-process output.\n"
-        "--- daemon ---\n${daemon_search}\n"
-        "--- in-process ---\n${local_search}")
-endif()
+# One baseline strategy plus both large-scale strategies.  The daemon
+# cache is warm by the surrogate run (the sweep and earlier searches
+# populated it), so this doubles as the warm-vs-cold reproducibility
+# check: a daemon-side cache hit must never change the emission.
+function(check_search strategy)
+    set(search_args search ${strategy} --seed 5 --budget 4
+        --instructions 20000 --thermal-grid 16 --jobs 2
+        --population 4 --surrogate-pool 16 --surrogate-fraction 0.25)
+    execute_process(
+        COMMAND ${TOOL} ${search_args} --daemon require
+                --socket m3dd.sock
+        WORKING_DIRECTORY ${OUT_DIR}
+        RESULT_VARIABLE rc OUTPUT_VARIABLE daemon_search
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        die("daemon search ${strategy} failed:\n"
+            "${daemon_search}${err}")
+    endif()
+    execute_process(
+        COMMAND ${TOOL} ${search_args} --daemon off
+        WORKING_DIRECTORY ${OUT_DIR}
+        RESULT_VARIABLE rc OUTPUT_VARIABLE local_search
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        die("in-process search ${strategy} failed:\n"
+            "${local_search}${err}")
+    endif()
+    if(NOT daemon_search STREQUAL local_search)
+        die("daemon search ${strategy} output differs from "
+            "in-process output.\n"
+            "--- daemon ---\n${daemon_search}\n"
+            "--- in-process ---\n${local_search}")
+    endif()
+endfunction()
+check_search(random)
+check_search(evolve)
+check_search(surrogate)
 
 # --- One daemon per cache dir --------------------------------------------
 execute_process(
@@ -134,6 +155,32 @@ if(rc EQUAL 0)
         "the daemon still answers after client stop")
 endif()
 
+# --- Stale socket under --daemon auto ------------------------------------
+# A daemon killed with SIGKILL leaves its socket file behind.  The
+# next --daemon auto client must notice nothing answers, warn, remove
+# the stale file, and finish the command in-process.
+file(TOUCH ${OUT_DIR}/stale.sock)
+execute_process(
+    COMMAND ${TOOL} sweep m3d-iso --daemon auto --socket stale.sock
+            --no-cache
+    WORKING_DIRECTORY ${OUT_DIR}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "sweep --daemon auto failed over a stale socket instead of "
+        "continuing in-process:\n${out}${err}")
+endif()
+if(NOT err MATCHES "stale socket")
+    message(FATAL_ERROR
+        "sweep --daemon auto did not warn about the stale socket:\n"
+        "${out}${err}")
+endif()
+if(EXISTS ${OUT_DIR}/stale.sock)
+    message(FATAL_ERROR
+        "the stale socket file survived --daemon auto cleanup")
+endif()
+
 message(STATUS
-    "service smoke: daemon-vs-in-process sweep and search "
-    "byte-identical; lock, stats, and shutdown behave")
+    "service smoke: daemon-vs-in-process sweep and search (random/"
+    "evolve/surrogate) byte-identical; lock, stats, shutdown, and "
+    "stale-socket cleanup behave")

@@ -144,6 +144,35 @@ writeEntry(std::ostream &out, const EvalKey &key,
     out << '\n';
 }
 
+// Objective lines share the partition files, prefixed "obj " so the
+// partition parser (whose first token is the key) rejects them and
+// pre-objective readers of the same "m3d-eval-cache v1" format skip
+// them as unparseable lines instead of misloading them.
+const char *const kObjectiveTag = "obj";
+
+void
+writeObjectiveEntry(std::ostream &out, const EvalKey &key,
+                    const ObjectiveRecord &r)
+{
+    out << kObjectiveTag << ' ' << key.str() << ' '
+        << doubleHex(r.frequency) << ' ' << doubleHex(r.epi) << ' '
+        << doubleHex(r.peak_c) << '\n';
+}
+
+bool
+parseObjectiveEntry(const std::string &line, EvalKey *key,
+                    ObjectiveRecord *r)
+{
+    std::istringstream ls(line);
+    std::string tag, key_text, f, epi, peak;
+    if (!(ls >> tag >> key_text >> f >> epi >> peak) ||
+        tag != kObjectiveTag)
+        return false;
+    return EvalKey::parse(key_text, key) &&
+           hexDouble(f, &r->frequency) && hexDouble(epi, &r->epi) &&
+           hexDouble(peak, &r->peak_c);
+}
+
 bool
 parseEntry(const std::string &line, EvalKey *key, PartitionResult *r)
 {
@@ -238,6 +267,41 @@ EvalCache::storeMulti(const EvalKey &key, const MultiRun &r)
     s.multis.emplace(key, r);
 }
 
+bool
+EvalCache::lookupObjective(const EvalKey &key, ObjectiveRecord *out)
+{
+    Shard &s = shards_[shardOf(key)];
+    std::unique_lock lock(s.mutex);
+    auto it = s.objectives.find(key);
+    if (it == s.objectives.end()) {
+        ++s.objective_stats.misses;
+        return false;
+    }
+    ++s.objective_stats.hits;
+    *out = it->second;
+    return true;
+}
+
+void
+EvalCache::storeObjective(const EvalKey &key, const ObjectiveRecord &r)
+{
+    Shard &s = shards_[shardOf(key)];
+    std::unique_lock lock(s.mutex);
+    s.objectives.emplace(key, r);
+}
+
+void
+EvalCache::forEachObjective(
+    const std::function<void(const EvalKey &,
+                             const ObjectiveRecord &)> &fn) const
+{
+    for (const Shard &s : shards_) {
+        std::shared_lock lock(s.mutex);
+        for (const auto &[key, r] : s.objectives)
+            fn(key, r);
+    }
+}
+
 CacheStats
 EvalCache::partitionStats() const
 {
@@ -272,9 +336,21 @@ EvalCache::multiStats() const
 }
 
 CacheStats
+EvalCache::objectiveStats() const
+{
+    CacheStats total;
+    for (const Shard &s : shards_) {
+        std::shared_lock lock(s.mutex);
+        total = total + s.objective_stats;
+    }
+    return total;
+}
+
+CacheStats
 EvalCache::stats() const
 {
-    return partitionStats() + runStats() + multiStats();
+    return partitionStats() + runStats() + multiStats() +
+           objectiveStats();
 }
 
 std::size_t
@@ -310,6 +386,17 @@ EvalCache::multiEntries() const
     return n;
 }
 
+std::size_t
+EvalCache::objectiveEntries() const
+{
+    std::size_t n = 0;
+    for (const Shard &s : shards_) {
+        std::shared_lock lock(s.mutex);
+        n += s.objectives.size();
+    }
+    return n;
+}
+
 void
 EvalCache::clear()
 {
@@ -318,9 +405,11 @@ EvalCache::clear()
         s.partitions.clear();
         s.runs.clear();
         s.multis.clear();
+        s.objectives.clear();
         s.partition_stats = {};
         s.run_stats = {};
         s.multi_stats = {};
+        s.objective_stats = {};
     }
 }
 
@@ -331,11 +420,18 @@ EvalCache::loadPartitions(const std::string &path)
     if (!in.is_open())
         return 0; // cold start: no cache yet
     bool header_ok = false;
-    const std::size_t loaded = loadPartitions(in, &header_ok);
+    std::size_t replaced = 0;
+    const std::size_t loaded = loadPartitions(in, &header_ok,
+                                              &replaced);
     if (!header_ok) {
         M3D_WARN("partition cache '", path,
                  "' is corrupt or from an incompatible version; "
                  "skipping it and continuing cold");
+    }
+    if (replaced > 0) {
+        M3D_WARN("partition cache '", path, "' carried ", replaced,
+                 " duplicate key(s); kept the last occurrence of "
+                 "each");
     }
     return loaded;
 }
@@ -459,12 +555,22 @@ EvalCache::loadShards(const std::string &dir)
         if (!in.is_open())
             continue; // cold shard
         bool header_ok = false;
-        const std::size_t n = loadPartitions(in, &header_ok);
+        std::size_t replaced = 0;
+        const std::size_t n = loadPartitions(in, &header_ok,
+                                             &replaced);
         if (!header_ok) {
             M3D_WARN("cache shard '", path,
                      "' is corrupt or from an incompatible version; "
                      "skipping it (the next snapshot repairs it)");
             continue;
+        }
+        if (replaced > 0) {
+            // A hand-merged or pre-shard snapshot dir can carry one
+            // key in several files; keep the last and say so instead
+            // of double-counting it in the entry totals.
+            M3D_WARN("cache shard '", path, "' carried ", replaced,
+                     " key(s) already loaded from this snapshot; "
+                     "kept the last occurrence of each");
         }
         loaded += n;
     }
@@ -472,7 +578,8 @@ EvalCache::loadShards(const std::string &dir)
 }
 
 std::size_t
-EvalCache::loadPartitions(std::istream &in, bool *header_ok)
+EvalCache::loadPartitions(std::istream &in, bool *header_ok,
+                          std::size_t *replaced)
 {
     std::string line;
     const bool have_line = static_cast<bool>(std::getline(in, line));
@@ -483,25 +590,45 @@ EvalCache::loadPartitions(std::istream &in, bool *header_ok)
         (!have_line && line.empty());
     if (header_ok)
         *header_ok = good_header;
+    if (replaced)
+        *replaced = 0;
     if (!have_line || line != kFileHeader)
         return 0;
 
     std::size_t loaded = 0;
+    std::size_t overwritten = 0;
     while (std::getline(in, line)) {
         if (line.empty())
             continue;
         EvalKey key;
+        // Route by the key, not by the file the entry came from: a
+        // renamed/merged snapshot still lands every entry in the
+        // shard its key selects.  A key already present (duplicate
+        // lines, a pre-shard snapshot replayed over a live cache) is
+        // overwritten last-writer-wins and counted separately - it
+        // is not a new entry.
+        ObjectiveRecord obj;
+        if (parseObjectiveEntry(line, &key, &obj)) {
+            Shard &s = shards_[shardOf(key)];
+            std::unique_lock lock(s.mutex);
+            if (s.objectives.insert_or_assign(key, obj).second)
+                ++loaded;
+            else
+                ++overwritten;
+            continue;
+        }
         PartitionResult r;
         if (!parseEntry(line, &key, &r))
             continue;
-        // Route by the key, not by the file the entry came from: a
-        // renamed/merged snapshot still lands every entry in the
-        // shard its key selects.
         Shard &s = shards_[shardOf(key)];
         std::unique_lock lock(s.mutex);
-        s.partitions.emplace(key, std::move(r));
-        ++loaded;
+        if (s.partitions.insert_or_assign(key, std::move(r)).second)
+            ++loaded;
+        else
+            ++overwritten;
     }
+    if (replaced)
+        *replaced = overwritten;
     return loaded;
 }
 
@@ -512,7 +639,9 @@ EvalCache::saveShardEntries(std::ostream &out, int shard) const
     std::shared_lock lock(s.mutex);
     for (const auto &[key, r] : s.partitions)
         writeEntry(out, key, r);
-    return s.partitions.size();
+    for (const auto &[key, r] : s.objectives)
+        writeObjectiveEntry(out, key, r);
+    return s.partitions.size() + s.objectives.size();
 }
 
 std::size_t

@@ -2,9 +2,11 @@
  * @file
  * Thread-safe memoization cache for the evaluation engine.
  *
- * Three key families share one cache object: partition design points
- * (PartitionResult), single-core runs (AppRun), and multicore runs
- * (MultiRun).  Each family keeps its own hit/miss counters so a sweep
+ * Four key families share one cache object: partition design points
+ * (PartitionResult), single-core runs (AppRun), multicore runs
+ * (MultiRun), and priced objective vectors (ObjectiveRecord - the
+ * search layer's (frequency, epi, peak_c) triple keyed by design
+ * digest).  Each family keeps its own hit/miss counters so a sweep
  * can report exactly where its reuse came from.
  *
  * Internally the store is split into kNumShards shards selected by
@@ -14,7 +16,8 @@
  * (the m3dd daemon's drain cycles, its stats requests, its snapshot
  * writer) contend per shard instead of on one global mutex.
  *
- * The partition family can be persisted in two shapes:
+ * The partition and objective families can be persisted in two
+ * shapes:
  *
  *  - one text file (loadPartitions/savePartitions) - the historical
  *    single-file cache every sweep uses; doubles are stored as
@@ -41,6 +44,7 @@
 #define M3D_ENGINE_EVAL_CACHE_HH_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <shared_mutex>
 #include <string>
@@ -78,6 +82,19 @@ struct CacheStats
     }
 };
 
+/**
+ * A persisted objective vector: the search layer's three priced
+ * axes, keyed by the design digest.  Lives here (not in src/search)
+ * so the cache can persist it without an upward dependency; the
+ * search layer converts to/from its Objectives struct.
+ */
+struct ObjectiveRecord
+{
+    double frequency = 0.0;
+    double epi = 0.0;
+    double peak_c = 0.0;
+};
+
 /** Shared, thread-safe result store. */
 class EvalCache
 {
@@ -101,31 +118,52 @@ class EvalCache
     bool lookupMulti(const EvalKey &key, MultiRun *out);
     void storeMulti(const EvalKey &key, const MultiRun &r);
 
+    // Priced objective vectors (persisted alongside partitions).
+    bool lookupObjective(const EvalKey &key, ObjectiveRecord *out);
+    void storeObjective(const EvalKey &key, const ObjectiveRecord &r);
+
+    /**
+     * Visit every cached objective vector (shard by shard, under the
+     * shard's shared lock - the callback must not reenter the cache).
+     * The surrogate strategy's warm start: seed the in-memory memo
+     * from a persisted snapshot before the first batch.
+     */
+    void forEachObjective(
+        const std::function<void(const EvalKey &,
+                                 const ObjectiveRecord &)> &fn) const;
+
     CacheStats partitionStats() const;
     CacheStats runStats() const;
     CacheStats multiStats() const;
+    CacheStats objectiveStats() const;
     /** All families summed. */
     CacheStats stats() const;
 
     std::size_t partitionEntries() const;
     std::size_t runEntries() const;
     std::size_t multiEntries() const;
+    std::size_t objectiveEntries() const;
 
     /** Drop every entry and reset the counters. */
     void clear();
 
     /**
-     * Load persisted partition entries (counters untouched).  A
-     * missing file is a silent cold start; an existing file whose
-     * header does not parse (truncated, torn, or from a different
-     * schema version) is skipped with a warning - a corrupt cache
-     * must never abort a sweep, only forfeit its reuse.
-     * @return entries loaded; 0 in both cases above.
+     * Load persisted partition + objective entries (counters
+     * untouched).  A missing file is a silent cold start; an
+     * existing file whose header does not parse (truncated, torn, or
+     * from a different schema version) is skipped with a warning - a
+     * corrupt cache must never abort a sweep, only forfeit its
+     * reuse.  A key that appears more than once (hand-merged files,
+     * a pre-shard snapshot replayed over a live cache) is
+     * deduplicated last-writer-wins with a warning, not counted
+     * twice.
+     * @return distinct NEW entries loaded; 0 in both cases above.
      */
     std::size_t loadPartitions(const std::string &path);
 
     /**
-     * Persist the partition family atomically: the entries are
+     * Persist the partition + objective families atomically: the
+     * entries are
      * written to `<path>.tmp.<pid>` and renamed over `path`, so a
      * crash mid-write or two runs sharing one cache file can never
      * leave a truncated/torn cache behind - readers see either the
@@ -153,20 +191,29 @@ class EvalCache
      * by the next saveShards().  Stale `*.tmp.*` files - the debris
      * of a writer killed mid-snapshot - are removed; the single-
      * writer lock makes that safe.  Entries land in the shard their
-     * key selects regardless of which file carried them.
-     * @return entries loaded.
+     * key selects regardless of which file carried them, and a key
+     * duplicated across shard files (hand-merged snapshot dirs) is
+     * deduplicated last-writer-wins with a warning instead of being
+     * double-counted.
+     * @return distinct new entries loaded.
      */
     std::size_t loadShards(const std::string &dir);
 
     /** Snapshot file of one shard index, e.g. "partition-03.cache". */
     static std::string shardFileName(int shard);
 
-    // Stream versions (used by the tests; path versions wrap these).
-    // `header_ok`, when given, reports whether the stream began with
-    // a recognized cache header (distinguishes "empty cache" from
-    // "corrupt file" for the path loader's warning).
+    // Stream versions (used by the tests and the daemon's in-memory
+    // cache transfer; path versions wrap these).  `header_ok`, when
+    // given, reports whether the stream began with a recognized
+    // cache header (distinguishes "empty cache" from "corrupt file"
+    // for the path loader's warning).  `replaced`, when given,
+    // receives the number of already-present keys overwritten
+    // last-writer-wins; the path wrappers warn when it is non-zero,
+    // while the daemon's merge paths (which legitimately reload
+    // mostly-duplicate entries) pass nullptr and stay silent.
     std::size_t loadPartitions(std::istream &in,
-                               bool *header_ok=nullptr);
+                               bool *header_ok=nullptr,
+                               std::size_t *replaced=nullptr);
     std::size_t savePartitions(std::ostream &out) const;
 
   private:
@@ -184,6 +231,8 @@ class EvalCache
             partitions;
         std::unordered_map<EvalKey, AppRun, EvalKeyHash> runs;
         std::unordered_map<EvalKey, MultiRun, EvalKeyHash> multis;
+        std::unordered_map<EvalKey, ObjectiveRecord, EvalKeyHash>
+            objectives;
 
         // Guarded by mutex (lookups mutate counters, so they lock
         // exclusively; the critical sections are tiny next to an
@@ -191,9 +240,10 @@ class EvalCache
         CacheStats partition_stats;
         CacheStats run_stats;
         CacheStats multi_stats;
+        CacheStats objective_stats;
     };
 
-    /** Serialize one shard's partition entries (no header). */
+    /** Serialize one shard's persisted entries (no header). */
     std::size_t saveShardEntries(std::ostream &out, int shard) const;
 
     Shard shards_[kNumShards];

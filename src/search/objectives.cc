@@ -54,6 +54,18 @@ ObjectiveEvaluator::ObjectiveEvaluator(engine::Evaluator &ev,
         config_.apps = defaultApps();
     M3D_ASSERT(config_.thermal_grid > 0,
                "thermal grid must be positive");
+    // Warm-seed the memo from the engine cache's persisted objective
+    // family (a --cache-file or the daemon's shared snapshot).  Keys
+    // bind the full pricing configuration (design, apps, budget,
+    // thermal grid), so entries from a differently-configured run
+    // simply never match.
+    ev_.cache().forEachObjective(
+        [this](const engine::EvalKey &key,
+               const engine::ObjectiveRecord &r) {
+            memo_.emplace(key,
+                          Objectives{r.frequency, r.epi, r.peak_c});
+            ++stats_.warm_entries;
+        });
 }
 
 engine::EvalKey
@@ -120,10 +132,13 @@ ObjectiveEvaluator::evaluateBatch(
         std::lock_guard<std::mutex> lock(memo_mutex_);
         for (std::size_t i = 0; i < designs.size(); ++i) {
             const auto it = memo_.find(designKey(designs[i]));
-            if (it != memo_.end())
+            if (it != memo_.end()) {
                 out[i] = it->second;
-            else
+                ++stats_.memo_hits;
+            } else {
                 missing.push_back(i);
+                ++stats_.memo_misses;
+            }
         }
     }
 
@@ -179,7 +194,22 @@ ObjectiveEvaluator::evaluateBatch(
         for (const std::size_t i : missing)
             memo_.emplace(designKey(designs[i]), out[i]);
     }
+    // Store the fresh vectors back into the engine cache's objective
+    // family so savePartitionCache() / the daemon snapshot persists
+    // them for the next run's warm start.
+    for (const std::size_t i : missing) {
+        ev_.cache().storeObjective(
+            designKey(designs[i]),
+            {out[i].frequency, out[i].epi, out[i].peak_c});
+    }
     return out;
+}
+
+ObjectiveStats
+ObjectiveEvaluator::stats() const
+{
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    return stats_;
 }
 
 } // namespace search

@@ -21,7 +21,12 @@
  * engine::Evaluator (memoized, submission-order merged), fans the
  * per-design thermal solves across the engine's pool, and memoizes
  * the finished objective vectors, so repeated visits (annealing
- * walks, overlapping strategies) cost one lookup.
+ * walks, overlapping strategies) cost one lookup.  The memo is
+ * warm-seeded at construction from the engine EvalCache's persisted
+ * objective family and every freshly computed vector is stored back,
+ * so a `--cache-file` (or the daemon's shared cache) carries priced
+ * points across runs - the hex round trip is bit-exact, so a warm
+ * start changes cost, never results.
  */
 
 #ifndef M3D_SEARCH_OBJECTIVES_HH_
@@ -89,6 +94,21 @@ struct ObjectiveConfig
     int thermal_grid = 32;
 };
 
+/**
+ * Reuse telemetry of one ObjectiveEvaluator: how many designs were
+ * answered from the in-memory memo vs. computed, and how many memo
+ * entries arrived pre-warmed from the engine's persisted EvalCache
+ * at construction.  This is where a warm cache shows up - the search
+ * JSON documents deliberately exclude it so cold and warm runs stay
+ * byte-identical (the cache accelerates, never steers).
+ */
+struct ObjectiveStats
+{
+    std::uint64_t memo_hits = 0;
+    std::uint64_t memo_misses = 0;
+    std::uint64_t warm_entries = 0;
+};
+
 /** Prices CoreDesigns into Objectives; see the file comment. */
 class ObjectiveEvaluator
 {
@@ -118,6 +138,9 @@ class ObjectiveEvaluator
     evaluateBatch(const std::vector<CoreDesign> &designs,
                   const Hook &hook = Hook());
 
+    /** Memo reuse counters; see ObjectiveStats. */
+    ObjectiveStats stats() const;
+
   private:
     engine::EvalKey designKey(const CoreDesign &design) const;
     Objectives compute(const CoreDesign &design,
@@ -126,10 +149,11 @@ class ObjectiveEvaluator
     engine::Evaluator &ev_;
     ObjectiveConfig config_;
 
-    std::mutex memo_mutex_;
+    mutable std::mutex memo_mutex_;
     std::unordered_map<engine::EvalKey, Objectives,
                        engine::EvalKeyHash>
         memo_;
+    ObjectiveStats stats_;
 };
 
 } // namespace search

@@ -1,6 +1,7 @@
 #include "search/pareto.hh"
 
 #include <algorithm>
+#include <cmath>
 
 namespace m3d {
 namespace search {
@@ -15,6 +16,13 @@ pointLess(const Point &a, const Point &b)
 bool
 ParetoArchive::insert(const Point &p, const Objectives &obj)
 {
+    // NaN compares false against everything, so a NaN objective (a
+    // thermal solve that bailed under the Warn non-convergence
+    // policy) would look "non-dominated" and poison the frontier.
+    // Reject non-finite vectors outright.
+    if (!std::isfinite(obj.frequency) || !std::isfinite(obj.epi) ||
+        !std::isfinite(obj.peak_c))
+        return false;
     std::lock_guard<std::mutex> lock(mutex_);
     for (const ParetoEntry &e : entries_) {
         if (e.obj == obj) {

@@ -47,7 +47,10 @@ class ParetoArchive
      * Offer one pair; returns true iff it is now archived (not
      * dominated by, or an objective-tie with a smaller point than,
      * an existing entry).  Entries the newcomer dominates are
-     * removed.  Safe to call from multiple threads.
+     * removed.  Pairs with any non-finite objective (NaN/inf) are
+     * rejected outright - NaN compares false against everything, so
+     * it would otherwise sail past dominance into the frontier.
+     * Safe to call from multiple threads.
      */
     bool insert(const Point &p, const Objectives &obj);
 

@@ -19,17 +19,27 @@ searchEntryJson(const SearchSpace &space, const ParetoEntry &e)
 
 report::Json
 searchResultJson(const SearchSpace &space, const std::string &strategy,
-                 std::uint64_t seed, std::uint64_t budget,
+                 const StrategyOptions &opts,
                  const SearchResult &result)
 {
     report::Json doc = report::Json::object();
     doc.set("kind", report::Json::string("m3d-search"));
-    doc.set("version", report::Json::number(1));
+    doc.set("version", report::Json::number(2));
     doc.set("strategy", report::Json::string(strategy));
     doc.set("seed",
-            report::Json::number(static_cast<double>(seed)));
+            report::Json::number(static_cast<double>(opts.seed)));
     doc.set("budget",
-            report::Json::number(static_cast<double>(budget)));
+            report::Json::number(static_cast<double>(opts.budget)));
+    doc.set("population",
+            report::Json::number(
+                static_cast<double>(opts.population)));
+    doc.set("surrogate_pool",
+            report::Json::number(
+                static_cast<double>(opts.surrogate_pool)));
+    doc.set("surrogate_fraction",
+            report::Json::number(opts.surrogate_fraction));
+    doc.set("surrogate_ridge",
+            report::Json::number(opts.surrogate_ridge));
     report::Json sp = report::Json::object();
     sp.set("name", report::Json::string(space.name()));
     sp.set("knobs", report::Json::number(
@@ -41,6 +51,12 @@ searchResultJson(const SearchSpace &space, const std::string &strategy,
     doc.set("evaluated",
             report::Json::number(
                 static_cast<double>(result.evaluated)));
+    doc.set("generated",
+            report::Json::number(
+                static_cast<double>(result.generated)));
+    doc.set("model_fits",
+            report::Json::number(
+                static_cast<double>(result.model_fits)));
     report::Json ref = report::Json::object();
     ref.set("frequency_ghz",
             report::Json::number(result.reference.frequency / 1e9));

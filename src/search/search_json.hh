@@ -32,13 +32,15 @@ report::Json searchEntryJson(const SearchSpace &space,
 
 /**
  * The complete versioned m3d-search document for one finished run:
- * strategy/seed/budget, the space's shape, the reference objectives,
+ * the strategy and its full option set, the space's shape, the
+ * evaluated/generated/model-fit telemetry, the reference objectives,
  * the best scalarized point with its score, and the frontier in
- * canonical order.
+ * canonical order.  Version 2 added the population/surrogate options
+ * and the generated/model_fits counters.
  */
 report::Json searchResultJson(const SearchSpace &space,
                               const std::string &strategy,
-                              std::uint64_t seed, std::uint64_t budget,
+                              const StrategyOptions &opts,
                               const SearchResult &result);
 
 } // namespace search

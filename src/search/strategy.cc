@@ -1,151 +1,40 @@
 #include "search/strategy.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_set>
 
+#include "search/strategy_impl.hh"
 #include "util/logging.hh"
 
 namespace m3d {
 namespace search {
 
-namespace {
-
-/**
- * Shared strategy plumbing: budget accounting, archiving every priced
- * point, and best-scalarized tracking.  Archiving happens inside the
- * pricer's hook (possibly concurrently - the archive is order
- * independent); best tracking happens serially in batch order, so the
- * reported champion is deterministic.
- */
-class Context
-{
-  public:
-    Context(const SearchSpace &space, const StrategyOptions &opts,
-            const BatchPricer &pricer)
-        : space_(space), opts_(opts), pricer_(pricer)
-    {
-    }
-
-    void priceReference(const Point &ref)
-    {
-        const std::vector<Objectives> objs = run({ref});
-        M3D_ASSERT(objs.size() == 1, "pricer dropped the reference");
-        ref_obj_ = objs[0];
-        have_ref_ = true;
-        ++evaluated_;
-        best_ = {ref, ref_obj_};
-        best_score_ = score(ref_obj_);
-    }
-
-    /**
-     * Price up to remaining-budget points from the front of `pts`;
-     * returns the objectives of the points actually priced.
-     */
-    std::vector<Objectives> price(std::vector<Point> pts)
-    {
-        if (pts.size() > remaining())
-            pts.resize(remaining());
-        if (pts.empty())
-            return {};
-        const std::vector<Objectives> objs = run(pts);
-        M3D_ASSERT(objs.size() == pts.size(),
-                   "pricer returned a short batch");
-        evaluated_ += pts.size();
-        for (std::size_t i = 0; i < pts.size(); ++i) {
-            const double s = score(objs[i]);
-            if (s > best_score_ ||
-                (s == best_score_ && pointLess(pts[i], best_.point))) {
-                best_ = {pts[i], objs[i]};
-                best_score_ = s;
-            }
-        }
-        return objs;
-    }
-
-    std::size_t remaining() const
-    {
-        return opts_.budget - budget_spent();
-    }
-    bool exhausted() const { return remaining() == 0; }
-
-    double score(const Objectives &o) const
-    {
-        M3D_ASSERT(have_ref_, "score() before priceReference()");
-        return scalarScore(o, ref_obj_);
-    }
-
-    SearchResult result(const std::string &strategy) const
-    {
-        SearchResult r;
-        r.strategy = strategy;
-        r.evaluated = evaluated_;
-        r.frontier = archive_.frontier();
-        r.best = best_;
-        r.best_score = best_score_;
-        r.reference = ref_obj_;
-        return r;
-    }
-
-    const SearchSpace &space() const { return space_; }
-    const StrategyOptions &options() const { return opts_; }
-
-  private:
-    std::size_t budget_spent() const
-    {
-        // The reference is free; everything else spends budget.
-        return evaluated_ - (have_ref_ ? 1 : 0);
-    }
-
-    std::vector<Objectives> run(const std::vector<Point> &pts)
-    {
-        ParetoArchive *archive = &archive_;
-        const std::vector<Point> *points = &pts;
-        return pricer_(
-            pts, [archive, points](std::size_t i,
-                                   const Objectives &obj) {
-                archive->insert((*points)[i], obj);
-            });
-    }
-
-    const SearchSpace &space_;
-    const StrategyOptions &opts_;
-    const BatchPricer &pricer_;
-    ParetoArchive archive_;
-
-    bool have_ref_ = false;
-    Objectives ref_obj_;
-    std::size_t evaluated_ = 0;
-    ParetoEntry best_;
-    double best_score_ = 0.0;
-};
-
 void
-runGrid(Context &ctx)
+runGridStrategy(StrategyContext &ctx, Rng &)
 {
-    ctx.price(ctx.space().grid(ctx.options().budget));
-}
-
-void
-runRandom(Context &ctx, Rng &rng)
-{
-    // Draw distinct points (dedupe by flat index), then price them as
-    // one batch so the engine fans the whole sample at once.
-    const std::size_t budget = ctx.options().budget;
-    std::vector<Point> pts;
-    std::unordered_set<std::uint64_t> used;
-    const std::size_t attempts = budget * 50 + 1000;
-    for (std::size_t a = 0; a < attempts && pts.size() < budget; ++a) {
-        Point p = ctx.space().randomPoint(rng);
-        if (used.insert(ctx.space().indexOf(p)).second)
-            pts.push_back(std::move(p));
-    }
+    std::vector<Point> pts = ctx.space().grid(ctx.options().budget);
+    ctx.noteGenerated(pts.size());
     ctx.price(std::move(pts));
 }
 
 void
-runClimb(Context &ctx, Rng &rng)
+runRandomStrategy(StrategyContext &ctx, Rng &rng)
+{
+    // Draw distinct points (dedupe by flat index), then price them as
+    // one batch so the engine fans the whole sample at once.
+    std::unordered_set<std::uint64_t> used;
+    std::vector<Point> pts = sampleDistinct(
+        ctx.space(), rng, ctx.options().budget, &used);
+    ctx.noteGenerated(pts.size());
+    ctx.price(std::move(pts));
+}
+
+void
+runClimbStrategy(StrategyContext &ctx, Rng &rng)
 {
     Point cur = ctx.space().randomPoint(rng);
+    ctx.noteGenerated(1);
     std::vector<Objectives> objs = ctx.price({cur});
     if (objs.empty())
         return;
@@ -153,6 +42,7 @@ runClimb(Context &ctx, Rng &rng)
 
     while (!ctx.exhausted()) {
         const std::vector<Point> nbrs = ctx.space().neighbors(cur);
+        ctx.noteGenerated(nbrs.size());
         const std::vector<Objectives> nbr_objs = ctx.price(nbrs);
         // Best priced neighbor; the first wins ties, which is
         // deterministic because neighbors() orders by (knob, value).
@@ -174,6 +64,7 @@ runClimb(Context &ctx, Rng &rng)
         if (ctx.exhausted())
             break;
         cur = ctx.space().randomPoint(rng);
+        ctx.noteGenerated(1);
         objs = ctx.price({cur});
         if (objs.empty())
             break;
@@ -182,9 +73,10 @@ runClimb(Context &ctx, Rng &rng)
 }
 
 void
-runAnneal(Context &ctx, Rng &rng)
+runAnnealStrategy(StrategyContext &ctx, Rng &rng)
 {
     Point cur = ctx.space().randomPoint(rng);
+    ctx.noteGenerated(1);
     std::vector<Objectives> objs = ctx.price({cur});
     if (objs.empty())
         return;
@@ -193,6 +85,7 @@ runAnneal(Context &ctx, Rng &rng)
     double temperature = ctx.options().anneal_t0;
     while (!ctx.exhausted()) {
         const Point cand = ctx.space().mutate(cur, rng);
+        ctx.noteGenerated(1);
         objs = ctx.price({cand});
         if (objs.empty())
             break;
@@ -209,7 +102,19 @@ runAnneal(Context &ctx, Rng &rng)
     }
 }
 
-} // namespace
+std::vector<Point>
+sampleDistinct(const SearchSpace &space, Rng &rng, std::size_t want,
+               std::unordered_set<std::uint64_t> *used)
+{
+    std::vector<Point> pts;
+    const std::size_t attempts = want * 50 + 1000;
+    for (std::size_t a = 0; a < attempts && pts.size() < want; ++a) {
+        Point p = space.randomPoint(rng);
+        if (used->insert(space.indexOf(p)).second)
+            pts.push_back(std::move(p));
+    }
+    return pts;
+}
 
 BatchPricer
 enginePricer(const SearchSpace &space, ObjectiveEvaluator &objectives)
@@ -243,16 +148,42 @@ annealAcceptProbability(double delta, double temperature)
 {
     if (delta >= 0.0)
         return 1.0;
-    if (temperature <= 0.0)
-        return 0.0;
-    return std::exp(delta / temperature);
+    // A geometric schedule underflows to denormal (and eventually
+    // zero) after a few thousand steps; dividing by that would feed
+    // exp() a non-finite exponent.  Clamp to a floor far below any
+    // meaningful score scale: every losing move is then rejected with
+    // probability ~1, which is the mathematical limit anyway.
+    constexpr double kTemperatureFloor = 1e-12;
+    const double t = std::max(temperature, kTemperatureFloor);
+    const double p = std::exp(delta / t);
+    // exp() of a finite negative exponent is finite, but a NaN delta
+    // (a pathological pricer) would propagate - fail closed instead.
+    return std::isfinite(p) ? p : 0.0;
+}
+
+const std::vector<StrategyDef> &
+strategyRegistry()
+{
+    static const std::vector<StrategyDef> defs = {
+        {"grid", &runGridStrategy},
+        {"random", &runRandomStrategy},
+        {"climb", &runClimbStrategy},
+        {"anneal", &runAnnealStrategy},
+        {"evolve", &runEvolveStrategy},
+        {"surrogate", &runSurrogateStrategy},
+    };
+    return defs;
 }
 
 const std::vector<std::string> &
 strategyNames()
 {
-    static const std::vector<std::string> names = {"grid", "random",
-                                                   "climb", "anneal"};
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const StrategyDef &def : strategyRegistry())
+            out.push_back(def.name);
+        return out;
+    }();
     return names;
 }
 
@@ -263,20 +194,22 @@ runSearch(const SearchSpace &space, const std::string &strategy,
 {
     M3D_ASSERT(space.valid(reference),
                "the scalarization reference must be a valid point");
-    Context ctx(space, opts, pricer);
+    const StrategyDef *def = nullptr;
+    for (const StrategyDef &d : strategyRegistry()) {
+        if (strategy == d.name)
+            def = &d;
+    }
+    if (def == nullptr) {
+        std::string known;
+        for (const std::string &n : strategyNames())
+            known += (known.empty() ? "" : ", ") + n;
+        M3D_FATAL("unknown strategy '", strategy, "' (expected one "
+                  "of: ", known, ")");
+    }
+    StrategyContext ctx(space, opts, pricer);
     ctx.priceReference(reference);
     Rng rng(opts.seed);
-    if (strategy == "grid")
-        runGrid(ctx);
-    else if (strategy == "random")
-        runRandom(ctx, rng);
-    else if (strategy == "climb")
-        runClimb(ctx, rng);
-    else if (strategy == "anneal")
-        runAnneal(ctx, rng);
-    else
-        M3D_FATAL("unknown strategy '", strategy,
-                  "' (expected grid, random, climb, or anneal)");
+    def->run(ctx, rng);
     return ctx.result(strategy);
 }
 

@@ -2,11 +2,16 @@
  * @file
  * Pluggable search strategies over a SearchSpace.
  *
- * Four strategies - exhaustive/strided grid, seeded random sampling,
- * greedy hill-climb with random restarts, and simulated annealing -
- * all drive the same loop: pick points, price them through a
- * BatchPricer, feed every result into a ParetoArchive, and track the
- * best scalarized point.  Determinism rules:
+ * Six strategies - exhaustive/strided grid, seeded random sampling,
+ * greedy hill-climb with random restarts, simulated annealing, an
+ * NSGA-II-style evolutionary search (strategy_evolve.cc), and a
+ * surrogate-guided search (surrogate.cc) - all drive the same loop:
+ * pick points, price them through a BatchPricer, feed every result
+ * into a ParetoArchive, and track the best scalarized point.  The
+ * strategies register in one table (strategyNames() /
+ * runSearch()), so the CLI, the daemon's request validation, and the
+ * determinism suites pick new strategies up automatically.
+ * Determinism rules:
  *
  *  - every strategy is a *sequential* algorithm over batch prices;
  *    parallelism lives entirely inside the pricer (the engine's
@@ -69,6 +74,27 @@ struct StrategyOptions
 
     /** Annealing: geometric cooling factor per step. */
     double anneal_cooling = 0.95;
+
+    /**
+     * Evolve: population size per generation (also the surrogate's
+     * initial training sample).
+     */
+    std::size_t population = 16;
+
+    /** Surrogate: candidate points generated per generation. */
+    std::size_t surrogate_pool = 256;
+
+    /**
+     * Surrogate: top-ranked fraction of each generation's pool that
+     * pays for a real evaluation (0 < fraction <= 1).
+     */
+    double surrogate_fraction = 0.125;
+
+    /**
+     * Surrogate: ridge regularization of the polynomial fit, scaled
+     * by the training-set size.
+     */
+    double surrogate_ridge = 1e-3;
 };
 
 /** Outcome of one strategy run. */
@@ -76,6 +102,18 @@ struct SearchResult
 {
     std::string strategy;
     std::size_t evaluated = 0; ///< priced points incl. the reference
+
+    /**
+     * Candidate points the strategy proposed (generated offspring,
+     * surrogate pools, neighbor scans, samples) - always >=
+     * evaluated - 1.  The surrogate's leverage is exactly the gap:
+     * it prices only the model-ranked top fraction of `generated`.
+     */
+    std::size_t generated = 0;
+
+    /** Surrogate model refits (0 for every other strategy). */
+    std::size_t model_fits = 0;
+
     std::vector<ParetoEntry> frontier; ///< canonical order
     ParetoEntry best;                  ///< best scalarized point
     double best_score = 0.0;
@@ -87,19 +125,25 @@ double scalarScore(const Objectives &obj, const Objectives &ref);
 
 /**
  * Metropolis acceptance: 1 if the move does not lose score, else
- * exp(delta / temperature) (0 when the temperature has decayed to
- * zero).  Exposed for the unit tests.
+ * exp(delta / temperature).  The temperature is clamped to a floor
+ * before the division so a geometrically cooled schedule that has
+ * underflowed to denormal/zero never feeds a non-finite exponent
+ * through exp() - the result is always a finite probability in
+ * [0, 1].  Exposed for the unit tests.
  */
 double annealAcceptProbability(double delta, double temperature);
 
-/** Strategy names accepted by runSearch, in documentation order. */
+/**
+ * Strategy names accepted by runSearch, in documentation order
+ * (grid, random, climb, anneal, evolve, surrogate) - the single
+ * registry every front end validates against.
+ */
 const std::vector<std::string> &strategyNames();
 
 /**
  * Run one strategy over `space`.
  *
- * @param strategy one of strategyNames(): "grid", "random", "climb",
- *        or "anneal".
+ * @param strategy one of strategyNames().
  * @param reference the scalarization baseline point (must be valid);
  *        coreBaselinePoint() in the core space.
  */

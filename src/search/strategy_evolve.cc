@@ -1,0 +1,221 @@
+/**
+ * @file
+ * NSGA-II-style evolutionary strategy ("evolve").
+ *
+ * Classic generational loop over the mixed-radix space: seed a random
+ * population, then repeat {non-dominated sort + crowding distance,
+ * binary-tournament parent selection, per-knob uniform crossover,
+ * per-knob mutation, environmental selection over parents+offspring}
+ * until the evaluation budget runs out.  Offspring are deduped
+ * against every flat index priced so far, so the strategy never pays
+ * twice for one point and terminates early on tiny spaces.
+ *
+ * Determinism: the loop is strictly sequential over batch prices, all
+ * randomness comes from the caller's Rng in a fixed draw order, and
+ * every comparator breaks ties on the lexicographic point order -
+ * so a fixed seed gives a byte-identical frontier at any `--jobs`.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "search/strategy_impl.hh"
+
+namespace m3d {
+namespace search {
+namespace {
+
+struct Individual
+{
+    Point pt;
+    Objectives obj;
+    std::size_t rank = 0;  ///< non-domination front (0 = best)
+    double crowding = 0.0; ///< crowding distance within the front
+};
+
+/**
+ * Fast non-dominated sort: assigns `rank` to every individual and
+ * returns the fronts as index lists, best front first.  O(n^2)
+ * dominance checks - fine for the population sizes in play.
+ */
+std::vector<std::vector<std::size_t>>
+sortFronts(std::vector<Individual> &pop)
+{
+    const std::size_t n = pop.size();
+    std::vector<std::vector<std::size_t>> dominated(n);
+    std::vector<std::size_t> dom_count(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            if (dominates(pop[i].obj, pop[j].obj))
+                dominated[i].push_back(j);
+            else if (dominates(pop[j].obj, pop[i].obj))
+                ++dom_count[i];
+        }
+    }
+    std::vector<std::vector<std::size_t>> fronts;
+    std::vector<std::size_t> cur;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (dom_count[i] == 0) {
+            pop[i].rank = 0;
+            cur.push_back(i);
+        }
+    }
+    while (!cur.empty()) {
+        fronts.push_back(cur);
+        std::vector<std::size_t> next;
+        for (std::size_t i : cur) {
+            for (std::size_t j : dominated[i]) {
+                if (--dom_count[j] == 0) {
+                    pop[j].rank = fronts.size();
+                    next.push_back(j);
+                }
+            }
+        }
+        cur = std::move(next);
+    }
+    return fronts;
+}
+
+/** Crowding distance of one front, written into pop[*].crowding. */
+void
+assignCrowding(std::vector<Individual> &pop,
+               const std::vector<std::size_t> &front)
+{
+    for (std::size_t i : front)
+        pop[i].crowding = 0.0;
+    if (front.size() <= 2) {
+        for (std::size_t i : front)
+            pop[i].crowding = std::numeric_limits<double>::infinity();
+        return;
+    }
+    const auto axis = [](const Objectives &o, int a) {
+        return a == 0 ? o.frequency : a == 1 ? o.epi : o.peak_c;
+    };
+    for (int a = 0; a < 3; ++a) {
+        std::vector<std::size_t> order = front;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t x, std::size_t y) {
+                      const double vx = axis(pop[x].obj, a);
+                      const double vy = axis(pop[y].obj, a);
+                      if (vx != vy)
+                          return vx < vy;
+                      return pointLess(pop[x].pt, pop[y].pt);
+                  });
+        const double lo = axis(pop[order.front()].obj, a);
+        const double hi = axis(pop[order.back()].obj, a);
+        pop[order.front()].crowding =
+            std::numeric_limits<double>::infinity();
+        pop[order.back()].crowding =
+            std::numeric_limits<double>::infinity();
+        if (hi <= lo)
+            continue;
+        for (std::size_t k = 1; k + 1 < order.size(); ++k) {
+            pop[order[k]].crowding +=
+                (axis(pop[order[k + 1]].obj, a) -
+                 axis(pop[order[k - 1]].obj, a)) /
+                (hi - lo);
+        }
+    }
+}
+
+/** rank asc, crowding desc, lexicographic point - all deterministic. */
+bool
+better(const Individual &a, const Individual &b)
+{
+    if (a.rank != b.rank)
+        return a.rank < b.rank;
+    if (a.crowding != b.crowding)
+        return a.crowding > b.crowding;
+    return pointLess(a.pt, b.pt);
+}
+
+/** Binary tournament over the ranked population. */
+const Individual &
+tournament(const std::vector<Individual> &pop, Rng &rng)
+{
+    const std::size_t i = rng.below(pop.size());
+    const std::size_t j = rng.below(pop.size());
+    return better(pop[i], pop[j]) ? pop[i] : pop[j];
+}
+
+/** Append priced points to `pop` (objs may be budget-truncated). */
+void
+absorb(std::vector<Individual> &pop, const std::vector<Point> &pts,
+       const std::vector<Objectives> &objs)
+{
+    for (std::size_t i = 0; i < objs.size(); ++i)
+        pop.push_back({pts[i], objs[i]});
+}
+
+} // namespace
+
+void
+runEvolveStrategy(StrategyContext &ctx, Rng &rng)
+{
+    const SearchSpace &space = ctx.space();
+    const std::size_t pop_size =
+        std::max<std::size_t>(2, ctx.options().population);
+    const std::size_t knobs = space.knobCount();
+    const double mut_rate = 1.0 / static_cast<double>(knobs);
+
+    std::unordered_set<std::uint64_t> seen;
+    std::vector<Individual> pop;
+    {
+        std::vector<Point> init =
+            sampleDistinct(space, rng, pop_size, &seen);
+        ctx.noteGenerated(init.size());
+        const std::vector<Objectives> objs = ctx.price(init);
+        absorb(pop, init, objs);
+    }
+
+    while (!ctx.exhausted() && !pop.empty()) {
+        for (const std::vector<std::size_t> &front : sortFronts(pop))
+            assignCrowding(pop, front);
+
+        // Breed up to one population of fresh (never-priced) valid
+        // offspring; the attempt cap bails out on saturated spaces.
+        std::vector<Point> batch;
+        const std::size_t attempts = pop_size * 50 + 1000;
+        for (std::size_t a = 0;
+             a < attempts && batch.size() < pop_size; ++a) {
+            const Individual &pa = tournament(pop, rng);
+            const Individual &pb = tournament(pop, rng);
+            Point child(knobs);
+            for (std::size_t k = 0; k < knobs; ++k)
+                child[k] = rng.chance(0.5) ? pa.pt[k] : pb.pt[k];
+            for (std::size_t k = 0; k < knobs; ++k) {
+                if (rng.chance(mut_rate))
+                    child[k] = static_cast<int>(
+                        rng.below(space.knobAt(k).values.size()));
+            }
+            ctx.noteGenerated(1);
+            if (!space.valid(child))
+                continue;
+            if (!seen.insert(space.indexOf(child)).second)
+                continue;
+            batch.push_back(std::move(child));
+        }
+        if (batch.empty())
+            break; // space exhausted - nothing fresh to breed
+
+        const std::vector<Objectives> objs = ctx.price(batch);
+        if (objs.empty())
+            break;
+        absorb(pop, batch, objs);
+
+        // Environmental selection: refill from the best fronts, then
+        // truncate the boundary front by crowding distance.
+        for (const std::vector<std::size_t> &front : sortFronts(pop))
+            assignCrowding(pop, front);
+        std::sort(pop.begin(), pop.end(), better);
+        if (pop.size() > pop_size)
+            pop.resize(pop_size);
+    }
+}
+
+} // namespace search
+} // namespace m3d

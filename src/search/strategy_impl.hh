@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Internal plumbing shared by the strategy implementation files
+ * (strategy.cc, strategy_evolve.cc, surrogate.cc): the run context
+ * every strategy drives, the registry rows runSearch() dispatches
+ * over, and the distinct-sample helper the population strategies
+ * share.  Not public API - include only from src/search.
+ */
+
+#ifndef M3D_SEARCH_STRATEGY_IMPL_HH_
+#define M3D_SEARCH_STRATEGY_IMPL_HH_
+
+#include <unordered_set>
+
+#include "search/strategy.hh"
+#include "util/logging.hh"
+
+namespace m3d {
+namespace search {
+
+/**
+ * Shared strategy plumbing: budget accounting, archiving every priced
+ * point, best-scalarized tracking, and the generated/model-fit
+ * telemetry counters.  Archiving happens inside the pricer's hook
+ * (possibly concurrently - the archive is order independent); best
+ * tracking happens serially in batch order, so the reported champion
+ * is deterministic.
+ */
+class StrategyContext
+{
+  public:
+    StrategyContext(const SearchSpace &space,
+                    const StrategyOptions &opts,
+                    const BatchPricer &pricer)
+        : space_(space), opts_(opts), pricer_(pricer)
+    {
+    }
+
+    void priceReference(const Point &ref)
+    {
+        const std::vector<Objectives> objs = run({ref});
+        M3D_ASSERT(objs.size() == 1, "pricer dropped the reference");
+        ref_obj_ = objs[0];
+        have_ref_ = true;
+        ++evaluated_;
+        best_ = {ref, ref_obj_};
+        best_score_ = score(ref_obj_);
+    }
+
+    /**
+     * Price up to remaining-budget points from the front of `pts`;
+     * returns the objectives of the points actually priced.
+     */
+    std::vector<Objectives> price(std::vector<Point> pts)
+    {
+        if (pts.size() > remaining())
+            pts.resize(remaining());
+        if (pts.empty())
+            return {};
+        const std::vector<Objectives> objs = run(pts);
+        M3D_ASSERT(objs.size() == pts.size(),
+                   "pricer returned a short batch");
+        evaluated_ += pts.size();
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            const double s = score(objs[i]);
+            if (s > best_score_ ||
+                (s == best_score_ && pointLess(pts[i], best_.point))) {
+                best_ = {pts[i], objs[i]};
+                best_score_ = s;
+            }
+        }
+        return objs;
+    }
+
+    std::size_t remaining() const
+    {
+        return opts_.budget - budget_spent();
+    }
+    bool exhausted() const { return remaining() == 0; }
+
+    double score(const Objectives &o) const
+    {
+        M3D_ASSERT(have_ref_, "score() before priceReference()");
+        return scalarScore(o, ref_obj_);
+    }
+
+    const Objectives &referenceObjectives() const
+    {
+        M3D_ASSERT(have_ref_, "reference not priced yet");
+        return ref_obj_;
+    }
+
+    /** Record `n` candidate points proposed by the strategy. */
+    void noteGenerated(std::size_t n) { generated_ += n; }
+
+    /** Record one surrogate model refit. */
+    void noteModelFit() { ++model_fits_; }
+
+    SearchResult result(const std::string &strategy) const
+    {
+        SearchResult r;
+        r.strategy = strategy;
+        r.evaluated = evaluated_;
+        r.generated = generated_;
+        r.model_fits = model_fits_;
+        r.frontier = archive_.frontier();
+        r.best = best_;
+        r.best_score = best_score_;
+        r.reference = ref_obj_;
+        return r;
+    }
+
+    const SearchSpace &space() const { return space_; }
+    const StrategyOptions &options() const { return opts_; }
+
+  private:
+    std::size_t budget_spent() const
+    {
+        // The reference is free; everything else spends budget.
+        return evaluated_ - (have_ref_ ? 1 : 0);
+    }
+
+    std::vector<Objectives> run(const std::vector<Point> &pts)
+    {
+        ParetoArchive *archive = &archive_;
+        const std::vector<Point> *points = &pts;
+        return pricer_(
+            pts, [archive, points](std::size_t i,
+                                   const Objectives &obj) {
+                archive->insert((*points)[i], obj);
+            });
+    }
+
+    const SearchSpace &space_;
+    const StrategyOptions &opts_;
+    const BatchPricer &pricer_;
+    ParetoArchive archive_;
+
+    bool have_ref_ = false;
+    Objectives ref_obj_;
+    std::size_t evaluated_ = 0;
+    std::size_t generated_ = 0;
+    std::size_t model_fits_ = 0;
+    ParetoEntry best_;
+    double best_score_ = 0.0;
+};
+
+/**
+ * Draw up to `want` distinct random valid points whose flat indices
+ * are not yet in `used` (newly drawn indices are added).  Gives up
+ * after a generous attempt cap, so tiny or mostly-seen spaces return
+ * short instead of spinning.
+ */
+std::vector<Point>
+sampleDistinct(const SearchSpace &space, Rng &rng, std::size_t want,
+               std::unordered_set<std::uint64_t> *used);
+
+/** One registry row: a strategy name bound to its run function. */
+struct StrategyDef
+{
+    const char *name;
+    void (*run)(StrategyContext &, Rng &);
+};
+
+/** The registry behind strategyNames()/runSearch(), in name order. */
+const std::vector<StrategyDef> &strategyRegistry();
+
+// Strategy run functions (one per registry row).
+void runGridStrategy(StrategyContext &ctx, Rng &rng);
+void runRandomStrategy(StrategyContext &ctx, Rng &rng);
+void runClimbStrategy(StrategyContext &ctx, Rng &rng);
+void runAnnealStrategy(StrategyContext &ctx, Rng &rng);
+void runEvolveStrategy(StrategyContext &ctx, Rng &rng);    // strategy_evolve.cc
+void runSurrogateStrategy(StrategyContext &ctx, Rng &rng); // surrogate.cc
+
+} // namespace search
+} // namespace m3d
+
+#endif // M3D_SEARCH_STRATEGY_IMPL_HH_

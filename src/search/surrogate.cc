@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Surrogate-guided strategy ("surrogate").
+ *
+ * Each generation draws a large pool of fresh candidates, ranks the
+ * whole pool with a cheap ridge-regularized quadratic model fitted on
+ * every point priced *this run*, and pays for real evaluations only
+ * on the top-ranked fraction - the STAGE/HeM3D shape: the model
+ * spends microseconds so the engine's milliseconds go to the
+ * candidates most likely to matter.  The generated/evaluated gap (and
+ * the model refit count) is reported through SearchResult telemetry.
+ *
+ * The model's features are the per-knob normalized domain indices and
+ * their squares (d = 2*knobs + 1 terms including the intercept); the
+ * three regression targets are the reference-normalized objectives,
+ * so the predicted scalar score is exactly scalarScore() applied to
+ * the predictions.  One Gaussian elimination solves all three
+ * right-hand sides.
+ *
+ * Determinism contract: the training set is exactly the points priced
+ * during this run, in pricing order.  A warm EvalCache (or a warm
+ * daemon) short-circuits the *cost* of an evaluation but returns
+ * bit-identical objectives, so cold-vs-warm runs produce
+ * byte-identical archives - the cache accelerates, never steers.
+ */
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "search/strategy_impl.hh"
+
+namespace m3d {
+namespace search {
+namespace {
+
+/** One training row: feature vector plus the three targets. */
+struct Sample
+{
+    std::vector<double> x;
+    double y[3];
+};
+
+/** [1, u_0..u_{K-1}, u_0^2..u_{K-1}^2] with u = index/(radix-1). */
+std::vector<double>
+features(const SearchSpace &space, const Point &p)
+{
+    const std::size_t knobs = space.knobCount();
+    std::vector<double> x;
+    x.reserve(2 * knobs + 1);
+    x.push_back(1.0);
+    for (std::size_t k = 0; k < knobs; ++k) {
+        const std::size_t radix = space.knobAt(k).values.size();
+        const double u =
+            radix > 1 ? static_cast<double>(p[k]) /
+                            static_cast<double>(radix - 1)
+                      : 0.0;
+        x.push_back(u);
+    }
+    for (std::size_t k = 0; k < knobs; ++k)
+        x.push_back(x[1 + k] * x[1 + k]);
+    return x;
+}
+
+/**
+ * Ridge fit: solve (X^T X + ridge*N*I) W = X^T Y for the three
+ * targets at once (Gaussian elimination, partial pivoting).  Returns
+ * d x 3 weights as three columns.
+ */
+std::array<std::vector<double>, 3>
+fitRidge(const std::vector<Sample> &train, double ridge)
+{
+    const std::size_t d = train.front().x.size();
+    std::vector<std::vector<double>> a(
+        d, std::vector<double>(d + 3, 0.0));
+    for (const Sample &s : train) {
+        for (std::size_t i = 0; i < d; ++i) {
+            for (std::size_t j = 0; j < d; ++j)
+                a[i][j] += s.x[i] * s.x[j];
+            for (int t = 0; t < 3; ++t)
+                a[i][d + t] += s.x[i] * s.y[t];
+        }
+    }
+    const double lambda =
+        ridge * static_cast<double>(train.size());
+    for (std::size_t i = 0; i < d; ++i)
+        a[i][i] += lambda;
+
+    for (std::size_t col = 0; col < d; ++col) {
+        std::size_t piv = col;
+        for (std::size_t r = col + 1; r < d; ++r) {
+            if (std::abs(a[r][col]) > std::abs(a[piv][col]))
+                piv = r;
+        }
+        std::swap(a[col], a[piv]);
+        // The ridge term keeps the matrix positive definite, so the
+        // pivot cannot vanish; guard anyway and skip a dead column.
+        if (a[col][col] == 0.0)
+            continue;
+        for (std::size_t r = 0; r < d; ++r) {
+            if (r == col)
+                continue;
+            const double f = a[r][col] / a[col][col];
+            if (f == 0.0)
+                continue;
+            for (std::size_t j = col; j < d + 3; ++j)
+                a[r][j] -= f * a[col][j];
+        }
+    }
+    std::array<std::vector<double>, 3> w;
+    for (int t = 0; t < 3; ++t) {
+        w[t].assign(d, 0.0);
+        for (std::size_t i = 0; i < d; ++i) {
+            if (a[i][i] != 0.0)
+                w[t][i] = a[i][d + t] / a[i][i];
+        }
+    }
+    return w;
+}
+
+double
+dot(const std::vector<double> &w, const std::vector<double> &x)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i)
+        s += w[i] * x[i];
+    return s;
+}
+
+} // namespace
+
+void
+runSurrogateStrategy(StrategyContext &ctx, Rng &rng)
+{
+    const SearchSpace &space = ctx.space();
+    const StrategyOptions &opts = ctx.options();
+    const std::size_t init_size =
+        std::max<std::size_t>(2, opts.population);
+    const std::size_t pool_size =
+        std::max<std::size_t>(1, opts.surrogate_pool);
+    const double fraction =
+        std::min(1.0, std::max(1e-6, opts.surrogate_fraction));
+    const Objectives &ref = ctx.referenceObjectives();
+
+    std::unordered_set<std::uint64_t> seen;
+    std::vector<Sample> train;
+    const auto absorb = [&](const std::vector<Point> &pts,
+                            const std::vector<Objectives> &objs) {
+        for (std::size_t i = 0; i < objs.size(); ++i) {
+            Sample s;
+            s.x = features(space, pts[i]);
+            s.y[0] = objs[i].frequency / ref.frequency;
+            s.y[1] = objs[i].epi / ref.epi;
+            s.y[2] = objs[i].peak_c / ref.peak_c;
+            train.push_back(std::move(s));
+        }
+    };
+
+    // Bootstrap the model on an unbiased random sample.
+    {
+        std::vector<Point> init =
+            sampleDistinct(space, rng, init_size, &seen);
+        ctx.noteGenerated(init.size());
+        absorb(init, ctx.price(init));
+    }
+
+    while (!ctx.exhausted() && !train.empty()) {
+        const std::array<std::vector<double>, 3> w =
+            fitRidge(train, opts.surrogate_ridge);
+        ctx.noteModelFit();
+
+        std::vector<Point> pool =
+            sampleDistinct(space, rng, pool_size, &seen);
+        ctx.noteGenerated(pool.size());
+        if (pool.empty())
+            break; // every point already priced
+
+        // Rank the pool by predicted scalar score (descending) with
+        // the canonical point order as the tie-break, then pay for
+        // real evaluations on the top fraction only.
+        std::vector<std::pair<double, std::size_t>> ranked;
+        ranked.reserve(pool.size());
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            const std::vector<double> x = features(space, pool[i]);
+            const double pred =
+                dot(w[0], x) - dot(w[1], x) - 0.5 * dot(w[2], x);
+            ranked.emplace_back(pred, i);
+        }
+        std::sort(ranked.begin(), ranked.end(),
+                  [&](const std::pair<double, std::size_t> &a,
+                      const std::pair<double, std::size_t> &b) {
+                      if (a.first != b.first)
+                          return a.first > b.first;
+                      return pointLess(pool[a.second],
+                                       pool[b.second]);
+                  });
+        const std::size_t take = std::max<std::size_t>(
+            1, static_cast<std::size_t>(std::ceil(
+                   static_cast<double>(pool.size()) * fraction)));
+        std::vector<Point> selected;
+        selected.reserve(std::min(take, pool.size()));
+        for (std::size_t k = 0; k < take && k < ranked.size(); ++k)
+            selected.push_back(pool[ranked[k].second]);
+
+        const std::vector<Objectives> objs = ctx.price(selected);
+        if (objs.empty())
+            break;
+        absorb(selected, objs);
+    }
+}
+
+} // namespace search
+} // namespace m3d

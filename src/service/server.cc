@@ -52,6 +52,14 @@ getUint(const report::Json &j, const char *key, std::uint64_t *out)
     return true;
 }
 
+void
+getNumber(const report::Json &j, const char *key, double *out)
+{
+    const report::Json *v = j.find(key);
+    if (v != nullptr && v->isNumber())
+        *out = v->asNumber(); // absent: caller keeps its default
+}
+
 report::Json
 statsJson(const engine::CacheStats &s, std::size_t entries)
 {
@@ -885,25 +893,41 @@ Server::handleSearch(const report::Json &req)
                              "search needs a string 'strategy'");
     const std::vector<std::string> &names = search::strategyNames();
     if (std::find(names.begin(), names.end(), *strategy) ==
-        names.end())
+        names.end()) {
+        std::string known;
+        for (const std::string &n : names)
+            known += (known.empty() ? "" : ", ") + n;
         return errorResponse("bad-strategy",
                              "unknown strategy '" + *strategy +
-                                 "' (try grid, random, climb, or "
-                                 "anneal)");
+                                 "' (try " + known + ")");
+    }
 
     std::uint64_t seed = 7;
     std::uint64_t budget = 16;
     std::uint64_t instructions = 60000;
     std::uint64_t thermal_grid = 32;
+    std::uint64_t population = 16;
+    std::uint64_t surrogate_pool = 256;
+    double surrogate_fraction = 0.125;
+    double surrogate_ridge = 1e-3;
     getUint(req, "seed", &seed);
     getUint(req, "budget", &budget);
     getUint(req, "instructions", &instructions);
     getUint(req, "thermal_grid", &thermal_grid);
+    getUint(req, "population", &population);
+    getUint(req, "surrogate_pool", &surrogate_pool);
+    getNumber(req, "surrogate_fraction", &surrogate_fraction);
+    getNumber(req, "surrogate_ridge", &surrogate_ridge);
     if (instructions == 0 || thermal_grid == 0 ||
         thermal_grid > 4096)
         return errorResponse("bad-request",
                              "instructions and thermal_grid must be "
                              "positive (thermal_grid <= 4096)");
+    if (!(surrogate_fraction > 0.0 && surrogate_fraction <= 1.0) ||
+        !(surrogate_ridge >= 0.0))
+        return errorResponse("bad-request",
+                             "surrogate_fraction must be in (0, 1] "
+                             "and surrogate_ridge >= 0");
 
     // The search prices runs under the *request's* instruction
     // budget, which ObjectiveEvaluator reads from its evaluator's
@@ -929,6 +953,10 @@ Server::handleSearch(const report::Json &req)
     search::StrategyOptions sopts;
     sopts.seed = seed;
     sopts.budget = budget;
+    sopts.population = population;
+    sopts.surrogate_pool = surrogate_pool;
+    sopts.surrogate_fraction = surrogate_fraction;
+    sopts.surrogate_ridge = surrogate_ridge;
     search::SearchResult result;
     try {
         result = search::runSearch(
@@ -948,8 +976,7 @@ Server::handleSearch(const report::Json &req)
 
     report::Json resp = okResponse("search");
     resp.set("result", search::searchResultJson(space, *strategy,
-                                                seed, budget,
-                                                result));
+                                                sopts, result));
     return resp;
 }
 

@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <thread>
 #include <vector>
@@ -279,6 +280,27 @@ TEST(ParetoArchive, ObjectiveTiesKeepLexSmallestPoint)
     EXPECT_EQ(f[0].point, (Point{0, 9}));
 }
 
+TEST(ParetoArchive, RejectsNonFiniteObjectives)
+{
+    // A thermal non-convergence or a model division blow-up must not
+    // poison the frontier: NaN is incomparable under <, so a NaN
+    // entry would survive every dominance check forever.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    ParetoArchive archive;
+    EXPECT_FALSE(archive.insert(Point{0}, obj(nan, 1e-9, 60.0)));
+    EXPECT_FALSE(archive.insert(Point{1}, obj(2e9, nan, 60.0)));
+    EXPECT_FALSE(archive.insert(Point{2}, obj(2e9, 1e-9, nan)));
+    EXPECT_FALSE(archive.insert(Point{3}, obj(inf, 1e-9, 60.0)));
+    EXPECT_FALSE(archive.insert(Point{4}, obj(2e9, -inf, 60.0)));
+    EXPECT_EQ(archive.size(), 0u);
+    // Finite entries still work, and a later NaN cannot evict them.
+    EXPECT_TRUE(archive.insert(Point{5}, obj(2e9, 1e-9, 60.0)));
+    EXPECT_FALSE(archive.insert(Point{6}, obj(nan, nan, nan)));
+    EXPECT_EQ(archive.size(), 1u);
+    EXPECT_EQ(archive.frontier()[0].point, (Point{5}));
+}
+
 TEST(ParetoArchive, InsertionOrderIndependent)
 {
     std::vector<std::pair<Point, Objectives>> pairs;
@@ -364,6 +386,29 @@ TEST(Strategies, AnnealAcceptanceMath)
     EXPECT_DOUBLE_EQ(search::annealAcceptProbability(-0.1, 0.0), 0.0);
 }
 
+TEST(Strategies, AnnealAcceptanceSurvivesDenormalTemperatures)
+{
+    // Regression: exp(delta / t) at denormal or zero temperature
+    // must clamp to a finite probability in [0, 1], never NaN
+    // (0/0 via a flushed-to-zero quotient) or a poisoned compare.
+    const double denormal = 1e-320; // below DBL_MIN
+    for (const double t : {0.0, -1.0, denormal, 1e-300}) {
+        const double p = search::annealAcceptProbability(-0.1, t);
+        EXPECT_TRUE(std::isfinite(p)) << "t=" << t;
+        EXPECT_GE(p, 0.0) << "t=" << t;
+        EXPECT_LE(p, 1.0) << "t=" << t;
+        // A cooled walk rejects losses but keeps accepting wins.
+        EXPECT_DOUBLE_EQ(search::annealAcceptProbability(0.0, t), 1.0);
+    }
+    // The clamp floors the temperature, so a real loss on a
+    // (de)normal-cold walk is an exact rejection, not a NaN that
+    // "accepts" via !(u < p), and a negative temperature (a cooling
+    // schedule gone past zero) cannot yield a probability above 1.
+    EXPECT_DOUBLE_EQ(search::annealAcceptProbability(-0.1, denormal),
+                     0.0);
+    EXPECT_LE(search::annealAcceptProbability(-0.1, -1.0), 1.0);
+}
+
 TEST(Strategies, ScalarScoreMatchesDocumentedForm)
 {
     const Objectives ref = obj(2e9, 2e-9, 50.0);
@@ -379,7 +424,8 @@ TEST(Strategies, NamesAndUnknownStrategy)
     const std::vector<std::string> &names = search::strategyNames();
     EXPECT_EQ(names,
               (std::vector<std::string>{"grid", "random", "climb",
-                                        "anneal"}));
+                                        "anneal", "evolve",
+                                        "surrogate"}));
     const SearchSpace space = toySpace();
     EXPECT_DEATH(search::runSearch(space, "frobnicate",
                                    search::StrategyOptions(),
@@ -462,6 +508,106 @@ TEST(Strategies, DifferentSeedsChangeTheSampledWalk)
     // ...but the walks themselves differ (an identical sequence for
     // different seeds would mean the seed is ignored).
     EXPECT_NE(trace_a, trace_b);
+}
+
+namespace {
+
+/** 4^4 synthetic space - big enough for multi-generation runs. */
+SearchSpace
+bigSpace()
+{
+    SearchSpace space("big");
+    space.knob("a", {"a0", "a1", "a2", "a3"})
+        .knob("b", {"b0", "b1", "b2", "b3"})
+        .knob("c", {"c0", "c1", "c2", "c3"})
+        .knob("d", {"d0", "d1", "d2", "d3"});
+    return space;
+}
+
+/** Distinct smooth objective over bigSpace (surrogate-learnable). */
+search::BatchPricer
+bigPricer()
+{
+    return [](const std::vector<Point> &pts,
+              const std::function<void(std::size_t,
+                                       const Objectives &)> &hook) {
+        std::vector<Objectives> out(pts.size());
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            const Point &p = pts[i];
+            out[i] = obj(1e9 * (1.0 + 0.4 * p[0] + 0.1 * p[3]),
+                         1e-9 * (1.0 + 0.2 * p[1] + 0.05 * p[0] +
+                                 0.01 * p[2]),
+                         50.0 + 1.5 * p[2] + 0.3 * p[0] + 0.1 * p[3]);
+            if (hook)
+                hook(i, out[i]);
+        }
+        return out;
+    };
+}
+
+} // namespace
+
+TEST(Strategies, SurrogateEvaluatesOnlyTheTopFraction)
+{
+    const SearchSpace space = bigSpace(); // 256 points
+    search::StrategyOptions opts;
+    opts.seed = 7;
+    opts.budget = 24;
+    opts.population = 8;       // bootstrap sample
+    opts.surrogate_pool = 64;  // candidates generated per generation
+    opts.surrogate_fraction = 0.125; // 8 evaluations per generation
+    const search::SearchResult r = search::runSearch(
+        space, "surrogate", opts, bigPricer(), Point{0, 0, 0, 0});
+    // Budget fully spent: 8 bootstrap + 2 generations x 8.
+    EXPECT_EQ(r.evaluated, 25u); // + the reference point
+    EXPECT_EQ(r.model_fits, 2u);
+    // 8 bootstrap + 2 x 64 pool candidates generated...
+    EXPECT_EQ(r.generated, 136u);
+    // ...so the engine priced well under the ISSUE's 25% ceiling.
+    EXPECT_GE(r.generated, r.evaluated - 1);
+    EXPECT_LE(static_cast<double>(r.evaluated - 1),
+              0.25 * static_cast<double>(r.generated));
+}
+
+TEST(Strategies, EvolveReportsGenerationTelemetry)
+{
+    const SearchSpace space = bigSpace();
+    search::StrategyOptions opts;
+    opts.seed = 7;
+    opts.budget = 24;
+    opts.population = 8;
+    const search::SearchResult r = search::runSearch(
+        space, "evolve", opts, bigPricer(), Point{0, 0, 0, 0});
+    EXPECT_EQ(r.evaluated, 25u);
+    EXPECT_EQ(r.model_fits, 0u); // evolve fits no model
+    // Every breeding attempt counts as generated, so the stream is
+    // at least as large as what was priced (dupes/invalid cost
+    // attempts without earning evaluations).
+    EXPECT_GE(r.generated, r.evaluated - 1);
+    for (const ParetoEntry &e : r.frontier)
+        EXPECT_FALSE(search::dominates(e.obj, r.best.obj));
+}
+
+TEST(Strategies, LargeScaleStrategiesTerminateOnTinySpaces)
+{
+    // Budget far beyond the 24-point toy space: both strategies must
+    // stop on their own once nothing fresh is left to generate,
+    // never spinning or re-pricing a point.
+    const SearchSpace space = toySpace();
+    search::StrategyOptions opts;
+    opts.seed = 3;
+    opts.budget = 1000;
+    opts.population = 4;
+    opts.surrogate_pool = 8;
+    opts.surrogate_fraction = 0.5;
+    for (const char *name : {"evolve", "surrogate"}) {
+        const search::SearchResult r = search::runSearch(
+            space, name, opts, toyPricer(), Point{0, 0, 0});
+        EXPECT_LE(r.evaluated, space.cardinality() + 1) << name;
+        EXPECT_GE(r.evaluated, 2u) << name;
+        for (const ParetoEntry &e : r.frontier)
+            EXPECT_FALSE(search::dominates(e.obj, r.best.obj));
+    }
 }
 
 // ---------------------------------------------------------------------------

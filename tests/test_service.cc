@@ -24,6 +24,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -443,8 +444,8 @@ TEST(ServiceParity, SearchMatchesInProcessBytes)
         search::coreBaselinePoint(space));
 
     EXPECT_EQ(daemon_doc,
-              search::searchResultJson(space, "random", kSeed,
-                                       kBudget, result)
+              search::searchResultJson(space, "random", sopts,
+                                       result)
                   .dump());
     server->stop();
 }
@@ -846,6 +847,102 @@ TEST(ServiceShards, StaleTmpDebrisIsSweptOnLoad)
     EXPECT_EQ(cold.cache().loadShards(dir), entries);
     EXPECT_FALSE(std::filesystem::exists(stale))
         << "stale tmp files must be swept at load";
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ServiceShards, DuplicateStreamKeysDedupeLastWriterWins)
+{
+    // A hand-merged snapshot (or a pre-shard file replayed over a
+    // live cache) can carry the same key twice.  The loader must
+    // keep the last occurrence, count each distinct key once, and
+    // report the overwrites through the `replaced` out-param.
+    engine::EvalOptions eopts;
+    eopts.threads = 2;
+    engine::Evaluator warm(eopts);
+    warm.bestForAll(Technology::m3dIso(), CoreStructures::all());
+    engine::EvalKey okey;
+    okey.hi = 0x123456789abcdef0ull;
+    okey.lo = 0x0fedcba987654321ull;
+    warm.cache().storeObjective(okey, {3.1e9, 2.5e-9, 71.5});
+    const std::size_t entries = warm.cache().partitionEntries() +
+                                warm.cache().objectiveEntries();
+    ASSERT_GT(warm.cache().partitionEntries(), 0u);
+
+    std::stringstream snap;
+    ASSERT_EQ(warm.cache().savePartitions(snap), entries);
+
+    // Every entry duplicated back to back: one load, each key once.
+    engine::EvalCache dup;
+    std::stringstream doubled(snap.str() + snap.str());
+    bool header_ok = false;
+    std::size_t replaced = 0;
+    EXPECT_EQ(dup.loadPartitions(doubled, &header_ok, &replaced),
+              entries);
+    EXPECT_TRUE(header_ok);
+    EXPECT_EQ(replaced, entries);
+    EXPECT_EQ(dup.partitionEntries() + dup.objectiveEntries(),
+              entries);
+
+    // Replaying the snapshot over the warm cache loads nothing new
+    // and flags every key as an overwrite.
+    std::stringstream again(snap.str());
+    replaced = 0;
+    EXPECT_EQ(dup.loadPartitions(again, &header_ok, &replaced), 0u);
+    EXPECT_EQ(replaced, entries);
+    EXPECT_EQ(dup.partitionEntries() + dup.objectiveEntries(),
+              entries);
+
+    // The surviving copy is intact (bit-exact hex round trip).
+    engine::ObjectiveRecord rec;
+    ASSERT_TRUE(dup.lookupObjective(okey, &rec));
+    EXPECT_EQ(rec.frequency, 3.1e9);
+    EXPECT_EQ(rec.epi, 2.5e-9);
+    EXPECT_EQ(rec.peak_c, 71.5);
+}
+
+TEST(ServiceShards, DuplicateKeysAcrossShardFilesLoadOnce)
+{
+    const std::string dir = scratchName("_dir");
+    std::filesystem::remove_all(dir);
+
+    engine::EvalOptions eopts;
+    eopts.threads = 2;
+    engine::Evaluator warm(eopts);
+    warm.bestForAll(Technology::m3dIso(), CoreStructures::all());
+    const std::size_t entries = warm.cache().partitionEntries();
+    ASSERT_EQ(warm.cache().saveShards(dir), entries);
+
+    // Hand-merge: append one populated shard's lines onto another
+    // shard file, so those keys appear in two files.
+    std::string victim, other;
+    for (int shard = 0; shard < 16; ++shard) {
+        const std::string path =
+            dir + "/" + engine::EvalCache::shardFileName(shard);
+        std::error_code ec;
+        if (std::filesystem::file_size(path, ec) <= 64 || ec)
+            continue;
+        if (victim.empty())
+            victim = path;
+        else if (other.empty())
+            other = path;
+    }
+    ASSERT_FALSE(victim.empty());
+    ASSERT_FALSE(other.empty());
+    {
+        std::ifstream in(victim);
+        std::string line;
+        std::getline(in, line); // skip the header line
+        std::ofstream out(other, std::ios::app);
+        while (std::getline(in, line))
+            out << line << "\n";
+    }
+
+    // Entries land in the shard their key selects regardless of the
+    // carrying file, so the duplicates collapse: distinct count in,
+    // distinct count stored.
+    engine::Evaluator cold(eopts);
+    EXPECT_EQ(cold.cache().loadShards(dir), entries);
+    EXPECT_EQ(cold.cache().partitionEntries(), entries);
     std::filesystem::remove_all(dir);
 }
 

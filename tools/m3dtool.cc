@@ -204,8 +204,12 @@ checkDaemonMode(const std::string &mode)
 
 /**
  * Decide whether to route through a daemon: probe the socket under
- * `auto` and `require`, fall back silently under `auto`, and fail
- * loudly under `require` when nothing answers.
+ * `auto` and `require`, fall back under `auto`, and fail loudly
+ * under `require` when nothing answers.  Under `auto`, a socket file
+ * that exists but refuses the probe is the debris of a daemon that
+ * died without cleanup (kill -9): warn, remove it, and continue
+ * in-process rather than leaving the corpse to confuse every later
+ * probe.
  */
 bool
 useDaemon(const std::string &mode, const std::string &socket)
@@ -218,6 +222,18 @@ useDaemon(const std::string &mode, const std::string &socket)
         M3D_FATAL("no m3dd daemon answers on '", socket,
                   "' (--daemon require; start one with `m3dtool "
                   "serve` or use --daemon auto)");
+    std::error_code ec;
+    if (std::filesystem::exists(socket, ec)) {
+        M3D_WARN("socket '", socket,
+                 "' exists but no daemon answers (stale socket from "
+                 "a killed daemon); removing it and continuing "
+                 "in-process");
+        std::filesystem::remove(socket, ec);
+        if (ec) {
+            M3D_WARN("could not remove stale socket '", socket,
+                     "': ", ec.message());
+        }
+    }
     return false;
 }
 
@@ -632,6 +648,10 @@ cmdSearch(const std::vector<std::string> &args)
     std::uint64_t budget = 16;
     std::uint64_t instructions = 60000;
     int thermal_grid = 32;
+    std::uint64_t population = 16;
+    std::uint64_t surrogate_pool = 256;
+    double surrogate_fraction = 0.125;
+    double surrogate_ridge = 1e-3;
     std::string json_path;
     std::string cache_file;
     std::string daemon_mode = "auto";
@@ -641,7 +661,9 @@ cmdSearch(const std::vector<std::string> &args)
         "Multi-objective design-space search: frequency up, "
         "energy/instruction and peak temperature down, every point "
         "priced through the evaluation engine.");
-    parser.positional("strategy", "grid, random, climb, or anneal")
+    parser.positional("strategy",
+                      "grid, random, climb, anneal, evolve, or "
+                      "surrogate")
         .flag("seed", &seed, "random seed (fixed seed = fixed result)")
         .flag("budget", &budget,
               "points to price, excluding the 2D reference")
@@ -652,6 +674,16 @@ cmdSearch(const std::vector<std::string> &args)
               "measured instruction count per application run")
         .flag("thermal-grid", &thermal_grid,
               "thermal solver grid resolution per side")
+        .flag("population", &population,
+              "evolve/surrogate: population (and surrogate bootstrap "
+              "sample) size")
+        .flag("surrogate-pool", &surrogate_pool,
+              "surrogate: candidates generated per generation")
+        .flag("surrogate-fraction", &surrogate_fraction,
+              "surrogate: top model-ranked fraction of each pool "
+              "that is actually evaluated")
+        .flag("surrogate-ridge", &surrogate_ridge,
+              "surrogate: ridge regularization of the model fit")
         .flag("json", &json_path,
               "write the result as m3d-search JSON to this file")
         .flag("cache-file", &cache_file,
@@ -669,8 +701,11 @@ cmdSearch(const std::vector<std::string> &args)
             search::strategyNames();
         if (std::find(names.begin(), names.end(), strategy) ==
             names.end()) {
-            M3D_FATAL("unknown strategy '", strategy,
-                      "' (try grid, random, climb, or anneal)");
+            std::string known;
+            for (const std::string &n : names)
+                known += (known.empty() ? "" : ", ") + n;
+            M3D_FATAL("unknown strategy '", strategy, "' (try ",
+                      known, ")");
         }
     }
 
@@ -692,6 +727,16 @@ cmdSearch(const std::vector<std::string> &args)
         req.set("thermal_grid",
                 report::Json::number(
                     static_cast<double>(thermal_grid)));
+        req.set("population",
+                report::Json::number(
+                    static_cast<double>(population)));
+        req.set("surrogate_pool",
+                report::Json::number(
+                    static_cast<double>(surrogate_pool)));
+        req.set("surrogate_fraction",
+                report::Json::number(surrogate_fraction));
+        req.set("surrogate_ridge",
+                report::Json::number(surrogate_ridge));
         report::Json resp;
         if (!client.callChecked(req, &resp, &err))
             M3D_FATAL("daemon search failed: ", err);
@@ -716,6 +761,10 @@ cmdSearch(const std::vector<std::string> &args)
     search::StrategyOptions sopts;
     sopts.seed = seed;
     sopts.budget = budget;
+    sopts.population = population;
+    sopts.surrogate_pool = surrogate_pool;
+    sopts.surrogate_fraction = surrogate_fraction;
+    sopts.surrogate_ridge = surrogate_ridge;
     const search::SearchResult result = search::runSearch(
         space, strategy, sopts,
         search::enginePricer(space, objectives),
@@ -727,8 +776,8 @@ cmdSearch(const std::vector<std::string> &args)
     // One document builder (search/search_json.hh) and one renderer
     // serve both this path and the daemon path; see renderSearchDoc.
     renderSearchDoc(space,
-                    search::searchResultJson(space, strategy, seed,
-                                             budget, result),
+                    search::searchResultJson(space, strategy, sopts,
+                                             result),
                     json_path);
     return 0;
 }

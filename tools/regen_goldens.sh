@@ -18,9 +18,9 @@ trap 'rm -rf "$tmp"' EXIT
 
 mkdir -p "$root/goldens"
 
-run() {
-    local name=$1
-    shift
+run_level() {
+    local name=$1 bench=$2
+    shift 2
     # The provenance note skips --cache-file: the cache only changes
     # speed, never the emission, and its path is machine-specific.
     local note="$name" skip=0
@@ -30,9 +30,15 @@ run() {
         note="$note $a"
     done
     echo "== $name $*"
-    "$build/bench/$name" "$@" --json "$tmp/$name.json" > /dev/null
+    "$build/bench/$bench" "$@" --json "$tmp/$name.json" > /dev/null
     "$build/tools/check_golden" "$tmp/$name.json" \
         "$root/goldens/$name.json" --bless --command "$note"
+}
+
+run() {
+    local name=$1
+    shift
+    run_level "$name" "$name" "$@"
 }
 
 run table1_via_overhead
@@ -67,5 +73,13 @@ run fig10_energy_multi --jobs 8 --instructions 60000 \
     --cache-file "$tmp/fig10.m3d_cache"
 run pareto_frontier --jobs 8 --instructions 60000 --budget 48 \
     --cache-file "$tmp/pareto.m3d_cache"
+
+# The >=10^4-candidate surrogate level (bench/CMakeLists.txt
+# pareto_frontier_dse); same binary, its own golden.
+run_level pareto_frontier_dse pareto_frontier \
+    --strategy surrogate --jobs 8 --seed 7 --instructions 20000 \
+    --thermal-grid 16 --budget 1324 --population 64 \
+    --surrogate-pool 672 --surrogate-fraction 0.125 \
+    --cache-file "$tmp/pareto_dse.m3d_cache"
 
 echo "goldens regenerated under $root/goldens"

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Wall-clock benchmark of Monte-Carlo population pricing: the
+ * src/variation batched path (every non-empty bin x application in
+ * ONE design-major Evaluator::submit(), so the replay kernel streams
+ * each trace once against all binned clocks) vs a sequential pricer
+ * that submits one run at a time, plus a warm rerun that measures the
+ * engine cache's leverage on a repeated population.  Emits
+ * BENCH_variation.json (hand-built JSON, not an m3d-report emission:
+ * wall time is machine-dependent, so this file is exempt from the
+ * golden harness like perf_search / perf_thermal).
+ *
+ * Both pricers route through the same engine, so their per-bin
+ * throughput and energy numbers must match exactly - this bench
+ * cross-checks that and exits nonzero on any mismatch.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/evaluator.hh"
+#include "report/json.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+#include "variation/binning.hh"
+
+using namespace m3d;
+
+namespace {
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * The naive pricer: the same bins as variation::binPopulation, but
+ * one Evaluator::submit() per (bin, application) run - no cross-run
+ * batching for the SIMD replay kernel to exploit.
+ */
+variation::VariationOutcome
+binSequential(engine::Evaluator &ev, const CoreDesign &design,
+              const variation::VariationConfig &cfg,
+              const std::vector<WorkloadProfile> &apps)
+{
+    // The same histogram reduction as binPopulation (fixed edges
+    // around the nominal clock, scrap below, fast dies clamped into
+    // the top bin) - rebuilt here so the sequential pass never
+    // touches the batched path or warms its own cache first.
+    variation::VariationOutcome out;
+    out.nominal_hz = design.frequency;
+    out.dies = cfg.dies;
+    out.die_hz = variation::dieFrequencies(design, cfg);
+    const double lo = out.nominal_hz * (1.0 - cfg.span_lo);
+    const double hi = out.nominal_hz * (1.0 + cfg.span_hi);
+    const double step = (hi - lo) / static_cast<double>(cfg.bins);
+    out.bins.resize(static_cast<std::size_t>(cfg.bins));
+    for (int b = 0; b < cfg.bins; ++b) {
+        out.bins[static_cast<std::size_t>(b)].lo_hz =
+            lo + step * static_cast<double>(b);
+        out.bins[static_cast<std::size_t>(b)].hi_hz =
+            lo + step * static_cast<double>(b + 1);
+    }
+    for (const double f : out.die_hz) {
+        if (f < lo) {
+            ++out.scrap;
+            continue;
+        }
+        const int b = std::min(static_cast<int>((f - lo) / step),
+                               cfg.bins - 1);
+        ++out.bins[static_cast<std::size_t>(b)].count;
+    }
+    for (variation::FrequencyBin &bin : out.bins)
+        bin.yield = variation::yieldAt(out, bin.lo_hz);
+
+    // Price every non-empty bin one run at a time.
+    for (variation::FrequencyBin &bin : out.bins) {
+        if (bin.count == 0)
+            continue;
+        CoreDesign binned = design;
+        binned.frequency = bin.lo_hz;
+        double instructions = 0.0, seconds = 0.0, energy = 0.0;
+        for (const WorkloadProfile &app : apps) {
+            engine::BatchRunRequest breq;
+            RunRequest rr;
+            rr.kind = RunKind::Single;
+            rr.design = binned;
+            rr.app = app;
+            rr.budget = ev.options().budget;
+            rr.path = ev.options().trace_path;
+            breq.runs.push_back(std::move(rr));
+            const engine::BatchRunResult bres = ev.submit(breq);
+            const AppRun &r = bres.runs[0].single;
+            instructions += static_cast<double>(r.sim.instructions);
+            seconds += r.seconds;
+            energy += r.energyJ();
+        }
+        bin.bips = instructions / seconds / 1e9;
+        bin.epi_j = energy / instructions;
+    }
+    for (const variation::FrequencyBin &bin : out.bins) {
+        out.expected_bips += bin.bips *
+                             static_cast<double>(bin.count) /
+                             static_cast<double>(out.dies);
+    }
+    return out;
+}
+
+bool
+sameOutcome(const variation::VariationOutcome &a,
+            const variation::VariationOutcome &b)
+{
+    if (a.scrap != b.scrap || a.bins.size() != b.bins.size() ||
+        a.expected_bips != b.expected_bips)
+        return false;
+    for (std::size_t i = 0; i < a.bins.size(); ++i) {
+        if (a.bins[i].count != b.bins[i].count ||
+            a.bins[i].bips != b.bins[i].bips ||
+            a.bins[i].epi_j != b.bins[i].epi_j)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int jobs = 8;
+    std::uint64_t instructions = 20000;
+    std::uint64_t seed = 7;
+    int dies = 64;
+    int bins = 6;
+    std::string json_path = "BENCH_variation.json";
+    cli::Parser parser("perf_variation",
+                       "Population pricing wall clock: one batched "
+                       "submit vs sequential per-run submits.");
+    parser.flag("jobs", &jobs,
+                "worker threads; 0 means all hardware threads")
+        .flag("instructions", &instructions,
+              "measured instruction count per application run")
+        .flag("seed", &seed, "population seed")
+        .flag("dies", &dies, "virtual dies to draw")
+        .flag("bins", &bins, "frequency histogram bins")
+        .flag("json", &json_path, "write results to this file");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    const int hw =
+        static_cast<int>(std::thread::hardware_concurrency());
+
+    variation::VariationConfig vcfg;
+    vcfg.seed = seed;
+    vcfg.dies = dies;
+    vcfg.bins = bins;
+    const std::vector<WorkloadProfile> apps = {
+        WorkloadLibrary::byName("Gcc"), WorkloadLibrary::byName("Mcf"),
+        WorkloadLibrary::byName("Gamess")};
+
+    engine::EvalOptions opts;
+    opts.threads = jobs;
+    opts.budget.measured = instructions;
+
+    engine::Evaluator batched_ev(opts);
+    const DesignFactory factory = engine::designFactory(batched_ev);
+    const CoreDesign design = factory.m3dHet();
+
+    // The trace registry is process-global: whichever pricer runs
+    // first would pay trace generation for everyone.  Warm it on a
+    // throwaway evaluator so both timed passes measure pricing, not
+    // generation.
+    {
+        engine::Evaluator scratch(opts);
+        (void)variation::binPopulation(scratch, design, vcfg, apps);
+    }
+
+    const double t0 = nowMs();
+    const variation::VariationOutcome batched =
+        variation::binPopulation(batched_ev, design, vcfg, apps);
+    const double batched_ms = nowMs() - t0;
+
+    // Fresh evaluator: the sequential pricer must not inherit the
+    // batched pass's run cache.
+    engine::Evaluator seq_ev(opts);
+    const double t1 = nowMs();
+    const variation::VariationOutcome sequential =
+        binSequential(seq_ev, design, vcfg, apps);
+    const double seq_ms = nowMs() - t1;
+
+    // Same evaluator again: every run now hits the engine cache.
+    const double t2 = nowMs();
+    const variation::VariationOutcome warm =
+        variation::binPopulation(batched_ev, design, vcfg, apps);
+    const double warm_ms = nowMs() - t2;
+
+    const bool identical = sameOutcome(batched, sequential) &&
+                           sameOutcome(batched, warm);
+    const double speedup =
+        batched_ms > 0.0 ? seq_ms / batched_ms : 0.0;
+    int priced_bins = 0;
+    for (const variation::FrequencyBin &b : batched.bins) {
+        if (b.count > 0)
+            ++priced_bins;
+    }
+
+    Table t("Population pricing wall clock (" +
+            std::to_string(dies) + " dies, " +
+            std::to_string(priced_bins) + " priced bins x " +
+            std::to_string(apps.size()) + " apps)");
+    t.header({"Pass", "Wall (ms)"});
+    t.row({"batched (one submit)", Table::num(batched_ms, 1)});
+    t.row({"sequential (per-run submits)", Table::num(seq_ms, 1)});
+    t.row({"batched warm rerun", Table::num(warm_ms, 1)});
+    t.print(std::cout);
+    std::cout << "Batched vs sequential vs warm results identical: "
+              << (identical ? "yes" : "NO") << "\n"
+              << "Batched speedup over sequential: "
+              << Table::num(speedup, 2) << "x\n";
+
+    report::Json results = report::Json::object();
+    results.set("batched_ms", report::Json::number(batched_ms));
+    results.set("sequential_ms", report::Json::number(seq_ms));
+    results.set("warm_ms", report::Json::number(warm_ms));
+    results.set("speedup", report::Json::number(speedup));
+    results.set("priced_bins", report::Json::number(priced_bins));
+    results.set("expected_bips",
+                report::Json::number(batched.expected_bips));
+    results.set("results_identical",
+                report::Json::boolean(identical));
+
+    report::Json doc = report::Json::object();
+    doc.set("kind", report::Json::string("m3d-bench"));
+    doc.set("version", report::Json::number(1));
+    doc.set("bench", report::Json::string("perf_variation"));
+    report::Json cfg = report::Json::object();
+    cfg.set("jobs", report::Json::number(jobs));
+    cfg.set("instructions", report::Json::number(
+                                static_cast<double>(instructions)));
+    cfg.set("dies", report::Json::number(dies));
+    cfg.set("bins", report::Json::number(bins));
+    cfg.set("seed", report::Json::number(
+                        static_cast<double>(seed)));
+    cfg.set("hardware_threads", report::Json::number(hw));
+    doc.set("config", std::move(cfg));
+    doc.set("results", std::move(results));
+
+    std::ofstream out(json_path);
+    if (!out.is_open()) {
+        std::cerr << "perf_variation: cannot write '" << json_path
+                  << "'\n";
+        return 1;
+    }
+    doc.write(out);
+    std::cout << "\nWrote " << json_path << " (hardware threads: "
+              << hw << ")\n";
+    return identical ? 0 : 1;
+}

@@ -9,7 +9,8 @@
 #    and both large-scale strategies (evolve, surrogate); same
 #    contract.  The surrogate run also checks that a warm daemon
 #    cache never changes the emission ("the cache accelerates, never
-#    steers").
+#    steers").  The Monte-Carlo variation binning gets the same
+#    daemon-vs-in-process byte-identity check.
 # 4. A second daemon on the same cache dir must fail fast.
 # 5. client stats answers; client stop shuts the daemon down and a
 #    follow-up ping must fail.
@@ -115,6 +116,35 @@ check_search(random)
 check_search(evolve)
 check_search(surrogate)
 
+# --- Variation byte-identity ---------------------------------------------
+# The Monte-Carlo binning must also be invisible to the daemon: the
+# population is drawn from a counter-based RNG, so the rendered
+# histogram and yield curve are byte-identical either way.
+set(variation_args variation m3d-het --seed 7 --dies 32 --bins 6
+    --instructions 20000 --jobs 2)
+execute_process(
+    COMMAND ${TOOL} ${variation_args} --daemon require
+            --socket m3dd.sock
+    WORKING_DIRECTORY ${OUT_DIR}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE daemon_variation
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    die("daemon variation failed:\n${daemon_variation}${err}")
+endif()
+execute_process(
+    COMMAND ${TOOL} ${variation_args} --daemon off
+    WORKING_DIRECTORY ${OUT_DIR}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE local_variation
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    die("in-process variation failed:\n${local_variation}${err}")
+endif()
+if(NOT daemon_variation STREQUAL local_variation)
+    die("daemon variation output differs from in-process output.\n"
+        "--- daemon ---\n${daemon_variation}\n"
+        "--- in-process ---\n${local_variation}")
+endif()
+
 # --- One daemon per cache dir --------------------------------------------
 execute_process(
     COMMAND ${TOOL} serve --detach --socket other.sock
@@ -181,6 +211,6 @@ if(EXISTS ${OUT_DIR}/stale.sock)
 endif()
 
 message(STATUS
-    "service smoke: daemon-vs-in-process sweep and search (random/"
-    "evolve/surrogate) byte-identical; lock, stats, shutdown, and "
-    "stale-socket cleanup behave")
+    "service smoke: daemon-vs-in-process sweep, search (random/"
+    "evolve/surrogate), and variation byte-identical; lock, stats, "
+    "shutdown, and stale-socket cleanup behave")

@@ -1,6 +1,7 @@
 #include "arch/multicore.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "arch/directory.hh"
 

@@ -6,9 +6,14 @@
 
 namespace m3d {
 
+namespace {
+
+/** Shared minimum-reduction scan; `reduction` prices one structure. */
 FrequencyDerivation
-deriveFrequency(const std::vector<PartitionResult> &results,
-                FrequencyPolicy policy, double base_frequency)
+scanFrequency(const std::vector<PartitionResult> &results,
+              FrequencyPolicy policy, double base_frequency,
+              const std::function<double(const PartitionResult &)>
+                  &reduction)
 {
     M3D_ASSERT(!results.empty());
     const std::vector<std::string> aggressive_set = {"IQ", "RF"};
@@ -25,7 +30,7 @@ deriveFrequency(const std::vector<PartitionResult> &results,
             if (!critical)
                 continue;
         }
-        const double red = r.latencyReduction();
+        const double red = reduction(r);
         if (!found || red < out.min_reduction) {
             out.min_reduction = red;
             out.limiting_structure = r.cfg.name;
@@ -40,6 +45,42 @@ deriveFrequency(const std::vector<PartitionResult> &results,
     const double effective = std::max(out.min_reduction, 0.0);
     out.frequency = base_frequency / (1.0 - effective);
     return out;
+}
+
+} // namespace
+
+FrequencyDerivation
+deriveFrequency(const std::vector<PartitionResult> &results,
+                FrequencyPolicy policy, double base_frequency)
+{
+    return scanFrequency(results, policy, base_frequency,
+                         [](const PartitionResult &r) {
+                             return r.latencyReduction();
+                         });
+}
+
+FrequencyDerivation
+deriveFrequencyDerated(const std::vector<PartitionResult> &results,
+                       FrequencyPolicy policy,
+                       const DelayDerate &derate,
+                       double base_frequency)
+{
+    M3D_ASSERT(static_cast<bool>(derate),
+               "deriveFrequencyDerated needs a derate callback");
+    return scanFrequency(
+        results, policy, base_frequency,
+        [&derate](const PartitionResult &r) {
+            const double factor = derate(r);
+            M3D_ASSERT(factor > 0.0,
+                       "delay derate must be positive");
+            // factor == 1.0 must reproduce the nominal arithmetic
+            // exactly: (planar - stacked) / planar and
+            // 1 - stacked/planar can differ in the last ulp.
+            if (factor == 1.0)
+                return r.latencyReduction();
+            return 1.0 - (r.stacked.access_latency * factor) /
+                             r.planar.access_latency;
+        });
 }
 
 } // namespace m3d

@@ -18,6 +18,7 @@
 #ifndef M3D_CORE_FREQUENCY_HH_
 #define M3D_CORE_FREQUENCY_HH_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,28 @@ FrequencyDerivation
 deriveFrequency(const std::vector<PartitionResult> &results,
                 FrequencyPolicy policy,
                 double base_frequency=kBaseFrequency);
+
+/**
+ * Per-structure multiplier on the *stacked* access latency - the hook
+ * the variation layer uses to model per-die process spread.  Must
+ * return a positive factor; 1.0 leaves the structure at its nominal
+ * delay.
+ */
+using DelayDerate = std::function<double(const PartitionResult &)>;
+
+/**
+ * deriveFrequency with each structure's stacked access latency scaled
+ * by `derate(r)` before the minimum-reduction scan.  A derate that
+ * returns exactly 1.0 for a structure reproduces deriveFrequency's
+ * arithmetic for it bit-for-bit (the nominal reduction is reused
+ * rather than recomputed), so an all-unity derate yields the same
+ * FrequencyDerivation as the underived path.
+ */
+FrequencyDerivation
+deriveFrequencyDerated(const std::vector<PartitionResult> &results,
+                       FrequencyPolicy policy,
+                       const DelayDerate &derate,
+                       double base_frequency=kBaseFrequency);
 
 } // namespace m3d
 

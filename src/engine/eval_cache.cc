@@ -156,7 +156,7 @@ writeObjectiveEntry(std::ostream &out, const EvalKey &key,
 {
     out << kObjectiveTag << ' ' << key.str() << ' '
         << doubleHex(r.frequency) << ' ' << doubleHex(r.epi) << ' '
-        << doubleHex(r.peak_c) << '\n';
+        << doubleHex(r.peak_c) << ' ' << doubleHex(r.yield) << '\n';
 }
 
 bool
@@ -168,9 +168,17 @@ parseObjectiveEntry(const std::string &line, EvalKey *key,
     if (!(ls >> tag >> key_text >> f >> epi >> peak) ||
         tag != kObjectiveTag)
         return false;
-    return EvalKey::parse(key_text, key) &&
-           hexDouble(f, &r->frequency) && hexDouble(epi, &r->epi) &&
-           hexDouble(peak, &r->peak_c);
+    if (!EvalKey::parse(key_text, key) ||
+        !hexDouble(f, &r->frequency) || !hexDouble(epi, &r->epi) ||
+        !hexDouble(peak, &r->peak_c))
+        return false;
+    // The yield axis was appended later; a legacy three-field line
+    // loads with the neutral yield of 1.0.
+    std::string yield;
+    r->yield = 1.0;
+    if (ls >> yield && !hexDouble(yield, &r->yield))
+        return false;
+    return true;
 }
 
 bool

@@ -83,16 +83,21 @@ struct CacheStats
 };
 
 /**
- * A persisted objective vector: the search layer's three priced
- * axes, keyed by the design digest.  Lives here (not in src/search)
- * so the cache can persist it without an upward dependency; the
- * search layer converts to/from its Objectives struct.
+ * A persisted objective vector: the search layer's priced axes,
+ * keyed by the design digest.  Lives here (not in src/search) so the
+ * cache can persist it without an upward dependency; the search
+ * layer converts to/from its Objectives struct.  `yield` (yield@f,
+ * in [0, 1]) was appended after the first three axes; legacy
+ * three-field cache lines load with the neutral 1.0, and old readers
+ * ignore the extra trailing token, so the families interoperate in
+ * both directions.
  */
 struct ObjectiveRecord
 {
     double frequency = 0.0;
     double epi = 0.0;
     double peak_c = 0.0;
+    double yield = 1.0;
 };
 
 /** Shared, thread-safe result store. */

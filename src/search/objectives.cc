@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "core/frequency.hh"
 #include "power/power_model.hh"
 #include "thermal/thermal_model.hh"
 #include "util/logging.hh"
+#include "variation/model.hh"
 
 namespace m3d {
 namespace search {
@@ -31,19 +33,24 @@ bool
 dominates(const Objectives &a, const Objectives &b)
 {
     if (a.frequency < b.frequency || a.epi > b.epi ||
-        a.peak_c > b.peak_c)
+        a.peak_c > b.peak_c || a.yield < b.yield)
         return false;
     return a.frequency > b.frequency || a.epi < b.epi ||
-           a.peak_c < b.peak_c;
+           a.peak_c < b.peak_c || a.yield > b.yield;
 }
 
 bool
 dominatesBeyond(const Objectives &a, const Objectives &b,
                 const Margins &m)
 {
+    // Yield uses a no-worse-within-margin rule rather than a
+    // must-beat rule: a frontier claim is refuted by a challenger
+    // that wins the three performance axes without *losing* yield,
+    // and the all-1.0 yield of a yield-off run stays neutral.
     return a.frequency > b.frequency * (1.0 + m.frequency_rel) &&
            a.epi < b.epi * (1.0 - m.epi_rel) &&
-           a.peak_c < b.peak_c - m.peak_abs_c;
+           a.peak_c < b.peak_c - m.peak_abs_c &&
+           a.yield > b.yield - m.yield_abs;
 }
 
 ObjectiveEvaluator::ObjectiveEvaluator(engine::Evaluator &ev,
@@ -54,6 +61,8 @@ ObjectiveEvaluator::ObjectiveEvaluator(engine::Evaluator &ev,
         config_.apps = defaultApps();
     M3D_ASSERT(config_.thermal_grid > 0,
                "thermal grid must be positive");
+    M3D_ASSERT(config_.yield_dies >= 0,
+               "yield dies must be non-negative");
     // Warm-seed the memo from the engine cache's persisted objective
     // family (a --cache-file or the daemon's shared snapshot).  Keys
     // bind the full pricing configuration (design, apps, budget,
@@ -62,8 +71,8 @@ ObjectiveEvaluator::ObjectiveEvaluator(engine::Evaluator &ev,
     ev_.cache().forEachObjective(
         [this](const engine::EvalKey &key,
                const engine::ObjectiveRecord &r) {
-            memo_.emplace(key,
-                          Objectives{r.frequency, r.epi, r.peak_c});
+            memo_.emplace(key, Objectives{r.frequency, r.epi,
+                                          r.peak_c, r.yield});
             ++stats_.warm_entries;
         });
 }
@@ -77,6 +86,14 @@ ObjectiveEvaluator::designKey(const CoreDesign &design) const
         engine::hashWorkloadProfile(kb, app);
     engine::hashSimBudget(kb, ev_.options().budget);
     kb.add(config_.thermal_grid);
+    // Yield knobs join the key only when the axis is on, so yield-off
+    // runs keep the exact pre-yield keys and stay interoperable with
+    // every existing cache file and daemon snapshot.
+    if (config_.yield_dies > 0) {
+        kb.add(config_.yield_dies);
+        kb.add(config_.yield_frequency);
+        kb.add(config_.yield_seed);
+    }
     return kb.key();
 }
 
@@ -113,6 +130,18 @@ ObjectiveEvaluator::compute(const CoreDesign &design,
         obj.peak_c = std::max(obj.peak_c, th.peak_c);
     M3D_ASSERT(instructions > 0.0, "empty simulation result");
     obj.epi = energy_j / instructions;
+
+    if (config_.yield_dies > 0) {
+        // Pure counter-based arithmetic over the variation model: no
+        // engine work, bit-identical at any thread count.
+        variation::VariationConfig vcfg;
+        vcfg.seed = config_.yield_seed;
+        vcfg.dies = config_.yield_dies;
+        const double target = config_.yield_frequency > 0.0
+            ? config_.yield_frequency
+            : kBaseFrequency;
+        obj.yield = variation::yieldAtFrequency(design, vcfg, target);
+    }
     return obj;
 }
 
@@ -200,7 +229,8 @@ ObjectiveEvaluator::evaluateBatch(
     for (const std::size_t i : missing) {
         ev_.cache().storeObjective(
             designKey(designs[i]),
-            {out[i].frequency, out[i].epi, out[i].peak_c});
+            {out[i].frequency, out[i].epi, out[i].peak_c,
+             out[i].yield});
     }
     return out;
 }

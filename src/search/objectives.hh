@@ -11,6 +11,12 @@
  *  - peak steady-state temperature (deg C, minimize) - the Figure 8
  *    thermal solve on the design's folded floorplan.
  *
+ * A fourth, optional axis prices manufacturability: yield@f, the
+ * fraction of a Monte-Carlo die population (src/variation) meeting a
+ * target clock.  It is off by default (every point carries the
+ * neutral 1.0, leaving all dominance relations and cache keys
+ * untouched) and switched on per run via ObjectiveConfig::yield_dies.
+ *
  * Dominance is the standard weak Pareto relation.  The golden bench
  * additionally needs a *margin* dominance ("is the paper's M3D-Het
  * beaten by more than tolerance on every axis?") so that a frontier
@@ -49,10 +55,18 @@ struct Objectives
     double epi = 0.0;       ///< J per instruction; lower is better
     double peak_c = 0.0;    ///< deg C; lower is better
 
+    /**
+     * Yield@f (fraction of manufactured dies meeting the target
+     * clock, higher is better), from the src/variation Monte-Carlo
+     * model.  Defaults to the neutral 1.0 so yield-off searches and
+     * every pre-yield golden keep their exact dominance structure.
+     */
+    double yield = 1.0;
+
     bool operator==(const Objectives &o) const
     {
         return frequency == o.frequency && epi == o.epi &&
-               peak_c == o.peak_c;
+               peak_c == o.peak_c && yield == o.yield;
     }
     bool operator!=(const Objectives &o) const
     {
@@ -69,6 +83,7 @@ struct Margins
     double frequency_rel = 0.01; ///< relative, on frequency
     double epi_rel = 0.01;       ///< relative, on energy/instruction
     double peak_abs_c = 0.5;     ///< absolute deg C, on temperature
+    double yield_abs = 0.02;     ///< absolute, on yield@f
 };
 
 /**
@@ -92,6 +107,24 @@ struct ObjectiveConfig
 
     /** Thermal grid resolution per side (Figure 8 uses 32). */
     int thermal_grid = 32;
+
+    /**
+     * Monte-Carlo dies behind the yield@f axis; 0 (the default)
+     * turns the axis off - every point prices at the neutral yield
+     * of 1.0 and the memo keys are exactly the pre-yield keys, so a
+     * yield-off run reuses (and refreshes) existing caches verbatim.
+     */
+    int yield_dies = 0;
+
+    /**
+     * Target clock of the yield axis, in Hz; 0 selects the planar
+     * baseline clock (core/frequency.hh kBaseFrequency) - "what
+     * fraction of dies is at least as fast as the 2D part?".
+     */
+    double yield_frequency = 0.0;
+
+    /** Seed of the yield axis's variation population. */
+    std::uint64_t yield_seed = 7;
 };
 
 /**

@@ -21,7 +21,7 @@ ParetoArchive::insert(const Point &p, const Objectives &obj)
     // policy) would look "non-dominated" and poison the frontier.
     // Reject non-finite vectors outright.
     if (!std::isfinite(obj.frequency) || !std::isfinite(obj.epi) ||
-        !std::isfinite(obj.peak_c))
+        !std::isfinite(obj.peak_c) || !std::isfinite(obj.yield))
         return false;
     std::lock_guard<std::mutex> lock(mutex_);
     for (const ParetoEntry &e : entries_) {
@@ -69,6 +69,8 @@ ParetoArchive::frontier() const
                       return a.obj.epi < b.obj.epi;
                   if (a.obj.peak_c != b.obj.peak_c)
                       return a.obj.peak_c < b.obj.peak_c;
+                  if (a.obj.yield != b.obj.yield)
+                      return a.obj.yield > b.obj.yield;
                   return pointLess(a.point, b.point);
               });
     return out;

@@ -14,17 +14,19 @@ searchEntryJson(const SearchSpace &space, const ParetoEntry &e)
           report::Json::number(e.obj.frequency / 1e9));
     o.set("epi_nj", report::Json::number(e.obj.epi * 1e9));
     o.set("peak_c", report::Json::number(e.obj.peak_c));
+    o.set("yield", report::Json::number(e.obj.yield));
     return o;
 }
 
 report::Json
 searchResultJson(const SearchSpace &space, const std::string &strategy,
                  const StrategyOptions &opts,
-                 const SearchResult &result)
+                 const SearchResult &result,
+                 const ObjectiveConfig &objectives)
 {
     report::Json doc = report::Json::object();
     doc.set("kind", report::Json::string("m3d-search"));
-    doc.set("version", report::Json::number(2));
+    doc.set("version", report::Json::number(3));
     doc.set("strategy", report::Json::string(strategy));
     doc.set("seed",
             report::Json::number(static_cast<double>(opts.seed)));
@@ -40,6 +42,14 @@ searchResultJson(const SearchSpace &space, const std::string &strategy,
             report::Json::number(opts.surrogate_fraction));
     doc.set("surrogate_ridge",
             report::Json::number(opts.surrogate_ridge));
+    doc.set("yield_dies",
+            report::Json::number(
+                static_cast<double>(objectives.yield_dies)));
+    doc.set("yield_f_ghz",
+            report::Json::number(objectives.yield_frequency / 1e9));
+    doc.set("yield_seed",
+            report::Json::number(
+                static_cast<double>(objectives.yield_seed)));
     report::Json sp = report::Json::object();
     sp.set("name", report::Json::string(space.name()));
     sp.set("knobs", report::Json::number(
@@ -63,6 +73,7 @@ searchResultJson(const SearchSpace &space, const std::string &strategy,
     ref.set("epi_nj",
             report::Json::number(result.reference.epi * 1e9));
     ref.set("peak_c", report::Json::number(result.reference.peak_c));
+    ref.set("yield", report::Json::number(result.reference.yield));
     doc.set("reference", std::move(ref));
     report::Json best = searchEntryJson(space, result.best);
     best.set("score", report::Json::number(result.best_score));

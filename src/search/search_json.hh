@@ -36,12 +36,16 @@ report::Json searchEntryJson(const SearchSpace &space,
  * evaluated/generated/model-fit telemetry, the reference objectives,
  * the best scalarized point with its score, and the frontier in
  * canonical order.  Version 2 added the population/surrogate options
- * and the generated/model_fits counters.
+ * and the generated/model_fits counters; version 3 added the yield@f
+ * axis (a "yield" field on every entry and the reference, plus the
+ * yield_dies/yield_f_ghz/yield_seed knobs from `objectives`).
  */
 report::Json searchResultJson(const SearchSpace &space,
                               const std::string &strategy,
                               const StrategyOptions &opts,
-                              const SearchResult &result);
+                              const SearchResult &result,
+                              const ObjectiveConfig &objectives =
+                                  ObjectiveConfig());
 
 } // namespace search
 } // namespace m3d

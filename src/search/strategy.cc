@@ -139,8 +139,12 @@ scalarScore(const Objectives &obj, const Objectives &ref)
     M3D_ASSERT(ref.frequency > 0.0 && ref.epi > 0.0 &&
                    ref.peak_c > 0.0,
                "scalarization reference must be positive");
+    // The yield term is a *difference* (yield can legitimately be
+    // zero, so a ratio would blow up) and vanishes exactly when both
+    // sides carry the neutral yield-off 1.0.
     return obj.frequency / ref.frequency - obj.epi / ref.epi -
-           0.5 * obj.peak_c / ref.peak_c;
+           0.5 * obj.peak_c / ref.peak_c +
+           0.5 * (obj.yield - ref.yield);
 }
 
 double

@@ -20,6 +20,7 @@
 #include "search/strategy.hh"
 #include "sram/array_config.hh"
 #include "util/logging.hh"
+#include "variation/variation_json.hh"
 
 namespace m3d {
 namespace service {
@@ -358,6 +359,7 @@ Server::stats() const
     s.partitions_submitted = partitions_submitted_.load();
     s.drains = drains_.load();
     s.searches = searches_.load();
+    s.variations = variations_.load();
     s.snapshots = snapshots_.load();
     return s;
 }
@@ -608,6 +610,8 @@ Server::handleRequest(const report::Json &req, bool *shutdown)
         return handleSweep(req);
     if (*type == "search")
         return handleSearch(req);
+    if (*type == "variation")
+        return handleVariation(req);
     if (*type == "stats")
         return handleStats();
     if (*type == "save")
@@ -619,7 +623,7 @@ Server::handleRequest(const report::Json &req, bool *shutdown)
     return errorResponse("unknown-type",
                          "unknown request type '" + *type +
                              "' (try ping, eval, sweep, search, "
-                             "stats, save, shutdown)");
+                             "variation, stats, save, shutdown)");
 }
 
 // ---------------------------------------------------------------------
@@ -916,8 +920,14 @@ Server::handleSearch(const report::Json &req)
     getUint(req, "thermal_grid", &thermal_grid);
     getUint(req, "population", &population);
     getUint(req, "surrogate_pool", &surrogate_pool);
+    std::uint64_t yield_dies = 0;
+    double yield_f_ghz = 0.0;
+    std::uint64_t yield_seed = 7;
     getNumber(req, "surrogate_fraction", &surrogate_fraction);
     getNumber(req, "surrogate_ridge", &surrogate_ridge);
+    getUint(req, "yield_dies", &yield_dies);
+    getNumber(req, "yield_f_ghz", &yield_f_ghz);
+    getUint(req, "yield_seed", &yield_seed);
     if (instructions == 0 || thermal_grid == 0 ||
         thermal_grid > 4096)
         return errorResponse("bad-request",
@@ -928,6 +938,11 @@ Server::handleSearch(const report::Json &req)
         return errorResponse("bad-request",
                              "surrogate_fraction must be in (0, 1] "
                              "and surrogate_ridge >= 0");
+    if (yield_dies > 65536 ||
+        !(yield_f_ghz >= 0.0 && yield_f_ghz <= 100.0))
+        return errorResponse("bad-request",
+                             "yield_dies must be <= 65536 and "
+                             "yield_f_ghz in [0, 100]");
 
     // The search prices runs under the *request's* instruction
     // budget, which ObjectiveEvaluator reads from its evaluator's
@@ -948,6 +963,9 @@ Server::handleSearch(const report::Json &req)
     const search::SearchSpace space = search::coreSpace();
     search::ObjectiveConfig ocfg;
     ocfg.thermal_grid = static_cast<int>(thermal_grid);
+    ocfg.yield_dies = static_cast<int>(yield_dies);
+    ocfg.yield_frequency = yield_f_ghz * 1e9;
+    ocfg.yield_seed = yield_seed;
     search::ObjectiveEvaluator objectives(local, ocfg);
 
     search::StrategyOptions sopts;
@@ -976,7 +994,79 @@ Server::handleSearch(const report::Json &req)
 
     report::Json resp = okResponse("search");
     resp.set("result", search::searchResultJson(space, *strategy,
-                                                sopts, result));
+                                                sopts, result,
+                                                ocfg));
+    return resp;
+}
+
+report::Json
+Server::handleVariation(const report::Json &req)
+{
+    const std::string *design_name = getString(req, "design");
+    if (design_name == nullptr)
+        return errorResponse("bad-request",
+                             "variation needs a string 'design'");
+    CoreDesign design;
+    if (!resolveDesign(*design_name, &design))
+        return errorResponse("bad-design",
+                             "unknown design '" + *design_name + "'");
+
+    std::uint64_t seed = 7;
+    std::uint64_t dies = 256;
+    std::uint64_t bins = 8;
+    std::uint64_t instructions = 60000;
+    getUint(req, "seed", &seed);
+    getUint(req, "dies", &dies);
+    getUint(req, "bins", &bins);
+    getUint(req, "instructions", &instructions);
+    if (dies == 0 || dies > 65536 || bins == 0 || bins > 1024 ||
+        instructions == 0)
+        return errorResponse("bad-request",
+                             "dies must be in [1, 65536], bins in "
+                             "[1, 1024], and instructions positive");
+
+    // Like handleSearch: the bins price under the *request's*
+    // instruction budget, so the run goes through a private evaluator
+    // warm-seeded with the shared partition cache and merged back
+    // afterwards.
+    engine::EvalOptions eopts;
+    eopts.threads = options_.threads;
+    eopts.budget.measured = instructions;
+    engine::Evaluator local(eopts);
+    {
+        std::stringstream warm;
+        ev_->cache().savePartitions(warm);
+        local.cache().loadPartitions(warm);
+    }
+
+    variation::VariationConfig vcfg;
+    vcfg.seed = seed;
+    vcfg.dies = static_cast<int>(dies);
+    vcfg.bins = static_cast<int>(bins);
+    const std::vector<WorkloadProfile> apps = {
+        WorkloadLibrary::byName("Gcc"), WorkloadLibrary::byName("Mcf"),
+        WorkloadLibrary::byName("Gamess")};
+    variation::VariationOutcome outcome;
+    try {
+        outcome = variation::binPopulation(local, design, vcfg, apps);
+    } catch (const std::exception &e) {
+        return errorResponse("variation-failed", e.what());
+    }
+    variations_.fetch_add(1);
+
+    {
+        std::stringstream merge;
+        local.cache().savePartitions(merge);
+        ev_->cache().loadPartitions(merge);
+    }
+
+    std::vector<std::string> app_names;
+    for (const WorkloadProfile &a : apps)
+        app_names.push_back(a.name);
+    report::Json resp = okResponse("variation");
+    resp.set("result",
+             variation::variationResultJson(*design_name, vcfg,
+                                            app_names, outcome));
     return resp;
 }
 
@@ -1000,6 +1090,7 @@ Server::handleStats()
     server.set("partitions_submitted", num(s.partitions_submitted));
     server.set("drains", num(s.drains));
     server.set("searches", num(s.searches));
+    server.set("variations", num(s.variations));
     server.set("snapshots", num(s.snapshots));
 
     report::Json cache = report::Json::object();

@@ -110,9 +110,10 @@ struct ServerStats
     std::uint64_t partitions_coalesced = 0;
     std::uint64_t partitions_submitted = 0;
 
-    std::uint64_t drains = 0;    ///< drain cycles that submitted work
-    std::uint64_t searches = 0;  ///< search requests served
-    std::uint64_t snapshots = 0; ///< sharded saves completed
+    std::uint64_t drains = 0;     ///< drain cycles that submitted work
+    std::uint64_t searches = 0;   ///< search requests served
+    std::uint64_t variations = 0; ///< variation requests served
+    std::uint64_t snapshots = 0;  ///< sharded saves completed
 };
 
 /** The m3dd daemon; see file comment. */
@@ -180,6 +181,7 @@ class Server
     report::Json handleEval(const report::Json &req);
     report::Json handleSweep(const report::Json &req);
     report::Json handleSearch(const report::Json &req);
+    report::Json handleVariation(const report::Json &req);
     report::Json handleStats();
     report::Json handleSave();
 
@@ -248,6 +250,7 @@ class Server
     std::atomic<std::uint64_t> partitions_submitted_{0};
     std::atomic<std::uint64_t> drains_{0};
     std::atomic<std::uint64_t> searches_{0};
+    std::atomic<std::uint64_t> variations_{0};
     std::atomic<std::uint64_t> snapshots_{0};
 
     std::thread accept_thread_;

@@ -1,5 +1,7 @@
 #include "util/cli.hh"
 
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -88,27 +90,35 @@ Parser::assign(const Flag &f, const std::string &text,
         *static_cast<std::string *>(f.target) = text;
         return true;
       case Kind::Int: {
+        // errno is the only way strtol reports overflow ("9e99"-style
+        // garbage already fails the end-pointer check, but
+        // "99999999999999999999" saturates silently without it).
+        errno = 0;
         const long v = std::strtol(s, &end, 10);
-        if (end == s || *end != '\0') {
-            *err = "expects an integer";
+        if (end == s || *end != '\0' || errno == ERANGE ||
+            v < INT_MIN || v > INT_MAX) {
+            *err = "expects an integer in int range";
             return false;
         }
         *static_cast<int *>(f.target) = static_cast<int>(v);
         return true;
       }
       case Kind::Uint64: {
+        errno = 0;
         const unsigned long long v = std::strtoull(s, &end, 10);
-        if (end == s || *end != '\0' || text[0] == '-') {
-            *err = "expects a non-negative integer";
+        if (end == s || *end != '\0' || text[0] == '-' ||
+            errno == ERANGE) {
+            *err = "expects a non-negative 64-bit integer";
             return false;
         }
         *static_cast<std::uint64_t *>(f.target) = v;
         return true;
       }
       case Kind::Double: {
+        errno = 0;
         const double v = std::strtod(s, &end);
-        if (end == s || *end != '\0') {
-            *err = "expects a number";
+        if (end == s || *end != '\0' || errno == ERANGE) {
+            *err = "expects a finite number";
             return false;
         }
         *static_cast<double *>(f.target) = v;

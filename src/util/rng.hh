@@ -2,25 +2,53 @@
  * @file
  * Deterministic random number generation for reproducible simulation.
  *
- * Every simulated entity that needs randomness owns its own Rng seeded
- * from (experiment seed, entity id), so results are independent of the
- * order in which entities are evaluated.
+ * Two flavors share one splitmix64 mixing core:
+ *
+ *  - Rng: a sequential stream.  Every simulated entity that needs
+ *    randomness owns its own Rng seeded from (experiment seed, entity
+ *    id), so results are independent of the order in which entities
+ *    are evaluated.  All six search strategies draw from exactly one
+ *    Rng(seed) in a fixed order (search/strategy.cc).
+ *  - CounterRng: a stateless counter-based source.  A fixed
+ *    (seed, coordinates..., draw index) tuple always yields the same
+ *    sample with no stream to advance, so consumers that fan samples
+ *    across threads (the variation model's per-die, per-tier,
+ *    per-structure draws) are independent of evaluation order and
+ *    thread count by construction.
  */
 
 #ifndef M3D_UTIL_RNG_HH_
 #define M3D_UTIL_RNG_HH_
 
 #include <cstdint>
-#include <random>
 
 namespace m3d {
+
+/** The splitmix64 sequence increment (the 64-bit golden ratio). */
+constexpr std::uint64_t kSplitmixGamma = 0x9e3779b97f4a7c15ull;
+
+/** The splitmix64 output mix: a bijective 64-bit finalizer. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Map a raw 64-bit value onto [0, 1) with 53 random bits. */
+constexpr double
+unitDouble(std::uint64_t raw)
+{
+    return static_cast<double>(raw >> 11) * 0x1.0p-53;
+}
 
 /** A small, fast, reproducible random source (xoshiro-style splitmix). */
 class Rng
 {
   public:
     /** Construct from a 64-bit seed. */
-    explicit Rng(std::uint64_t seed=0x9e3779b97f4a7c15ull) : state_(seed)
+    explicit Rng(std::uint64_t seed=kSplitmixGamma) : state_(seed)
     {
         // Warm the state so nearby seeds diverge immediately.
         next();
@@ -38,17 +66,14 @@ class Rng
     std::uint64_t
     next()
     {
-        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
-        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-        return z ^ (z >> 31);
+        return splitmix64(state_ += kSplitmixGamma);
     }
 
     /** Uniform double in [0, 1). */
     double
     uniform()
     {
-        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+        return unitDouble(next());
     }
 
     /** Uniform integer in [0, bound). @pre bound > 0. */
@@ -80,6 +105,71 @@ class Rng
 
   private:
     std::uint64_t state_;
+};
+
+/**
+ * Hash a (seed, a, b, c) coordinate tuple into one well-mixed 64-bit
+ * value.  Each coordinate is absorbed through a full splitmix64 round,
+ * so tuples that differ in any position (including transposed values)
+ * land in unrelated points of the output space.
+ */
+constexpr std::uint64_t
+counterHash(std::uint64_t seed, std::uint64_t a=0, std::uint64_t b=0,
+            std::uint64_t c=0)
+{
+    std::uint64_t h = splitmix64(seed + kSplitmixGamma);
+    h = splitmix64(h + a * kSplitmixGamma);
+    h = splitmix64(h + b * kSplitmixGamma);
+    h = splitmix64(h + c * kSplitmixGamma);
+    return h;
+}
+
+/**
+ * Stateless counter-based random source: a pure function of
+ * (seed, coordinates, draw index).  Unlike Rng there is no stream to
+ * advance, so any subset of draws can be taken in any order - or on
+ * any thread - and a fixed tuple always yields the same sample.
+ *
+ * gauss() is a 12-fold Irwin-Hall sum (sum of 12 uniforms minus 6):
+ * a standard-normal approximation exact to +-6 sigma support that
+ * uses only IEEE additions and multiplies - no libm calls - so the
+ * samples are bit-identical across toolchains and platforms.
+ */
+class CounterRng
+{
+  public:
+    explicit CounterRng(std::uint64_t seed, std::uint64_t a=0,
+                        std::uint64_t b=0, std::uint64_t c=0)
+        : base_(counterHash(seed, a, b, c))
+    {
+    }
+
+    /** Raw 64-bit value of draw index `n`. */
+    std::uint64_t
+    raw(std::uint64_t n) const
+    {
+        return splitmix64(base_ + n * kSplitmixGamma);
+    }
+
+    /** Uniform double in [0, 1) of draw index `n`. */
+    double
+    uniform(std::uint64_t n) const
+    {
+        return unitDouble(raw(n));
+    }
+
+    /** Approximately standard-normal draw of index `n`. */
+    double
+    gauss(std::uint64_t n) const
+    {
+        double sum = 0.0;
+        for (std::uint64_t k = 0; k < 12; ++k)
+            sum += uniform(n * 12 + k);
+        return sum - 6.0;
+    }
+
+  private:
+    std::uint64_t base_;
 };
 
 } // namespace m3d

@@ -1,0 +1,121 @@
+#include "variation/binning.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace m3d {
+namespace variation {
+
+double
+yieldAt(const VariationOutcome &outcome, double frequency_hz)
+{
+    if (outcome.die_hz.empty())
+        return 0.0;
+    std::size_t good = 0;
+    for (const double f : outcome.die_hz) {
+        if (f >= frequency_hz)
+            ++good;
+    }
+    return static_cast<double>(good) /
+           static_cast<double>(outcome.die_hz.size());
+}
+
+VariationOutcome
+binPopulation(engine::Evaluator &ev, const CoreDesign &design,
+              const VariationConfig &cfg,
+              const std::vector<WorkloadProfile> &apps)
+{
+    M3D_ASSERT(cfg.dies > 0 && cfg.bins > 0,
+               "need at least one die and one bin");
+    M3D_ASSERT(!apps.empty(), "need at least one application");
+
+    VariationOutcome out;
+    out.nominal_hz = design.frequency;
+    out.dies = cfg.dies;
+    out.die_hz = dieFrequencies(design, cfg);
+
+    double sum = 0.0;
+    for (const double f : out.die_hz)
+        sum += f;
+    out.mean_hz = sum / static_cast<double>(cfg.dies);
+    double var = 0.0;
+    for (const double f : out.die_hz)
+        var += (f - out.mean_hz) * (f - out.mean_hz);
+    out.sigma_hz = std::sqrt(var / static_cast<double>(cfg.dies));
+
+    // Fixed edges around the nominal clock: deterministic for a
+    // given (design, config), independent of the drawn population.
+    const double lo = out.nominal_hz * (1.0 - cfg.span_lo);
+    const double hi = out.nominal_hz * (1.0 + cfg.span_hi);
+    const double step =
+        (hi - lo) / static_cast<double>(cfg.bins);
+    out.bins.resize(static_cast<std::size_t>(cfg.bins));
+    for (int b = 0; b < cfg.bins; ++b) {
+        out.bins[static_cast<std::size_t>(b)].lo_hz =
+            lo + step * static_cast<double>(b);
+        out.bins[static_cast<std::size_t>(b)].hi_hz =
+            lo + step * static_cast<double>(b + 1);
+    }
+    for (const double f : out.die_hz) {
+        if (f < lo) {
+            ++out.scrap; // below the lowest guaranteed clock
+            continue;
+        }
+        int b = static_cast<int>((f - lo) / step);
+        b = std::min(b, cfg.bins - 1); // clamp fast dies into the top
+        ++out.bins[static_cast<std::size_t>(b)].count;
+    }
+    for (FrequencyBin &bin : out.bins)
+        bin.yield = yieldAt(out, bin.lo_hz);
+
+    // Price every non-empty bin at its shipped (lower-edge) clock in
+    // one design-major batch: submit() regroups the runs app-major,
+    // so the batched replay kernel streams each trace once against
+    // all binned clocks.
+    std::vector<std::size_t> priced;
+    engine::BatchRunRequest breq;
+    for (std::size_t b = 0; b < out.bins.size(); ++b) {
+        if (out.bins[b].count == 0)
+            continue;
+        priced.push_back(b);
+        CoreDesign binned = design;
+        binned.frequency = out.bins[b].lo_hz;
+        for (const WorkloadProfile &app : apps) {
+            RunRequest rr;
+            rr.kind = RunKind::Single;
+            rr.design = binned;
+            rr.app = app;
+            rr.budget = ev.options().budget;
+            rr.path = ev.options().trace_path;
+            breq.runs.push_back(std::move(rr));
+        }
+    }
+    if (!priced.empty()) {
+        const engine::BatchRunResult bres = ev.submit(breq);
+        for (std::size_t m = 0; m < priced.size(); ++m) {
+            FrequencyBin &bin = out.bins[priced[m]];
+            double instructions = 0.0, seconds = 0.0, energy = 0.0;
+            for (std::size_t a = 0; a < apps.size(); ++a) {
+                const AppRun &r =
+                    bres.runs[m * apps.size() + a].single;
+                instructions +=
+                    static_cast<double>(r.sim.instructions);
+                seconds += r.seconds;
+                energy += r.energyJ();
+            }
+            bin.bips = instructions / seconds / 1e9;
+            bin.epi_j = energy / instructions;
+        }
+    }
+
+    for (const FrequencyBin &bin : out.bins) {
+        out.expected_bips += bin.bips *
+                             static_cast<double>(bin.count) /
+                             static_cast<double>(cfg.dies);
+    }
+    return out;
+}
+
+} // namespace variation
+} // namespace m3d

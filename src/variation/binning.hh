@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Monte-Carlo frequency binning: one design into a priced population.
+ *
+ * binPopulation() draws N virtual dies from the variation model,
+ * derives each die's clock through the core frequency derivation,
+ * reduces the population to a deterministic frequency-bin histogram
+ * (fixed edges around the nominal clock, shipped clock = each bin's
+ * lower edge, like real speed binning), and prices every non-empty
+ * bin's performance through ONE design-major Evaluator::submit()
+ * batch - the SIMD replay kernel streams each application trace once
+ * against all binned clocks, so the population costs barely more than
+ * a single design.
+ *
+ * Everything upstream of the pricing is pure arithmetic over
+ * counter-based samples, so the histogram, yield curve, and bin
+ * pricing are byte-identical at any --jobs, cache temperature, and
+ * daemon-vs-in-process.
+ */
+
+#ifndef M3D_VARIATION_BINNING_HH_
+#define M3D_VARIATION_BINNING_HH_
+
+#include <vector>
+
+#include "engine/evaluator.hh"
+#include "variation/model.hh"
+
+namespace m3d {
+namespace variation {
+
+/** One frequency bin [lo_hz, hi_hz) of the population histogram. */
+struct FrequencyBin
+{
+    double lo_hz = 0.0;      ///< lower edge = the shipped clock
+    double hi_hz = 0.0;      ///< upper edge (top bin clamps above)
+    int count = 0;           ///< dies binned here
+    double yield = 0.0;      ///< fraction of dies at >= lo_hz
+    double bips = 0.0;       ///< priced throughput at the shipped clock
+    double epi_j = 0.0;      ///< energy per instruction (J) at it
+};
+
+/** A binned, priced population of one design. */
+struct VariationOutcome
+{
+    double nominal_hz = 0.0;      ///< the design's nominal clock
+    int dies = 0;                 ///< population size
+    int scrap = 0;                ///< dies below the lowest edge
+    double mean_hz = 0.0;         ///< population mean clock
+    double sigma_hz = 0.0;        ///< population standard deviation
+    std::vector<double> die_hz;   ///< per-die clocks, die order
+    std::vector<FrequencyBin> bins; ///< ascending lower edge
+
+    /** Yield-weighted shipped throughput (scrap contributes zero). */
+    double expected_bips = 0.0;
+};
+
+/** Fraction of the population at or above `frequency_hz`. */
+double yieldAt(const VariationOutcome &outcome, double frequency_hz);
+
+/**
+ * Draw, bin, and price one design's population; see the file
+ * comment.  `apps` must be non-empty; each bin's throughput and
+ * energy-per-instruction aggregate over all of them.
+ */
+VariationOutcome
+binPopulation(engine::Evaluator &ev, const CoreDesign &design,
+              const VariationConfig &cfg,
+              const std::vector<WorkloadProfile> &apps);
+
+} // namespace variation
+} // namespace m3d
+
+#endif // M3D_VARIATION_BINNING_HH_

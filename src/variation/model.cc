@@ -1,0 +1,137 @@
+#include "variation/model.hh"
+
+#include <algorithm>
+
+#include "sram/array_config.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace m3d {
+namespace variation {
+
+std::uint64_t
+structureId(const std::string &name)
+{
+    // FNV-1a, forced odd so the id never collides with the reserved
+    // systematic stream (coordinate 0).
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h | 1;
+}
+
+double
+tierSigmaScale(const VariationConfig &cfg, Integration integration,
+               int tier)
+{
+    if (tier == 0)
+        return 1.0;
+    return integration == Integration::M3D ? cfg.m3d_top_scale : 1.0;
+}
+
+double
+delayFactor(const VariationConfig &cfg, Integration integration,
+            int die, int tier, const std::string &structure)
+{
+    const double scale = tierSigmaScale(cfg, integration, tier);
+    const std::uint64_t d = static_cast<std::uint64_t>(die) + 1;
+    const std::uint64_t t = static_cast<std::uint64_t>(tier) + 1;
+    const CounterRng sys(cfg.seed, d, t, 0);
+    const CounterRng rnd(cfg.seed, d, t, structureId(structure));
+    const double factor =
+        (1.0 + cfg.sigma_sys * scale * sys.gauss(0)) *
+        (1.0 + cfg.sigma_rand * scale * rnd.gauss(0));
+    return std::max(factor, 0.5);
+}
+
+FrequencyPolicy
+inferFrequencyPolicy(const CoreDesign &design)
+{
+    if (design.partitions.empty())
+        return FrequencyPolicy::Conservative;
+    std::vector<PartitionResult> results;
+    results.reserve(design.partitions.size());
+    for (const auto &[name, r] : design.partitions)
+        results.push_back(r);
+    const FrequencyDerivation cons =
+        deriveFrequency(results, FrequencyPolicy::Conservative);
+    if (cons.frequency == design.frequency)
+        return FrequencyPolicy::Conservative;
+    const FrequencyDerivation agg =
+        deriveFrequency(results, FrequencyPolicy::Aggressive);
+    if (agg.frequency == design.frequency)
+        return FrequencyPolicy::Aggressive;
+    return FrequencyPolicy::Conservative;
+}
+
+double
+dieFrequency(const CoreDesign &design, const VariationConfig &cfg,
+             int die)
+{
+    M3D_ASSERT(die >= 0 && die < cfg.dies, "die out of range");
+    const Integration integration = design.tech.integration;
+
+    if (design.partitions.empty()) {
+        // Planar die: every structure sits on tier 0; the cycle
+        // follows the worst-hit timing-critical array.
+        double crit = 0.0;
+        for (const ArrayConfig &c : CoreStructures::all()) {
+            crit = std::max(crit, delayFactor(cfg, integration, die,
+                                              0, c.name));
+        }
+        return design.frequency / crit;
+    }
+
+    std::vector<PartitionResult> results;
+    results.reserve(design.partitions.size());
+    for (const auto &[name, r] : design.partitions)
+        results.push_back(r);
+    const FrequencyPolicy policy = inferFrequencyPolicy(design);
+    const FrequencyDerivation nominal =
+        deriveFrequency(results, policy);
+    const FrequencyDerivation derated = deriveFrequencyDerated(
+        results, policy,
+        [&](const PartitionResult &r) {
+            const double w = std::clamp(r.spec.bottom_share, 0.0, 1.0);
+            const double m0 =
+                delayFactor(cfg, integration, die, 0, r.cfg.name);
+            const double m1 =
+                delayFactor(cfg, integration, die, 1, r.cfg.name);
+            return w * m0 + (1.0 - w) * m1;
+        });
+    // Scale the design's own nominal clock by the derated-to-nominal
+    // ratio so clocks fixed outside the derivation (naive hetero,
+    // width variants) spread around their actual value.  An all-unity
+    // derate makes the ratio exactly 1.0.
+    return design.frequency * (derated.frequency / nominal.frequency);
+}
+
+std::vector<double>
+dieFrequencies(const CoreDesign &design, const VariationConfig &cfg)
+{
+    M3D_ASSERT(cfg.dies > 0, "need at least one die");
+    std::vector<double> out;
+    out.reserve(static_cast<std::size_t>(cfg.dies));
+    for (int d = 0; d < cfg.dies; ++d)
+        out.push_back(dieFrequency(design, cfg, d));
+    return out;
+}
+
+double
+yieldAtFrequency(const CoreDesign &design, const VariationConfig &cfg,
+                 double frequency_hz)
+{
+    const std::vector<double> dies = dieFrequencies(design, cfg);
+    std::size_t good = 0;
+    for (const double f : dies) {
+        if (f >= frequency_hz)
+            ++good;
+    }
+    return static_cast<double>(good) /
+           static_cast<double>(dies.size());
+}
+
+} // namespace variation
+} // namespace m3d

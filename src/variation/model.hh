@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Inter-tier process variation model (ROADMAP item 2).
+ *
+ * The paper treats the top-tier transistor slowdown as one uniform
+ * constant (~17%); the M3D-NoC literature (Musavvir et al.) shows the
+ * production constraint is really a *distribution*: a systematic
+ * per-tier shift plus random per-structure noise, with sequentially
+ * integrated (monolithic) top tiers varying measurably more than the
+ * bottom tier they are grown over, while TSV-stacked dies - processed
+ * independently and bonded - keep planar-grade spread on both tiers.
+ *
+ * The model draws one delay multiplier per (virtual die, tier,
+ * structure):
+ *
+ *   factor = (1 + sigma_sys[tier]  * G(die, tier))
+ *          * (1 + sigma_rand[tier] * G(die, tier, structure))
+ *
+ * where G are approximately standard-normal draws from a *counter
+ * based* RNG (util/rng.hh CounterRng): a fixed (seed, die, tier,
+ * structure) tuple always yields the same sample, independent of the
+ * order dies are evaluated in or the number of worker threads, and
+ * without any libm call - so populations are bit-identical across
+ * jobs, cache temperature, daemon-vs-in-process, and toolchains.
+ *
+ * A structure partitioned across both tiers blends the two tier
+ * factors by its bottom share; a planar (2D) design sees only tier 0.
+ */
+
+#ifndef M3D_VARIATION_MODEL_HH_
+#define M3D_VARIATION_MODEL_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/design.hh"
+
+namespace m3d {
+namespace variation {
+
+/** Knobs of one variation experiment. */
+struct VariationConfig
+{
+    /** Experiment seed (fixed seed = fixed population). */
+    std::uint64_t seed = 7;
+
+    /** Virtual dies to draw. */
+    int dies = 256;
+
+    /** Frequency histogram bins between the span edges. */
+    int bins = 8;
+
+    /** Systematic per-(die, tier) delay sigma on the bottom tier. */
+    double sigma_sys = 0.016;
+
+    /** Random per-structure delay sigma on the bottom tier. */
+    double sigma_rand = 0.008;
+
+    /**
+     * Top-tier sigma multiplier for sequentially integrated
+     * (monolithic) stacks; TSV stacks keep 1.0 - both dies are
+     * processed as ordinary planar wafers before bonding.
+     */
+    double m3d_top_scale = 2.0;
+
+    /**
+     * Histogram span around the nominal clock: bin edges run from
+     * nominal * (1 - span_lo) to nominal * (1 + span_hi).  Dies below
+     * the lowest edge are scrap; dies above the highest edge clamp
+     * into the top bin.
+     */
+    double span_lo = 0.12;
+    double span_hi = 0.04;
+};
+
+/** Stable nonzero id of a structure name (FNV-1a, forced odd). */
+std::uint64_t structureId(const std::string &name);
+
+/** Sigma multiplier of `tier` (0 = bottom) for a design's stack. */
+double tierSigmaScale(const VariationConfig &cfg,
+                      Integration integration, int tier);
+
+/**
+ * The delay multiplier of one (die, tier, structure) sample; always
+ * positive (clamped at 0.5).  Pure function of its arguments.
+ */
+double delayFactor(const VariationConfig &cfg,
+                   Integration integration, int die, int tier,
+                   const std::string &structure);
+
+/**
+ * Frequency policy a design's nominal clock was derived under,
+ * recovered from its partition results: Aggressive iff the aggressive
+ * derivation reproduces `design.frequency` exactly and the
+ * conservative one does not; Conservative otherwise (including every
+ * planar design and clocks fixed by fiat, e.g. the naive hetero
+ * design's scaled clock).
+ */
+FrequencyPolicy inferFrequencyPolicy(const CoreDesign &design);
+
+/**
+ * The derived clock of virtual die `die` for `design`, in Hz.
+ *
+ * Stacked designs re-run the core frequency derivation
+ * (core/frequency.hh deriveFrequencyDerated) with each structure's
+ * stacked latency scaled by its blended tier factors, then scale the
+ * design's nominal clock by the derated-to-nominal ratio - so clocks
+ * fixed outside the derivation (naive hetero, width variants) spread
+ * around their own nominal value.  Planar designs divide the nominal
+ * clock by the worst tier-0 structure factor.  A config with all
+ * sigmas zero returns design.frequency exactly for every die.
+ */
+double dieFrequency(const CoreDesign &design,
+                    const VariationConfig &cfg, int die);
+
+/** All dies' clocks in die order; see dieFrequency. */
+std::vector<double> dieFrequencies(const CoreDesign &design,
+                                   const VariationConfig &cfg);
+
+/**
+ * Fraction of dies in [0, 1] whose clock meets `frequency_hz` - the
+ * yield@f axis.  Pure math over dieFrequencies; no engine work.
+ */
+double yieldAtFrequency(const CoreDesign &design,
+                        const VariationConfig &cfg,
+                        double frequency_hz);
+
+} // namespace variation
+} // namespace m3d
+
+#endif // M3D_VARIATION_MODEL_HH_

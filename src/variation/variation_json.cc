@@ -1,0 +1,70 @@
+#include "variation/variation_json.hh"
+
+namespace m3d {
+namespace variation {
+
+report::Json
+binJson(const VariationOutcome &outcome, const FrequencyBin &bin)
+{
+    report::Json o = report::Json::object();
+    o.set("lo_ghz", report::Json::number(bin.lo_hz / 1e9));
+    o.set("hi_ghz", report::Json::number(bin.hi_hz / 1e9));
+    o.set("shipped_ghz", report::Json::number(bin.lo_hz / 1e9));
+    o.set("count",
+          report::Json::number(static_cast<double>(bin.count)));
+    o.set("share",
+          report::Json::number(static_cast<double>(bin.count) /
+                               static_cast<double>(outcome.dies)));
+    o.set("yield", report::Json::number(bin.yield));
+    o.set("bips", report::Json::number(bin.bips));
+    o.set("epi_nj", report::Json::number(bin.epi_j * 1e9));
+    return o;
+}
+
+report::Json
+variationResultJson(const std::string &design,
+                    const VariationConfig &cfg,
+                    const std::vector<std::string> &apps,
+                    const VariationOutcome &outcome)
+{
+    report::Json doc = report::Json::object();
+    doc.set("kind", report::Json::string("m3d-variation"));
+    doc.set("version", report::Json::number(1));
+    doc.set("design", report::Json::string(design));
+    doc.set("seed",
+            report::Json::number(static_cast<double>(cfg.seed)));
+    doc.set("dies",
+            report::Json::number(static_cast<double>(cfg.dies)));
+    doc.set("bins",
+            report::Json::number(static_cast<double>(cfg.bins)));
+    doc.set("sigma_sys", report::Json::number(cfg.sigma_sys));
+    doc.set("sigma_rand", report::Json::number(cfg.sigma_rand));
+    doc.set("m3d_top_scale",
+            report::Json::number(cfg.m3d_top_scale));
+    report::Json japps = report::Json::array();
+    for (const std::string &a : apps)
+        japps.push(report::Json::string(a));
+    doc.set("apps", std::move(japps));
+    doc.set("nominal_ghz",
+            report::Json::number(outcome.nominal_hz / 1e9));
+    doc.set("mean_ghz",
+            report::Json::number(outcome.mean_hz / 1e9));
+    doc.set("sigma_mhz",
+            report::Json::number(outcome.sigma_hz / 1e6));
+    doc.set("scrap",
+            report::Json::number(static_cast<double>(outcome.scrap)));
+    doc.set("scrap_share",
+            report::Json::number(
+                static_cast<double>(outcome.scrap) /
+                static_cast<double>(outcome.dies)));
+    doc.set("expected_bips",
+            report::Json::number(outcome.expected_bips));
+    report::Json bins = report::Json::array();
+    for (const FrequencyBin &bin : outcome.bins)
+        bins.push(binJson(outcome, bin));
+    doc.set("histogram", std::move(bins));
+    return doc;
+}
+
+} // namespace variation
+} // namespace m3d

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The canonical "m3d-variation" JSON emission of a VariationOutcome.
+ *
+ * Exactly one piece of code builds this document, and both front ends
+ * use it: `m3dtool variation --json` (in-process) and the m3dd
+ * daemon's variation responses (src/service).  As with m3d-search,
+ * that single origin makes the daemon-vs-in-process byte-identity
+ * contract testable at the document level.
+ *
+ * The document deliberately excludes thread counts and wall-clock
+ * times: the emission must be byte-identical at any --jobs, cache
+ * temperature, and daemon-vs-in-process for a fixed (design, config).
+ */
+
+#ifndef M3D_VARIATION_VARIATION_JSON_HH_
+#define M3D_VARIATION_VARIATION_JSON_HH_
+
+#include <string>
+#include <vector>
+
+#include "report/json.hh"
+#include "variation/binning.hh"
+
+namespace m3d {
+namespace variation {
+
+/** One frequency bin as a JSON object. */
+report::Json binJson(const VariationOutcome &outcome,
+                     const FrequencyBin &bin);
+
+/**
+ * The complete versioned m3d-variation document for one binned,
+ * priced population: the design and experiment knobs, the population
+ * moments, the scrap count, and the bins in ascending-edge order with
+ * their shipped clock, yield, and priced throughput/energy.
+ */
+report::Json variationResultJson(const std::string &design,
+                                 const VariationConfig &cfg,
+                                 const std::vector<std::string> &apps,
+                                 const VariationOutcome &outcome);
+
+} // namespace variation
+} // namespace m3d
+
+#endif // M3D_VARIATION_VARIATION_JSON_HH_

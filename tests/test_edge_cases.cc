@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "power/sim_harness.hh"
 #include "sram/explorer.hh"
 #include "thermal/thermal_model.hh"

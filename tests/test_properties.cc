@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "arch/cache.hh"
 #include "logic3d/adder.hh"
 #include "power/sim_harness.hh"

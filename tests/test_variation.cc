@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Unit and determinism tests for the variation subsystem
+ * (src/variation) and the shared seeded-RNG helpers (util/rng.hh).
+ *
+ * Four layers, cheapest first:
+ *  - the splitmix64 core against the published reference vectors,
+ *    plus Rng/CounterRng stream identities - the regression fence for
+ *    the RNG extraction: if the shared helpers ever drift, every
+ *    seeded consumer (search strategies, variation model, trace
+ *    generation) silently re-rolls its populations;
+ *  - the variation model's pure math: zero-sigma exactness, tier
+ *    sigma scaling per integration style, and the paper-facing sigma
+ *    ordering (M3D widest, TSV narrowest);
+ *  - Monte-Carlo binning against engine::Evaluator at a tiny
+ *    instruction budget: histogram accounting, yield monotonicity,
+ *    and bit-identical outcomes across thread counts;
+ *  - the EvalCache objective family's yield field: round trip plus
+ *    legacy three-field lines loading with the neutral 1.0;
+ *  - all six search strategies emitting byte-identical m3d-search
+ *    JSON run-to-run on a closed-form pricer (the satellite
+ *    regression for the RNG refactor).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/design.hh"
+#include "engine/eval_cache.hh"
+#include "engine/evaluator.hh"
+#include "search/search_json.hh"
+#include "search/strategy.hh"
+#include "util/rng.hh"
+#include "variation/binning.hh"
+#include "variation/model.hh"
+#include "workload/profile.hh"
+
+using namespace m3d;
+
+namespace {
+
+// ---------------------------------------------------------------
+// Shared RNG helpers (util/rng.hh).
+// ---------------------------------------------------------------
+
+// Vigna's reference splitmix64 outputs for seed 0: the generator
+// increments by the golden-ratio gamma and then mixes, so the k-th
+// output is splitmix64((k+1) * gamma).
+constexpr std::uint64_t kRef[5] = {
+    0xe220a8397b1dcdafull, 0x6e789e6aa1b965f4ull,
+    0x06c45d188009454full, 0xf88bb8a8724c81ecull,
+    0x1b39896a51a8749bull};
+
+TEST(SharedRng, SplitmixMatchesReferenceVectors)
+{
+    for (std::uint64_t k = 0; k < 5; ++k)
+        EXPECT_EQ(splitmix64((k + 1) * kSplitmixGamma), kRef[k]);
+}
+
+TEST(SharedRng, RngStreamIsTheReferenceSequence)
+{
+    // Rng(0) warms its state with two draws (reference outputs 0 and
+    // 1), so the first observable values are reference outputs 2+.
+    Rng r(0);
+    EXPECT_EQ(r.next(), kRef[2]);
+    EXPECT_EQ(r.next(), kRef[3]);
+    EXPECT_EQ(r.next(), kRef[4]);
+}
+
+TEST(SharedRng, UnitDoubleInHalfOpenRange)
+{
+    EXPECT_EQ(unitDouble(0), 0.0);
+    EXPECT_LT(unitDouble(~0ull), 1.0);
+    EXPECT_GE(unitDouble(kRef[0]), 0.0);
+}
+
+TEST(SharedRng, CounterHashSeparatesCoordinates)
+{
+    const std::uint64_t base = counterHash(7, 1, 2, 3);
+    EXPECT_EQ(counterHash(7, 1, 2, 3), base); // pure function
+    EXPECT_NE(counterHash(8, 1, 2, 3), base);
+    EXPECT_NE(counterHash(7, 2, 1, 3), base); // transposed coords
+    EXPECT_NE(counterHash(7, 1, 2, 4), base);
+}
+
+TEST(SharedRng, CounterRngIsOrderIndependent)
+{
+    CounterRng rng(42, 5, 6);
+    std::vector<double> forward, backward;
+    for (int n = 0; n < 16; ++n)
+        forward.push_back(rng.uniform(static_cast<std::uint64_t>(n)));
+    for (int n = 15; n >= 0; --n)
+        backward.push_back(
+            rng.uniform(static_cast<std::uint64_t>(n)));
+    for (int n = 0; n < 16; ++n)
+        EXPECT_EQ(forward[static_cast<std::size_t>(n)],
+                  backward[static_cast<std::size_t>(15 - n)]);
+}
+
+TEST(SharedRng, GaussMomentsAndSupport)
+{
+    CounterRng rng(3);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gauss(static_cast<std::uint64_t>(i));
+        ASSERT_GE(g, -6.0);
+        ASSERT_LE(g, 6.0);
+        sum += g;
+        sq += g * g;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+// ---------------------------------------------------------------
+// Variation model (pure math, no engine).
+// ---------------------------------------------------------------
+
+variation::VariationConfig
+zeroSigma()
+{
+    variation::VariationConfig cfg;
+    cfg.sigma_sys = 0.0;
+    cfg.sigma_rand = 0.0;
+    return cfg;
+}
+
+TEST(VariationModel, ZeroSigmaReproducesNominalExactly)
+{
+    DesignFactory factory;
+    const variation::VariationConfig cfg = zeroSigma();
+    for (const CoreDesign &d :
+         {factory.base(), factory.tsv3d(), factory.m3dIso(),
+          factory.m3dHetNaive(), factory.m3dHet(),
+          factory.m3dHetAgg()}) {
+        for (int die = 0; die < 4; ++die)
+            EXPECT_DOUBLE_EQ(variation::dieFrequency(d, cfg, die),
+                             d.frequency)
+                << d.name << " die " << die;
+    }
+}
+
+TEST(VariationModel, DelayFactorPureAndClamped)
+{
+    variation::VariationConfig cfg;
+    const double f = variation::delayFactor(cfg, Integration::M3D,
+                                            11, 1, "RF");
+    EXPECT_EQ(variation::delayFactor(cfg, Integration::M3D, 11, 1,
+                                     "RF"),
+              f);
+    // Absurd sigmas still produce a positive multiplier.
+    cfg.sigma_sys = 10.0;
+    cfg.sigma_rand = 10.0;
+    for (int die = 0; die < 32; ++die)
+        EXPECT_GE(variation::delayFactor(cfg, Integration::M3D, die,
+                                         1, "RF"),
+                  0.5);
+}
+
+TEST(VariationModel, MonolithicTopTierWidensOnly)
+{
+    const variation::VariationConfig cfg;
+    EXPECT_EQ(variation::tierSigmaScale(cfg, Integration::M3D, 0),
+              1.0);
+    EXPECT_EQ(variation::tierSigmaScale(cfg, Integration::M3D, 1),
+              cfg.m3d_top_scale);
+    EXPECT_EQ(variation::tierSigmaScale(cfg, Integration::Tsv3D, 1),
+              1.0);
+    EXPECT_EQ(
+        variation::tierSigmaScale(cfg, Integration::Planar2D, 0),
+        1.0);
+}
+
+TEST(VariationModel, SigmaOrderingM3dWidestTsvNarrowest)
+{
+    DesignFactory factory;
+    variation::VariationConfig cfg;
+    cfg.dies = 64;
+    const auto sigma = [&](const CoreDesign &d) {
+        const std::vector<double> f = variation::dieFrequencies(d, cfg);
+        double mean = 0.0;
+        for (const double x : f)
+            mean += x;
+        mean /= static_cast<double>(f.size());
+        double var = 0.0;
+        for (const double x : f)
+            var += (x - mean) * (x - mean);
+        return std::sqrt(var / static_cast<double>(f.size()));
+    };
+    const double s2d = sigma(factory.base());
+    const double stsv = sigma(factory.tsv3d());
+    const double sm3d = sigma(factory.m3dHet());
+    EXPECT_GT(sm3d, s2d);
+    EXPECT_LT(stsv, s2d);
+}
+
+TEST(VariationModel, YieldCurveMonotone)
+{
+    DesignFactory factory;
+    variation::VariationConfig cfg;
+    cfg.dies = 32;
+    const CoreDesign d = factory.m3dHet();
+    EXPECT_EQ(variation::yieldAtFrequency(d, cfg, 0.0), 1.0);
+    double prev = 1.0;
+    for (double f = 0.9 * d.frequency; f <= 1.1 * d.frequency;
+         f += 0.02 * d.frequency) {
+        const double y = variation::yieldAtFrequency(d, cfg, f);
+        EXPECT_LE(y, prev);
+        prev = y;
+    }
+    EXPECT_EQ(variation::yieldAtFrequency(d, cfg, 1e12), 0.0);
+}
+
+// ---------------------------------------------------------------
+// Monte-Carlo binning against the engine.
+// ---------------------------------------------------------------
+
+engine::EvalOptions
+tinyOptions(int threads)
+{
+    engine::EvalOptions opts;
+    opts.threads = threads;
+    opts.budget.measured = 10000;
+    return opts;
+}
+
+std::vector<WorkloadProfile>
+twoApps()
+{
+    return {WorkloadLibrary::byName("Gcc"),
+            WorkloadLibrary::byName("Mcf")};
+}
+
+TEST(VariationBinning, HistogramAccountsForEveryDie)
+{
+    engine::Evaluator ev(tinyOptions(2));
+    DesignFactory factory;
+    variation::VariationConfig cfg;
+    cfg.dies = 48;
+    cfg.bins = 5;
+    const variation::VariationOutcome out = variation::binPopulation(
+        ev, factory.m3dHet(), cfg, twoApps());
+
+    ASSERT_EQ(out.bins.size(), 5u);
+    int binned = 0;
+    double prev_lo = 0.0, prev_yield = 1.0;
+    for (const variation::FrequencyBin &b : out.bins) {
+        binned += b.count;
+        EXPECT_GT(b.lo_hz, prev_lo);     // ascending shipped clocks
+        EXPECT_LE(b.yield, prev_yield);  // yield falls with clock
+        EXPECT_LT(b.lo_hz, b.hi_hz);
+        prev_lo = b.lo_hz;
+        prev_yield = b.yield;
+        if (b.count > 0) {
+            EXPECT_GT(b.bips, 0.0);
+            EXPECT_GT(b.epi_j, 0.0);
+        } else {
+            EXPECT_EQ(b.bips, 0.0);
+            EXPECT_EQ(b.epi_j, 0.0);
+        }
+    }
+    EXPECT_EQ(binned + out.scrap, cfg.dies);
+    EXPECT_EQ(out.die_hz.size(),
+              static_cast<std::size_t>(cfg.dies));
+    EXPECT_GT(out.expected_bips, 0.0);
+    EXPECT_DOUBLE_EQ(out.nominal_hz, factory.m3dHet().frequency);
+}
+
+TEST(VariationBinning, BitIdenticalAcrossThreadCounts)
+{
+    DesignFactory factory;
+    variation::VariationConfig cfg;
+    cfg.dies = 32;
+    cfg.bins = 4;
+    engine::Evaluator serial(tinyOptions(1));
+    engine::Evaluator parallel(tinyOptions(8));
+    const variation::VariationOutcome a = variation::binPopulation(
+        serial, factory.m3dHet(), cfg, twoApps());
+    const variation::VariationOutcome b = variation::binPopulation(
+        parallel, factory.m3dHet(), cfg, twoApps());
+
+    ASSERT_EQ(a.die_hz.size(), b.die_hz.size());
+    for (std::size_t i = 0; i < a.die_hz.size(); ++i)
+        EXPECT_EQ(a.die_hz[i], b.die_hz[i]);
+    EXPECT_EQ(a.scrap, b.scrap);
+    EXPECT_EQ(a.mean_hz, b.mean_hz);
+    EXPECT_EQ(a.sigma_hz, b.sigma_hz);
+    EXPECT_EQ(a.expected_bips, b.expected_bips);
+    ASSERT_EQ(a.bins.size(), b.bins.size());
+    for (std::size_t i = 0; i < a.bins.size(); ++i) {
+        EXPECT_EQ(a.bins[i].count, b.bins[i].count);
+        EXPECT_EQ(a.bins[i].bips, b.bins[i].bips);
+        EXPECT_EQ(a.bins[i].epi_j, b.bins[i].epi_j);
+    }
+}
+
+// ---------------------------------------------------------------
+// EvalCache objective family: the appended yield field.
+// ---------------------------------------------------------------
+
+TEST(VariationCache, ObjectiveYieldRoundTrips)
+{
+    engine::EvalCache cache;
+    const engine::EvalKey key{0x1234567890abcdefull,
+                              0xfedcba0987654321ull};
+    engine::ObjectiveRecord rec;
+    rec.frequency = 3.3e9;
+    rec.epi = 1.5e-9;
+    rec.peak_c = 83.5;
+    rec.yield = 0.625;
+    cache.storeObjective(key, rec);
+
+    std::stringstream buf;
+    cache.savePartitions(buf);
+
+    engine::EvalCache reloaded;
+    bool header_ok = false;
+    reloaded.loadPartitions(buf, &header_ok);
+    EXPECT_TRUE(header_ok);
+    engine::ObjectiveRecord out;
+    ASSERT_TRUE(reloaded.lookupObjective(key, &out));
+    EXPECT_EQ(out.frequency, rec.frequency);
+    EXPECT_EQ(out.epi, rec.epi);
+    EXPECT_EQ(out.peak_c, rec.peak_c);
+    EXPECT_EQ(out.yield, rec.yield);
+}
+
+TEST(VariationCache, LegacyThreeFieldLinesLoadNeutral)
+{
+    engine::EvalCache cache;
+    const engine::EvalKey key{42, 43};
+    engine::ObjectiveRecord rec;
+    rec.frequency = 2.0e9;
+    rec.epi = 2.5e-9;
+    rec.peak_c = 60.0;
+    rec.yield = 0.25;
+    cache.storeObjective(key, rec);
+
+    std::stringstream buf;
+    cache.savePartitions(buf);
+
+    // A pre-yield writer emitted the same line minus the trailing
+    // yield token; strip it to simulate a legacy snapshot.
+    std::stringstream legacy;
+    std::string line;
+    while (std::getline(buf, line)) {
+        if (line.rfind("obj ", 0) == 0)
+            line = line.substr(0, line.find_last_of(' '));
+        legacy << line << '\n';
+    }
+
+    engine::EvalCache reloaded;
+    bool header_ok = false;
+    reloaded.loadPartitions(legacy, &header_ok);
+    EXPECT_TRUE(header_ok);
+    engine::ObjectiveRecord out;
+    ASSERT_TRUE(reloaded.lookupObjective(key, &out));
+    EXPECT_EQ(out.frequency, rec.frequency);
+    EXPECT_EQ(out.peak_c, rec.peak_c);
+    EXPECT_EQ(out.yield, 1.0); // the neutral default
+}
+
+// ---------------------------------------------------------------
+// Search strategies: byte-identical emissions after the RNG
+// extraction (the satellite regression).
+// ---------------------------------------------------------------
+
+search::SearchSpace
+toySpace()
+{
+    search::SearchSpace space("toy");
+    space.knob("a", {"a0", "a1", "a2"})
+        .knob("b", {"b0", "b1"})
+        .knob("c", {"c0", "c1", "c2", "c3"});
+    return space;
+}
+
+search::Objectives
+toyObjectives(const search::Point &p)
+{
+    search::Objectives o;
+    o.frequency = 1e9 * (1.0 + 0.5 * p[0]);
+    o.epi = 1e-9 * (1.0 + 0.3 * p[0] + 0.4 * p[1]);
+    o.peak_c = 50.0 + 2.0 * p[2] + 0.5 * p[0];
+    return o;
+}
+
+search::BatchPricer
+toyPricer()
+{
+    return [](const std::vector<search::Point> &pts,
+              const std::function<void(
+                  std::size_t, const search::Objectives &)> &hook) {
+        std::vector<search::Objectives> out(pts.size());
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            out[i] = toyObjectives(pts[i]);
+            if (hook)
+                hook(i, out[i]);
+        }
+        return out;
+    };
+}
+
+TEST(VariationSearch, AllStrategiesEmitByteIdenticalJson)
+{
+    const search::SearchSpace space = toySpace();
+    const search::Point reference = {0, 0, 0};
+    search::StrategyOptions sopts;
+    sopts.seed = 7;
+    sopts.budget = 12;
+    sopts.population = 4;
+    sopts.surrogate_pool = 16;
+    sopts.surrogate_fraction = 0.25;
+
+    const auto emit = [&](const std::string &strategy) {
+        const search::SearchResult r = search::runSearch(
+            space, strategy, sopts, toyPricer(), reference);
+        std::ostringstream os;
+        search::searchResultJson(space, strategy, sopts, r).write(os);
+        return os.str();
+    };
+
+    for (const std::string &strategy : search::strategyNames()) {
+        const std::string first = emit(strategy);
+        EXPECT_FALSE(first.empty());
+        EXPECT_EQ(first, emit(strategy))
+            << strategy << " re-rolled its seeded stream";
+    }
+}
+
+} // namespace

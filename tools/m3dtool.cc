@@ -13,8 +13,13 @@
  *                                        run one app on one design
  *   m3dtool thermal <app> [--design D]   peak-temperature solve
  *   m3dtool search <strategy> [--seed S] [--budget N] [--jobs N]
- *                  [--json F]            multi-objective design-space
+ *                  [--json F] [--yield-dies N] [--yield-f GHZ]
+ *                                        multi-objective design-space
  *                                        search (src/search)
+ *   m3dtool variation <design> [--seed S] [--dies N] [--bins N]
+ *                  [--jobs N] [--json F] Monte-Carlo frequency
+ *                                        binning and yield@f
+ *                                        (src/variation)
  *   m3dtool trace record <app> --out F [--instructions N] [--seed S]
  *                  [--thread T]          pin a captured trace to disk
  *   m3dtool trace info <file> [--app A]  summarize a recorded trace
@@ -24,10 +29,10 @@
  *   m3dtool client <ping|stats|save|stop> [--socket S]
  *                                        control a running daemon
  *
- * sweep and search accept `--daemon auto|require|off` (default auto):
- * when a daemon listens on --socket, they route through it and render
- * byte-identical output from the wire results; otherwise they fall
- * back to in-process evaluation.
+ * sweep, search, and variation accept `--daemon auto|require|off`
+ * (default auto): when a daemon listens on --socket, they route
+ * through it and render byte-identical output from the wire results;
+ * otherwise they fall back to in-process evaluation.
  *
  * Technologies: m3d-het (default), m3d-iso, tsv3d.
  * Designs: base, tsv3d, m3d-iso, m3d-het-naive, m3d-het, m3d-het-agg.
@@ -60,6 +65,7 @@
 #include "service/server.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
+#include "variation/variation_json.hh"
 #include "power/sim_harness.hh"
 #include "thermal/thermal_model.hh"
 #include "util/table.hh"
@@ -87,15 +93,17 @@ usage()
            "[--instructions N] [--stats]\n"
            "  m3dtool thermal <app> [--design <name>]\n"
            "  m3dtool search <grid|random|climb|anneal> [--seed S] "
-           "[--budget N] [--jobs N] [--json F]\n"
+           "[--budget N] [--jobs N] [--json F] [--yield-dies N]\n"
+           "  m3dtool variation <design> [--seed S] [--dies N] "
+           "[--bins N] [--jobs N] [--json F]\n"
            "  m3dtool trace record <app> --out <file> "
            "[--instructions N] [--seed S] [--thread T]\n"
            "  m3dtool trace info <file> [--app <name>]\n"
            "  m3dtool serve [--socket S] [--cache-dir D] [--jobs N] "
            "[--detach] [--log F]\n"
            "  m3dtool client <ping|stats|save|stop> [--socket S]\n"
-           "(every subcommand accepts --help; sweep/search accept "
-           "--daemon auto|require|off)\n";
+           "(every subcommand accepts --help; sweep/search/variation "
+           "accept --daemon auto|require|off)\n";
     return 2;
 }
 
@@ -607,18 +615,32 @@ renderSearchDoc(const search::SearchSpace &space,
             std::to_string(uintOf(doc, "seed")) + " (" +
             std::to_string(uintOf(doc, "evaluated")) +
             " points priced)");
-    t.header({"Design", "Tech", "Width", "Depth", "f (GHz)",
-              "EPI (nJ)", "Peak (C)"});
+    // The yield column only appears when the yield axis was on -
+    // both render paths read the same document field, so daemon and
+    // in-process output stay byte-identical either way.
+    const report::Json *yield_dies = doc.find("yield_dies");
+    const bool show_yield = yield_dies != nullptr &&
+                            yield_dies->isNumber() &&
+                            yield_dies->asNumber() > 0.0;
+    std::vector<std::string> header = {"Design", "Tech", "Width",
+                                       "Depth", "f (GHz)", "EPI (nJ)",
+                                       "Peak (C)"};
+    if (show_yield)
+        header.push_back("Yield");
+    t.header(header);
     for (const report::Json &e : frontier->elements()) {
         const std::uint64_t index = uintOf(e, "index");
         const search::Point p =
             space.pointAt(static_cast<std::size_t>(index));
-        t.row({"dse-" + std::to_string(index),
-               space.value(p, "tech"), space.value(p, "width"),
-               space.value(p, "depth"),
-               Table::num(numOf(e, "frequency_ghz"), 2),
-               Table::num(numOf(e, "epi_nj"), 3),
-               Table::num(numOf(e, "peak_c"), 1)});
+        std::vector<std::string> row = {
+            "dse-" + std::to_string(index), space.value(p, "tech"),
+            space.value(p, "width"), space.value(p, "depth"),
+            Table::num(numOf(e, "frequency_ghz"), 2),
+            Table::num(numOf(e, "epi_nj"), 3),
+            Table::num(numOf(e, "peak_c"), 1)};
+        if (show_yield)
+            row.push_back(Table::pct(numOf(e, "yield"), 1));
+        t.row(row);
     }
     t.print(std::cout);
     const report::Json *point = best->find("point");
@@ -652,6 +674,9 @@ cmdSearch(const std::vector<std::string> &args)
     std::uint64_t surrogate_pool = 256;
     double surrogate_fraction = 0.125;
     double surrogate_ridge = 1e-3;
+    int yield_dies = 0;
+    double yield_f_ghz = 0.0;
+    std::uint64_t yield_seed = 7;
     std::string json_path;
     std::string cache_file;
     std::string daemon_mode = "auto";
@@ -684,6 +709,13 @@ cmdSearch(const std::vector<std::string> &args)
               "that is actually evaluated")
         .flag("surrogate-ridge", &surrogate_ridge,
               "surrogate: ridge regularization of the model fit")
+        .flag("yield-dies", &yield_dies,
+              "price a fourth yield@f objective over this many "
+              "Monte-Carlo dies (0 = off)")
+        .flag("yield-f", &yield_f_ghz,
+              "yield target clock in GHz (0 = the 2D baseline clock)")
+        .flag("yield-seed", &yield_seed,
+              "seed of the yield axis's variation population")
         .flag("json", &json_path,
               "write the result as m3d-search JSON to this file")
         .flag("cache-file", &cache_file,
@@ -696,6 +728,12 @@ cmdSearch(const std::vector<std::string> &args)
         return exitCode(status);
     const std::string strategy = parser.positionals()[0];
     checkDaemonMode(daemon_mode);
+    if (yield_dies < 0 || yield_dies > 65536)
+        M3D_FATAL("--yield-dies must be in [0, 65536], got ",
+                  yield_dies);
+    if (yield_f_ghz < 0.0 || yield_f_ghz > 100.0)
+        M3D_FATAL("--yield-f must be in [0, 100] GHz, got ",
+                  yield_f_ghz);
     {
         const std::vector<std::string> &names =
             search::strategyNames();
@@ -737,6 +775,13 @@ cmdSearch(const std::vector<std::string> &args)
                 report::Json::number(surrogate_fraction));
         req.set("surrogate_ridge",
                 report::Json::number(surrogate_ridge));
+        req.set("yield_dies",
+                report::Json::number(
+                    static_cast<double>(yield_dies)));
+        req.set("yield_f_ghz", report::Json::number(yield_f_ghz));
+        req.set("yield_seed",
+                report::Json::number(
+                    static_cast<double>(yield_seed)));
         report::Json resp;
         if (!client.callChecked(req, &resp, &err))
             M3D_FATAL("daemon search failed: ", err);
@@ -756,6 +801,9 @@ cmdSearch(const std::vector<std::string> &args)
     const search::SearchSpace space = search::coreSpace();
     search::ObjectiveConfig ocfg;
     ocfg.thermal_grid = thermal_grid;
+    ocfg.yield_dies = yield_dies;
+    ocfg.yield_frequency = yield_f_ghz * 1e9;
+    ocfg.yield_seed = yield_seed;
     search::ObjectiveEvaluator objectives(ev, ocfg);
 
     search::StrategyOptions sopts;
@@ -777,8 +825,181 @@ cmdSearch(const std::vector<std::string> &args)
     // serve both this path and the daemon path; see renderSearchDoc.
     renderSearchDoc(space,
                     search::searchResultJson(space, strategy, sopts,
-                                             result),
+                                             result, ocfg),
                     json_path);
+    return 0;
+}
+
+/**
+ * Render one finished variation run from its canonical m3d-variation
+ * document (variation/variation_json.hh).  Both paths funnel through
+ * here - the in-process path builds the document from its
+ * VariationOutcome, the daemon path receives it over the wire - so
+ * the two print the same bytes for the same (design, seed, dies,
+ * bins).
+ */
+void
+renderVariationDoc(const report::Json &doc,
+                   const std::string &json_path)
+{
+    const auto numOf = [&](const report::Json &o, const char *key) {
+        const report::Json *v = o.find(key);
+        if (v == nullptr || !v->isNumber())
+            M3D_FATAL("malformed m3d-variation document: missing '",
+                      key, "'");
+        return v->asNumber();
+    };
+    const report::Json *design = doc.find("design");
+    const report::Json *histogram = doc.find("histogram");
+    if (design == nullptr || !design->isString() ||
+        histogram == nullptr || !histogram->isArray())
+        M3D_FATAL("malformed m3d-variation document");
+
+    Table t("Frequency binning: " + design->asString() + ", seed " +
+            std::to_string(
+                static_cast<std::uint64_t>(numOf(doc, "seed"))) +
+            " (" +
+            std::to_string(
+                static_cast<std::uint64_t>(numOf(doc, "dies"))) +
+            " dies)");
+    t.header({"Bin (GHz)", "Ship (GHz)", "Dies", "Yield", "BIPS",
+              "EPI (nJ)"});
+    for (const report::Json &e : histogram->elements()) {
+        const bool empty = numOf(e, "count") == 0.0;
+        t.row({Table::num(numOf(e, "lo_ghz"), 3) + " - " +
+                   Table::num(numOf(e, "hi_ghz"), 3),
+               Table::num(numOf(e, "shipped_ghz"), 3),
+               std::to_string(
+                   static_cast<std::uint64_t>(numOf(e, "count"))),
+               Table::pct(numOf(e, "yield"), 1),
+               empty ? "-" : Table::num(numOf(e, "bips"), 3),
+               empty ? "-" : Table::num(numOf(e, "epi_nj"), 3)});
+    }
+    t.print(std::cout);
+    std::cout << "Nominal " << Table::num(numOf(doc, "nominal_ghz"), 3)
+              << " GHz, mean " << Table::num(numOf(doc, "mean_ghz"), 3)
+              << " GHz, sigma "
+              << Table::num(numOf(doc, "sigma_mhz"), 1) << " MHz\n";
+    std::cout << "Scrap: "
+              << static_cast<std::uint64_t>(numOf(doc, "scrap"))
+              << " dies (" << Table::pct(numOf(doc, "scrap_share"), 1)
+              << "); expected shipped throughput "
+              << Table::num(numOf(doc, "expected_bips"), 3)
+              << " BIPS\n";
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out.is_open())
+            M3D_FATAL("cannot write '", json_path, "'");
+        doc.write(out);
+        std::cout << "Wrote " << json_path << "\n";
+    }
+}
+
+int
+cmdVariation(const std::vector<std::string> &args)
+{
+    int jobs = 0;
+    std::uint64_t seed = 7;
+    int dies = 256;
+    int bins = 8;
+    std::uint64_t instructions = 60000;
+    std::string json_path;
+    std::string cache_file;
+    std::string daemon_mode = "auto";
+    std::string socket = kDefaultSocket;
+    cli::Parser parser(
+        "m3dtool variation",
+        "Monte-Carlo inter-tier process variation: bin a virtual die "
+        "population of one design by derived clock, price every bin "
+        "through the engine, and report the yield@f curve.");
+    parser.positional("design",
+                      "base, tsv3d, m3d-iso, m3d-het-naive, m3d-het, "
+                      "or m3d-het-agg")
+        .flag("seed", &seed,
+              "population seed (fixed seed = fixed population)")
+        .flag("dies", &dies, "virtual dies to draw")
+        .flag("bins", &bins, "frequency histogram bins")
+        .flag("jobs", &jobs,
+              "worker threads; 0 means all hardware threads "
+              "(results do not depend on this)")
+        .flag("instructions", &instructions,
+              "measured instruction count per application run")
+        .flag("json", &json_path,
+              "write the result as m3d-variation JSON to this file")
+        .flag("cache-file", &cache_file,
+              "persistent partition cache location")
+        .flag("daemon", &daemon_mode,
+              "auto (use a daemon when one answers), require, or off")
+        .flag("socket", &socket, "m3dd socket to probe");
+    const cli::ParseStatus status = parser.parse(args);
+    if (status != cli::ParseStatus::Ok)
+        return exitCode(status);
+    const std::string design_name = parser.positionals()[0];
+    checkDaemonMode(daemon_mode);
+    if (dies < 1 || dies > 65536)
+        M3D_FATAL("--dies must be in [1, 65536], got ", dies);
+    if (bins < 1 || bins > 1024)
+        M3D_FATAL("--bins must be in [1, 1024], got ", bins);
+
+    DesignFactory factory;
+    const CoreDesign design = designByName(factory, design_name);
+
+    variation::VariationConfig vcfg;
+    vcfg.seed = seed;
+    vcfg.dies = dies;
+    vcfg.bins = bins;
+
+    if (useDaemon(daemon_mode, socket)) {
+        service::Client client;
+        std::string err;
+        if (!client.connect(socket, &err))
+            M3D_FATAL("daemon variation failed: ", err);
+        report::Json req = report::Json::object();
+        req.set("type", report::Json::string("variation"));
+        req.set("design", report::Json::string(design_name));
+        req.set("seed", report::Json::number(
+                            static_cast<double>(seed)));
+        req.set("dies", report::Json::number(
+                            static_cast<double>(dies)));
+        req.set("bins", report::Json::number(
+                            static_cast<double>(bins)));
+        req.set("instructions",
+                report::Json::number(
+                    static_cast<double>(instructions)));
+        report::Json resp;
+        if (!client.callChecked(req, &resp, &err))
+            M3D_FATAL("daemon variation failed: ", err);
+        const report::Json *doc = resp.find("result");
+        if (doc == nullptr || !doc->isObject())
+            M3D_FATAL("daemon variation failed: malformed response");
+        renderVariationDoc(*doc, json_path);
+        return 0;
+    }
+
+    engine::EvalOptions opts;
+    opts.threads = jobs;
+    opts.budget.measured = instructions;
+    opts.cache_file = cache_file;
+    engine::Evaluator ev(opts);
+
+    // The search objectives' default application mix: branchy,
+    // memory-bound, and hot.
+    const std::vector<WorkloadProfile> apps = {
+        WorkloadLibrary::byName("Gcc"), WorkloadLibrary::byName("Mcf"),
+        WorkloadLibrary::byName("Gamess")};
+    const variation::VariationOutcome outcome =
+        variation::binPopulation(ev, design, vcfg, apps);
+
+    if (!cache_file.empty())
+        ev.savePartitionCache();
+
+    std::vector<std::string> app_names;
+    for (const WorkloadProfile &a : apps)
+        app_names.push_back(a.name);
+    renderVariationDoc(variation::variationResultJson(
+                           design_name, vcfg, app_names, outcome),
+                       json_path);
     return 0;
 }
 
@@ -1220,7 +1441,7 @@ cmdClient(const std::vector<std::string> &args)
           "runs_coalesced", "runs_submitted", "run_hook_fires",
           "partitions_requested", "partitions_coalesced",
           "partitions_submitted", "drains", "searches",
-          "snapshots"}) {
+          "variations", "snapshots"}) {
         t.row({key, std::to_string(uintMember(*server, key))});
     }
     t.separator();
@@ -1264,6 +1485,8 @@ main(int argc, char **argv)
         return cmdThermal(args);
     if (cmd == "search")
         return cmdSearch(args);
+    if (cmd == "variation")
+        return cmdVariation(args);
     if (cmd == "trace")
         return cmdTrace(args);
     if (cmd == "serve")

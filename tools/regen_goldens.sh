@@ -73,6 +73,9 @@ run fig10_energy_multi --jobs 8 --instructions 60000 \
     --cache-file "$tmp/fig10.m3d_cache"
 run pareto_frontier --jobs 8 --instructions 60000 --budget 48 \
     --cache-file "$tmp/pareto.m3d_cache"
+run ablation_variation --jobs 8 --instructions 20000 \
+    --seed 7 --dies 64 --bins 6 \
+    --cache-file "$tmp/variation.m3d_cache"
 
 # The >=10^4-candidate surrogate level (bench/CMakeLists.txt
 # pareto_frontier_dse); same binary, its own golden.

@@ -32,15 +32,22 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
 #include "arch/batch_replay.hh"
 #include "arch/replay_mem.hh"
 #include "engine/evaluator.hh"
+#include "power/power_model.hh"
 #include "report/json.hh"
 #include "search/strategy.hh"
+#include "thermal/thermal_model.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
 #include "workload/trace_buffer.hh"
@@ -225,6 +232,9 @@ main(int argc, char **argv)
     // order of the sequential passes for the cross-check.
     const int batch_width = BatchReplay::preferredWidth();
     std::vector<AppRun> batched_runs(designs.size() * apps.size());
+#if defined(__x86_64__)
+    const std::uint64_t batched_tsc0 = __rdtsc();
+#endif
     const double batched_t0 = nowMs();
     for (std::size_t a = 0; a < apps.size(); ++a) {
         const std::vector<AppRun> runs =
@@ -233,11 +243,46 @@ main(int argc, char **argv)
             batched_runs[d * apps.size() + a] = runs[d];
     }
     const double replay_batched_ms = nowMs() - batched_t0;
+    // Per-stage telemetry 1/2: TSC cycles the batched kernel spends
+    // per replayed op per design.  Each design-run replays
+    // `instructions` ops, so the whole pass covers designs x apps x
+    // instructions lane-ops.  0 off x86-64 (no portable TSC).
+    double kernel_cycles_per_op = 0.0;
+#if defined(__x86_64__)
+    kernel_cycles_per_op =
+        static_cast<double>(__rdtsc() - batched_tsc0) /
+        (static_cast<double>(designs.size() * apps.size()) *
+         static_cast<double>(instructions));
+#endif
     bool batched_identical = true;
     for (std::size_t i = 0; i < gen_runs.size(); ++i) {
         batched_identical =
             batched_identical && sameRun(gen_runs[i], batched_runs[i]);
     }
+
+    // Per-stage telemetry 2/2: the thermal pricing a search objective
+    // performs per design (power model + one multi-field steady solve
+    // over every app's power map, serial - exactly what
+    // ObjectiveEvaluator::compute runs), reported per application.
+    double thermal_ms = 0.0;
+    {
+        SolverConfig solver_cfg;
+        solver_cfg.threads = 1;
+        const double thermal_t0 = nowMs();
+        const PowerModel pm(designs[0]);
+        const ThermalModel tm(designs[0], thermal_grid, solver_cfg);
+        std::vector<std::map<std::string, double>> powers;
+        powers.reserve(apps.size());
+        for (std::size_t a = 0; a < apps.size(); ++a) {
+            const AppRun &r = replay_runs[a];
+            powers.push_back(
+                pm.blockPower(r.sim.activity, r.seconds));
+        }
+        tm.solveMany(powers);
+        thermal_ms = nowMs() - thermal_t0;
+    }
+    const double thermal_ms_per_app =
+        thermal_ms / static_cast<double>(apps.size());
 
     const auto n_runs = static_cast<double>(designs.size() *
                                             apps.size());
@@ -322,6 +367,11 @@ main(int argc, char **argv)
     t.row({grid_tag + " replay batched", std::to_string(batch_width),
            Table::num(bat_large_ms, 1), Table::num(bat_marginal, 2)});
     t.print(std::cout);
+    std::cout << "Stage telemetry: "
+              << Table::num(kernel_cycles_per_op, 1)
+              << " kernel cycles/op (batched), "
+              << Table::num(thermal_ms_per_app, 2)
+              << " thermal ms/app\n";
     std::cout << "Harness marginal speedup: "
               << Table::num(run_speedup, 2) << "x (batched "
               << Table::num(run_batched_speedup, 2)
@@ -342,6 +392,10 @@ main(int argc, char **argv)
                 report::Json::number(replay_cold_ms));
     results.set("replay_batched_ms_per_run",
                 report::Json::number(batched_per_run));
+    results.set("replay_kernel_cycles_per_op",
+                report::Json::number(kernel_cycles_per_op));
+    results.set("thermal_ms_per_app",
+                report::Json::number(thermal_ms_per_app));
     results.set("batch_width", report::Json::number(batch_width));
     results.set("run_marginal_speedup",
                 report::Json::number(run_speedup));
@@ -373,7 +427,9 @@ main(int argc, char **argv)
 
     report::Json doc = report::Json::object();
     doc.set("kind", report::Json::string("m3d-bench"));
-    doc.set("version", report::Json::number(1));
+    // Version 2: adds the per-stage telemetry keys
+    // replay_kernel_cycles_per_op and thermal_ms_per_app.
+    doc.set("version", report::Json::number(2));
     doc.set("bench", report::Json::string("perf_replay"));
     report::Json cfg = report::Json::object();
     cfg.set("instructions", report::Json::number(

@@ -194,9 +194,72 @@ main(int argc, char **argv)
     }
     t.print(std::cout);
 
+    // ------------------------------------------------------------
+    // Reciprocal vs division sweep formulation, on the M3D stack
+    // (the search's dominant thermal cost) at the search-relevant
+    // grids.  Three distinct power maps stand in for the search's
+    // applications and solve together through solveMany, exactly as
+    // ObjectiveEvaluator prices a design; the table reports ms per
+    // app (wall / 3) for each formulation plus the max absolute
+    // field difference between them (last-ulp rounding drift - see
+    // SolverConfig::division_sweep).
+    // ------------------------------------------------------------
+    const Case &m3d_case = cases[1];
+    Table t2("Reciprocal vs division sweep (m3d stack, best of " +
+             std::to_string(reps) + ")");
+    t2.header({"Grid", "Recip ms/app", "Divide ms/app", "Speedup",
+               "Max |dT|"});
+    report::Json rvd = report::Json::object();
+    for (const int g : {8, 16, 32}) {
+        std::vector<std::vector<std::vector<double>>> maps;
+        maps.reserve(3);
+        for (int a = 0; a < 3; ++a) {
+            maps.push_back(uniformPower(
+                m3d_case.stack, g,
+                watts * (1.0 + 0.25 * static_cast<double>(a))));
+        }
+        SolverConfig recip_cfg;
+        recip_cfg.threads = 1;
+        SolverConfig div_cfg;
+        div_cfg.threads = 1;
+        div_cfg.division_sweep = true;
+        const GridSolver recip(m3d_case.stack, m3d_case.side,
+                               m3d_case.side, g, recip_cfg);
+        const GridSolver divide(m3d_case.stack, m3d_case.side,
+                                m3d_case.side, g, div_cfg);
+        std::vector<ThermalField> recip_fields, div_fields;
+        const double recip_ms = bestMs(reps, [&] {
+            recip_fields = recip.solveMany(maps);
+        }) / 3.0;
+        const double div_ms = bestMs(reps, [&] {
+            div_fields = divide.solveMany(maps);
+        }) / 3.0;
+        double delta = 0.0;
+        for (std::size_t f = 0; f < recip_fields.size(); ++f)
+            delta = std::max(
+                delta, maxAbsDiff(recip_fields[f], div_fields[f]));
+        const double speedup =
+            recip_ms > 0.0 ? div_ms / recip_ms : 0.0;
+
+        t2.row({std::to_string(g), Table::num(recip_ms, 2) + " ms",
+                Table::num(div_ms, 2) + " ms",
+                Table::num(speedup, 2) + "x",
+                report::Json::formatNumber(delta)});
+
+        report::Json r = report::Json::object();
+        r.set("recip_ms_per_app", report::Json::number(recip_ms));
+        r.set("division_ms_per_app", report::Json::number(div_ms));
+        r.set("division_over_recip", report::Json::number(speedup));
+        r.set("field_max_abs_delta_c", report::Json::number(delta));
+        rvd.set("grid" + std::to_string(g), std::move(r));
+    }
+    t2.print(std::cout);
+    results.set("recip_vs_division", std::move(rvd));
+
     report::Json doc = report::Json::object();
     doc.set("kind", report::Json::string("m3d-bench"));
-    doc.set("version", report::Json::number(1));
+    // Version 2: adds the recip_vs_division formulation comparison.
+    doc.set("version", report::Json::number(2));
     doc.set("bench", report::Json::string("perf_thermal"));
     report::Json cfg = report::Json::object();
     cfg.set("grid", report::Json::number(grid));

@@ -186,18 +186,6 @@ storeVec(std::uint64_t *p, __m256i v)
     _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
 }
 
-/** Gather rows[idx] for lanes with the mask sign bit set; masked-out
- * lanes read as 0, which every use site treats as "no constraint"
- * (the matching slots are provably still zero-initialized whenever a
- * lane's condition is false - see the scalar path's guards). */
-M3D_TARGET_AVX2 inline __m256i
-maskGather(const std::uint64_t *rows, __m256i idx, __m256i mask)
-{
-    return _mm256_mask_i64gather_epi64(
-        _mm256_setzero_si256(),
-        reinterpret_cast<const long long *>(rows), idx, mask, 8);
-}
-
 // 512-bit forms of the same helpers for the 8-lane path.
 
 M3D_TARGET_AVX512 inline __m512i
@@ -210,13 +198,6 @@ M3D_TARGET_AVX512 inline void
 store512(std::uint64_t *p, __m512i v)
 {
     _mm512_storeu_si512(p, v);
-}
-
-M3D_TARGET_AVX512 inline __m512i
-maskGather512(const std::uint64_t *rows, __m512i idx, __mmask8 k)
-{
-    return _mm512_mask_i64gather_epi64(_mm512_setzero_si512(), k,
-                                       idx, rows, 8);
 }
 
 #endif // M3D_HAVE_AVX2_KERNEL
@@ -242,34 +223,51 @@ class BatchReplay::Block
     int width() const { return w_; }
     bool vectorized() const { return kind_ != Kind::Scalar; }
 
-    /** Run ops [pos, pos + n) of the stream on every lane. */
+    /**
+     * Run ops [pos, pos + n) of the stream on every lane.  `ws` is
+     * the window's uniform per-op accounting: it depends only on the
+     * stream, never on a design, so consecutive blocks of one
+     * BatchReplay replay share it - the first block over a window
+     * counts (`count` true) and later blocks just fold the counts
+     * the first one left in `ws`.
+     */
     void run(const TraceBuffer &buf, const MemLevelTable &mem,
-             std::uint64_t pos, std::uint64_t n, SimResult *out);
+             std::uint64_t pos, std::uint64_t n, SimResult *out,
+             WindowShared &ws, bool count);
 
   private:
     void runScalar(const TraceBuffer &buf, const MemLevelTable &mem,
                    std::uint64_t pos, std::uint64_t n,
-                   WindowShared &ws);
+                   WindowShared &ws, bool count);
 #if M3D_HAVE_AVX2_KERNEL
     M3D_TARGET_AVX2
     void runAvx2(const TraceBuffer &buf, const MemLevelTable &mem,
-                 std::uint64_t pos, std::uint64_t n, WindowShared &ws);
+                 std::uint64_t pos, std::uint64_t n, WindowShared &ws,
+                 bool count);
     M3D_TARGET_AVX512
     void runAvx512(const TraceBuffer &buf, const MemLevelTable &mem,
                    std::uint64_t pos, std::uint64_t n,
-                   WindowShared &ws);
+                   WindowShared &ws, bool count);
 #endif
 
     /** The issue-slot claim: identical to CoreModel::reserveIssue's
-     * window walk (same packing, same eviction assert). */
+     * window walk (same packing, same eviction assert).  Slots live
+     * in the shared interleaved [row][lane] array so the AVX-512
+     * path can claim all lanes' common case with one gather/scatter
+     * pair; this walk is the ragged/scalar path and the fallback for
+     * lanes whose row is full (or about to trip the eviction
+     * assert). */
     std::uint64_t
     claimSlot(int l, std::uint64_t issue, std::uint64_t min_live)
     {
-        std::uint64_t *const slots = slots_ptr_[static_cast<std::size_t>(l)];
+        const auto uw = static_cast<std::size_t>(w_);
+        std::uint64_t *const slots =
+            slots_.data() + static_cast<std::size_t>(l);
         const std::uint64_t mask = slot_mask_[static_cast<std::size_t>(l)];
         const std::uint64_t iw = iw_[static_cast<std::size_t>(l)];
         while (true) {
-            std::uint64_t &slot = slots[issue & mask];
+            std::uint64_t &slot =
+                slots[static_cast<std::size_t>(issue & mask) * uw];
             std::uint64_t word = slot;
             if ((word >> timing::kIssueCountBits) != issue) {
                 M3D_ASSERT(word == timing::kFreeSlot ||
@@ -300,13 +298,49 @@ class BatchReplay::Block
     // Per-lane persistent state ([lane] scalars, [row][lane] rings).
     std::vector<std::uint64_t> frontier_, in_cycle_, last_commit_,
         dram_free_;
-    std::vector<std::uint64_t> complete_hist_, issue_hist_,
-        commit_hist_;                       // [kHistSize][w]
-    std::vector<std::uint64_t> lq_hist_, sq_hist_; // [max ring][w]
-    std::vector<std::uint64_t> load_head_, store_head_;
+    std::vector<std::uint64_t> complete_hist_; // [kHistSize][w]
+    /**
+     * Future-row occupancy rings, the gather-free replacement for the
+     * old per-lane-offset history reads.  Op i's ROB constraint is
+     * the commit of op i - rob_l, an offset that differs per lane -
+     * reading it from a shared [row][lane] history needed one masked
+     * gather per queue per op.  Flipping the offset to the WRITE side
+     * removes them: at op i, lane l stores its commit at ring row
+     * (i + rob_l) & mask, so the value op i must read always sits at
+     * the shared row i & mask - one contiguous vector load.  The
+     * rows are zero-initialized and the constraint compare is strict
+     * (t > d), so rows no lane has written yet read 0 = "no
+     * constraint", exactly the old i >= rob_l guard.  The lq/sq
+     * rings are keyed on the shared load/store sequence numbers the
+     * same way, which also deletes the per-lane head counters.
+     * Ring depth is nextPow2(max lag in the block), making the
+     * most-recent write to row i & mask before op i precisely op
+     * i - lag_l (a write at op i itself lands after the read).
+     */
+    std::vector<std::uint64_t> rob_ring_, iq_ring_, lq_ring_,
+        sq_ring_;                          // [ring rows][w]
+    std::uint64_t rob_ring_mask_ = 0, iq_ring_mask_ = 0,
+        lq_ring_mask_ = 0, sq_ring_mask_ = 0;
+    /**
+     * Trailing run length of equal commit cycles per lane - the
+     * gather-free commit-width constraint.  Commits are monotone
+     * non-decreasing, so commit_hist[i - cw_l] equals the current
+     * last_commit iff the trailing equal-commit run reaches back at
+     * least cw_l entries; the old gathered compare
+     * commit_hist[i-cw]+1 > commit reduces to
+     * (commit == last_commit && streak >= cw).
+     */
+    std::vector<std::uint64_t> streak_;
     std::vector<std::uint64_t> fu_free_; // [kFuClasses*kMaxFu][w]
-    std::vector<std::vector<std::uint64_t>> issue_slots_;
-    std::vector<std::uint64_t *> slots_ptr_;
+    /**
+     * Issue-window slots, interleaved [row][lane] like every other
+     * per-lane array.  Window sizes (and so the row masks) are
+     * per-lane; a lane with a smaller window simply never touches
+     * the rows above its mask.  Lane columns never alias, so the
+     * vector fast path's masked scatter and the scalar walk are
+     * claims on disjoint memory.
+     */
+    std::vector<std::uint64_t> slots_;
     std::vector<std::uint64_t> slot_mask_;
     std::uint64_t load_seq_ = 0;
     std::uint64_t store_seq_ = 0;
@@ -337,13 +371,21 @@ BatchReplay::Block::Block(const CoreDesign *designs, int w,
     fetch_extra_.assign(4 * uw, 0);
     frequency_.resize(uw);
 
-    std::uint64_t max_lq = 0, max_sq = 0;
+    std::uint64_t max_rob = 0, max_iq = 0, max_lq = 0, max_sq = 0;
     for (int l = 0; l < w; ++l) {
         const CoreDesign &d = designs[l];
         const auto ul = static_cast<std::size_t>(l);
         M3D_ASSERT(d.issue_width < (1 << timing::kIssueCountBits),
                    "issue width overflows the packed slot count "
                    "field");
+        // The solo CoreModel reads its queue history through
+        // kHistSize rows; the rings reproduce its results only for
+        // lags that fit the same reach.
+        M3D_ASSERT(static_cast<std::uint64_t>(d.rob_entries) <=
+                       timing::kHistSize &&
+                   static_cast<std::uint64_t>(d.iq_entries) <=
+                       timing::kHistSize,
+                   "queue depth exceeds the history reach");
         rob_[ul] = static_cast<std::uint64_t>(d.rob_entries);
         iq_[ul] = static_cast<std::uint64_t>(d.iq_entries);
         dispatch_[ul] = static_cast<std::uint64_t>(d.dispatch_width);
@@ -357,6 +399,8 @@ BatchReplay::Block::Block(const CoreDesign *designs, int w,
             static_cast<std::uint64_t>(d.mispredict_penalty);
         load_lat_[ul] = static_cast<std::uint64_t>(d.load_to_use);
         frequency_[ul] = d.frequency;
+        max_rob = std::max(max_rob, rob_[ul]);
+        max_iq = std::max(max_iq, iq_[ul]);
         max_lq = std::max(max_lq, lq_[ul]);
         max_sq = std::max(max_sq, sq_[ul]);
 
@@ -388,12 +432,15 @@ BatchReplay::Block::Block(const CoreDesign *designs, int w,
     last_commit_.assign(uw, 0);
     dram_free_.assign(uw, 0);
     complete_hist_.assign(timing::kHistSize * uw, 0);
-    issue_hist_.assign(timing::kHistSize * uw, 0);
-    commit_hist_.assign(timing::kHistSize * uw, 0);
-    lq_hist_.assign(static_cast<std::size_t>(max_lq) * uw, 0);
-    sq_hist_.assign(static_cast<std::size_t>(max_sq) * uw, 0);
-    load_head_.assign(uw, 0);
-    store_head_.assign(uw, 0);
+    rob_ring_mask_ = timing::nextPow2(max_rob) - 1;
+    iq_ring_mask_ = timing::nextPow2(max_iq) - 1;
+    lq_ring_mask_ = timing::nextPow2(max_lq) - 1;
+    sq_ring_mask_ = timing::nextPow2(max_sq) - 1;
+    rob_ring_.assign((rob_ring_mask_ + 1) * uw, 0);
+    iq_ring_.assign((iq_ring_mask_ + 1) * uw, 0);
+    lq_ring_.assign((lq_ring_mask_ + 1) * uw, 0);
+    sq_ring_.assign((sq_ring_mask_ + 1) * uw, 0);
+    streak_.assign(uw, 0);
 
     fu_free_.assign(static_cast<std::size_t>(timing::kFuClasses) *
                         timing::kMaxFuPerClass * uw,
@@ -408,17 +455,16 @@ BatchReplay::Block::Block(const CoreDesign *designs, int w,
         }
     }
 
-    issue_slots_.resize(uw);
-    slots_ptr_.resize(uw);
     slot_mask_.resize(uw);
+    std::uint64_t max_window = 0;
     for (std::size_t l = 0; l < uw; ++l) {
         const std::uint64_t window =
             timing::nextPow2(rob_[l] + timing::kIssueWindowSlack);
-        issue_slots_[l].assign(static_cast<std::size_t>(window),
-                               timing::kFreeSlot);
-        slots_ptr_[l] = issue_slots_[l].data();
         slot_mask_[l] = window - 1;
+        max_window = std::max(max_window, window);
     }
+    slots_.assign(static_cast<std::size_t>(max_window) * uw,
+                  timing::kFreeSlot);
 
     activity_.resize(uw);
     win_stall_rob_.resize(uw);
@@ -432,7 +478,7 @@ void
 BatchReplay::Block::runScalar(const TraceBuffer &buf,
                               const MemLevelTable &mem,
                               std::uint64_t pos, std::uint64_t n,
-                              WindowShared &ws)
+                              WindowShared &ws, bool count)
 {
     const int w = w_;
     const auto uw = static_cast<std::size_t>(w);
@@ -452,12 +498,15 @@ BatchReplay::Block::runScalar(const TraceBuffer &buf,
     std::uint64_t *const last_commit = last_commit_.data();
     std::uint64_t *const dram_free = dram_free_.data();
     std::uint64_t *const complete_hist = complete_hist_.data();
-    std::uint64_t *const issue_hist = issue_hist_.data();
-    std::uint64_t *const commit_hist = commit_hist_.data();
-    std::uint64_t *const lq_hist = lq_hist_.data();
-    std::uint64_t *const sq_hist = sq_hist_.data();
-    std::uint64_t *const load_head = load_head_.data();
-    std::uint64_t *const store_head = store_head_.data();
+    std::uint64_t *const rob_ring = rob_ring_.data();
+    std::uint64_t *const iq_ring = iq_ring_.data();
+    std::uint64_t *const lq_ring = lq_ring_.data();
+    std::uint64_t *const sq_ring = sq_ring_.data();
+    const std::uint64_t rob_mask = rob_ring_mask_;
+    const std::uint64_t iq_mask = iq_ring_mask_;
+    const std::uint64_t lq_mask = lq_ring_mask_;
+    const std::uint64_t sq_mask = sq_ring_mask_;
+    std::uint64_t *const streak = streak_.data();
     std::uint64_t *const fu = fu_free_.data();
     std::uint64_t *const stall_rob = win_stall_rob_.data();
     std::uint64_t *const stall_iq = win_stall_iq_.data();
@@ -481,38 +530,39 @@ BatchReplay::Block::runScalar(const TraceBuffer &buf,
                 const auto ul = static_cast<std::size_t>(l);
                 // --- Fetch/dispatch time under bandwidth +
                 // occupancy limits; attribute the dominant
-                // constraint (strict raises, like runImpl).
+                // constraint (strict raises, like runImpl).  The
+                // ring rows read 0 until the charging op exists, so
+                // the old i >= depth / seq >= depth guards are
+                // subsumed by the strict compare.
                 std::uint64_t d = frontier[ul];
                 int cause = 0;
-                if (i >= rob[ul]) {
+                {
                     const std::uint64_t t =
-                        commit_hist[((i - rob[ul]) &
-                                     timing::kHistMask) * uw + ul];
+                        rob_ring[(i & rob_mask) * uw + ul];
                     if (t > d) {
                         d = t;
                         cause = 1;
                     }
                 }
-                if (i >= iq[ul]) {
+                {
                     const std::uint64_t t =
-                        issue_hist[((i - iq[ul]) &
-                                    timing::kHistMask) * uw + ul];
+                        iq_ring[(i & iq_mask) * uw + ul];
                     if (t > d) {
                         d = t;
                         cause = 2;
                     }
                 }
-                if (s.is_load && load_seq >= lq[ul]) {
+                if (s.is_load) {
                     const std::uint64_t t =
-                        lq_hist[load_head[ul] * uw + ul];
+                        lq_ring[(load_seq & lq_mask) * uw + ul];
                     if (t > d) {
                         d = t;
                         cause = 3;
                     }
                 }
-                if (s.is_store && store_seq >= sq[ul]) {
+                if (s.is_store) {
                     const std::uint64_t t =
-                        sq_hist[store_head[ul] * uw + ul];
+                        sq_ring[(store_seq & sq_mask) * uw + ul];
                     if (t > d) {
                         d = t;
                         cause = 3;
@@ -598,35 +648,41 @@ BatchReplay::Block::runScalar(const TraceBuffer &buf,
                     }
                 }
 
-                // --- In-order commit under the commit width.
+                // --- In-order commit under the commit width: the
+                // gathered commit_hist[i - cw] + 1 lower bound can
+                // only bind when that entry equals the running
+                // commit cycle, i.e. when the trailing equal-commit
+                // streak spans the whole commit window (commits are
+                // monotone, see streak_'s comment).
                 std::uint64_t commit =
                     std::max(complete + 1, last_commit[ul]);
-                if (i >= cw[ul]) {
-                    commit = std::max(
-                        commit,
-                        commit_hist[((i - cw[ul]) &
-                                     timing::kHistMask) * uw + ul] +
-                            1);
+                if (commit == last_commit[ul] &&
+                    streak[ul] >= cw[ul]) {
+                    ++commit;
                 }
+                streak[ul] =
+                    commit == last_commit[ul] ? streak[ul] + 1 : 1;
                 last_commit[ul] = commit;
 
-                // --- Bookkeeping.
+                // --- Bookkeeping: the dependency history row is
+                // shared; the occupancy charges go to each lane's
+                // future ring row (read back lag_l ops from now).
                 complete_hist[s.hist_row + ul] = complete;
-                issue_hist[s.hist_row + ul] = issue;
-                commit_hist[s.hist_row + ul] = commit;
+                rob_ring[((i + rob[ul]) & rob_mask) * uw + ul] =
+                    commit;
+                iq_ring[((i + iq[ul]) & iq_mask) * uw + ul] = issue;
                 if (s.is_load) {
-                    lq_hist[load_head[ul] * uw + ul] = commit;
-                    if (++load_head[ul] == lq[ul])
-                        load_head[ul] = 0;
+                    lq_ring[((load_seq + lq[ul]) & lq_mask) * uw +
+                            ul] = commit;
                 }
                 if (s.is_store) {
-                    sq_hist[store_head[ul] * uw + ul] = commit;
-                    if (++store_head[ul] == sq[ul])
-                        store_head[ul] = 0;
+                    sq_ring[((store_seq + sq[ul]) & sq_mask) * uw +
+                            ul] = commit;
                 }
             }
 
-            countShared(ws, s);
+            if (count)
+                countShared(ws, s);
             if (s.is_load)
                 ++load_seq;
             if (s.is_store)
@@ -643,7 +699,7 @@ M3D_TARGET_AVX2 void
 BatchReplay::Block::runAvx2(const TraceBuffer &buf,
                             const MemLevelTable &mem,
                             std::uint64_t pos, std::uint64_t n,
-                            WindowShared &ws)
+                            WindowShared &ws, bool count)
 {
     constexpr int w = BatchReplay::kLaneWidth;
     M3D_ASSERT(w_ == w, "vector path needs a full-width block");
@@ -651,9 +707,6 @@ BatchReplay::Block::runAvx2(const TraceBuffer &buf,
 
     const __m256i zero = _mm256_setzero_si256();
     const __m256i one = _mm256_set1_epi64x(1);
-    const __m256i lane = _mm256_set_epi64x(3, 2, 1, 0);
-    const __m256i histmask = _mm256_set1_epi64x(
-        static_cast<long long>(timing::kHistMask));
     const __m256i depth = _mm256_set1_epi64x(
         static_cast<long long>(timing::kDispatchDepth));
     const __m256i dram_gap = _mm256_set1_epi64x(
@@ -662,11 +715,7 @@ BatchReplay::Block::runAvx2(const TraceBuffer &buf,
     const __m256i cause2 = _mm256_set1_epi64x(2);
     const __m256i cause3 = _mm256_set1_epi64x(3);
 
-    const __m256i rob_v = loadVec(rob_.data());
-    const __m256i iq_v = loadVec(iq_.data());
-    const __m256i lq_v = loadVec(lq_.data());
-    const __m256i sq_v = loadVec(sq_.data());
-    const __m256i cw_v = loadVec(cw_.data());
+    const __m256i cw_m1 = _mm256_sub_epi64(loadVec(cw_.data()), one);
     const __m256i width_m1 =
         _mm256_sub_epi64(loadVec(dispatch_.data()), one);
     const __m256i complex_v = loadVec(complex_extra_.data());
@@ -681,18 +730,25 @@ BatchReplay::Block::runAvx2(const TraceBuffer &buf,
     }
 
     std::uint64_t *const complete_hist = complete_hist_.data();
-    std::uint64_t *const issue_hist = issue_hist_.data();
-    std::uint64_t *const commit_hist = commit_hist_.data();
-    std::uint64_t *const lq_hist = lq_hist_.data();
-    std::uint64_t *const sq_hist = sq_hist_.data();
+    std::uint64_t *const rob_ring = rob_ring_.data();
+    std::uint64_t *const iq_ring = iq_ring_.data();
+    std::uint64_t *const lq_ring = lq_ring_.data();
+    std::uint64_t *const sq_ring = sq_ring_.data();
+    const std::uint64_t rob_mask = rob_ring_mask_;
+    const std::uint64_t iq_mask = iq_ring_mask_;
+    const std::uint64_t lq_mask = lq_ring_mask_;
+    const std::uint64_t sq_mask = sq_ring_mask_;
+    const std::uint64_t *const rob = rob_.data();
+    const std::uint64_t *const iqd = iq_.data();
+    const std::uint64_t *const lqd = lq_.data();
+    const std::uint64_t *const sqd = sq_.data();
     std::uint64_t *const fu = fu_free_.data();
 
     __m256i frontier = loadVec(frontier_.data());
     __m256i in_cycle = loadVec(in_cycle_.data());
     __m256i last_commit = loadVec(last_commit_.data());
     __m256i dram_free = loadVec(dram_free_.data());
-    __m256i lq_head = loadVec(load_head_.data());
-    __m256i sq_head = loadVec(store_head_.data());
+    __m256i streak = loadVec(streak_.data());
     __m256i st_rob = zero, st_iq = zero, st_lsq = zero;
     __m256i b_fu = zero, b_deps = zero;
     std::uint64_t load_seq = load_seq_;
@@ -707,57 +763,37 @@ BatchReplay::Block::runAvx2(const TraceBuffer &buf,
             std::uint64_t *const units =
                 fu + static_cast<std::size_t>(
                          s.fu * timing::kMaxFuPerClass) * uw;
-            const __m256i i_v =
-                _mm256_set1_epi64x(static_cast<long long>(i));
-            const __m256i i1_v = _mm256_add_epi64(i_v, one);
-
-            // --- Fetch/dispatch constraints (strict raises; masked
-            // gathers read 0 for lanes whose guard is false, which
-            // never raises - the scalar path's skip).
+            // --- Fetch/dispatch constraints (strict raises; ring
+            // rows no charging op has written yet read 0, which
+            // never raises - the scalar path's skip).  All four
+            // occupancy reads are contiguous lane rows now: the
+            // per-lane offsets moved to the write side.
             __m256i d = frontier;
             __m256i cause = zero;
             {
-                const __m256i valid = _mm256_cmpgt_epi64(i1_v, rob_v);
-                const __m256i row = _mm256_and_si256(
-                    _mm256_sub_epi64(i_v, rob_v), histmask);
-                const __m256i idx = _mm256_add_epi64(
-                    _mm256_slli_epi64(row, 2), lane);
-                const __m256i t = maskGather(commit_hist, idx, valid);
+                const __m256i t =
+                    loadVec(rob_ring + (i & rob_mask) * uw);
                 const __m256i gt = _mm256_cmpgt_epi64(t, d);
                 d = _mm256_blendv_epi8(d, t, gt);
                 cause = _mm256_blendv_epi8(cause, cause1, gt);
             }
             {
-                const __m256i valid = _mm256_cmpgt_epi64(i1_v, iq_v);
-                const __m256i row = _mm256_and_si256(
-                    _mm256_sub_epi64(i_v, iq_v), histmask);
-                const __m256i idx = _mm256_add_epi64(
-                    _mm256_slli_epi64(row, 2), lane);
-                const __m256i t = maskGather(issue_hist, idx, valid);
+                const __m256i t =
+                    loadVec(iq_ring + (i & iq_mask) * uw);
                 const __m256i gt = _mm256_cmpgt_epi64(t, d);
                 d = _mm256_blendv_epi8(d, t, gt);
                 cause = _mm256_blendv_epi8(cause, cause2, gt);
             }
             if (s.is_load) {
-                const __m256i valid = _mm256_cmpgt_epi64(
-                    _mm256_set1_epi64x(
-                        static_cast<long long>(load_seq + 1)),
-                    lq_v);
-                const __m256i idx = _mm256_add_epi64(
-                    _mm256_slli_epi64(lq_head, 2), lane);
-                const __m256i t = maskGather(lq_hist, idx, valid);
+                const __m256i t =
+                    loadVec(lq_ring + (load_seq & lq_mask) * uw);
                 const __m256i gt = _mm256_cmpgt_epi64(t, d);
                 d = _mm256_blendv_epi8(d, t, gt);
                 cause = _mm256_blendv_epi8(cause, cause3, gt);
             }
             if (s.is_store) {
-                const __m256i valid = _mm256_cmpgt_epi64(
-                    _mm256_set1_epi64x(
-                        static_cast<long long>(store_seq + 1)),
-                    sq_v);
-                const __m256i idx = _mm256_add_epi64(
-                    _mm256_slli_epi64(sq_head, 2), lane);
-                const __m256i t = maskGather(sq_hist, idx, valid);
+                const __m256i t =
+                    loadVec(sq_ring + (store_seq & sq_mask) * uw);
                 const __m256i gt = _mm256_cmpgt_epi64(t, d);
                 d = _mm256_blendv_epi8(d, t, gt);
                 cause = _mm256_blendv_epi8(cause, cause3, gt);
@@ -861,57 +897,57 @@ BatchReplay::Block::runAvx2(const TraceBuffer &buf,
                 in_cycle = _mm256_andnot_si256(gt, in_cycle);
             }
 
-            // --- In-order commit under the commit width.  Masked
-            // lanes gather 0, and 0 + 1 never exceeds complete + 1.
+            // --- In-order commit under the commit width: streak
+            // form of the gathered lower bound (see streak_'s
+            // comment).  A compare mask is -1, so subtracting the
+            // bump mask adds 1 to the bumped lanes.
             __m256i commit =
                 max64(_mm256_add_epi64(complete, one), last_commit);
             {
-                const __m256i valid = _mm256_cmpgt_epi64(i1_v, cw_v);
-                const __m256i row = _mm256_and_si256(
-                    _mm256_sub_epi64(i_v, cw_v), histmask);
-                const __m256i idx = _mm256_add_epi64(
-                    _mm256_slli_epi64(row, 2), lane);
-                const __m256i t = maskGather(commit_hist, idx, valid);
-                commit =
-                    max64(commit, _mm256_add_epi64(t, one));
+                const __m256i bump = _mm256_and_si256(
+                    _mm256_cmpeq_epi64(commit, last_commit),
+                    _mm256_cmpgt_epi64(streak, cw_m1));
+                commit = _mm256_sub_epi64(commit, bump);
+                streak = _mm256_add_epi64(
+                    _mm256_and_si256(
+                        streak,
+                        _mm256_cmpeq_epi64(commit, last_commit)),
+                    one);
             }
             last_commit = commit;
 
-            // --- Bookkeeping (history rows are shared: contiguous
-            // lane stores; ring writes are per-lane indexed).
+            // --- Bookkeeping (the dependency history row is shared:
+            // contiguous lane stores; the occupancy charges go to
+            // per-lane future ring rows).
             storeVec(complete_hist + s.hist_row, complete);
-            storeVec(issue_hist + s.hist_row, issue);
-            storeVec(commit_hist + s.hist_row, commit);
+            alignas(32) std::uint64_t cm[4];
+            storeVec(cm, commit);
+            for (int l = 0; l < w; ++l) {
+                const auto ul = static_cast<std::size_t>(l);
+                rob_ring[((i + rob[ul]) & rob_mask) * uw + ul] =
+                    cm[ul];
+                iq_ring[((i + iqd[ul]) & iq_mask) * uw + ul] =
+                    iss[ul];
+            }
             if (s.is_load) {
-                alignas(32) std::uint64_t cm[4], hd[4];
-                storeVec(cm, commit);
-                storeVec(hd, lq_head);
                 for (int l = 0; l < w; ++l) {
                     const auto ul = static_cast<std::size_t>(l);
-                    lq_hist[static_cast<std::size_t>(hd[ul]) * uw +
+                    lq_ring[((load_seq + lqd[ul]) & lq_mask) * uw +
                             ul] = cm[ul];
                 }
-                lq_head = _mm256_add_epi64(lq_head, one);
-                lq_head = _mm256_andnot_si256(
-                    _mm256_cmpeq_epi64(lq_head, lq_v), lq_head);
                 ++load_seq;
             }
             if (s.is_store) {
-                alignas(32) std::uint64_t cm[4], hd[4];
-                storeVec(cm, commit);
-                storeVec(hd, sq_head);
                 for (int l = 0; l < w; ++l) {
                     const auto ul = static_cast<std::size_t>(l);
-                    sq_hist[static_cast<std::size_t>(hd[ul]) * uw +
+                    sq_ring[((store_seq + sqd[ul]) & sq_mask) * uw +
                             ul] = cm[ul];
                 }
-                sq_head = _mm256_add_epi64(sq_head, one);
-                sq_head = _mm256_andnot_si256(
-                    _mm256_cmpeq_epi64(sq_head, sq_v), sq_head);
                 ++store_seq;
             }
 
-            countShared(ws, s);
+            if (count)
+                countShared(ws, s);
         }
     }
 
@@ -919,8 +955,7 @@ BatchReplay::Block::runAvx2(const TraceBuffer &buf,
     storeVec(in_cycle_.data(), in_cycle);
     storeVec(last_commit_.data(), last_commit);
     storeVec(dram_free_.data(), dram_free);
-    storeVec(load_head_.data(), lq_head);
-    storeVec(store_head_.data(), sq_head);
+    storeVec(streak_.data(), streak);
     storeVec(win_stall_rob_.data(), st_rob);
     storeVec(win_stall_iq_.data(), st_iq);
     storeVec(win_stall_lsq_.data(), st_lsq);
@@ -934,13 +969,13 @@ M3D_TARGET_AVX512 void
 BatchReplay::Block::runAvx512(const TraceBuffer &buf,
                               const MemLevelTable &mem,
                               std::uint64_t pos, std::uint64_t n,
-                              WindowShared &ws)
+                              WindowShared &ws, bool count)
 {
     // The 8-lane twin of runAvx2: same stage order, same state
     // layout at stride 8, with the AVX2 compare/blend pairs replaced
-    // by k-mask compares/moves and the lq/sq ring writes by native
-    // scatters.  Masked gathers still read 0 for lanes whose guard
-    // is false.
+    // by k-mask compares/moves and the per-lane future-ring charges
+    // by native scatters.  Ring rows no charging op has written yet
+    // still read 0 ("no constraint").
     constexpr int w = BatchReplay::kLaneWidth512;
     M3D_ASSERT(w_ == w, "512-bit vector path needs a full block");
     const auto uw = static_cast<std::size_t>(w);
@@ -949,8 +984,6 @@ BatchReplay::Block::runAvx512(const TraceBuffer &buf,
     const __m512i zero = _mm512_setzero_si512();
     const __m512i one = _mm512_set1_epi64(1);
     const __m512i lane = _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0);
-    const __m512i histmask = _mm512_set1_epi64(
-        static_cast<long long>(timing::kHistMask));
     const __m512i depth = _mm512_set1_epi64(
         static_cast<long long>(timing::kDispatchDepth));
     const __m512i dram_gap = _mm512_set1_epi64(
@@ -977,18 +1010,36 @@ BatchReplay::Block::runAvx512(const TraceBuffer &buf,
     }
 
     std::uint64_t *const complete_hist = complete_hist_.data();
-    std::uint64_t *const issue_hist = issue_hist_.data();
-    std::uint64_t *const commit_hist = commit_hist_.data();
-    std::uint64_t *const lq_hist = lq_hist_.data();
-    std::uint64_t *const sq_hist = sq_hist_.data();
+    std::uint64_t *const rob_ring = rob_ring_.data();
+    std::uint64_t *const iq_ring = iq_ring_.data();
+    std::uint64_t *const lq_ring = lq_ring_.data();
+    std::uint64_t *const sq_ring = sq_ring_.data();
+    const std::uint64_t rob_mask = rob_ring_mask_;
+    const std::uint64_t iq_mask = iq_ring_mask_;
+    const std::uint64_t lq_mask = lq_ring_mask_;
+    const std::uint64_t sq_mask = sq_ring_mask_;
+    const __m512i robmask_v = _mm512_set1_epi64(
+        static_cast<long long>(rob_mask));
+    const __m512i iqmask_v = _mm512_set1_epi64(
+        static_cast<long long>(iq_mask));
+    const __m512i lqmask_v = _mm512_set1_epi64(
+        static_cast<long long>(lq_mask));
+    const __m512i sqmask_v = _mm512_set1_epi64(
+        static_cast<long long>(sq_mask));
     std::uint64_t *const fu = fu_free_.data();
+    std::uint64_t *const slots = slots_.data();
+    const __m512i slotmask_v = load512(slot_mask_.data());
+    const __m512i iw_v = load512(iw_.data());
+    const __m512i kfree_v = _mm512_set1_epi64(
+        static_cast<long long>(timing::kFreeSlot));
+    const __m512i cntmask_v = _mm512_set1_epi64(
+        static_cast<long long>((1ull << timing::kIssueCountBits) - 1));
 
     __m512i frontier = load512(frontier_.data());
     __m512i in_cycle = load512(in_cycle_.data());
     __m512i last_commit = load512(last_commit_.data());
     __m512i dram_free = load512(dram_free_.data());
-    __m512i lq_head = load512(load_head_.data());
-    __m512i sq_head = load512(store_head_.data());
+    __m512i streak = load512(streak_.data());
     __m512i st_rob = zero, st_iq = zero, st_lsq = zero;
     __m512i b_fu = zero, b_deps = zero;
     std::uint64_t load_seq = load_seq_;
@@ -1005,60 +1056,40 @@ BatchReplay::Block::runAvx512(const TraceBuffer &buf,
                          s.fu * timing::kMaxFuPerClass) * uw;
             const __m512i i_v =
                 _mm512_set1_epi64(static_cast<long long>(i));
-            const __m512i i1_v = _mm512_add_epi64(i_v, one);
 
-            // --- Fetch/dispatch constraints (strict raises).
+            // --- Fetch/dispatch constraints (strict raises; unfilled
+            // ring rows read 0, which never raises).  The occupancy
+            // reads are contiguous lane rows - the per-lane offsets
+            // moved to the scatter side of the rings.
             __m512i d = frontier;
             __m512i cause = zero;
             {
-                const __mmask8 valid = _mm512_cmp_epi64_mask(
-                    i1_v, rob_v, _MM_CMPINT_NLE);
-                const __m512i row = _mm512_and_si512(
-                    _mm512_sub_epi64(i_v, rob_v), histmask);
-                const __m512i idx = _mm512_add_epi64(
-                    _mm512_slli_epi64(row, 3), lane);
                 const __m512i t =
-                    maskGather512(commit_hist, idx, valid);
+                    load512(rob_ring + (i & rob_mask) * uw);
                 const __mmask8 gt = _mm512_cmp_epi64_mask(
                     t, d, _MM_CMPINT_NLE);
                 d = _mm512_mask_mov_epi64(d, gt, t);
                 cause = _mm512_mask_mov_epi64(cause, gt, cause1);
             }
             {
-                const __mmask8 valid = _mm512_cmp_epi64_mask(
-                    i1_v, iq_v, _MM_CMPINT_NLE);
-                const __m512i row = _mm512_and_si512(
-                    _mm512_sub_epi64(i_v, iq_v), histmask);
-                const __m512i idx = _mm512_add_epi64(
-                    _mm512_slli_epi64(row, 3), lane);
                 const __m512i t =
-                    maskGather512(issue_hist, idx, valid);
+                    load512(iq_ring + (i & iq_mask) * uw);
                 const __mmask8 gt = _mm512_cmp_epi64_mask(
                     t, d, _MM_CMPINT_NLE);
                 d = _mm512_mask_mov_epi64(d, gt, t);
                 cause = _mm512_mask_mov_epi64(cause, gt, cause2);
             }
             if (s.is_load) {
-                const __mmask8 valid = _mm512_cmp_epi64_mask(
-                    _mm512_set1_epi64(
-                        static_cast<long long>(load_seq)),
-                    lq_v, _MM_CMPINT_NLT);
-                const __m512i idx = _mm512_add_epi64(
-                    _mm512_slli_epi64(lq_head, 3), lane);
-                const __m512i t = maskGather512(lq_hist, idx, valid);
+                const __m512i t =
+                    load512(lq_ring + (load_seq & lq_mask) * uw);
                 const __mmask8 gt = _mm512_cmp_epi64_mask(
                     t, d, _MM_CMPINT_NLE);
                 d = _mm512_mask_mov_epi64(d, gt, t);
                 cause = _mm512_mask_mov_epi64(cause, gt, cause3);
             }
             if (s.is_store) {
-                const __mmask8 valid = _mm512_cmp_epi64_mask(
-                    _mm512_set1_epi64(
-                        static_cast<long long>(store_seq)),
-                    sq_v, _MM_CMPINT_NLT);
-                const __m512i idx = _mm512_add_epi64(
-                    _mm512_slli_epi64(sq_head, 3), lane);
-                const __m512i t = maskGather512(sq_hist, idx, valid);
+                const __m512i t =
+                    load512(sq_ring + (store_seq & sq_mask) * uw);
                 const __mmask8 gt = _mm512_cmp_epi64_mask(
                     t, d, _MM_CMPINT_NLE);
                 d = _mm512_mask_mov_epi64(d, gt, t);
@@ -1108,7 +1139,7 @@ BatchReplay::Block::runAvx512(const TraceBuffer &buf,
                     ready, load512(complete_hist + s.dep2_row));
 
             // --- Issue: vertical first-min over the FU pool rows,
-            // then the (scalar) per-lane issue-slot claims.
+            // then the issue-slot claims.
             __m512i best = load512(units);
             __m512i pick = zero;
             for (int u = 1; u < s.fu_units; ++u) {
@@ -1121,18 +1152,73 @@ BatchReplay::Block::runAvx512(const TraceBuffer &buf,
                                              _mm512_set1_epi64(u));
             }
             __m512i issue = _mm512_max_epi64(ready, best);
-            alignas(64) std::uint64_t iss[8], pk[8], fr[8];
-            store512(iss, issue);
-            store512(pk, pick);
-            store512(fr, frontier);
-            for (int l = 0; l < w; ++l) {
-                const auto ul = static_cast<std::size_t>(l);
-                iss[ul] = claimSlot(l, iss[ul],
-                                    fr[ul] + timing::kDispatchDepth);
-                units[(static_cast<std::size_t>(pk[ul])) * uw + ul] =
-                    iss[ul] + s.occupancy;
+            {
+                // Vector claim of the common case: gather every
+                // lane's window word, claim the lanes whose row has
+                // capacity with one masked scatter, and fall back to
+                // the scalar walk only for lanes whose row is full -
+                // or whose word would trip the eviction assert.
+                // Lane columns of slots_ never alias, so the two
+                // paths claim disjoint memory and the result is the
+                // scalar loop's, bit for bit.
+                const __m512i row =
+                    _mm512_and_si512(issue, slotmask_v);
+                const __m512i sidx = _mm512_add_epi64(
+                    _mm512_slli_epi64(row, 3), lane);
+                const __m512i word =
+                    _mm512_i64gather_epi64(sidx, slots, 8);
+                const __m512i wi = _mm512_srli_epi64(
+                    word, timing::kIssueCountBits);
+                const __mmask8 stale = _mm512_cmp_epi64_mask(
+                    wi, issue, _MM_CMPINT_NE);
+                const __mmask8 isfree = _mm512_cmp_epi64_mask(
+                    word, kfree_v, _MM_CMPINT_EQ);
+                const __m512i min_live =
+                    _mm512_add_epi64(frontier, depth);
+                const __mmask8 viol = static_cast<__mmask8>(
+                    stale & ~isfree &
+                    _mm512_cmp_epi64_mask(wi, min_live,
+                                          _MM_CMPINT_NLT));
+                const __m512i word2 = _mm512_mask_mov_epi64(
+                    word, stale,
+                    _mm512_slli_epi64(issue,
+                                      timing::kIssueCountBits));
+                const __mmask8 ok = static_cast<__mmask8>(
+                    _mm512_cmp_epi64_mask(
+                        _mm512_and_si512(word2, cntmask_v), iw_v,
+                        _MM_CMPINT_LT) &
+                    ~viol);
+                _mm512_mask_i64scatter_epi64(
+                    slots, ok, sidx, _mm512_add_epi64(word2, one),
+                    8);
+                if (ok != kAll) {
+                    alignas(64) std::uint64_t iss[8], fr[8];
+                    store512(iss, issue);
+                    store512(fr, frontier);
+                    for (int l = 0; l < w; ++l) {
+                        if (ok & (1u << l))
+                            continue;
+                        const auto ul = static_cast<std::size_t>(l);
+                        iss[ul] = claimSlot(
+                            l, iss[ul],
+                            fr[ul] + timing::kDispatchDepth);
+                    }
+                    issue = load512(iss);
+                }
             }
-            issue = load512(iss);
+            // FU occupancy charge of the picked unit, one scatter
+            // (pick rows are per-lane, lane columns disjoint).
+            {
+                const __m512i uidx = _mm512_add_epi64(
+                    _mm512_slli_epi64(pick, 3), lane);
+                _mm512_mask_i64scatter_epi64(
+                    units, kAll, uidx,
+                    _mm512_add_epi64(
+                        issue,
+                        _mm512_set1_epi64(static_cast<long long>(
+                            s.occupancy))),
+                    8);
+            }
             const __mmask8 bf = _mm512_cmp_epi64_mask(
                 issue, ready, _MM_CMPINT_NLE);
             b_fu = _mm512_mask_add_epi64(b_fu, bf, b_fu, one);
@@ -1172,55 +1258,76 @@ BatchReplay::Block::runAvx512(const TraceBuffer &buf,
                     static_cast<__mmask8>(~gt), in_cycle);
             }
 
-            // --- In-order commit under the commit width.
+            // --- In-order commit under the commit width: streak
+            // form of the gathered lower bound (see streak_'s
+            // comment).
             __m512i commit = _mm512_max_epi64(
                 _mm512_add_epi64(complete, one), last_commit);
             {
-                const __mmask8 valid = _mm512_cmp_epi64_mask(
-                    i1_v, cw_v, _MM_CMPINT_NLE);
-                const __m512i row = _mm512_and_si512(
-                    _mm512_sub_epi64(i_v, cw_v), histmask);
-                const __m512i idx = _mm512_add_epi64(
-                    _mm512_slli_epi64(row, 3), lane);
-                const __m512i t =
-                    maskGather512(commit_hist, idx, valid);
-                commit = _mm512_max_epi64(
-                    commit, _mm512_add_epi64(t, one));
+                const __mmask8 eq_last = _mm512_cmp_epi64_mask(
+                    commit, last_commit, _MM_CMPINT_EQ);
+                const __mmask8 ge_cw = _mm512_cmp_epi64_mask(
+                    streak, cw_v, _MM_CMPINT_NLT);
+                const __mmask8 bump =
+                    static_cast<__mmask8>(eq_last & ge_cw);
+                commit =
+                    _mm512_mask_add_epi64(commit, bump, commit, one);
+                const __mmask8 still_eq = _mm512_cmp_epi64_mask(
+                    commit, last_commit, _MM_CMPINT_EQ);
+                streak = _mm512_add_epi64(
+                    _mm512_maskz_mov_epi64(still_eq, streak), one);
             }
             last_commit = commit;
 
-            // --- Bookkeeping: shared history rows are contiguous
-            // stores; the lq/sq ring writes are native scatters
-            // (per-lane heads never alias across lane columns).
+            // --- Bookkeeping: the shared dependency row is one
+            // contiguous store; the occupancy charges scatter to
+            // per-lane future ring rows (lane columns never alias).
             store512(complete_hist + s.hist_row, complete);
-            store512(issue_hist + s.hist_row, issue);
-            store512(commit_hist + s.hist_row, commit);
-            if (s.is_load) {
+            {
+                const __m512i row = _mm512_and_si512(
+                    _mm512_add_epi64(i_v, rob_v), robmask_v);
                 const __m512i idx = _mm512_add_epi64(
-                    _mm512_slli_epi64(lq_head, 3), lane);
-                _mm512_mask_i64scatter_epi64(lq_hist, kAll, idx,
+                    _mm512_slli_epi64(row, 3), lane);
+                _mm512_mask_i64scatter_epi64(rob_ring, kAll, idx,
                                              commit, 8);
-                lq_head = _mm512_add_epi64(lq_head, one);
-                const __mmask8 wrapq = _mm512_cmp_epi64_mask(
-                    lq_head, lq_v, _MM_CMPINT_EQ);
-                lq_head = _mm512_maskz_mov_epi64(
-                    static_cast<__mmask8>(~wrapq), lq_head);
+            }
+            {
+                const __m512i row = _mm512_and_si512(
+                    _mm512_add_epi64(i_v, iq_v), iqmask_v);
+                const __m512i idx = _mm512_add_epi64(
+                    _mm512_slli_epi64(row, 3), lane);
+                _mm512_mask_i64scatter_epi64(iq_ring, kAll, idx,
+                                             issue, 8);
+            }
+            if (s.is_load) {
+                const __m512i row = _mm512_and_si512(
+                    _mm512_add_epi64(
+                        _mm512_set1_epi64(
+                            static_cast<long long>(load_seq)),
+                        lq_v),
+                    lqmask_v);
+                const __m512i idx = _mm512_add_epi64(
+                    _mm512_slli_epi64(row, 3), lane);
+                _mm512_mask_i64scatter_epi64(lq_ring, kAll, idx,
+                                             commit, 8);
                 ++load_seq;
             }
             if (s.is_store) {
+                const __m512i row = _mm512_and_si512(
+                    _mm512_add_epi64(
+                        _mm512_set1_epi64(
+                            static_cast<long long>(store_seq)),
+                        sq_v),
+                    sqmask_v);
                 const __m512i idx = _mm512_add_epi64(
-                    _mm512_slli_epi64(sq_head, 3), lane);
-                _mm512_mask_i64scatter_epi64(sq_hist, kAll, idx,
+                    _mm512_slli_epi64(row, 3), lane);
+                _mm512_mask_i64scatter_epi64(sq_ring, kAll, idx,
                                              commit, 8);
-                sq_head = _mm512_add_epi64(sq_head, one);
-                const __mmask8 wrapq = _mm512_cmp_epi64_mask(
-                    sq_head, sq_v, _MM_CMPINT_EQ);
-                sq_head = _mm512_maskz_mov_epi64(
-                    static_cast<__mmask8>(~wrapq), sq_head);
                 ++store_seq;
             }
 
-            countShared(ws, s);
+            if (count)
+                countShared(ws, s);
         }
     }
 
@@ -1228,8 +1335,7 @@ BatchReplay::Block::runAvx512(const TraceBuffer &buf,
     store512(in_cycle_.data(), in_cycle);
     store512(last_commit_.data(), last_commit);
     store512(dram_free_.data(), dram_free);
-    store512(load_head_.data(), lq_head);
-    store512(store_head_.data(), sq_head);
+    store512(streak_.data(), streak);
     store512(win_stall_rob_.data(), st_rob);
     store512(win_stall_iq_.data(), st_iq);
     store512(win_stall_lsq_.data(), st_lsq);
@@ -1244,7 +1350,8 @@ BatchReplay::Block::runAvx512(const TraceBuffer &buf,
 void
 BatchReplay::Block::run(const TraceBuffer &buf,
                         const MemLevelTable &mem, std::uint64_t pos,
-                        std::uint64_t n, SimResult *out)
+                        std::uint64_t n, SimResult *out,
+                        WindowShared &ws, bool count)
 {
     // Snapshot the window start, mirroring runImpl's locals.
     const std::vector<Activity> start_activity = activity_;
@@ -1255,21 +1362,20 @@ BatchReplay::Block::run(const TraceBuffer &buf,
     std::fill(win_bound_fu_.begin(), win_bound_fu_.end(), 0);
     std::fill(win_bound_deps_.begin(), win_bound_deps_.end(), 0);
 
-    WindowShared ws;
 #if M3D_HAVE_AVX2_KERNEL
     switch (kind_) {
       case Kind::Avx512:
-        runAvx512(buf, mem, pos, n, ws);
+        runAvx512(buf, mem, pos, n, ws, count);
         break;
       case Kind::Avx2:
-        runAvx2(buf, mem, pos, n, ws);
+        runAvx2(buf, mem, pos, n, ws, count);
         break;
       case Kind::Scalar:
-        runScalar(buf, mem, pos, n, ws);
+        runScalar(buf, mem, pos, n, ws, count);
         break;
     }
 #else
-    runScalar(buf, mem, pos, n, ws);
+    runScalar(buf, mem, pos, n, ws, count);
 #endif
 
     // Fold counters into each lane's Activity exactly like runImpl.
@@ -1383,8 +1489,13 @@ BatchReplay::run(std::uint64_t n)
         MemLevelRegistry::global().acquire(buf_, pos_ + n);
     std::vector<SimResult> out(designs_.size());
     std::size_t base = 0;
+    // The window's uniform per-op accounting depends only on the
+    // stream, so the first block counts it and the rest reuse it.
+    WindowShared ws;
+    bool counted = false;
     for (const auto &b : blocks_) {
-        b->run(*buf_, mem, pos_, n, out.data() + base);
+        b->run(*buf_, mem, pos_, n, out.data() + base, ws, !counted);
+        counted = true;
         base += static_cast<std::size_t>(b->width());
     }
     pos_ += n;

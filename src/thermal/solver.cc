@@ -26,6 +26,140 @@ elapsedSeconds(std::chrono::steady_clock::time_point since)
         .count();
 }
 
+/** Power-independent per-row stencil inputs of the scalar sweeps. */
+struct ScalarStencil
+{
+    int n = 0;                     ///< cells per side
+    int nl = 0;                    ///< layers
+    const double *g_lat = nullptr; ///< per-layer lateral conductance
+    const double *g_up = nullptr;  ///< per-layer vertical conductance
+    double sink_flow = 0.0;        ///< g_sink * ambient
+};
+
+/**
+ * Scalar half sweep of `color` over grid rows [row_begin, row_end);
+ * returns the max temperature delta.  `gs` is the per-cell stencil
+ * factor (GridSolver::stencilFactor): with kRecip it is the
+ * reciprocal total conductance and every flow term is one
+ * correctly-rounded std::fma, so the result is bit-identical to the
+ * explicitly-fused vector kernels; without it, `gs` is the
+ * conductance itself and the separate multiply/add plus division
+ * roundings of the legacy sweep are reproduced exactly.  Either way
+ * the identity relies on this file being compiled with
+ * -ffp-contract=off (see CMakeLists.txt): the only fused ops are the
+ * ones written as std::fma / _mm512_fmadd_pd, on every path.
+ *
+ * always_inline so the target("fma") wrapper below absorbs the body:
+ * there std::fma becomes a single vfmadd instruction instead of a
+ * libm call, which is the whole point of the reformulation.
+ */
+template <bool kRecip>
+__attribute__((always_inline)) inline double
+sweepRowsScalarBody(const ScalarStencil &s, double *tp,
+                    const double *fb, const double *gs, double omega,
+                    int color, int row_begin, int row_end)
+{
+    const int n = s.n;
+    const std::size_t plane = static_cast<std::size_t>(n) * n;
+    double local_max = 0.0;
+    for (int r = row_begin; r < row_end; ++r) {
+        const int l = r / n;
+        const int y = r % n;
+        const double gl = s.g_lat[static_cast<std::size_t>(l)];
+        const std::size_t row_base =
+            static_cast<std::size_t>(l) * plane +
+            static_cast<std::size_t>(y) * n;
+        // Row-invariant stencil legs: which vertical neighbors exist
+        // and whether the row touches the y boundaries.
+        const bool has_up = l + 1 < s.nl;
+        const double g_up =
+            has_up ? s.g_up[static_cast<std::size_t>(l)] : 0.0;
+        const bool has_dn = l > 0;
+        const double g_dn =
+            has_dn ? s.g_up[static_cast<std::size_t>(l - 1)] : 0.0;
+        const bool has_n = y > 0;
+        const bool has_s = y + 1 < n;
+        for (int x = (color + l + y) & 1; x < n; x += 2) {
+            const std::size_t i = row_base + x;
+            // Flow accumulates in the historical couple() order
+            // (left, right, north, south, up/sink, down).
+            double flow = fb[i];
+            double t_new;
+            if constexpr (kRecip) {
+                if (x > 0)
+                    flow = std::fma(gl, tp[i - 1], flow);
+                if (x + 1 < n)
+                    flow = std::fma(gl, tp[i + 1], flow);
+                if (has_n)
+                    flow = std::fma(gl, tp[i - n], flow);
+                if (has_s)
+                    flow = std::fma(gl, tp[i + n], flow);
+                flow = has_up ? std::fma(g_up, tp[i + plane], flow)
+                              : flow + s.sink_flow;
+                if (has_dn)
+                    flow = std::fma(g_dn, tp[i - plane], flow);
+                t_new = flow * gs[i];
+            } else {
+                if (x > 0)
+                    flow += gl * tp[i - 1];
+                if (x + 1 < n)
+                    flow += gl * tp[i + 1];
+                if (has_n)
+                    flow += gl * tp[i - n];
+                if (has_s)
+                    flow += gl * tp[i + n];
+                flow += has_up ? g_up * tp[i + plane] : s.sink_flow;
+                if (has_dn)
+                    flow += g_dn * tp[i - plane];
+                t_new = flow / gs[i];
+            }
+            const double t_old = tp[i];
+            // The reciprocal formulation fuses the relaxation update
+            // too: one correctly-rounded fma on every path (libm,
+            // vfmadd, packed) instead of leaving the contraction of
+            // mul+add to compiler flags.  The legacy branch keeps
+            // the historical two-rounding update.
+            double t_next;
+            if constexpr (kRecip)
+                t_next = std::fma(omega, t_new - t_old, t_old);
+            else
+                t_next = t_old + omega * (t_new - t_old);
+            local_max = std::max(local_max, std::abs(t_next - t_old));
+            tp[i] = t_next;
+        }
+    }
+    return local_max;
+}
+
+/** Baseline-codegen instantiations of the scalar sweep body. */
+template <bool kRecip>
+double
+sweepRowsScalar(const ScalarStencil &s, double *tp, const double *fb,
+                const double *gs, double omega, int color,
+                int row_begin, int row_end)
+{
+    return sweepRowsScalarBody<kRecip>(s, tp, fb, gs, omega, color,
+                                       row_begin, row_end);
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+/**
+ * FMA-targeted twin of sweepRowsScalar<true>, dispatched by
+ * simd::useFma(): identical arithmetic (std::fma is correctly
+ * rounded either way), but here the compiler inlines it to vfmadd
+ * instead of emitting a libm call per flow term.
+ */
+__attribute__((target("fma")))
+double
+sweepRowsScalarFma(const ScalarStencil &s, double *tp,
+                   const double *fb, const double *gs, double omega,
+                   int color, int row_begin, int row_end)
+{
+    return sweepRowsScalarBody<true>(s, tp, fb, gs, omega, color,
+                                     row_begin, row_end);
+}
+#endif
+
 #if defined(M3D_HAVE_AVX512_SWEEP)
 
 /**
@@ -40,8 +174,8 @@ elapsedSeconds(std::chrono::steady_clock::time_point since)
  * j - (1 - x0) / j + x0 of the SAME row of the other color's plane,
  * and the north/south/up/down neighbors sit at packed index j of the
  * adjacent rows - so eight cells update from nine unaligned vector
- * loads with no gathers or shuffles, and the per-cell division (the
- * sweep's real cost) runs eight lanes wide.
+ * loads with no gathers or shuffles, and the per-cell stencil apply
+ * runs eight lanes wide.
  *
  * One guard element before and after each plane absorbs the two
  * single-element overhangs (the left read of the global first cell
@@ -58,7 +192,9 @@ struct PackedField
     double sink_flow = 0.0;        ///< g_sink * ambient
     double *t[2] = {nullptr, nullptr};        ///< packed field
     const double *fb[2] = {nullptr, nullptr}; ///< packed base flow
-    const double *gt[2] = {nullptr, nullptr}; ///< packed conductance
+    /** Packed stencil factor: reciprocal conductance (multiplied) by
+     * default, the conductance itself under division_sweep. */
+    const double *gt[2] = {nullptr, nullptr};
 };
 
 /** Packed index of (row r, lane j): planes are [row][j] + 1 guard. */
@@ -104,13 +240,23 @@ unpackColor(const PackedField &p, int color, const double *src,
  * AVX-512 half sweep of `color` over packed rows [row_begin,
  * row_end); returns the max temperature delta.  Bit-identical to the
  * scalar loop in GridSolver::sweepColor: each lane evaluates the
- * exact scalar expression - the six flow terms accumulate in the
- * historical couple() order through explicit mul/add intrinsics
- * (which the compiler never contracts into FMA, and the scalar build
- * targets baseline x86-64, which has no FMA to contract into), the
- * division and over-relaxation update use the same IEEE operations,
- * and the max reduction is order-independent over non-NaN values.
+ * exact scalar expression in the historical couple() order (left,
+ * right, north, south, up/sink, down), and the max reduction is
+ * order-independent over non-NaN values.
+ *
+ * kRecip selects the formulation.  true (default config): each flow
+ * term is one fused multiply-add and the quotient is a multiply by
+ * the packed reciprocal conductance - bit-identical to the scalar
+ * kernel's std::fma/multiply sequence because FMA is correctly
+ * rounded by definition, not because the instruction selection
+ * matches.  false (legacy): explicit mul/add intrinsics and a
+ * division, preserved exactly for A/B drift measurement.  The
+ * mul/add pairs here stay two separate roundings only because this
+ * file is compiled with -ffp-contract=off (see CMakeLists.txt);
+ * under GCC's default -ffp-contract=fast they would silently fuse
+ * into vfmadd and drift a ulp off the baseline scalar sweep.
  */
+template <bool kRecip>
 __attribute__((target("avx512f,avx512vl,avx512dq")))
 double
 sweepPackedRows(const PackedField &p, double omega, int color,
@@ -181,43 +327,83 @@ sweepPackedRows(const PackedField &p, double omega, int color,
             // Flow accumulates in the historical couple() order
             // (left, right, north, south, up/sink, down).
             __m512d flow = _mm512_maskz_loadu_pd(km, fbr + j0);
-            flow = _mm512_mask_add_pd(
-                flow, k_left, flow,
-                _mm512_mul_pd(gl_v,
-                              _mm512_maskz_loadu_pd(km, leftp + j0)));
-            flow = _mm512_mask_add_pd(
-                flow, k_right, flow,
-                _mm512_mul_pd(gl_v,
-                              _mm512_maskz_loadu_pd(km, rightp + j0)));
-            if (has_n)
-                flow = _mm512_add_pd(
-                    flow,
-                    _mm512_mul_pd(gl_v,
-                                  _mm512_maskz_loadu_pd(km, oth - h + j0)));
-            if (has_s)
-                flow = _mm512_add_pd(
-                    flow,
-                    _mm512_mul_pd(gl_v,
-                                  _mm512_maskz_loadu_pd(km, oth + h + j0)));
-            flow = has_up
-                ? _mm512_add_pd(
-                      flow,
-                      _mm512_mul_pd(
+            __m512d t_new;
+            if constexpr (kRecip) {
+                flow = _mm512_mask3_fmadd_pd(
+                    gl_v, _mm512_maskz_loadu_pd(km, leftp + j0), flow,
+                    k_left);
+                flow = _mm512_mask3_fmadd_pd(
+                    gl_v, _mm512_maskz_loadu_pd(km, rightp + j0), flow,
+                    k_right);
+                if (has_n)
+                    flow = _mm512_fmadd_pd(
+                        gl_v, _mm512_maskz_loadu_pd(km, oth - h + j0),
+                        flow);
+                if (has_s)
+                    flow = _mm512_fmadd_pd(
+                        gl_v, _mm512_maskz_loadu_pd(km, oth + h + j0),
+                        flow);
+                flow = has_up
+                    ? _mm512_fmadd_pd(
                           gup_v,
-                          _mm512_maskz_loadu_pd(km, oth + plane_h + j0)))
-                : _mm512_add_pd(flow, sink_v);
-            if (has_dn)
-                flow = _mm512_add_pd(
-                    flow,
-                    _mm512_mul_pd(
+                          _mm512_maskz_loadu_pd(km, oth + plane_h + j0),
+                          flow)
+                    : _mm512_add_pd(flow, sink_v);
+                if (has_dn)
+                    flow = _mm512_fmadd_pd(
                         gdn_v,
-                        _mm512_maskz_loadu_pd(km, oth - plane_h + j0)));
-
-            const __m512d t_new = _mm512_maskz_div_pd(
-                km, flow, _mm512_maskz_loadu_pd(km, gtr + j0));
+                        _mm512_maskz_loadu_pd(km, oth - plane_h + j0),
+                        flow);
+                t_new = _mm512_maskz_mul_pd(
+                    km, flow, _mm512_maskz_loadu_pd(km, gtr + j0));
+            } else {
+                flow = _mm512_mask_add_pd(
+                    flow, k_left, flow,
+                    _mm512_mul_pd(
+                        gl_v, _mm512_maskz_loadu_pd(km, leftp + j0)));
+                flow = _mm512_mask_add_pd(
+                    flow, k_right, flow,
+                    _mm512_mul_pd(
+                        gl_v, _mm512_maskz_loadu_pd(km, rightp + j0)));
+                if (has_n)
+                    flow = _mm512_add_pd(
+                        flow,
+                        _mm512_mul_pd(
+                            gl_v,
+                            _mm512_maskz_loadu_pd(km, oth - h + j0)));
+                if (has_s)
+                    flow = _mm512_add_pd(
+                        flow,
+                        _mm512_mul_pd(
+                            gl_v,
+                            _mm512_maskz_loadu_pd(km, oth + h + j0)));
+                flow = has_up
+                    ? _mm512_add_pd(
+                          flow,
+                          _mm512_mul_pd(
+                              gup_v,
+                              _mm512_maskz_loadu_pd(km,
+                                                    oth + plane_h + j0)))
+                    : _mm512_add_pd(flow, sink_v);
+                if (has_dn)
+                    flow = _mm512_add_pd(
+                        flow,
+                        _mm512_mul_pd(
+                            gdn_v,
+                            _mm512_maskz_loadu_pd(km,
+                                                  oth - plane_h + j0)));
+                t_new = _mm512_maskz_div_pd(
+                    km, flow, _mm512_maskz_loadu_pd(km, gtr + j0));
+            }
             const __m512d delta = _mm512_sub_pd(t_new, t_old);
-            const __m512d t_next =
-                _mm512_add_pd(t_old, _mm512_mul_pd(omega_v, delta));
+            // Fused relaxation update under kRecip, mirroring the
+            // scalar kernel's explicit std::fma.
+            __m512d t_next;
+            if constexpr (kRecip)
+                t_next = _mm512_fmadd_pd(omega_v, delta, t_old);
+            else
+                t_next =
+                    _mm512_add_pd(t_old, _mm512_mul_pd(omega_v, delta));
             const __m512d diff =
                 _mm512_abs_pd(_mm512_sub_pd(t_next, t_old));
             vmax = _mm512_mask_max_pd(vmax, km, vmax, diff);
@@ -245,8 +431,10 @@ constexpr int kMaxPackedFields = 8;
  * is bit-identical to sweeping it alone; running them together keeps
  * nf independent flow-accumulation chains in flight where one field's
  * serial chain would stall the core.  Writes field f's max delta to
- * max_out[f].
+ * max_out[f].  kRecip selects the formulation exactly as in
+ * sweepPackedRows.
  */
+template <bool kRecip>
 __attribute__((target("avx512f,avx512vl,avx512dq")))
 void
 sweepPackedRowsMulti(const PackedField &p, const PackedStreams *fs,
@@ -312,47 +500,89 @@ sweepPackedRowsMulti(const PackedField &p, const PackedStreams *fs,
                 const __m512d t_old =
                     _mm512_maskz_loadu_pd(km, cen + j0);
                 __m512d flow = _mm512_maskz_loadu_pd(km, fbr + j0);
-                flow = _mm512_mask_add_pd(
-                    flow, k_left, flow,
-                    _mm512_mul_pd(
-                        gl_v, _mm512_maskz_loadu_pd(km, leftp + j0)));
-                flow = _mm512_mask_add_pd(
-                    flow, k_right, flow,
-                    _mm512_mul_pd(
-                        gl_v, _mm512_maskz_loadu_pd(km, rightp + j0)));
-                if (has_n)
-                    flow = _mm512_add_pd(
-                        flow,
-                        _mm512_mul_pd(
+                __m512d t_new;
+                if constexpr (kRecip) {
+                    flow = _mm512_mask3_fmadd_pd(
+                        gl_v, _mm512_maskz_loadu_pd(km, leftp + j0),
+                        flow, k_left);
+                    flow = _mm512_mask3_fmadd_pd(
+                        gl_v, _mm512_maskz_loadu_pd(km, rightp + j0),
+                        flow, k_right);
+                    if (has_n)
+                        flow = _mm512_fmadd_pd(
                             gl_v,
-                            _mm512_maskz_loadu_pd(km, oth - h + j0)));
-                if (has_s)
-                    flow = _mm512_add_pd(
-                        flow,
-                        _mm512_mul_pd(
+                            _mm512_maskz_loadu_pd(km, oth - h + j0),
+                            flow);
+                    if (has_s)
+                        flow = _mm512_fmadd_pd(
                             gl_v,
-                            _mm512_maskz_loadu_pd(km, oth + h + j0)));
-                flow = has_up
-                    ? _mm512_add_pd(
-                          flow,
-                          _mm512_mul_pd(
+                            _mm512_maskz_loadu_pd(km, oth + h + j0),
+                            flow);
+                    flow = has_up
+                        ? _mm512_fmadd_pd(
                               gup_v,
                               _mm512_maskz_loadu_pd(
-                                  km, oth + plane_h + j0)))
-                    : _mm512_add_pd(flow, sink_v);
-                if (has_dn)
-                    flow = _mm512_add_pd(
-                        flow,
-                        _mm512_mul_pd(
+                                  km, oth + plane_h + j0),
+                              flow)
+                        : _mm512_add_pd(flow, sink_v);
+                    if (has_dn)
+                        flow = _mm512_fmadd_pd(
                             gdn_v,
                             _mm512_maskz_loadu_pd(
-                                km, oth - plane_h + j0)));
-
-                const __m512d t_new =
-                    _mm512_maskz_div_pd(km, flow, gt_v);
+                                km, oth - plane_h + j0),
+                            flow);
+                    t_new = _mm512_maskz_mul_pd(km, flow, gt_v);
+                } else {
+                    flow = _mm512_mask_add_pd(
+                        flow, k_left, flow,
+                        _mm512_mul_pd(
+                            gl_v,
+                            _mm512_maskz_loadu_pd(km, leftp + j0)));
+                    flow = _mm512_mask_add_pd(
+                        flow, k_right, flow,
+                        _mm512_mul_pd(
+                            gl_v,
+                            _mm512_maskz_loadu_pd(km, rightp + j0)));
+                    if (has_n)
+                        flow = _mm512_add_pd(
+                            flow,
+                            _mm512_mul_pd(
+                                gl_v,
+                                _mm512_maskz_loadu_pd(km,
+                                                      oth - h + j0)));
+                    if (has_s)
+                        flow = _mm512_add_pd(
+                            flow,
+                            _mm512_mul_pd(
+                                gl_v,
+                                _mm512_maskz_loadu_pd(km,
+                                                      oth + h + j0)));
+                    flow = has_up
+                        ? _mm512_add_pd(
+                              flow,
+                              _mm512_mul_pd(
+                                  gup_v,
+                                  _mm512_maskz_loadu_pd(
+                                      km, oth + plane_h + j0)))
+                        : _mm512_add_pd(flow, sink_v);
+                    if (has_dn)
+                        flow = _mm512_add_pd(
+                            flow,
+                            _mm512_mul_pd(
+                                gdn_v,
+                                _mm512_maskz_loadu_pd(
+                                    km, oth - plane_h + j0)));
+                    t_new = _mm512_maskz_div_pd(km, flow, gt_v);
+                }
                 const __m512d delta = _mm512_sub_pd(t_new, t_old);
-                const __m512d t_next = _mm512_add_pd(
-                    t_old, _mm512_mul_pd(omega_v, delta));
+                // Fused relaxation update under kRecip, mirroring
+                // the scalar kernel's explicit std::fma.
+                __m512d t_next;
+                if constexpr (kRecip)
+                    t_next = _mm512_fmadd_pd(omega_v, delta, t_old);
+                else
+                    t_next = _mm512_add_pd(
+                        t_old, _mm512_mul_pd(omega_v, delta));
                 const __m512d diff =
                     _mm512_abs_pd(_mm512_sub_pd(t_next, t_old));
                 vmax[f] =
@@ -520,70 +750,62 @@ GridSolver::totalConductance(const Coefficients &c,
     return g_total;
 }
 
+std::vector<double>
+GridSolver::stencilFactor(const Coefficients &c,
+                          const std::vector<double> &diag) const
+{
+    std::vector<double> g = totalConductance(c, diag);
+    if (!config_.division_sweep) {
+        // One division per cell per SOLVE instead of one per cell
+        // per sweep; the inner loops multiply.
+        for (double &v : g)
+            v = 1.0 / v;
+    }
+    return g;
+}
+
 double
 GridSolver::sweepColor(const Coefficients &c, std::vector<double> &t,
                        const std::vector<double> &flow_base,
-                       const std::vector<double> &g_total, double omega,
-                       int color) const
+                       const std::vector<double> &g_stencil,
+                       double omega, int color) const
 {
     const int n = c.n;
     const int nl = c.nl;
-    const std::size_t plane = static_cast<std::size_t>(n) * n;
+
+    ScalarStencil s;
+    s.n = n;
+    s.nl = nl;
+    s.g_lat = c.g_lat.data();
+    s.g_up = c.g_up.data();
+    s.sink_flow = c.g_sink * stack_.ambient_c;
+    double *const tp = t.data();
+    const double *const fb = flow_base.data();
+    const double *const gs = g_stencil.data();
+
+    // Pick the row-sweep kernel once per call: reciprocal (std::fma
+    // accumulation, preferring the FMA-targeted twin) or the legacy
+    // division formulation.  Both are pure functions of their row
+    // range, so the parallel path below stays bit-identical at any
+    // thread count for either choice.
+    using SweepFn = double (*)(const ScalarStencil &, double *,
+                               const double *, const double *, double,
+                               int, int, int);
+    SweepFn sweep_fn = config_.division_sweep
+        ? &sweepRowsScalar<false>
+        : &sweepRowsScalar<true>;
+#if defined(__x86_64__) && defined(__GNUC__)
+    if (!config_.division_sweep && simd::useFma())
+        sweep_fn = &sweepRowsScalarFma;
+#endif
 
     // Each grid row (one l,y pair) holds cells of alternating color;
     // a cell's 6 neighbors all have the opposite parity of
     // (l + y + x), so updating one color only reads the other - rows
     // can be processed concurrently with bit-identical results.
     auto sweepRows = [&](int row_begin, int row_end) {
-        double local_max = 0.0;
-        double *const tp = t.data();
-        const double *const fb = flow_base.data();
-        const double *const gt = g_total.data();
-        const double sink_flow = c.g_sink * stack_.ambient_c;
-        for (int r = row_begin; r < row_end; ++r) {
-            const int l = r / n;
-            const int y = r % n;
-            const double gl = c.g_lat[static_cast<std::size_t>(l)];
-            const std::size_t row_base =
-                static_cast<std::size_t>(l) * plane +
-                static_cast<std::size_t>(y) * n;
-            // Row-invariant stencil legs: which vertical neighbors
-            // exist and whether the row touches the y boundaries.
-            const bool has_up = l + 1 < nl;
-            const double g_up =
-                has_up ? c.g_up[static_cast<std::size_t>(l)] : 0.0;
-            const bool has_dn = l > 0;
-            const double g_dn =
-                has_dn ? c.g_up[static_cast<std::size_t>(l - 1)] : 0.0;
-            const bool has_n = y > 0;
-            const bool has_s = y + 1 < n;
-            for (int x = (color + l + y) & 1; x < n; x += 2) {
-                const std::size_t i = row_base + x;
-                // Flow accumulates in the historical couple() order
-                // (left, right, north, south, up/sink, down) so each
-                // quotient is bit-identical to the original sweep.
-                double flow = fb[i];
-                if (x > 0)
-                    flow += gl * tp[i - 1];
-                if (x + 1 < n)
-                    flow += gl * tp[i + 1];
-                if (has_n)
-                    flow += gl * tp[i - n];
-                if (has_s)
-                    flow += gl * tp[i + n];
-                flow += has_up ? g_up * tp[i + plane] : sink_flow;
-                if (has_dn)
-                    flow += g_dn * tp[i - plane];
-                const double t_new = flow / gt[i];
-                const double t_old = tp[i];
-                const double t_next =
-                    t_old + omega * (t_new - t_old);
-                local_max = std::max(local_max,
-                                     std::abs(t_next - t_old));
-                tp[i] = t_next;
-            }
-        }
-        return local_max;
+        return sweep_fn(s, tp, fb, gs, omega, color, row_begin,
+                        row_end);
     };
 
     const int rows = nl * n;
@@ -613,7 +835,7 @@ GridSolver::sweepColor(const Coefficients &c, std::vector<double> &t,
 
 void
 GridSolver::solvePackedSteady(const Coefficients &c,
-                              const std::vector<double> &g_total,
+                              const std::vector<double> &g_stencil,
                               std::vector<double> &t,
                               SolveStats &st) const
 {
@@ -640,15 +862,22 @@ GridSolver::solvePackedSteady(const Coefficients &c,
         gtp[color].assign(cells + 2, 1.0);
         packColor(p, color, t.data(), tp[color].data() + 1);
         packColor(p, color, c.power.data(), fbp[color].data() + 1);
-        packColor(p, color, g_total.data(), gtp[color].data() + 1);
+        packColor(p, color, g_stencil.data(), gtp[color].data() + 1);
         p.t[color] = tp[color].data() + 1;
         p.fb[color] = fbp[color].data() + 1;
         p.gt[color] = gtp[color].data() + 1;
     }
 
+    // Formulation dispatch mirrors sweepColor's.
+    using PackedFn =
+        double (*)(const PackedField &, double, int, int, int);
+    const PackedFn sweep_rows = config_.division_sweep
+        ? &sweepPackedRows<false>
+        : &sweepPackedRows<true>;
+
     auto sweep = [&](int color) {
         if (!pool_)
-            return sweepPackedRows(p, config_.omega, color, 0, rows);
+            return sweep_rows(p, config_.omega, color, 0, rows);
         const int workers = std::max(1, pool_->threads());
         const int chunk = config_.rows_per_task > 0
             ? config_.rows_per_task
@@ -660,8 +889,8 @@ GridSolver::solvePackedSteady(const Coefficients &c,
             static_cast<std::size_t>(tasks), [&](std::size_t ti) {
                 const int begin = static_cast<int>(ti) * chunk;
                 const int end = std::min(rows, begin + chunk);
-                task_max[ti] = sweepPackedRows(p, config_.omega,
-                                               color, begin, end);
+                task_max[ti] = sweep_rows(p, config_.omega, color,
+                                          begin, end);
             });
         double max_delta = 0.0;
         for (double v : task_max)
@@ -693,7 +922,7 @@ GridSolver::solvePackedSteady(const Coefficients &c,
 void
 GridSolver::solveManyPackedSteady(
     const std::vector<Coefficients> &cs,
-    const std::vector<double> &g_total,
+    const std::vector<double> &g_stencil,
     const std::vector<std::vector<double> *> &ts,
     std::vector<SolveStats> &sts) const
 {
@@ -720,7 +949,7 @@ GridSolver::solveManyPackedSteady(
     std::vector<double> gtp[2];
     for (int color = 0; color < 2; ++color) {
         gtp[color].assign(cells + 2, 1.0);
-        packColor(p, color, g_total.data(), gtp[color].data() + 1);
+        packColor(p, color, g_stencil.data(), gtp[color].data() + 1);
         p.gt[color] = gtp[color].data() + 1;
     }
     std::vector<std::vector<double>> tp(2 * k), fbp(2 * k);
@@ -744,11 +973,18 @@ GridSolver::solveManyPackedSteady(
     for (std::size_t f = 0; f < k; ++f)
         alive[f] = f;
     std::vector<PackedStreams> active(k);
+    // Formulation dispatch mirrors sweepColor's.
+    using PackedMultiFn =
+        void (*)(const PackedField &, const PackedStreams *, int,
+                 double, int, int, int, double *);
+    const PackedMultiFn sweep_rows_multi = config_.division_sweep
+        ? &sweepPackedRowsMulti<false>
+        : &sweepPackedRowsMulti<true>;
     const auto sweep = [&](int color, double *max_out) {
         const int nf = static_cast<int>(alive.size());
         if (!pool_) {
-            sweepPackedRowsMulti(p, active.data(), nf, config_.omega,
-                                 color, 0, rows, max_out);
+            sweep_rows_multi(p, active.data(), nf, config_.omega,
+                             color, 0, rows, max_out);
             return;
         }
         const int workers = std::max(1, pool_->threads());
@@ -762,7 +998,7 @@ GridSolver::solveManyPackedSteady(
             static_cast<std::size_t>(tasks), [&](std::size_t ti) {
                 const int begin = static_cast<int>(ti) * chunk;
                 const int end = std::min(rows, begin + chunk);
-                sweepPackedRowsMulti(
+                sweep_rows_multi(
                     p, active.data(), nf, config_.omega, color, begin,
                     end, task_max.data() + ti * alive.size());
             });
@@ -874,13 +1110,13 @@ GridSolver::solve(
 
     // Steady state has no capacitive diagonal term; the sweep's base
     // flow is just the injected power.
-    const std::vector<double> g_total =
-        totalConductance(c, std::vector<double>());
+    const std::vector<double> g_stencil =
+        stencilFactor(c, std::vector<double>());
 
     SolveStats st;
 #if defined(M3D_HAVE_AVX512_SWEEP)
-    if (simd::useAvx512() && c.n % 2 == 0) {
-        solvePackedSteady(c, g_total, t, st);
+    if (simd::useAvx512() && !config_.force_scalar && c.n % 2 == 0) {
+        solvePackedSteady(c, g_stencil, t, st);
         st.seconds = elapsedSeconds(t0);
         finishSolve(st, stats, "steady-state");
         return field;
@@ -893,9 +1129,9 @@ GridSolver::solve(
         // left it to unspecified argument evaluation; this compiler
         // ran right to left and the goldens bless that order).
         const double d1 =
-            sweepColor(c, t, c.power, g_total, config_.omega, 1);
+            sweepColor(c, t, c.power, g_stencil, config_.omega, 1);
         const double d0 =
-            sweepColor(c, t, c.power, g_total, config_.omega, 0);
+            sweepColor(c, t, c.power, g_stencil, config_.omega, 0);
         max_delta = std::max(d0, d1);
         if (max_delta < config_.tolerance) {
             st.converged = true;
@@ -919,15 +1155,15 @@ GridSolver::solveMany(
 
 #if defined(M3D_HAVE_AVX512_SWEEP)
     if (k > 1 && k <= kMaxPackedFields && simd::useAvx512() &&
-        grid_ % 2 == 0) {
+        !config_.force_scalar && grid_ % 2 == 0) {
         const auto t0 = std::chrono::steady_clock::now();
         std::vector<Coefficients> cs;
         cs.reserve(k);
         for (const auto &maps : power_maps)
             cs.push_back(assemble(maps));
-        // The stencil total ignores power, so one field's serves all.
-        const std::vector<double> g_total =
-            totalConductance(cs[0], std::vector<double>());
+        // The stencil factor ignores power, so one field's serves all.
+        const std::vector<double> g_stencil =
+            stencilFactor(cs[0], std::vector<double>());
 
         std::vector<ThermalField> out(k);
         std::vector<std::vector<double> *> ts(k);
@@ -941,7 +1177,7 @@ GridSolver::solveMany(
         }
 
         std::vector<SolveStats> sts(k);
-        solveManyPackedSteady(cs, g_total, ts, sts);
+        solveManyPackedSteady(cs, g_stencil, ts, sts);
         const double seconds = elapsedSeconds(t0);
         for (std::size_t f = 0; f < k; ++f) {
             sts[f].seconds = seconds;
@@ -982,8 +1218,8 @@ GridSolver::solveTransient(
         diag[static_cast<std::size_t>(l)] = c_node / dt;
     }
     // The capacitive diagonal is fixed across steps, so the stencil
-    // conductance total is too.
-    const std::vector<double> g_total = totalConductance(c, diag);
+    // factor is too.
+    const std::vector<double> g_stencil = stencilFactor(c, diag);
 
     std::vector<double> t(cells, stack_.ambient_c);
     // Per-step constant part of each node's flow: the capacitive
@@ -1017,9 +1253,9 @@ GridSolver::solveTransient(
             ++st.iterations;
             // Same explicit color-1-first order as the steady loop.
             const double d1 =
-                sweepColor(c, t, flow_base, g_total, 1.0, 1);
+                sweepColor(c, t, flow_base, g_stencil, 1.0, 1);
             const double d0 =
-                sweepColor(c, t, flow_base, g_total, 1.0, 0);
+                sweepColor(c, t, flow_base, g_stencil, 1.0, 0);
             max_delta = std::max(d0, d1);
             if (max_delta < config_.tolerance) {
                 step_converged = true;

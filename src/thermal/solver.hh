@@ -65,8 +65,22 @@ struct SolverConfig
      */
     int max_transient_sweeps = 2000;
 
-    /** Over-relaxation factor of the steady SOR sweeps. */
-    double omega = 1.8;
+    /**
+     * Over-relaxation factor of the steady SOR sweeps.  The stencil
+     * matrix is symmetric positive definite, so red-black SOR
+     * converges for any omega in (0, 2) (Ostrowski-Reich) - the knob
+     * only trades iteration count.  The deep M3D stacks dominate the
+     * search's thermal cost and their extreme vertical/lateral
+     * conductance contrast puts the Jacobi spectral radius near 1:
+     * measured on the factory stacks, 1.95 converges them in ~4x
+     * fewer sweeps than the old 1.8 default (~220 vs ~900 per field
+     * at grids 16-32), while the shallow 2D/TSV stacks - near-optimal
+     * at 1.8 - give back at most ~170 extra sweeps on solves that
+     * finish in a couple of ms.  Every omega lands within `tolerance`
+     * of the same fixed point; the golden thermal metrics are blessed
+     * at 1.95.
+     */
+    double omega = 1.95;
 
     /**
      * Worker threads for the per-color sweeps.  1 (default) runs
@@ -82,6 +96,29 @@ struct SolverConfig
      * knob - it never affects results.
      */
     int rows_per_task = 0;
+
+    /**
+     * Sweep formulation.  The default (false) multiplies each cell's
+     * flow by a per-cell *reciprocal* total conductance precomputed
+     * once per solve, with the flow terms accumulated through fused
+     * multiply-adds - the per-cell division (the sweep's former
+     * throughput bound) disappears from the inner loop.  `true`
+     * selects the legacy formulation: divide by the conductance,
+     * accumulate with separate multiply/add roundings.  Both forms
+     * are bit-identical across thread counts and SIMD widths *within*
+     * themselves, but differ from each other in the last ulps; the
+     * golden thermal metrics are blessed under the reciprocal form.
+     * The division form is kept for A/B drift and speed measurement
+     * (bench/perf_thermal) - see EXPERIMENTS.md "Golden metrics".
+     */
+    bool division_sweep = false;
+
+    /**
+     * Force the scalar sweep kernels even where the AVX-512 packed
+     * path is available - a bit-identity probe for tests and
+     * benches, like BatchReplayOptions::force_scalar.
+     */
+    bool force_scalar = false;
 
     /** What a non-converged solve does. */
     enum class OnNonConvergence {
@@ -232,20 +269,28 @@ class GridSolver
     /**
      * Per-cell total conductance (stencil diagonal).  It never
      * depends on temperature, so each solve computes it once - with
-     * the exact accumulation order the sweep historically used,
-     * keeping every quotient bit-identical - instead of re-summing
-     * it for every cell of every sweep.
+     * the exact accumulation order the sweep historically used -
+     * instead of re-summing it for every cell of every sweep.
      */
     std::vector<double> totalConductance(
         const Coefficients &c, const std::vector<double> &diag) const;
     /**
+     * The per-cell stencil factor the sweeps consume: the reciprocal
+     * of totalConductance() by default (the sweep multiplies), or
+     * the conductance itself under SolverConfig::division_sweep (the
+     * sweep divides).
+     */
+    std::vector<double> stencilFactor(
+        const Coefficients &c, const std::vector<double> &diag) const;
+    /**
      * One red-black half sweep over every cell of `color`; returns
      * the max temperature delta.  Runs on the pool when one exists.
+     * `g_stencil` is stencilFactor()'s output.
      */
     double sweepColor(const Coefficients &c, std::vector<double> &t,
                       const std::vector<double> &flow_base,
-                      const std::vector<double> &g_total, double omega,
-                      int color) const;
+                      const std::vector<double> &g_stencil,
+                      double omega, int color) const;
     /**
      * Steady-state iteration loop on an AVX-512 color-packed copy of
      * the field; bit-identical to the sweepColor loop (same per-cell
@@ -256,7 +301,7 @@ class GridSolver
      * of `st`.
      */
     void solvePackedSteady(const Coefficients &c,
-                           const std::vector<double> &g_total,
+                           const std::vector<double> &g_stencil,
                            std::vector<double> &t,
                            SolveStats &st) const;
     /**
@@ -266,7 +311,7 @@ class GridSolver
      * availability rules as solvePackedSteady.
      */
     void solveManyPackedSteady(const std::vector<Coefficients> &cs,
-                               const std::vector<double> &g_total,
+                               const std::vector<double> &g_stencil,
                                const std::vector<std::vector<double> *>
                                    &ts,
                                std::vector<SolveStats> &sts) const;

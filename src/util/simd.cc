@@ -32,6 +32,17 @@ avx512Supported()
 }
 
 bool
+fmaSupported()
+{
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+    static const bool supported = __builtin_cpu_supports("fma");
+    return supported;
+#else
+    return false;
+#endif
+}
+
+bool
 disabledByEnv()
 {
     const char *v = std::getenv("M3D_NO_SIMD");
@@ -49,6 +60,13 @@ bool
 useAvx512()
 {
     static const bool use = avx512Supported() && !disabledByEnv();
+    return use;
+}
+
+bool
+useFma()
+{
+    static const bool use = fmaSupported() && !disabledByEnv();
     return use;
 }
 

@@ -32,6 +32,9 @@ bool avx2Supported();
  * (F, VL, DQ, BW); false off x86. */
 bool avx512Supported();
 
+/** True iff this CPU executes FMA3 (false off x86). */
+bool fmaSupported();
+
 /** True iff the M3D_NO_SIMD environment variable disables SIMD. */
 bool disabledByEnv();
 
@@ -42,6 +45,14 @@ bool useAvx2();
 
 /** Like useAvx2(), for the 8-lane AVX-512 kernel paths. */
 bool useAvx512();
+
+/**
+ * Like useAvx2(), for scalar kernels with an FMA-targeted twin.
+ * std::fma is correctly rounded everywhere (hardware FMA or libm's
+ * exact fallback), so this dispatch only ever changes speed - both
+ * sides of it are bit-identical by IEEE semantics, not by luck.
+ */
+bool useFma();
 
 } // namespace simd
 } // namespace m3d

@@ -288,5 +288,44 @@ TEST(SolverTelemetry, ThermalModelThreadsStatsThrough)
     EXPECT_GE(r.solver.seconds, 0.0);
 }
 
+TEST(SolverParallel, ReciprocalSweepBitIdentityAcrossPaths)
+{
+    // The reciprocal (division-free) sweep is the default steady
+    // formulation, and its bit-identity contract spans BOTH axes of
+    // the dispatch: 1 vs 8 worker threads, and the scalar kernels vs
+    // the packed AVX-512 path (force_scalar).  All four combinations
+    // must agree on every bit of the field and on the iteration
+    // count - not merely within tolerance - because the search memo
+    // and golden metrics assume one canonical answer.
+    const LayerStack stack = LayerStack::m3d();
+    const int n = 16;
+    const auto power = uniformPower(stack, n, 6.4);
+
+    std::vector<ThermalField> fields;
+    std::vector<SolveStats> stats;
+    for (const int threads : {1, 8}) {
+        for (const bool scalar : {false, true}) {
+            SolverConfig cfg;
+            cfg.threads = threads;
+            cfg.force_scalar = scalar;
+            GridSolver solver(stack, 2.3 * mm, 2.3 * mm, n, cfg);
+            SolveStats st;
+            fields.push_back(solver.solve(power, &st));
+            stats.push_back(st);
+        }
+    }
+    for (std::size_t k = 1; k < fields.size(); ++k) {
+        ASSERT_EQ(fields[0].t_c.size(), fields[k].t_c.size());
+        for (std::size_t i = 0; i < fields[0].t_c.size(); ++i)
+            EXPECT_EQ(fields[0].t_c[i], fields[k].t_c[i])
+                << "combination " << k << " cell " << i;
+        EXPECT_EQ(stats[0].iterations, stats[k].iterations)
+            << "combination " << k;
+        EXPECT_EQ(stats[0].residual, stats[k].residual)
+            << "combination " << k;
+    }
+    EXPECT_TRUE(stats[0].converged);
+}
+
 } // namespace
 } // namespace m3d

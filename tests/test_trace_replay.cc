@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -515,6 +516,66 @@ TEST(BatchedParity, ScalarFallbackMatchesVector)
                 std::to_string(width) + " lane " + std::to_string(l);
             expectSameSim(vw[l], sw[l], what + " warmup");
             expectSameSim(vm[l], sm[l], what + " measured");
+        }
+    }
+}
+
+TEST(BatchedParity, RandomizedTracesMatchSequential)
+{
+    // Property test of the per-lane ring-history layout: across
+    // randomized traces (workload, capture seed, window split) and
+    // randomized full-width design blocks, the batched kernel -
+    // vectorized and force_scalar - must return the sequential solo
+    // replay bits on every lane.  The design draws deliberately mix
+    // power-of-two and ragged queue depths so the per-lane ring
+    // masks never agree across a block; CI repeats the test under
+    // M3D_NO_SIMD=1, so the same assertions pin the scalar, AVX2,
+    // and AVX-512 dispatch tiers.
+    std::mt19937 rng(20250809u);
+    const std::vector<std::string> names = {"Gcc", "Mcf", "Gamess",
+                                            "Hmmer"};
+    DesignFactory factory;
+    for (int round = 0; round < 4; ++round) {
+        const WorkloadProfile app = WorkloadLibrary::byName(
+            names[static_cast<std::size_t>(round) % names.size()]);
+        const std::uint64_t seed = 7 + rng() % 1000;
+        const std::uint64_t warmup = 5000 + rng() % 20000;
+        const std::uint64_t measured = 20000 + rng() % 30000;
+        auto buf = TraceRegistry::global().acquire(
+            app, seed, 0, warmup + measured);
+
+        std::vector<CoreDesign> designs;
+        for (int l = 0; l < 8; ++l) {
+            CoreDesign d =
+                (l % 2 == 0) ? factory.m3dHet() : factory.base();
+            d.rob_entries = 32 << (rng() % 5);
+            d.iq_entries = 16 + 4 * static_cast<int>(rng() % 16);
+            d.lq_entries = 16 + 4 * static_cast<int>(rng() % 12);
+            d.sq_entries = 12 + 4 * static_cast<int>(rng() % 12);
+            d.load_to_use = 2 + static_cast<int>(rng() % 5);
+            d.mispredict_penalty =
+                8 + static_cast<int>(rng() % 16);
+            designs.push_back(d);
+        }
+
+        BatchReplay vec(designs, buf);
+        BatchReplayOptions scalar_opts;
+        scalar_opts.force_scalar = true;
+        BatchReplay scalar(designs, buf, scalar_opts);
+
+        const std::vector<SimResult> vw = vec.run(warmup);
+        const std::vector<SimResult> vm = vec.run(measured);
+        const std::vector<SimResult> sw = scalar.run(warmup);
+        const std::vector<SimResult> sm = scalar.run(measured);
+        for (std::size_t l = 0; l < designs.size(); ++l) {
+            const auto [rw, rm] = sequentialWindows(
+                designs[l], buf, warmup, measured);
+            const std::string what = "round " +
+                std::to_string(round) + " lane " + std::to_string(l);
+            expectSameSim(vw[l], rw, what + " vector warmup");
+            expectSameSim(vm[l], rm, what + " vector measured");
+            expectSameSim(sw[l], rw, what + " scalar warmup");
+            expectSameSim(sm[l], rm, what + " scalar measured");
         }
     }
 }

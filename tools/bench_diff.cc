@@ -1,0 +1,186 @@
+/**
+ * @file
+ * bench_diff - compare two m3d-bench JSON emissions key by key.
+ *
+ *   bench_diff <baseline.json> <candidate.json> [--threshold R]
+ *
+ * Both files are BENCH_*.json documents (kind "m3d-bench", written
+ * by the perf_* benches' --json flag).  Every numeric key under
+ * "results" present in both files is printed with its baseline
+ * value, candidate value, and candidate/baseline ratio; keys present
+ * on only one side are listed as added/removed (informational -
+ * schema growth is expected as benches version up).
+ *
+ * With --threshold R (e.g. 1.25), the exit status becomes a
+ * regression gate: exit 3 when any *time-like* shared key (name
+ * ending in `_ms`, `_ms_per_run`, `_ms_per_app`, or
+ * `_cycles_per_op`) has candidate > R x baseline.  Speedup-style
+ * keys (bigger is better) and booleans never trip the gate - wall
+ * clock is what CI guards.  Exit 0 otherwise, 2 on unreadable or
+ * malformed input.
+ *
+ * Wall time is machine- and load-dependent, so CI runs this
+ * report-only (no --threshold) against the committed BENCH_core.json
+ * to surface drift in the job log without failing the build; the
+ * threshold mode exists for humans A/B-ing one machine.
+ */
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report/json.hh"
+#include "util/cli.hh"
+
+using namespace m3d;
+
+namespace {
+
+bool
+loadBench(const std::string &path, report::Json *out,
+          std::string *error)
+{
+    std::ifstream in(path);
+    if (!in.is_open()) {
+        *error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    if (!report::Json::parse(ss.str(), out, error)) {
+        *error = path + ": " + *error;
+        return false;
+    }
+    const report::Json *kind = out->find("kind");
+    if (kind == nullptr || !kind->isString() ||
+        kind->asString() != "m3d-bench") {
+        *error = path + ": not an m3d-bench emission";
+        return false;
+    }
+    if (out->find("results") == nullptr ||
+        !out->find("results")->isObject()) {
+        *error = path + ": no \"results\" object";
+        return false;
+    }
+    return true;
+}
+
+/** Keys where a larger candidate value is a slowdown. */
+bool
+timeLike(const std::string &key)
+{
+    for (const char *suffix :
+         {"_ms", "_ms_per_run", "_ms_per_app", "_cycles_per_op"}) {
+        const std::string s(suffix);
+        if (key.size() >= s.size() &&
+            key.compare(key.size() - s.size(), s.size(), s) == 0)
+            return true;
+    }
+    return false;
+}
+
+std::string
+num(double v)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(3) << v;
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double threshold = 0.0;
+    cli::Parser parser(
+        "bench_diff",
+        "Compare two m3d-bench JSON emissions key by key "
+        "(exit 0 ok / 3 over threshold / 2 bad input).");
+    parser.positional("baseline", "baseline BENCH_*.json")
+        .positional("candidate", "candidate BENCH_*.json")
+        .flag("threshold", &threshold,
+              "fail (exit 3) when any time-like key's "
+              "candidate/baseline ratio exceeds this; 0 disables "
+              "the gate (report-only)");
+    const cli::ParseStatus status = parser.parse(argc, argv);
+    if (status != cli::ParseStatus::Ok)
+        return status == cli::ParseStatus::Help ? 0 : 2;
+
+    std::string error;
+    report::Json base, cand;
+    if (!loadBench(parser.positionals()[0], &base, &error) ||
+        !loadBench(parser.positionals()[1], &cand, &error)) {
+        std::cerr << "bench_diff: " << error << "\n";
+        return 2;
+    }
+
+    const report::Json &br = *base.find("results");
+    const report::Json &cr = *cand.find("results");
+
+    const report::Json *bv = base.find("version");
+    const report::Json *cv = cand.find("version");
+    if (bv != nullptr && cv != nullptr && bv->isNumber() &&
+        cv->isNumber() && bv->asNumber() != cv->asNumber()) {
+        std::cout << "schema version: " << bv->asNumber() << " -> "
+                  << cv->asNumber() << "\n";
+    }
+
+    bool over = false;
+    std::vector<std::string> added, removed;
+    std::cout << std::left << std::setw(36) << "key"
+              << std::right << std::setw(12) << "baseline"
+              << std::setw(12) << "candidate" << std::setw(9)
+              << "ratio" << "\n";
+    for (const auto &[key, bval] : br.members()) {
+        const report::Json *cval = cr.find(key);
+        if (cval == nullptr) {
+            removed.push_back(key);
+            continue;
+        }
+        if (bval.isBool() && cval->isBool()) {
+            std::cout << std::left << std::setw(36) << key
+                      << std::right << std::setw(12)
+                      << (bval.asBool() ? "true" : "false")
+                      << std::setw(12)
+                      << (cval->asBool() ? "true" : "false")
+                      << std::setw(9)
+                      << (bval.asBool() == cval->asBool() ? "=" : "!")
+                      << "\n";
+            continue;
+        }
+        if (!bval.isNumber() || !cval->isNumber())
+            continue;
+        const double b = bval.asNumber();
+        const double c = cval->asNumber();
+        const double ratio = b != 0.0 ? c / b
+                                      : (c == 0.0 ? 1.0 : HUGE_VAL);
+        const bool gated = threshold > 0.0 && timeLike(key) &&
+                           ratio > threshold;
+        over = over || gated;
+        std::cout << std::left << std::setw(36) << key << std::right
+                  << std::setw(12) << num(b) << std::setw(12)
+                  << num(c) << std::setw(8) << num(ratio)
+                  << (gated ? "x REGRESSION" : "x") << "\n";
+    }
+    for (const auto &[key, cval] : cr.members()) {
+        (void)cval;
+        if (br.find(key) == nullptr)
+            added.push_back(key);
+    }
+    for (const std::string &k : removed)
+        std::cout << "removed key: " << k << "\n";
+    for (const std::string &k : added)
+        std::cout << "added key:   " << k << "\n";
+
+    if (over) {
+        std::cout << "bench_diff: time-like key(s) over "
+                  << num(threshold) << "x baseline\n";
+        return 3;
+    }
+    return 0;
+}
